@@ -1,0 +1,780 @@
+//! Arbitrary-width bit vectors with two's-complement arithmetic.
+//!
+//! [`Bits`] is the value domain used by every behavioral model and simulator
+//! in the workspace: GENUS operation semantics (`OO = IO + 1`), library-cell
+//! models, and the RTL simulator all compute over `Bits`.
+//!
+//! Values are stored little-endian in 64-bit limbs; all bits above `width`
+//! are kept at zero (a maintained invariant, checked in debug builds).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Number of bits per storage limb.
+const LIMB_BITS: usize = 64;
+
+/// An arbitrary-width vector of bits with two's-complement semantics.
+///
+/// The width is fixed at construction; binary operations panic when widths
+/// differ (width mismatches in a netlist are bugs, not data).
+///
+/// # Examples
+///
+/// ```
+/// use rtl_base::bits::Bits;
+///
+/// let x = Bits::from_u64(8, 0b1010_0001);
+/// assert_eq!(x.bit(0), true);
+/// assert_eq!(x.bit(1), false);
+/// assert_eq!((!&x).to_u64(), Some(0b0101_1110));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: usize,
+    limbs: Vec<u64>,
+}
+
+fn limbs_for(width: usize) -> usize {
+    width.div_ceil(LIMB_BITS)
+}
+
+impl Bits {
+    /// Creates an all-zero value of the given width.
+    ///
+    /// A width of zero is permitted and denotes the empty vector (useful for
+    /// degenerate slices); most arithmetic on empty vectors is trivial.
+    pub fn zero(width: usize) -> Self {
+        Bits {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
+    }
+
+    /// Creates an all-ones value of the given width.
+    pub fn ones(width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for l in &mut b.limbs {
+            *l = u64::MAX;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a value from the low bits of `v`, truncating to `width`.
+    pub fn from_u64(width: usize, v: u64) -> Self {
+        let mut b = Bits::zero(width);
+        if !b.limbs.is_empty() {
+            b.limbs[0] = v;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a value from the low bits of `v`, truncating to `width`.
+    pub fn from_u128(width: usize, v: u128) -> Self {
+        let mut b = Bits::zero(width);
+        if !b.limbs.is_empty() {
+            b.limbs[0] = v as u64;
+        }
+        if b.limbs.len() > 1 {
+            b.limbs[1] = (v >> 64) as u64;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a value of the given width from a boolean.
+    pub fn from_bool(v: bool) -> Self {
+        Bits::from_u64(1, v as u64)
+    }
+
+    /// Builds a value bit-by-bit from a function mapping index to bit.
+    pub fn from_fn(width: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut b = Bits::zero(width);
+        for i in 0..width {
+            if f(i) {
+                b.set_bit(i, true);
+            }
+        }
+        b
+    }
+
+    /// Parses a binary string such as `"1010"` (MSB first). Underscores are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the string contains characters other than
+    /// `0`, `1` and `_`, or if it contains no digits.
+    pub fn from_binary_str(s: &str) -> Result<Self, String> {
+        let digits: Vec<bool> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                _ => Err(format!("invalid binary digit {c:?}")),
+            })
+            .collect::<Result<_, _>>()?;
+        if digits.is_empty() {
+            return Err("empty binary literal".to_string());
+        }
+        let width = digits.len();
+        Ok(Bits::from_fn(width, |i| digits[width - 1 - i]))
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns true if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Reads the bit at `idx` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= width`.
+    pub fn bit(&self, idx: usize) -> bool {
+        assert!(idx < self.width, "bit index {idx} out of width {}", self.width);
+        (self.limbs[idx / LIMB_BITS] >> (idx % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at `idx` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= width`.
+    pub fn set_bit(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.width, "bit index {idx} out of width {}", self.width);
+        let limb = &mut self.limbs[idx / LIMB_BITS];
+        let mask = 1u64 << (idx % LIMB_BITS);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// The most significant bit (the sign bit under two's complement).
+    ///
+    /// Empty vectors report `false`.
+    pub fn msb(&self) -> bool {
+        if self.width == 0 {
+            false
+        } else {
+            self.bit(self.width - 1)
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs.iter().skip(1).any(|&l| l != 0) {
+            return None;
+        }
+        Some(self.limbs.first().copied().unwrap_or(0))
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.iter().skip(2).any(|&l| l != 0) {
+            return None;
+        }
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        Some(lo | (hi << 64))
+    }
+
+    /// Interprets the value as a signed integer if it fits in `i128`.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.width == 0 {
+            return Some(0);
+        }
+        if self.width > 128 {
+            // Only representable if the high bits are a sign extension.
+            let sext = self.sext(self.width);
+            let _ = sext;
+        }
+        let ext = if self.width < 128 { self.sext(128) } else { self.clone() };
+        if ext.width() > 128 {
+            let low = ext.slice(0, 128);
+            let high_ok = (128..ext.width()).all(|i| ext.bit(i) == low.msb());
+            if !high_ok {
+                return None;
+            }
+            return low.to_u128().map(|u| u as i128);
+        }
+        ext.to_u128().map(|u| u as i128)
+    }
+
+    /// Zero-extends (or truncates) to `new_width`.
+    pub fn zext(&self, new_width: usize) -> Self {
+        let mut out = Bits::zero(new_width);
+        for i in 0..new_width.min(self.width) {
+            if self.bit(i) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Sign-extends (or truncates) to `new_width`.
+    pub fn sext(&self, new_width: usize) -> Self {
+        let mut out = self.zext(new_width);
+        if new_width > self.width && self.msb() {
+            for i in self.width..new_width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Extracts `len` bits starting at bit `lo` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + len > width`.
+    pub fn slice(&self, lo: usize, len: usize) -> Self {
+        assert!(
+            lo + len <= self.width,
+            "slice [{lo}, {lo}+{len}) out of width {}",
+            self.width
+        );
+        Bits::from_fn(len, |i| self.bit(lo + i))
+    }
+
+    /// Concatenates `self` (low part) with `high` (high part).
+    pub fn concat(&self, high: &Bits) -> Self {
+        let mut out = Bits::zero(self.width + high.width);
+        for i in 0..self.width {
+            if self.bit(i) {
+                out.set_bit(i, true);
+            }
+        }
+        for i in 0..high.width {
+            if high.bit(i) {
+                out.set_bit(self.width + i, true);
+            }
+        }
+        out
+    }
+
+    /// Adds `rhs` plus a carry-in; returns the sum and the carry-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_with_carry(&self, rhs: &Bits, carry_in: bool) -> (Bits, bool) {
+        self.check_width(rhs);
+        let mut out = Bits::zero(self.width);
+        let mut carry = carry_in as u64;
+        for (i, o) in out.limbs.iter_mut().enumerate() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // The carry-out of the full width, not of the top limb.
+        let top_bits = self.width % LIMB_BITS;
+        let carry_out = if self.width == 0 {
+            carry_in
+        } else if top_bits == 0 {
+            carry != 0
+        } else {
+            let last = out.limbs.len() - 1;
+            let spill = (out.limbs[last] >> top_bits) & 1 == 1;
+            out.normalize();
+            spill
+        };
+        out.normalize();
+        (out, carry_out)
+    }
+
+    /// Wrapping addition; returns the sum and whether an (unsigned) carry-out
+    /// occurred.
+    pub fn overflowing_add(&self, rhs: &Bits) -> (Bits, bool) {
+        self.add_with_carry(rhs, false)
+    }
+
+    /// Wrapping addition.
+    pub fn wrapping_add(&self, rhs: &Bits) -> Bits {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction (`self - rhs`); the returned flag is the *borrow*
+    /// (true when `rhs > self` as unsigned numbers).
+    pub fn overflowing_sub(&self, rhs: &Bits) -> (Bits, bool) {
+        let (diff, carry) = self.add_with_carry(&!rhs, true);
+        (diff, !carry)
+    }
+
+    /// Wrapping subtraction.
+    pub fn wrapping_sub(&self, rhs: &Bits) -> Bits {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Two's-complement negation.
+    pub fn wrapping_neg(&self) -> Bits {
+        Bits::zero(self.width).wrapping_sub(self)
+    }
+
+    /// Adds one (wrapping).
+    pub fn inc(&self) -> Bits {
+        let one = Bits::from_u64(self.width, 1);
+        self.wrapping_add(&one)
+    }
+
+    /// Subtracts one (wrapping).
+    pub fn dec(&self) -> Bits {
+        let one = Bits::from_u64(self.width, 1);
+        self.wrapping_sub(&one)
+    }
+
+    /// Wrapping multiplication (product truncated to `self.width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn wrapping_mul(&self, rhs: &Bits) -> Bits {
+        self.check_width(rhs);
+        self.mul_full(rhs).zext(self.width)
+    }
+
+    /// Full-width multiplication: the result has width
+    /// `self.width + rhs.width` (the classic n×m multiplier output).
+    pub fn mul_full(&self, rhs: &Bits) -> Bits {
+        let out_width = self.width + rhs.width;
+        let mut acc = Bits::zero(out_width);
+        let a = self.zext(out_width);
+        for i in 0..rhs.width {
+            if rhs.bit(i) {
+                acc = acc.wrapping_add(&a.shl(i));
+            }
+        }
+        acc
+    }
+
+    /// Unsigned division; returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or division by zero.
+    pub fn div_rem(&self, rhs: &Bits) -> (Bits, Bits) {
+        self.check_width(rhs);
+        assert!(!rhs.is_zero(), "division by zero");
+        let mut rem = Bits::zero(self.width);
+        let mut quo = Bits::zero(self.width);
+        for i in (0..self.width).rev() {
+            rem = rem.shl(1);
+            rem.set_bit(0, self.bit(i));
+            if rem.cmp_unsigned(rhs) != Ordering::Less {
+                rem = rem.wrapping_sub(rhs);
+                quo.set_bit(i, true);
+            }
+        }
+        (quo, rem)
+    }
+
+    /// Logical shift left by `n` (zero fill).
+    pub fn shl(&self, n: usize) -> Bits {
+        Bits::from_fn(self.width, |i| i >= n && self.bit(i - n))
+    }
+
+    /// Logical shift right by `n` (zero fill).
+    pub fn shr(&self, n: usize) -> Bits {
+        Bits::from_fn(self.width, |i| i + n < self.width && self.bit(i + n))
+    }
+
+    /// Arithmetic shift right by `n` (sign fill).
+    pub fn asr(&self, n: usize) -> Bits {
+        let sign = self.msb();
+        Bits::from_fn(self.width, |i| {
+            if i + n < self.width {
+                self.bit(i + n)
+            } else {
+                sign
+            }
+        })
+    }
+
+    /// Rotate left by `n`.
+    pub fn rotl(&self, n: usize) -> Bits {
+        if self.width == 0 {
+            return self.clone();
+        }
+        let n = n % self.width;
+        Bits::from_fn(self.width, |i| {
+            self.bit((i + self.width - n) % self.width)
+        })
+    }
+
+    /// Rotate right by `n`.
+    pub fn rotr(&self, n: usize) -> Bits {
+        if self.width == 0 {
+            return self.clone();
+        }
+        let n = n % self.width;
+        self.rotl(self.width - n)
+    }
+
+    /// Unsigned comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn cmp_unsigned(&self, rhs: &Bits) -> Ordering {
+        self.check_width(rhs);
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed (two's-complement) comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn cmp_signed(&self, rhs: &Bits) -> Ordering {
+        self.check_width(rhs);
+        match (self.msb(), rhs.msb()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.cmp_unsigned(rhs),
+        }
+    }
+
+    /// Reduction AND over all bits (true for the empty vector).
+    pub fn reduce_and(&self) -> bool {
+        (0..self.width).all(|i| self.bit(i))
+    }
+
+    /// Reduction OR over all bits (false for the empty vector).
+    pub fn reduce_or(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Reduction XOR (parity) over all bits.
+    pub fn reduce_xor(&self) -> bool {
+        self.limbs
+            .iter()
+            .fold(0u32, |acc, l| acc ^ l.count_ones())
+            % 2
+            == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    fn check_width(&self, rhs: &Bits) {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+
+    fn normalize(&mut self) {
+        let top_bits = self.width % LIMB_BITS;
+        if top_bits != 0 {
+            if let Some(last) = self.limbs.last_mut() {
+                *last &= (1u64 << top_bits) - 1;
+            }
+        }
+        debug_assert_eq!(self.limbs.len(), limbs_for(self.width));
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits<{}>({})", self.width, self)
+    }
+}
+
+impl fmt::Display for Bits {
+    /// Displays as an MSB-first binary string, `0` for the empty vector.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 0 {
+            return write!(f, "0");
+        }
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 0 {
+            return write!(f, "0");
+        }
+        let nibbles = self.width.div_ceil(4);
+        for n in (0..nibbles).rev() {
+            let mut v = 0u8;
+            for b in 0..4 {
+                let idx = n * 4 + b;
+                if idx < self.width && self.bit(idx) {
+                    v |= 1 << b;
+                }
+            }
+            write!(f, "{v:x}")?;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_bitop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for &Bits {
+            type Output = Bits;
+            fn $method(self, rhs: &Bits) -> Bits {
+                self.check_width(rhs);
+                let mut out = Bits::zero(self.width);
+                for (i, o) in out.limbs.iter_mut().enumerate() {
+                    *o = self.limbs[i] $op rhs.limbs[i];
+                }
+                out
+            }
+        }
+        impl std::ops::$trait for Bits {
+            type Output = Bits;
+            fn $method(self, rhs: Bits) -> Bits {
+                (&self) $op (&rhs)
+            }
+        }
+    };
+}
+
+impl_bitop!(BitAnd, bitand, &);
+impl_bitop!(BitOr, bitor, |);
+impl_bitop!(BitXor, bitxor, ^);
+
+impl std::ops::Not for &Bits {
+    type Output = Bits;
+    fn not(self) -> Bits {
+        let mut out = Bits::zero(self.width);
+        for (i, o) in out.limbs.iter_mut().enumerate() {
+            *o = !self.limbs[i];
+        }
+        out.normalize();
+        out
+    }
+}
+
+impl std::ops::Not for Bits {
+    type Output = Bits;
+    fn not(self) -> Bits {
+        !&self
+    }
+}
+
+impl Default for Bits {
+    /// A single zero bit.
+    fn default() -> Self {
+        Bits::zero(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = Bits::zero(70);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 70);
+        let o = Bits::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.reduce_and());
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let b = Bits::from_u64(4, 0xff);
+        assert_eq!(b.to_u64(), Some(0xf));
+    }
+
+    #[test]
+    fn from_u128_two_limbs() {
+        let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        let b = Bits::from_u128(128, v);
+        assert_eq!(b.to_u128(), Some(v));
+        let t = Bits::from_u128(100, v);
+        assert_eq!(t.to_u128(), Some(v & ((1u128 << 100) - 1)));
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut b = Bits::zero(65);
+        b.set_bit(64, true);
+        assert!(b.bit(64));
+        assert!(!b.bit(0));
+        assert!(b.msb());
+        b.set_bit(64, false);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        Bits::zero(8).bit(8);
+    }
+
+    #[test]
+    fn add_with_carry_chain_matches_wide_add() {
+        // Ripple two 8-bit halves and compare against one 16-bit add.
+        let a = Bits::from_u64(16, 0xabcd);
+        let b = Bits::from_u64(16, 0x9876);
+        let (lo, c) = a.slice(0, 8).add_with_carry(&b.slice(0, 8), false);
+        let (hi, c2) = a.slice(8, 8).add_with_carry(&b.slice(8, 8), c);
+        let glued = lo.concat(&hi);
+        let (full, cf) = a.overflowing_add(&b);
+        assert_eq!(glued, full);
+        assert_eq!(c2, cf);
+    }
+
+    #[test]
+    fn carry_out_at_exact_limb_width() {
+        let a = Bits::ones(64);
+        let one = Bits::from_u64(64, 1);
+        let (s, c) = a.overflowing_add(&one);
+        assert!(s.is_zero());
+        assert!(c);
+    }
+
+    #[test]
+    fn sub_borrow() {
+        let a = Bits::from_u64(8, 5);
+        let b = Bits::from_u64(8, 7);
+        let (d, borrow) = a.overflowing_sub(&b);
+        assert!(borrow);
+        assert_eq!(d.to_u64(), Some(254)); // 5 - 7 mod 256
+        let (d2, borrow2) = b.overflowing_sub(&a);
+        assert!(!borrow2);
+        assert_eq!(d2.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn neg_inc_dec() {
+        let a = Bits::from_u64(8, 1);
+        assert_eq!(a.wrapping_neg().to_u64(), Some(255));
+        assert_eq!(a.inc().to_u64(), Some(2));
+        assert_eq!(a.dec().to_u64(), Some(0));
+        assert_eq!(Bits::zero(8).dec().to_u64(), Some(255));
+    }
+
+    #[test]
+    fn mul_full_and_wrapping() {
+        let a = Bits::from_u64(8, 200);
+        let b = Bits::from_u64(8, 100);
+        assert_eq!(a.mul_full(&b).to_u64(), Some(20_000));
+        assert_eq!(a.mul_full(&b).width(), 16);
+        assert_eq!(a.wrapping_mul(&b).to_u64(), Some(20_000 % 256));
+    }
+
+    #[test]
+    fn div_rem_matches_u64() {
+        let a = Bits::from_u64(16, 50_000);
+        let b = Bits::from_u64(16, 321);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_u64(), Some(50_000 / 321));
+        assert_eq!(r.to_u64(), Some(50_000 % 321));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let a = Bits::from_u64(8, 1);
+        a.div_rem(&Bits::zero(8));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Bits::from_u64(8, 0b1001_0110);
+        assert_eq!(a.shl(2).to_u64(), Some(0b0101_1000));
+        assert_eq!(a.shr(2).to_u64(), Some(0b0010_0101));
+        assert_eq!(a.asr(2).to_u64(), Some(0b1110_0101));
+        assert_eq!(a.rotl(3).to_u64(), Some(0b1011_0100));
+        assert_eq!(a.rotr(3), a.rotl(5));
+        assert_eq!(a.shl(0), a);
+        assert_eq!(a.shl(8).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bits::from_u64(8, 0x80); // -128 signed
+        let b = Bits::from_u64(8, 0x01);
+        assert_eq!(a.cmp_unsigned(&b), Ordering::Greater);
+        assert_eq!(a.cmp_signed(&b), Ordering::Less);
+        assert_eq!(a.cmp_signed(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Bits::from_u64(4, 0b0110);
+        assert!(!a.reduce_and());
+        assert!(a.reduce_or());
+        assert!(!a.reduce_xor());
+        assert!(Bits::from_u64(4, 0b0111).reduce_xor());
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let v = Bits::from_u128(100, 0x0dead_beef_cafe_f00du128);
+        let lo = v.slice(0, 37);
+        let hi = v.slice(37, 63);
+        assert_eq!(lo.concat(&hi), v);
+    }
+
+    #[test]
+    fn binary_string_roundtrip() {
+        let s = "1011_0010_1";
+        let b = Bits::from_binary_str(s).unwrap();
+        assert_eq!(b.width(), 9);
+        assert_eq!(format!("{b}"), "101100101");
+        assert!(Bits::from_binary_str("10x1").is_err());
+        assert!(Bits::from_binary_str("").is_err());
+    }
+
+    #[test]
+    fn hex_display() {
+        let b = Bits::from_u64(12, 0xabc);
+        assert_eq!(format!("{b:x}"), "abc");
+        let b = Bits::from_u64(10, 0x3ff);
+        assert_eq!(format!("{b:x}"), "3ff");
+    }
+
+    #[test]
+    fn signed_conversion() {
+        let m1 = Bits::ones(16);
+        assert_eq!(m1.to_i128(), Some(-1));
+        let p = Bits::from_u64(16, 0x7fff);
+        assert_eq!(p.to_i128(), Some(32767));
+    }
+
+    #[test]
+    fn empty_width() {
+        let e = Bits::zero(0);
+        assert!(e.is_zero());
+        assert_eq!(e.concat(&Bits::from_u64(4, 9)).to_u64(), Some(9));
+        let (s, c) = e.overflowing_add(&Bits::zero(0));
+        assert!(s.is_zero());
+        assert!(!c);
+    }
+}

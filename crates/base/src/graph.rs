@@ -1,0 +1,249 @@
+//! Small directed-graph utilities: topological sorting and longest paths.
+//!
+//! Used for netlist delay estimation (critical path through a decomposition
+//! template), operation scheduling in the HLS front end, and levelizing
+//! combinational logic in the simulator.
+
+use std::collections::VecDeque;
+
+/// A directed graph over dense `usize` node ids with `f64` edge weights.
+///
+/// # Examples
+///
+/// ```
+/// use rtl_base::graph::Digraph;
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1, 2.0);
+/// g.add_edge(1, 2, 3.0);
+/// let order = g.topo_sort().expect("acyclic");
+/// assert_eq!(order, vec![0, 1, 2]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Digraph {
+    /// `succs[u]` lists `(v, weight)` for every edge `u -> v`.
+    succs: Vec<Vec<(usize, f64)>>,
+    edge_count: usize,
+}
+
+/// Error returned by [`Digraph::topo_sort`] when the graph has a cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node known to participate in (or be downstream of) a cycle.
+    pub node: usize,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a cycle through node {}", self.node)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            succs: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.succs.push(Vec::new());
+        self.succs.len() - 1
+    }
+
+    /// Adds an edge `u -> v` with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is not a node.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.succs.len() && v < self.succs.len(), "edge endpoints out of range");
+        self.succs[u].push((v, weight));
+        self.edge_count += 1;
+    }
+
+    /// Successors of `u` with edge weights.
+    pub fn successors(&self, u: usize) -> &[(usize, f64)] {
+        &self.succs[u]
+    }
+
+    /// Kahn topological sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph is cyclic.
+    pub fn topo_sort(&self) -> Result<Vec<usize>, CycleError> {
+        let n = self.succs.len();
+        let mut indeg = vec![0usize; n];
+        for edges in &self.succs {
+            for &(v, _) in edges {
+                indeg[v] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &(v, _) in &self.succs[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let node = (0..n).find(|&u| indeg[u] > 0).unwrap_or(0);
+            return Err(CycleError { node });
+        }
+        Ok(order)
+    }
+
+    /// Longest (critical) path distances from the given sources, where a
+    /// path's length is the sum of its edge weights plus `node_weight` for
+    /// every node visited (including the source and sink).
+    ///
+    /// Nodes unreachable from any source get distance `f64::NEG_INFINITY`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph is cyclic.
+    pub fn longest_paths(
+        &self,
+        sources: &[usize],
+        node_weight: &dyn Fn(usize) -> f64,
+    ) -> Result<Vec<f64>, CycleError> {
+        let order = self.topo_sort()?;
+        let mut dist = vec![f64::NEG_INFINITY; self.succs.len()];
+        for &s in sources {
+            dist[s] = node_weight(s);
+        }
+        for &u in &order {
+            if dist[u] == f64::NEG_INFINITY {
+                continue;
+            }
+            for &(v, w) in &self.succs[u] {
+                let cand = dist[u] + w + node_weight(v);
+                if cand > dist[v] {
+                    dist[v] = cand;
+                }
+            }
+        }
+        Ok(dist)
+    }
+
+    /// The maximum longest-path distance over all nodes, starting from all
+    /// zero-in-degree nodes; 0.0 for an empty graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph is cyclic.
+    pub fn critical_path(
+        &self,
+        node_weight: &dyn Fn(usize) -> f64,
+    ) -> Result<f64, CycleError> {
+        let n = self.succs.len();
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let mut indeg = vec![0usize; n];
+        for edges in &self.succs {
+            for &(v, _) in edges {
+                indeg[v] += 1;
+            }
+        }
+        let sources: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        let dist = self.longest_paths(&sources, node_weight)?;
+        Ok(dist
+            .into_iter()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_sort_linear() {
+        let mut g = Digraph::new(4);
+        g.add_edge(3, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        assert_eq!(g.topo_sort().unwrap(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 0, 1.0);
+        assert!(g.topo_sort().is_err());
+    }
+
+    #[test]
+    fn longest_path_diamond() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 with node weights; heavier branch wins.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(0, 2, 0.0);
+        g.add_edge(1, 3, 0.0);
+        g.add_edge(2, 3, 0.0);
+        let w = |u: usize| [1.0, 5.0, 2.0, 1.0][u];
+        let dist = g.longest_paths(&[0], &w).unwrap();
+        assert_eq!(dist[3], 1.0 + 5.0 + 1.0);
+    }
+
+    #[test]
+    fn critical_path_chain_of_adders() {
+        // 16 ripple stages of 4.3 ns each.
+        let mut g = Digraph::new(16);
+        for i in 0..15 {
+            g.add_edge(i, i + 1, 0.0);
+        }
+        let cp = g.critical_path(&|_| 4.3).unwrap();
+        assert!((cp - 16.0 * 4.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_nodes_ignored() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 2.0);
+        let dist = g.longest_paths(&[0], &|_| 0.0).unwrap();
+        assert_eq!(dist[2], f64::NEG_INFINITY);
+        assert_eq!(dist[1], 2.0);
+    }
+
+    #[test]
+    fn empty_graph_critical_path_zero() {
+        let g = Digraph::new(0);
+        assert_eq!(g.critical_path(&|_| 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = Digraph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        g.add_edge(0, v, 1.5);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(0), &[(1, 1.5)]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Area/delay cost points and Pareto fronts.
+//!
+//! DTAS (paper §5) applies "performance filters to eliminate all but the
+//! *best* alternative implementations of each component specification".
+//! The filter used throughout this reproduction — and in the paper's §6
+//! example — "accepts all design alternatives that make favorable tradeoffs
+//! between area ... and delay", i.e. the Pareto-optimal set over
+//! (area, delay).
+
+use std::fmt;
+
+/// An (area, delay) cost point.
+///
+/// Area is measured in equivalent NAND gates and delay in nanoseconds,
+/// matching the units of the paper's Figure 3.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Cost {
+    /// Area in equivalent two-input NAND gates.
+    pub area: f64,
+    /// Worst-case combinational delay in nanoseconds.
+    pub delay: f64,
+}
+
+impl Cost {
+    /// Creates a cost point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is negative or non-finite: such costs are
+    /// always construction bugs, never data.
+    pub fn new(area: f64, delay: f64) -> Self {
+        assert!(
+            area.is_finite() && delay.is_finite() && area >= 0.0 && delay >= 0.0,
+            "invalid cost ({area}, {delay})"
+        );
+        Cost { area, delay }
+    }
+
+    /// Componentwise sum (modules placed side by side).
+    pub fn plus_area(self, other: Cost) -> Cost {
+        Cost::new(self.area + other.area, self.delay.max(other.delay))
+    }
+
+    /// True when `self` is at least as good as `other` in both coordinates
+    /// and strictly better in at least one.
+    pub fn dominates(self, other: Cost) -> bool {
+        self.area <= other.area
+            && self.delay <= other.delay
+            && (self.area < other.area || self.delay < other.delay)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} gates / {:.1} ns", self.area, self.delay)
+    }
+}
+
+/// A set of mutually non-dominated `(Cost, T)` entries, ordered by
+/// increasing area (hence decreasing delay).
+///
+/// # Examples
+///
+/// ```
+/// use rtl_base::pareto::{Cost, ParetoFront};
+///
+/// let mut front = ParetoFront::new();
+/// front.insert(Cost::new(100.0, 50.0), "slow");
+/// front.insert(Cost::new(200.0, 10.0), "fast");
+/// front.insert(Cost::new(300.0, 40.0), "bad"); // dominated by "fast"
+/// assert_eq!(front.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParetoFront<T> {
+    entries: Vec<(Cost, T)>,
+}
+
+impl<T> ParetoFront<T> {
+    /// Creates an empty front.
+    pub fn new() -> Self {
+        ParetoFront { entries: Vec::new() }
+    }
+
+    /// Number of non-dominated entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the front holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Attempts to insert; returns `true` when the entry survives (is not
+    /// dominated by an existing entry). Entries dominated by the newcomer
+    /// are evicted.
+    ///
+    /// Ties: a point exactly equal in both coordinates to an existing point
+    /// is rejected (the incumbent is kept), which makes filtering
+    /// deterministic under stable iteration orders.
+    pub fn insert(&mut self, cost: Cost, value: T) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(c, _)| c.dominates(cost) || (c.area == cost.area && c.delay == cost.delay))
+        {
+            return false;
+        }
+        self.entries.retain(|(c, _)| !cost.dominates(*c));
+        let pos = self
+            .entries
+            .partition_point(|(c, _)| c.area < cost.area);
+        self.entries.insert(pos, (cost, value));
+        true
+    }
+
+    /// Iterates entries in order of increasing area.
+    pub fn iter(&self) -> impl Iterator<Item = (&Cost, &T)> {
+        self.entries.iter().map(|(c, v)| (c, v))
+    }
+
+    /// Consumes the front, yielding entries in order of increasing area.
+    pub fn into_vec(self) -> Vec<(Cost, T)> {
+        self.entries
+    }
+
+    /// The entry with minimal area (the "smallest" design), if any.
+    pub fn min_area(&self) -> Option<(&Cost, &T)> {
+        self.entries.first().map(|(c, v)| (c, v))
+    }
+
+    /// The entry with minimal delay (the "fastest" design), if any.
+    pub fn min_delay(&self) -> Option<(&Cost, &T)> {
+        self.entries.last().map(|(c, v)| (c, v))
+    }
+}
+
+impl<T> FromIterator<(Cost, T)> for ParetoFront<T> {
+    fn from_iter<I: IntoIterator<Item = (Cost, T)>>(iter: I) -> Self {
+        let mut front = ParetoFront::new();
+        for (c, v) in iter {
+            front.insert(c, v);
+        }
+        front
+    }
+}
+
+impl<T> Extend<(Cost, T)> for ParetoFront<T> {
+    fn extend<I: IntoIterator<Item = (Cost, T)>>(&mut self, iter: I) {
+        for (c, v) in iter {
+            self.insert(c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance() {
+        let a = Cost::new(10.0, 10.0);
+        let b = Cost::new(10.0, 20.0);
+        let c = Cost::new(5.0, 30.0);
+        assert!(a.dominates(b));
+        assert!(!b.dominates(a));
+        assert!(!a.dominates(a));
+        assert!(!a.dominates(c));
+        assert!(!c.dominates(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost")]
+    fn nan_cost_panics() {
+        Cost::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn insert_keeps_front_sorted_and_minimal() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(Cost::new(100.0, 50.0), 1));
+        assert!(f.insert(Cost::new(200.0, 20.0), 2));
+        assert!(f.insert(Cost::new(150.0, 30.0), 3));
+        assert!(!f.insert(Cost::new(250.0, 25.0), 4)); // dominated by 2
+        assert!(f.insert(Cost::new(50.0, 90.0), 5));
+        let areas: Vec<f64> = f.iter().map(|(c, _)| c.area).collect();
+        assert_eq!(areas, vec![50.0, 100.0, 150.0, 200.0]);
+        // Delays strictly decrease along the front.
+        let delays: Vec<f64> = f.iter().map(|(c, _)| c.delay).collect();
+        assert!(delays.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn newcomer_evicts_dominated() {
+        let mut f = ParetoFront::new();
+        f.insert(Cost::new(100.0, 50.0), "a");
+        f.insert(Cost::new(120.0, 45.0), "b");
+        assert!(f.insert(Cost::new(90.0, 40.0), "c")); // dominates both
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.min_area().unwrap().1, &"c");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(Cost::new(1.0, 1.0), "first"));
+        assert!(!f.insert(Cost::new(1.0, 1.0), "second"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.min_area().unwrap().1, &"first");
+    }
+
+    #[test]
+    fn extremes() {
+        let f: ParetoFront<u32> = [
+            (Cost::new(10.0, 99.0), 1),
+            (Cost::new(20.0, 50.0), 2),
+            (Cost::new(90.0, 5.0), 3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(f.min_area().unwrap().1, &1);
+        assert_eq!(f.min_delay().unwrap().1, &3);
+    }
+
+    #[test]
+    fn empty_front() {
+        let f: ParetoFront<()> = ParetoFront::new();
+        assert!(f.is_empty());
+        assert!(f.min_area().is_none());
+        assert!(f.min_delay().is_none());
+    }
+}

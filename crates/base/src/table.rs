@@ -1,0 +1,156 @@
+//! Plain-text table rendering.
+//!
+//! The benchmark harness regenerates each of the paper's tables and figures
+//! as rows on stdout; this module gives those binaries one consistent,
+//! dependency-free renderer.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-justified (default).
+    #[default]
+    Left,
+    /// Right-justified, for numeric columns.
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Examples
+///
+/// ```
+/// use rtl_base::table::{Align, TextTable};
+///
+/// let mut t = TextTable::new(vec!["design", "area", "delay"]);
+/// t.align(1, Align::Right).align(2, Align::Right);
+/// t.row(vec!["ripple".into(), "4879".into(), "134.3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("ripple"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        TextTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a column.
+    pub fn align(&mut self, idx: usize, align: Align) -> &mut Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with a header rule.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            for i in 0..n {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].chars().count();
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(&cells[i]);
+                        if i + 1 < n {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(&cells[i]);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers, &widths, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            emit(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "area"]);
+        t.align(1, Align::Right);
+        t.row(vec!["a".into(), "5".into()]);
+        t.row(vec!["bbbb".into(), "123".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].ends_with("  5"));
+        assert!(lines[3].ends_with("123"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has")]
+    fn wrong_row_arity_panics() {
+        let mut t = TextTable::new(vec!["one"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(vec!["x", "y"]);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: `Bits` arithmetic against native wide-integer references.
+
+use proptest::prelude::*;
+use rtl_base::bits::Bits;
+use std::cmp::Ordering;
+
+fn mask(width: usize) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(width in 1usize..100, a in any::<u128>(), b in any::<u128>()) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let bb = Bits::from_u128(width, b);
+        let (sum, carry) = ba.overflowing_add(&bb);
+        let wide = a.wrapping_add(b);
+        prop_assert_eq!(sum.to_u128().unwrap(), wide & mask(width));
+        prop_assert_eq!(carry, (wide & mask(width)) != wide || (a.checked_add(b).is_none()));
+    }
+
+    #[test]
+    fn sub_matches_u128(width in 1usize..100, a in any::<u128>(), b in any::<u128>()) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let bb = Bits::from_u128(width, b);
+        let (diff, borrow) = ba.overflowing_sub(&bb);
+        prop_assert_eq!(diff.to_u128().unwrap(), a.wrapping_sub(b) & mask(width));
+        prop_assert_eq!(borrow, b > a);
+    }
+
+    #[test]
+    fn mul_matches_u128(width in 1usize..64, a in any::<u64>(), b in any::<u64>()) {
+        let a = (a as u128) & mask(width);
+        let b = (b as u128) & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let bb = Bits::from_u128(width, b);
+        prop_assert_eq!(ba.mul_full(&bb).to_u128().unwrap(), a * b);
+        prop_assert_eq!(ba.wrapping_mul(&bb).to_u128().unwrap(), (a * b) & mask(width));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(width in 1usize..100, a in any::<u128>(), b in any::<u128>()) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        prop_assume!(b != 0);
+        let (q, r) = Bits::from_u128(width, a).div_rem(&Bits::from_u128(width, b));
+        prop_assert_eq!(q.to_u128().unwrap(), a / b);
+        prop_assert_eq!(r.to_u128().unwrap(), a % b);
+    }
+
+    #[test]
+    fn logic_matches_u128(width in 1usize..100, a in any::<u128>(), b in any::<u128>()) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let bb = Bits::from_u128(width, b);
+        prop_assert_eq!((&ba & &bb).to_u128().unwrap(), a & b);
+        prop_assert_eq!((&ba | &bb).to_u128().unwrap(), a | b);
+        prop_assert_eq!((&ba ^ &bb).to_u128().unwrap(), a ^ b);
+        prop_assert_eq!((!&ba).to_u128().unwrap(), !a & mask(width));
+    }
+
+    #[test]
+    fn shifts_match_u128(width in 1usize..100, a in any::<u128>(), n in 0usize..128) {
+        let a = a & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let shl = if n >= 128 { 0 } else { (a << n) & mask(width) };
+        let shr = if n >= 128 { 0 } else { a >> n };
+        prop_assert_eq!(ba.shl(n).to_u128().unwrap(), if n >= width { 0 } else { shl });
+        prop_assert_eq!(ba.shr(n).to_u128().unwrap(), if n >= width { 0 } else { shr & mask(width) });
+    }
+
+    #[test]
+    fn compare_matches_u128(width in 1usize..100, a in any::<u128>(), b in any::<u128>()) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let bb = Bits::from_u128(width, b);
+        prop_assert_eq!(ba.cmp_unsigned(&bb), a.cmp(&b));
+        let sa = ((a << (128 - width)) as i128) >> (128 - width);
+        let sb = ((b << (128 - width)) as i128) >> (128 - width);
+        prop_assert_eq!(ba.cmp_signed(&bb), sa.cmp(&sb));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(width in 1usize..100, a in any::<u128>()) {
+        let a = a & mask(width);
+        let ba = Bits::from_u128(width, a);
+        let neg = ba.wrapping_neg();
+        prop_assert!(ba.wrapping_add(&neg).is_zero());
+    }
+
+    #[test]
+    fn slice_concat_identity(width in 2usize..100, a in any::<u128>(), cut in 1usize..99) {
+        let cut = cut % (width - 1) + 1;
+        let a = a & mask(width);
+        let b = Bits::from_u128(width, a);
+        let lo = b.slice(0, cut);
+        let hi = b.slice(cut, width - cut);
+        prop_assert_eq!(lo.concat(&hi), b);
+    }
+
+    #[test]
+    fn rot_inverse(width in 1usize..100, a in any::<u128>(), n in 0usize..200) {
+        let a = a & mask(width);
+        let b = Bits::from_u128(width, a);
+        prop_assert_eq!(b.rotl(n).rotr(n), b);
+    }
+
+    #[test]
+    fn inc_dec_inverse(width in 1usize..100, a in any::<u128>()) {
+        let a = a & mask(width);
+        let b = Bits::from_u128(width, a);
+        prop_assert_eq!(b.inc().dec(), b);
+    }
+
+    #[test]
+    fn display_roundtrip(width in 1usize..100, a in any::<u128>()) {
+        let a = a & mask(width);
+        let b = Bits::from_u128(width, a);
+        let s = format!("{b}");
+        prop_assert_eq!(Bits::from_binary_str(&s).unwrap(), b);
+    }
+
+    #[test]
+    fn signed_compare_total_order(width in 1usize..64, vals in prop::collection::vec(any::<u64>(), 3)) {
+        let bits: Vec<Bits> = vals.iter().map(|&v| Bits::from_u64(width, v)).collect();
+        // Transitivity spot-check on a triple.
+        if bits[0].cmp_signed(&bits[1]) != Ordering::Greater
+            && bits[1].cmp_signed(&bits[2]) != Ordering::Greater
+        {
+            prop_assert_ne!(bits[0].cmp_signed(&bits[2]), Ordering::Greater);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for Pareto-front invariants.
+
+use proptest::prelude::*;
+use rtl_base::pareto::{Cost, ParetoFront};
+
+fn arb_cost() -> impl Strategy<Value = Cost> {
+    (1u32..10_000, 1u32..10_000).prop_map(|(a, d)| Cost::new(a as f64, d as f64))
+}
+
+proptest! {
+    #[test]
+    fn front_is_mutually_non_dominated(costs in prop::collection::vec(arb_cost(), 0..50)) {
+        let front: ParetoFront<usize> = costs.iter().copied().zip(0usize..).collect();
+        let pts: Vec<Cost> = front.iter().map(|(c, _)| *c).collect();
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(*b), "{a} dominates {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_input_is_dominated_or_present(costs in prop::collection::vec(arb_cost(), 1..50)) {
+        let front: ParetoFront<usize> = costs.iter().copied().zip(0usize..).collect();
+        let pts: Vec<Cost> = front.iter().map(|(c, _)| *c).collect();
+        for c in &costs {
+            let covered = pts.iter().any(|p| {
+                p.dominates(*c) || (p.area == c.area && p.delay == c.delay)
+            });
+            prop_assert!(covered, "input {c} neither kept nor dominated");
+        }
+    }
+
+    #[test]
+    fn front_sorted_by_area_and_antitone_in_delay(costs in prop::collection::vec(arb_cost(), 0..50)) {
+        let front: ParetoFront<usize> = costs.iter().copied().zip(0usize..).collect();
+        let pts: Vec<Cost> = front.iter().map(|(c, _)| *c).collect();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].area < w[1].area);
+            prop_assert!(w[0].delay > w[1].delay);
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_cost_set(costs in prop::collection::vec(arb_cost(), 0..30)) {
+        let f1: ParetoFront<usize> = costs.iter().copied().zip(0usize..).collect();
+        let mut rev = costs.clone();
+        rev.reverse();
+        let f2: ParetoFront<usize> = rev.iter().copied().zip(0usize..).collect();
+        let k1: Vec<(u64, u64)> = f1.iter().map(|(c, _)| (c.area as u64, c.delay as u64)).collect();
+        let k2: Vec<(u64, u64)> = f2.iter().map(|(c, _)| (c.area as u64, c.delay as u64)).collect();
+        prop_assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion bench for the §5 adder design-space workload across widths.
+
+use bench::{adder_spec, paper_engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn adder_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder_space");
+    group.sample_size(20);
+    let engine = paper_engine();
+    for width in [8usize, 16, 32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    engine
+                        .synthesize(&adder_spec(w))
+                        .expect("synthesizes")
+                        .alternatives
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adder_space);
+criterion_main!(benches);

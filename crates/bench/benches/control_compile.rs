@@ -1,0 +1,22 @@
+//! Criterion bench for the control compiler on the GCD state table
+//! (Figure-1 flow, controller side).
+
+use bench::GCD_SOURCE;
+use controlc::compile_controller;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls::compile::{compile, Constraints};
+use hls::lang::parse_entity;
+
+fn control(c: &mut Criterion) {
+    let entity = parse_entity(GCD_SOURCE).expect("parses");
+    let design = compile(&entity, &Constraints::default()).expect("compiles");
+    c.bench_function("hls_gcd_compile", |b| {
+        b.iter(|| compile(&entity, &Constraints::default()).expect("compiles"))
+    });
+    c.bench_function("controlc_gcd_fsm", |b| {
+        b.iter(|| compile_controller(&design.state_table).expect("controller"))
+    });
+}
+
+criterion_group!(benches, control);
+criterion_main!(benches);

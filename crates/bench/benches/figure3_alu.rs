@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure-3 workload: full DTAS synthesis of the
+//! 64-bit, 16-function ALU (paper: "less than 15 minutes of real time on
+//! a SUN-3 workstation").
+
+use bench::{alu64_spec, alu_spec, paper_engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    let engine = paper_engine();
+    group.bench_function("alu64_synthesize", |b| {
+        b.iter(|| {
+            let set = engine.synthesize(&alu64_spec()).expect("synthesizes");
+            assert!(!set.alternatives.is_empty());
+            set.alternatives.len()
+        })
+    });
+    for width in [8usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("alu_width", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    engine
+                        .synthesize(&alu_spec(w))
+                        .expect("synthesizes")
+                        .alternatives
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure3);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for simulation throughput: cycles/second on the
+//! closed (datapath + controller) GCD machine and vectors/second on a
+//! mapped 16-bit adder.
+
+use bench::{adder_spec, paper_engine, GCD_SOURCE};
+use controlc::close_design;
+use criterion::{criterion_group, criterion_main, Criterion};
+use genus::behavior::Env;
+use hls::compile::{compile, Constraints};
+use hls::lang::parse_entity;
+use rtl_base::bits::Bits;
+use rtlsim::{FlatDesign, Simulator};
+
+fn sim(c: &mut Criterion) {
+    // GCD machine cycles.
+    let entity = parse_entity(GCD_SOURCE).expect("parses");
+    let design = compile(&entity, &Constraints::default()).expect("compiles");
+    let closed = close_design(&design).expect("links");
+    let flat = FlatDesign::from_netlist(&closed).expect("flattens");
+    let inputs = Env::from([
+        ("clk".to_string(), Bits::zero(1)),
+        ("a_in".to_string(), Bits::from_u64(8, 48)),
+        ("b_in".to_string(), Bits::from_u64(8, 36)),
+    ]);
+    c.bench_function("sim_gcd_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&flat).expect("levelizes");
+            for _ in 0..100 {
+                sim.step(&inputs).expect("steps");
+            }
+        })
+    });
+
+    // Mapped adder vectors.
+    let set = paper_engine()
+        .synthesize(&adder_spec(16))
+        .expect("synthesizes");
+    let fastest = set.fastest().expect("nonempty");
+    let flat_add =
+        FlatDesign::from_implementation(&fastest.implementation).expect("flattens");
+    let sim_add = Simulator::new(&flat_add).expect("levelizes");
+    c.bench_function("sim_add16_100_vectors", |b| {
+        b.iter(|| {
+            for i in 0..100u64 {
+                let env = Env::from([
+                    ("A".to_string(), Bits::from_u64(16, i.wrapping_mul(0x9e37))),
+                    ("B".to_string(), Bits::from_u64(16, i.wrapping_mul(0x79b9))),
+                    ("CI".to_string(), Bits::from_u64(1, i & 1)),
+                ]);
+                sim_add.eval(&env).expect("evaluates");
+            }
+        })
+    });
+}
+
+criterion_group!(benches, sim);
+criterion_main!(benches);

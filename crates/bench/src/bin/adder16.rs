@@ -1,0 +1,41 @@
+//! Regenerates the **§5 search-control claim**: the unconstrained design
+//! space of a 16-bit adder has "several hundred thousand to several
+//! million" alternatives; DTAS's two search-control principles reduce it
+//! "to ten alternative designs".
+
+use bench::{adder_spec, paper_engine};
+use rtl_base::table::{Align, TextTable};
+
+fn main() {
+    let spec = adder_spec(16);
+    println!("Section 5: search control on the 16-bit adder");
+    println!("Component Specification: {spec}");
+    println!();
+    let set = paper_engine().synthesize(&spec).expect("ADD16 synthesizes");
+
+    let mut t = TextTable::new(vec!["design-space measure", "paper", "measured"]);
+    t.align(1, Align::Right).align(2, Align::Right);
+    t.row(vec![
+        "unconstrained (product over modules)".into(),
+        "\"several hundred thousand to several million\"".into(),
+        set.unconstrained_display(),
+    ]);
+    t.row(vec![
+        "uniform-implementation constraint only".into(),
+        "(not reported)".into(),
+        match set.uniform_size {
+            Some(n) => n.to_string(),
+            None => "> 2e6".into(),
+        },
+    ]);
+    t.row(vec![
+        "after performance filters".into(),
+        "10".into(),
+        set.alternatives.len().to_string(),
+    ]);
+    println!("{}", t.render());
+    println!("{}", set.figure3_table());
+    println!("note: the uniform-constraint count lands in the paper's quoted band;");
+    println!("the raw product is larger here because this rule base also explores");
+    println!("gate-level recodings (DeMorgan forms, NAND-only XOR, ...).");
+}

@@ -1,0 +1,137 @@
+//! Regenerates the **§7 coverage claim**: DTAS "is capable of
+//! synthesizing a wide range of RTL components, including bitwise logic
+//! gates and multiplexers, binary and BCD decoders and encoders, n-bit
+//! adders and comparators, n-bit arithmetic logic units, shifters,
+//! n-by-m multipliers, and up/down counters."
+//!
+//! For every claimed family this binary synthesizes an instance against
+//! the LSI-style library, reports the design space, and verifies the
+//! smallest and fastest alternatives against the behavioral model.
+
+use bench::paper_engine;
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use rtl_base::table::{Align, TextTable};
+use rtlsim::equiv::check_implementation;
+
+fn main() {
+    let engine = paper_engine();
+    let cases: Vec<(&str, ComponentSpec, usize)> = vec![
+        (
+            "bitwise logic gates",
+            ComponentSpec::new(ComponentKind::Gate(GateOp::Nand), 8).with_inputs(4),
+            120,
+        ),
+        (
+            "multiplexers",
+            ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(4),
+            120,
+        ),
+        (
+            "binary decoders",
+            ComponentSpec::new(ComponentKind::Decoder, 3)
+                .with_width2(8)
+                .with_style("BINARY"),
+            120,
+        ),
+        (
+            "BCD decoders",
+            ComponentSpec::new(ComponentKind::Decoder, 4)
+                .with_width2(10)
+                .with_style("BCD"),
+            120,
+        ),
+        (
+            "encoders",
+            ComponentSpec::new(ComponentKind::Encoder, 3).with_inputs(8),
+            120,
+        ),
+        ("n-bit adders", bench::adder_spec(12), 120),
+        (
+            "n-bit comparators",
+            ComponentSpec::new(ComponentKind::Comparator, 8)
+                .with_ops([Op::Eq, Op::Lt, Op::Gt].into_iter().collect()),
+            120,
+        ),
+        ("n-bit ALUs", bench::alu_spec(8), 200),
+        (
+            "shifters",
+            ComponentSpec::new(ComponentKind::Shifter, 8)
+                .with_ops([Op::Shl, Op::Shr].into_iter().collect()),
+            120,
+        ),
+        (
+            "barrel shifters",
+            ComponentSpec::new(ComponentKind::BarrelShifter, 8)
+                .with_width2(3)
+                .with_ops(OpSet::only(Op::Shl)),
+            120,
+        ),
+        (
+            "n-by-m multipliers",
+            ComponentSpec::new(ComponentKind::Multiplier, 6)
+                .with_width2(4)
+                .with_ops(OpSet::only(Op::Mul)),
+            120,
+        ),
+        (
+            "up/down counters",
+            ComponentSpec::new(ComponentKind::Counter, 6)
+                .with_ops([Op::Load, Op::CountUp, Op::CountDown].into_iter().collect())
+                .with_enable(true)
+                .with_style("SYNCHRONOUS"),
+            200,
+        ),
+    ];
+
+    println!("Section 7: DTAS component coverage (every family verified by simulation)");
+    println!();
+    let mut t = TextTable::new(vec![
+        "family", "spec", "designs", "area range", "delay range", "verified",
+    ]);
+    t.align(2, Align::Right);
+    let mut failures = 0;
+    for (family, spec, vectors) in cases {
+        match engine.synthesize(&spec) {
+            Ok(set) => {
+                let smallest = set.smallest().expect("nonempty");
+                let fastest = set.fastest().expect("nonempty");
+                let mut verified = true;
+                for alt in [smallest, fastest] {
+                    if let Err(e) = check_implementation(&alt.implementation, vectors, 42)
+                    {
+                        eprintln!("{family}: verification FAILED: {e}");
+                        verified = false;
+                        failures += 1;
+                    }
+                }
+                t.row(vec![
+                    family.to_string(),
+                    spec.to_string(),
+                    set.alternatives.len().to_string(),
+                    format!("{:.0}..{:.0}", smallest.area, fastest.area),
+                    format!("{:.1}..{:.1}", fastest.delay, smallest.delay),
+                    if verified { "ok".into() } else { "FAIL".into() },
+                ]);
+            }
+            Err(e) => {
+                failures += 1;
+                t.row(vec![
+                    family.to_string(),
+                    spec.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("ERROR: {e}"),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    if failures > 0 {
+        eprintln!("{failures} families failed");
+        std::process::exit(1);
+    }
+    println!("all families synthesized and verified");
+}

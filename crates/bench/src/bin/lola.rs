@@ -1,0 +1,92 @@
+//! Regenerates the **§7 LOLA scenario**: "LOLA is invoked when DTAS is
+//! presented with a new cell library ... applies abstract design
+//! principles to generate library-specific rules."
+//!
+//! Presents DTAS with a synthetic next-generation databook (3-bit adders,
+//! 2-bit P/G adders + 3-group CLA, 6-bit registers) and compares the
+//! design space before and after LOLA derives rules for it.
+
+use cells::databook;
+use dtas::lola::{derive_library_rules, with_derived_rules, LibraryProfile};
+use dtas::{Dtas, RuleSet};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use rtl_base::table::{Align, TextTable};
+
+const NEXT_GEN: &str = "\
+LIBRARY next_gen
+CELL INV   GATE_NOT  W 1 N 1 AREA 0.7 DELAY 0.4
+CELL ND2   GATE_NAND W 1 N 2 AREA 1.0 DELAY 0.6
+CELL ND5   GATE_NAND W 1 N 5 AREA 2.6 DELAY 1.2
+CELL NR2   GATE_NOR  W 1 N 2 AREA 1.0 DELAY 0.7
+CELL AN2   GATE_AND  W 1 N 2 AREA 1.2 DELAY 0.8
+CELL OR2   GATE_OR   W 1 N 2 AREA 1.2 DELAY 0.9
+CELL EO2   GATE_XOR  W 1 N 2 AREA 2.2 DELAY 1.1
+CELL EN2   GATE_XNOR W 1 N 2 AREA 2.2 DELAY 1.2
+CELL MX2   MUX W 1 N 2 AREA 2.8 DELAY 1.2
+CELL ADD3  ADDSUB W 3 OPS ADD CI CO AREA 19.0 DELAY 4.2 CARRY 2.6
+CELL APG2  ADDSUB W 2 OPS ADD CI CO PG AREA 15.0 DELAY 3.4 CARRY 1.6 PGD 2.2
+CELL CLA3  CLA_GEN N 3 CI AREA 10.0 DELAY 1.7 CARRY 1.0 PGD 1.4
+CELL FD1   REGISTER W 1 OPS LOAD AREA 6.0 DELAY 1.9
+CELL RG6   REGISTER W 6 OPS LOAD AREA 33.0 DELAY 2.1
+CELL FDE1  REGISTER W 1 OPS LOAD EN AREA 8.0 DELAY 2.1
+";
+
+fn main() {
+    let lib = databook::parse(NEXT_GEN).expect("synthetic library parses");
+    println!("Section 7 (future work): LOLA adapts DTAS to a new library");
+    println!();
+    println!("new library: {} ({} cells)", lib.name(), lib.len());
+    let profile = LibraryProfile::of(&lib);
+    println!("learned profile: {profile:#?}");
+    println!();
+    let derived = derive_library_rules(&lib);
+    println!("derived {} library-specific rules:", derived.len());
+    for r in &derived {
+        println!("  {:<26} {}", r.name(), r.doc());
+    }
+    println!();
+
+    let spec = ComponentSpec::new(ComponentKind::AddSub, 12)
+        .with_ops(OpSet::only(Op::Add))
+        .with_carry_in(true)
+        .with_carry_out(true);
+    println!("workload: {spec}");
+    let mut t = TextTable::new(vec!["engine", "designs", "smallest", "fastest"]);
+    t.align(1, Align::Right);
+    let baseline = Dtas::new(lib.clone()).with_rules(RuleSet::standard());
+    match baseline.synthesize(&spec) {
+        Ok(set) => {
+            let s = set.smallest().expect("nonempty");
+            let f = set.fastest().expect("nonempty");
+            t.row(vec![
+                "generic rules only".into(),
+                set.alternatives.len().to_string(),
+                format!("{:.0} gates / {:.1} ns", s.area, s.delay),
+                format!("{:.0} gates / {:.1} ns", f.area, f.delay),
+            ]);
+        }
+        Err(e) => {
+            t.row(vec![
+                "generic rules only".into(),
+                "0".into(),
+                format!("{e}"),
+                "-".into(),
+            ]);
+        }
+    };
+    let adapted =
+        Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
+    let set = adapted.synthesize(&spec).expect("adapted engine synthesizes");
+    let s = set.smallest().expect("nonempty");
+    let f = set.fastest().expect("nonempty");
+    t.row(vec![
+        "generic + LOLA-derived".into(),
+        set.alternatives.len().to_string(),
+        format!("{:.0} gates / {:.1} ns", s.area, s.delay),
+        format!("{:.0} gates / {:.1} ns", f.area, f.delay),
+    ]);
+    println!("{}", t.render());
+    println!("{}", set.figure3_table());
+}

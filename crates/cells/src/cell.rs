@@ -1,0 +1,150 @@
+//! A single RTL library cell.
+
+use genus::component::PortClass;
+use genus::spec::ComponentSpec;
+use std::fmt;
+
+/// One macrocell of a technology library.
+///
+/// Functionality is carried by a [`ComponentSpec`] — the exact
+/// representation DTAS uses for generic components — so technology mapping
+/// is a *functional match*, never graph isomorphism (paper §5).
+///
+/// # Examples
+///
+/// ```
+/// use cells::cell::Cell;
+/// use genus::spec::ComponentSpec;
+/// use genus::kind::ComponentKind;
+/// use genus::op::{Op, OpSet};
+///
+/// let fa = Cell::new(
+///     "FA1A",
+///     ComponentSpec::new(ComponentKind::AddSub, 1)
+///         .with_ops(OpSet::only(Op::Add))
+///         .with_carry_in(true)
+///         .with_carry_out(true),
+///     7.0,
+///     2.4,
+/// )
+/// .with_carry_delay(1.9);
+/// assert_eq!(fa.area, 7.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Databook cell name (e.g. `ADD4`).
+    pub name: String,
+    /// Functional specification.
+    pub spec: ComponentSpec,
+    /// Area in equivalent two-input NAND gates.
+    pub area: f64,
+    /// Worst-case delay from a data input to any output, ns.
+    pub delay: f64,
+    /// Delay from the carry input to any output (the ripple path), ns.
+    /// Defaults to `delay` when absent.
+    pub carry_delay: Option<f64>,
+    /// Delay from data inputs to group propagate/generate (status)
+    /// outputs, ns. Defaults to `delay` when absent.
+    pub pg_delay: Option<f64>,
+}
+
+impl Cell {
+    /// Creates a cell with a single worst-case delay.
+    pub fn new(name: &str, spec: ComponentSpec, area: f64, delay: f64) -> Self {
+        Cell {
+            name: name.to_string(),
+            spec,
+            area,
+            delay,
+            carry_delay: None,
+            pg_delay: None,
+        }
+    }
+
+    /// Sets the carry-in → output delay.
+    pub fn with_carry_delay(mut self, d: f64) -> Self {
+        self.carry_delay = Some(d);
+        self
+    }
+
+    /// Sets the data → propagate/generate delay.
+    pub fn with_pg_delay(mut self, d: f64) -> Self {
+        self.pg_delay = Some(d);
+        self
+    }
+
+    /// Pin-to-pin delay between port classes: the timing-arc model used by
+    /// critical-path estimation.
+    ///
+    /// * carry-in → anything uses the (usually much faster) carry arc;
+    /// * anything → status (P/G flags) uses the P/G arc;
+    /// * everything else uses the worst-case data delay.
+    pub fn arc_delay(&self, from: PortClass, to: PortClass) -> f64 {
+        if from == PortClass::CarryIn {
+            self.carry_delay.unwrap_or(self.delay)
+        } else if to == PortClass::Status {
+            self.pg_delay.unwrap_or(self.delay)
+        } else {
+            self.delay
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {:.1} gates {:.1} ns",
+            self.name, self.spec, self.area, self.delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn adder() -> Cell {
+        Cell::new(
+            "ADD4",
+            ComponentSpec::new(ComponentKind::AddSub, 4)
+                .with_ops(OpSet::only(Op::Add))
+                .with_carry_in(true)
+                .with_carry_out(true),
+            26.0,
+            5.0,
+        )
+        .with_carry_delay(3.0)
+    }
+
+    #[test]
+    fn arc_delay_prefers_carry_path() {
+        let c = adder();
+        assert_eq!(c.arc_delay(PortClass::CarryIn, PortClass::CarryOut), 3.0);
+        assert_eq!(c.arc_delay(PortClass::Data, PortClass::CarryOut), 5.0);
+        assert_eq!(c.arc_delay(PortClass::Data, PortClass::Data), 5.0);
+    }
+
+    #[test]
+    fn pg_delay_used_for_status_outputs() {
+        let c = adder().with_pg_delay(3.4);
+        assert_eq!(c.arc_delay(PortClass::Data, PortClass::Status), 3.4);
+        assert_eq!(c.arc_delay(PortClass::CarryIn, PortClass::Status), 3.0);
+    }
+
+    #[test]
+    fn defaults_to_worst_case() {
+        let c = Cell::new("X", ComponentSpec::new(ComponentKind::BufferComp, 1), 1.0, 0.8);
+        assert_eq!(c.arc_delay(PortClass::CarryIn, PortClass::Data), 0.8);
+        assert_eq!(c.arc_delay(PortClass::Data, PortClass::Status), 0.8);
+    }
+
+    #[test]
+    fn display_mentions_name_and_cost() {
+        let s = adder().to_string();
+        assert!(s.contains("ADD4"));
+        assert!(s.contains("26.0 gates"));
+    }
+}

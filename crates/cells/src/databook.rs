@@ -1,0 +1,330 @@
+//! Plain-text data book format: parsing and printing cell libraries.
+//!
+//! The format is line oriented; `#` starts a comment. A library is one
+//! `LIBRARY <name>` header followed by `CELL` lines:
+//!
+//! ```text
+//! LIBRARY lsi_lma9k_subset
+//! CELL ADD4   ADDSUB  W 4 OPS ADD CI CO    AREA 26.0 DELAY 5.0 CARRY 3.0
+//! CELL MUX41  MUX     W 1 N 4              AREA 7.0  DELAY 2.0
+//! CELL CLA4   CLA_GEN N 4 CI               AREA 14.0 DELAY 2.0 PGD 1.7
+//! ```
+//!
+//! Keywords: `W` (width), `W2` (second width/depth), `N` (fan-in),
+//! `OPS op...`, flags `CI CO EN SR PG`, `STYLE <s>`, `AREA`, `DELAY`,
+//! `CARRY` (carry-arc delay), `PGD` (P/G-arc delay).
+
+use crate::cell::Cell;
+use crate::library::CellLibrary;
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use std::fmt;
+
+/// Error produced while parsing a data book.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBookError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBookError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "data book line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBookError {}
+
+fn perr(line: usize, message: impl Into<String>) -> ParseBookError {
+    ParseBookError {
+        line,
+        message: message.into(),
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "W", "W2", "N", "OPS", "CI", "CO", "EN", "SR", "PG", "STYLE", "AREA", "DELAY", "CARRY",
+    "PGD",
+];
+
+/// Parses a data book document into a [`CellLibrary`].
+///
+/// # Errors
+///
+/// Returns [`ParseBookError`] with a line number on malformed input.
+pub fn parse(text: &str) -> Result<CellLibrary, ParseBookError> {
+    let mut lib: Option<CellLibrary> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "LIBRARY" => {
+                if tokens.len() != 2 {
+                    return Err(perr(line_no, "LIBRARY takes exactly one name"));
+                }
+                if lib.is_some() {
+                    return Err(perr(line_no, "duplicate LIBRARY header"));
+                }
+                lib = Some(CellLibrary::new(tokens[1]));
+            }
+            "CELL" => {
+                let lib = lib
+                    .as_mut()
+                    .ok_or_else(|| perr(line_no, "CELL before LIBRARY header"))?;
+                let cell = parse_cell(&tokens[1..], line_no)?;
+                if lib.cell(&cell.name).is_some() {
+                    return Err(perr(line_no, format!("duplicate cell {}", cell.name)));
+                }
+                lib.insert(cell);
+            }
+            other => return Err(perr(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+    lib.ok_or_else(|| perr(0, "no LIBRARY header found"))
+}
+
+fn parse_cell(tokens: &[&str], line: usize) -> Result<Cell, ParseBookError> {
+    if tokens.len() < 2 {
+        return Err(perr(line, "CELL needs a name and a kind"));
+    }
+    let name = tokens[0];
+    let kind = ComponentKind::parse(tokens[1]).map_err(|e| perr(line, e))?;
+    let mut width = 1usize;
+    let mut width2 = 0usize;
+    let mut inputs = 0usize;
+    let mut ops = OpSet::new();
+    let (mut ci, mut co, mut en, mut sr, mut pg) = (false, false, false, false, false);
+    let mut style: Option<String> = None;
+    let mut area: Option<f64> = None;
+    let mut delay: Option<f64> = None;
+    let mut carry: Option<f64> = None;
+    let mut pgd: Option<f64> = None;
+
+    let mut i = 2;
+    let take_usize = |i: &mut usize, what: &str| -> Result<usize, ParseBookError> {
+        *i += 1;
+        tokens
+            .get(*i)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| perr(line, format!("{what} needs an integer argument")))
+    };
+    let take_f64 = |i: &mut usize, what: &str| -> Result<f64, ParseBookError> {
+        *i += 1;
+        tokens
+            .get(*i)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| perr(line, format!("{what} needs a numeric argument")))
+    };
+    while i < tokens.len() {
+        match tokens[i] {
+            "W" => width = take_usize(&mut i, "W")?,
+            "W2" => width2 = take_usize(&mut i, "W2")?,
+            "N" => inputs = take_usize(&mut i, "N")?,
+            "OPS" => {
+                let mut any = false;
+                while let Some(tok) = tokens.get(i + 1) {
+                    if KEYWORDS.contains(tok) {
+                        break;
+                    }
+                    ops.insert(Op::parse(tok).map_err(|e| perr(line, e))?);
+                    any = true;
+                    i += 1;
+                }
+                if !any {
+                    return Err(perr(line, "OPS needs at least one operation"));
+                }
+            }
+            "CI" => ci = true,
+            "CO" => co = true,
+            "EN" => en = true,
+            "SR" => sr = true,
+            "PG" => pg = true,
+            "STYLE" => {
+                i += 1;
+                style = Some(
+                    tokens
+                        .get(i)
+                        .ok_or_else(|| perr(line, "STYLE needs a name"))?
+                        .to_string(),
+                );
+            }
+            "AREA" => area = Some(take_f64(&mut i, "AREA")?),
+            "DELAY" => delay = Some(take_f64(&mut i, "DELAY")?),
+            "CARRY" => carry = Some(take_f64(&mut i, "CARRY")?),
+            "PGD" => pgd = Some(take_f64(&mut i, "PGD")?),
+            other => return Err(perr(line, format!("unknown token {other:?}"))),
+        }
+        i += 1;
+    }
+    let area = area.ok_or_else(|| perr(line, format!("cell {name} is missing AREA")))?;
+    let delay = delay.ok_or_else(|| perr(line, format!("cell {name} is missing DELAY")))?;
+    if area < 0.0 || delay < 0.0 {
+        return Err(perr(line, "negative area or delay"));
+    }
+
+    // The CLA generator's width field tracks its group count.
+    if kind == ComponentKind::CarryLookahead {
+        width = inputs;
+    }
+    let mut spec = ComponentSpec::new(kind, width)
+        .with_width2(width2)
+        .with_inputs(inputs)
+        .with_ops(ops)
+        .with_carry_in(ci)
+        .with_carry_out(co)
+        .with_enable(en)
+        .with_async_set_reset(sr)
+        .with_group_pg(pg);
+    if let Some(s) = style {
+        spec = spec.with_style(&s);
+    }
+    let mut cell = Cell::new(name, spec, area, delay);
+    if let Some(c) = carry {
+        cell = cell.with_carry_delay(c);
+    }
+    if let Some(p) = pgd {
+        cell = cell.with_pg_delay(p);
+    }
+    Ok(cell)
+}
+
+/// Prints a library back into the data book format accepted by [`parse`].
+pub fn print(lib: &CellLibrary) -> String {
+    let mut out = format!("LIBRARY {}\n", lib.name());
+    for c in lib.cells() {
+        let s = &c.spec;
+        let mut line = format!("CELL {} {}", c.name, s.kind.name());
+        if s.kind != ComponentKind::CarryLookahead {
+            line.push_str(&format!(" W {}", s.width));
+        }
+        if s.width2 > 0 {
+            line.push_str(&format!(" W2 {}", s.width2));
+        }
+        if s.inputs > 0 {
+            line.push_str(&format!(" N {}", s.inputs));
+        }
+        if !s.ops.is_empty() {
+            line.push_str(" OPS");
+            for op in s.ops.iter() {
+                line.push(' ');
+                line.push_str(op.name());
+            }
+        }
+        for (flag, label) in [
+            (s.carry_in, "CI"),
+            (s.carry_out, "CO"),
+            (s.enable, "EN"),
+            (s.async_set_reset, "SR"),
+            (s.group_pg, "PG"),
+        ] {
+            if flag {
+                line.push(' ');
+                line.push_str(label);
+            }
+        }
+        if let Some(style) = &s.style {
+            line.push_str(&format!(" STYLE {style}"));
+        }
+        line.push_str(&format!(" AREA {} DELAY {}", c.area, c.delay));
+        if let Some(cd) = c.carry_delay {
+            line.push_str(&format!(" CARRY {cd}"));
+        }
+        if let Some(pd) = c.pg_delay {
+            line.push_str(&format!(" PGD {pd}"));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+LIBRARY demo
+CELL ND2  GATE_NAND W 1 N 2 AREA 1.0 DELAY 0.7   # trailing comment
+CELL ADD4 ADDSUB W 4 OPS ADD CI CO AREA 26 DELAY 5.0 CARRY 3.0
+CELL CLA4 CLA_GEN N 4 CI AREA 14 DELAY 2.0 PGD 1.7
+";
+
+    #[test]
+    fn parses_sample() {
+        let lib = parse(SAMPLE).unwrap();
+        assert_eq!(lib.name(), "demo");
+        assert_eq!(lib.len(), 3);
+        let add4 = lib.cell("ADD4").unwrap();
+        assert_eq!(add4.spec.width, 4);
+        assert!(add4.spec.carry_in && add4.spec.carry_out);
+        assert_eq!(add4.carry_delay, Some(3.0));
+        let cla = lib.cell("CLA4").unwrap();
+        assert_eq!(cla.spec.inputs, 4);
+        assert_eq!(cla.pg_delay, Some(1.7));
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let lib = parse(SAMPLE).unwrap();
+        let text = print(&lib);
+        let lib2 = parse(&text).unwrap();
+        assert_eq!(lib2.len(), lib.len());
+        for c in lib.cells() {
+            let c2 = lib2.cell(&c.name).unwrap();
+            assert_eq!(c2.spec, c.spec, "spec drift for {}", c.name);
+            assert_eq!(c2.area, c.area);
+            assert_eq!(c2.delay, c.delay);
+            assert_eq!(c2.carry_delay, c.carry_delay);
+            assert_eq!(c2.pg_delay, c.pg_delay);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let e = parse("LIBRARY x\nFROB y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_cell_before_library() {
+        let e = parse("CELL ND2 GATE_NAND W 1 N 2 AREA 1 DELAY 1\n").unwrap_err();
+        assert!(e.message.contains("before LIBRARY"));
+    }
+
+    #[test]
+    fn rejects_missing_area() {
+        let e = parse("LIBRARY x\nCELL ND2 GATE_NAND W 1 N 2 DELAY 1\n").unwrap_err();
+        assert!(e.message.contains("AREA"));
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_op() {
+        assert!(parse("LIBRARY x\nCELL A WIDGET AREA 1 DELAY 1\n").is_err());
+        assert!(parse("LIBRARY x\nCELL A ADDSUB W 1 OPS FROB AREA 1 DELAY 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let text = "LIBRARY x\nCELL A GATE_NOT W 1 AREA 1 DELAY 1\nCELL A GATE_NOT W 1 AREA 1 DELAY 1\n";
+        assert!(parse(text).unwrap_err().message.contains("duplicate cell"));
+        assert!(parse("LIBRARY x\nLIBRARY y\n").is_err());
+    }
+
+    #[test]
+    fn empty_ops_rejected() {
+        let e = parse("LIBRARY x\nCELL A ADDSUB W 1 OPS AREA 1 DELAY 1\n").unwrap_err();
+        assert!(e.message.contains("OPS"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Cell libraries and the functional-match query.
+
+use crate::cell::Cell;
+use genus::spec::ComponentSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A technology library: a named set of [`Cell`]s.
+///
+/// # Examples
+///
+/// ```
+/// use cells::{Cell, CellLibrary};
+/// use genus::kind::{ComponentKind, GateOp};
+/// use genus::spec::ComponentSpec;
+///
+/// let mut lib = CellLibrary::new("tiny");
+/// lib.insert(Cell::new(
+///     "ND2",
+///     ComponentSpec::new(ComponentKind::Gate(GateOp::Nand), 1).with_inputs(2),
+///     1.0,
+///     0.7,
+/// ));
+/// assert_eq!(lib.len(), 1);
+/// assert!(lib.cell("ND2").is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CellLibrary {
+    name: String,
+    cells: Vec<Cell>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl CellLibrary {
+    /// Creates an empty library.
+    pub fn new(name: &str) -> Self {
+        CellLibrary {
+            name: name.to_string(),
+            ..CellLibrary::default()
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a cell, replacing any cell with the same name.
+    pub fn insert(&mut self, cell: Cell) {
+        if let Some(&idx) = self.by_name.get(&cell.name) {
+            self.cells[idx] = cell;
+        } else {
+            self.by_name.insert(cell.name.clone(), self.cells.len());
+            self.cells.push(cell);
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Looks up a cell by data book name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.by_name.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// All cells, in insertion (data book) order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The functional-match query of DTAS technology mapping: every cell
+    /// whose specification can implement `required` (paper §5). Matching
+    /// cells are returned in data book order.
+    pub fn implementers(&self, required: &ComponentSpec) -> Vec<&Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.spec.can_implement(required))
+            .collect()
+    }
+
+    /// Restricts the library to the named cells, preserving order —
+    /// used to study how design spaces degrade with poorer libraries.
+    pub fn subset(&self, names: &[&str]) -> CellLibrary {
+        let mut out = CellLibrary::new(&format!("{}_subset", self.name));
+        for c in &self.cells {
+            if names.contains(&c.name.as_str()) {
+                out.insert(c.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CellLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "LIBRARY {} ({} cells)", self.name, self.cells.len())?;
+        for c in &self.cells {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cell> for CellLibrary {
+    fn from_iter<I: IntoIterator<Item = Cell>>(iter: I) -> Self {
+        let mut lib = CellLibrary::new("anonymous");
+        for c in iter {
+            lib.insert(c);
+        }
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn add_cell(name: &str, width: usize) -> Cell {
+        Cell::new(
+            name,
+            ComponentSpec::new(ComponentKind::AddSub, width)
+                .with_ops(OpSet::only(Op::Add))
+                .with_carry_in(true)
+                .with_carry_out(true),
+            10.0 * width as f64,
+            2.0 * width as f64,
+        )
+    }
+
+    #[test]
+    fn implementers_filters_by_width() {
+        let lib: CellLibrary = [add_cell("A1", 1), add_cell("A2", 2), add_cell("A4", 4)]
+            .into_iter()
+            .collect();
+        let want = ComponentSpec::new(ComponentKind::AddSub, 2)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        let hits = lib.implementers(&want);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "A2");
+    }
+
+    #[test]
+    fn addsub_cell_implements_pure_adder() {
+        let mut lib = CellLibrary::new("t");
+        lib.insert(Cell::new(
+            "AS2",
+            ComponentSpec::new(ComponentKind::AddSub, 2)
+                .with_ops([Op::Add, Op::Sub].into_iter().collect())
+                .with_carry_in(true)
+                .with_carry_out(true),
+            17.0,
+            4.0,
+        ));
+        let want_add = ComponentSpec::new(ComponentKind::AddSub, 2)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        assert_eq!(lib.implementers(&want_add).len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_same_name() {
+        let mut lib = CellLibrary::new("t");
+        lib.insert(add_cell("A", 1));
+        let mut better = add_cell("A", 1);
+        better.area = 5.0;
+        lib.insert(better);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.cell("A").unwrap().area, 5.0);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let lib: CellLibrary = [add_cell("A1", 1), add_cell("A2", 2), add_cell("A4", 4)]
+            .into_iter()
+            .collect();
+        let sub = lib.subset(&["A4", "A1"]);
+        let names: Vec<&str> = sub.cells().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["A1", "A4"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's evaluation library: a 30-cell subset of an LSI Logic-style
+//! 1.5-micron macrocell data book.
+//!
+//! The original \[LSIL87\] databook is proprietary, so this is a
+//! reconstruction from the paper's description of the subset (§6):
+//! multiplexers (2:1, 4:1 and 8:1, in 1- and 4-bit-wide variants), 1-, 2-
+//! and 4-bit adders, a 4-bit carry-lookahead generator, a 2-bit
+//! adder/subtractor, D flip-flops and 4-/8-bit registers, rounded out with
+//! SSI gates. Area/delay values are calibrated so the ripple-vs-lookahead
+//! trade-off *shape* of the paper's Figure 3 holds; absolute numbers are
+//! not the authors'.
+//!
+//! The library ships as a [data book text file](crate::databook) compiled
+//! into the binary, so loading it also exercises the data book parser.
+
+use crate::databook;
+use crate::library::CellLibrary;
+
+/// The embedded data book source text.
+pub const LSI_DATABOOK: &str = include_str!("../data/lsi_lma9k.book");
+
+/// Loads the 30-cell LSI-style subset used by the paper's §6 evaluation.
+///
+/// # Panics
+///
+/// Panics if the embedded data book fails to parse — that is a build
+/// defect, not a runtime condition (covered by tests).
+pub fn lsi_logic_subset() -> CellLibrary {
+    databook::parse(LSI_DATABOOK).expect("embedded LSI data book must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus::kind::{ComponentKind, GateOp};
+    use genus::op::{Op, OpSet};
+    use genus::spec::ComponentSpec;
+
+    #[test]
+    fn has_exactly_thirty_cells() {
+        assert_eq!(lsi_logic_subset().len(), 30);
+    }
+
+    #[test]
+    fn contains_the_papers_families() {
+        let lib = lsi_logic_subset();
+        for name in [
+            "MUX21H", "MUX41", "MUX81", // 2:1 / 4:1 / 8:1 muxes
+            "FA1A", "ADD2", "ADD4", // 1-/2-/4-bit adders
+            "CLA4",  // 4-bit carry-lookahead generator
+            "AS2",   // 2-bit adder/subtractor
+            "FD1",   // D flip-flop
+            "RG4", "RG8", // 4-/8-bit registers
+        ] {
+            assert!(lib.cell(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn papers_add4_query_succeeds() {
+        // §5: "a cell of type ADD with two 4-bit inputs plus carry-in and
+        // a 4-bit output plus carry-out".
+        let lib = lsi_logic_subset();
+        let want = ComponentSpec::new(ComponentKind::AddSub, 4)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        let hits = lib.implementers(&want);
+        let names: Vec<&str> = hits.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"ADD4"));
+        assert!(names.contains(&"ADD4PG")); // extra pins are acceptable
+    }
+
+    #[test]
+    fn ripple_carry_is_faster_than_data_path() {
+        let lib = lsi_logic_subset();
+        for name in ["FA1A", "ADD2", "ADD4"] {
+            let c = lib.cell(name).unwrap();
+            assert!(
+                c.carry_delay.unwrap() < c.delay,
+                "{name} carry path should be faster"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_ripple64_matches_figure3_ballpark() {
+        // 64-bit ripple of FA1A: first cell's data delay + 63 carry hops.
+        let lib = lsi_logic_subset();
+        let fa = lib.cell("FA1A").unwrap();
+        let ripple = fa.delay + 63.0 * fa.carry_delay.unwrap();
+        // The paper's slowest 64-bit ALU is 134.3 ns; the bare adder chain
+        // should land in the same regime (the ALU adds mux overhead).
+        assert!((100.0..140.0).contains(&ripple), "ripple = {ripple}");
+    }
+
+    #[test]
+    fn gates_cover_common_functions() {
+        let lib = lsi_logic_subset();
+        for (g, n) in [
+            (GateOp::Nand, 2),
+            (GateOp::Nand, 8),
+            (GateOp::Nor, 8),
+            (GateOp::Xor, 2),
+            (GateOp::Not, 1),
+        ] {
+            let want = ComponentSpec::new(ComponentKind::Gate(g), 1).with_inputs(n);
+            assert!(
+                !lib.implementers(&want).is_empty(),
+                "no {g} gate with fan-in {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn area_units_are_nand_equivalents() {
+        let lib = lsi_logic_subset();
+        assert_eq!(lib.cell("ND2").unwrap().area, 1.0);
+        assert!(lib.cell("IVA").unwrap().area < 1.0);
+    }
+}

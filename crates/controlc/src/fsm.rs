@@ -1,0 +1,513 @@
+//! FSM synthesis: state sequencing table → minimized, gate-level
+//! sequencing logic as a GENUS netlist.
+//!
+//! This is the paper's *control compiler*: "the state sequencing table is
+//! accepted by a control compiler that extracts the sequencing logic and
+//! applies logic-level optimizations and technology mapping techniques"
+//! (§3). States are binary encoded; next-state and control-output
+//! functions are minimized with Quine–McCluskey and built from inverters,
+//! AND and OR gates plus one D flip-flop per state bit.
+
+use crate::qm::{minimize, Cube};
+use genus::build::select_width;
+use genus::component::Instance;
+use genus::kind::GateOp;
+use genus::netlist::{Netlist, NetlistError};
+use genus::stdlib::GenusLibrary;
+use hls::statetable::{StateTable, Transition};
+use rtl_base::bits::Bits;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Controller synthesis failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlError(pub String);
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "control compiler: {}", self.0)
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<NetlistError> for ControlError {
+    fn from(e: NetlistError) -> Self {
+        ControlError(e.to_string())
+    }
+}
+
+/// State-encoding style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// Dense binary codes (`ceil(log2(n))` flip-flops).
+    #[default]
+    Binary,
+    /// One flip-flop per state. The reset state's bit is stored inverted
+    /// so the all-zero register reset is a valid code.
+    OneHot,
+}
+
+/// Synthesis statistics for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerStats {
+    /// Number of states.
+    pub states: usize,
+    /// State register width.
+    pub state_bits: usize,
+    /// Status inputs read.
+    pub status_bits: usize,
+    /// Product terms after minimization (all outputs).
+    pub cubes: usize,
+    /// Literal count after minimization.
+    pub literals: usize,
+}
+
+/// A compiled controller: gate-level netlist plus statistics.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    /// Standalone netlist: inputs are `clk` plus the status nets; outputs
+    /// are the control nets (named exactly as the state table declares
+    /// them, so linking is name-based).
+    pub netlist: Netlist,
+    /// Statistics.
+    pub stats: ControllerStats,
+}
+
+struct Builder {
+    netlist: Netlist,
+    lib: GenusLibrary,
+    counter: usize,
+    consts: BTreeMap<(usize, u64), String>,
+    inverters: BTreeMap<String, String>,
+}
+
+impl Builder {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("fsm_{prefix}{}", self.counter)
+    }
+
+    fn const_net(&mut self, width: usize, v: u64) -> Result<String, ControlError> {
+        if let Some(n) = self.consts.get(&(width, v)) {
+            return Ok(n.clone());
+        }
+        let name = format!("fsm_const_w{width}_{v}");
+        self.netlist.add_const_net(&name, Bits::from_u64(width, v))?;
+        self.consts.insert((width, v), name.clone());
+        Ok(name)
+    }
+
+    /// The complement of a 1-bit net (inverters are shared).
+    fn inverted(&mut self, net: &str) -> Result<String, ControlError> {
+        if let Some(n) = self.inverters.get(net) {
+            return Ok(n.clone());
+        }
+        let out = format!("{net}_n");
+        let name = self.fresh("inv");
+        let comp = self
+            .lib
+            .gate(GateOp::Not, 1, 1)
+            .map_err(|e| ControlError(e.to_string()))?;
+        self.netlist.add_net(&out, 1)?;
+        self.netlist.add_instance(
+            Instance::new(&name, Arc::new(comp))
+                .with_connection("I0", net)
+                .with_connection("O", &out),
+        )?;
+        self.inverters.insert(net.to_string(), out.clone());
+        Ok(out)
+    }
+
+    /// An n-ary gate over nets; fan-in 1 returns the net unchanged (for
+    /// AND/OR).
+    fn gate(&mut self, op: GateOp, nets: &[String]) -> Result<String, ControlError> {
+        match nets.len() {
+            0 => Err(ControlError("empty gate".to_string())),
+            1 => Ok(nets[0].clone()),
+            n => {
+                let name = self.fresh(match op {
+                    GateOp::And => "and",
+                    GateOp::Or => "or",
+                    _ => "g",
+                });
+                let out = format!("{name}_o");
+                let comp = self
+                    .lib
+                    .gate(op, 1, n)
+                    .map_err(|e| ControlError(e.to_string()))?;
+                self.netlist.add_net(&out, 1)?;
+                let mut inst = Instance::new(&name, Arc::new(comp));
+                for (i, net) in nets.iter().enumerate() {
+                    inst.connect(&format!("I{i}"), net);
+                }
+                inst.connect("O", &out);
+                self.netlist.add_instance(inst)?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Builds the SOP network for a cover over the given input bit nets;
+    /// returns the net carrying the function value.
+    fn sop(
+        &mut self,
+        cover: &[Cube],
+        input_nets: &[String],
+    ) -> Result<String, ControlError> {
+        if cover.is_empty() {
+            return self.const_net(1, 0);
+        }
+        let mut terms = Vec::new();
+        for cube in cover {
+            let lits = cube.literals(input_nets.len());
+            if lits.is_empty() {
+                return self.const_net(1, 1); // tautology
+            }
+            let mut nets = Vec::new();
+            for (idx, positive) in lits {
+                let net = if positive {
+                    input_nets[idx].clone()
+                } else {
+                    self.inverted(&input_nets[idx])?
+                };
+                nets.push(net);
+            }
+            terms.push(self.gate(GateOp::And, &nets)?);
+        }
+        self.gate(GateOp::Or, &terms)
+    }
+}
+
+/// Compiles a state sequencing table into a gate-level controller with
+/// dense binary state encoding.
+///
+/// # Errors
+///
+/// [`ControlError`] when the table is invalid or too large to minimize
+/// exactly.
+pub fn compile_controller(table: &StateTable) -> Result<Controller, ControlError> {
+    compile_controller_with(table, Encoding::Binary)
+}
+
+/// Like [`compile_controller`], with an explicit state-encoding choice.
+///
+/// # Errors
+///
+/// [`ControlError`] when the table is invalid or too large to minimize
+/// exactly (one-hot encodings of large tables hit the budget first).
+pub fn compile_controller_with(
+    table: &StateTable,
+    encoding: Encoding,
+) -> Result<Controller, ControlError> {
+    table.validate().map_err(ControlError)?;
+    let nstates = table.states().len();
+    if nstates == 0 {
+        return Err(ControlError("empty state table".to_string()));
+    }
+    let sbits = match encoding {
+        Encoding::Binary => select_width(nstates),
+        Encoding::OneHot => nstates,
+    };
+    let statuses = table.statuses();
+    let inputs = sbits + statuses.len();
+    if inputs > 20 {
+        return Err(ControlError(format!(
+            "{inputs} controller inputs exceed the exact-minimization budget"
+        )));
+    }
+    // Register codes: binary is the index; one-hot stores the reset
+    // state's bit inverted so that all-zero reset is state 0.
+    let code_of_state = |s: usize| -> u64 {
+        match encoding {
+            Encoding::Binary => s as u64,
+            Encoding::OneHot => (1u64 << s) ^ 1,
+        }
+    };
+    let state_of_code = |code: u64| -> Option<usize> {
+        match encoding {
+            Encoding::Binary => {
+                let s = code as usize;
+                (s < nstates).then_some(s)
+            }
+            Encoding::OneHot => {
+                let actual = code ^ 1;
+                (actual.count_ones() == 1).then(|| actual.trailing_zeros() as usize)
+            }
+        }
+    };
+
+    // Truth tables.
+    let controls: Vec<(String, usize)> = table
+        .controls()
+        .map(|(n, w)| (n.to_string(), w))
+        .collect();
+    let mut next_on: Vec<Vec<u64>> = vec![Vec::new(); sbits];
+    let mut ctl_on: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new(); // (control idx, bit)
+    let mut dc: Vec<u64> = Vec::new();
+    for code in 0..(1u64 << inputs) {
+        let state_code = code & ((1u64 << sbits) - 1);
+        let Some(state) = state_of_code(state_code) else {
+            dc.push(code);
+            continue;
+        };
+        let st = &table.states()[state];
+        let next = match &st.transition {
+            Transition::Next(n) => *n,
+            Transition::Done => state,
+            Transition::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let bit_idx = statuses
+                    .iter()
+                    .position(|s| s == cond)
+                    .expect("status collected");
+                if (code >> (sbits + bit_idx)) & 1 == 1 {
+                    *if_true
+                } else {
+                    *if_false
+                }
+            }
+        };
+        let next_code = code_of_state(next);
+        for (b, on) in next_on.iter_mut().enumerate() {
+            if (next_code >> b) & 1 == 1 {
+                on.push(code);
+            }
+        }
+        for (ci, (name, width)) in controls.iter().enumerate() {
+            let value = st.asserts.get(name).copied().unwrap_or(0);
+            for b in 0..*width {
+                if (value >> b) & 1 == 1 {
+                    ctl_on.entry((ci, b)).or_default().push(code);
+                }
+            }
+        }
+    }
+
+    // Build the netlist.
+    let mut b = Builder {
+        netlist: Netlist::new("controller"),
+        lib: GenusLibrary::standard(),
+        counter: 0,
+        consts: BTreeMap::new(),
+        inverters: BTreeMap::new(),
+    };
+    b.netlist.add_net("clk", 1)?;
+    b.netlist.expose_input("clk", "clk")?;
+    let mut input_nets: Vec<String> = Vec::new();
+    for i in 0..sbits {
+        b.netlist.add_net(&format!("fsm_s{i}_q"), 1)?;
+        b.netlist.add_net(&format!("fsm_s{i}_d"), 1)?;
+        input_nets.push(format!("fsm_s{i}_q"));
+    }
+    for s in &statuses {
+        b.netlist.add_net(s, 1)?;
+        b.netlist.expose_input(&format!("st_{s}"), s)?;
+        input_nets.push(s.clone());
+    }
+
+    let mut stats = ControllerStats {
+        states: nstates,
+        state_bits: sbits,
+        status_bits: statuses.len(),
+        cubes: 0,
+        literals: 0,
+    };
+
+    // Next-state logic feeding the state register bits.
+    for (i, on) in next_on.iter().enumerate() {
+        let cover = minimize(inputs, on, &dc);
+        stats.cubes += cover.len();
+        stats.literals += cover
+            .iter()
+            .map(|c| c.literals(inputs).len())
+            .sum::<usize>();
+        let net = b.sop(&cover, &input_nets)?;
+        // Tie the function net onto the register's D input.
+        let comp = b
+            .lib
+            .buffer(1)
+            .map_err(|e| ControlError(e.to_string()))?;
+        let name = b.fresh("dbuf");
+        b.netlist.add_instance(
+            Instance::new(&name, Arc::new(comp))
+                .with_connection("I", &net)
+                .with_connection("O", &format!("fsm_s{i}_d")),
+        )?;
+        let reg = b
+            .lib
+            .register(1)
+            .map_err(|e| ControlError(e.to_string()))?;
+        b.netlist.add_instance(
+            Instance::new(&format!("fsm_s{i}_reg"), Arc::new(reg))
+                .with_connection("D", &format!("fsm_s{i}_d"))
+                .with_connection("CLK", "clk")
+                .with_connection("Q", &format!("fsm_s{i}_q")),
+        )?;
+    }
+
+    // Control outputs (functions of state only, but minimized over the
+    // full input space with the same don't-cares).
+    for (ci, (name, width)) in controls.iter().enumerate() {
+        let mut bit_nets = Vec::new();
+        for bit in 0..*width {
+            let on = ctl_on.get(&(ci, bit)).cloned().unwrap_or_default();
+            let cover = minimize(inputs, &on, &dc);
+            stats.cubes += cover.len();
+            stats.literals += cover
+                .iter()
+                .map(|c| c.literals(inputs).len())
+                .sum::<usize>();
+            bit_nets.push(b.sop(&cover, &input_nets)?);
+        }
+        // Assemble the (possibly multi-bit) control net.
+        if *width == 1 {
+            b.netlist.add_net(name, 1)?;
+            let comp = b
+                .lib
+                .buffer(1)
+                .map_err(|e| ControlError(e.to_string()))?;
+            let iname = b.fresh("obuf");
+            b.netlist.add_instance(
+                Instance::new(&iname, Arc::new(comp))
+                    .with_connection("I", &bit_nets[0])
+                    .with_connection("O", name),
+            )?;
+        } else {
+            b.netlist.add_net(name, *width)?;
+            let concat = genus::build::component_for_spec(
+                &genus::spec::ComponentSpec::new(genus::kind::ComponentKind::Concat, 1)
+                    .with_inputs(*width),
+            )
+            .map_err(|e| ControlError(e.to_string()))?;
+            let iname = b.fresh("cat");
+            let mut inst = Instance::new(&iname, Arc::new(concat));
+            for (i, bn) in bit_nets.iter().enumerate() {
+                inst.connect(&format!("I{i}"), bn);
+            }
+            inst.connect("O", name);
+            b.netlist.add_instance(inst)?;
+        }
+        b.netlist.expose_output(&format!("ctl_{name}"), name)?;
+    }
+
+    b.netlist.validate()?;
+    Ok(Controller {
+        netlist: b.netlist,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls::statetable::State;
+    use std::collections::BTreeMap as Map;
+
+    fn two_state_table() -> StateTable {
+        let mut t = StateTable::new();
+        t.declare_control("we", 1);
+        t.declare_control("sel", 2);
+        t.push_state(State {
+            name: "s0".into(),
+            asserts: [("we".to_string(), 1u64), ("sel".to_string(), 2u64)]
+                .into_iter()
+                .collect(),
+            transition: Transition::Next(1),
+        });
+        t.push_state(State {
+            name: "s1".into(),
+            asserts: Map::new(),
+            transition: Transition::Branch {
+                cond: "flag".into(),
+                if_true: 0,
+                if_false: 1,
+            },
+        });
+        t
+    }
+
+    #[test]
+    fn compiles_and_validates() {
+        let ctl = compile_controller(&two_state_table()).unwrap();
+        assert_eq!(ctl.stats.states, 2);
+        assert_eq!(ctl.stats.state_bits, 1);
+        assert_eq!(ctl.stats.status_bits, 1);
+        assert!(ctl.netlist.validate().is_ok());
+        assert!(ctl.netlist.ports().iter().any(|p| p.name == "ctl_we"));
+        assert!(ctl.netlist.ports().iter().any(|p| p.name == "st_flag"));
+    }
+
+    #[test]
+    fn controller_sequences_correctly_in_simulation() {
+        use genus::behavior::Env;
+        let ctl = compile_controller(&two_state_table()).unwrap();
+        let flat = rtlsim::FlatDesign::from_netlist(&ctl.netlist).unwrap();
+        let mut sim = rtlsim::Simulator::new(&flat).unwrap();
+        let step = |sim: &mut rtlsim::Simulator, flag: u64| -> (u64, u64) {
+            let out = sim
+                .step(&Env::from([
+                    ("clk".to_string(), Bits::zero(1)),
+                    ("st_flag".to_string(), Bits::from_u64(1, flag)),
+                ]))
+                .unwrap();
+            (
+                out["ctl_we"].to_u64().unwrap(),
+                out["ctl_sel"].to_u64().unwrap(),
+            )
+        };
+        // State 0: we=1, sel=2. Then state 1 until flag, then back to 0.
+        assert_eq!(step(&mut sim, 0), (1, 2));
+        assert_eq!(step(&mut sim, 0), (0, 0));
+        assert_eq!(step(&mut sim, 0), (0, 0));
+        assert_eq!(step(&mut sim, 1), (0, 0)); // flag seen: next is s0
+        assert_eq!(step(&mut sim, 0), (1, 2));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(compile_controller(&StateTable::new()).is_err());
+    }
+
+    #[test]
+    fn one_hot_controller_behaves_identically() {
+        use genus::behavior::Env;
+        let table = two_state_table();
+        for encoding in [Encoding::Binary, Encoding::OneHot] {
+            let ctl = compile_controller_with(&table, encoding).unwrap();
+            assert!(ctl.netlist.validate().is_ok());
+            let flat = rtlsim::FlatDesign::from_netlist(&ctl.netlist).unwrap();
+            let mut sim = rtlsim::Simulator::new(&flat).unwrap();
+            let mut trace = Vec::new();
+            for flag in [0u64, 0, 0, 1, 0, 1, 0] {
+                let out = sim
+                    .step(&Env::from([
+                        ("clk".to_string(), Bits::zero(1)),
+                        ("st_flag".to_string(), Bits::from_u64(1, flag)),
+                    ]))
+                    .unwrap();
+                trace.push((
+                    out["ctl_we"].to_u64().unwrap(),
+                    out["ctl_sel"].to_u64().unwrap(),
+                ));
+            }
+            assert_eq!(
+                trace,
+                vec![(1, 2), (0, 0), (0, 0), (0, 0), (1, 2), (0, 0), (1, 2)],
+                "{encoding:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_hot_uses_more_flops_fewer_literals_per_cube() {
+        let table = two_state_table();
+        let binary = compile_controller_with(&table, Encoding::Binary).unwrap();
+        let onehot = compile_controller_with(&table, Encoding::OneHot).unwrap();
+        assert!(onehot.stats.state_bits > binary.stats.state_bits);
+    }
+}

@@ -1,0 +1,47 @@
+//! The control compiler: state sequencing tables to minimized,
+//! technology-mappable sequencing logic.
+//!
+//! In the paper's architecture (Figure 1) the state sequencing table from
+//! high-level synthesis "is accepted by a control compiler that extracts
+//! the sequencing logic and applies logic-level optimizations and
+//! technology mapping techniques". This crate implements that box:
+//!
+//! * [`qm`] — exact two-level minimization (Quine–McCluskey with
+//!   don't-cares and a greedy cover);
+//! * [`fsm`] — binary state encoding, next-state/output function
+//!   extraction, and construction of the controller as a GENUS gate
+//!   netlist (which DTAS can then map onto library cells like any other
+//!   netlist);
+//! * [`mod@link`] — closing the loop: the controller drives the datapath's
+//!   control nets, producing one self-contained netlist.
+//!
+//! # Examples
+//!
+//! Build, close and simulate a complete design:
+//!
+//! ```
+//! use controlc::link::close_design;
+//! use hls::compile::{compile, Constraints};
+//! use hls::lang::parse_entity;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let entity = parse_entity(
+//!     "entity inc(x: in 8, y: out 8) { y = x + 1; }",
+//! )?;
+//! let design = compile(&entity, &Constraints::default())?;
+//! let closed = close_design(&design)?;
+//! assert!(closed.validate().is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod fsm;
+pub mod link;
+pub mod qm;
+
+pub use fsm::{
+    compile_controller, compile_controller_with, ControlError, Controller,
+    ControllerStats, Encoding,
+};
+pub use link::{close_design, link};
+pub use qm::{minimize, Cube};

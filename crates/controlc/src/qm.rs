@@ -1,0 +1,212 @@
+//! Two-level logic minimization: Quine–McCluskey with don't-cares and a
+//! greedy prime-implicant cover.
+//!
+//! The control compiler's "logic-level optimizations" (paper §3, Figure
+//! 1) for the sequencing logic. Input sizes here are controller-scale
+//! (state bits + a few status bits), where exact prime generation is
+//! cheap.
+
+use std::collections::BTreeSet;
+
+/// A product term over `n` inputs: `value` gives the required bit values
+/// on positions where `mask` is 0; `mask` bits of 1 are don't-care
+/// positions eliminated by combining.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cube {
+    /// Fixed input values (only meaningful where `mask` is 0).
+    pub value: u64,
+    /// 1-bits mark eliminated (don't-care) positions.
+    pub mask: u64,
+}
+
+impl Cube {
+    /// True when the cube covers the minterm.
+    pub fn covers(&self, minterm: u64) -> bool {
+        (minterm | self.mask) == (self.value | self.mask)
+    }
+
+    /// The literals of the cube: `(input index, positive)` pairs.
+    pub fn literals(&self, inputs: usize) -> Vec<(usize, bool)> {
+        (0..inputs)
+            .filter(|i| self.mask & (1 << i) == 0)
+            .map(|i| (i, self.value & (1 << i) != 0))
+            .collect()
+    }
+}
+
+/// Minimizes a single-output function given its on-set and don't-care
+/// minterms over `inputs` variables, returning a (near-minimal) cover of
+/// the on-set by prime implicants.
+///
+/// # Panics
+///
+/// Panics if `inputs > 24` (controller logic never gets near this).
+pub fn minimize(inputs: usize, on_set: &[u64], dc_set: &[u64]) -> Vec<Cube> {
+    assert!(inputs <= 24, "too many inputs for exact minimization");
+    if on_set.is_empty() {
+        return Vec::new();
+    }
+    let full: u64 = if inputs == 64 { u64::MAX } else { (1 << inputs) - 1 };
+    let on: BTreeSet<u64> = on_set.iter().map(|m| m & full).collect();
+    let dc: BTreeSet<u64> = dc_set.iter().map(|m| m & full).collect();
+
+    // Level 0: all covered minterms as cubes.
+    let mut current: BTreeSet<Cube> = on
+        .iter()
+        .chain(dc.iter())
+        .map(|&m| Cube { value: m, mask: 0 })
+        .collect();
+    let mut primes: BTreeSet<Cube> = BTreeSet::new();
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut combined_away: BTreeSet<Cube> = BTreeSet::new();
+        let mut next: BTreeSet<Cube> = BTreeSet::new();
+        for (i, a) in cubes.iter().enumerate() {
+            for b in cubes.iter().skip(i + 1) {
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = (a.value ^ b.value) & !a.mask;
+                if diff.count_ones() == 1 {
+                    next.insert(Cube {
+                        value: a.value & !diff,
+                        mask: a.mask | diff,
+                    });
+                    combined_away.insert(*a);
+                    combined_away.insert(*b);
+                }
+            }
+        }
+        for c in cubes {
+            if !combined_away.contains(&c) {
+                primes.insert(c);
+            }
+        }
+        current = next;
+    }
+
+    // Cover the on-set: essential primes first, then greedy by coverage.
+    let on_vec: Vec<u64> = on.iter().copied().collect();
+    let prime_vec: Vec<Cube> = primes.into_iter().collect();
+    let mut chosen: Vec<Cube> = Vec::new();
+    let mut uncovered: BTreeSet<u64> = on.clone();
+    // Essential primes.
+    for &m in &on_vec {
+        let covering: Vec<&Cube> = prime_vec.iter().filter(|c| c.covers(m)).collect();
+        if covering.len() == 1 && !chosen.contains(covering[0]) {
+            chosen.push(*covering[0]);
+        }
+    }
+    for c in &chosen {
+        uncovered.retain(|m| !c.covers(*m));
+    }
+    while !uncovered.is_empty() {
+        let best = prime_vec
+            .iter()
+            .filter(|c| !chosen.contains(c))
+            .max_by_key(|c| {
+                (
+                    uncovered.iter().filter(|&&m| c.covers(m)).count(),
+                    c.mask.count_ones(),
+                )
+            })
+            .copied()
+            .expect("primes cover the on-set");
+        uncovered.retain(|m| !best.covers(*m));
+        chosen.push(best);
+    }
+    chosen.sort();
+    chosen
+}
+
+/// Evaluates a cover on one input vector (for verification).
+pub fn eval_cover(cover: &[Cube], input: u64) -> bool {
+    cover.iter().any(|c| c.covers(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: the cover is exact on the care set.
+    fn check_exact(inputs: usize, on: &[u64], dc: &[u64]) {
+        let cover = minimize(inputs, on, dc);
+        for m in 0..(1u64 << inputs) {
+            let want = on.contains(&m);
+            let is_dc = dc.contains(&m);
+            let got = eval_cover(&cover, m);
+            if !is_dc {
+                assert_eq!(got, want, "minterm {m:b} wrong in cover {cover:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_needs_two_cubes() {
+        let cover = minimize(2, &[0b01, 0b10], &[]);
+        assert_eq!(cover.len(), 2);
+        check_exact(2, &[0b01, 0b10], &[]);
+    }
+
+    #[test]
+    fn full_function_is_single_cube() {
+        let cover = minimize(2, &[0, 1, 2, 3], &[]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].mask, 0b11);
+    }
+
+    #[test]
+    fn classic_4var_example() {
+        // f = Σ(4,8,10,11,12,15) + d(9,14) — the textbook QM example;
+        // minimal cover has 3-4 cubes.
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let cover = minimize(4, &on, &dc);
+        assert!(cover.len() <= 4, "{cover:?}");
+        check_exact(4, &on, &dc);
+    }
+
+    #[test]
+    fn dont_cares_shrink_the_cover() {
+        // With don't-cares everywhere except two points, one cube wins.
+        let on = [0b000];
+        let dc = [0b001, 0b010, 0b011, 0b100, 0b101, 0b110];
+        let cover = minimize(3, &on, &dc);
+        assert_eq!(cover.len(), 1);
+        check_exact(3, &on, &dc);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        assert!(minimize(4, &[], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn literals_reported_lsb_first() {
+        let cover = minimize(3, &[0b101], &[]);
+        assert_eq!(cover.len(), 1);
+        let lits = cover[0].literals(3);
+        assert_eq!(lits, vec![(0, true), (1, false), (2, true)]);
+    }
+
+    #[test]
+    fn random_functions_are_exact() {
+        // Deterministic pseudo-random sweep over 4-variable functions.
+        let mut x = 0x1234_5678u64;
+        for _ in 0..50 {
+            let mut on = Vec::new();
+            let mut dc = Vec::new();
+            for m in 0..16u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                match x % 4 {
+                    0 => on.push(m),
+                    1 => dc.push(m),
+                    _ => {}
+                }
+            }
+            check_exact(4, &on, &dc);
+        }
+    }
+}

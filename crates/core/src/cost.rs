@@ -1,0 +1,404 @@
+//! Area/delay estimation for cells and decomposition templates.
+//!
+//! Area is additive (equivalent NAND gates). Delay uses a *timing-arc*
+//! model: every implementation carries a table of pin-class-to-pin-class
+//! delays ([`Timing`]), so a ripple carry chain is costed along its fast
+//! CI→CO arcs rather than the worst-case data path — exactly the
+//! distinction that makes lookahead structures win in the paper's
+//! Figure 3.
+
+use crate::template::{NetlistTemplate, Signal, SpecModelCache};
+use cells::Cell;
+use genus::component::{Component, PortClass};
+use genus::spec::ComponentSpec;
+use rtl_base::graph::Digraph;
+use std::collections::BTreeMap;
+
+/// Pin-class-to-pin-class delay table plus the worst internal path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timing {
+    /// Combinational arcs: (input port class → output port class) → ns.
+    /// Absent pairs have no combinational path.
+    pub arcs: BTreeMap<(PortClass, PortClass), f64>,
+    /// Worst path anywhere in the implementation, including paths that
+    /// start or end at internal registers, ns.
+    pub worst: f64,
+}
+
+impl Timing {
+    /// Zero-delay timing (pure wiring).
+    pub fn wire() -> Timing {
+        Timing::default()
+    }
+
+    /// Timing of a library cell: one arc per (input class, output class)
+    /// pair along which the cell's *behavioral model* actually has a
+    /// dependency; sequential cells (registers) have no combinational
+    /// arcs and `worst` = clock-to-Q.
+    pub fn for_cell(cell: &Cell, model: &Component) -> Timing {
+        let mut t = Timing {
+            arcs: BTreeMap::new(),
+            worst: cell.delay,
+        };
+        if model.is_sequential() {
+            return t;
+        }
+        let deps = model.output_dependencies();
+        for pout in model.outputs() {
+            let Some(ins) = deps.get(&pout.name) else {
+                continue;
+            };
+            for in_name in ins {
+                let Some(pin) = model.port(in_name) else {
+                    continue;
+                };
+                if pin.class == PortClass::Clock {
+                    continue;
+                }
+                let d = cell.arc_delay(pin.class, pout.class);
+                let key = (pin.class, pout.class);
+                let cur = t.arcs.get(&key).copied().unwrap_or(f64::NEG_INFINITY);
+                if d > cur {
+                    t.arcs.insert(key, d);
+                }
+            }
+        }
+        t.worst = t
+            .arcs
+            .values()
+            .fold(0.0f64, |a, &b| a.max(b))
+            .max(0.0);
+        t
+    }
+
+    /// Arc delay for a class pair, if a combinational path exists.
+    pub fn arc(&self, from: PortClass, to: PortClass) -> Option<f64> {
+        self.arcs.get(&(from, to)).copied()
+    }
+}
+
+/// Per-child data the composer needs: subtree area and timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChildCost {
+    /// Subtree area in gates.
+    pub area: f64,
+    /// Subtree timing.
+    pub timing: Timing,
+}
+
+/// Computes the (area, timing) of a template given costs for each module
+/// specification.
+///
+/// # Errors
+///
+/// Returns a message when a module spec has no cost, a model cannot be
+/// built, or the template wiring is combinationally cyclic.
+pub fn template_cost(
+    template: &NetlistTemplate,
+    parent: &ComponentSpec,
+    child_cost: &dyn Fn(&ComponentSpec) -> Option<ChildCost>,
+    cache: &mut SpecModelCache,
+) -> Result<(f64, Timing), String> {
+    let parent_model = cache.model(parent)?;
+
+    // Gather per-module data.
+    struct ModInfo {
+        model: std::sync::Arc<Component>,
+        cost: ChildCost,
+    }
+    let mut infos = Vec::with_capacity(template.modules.len());
+    let mut area = 0.0;
+    for m in &template.modules {
+        let model = cache.model(&m.spec)?;
+        let cost = child_cost(&m.spec)
+            .ok_or_else(|| format!("module {} [{}] has no cost", m.name, m.spec))?;
+        area += cost.area;
+        infos.push(ModInfo { model, cost });
+    }
+
+    // Build the net-level timing graph. Nodes: parent inputs, internal
+    // nets, plus a virtual super-source (last node).
+    let mut node_of: BTreeMap<String, usize> = BTreeMap::new();
+    let mut class_of: Vec<PortClass> = Vec::new();
+    let mut next = 0usize;
+    let mut parent_inputs = Vec::new();
+    for p in parent_model.inputs() {
+        node_of.insert(format!("P:{}", p.name), next);
+        class_of.push(p.class);
+        parent_inputs.push((p.name.clone(), p.class, next));
+        next += 1;
+    }
+    for net in template.nets.keys() {
+        node_of.insert(format!("N:{net}"), next);
+        class_of.push(PortClass::Data);
+        next += 1;
+    }
+    let super_source = next;
+    let mut g = Digraph::new(next + 1);
+
+    let leaf_nodes = |sig: &Signal| -> Vec<usize> {
+        sig.leaves()
+            .into_iter()
+            .filter_map(|leaf| match leaf {
+                Signal::Net(n) => node_of.get(&format!("N:{n}")).copied(),
+                Signal::Parent(p) => node_of.get(&format!("P:{p}")).copied(),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let mut seq_sources: Vec<(usize, f64)> = Vec::new();
+    for (m, info) in template.modules.iter().zip(&infos) {
+        let sequential = info.model.is_sequential();
+        if sequential {
+            // Outputs launch from the internal clock boundary.
+            for net in m.outputs.values() {
+                if let Some(&n) = node_of.get(&format!("N:{net}")) {
+                    seq_sources.push((n, info.cost.timing.worst));
+                }
+            }
+            continue;
+        }
+        for (in_port, sig) in &m.inputs {
+            let Some(pin) = info.model.port(in_port) else {
+                continue;
+            };
+            if pin.class == PortClass::Clock {
+                continue;
+            }
+            for (out_port, net) in &m.outputs {
+                let Some(pout) = info.model.port(out_port) else {
+                    continue;
+                };
+                let Some(arc) = info.cost.timing.arc(pin.class, pout.class) else {
+                    continue;
+                };
+                let Some(&to) = node_of.get(&format!("N:{net}")) else {
+                    continue;
+                };
+                for from in leaf_nodes(sig) {
+                    g.add_edge(from, to, arc);
+                }
+            }
+        }
+    }
+
+    // Per-parent-input passes build the arc table.
+    let mut timing = Timing::default();
+    let outputs: Vec<(&String, &Signal)> = template.outputs.iter().collect();
+    for (pname, pclass, pnode) in &parent_inputs {
+        let _ = pname;
+        let dist = g
+            .longest_paths(&[*pnode], &|_| 0.0)
+            .map_err(|_| format!("template {} has a combinational cycle", template.rule))?;
+        for (oname, sig) in &outputs {
+            let oclass = parent_model
+                .port(oname)
+                .map(|p| p.class)
+                .unwrap_or(PortClass::Data);
+            let arrival = leaf_nodes(sig)
+                .into_iter()
+                .map(|n| dist[n])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if arrival.is_finite() {
+                let key = (*pclass, oclass);
+                let cur = timing.arcs.get(&key).copied().unwrap_or(f64::NEG_INFINITY);
+                if arrival > cur {
+                    timing.arcs.insert(key, arrival);
+                }
+            }
+        }
+    }
+
+    // Global pass for the worst path: all parent inputs at 0, sequential
+    // outputs at their launch delay, via a super-source.
+    for (_, _, pnode) in &parent_inputs {
+        g.add_edge(super_source, *pnode, 0.0);
+    }
+    for (n, launch) in &seq_sources {
+        g.add_edge(super_source, *n, *launch);
+    }
+    let dist = g
+        .longest_paths(&[super_source], &|_| 0.0)
+        .map_err(|_| format!("template {} has a combinational cycle", template.rule))?;
+    let mut worst = dist
+        .iter()
+        .take(next) // exclude the super-source itself
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0f64, f64::max);
+    // Parent outputs may combine leaves; account for them too (their
+    // leaves are nodes, so this is already covered, but keep the arcs'
+    // maxima for safety) and include child-internal worst paths.
+    for t in infos.iter().map(|i| &i.cost.timing) {
+        worst = worst.max(t.worst);
+    }
+    for &a in timing.arcs.values() {
+        worst = worst.max(a);
+    }
+    timing.worst = worst;
+    Ok((area, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TemplateBuilder;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn add_spec(w: usize) -> ComponentSpec {
+        ComponentSpec::new(ComponentKind::AddSub, w)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true)
+    }
+
+    fn add4_cost() -> ChildCost {
+        // Mimics the ADD4 cell: data 5.0, carry 3.0.
+        let mut arcs = BTreeMap::new();
+        for from in [PortClass::Data, PortClass::CarryIn] {
+            for to in [PortClass::Data, PortClass::CarryOut] {
+                let d = if from == PortClass::CarryIn { 3.0 } else { 5.0 };
+                arcs.insert((from, to), d);
+            }
+        }
+        ChildCost {
+            area: 26.0,
+            timing: Timing { arcs, worst: 5.0 },
+        }
+    }
+
+    fn ripple(w: usize, k: usize) -> NetlistTemplate {
+        let n = w / k;
+        let mut t = TemplateBuilder::new("ripple-test");
+        let mut parts = Vec::new();
+        for i in 0..n {
+            let ci = if i == 0 {
+                Signal::parent("CI")
+            } else {
+                Signal::net(&format!("c{i}"))
+            };
+            t.module(
+                &format!("u{i}"),
+                add_spec(k),
+                vec![
+                    ("A", Signal::parent("A").slice(k * i, k)),
+                    ("B", Signal::parent("B").slice(k * i, k)),
+                    ("CI", ci),
+                ],
+                vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+            );
+            parts.push(Signal::net(&format!("o{i}")));
+        }
+        t.output("O", Signal::Cat(parts));
+        t.output("CO", Signal::net(&format!("c{n}")));
+        t.build()
+    }
+
+    #[test]
+    fn ripple_cost_uses_carry_arcs() {
+        let t = ripple(16, 4);
+        let mut cache = SpecModelCache::new();
+        t.validate(&add_spec(16), &mut cache).unwrap();
+        let (area, timing) = template_cost(
+            &t,
+            &add_spec(16),
+            &|s| (s == &add_spec(4)).then(add4_cost),
+            &mut cache,
+        )
+        .unwrap();
+        assert_eq!(area, 4.0 * 26.0);
+        // Critical path: data into slice 0 (5.0) then 3 carry hops (3.0
+        // each) = 14.0 — NOT 4 × 5.0 = 20.
+        assert!((timing.worst - 14.0).abs() < 1e-9, "worst = {}", timing.worst);
+        // CI → CO arc is all-carry: 4 × 3.0.
+        let ci_co = timing.arc(PortClass::CarryIn, PortClass::CarryOut).unwrap();
+        assert!((ci_co - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_template_costs_nothing() {
+        // DELAY.w implemented as a wire: O = I.
+        let spec = ComponentSpec::new(ComponentKind::Delay, 8);
+        let mut t = TemplateBuilder::new("wire");
+        t.output("O", Signal::parent("I"));
+        let t = t.build();
+        let mut cache = SpecModelCache::new();
+        t.validate(&spec, &mut cache).unwrap();
+        let (area, timing) =
+            template_cost(&t, &spec, &|_| None, &mut cache).unwrap();
+        assert_eq!(area, 0.0);
+        assert_eq!(timing.worst, 0.0);
+        assert_eq!(timing.arc(PortClass::Data, PortClass::Data), Some(0.0));
+    }
+
+    #[test]
+    fn missing_child_cost_is_an_error() {
+        let t = ripple(8, 4);
+        let mut cache = SpecModelCache::new();
+        let err = template_cost(&t, &add_spec(8), &|_| None, &mut cache).unwrap_err();
+        assert!(err.contains("no cost"));
+    }
+
+    #[test]
+    fn sequential_child_cuts_combinational_path() {
+        // Register followed by... nothing: enable-register template.
+        let reg_spec = ComponentSpec::new(ComponentKind::Register, 4)
+            .with_ops(OpSet::only(Op::Load));
+        let parent = ComponentSpec::new(ComponentKind::Register, 4)
+            .with_ops(OpSet::only(Op::Load))
+            .with_enable(true);
+        let mux_spec = ComponentSpec::new(ComponentKind::Mux, 4).with_inputs(2);
+
+        let mut t = TemplateBuilder::new("reg-en");
+        t.module(
+            "mux",
+            mux_spec.clone(),
+            vec![
+                ("I0", Signal::net("q")),
+                ("I1", Signal::parent("D")),
+                ("S", Signal::parent("EN")),
+            ],
+            vec![("O", "d_int", 4)],
+        );
+        t.module(
+            "reg",
+            reg_spec.clone(),
+            vec![("D", Signal::net("d_int")), ("CLK", Signal::cuint(1, 0))],
+            vec![("Q", "q", 4)],
+        );
+        t.output("Q", Signal::net("q"));
+        let t = t.build();
+
+        let mut cache = SpecModelCache::new();
+        t.validate(&parent, &mut cache).unwrap();
+        let child = |s: &ComponentSpec| -> Option<ChildCost> {
+            if *s == reg_spec {
+                Some(ChildCost {
+                    area: 22.0,
+                    timing: Timing {
+                        arcs: BTreeMap::new(),
+                        worst: 2.2,
+                    },
+                })
+            } else if *s == mux_spec {
+                let mut arcs = BTreeMap::new();
+                arcs.insert((PortClass::Data, PortClass::Data), 1.6);
+                arcs.insert((PortClass::Select, PortClass::Data), 1.6);
+                Some(ChildCost {
+                    area: 11.0,
+                    timing: Timing { arcs, worst: 1.6 },
+                })
+            } else {
+                None
+            }
+        };
+        let (area, timing) = template_cost(&t, &parent, &child, &mut cache).unwrap();
+        assert_eq!(area, 33.0);
+        // No combinational D → Q arc (the register cuts it)...
+        assert_eq!(timing.arc(PortClass::Data, PortClass::Data), None);
+        // ...but the worst path is Q-launch + mux = 2.2 + 1.6.
+        assert!((timing.worst - 3.8).abs() < 1e-9, "worst = {}", timing.worst);
+    }
+}

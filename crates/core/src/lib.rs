@@ -1,0 +1,310 @@
+//! DTAS: rule-based functional synthesis of generic RTL components onto
+//! technology-specific RTL library cells.
+//!
+//! This crate is the primary contribution of Dutt & Kipps, *"Bridging
+//! High-Level Synthesis to RTL Technology Libraries"* (DAC 1991): it takes
+//! a netlist of instantiated GENUS components (or a single component
+//! specification), runs a phase of **functional decomposition** (a rule
+//! base expanding an acyclic AND-OR design space — [`rules`], [`space`])
+//! and **technology mapping** (functional matching of specifications
+//! against library-cell specifications — never DAG/subgraph isomorphism),
+//! and returns a set of alternative hierarchical, library-specific
+//! netlists ([`report::DesignSet`]).
+//!
+//! Search control follows the paper (§5): designs mixing two
+//! implementations of one specification are excluded, and *performance
+//! filters* keep only the alternatives making favorable area/delay
+//! trade-offs.
+//!
+//! # Examples
+//!
+//! Synthesize the paper's §5 example — a 16-bit adder against the
+//! LSI-style 30-cell library:
+//!
+//! ```
+//! use dtas::Dtas;
+//! use cells::lsi::lsi_logic_subset;
+//! use genus::kind::ComponentKind;
+//! use genus::op::{Op, OpSet};
+//! use genus::spec::ComponentSpec;
+//!
+//! # fn main() -> Result<(), dtas::SynthError> {
+//! let dtas = Dtas::new(lsi_logic_subset());
+//! let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
+//!     .with_ops(OpSet::only(Op::Add))
+//!     .with_carry_in(true)
+//!     .with_carry_out(true);
+//! let designs = dtas.synthesize(&spec)?;
+//! assert!(designs.alternatives.len() >= 2);
+//! // The unconstrained space is orders of magnitude larger than the
+//! // filtered alternative set (paper §5).
+//! assert!(designs.unconstrained_size > designs.alternatives.len() as f64);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cost;
+pub mod extract;
+pub mod lola;
+pub mod report;
+pub mod rules;
+pub mod space;
+pub mod template;
+
+pub use extract::{ImplKind, Implementation};
+pub use report::{Alternative, DesignSet, SynthStats};
+pub use rules::{Rule, RuleSet};
+pub use space::{DesignSpace, FilterPolicy, SolveConfig, Solver};
+pub use template::{NetlistTemplate, Signal, SpecModelCache, TemplateBuilder};
+
+use cells::CellLibrary;
+use genus::netlist::Netlist;
+use genus::spec::ComponentSpec;
+use space::ExpandError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of a DTAS run.
+#[derive(Clone, Copy, Debug)]
+pub struct DtasConfig {
+    /// Performance filter at internal spec nodes.
+    pub node_filter: FilterPolicy,
+    /// Alternatives kept per internal node.
+    pub node_cap: usize,
+    /// Performance filter at the root (the paper keeps near-optimal
+    /// "favorable tradeoff" designs, not just the strict front).
+    pub root_filter: FilterPolicy,
+    /// Alternatives kept at the root.
+    pub root_cap: usize,
+    /// Cap on child-front combinations per template.
+    pub max_combinations: usize,
+    /// Budget for exact uniform-constraint design counting (0 disables).
+    pub uniform_count_limit: u64,
+}
+
+impl Default for DtasConfig {
+    fn default() -> Self {
+        DtasConfig {
+            node_filter: FilterPolicy::Pareto,
+            node_cap: 24,
+            root_filter: FilterPolicy::Slack {
+                area: 0.5,
+                delay: 0.5,
+            },
+            root_cap: 16,
+            max_combinations: 100_000,
+            uniform_count_limit: 2_000_000,
+        }
+    }
+}
+
+/// Errors produced by [`Dtas::synthesize`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthError {
+    /// Design-space expansion failed (a rule or spec defect).
+    Expand(String),
+    /// No combination of rules and cells implements the specification.
+    NoImplementation(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Expand(m) => write!(f, "design-space expansion failed: {m}"),
+            SynthError::NoImplementation(s) => {
+                write!(f, "no implementation exists for {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// The DTAS synthesis engine: a rule base plus a target cell library.
+pub struct Dtas {
+    rules: RuleSet,
+    library: CellLibrary,
+    config: DtasConfig,
+}
+
+impl Dtas {
+    /// Creates an engine with the standard rule base, the library-specific
+    /// extensions, and default configuration.
+    pub fn new(library: CellLibrary) -> Self {
+        Dtas {
+            rules: RuleSet::standard().with_lsi_extensions(),
+            library,
+            config: DtasConfig::default(),
+        }
+    }
+
+    /// Replaces the rule base.
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: DtasConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The rule base.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The target library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DtasConfig {
+        &self.config
+    }
+
+    /// Synthesizes one component specification into a set of alternative
+    /// library-specific implementations.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::NoImplementation`] when neither rules nor cells cover
+    /// the spec; [`SynthError::Expand`] on rule defects.
+    pub fn synthesize(&self, spec: &ComponentSpec) -> Result<DesignSet, SynthError> {
+        let start = Instant::now();
+        let mut space = DesignSpace::new();
+        let mut cache = SpecModelCache::new();
+        let root = space
+            .expand(spec, &self.rules, &self.library, &mut cache)
+            .map_err(|e| match e {
+                ExpandError::Cycle => {
+                    SynthError::NoImplementation(spec.to_string())
+                }
+                other => SynthError::Expand(other.to_string()),
+            })?;
+
+        let solve_config = SolveConfig {
+            node_filter: self.config.node_filter,
+            node_cap: self.config.node_cap,
+            max_combinations: self.config.max_combinations,
+        };
+        let mut solver = Solver::new(&space, solve_config);
+        // Warm every node's front, then recompute the root with the
+        // (usually more permissive) root filter.
+        let _ = solver.front(root, &mut cache);
+        let front = solver.root_front(
+            root,
+            &mut cache,
+            self.config.root_filter,
+            self.config.root_cap,
+        );
+        if front.is_empty() {
+            return Err(SynthError::NoImplementation(spec.to_string()));
+        }
+        let alternatives: Vec<Alternative> = front
+            .iter()
+            .map(|p| Alternative {
+                area: p.area,
+                delay: p.delay(),
+                timing: p.timing.clone(),
+                implementation: extract::extract(&space, root, &p.policy),
+            })
+            .collect();
+        let unconstrained_size = space.unconstrained_size(root);
+        let unconstrained_log10 = space.unconstrained_log10(root);
+        let uniform_size = if self.config.uniform_count_limit > 0 {
+            space.uniform_size(root, self.config.uniform_count_limit)
+        } else {
+            None
+        };
+        let impl_choices = space.nodes.iter().map(|n| n.impls.len()).sum();
+        Ok(DesignSet {
+            spec: spec.clone(),
+            alternatives,
+            unconstrained_size,
+            unconstrained_log10,
+            uniform_size,
+            stats: SynthStats {
+                spec_nodes: space.nodes.len(),
+                impl_choices,
+                elapsed: start.elapsed(),
+                truncated_combinations: solver.truncated_combinations,
+            },
+        })
+    }
+
+    /// Synthesizes every distinct component specification used in a GENUS
+    /// netlist (the distinct-spec census is exactly what DTAS expands —
+    /// shared specs are expanded once).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first spec with no implementation.
+    pub fn synthesize_netlist(
+        &self,
+        netlist: &Netlist,
+    ) -> Result<BTreeMap<String, DesignSet>, SynthError> {
+        let mut out = BTreeMap::new();
+        for (key, (component, _count)) in netlist.spec_census() {
+            let set = self.synthesize(component.spec())?;
+            out.insert(key, set);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::lsi::lsi_logic_subset;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn engine() -> Dtas {
+        Dtas::new(lsi_logic_subset())
+    }
+
+    fn add_spec(w: usize) -> ComponentSpec {
+        ComponentSpec::new(ComponentKind::AddSub, w)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true)
+    }
+
+    #[test]
+    fn add16_produces_a_design_space() {
+        let set = engine().synthesize(&add_spec(16)).unwrap();
+        assert!(set.alternatives.len() >= 3, "{set}");
+        // Monotone trade-off curve.
+        for w in set.alternatives.windows(2) {
+            assert!(w[0].area <= w[1].area);
+        }
+        assert!(set.unconstrained_size >= 100.0);
+    }
+
+    #[test]
+    fn unmappable_spec_reports_no_implementation() {
+        // A stack has no decomposition rules and no cell in the library.
+        let spec = ComponentSpec::new(ComponentKind::StackFifo, 8)
+            .with_width2(4)
+            .with_ops([Op::Push, Op::Pop].into_iter().collect())
+            .with_style("STACK");
+        assert!(matches!(
+            engine().synthesize(&spec),
+            Err(SynthError::NoImplementation(_))
+        ));
+    }
+
+    #[test]
+    fn direct_cell_hit_is_a_one_cell_design() {
+        let set = engine().synthesize(&add_spec(4)).unwrap();
+        let direct = set
+            .alternatives
+            .iter()
+            .find(|a| matches!(a.implementation.kind, ImplKind::Cell { .. }));
+        assert!(direct.is_some(), "ADD4 should map directly to a cell");
+    }
+}

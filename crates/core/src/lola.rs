@@ -1,0 +1,579 @@
+//! LOLA — the Logic Learning Assistant.
+//!
+//! The paper's §7 closes with its future-work system: "To ease the task
+//! of moving DTAS into new cell libraries, we are developing LOLA (Logic
+//! Learning Assistant) ... LOLA is invoked when DTAS is presented with a
+//! new cell library or as technology upgrades cause changes in a familiar
+//! library. LOLA applies abstract design principles to generate
+//! library-specific rules."
+//!
+//! This module implements that idea: it scans a [`CellLibrary`] for
+//! structural opportunities — adder slice widths, propagate/generate
+//! adders paired with lookahead generators, register bank widths, gate
+//! fan-ins — and instantiates parameterized library-specific rules from
+//! a small catalog of *design principles*:
+//!
+//! 1. **ripple-slicing** to every adder width the library stocks;
+//! 2. **lookahead blocks** sized `groups × slice` for every compatible
+//!    (P/G adder, CLA generator) pair;
+//! 3. **register banking** onto the library's register widths
+//!    (greedy widest-first), with an enabled-bit variant;
+//! 4. **fan-in radix splitting** matched to the library's wide gates.
+//!
+//! The hand-written LSI rules in [`rules`](crate::rules) are exactly what
+//! LOLA derives for the LSI-style subset — the tests pin that.
+
+use crate::rules::helpers::{adder, adder_pg, addsub, cla, gate, register, register_en};
+use crate::rules::Rule;
+use crate::template::{NetlistTemplate, Signal, TemplateBuilder};
+use cells::CellLibrary;
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use std::collections::BTreeSet;
+
+/// A library profile: the structural opportunities LOLA found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LibraryProfile {
+    /// Widths of pure-adder cells (CI+CO).
+    pub adder_widths: BTreeSet<usize>,
+    /// Widths of P/G adder cells.
+    pub pg_adder_widths: BTreeSet<usize>,
+    /// Group counts of carry-lookahead generator cells.
+    pub cla_groups: BTreeSet<usize>,
+    /// Widths of plain register cells.
+    pub register_widths: BTreeSet<usize>,
+    /// Widths of enabled register cells.
+    pub register_en_widths: BTreeSet<usize>,
+    /// Fan-ins (>2) of 1-bit AND/NAND/OR/NOR gates.
+    pub gate_fanins: BTreeSet<usize>,
+}
+
+impl LibraryProfile {
+    /// Scans a library.
+    pub fn of(library: &CellLibrary) -> Self {
+        let mut p = LibraryProfile::default();
+        for cell in library.cells() {
+            let s = &cell.spec;
+            match s.kind {
+                ComponentKind::AddSub
+                    if s.ops.contains(Op::Add) && s.carry_in && s.carry_out =>
+                {
+                    if s.group_pg {
+                        p.pg_adder_widths.insert(s.width);
+                    } else {
+                        p.adder_widths.insert(s.width);
+                    }
+                }
+                ComponentKind::CarryLookahead => {
+                    p.cla_groups.insert(s.inputs);
+                }
+                ComponentKind::Register if s.ops.contains(Op::Load) && !s.async_set_reset => {
+                    if s.enable {
+                        p.register_en_widths.insert(s.width);
+                    } else {
+                        p.register_widths.insert(s.width);
+                    }
+                }
+                ComponentKind::Gate(g)
+                    if s.width == 1
+                        && s.inputs > 2
+                        && matches!(
+                            g,
+                            GateOp::And | GateOp::Nand | GateOp::Or | GateOp::Nor
+                        ) =>
+                {
+                    p.gate_fanins.insert(s.inputs);
+                }
+                _ => {}
+            }
+        }
+        p
+    }
+}
+
+/// A LOLA-derived rule: a named closure over the learned parameters.
+struct DerivedRule {
+    name: String,
+    doc: String,
+    expand: Box<dyn Fn(&ComponentSpec) -> Vec<NetlistTemplate> + Send + Sync>,
+}
+
+impl Rule for DerivedRule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn doc(&self) -> &str {
+        &self.doc
+    }
+    fn expand(&self, spec: &ComponentSpec) -> Vec<NetlistTemplate> {
+        (self.expand)(spec)
+    }
+}
+
+fn canonical_adder(spec: &ComponentSpec) -> bool {
+    spec.kind == ComponentKind::AddSub
+        && spec.ops == OpSet::only(Op::Add)
+        && spec.carry_in
+        && spec.carry_out
+        && !spec.group_pg
+}
+
+/// Principle 1: ripple-slice to a stocked adder width.
+fn ripple_rule(k: usize) -> DerivedRule {
+    DerivedRule {
+        name: format!("lola-ripple-slice-{k}"),
+        doc: format!("LOLA: ripple chain of the library's {k}-bit adders"),
+        expand: Box::new(move |spec| {
+            if !canonical_adder(spec) || spec.width <= k || spec.width % k != 0 {
+                return vec![];
+            }
+            let n = spec.width / k;
+            let mut t = TemplateBuilder::new(&format!("lola-ripple-slice-{k}"));
+            let mut parts = Vec::new();
+            for i in 0..n {
+                let ci = if i == 0 {
+                    Signal::parent("CI")
+                } else {
+                    Signal::net(&format!("c{i}"))
+                };
+                t.module(
+                    &format!("slice{i}"),
+                    adder(k),
+                    vec![
+                        ("A", Signal::parent("A").slice(k * i, k)),
+                        ("B", Signal::parent("B").slice(k * i, k)),
+                        ("CI", ci),
+                    ],
+                    vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+                );
+                parts.push(Signal::net(&format!("o{i}")));
+            }
+            t.output("O", Signal::Cat(parts));
+            t.output("CO", Signal::net(&format!("c{n}")));
+            vec![t.build()]
+        }),
+    }
+}
+
+/// Principle 2: lookahead blocks of `groups` P/G adders of width `slice`
+/// under one CLA generator, rippled block to block.
+fn cla_block_rule(slice: usize, groups: usize) -> DerivedRule {
+    let block = slice * groups;
+    DerivedRule {
+        name: format!("lola-cla-block-{block}"),
+        doc: format!(
+            "LOLA: {block}-bit lookahead blocks ({groups} x {slice}-bit P/G adders + CLA{groups})"
+        ),
+        expand: Box::new(move |spec| {
+            if !canonical_adder(spec) || spec.width % block != 0 || spec.width < block {
+                return vec![];
+            }
+            let nb = spec.width / block;
+            let mut t = TemplateBuilder::new(&format!("lola-cla-block-{block}"));
+            let mut sums = Vec::new();
+            for b in 0..nb {
+                let block_cin = if b == 0 {
+                    Signal::parent("CI")
+                } else {
+                    Signal::net(&format!("cla_c{}", b - 1)).slice(groups - 1, 1)
+                };
+                let mut ps = Vec::new();
+                let mut gs = Vec::new();
+                for j in 0..groups {
+                    let ci = if j == 0 {
+                        block_cin.clone()
+                    } else {
+                        Signal::net(&format!("cla_c{b}")).slice(j - 1, 1)
+                    };
+                    let base = block * b + slice * j;
+                    t.module(
+                        &format!("grp{b}_{j}"),
+                        adder_pg(slice),
+                        vec![
+                            ("A", Signal::parent("A").slice(base, slice)),
+                            ("B", Signal::parent("B").slice(base, slice)),
+                            ("CI", ci),
+                        ],
+                        vec![
+                            ("O", &format!("o{b}_{j}"), slice),
+                            ("P", &format!("p{b}_{j}"), 1),
+                            ("G", &format!("g{b}_{j}"), 1),
+                        ],
+                    );
+                    sums.push(Signal::net(&format!("o{b}_{j}")));
+                    ps.push(Signal::net(&format!("p{b}_{j}")));
+                    gs.push(Signal::net(&format!("g{b}_{j}")));
+                }
+                t.module(
+                    &format!("cla{b}"),
+                    cla(groups),
+                    vec![
+                        ("P", Signal::Cat(ps)),
+                        ("G", Signal::Cat(gs)),
+                        ("CI", block_cin),
+                    ],
+                    vec![("C", &format!("cla_c{b}"), groups)],
+                );
+            }
+            t.output("O", Signal::Cat(sums));
+            t.output(
+                "CO",
+                Signal::net(&format!("cla_c{}", nb - 1)).slice(groups - 1, 1),
+            );
+            vec![t.build()]
+        }),
+    }
+}
+
+/// Principle 3: greedy register banking onto the library's widths.
+fn register_bank_rule(widths: Vec<usize>) -> DerivedRule {
+    DerivedRule {
+        name: "lola-register-bank".to_string(),
+        doc: format!("LOLA: registers bank greedily onto widths {widths:?}"),
+        expand: Box::new(move |spec| {
+            if spec.kind != ComponentKind::Register
+                || spec.enable
+                || spec.async_set_reset
+                || spec.width < 2
+            {
+                return vec![];
+            }
+            let w = spec.width;
+            let mut t = TemplateBuilder::new("lola-register-bank");
+            let mut parts = Vec::new();
+            let mut at = 0usize;
+            let mut idx = 0usize;
+            while at < w {
+                let Some(&k) = widths.iter().find(|&&k| k <= w - at) else {
+                    return vec![]; // no 1-bit register: cannot finish
+                };
+                t.module(
+                    &format!("bank{idx}"),
+                    register(k),
+                    vec![
+                        ("D", Signal::parent("D").slice(at, k)),
+                        ("CLK", Signal::parent("CLK")),
+                    ],
+                    vec![("Q", &format!("q{idx}"), k)],
+                );
+                parts.push(Signal::net(&format!("q{idx}")));
+                at += k;
+                idx += 1;
+            }
+            t.output("Q", Signal::Cat(parts));
+            vec![t.build()]
+        }),
+    }
+}
+
+/// Principle 3b: enabled registers bank bitwise onto enabled flip-flops.
+fn register_en_bank_rule(k: usize) -> DerivedRule {
+    DerivedRule {
+        name: format!("lola-register-en-bank-{k}"),
+        doc: format!("LOLA: enabled registers bank onto the library's {k}-bit enabled registers"),
+        expand: Box::new(move |spec| {
+            if spec.kind != ComponentKind::Register
+                || !spec.enable
+                || spec.async_set_reset
+                || spec.width <= k
+                || spec.width % k != 0
+            {
+                return vec![];
+            }
+            let w = spec.width;
+            let n = w / k;
+            let mut t = TemplateBuilder::new(&format!("lola-register-en-bank-{k}"));
+            let mut parts = Vec::new();
+            for i in 0..n {
+                t.module(
+                    &format!("ff{i}"),
+                    register_en(k),
+                    vec![
+                        ("D", Signal::parent("D").slice(k * i, k)),
+                        ("EN", Signal::parent("EN")),
+                        ("CLK", Signal::parent("CLK")),
+                    ],
+                    vec![("Q", &format!("q{i}"), k)],
+                );
+                parts.push(Signal::net(&format!("q{i}")));
+            }
+            t.output("Q", Signal::Cat(parts));
+            vec![t.build()]
+        }),
+    }
+}
+
+/// Principle 4: fan-in radix splitting matched to the library's gates.
+fn gate_radix_rule(radix: usize) -> DerivedRule {
+    DerivedRule {
+        name: format!("lola-gate-radix-{radix}"),
+        doc: format!("LOLA: fan-in splitting in {radix}s, matching the library's gates"),
+        expand: Box::new(move |spec| {
+            let ComponentKind::Gate(g) = spec.kind else {
+                return vec![];
+            };
+            if spec.width != 1
+                || spec.inputs <= radix
+                || spec.inputs % radix != 0
+                || matches!(g, GateOp::Not | GateOp::Buf | GateOp::Xor | GateOp::Xnor)
+            {
+                return vec![];
+            }
+            let base = match g {
+                GateOp::Nand => GateOp::And,
+                GateOp::Nor => GateOp::Or,
+                other => other,
+            };
+            let n = spec.inputs;
+            let per = n / radix;
+            let mut t = TemplateBuilder::new(&format!("lola-gate-radix-{radix}"));
+            let mut combiner = Vec::new();
+            for gi in 0..radix {
+                let sigs: Vec<Signal> = (gi * per..(gi + 1) * per)
+                    .map(|j| Signal::parent(&format!("I{j}")))
+                    .collect();
+                if per == 1 {
+                    combiner.push(sigs.into_iter().next().expect("per==1"));
+                } else {
+                    let inputs: Vec<(String, Signal)> = sigs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| (format!("I{i}"), s))
+                        .collect();
+                    t.module(
+                        &format!("sub{gi}"),
+                        gate(base, 1, per),
+                        inputs,
+                        vec![("O", &format!("s{gi}"), 1)],
+                    );
+                    combiner.push(Signal::net(&format!("s{gi}")));
+                }
+            }
+            let inputs: Vec<(String, Signal)> = combiner
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (format!("I{i}"), s))
+                .collect();
+            t.module("top", gate(g, 1, radix), inputs, vec![("O", "o", 1)]);
+            t.output("O", Signal::net("o"));
+            vec![t.build()]
+        }),
+    }
+}
+
+/// Principle 5: a stocked adder/subtractor width becomes a rippled
+/// addsub slice rule.
+fn addsub_ripple_rule(k: usize) -> DerivedRule {
+    DerivedRule {
+        name: format!("lola-addsub-ripple-{k}"),
+        doc: format!("LOLA: adder/subtractors ripple through the library's {k}-bit ADDSUB cells"),
+        expand: Box::new(move |spec| {
+            let both: OpSet = [Op::Add, Op::Sub].into_iter().collect();
+            if spec.kind != ComponentKind::AddSub
+                || spec.ops != both
+                || !spec.carry_in
+                || !spec.carry_out
+                || spec.group_pg
+                || spec.width <= k
+                || spec.width % k != 0
+            {
+                return vec![];
+            }
+            let n = spec.width / k;
+            let mut t = TemplateBuilder::new(&format!("lola-addsub-ripple-{k}"));
+            let mut parts = Vec::new();
+            for i in 0..n {
+                let ci = if i == 0 {
+                    Signal::parent("CI")
+                } else {
+                    Signal::net(&format!("c{i}"))
+                };
+                t.module(
+                    &format!("slice{i}"),
+                    addsub(k, both, true, true),
+                    vec![
+                        ("A", Signal::parent("A").slice(k * i, k)),
+                        ("B", Signal::parent("B").slice(k * i, k)),
+                        ("CI", ci),
+                        ("S", Signal::parent("S")),
+                    ],
+                    vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+                );
+                parts.push(Signal::net(&format!("o{i}")));
+            }
+            t.output("O", Signal::Cat(parts));
+            t.output("CO", Signal::net(&format!("c{n}")));
+            vec![t.build()]
+        }),
+    }
+}
+
+/// Derives library-specific rules for a cell library by applying LOLA's
+/// design principles to the library's [`LibraryProfile`].
+pub fn derive_library_rules(library: &CellLibrary) -> Vec<Box<dyn Rule>> {
+    let profile = LibraryProfile::of(library);
+    let mut out: Vec<Box<dyn Rule>> = Vec::new();
+    // Generic rules already slice by 1/2/4/8; derive the rest.
+    for &k in &profile.adder_widths {
+        if ![1usize, 2, 4, 8].contains(&k) {
+            out.push(Box::new(ripple_rule(k)));
+        }
+    }
+    for &slice in &profile.pg_adder_widths {
+        for &groups in &profile.cla_groups {
+            out.push(Box::new(cla_block_rule(slice, groups)));
+        }
+    }
+    if profile.register_widths.len() > 1 {
+        let mut widths: Vec<usize> = profile.register_widths.iter().copied().collect();
+        widths.sort_unstable_by(|a, b| b.cmp(a));
+        out.push(Box::new(register_bank_rule(widths)));
+    }
+    for &k in &profile.register_en_widths {
+        out.push(Box::new(register_en_bank_rule(k)));
+    }
+    for &r in &profile.gate_fanins {
+        out.push(Box::new(gate_radix_rule(r)));
+    }
+    // Adder/subtractor slice widths (AS2-style cells).
+    for cell in library.cells() {
+        let s = &cell.spec;
+        if s.kind == ComponentKind::AddSub
+            && s.ops.contains(Op::Add)
+            && s.ops.contains(Op::Sub)
+            && s.carry_in
+            && s.carry_out
+        {
+            out.push(Box::new(addsub_ripple_rule(s.width)));
+        }
+    }
+    out
+}
+
+/// Extends a rule set with LOLA-derived rules for `library`.
+pub fn with_derived_rules(
+    mut rules: crate::RuleSet,
+    library: &CellLibrary,
+) -> crate::RuleSet {
+    rules.append_library_rules(derive_library_rules(library));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::databook;
+    use cells::lsi::lsi_logic_subset;
+
+    /// A synthetic "next generation" databook with different widths than
+    /// the LSI subset: 3-bit adders, 2-bit P/G adders, a 3-group CLA,
+    /// 6-bit registers, 5-input NANDs.
+    const NEXT_GEN: &str = "\
+LIBRARY next_gen
+CELL INV   GATE_NOT  W 1 N 1 AREA 0.7 DELAY 0.4
+CELL ND2   GATE_NAND W 1 N 2 AREA 1.0 DELAY 0.6
+CELL ND5   GATE_NAND W 1 N 5 AREA 2.6 DELAY 1.2
+CELL NR2   GATE_NOR  W 1 N 2 AREA 1.0 DELAY 0.7
+CELL AN2   GATE_AND  W 1 N 2 AREA 1.2 DELAY 0.8
+CELL OR2   GATE_OR   W 1 N 2 AREA 1.2 DELAY 0.9
+CELL EO2   GATE_XOR  W 1 N 2 AREA 2.2 DELAY 1.1
+CELL EN2   GATE_XNOR W 1 N 2 AREA 2.2 DELAY 1.2
+CELL MX2   MUX W 1 N 2 AREA 2.8 DELAY 1.2
+CELL ADD3  ADDSUB W 3 OPS ADD CI CO AREA 19.0 DELAY 4.2 CARRY 2.6
+CELL APG2  ADDSUB W 2 OPS ADD CI CO PG AREA 15.0 DELAY 3.4 CARRY 1.6 PGD 2.2
+CELL CLA3  CLA_GEN N 3 CI AREA 10.0 DELAY 1.7 CARRY 1.0 PGD 1.4
+CELL FD1   REGISTER W 1 OPS LOAD AREA 6.0 DELAY 1.9
+CELL RG6   REGISTER W 6 OPS LOAD AREA 33.0 DELAY 2.1
+CELL FDE1  REGISTER W 1 OPS LOAD EN AREA 8.0 DELAY 2.1
+";
+
+    fn next_gen() -> CellLibrary {
+        databook::parse(NEXT_GEN).expect("synthetic library parses")
+    }
+
+    #[test]
+    fn profile_of_lsi_matches_the_hand_written_rules() {
+        let p = LibraryProfile::of(&lsi_logic_subset());
+        assert_eq!(
+            p.adder_widths,
+            [1usize, 2, 4].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(p.pg_adder_widths, [4usize].into_iter().collect());
+        assert_eq!(p.cla_groups, [4usize].into_iter().collect());
+        assert_eq!(
+            p.register_widths,
+            [1usize, 4, 8].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(p.register_en_widths, [1usize].into_iter().collect());
+        assert_eq!(
+            p.gate_fanins,
+            [3usize, 4, 8].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn lsi_derivation_includes_cla16_blocks() {
+        let rules = derive_library_rules(&lsi_logic_subset());
+        let names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+        assert!(names.contains(&"lola-cla-block-16"), "{names:?}");
+        assert!(names.contains(&"lola-register-bank"), "{names:?}");
+        assert!(names.contains(&"lola-gate-radix-8"), "{names:?}");
+        assert!(names.contains(&"lola-addsub-ripple-2"), "{names:?}");
+    }
+
+    #[test]
+    fn derived_rules_adapt_dtas_to_a_new_library() {
+        use crate::{Dtas, RuleSet};
+        let lib = next_gen();
+        // Without LOLA: a 12-bit adder can only ripple by 1... but the
+        // library has no 1/2/4/8-bit plain adder, so the generic slice
+        // rules dead-end at missing widths — except width-3 ripple which
+        // no generic rule generates.
+        let plain = Dtas::new(lib.clone()).with_rules(RuleSet::standard());
+        let spec = crate::rules::helpers::adder(12);
+        let without = plain.synthesize(&spec);
+
+        let adapted = Dtas::new(lib.clone())
+            .with_rules(with_derived_rules(RuleSet::standard(), &lib));
+        let with = adapted.synthesize(&spec).expect("LOLA adapts the rule base");
+        assert!(!with.alternatives.is_empty());
+        // The adapted engine must strictly extend the unadapted one.
+        match without {
+            Err(_) => {}
+            Ok(set) => {
+                assert!(
+                    with.alternatives.len() >= set.alternatives.len(),
+                    "LOLA lost designs"
+                );
+                let best_with = with.fastest().expect("nonempty").delay;
+                let best_without = set.fastest().expect("nonempty").delay;
+                assert!(best_with <= best_without + 1e-9);
+            }
+        }
+        // The derived CLA rule (2-bit P/G x 3 groups = 6-bit blocks)
+        // applies to the 12-bit adder.
+        let labels: Vec<&str> = with
+            .alternatives
+            .iter()
+            .map(|a| a.implementation.label())
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("lola-")),
+            "no LOLA rule used: {labels:?}"
+        );
+    }
+
+    #[test]
+    fn register_bank_handles_awkward_widths() {
+        let rules = derive_library_rules(&next_gen());
+        let bank = rules
+            .iter()
+            .find(|r| r.name() == "lola-register-bank")
+            .expect("bank rule derived");
+        // 13 = 6 + 6 + 1 with the next-gen library's {6, 1} registers.
+        let templates = bank.expand(&crate::rules::helpers::register(13));
+        assert_eq!(templates.len(), 1);
+        assert_eq!(templates[0].modules.len(), 3);
+    }
+}

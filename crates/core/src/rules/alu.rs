@@ -1,0 +1,593 @@
+//! ALU decomposition rules.
+//!
+//! The paper's Figure-3 experiment decomposes a 64-bit 16-function ALU.
+//! Two complementary strategies are implemented: *function halving*
+//! (recursively splitting the operation list along the select MSB with an
+//! output multiplexer) and *shared datapaths* (one adder serving all
+//! arithmetic operations, one subtractor serving all comparisons).
+//! Singleton ALUs bottom out into dedicated functional units.
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::build::select_width;
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpClass, OpSet};
+use genus::spec::ComponentSpec;
+use rtl_base::bits::Bits;
+
+fn alu_spec(spec: &ComponentSpec) -> bool {
+    spec.kind == ComponentKind::Alu && !spec.ops.is_empty()
+}
+
+fn single(spec: &ComponentSpec, op: Op) -> bool {
+    alu_spec(spec) && spec.ops == OpSet::only(op)
+}
+
+/// Carry-in wiring for an op that treats absent CI as `default1`.
+fn cin(spec: &ComponentSpec, default: u64) -> Signal {
+    if spec.carry_in {
+        Signal::parent("CI")
+    } else {
+        Signal::cuint(1, default)
+    }
+}
+
+rule!(
+    pub(super) FunctionHalving,
+    "alu-function-halving",
+    "splits the function list at the select MSB into two sub-ALUs plus an output mux",
+    |spec| {
+        if !alu_spec(spec) || spec.ops.len() < 2 {
+            return vec![];
+        }
+        let n = spec.ops.len();
+        let w = spec.width;
+        let k = select_width(n);
+        let h = 1usize << (k - 1);
+        let (low_ops, high_ops) = split_ops(spec.ops, h);
+        let mut t = TemplateBuilder::new("alu-function-halving");
+        for (name, ops, out) in [("low", low_ops, "o_lo"), ("high", high_ops, "o_hi")] {
+            let sub = alu(w, ops, spec.carry_in);
+            let mut inputs = vec![("A", Signal::parent("A")), ("B", Signal::parent("B"))];
+            if spec.carry_in {
+                inputs.push(("CI", Signal::parent("CI")));
+            }
+            if ops.len() > 1 {
+                inputs.push(("S", Signal::parent("S").slice(0, select_width(ops.len()))));
+            }
+            t.module(name, sub, inputs, vec![("O", out, w)]);
+        }
+        t.module(
+            "omux",
+            mux(w, 2),
+            vec![
+                ("I0", Signal::net("o_lo")),
+                ("I1", Signal::net("o_hi")),
+                ("S", Signal::parent("S").slice(k - 1, 1)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) SharedArith,
+    "alu-shared-adder",
+    "one adder serves ADD/SUB/INC/DEC via operand and carry conditioning muxes",
+    |spec| {
+        let arith: OpSet = [Op::Add, Op::Sub, Op::Inc, Op::Dec].into_iter().collect();
+        if !alu_spec(spec) || spec.ops != arith {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("alu-shared-adder");
+        t.module(
+            "binv",
+            not_gate(w),
+            vec![("I0", Signal::parent("B"))],
+            vec![("O", "nb", w)],
+        );
+        t.module(
+            "bmux",
+            mux(w, 4),
+            vec![
+                ("I0", Signal::parent("B")),                  // ADD
+                ("I1", Signal::net("nb")),                    // SUB
+                ("I2", Signal::cuint(w, 0)),                  // INC: A + 0 + 1
+                ("I3", Signal::Const(Bits::ones(w))),         // DEC: A + ~0 + 0
+                ("S", Signal::parent("S")),
+            ],
+            vec![("O", "bsel", w)],
+        );
+        let (c0, c1) = if spec.carry_in {
+            (Signal::parent("CI"), Signal::parent("CI"))
+        } else {
+            (Signal::cuint(1, 0), Signal::cuint(1, 1))
+        };
+        t.module(
+            "cmux",
+            mux(1, 4),
+            vec![
+                ("I0", c0),
+                ("I1", c1),
+                ("I2", Signal::cuint(1, 1)),
+                ("I3", Signal::cuint(1, 0)),
+                ("S", Signal::parent("S")),
+            ],
+            vec![("O", "csel", 1)],
+        );
+        t.module(
+            "core",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::net("bsel")),
+                ("CI", Signal::net("csel")),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) SharedCompare,
+    "alu-shared-comparator",
+    "one subtractor derives EQ/LT/GT/ZEROP flags, selected onto the result bus",
+    |spec| {
+        let cmp: OpSet = [Op::Eq, Op::Lt, Op::Gt, Op::Zerop].into_iter().collect();
+        if !alu_spec(spec) || spec.ops != cmp || spec.width < 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("alu-shared-comparator");
+        t.module(
+            "binv",
+            not_gate(w),
+            vec![("I0", Signal::parent("B"))],
+            vec![("O", "nb", w)],
+        );
+        t.module(
+            "sub",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::net("nb")),
+                ("CI", Signal::cuint(1, 1)),
+            ],
+            vec![("CO", "noborrow", 1)],
+        );
+        t.module(
+            "ltinv",
+            not_gate(1),
+            vec![("I0", Signal::net("noborrow"))],
+            vec![("O", "lt", 1)],
+        );
+        t.module(
+            "xoreq",
+            gate(GateOp::Xor, w, 2),
+            vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+            vec![("O", "x", w)],
+        );
+        t.module(
+            "eqnor",
+            gate(GateOp::Nor, 1, w),
+            gate_inputs(bits_of(&Signal::net("x"), w)),
+            vec![("O", "eq", 1)],
+        );
+        t.module(
+            "gtnor",
+            gate(GateOp::Nor, 1, 2),
+            vec![("I0", Signal::net("lt")), ("I1", Signal::net("eq"))],
+            vec![("O", "gt", 1)],
+        );
+        t.module(
+            "zpnor",
+            gate(GateOp::Nor, 1, w),
+            gate_inputs(bits_of(&Signal::parent("A"), w)),
+            vec![("O", "zp", 1)],
+        );
+        t.module(
+            "omux",
+            mux(1, 4),
+            vec![
+                ("I0", Signal::net("eq")),
+                ("I1", Signal::net("lt")),
+                ("I2", Signal::net("gt")),
+                ("I3", Signal::net("zp")),
+                ("S", Signal::parent("S")),
+            ],
+            vec![("O", "flag", 1)],
+        );
+        t.output("O", zext(Signal::net("flag"), 1, w));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) LogicToLu,
+    "alu-logic-unit",
+    "an all-logic function list is a logic unit",
+    |spec| {
+        if !alu_spec(spec)
+            || spec.ops.len() < 2
+            || spec.ops.iter().any(|op| op.class() != OpClass::Logic)
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("alu-logic-unit");
+        let mut inputs = vec![("A", Signal::parent("A")), ("B", Signal::parent("B"))];
+        inputs.push(("S", Signal::parent("S")));
+        t.module("lu", lu(w, spec.ops), inputs, vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+macro_rules! singleton_rule {
+    ($ty:ident, $name:literal, $op:expr, $doc:literal, |$spec:ident, $t:ident| $body:block) => {
+        rule!(pub(super) $ty, $name, $doc, |spec| {
+            if !single(spec, $op) {
+                return vec![];
+            }
+            let $spec = spec;
+            let mut $t = TemplateBuilder::new($name);
+            $body
+            vec![$t.build()]
+        });
+    };
+}
+
+singleton_rule!(
+    OneAdd,
+    "alu-one-add",
+    Op::Add,
+    "a lone ADD is an adder",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "core",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::parent("B")),
+                ("CI", cin(spec, 0)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+    }
+);
+
+singleton_rule!(
+    OneSub,
+    "alu-one-sub",
+    Op::Sub,
+    "a lone SUB is an adder with an inverted second operand",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "binv",
+            not_gate(w),
+            vec![("I0", Signal::parent("B"))],
+            vec![("O", "nb", w)],
+        );
+        t.module(
+            "core",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::net("nb")),
+                ("CI", cin(spec, 1)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+    }
+);
+
+singleton_rule!(
+    OneInc,
+    "alu-one-inc",
+    Op::Inc,
+    "a lone INC is an adder with zero operand and forced carry",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "core",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::cuint(w, 0)),
+                ("CI", Signal::cuint(1, 1)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+    }
+);
+
+singleton_rule!(
+    OneDec,
+    "alu-one-dec",
+    Op::Dec,
+    "a lone DEC is an adder with an all-ones operand",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "core",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::Const(Bits::ones(w))),
+                ("CI", Signal::cuint(1, 0)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+    }
+);
+
+/// Singleton bitwise operations map to one gate.
+pub(super) struct OneGate {
+    op: Op,
+    gate_op: GateOp,
+    name: &'static str,
+}
+
+impl Rule for OneGate {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn doc(&self) -> &str {
+        "a lone bitwise function is a single gate"
+    }
+    fn expand(&self, spec: &ComponentSpec) -> Vec<crate::template::NetlistTemplate> {
+        if !single(spec, self.op) {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new(self.name);
+        t.module(
+            "g",
+            gate(self.gate_op, w, 2),
+            vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+}
+
+singleton_rule!(
+    OneLnot,
+    "alu-one-lnot",
+    Op::Lnot,
+    "a lone LNOT is an inverter",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "g",
+            not_gate(w),
+            vec![("I0", Signal::parent("A"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+    }
+);
+
+singleton_rule!(
+    OneLimpl,
+    "alu-one-limpl",
+    Op::Limpl,
+    "a lone LIMPL is an inverter and an OR gate",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "ainv",
+            not_gate(w),
+            vec![("I0", Signal::parent("A"))],
+            vec![("O", "na", w)],
+        );
+        t.module(
+            "or",
+            gate(GateOp::Or, w, 2),
+            vec![("I0", Signal::net("na")), ("I1", Signal::parent("B"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+    }
+);
+
+singleton_rule!(
+    OneEq,
+    "alu-one-eq",
+    Op::Eq,
+    "a lone EQ is XOR plus a zero-detect NOR",
+    |spec, t| {
+        let w = spec.width;
+        if w == 1 {
+            t.module(
+                "xnor",
+                gate(GateOp::Xnor, 1, 2),
+                vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+                vec![("O", "eq", 1)],
+            );
+        } else {
+            t.module(
+                "xor",
+                gate(GateOp::Xor, w, 2),
+                vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+                vec![("O", "x", w)],
+            );
+            t.module(
+                "nor",
+                gate(GateOp::Nor, 1, w),
+                gate_inputs(bits_of(&Signal::net("x"), w)),
+                vec![("O", "eq", 1)],
+            );
+        }
+        t.output("O", zext(Signal::net("eq"), 1, w));
+    }
+);
+
+singleton_rule!(
+    OneZerop,
+    "alu-one-zerop",
+    Op::Zerop,
+    "a lone ZEROP is a zero-detect NOR over the first operand",
+    |spec, t| {
+        let w = spec.width;
+        if w == 1 {
+            t.module(
+                "inv",
+                not_gate(1),
+                vec![("I0", Signal::parent("A"))],
+                vec![("O", "z", 1)],
+            );
+        } else {
+            t.module(
+                "nor",
+                gate(GateOp::Nor, 1, w),
+                gate_inputs(bits_of(&Signal::parent("A"), w)),
+                vec![("O", "z", 1)],
+            );
+        }
+        t.output("O", zext(Signal::net("z"), 1, w));
+    }
+);
+
+singleton_rule!(
+    OneLt,
+    "alu-one-lt",
+    Op::Lt,
+    "a lone LT is a subtract whose borrow is the flag",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "binv",
+            not_gate(w),
+            vec![("I0", Signal::parent("B"))],
+            vec![("O", "nb", w)],
+        );
+        t.module(
+            "sub",
+            adder(w),
+            vec![
+                ("A", Signal::parent("A")),
+                ("B", Signal::net("nb")),
+                ("CI", Signal::cuint(1, 1)),
+            ],
+            vec![("CO", "noborrow", 1)],
+        );
+        t.module(
+            "inv",
+            not_gate(1),
+            vec![("I0", Signal::net("noborrow"))],
+            vec![("O", "lt", 1)],
+        );
+        t.output("O", zext(Signal::net("lt"), 1, w));
+    }
+);
+
+singleton_rule!(
+    OneGt,
+    "alu-one-gt",
+    Op::Gt,
+    "a lone GT is LT with swapped operands",
+    |spec, t| {
+        let w = spec.width;
+        t.module(
+            "ainv",
+            not_gate(w),
+            vec![("I0", Signal::parent("A"))],
+            vec![("O", "na", w)],
+        );
+        t.module(
+            "sub",
+            adder(w),
+            vec![
+                ("A", Signal::parent("B")),
+                ("B", Signal::net("na")),
+                ("CI", Signal::cuint(1, 1)),
+            ],
+            vec![("CO", "noborrow", 1)],
+        );
+        t.module(
+            "inv",
+            not_gate(1),
+            vec![("I0", Signal::net("noborrow"))],
+            vec![("O", "gt", 1)],
+        );
+        t.output("O", zext(Signal::net("gt"), 1, w));
+    }
+);
+
+rule!(
+    pub(super) OneShift,
+    "alu-one-shift",
+    "single-position shifts and rotates are pure wiring",
+    |spec| {
+        if !alu_spec(spec) || spec.ops.len() != 1 {
+            return vec![];
+        }
+        let op = spec.ops.iter().next().expect("len checked");
+        if op.class() != OpClass::Shift {
+            return vec![];
+        }
+        let w = spec.width;
+        let a = Signal::parent("A");
+        let out = if w == 1 {
+            match op {
+                Op::Shl | Op::Shr => Signal::cuint(1, 0),
+                _ => a,
+            }
+        } else {
+            match op {
+                Op::Shl => Signal::Cat(vec![Signal::cuint(1, 0), a.slice(0, w - 1)]),
+                Op::Shr => Signal::Cat(vec![a.slice(1, w - 1), Signal::cuint(1, 0)]),
+                Op::Asr => Signal::Cat(vec![a.clone().slice(1, w - 1), a.slice(w - 1, 1)]),
+                Op::Rotl => Signal::Cat(vec![a.clone().slice(w - 1, 1), a.slice(0, w - 1)]),
+                Op::Rotr => Signal::Cat(vec![a.clone().slice(1, w - 1), a.slice(0, 1)]),
+                _ => unreachable!(),
+            }
+        };
+        let mut t = TemplateBuilder::new("alu-one-shift");
+        t.output("O", out);
+        vec![t.build()]
+    }
+);
+
+/// Registers the ALU rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(FunctionHalving));
+    rules.push(Box::new(SharedArith));
+    rules.push(Box::new(SharedCompare));
+    rules.push(Box::new(LogicToLu));
+    rules.push(Box::new(OneAdd));
+    rules.push(Box::new(OneSub));
+    rules.push(Box::new(OneInc));
+    rules.push(Box::new(OneDec));
+    for (op, gate_op, name) in [
+        (Op::And, GateOp::And, "alu-one-and"),
+        (Op::Or, GateOp::Or, "alu-one-or"),
+        (Op::Nand, GateOp::Nand, "alu-one-nand"),
+        (Op::Nor, GateOp::Nor, "alu-one-nor"),
+        (Op::Xor, GateOp::Xor, "alu-one-xor"),
+        (Op::Xnor, GateOp::Xnor, "alu-one-xnor"),
+    ] {
+        rules.push(Box::new(OneGate { op, gate_op, name }));
+    }
+    rules.push(Box::new(OneLnot));
+    rules.push(Box::new(OneLimpl));
+    rules.push(Box::new(OneEq));
+    rules.push(Box::new(OneZerop));
+    rules.push(Box::new(OneLt));
+    rules.push(Box::new(OneGt));
+    rules.push(Box::new(OneShift));
+}

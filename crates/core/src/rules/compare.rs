@@ -1,0 +1,253 @@
+//! Magnitude-comparator decomposition rules.
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+
+fn is_comparator(spec: &ComponentSpec) -> bool {
+    spec.kind == ComponentKind::Comparator && !spec.ops.is_empty()
+}
+
+rule!(
+    pub(super) SubBased,
+    "comparator-sub-based",
+    "all comparison flags derive from one subtractor and a zero-detect",
+    |spec| {
+        if !is_comparator(spec) {
+            return vec![];
+        }
+        let w = spec.width;
+        let ops = spec.ops;
+        let need_eq = [Op::Eq, Op::Neq, Op::Gt, Op::Le]
+            .into_iter()
+            .any(|o| ops.contains(o));
+        let need_lt = [Op::Lt, Op::Ge, Op::Gt, Op::Le]
+            .into_iter()
+            .any(|o| ops.contains(o));
+        let mut t = TemplateBuilder::new("comparator-sub-based");
+        if need_eq {
+            if w == 1 {
+                t.module(
+                    "xnor",
+                    gate(GateOp::Xnor, 1, 2),
+                    vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+                    vec![("O", "eq", 1)],
+                );
+            } else {
+                t.module(
+                    "xor",
+                    gate(GateOp::Xor, w, 2),
+                    vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+                    vec![("O", "x", w)],
+                );
+                t.module(
+                    "eqnor",
+                    gate(GateOp::Nor, 1, w),
+                    gate_inputs(bits_of(&Signal::net("x"), w)),
+                    vec![("O", "eq", 1)],
+                );
+            }
+        }
+        if need_lt {
+            t.module(
+                "binv",
+                not_gate(w),
+                vec![("I0", Signal::parent("B"))],
+                vec![("O", "nb", w)],
+            );
+            t.module(
+                "sub",
+                adder(w),
+                vec![
+                    ("A", Signal::parent("A")),
+                    ("B", Signal::net("nb")),
+                    ("CI", Signal::cuint(1, 1)),
+                ],
+                vec![("CO", "ge", 1)], // no borrow means A >= B
+            );
+            t.module(
+                "ltinv",
+                not_gate(1),
+                vec![("I0", Signal::net("ge"))],
+                vec![("O", "lt", 1)],
+            );
+        }
+        for op in ops.iter() {
+            match op {
+                Op::Eq => t.output("EQ", Signal::net("eq")),
+                Op::Lt => t.output("LT", Signal::net("lt")),
+                Op::Ge => t.output("GE", Signal::net("ge")),
+                Op::Neq => {
+                    t.module(
+                        "neqinv",
+                        not_gate(1),
+                        vec![("I0", Signal::net("eq"))],
+                        vec![("O", "neq", 1)],
+                    );
+                    t.output("NEQ", Signal::net("neq"))
+                }
+                Op::Gt => {
+                    t.module(
+                        "gtnor",
+                        gate(GateOp::Nor, 1, 2),
+                        vec![("I0", Signal::net("lt")), ("I1", Signal::net("eq"))],
+                        vec![("O", "gt", 1)],
+                    );
+                    t.output("GT", Signal::net("gt"))
+                }
+                Op::Le => {
+                    t.module(
+                        "leor",
+                        gate(GateOp::Or, 1, 2),
+                        vec![("I0", Signal::net("lt")), ("I1", Signal::net("eq"))],
+                        vec![("O", "le", 1)],
+                    );
+                    t.output("LE", Signal::net("le"))
+                }
+                _ => unreachable!("comparison ops only"),
+            };
+        }
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) EqSlice,
+    "comparator-eq-slice",
+    "wide equality is the AND of half-width equalities",
+    |spec| {
+        if !is_comparator(spec)
+            || spec.ops != OpSet::only(Op::Eq)
+            || spec.width < 4
+            || spec.width % 2 != 0
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let h = w / 2;
+        let child = comparator(h, OpSet::only(Op::Eq));
+        let mut t = TemplateBuilder::new("comparator-eq-slice");
+        for (name, lo) in [("lo", 0usize), ("hi", h)] {
+            t.module(
+                name,
+                child.clone(),
+                vec![
+                    ("A", Signal::parent("A").slice(lo, h)),
+                    ("B", Signal::parent("B").slice(lo, h)),
+                ],
+                vec![("EQ", &format!("eq_{name}"), 1)],
+            );
+        }
+        t.module(
+            "and",
+            gate(GateOp::And, 1, 2),
+            vec![("I0", Signal::net("eq_lo")), ("I1", Signal::net("eq_hi"))],
+            vec![("O", "eq", 1)],
+        );
+        t.output("EQ", Signal::net("eq"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) MagnitudeChain,
+    "comparator-magnitude-chain",
+    "LT chains through half-width compare slices: LT_hi OR (EQ_hi AND LT_lo)",
+    |spec| {
+        let el: OpSet = [Op::Eq, Op::Lt].into_iter().collect();
+        if !is_comparator(spec)
+            || !el.is_superset(spec.ops)
+            || !spec.ops.contains(Op::Lt)
+            || spec.width < 2
+            || spec.width % 2 != 0
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let h = w / 2;
+        let child = comparator(h, el);
+        let mut t = TemplateBuilder::new("comparator-magnitude-chain");
+        for (name, lo) in [("lo", 0usize), ("hi", h)] {
+            t.module(
+                name,
+                child.clone(),
+                vec![
+                    ("A", Signal::parent("A").slice(lo, h)),
+                    ("B", Signal::parent("B").slice(lo, h)),
+                ],
+                vec![
+                    ("EQ", &format!("eq_{name}"), 1),
+                    ("LT", &format!("lt_{name}"), 1),
+                ],
+            );
+        }
+        t.module(
+            "and",
+            gate(GateOp::And, 1, 2),
+            vec![("I0", Signal::net("eq_hi")), ("I1", Signal::net("lt_lo"))],
+            vec![("O", "carry_lt", 1)],
+        );
+        t.module(
+            "or",
+            gate(GateOp::Or, 1, 2),
+            vec![("I0", Signal::net("lt_hi")), ("I1", Signal::net("carry_lt"))],
+            vec![("O", "lt", 1)],
+        );
+        t.output("LT", Signal::net("lt"));
+        if spec.ops.contains(Op::Eq) {
+            t.module(
+                "eqand",
+                gate(GateOp::And, 1, 2),
+                vec![("I0", Signal::net("eq_lo")), ("I1", Signal::net("eq_hi"))],
+                vec![("O", "eq", 1)],
+            );
+            t.output("EQ", Signal::net("eq"));
+        }
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) BitBase,
+    "comparator-bit-base",
+    "1-bit compare slice: EQ is XNOR, LT is NOT-A AND B",
+    |spec| {
+        let el: OpSet = [Op::Eq, Op::Lt].into_iter().collect();
+        if !is_comparator(spec) || spec.width != 1 || spec.ops != el {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("comparator-bit-base");
+        t.module(
+            "xnor",
+            gate(GateOp::Xnor, 1, 2),
+            vec![("I0", Signal::parent("A")), ("I1", Signal::parent("B"))],
+            vec![("O", "eq", 1)],
+        );
+        t.module(
+            "ainv",
+            not_gate(1),
+            vec![("I0", Signal::parent("A"))],
+            vec![("O", "na", 1)],
+        );
+        t.module(
+            "and",
+            gate(GateOp::And, 1, 2),
+            vec![("I0", Signal::net("na")), ("I1", Signal::parent("B"))],
+            vec![("O", "lt", 1)],
+        );
+        t.output("EQ", Signal::net("eq"));
+        t.output("LT", Signal::net("lt"));
+        vec![t.build()]
+    }
+);
+
+/// Registers the comparator rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(SubBased));
+    rules.push(Box::new(EqSlice));
+    rules.push(Box::new(MagnitudeChain));
+    rules.push(Box::new(BitBase));
+}

@@ -1,0 +1,272 @@
+//! Decoder and encoder decomposition rules (binary and BCD — paper §7).
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::kind::{ComponentKind, GateOp};
+use genus::spec::ComponentSpec;
+
+/// Binary decoder spec of `k` select bits.
+fn dec(k: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Decoder, k)
+        .with_width2(1 << k)
+        .with_style("BINARY")
+}
+
+fn is_binary_decoder(spec: &ComponentSpec) -> bool {
+    spec.kind == ComponentKind::Decoder
+        && spec.width2 == (1 << spec.width)
+        && !spec.enable
+}
+
+rule!(
+    pub(super) DecoderFromGates,
+    "decoder-from-gates",
+    "one AND-of-literals per output line",
+    |spec| {
+        if !is_binary_decoder(spec) || spec.width > 6 {
+            return vec![];
+        }
+        let k = spec.width;
+        let mut t = TemplateBuilder::new("decoder-from-gates");
+        if k == 1 {
+            t.module(
+                "inv",
+                not_gate(1),
+                vec![("I0", Signal::parent("A"))],
+                vec![("O", "n0", 1)],
+            );
+            t.output(
+                "O",
+                Signal::Cat(vec![Signal::net("n0"), Signal::parent("A")]),
+            );
+            return vec![t.build()];
+        }
+        for j in 0..k {
+            t.module(
+                &format!("inv{j}"),
+                not_gate(1),
+                vec![("I0", Signal::parent("A").slice(j, 1))],
+                vec![("O", &format!("n{j}"), 1)],
+            );
+        }
+        let mut lines = Vec::new();
+        for i in 0..(1usize << k) {
+            let literals: Vec<Signal> = (0..k)
+                .map(|j| {
+                    if (i >> j) & 1 == 1 {
+                        Signal::parent("A").slice(j, 1)
+                    } else {
+                        Signal::net(&format!("n{j}"))
+                    }
+                })
+                .collect();
+            t.module(
+                &format!("line{i}"),
+                gate(GateOp::And, 1, k),
+                gate_inputs(literals),
+                vec![("O", &format!("l{i}"), 1)],
+            );
+            lines.push(Signal::net(&format!("l{i}")));
+        }
+        t.output("O", Signal::Cat(lines));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) DecoderTwoLevel,
+    "decoder-two-level",
+    "a wide decoder is two half decoders and an AND cross-product",
+    |spec| {
+        if !is_binary_decoder(spec) || spec.width < 4 || spec.width > 10 {
+            return vec![];
+        }
+        let k = spec.width;
+        let kl = k / 2;
+        let kh = k - kl;
+        let mut t = TemplateBuilder::new("decoder-two-level");
+        t.module(
+            "lo",
+            dec(kl),
+            vec![("A", Signal::parent("A").slice(0, kl))],
+            vec![("O", "lo_lines", 1 << kl)],
+        );
+        t.module(
+            "hi",
+            dec(kh),
+            vec![("A", Signal::parent("A").slice(kl, kh))],
+            vec![("O", "hi_lines", 1 << kh)],
+        );
+        let mut lines = Vec::new();
+        for i in 0..(1usize << k) {
+            let lo_idx = i & ((1 << kl) - 1);
+            let hi_idx = i >> kl;
+            t.module(
+                &format!("and{i}"),
+                gate(GateOp::And, 1, 2),
+                vec![
+                    ("I0", Signal::net("lo_lines").slice(lo_idx, 1)),
+                    ("I1", Signal::net("hi_lines").slice(hi_idx, 1)),
+                ],
+                vec![("O", &format!("l{i}"), 1)],
+            );
+            lines.push(Signal::net(&format!("l{i}")));
+        }
+        t.output("O", Signal::Cat(lines));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) DecoderEnableMask,
+    "decoder-enable-mask",
+    "an enabled decoder is a plain decoder with its lines masked by the enable",
+    |spec| {
+        if spec.kind != ComponentKind::Decoder
+            || !spec.enable
+            || spec.width2 != (1 << spec.width)
+        {
+            return vec![];
+        }
+        let k = spec.width;
+        let lines = spec.width2;
+        let mut t = TemplateBuilder::new("decoder-enable-mask");
+        t.module(
+            "dec",
+            dec(k),
+            vec![("A", Signal::parent("A"))],
+            vec![("O", "raw", lines)],
+        );
+        t.module(
+            "mask",
+            gate(GateOp::And, lines, 2),
+            vec![
+                ("I0", Signal::net("raw")),
+                ("I1", Signal::parent("EN").replicate(lines)),
+            ],
+            vec![("O", "o", lines)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) BcdFromBinary,
+    "decoder-bcd-from-binary",
+    "a BCD decoder is a binary 4-to-16 decoder with the top six lines dropped",
+    |spec| {
+        if spec.kind != ComponentKind::Decoder
+            || spec.width != 4
+            || spec.width2 != 10
+            || spec.enable
+        {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("decoder-bcd-from-binary");
+        t.module(
+            "dec",
+            dec(4),
+            vec![("A", Signal::parent("A"))],
+            vec![("O", "lines", 16)],
+        );
+        t.output("O", Signal::net("lines").slice(0, 10));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) EncoderPriorityChain,
+    "encoder-priority-chain",
+    "priority encoder as an inhibit chain, grant gates and wide ORs",
+    |spec| {
+        if spec.kind != ComponentKind::Encoder || spec.inputs < 2 {
+            return vec![];
+        }
+        let n = spec.inputs;
+        let out_w = spec.width;
+        let mut t = TemplateBuilder::new("encoder-priority-chain");
+        // h_i = OR of inputs above i; h_{n-1} = 0.
+        for i in (0..n - 1).rev() {
+            let upper = if i == n - 2 {
+                Signal::cuint(1, 0)
+            } else {
+                Signal::net(&format!("h{}", i + 1))
+            };
+            t.module(
+                &format!("or{i}"),
+                gate(GateOp::Or, 1, 2),
+                vec![
+                    ("I0", Signal::parent("I").slice(i + 1, 1)),
+                    ("I1", upper),
+                ],
+                vec![("O", &format!("h{i}"), 1)],
+            );
+        }
+        // grant_i = I_i AND NOT h_i; grant_{n-1} = I_{n-1}.
+        let mut grants: Vec<Signal> = Vec::new();
+        for i in 0..n {
+            if i == n - 1 {
+                grants.push(Signal::parent("I").slice(i, 1));
+                continue;
+            }
+            t.module(
+                &format!("ninh{i}"),
+                not_gate(1),
+                vec![("I0", Signal::net(&format!("h{i}")))],
+                vec![("O", &format!("nh{i}"), 1)],
+            );
+            t.module(
+                &format!("grant{i}"),
+                gate(GateOp::And, 1, 2),
+                vec![
+                    ("I0", Signal::parent("I").slice(i, 1)),
+                    ("I1", Signal::net(&format!("nh{i}"))),
+                ],
+                vec![("O", &format!("g{i}"), 1)],
+            );
+            grants.push(Signal::net(&format!("g{i}")));
+        }
+        // Output bit j ORs the grants whose index has bit j set.
+        let mut obits = Vec::new();
+        for j in 0..out_w {
+            let terms: Vec<Signal> = (0..n)
+                .filter(|i| (i >> j) & 1 == 1)
+                .map(|i| grants[i].clone())
+                .collect();
+            let sig = match terms.len() {
+                0 => Signal::cuint(1, 0),
+                1 => terms.into_iter().next().expect("len 1"),
+                k => {
+                    t.module(
+                        &format!("obit{j}"),
+                        gate(GateOp::Or, 1, k),
+                        gate_inputs(terms),
+                        vec![("O", &format!("ob{j}"), 1)],
+                    );
+                    Signal::net(&format!("ob{j}"))
+                }
+            };
+            obits.push(sig);
+        }
+        t.module(
+            "valid",
+            gate(GateOp::Or, 1, n),
+            gate_inputs(bits_of(&Signal::parent("I"), n)),
+            vec![("O", "v", 1)],
+        );
+        t.output("O", Signal::Cat(obits));
+        t.output("V", Signal::net("v"));
+        vec![t.build()]
+    }
+);
+
+/// Registers decoder/encoder rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(DecoderFromGates));
+    rules.push(Box::new(DecoderTwoLevel));
+    rules.push(Box::new(DecoderEnableMask));
+    rules.push(Box::new(BcdFromBinary));
+    rules.push(Box::new(EncoderPriorityChain));
+}

@@ -1,0 +1,138 @@
+//! Shared spec and wiring constructors for rule authors.
+
+use crate::template::Signal;
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+
+/// Canonical adder spec: `ADDSUB.w` with the given ops and carry pins.
+pub fn addsub(w: usize, ops: OpSet, ci: bool, co: bool) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::AddSub, w)
+        .with_ops(ops)
+        .with_carry_in(ci)
+        .with_carry_out(co)
+}
+
+/// Pure adder with both carry pins.
+pub fn adder(w: usize) -> ComponentSpec {
+    addsub(w, OpSet::only(Op::Add), true, true)
+}
+
+/// Pure adder with carry pins and group P/G outputs.
+pub fn adder_pg(w: usize) -> ComponentSpec {
+    adder(w).with_group_pg(true)
+}
+
+/// Carry-lookahead generator over `n` groups.
+pub fn cla(n: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::CarryLookahead, n)
+        .with_inputs(n)
+        .with_carry_in(true)
+}
+
+/// N-to-1 multiplexer.
+pub fn mux(w: usize, n: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n)
+}
+
+/// Primitive gate, `w` bits wide with fan-in `n`.
+pub fn gate(g: GateOp, w: usize, n: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Gate(g), w).with_inputs(n)
+}
+
+/// Inverter, `w` bits wide.
+pub fn not_gate(w: usize) -> ComponentSpec {
+    gate(GateOp::Not, w, 1)
+}
+
+/// Logic unit.
+pub fn lu(w: usize, ops: OpSet) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::LogicUnit, w).with_ops(ops)
+}
+
+/// ALU.
+pub fn alu(w: usize, ops: OpSet, ci: bool) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Alu, w)
+        .with_ops(ops)
+        .with_carry_in(ci)
+}
+
+/// Comparator.
+pub fn comparator(w: usize, ops: OpSet) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Comparator, w).with_ops(ops)
+}
+
+/// Plain register (no enable, no async pins).
+pub fn register(w: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Register, w).with_ops(OpSet::only(Op::Load))
+}
+
+/// Register with a synchronous enable.
+pub fn register_en(w: usize) -> ComponentSpec {
+    register(w).with_enable(true)
+}
+
+/// Zero-extends a signal from `from` to `to` bits by concatenating
+/// constant zeros.
+pub fn zext(sig: Signal, from: usize, to: usize) -> Signal {
+    assert!(to >= from, "zext target narrower than source");
+    if to == from {
+        sig
+    } else {
+        Signal::Cat(vec![sig, Signal::cuint(to - from, 0)])
+    }
+}
+
+/// The bits of an n-bit signal as individual 1-bit signals.
+pub fn bits_of(sig: &Signal, n: usize) -> Vec<Signal> {
+    (0..n).map(|i| sig.clone().slice(i, 1)).collect()
+}
+
+/// Connects gate inputs `I0..I{k-1}` to the given signals.
+pub fn gate_inputs(signals: Vec<Signal>) -> Vec<(String, Signal)> {
+    signals
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (format!("I{i}"), s))
+        .collect()
+}
+
+/// Splits a sorted op set into the low `h` and remaining ops
+/// (canonical-order function-halving).
+pub fn split_ops(ops: OpSet, h: usize) -> (OpSet, OpSet) {
+    let all: Vec<Op> = ops.iter().collect();
+    let low: OpSet = all[..h].iter().copied().collect();
+    let high: OpSet = all[h..].iter().copied().collect();
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zext_widths() {
+        let nw = |_: &str| Some(4usize);
+        let pw = |_: &str| None;
+        let s = zext(Signal::net("x"), 4, 9);
+        assert_eq!(s.width(&nw, &pw).unwrap(), 9);
+        let same = zext(Signal::net("x"), 4, 4);
+        assert_eq!(same, Signal::net("x"));
+    }
+
+    #[test]
+    fn split_ops_respects_canonical_order() {
+        let ops = Op::paper_alu16();
+        let (low, high) = split_ops(ops, 8);
+        assert_eq!(low.len(), 8);
+        assert!(low.contains(Op::Add) && low.contains(Op::Zerop));
+        assert!(high.contains(Op::And) && high.contains(Op::Limpl));
+    }
+
+    #[test]
+    fn gate_inputs_names() {
+        let v = gate_inputs(vec![Signal::net("a"), Signal::net("b")]);
+        assert_eq!(v[0].0, "I0");
+        assert_eq!(v[1].0, "I1");
+    }
+}

@@ -1,0 +1,403 @@
+//! The nine library-specific rules for the LSI-style cell subset.
+//!
+//! "DTAS requires nine library-specific design rules to fully utilize the
+//! subset of cells from LSI Logic" (paper §7). These rules know the
+//! *shape* of the library — 16-bit lookahead blocks built from `ADD4PG` +
+//! `CLA4`, register banking onto `RG8`/`RG4`/`FD1`, `FDE1` enabled bits,
+//! `ND3`/`ND8` fan-ins — without naming cells: they emit the exact
+//! specifications those cells implement, so the functional matcher picks
+//! them up.
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+
+fn canonical_adder(spec: &ComponentSpec) -> bool {
+    spec.kind == ComponentKind::AddSub
+        && spec.ops == OpSet::only(Op::Add)
+        && spec.carry_in
+        && spec.carry_out
+        && !spec.group_pg
+}
+
+rule!(
+    pub(super) Cla16BlockRipple,
+    "lsi-cla16-block-ripple",
+    "16-bit lookahead blocks (4 x ADD4PG + CLA4) rippled block to block",
+    |spec| {
+        if !canonical_adder(spec) || spec.width % 16 != 0 || spec.width <= 16 {
+            return vec![];
+        }
+        let nb = spec.width / 16;
+        let mut t = TemplateBuilder::new("lsi-cla16-block-ripple");
+        let mut sums = Vec::new();
+        for b in 0..nb {
+            let block_cin = if b == 0 {
+                Signal::parent("CI")
+            } else {
+                Signal::net(&format!("cla_c{}", b - 1)).slice(3, 1)
+            };
+            let mut ps = Vec::new();
+            let mut gs = Vec::new();
+            for j in 0..4 {
+                let ci = if j == 0 {
+                    block_cin.clone()
+                } else {
+                    Signal::net(&format!("cla_c{b}")).slice(j - 1, 1)
+                };
+                let base = 16 * b + 4 * j;
+                t.module(
+                    &format!("grp{b}_{j}"),
+                    adder_pg(4),
+                    vec![
+                        ("A", Signal::parent("A").slice(base, 4)),
+                        ("B", Signal::parent("B").slice(base, 4)),
+                        ("CI", ci),
+                    ],
+                    vec![
+                        ("O", &format!("o{b}_{j}"), 4),
+                        ("P", &format!("p{b}_{j}"), 1),
+                        ("G", &format!("g{b}_{j}"), 1),
+                    ],
+                );
+                sums.push(Signal::net(&format!("o{b}_{j}")));
+                ps.push(Signal::net(&format!("p{b}_{j}")));
+                gs.push(Signal::net(&format!("g{b}_{j}")));
+            }
+            t.module(
+                &format!("cla{b}"),
+                cla(4),
+                vec![
+                    ("P", Signal::Cat(ps)),
+                    ("G", Signal::Cat(gs)),
+                    ("CI", block_cin),
+                ],
+                vec![("C", &format!("cla_c{b}"), 4)],
+            );
+        }
+        t.output("O", Signal::Cat(sums));
+        t.output("CO", Signal::net(&format!("cla_c{}", nb - 1)).slice(3, 1));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) CarrySelect8Block,
+    "lsi-carry-select-8",
+    "chained 8-bit carry-select blocks sized for the library's 4-bit adders",
+    |spec| {
+        if !canonical_adder(spec) || spec.width % 8 != 0 || spec.width < 16 {
+            return vec![];
+        }
+        let nb = spec.width / 8;
+        let mut t = TemplateBuilder::new("lsi-carry-select-8");
+        let mut sums = Vec::new();
+        let mut carry: Signal = Signal::parent("CI");
+        for b in 0..nb {
+            let base = 8 * b;
+            if b == 0 {
+                t.module(
+                    "blk0",
+                    adder(8),
+                    vec![
+                        ("A", Signal::parent("A").slice(base, 8)),
+                        ("B", Signal::parent("B").slice(base, 8)),
+                        ("CI", carry),
+                    ],
+                    vec![("O", "o0", 8), ("CO", "c0", 1)],
+                );
+                sums.push(Signal::net("o0"));
+                carry = Signal::net("c0");
+                continue;
+            }
+            for (tag, ci) in [("a", 0u64), ("b", 1u64)] {
+                t.module(
+                    &format!("blk{b}{tag}"),
+                    adder(8),
+                    vec![
+                        ("A", Signal::parent("A").slice(base, 8)),
+                        ("B", Signal::parent("B").slice(base, 8)),
+                        ("CI", Signal::cuint(1, ci)),
+                    ],
+                    vec![
+                        ("O", &format!("o{b}{tag}"), 8),
+                        ("CO", &format!("c{b}{tag}"), 1),
+                    ],
+                );
+            }
+            t.module(
+                &format!("muxs{b}"),
+                mux(8, 2),
+                vec![
+                    ("I0", Signal::net(&format!("o{b}a"))),
+                    ("I1", Signal::net(&format!("o{b}b"))),
+                    ("S", carry.clone()),
+                ],
+                vec![("O", &format!("o{b}"), 8)],
+            );
+            t.module(
+                &format!("muxc{b}"),
+                mux(1, 2),
+                vec![
+                    ("I0", Signal::net(&format!("c{b}a"))),
+                    ("I1", Signal::net(&format!("c{b}b"))),
+                    ("S", carry),
+                ],
+                vec![("O", &format!("c{b}"), 1)],
+            );
+            sums.push(Signal::net(&format!("o{b}")));
+            carry = Signal::net(&format!("c{b}"));
+        }
+        t.output("O", Signal::Cat(sums));
+        t.output("CO", carry);
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) RegisterBank,
+    "lsi-register-bank",
+    "registers bank greedily onto 8-, 4- and 1-bit library registers",
+    |spec| {
+        if spec.kind != ComponentKind::Register
+            || spec.enable
+            || spec.async_set_reset
+            || spec.width < 2
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("lsi-register-bank");
+        let mut parts = Vec::new();
+        let mut at = 0usize;
+        let mut idx = 0usize;
+        while at < w {
+            let k = if w - at >= 8 {
+                8
+            } else if w - at >= 4 {
+                4
+            } else {
+                1
+            };
+            t.module(
+                &format!("bank{idx}"),
+                register(k),
+                vec![
+                    ("D", Signal::parent("D").slice(at, k)),
+                    ("CLK", Signal::parent("CLK")),
+                ],
+                vec![("Q", &format!("q{idx}"), k)],
+            );
+            parts.push(Signal::net(&format!("q{idx}")));
+            at += k;
+            idx += 1;
+        }
+        t.output("Q", Signal::Cat(parts));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) RegisterEnableBank,
+    "lsi-register-en-bank",
+    "enabled registers bank bitwise onto enabled flip-flops (FDE1)",
+    |spec| {
+        if spec.kind != ComponentKind::Register
+            || !spec.enable
+            || spec.async_set_reset
+            || spec.width < 2
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("lsi-register-en-bank");
+        let mut parts = Vec::new();
+        for i in 0..w {
+            t.module(
+                &format!("ff{i}"),
+                register_en(1),
+                vec![
+                    ("D", Signal::parent("D").slice(i, 1)),
+                    ("EN", Signal::parent("EN")),
+                    ("CLK", Signal::parent("CLK")),
+                ],
+                vec![("Q", &format!("q{i}"), 1)],
+            );
+            parts.push(Signal::net(&format!("q{i}")));
+        }
+        t.output("Q", Signal::Cat(parts));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) CounterEnableFf,
+    "lsi-counter-enable-ff",
+    "counters with enables use enabled flip-flops instead of a hold mux",
+    |spec| {
+        let allowed: OpSet = [Op::Load, Op::CountUp, Op::CountDown].into_iter().collect();
+        if spec.kind != ComponentKind::Counter
+            || !spec.enable
+            || spec.async_set_reset
+            || spec.ops.is_empty()
+            || !allowed.is_superset(spec.ops)
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("lsi-counter-enable-ff");
+        let nxt = super::seq::counter_next_state(&mut t, spec, Signal::net("q"));
+        t.module(
+            "state",
+            register_en(w),
+            vec![
+                ("D", nxt),
+                ("EN", Signal::parent("CEN")),
+                ("CLK", Signal::parent("CLK")),
+            ],
+            vec![("Q", "q", w)],
+        );
+        t.output("O0", Signal::net("q"));
+        vec![t.build()]
+    }
+);
+
+fn gate_radix(
+    rule_name: &'static str,
+    spec: &ComponentSpec,
+    radix: usize,
+) -> Vec<crate::template::NetlistTemplate> {
+    let ComponentKind::Gate(g) = spec.kind else {
+        return vec![];
+    };
+    if spec.width != 1
+        || spec.inputs <= radix
+        || spec.inputs % radix != 0
+        || matches!(
+            g,
+            GateOp::Not | GateOp::Buf | GateOp::Xor | GateOp::Xnor
+        )
+    {
+        return vec![];
+    }
+    vec![super::logic::fanin_split_public(rule_name, g, spec.inputs, radix)]
+}
+
+rule!(
+    pub(super) GateRadix3,
+    "lsi-gate-radix3",
+    "fan-in splitting in threes, matching the library's 3-input gates",
+    |spec| { gate_radix("lsi-gate-radix3", spec, 3) }
+);
+
+rule!(
+    pub(super) GateRadix8,
+    "lsi-gate-radix8",
+    "fan-in splitting in eights, matching the library's 8-input gates",
+    |spec| { gate_radix("lsi-gate-radix8", spec, 8) }
+);
+
+rule!(
+    pub(super) DecoderNandNand,
+    "lsi-decoder-nand",
+    "decoders as inverter/NAND/inverter planes, matching the ND cells",
+    |spec| {
+        if spec.kind != ComponentKind::Decoder
+            || spec.enable
+            || spec.width2 != (1 << spec.width)
+            || !(2..=4).contains(&spec.width)
+        {
+            return vec![];
+        }
+        let k = spec.width;
+        let mut t = TemplateBuilder::new("lsi-decoder-nand");
+        for j in 0..k {
+            t.module(
+                &format!("inv{j}"),
+                not_gate(1),
+                vec![("I0", Signal::parent("A").slice(j, 1))],
+                vec![("O", &format!("n{j}"), 1)],
+            );
+        }
+        let mut lines = Vec::new();
+        for i in 0..(1usize << k) {
+            let literals: Vec<Signal> = (0..k)
+                .map(|j| {
+                    if (i >> j) & 1 == 1 {
+                        Signal::parent("A").slice(j, 1)
+                    } else {
+                        Signal::net(&format!("n{j}"))
+                    }
+                })
+                .collect();
+            t.module(
+                &format!("nand{i}"),
+                gate(GateOp::Nand, 1, k),
+                gate_inputs(literals),
+                vec![("O", &format!("x{i}"), 1)],
+            );
+            t.module(
+                &format!("linv{i}"),
+                not_gate(1),
+                vec![("I0", Signal::net(&format!("x{i}")))],
+                vec![("O", &format!("l{i}"), 1)],
+            );
+            lines.push(Signal::net(&format!("l{i}")));
+        }
+        t.output("O", Signal::Cat(lines));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) EqXnorNandReduce,
+    "lsi-eq-xnor-reduce",
+    "equality via XNOR bit slices and an AND reduction, matching the EN cells",
+    |spec| {
+        if spec.kind != ComponentKind::Comparator
+            || spec.ops != OpSet::only(Op::Eq)
+            || spec.width < 2
+        {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("lsi-eq-xnor-reduce");
+        let mut bits = Vec::new();
+        for i in 0..w {
+            t.module(
+                &format!("xn{i}"),
+                gate(GateOp::Xnor, 1, 2),
+                vec![
+                    ("I0", Signal::parent("A").slice(i, 1)),
+                    ("I1", Signal::parent("B").slice(i, 1)),
+                ],
+                vec![("O", &format!("e{i}"), 1)],
+            );
+            bits.push(Signal::net(&format!("e{i}")));
+        }
+        t.module(
+            "reduce",
+            gate(GateOp::And, 1, w),
+            gate_inputs(bits),
+            vec![("O", "eq", 1)],
+        );
+        t.output("EQ", Signal::net("eq"));
+        vec![t.build()]
+    }
+);
+
+/// Registers the nine LSI-specific rules.
+pub(super) fn register_rules(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(Cla16BlockRipple));
+    rules.push(Box::new(CarrySelect8Block));
+    rules.push(Box::new(RegisterBank));
+    rules.push(Box::new(RegisterEnableBank));
+    rules.push(Box::new(CounterEnableFf));
+    rules.push(Box::new(GateRadix3));
+    rules.push(Box::new(GateRadix8));
+    rules.push(Box::new(DecoderNandNand));
+    rules.push(Box::new(EqXnorNandReduce));
+}

@@ -1,0 +1,195 @@
+//! The DTAS rule base: functional decomposition rules.
+//!
+//! "Functional decomposition is implemented with a rule-based system that
+//! expands the space of component decompositions" (paper §5). Each
+//! [`Rule`] inspects a [`ComponentSpec`] and contributes zero or more
+//! [`NetlistTemplate`]s — one level of decomposition each.
+//!
+//! The standard rule base ([`RuleSet::standard`]) covers every family the
+//! paper's §7 lists for DTAS: bitwise logic gates and multiplexers, binary
+//! and BCD decoders and encoders, n-bit adders and comparators, n-bit
+//! ALUs, shifters, n-by-m multipliers and up/down counters (the paper
+//! reports 86 generic rules; this reproduction has a few more because
+//! some of DTAS's composite rules are split into orthogonal ones here).
+//! [`RuleSet::with_lsi_extensions`] adds the library-specific rules —
+//! nine, matching the paper's count for the LSI Logic subset.
+
+use crate::template::NetlistTemplate;
+use genus::spec::ComponentSpec;
+
+mod adder;
+mod alu;
+mod compare;
+mod decode;
+mod lib_lsi;
+mod logic;
+mod multiplier;
+mod mux;
+mod seq;
+mod shift;
+mod wiring;
+
+pub(crate) mod helpers;
+
+/// A functional decomposition rule.
+pub trait Rule: Send + Sync {
+    /// Unique rule name (shows up in design reports).
+    fn name(&self) -> &str;
+    /// One-line description.
+    fn doc(&self) -> &str;
+    /// Templates this rule contributes for `spec` (empty when the rule
+    /// does not apply).
+    fn expand(&self, spec: &ComponentSpec) -> Vec<NetlistTemplate>;
+}
+
+/// An ordered collection of rules.
+pub struct RuleSet {
+    rules: Vec<Box<dyn Rule>>,
+    generic_count: usize,
+    library_count: usize,
+}
+
+impl RuleSet {
+    /// The generic rule base (library independent).
+    pub fn standard() -> Self {
+        let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+        adder::register(&mut rules);
+        alu::register(&mut rules);
+        logic::register(&mut rules);
+        mux::register(&mut rules);
+        decode::register(&mut rules);
+        compare::register(&mut rules);
+        shift::register(&mut rules);
+        multiplier::register(&mut rules);
+        seq::register_rules(&mut rules);
+        wiring::register(&mut rules);
+        let generic_count = rules.len();
+        RuleSet {
+            rules,
+            generic_count,
+            library_count: 0,
+        }
+    }
+
+    /// Adds the nine library-specific rules for the LSI-style subset
+    /// (paper §7: "DTAS requires nine library-specific design rules to
+    /// fully utilize the subset of cells from LSI Logic").
+    pub fn with_lsi_extensions(mut self) -> Self {
+        let before = self.rules.len();
+        lib_lsi::register_rules(&mut self.rules);
+        self.library_count += self.rules.len() - before;
+        self
+    }
+
+    /// Appends externally derived library-specific rules (LOLA's output —
+    /// see [`crate::lola`]).
+    pub fn append_library_rules(&mut self, rules: Vec<Box<dyn Rule>>) {
+        self.library_count += rules.len();
+        self.rules.extend(rules);
+    }
+
+    /// Number of generic rules.
+    pub fn generic_count(&self) -> usize {
+        self.generic_count
+    }
+
+    /// Number of library-specific rules.
+    pub fn library_count(&self) -> usize {
+        self.library_count
+    }
+
+    /// Total number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates rules in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.rules.iter().map(|r| r.as_ref())
+    }
+
+    /// Looks up a rule by name.
+    pub fn rule(&self, name: &str) -> Option<&dyn Rule> {
+        self.rules.iter().find(|r| r.name() == name).map(|r| r.as_ref())
+    }
+}
+
+impl std::fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleSet")
+            .field("generic", &self.generic_count)
+            .field("library", &self.library_count)
+            .finish()
+    }
+}
+
+/// Declares a rule struct with boilerplate `name`/`doc` and an `expand`
+/// body.
+macro_rules! rule {
+    ($vis:vis $ty:ident, $name:literal, $doc:literal, |$spec:ident| $body:block) => {
+        $vis struct $ty;
+        impl crate::rules::Rule for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+            fn doc(&self) -> &str {
+                $doc
+            }
+            fn expand(&self, $spec: &genus::spec::ComponentSpec)
+                -> Vec<crate::template::NetlistTemplate> {
+                $body
+            }
+        }
+    };
+}
+pub(crate) use rule;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rule_base_is_comparable_to_the_papers_86() {
+        let rules = RuleSet::standard();
+        assert!(
+            (80..=110).contains(&rules.generic_count()),
+            "generic rule count {} drifted far from the paper's 86",
+            rules.generic_count()
+        );
+    }
+
+    #[test]
+    fn lsi_extensions_add_exactly_nine_rules() {
+        let rules = RuleSet::standard().with_lsi_extensions();
+        assert_eq!(rules.library_count(), 9);
+    }
+
+    #[test]
+    fn rule_names_are_unique() {
+        let rules = RuleSet::standard().with_lsi_extensions();
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate rule names");
+    }
+
+    #[test]
+    fn every_rule_has_documentation() {
+        for rule in RuleSet::standard().with_lsi_extensions().iter() {
+            assert!(!rule.doc().is_empty(), "{} lacks docs", rule.name());
+        }
+    }
+
+    #[test]
+    fn rule_lookup_by_name() {
+        let rules = RuleSet::standard();
+        assert!(rules.rule("add-ripple-slice-4").is_some());
+        assert!(rules.rule("no-such-rule").is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Multiplier and divider decomposition rules (the paper's "n-by-m
+//! multipliers", §7).
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::kind::{ComponentKind, GateOp};
+use genus::spec::ComponentSpec;
+
+rule!(
+    pub(super) ShiftAdd,
+    "multiplier-shift-add",
+    "partial products from AND planes, accumulated by a chain of adders",
+    |spec| {
+        if spec.kind != ComponentKind::Multiplier {
+            return vec![];
+        }
+        let n = spec.width;
+        let m = spec.width2;
+        if n == 0 || m == 0 || n * m > 4096 {
+            return vec![];
+        }
+        let ow = n + m;
+        let mut t = TemplateBuilder::new("multiplier-shift-add");
+        // Partial product rows: pp_i = A AND replicate(B[i]).
+        let mut terms: Vec<Signal> = Vec::new();
+        for i in 0..m {
+            t.module(
+                &format!("pp{i}"),
+                gate(GateOp::And, n, 2),
+                vec![
+                    ("I0", Signal::parent("A")),
+                    ("I1", Signal::parent("B").slice(i, 1).replicate(n)),
+                ],
+                vec![("O", &format!("pp{i}"), n)],
+            );
+            // Aligned to bit i, zero-padded to the full output width.
+            let mut parts = Vec::new();
+            if i > 0 {
+                parts.push(Signal::cuint(i, 0));
+            }
+            parts.push(Signal::net(&format!("pp{i}")));
+            if ow > i + n {
+                parts.push(Signal::cuint(ow - i - n, 0));
+            }
+            terms.push(Signal::Cat(parts));
+        }
+        // Accumulate.
+        let mut acc = terms[0].clone();
+        for (i, term) in terms.iter().enumerate().skip(1) {
+            t.module(
+                &format!("acc{i}"),
+                adder(ow),
+                vec![
+                    ("A", acc),
+                    ("B", term.clone()),
+                    ("CI", Signal::cuint(1, 0)),
+                ],
+                vec![("O", &format!("sum{i}"), ow)],
+            );
+            acc = Signal::net(&format!("sum{i}"));
+        }
+        t.output("O", acc);
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) OperandSplit,
+    "multiplier-operand-split",
+    "A*B = A*B_lo + (A*B_hi << m/2) via two half multipliers and an adder",
+    |spec| {
+        if spec.kind != ComponentKind::Multiplier {
+            return vec![];
+        }
+        let n = spec.width;
+        let m = spec.width2;
+        if n == 0 || m < 2 || m % 2 != 0 {
+            return vec![];
+        }
+        let h = m / 2;
+        let ow = n + m;
+        let child = ComponentSpec::new(ComponentKind::Multiplier, n).with_width2(h);
+        let mut t = TemplateBuilder::new("multiplier-operand-split");
+        for (name, lo) in [("lo", 0usize), ("hi", h)] {
+            t.module(
+                name,
+                child.clone(),
+                vec![
+                    ("A", Signal::parent("A")),
+                    ("B", Signal::parent("B").slice(lo, h)),
+                ],
+                vec![("O", &format!("p_{name}"), n + h)],
+            );
+        }
+        t.module(
+            "sum",
+            adder(ow),
+            vec![
+                ("A", zext(Signal::net("p_lo"), n + h, ow)),
+                (
+                    "B",
+                    Signal::Cat(vec![Signal::cuint(h, 0), Signal::net("p_hi")]),
+                ),
+                ("CI", Signal::cuint(1, 0)),
+            ],
+            vec![("O", "o", ow)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) DividerRestoring,
+    "divider-restoring",
+    "restoring long division: one subtract-and-select stage per quotient bit",
+    |spec| {
+        if spec.kind != ComponentKind::Divider {
+            return vec![];
+        }
+        let w = spec.width;
+        if w == 0 || w > 64 {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("divider-restoring");
+        // Shared inverted, widened divisor.
+        t.module(
+            "binv",
+            not_gate(w + 1),
+            vec![("I0", zext(Signal::parent("B"), w, w + 1))],
+            vec![("O", "nb", w + 1)],
+        );
+        let mut rem: Signal = Signal::cuint(w, 0);
+        let mut qbits: Vec<Option<Signal>> = vec![None; w];
+        for j in 0..w {
+            let bit = w - 1 - j; // quotient bit computed this stage
+            // rem' = (rem << 1) | A[bit], w+1 bits.
+            let rem_w = Signal::Cat(vec![Signal::parent("A").slice(bit, 1), rem]);
+            t.module(
+                &format!("sub{j}"),
+                adder(w + 1),
+                vec![
+                    ("A", rem_w.clone()),
+                    ("B", Signal::net("nb")),
+                    ("CI", Signal::cuint(1, 1)),
+                ],
+                vec![
+                    ("O", &format!("d{j}"), w + 1),
+                    ("CO", &format!("q{j}"), 1),
+                ],
+            );
+            t.module(
+                &format!("sel{j}"),
+                mux(w, 2),
+                vec![
+                    ("I0", rem_w.slice(0, w)),
+                    ("I1", Signal::net(&format!("d{j}")).slice(0, w)),
+                    ("S", Signal::net(&format!("q{j}"))),
+                ],
+                vec![("O", &format!("r{j}"), w)],
+            );
+            rem = Signal::net(&format!("r{j}"));
+            qbits[bit] = Some(Signal::net(&format!("q{j}")));
+        }
+        let q = Signal::Cat(qbits.into_iter().map(|b| b.expect("all bits set")).collect());
+        t.output("Q", q);
+        t.output("R", rem);
+        vec![t.build()]
+    }
+);
+
+/// Registers the multiplier/divider rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(ShiftAdd));
+    rules.push(Box::new(OperandSplit));
+    rules.push(Box::new(DividerRestoring));
+}

@@ -1,0 +1,269 @@
+//! Multiplexer and selector decomposition rules.
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{NetlistTemplate, Signal, TemplateBuilder};
+use genus::build::select_width;
+use genus::kind::{ComponentKind, GateOp};
+use genus::spec::ComponentSpec;
+
+fn is_mux(spec: &ComponentSpec) -> bool {
+    spec.kind == ComponentKind::Mux && spec.inputs >= 2
+}
+
+fn mux_width_slice(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTemplate> {
+    if !is_mux(spec) || spec.width <= k || spec.width % k != 0 {
+        return None;
+    }
+    let n = spec.inputs;
+    let slices = spec.width / k;
+    let child = mux(k, n);
+    let mut t = TemplateBuilder::new(rule_name);
+    let mut parts = Vec::new();
+    for i in 0..slices {
+        let mut inputs: Vec<(String, Signal)> = (0..n)
+            .map(|j| {
+                (
+                    format!("I{j}"),
+                    Signal::parent(&format!("I{j}")).slice(k * i, k),
+                )
+            })
+            .collect();
+        inputs.push(("S".to_string(), Signal::parent("S")));
+        let inputs: Vec<(&str, Signal)> =
+            inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+        t.module(&format!("s{i}"), child.clone(), inputs, vec![("O", &format!("o{i}"), k)]);
+        parts.push(Signal::net(&format!("o{i}")));
+    }
+    t.output("O", Signal::Cat(parts));
+    Some(t.build())
+}
+
+rule!(
+    pub(super) MuxWidthSlice1,
+    "mux-width-slice-1",
+    "wide muxes slice bitwise into 1-bit muxes",
+    |spec| { mux_width_slice("mux-width-slice-1", spec, 1).into_iter().collect() }
+);
+
+rule!(
+    pub(super) MuxWidthSlice4,
+    "mux-width-slice-4",
+    "wide muxes slice into 4-bit muxes",
+    |spec| { mux_width_slice("mux-width-slice-4", spec, 4).into_iter().collect() }
+);
+
+rule!(
+    pub(super) MuxSelectTree,
+    "mux-select-tree",
+    "N-to-1 muxes split along the select MSB into two smaller muxes",
+    |spec| {
+        if !is_mux(spec) || spec.inputs <= 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.inputs;
+        let k = select_width(n);
+        let h = 1usize << (k - 1);
+        let m = n - h;
+        let mut t = TemplateBuilder::new("mux-select-tree");
+        // Low side always has h >= 2 inputs.
+        let mut low_inputs: Vec<(String, Signal)> = (0..h)
+            .map(|j| (format!("I{j}"), Signal::parent(&format!("I{j}"))))
+            .collect();
+        low_inputs.push(("S".to_string(), Signal::parent("S").slice(0, k - 1)));
+        let li: Vec<(&str, Signal)> = low_inputs
+            .iter()
+            .map(|(p, s)| (p.as_str(), s.clone()))
+            .collect();
+        t.module("low", mux(w, h), li, vec![("O", "o_lo", w)]);
+        let high_sig = if m == 1 {
+            Signal::parent(&format!("I{}", n - 1))
+        } else {
+            let mut hi_inputs: Vec<(String, Signal)> = (0..m)
+                .map(|j| (format!("I{j}"), Signal::parent(&format!("I{}", h + j))))
+                .collect();
+            hi_inputs.push((
+                "S".to_string(),
+                Signal::parent("S").slice(0, select_width(m)),
+            ));
+            let hi: Vec<(&str, Signal)> = hi_inputs
+                .iter()
+                .map(|(p, s)| (p.as_str(), s.clone()))
+                .collect();
+            t.module("high", mux(w, m), hi, vec![("O", "o_hi", w)]);
+            Signal::net("o_hi")
+        };
+        t.module(
+            "top",
+            mux(w, 2),
+            vec![
+                ("I0", Signal::net("o_lo")),
+                ("I1", high_sig),
+                ("S", Signal::parent("S").slice(k - 1, 1)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) MuxRadix4Tree,
+    "mux-radix4-tree",
+    "power-of-two muxes split into four subtrees plus a 4-to-1 combiner",
+    |spec| {
+        if !is_mux(spec) || !spec.inputs.is_power_of_two() || spec.inputs < 8 {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.inputs;
+        let m = n / 4;
+        let sub_sel = select_width(m);
+        let mut t = TemplateBuilder::new("mux-radix4-tree");
+        let mut top_inputs = Vec::new();
+        for gidx in 0..4 {
+            let mut inputs: Vec<(String, Signal)> = (0..m)
+                .map(|j| (format!("I{j}"), Signal::parent(&format!("I{}", gidx * m + j))))
+                .collect();
+            inputs.push(("S".to_string(), Signal::parent("S").slice(0, sub_sel)));
+            let iv: Vec<(&str, Signal)> =
+                inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+            t.module(&format!("g{gidx}"), mux(w, m), iv, vec![("O", &format!("o{gidx}"), w)]);
+            top_inputs.push((format!("I{gidx}"), Signal::net(&format!("o{gidx}"))));
+        }
+        top_inputs.push(("S".to_string(), Signal::parent("S").slice(sub_sel, 2)));
+        let ti: Vec<(&str, Signal)> = top_inputs
+            .iter()
+            .map(|(p, s)| (p.as_str(), s.clone()))
+            .collect();
+        t.module("top", mux(w, 4), ti, vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) Mux2FromGates,
+    "mux2-from-gates",
+    "a 2-to-1 mux is an AND-OR-invert network",
+    |spec| {
+        if !is_mux(spec) || spec.inputs != 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("mux2-from-gates");
+        t.module(
+            "sinv",
+            not_gate(1),
+            vec![("I0", Signal::parent("S"))],
+            vec![("O", "ns", 1)],
+        );
+        t.module(
+            "and0",
+            gate(GateOp::And, w, 2),
+            vec![
+                ("I0", Signal::parent("I0")),
+                ("I1", Signal::net("ns").replicate(w)),
+            ],
+            vec![("O", "a0", w)],
+        );
+        t.module(
+            "and1",
+            gate(GateOp::And, w, 2),
+            vec![
+                ("I0", Signal::parent("I1")),
+                ("I1", Signal::parent("S").replicate(w)),
+            ],
+            vec![("O", "a1", w)],
+        );
+        t.module(
+            "or",
+            gate(GateOp::Or, w, 2),
+            vec![("I0", Signal::net("a0")), ("I1", Signal::net("a1"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) MuxFromSelector,
+    "mux-from-selector",
+    "a mux is a binary decoder driving a one-hot selector",
+    |spec| {
+        if !is_mux(spec) {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.inputs;
+        let k = select_width(n);
+        let lines = 1usize << k;
+        if k > 6 {
+            return vec![];
+        }
+        let dec = ComponentSpec::new(ComponentKind::Decoder, k)
+            .with_width2(lines)
+            .with_style("BINARY");
+        let selector = ComponentSpec::new(ComponentKind::Selector, w).with_inputs(n);
+        let mut t = TemplateBuilder::new("mux-from-selector");
+        t.module(
+            "dec",
+            dec,
+            vec![("A", Signal::parent("S"))],
+            vec![("O", "lines", lines)],
+        );
+        let mut inputs: Vec<(String, Signal)> = (0..n)
+            .map(|j| (format!("I{j}"), Signal::parent(&format!("I{j}"))))
+            .collect();
+        inputs.push(("SEL".to_string(), Signal::net("lines").slice(0, n)));
+        let iv: Vec<(&str, Signal)> =
+            inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+        t.module("sel", selector, iv, vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) SelectorFromGates,
+    "selector-from-and-or",
+    "a one-hot selector is an AND plane into a wide OR",
+    |spec| {
+        if spec.kind != ComponentKind::Selector || spec.inputs < 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.inputs;
+        let mut t = TemplateBuilder::new("selector-from-and-or");
+        let mut terms = Vec::new();
+        for j in 0..n {
+            t.module(
+                &format!("and{j}"),
+                gate(GateOp::And, w, 2),
+                vec![
+                    ("I0", Signal::parent(&format!("I{j}"))),
+                    ("I1", Signal::parent("SEL").slice(j, 1).replicate(w)),
+                ],
+                vec![("O", &format!("t{j}"), w)],
+            );
+            terms.push(Signal::net(&format!("t{j}")));
+        }
+        t.module("or", gate(GateOp::Or, w, n), gate_inputs(terms), vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+/// Registers the mux rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(MuxWidthSlice1));
+    rules.push(Box::new(MuxWidthSlice4));
+    rules.push(Box::new(MuxSelectTree));
+    rules.push(Box::new(MuxRadix4Tree));
+    rules.push(Box::new(Mux2FromGates));
+    rules.push(Box::new(MuxFromSelector));
+    rules.push(Box::new(SelectorFromGates));
+}

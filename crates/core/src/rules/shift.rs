@@ -1,0 +1,238 @@
+//! Shifter and barrel-shifter decomposition rules.
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::build::select_width;
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpClass, OpSet};
+use genus::spec::ComponentSpec;
+
+/// Wiring for a fixed shift of `amount` positions on a `w`-bit signal.
+fn fixed_shift(op: Op, sig: Signal, w: usize, amount: usize) -> Signal {
+    if amount == 0 {
+        return sig;
+    }
+    match op {
+        Op::Shl => {
+            if amount >= w {
+                Signal::cuint(w, 0)
+            } else {
+                Signal::Cat(vec![Signal::cuint(amount, 0), sig.slice(0, w - amount)])
+            }
+        }
+        Op::Shr => {
+            if amount >= w {
+                Signal::cuint(w, 0)
+            } else {
+                Signal::Cat(vec![sig.slice(amount, w - amount), Signal::cuint(amount, 0)])
+            }
+        }
+        Op::Asr => {
+            let sign = sig.clone().slice(w - 1, 1);
+            if amount >= w {
+                sign.replicate(w)
+            } else {
+                Signal::Cat(vec![sig.slice(amount, w - amount), sign.replicate(amount)])
+            }
+        }
+        Op::Rotl => {
+            let r = amount % w;
+            if r == 0 {
+                sig
+            } else {
+                Signal::Cat(vec![sig.clone().slice(w - r, r), sig.slice(0, w - r)])
+            }
+        }
+        Op::Rotr => {
+            let r = amount % w;
+            if r == 0 {
+                sig
+            } else {
+                Signal::Cat(vec![sig.clone().slice(r, w - r), sig.slice(0, r)])
+            }
+        }
+        _ => unreachable!("shift-class op"),
+    }
+}
+
+rule!(
+    pub(super) ShifterWiring,
+    "shifter-wiring",
+    "a single-function single-position shifter is pure wiring",
+    |spec| {
+        if spec.kind != ComponentKind::Shifter || spec.ops.len() != 1 {
+            return vec![];
+        }
+        let op = spec.ops.iter().next().expect("len checked");
+        if op.class() != OpClass::Shift {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("shifter-wiring");
+        t.output("O", fixed_shift(op, Signal::parent("A"), spec.width, 1));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) ShifterOpMux,
+    "shifter-op-mux",
+    "a multi-function shifter selects between single-function shifters",
+    |spec| {
+        if spec.kind != ComponentKind::Shifter || spec.ops.len() < 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.ops.len();
+        let mut t = TemplateBuilder::new("shifter-op-mux");
+        let mut inputs: Vec<(String, Signal)> = Vec::new();
+        for (i, op) in spec.ops.iter().enumerate() {
+            let child = ComponentSpec::new(ComponentKind::Shifter, w)
+                .with_ops(OpSet::only(op));
+            t.module(
+                &format!("sh{i}"),
+                child,
+                vec![("A", Signal::parent("A"))],
+                vec![("O", &format!("o{i}"), w)],
+            );
+            inputs.push((format!("I{i}"), Signal::net(&format!("o{i}"))));
+        }
+        inputs.push(("S".to_string(), Signal::parent("S")));
+        let iv: Vec<(&str, Signal)> =
+            inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+        t.module("omux", mux(w, n), iv, vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) BarrelLogStages,
+    "barrel-log-stages",
+    "a barrel shifter is log2(w) mux stages, one per shift-amount bit",
+    |spec| {
+        if spec.kind != ComponentKind::BarrelShifter || spec.ops.len() != 1 {
+            return vec![];
+        }
+        let op = spec.ops.iter().next().expect("len checked");
+        if op.class() != OpClass::Shift {
+            return vec![];
+        }
+        let w = spec.width;
+        let m = spec.width2;
+        if m == 0 {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("barrel-log-stages");
+        let mut cur = Signal::parent("A");
+        for j in 0..m {
+            let shifted = fixed_shift(op, cur.clone(), w, 1usize << j);
+            t.module(
+                &format!("stage{j}"),
+                mux(w, 2),
+                vec![
+                    ("I0", cur),
+                    ("I1", shifted),
+                    ("S", Signal::parent("SH").slice(j, 1)),
+                ],
+                vec![("O", &format!("st{j}"), w)],
+            );
+            cur = Signal::net(&format!("st{j}"));
+        }
+        t.output("O", cur);
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) BarrelOpSplit,
+    "barrel-op-split",
+    "a multi-function barrel shifter selects between single-function barrels",
+    |spec| {
+        if spec.kind != ComponentKind::BarrelShifter || spec.ops.len() < 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let m = spec.width2;
+        let n = spec.ops.len();
+        let mut t = TemplateBuilder::new("barrel-op-split");
+        let mut inputs: Vec<(String, Signal)> = Vec::new();
+        for (i, op) in spec.ops.iter().enumerate() {
+            let child = ComponentSpec::new(ComponentKind::BarrelShifter, w)
+                .with_width2(m)
+                .with_ops(OpSet::only(op));
+            t.module(
+                &format!("b{i}"),
+                child,
+                vec![("A", Signal::parent("A")), ("SH", Signal::parent("SH"))],
+                vec![("O", &format!("o{i}"), w)],
+            );
+            inputs.push((format!("I{i}"), Signal::net(&format!("o{i}"))));
+        }
+        inputs.push(("S".to_string(), Signal::parent("S")));
+        let iv: Vec<(&str, Signal)> =
+            inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+        t.module("omux", mux(w, n), iv, vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) BarrelMuxPerBit,
+    "barrel-mux-per-bit",
+    "small barrel shifters build one wide mux per output bit",
+    |spec| {
+        if spec.kind != ComponentKind::BarrelShifter
+            || spec.ops.len() != 1
+            || spec.width2 == 0
+            || spec.width2 > 3
+        {
+            return vec![];
+        }
+        let op = spec.ops.iter().next().expect("len checked");
+        if !matches!(op, Op::Shl | Op::Shr) {
+            return vec![];
+        }
+        let w = spec.width;
+        let m = spec.width2;
+        let ways = 1usize << m;
+        if select_width(ways) != m {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("barrel-mux-per-bit");
+        let mut obits = Vec::new();
+        for i in 0..w {
+            let mut inputs: Vec<(String, Signal)> = (0..ways)
+                .map(|amt| {
+                    let src: i64 = match op {
+                        Op::Shl => i as i64 - amt as i64,
+                        _ => i as i64 + amt as i64,
+                    };
+                    let sig = if (0..w as i64).contains(&src) {
+                        Signal::parent("A").slice(src as usize, 1)
+                    } else {
+                        Signal::cuint(1, 0)
+                    };
+                    (format!("I{amt}"), sig)
+                })
+                .collect();
+            inputs.push(("S".to_string(), Signal::parent("SH")));
+            let iv: Vec<(&str, Signal)> =
+                inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+            t.module(&format!("bit{i}"), mux(1, ways), iv, vec![("O", &format!("ob{i}"), 1)]);
+            obits.push(Signal::net(&format!("ob{i}")));
+        }
+        t.output("O", Signal::Cat(obits));
+        vec![t.build()]
+    }
+);
+
+/// Registers the shifter rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(ShifterWiring));
+    rules.push(Box::new(ShifterOpMux));
+    rules.push(Box::new(BarrelLogStages));
+    rules.push(Box::new(BarrelOpSplit));
+    rules.push(Box::new(BarrelMuxPerBit));
+}

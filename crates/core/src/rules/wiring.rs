@@ -1,0 +1,222 @@
+//! Interface and miscellaneous component rules: buffers, tristates,
+//! wired-OR, buses, and the pure-wiring switchbox components.
+
+use super::helpers::*;
+use super::{rule, Rule};
+use crate::template::{Signal, TemplateBuilder};
+use genus::kind::{ComponentKind, GateOp};
+use genus::spec::ComponentSpec;
+
+rule!(
+    pub(super) BufferFromGate,
+    "buffer-from-gate",
+    "an interface buffer is a buffer gate",
+    |spec| {
+        if spec.kind != ComponentKind::BufferComp {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("buffer-from-gate");
+        t.module(
+            "buf",
+            gate(GateOp::Buf, w, 1),
+            vec![("I0", Signal::parent("I"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) TristateFromAnd,
+    "tristate-from-and",
+    "a tristate driving zero when disabled is an AND mask",
+    |spec| {
+        if spec.kind != ComponentKind::Tristate {
+            return vec![];
+        }
+        let w = spec.width;
+        let mut t = TemplateBuilder::new("tristate-from-and");
+        t.module(
+            "mask",
+            gate(GateOp::And, w, 2),
+            vec![
+                ("I0", Signal::parent("I")),
+                ("I1", Signal::parent("OE").replicate(w)),
+            ],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) WiredOrFromGate,
+    "wiredor-from-gate",
+    "a wired-OR junction is an OR gate",
+    |spec| {
+        if spec.kind != ComponentKind::WiredOr || spec.inputs < 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.inputs;
+        let mut t = TemplateBuilder::new("wiredor-from-gate");
+        t.module(
+            "or",
+            gate(GateOp::Or, w, n),
+            gate_inputs((0..n).map(|j| Signal::parent(&format!("I{j}"))).collect()),
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) BusFromWiredOr,
+    "bus-from-wiredor",
+    "a bus with zero-driving tristates is a wired-OR",
+    |spec| {
+        if spec.kind != ComponentKind::Bus || spec.inputs < 2 {
+            return vec![];
+        }
+        let w = spec.width;
+        let n = spec.inputs;
+        let child = ComponentSpec::new(ComponentKind::WiredOr, w).with_inputs(n);
+        let mut t = TemplateBuilder::new("bus-from-wiredor");
+        let inputs: Vec<(String, Signal)> = (0..n)
+            .map(|j| (format!("I{j}"), Signal::parent(&format!("I{j}"))))
+            .collect();
+        let iv: Vec<(&str, Signal)> =
+            inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
+        t.module("junction", child, iv, vec![("O", "o", w)]);
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) DelayAsWire,
+    "delay-as-wire",
+    "a functional delay element is a wire",
+    |spec| {
+        if spec.kind != ComponentKind::Delay {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("delay-as-wire");
+        t.output("O", Signal::parent("I"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) PortAsWire,
+    "port-as-wire",
+    "external ports are wires",
+    |spec| {
+        if spec.kind != ComponentKind::PortComp {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("port-as-wire");
+        match spec.style.as_deref() {
+            Some("OUT") => t.output("PAD", Signal::parent("I")),
+            _ => t.output("O", Signal::parent("PAD")),
+        };
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) SchmittFromBuffer,
+    "schmitt-from-buffer",
+    "a Schmitt trigger is functionally a buffer",
+    |spec| {
+        if spec.kind != ComponentKind::SchmittTrigger {
+            return vec![];
+        }
+        let w = spec.width;
+        let child = ComponentSpec::new(ComponentKind::BufferComp, w);
+        let mut t = TemplateBuilder::new("schmitt-from-buffer");
+        t.module(
+            "buf",
+            child,
+            vec![("I", Signal::parent("I"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) ClockDriverFromBuffer,
+    "clockdriver-from-buffer",
+    "a clock driver is functionally a buffer",
+    |spec| {
+        if spec.kind != ComponentKind::ClockDriver {
+            return vec![];
+        }
+        let w = spec.width;
+        let child = ComponentSpec::new(ComponentKind::BufferComp, w);
+        let mut t = TemplateBuilder::new("clockdriver-from-buffer");
+        t.module(
+            "buf",
+            child,
+            vec![("I", Signal::parent("I"))],
+            vec![("O", "o", w)],
+        );
+        t.output("O", Signal::net("o"));
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) ConcatAsWire,
+    "concat-as-wire",
+    "switchbox concatenation is pure wiring",
+    |spec| {
+        if spec.kind != ComponentKind::Concat || spec.inputs < 2 {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("concat-as-wire");
+        t.output(
+            "O",
+            Signal::Cat(
+                (0..spec.inputs)
+                    .map(|j| Signal::parent(&format!("I{j}")))
+                    .collect(),
+            ),
+        );
+        vec![t.build()]
+    }
+);
+
+rule!(
+    pub(super) ExtractAsWire,
+    "extract-as-wire",
+    "switchbox extraction is pure wiring",
+    |spec| {
+        if spec.kind != ComponentKind::Extract {
+            return vec![];
+        }
+        let mut t = TemplateBuilder::new("extract-as-wire");
+        t.output("O", Signal::parent("I").slice(spec.inputs, spec.width2));
+        vec![t.build()]
+    }
+);
+
+/// Registers the wiring/interface rules.
+pub(super) fn register(rules: &mut Vec<Box<dyn Rule>>) {
+    rules.push(Box::new(BufferFromGate));
+    rules.push(Box::new(TristateFromAnd));
+    rules.push(Box::new(WiredOrFromGate));
+    rules.push(Box::new(BusFromWiredOr));
+    rules.push(Box::new(DelayAsWire));
+    rules.push(Box::new(PortAsWire));
+    rules.push(Box::new(SchmittFromBuffer));
+    rules.push(Box::new(ClockDriverFromBuffer));
+    rules.push(Box::new(ConcatAsWire));
+    rules.push(Box::new(ExtractAsWire));
+}

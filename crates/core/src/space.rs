@@ -1,0 +1,757 @@
+//! The DTAS design space: an acyclic AND-OR graph over component
+//! specifications.
+//!
+//! "This design space is represented as an acyclic graph. Nodes consist of
+//! component specifications and alternative component implementations.
+//! Each component implementation corresponds to a library cell or to a
+//! netlist of modules." (paper §5)
+//!
+//! Specification nodes are OR nodes (pick one implementation); netlist
+//! implementations are AND nodes (every module must be implemented).
+//! Specs are memoized, so shared subproblems are expanded once.
+//!
+//! Search control implements the paper's two principles:
+//!
+//! 1. designs "containing two or more modules with the same component
+//!    specification that are not instances of the same component
+//!    implementation" are excluded — enforced by the policy-merge step of
+//!    [`Solver`]: a design is a consistent *policy* mapping each reachable
+//!    spec to exactly one implementation choice;
+//! 2. *performance filters* keep only the best (area, delay) alternatives
+//!    at every specification node ([`FilterPolicy`]).
+
+use crate::cost::{template_cost, ChildCost, Timing};
+use crate::rules::RuleSet;
+use crate::template::{NetlistTemplate, SpecModelCache};
+use cells::CellLibrary;
+use genus::spec::ComponentSpec;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Index of a specification node in the design space.
+pub type SpecId = usize;
+
+/// A library-cell implementation choice.
+#[derive(Clone, Debug)]
+pub struct CellChoice {
+    /// Data book cell name.
+    pub cell: String,
+    /// Cell area in gates.
+    pub area: f64,
+    /// Cell timing arcs.
+    pub timing: Timing,
+}
+
+/// One alternative implementation of a specification.
+#[derive(Clone, Debug)]
+pub enum ImplChoice {
+    /// Map directly to a library cell (a leaf of the hierarchy).
+    Cell(CellChoice),
+    /// Decompose into a netlist of modules.
+    Netlist(NetlistTemplate),
+}
+
+impl ImplChoice {
+    /// A short human-readable label (cell name or rule name).
+    pub fn label(&self) -> &str {
+        match self {
+            ImplChoice::Cell(c) => &c.cell,
+            ImplChoice::Netlist(t) => &t.rule,
+        }
+    }
+}
+
+/// An OR node: a specification plus its alternative implementations.
+#[derive(Clone, Debug)]
+pub struct SpecNode {
+    /// The specification.
+    pub spec: ComponentSpec,
+    /// Alternative implementations.
+    pub impls: Vec<ImplChoice>,
+    /// For each implementation, the spec node of every module (aligned
+    /// with `template.modules`; empty for cells).
+    pub children: Vec<Vec<SpecId>>,
+}
+
+/// Errors raised while expanding the design space.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExpandError {
+    /// A rule generated a template that fails structural validation —
+    /// always a rule-authoring bug, reported loudly.
+    InvalidTemplate(String),
+    /// A spec's model could not be built.
+    BadSpec(String),
+    /// Internal marker: the spec is an ancestor of itself (the offending
+    /// template is skipped; this never escapes [`DesignSpace::expand`]).
+    Cycle,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::InvalidTemplate(m) => write!(f, "invalid template: {m}"),
+            ExpandError::BadSpec(m) => write!(f, "bad spec: {m}"),
+            ExpandError::Cycle => write!(f, "cyclic decomposition"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// The AND-OR design space.
+#[derive(Default)]
+pub struct DesignSpace {
+    /// All specification nodes.
+    pub nodes: Vec<SpecNode>,
+    memo: HashMap<ComponentSpec, SpecId>,
+}
+
+impl DesignSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        DesignSpace::default()
+    }
+
+    /// The node id of a previously expanded spec.
+    pub fn id_of(&self, spec: &ComponentSpec) -> Option<SpecId> {
+        self.memo.get(spec).copied()
+    }
+
+    /// Expands a specification (and, recursively, every module spec it
+    /// decomposes into), returning its node id. Already-expanded specs are
+    /// returned from the memo.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpandError::InvalidTemplate`] if a rule emits a structurally
+    /// invalid template; [`ExpandError::BadSpec`] for unbuildable specs.
+    pub fn expand(
+        &mut self,
+        spec: &ComponentSpec,
+        rules: &RuleSet,
+        library: &CellLibrary,
+        cache: &mut SpecModelCache,
+    ) -> Result<SpecId, ExpandError> {
+        let mut in_progress = HashSet::new();
+        self.expand_inner(spec, rules, library, cache, &mut in_progress)
+    }
+
+    fn expand_inner(
+        &mut self,
+        spec: &ComponentSpec,
+        rules: &RuleSet,
+        library: &CellLibrary,
+        cache: &mut SpecModelCache,
+        in_progress: &mut HashSet<ComponentSpec>,
+    ) -> Result<SpecId, ExpandError> {
+        if let Some(&id) = self.memo.get(spec) {
+            return Ok(id);
+        }
+        if in_progress.contains(spec) {
+            return Err(ExpandError::Cycle);
+        }
+        in_progress.insert(spec.clone());
+
+        let mut impls = Vec::new();
+        let mut children = Vec::new();
+
+        // Technology mapping by functional match (paper §5): matching
+        // cells become leaf implementations.
+        for cell in library.implementers(spec) {
+            let model = cache
+                .model(&cell.spec)
+                .map_err(ExpandError::BadSpec)?;
+            impls.push(ImplChoice::Cell(CellChoice {
+                cell: cell.name.clone(),
+                area: cell.area,
+                timing: Timing::for_cell(cell, &model),
+            }));
+            children.push(Vec::new());
+        }
+
+        // Functional decomposition: every rule may contribute templates.
+        for rule in rules.iter() {
+            for template in rule.expand(spec) {
+                template
+                    .validate(spec, cache)
+                    .map_err(|e| ExpandError::InvalidTemplate(e.to_string()))?;
+                let mut ids = Vec::with_capacity(template.modules.len());
+                let mut ok = true;
+                for module in &template.modules {
+                    match self.expand_inner(&module.spec, rules, library, cache, in_progress)
+                    {
+                        Ok(id) => ids.push(id),
+                        Err(ExpandError::Cycle) => {
+                            ok = false;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                if ok {
+                    impls.push(ImplChoice::Netlist(template));
+                    children.push(ids);
+                }
+            }
+        }
+
+        in_progress.remove(spec);
+        let id = self.nodes.len();
+        self.nodes.push(SpecNode {
+            spec: spec.clone(),
+            impls,
+            children,
+        });
+        self.memo.insert(spec.clone(), id);
+        Ok(id)
+    }
+
+    /// The *unconstrained* design-space size: the "product of the number
+    /// of alternative implementations for each module in the netlist"
+    /// (paper §5), i.e. every module occurrence chooses independently.
+    /// Returned as `f64` because the number routinely reaches millions.
+    pub fn unconstrained_size(&self, root: SpecId) -> f64 {
+        let mut memo = vec![None; self.nodes.len()];
+        self.unconstrained_inner(root, &mut memo)
+    }
+
+    fn unconstrained_inner(&self, id: SpecId, memo: &mut Vec<Option<f64>>) -> f64 {
+        if let Some(v) = memo[id] {
+            return v;
+        }
+        // Mark in progress to break (impossible) cycles defensively.
+        memo[id] = Some(0.0);
+        let node = &self.nodes[id];
+        let mut total = 0.0;
+        for (choice, child_ids) in node.impls.iter().zip(&node.children) {
+            match choice {
+                ImplChoice::Cell(_) => total += 1.0,
+                ImplChoice::Netlist(_) => {
+                    let mut prod = 1.0;
+                    for &cid in child_ids {
+                        prod *= self.unconstrained_inner(cid, memo);
+                        if prod == 0.0 {
+                            break;
+                        }
+                    }
+                    total += prod;
+                }
+            }
+        }
+        memo[id] = Some(total);
+        total
+    }
+
+    /// `log10` of the unconstrained design-space size, computed in the log
+    /// domain so it stays finite even when the plain product overflows
+    /// `f64` (as it does for the 64-bit ALU).
+    pub fn unconstrained_log10(&self, root: SpecId) -> f64 {
+        let mut memo = vec![None; self.nodes.len()];
+        self.unconstrained_log10_inner(root, &mut memo)
+    }
+
+    fn unconstrained_log10_inner(&self, id: SpecId, memo: &mut Vec<Option<f64>>) -> f64 {
+        if let Some(v) = memo[id] {
+            return v;
+        }
+        memo[id] = Some(f64::NEG_INFINITY); // log10(0) while in progress
+        let node = &self.nodes[id];
+        let mut logs: Vec<f64> = Vec::with_capacity(node.impls.len());
+        for (choice, child_ids) in node.impls.iter().zip(&node.children) {
+            match choice {
+                ImplChoice::Cell(_) => logs.push(0.0),
+                ImplChoice::Netlist(_) => {
+                    let mut sum = 0.0;
+                    for &cid in child_ids {
+                        sum += self.unconstrained_log10_inner(cid, memo);
+                        if sum == f64::NEG_INFINITY {
+                            break;
+                        }
+                    }
+                    logs.push(sum);
+                }
+            }
+        }
+        let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let value = if m == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            m + (logs.iter().map(|&l| 10f64.powf(l - m)).sum::<f64>()).log10()
+        };
+        memo[id] = Some(value);
+        value
+    }
+
+    /// Counts consistent designs under the uniform-implementation
+    /// constraint only (no performance filter), by exhaustive policy
+    /// enumeration, giving up at `limit`.
+    pub fn uniform_size(&self, root: SpecId, limit: u64) -> Option<u64> {
+        let mut count = 0u64;
+        let mut policy: BTreeMap<SpecId, usize> = BTreeMap::new();
+        if self.enumerate(root, &mut policy, &mut count, limit) {
+            Some(count)
+        } else {
+            None
+        }
+    }
+
+    fn enumerate(
+        &self,
+        id: SpecId,
+        policy: &mut BTreeMap<SpecId, usize>,
+        count: &mut u64,
+        limit: u64,
+    ) -> bool {
+        // Enumerate assignments for the spec DAG reachable from `id`,
+        // counting complete consistent policies.
+        fn assign(
+            space: &DesignSpace,
+            pending: &mut Vec<SpecId>,
+            policy: &mut BTreeMap<SpecId, usize>,
+            count: &mut u64,
+            limit: u64,
+        ) -> bool {
+            // Find the next unassigned spec.
+            let next = loop {
+                match pending.pop() {
+                    None => {
+                        *count += 1;
+                        return *count <= limit;
+                    }
+                    Some(id) if policy.contains_key(&id) => continue,
+                    Some(id) => break id,
+                }
+            };
+            let node = &space.nodes[next];
+            if node.impls.is_empty() {
+                // Dead spec: no design completes through it.
+                pending.push(next); // restore for sibling branches
+                return true;
+            }
+            for (i, child_ids) in node.children.iter().enumerate() {
+                policy.insert(next, i);
+                let mark = pending.len();
+                for &cid in child_ids {
+                    if !policy.contains_key(&cid) {
+                        pending.push(cid);
+                    }
+                }
+                let ok = assign(space, pending, policy, count, limit);
+                pending.truncate(mark);
+                policy.remove(&next);
+                if !ok {
+                    return false;
+                }
+            }
+            pending.push(next);
+            true
+        }
+        let mut pending = vec![id];
+        assign(self, &mut pending, policy, count, limit)
+    }
+}
+
+/// Performance-filter policy applied at each specification node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FilterPolicy {
+    /// Keep exactly the Pareto-optimal set.
+    Pareto,
+    /// Keep near-optimal points too: a point is evicted only when another
+    /// point is at least as good in both dimensions *and* better than the
+    /// given fractional slack in one ("favorable tradeoffs", paper §6).
+    Slack {
+        /// Fractional area slack (e.g. `0.10` = 10%).
+        area: f64,
+        /// Fractional delay slack.
+        delay: f64,
+    },
+}
+
+/// A fully costed, globally consistent design alternative.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// Total area in gates.
+    pub area: f64,
+    /// Composite timing.
+    pub timing: Timing,
+    /// Implementation choice for every reachable spec node.
+    pub policy: BTreeMap<SpecId, usize>,
+}
+
+impl DesignPoint {
+    /// Worst-case delay in ns.
+    pub fn delay(&self) -> f64 {
+        self.timing.worst
+    }
+}
+
+fn merge_policies(
+    base: &BTreeMap<SpecId, usize>,
+    extra: &BTreeMap<SpecId, usize>,
+) -> Option<BTreeMap<SpecId, usize>> {
+    let (small, large) = if base.len() < extra.len() {
+        (base, extra)
+    } else {
+        (extra, base)
+    };
+    let mut merged = large.clone();
+    for (k, v) in small {
+        match merged.get(k) {
+            Some(existing) if existing != v => return None,
+            Some(_) => {}
+            None => {
+                merged.insert(*k, *v);
+            }
+        }
+    }
+    Some(merged)
+}
+
+fn filter_points(
+    mut points: Vec<DesignPoint>,
+    policy: FilterPolicy,
+    cap: usize,
+) -> Vec<DesignPoint> {
+    points.sort_by(|a, b| {
+        (a.area, a.delay())
+            .partial_cmp(&(b.area, b.delay()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Exact-cost duplicates carry no new trade-off: keep the first.
+    points.dedup_by(|a, b| a.area == b.area && a.delay() == b.delay());
+    let evicts = |q: &DesignPoint, p: &DesignPoint| -> bool {
+        match policy {
+            FilterPolicy::Pareto => {
+                q.area <= p.area
+                    && q.delay() <= p.delay()
+                    && (q.area < p.area || q.delay() < p.delay())
+            }
+            FilterPolicy::Slack { area, delay } => {
+                q.area <= p.area
+                    && q.delay() <= p.delay()
+                    && (q.area < p.area / (1.0 + area) || q.delay() < p.delay() / (1.0 + delay))
+            }
+        }
+    };
+    let kept: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| !std::ptr::eq(*p, q) && evicts(q, p)))
+        .cloned()
+        .collect();
+    if kept.len() <= cap {
+        return kept;
+    }
+    if cap <= 1 {
+        return kept.into_iter().take(1).collect();
+    }
+    // Over cap: keep a spread across the area axis, always retaining the
+    // extremes.
+    let mut out = Vec::with_capacity(cap);
+    for i in 0..cap {
+        let idx = i * (kept.len() - 1) / (cap - 1);
+        out.push(kept[idx].clone());
+    }
+    out.dedup_by(|a, b| a.area == b.area && a.delay() == b.delay());
+    out
+}
+
+/// Configuration for the solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveConfig {
+    /// Filter applied at every internal spec node.
+    pub node_filter: FilterPolicy,
+    /// Maximum surviving alternatives per node.
+    pub node_cap: usize,
+    /// Maximum child-front combinations evaluated per template.
+    pub max_combinations: usize,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            node_filter: FilterPolicy::Pareto,
+            node_cap: 24,
+            max_combinations: 100_000,
+        }
+    }
+}
+
+/// Bottom-up solver: computes the filtered front of consistent design
+/// points at every node.
+pub struct Solver<'a> {
+    space: &'a DesignSpace,
+    config: SolveConfig,
+    fronts: Vec<Option<Vec<DesignPoint>>>,
+    /// Number of combinations discarded due to `max_combinations`; nonzero
+    /// values mean the space was truncated (reported, never silent).
+    pub truncated_combinations: u64,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver over an expanded space.
+    pub fn new(space: &'a DesignSpace, config: SolveConfig) -> Self {
+        Solver {
+            space,
+            config,
+            fronts: vec![None; space.nodes.len()],
+            truncated_combinations: 0,
+        }
+    }
+
+    /// The filtered design-point front of a node (computed on demand).
+    pub fn front(&mut self, id: SpecId, cache: &mut SpecModelCache) -> Vec<DesignPoint> {
+        if let Some(f) = &self.fronts[id] {
+            return f.clone();
+        }
+        let node = &self.space.nodes[id];
+        let mut points: Vec<DesignPoint> = Vec::new();
+        for (i, (choice, child_ids)) in node.impls.iter().zip(&node.children).enumerate() {
+            match choice {
+                ImplChoice::Cell(c) => {
+                    let mut policy = BTreeMap::new();
+                    policy.insert(id, i);
+                    points.push(DesignPoint {
+                        area: c.area,
+                        timing: c.timing.clone(),
+                        policy,
+                    });
+                }
+                ImplChoice::Netlist(template) => {
+                    // Distinct children, first-use order.
+                    let mut distinct: Vec<SpecId> = Vec::new();
+                    for &cid in child_ids {
+                        if !distinct.contains(&cid) {
+                            distinct.push(cid);
+                        }
+                    }
+                    let child_fronts: Vec<Vec<DesignPoint>> = distinct
+                        .iter()
+                        .map(|&cid| self.front(cid, cache))
+                        .collect();
+                    if child_fronts.iter().any(|f| f.is_empty()) {
+                        continue; // some module cannot be implemented
+                    }
+                    // Cartesian product over distinct children with
+                    // policy-consistency (uniform-implementation rule).
+                    let mut combos: Vec<BTreeMap<SpecId, usize>> = vec![BTreeMap::new()];
+                    let mut assignments: Vec<Vec<(usize, &DesignPoint)>> =
+                        vec![Vec::new()];
+                    for (ci, front) in child_fronts.iter().enumerate() {
+                        let mut next_combos = Vec::new();
+                        let mut next_assign = Vec::new();
+                        for (combo, assign) in combos.iter().zip(&assignments) {
+                            for p in front {
+                                if next_combos.len()
+                                    >= self.config.max_combinations
+                                {
+                                    self.truncated_combinations += 1;
+                                    continue;
+                                }
+                                if let Some(merged) = merge_policies(combo, &p.policy) {
+                                    let mut a = assign.clone();
+                                    a.push((ci, p));
+                                    next_combos.push(merged);
+                                    next_assign.push(a);
+                                }
+                            }
+                        }
+                        combos = next_combos;
+                        assignments = next_assign;
+                    }
+                    for (mut policy, assign) in combos.into_iter().zip(assignments) {
+                        let by_spec: BTreeMap<&ComponentSpec, &DesignPoint> = assign
+                            .iter()
+                            .map(|(ci, p)| (&self.space.nodes[distinct[*ci]].spec, *p))
+                            .collect();
+                        let child_cost = |spec: &ComponentSpec| -> Option<ChildCost> {
+                            by_spec.get(spec).map(|p| ChildCost {
+                                area: p.area,
+                                timing: p.timing.clone(),
+                            })
+                        };
+                        match template_cost(template, &node.spec, &child_cost, cache) {
+                            Ok((area, timing)) => {
+                                policy.insert(id, i);
+                                points.push(DesignPoint {
+                                    area,
+                                    timing,
+                                    policy,
+                                });
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                }
+            }
+        }
+        let filtered = filter_points(points, self.config.node_filter, self.config.node_cap);
+        self.fronts[id] = Some(filtered.clone());
+        filtered
+    }
+
+    /// Like [`front`](Self::front) but with a different final filter —
+    /// used at the root, where the paper reports near-optimal alternatives
+    /// as well.
+    pub fn root_front(
+        &mut self,
+        id: SpecId,
+        cache: &mut SpecModelCache,
+        root_filter: FilterPolicy,
+        cap: usize,
+    ) -> Vec<DesignPoint> {
+        // Recompute the root from its children with the root filter.
+        self.fronts[id] = None;
+        let saved = self.config;
+        self.config = SolveConfig {
+            node_filter: root_filter,
+            node_cap: cap,
+            max_combinations: saved.max_combinations,
+        };
+        let f = self.front(id, cache);
+        self.config = saved;
+        self.fronts[id] = None;
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+    use cells::lsi::lsi_logic_subset;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn add_spec(w: usize) -> ComponentSpec {
+        ComponentSpec::new(ComponentKind::AddSub, w)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true)
+    }
+
+    #[test]
+    fn add4_maps_directly_to_cells() {
+        let mut space = DesignSpace::new();
+        let rules = RuleSet::standard();
+        let lib = lsi_logic_subset();
+        let mut cache = SpecModelCache::new();
+        let id = space
+            .expand(&add_spec(4), &rules, &lib, &mut cache)
+            .unwrap();
+        let node = &space.nodes[id];
+        let cell_names: Vec<&str> = node
+            .impls
+            .iter()
+            .filter_map(|i| match i {
+                ImplChoice::Cell(c) => Some(c.cell.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(cell_names.contains(&"ADD4"));
+    }
+
+    #[test]
+    fn add16_has_cell_free_decompositions() {
+        let mut space = DesignSpace::new();
+        let rules = RuleSet::standard();
+        let lib = lsi_logic_subset();
+        let mut cache = SpecModelCache::new();
+        let id = space
+            .expand(&add_spec(16), &rules, &lib, &mut cache)
+            .unwrap();
+        let node = &space.nodes[id];
+        // No 16-bit adder cell exists: every impl is a decomposition.
+        assert!(node
+            .impls
+            .iter()
+            .all(|i| matches!(i, ImplChoice::Netlist(_))));
+        assert!(!node.impls.is_empty());
+    }
+
+    #[test]
+    fn solver_produces_nonempty_pareto_front_for_add16() {
+        let mut space = DesignSpace::new();
+        let rules = RuleSet::standard();
+        let lib = lsi_logic_subset();
+        let mut cache = SpecModelCache::new();
+        let id = space
+            .expand(&add_spec(16), &rules, &lib, &mut cache)
+            .unwrap();
+        let mut solver = Solver::new(&space, SolveConfig::default());
+        let front = solver.front(id, &mut cache);
+        assert!(!front.is_empty());
+        // Front is sorted by area and antitone in delay.
+        for w in front.windows(2) {
+            assert!(w[0].area < w[1].area);
+            assert!(w[0].delay() > w[1].delay());
+        }
+    }
+
+    #[test]
+    fn unconstrained_size_is_product_form() {
+        let mut space = DesignSpace::new();
+        let rules = RuleSet::standard();
+        let lib = lsi_logic_subset();
+        let mut cache = SpecModelCache::new();
+        let id = space
+            .expand(&add_spec(16), &rules, &lib, &mut cache)
+            .unwrap();
+        let size = space.unconstrained_size(id);
+        let uniform = space.uniform_size(id, 10_000_000).unwrap();
+        assert!(size >= uniform as f64);
+        assert!(uniform >= 2);
+    }
+
+    #[test]
+    fn filter_policies() {
+        let mk = |area: f64, delay: f64| DesignPoint {
+            area,
+            timing: Timing {
+                arcs: BTreeMap::new(),
+                worst: delay,
+            },
+            policy: BTreeMap::new(),
+        };
+        let pts = vec![mk(100.0, 50.0), mk(102.0, 50.0), mk(200.0, 10.0)];
+        let strict = filter_points(pts.clone(), FilterPolicy::Pareto, 10);
+        assert_eq!(strict.len(), 2); // 102-gate point dominated
+        let relaxed = filter_points(
+            pts,
+            FilterPolicy::Slack {
+                area: 0.05,
+                delay: 0.05,
+            },
+            10,
+        );
+        assert_eq!(relaxed.len(), 3); // within 5% slack, kept
+    }
+
+    #[test]
+    fn cap_keeps_extremes() {
+        let mk = |area: f64, delay: f64| DesignPoint {
+            area,
+            timing: Timing {
+                arcs: BTreeMap::new(),
+                worst: delay,
+            },
+            policy: BTreeMap::new(),
+        };
+        let pts: Vec<DesignPoint> = (0..20)
+            .map(|i| mk(100.0 + i as f64, 100.0 - i as f64))
+            .collect();
+        let kept = filter_points(pts, FilterPolicy::Pareto, 5);
+        assert_eq!(kept.len(), 5);
+        assert_eq!(kept.first().unwrap().area, 100.0);
+        assert_eq!(kept.last().unwrap().area, 119.0);
+    }
+
+    #[test]
+    fn merge_policies_detects_conflicts() {
+        let a: BTreeMap<SpecId, usize> = [(1, 0), (2, 1)].into_iter().collect();
+        let b: BTreeMap<SpecId, usize> = [(2, 1), (3, 0)].into_iter().collect();
+        let c: BTreeMap<SpecId, usize> = [(2, 0)].into_iter().collect();
+        assert!(merge_policies(&a, &b).is_some());
+        assert_eq!(merge_policies(&a, &b).unwrap().len(), 3);
+        assert!(merge_policies(&a, &c).is_none());
+    }
+}

@@ -1,0 +1,575 @@
+//! Simulatable behavioral models of generic components.
+//!
+//! Each GENUS generator "can produce simulatable ... behavioral models for
+//! the generated components" which "can be used to verify the behavior of a
+//! synthesized design" (paper §4). Here the model is a small expression AST
+//! ([`Expr`]) evaluated over [`Bits`]; the LEGEND `OPS:` clauses
+//! (`OO = IO + 1` in Figure 2) lower to these expressions.
+
+use rtl_base::bits::Bits;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Evaluation environment: port name → current value.
+pub type Env = BTreeMap<String, Bits>;
+
+/// Unary expression operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Increment by one (wrapping).
+    Inc,
+    /// Decrement by one (wrapping).
+    Dec,
+    /// 1-bit reduction AND.
+    ReduceAnd,
+    /// 1-bit reduction OR.
+    ReduceOr,
+    /// 1-bit reduction XOR (parity).
+    ReduceXor,
+    /// 1-bit zero test.
+    IsZero,
+}
+
+/// Binary expression operators. Both operands must have equal width unless
+/// noted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NAND.
+    Nand,
+    /// Bitwise NOR.
+    Nor,
+    /// Bitwise XNOR.
+    Xnor,
+    /// Bitwise implication `!a | b`.
+    Limpl,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Full-width multiplication: result width is the sum of operand widths.
+    MulFull,
+    /// Unsigned division; division by zero yields all-ones (hardware total
+    /// function convention).
+    DivOr1s,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    RemOrA,
+    /// Logical shift left by the unsigned value of the right operand (any
+    /// width).
+    ShlV,
+    /// Logical shift right by the unsigned value of the right operand.
+    ShrV,
+    /// Arithmetic shift right by the unsigned value of the right operand.
+    AsrV,
+    /// Rotate left by the unsigned value of the right operand.
+    RotlV,
+    /// Rotate right by the unsigned value of the right operand.
+    RotrV,
+}
+
+/// Comparison operators producing a 1-bit result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-than.
+    Gtu,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// A behavioral expression over port values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// The value on a port (or the current state of a registered output).
+    Port(String),
+    /// A constant.
+    Const(Bits),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Comparison (1-bit result).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Wide addition `a + b + cin` with result width `a.width + 1`:
+    /// bit `a.width` is the carry-out. `cin` must be 1 bit wide.
+    AddWide {
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand (same width as `a`).
+        b: Box<Expr>,
+        /// 1-bit carry-in.
+        cin: Box<Expr>,
+    },
+    /// Bit-field extraction.
+    Slice {
+        /// Source expression.
+        expr: Box<Expr>,
+        /// Low bit index.
+        lo: usize,
+        /// Field width.
+        len: usize,
+    },
+    /// Concatenation; element 0 is the least significant part.
+    Concat(Vec<Expr>),
+    /// Zero-extension (or truncation) to a fixed width.
+    ZextTo(usize, Box<Expr>),
+    /// Sign-extension (or truncation) to a fixed width.
+    SextTo(usize, Box<Expr>),
+    /// Dense selection: yields `cases[sel]`, or `default` when `sel` is out
+    /// of range. All cases and the default must share one width.
+    Select {
+        /// Selector expression.
+        sel: Box<Expr>,
+        /// Case expressions indexed by selector value.
+        cases: Vec<Expr>,
+        /// Fallback expression.
+        default: Box<Expr>,
+    },
+    /// Index of the most significant set bit, or zero when none is set
+    /// (priority-encoder semantics). The result width is explicit.
+    PriorityIndex {
+        /// Scanned expression.
+        expr: Box<Expr>,
+        /// Result width in bits.
+        out_width: usize,
+    },
+}
+
+impl Expr {
+    /// Reads a port.
+    pub fn port(name: &str) -> Expr {
+        Expr::Port(name.to_string())
+    }
+
+    /// An unsigned constant of the given width.
+    pub fn cuint(width: usize, v: u64) -> Expr {
+        Expr::Const(Bits::from_u64(width, v))
+    }
+
+    /// Boxes a unary application.
+    pub fn unary(op: UnaryOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Boxes a binary application.
+    pub fn binary(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// Boxes a comparison.
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    /// Boxes a wide add.
+    pub fn add_wide(a: Expr, b: Expr, cin: Expr) -> Expr {
+        Expr::AddWide {
+            a: Box::new(a),
+            b: Box::new(b),
+            cin: Box::new(cin),
+        }
+    }
+
+    /// Boxes a slice.
+    pub fn slice(e: Expr, lo: usize, len: usize) -> Expr {
+        Expr::Slice {
+            expr: Box::new(e),
+            lo,
+            len,
+        }
+    }
+
+    /// Boxes a zero-extension.
+    pub fn zext(width: usize, e: Expr) -> Expr {
+        Expr::ZextTo(width, Box::new(e))
+    }
+
+    /// Collects every port the expression reads into `out`.
+    pub fn collect_ports(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Port(p) => {
+                out.insert(p.clone());
+            }
+            Expr::Const(_) => {}
+            Expr::Unary(_, e)
+            | Expr::Slice { expr: e, .. }
+            | Expr::ZextTo(_, e)
+            | Expr::SextTo(_, e)
+            | Expr::PriorityIndex { expr: e, .. } => e.collect_ports(out),
+            Expr::Binary(_, l, r) | Expr::Cmp(_, l, r) => {
+                l.collect_ports(out);
+                r.collect_ports(out);
+            }
+            Expr::AddWide { a, b, cin } => {
+                a.collect_ports(out);
+                b.collect_ports(out);
+                cin.collect_ports(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_ports(out);
+                }
+            }
+            Expr::Select {
+                sel,
+                cases,
+                default,
+            } => {
+                sel.collect_ports(out);
+                default.collect_ports(out);
+                for c in cases {
+                    c.collect_ports(out);
+                }
+            }
+        }
+    }
+}
+
+/// Error raised during behavioral evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced port has no value in the environment.
+    UnboundPort(String),
+    /// Operand widths are inconsistent.
+    WidthMismatch {
+        /// Description of the operation.
+        context: String,
+        /// Left/expected width.
+        left: usize,
+        /// Right/actual width.
+        right: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundPort(p) => write!(f, "unbound port {p}"),
+            EvalError::WidthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "width mismatch in {context}: {left} vs {right}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn require_same(context: &str, l: &Bits, r: &Bits) -> Result<(), EvalError> {
+    if l.width() != r.width() {
+        return Err(EvalError::WidthMismatch {
+            context: context.to_string(),
+            left: l.width(),
+            right: r.width(),
+        });
+    }
+    Ok(())
+}
+
+/// Evaluates an expression in an environment.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for unbound ports or width-inconsistent operands.
+pub fn eval(expr: &Expr, env: &Env) -> Result<Bits, EvalError> {
+    match expr {
+        Expr::Port(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundPort(name.clone())),
+        Expr::Const(b) => Ok(b.clone()),
+        Expr::Unary(op, e) => {
+            let v = eval(e, env)?;
+            Ok(match op {
+                UnaryOp::Not => !&v,
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::Inc => v.inc(),
+                UnaryOp::Dec => v.dec(),
+                UnaryOp::ReduceAnd => Bits::from_bool(v.reduce_and()),
+                UnaryOp::ReduceOr => Bits::from_bool(v.reduce_or()),
+                UnaryOp::ReduceXor => Bits::from_bool(v.reduce_xor()),
+                UnaryOp::IsZero => Bits::from_bool(v.is_zero()),
+            })
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval(l, env)?;
+            let rv = eval(r, env)?;
+            use BinaryOp::*;
+            match op {
+                ShlV | ShrV | AsrV | RotlV | RotrV => {
+                    // Shift amount may have any width; saturate large counts.
+                    let amt = rv.to_u128().unwrap_or(u128::MAX);
+                    let amt = amt.min(2 * lv.width() as u128 + 1) as usize;
+                    Ok(match op {
+                        ShlV => lv.shl(amt),
+                        ShrV => lv.shr(amt),
+                        AsrV => lv.asr(amt),
+                        RotlV => lv.rotl(amt),
+                        RotrV => lv.rotr(amt),
+                        _ => unreachable!(),
+                    })
+                }
+                MulFull => Ok(lv.mul_full(&rv)),
+                _ => {
+                    require_same(&format!("{op:?}"), &lv, &rv)?;
+                    Ok(match op {
+                        And => &lv & &rv,
+                        Or => &lv | &rv,
+                        Xor => &lv ^ &rv,
+                        Nand => !&(&lv & &rv),
+                        Nor => !&(&lv | &rv),
+                        Xnor => !&(&lv ^ &rv),
+                        Limpl => &(!&lv) | &rv,
+                        Add => lv.wrapping_add(&rv),
+                        Sub => lv.wrapping_sub(&rv),
+                        DivOr1s => {
+                            if rv.is_zero() {
+                                Bits::ones(lv.width())
+                            } else {
+                                lv.div_rem(&rv).0
+                            }
+                        }
+                        RemOrA => {
+                            if rv.is_zero() {
+                                lv.clone()
+                            } else {
+                                lv.div_rem(&rv).1
+                            }
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+        Expr::Cmp(op, l, r) => {
+            let lv = eval(l, env)?;
+            let rv = eval(r, env)?;
+            require_same(&format!("{op:?}"), &lv, &rv)?;
+            use std::cmp::Ordering::*;
+            let ord = lv.cmp_unsigned(&rv);
+            let b = match op {
+                CmpOp::Eq => ord == Equal,
+                CmpOp::Ne => ord != Equal,
+                CmpOp::Ltu => ord == Less,
+                CmpOp::Gtu => ord == Greater,
+                CmpOp::Leu => ord != Greater,
+                CmpOp::Geu => ord != Less,
+            };
+            Ok(Bits::from_bool(b))
+        }
+        Expr::AddWide { a, b, cin } => {
+            let av = eval(a, env)?;
+            let bv = eval(b, env)?;
+            let cv = eval(cin, env)?;
+            require_same("AddWide", &av, &bv)?;
+            if cv.width() != 1 {
+                return Err(EvalError::WidthMismatch {
+                    context: "AddWide carry".to_string(),
+                    left: 1,
+                    right: cv.width(),
+                });
+            }
+            let (sum, carry) = av.add_with_carry(&bv, cv.bit(0));
+            Ok(sum.concat(&Bits::from_bool(carry)))
+        }
+        Expr::Slice { expr, lo, len } => {
+            let v = eval(expr, env)?;
+            if lo + len > v.width() {
+                return Err(EvalError::WidthMismatch {
+                    context: format!("slice [{lo},{lo}+{len})"),
+                    left: lo + len,
+                    right: v.width(),
+                });
+            }
+            Ok(v.slice(*lo, *len))
+        }
+        Expr::Concat(parts) => {
+            let mut acc = Bits::zero(0);
+            for p in parts {
+                let v = eval(p, env)?;
+                acc = acc.concat(&v);
+            }
+            Ok(acc)
+        }
+        Expr::ZextTo(w, e) => Ok(eval(e, env)?.zext(*w)),
+        Expr::SextTo(w, e) => Ok(eval(e, env)?.sext(*w)),
+        Expr::Select {
+            sel,
+            cases,
+            default,
+        } => {
+            let sv = eval(sel, env)?;
+            let idx = sv.to_u128().unwrap_or(u128::MAX);
+            let chosen = if idx < cases.len() as u128 {
+                &cases[idx as usize]
+            } else {
+                default
+            };
+            let out = eval(chosen, env)?;
+            // Enforce consistent case widths against the default.
+            let dw = eval(default, env)?;
+            require_same("Select", &out, &dw)?;
+            Ok(out)
+        }
+        Expr::PriorityIndex { expr, out_width } => {
+            let v = eval(expr, env)?;
+            let idx = (0..v.width()).rev().find(|&i| v.bit(i)).unwrap_or(0);
+            Ok(Bits::from_u64(*out_width, idx as u64))
+        }
+    }
+}
+
+/// An assignment `target = expr` executed when an operation fires
+/// (LEGEND `OPS:` clause, e.g. `(COUNT_UP: OO = OO + 1)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Effect {
+    /// Output (or state) port receiving the value.
+    pub target: String,
+    /// The computed value.
+    pub expr: Expr,
+}
+
+impl Effect {
+    /// Creates an effect.
+    pub fn new(target: &str, expr: Expr) -> Self {
+        Effect {
+            target: target.to_string(),
+            expr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, Bits)]) -> Env {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn port_and_const() {
+        let e = env(&[("A", Bits::from_u64(8, 42))]);
+        assert_eq!(eval(&Expr::port("A"), &e).unwrap().to_u64(), Some(42));
+        assert_eq!(eval(&Expr::cuint(8, 7), &e).unwrap().to_u64(), Some(7));
+        assert!(matches!(
+            eval(&Expr::port("B"), &e),
+            Err(EvalError::UnboundPort(_))
+        ));
+    }
+
+    #[test]
+    fn add_wide_carries() {
+        let e = env(&[
+            ("A", Bits::from_u64(4, 0xf)),
+            ("B", Bits::from_u64(4, 0x1)),
+        ]);
+        let expr = Expr::add_wide(Expr::port("A"), Expr::port("B"), Expr::cuint(1, 0));
+        let v = eval(&expr, &e).unwrap();
+        assert_eq!(v.width(), 5);
+        assert_eq!(v.to_u64(), Some(0x10));
+        assert!(v.bit(4)); // carry out
+    }
+
+    #[test]
+    fn limpl_is_not_a_or_b() {
+        let e = env(&[
+            ("A", Bits::from_u64(4, 0b1100)),
+            ("B", Bits::from_u64(4, 0b1010)),
+        ]);
+        let expr = Expr::binary(BinaryOp::Limpl, Expr::port("A"), Expr::port("B"));
+        assert_eq!(eval(&expr, &e).unwrap().to_u64(), Some(0b1011));
+    }
+
+    #[test]
+    fn select_dense_with_default() {
+        let e = env(&[("S", Bits::from_u64(2, 2))]);
+        let expr = Expr::Select {
+            sel: Box::new(Expr::port("S")),
+            cases: vec![Expr::cuint(8, 10), Expr::cuint(8, 20), Expr::cuint(8, 30)],
+            default: Box::new(Expr::cuint(8, 99)),
+        };
+        assert_eq!(eval(&expr, &e).unwrap().to_u64(), Some(30));
+        let e2 = env(&[("S", Bits::from_u64(2, 3))]);
+        assert_eq!(eval(&expr, &e2).unwrap().to_u64(), Some(99));
+    }
+
+    #[test]
+    fn division_is_total() {
+        let e = env(&[
+            ("A", Bits::from_u64(8, 9)),
+            ("Z", Bits::zero(8)),
+        ]);
+        let q = Expr::binary(BinaryOp::DivOr1s, Expr::port("A"), Expr::port("Z"));
+        assert_eq!(eval(&q, &e).unwrap().to_u64(), Some(0xff));
+        let r = Expr::binary(BinaryOp::RemOrA, Expr::port("A"), Expr::port("Z"));
+        assert_eq!(eval(&r, &e).unwrap().to_u64(), Some(9));
+    }
+
+    #[test]
+    fn variable_shifts_saturate() {
+        let e = env(&[
+            ("A", Bits::from_u64(8, 0b1000_0001)),
+            ("N", Bits::from_u64(4, 3)),
+            ("BIG", Bits::from_u64(8, 200)),
+        ]);
+        let shl = Expr::binary(BinaryOp::ShlV, Expr::port("A"), Expr::port("N"));
+        assert_eq!(eval(&shl, &e).unwrap().to_u64(), Some(0b0000_1000));
+        let far = Expr::binary(BinaryOp::ShrV, Expr::port("A"), Expr::port("BIG"));
+        assert_eq!(eval(&far, &e).unwrap().to_u64(), Some(0));
+        let rot = Expr::binary(BinaryOp::RotlV, Expr::port("A"), Expr::port("N"));
+        assert_eq!(eval(&rot, &e).unwrap().to_u64(), Some(0b0000_1100));
+    }
+
+    #[test]
+    fn width_mismatch_reported() {
+        let e = env(&[
+            ("A", Bits::from_u64(8, 1)),
+            ("B", Bits::from_u64(4, 1)),
+        ]);
+        let bad = Expr::binary(BinaryOp::Add, Expr::port("A"), Expr::port("B"));
+        assert!(matches!(
+            eval(&bad, &e),
+            Err(EvalError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_lsb_first() {
+        let e = env(&[
+            ("LO", Bits::from_u64(4, 0xa)),
+            ("HI", Bits::from_u64(4, 0x5)),
+        ]);
+        let expr = Expr::Concat(vec![Expr::port("LO"), Expr::port("HI")]);
+        assert_eq!(eval(&expr, &e).unwrap().to_u64(), Some(0x5a));
+    }
+
+    #[test]
+    fn reductions_and_zero_test() {
+        let e = env(&[("A", Bits::from_u64(4, 0))]);
+        let z = Expr::unary(UnaryOp::IsZero, Expr::port("A"));
+        assert_eq!(eval(&z, &e).unwrap().to_u64(), Some(1));
+        let ra = Expr::unary(UnaryOp::ReduceAnd, Expr::port("A"));
+        assert_eq!(eval(&ra, &e).unwrap().to_u64(), Some(0));
+    }
+}

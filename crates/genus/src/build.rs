@@ -1,0 +1,1859 @@
+//! Construction of concrete components from (kind, parameters).
+//!
+//! This module is the working core of every GENUS generator: given a
+//! [`ComponentKind`] and a resolved parameter list it produces the ports,
+//! the operation list with behavioral effects, and the functional
+//! [`ComponentSpec`] of the component. The LEGEND crate and the standard
+//! library both funnel into [`build_component`].
+
+use crate::behavior::{BinaryOp, CmpOp, Effect, Expr, UnaryOp};
+use crate::component::{
+    Component, GenerateError, OpSelect, Operation, Port, PortClass,
+};
+use crate::kind::{ComponentKind, GateOp};
+use crate::op::{Op, OpClass, OpSet};
+use crate::params::{names, ParamSpec, ParamValue, Params};
+use crate::spec::ComponentSpec;
+use rtl_base::bits::Bits;
+
+/// Ceiling log2; `clog2(1) == 0`.
+pub fn clog2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Width of a select port addressing `n` alternatives (at least one bit).
+pub fn select_width(n: usize) -> usize {
+    clog2(n).max(1)
+}
+
+fn err(msg: impl Into<String>) -> GenerateError {
+    GenerateError::Unbuildable(msg.into())
+}
+
+fn set_value_bits(width: usize, v: i64) -> Bits {
+    if v < 0 {
+        Bits::ones(width)
+    } else {
+        Bits::from_u64(width, v as u64)
+    }
+}
+
+/// The standard parameter schema of a component kind (what a LEGEND
+/// description of the standard library would declare under `PARAMETERS:`).
+pub fn schema_for(kind: ComponentKind) -> Vec<ParamSpec> {
+    use ComponentKind::*;
+    let w_req = ParamSpec::required(names::INPUT_WIDTH, "data width in bits");
+    let w_opt =
+        |d: usize| ParamSpec::optional(names::INPUT_WIDTH, ParamValue::Width(d), "data width");
+    let n_opt =
+        |d: usize| ParamSpec::optional(names::NUM_INPUTS, ParamValue::Width(d), "fan-in");
+    let ops_opt = |ops: OpSet| {
+        ParamSpec::optional(names::FUNCTION_LIST, ParamValue::Ops(ops), "operation list")
+    };
+    let style_opt = |d: &str| {
+        ParamSpec::optional(names::STYLE, ParamValue::Style(d.to_string()), "style")
+    };
+    let flag_opt = |name: &str, d: bool, doc: &str| {
+        ParamSpec::optional(name, ParamValue::Flag(d), doc)
+    };
+    match kind {
+        Gate(_) => vec![w_opt(1), n_opt(2)],
+        LogicUnit => vec![
+            w_req,
+            ParamSpec::required(names::FUNCTION_LIST, "logic functions"),
+        ],
+        Mux | Selector => vec![w_req, n_opt(2)],
+        Decoder => vec![
+            w_req,
+            style_opt("BINARY"),
+            flag_opt(names::ENABLE_FLAG, false, "enable pin"),
+        ],
+        Encoder => vec![ParamSpec::required(names::NUM_INPUTS, "input lines")],
+        AddSub => vec![
+            w_req,
+            ops_opt(OpSet::only(Op::Add)),
+            flag_opt(names::CARRY_IN, true, "carry input"),
+            flag_opt(names::CARRY_OUT, true, "carry output"),
+            flag_opt(names::GROUP_PG, false, "group propagate/generate outputs"),
+        ],
+        Comparator => vec![
+            w_req,
+            ops_opt([Op::Eq, Op::Lt, Op::Gt].into_iter().collect()),
+        ],
+        Alu => vec![
+            w_req,
+            ParamSpec::required(names::FUNCTION_LIST, "ALU functions"),
+            flag_opt(names::CARRY_IN, true, "carry input"),
+        ],
+        Shifter => vec![w_req, ops_opt([Op::Shl, Op::Shr].into_iter().collect())],
+        BarrelShifter => vec![
+            w_req,
+            ParamSpec::optional(
+                names::INPUT_WIDTH2,
+                ParamValue::Width(0),
+                "shift-amount width (0 = log2 of data width)",
+            ),
+            ops_opt(OpSet::only(Op::Shl)),
+        ],
+        Multiplier => vec![
+            w_req,
+            ParamSpec::optional(
+                names::INPUT_WIDTH2,
+                ParamValue::Width(0),
+                "second operand width (0 = same as first)",
+            ),
+        ],
+        Divider => vec![w_req],
+        CarryLookahead => vec![n_opt(4)],
+        Register => vec![
+            w_req,
+            flag_opt(names::ENABLE_FLAG, false, "enable pin"),
+            flag_opt(names::ASYNC_SET_RESET, false, "async set/reset pins"),
+            ParamSpec::optional(names::SET_VALUE, ParamValue::Int(-1), "async set value"),
+        ],
+        RegisterFile | Memory => {
+            let mut v = vec![
+                w_req,
+                ParamSpec::required(names::INPUT_WIDTH2, "depth in words"),
+            ];
+            if kind == Memory {
+                v.push(style_opt("RAM"));
+            }
+            v
+        }
+        Counter => vec![
+            w_req,
+            ops_opt([Op::Load, Op::CountUp, Op::CountDown].into_iter().collect()),
+            ParamSpec::optional(names::SET_VALUE, ParamValue::Int(-1), "async set value"),
+            style_opt("SYNCHRONOUS"),
+            flag_opt(names::ENABLE_FLAG, true, "count-enable pin"),
+            flag_opt(names::ASYNC_SET_RESET, true, "async set/reset pins"),
+            ParamSpec::optional(
+                names::COMPILER_NAME,
+                ParamValue::Text("counter_vhdl.c".to_string()),
+                "behavioral-model backend",
+            ),
+        ],
+        StackFifo => vec![
+            w_req,
+            ParamSpec::required(names::INPUT_WIDTH2, "depth in words"),
+            style_opt("STACK"),
+        ],
+        PortComp => vec![w_req, style_opt("IN")],
+        BufferComp | ClockDriver | SchmittTrigger | Delay => vec![w_opt(1)],
+        Tristate => vec![w_req],
+        WiredOr | Bus => vec![w_req, n_opt(2)],
+        Concat => vec![w_req, ParamSpec::required(names::NUM_INPUTS, "part count")],
+        Extract => vec![
+            w_req,
+            ParamSpec::required(names::INPUT_WIDTH2, "field width"),
+            ParamSpec::optional(names::OFFSET, ParamValue::Int(0), "field offset"),
+        ],
+        ClockGenerator => vec![ParamSpec::optional(
+            names::PERIOD,
+            ParamValue::Int(10),
+            "period hint (ns)",
+        )],
+    }
+}
+
+/// The styles a kind advertises (LEGEND `STYLES:`).
+pub fn styles_for(kind: ComponentKind) -> Vec<String> {
+    use ComponentKind::*;
+    match kind {
+        Counter => vec!["SYNCHRONOUS".to_string(), "RIPPLE".to_string()],
+        Decoder => vec!["BINARY".to_string(), "BCD".to_string()],
+        StackFifo => vec!["STACK".to_string(), "FIFO".to_string()],
+        Memory => vec!["RAM".to_string(), "ROM".to_string()],
+        PortComp => vec!["IN".to_string(), "OUT".to_string()],
+        _ => Vec::new(),
+    }
+}
+
+struct Builder {
+    ports: Vec<Port>,
+    operations: Vec<Operation>,
+    op_select: Option<OpSelect>,
+    clock: Option<String>,
+    registered: std::collections::BTreeSet<String>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            ports: Vec::new(),
+            operations: Vec::new(),
+            op_select: None,
+            clock: None,
+            registered: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Declares a state-holding output (publishes held state at the
+    /// clock edge).
+    fn reg_out(&mut self, name: &str, width: usize, class: PortClass) -> &mut Self {
+        self.out(name, width, class);
+        self.registered.insert(name.to_string());
+        self
+    }
+
+    fn inp(&mut self, name: &str, width: usize, class: PortClass) -> &mut Self {
+        self.ports.push(Port::input(name, width, class));
+        self
+    }
+
+    fn out(&mut self, name: &str, width: usize, class: PortClass) -> &mut Self {
+        self.ports.push(Port::output(name, width, class));
+        self
+    }
+
+    fn clocked(&mut self) -> &mut Self {
+        self.inp("CLK", 1, PortClass::Clock);
+        self.clock = Some("CLK".to_string());
+        self
+    }
+
+    fn op(&mut self, op: Op, control: Option<&str>, effects: Vec<Effect>) -> &mut Self {
+        self.operations.push(Operation {
+            op,
+            control: control.map(str::to_string),
+            effects,
+        });
+        self
+    }
+
+    fn select_over(&mut self, port: &str, ops: OpSet) -> &mut Self {
+        if ops.len() > 1 {
+            self.inp(port, select_width(ops.len()), PortClass::Select);
+            self.op_select = Some(OpSelect {
+                port: port.to_string(),
+                encoding: ops.iter().collect(),
+            });
+        }
+        self
+    }
+
+    fn finish(self, gen_name: &str, spec: ComponentSpec, params: Params) -> Component {
+        let name = format!("{}_{}", gen_name, spec.width.max(1));
+        Component {
+            name,
+            generator: gen_name.to_string(),
+            spec,
+            ports: self.ports,
+            operations: self.operations,
+            op_select: self.op_select,
+            clock: self.clock,
+            params,
+            registered: self.registered,
+        }
+    }
+}
+
+fn gate_fold(g: GateOp, inputs: &[String]) -> Expr {
+    let port = |n: &String| Expr::port(n);
+    match g {
+        GateOp::Not => Expr::unary(UnaryOp::Not, port(&inputs[0])),
+        GateOp::Buf => port(&inputs[0]),
+        GateOp::And | GateOp::Or | GateOp::Xor | GateOp::Nand | GateOp::Nor | GateOp::Xnor => {
+            let base = match g {
+                GateOp::And | GateOp::Nand => BinaryOp::And,
+                GateOp::Or | GateOp::Nor => BinaryOp::Or,
+                _ => BinaryOp::Xor,
+            };
+            let mut acc = port(&inputs[0]);
+            for i in &inputs[1..] {
+                acc = Expr::binary(base, acc, port(i));
+            }
+            if g.inverting() {
+                acc = Expr::unary(UnaryOp::Not, acc);
+            }
+            acc
+        }
+    }
+}
+
+/// Effect expression for one ALU/logic-unit operation over ports `A`, `B`
+/// (and `CI` when `carry_in`), producing a `width`-bit result.
+fn alu_op_expr(op: Op, width: usize, carry_in: bool) -> Result<Expr, GenerateError> {
+    let a = || Expr::port("A");
+    let b = || Expr::port("B");
+    let ci = |default1: bool| {
+        if carry_in {
+            Expr::zext(width, Expr::port("CI"))
+        } else {
+            Expr::cuint(width, default1 as u64)
+        }
+    };
+    use BinaryOp::*;
+    Ok(match op {
+        Op::Add => Expr::binary(Add, Expr::binary(Add, a(), b()), ci(false)),
+        Op::Sub => Expr::binary(
+            Add,
+            Expr::binary(Add, a(), Expr::unary(UnaryOp::Not, b())),
+            ci(true),
+        ),
+        Op::Inc => Expr::unary(UnaryOp::Inc, a()),
+        Op::Dec => Expr::unary(UnaryOp::Dec, a()),
+        Op::Eq => Expr::zext(width, Expr::cmp(CmpOp::Eq, a(), b())),
+        Op::Lt => Expr::zext(width, Expr::cmp(CmpOp::Ltu, a(), b())),
+        Op::Gt => Expr::zext(width, Expr::cmp(CmpOp::Gtu, a(), b())),
+        Op::Neq => Expr::zext(width, Expr::cmp(CmpOp::Ne, a(), b())),
+        Op::Ge => Expr::zext(width, Expr::cmp(CmpOp::Geu, a(), b())),
+        Op::Le => Expr::zext(width, Expr::cmp(CmpOp::Leu, a(), b())),
+        Op::Zerop => Expr::zext(width, Expr::unary(UnaryOp::IsZero, a())),
+        Op::And => Expr::binary(And, a(), b()),
+        Op::Or => Expr::binary(Or, a(), b()),
+        Op::Nand => Expr::binary(Nand, a(), b()),
+        Op::Nor => Expr::binary(Nor, a(), b()),
+        Op::Xor => Expr::binary(Xor, a(), b()),
+        Op::Xnor => Expr::binary(Xnor, a(), b()),
+        Op::Lnot => Expr::unary(UnaryOp::Not, a()),
+        Op::Limpl => Expr::binary(Limpl, a(), b()),
+        Op::Shl => Expr::binary(ShlV, a(), Expr::cuint(1, 1)),
+        Op::Shr => Expr::binary(ShrV, a(), Expr::cuint(1, 1)),
+        Op::Asr => Expr::binary(AsrV, a(), Expr::cuint(1, 1)),
+        Op::Rotl => Expr::binary(RotlV, a(), Expr::cuint(1, 1)),
+        Op::Rotr => Expr::binary(RotrV, a(), Expr::cuint(1, 1)),
+        other => return Err(err(format!("operation {other} not valid in an ALU"))),
+    })
+}
+
+/// Reconstructs a component directly from its functional specification.
+///
+/// This is the bridge used to *simulate* anything described by a
+/// [`ComponentSpec`] — library cells and decomposition modules alike: the
+/// spec is mapped back to generator parameters and built. It is the
+/// mechanical counterpart of the paper's claim that cells are "described
+/// with the same representation language used in recognizing and
+/// decomposing GENUS components".
+///
+/// # Errors
+///
+/// [`GenerateError::Unbuildable`] when the spec encodes an invalid
+/// combination.
+pub fn component_for_spec(spec: &ComponentSpec) -> Result<Component, GenerateError> {
+    use ComponentKind::*;
+    let mut p = Params::new();
+    p.set(names::INPUT_WIDTH, ParamValue::Width(spec.width));
+    match spec.kind {
+        Gate(_) | Mux | Selector | WiredOr | Bus | Concat => {
+            p.set(names::NUM_INPUTS, ParamValue::Width(spec.inputs));
+        }
+        LogicUnit | Shifter => {
+            p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
+        }
+        Alu => {
+            p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
+            p.set(names::CARRY_IN, ParamValue::Flag(spec.carry_in));
+        }
+        AddSub => {
+            p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
+            p.set(names::CARRY_IN, ParamValue::Flag(spec.carry_in));
+            p.set(names::CARRY_OUT, ParamValue::Flag(spec.carry_out));
+            p.set(names::GROUP_PG, ParamValue::Flag(spec.group_pg));
+        }
+        Comparator => {
+            p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
+        }
+        Decoder => {
+            let style = if spec.width == 4 && spec.width2 == 10 {
+                "BCD"
+            } else {
+                "BINARY"
+            };
+            p.set(names::STYLE, ParamValue::Style(style.to_string()));
+            p.set(names::ENABLE_FLAG, ParamValue::Flag(spec.enable));
+        }
+        Encoder => {
+            p = Params::new().with(names::NUM_INPUTS, ParamValue::Width(spec.inputs));
+        }
+        BarrelShifter => {
+            p.set(names::INPUT_WIDTH2, ParamValue::Width(spec.width2));
+            p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
+        }
+        Multiplier => {
+            p.set(names::INPUT_WIDTH2, ParamValue::Width(spec.width2));
+        }
+        CarryLookahead => {
+            p = Params::new().with(names::NUM_INPUTS, ParamValue::Width(spec.inputs));
+        }
+        Register => {
+            p.set(names::ENABLE_FLAG, ParamValue::Flag(spec.enable));
+            p.set(names::ASYNC_SET_RESET, ParamValue::Flag(spec.async_set_reset));
+        }
+        RegisterFile | Memory => {
+            p.set(names::INPUT_WIDTH2, ParamValue::Width(spec.width2));
+            if spec.kind == Memory && !spec.ops.contains(Op::Write) {
+                p.set(names::STYLE, ParamValue::Style("ROM".to_string()));
+            }
+        }
+        Counter => {
+            p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
+            p.set(names::ENABLE_FLAG, ParamValue::Flag(spec.enable));
+            p.set(names::ASYNC_SET_RESET, ParamValue::Flag(spec.async_set_reset));
+            if let Some(style) = &spec.style {
+                p.set(names::STYLE, ParamValue::Style(style.clone()));
+            }
+        }
+        StackFifo => {
+            p.set(names::INPUT_WIDTH2, ParamValue::Width(spec.width2));
+            if let Some(style) = &spec.style {
+                p.set(names::STYLE, ParamValue::Style(style.clone()));
+            }
+        }
+        PortComp => {
+            if let Some(style) = &spec.style {
+                p.set(names::STYLE, ParamValue::Style(style.clone()));
+            }
+        }
+        Extract => {
+            p.set(names::INPUT_WIDTH2, ParamValue::Width(spec.width2));
+            p.set(names::OFFSET, ParamValue::Int(spec.inputs as i64));
+        }
+        Divider | BufferComp | ClockDriver | SchmittTrigger | Delay | Tristate => {}
+        ClockGenerator => {
+            p = Params::new();
+        }
+    }
+    let resolved = p.resolve(&schema_for(spec.kind))?;
+    build_component(spec.kind, &spec.kind.name(), &resolved)
+}
+
+/// Builds a component of `kind` named after `gen_name` from a *resolved*
+/// parameter list (defaults already filled in).
+///
+/// # Errors
+///
+/// [`GenerateError::Unbuildable`] when the parameter combination is
+/// invalid (zero width, empty or ill-classed function list, unknown style,
+/// oversized decoder, ...).
+pub fn build_component(
+    kind: ComponentKind,
+    gen_name: &str,
+    params: &Params,
+) -> Result<Component, GenerateError> {
+    use ComponentKind::*;
+    let width = params.width(names::INPUT_WIDTH).unwrap_or(1);
+    if width == 0 {
+        return Err(err("zero data width"));
+    }
+    let mut b = Builder::new();
+    let spec;
+    match kind {
+        Gate(g) => {
+            let n = match g {
+                GateOp::Not | GateOp::Buf => 1,
+                _ => params.width(names::NUM_INPUTS).unwrap_or(2),
+            };
+            if n == 0 || (n == 1 && !matches!(g, GateOp::Not | GateOp::Buf)) {
+                return Err(err(format!("{g} gate needs fan-in >= 2, got {n}")));
+            }
+            let input_names: Vec<String> = (0..n).map(|i| format!("I{i}")).collect();
+            for name in &input_names {
+                b.inp(name, width, PortClass::Data);
+            }
+            b.out("O", width, PortClass::Data);
+            let expr = gate_fold(g, &input_names);
+            b.op(
+                match g {
+                    GateOp::And => Op::And,
+                    GateOp::Or => Op::Or,
+                    GateOp::Nand => Op::Nand,
+                    GateOp::Nor => Op::Nor,
+                    GateOp::Xor => Op::Xor,
+                    GateOp::Xnor => Op::Xnor,
+                    GateOp::Not => Op::Lnot,
+                    GateOp::Buf => Op::Hold,
+                },
+                None,
+                vec![Effect::new("O", expr)],
+            );
+            spec = ComponentSpec::new(kind, width).with_inputs(n);
+        }
+        LogicUnit => {
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .ok_or_else(|| err("logic unit needs a function list"))?;
+            if ops.is_empty() {
+                return Err(err("empty function list"));
+            }
+            if ops.iter().any(|op| op.class() != OpClass::Logic) {
+                return Err(err("logic unit functions must be logic-class"));
+            }
+            b.inp("A", width, PortClass::Data);
+            b.inp("B", width, PortClass::Data);
+            b.out("O", width, PortClass::Data);
+            b.select_over("S", ops);
+            for op in ops.iter() {
+                let e = alu_op_expr(op, width, false)?;
+                b.op(op, None, vec![Effect::new("O", e)]);
+            }
+            spec = ComponentSpec::new(kind, width).with_ops(ops);
+        }
+        Mux => {
+            let n = params.width(names::NUM_INPUTS).unwrap_or(2);
+            if n < 2 {
+                return Err(err("mux needs at least 2 inputs"));
+            }
+            for i in 0..n {
+                b.inp(&format!("I{i}"), width, PortClass::Data);
+            }
+            b.inp("S", select_width(n), PortClass::Select);
+            b.out("O", width, PortClass::Data);
+            // Select values >= n are don't-care; we pick the last input so
+            // the model stays total.
+            let cases: Vec<Expr> = (0..n).map(|i| Expr::port(&format!("I{i}"))).collect();
+            let sel = Expr::Select {
+                sel: Box::new(Expr::port("S")),
+                cases,
+                default: Box::new(Expr::port(&format!("I{}", n - 1))),
+            };
+            b.op(Op::Hold, None, vec![Effect::new("O", sel)]);
+            spec = ComponentSpec::new(kind, width).with_inputs(n);
+        }
+        Selector => {
+            let n = params.width(names::NUM_INPUTS).unwrap_or(2);
+            if n < 2 {
+                return Err(err("selector needs at least 2 inputs"));
+            }
+            for i in 0..n {
+                b.inp(&format!("I{i}"), width, PortClass::Data);
+            }
+            b.inp("SEL", n, PortClass::Select);
+            b.out("O", width, PortClass::Data);
+            // One-hot AND-OR plane: O = OR_i (I_i & replicate(SEL[i])).
+            let mut acc = Expr::cuint(width, 0);
+            for i in 0..n {
+                let bit = Expr::slice(Expr::port("SEL"), i, 1);
+                let repl = Expr::SextTo(width, Box::new(bit));
+                let term = Expr::binary(BinaryOp::And, Expr::port(&format!("I{i}")), repl);
+                acc = Expr::binary(BinaryOp::Or, acc, term);
+            }
+            b.op(Op::Hold, None, vec![Effect::new("O", acc)]);
+            spec = ComponentSpec::new(kind, width).with_inputs(n);
+        }
+        Decoder => {
+            let style = params.style(names::STYLE).unwrap_or("BINARY").to_string();
+            let out_lines = match style.as_str() {
+                "BINARY" => {
+                    if width > 12 {
+                        return Err(err("decoder select width capped at 12"));
+                    }
+                    1usize << width
+                }
+                "BCD" => {
+                    if width != 4 {
+                        return Err(err("BCD decoder takes a 4-bit input"));
+                    }
+                    10
+                }
+                other => return Err(err(format!("unknown decoder style {other}"))),
+            };
+            let enable = params.flag(names::ENABLE_FLAG).unwrap_or(false);
+            b.inp("A", width, PortClass::Data);
+            if enable {
+                b.inp("EN", 1, PortClass::Enable);
+            }
+            b.out("O", out_lines, PortClass::Data);
+            // O = 1 << A, truncated to the line count (out-of-range BCD
+            // codes decode to no line).
+            let one = Expr::cuint(out_lines, 1);
+            let shifted = Expr::binary(BinaryOp::ShlV, one, Expr::port("A"));
+            b.op(Op::Hold, None, vec![Effect::new("O", shifted)]);
+            spec = ComponentSpec::new(kind, width)
+                .with_width2(out_lines)
+                .with_enable(enable)
+                .with_style(&style);
+        }
+        Encoder => {
+            let n = params
+                .width(names::NUM_INPUTS)
+                .ok_or_else(|| err("encoder needs an input line count"))?;
+            if n < 2 {
+                return Err(err("encoder needs at least 2 input lines"));
+            }
+            let out_w = select_width(n);
+            b.inp("I", n, PortClass::Data);
+            b.out("O", out_w, PortClass::Data);
+            b.out("V", 1, PortClass::Status);
+            b.op(
+                Op::Hold,
+                None,
+                vec![
+                    Effect::new(
+                        "O",
+                        Expr::PriorityIndex {
+                            expr: Box::new(Expr::port("I")),
+                            out_width: out_w,
+                        },
+                    ),
+                    Effect::new("V", Expr::unary(UnaryOp::ReduceOr, Expr::port("I"))),
+                ],
+            );
+            spec = ComponentSpec::new(kind, out_w).with_inputs(n);
+        }
+        AddSub => {
+            let ops = params.ops(names::FUNCTION_LIST).unwrap_or(OpSet::only(Op::Add));
+            if ops.is_empty() || !([Op::Add, Op::Sub].into_iter().collect::<OpSet>()).is_superset(ops)
+            {
+                return Err(err("adder/subtractor functions must be ADD and/or SUB"));
+            }
+            let carry_in = params.flag(names::CARRY_IN).unwrap_or(true);
+            let carry_out = params.flag(names::CARRY_OUT).unwrap_or(true);
+            let group_pg = params.flag(names::GROUP_PG).unwrap_or(false);
+            if group_pg && ops.contains(Op::Sub) {
+                return Err(err("group P/G outputs are only defined for pure adders"));
+            }
+            b.inp("A", width, PortClass::Data);
+            b.inp("B", width, PortClass::Data);
+            if carry_in {
+                b.inp("CI", 1, PortClass::CarryIn);
+            }
+            b.out("O", width, PortClass::Data);
+            if carry_out {
+                b.out("CO", 1, PortClass::CarryOut);
+            }
+            if group_pg {
+                b.out("P", 1, PortClass::Status);
+                b.out("G", 1, PortClass::Status);
+            }
+            b.select_over("S", ops);
+            for op in ops.iter() {
+                let (bexpr, default_ci) = match op {
+                    Op::Add => (Expr::port("B"), 0u64),
+                    Op::Sub => (Expr::unary(UnaryOp::Not, Expr::port("B")), 1u64),
+                    _ => unreachable!(),
+                };
+                let cin = if carry_in {
+                    Expr::port("CI")
+                } else {
+                    Expr::cuint(1, default_ci)
+                };
+                let wide = Expr::add_wide(Expr::port("A"), bexpr, cin);
+                let mut effects = vec![Effect::new("O", Expr::slice(wide.clone(), 0, width))];
+                if carry_out {
+                    effects.push(Effect::new("CO", Expr::slice(wide, width, 1)));
+                }
+                if group_pg {
+                    // Group propagate: every bit position propagates
+                    // (p_i = a_i XOR b_i); group generate: carry out with
+                    // zero carry-in.
+                    effects.push(Effect::new(
+                        "P",
+                        Expr::unary(
+                            UnaryOp::ReduceAnd,
+                            Expr::binary(BinaryOp::Xor, Expr::port("A"), Expr::port("B")),
+                        ),
+                    ));
+                    let g_wide =
+                        Expr::add_wide(Expr::port("A"), Expr::port("B"), Expr::cuint(1, 0));
+                    effects.push(Effect::new("G", Expr::slice(g_wide, width, 1)));
+                }
+                b.op(op, None, effects);
+            }
+            spec = ComponentSpec::new(kind, width)
+                .with_ops(ops)
+                .with_carry_in(carry_in)
+                .with_carry_out(carry_out)
+                .with_group_pg(group_pg);
+        }
+        Comparator => {
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .unwrap_or([Op::Eq, Op::Lt, Op::Gt].into_iter().collect());
+            if ops.is_empty() || ops.iter().any(|op| op.class() != OpClass::Comparison) {
+                return Err(err("comparator functions must be comparison-class"));
+            }
+            if ops.contains(Op::Zerop) {
+                return Err(err("ZEROP belongs to the ALU, not the comparator"));
+            }
+            b.inp("A", width, PortClass::Data);
+            b.inp("B", width, PortClass::Data);
+            for op in ops.iter() {
+                b.out(op.name(), 1, PortClass::Status);
+                let cmp = match op {
+                    Op::Eq => CmpOp::Eq,
+                    Op::Neq => CmpOp::Ne,
+                    Op::Lt => CmpOp::Ltu,
+                    Op::Gt => CmpOp::Gtu,
+                    Op::Le => CmpOp::Leu,
+                    Op::Ge => CmpOp::Geu,
+                    _ => unreachable!(),
+                };
+                b.op(
+                    op,
+                    None,
+                    vec![Effect::new(
+                        op.name(),
+                        Expr::cmp(cmp, Expr::port("A"), Expr::port("B")),
+                    )],
+                );
+            }
+            spec = ComponentSpec::new(kind, width).with_ops(ops);
+        }
+        Alu => {
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .ok_or_else(|| err("ALU needs a function list"))?;
+            if ops.is_empty() {
+                return Err(err("empty ALU function list"));
+            }
+            let carry_in = params.flag(names::CARRY_IN).unwrap_or(true);
+            b.inp("A", width, PortClass::Data);
+            b.inp("B", width, PortClass::Data);
+            if carry_in {
+                b.inp("CI", 1, PortClass::CarryIn);
+            }
+            b.out("O", width, PortClass::Data);
+            b.select_over("S", ops);
+            for op in ops.iter() {
+                let e = alu_op_expr(op, width, carry_in)?;
+                b.op(op, None, vec![Effect::new("O", e)]);
+            }
+            spec = ComponentSpec::new(kind, width)
+                .with_ops(ops)
+                .with_carry_in(carry_in);
+        }
+        Shifter => {
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .unwrap_or([Op::Shl, Op::Shr].into_iter().collect());
+            if ops.is_empty() || ops.iter().any(|op| op.class() != OpClass::Shift) {
+                return Err(err("shifter functions must be shift-class"));
+            }
+            b.inp("A", width, PortClass::Data);
+            b.out("O", width, PortClass::Data);
+            b.select_over("S", ops);
+            for op in ops.iter() {
+                let e = alu_op_expr(op, width, false)?;
+                b.op(op, None, vec![Effect::new("O", e)]);
+            }
+            spec = ComponentSpec::new(kind, width).with_ops(ops);
+        }
+        BarrelShifter => {
+            let ops = params.ops(names::FUNCTION_LIST).unwrap_or(OpSet::only(Op::Shl));
+            if ops.is_empty() || ops.iter().any(|op| op.class() != OpClass::Shift) {
+                return Err(err("barrel shifter functions must be shift-class"));
+            }
+            let mut amt_w = params.width(names::INPUT_WIDTH2).unwrap_or(0);
+            if amt_w == 0 {
+                amt_w = select_width(width);
+            }
+            b.inp("A", width, PortClass::Data);
+            b.inp("SH", amt_w, PortClass::Data);
+            b.out("O", width, PortClass::Data);
+            b.select_over("S", ops);
+            for op in ops.iter() {
+                let bop = match op {
+                    Op::Shl => BinaryOp::ShlV,
+                    Op::Shr => BinaryOp::ShrV,
+                    Op::Asr => BinaryOp::AsrV,
+                    Op::Rotl => BinaryOp::RotlV,
+                    Op::Rotr => BinaryOp::RotrV,
+                    _ => unreachable!(),
+                };
+                b.op(
+                    op,
+                    None,
+                    vec![Effect::new(
+                        "O",
+                        Expr::binary(bop, Expr::port("A"), Expr::port("SH")),
+                    )],
+                );
+            }
+            spec = ComponentSpec::new(kind, width)
+                .with_width2(amt_w)
+                .with_ops(ops);
+        }
+        Multiplier => {
+            let mut w2 = params.width(names::INPUT_WIDTH2).unwrap_or(0);
+            if w2 == 0 {
+                w2 = width;
+            }
+            b.inp("A", width, PortClass::Data);
+            b.inp("B", w2, PortClass::Data);
+            b.out("O", width + w2, PortClass::Data);
+            b.op(
+                Op::Mul,
+                None,
+                vec![Effect::new(
+                    "O",
+                    Expr::binary(BinaryOp::MulFull, Expr::port("A"), Expr::port("B")),
+                )],
+            );
+            spec = ComponentSpec::new(kind, width)
+                .with_width2(w2)
+                .with_ops(OpSet::only(Op::Mul));
+        }
+        Divider => {
+            b.inp("A", width, PortClass::Data);
+            b.inp("B", width, PortClass::Data);
+            b.out("Q", width, PortClass::Data);
+            b.out("R", width, PortClass::Data);
+            b.op(
+                Op::Div,
+                None,
+                vec![
+                    Effect::new(
+                        "Q",
+                        Expr::binary(BinaryOp::DivOr1s, Expr::port("A"), Expr::port("B")),
+                    ),
+                    Effect::new(
+                        "R",
+                        Expr::binary(BinaryOp::RemOrA, Expr::port("A"), Expr::port("B")),
+                    ),
+                ],
+            );
+            spec = ComponentSpec::new(kind, width).with_ops(OpSet::only(Op::Div));
+        }
+        CarryLookahead => {
+            let n = params.width(names::NUM_INPUTS).unwrap_or(4);
+            if n < 2 {
+                return Err(err("carry-lookahead generator needs >= 2 groups"));
+            }
+            b.inp("P", n, PortClass::Data);
+            b.inp("G", n, PortClass::Data);
+            b.inp("CI", 1, PortClass::CarryIn);
+            b.out("C", n, PortClass::Data);
+            b.out("GP", 1, PortClass::Status);
+            b.out("GG", 1, PortClass::Status);
+            // c_{i+1} = G_i | (P_i & c_i), with c_0 = CI; C packs
+            // c_1..c_n LSB-first.
+            let mut carries = Vec::with_capacity(n);
+            let mut c: Expr = Expr::port("CI");
+            for i in 0..n {
+                let gi = Expr::slice(Expr::port("G"), i, 1);
+                let pi = Expr::slice(Expr::port("P"), i, 1);
+                c = Expr::binary(BinaryOp::Or, gi, Expr::binary(BinaryOp::And, pi, c));
+                carries.push(c.clone());
+            }
+            // Group generate: the same chain seeded with zero carry-in.
+            let mut gg: Expr = Expr::cuint(1, 0);
+            for i in 0..n {
+                let gi = Expr::slice(Expr::port("G"), i, 1);
+                let pi = Expr::slice(Expr::port("P"), i, 1);
+                gg = Expr::binary(BinaryOp::Or, gi, Expr::binary(BinaryOp::And, pi, gg));
+            }
+            b.op(
+                Op::Hold,
+                None,
+                vec![
+                    Effect::new("C", Expr::Concat(carries)),
+                    Effect::new("GP", Expr::unary(UnaryOp::ReduceAnd, Expr::port("P"))),
+                    Effect::new("GG", gg),
+                ],
+            );
+            spec = ComponentSpec::new(kind, n)
+                .with_inputs(n)
+                .with_carry_in(true);
+        }
+        Register => {
+            let enable = params.flag(names::ENABLE_FLAG).unwrap_or(false);
+            let async_sr = params.flag(names::ASYNC_SET_RESET).unwrap_or(false);
+            let set_value = match params.get(names::SET_VALUE) {
+                Some(ParamValue::Int(v)) => *v,
+                _ => -1,
+            };
+            b.inp("D", width, PortClass::Data);
+            b.clocked();
+            if enable {
+                b.inp("EN", 1, PortClass::Enable);
+            }
+            if async_sr {
+                b.inp("ARST", 1, PortClass::AsyncSetReset);
+                b.inp("ASET", 1, PortClass::AsyncSetReset);
+            }
+            b.reg_out("Q", width, PortClass::Data);
+            if async_sr {
+                b.op(
+                    Op::AsyncReset,
+                    Some("ARST"),
+                    vec![Effect::new("Q", Expr::cuint(width, 0))],
+                );
+                b.op(
+                    Op::AsyncSet,
+                    Some("ASET"),
+                    vec![Effect::new(
+                        "Q",
+                        Expr::Const(set_value_bits(width, set_value)),
+                    )],
+                );
+            }
+            b.op(Op::Load, None, vec![Effect::new("Q", Expr::port("D"))]);
+            spec = ComponentSpec::new(kind, width)
+                .with_ops(OpSet::only(Op::Load))
+                .with_enable(enable)
+                .with_async_set_reset(async_sr);
+        }
+        Counter => {
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .unwrap_or([Op::Load, Op::CountUp, Op::CountDown].into_iter().collect());
+            let allowed: OpSet = [Op::Load, Op::CountUp, Op::CountDown].into_iter().collect();
+            if ops.is_empty() || !allowed.is_superset(ops) {
+                return Err(err("counter functions must be LOAD/COUNT_UP/COUNT_DOWN"));
+            }
+            let style = params.style(names::STYLE).unwrap_or("SYNCHRONOUS").to_string();
+            if style != "SYNCHRONOUS" && style != "RIPPLE" {
+                return Err(err(format!("unknown counter style {style}")));
+            }
+            let enable = params.flag(names::ENABLE_FLAG).unwrap_or(true);
+            let async_sr = params.flag(names::ASYNC_SET_RESET).unwrap_or(true);
+            let set_value = match params.get(names::SET_VALUE) {
+                Some(ParamValue::Int(v)) => *v,
+                _ => -1,
+            };
+            if ops.contains(Op::Load) {
+                b.inp("I0", width, PortClass::Data);
+            }
+            b.clocked();
+            if enable {
+                b.inp("CEN", 1, PortClass::Enable);
+            }
+            if async_sr {
+                b.inp("ARESET", 1, PortClass::AsyncSetReset);
+                b.inp("ASET", 1, PortClass::AsyncSetReset);
+            }
+            b.reg_out("O0", width, PortClass::Data);
+            if async_sr {
+                b.op(
+                    Op::AsyncReset,
+                    Some("ARESET"),
+                    vec![Effect::new("O0", Expr::cuint(width, 0))],
+                );
+                b.op(
+                    Op::AsyncSet,
+                    Some("ASET"),
+                    vec![Effect::new(
+                        "O0",
+                        Expr::Const(set_value_bits(width, set_value)),
+                    )],
+                );
+            }
+            if ops.contains(Op::Load) {
+                b.op(
+                    Op::Load,
+                    Some("CLOAD"),
+                    vec![Effect::new("O0", Expr::port("I0"))],
+                );
+                b.inp("CLOAD", 1, PortClass::Control);
+            }
+            if ops.contains(Op::CountUp) {
+                b.op(
+                    Op::CountUp,
+                    Some("CUP"),
+                    vec![Effect::new("O0", Expr::unary(UnaryOp::Inc, Expr::port("O0")))],
+                );
+                b.inp("CUP", 1, PortClass::Control);
+            }
+            if ops.contains(Op::CountDown) {
+                b.op(
+                    Op::CountDown,
+                    Some("CDOWN"),
+                    vec![Effect::new("O0", Expr::unary(UnaryOp::Dec, Expr::port("O0")))],
+                );
+                b.inp("CDOWN", 1, PortClass::Control);
+            }
+            spec = ComponentSpec::new(kind, width)
+                .with_ops(ops)
+                .with_enable(enable)
+                .with_async_set_reset(async_sr)
+                .with_style(&style);
+        }
+        RegisterFile | Memory => {
+            let depth = params
+                .width(names::INPUT_WIDTH2)
+                .ok_or_else(|| err("needs a depth"))?;
+            if depth == 0 {
+                return Err(err("zero depth"));
+            }
+            if width * depth > 1 << 16 {
+                return Err(err("memory capacity capped at 64 Kbit"));
+            }
+            let rom = kind == Memory && params.style(names::STYLE) == Some("ROM");
+            let aw = select_width(depth);
+            let mem_w = width * depth;
+            let amt = |addr: &str| {
+                Expr::binary(
+                    BinaryOp::MulFull,
+                    Expr::port(addr),
+                    Expr::cuint(17, width as u64),
+                )
+            };
+            let read_port = if kind == RegisterFile { "RA" } else { "ADDR" };
+            b.inp(read_port, aw, PortClass::Data);
+            if !rom {
+                if kind == RegisterFile {
+                    b.inp("WA", aw, PortClass::Data);
+                }
+                b.inp(if kind == RegisterFile { "WD" } else { "DIN" }, width, PortClass::Data);
+                b.inp("WEN", 1, PortClass::Control);
+            }
+            b.clocked();
+            b.out(if kind == RegisterFile { "RD" } else { "DOUT" }, width, PortClass::Data);
+            b.reg_out("MEM", mem_w, PortClass::Data);
+            let dout = Expr::ZextTo(
+                width,
+                Box::new(Expr::binary(BinaryOp::ShrV, Expr::port("MEM"), amt(read_port))),
+            );
+            b.op(
+                Op::Read,
+                None,
+                vec![Effect::new(
+                    if kind == RegisterFile { "RD" } else { "DOUT" },
+                    dout,
+                )],
+            );
+            if !rom {
+                let waddr = if kind == RegisterFile { "WA" } else { "ADDR" };
+                let wdata = if kind == RegisterFile { "WD" } else { "DIN" };
+                let mask = Expr::ZextTo(mem_w, Box::new(Expr::Const(Bits::ones(width))));
+                let cleared = Expr::binary(
+                    BinaryOp::And,
+                    Expr::port("MEM"),
+                    Expr::unary(
+                        UnaryOp::Not,
+                        Expr::binary(BinaryOp::ShlV, mask, amt(waddr)),
+                    ),
+                );
+                let placed = Expr::binary(
+                    BinaryOp::ShlV,
+                    Expr::ZextTo(mem_w, Box::new(Expr::port(wdata))),
+                    amt(waddr),
+                );
+                b.op(
+                    Op::Write,
+                    Some("WEN"),
+                    vec![Effect::new("MEM", Expr::binary(BinaryOp::Or, cleared, placed))],
+                );
+            }
+            let ops: OpSet = if rom {
+                OpSet::only(Op::Read)
+            } else {
+                [Op::Read, Op::Write].into_iter().collect()
+            };
+            spec = ComponentSpec::new(kind, width)
+                .with_width2(depth)
+                .with_ops(ops);
+        }
+        StackFifo => {
+            let depth = params
+                .width(names::INPUT_WIDTH2)
+                .ok_or_else(|| err("needs a depth"))?;
+            if depth < 2 {
+                return Err(err("stack/FIFO depth must be >= 2"));
+            }
+            if width * depth > 1 << 16 {
+                return Err(err("stack/FIFO capacity capped at 64 Kbit"));
+            }
+            let style = params.style(names::STYLE).unwrap_or("STACK").to_string();
+            let pw = select_width(depth) + 1; // counts 0..=depth and sums < 2*depth
+            let mem_w = width * depth;
+            b.inp("DIN", width, PortClass::Data);
+            b.clocked();
+            b.out("DOUT", width, PortClass::Data);
+            b.out("EMPTY", 1, PortClass::Status);
+            b.out("FULL", 1, PortClass::Status);
+            b.reg_out("MEM", mem_w, PortClass::Data);
+            let mulw = |e: Expr| {
+                Expr::binary(BinaryOp::MulFull, e, Expr::cuint(17, width as u64))
+            };
+            let mask = Expr::ZextTo(mem_w, Box::new(Expr::Const(Bits::ones(width))));
+            let place = |at: Expr| {
+                let cleared = Expr::binary(
+                    BinaryOp::And,
+                    Expr::port("MEM"),
+                    Expr::unary(
+                        UnaryOp::Not,
+                        Expr::binary(BinaryOp::ShlV, mask.clone(), mulw(at.clone())),
+                    ),
+                );
+                let data = Expr::binary(
+                    BinaryOp::ShlV,
+                    Expr::ZextTo(mem_w, Box::new(Expr::port("DIN"))),
+                    mulw(at),
+                );
+                Expr::binary(BinaryOp::Or, cleared, data)
+            };
+            match style.as_str() {
+                "STACK" => {
+                    b.reg_out("PTR", pw, PortClass::Data);
+                    let top = Expr::binary(
+                        BinaryOp::Sub,
+                        Expr::port("PTR"),
+                        Expr::cuint(pw, 1),
+                    );
+                    b.op(
+                        Op::Read,
+                        None,
+                        vec![
+                            Effect::new(
+                                "DOUT",
+                                Expr::ZextTo(
+                                    width,
+                                    Box::new(Expr::binary(
+                                        BinaryOp::ShrV,
+                                        Expr::port("MEM"),
+                                        mulw(top),
+                                    )),
+                                ),
+                            ),
+                            Effect::new("EMPTY", Expr::unary(UnaryOp::IsZero, Expr::port("PTR"))),
+                            Effect::new(
+                                "FULL",
+                                Expr::cmp(
+                                    CmpOp::Eq,
+                                    Expr::port("PTR"),
+                                    Expr::cuint(pw, depth as u64),
+                                ),
+                            ),
+                        ],
+                    );
+                    b.inp("CPUSH", 1, PortClass::Control);
+                    b.inp("CPOP", 1, PortClass::Control);
+                    b.op(
+                        Op::Push,
+                        Some("CPUSH"),
+                        vec![
+                            Effect::new("MEM", place(Expr::port("PTR"))),
+                            Effect::new("PTR", Expr::unary(UnaryOp::Inc, Expr::port("PTR"))),
+                        ],
+                    );
+                    b.op(
+                        Op::Pop,
+                        Some("CPOP"),
+                        vec![Effect::new("PTR", Expr::unary(UnaryOp::Dec, Expr::port("PTR")))],
+                    );
+                }
+                "FIFO" => {
+                    b.reg_out("HEAD", pw, PortClass::Data);
+                    b.reg_out("COUNT", pw, PortClass::Data);
+                    let d = Expr::cuint(pw, depth as u64);
+                    let tail = Expr::binary(
+                        BinaryOp::RemOrA,
+                        Expr::binary(BinaryOp::Add, Expr::port("HEAD"), Expr::port("COUNT")),
+                        d.clone(),
+                    );
+                    b.op(
+                        Op::Read,
+                        None,
+                        vec![
+                            Effect::new(
+                                "DOUT",
+                                Expr::ZextTo(
+                                    width,
+                                    Box::new(Expr::binary(
+                                        BinaryOp::ShrV,
+                                        Expr::port("MEM"),
+                                        mulw(Expr::port("HEAD")),
+                                    )),
+                                ),
+                            ),
+                            Effect::new(
+                                "EMPTY",
+                                Expr::unary(UnaryOp::IsZero, Expr::port("COUNT")),
+                            ),
+                            Effect::new(
+                                "FULL",
+                                Expr::cmp(CmpOp::Eq, Expr::port("COUNT"), d.clone()),
+                            ),
+                        ],
+                    );
+                    b.inp("CPUSH", 1, PortClass::Control);
+                    b.inp("CPOP", 1, PortClass::Control);
+                    b.op(
+                        Op::Push,
+                        Some("CPUSH"),
+                        vec![
+                            Effect::new("MEM", place(tail)),
+                            Effect::new("COUNT", Expr::unary(UnaryOp::Inc, Expr::port("COUNT"))),
+                        ],
+                    );
+                    b.op(
+                        Op::Pop,
+                        Some("CPOP"),
+                        vec![
+                            Effect::new(
+                                "HEAD",
+                                Expr::binary(
+                                    BinaryOp::RemOrA,
+                                    Expr::unary(UnaryOp::Inc, Expr::port("HEAD")),
+                                    d,
+                                ),
+                            ),
+                            Effect::new("COUNT", Expr::unary(UnaryOp::Dec, Expr::port("COUNT"))),
+                        ],
+                    );
+                }
+                other => return Err(err(format!("unknown stack/FIFO style {other}"))),
+            }
+            spec = ComponentSpec::new(kind, width)
+                .with_width2(depth)
+                .with_ops([Op::Push, Op::Pop].into_iter().collect())
+                .with_style(&style);
+        }
+        PortComp => {
+            let style = params.style(names::STYLE).unwrap_or("IN").to_string();
+            match style.as_str() {
+                "IN" => {
+                    b.inp("PAD", width, PortClass::Data);
+                    b.out("O", width, PortClass::Data);
+                    b.op(Op::Hold, None, vec![Effect::new("O", Expr::port("PAD"))]);
+                }
+                "OUT" => {
+                    b.inp("I", width, PortClass::Data);
+                    b.out("PAD", width, PortClass::Data);
+                    b.op(Op::Hold, None, vec![Effect::new("PAD", Expr::port("I"))]);
+                }
+                other => return Err(err(format!("unknown port style {other}"))),
+            }
+            spec = ComponentSpec::new(kind, width).with_style(&style);
+        }
+        BufferComp | ClockDriver | SchmittTrigger | Delay => {
+            b.inp("I", width, PortClass::Data);
+            b.out("O", width, PortClass::Data);
+            b.op(Op::Hold, None, vec![Effect::new("O", Expr::port("I"))]);
+            spec = ComponentSpec::new(kind, width);
+        }
+        Tristate => {
+            b.inp("I", width, PortClass::Data);
+            b.inp("OE", 1, PortClass::Control);
+            b.out("O", width, PortClass::Data);
+            // High-Z is modelled as zero so a wired-OR of tristates works.
+            let sel = Expr::Select {
+                sel: Box::new(Expr::port("OE")),
+                cases: vec![Expr::cuint(width, 0), Expr::port("I")],
+                default: Box::new(Expr::cuint(width, 0)),
+            };
+            b.op(Op::Hold, None, vec![Effect::new("O", sel)]);
+            spec = ComponentSpec::new(kind, width);
+        }
+        WiredOr | Bus => {
+            let n = params.width(names::NUM_INPUTS).unwrap_or(2);
+            if n < 2 {
+                return Err(err("wired-or/bus needs at least 2 sources"));
+            }
+            for i in 0..n {
+                b.inp(&format!("I{i}"), width, PortClass::Data);
+            }
+            b.out("O", width, PortClass::Data);
+            let mut acc = Expr::port("I0");
+            for i in 1..n {
+                acc = Expr::binary(BinaryOp::Or, acc, Expr::port(&format!("I{i}")));
+            }
+            b.op(Op::Or, None, vec![Effect::new("O", acc)]);
+            spec = ComponentSpec::new(kind, width).with_inputs(n);
+        }
+        Concat => {
+            let n = params
+                .width(names::NUM_INPUTS)
+                .ok_or_else(|| err("concat needs a part count"))?;
+            if n < 2 {
+                return Err(err("concat needs at least 2 parts"));
+            }
+            let mut parts = Vec::with_capacity(n);
+            for i in 0..n {
+                b.inp(&format!("I{i}"), width, PortClass::Data);
+                parts.push(Expr::port(&format!("I{i}")));
+            }
+            b.out("O", width * n, PortClass::Data);
+            b.op(Op::Hold, None, vec![Effect::new("O", Expr::Concat(parts))]);
+            spec = ComponentSpec::new(kind, width).with_inputs(n);
+        }
+        Extract => {
+            let len = params
+                .width(names::INPUT_WIDTH2)
+                .ok_or_else(|| err("extract needs a field width"))?;
+            let offset = match params.get(names::OFFSET) {
+                Some(ParamValue::Int(v)) if *v >= 0 => *v as usize,
+                Some(_) => return Err(err("negative extract offset")),
+                None => 0,
+            };
+            if len == 0 || offset + len > width {
+                return Err(err(format!(
+                    "extract field [{offset}, {offset}+{len}) exceeds input width {width}"
+                )));
+            }
+            b.inp("I", width, PortClass::Data);
+            b.out("O", len, PortClass::Data);
+            b.op(
+                Op::Hold,
+                None,
+                vec![Effect::new("O", Expr::slice(Expr::port("I"), offset, len))],
+            );
+            // The offset participates in functionality, so it must be part
+            // of the spec; the otherwise-unused fan-in field carries it.
+            spec = ComponentSpec::new(kind, width)
+                .with_width2(len)
+                .with_inputs(offset);
+        }
+        ClockGenerator => {
+            b.out("CLK", 1, PortClass::Clock);
+            spec = ComponentSpec::new(kind, 1);
+        }
+    }
+    Ok(b.finish(gen_name, spec, params.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Env;
+
+    fn p() -> Params {
+        Params::new()
+    }
+
+    fn build(kind: ComponentKind, params: Params) -> Component {
+        let resolved = params.resolve(&schema_for(kind)).unwrap();
+        build_component(kind, &kind.name(), &resolved).unwrap()
+    }
+
+    fn env(pairs: &[(&str, Bits)]) -> Env {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(16), 4);
+        assert_eq!(clog2(17), 5);
+        assert_eq!(select_width(1), 1);
+        assert_eq!(select_width(16), 4);
+    }
+
+    #[test]
+    fn nand_gate_folds_and_inverts() {
+        let c = build(
+            ComponentKind::Gate(GateOp::Nand),
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::NUM_INPUTS, ParamValue::Width(3)),
+        );
+        let out = c
+            .eval(&env(&[
+                ("I0", Bits::from_u64(4, 0b1111)),
+                ("I1", Bits::from_u64(4, 0b1010)),
+                ("I2", Bits::from_u64(4, 0b0110)),
+            ]))
+            .unwrap();
+        assert_eq!(out["O"].to_u64(), Some(0b1101));
+        assert_eq!(c.spec().inputs, 3);
+    }
+
+    #[test]
+    fn not_gate_is_single_input() {
+        let c = build(
+            ComponentKind::Gate(GateOp::Not),
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8)),
+        );
+        assert_eq!(c.inputs().count(), 1);
+        let out = c.eval(&env(&[("I0", Bits::from_u64(8, 0x0f))])).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(0xf0));
+    }
+
+    #[test]
+    fn mux_selects_by_index() {
+        let c = build(
+            ComponentKind::Mux,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::NUM_INPUTS, ParamValue::Width(4)),
+        );
+        assert_eq!(c.port("S").unwrap().width, 2);
+        let e = env(&[
+            ("I0", Bits::from_u64(8, 10)),
+            ("I1", Bits::from_u64(8, 20)),
+            ("I2", Bits::from_u64(8, 30)),
+            ("I3", Bits::from_u64(8, 40)),
+            ("S", Bits::from_u64(2, 2)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(30));
+    }
+
+    #[test]
+    fn selector_is_one_hot() {
+        let c = build(
+            ComponentKind::Selector,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::NUM_INPUTS, ParamValue::Width(3)),
+        );
+        let e = env(&[
+            ("I0", Bits::from_u64(4, 1)),
+            ("I1", Bits::from_u64(4, 2)),
+            ("I2", Bits::from_u64(4, 4)),
+            ("SEL", Bits::from_u64(3, 0b010)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(2));
+    }
+
+    #[test]
+    fn binary_decoder_one_hot_output() {
+        let c = build(
+            ComponentKind::Decoder,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(3)),
+        );
+        assert_eq!(c.spec().width2, 8);
+        let out = c.eval(&env(&[("A", Bits::from_u64(3, 5))])).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(1 << 5));
+    }
+
+    #[test]
+    fn bcd_decoder_blanks_out_of_range() {
+        let c = build(
+            ComponentKind::Decoder,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::STYLE, ParamValue::Style("BCD".into())),
+        );
+        assert_eq!(c.spec().width2, 10);
+        let out = c.eval(&env(&[("A", Bits::from_u64(4, 9))])).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(1 << 9));
+        let out = c.eval(&env(&[("A", Bits::from_u64(4, 12))])).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn priority_encoder_reports_highest_line() {
+        let c = build(
+            ComponentKind::Encoder,
+            p().with(names::NUM_INPUTS, ParamValue::Width(8)),
+        );
+        let out = c.eval(&env(&[("I", Bits::from_u64(8, 0b0010_0110))])).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(5));
+        assert_eq!(out["V"].to_u64(), Some(1));
+        let none = c.eval(&env(&[("I", Bits::zero(8))])).unwrap();
+        assert_eq!(none["O"].to_u64(), Some(0));
+        assert_eq!(none["V"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn addsub_subtracts_with_borrow_convention() {
+        let ops: OpSet = [Op::Add, Op::Sub].into_iter().collect();
+        let c = build(
+            ComponentKind::AddSub,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::FUNCTION_LIST, ParamValue::Ops(ops)),
+        );
+        // S=1 selects SUB (canonical order ADD=0, SUB=1); CI=1 means "no
+        // borrow in".
+        let e = env(&[
+            ("A", Bits::from_u64(8, 40)),
+            ("B", Bits::from_u64(8, 15)),
+            ("CI", Bits::from_u64(1, 1)),
+            ("S", Bits::from_u64(1, 1)),
+        ]);
+        let out = c.eval(&e).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(25));
+        assert_eq!(out["CO"].to_u64(), Some(1)); // no borrow
+    }
+
+    #[test]
+    fn adder_group_pg_outputs() {
+        let c = build(
+            ComponentKind::AddSub,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::GROUP_PG, ParamValue::Flag(true)),
+        );
+        assert!(c.spec().group_pg);
+        // A=0101, B=1010: all bits propagate, nothing generates.
+        let e = env(&[
+            ("A", Bits::from_u64(4, 0b0101)),
+            ("B", Bits::from_u64(4, 0b1010)),
+            ("CI", Bits::from_u64(1, 1)),
+        ]);
+        let out = c.eval(&e).unwrap();
+        assert_eq!(out["P"].to_u64(), Some(1));
+        assert_eq!(out["G"].to_u64(), Some(0));
+        assert_eq!(out["CO"].to_u64(), Some(1)); // propagated carry-in
+        // A=1100, B=0100: bit 2 generates.
+        let e2 = env(&[
+            ("A", Bits::from_u64(4, 0b1100)),
+            ("B", Bits::from_u64(4, 0b0100)),
+            ("CI", Bits::from_u64(1, 0)),
+        ]);
+        let out2 = c.eval(&e2).unwrap();
+        assert_eq!(out2["P"].to_u64(), Some(0));
+        assert_eq!(out2["G"].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn comparator_flags() {
+        let c = build(
+            ComponentKind::Comparator,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8)),
+        );
+        let out = c
+            .eval(&env(&[
+                ("A", Bits::from_u64(8, 9)),
+                ("B", Bits::from_u64(8, 17)),
+            ]))
+            .unwrap();
+        assert_eq!(out["EQ"].to_u64(), Some(0));
+        assert_eq!(out["LT"].to_u64(), Some(1));
+        assert_eq!(out["GT"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn alu16_matches_reference_semantics() {
+        let c = build(
+            ComponentKind::Alu,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::FUNCTION_LIST, ParamValue::Ops(Op::paper_alu16())),
+        );
+        assert_eq!(c.port("S").unwrap().width, 4);
+        let a = 0xa5u64;
+        let bv = 0x3cu64;
+        let run = |sel: u64| {
+            let e = env(&[
+                ("A", Bits::from_u64(8, a)),
+                ("B", Bits::from_u64(8, bv)),
+                ("CI", Bits::from_u64(1, 0)),
+                ("S", Bits::from_u64(4, sel)),
+            ]);
+            c.eval(&e).unwrap()["O"].to_u64().unwrap()
+        };
+        assert_eq!(run(0), (a + bv) & 0xff); // ADD, CI=0
+        assert_eq!(run(1), (a + (!bv & 0xff)) & 0xff); // SUB with CI=0: a-b-1
+        assert_eq!(run(2), (a + 1) & 0xff); // INC
+        assert_eq!(run(3), (a - 1) & 0xff); // DEC
+        assert_eq!(run(4), 0); // EQ
+        assert_eq!(run(5), 0); // LT (a5 > 3c)
+        assert_eq!(run(6), 1); // GT
+        assert_eq!(run(7), 0); // ZEROP
+        assert_eq!(run(8), a & bv);
+        assert_eq!(run(9), a | bv);
+        assert_eq!(run(10), !(a & bv) & 0xff);
+        assert_eq!(run(11), !(a | bv) & 0xff);
+        assert_eq!(run(12), a ^ bv);
+        assert_eq!(run(13), !(a ^ bv) & 0xff);
+        assert_eq!(run(14), !a & 0xff);
+        assert_eq!(run(15), (!a | bv) & 0xff);
+    }
+
+    #[test]
+    fn barrel_shifter_uses_amount_port() {
+        let c = build(
+            ComponentKind::BarrelShifter,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(16)),
+        );
+        assert_eq!(c.port("SH").unwrap().width, 4);
+        let e = env(&[
+            ("A", Bits::from_u64(16, 0x0001)),
+            ("SH", Bits::from_u64(4, 9)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(0x0200));
+    }
+
+    #[test]
+    fn multiplier_full_width() {
+        let c = build(
+            ComponentKind::Multiplier,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(4)),
+        );
+        assert_eq!(c.port("O").unwrap().width, 12);
+        let e = env(&[
+            ("A", Bits::from_u64(8, 200)),
+            ("B", Bits::from_u64(4, 11)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(2200));
+    }
+
+    #[test]
+    fn cla_generator_carries() {
+        let c = build(ComponentKind::CarryLookahead, p());
+        // P = 1111, G = 0001, CI = 0: carry ripples from g0 through all.
+        let e = env(&[
+            ("P", Bits::from_u64(4, 0b1111)),
+            ("G", Bits::from_u64(4, 0b0001)),
+            ("CI", Bits::from_u64(1, 0)),
+        ]);
+        let out = c.eval(&e).unwrap();
+        assert_eq!(out["C"].to_u64(), Some(0b1111));
+        assert_eq!(out["GP"].to_u64(), Some(1));
+        assert_eq!(out["GG"].to_u64(), Some(1));
+        // No generates, no carry-in: no carries.
+        let e0 = env(&[
+            ("P", Bits::from_u64(4, 0b1111)),
+            ("G", Bits::zero(4)),
+            ("CI", Bits::from_u64(1, 0)),
+        ]);
+        let out0 = c.eval(&e0).unwrap();
+        assert_eq!(out0["C"].to_u64(), Some(0));
+        assert_eq!(out0["GG"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn register_loads_and_respects_enable() {
+        let c = build(
+            ComponentKind::Register,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::ENABLE_FLAG, ParamValue::Flag(true)),
+        );
+        let mut e = env(&[
+            ("D", Bits::from_u64(8, 0x5a)),
+            ("Q", Bits::from_u64(8, 0x11)),
+            ("EN", Bits::from_u64(1, 1)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["Q"].to_u64(), Some(0x5a));
+        e.insert("EN".into(), Bits::zero(1));
+        assert_eq!(c.eval(&e).unwrap()["Q"].to_u64(), Some(0x11)); // hold
+    }
+
+    #[test]
+    fn register_async_reset_beats_enable() {
+        let c = build(
+            ComponentKind::Register,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::ENABLE_FLAG, ParamValue::Flag(true))
+                .with(names::ASYNC_SET_RESET, ParamValue::Flag(true)),
+        );
+        let e = env(&[
+            ("D", Bits::from_u64(8, 0x5a)),
+            ("Q", Bits::from_u64(8, 0x11)),
+            ("EN", Bits::zero(1)),
+            ("ARST", Bits::from_u64(1, 1)),
+            ("ASET", Bits::zero(1)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["Q"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn counter_counts_loads_and_holds() {
+        let c = build(
+            ComponentKind::Counter,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4)),
+        );
+        let base = |cen: u64, cload: u64, cup: u64, cdown: u64, q: u64| {
+            env(&[
+                ("I0", Bits::from_u64(4, 9)),
+                ("O0", Bits::from_u64(4, q)),
+                ("CEN", Bits::from_u64(1, cen)),
+                ("ARESET", Bits::zero(1)),
+                ("ASET", Bits::zero(1)),
+                ("CLOAD", Bits::from_u64(1, cload)),
+                ("CUP", Bits::from_u64(1, cup)),
+                ("CDOWN", Bits::from_u64(1, cdown)),
+            ])
+        };
+        assert_eq!(c.eval(&base(1, 0, 1, 0, 7)).unwrap()["O0"].to_u64(), Some(8));
+        assert_eq!(c.eval(&base(1, 0, 0, 1, 7)).unwrap()["O0"].to_u64(), Some(6));
+        assert_eq!(c.eval(&base(1, 1, 1, 1, 7)).unwrap()["O0"].to_u64(), Some(9)); // load priority
+        assert_eq!(c.eval(&base(0, 1, 1, 1, 7)).unwrap()["O0"].to_u64(), Some(7)); // disabled
+        assert_eq!(c.eval(&base(1, 0, 1, 0, 15)).unwrap()["O0"].to_u64(), Some(0)); // wrap
+    }
+
+    #[test]
+    fn register_file_reads_old_value_during_write() {
+        let c = build(
+            ComponentKind::RegisterFile,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(4)),
+        );
+        // MEM holds word 2 = 0x77; write 0x99 to word 2 while reading it.
+        let mem = Bits::from_u64(32, 0x0077_0000);
+        let e = env(&[
+            ("RA", Bits::from_u64(2, 2)),
+            ("WA", Bits::from_u64(2, 2)),
+            ("WD", Bits::from_u64(8, 0x99)),
+            ("WEN", Bits::from_u64(1, 1)),
+            ("MEM", mem),
+        ]);
+        let out = c.eval(&e).unwrap();
+        assert_eq!(out["RD"].to_u64(), Some(0x77)); // read-before-write
+        assert_eq!(out["MEM"].to_u64(), Some(0x0099_0000));
+    }
+
+    #[test]
+    fn stack_pushes_and_pops() {
+        let c = build(
+            ComponentKind::StackFifo,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(4)),
+        );
+        let e = env(&[
+            ("DIN", Bits::from_u64(8, 0xab)),
+            ("MEM", Bits::zero(32)),
+            ("PTR", Bits::from_u64(3, 0)),
+            ("CPUSH", Bits::from_u64(1, 1)),
+            ("CPOP", Bits::zero(1)),
+        ]);
+        let out = c.eval(&e).unwrap();
+        assert_eq!(out["PTR"].to_u64(), Some(1));
+        assert_eq!(out["MEM"].to_u64(), Some(0xab));
+        assert_eq!(out["EMPTY"].to_u64(), Some(1)); // flags reflect pre-state
+    }
+
+    #[test]
+    fn fifo_wraps_head() {
+        let c = build(
+            ComponentKind::StackFifo,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(3))
+                .with(names::STYLE, ParamValue::Style("FIFO".into())),
+        );
+        let e = env(&[
+            ("DIN", Bits::from_u64(4, 5)),
+            ("MEM", Bits::from_u64(12, 0x0a0)), // word1 = 0xa
+            ("HEAD", Bits::from_u64(3, 2)),
+            ("COUNT", Bits::from_u64(3, 1)),
+            ("CPUSH", Bits::zero(1)),
+            ("CPOP", Bits::from_u64(1, 1)),
+        ]);
+        let out = c.eval(&e).unwrap();
+        assert_eq!(out["HEAD"].to_u64(), Some(0)); // (2+1) mod 3
+        assert_eq!(out["COUNT"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn tristate_drives_zero_when_disabled() {
+        let c = build(
+            ComponentKind::Tristate,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8)),
+        );
+        let e = env(&[
+            ("I", Bits::from_u64(8, 0xff)),
+            ("OE", Bits::zero(1)),
+        ]);
+        assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn concat_and_extract_are_inverse() {
+        let cc = build(
+            ComponentKind::Concat,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::NUM_INPUTS, ParamValue::Width(2)),
+        );
+        let e = env(&[
+            ("I0", Bits::from_u64(4, 0x3)),
+            ("I1", Bits::from_u64(4, 0xe)),
+        ]);
+        let glued = cc.eval(&e).unwrap()["O"].clone();
+        assert_eq!(glued.to_u64(), Some(0xe3));
+        let ex = build(
+            ComponentKind::Extract,
+            p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(4))
+                .with(names::OFFSET, ParamValue::Int(4)),
+        );
+        let out = ex.eval(&env(&[("I", glued)])).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(0xe));
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        let r = Params::new()
+            .with(names::INPUT_WIDTH, ParamValue::Width(8))
+            .with(names::FUNCTION_LIST, ParamValue::Ops(OpSet::only(Op::Add)))
+            .resolve(&schema_for(ComponentKind::LogicUnit))
+            .unwrap();
+        assert!(build_component(ComponentKind::LogicUnit, "LU", &r).is_err());
+
+        let r = Params::new()
+            .with(names::INPUT_WIDTH, ParamValue::Width(13))
+            .resolve(&schema_for(ComponentKind::Decoder))
+            .unwrap();
+        assert!(build_component(ComponentKind::Decoder, "DECODER", &r).is_err());
+
+        let r = Params::new()
+            .with(names::INPUT_WIDTH, ParamValue::Width(8))
+            .with(names::NUM_INPUTS, ParamValue::Width(1))
+            .resolve(&schema_for(ComponentKind::Mux))
+            .unwrap();
+        assert!(build_component(ComponentKind::Mux, "MUX", &r).is_err());
+    }
+
+    #[test]
+    fn component_for_spec_roundtrips() {
+        // Build components, then rebuild them from their specs and check
+        // the specs (and hence ports/behavior) agree.
+        let cases: Vec<Component> = vec![
+            build(
+                ComponentKind::Alu,
+                p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                    .with(names::FUNCTION_LIST, ParamValue::Ops(Op::paper_alu16())),
+            ),
+            build(
+                ComponentKind::AddSub,
+                p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                    .with(names::GROUP_PG, ParamValue::Flag(true)),
+            ),
+            build(
+                ComponentKind::Mux,
+                p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                    .with(names::NUM_INPUTS, ParamValue::Width(5)),
+            ),
+            build(ComponentKind::CarryLookahead, p()),
+            build(
+                ComponentKind::Counter,
+                p().with(names::INPUT_WIDTH, ParamValue::Width(3)),
+            ),
+            build(
+                ComponentKind::Decoder,
+                p().with(names::INPUT_WIDTH, ParamValue::Width(4))
+                    .with(names::STYLE, ParamValue::Style("BCD".into())),
+            ),
+            build(
+                ComponentKind::Extract,
+                p().with(names::INPUT_WIDTH, ParamValue::Width(8))
+                    .with(names::INPUT_WIDTH2, ParamValue::Width(3))
+                    .with(names::OFFSET, ParamValue::Int(2)),
+            ),
+        ];
+        for c in cases {
+            let re = component_for_spec(c.spec()).unwrap();
+            assert_eq!(re.spec(), c.spec(), "spec drift for {}", c.name());
+            assert_eq!(re.ports(), c.ports(), "port drift for {}", c.name());
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_with_minimal_params() {
+        for kind in ComponentKind::all() {
+            let mut params = Params::new().with(names::INPUT_WIDTH, ParamValue::Width(4));
+            match kind {
+                ComponentKind::LogicUnit => {
+                    params.set(
+                        names::FUNCTION_LIST,
+                        ParamValue::Ops([Op::And, Op::Or].into_iter().collect()),
+                    );
+                }
+                ComponentKind::Alu => {
+                    params.set(names::FUNCTION_LIST, ParamValue::Ops(Op::paper_alu16()));
+                }
+                ComponentKind::Encoder => {
+                    params = Params::new().with(names::NUM_INPUTS, ParamValue::Width(4));
+                }
+                ComponentKind::CarryLookahead | ComponentKind::ClockGenerator => {
+                    params = Params::new();
+                }
+                ComponentKind::RegisterFile
+                | ComponentKind::Memory
+                | ComponentKind::StackFifo => {
+                    params.set(names::INPUT_WIDTH2, ParamValue::Width(4));
+                }
+                ComponentKind::Concat => {
+                    params.set(names::NUM_INPUTS, ParamValue::Width(2));
+                }
+                ComponentKind::Extract => {
+                    params.set(names::INPUT_WIDTH2, ParamValue::Width(2));
+                }
+                _ => {}
+            }
+            let resolved = params.resolve(&schema_for(kind)).unwrap();
+            let c = build_component(kind, &kind.name(), &resolved)
+                .unwrap_or_else(|e| panic!("{kind} failed to build: {e}"));
+            assert!(!c.ports().is_empty(), "{kind} has no ports");
+        }
+    }
+}

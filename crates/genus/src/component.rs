@@ -1,0 +1,578 @@
+//! Generators, components and instances — the GENUS hierarchy.
+//!
+//! "A GENUS library is composed as a hierarchy of types, generators,
+//! components and instances" (paper §4). A [`Generator`] is a component
+//! family with a parameter schema; applying parameters yields a
+//! [`Component`] with concrete ports, operations and a behavioral model;
+//! an [`Instance`] is a named "carbon-copy" of a component placed in a
+//! netlist, storing only connectivity.
+
+use crate::behavior::{Effect, Env, EvalError};
+use crate::build;
+use crate::kind::ComponentKind;
+use crate::op::Op;
+use crate::params::{ParamError, ParamSpec, Params};
+use crate::spec::ComponentSpec;
+use rtl_base::bits::Bits;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven by the environment.
+    In,
+    /// Driven by the component.
+    Out,
+}
+
+/// Functional class of a port (LEGEND distinguishes inputs, outputs, clock,
+/// enable, control and async pins — Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortClass {
+    /// Data input or output.
+    Data,
+    /// Operation-select input (e.g. the ALU `S` port).
+    Select,
+    /// Per-operation control line (e.g. the counter `CLOAD`).
+    Control,
+    /// Clock input.
+    Clock,
+    /// Synchronous enable.
+    Enable,
+    /// Asynchronous set/reset.
+    AsyncSetReset,
+    /// Carry input.
+    CarryIn,
+    /// Carry output.
+    CarryOut,
+    /// Status output (comparator flags and the like).
+    Status,
+}
+
+/// A component port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    /// Port name, unique within the component.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Width in bits.
+    pub width: usize,
+    /// Functional class.
+    pub class: PortClass,
+}
+
+impl Port {
+    /// Creates an input port.
+    pub fn input(name: &str, width: usize, class: PortClass) -> Self {
+        Port {
+            name: name.to_string(),
+            dir: PortDir::In,
+            width,
+            class,
+        }
+    }
+
+    /// Creates an output port.
+    pub fn output(name: &str, width: usize, class: PortClass) -> Self {
+        Port {
+            name: name.to_string(),
+            dir: PortDir::Out,
+            width,
+            class,
+        }
+    }
+}
+
+/// One operation of a component: the LEGEND `OPERATIONS:` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// The operation performed.
+    pub op: Op,
+    /// Control port asserted to fire this operation (sequential
+    /// components); `None` when the operation is chosen by the select port
+    /// or is the only one.
+    pub control: Option<String>,
+    /// Effects executed when the operation fires.
+    pub effects: Vec<Effect>,
+}
+
+/// How a multi-function combinational component chooses its operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpSelect {
+    /// Name of the select input port.
+    pub port: String,
+    /// `encoding[i]` is the operation selected by value `i`; operations are
+    /// in canonical [`OpSet`](crate::op::OpSet) iteration order, so select
+    /// values are stable across decompositions.
+    pub encoding: Vec<Op>,
+}
+
+/// A fully parameterized component.
+///
+/// Obtain components from a [`Generator`] (or from
+/// [`GenusLibrary`](crate::stdlib::GenusLibrary) convenience methods);
+/// they are immutable and cheaply shareable via [`Arc`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    pub(crate) name: String,
+    pub(crate) generator: String,
+    pub(crate) spec: ComponentSpec,
+    pub(crate) ports: Vec<Port>,
+    pub(crate) operations: Vec<Operation>,
+    pub(crate) op_select: Option<OpSelect>,
+    pub(crate) clock: Option<String>,
+    pub(crate) params: Params,
+    /// Output ports that hold state across clock edges (a register's `Q`,
+    /// a memory's `MEM`). Other outputs of sequential components are
+    /// combinational reads (a register file's `RD`).
+    pub(crate) registered: std::collections::BTreeSet<String>,
+}
+
+impl Component {
+    /// The component name (e.g. `ALU_64`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the parent generator.
+    pub fn generator(&self) -> &str {
+        &self.generator
+    }
+
+    /// The functional specification.
+    pub fn spec(&self) -> &ComponentSpec {
+        &self.spec
+    }
+
+    /// The component kind.
+    pub fn kind(&self) -> ComponentKind {
+        self.spec.kind
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Input ports.
+    pub fn inputs(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::In)
+    }
+
+    /// Output ports.
+    pub fn outputs(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Out)
+    }
+
+    /// The operations the component performs.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Select-port configuration, when the component is multi-function.
+    pub fn op_select(&self) -> Option<&OpSelect> {
+        self.op_select.as_ref()
+    }
+
+    /// Clock port name for sequential components.
+    pub fn clock(&self) -> Option<&str> {
+        self.clock.as_deref()
+    }
+
+    /// True for components holding state.
+    pub fn is_sequential(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// True when the named output publishes held state at the clock edge
+    /// (as opposed to a combinational read port of a sequential
+    /// component). Always false for combinational components.
+    pub fn is_registered_output(&self, port: &str) -> bool {
+        self.registered.contains(port)
+    }
+
+    /// The registered (state-holding) output ports.
+    pub fn registered_outputs(&self) -> impl Iterator<Item = &str> {
+        self.registered.iter().map(String::as_str)
+    }
+
+    /// The resolved parameter list the component was generated with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// True input dependencies of each output: output port name → the set
+    /// of input ports whose value can influence it (through any
+    /// operation's effect, the select port, control pins and the enable).
+    ///
+    /// Timing analysis uses this to create arcs only where combinational
+    /// paths actually exist — a P/G adder's group outputs, for instance,
+    /// do not depend on its carry input.
+    pub fn output_dependencies(&self) -> BTreeMap<String, std::collections::BTreeSet<String>> {
+        use std::collections::BTreeSet;
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let input_names: BTreeSet<String> = self
+            .inputs()
+            .map(|p| p.name.clone())
+            .collect();
+        let mut global: BTreeSet<String> = BTreeSet::new();
+        if let Some(sel) = &self.op_select {
+            global.insert(sel.port.clone());
+        }
+        if let Some(en) = self
+            .ports
+            .iter()
+            .find(|p| p.class == PortClass::Enable && p.dir == PortDir::In)
+        {
+            global.insert(en.name.clone());
+        }
+        for operation in &self.operations {
+            let mut op_deps = global.clone();
+            if let Some(ctrl) = &operation.control {
+                op_deps.insert(ctrl.clone());
+            }
+            for effect in &operation.effects {
+                let mut referenced = BTreeSet::new();
+                effect.expr.collect_ports(&mut referenced);
+                let entry = deps.entry(effect.target.clone()).or_default();
+                entry.extend(op_deps.iter().cloned());
+                entry.extend(
+                    referenced
+                        .into_iter()
+                        .filter(|p| input_names.contains(p)),
+                );
+            }
+        }
+        deps
+    }
+
+    /// Evaluates the combinational function: given input port values,
+    /// computes all output port values.
+    ///
+    /// Multi-function components read their select port from `inputs`;
+    /// single-operation components apply their one operation. For
+    /// sequential components this computes the *next state / output*
+    /// given current state bound in `inputs` under output-port names
+    /// (the simulator drives this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when `inputs` is missing a port or widths are
+    /// inconsistent.
+    pub fn eval(&self, inputs: &Env) -> Result<Env, EvalError> {
+        self.eval_filtered(inputs, None)
+    }
+
+    /// Like [`eval`](Self::eval), but computes only the outputs named in
+    /// `targets` — the environment then only needs the ports those
+    /// outputs actually depend on (see
+    /// [`output_dependencies`](Self::output_dependencies)). Levelized
+    /// simulators use this to evaluate outputs individually when a
+    /// component sits on a port-level feedback path (e.g. a P/G adder
+    /// whose group outputs feed the lookahead that produces its carry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when a needed port is missing or widths are
+    /// inconsistent.
+    pub fn eval_filtered(
+        &self,
+        inputs: &Env,
+        targets: Option<&std::collections::BTreeSet<String>>,
+    ) -> Result<Env, EvalError> {
+        let wanted = |name: &str| targets.is_none_or(|t| t.contains(name));
+        let mut out = Env::new();
+        // Default every output to its current value if bound (sequential
+        // hold) or zero.
+        for p in self.outputs() {
+            if !wanted(&p.name) {
+                continue;
+            }
+            let held = inputs
+                .get(&p.name)
+                .cloned()
+                .unwrap_or_else(|| Bits::zero(p.width));
+            out.insert(p.name.clone(), held);
+        }
+        let fire = |out: &mut Env, operation: &Operation| -> Result<(), EvalError> {
+            for effect in &operation.effects {
+                if !wanted(&effect.target) {
+                    continue;
+                }
+                let v = crate::behavior::eval(&effect.expr, inputs)?;
+                out.insert(effect.target.clone(), v);
+            }
+            Ok(())
+        };
+        // A deasserted enable pin freezes every operation except
+        // asynchronous set/reset.
+        let enabled = match self
+            .ports
+            .iter()
+            .find(|p| p.class == PortClass::Enable && p.dir == PortDir::In)
+        {
+            Some(en) => inputs.get(&en.name).is_none_or(|v| !v.is_zero()),
+            None => true,
+        };
+        let is_async = |ctrl: &str| {
+            self.port(ctrl)
+                .map(|p| p.class == PortClass::AsyncSetReset)
+                .unwrap_or(false)
+        };
+        if let Some(sel) = &self.op_select {
+            if enabled {
+                let sv = inputs
+                    .get(&sel.port)
+                    .ok_or_else(|| EvalError::UnboundPort(sel.port.clone()))?;
+                let idx = sv.to_u128().unwrap_or(u128::MAX);
+                if idx < sel.encoding.len() as u128 {
+                    let op = sel.encoding[idx as usize];
+                    if let Some(operation) = self.operations.iter().find(|o| o.op == op) {
+                        fire(&mut out, operation)?;
+                    }
+                }
+                // Out-of-range select: outputs hold their defaults.
+            }
+        } else {
+            for operation in &self.operations {
+                match &operation.control {
+                    None => {
+                        if enabled {
+                            fire(&mut out, operation)?;
+                        }
+                    }
+                    Some(ctrl) => {
+                        let cv = inputs
+                            .get(ctrl)
+                            .ok_or_else(|| EvalError::UnboundPort(ctrl.clone()))?;
+                        let asynchronous = is_async(ctrl);
+                        if !cv.is_zero() && (enabled || asynchronous) {
+                            fire(&mut out, operation)?;
+                            break; // control lines have listed priority
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.spec)
+    }
+}
+
+/// Error produced by [`Generator::instantiate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenerateError {
+    /// Parameter validation failed.
+    Param(ParamError),
+    /// Parameters are valid individually but the combination is not
+    /// buildable (e.g. a zero-width ALU).
+    Unbuildable(String),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Param(e) => write!(f, "{e}"),
+            GenerateError::Unbuildable(why) => write!(f, "unbuildable component: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<ParamError> for GenerateError {
+    fn from(e: ParamError) -> Self {
+        GenerateError::Param(e)
+    }
+}
+
+/// A component generator: one parameterizable family (the LEGEND
+/// granularity; Figure 2 of the paper is the `COUNTER` generator).
+#[derive(Clone, Debug)]
+pub struct Generator {
+    pub(crate) name: String,
+    pub(crate) kind: ComponentKind,
+    pub(crate) schema: Vec<ParamSpec>,
+    pub(crate) styles: Vec<String>,
+    pub(crate) doc: String,
+}
+
+impl Generator {
+    /// Creates a generator.
+    pub fn new(
+        name: &str,
+        kind: ComponentKind,
+        schema: Vec<ParamSpec>,
+        styles: Vec<String>,
+        doc: &str,
+    ) -> Self {
+        Generator {
+            name: name.to_string(),
+            kind,
+            schema,
+            styles,
+            doc: doc.to_string(),
+        }
+    }
+
+    /// The generator name (LEGEND `NAME:`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component kind this generator produces.
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// The parameter schema (LEGEND `PARAMETERS:`).
+    pub fn schema(&self) -> &[ParamSpec] {
+        &self.schema
+    }
+
+    /// Available styles (LEGEND `STYLES:`).
+    pub fn styles(&self) -> &[String] {
+        &self.styles
+    }
+
+    /// Documentation line.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// Generates a component from a parameter list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::Param`] when the parameters do not satisfy
+    /// the schema and [`GenerateError::Unbuildable`] when the resolved
+    /// combination cannot be built.
+    pub fn instantiate(&self, params: &Params) -> Result<Component, GenerateError> {
+        let resolved = params.resolve(&self.schema)?;
+        build::build_component(self.kind, &self.name, &resolved)
+    }
+}
+
+/// A named instance of a component in a netlist. Instances "inherit all
+/// attributes from the parent component; only the connectivity of the
+/// instance is stored" (paper §4).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Unique instance name within the netlist.
+    pub name: String,
+    /// The shared parent component.
+    pub component: Arc<Component>,
+    /// Port name → net name.
+    pub connections: BTreeMap<String, String>,
+}
+
+impl Instance {
+    /// Creates an instance with no connections.
+    pub fn new(name: &str, component: Arc<Component>) -> Self {
+        Instance {
+            name: name.to_string(),
+            component,
+            connections: BTreeMap::new(),
+        }
+    }
+
+    /// Connects a port to a net, replacing any previous binding.
+    pub fn connect(&mut self, port: &str, net: &str) -> &mut Self {
+        self.connections.insert(port.to_string(), net.to_string());
+        self
+    }
+
+    /// Builder-style [`connect`](Self::connect).
+    pub fn with_connection(mut self, port: &str, net: &str) -> Self {
+        self.connect(port, net);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpSet;
+    use crate::params::{names, ParamValue};
+
+    fn adder_gen() -> Generator {
+        Generator::new(
+            "ADDSUB",
+            ComponentKind::AddSub,
+            vec![
+                ParamSpec::required(names::INPUT_WIDTH, "width"),
+                ParamSpec::optional(
+                    names::FUNCTION_LIST,
+                    ParamValue::Ops(OpSet::only(Op::Add)),
+                    "ops",
+                ),
+                ParamSpec::optional(names::CARRY_IN, ParamValue::Flag(true), "ci"),
+                ParamSpec::optional(names::CARRY_OUT, ParamValue::Flag(true), "co"),
+            ],
+            vec![],
+            "adder/subtractor",
+        )
+    }
+
+    #[test]
+    fn instantiate_builds_adder() {
+        let g = adder_gen();
+        let c = g
+            .instantiate(&Params::new().with(names::INPUT_WIDTH, ParamValue::Width(8)))
+            .unwrap();
+        assert_eq!(c.kind(), ComponentKind::AddSub);
+        assert_eq!(c.spec().width, 8);
+        assert!(c.port("A").is_some());
+        assert!(c.port("CO").is_some());
+        assert!(!c.is_sequential());
+    }
+
+    #[test]
+    fn instantiate_rejects_missing_width() {
+        let g = adder_gen();
+        assert!(matches!(
+            g.instantiate(&Params::new()),
+            Err(GenerateError::Param(ParamError::Missing(_)))
+        ));
+    }
+
+    #[test]
+    fn adder_eval_adds() {
+        let g = adder_gen();
+        let c = g
+            .instantiate(&Params::new().with(names::INPUT_WIDTH, ParamValue::Width(8)))
+            .unwrap();
+        let mut env = Env::new();
+        env.insert("A".into(), Bits::from_u64(8, 250));
+        env.insert("B".into(), Bits::from_u64(8, 10));
+        env.insert("CI".into(), Bits::from_u64(1, 0));
+        let out = c.eval(&env).unwrap();
+        assert_eq!(out["O"].to_u64(), Some(4));
+        assert_eq!(out["CO"].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn instance_stores_connectivity_only() {
+        let g = adder_gen();
+        let c = Arc::new(
+            g.instantiate(&Params::new().with(names::INPUT_WIDTH, ParamValue::Width(4)))
+                .unwrap(),
+        );
+        let inst = Instance::new("u0", c).with_connection("A", "n1");
+        assert_eq!(inst.connections.get("A").map(String::as_str), Some("n1"));
+        assert_eq!(inst.connections.len(), 1);
+    }
+}

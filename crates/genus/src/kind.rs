@@ -1,0 +1,346 @@
+//! Component kinds and type classes.
+//!
+//! Mirrors Table 1 of the paper ("Typical LEGEND/GENUS Generic
+//! Components"), which groups component families into four *type classes*:
+//! combinational, sequential, interface and miscellaneous.
+
+use std::fmt;
+
+/// The abstract functionality class of a component family (the GENUS *type*
+/// level of the types → generators → components → instances hierarchy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TypeClass {
+    /// Output is a pure function of the inputs.
+    Combinational,
+    /// Holds state across clock edges.
+    Sequential,
+    /// Connects a design to its environment.
+    Interface,
+    /// Wiring, timing and structural glue.
+    Miscellaneous,
+}
+
+impl fmt::Display for TypeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeClass::Combinational => "combinational",
+            TypeClass::Sequential => "sequential",
+            TypeClass::Interface => "interface",
+            TypeClass::Miscellaneous => "miscellaneous",
+        })
+    }
+}
+
+/// Primitive boolean gate functions (the `Boolean Gates` family of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateOp {
+    /// N-input AND.
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// N-input XOR (parity).
+    Xor,
+    /// N-input XNOR.
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Non-inverting buffer.
+    Buf,
+}
+
+impl GateOp {
+    /// The canonical gate name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateOp::And => "AND",
+            GateOp::Or => "OR",
+            GateOp::Nand => "NAND",
+            GateOp::Nor => "NOR",
+            GateOp::Xor => "XOR",
+            GateOp::Xnor => "XNOR",
+            GateOp::Not => "NOT",
+            GateOp::Buf => "BUF",
+        }
+    }
+
+    /// Parses a canonical gate name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name on failure.
+    pub fn parse(s: &str) -> Result<GateOp, String> {
+        [
+            GateOp::And,
+            GateOp::Or,
+            GateOp::Nand,
+            GateOp::Nor,
+            GateOp::Xor,
+            GateOp::Xnor,
+            GateOp::Not,
+            GateOp::Buf,
+        ]
+        .into_iter()
+        .find(|g| g.name() == s)
+        .ok_or_else(|| format!("unknown gate {s:?}"))
+    }
+
+    /// True for gates with an inverted output (NAND, NOR, XNOR, NOT).
+    pub fn inverting(self) -> bool {
+        matches!(self, GateOp::Nand | GateOp::Nor | GateOp::Xnor | GateOp::Not)
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A GENUS component family (the *generator* granularity of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    // --- combinational ---
+    /// Primitive boolean gate with a configurable fan-in, bitwise over the
+    /// component width.
+    Gate(GateOp),
+    /// Logic unit: bitwise boolean function selected at run time.
+    LogicUnit,
+    /// N-to-1 multiplexer.
+    Mux,
+    /// One-hot selector (decoded mux).
+    Selector,
+    /// Binary or BCD decoder (n select bits to 2^n / 10 lines).
+    Decoder,
+    /// Priority encoder (2^n lines to n bits).
+    Encoder,
+    /// Adder, subtractor, or adder/subtractor.
+    AddSub,
+    /// Magnitude comparator.
+    Comparator,
+    /// Arithmetic-logic unit.
+    Alu,
+    /// Single-position shifter.
+    Shifter,
+    /// Barrel shifter (arbitrary shift amount).
+    BarrelShifter,
+    /// n-by-m combinational multiplier.
+    Multiplier,
+    /// Combinational divider.
+    Divider,
+    /// Carry-lookahead generator (group propagate/generate to carries).
+    CarryLookahead,
+    // --- sequential ---
+    /// Data register.
+    Register,
+    /// Register file.
+    RegisterFile,
+    /// Up/down/loadable counter.
+    Counter,
+    /// Stack or FIFO.
+    StackFifo,
+    /// RAM/ROM memory.
+    Memory,
+    // --- interface ---
+    /// External port.
+    PortComp,
+    /// Buffer/driver.
+    BufferComp,
+    /// Clock driver.
+    ClockDriver,
+    /// Schmitt trigger.
+    SchmittTrigger,
+    /// Tristate driver.
+    Tristate,
+    /// Wired-OR junction.
+    WiredOr,
+    // --- miscellaneous ---
+    /// Bus.
+    Bus,
+    /// Pure delay element.
+    Delay,
+    /// Switchbox concatenation (wiring).
+    Concat,
+    /// Switchbox extraction (wiring).
+    Extract,
+    /// Clock generator.
+    ClockGenerator,
+}
+
+impl ComponentKind {
+    /// The type class this family belongs to (Table 1's grouping).
+    pub fn type_class(self) -> TypeClass {
+        use ComponentKind::*;
+        match self {
+            Gate(_) | LogicUnit | Mux | Selector | Decoder | Encoder | AddSub
+            | Comparator | Alu | Shifter | BarrelShifter | Multiplier | Divider
+            | CarryLookahead => TypeClass::Combinational,
+            Register | RegisterFile | Counter | StackFifo | Memory => {
+                TypeClass::Sequential
+            }
+            PortComp | BufferComp | ClockDriver | SchmittTrigger | Tristate
+            | WiredOr => TypeClass::Interface,
+            Bus | Delay | Concat | Extract | ClockGenerator => {
+                TypeClass::Miscellaneous
+            }
+        }
+    }
+
+    /// The canonical generator name (as a LEGEND `NAME:` header).
+    pub fn name(self) -> String {
+        use ComponentKind::*;
+        match self {
+            Gate(g) => format!("GATE_{}", g.name()),
+            LogicUnit => "LU".to_string(),
+            Mux => "MUX".to_string(),
+            Selector => "SELECTOR".to_string(),
+            Decoder => "DECODER".to_string(),
+            Encoder => "ENCODER".to_string(),
+            AddSub => "ADDSUB".to_string(),
+            Comparator => "COMPARATOR".to_string(),
+            Alu => "ALU".to_string(),
+            Shifter => "SHIFTER".to_string(),
+            BarrelShifter => "BARREL_SHIFTER".to_string(),
+            Multiplier => "MULTIPLIER".to_string(),
+            Divider => "DIVIDER".to_string(),
+            CarryLookahead => "CLA_GEN".to_string(),
+            Register => "REGISTER".to_string(),
+            RegisterFile => "REGISTER_FILE".to_string(),
+            Counter => "COUNTER".to_string(),
+            StackFifo => "STACK_FIFO".to_string(),
+            Memory => "MEMORY".to_string(),
+            PortComp => "PORT".to_string(),
+            BufferComp => "BUFFER".to_string(),
+            ClockDriver => "CLOCK_DRIVER".to_string(),
+            SchmittTrigger => "SCHMITT_TRIGGER".to_string(),
+            Tristate => "TRISTATE".to_string(),
+            WiredOr => "WIRED_OR".to_string(),
+            Bus => "BUS".to_string(),
+            Delay => "DELAY".to_string(),
+            Concat => "CONCAT".to_string(),
+            Extract => "EXTRACT".to_string(),
+            ClockGenerator => "CLOCK_GENERATOR".to_string(),
+        }
+    }
+
+    /// All kinds, in Table-1 order.
+    pub fn all() -> Vec<ComponentKind> {
+        use ComponentKind::*;
+        let mut v = vec![
+            Gate(GateOp::And),
+            Gate(GateOp::Or),
+            Gate(GateOp::Nand),
+            Gate(GateOp::Nor),
+            Gate(GateOp::Xor),
+            Gate(GateOp::Xnor),
+            Gate(GateOp::Not),
+            Gate(GateOp::Buf),
+        ];
+        v.extend([
+            LogicUnit,
+            Mux,
+            Selector,
+            Decoder,
+            Encoder,
+            AddSub,
+            Comparator,
+            Alu,
+            Shifter,
+            BarrelShifter,
+            Multiplier,
+            Divider,
+            CarryLookahead,
+            Register,
+            RegisterFile,
+            Counter,
+            StackFifo,
+            Memory,
+            PortComp,
+            BufferComp,
+            ClockDriver,
+            SchmittTrigger,
+            Tristate,
+            WiredOr,
+            Bus,
+            Delay,
+            Concat,
+            Extract,
+            ClockGenerator,
+        ]);
+        v
+    }
+
+    /// Parses a canonical generator name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name on failure.
+    pub fn parse(s: &str) -> Result<ComponentKind, String> {
+        ComponentKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown component kind {s:?}"))
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_classes() {
+        let all = ComponentKind::all();
+        for class in [
+            TypeClass::Combinational,
+            TypeClass::Sequential,
+            TypeClass::Interface,
+            TypeClass::Miscellaneous,
+        ] {
+            assert!(
+                all.iter().any(|k| k.type_class() == class),
+                "no kind in class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for k in ComponentKind::all() {
+            assert_eq!(ComponentKind::parse(&k.name()).unwrap(), k);
+        }
+        assert!(ComponentKind::parse("WIDGET").is_err());
+    }
+
+    #[test]
+    fn gates_have_eight_functions() {
+        let gates: Vec<_> = ComponentKind::all()
+            .into_iter()
+            .filter(|k| matches!(k, ComponentKind::Gate(_)))
+            .collect();
+        assert_eq!(gates.len(), 8);
+    }
+
+    #[test]
+    fn sequential_members_match_table1() {
+        use ComponentKind::*;
+        for k in [Register, RegisterFile, Counter, StackFifo, Memory] {
+            assert_eq!(k.type_class(), TypeClass::Sequential);
+        }
+    }
+
+    #[test]
+    fn gateop_inverting() {
+        assert!(GateOp::Nand.inverting());
+        assert!(!GateOp::And.inverting());
+        assert_eq!(GateOp::parse("XNOR").unwrap(), GateOp::Xnor);
+    }
+}

@@ -1,0 +1,56 @@
+//! GENUS: a parameterizable library of *generic* RTL components.
+//!
+//! This crate reproduces the GENUS component library of Dutt & Kipps,
+//! *"Bridging High-Level Synthesis to RTL Technology Libraries"* (DAC 1991)
+//! and of Dutt's TR 88-22. GENUS gives high-level synthesis a
+//! technology-independent vocabulary: ALUs, adders, multiplexers, counters,
+//! registers, ... described by *parameters* (bit-width, function list,
+//! style) rather than by gate-level structure.
+//!
+//! The library is organised exactly as the paper describes (§4):
+//!
+//! * **types** — abstract functionality classes ([`kind::TypeClass`]:
+//!   combinational, sequential, interface, miscellaneous);
+//! * **generators** — parameterizable component families
+//!   ([`component::Generator`]), normally described in the LEGEND language
+//!   (see the `legend` crate);
+//! * **components** — a generator applied to a full parameter list
+//!   ([`component::Component`]), carrying ports, operations and a
+//!   simulatable behavioral model;
+//! * **instances** — named carbon-copies of a component wired into a
+//!   netlist ([`netlist::Netlist`]).
+//!
+//! The *specification* of a component — its kind, widths and operation set
+//! ([`spec::ComponentSpec`]) — is the "representation language" shared with
+//! DTAS: the same data structure describes generic components to be
+//! implemented and the functional capability of RTL library cells.
+//!
+//! # Examples
+//!
+//! Build the paper's Figure-3 component, a 64-bit 16-function ALU:
+//!
+//! ```
+//! use genus::stdlib::GenusLibrary;
+//! use genus::op::Op;
+//!
+//! let lib = GenusLibrary::standard();
+//! let alu = lib.alu(64, Op::paper_alu16()).expect("valid params");
+//! assert_eq!(alu.spec().width, 64);
+//! assert_eq!(alu.spec().ops.len(), 16);
+//! ```
+
+pub mod behavior;
+pub mod build;
+pub mod component;
+pub mod kind;
+pub mod netlist;
+pub mod op;
+pub mod params;
+pub mod spec;
+pub mod stdlib;
+
+pub use component::{Component, Generator, Instance, Port, PortClass};
+pub use kind::{ComponentKind, TypeClass};
+pub use netlist::Netlist;
+pub use op::{Op, OpClass, OpSet};
+pub use spec::ComponentSpec;

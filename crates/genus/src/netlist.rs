@@ -1,0 +1,503 @@
+//! Structural netlists of GENUS component instances.
+//!
+//! The output of high-level synthesis — and the input to DTAS — is "a
+//! netlist of generic RTL components" (paper §1). A [`Netlist`] holds named
+//! nets, component [`Instance`]s wired to those nets, and the external port
+//! bindings of the design.
+
+use crate::component::{Instance, PortDir};
+use rtl_base::bits::Bits;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named wire bundle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    /// Unique net name.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// Tied-off constant value, when the net has no instance driver.
+    pub constant: Option<Bits>,
+}
+
+/// An external (top-level) port of the netlist, bound to an internal net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExternalPort {
+    /// Port name.
+    pub name: String,
+    /// Direction seen from inside the design.
+    pub dir: PortDir,
+    /// The net the port drives (inputs) or samples (outputs).
+    pub net: String,
+}
+
+/// Errors detected while building or validating a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// Two nets share a name.
+    DuplicateNet(String),
+    /// Two instances share a name.
+    DuplicateInstance(String),
+    /// An instance port references a net that does not exist.
+    UnknownNet {
+        /// Instance name.
+        instance: String,
+        /// Port name.
+        port: String,
+        /// The missing net.
+        net: String,
+    },
+    /// A connection's port and net widths differ.
+    WidthMismatch {
+        /// Instance name.
+        instance: String,
+        /// Port name.
+        port: String,
+        /// Port width.
+        port_width: usize,
+        /// Net width.
+        net_width: usize,
+    },
+    /// An instance port does not appear on the component.
+    UnknownPort {
+        /// Instance name.
+        instance: String,
+        /// The missing port.
+        port: String,
+    },
+    /// An instance input or external output is not connected.
+    Unconnected {
+        /// Instance name (or `<top>` for external ports).
+        instance: String,
+        /// Port name.
+        port: String,
+    },
+    /// A net is driven by more than one source.
+    MultipleDrivers(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net {n}"),
+            NetlistError::DuplicateInstance(n) => write!(f, "duplicate instance {n}"),
+            NetlistError::UnknownNet {
+                instance,
+                port,
+                net,
+            } => write!(f, "{instance}.{port} references unknown net {net}"),
+            NetlistError::WidthMismatch {
+                instance,
+                port,
+                port_width,
+                net_width,
+            } => write!(
+                f,
+                "{instance}.{port} is {port_width} bits but its net is {net_width}"
+            ),
+            NetlistError::UnknownPort { instance, port } => {
+                write!(f, "{instance} has no port {port}")
+            }
+            NetlistError::Unconnected { instance, port } => {
+                write!(f, "{instance}.{port} is unconnected")
+            }
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A flat structural netlist of component instances.
+///
+/// # Examples
+///
+/// ```
+/// use genus::netlist::Netlist;
+/// use genus::component::Instance;
+/// use genus::stdlib::GenusLibrary;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = GenusLibrary::standard();
+/// let adder = Arc::new(lib.adder(8)?);
+/// let mut nl = Netlist::new("datapath");
+/// nl.add_net("a", 8)?;
+/// nl.add_net("b", 8)?;
+/// nl.add_net("sum", 8)?;
+/// nl.add_net("ci", 1)?;
+/// nl.add_net("co", 1)?;
+/// nl.add_instance(
+///     Instance::new("u_add", adder)
+///         .with_connection("A", "a")
+///         .with_connection("B", "b")
+///         .with_connection("CI", "ci")
+///         .with_connection("O", "sum")
+///         .with_connection("CO", "co"),
+/// )?;
+/// nl.expose_input("a_in", "a")?;
+/// nl.expose_input("b_in", "b")?;
+/// nl.expose_input("ci_in", "ci")?;
+/// nl.expose_output("sum_out", "sum")?;
+/// nl.expose_output("co_out", "co")?;
+/// nl.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    net_index: BTreeMap<String, usize>,
+    instances: Vec<Instance>,
+    ports: Vec<ExternalPort>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: &str) -> Self {
+        Netlist {
+            name: name.to_string(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateNet`] when the name is taken.
+    pub fn add_net(&mut self, name: &str, width: usize) -> Result<(), NetlistError> {
+        if self.net_index.contains_key(name) {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        self.net_index.insert(name.to_string(), self.nets.len());
+        self.nets.push(Net {
+            name: name.to_string(),
+            width,
+            constant: None,
+        });
+        Ok(())
+    }
+
+    /// Adds a net tied to a constant value (a power/ground strap bundle).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateNet`] when the name is taken.
+    pub fn add_const_net(&mut self, name: &str, value: Bits) -> Result<(), NetlistError> {
+        if self.net_index.contains_key(name) {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        self.net_index.insert(name.to_string(), self.nets.len());
+        self.nets.push(Net {
+            name: name.to_string(),
+            width: value.width(),
+            constant: Some(value),
+        });
+        Ok(())
+    }
+
+    /// Adds an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateInstance`] when the name is taken.
+    pub fn add_instance(&mut self, instance: Instance) -> Result<(), NetlistError> {
+        if self.instances.iter().any(|i| i.name == instance.name) {
+            return Err(NetlistError::DuplicateInstance(instance.name));
+        }
+        self.instances.push(instance);
+        Ok(())
+    }
+
+    /// Declares an external input driving `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] when the net does not exist.
+    pub fn expose_input(&mut self, name: &str, net: &str) -> Result<(), NetlistError> {
+        self.expose(name, PortDir::In, net)
+    }
+
+    /// Declares an external output sampling `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] when the net does not exist.
+    pub fn expose_output(&mut self, name: &str, net: &str) -> Result<(), NetlistError> {
+        self.expose(name, PortDir::Out, net)
+    }
+
+    fn expose(&mut self, name: &str, dir: PortDir, net: &str) -> Result<(), NetlistError> {
+        if !self.net_index.contains_key(net) {
+            return Err(NetlistError::UnknownNet {
+                instance: "<top>".to_string(),
+                port: name.to_string(),
+                net: net.to_string(),
+            });
+        }
+        self.ports.push(ExternalPort {
+            name: name.to_string(),
+            dir,
+            net: net.to_string(),
+        });
+        Ok(())
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Looks up a net by name.
+    pub fn net(&self, name: &str) -> Option<&Net> {
+        self.net_index.get(name).map(|&i| &self.nets[i])
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Looks up an instance by name.
+    pub fn instance(&self, name: &str) -> Option<&Instance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+
+    /// External ports.
+    pub fn ports(&self) -> &[ExternalPort] {
+        &self.ports
+    }
+
+    /// Removes an external port binding (the net stays); returns whether
+    /// a port was removed. Used when linking a controller in place of
+    /// externally driven control pins.
+    pub fn remove_port(&mut self, name: &str) -> bool {
+        let before = self.ports.len();
+        self.ports.retain(|p| p.name != name);
+        self.ports.len() != before
+    }
+
+    /// Checks structural sanity: connections reference real ports and nets,
+    /// widths agree, every input is driven, and no net has two drivers.
+    ///
+    /// # Errors
+    ///
+    /// The first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut drivers: BTreeMap<&str, usize> = BTreeMap::new();
+        for p in &self.ports {
+            if p.dir == PortDir::In {
+                *drivers.entry(p.net.as_str()).or_insert(0) += 1;
+            }
+        }
+        for n in &self.nets {
+            if n.constant.is_some() {
+                *drivers.entry(n.name.as_str()).or_insert(0) += 1;
+            }
+        }
+        for inst in &self.instances {
+            for (port_name, net_name) in &inst.connections {
+                let port = inst.component.port(port_name).ok_or_else(|| {
+                    NetlistError::UnknownPort {
+                        instance: inst.name.clone(),
+                        port: port_name.clone(),
+                    }
+                })?;
+                let net = self.net(net_name).ok_or_else(|| NetlistError::UnknownNet {
+                    instance: inst.name.clone(),
+                    port: port_name.clone(),
+                    net: net_name.clone(),
+                })?;
+                if net.width != port.width {
+                    return Err(NetlistError::WidthMismatch {
+                        instance: inst.name.clone(),
+                        port: port_name.clone(),
+                        port_width: port.width,
+                        net_width: net.width,
+                    });
+                }
+                if port.dir == PortDir::Out {
+                    *drivers.entry(net.name.as_str()).or_insert(0) += 1;
+                }
+            }
+            // Every declared input port of the component must be wired.
+            for port in inst.component.inputs() {
+                if !inst.connections.contains_key(&port.name) {
+                    return Err(NetlistError::Unconnected {
+                        instance: inst.name.clone(),
+                        port: port.name.clone(),
+                    });
+                }
+            }
+        }
+        for (net, count) in drivers {
+            if count > 1 {
+                return Err(NetlistError::MultipleDrivers(net.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The distinct component specifications used, with use counts
+    /// (DTAS expands each distinct spec once).
+    pub fn spec_census(&self) -> BTreeMap<String, (Arc<crate::component::Component>, usize)> {
+        let mut census: BTreeMap<String, (Arc<crate::component::Component>, usize)> =
+            BTreeMap::new();
+        for inst in &self.instances {
+            let key = inst.component.spec().to_string();
+            census
+                .entry(key)
+                .and_modify(|(_, n)| *n += 1)
+                .or_insert_with(|| (Arc::clone(&inst.component), 1));
+        }
+        census
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Instance;
+    use crate::stdlib::GenusLibrary;
+
+    fn adder_netlist() -> Netlist {
+        let lib = GenusLibrary::standard();
+        let adder = Arc::new(lib.adder(8).unwrap());
+        let mut nl = Netlist::new("t");
+        for (n, w) in [("a", 8), ("b", 8), ("s", 8), ("ci", 1), ("co", 1)] {
+            nl.add_net(n, w).unwrap();
+        }
+        nl.add_instance(
+            Instance::new("u0", adder)
+                .with_connection("A", "a")
+                .with_connection("B", "b")
+                .with_connection("CI", "ci")
+                .with_connection("O", "s")
+                .with_connection("CO", "co"),
+        )
+        .unwrap();
+        nl
+    }
+
+    #[test]
+    fn valid_netlist_passes() {
+        let nl = adder_netlist();
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.instances().len(), 1);
+        assert_eq!(nl.nets().len(), 5);
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_net("x", 1).unwrap();
+        assert_eq!(
+            nl.add_net("x", 2),
+            Err(NetlistError::DuplicateNet("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let lib = GenusLibrary::standard();
+        let adder = Arc::new(lib.adder(8).unwrap());
+        let mut nl = Netlist::new("t");
+        nl.add_net("narrow", 4).unwrap();
+        nl.add_instance(Instance::new("u0", adder).with_connection("A", "narrow"))
+            .unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unconnected_input_detected() {
+        let lib = GenusLibrary::standard();
+        let adder = Arc::new(lib.adder(8).unwrap());
+        let mut nl = Netlist::new("t");
+        nl.add_net("a", 8).unwrap();
+        nl.add_instance(Instance::new("u0", adder).with_connection("A", "a"))
+            .unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::Unconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let lib = GenusLibrary::standard();
+        let buf = Arc::new(lib.buffer(4).unwrap());
+        let mut nl = Netlist::new("t");
+        nl.add_net("i", 4).unwrap();
+        nl.add_net("o", 4).unwrap();
+        for name in ["u0", "u1"] {
+            nl.add_instance(
+                Instance::new(name, Arc::clone(&buf))
+                    .with_connection("I", "i")
+                    .with_connection("O", "o"),
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            nl.validate(),
+            Err(NetlistError::MultipleDrivers("o".to_string()))
+        );
+    }
+
+    #[test]
+    fn unknown_port_detected() {
+        let lib = GenusLibrary::standard();
+        let buf = Arc::new(lib.buffer(4).unwrap());
+        let mut nl = Netlist::new("t");
+        nl.add_net("i", 4).unwrap();
+        nl.add_instance(Instance::new("u0", buf).with_connection("NOPE", "i"))
+            .unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn census_counts_shared_specs() {
+        let lib = GenusLibrary::standard();
+        let adder = Arc::new(lib.adder(8).unwrap());
+        let mut nl = Netlist::new("t");
+        for (n, w) in [
+            ("a", 8),
+            ("b", 8),
+            ("s1", 8),
+            ("s2", 8),
+            ("ci", 1),
+            ("c1", 1),
+            ("c2", 1),
+        ] {
+            nl.add_net(n, w).unwrap();
+        }
+        for (name, o, co) in [("u0", "s1", "c1"), ("u1", "s2", "c2")] {
+            nl.add_instance(
+                Instance::new(name, Arc::clone(&adder))
+                    .with_connection("A", "a")
+                    .with_connection("B", "b")
+                    .with_connection("CI", "ci")
+                    .with_connection("O", o)
+                    .with_connection("CO", co),
+            )
+            .unwrap();
+        }
+        let census = nl.spec_census();
+        assert_eq!(census.len(), 1);
+        assert_eq!(census.values().next().unwrap().1, 2);
+    }
+}

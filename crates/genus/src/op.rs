@@ -1,0 +1,473 @@
+//! Operations performed by generic components.
+//!
+//! Every GENUS component advertises the operations it can perform (the
+//! LEGEND `OPERATIONS` section, Figure 2 of the paper). The 16-function ALU
+//! of the paper's Figure 3 performs exactly [`Op::paper_alu16`].
+
+use std::fmt;
+
+/// A component operation.
+///
+/// The first sixteen variants are the paper's ALU function list
+/// (`ADD SUB INC DEC EQ LT GT ZEROP AND OR NAND NOR XOR XNOR LNOT LIMPL`);
+/// the remainder cover the other GENUS families (shifters, counters,
+/// registers, stacks and memories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// Two's-complement addition.
+    Add = 0,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Increment by one.
+    Inc,
+    /// Decrement by one.
+    Dec,
+    /// Equality comparison.
+    Eq,
+    /// Unsigned less-than comparison.
+    Lt,
+    /// Unsigned greater-than comparison.
+    Gt,
+    /// Zero-detect of the first operand.
+    Zerop,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise NAND.
+    Nand,
+    /// Bitwise NOR.
+    Nor,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise XNOR.
+    Xnor,
+    /// Bitwise NOT of the first operand (logical not, `LNOT`).
+    Lnot,
+    /// Bitwise implication `!a | b` (`LIMPL`).
+    Limpl,
+    /// Parallel load (registers, counters).
+    Load,
+    /// Count up by one (counters).
+    CountUp,
+    /// Count down by one (counters).
+    CountDown,
+    /// Logical shift left by one.
+    Shl,
+    /// Logical shift right by one.
+    Shr,
+    /// Arithmetic shift right by one.
+    Asr,
+    /// Rotate left by one.
+    Rotl,
+    /// Rotate right by one.
+    Rotr,
+    /// Unsigned multiplication.
+    Mul,
+    /// Unsigned division.
+    Div,
+    /// Inequality comparison.
+    Neq,
+    /// Unsigned greater-or-equal.
+    Ge,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Push (stacks/FIFOs).
+    Push,
+    /// Pop (stacks/FIFOs).
+    Pop,
+    /// Memory/register-file read.
+    Read,
+    /// Memory/register-file write.
+    Write,
+    /// Hold current state (explicit no-op).
+    Hold,
+    /// Asynchronous set to the preset value.
+    AsyncSet,
+    /// Asynchronous reset to zero.
+    AsyncReset,
+}
+
+/// Total number of [`Op`] variants (used by the bitset).
+const OP_COUNT: usize = 36;
+
+/// All operations, in declaration order.
+pub const ALL_OPS: [Op; OP_COUNT] = [
+    Op::Add,
+    Op::Sub,
+    Op::Inc,
+    Op::Dec,
+    Op::Eq,
+    Op::Lt,
+    Op::Gt,
+    Op::Zerop,
+    Op::And,
+    Op::Or,
+    Op::Nand,
+    Op::Nor,
+    Op::Xor,
+    Op::Xnor,
+    Op::Lnot,
+    Op::Limpl,
+    Op::Load,
+    Op::CountUp,
+    Op::CountDown,
+    Op::Shl,
+    Op::Shr,
+    Op::Asr,
+    Op::Rotl,
+    Op::Rotr,
+    Op::Mul,
+    Op::Div,
+    Op::Neq,
+    Op::Ge,
+    Op::Le,
+    Op::Push,
+    Op::Pop,
+    Op::Read,
+    Op::Write,
+    Op::Hold,
+    Op::AsyncSet,
+    Op::AsyncReset,
+];
+
+/// Broad classification of operations, used by DTAS rules that split an ALU
+/// into an arithmetic unit, a comparator and a logic unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Add/subtract-like operations that propagate a carry.
+    Arithmetic,
+    /// Result is a predicate of the operands.
+    Comparison,
+    /// Bitwise operations with no carry chain.
+    Logic,
+    /// Shift and rotate operations.
+    Shift,
+    /// Multiply/divide.
+    MulDiv,
+    /// State-changing operations of sequential components.
+    Sequential,
+}
+
+impl Op {
+    /// The paper's 16-function ALU operation list (Figure 3).
+    pub fn paper_alu16() -> OpSet {
+        OpSet::from_iter([
+            Op::Add,
+            Op::Sub,
+            Op::Inc,
+            Op::Dec,
+            Op::Eq,
+            Op::Lt,
+            Op::Gt,
+            Op::Zerop,
+            Op::And,
+            Op::Or,
+            Op::Nand,
+            Op::Nor,
+            Op::Xor,
+            Op::Xnor,
+            Op::Lnot,
+            Op::Limpl,
+        ])
+    }
+
+    /// The operation's broad class.
+    pub fn class(self) -> OpClass {
+        use Op::*;
+        match self {
+            Add | Sub | Inc | Dec => OpClass::Arithmetic,
+            Eq | Lt | Gt | Zerop | Neq | Ge | Le => OpClass::Comparison,
+            And | Or | Nand | Nor | Xor | Xnor | Lnot | Limpl => OpClass::Logic,
+            Shl | Shr | Asr | Rotl | Rotr => OpClass::Shift,
+            Mul | Div => OpClass::MulDiv,
+            Load | CountUp | CountDown | Push | Pop | Read | Write | Hold
+            | AsyncSet | AsyncReset => OpClass::Sequential,
+        }
+    }
+
+    /// True when the operation needs only one data operand.
+    pub fn is_unary(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Inc | Dec
+                | Zerop
+                | Lnot
+                | Shl
+                | Shr
+                | Asr
+                | Rotl
+                | Rotr
+                | Load
+                | CountUp
+                | CountDown
+                | Hold
+        )
+    }
+
+    /// The canonical GENUS/LEGEND name (upper-case, e.g. `COUNT_UP`).
+    pub fn name(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "ADD",
+            Sub => "SUB",
+            Inc => "INC",
+            Dec => "DEC",
+            Eq => "EQ",
+            Lt => "LT",
+            Gt => "GT",
+            Zerop => "ZEROP",
+            And => "AND",
+            Or => "OR",
+            Nand => "NAND",
+            Nor => "NOR",
+            Xor => "XOR",
+            Xnor => "XNOR",
+            Lnot => "LNOT",
+            Limpl => "LIMPL",
+            Load => "LOAD",
+            CountUp => "COUNT_UP",
+            CountDown => "COUNT_DOWN",
+            Shl => "SHL",
+            Shr => "SHR",
+            Asr => "ASR",
+            Rotl => "ROTL",
+            Rotr => "ROTR",
+            Mul => "MUL",
+            Div => "DIV",
+            Neq => "NEQ",
+            Ge => "GE",
+            Le => "LE",
+            Push => "PUSH",
+            Pop => "POP",
+            Read => "READ",
+            Write => "WRITE",
+            Hold => "HOLD",
+            AsyncSet => "ASYNC_SET",
+            AsyncReset => "ASYNC_RESET",
+        }
+    }
+
+    /// Parses a canonical operation name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name on failure.
+    pub fn parse(name: &str) -> Result<Op, String> {
+        ALL_OPS
+            .into_iter()
+            .find(|op| op.name() == name)
+            .ok_or_else(|| format!("unknown operation {name:?}"))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of operations, stored as a bitset.
+///
+/// Iteration order is declaration order of [`Op`], which keeps every
+/// derived artifact (spec strings, decompositions) deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct OpSet(u64);
+
+impl OpSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        OpSet(0)
+    }
+
+    /// Singleton set.
+    pub fn only(op: Op) -> Self {
+        let mut s = OpSet::new();
+        s.insert(op);
+        s
+    }
+
+    /// Inserts an operation; returns true if newly added.
+    pub fn insert(&mut self, op: Op) -> bool {
+        let bit = 1u64 << (op as u8);
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Removes an operation; returns true if it was present.
+    pub fn remove(&mut self, op: Op) -> bool {
+        let bit = 1u64 << (op as u8);
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(self, op: Op) -> bool {
+        self.0 & (1u64 << (op as u8)) != 0
+    }
+
+    /// Number of operations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no operation is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when every element of `other` is in `self`.
+    pub fn is_superset(self, other: OpSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Set union.
+    pub fn union(self, other: OpSet) -> OpSet {
+        OpSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: OpSet) -> OpSet {
+        OpSet(self.0 & other.0)
+    }
+
+    /// Elements of `self` not in `other`.
+    pub fn difference(self, other: OpSet) -> OpSet {
+        OpSet(self.0 & !other.0)
+    }
+
+    /// Iterates operations in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Op> {
+        ALL_OPS.into_iter().filter(move |&op| self.contains(op))
+    }
+
+    /// The subset whose class matches `class`.
+    pub fn of_class(self, class: OpClass) -> OpSet {
+        self.iter().filter(|op| op.class() == class).collect()
+    }
+
+    /// Distinct classes present in the set, in a fixed order.
+    pub fn classes(self) -> Vec<OpClass> {
+        let mut out = Vec::new();
+        for class in [
+            OpClass::Arithmetic,
+            OpClass::Comparison,
+            OpClass::Logic,
+            OpClass::Shift,
+            OpClass::MulDiv,
+            OpClass::Sequential,
+        ] {
+            if self.iter().any(|op| op.class() == class) {
+                out.push(class);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Op> for OpSet {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        let mut s = OpSet::new();
+        for op in iter {
+            s.insert(op);
+        }
+        s
+    }
+}
+
+impl fmt::Display for OpSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for op in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for OpSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpSet({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_alu16_is_the_figure3_function_list() {
+        let ops = Op::paper_alu16();
+        assert_eq!(ops.len(), 16);
+        assert_eq!(
+            ops.to_string(),
+            "ADD SUB INC DEC EQ LT GT ZEROP AND OR NAND NOR XOR XNOR LNOT LIMPL"
+        );
+    }
+
+    #[test]
+    fn opset_basic_algebra() {
+        let mut s = OpSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Op::Add));
+        assert!(!s.insert(Op::Add));
+        assert!(s.contains(Op::Add));
+        assert_eq!(s.len(), 1);
+        s.insert(Op::Xor);
+        let t = OpSet::only(Op::Xor);
+        assert!(s.is_superset(t));
+        assert!(!t.is_superset(s));
+        assert_eq!(s.intersection(t), t);
+        assert_eq!(s.difference(t), OpSet::only(Op::Add));
+        assert_eq!(t.union(OpSet::only(Op::Add)), s);
+        assert!(s.remove(Op::Add));
+        assert!(!s.remove(Op::Add));
+    }
+
+    #[test]
+    fn classes_split_the_alu16() {
+        let ops = Op::paper_alu16();
+        let arith = ops.of_class(OpClass::Arithmetic);
+        let cmp = ops.of_class(OpClass::Comparison);
+        let logic = ops.of_class(OpClass::Logic);
+        assert_eq!(arith.len(), 4);
+        assert_eq!(cmp.len(), 4);
+        assert_eq!(logic.len(), 8);
+        assert_eq!(arith.union(cmp).union(logic), ops);
+        assert_eq!(
+            ops.classes(),
+            vec![OpClass::Arithmetic, OpClass::Comparison, OpClass::Logic]
+        );
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for op in ALL_OPS {
+            assert_eq!(Op::parse(op.name()).unwrap(), op);
+        }
+        assert!(Op::parse("FROB").is_err());
+    }
+
+    #[test]
+    fn unary_flags() {
+        assert!(Op::Inc.is_unary());
+        assert!(Op::Lnot.is_unary());
+        assert!(!Op::Add.is_unary());
+        assert!(!Op::Limpl.is_unary());
+    }
+
+    #[test]
+    fn iteration_is_declaration_ordered() {
+        let s: OpSet = [Op::Xor, Op::Add, Op::Load].into_iter().collect();
+        let v: Vec<Op> = s.iter().collect();
+        assert_eq!(v, vec![Op::Add, Op::Xor, Op::Load]);
+    }
+}

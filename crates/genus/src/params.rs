@@ -1,0 +1,324 @@
+//! The GENUS parameter system.
+//!
+//! Generators are instantiated "by specifying parameters that define their
+//! structural, operational, and performance attributes" (paper §1). A
+//! [`Params`] value is the argument list handed to a generator; a
+//! [`ParamSpec`] list is the generator's schema (LEGEND's `PARAMETERS:`
+//! section). Some parameters are obligatory, others carry defaults
+//! (paper §4).
+
+use crate::op::OpSet;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parameter value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamValue {
+    /// A bit-width or element count.
+    Width(usize),
+    /// A general integer (e.g. a reset value).
+    Int(i64),
+    /// A set of operations (LEGEND `GC_FUNCTION_LIST`).
+    Ops(OpSet),
+    /// A named style (LEGEND `GC_STYLE`, e.g. `SYNCHRONOUS`).
+    Style(String),
+    /// A boolean flag (LEGEND `GC_ENABLE_FLAG`).
+    Flag(bool),
+    /// Free-form text (e.g. `GC_COMPILER_NAME`).
+    Text(String),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Width(w) => write!(f, "{w}"),
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Ops(ops) => write!(f, "({ops})"),
+            ParamValue::Style(s) => write!(f, "{s}"),
+            ParamValue::Flag(b) => write!(f, "{}", if *b { "T" } else { "F" }),
+            ParamValue::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// One entry of a generator's parameter schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Canonical parameter name, upper-case with the `GC_` prefix by GENUS
+    /// convention (e.g. `GC_INPUT_WIDTH`).
+    pub name: String,
+    /// Obligatory parameters have no default; optional ones do (paper §4:
+    /// "some parameters are obligatory, others may be assigned a default
+    /// value").
+    pub default: Option<ParamValue>,
+    /// One-line description, carried into LEGEND output.
+    pub doc: String,
+}
+
+impl ParamSpec {
+    /// An obligatory parameter.
+    pub fn required(name: &str, doc: &str) -> Self {
+        ParamSpec {
+            name: name.to_string(),
+            default: None,
+            doc: doc.to_string(),
+        }
+    }
+
+    /// An optional parameter with a default.
+    pub fn optional(name: &str, default: ParamValue, doc: &str) -> Self {
+        ParamSpec {
+            name: name.to_string(),
+            default: Some(default),
+            doc: doc.to_string(),
+        }
+    }
+}
+
+/// Error produced when a parameter list does not satisfy a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// An obligatory parameter was not supplied.
+    Missing(String),
+    /// A supplied parameter is not in the schema.
+    Unknown(String),
+    /// A supplied parameter has the wrong type or an invalid value.
+    Invalid(String, String),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Missing(n) => write!(f, "missing obligatory parameter {n}"),
+            ParamError::Unknown(n) => write!(f, "unknown parameter {n}"),
+            ParamError::Invalid(n, why) => write!(f, "invalid parameter {n}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// An ordered name → value map of generator arguments.
+///
+/// # Examples
+///
+/// ```
+/// use genus::params::{ParamValue, Params};
+///
+/// let mut p = Params::new();
+/// p.set("GC_INPUT_WIDTH", ParamValue::Width(16));
+/// assert_eq!(p.width("GC_INPUT_WIDTH"), Some(16));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Params {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl Params {
+    /// Creates an empty parameter list.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Sets a parameter, replacing any previous value.
+    pub fn set(&mut self, name: &str, value: ParamValue) -> &mut Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, name: &str, value: ParamValue) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Looks up a raw value.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Looks up a width-typed value.
+    pub fn width(&self, name: &str) -> Option<usize> {
+        match self.values.get(name) {
+            Some(ParamValue::Width(w)) => Some(*w),
+            Some(ParamValue::Int(i)) if *i >= 0 => Some(*i as usize),
+            _ => None,
+        }
+    }
+
+    /// Looks up an operation-set value.
+    pub fn ops(&self, name: &str) -> Option<OpSet> {
+        match self.values.get(name) {
+            Some(ParamValue::Ops(ops)) => Some(*ops),
+            _ => None,
+        }
+    }
+
+    /// Looks up a flag value.
+    pub fn flag(&self, name: &str) -> Option<bool> {
+        match self.values.get(name) {
+            Some(ParamValue::Flag(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up a style value.
+    pub fn style(&self, name: &str) -> Option<&str> {
+        match self.values.get(name) {
+            Some(ParamValue::Style(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters supplied.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameter is supplied.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Validates against a schema and fills in defaults, producing the
+    /// complete parameter list the generator will consume.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::Missing`] for absent obligatory parameters and
+    /// [`ParamError::Unknown`] for parameters not in the schema.
+    pub fn resolve(&self, schema: &[ParamSpec]) -> Result<Params, ParamError> {
+        for name in self.values.keys() {
+            if !schema.iter().any(|s| &s.name == name) {
+                return Err(ParamError::Unknown(name.clone()));
+            }
+        }
+        let mut out = Params::new();
+        for spec in schema {
+            match (self.values.get(&spec.name), &spec.default) {
+                (Some(v), _) => {
+                    out.set(&spec.name, v.clone());
+                }
+                (None, Some(d)) => {
+                    out.set(&spec.name, d.clone());
+                }
+                (None, None) => return Err(ParamError::Missing(spec.name.clone())),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<(String, ParamValue)> for Params {
+    fn from_iter<I: IntoIterator<Item = (String, ParamValue)>>(iter: I) -> Self {
+        Params {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Canonical GENUS parameter names used by the standard library generators.
+pub mod names {
+    /// Principal data width.
+    pub const INPUT_WIDTH: &str = "GC_INPUT_WIDTH";
+    /// Secondary width (multiplier second operand, memory depth).
+    pub const INPUT_WIDTH2: &str = "GC_INPUT_WIDTH2";
+    /// Fan-in / way count (mux N-to-1, gate inputs).
+    pub const NUM_INPUTS: &str = "GC_NUM_INPUTS";
+    /// Operation list.
+    pub const FUNCTION_LIST: &str = "GC_FUNCTION_LIST";
+    /// Implementation style hint.
+    pub const STYLE: &str = "GC_STYLE";
+    /// Whether the component has an enable pin.
+    pub const ENABLE_FLAG: &str = "GC_ENABLE_FLAG";
+    /// Whether the component has a carry input.
+    pub const CARRY_IN: &str = "GC_CARRY_IN";
+    /// Whether the component has a carry output.
+    pub const CARRY_OUT: &str = "GC_CARRY_OUT";
+    /// Whether the component has asynchronous set/reset pins.
+    pub const ASYNC_SET_RESET: &str = "GC_ASYNC_SET_RESET";
+    /// Reset/preset value (LEGEND `GC_SET_VALUE`).
+    pub const SET_VALUE: &str = "GC_SET_VALUE";
+    /// Module-generator backend name (LEGEND `GC_COMPILER_NAME`).
+    pub const COMPILER_NAME: &str = "GC_COMPILER_NAME";
+    /// Whether an adder exposes group propagate/generate outputs.
+    pub const GROUP_PG: &str = "GC_GROUP_PG";
+    /// Bit offset for `EXTRACT` switchboxes.
+    pub const OFFSET: &str = "GC_OFFSET";
+    /// Clock period hint for `CLOCK_GENERATOR`.
+    pub const PERIOD: &str = "GC_PERIOD";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn schema() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::required(names::INPUT_WIDTH, "data width"),
+            ParamSpec::optional(
+                names::ENABLE_FLAG,
+                ParamValue::Flag(false),
+                "enable pin",
+            ),
+        ]
+    }
+
+    #[test]
+    fn resolve_fills_defaults() {
+        let p = Params::new().with(names::INPUT_WIDTH, ParamValue::Width(8));
+        let r = p.resolve(&schema()).unwrap();
+        assert_eq!(r.width(names::INPUT_WIDTH), Some(8));
+        assert_eq!(r.flag(names::ENABLE_FLAG), Some(false));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn resolve_rejects_missing_required() {
+        let p = Params::new();
+        assert_eq!(
+            p.resolve(&schema()),
+            Err(ParamError::Missing(names::INPUT_WIDTH.to_string()))
+        );
+    }
+
+    #[test]
+    fn resolve_rejects_unknown() {
+        let p = Params::new()
+            .with(names::INPUT_WIDTH, ParamValue::Width(8))
+            .with("GC_BOGUS", ParamValue::Width(1));
+        assert_eq!(
+            p.resolve(&schema()),
+            Err(ParamError::Unknown("GC_BOGUS".to_string()))
+        );
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = Params::new()
+            .with("W", ParamValue::Width(4))
+            .with("OPS", ParamValue::Ops(Op::paper_alu16()))
+            .with("S", ParamValue::Style("RIPPLE".into()))
+            .with("F", ParamValue::Flag(true));
+        assert_eq!(p.width("W"), Some(4));
+        assert_eq!(p.ops("OPS").unwrap().len(), 16);
+        assert_eq!(p.style("S"), Some("RIPPLE"));
+        assert_eq!(p.flag("F"), Some(true));
+        assert_eq!(p.width("OPS"), None);
+        assert_eq!(p.ops("W"), None);
+    }
+
+    #[test]
+    fn int_accepted_as_width() {
+        let p = Params::new().with("W", ParamValue::Int(12));
+        assert_eq!(p.width("W"), Some(12));
+        let n = Params::new().with("W", ParamValue::Int(-3));
+        assert_eq!(n.width("W"), None);
+    }
+}

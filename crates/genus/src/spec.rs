@@ -1,0 +1,314 @@
+//! Component specifications: the representation language shared between
+//! GENUS components, DTAS decomposition and RTL library cells.
+//!
+//! The paper (§5) stresses that technology mapping is performed "using the
+//! functional specification of library cells, as opposed to a DAG
+//! description of their Boolean behavior", and that cell functionality
+//! "is described with the same representation language used in recognizing
+//! and decomposing GENUS components". [`ComponentSpec`] is that language: a
+//! kind plus widths, fan-in, carry/enable flags and an operation set.
+
+use crate::kind::ComponentKind;
+use crate::op::OpSet;
+use std::fmt;
+
+/// The functional specification of a component or library cell.
+///
+/// Two specs that compare equal describe the same functionality; a cell
+/// whose spec [`can_implement`](ComponentSpec::can_implement) a required
+/// spec may be mapped in as an implementation (a *functional match*,
+/// avoiding subgraph isomorphism entirely).
+///
+/// # Examples
+///
+/// ```
+/// use genus::spec::ComponentSpec;
+/// use genus::kind::ComponentKind;
+/// use genus::op::{Op, OpSet};
+///
+/// // The 4-bit adder cell lookup from the paper's §5: "a cell of type ADD
+/// // with two 4-bit inputs plus carry-in and a 4-bit output plus carry-out".
+/// let want = ComponentSpec::new(ComponentKind::AddSub, 4)
+///     .with_ops(OpSet::only(Op::Add))
+///     .with_carry_in(true)
+///     .with_carry_out(true);
+/// assert_eq!(want.to_string(), "ADDSUB.4+CI+CO(ADD)");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentSpec {
+    /// Component family.
+    pub kind: ComponentKind,
+    /// Principal data width in bits.
+    pub width: usize,
+    /// Secondary width: multiplier second-operand width, memory/register
+    /// file depth in words, barrel-shifter shift-amount width. Zero when
+    /// not applicable.
+    pub width2: usize,
+    /// Fan-in: N for an N-to-1 mux or selector, gate fan-in, encoder input
+    /// lines, carry-lookahead group count. Zero when not applicable.
+    pub inputs: usize,
+    /// Operations the component performs.
+    pub ops: OpSet,
+    /// Has a carry input pin.
+    pub carry_in: bool,
+    /// Has a carry output pin.
+    pub carry_out: bool,
+    /// Has a synchronous enable pin.
+    pub enable: bool,
+    /// Has asynchronous set/reset pins.
+    pub async_set_reset: bool,
+    /// Has group propagate/generate outputs (adders that feed a
+    /// carry-lookahead generator).
+    pub group_pg: bool,
+    /// Optional style attribute (e.g. `SYNCHRONOUS` vs `RIPPLE` counters).
+    /// Styles *describe* generated structure; they are ignored by
+    /// functional matching.
+    pub style: Option<String>,
+}
+
+impl ComponentSpec {
+    /// Creates a minimal spec of the given kind and width.
+    pub fn new(kind: ComponentKind, width: usize) -> Self {
+        ComponentSpec {
+            kind,
+            width,
+            width2: 0,
+            inputs: 0,
+            ops: OpSet::new(),
+            carry_in: false,
+            carry_out: false,
+            enable: false,
+            async_set_reset: false,
+            group_pg: false,
+            style: None,
+        }
+    }
+
+    /// Sets the secondary width.
+    pub fn with_width2(mut self, w: usize) -> Self {
+        self.width2 = w;
+        self
+    }
+
+    /// Sets the fan-in.
+    pub fn with_inputs(mut self, n: usize) -> Self {
+        self.inputs = n;
+        self
+    }
+
+    /// Sets the operation list.
+    pub fn with_ops(mut self, ops: OpSet) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the carry-input flag.
+    pub fn with_carry_in(mut self, v: bool) -> Self {
+        self.carry_in = v;
+        self
+    }
+
+    /// Sets the carry-output flag.
+    pub fn with_carry_out(mut self, v: bool) -> Self {
+        self.carry_out = v;
+        self
+    }
+
+    /// Sets the enable flag.
+    pub fn with_enable(mut self, v: bool) -> Self {
+        self.enable = v;
+        self
+    }
+
+    /// Sets the asynchronous set/reset flag.
+    pub fn with_async_set_reset(mut self, v: bool) -> Self {
+        self.async_set_reset = v;
+        self
+    }
+
+    /// Sets the group propagate/generate flag.
+    pub fn with_group_pg(mut self, v: bool) -> Self {
+        self.group_pg = v;
+        self
+    }
+
+    /// Sets the style attribute.
+    pub fn with_style(mut self, style: &str) -> Self {
+        self.style = Some(style.to_string());
+        self
+    }
+
+    /// Functional match: can a component with spec `self` (typically a
+    /// library cell) implement a requirement `spec`?
+    ///
+    /// The match is *functional*, field by field:
+    ///
+    /// * kind, widths and fan-in must agree exactly;
+    /// * the provider's operation set must be a superset (unused functions
+    ///   are simply never selected);
+    /// * a required carry/enable/async pin must be present; surplus pins on
+    ///   the provider are acceptable (they can be tied off);
+    /// * style is ignored (it is a structural hint, not functionality).
+    pub fn can_implement(&self, required: &ComponentSpec) -> bool {
+        self.kind == required.kind
+            && self.width == required.width
+            && self.width2 == required.width2
+            && self.inputs == required.inputs
+            && self.ops.is_superset(required.ops)
+            && (!required.carry_in || self.carry_in)
+            && (!required.carry_out || self.carry_out)
+            && (!required.enable || self.enable)
+            && (!required.async_set_reset || self.async_set_reset)
+            && (!required.group_pg || self.group_pg)
+    }
+
+    /// A stable identifier suitable for VHDL entity names, e.g.
+    /// `addsub_4_ci_co_add`.
+    pub fn identifier(&self) -> String {
+        let mut s = self
+            .kind
+            .name()
+            .to_lowercase()
+            .replace(|c: char| !c.is_alphanumeric(), "_");
+        s.push('_');
+        s.push_str(&self.width.to_string());
+        if self.width2 > 0 {
+            s.push_str(&format!("x{}", self.width2));
+        }
+        if self.inputs > 0 {
+            s.push_str(&format!("_n{}", self.inputs));
+        }
+        if self.carry_in {
+            s.push_str("_ci");
+        }
+        if self.carry_out {
+            s.push_str("_co");
+        }
+        if self.enable {
+            s.push_str("_en");
+        }
+        if self.async_set_reset {
+            s.push_str("_sr");
+        }
+        if self.group_pg {
+            s.push_str("_pg");
+        }
+        for op in self.ops.iter() {
+            s.push('_');
+            s.push_str(&op.name().to_lowercase().replace('_', ""));
+        }
+        s
+    }
+}
+
+impl fmt::Display for ComponentSpec {
+    /// Formats like the paper's component specifications, e.g.
+    /// `ALU.64(ADD SUB ... LIMPL)` or `ADDSUB.4+CI+CO(ADD)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.kind, self.width)?;
+        if self.width2 > 0 {
+            write!(f, "x{}", self.width2)?;
+        }
+        if self.inputs > 0 {
+            write!(f, "[{}]", self.inputs)?;
+        }
+        if self.carry_in {
+            write!(f, "+CI")?;
+        }
+        if self.carry_out {
+            write!(f, "+CO")?;
+        }
+        if self.enable {
+            write!(f, "+EN")?;
+        }
+        if self.async_set_reset {
+            write!(f, "+SR")?;
+        }
+        if self.group_pg {
+            write!(f, "+PG")?;
+        }
+        if !self.ops.is_empty() {
+            write!(f, "({})", self.ops)?;
+        }
+        if let Some(style) = &self.style {
+            write!(f, "<{style}>")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::GateOp;
+    use crate::op::{Op, OpSet};
+
+    fn add4() -> ComponentSpec {
+        ComponentSpec::new(ComponentKind::AddSub, 4)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true)
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(add4().to_string(), "ADDSUB.4+CI+CO(ADD)");
+        let mux = ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(4);
+        assert_eq!(mux.to_string(), "MUX.8[4]");
+        let alu = ComponentSpec::new(ComponentKind::Alu, 64).with_ops(Op::paper_alu16());
+        assert_eq!(
+            alu.to_string(),
+            "ALU.64(ADD SUB INC DEC EQ LT GT ZEROP AND OR NAND NOR XOR XNOR LNOT LIMPL)"
+        );
+    }
+
+    #[test]
+    fn exact_self_match() {
+        assert!(add4().can_implement(&add4()));
+    }
+
+    #[test]
+    fn superset_ops_match() {
+        let addsub = ComponentSpec::new(ComponentKind::AddSub, 4)
+            .with_ops([Op::Add, Op::Sub].into_iter().collect())
+            .with_carry_in(true)
+            .with_carry_out(true);
+        assert!(addsub.can_implement(&add4()));
+        assert!(!add4().can_implement(&addsub));
+    }
+
+    #[test]
+    fn surplus_pins_acceptable_missing_pins_not() {
+        let no_ci = ComponentSpec::new(ComponentKind::AddSub, 4)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_out(true);
+        assert!(!no_ci.can_implement(&add4()));
+        assert!(add4().can_implement(&no_ci));
+    }
+
+    #[test]
+    fn width_and_kind_must_agree() {
+        let add8 = ComponentSpec::new(ComponentKind::AddSub, 8)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        assert!(!add8.can_implement(&add4()));
+        let gate = ComponentSpec::new(ComponentKind::Gate(GateOp::And), 4).with_inputs(2);
+        assert!(!gate.can_implement(&add4()));
+    }
+
+    #[test]
+    fn style_is_ignored_by_matching_but_shown() {
+        let styled = add4().with_style("RIPPLE");
+        assert!(styled.can_implement(&add4()));
+        assert!(add4().can_implement(&styled));
+        assert!(styled.to_string().ends_with("<RIPPLE>"));
+    }
+
+    #[test]
+    fn identifier_is_filesystem_safe() {
+        let id = add4().identifier();
+        assert_eq!(id, "addsub_4_ci_co_add");
+        assert!(id.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    }
+}

@@ -1,0 +1,503 @@
+//! The standard GENUS library: one generator per Table-1 family, plus
+//! convenience constructors for the components used throughout the paper.
+
+use crate::build::{schema_for, styles_for};
+use crate::component::{Component, GenerateError, Generator};
+use crate::kind::{ComponentKind, GateOp};
+use crate::op::{Op, OpSet};
+use crate::params::{names, ParamValue, Params};
+use std::collections::BTreeMap;
+
+/// A catalog of generators, indexed by name.
+///
+/// [`GenusLibrary::standard`] mirrors the paper's Table 1: every
+/// combinational, sequential, interface and miscellaneous family. Libraries
+/// can also be assembled from LEGEND text (see the `legend` crate) or
+/// customized by [`insert`](GenusLibrary::insert)ing generators.
+///
+/// # Examples
+///
+/// ```
+/// use genus::stdlib::GenusLibrary;
+///
+/// let lib = GenusLibrary::standard();
+/// assert!(lib.generator("COUNTER").is_some());
+/// let counter = lib.counter(3).expect("3-bit counter");
+/// assert_eq!(counter.spec().width, 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GenusLibrary {
+    generators: BTreeMap<String, Generator>,
+}
+
+impl GenusLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        GenusLibrary::default()
+    }
+
+    /// Builds the full standard library (every Table-1 family).
+    pub fn standard() -> Self {
+        let mut lib = GenusLibrary::new();
+        for kind in ComponentKind::all() {
+            lib.insert(Generator::new(
+                &kind.name(),
+                kind,
+                schema_for(kind),
+                styles_for(kind),
+                &format!("standard {} generator", kind.name()),
+            ));
+        }
+        lib
+    }
+
+    /// Adds (or replaces) a generator.
+    pub fn insert(&mut self, generator: Generator) {
+        self.generators
+            .insert(generator.name().to_string(), generator);
+    }
+
+    /// Looks up a generator by name.
+    pub fn generator(&self, name: &str) -> Option<&Generator> {
+        self.generators.get(name)
+    }
+
+    /// Iterates generators in name order.
+    pub fn generators(&self) -> impl Iterator<Item = &Generator> {
+        self.generators.values()
+    }
+
+    /// Number of generators.
+    pub fn len(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// True when the library has no generators.
+    pub fn is_empty(&self) -> bool {
+        self.generators.is_empty()
+    }
+
+    fn instantiate(
+        &self,
+        kind: ComponentKind,
+        params: Params,
+    ) -> Result<Component, GenerateError> {
+        let name = kind.name();
+        match self.generator(&name) {
+            Some(g) => g.instantiate(&params),
+            None => Err(GenerateError::Unbuildable(format!(
+                "library has no {name} generator"
+            ))),
+        }
+    }
+
+    /// An ALU with the given width and function list (paper Figure 3 uses
+    /// `width = 64` with [`Op::paper_alu16`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn alu(&self, width: usize, ops: OpSet) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Alu,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::FUNCTION_LIST, ParamValue::Ops(ops)),
+        )
+    }
+
+    /// An adder with carry-in and carry-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn adder(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::AddSub,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// An adder with carry-in/out and group propagate/generate outputs
+    /// (the kind of slice a carry-lookahead generator consumes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn adder_pg(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::AddSub,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::GROUP_PG, ParamValue::Flag(true)),
+        )
+    }
+
+    /// An adder/subtractor with carry-in and carry-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn addsub(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::AddSub,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(
+                    names::FUNCTION_LIST,
+                    ParamValue::Ops([Op::Add, Op::Sub].into_iter().collect()),
+                ),
+        )
+    }
+
+    /// An N-to-1 multiplexer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn mux(&self, width: usize, ways: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Mux,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::NUM_INPUTS, ParamValue::Width(ways)),
+        )
+    }
+
+    /// A logic unit over the given (logic-class) functions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn logic_unit(&self, width: usize, ops: OpSet) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::LogicUnit,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::FUNCTION_LIST, ParamValue::Ops(ops)),
+        )
+    }
+
+    /// A primitive gate with the given fan-in, bitwise over `width`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn gate(
+        &self,
+        op: GateOp,
+        width: usize,
+        fan_in: usize,
+    ) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Gate(op),
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::NUM_INPUTS, ParamValue::Width(fan_in)),
+        )
+    }
+
+    /// A magnitude comparator with EQ/LT/GT outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn comparator(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Comparator,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// A binary decoder (`width` select bits to `2^width` lines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn decoder(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Decoder,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// A BCD decoder (4 bits to 10 lines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn bcd_decoder(&self) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Decoder,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(4))
+                .with(names::STYLE, ParamValue::Style("BCD".to_string())),
+        )
+    }
+
+    /// A priority encoder over `lines` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn encoder(&self, lines: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Encoder,
+            Params::new().with(names::NUM_INPUTS, ParamValue::Width(lines)),
+        )
+    }
+
+    /// A single-position shifter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn shifter(&self, width: usize, ops: OpSet) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Shifter,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::FUNCTION_LIST, ParamValue::Ops(ops)),
+        )
+    }
+
+    /// A barrel shifter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn barrel_shifter(&self, width: usize, ops: OpSet) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::BarrelShifter,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::FUNCTION_LIST, ParamValue::Ops(ops)),
+        )
+    }
+
+    /// An n-by-m combinational multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn multiplier(&self, n: usize, m: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Multiplier,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(n))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(m)),
+        )
+    }
+
+    /// A combinational divider.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn divider(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Divider,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// A carry-lookahead generator over `groups` propagate/generate pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn cla_generator(&self, groups: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::CarryLookahead,
+            Params::new().with(names::NUM_INPUTS, ParamValue::Width(groups)),
+        )
+    }
+
+    /// A plain data register.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn register(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Register,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// A data register with an enable pin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn register_en(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Register,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::ENABLE_FLAG, ParamValue::Flag(true)),
+        )
+    }
+
+    /// The Figure-2 style up/down/loadable counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn counter(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Counter,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// A register file of `depth` words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn register_file(&self, width: usize, depth: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::RegisterFile,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(depth)),
+        )
+    }
+
+    /// A RAM of `depth` words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn memory(&self, width: usize, depth: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Memory,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(depth)),
+        )
+    }
+
+    /// A stack of `depth` words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn stack(&self, width: usize, depth: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::StackFifo,
+            Params::new()
+                .with(names::INPUT_WIDTH, ParamValue::Width(width))
+                .with(names::INPUT_WIDTH2, ParamValue::Width(depth)),
+        )
+    }
+
+    /// A non-inverting buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn buffer(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::BufferComp,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+
+    /// A tristate driver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn tristate(&self, width: usize) -> Result<Component, GenerateError> {
+        self.instantiate(
+            ComponentKind::Tristate,
+            Params::new().with(names::INPUT_WIDTH, ParamValue::Width(width)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::TypeClass;
+
+    #[test]
+    fn standard_library_covers_table1() {
+        let lib = GenusLibrary::standard();
+        // 8 gates + 21 other families.
+        assert_eq!(lib.len(), ComponentKind::all().len());
+        for kind in ComponentKind::all() {
+            assert!(
+                lib.generator(&kind.name()).is_some(),
+                "missing generator {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_class_represented() {
+        let lib = GenusLibrary::standard();
+        for class in [
+            TypeClass::Combinational,
+            TypeClass::Sequential,
+            TypeClass::Interface,
+            TypeClass::Miscellaneous,
+        ] {
+            assert!(lib.generators().any(|g| g.kind().type_class() == class));
+        }
+    }
+
+    #[test]
+    fn figure3_alu_instantiates() {
+        let lib = GenusLibrary::standard();
+        let alu = lib.alu(64, Op::paper_alu16()).unwrap();
+        assert_eq!(alu.spec().width, 64);
+        assert_eq!(alu.port("S").unwrap().width, 4);
+        assert_eq!(alu.port("A").unwrap().width, 64);
+    }
+
+    #[test]
+    fn convenience_constructors_build() {
+        let lib = GenusLibrary::standard();
+        assert!(lib.adder(16).is_ok());
+        assert!(lib.addsub(2).is_ok());
+        assert!(lib.mux(8, 4).is_ok());
+        assert!(lib.comparator(8).is_ok());
+        assert!(lib.decoder(3).is_ok());
+        assert!(lib.bcd_decoder().is_ok());
+        assert!(lib.encoder(8).is_ok());
+        assert!(lib.multiplier(8, 8).is_ok());
+        assert!(lib.divider(8).is_ok());
+        assert!(lib.cla_generator(4).is_ok());
+        assert!(lib.register(8).is_ok());
+        assert!(lib.register_en(8).is_ok());
+        assert!(lib.counter(8).is_ok());
+        assert!(lib.register_file(8, 4).is_ok());
+        assert!(lib.memory(8, 16).is_ok());
+        assert!(lib.stack(8, 4).is_ok());
+        assert!(lib.buffer(8).is_ok());
+        assert!(lib.tristate(8).is_ok());
+        assert!(lib
+            .logic_unit(8, [Op::And, Op::Or].into_iter().collect())
+            .is_ok());
+        assert!(lib.gate(GateOp::Nand, 1, 2).is_ok());
+        assert!(lib
+            .shifter(8, OpSet::only(Op::Shl))
+            .is_ok());
+        assert!(lib
+            .barrel_shifter(16, OpSet::only(Op::Shr))
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_library_reports_missing_generator() {
+        let lib = GenusLibrary::new();
+        assert!(lib.is_empty());
+        assert!(matches!(
+            lib.adder(8),
+            Err(GenerateError::Unbuildable(_))
+        ));
+    }
+}

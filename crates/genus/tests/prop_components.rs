@@ -1,0 +1,242 @@
+//! Property tests: generated component models against native arithmetic
+//! references.
+
+use genus::behavior::Env;
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::params::{names, ParamValue, Params};
+use genus::stdlib::GenusLibrary;
+use proptest::prelude::*;
+use rtl_base::bits::Bits;
+
+fn env(pairs: Vec<(&str, Bits)>) -> Env {
+    pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+fn mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn adder_matches_native(w in 1usize..32, a in any::<u64>(), b in any::<u64>(), ci in any::<bool>()) {
+        let lib = GenusLibrary::standard();
+        let adder = lib.adder(w).unwrap();
+        let a = a & mask(w);
+        let b = b & mask(w);
+        let out = adder
+            .eval(&env(vec![
+                ("A", Bits::from_u64(w, a)),
+                ("B", Bits::from_u64(w, b)),
+                ("CI", Bits::from_bool(ci)),
+            ]))
+            .unwrap();
+        let wide = a as u128 + b as u128 + ci as u128;
+        prop_assert_eq!(out["O"].to_u64().unwrap(), (wide as u64) & mask(w));
+        prop_assert_eq!(out["CO"].to_u64().unwrap(), (wide >> w) as u64);
+    }
+
+    #[test]
+    fn alu16_matches_reference(w in 1usize..24, a in any::<u64>(), b in any::<u64>(), sel in 0u64..16, ci in any::<bool>()) {
+        let lib = GenusLibrary::standard();
+        let alu = lib.alu(w, Op::paper_alu16()).unwrap();
+        let a = a & mask(w);
+        let b = b & mask(w);
+        let out = alu
+            .eval(&env(vec![
+                ("A", Bits::from_u64(w, a)),
+                ("B", Bits::from_u64(w, b)),
+                ("CI", Bits::from_bool(ci)),
+                ("S", Bits::from_u64(4, sel)),
+            ]))
+            .unwrap();
+        let m = mask(w);
+        let c = ci as u64;
+        let expect = match sel {
+            0 => a.wrapping_add(b).wrapping_add(c) & m,          // ADD
+            1 => a.wrapping_add(!b & m).wrapping_add(c) & m,     // SUB (borrow conv.)
+            2 => a.wrapping_add(1) & m,                          // INC
+            3 => a.wrapping_sub(1) & m,                          // DEC
+            4 => (a == b) as u64,                                // EQ
+            5 => (a < b) as u64,                                 // LT
+            6 => (a > b) as u64,                                 // GT
+            7 => (a == 0) as u64,                                // ZEROP
+            8 => a & b,
+            9 => a | b,
+            10 => !(a & b) & m,
+            11 => !(a | b) & m,
+            12 => a ^ b,
+            13 => !(a ^ b) & m,
+            14 => !a & m,
+            15 => (!a | b) & m,
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(out["O"].to_u64().unwrap(), expect, "sel={}", sel);
+    }
+
+    #[test]
+    fn mux_selects_the_indexed_input(w in 1usize..16, n in 2usize..9, sel_seed in any::<u64>(), vals in prop::collection::vec(any::<u64>(), 9)) {
+        let lib = GenusLibrary::standard();
+        let mux = lib.mux(w, n).unwrap();
+        let sel = sel_seed % n as u64;
+        let sw = mux.port("S").unwrap().width;
+        let mut e = env(vec![("S", Bits::from_u64(sw, sel))]);
+        for (i, v) in vals.iter().take(n).enumerate() {
+            e.insert(format!("I{i}"), Bits::from_u64(w, *v));
+        }
+        let out = mux.eval(&e).unwrap();
+        prop_assert_eq!(
+            out["O"].to_u64().unwrap(),
+            vals[sel as usize] & mask(w)
+        );
+    }
+
+    #[test]
+    fn comparator_flags_are_exclusive(w in 1usize..24, a in any::<u64>(), b in any::<u64>()) {
+        let lib = GenusLibrary::standard();
+        let cmp = lib.comparator(w).unwrap();
+        let a = a & mask(w);
+        let b = b & mask(w);
+        let out = cmp
+            .eval(&env(vec![
+                ("A", Bits::from_u64(w, a)),
+                ("B", Bits::from_u64(w, b)),
+            ]))
+            .unwrap();
+        let flags = [
+            out["EQ"].to_u64().unwrap(),
+            out["LT"].to_u64().unwrap(),
+            out["GT"].to_u64().unwrap(),
+        ];
+        prop_assert_eq!(flags.iter().sum::<u64>(), 1, "exactly one flag");
+        prop_assert_eq!(flags[0] == 1, a == b);
+        prop_assert_eq!(flags[1] == 1, a < b);
+    }
+
+    #[test]
+    fn gate_fold_matches_native(w in 1usize..16, n in 2usize..6, vals in prop::collection::vec(any::<u64>(), 6)) {
+        let lib = GenusLibrary::standard();
+        for (g, f) in [
+            (GateOp::And, (|x: u64, y: u64| x & y) as fn(u64, u64) -> u64),
+            (GateOp::Or, |x, y| x | y),
+            (GateOp::Xor, |x, y| x ^ y),
+        ] {
+            let gate = lib.gate(g, w, n).unwrap();
+            let mut e = Env::new();
+            for (i, v) in vals.iter().take(n).enumerate() {
+                e.insert(format!("I{i}"), Bits::from_u64(w, *v));
+            }
+            let out = gate.eval(&e).unwrap();
+            let expect = vals
+                .iter()
+                .take(n)
+                .map(|v| v & mask(w))
+                .reduce(f)
+                .unwrap();
+            prop_assert_eq!(out["O"].to_u64().unwrap(), expect & mask(w));
+        }
+    }
+
+    #[test]
+    fn counter_sequences(w in 1usize..16, start in any::<u64>(), ups in 0usize..5, downs in 0usize..5) {
+        let lib = GenusLibrary::standard();
+        let counter = lib.counter(w).unwrap();
+        let start = start & mask(w);
+        let mut state = start;
+        let drive = |state: u64, up: u64, down: u64| {
+            counter
+                .eval(&env(vec![
+                    ("I0", Bits::from_u64(w, 0)),
+                    ("O0", Bits::from_u64(w, state)),
+                    ("CEN", Bits::from_u64(1, 1)),
+                    ("ARESET", Bits::zero(1)),
+                    ("ASET", Bits::zero(1)),
+                    ("CLOAD", Bits::zero(1)),
+                    ("CUP", Bits::from_u64(1, up)),
+                    ("CDOWN", Bits::from_u64(1, down)),
+                ]))
+                .unwrap()["O0"]
+                .to_u64()
+                .unwrap()
+        };
+        for _ in 0..ups {
+            state = drive(state, 1, 0);
+        }
+        for _ in 0..downs {
+            state = drive(state, 0, 1);
+        }
+        let expect = start
+            .wrapping_add(ups as u64)
+            .wrapping_sub(downs as u64)
+            & mask(w);
+        prop_assert_eq!(state, expect);
+    }
+
+    #[test]
+    fn multiplier_matches_native(n in 1usize..12, m in 1usize..12, a in any::<u64>(), b in any::<u64>()) {
+        let lib = GenusLibrary::standard();
+        let mult = lib.multiplier(n, m).unwrap();
+        let a = a & mask(n);
+        let b = b & mask(m);
+        let out = mult
+            .eval(&env(vec![
+                ("A", Bits::from_u64(n, a)),
+                ("B", Bits::from_u64(m, b)),
+            ]))
+            .unwrap();
+        prop_assert_eq!(out["O"].to_u64().unwrap(), a * b);
+    }
+
+    #[test]
+    fn spec_roundtrip_for_random_params(w in 1usize..32, en in any::<bool>(), sr in any::<bool>()) {
+        // Register family: spec → component → spec is the identity.
+        let lib = GenusLibrary::standard();
+        let g = lib.generator("REGISTER").unwrap();
+        let c = g
+            .instantiate(
+                &Params::new()
+                    .with(names::INPUT_WIDTH, ParamValue::Width(w))
+                    .with(names::ENABLE_FLAG, ParamValue::Flag(en))
+                    .with(names::ASYNC_SET_RESET, ParamValue::Flag(sr)),
+            )
+            .unwrap();
+        let re = genus::build::component_for_spec(c.spec()).unwrap();
+        prop_assert_eq!(re.spec(), c.spec());
+        prop_assert_eq!(re.ports(), c.ports());
+    }
+
+    #[test]
+    fn opset_string_roundtrip(bits in any::<u32>()) {
+        // Any subset of the 16 ALU ops pretty-prints and re-parses.
+        let all: Vec<Op> = Op::paper_alu16().iter().collect();
+        let subset: OpSet = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, op)| *op)
+            .collect();
+        let text = subset.to_string();
+        let reparsed: OpSet = text
+            .split_whitespace()
+            .map(|t| Op::parse(t).unwrap())
+            .collect();
+        prop_assert_eq!(reparsed, subset);
+    }
+
+    #[test]
+    fn alu_spec_display_is_stable(w in 1usize..100) {
+        let spec = genus::spec::ComponentSpec::new(ComponentKind::Alu, w)
+            .with_ops(Op::paper_alu16())
+            .with_carry_in(true);
+        let s = spec.to_string();
+        let prefix = format!("ALU.{}+CI(", w);
+        prop_assert!(s.starts_with(&prefix));
+    }
+}

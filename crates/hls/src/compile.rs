@@ -1,0 +1,1026 @@
+//! Scheduling, allocation and binding: behavioral entities to a GENUS
+//! datapath netlist plus a state sequencing table.
+//!
+//! The pipeline follows the paper's Figure-1 boxes:
+//!
+//! 1. **State scheduling** — assignments pack greedily into control steps
+//!    under read-after-write hazards and function-unit resource limits
+//!    ([`Constraints`]); `if`/`while` conditions get their own test
+//!    states.
+//! 2. **Component allocation** — one shared adder/subtractor (and
+//!    comparator) per concurrent arithmetic operation, sized per operand
+//!    width.
+//! 3. **Component binding** — each operation binds to a GENUS component
+//!    instance (`ADDSUB`, `COMPARATOR`, gates, registers).
+//! 4. **Connectivity binding** — operand and register-input multiplexers
+//!    are inserted wherever a shared resource sees different sources in
+//!    different states.
+
+use crate::lang::{BinOp, Dir, Entity, Expr, Stmt};
+use crate::statetable::{State, StateTable, Transition};
+use genus::build::select_width;
+use genus::component::Instance;
+use genus::kind::GateOp;
+use genus::netlist::{Netlist, NetlistError};
+use genus::op::{Op, OpSet};
+use genus::stdlib::GenusLibrary;
+use rtl_base::bits::Bits;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Resource constraints for the state scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct Constraints {
+    /// Add/subtract operations allowed per state.
+    pub max_addsub: usize,
+    /// Comparisons allowed per state.
+    pub max_compare: usize,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            max_addsub: 1,
+            max_compare: 1,
+        }
+    }
+}
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hls: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<NetlistError> for CompileError {
+    fn from(e: NetlistError) -> Self {
+        CompileError(e.to_string())
+    }
+}
+
+/// The output of high-level synthesis: a GENUS netlist and a state
+/// sequencing table, plus the control/status interface between them.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// Entity name.
+    pub entity: String,
+    /// The datapath as generic GENUS components. Control nets are exposed
+    /// as inputs, status nets as outputs, so the datapath is simulatable
+    /// stand-alone or after linking with a compiled controller.
+    pub netlist: Netlist,
+    /// The state sequencing table.
+    pub state_table: StateTable,
+    /// Control nets (name, width) the controller must drive.
+    pub controls: Vec<(String, usize)>,
+    /// Status nets the controller reads.
+    pub statuses: Vec<String>,
+}
+
+impl Design {
+    /// An allocation/binding summary: component counts by kind, states,
+    /// and the control interface width.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        for inst in self.netlist.instances() {
+            *by_kind.entry(inst.component.kind().name()).or_insert(0) += 1;
+        }
+        let mut out = format!(
+            "design {}: {} states, {} GENUS instances, {} control nets, {} status nets\n",
+            self.entity,
+            self.state_table.states().len(),
+            self.netlist.instances().len(),
+            self.controls.len(),
+            self.statuses.len()
+        );
+        for (kind, count) in by_kind {
+            let _ = writeln!(out, "  {count:>3} x {kind}");
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: scheduling into proto-states.
+
+#[derive(Clone, Debug)]
+enum Proto {
+    Work(Vec<(String, Expr)>),
+    Test(Expr),
+    Done,
+}
+
+#[derive(Clone, Debug)]
+enum ProtoNext {
+    Unset,
+    Next(usize),
+    Branch(usize, usize),
+}
+
+struct Scheduler<'a> {
+    entity: &'a Entity,
+    constraints: Constraints,
+    states: Vec<(Proto, ProtoNext)>,
+}
+
+fn expr_counts(e: &Expr) -> (usize, usize) {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) => (0, 0),
+        Expr::Not(inner) => expr_counts(inner),
+        Expr::Bin(op, l, r) => {
+            let (la, lc) = expr_counts(l);
+            let (ra, rc) = expr_counts(r);
+            (
+                la + ra + usize::from(op.is_arith()),
+                lc + rc + usize::from(op.is_comparison()),
+            )
+        }
+    }
+}
+
+fn expr_reads(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Var(v) => {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+        Expr::Lit(_) => {}
+        Expr::Not(inner) => expr_reads(inner, out),
+        Expr::Bin(_, l, r) => {
+            expr_reads(l, out);
+            expr_reads(r, out);
+        }
+    }
+}
+
+impl<'a> Scheduler<'a> {
+    /// Schedules a statement list; returns (entry, dangling exits).
+    fn seq(&mut self, stmts: &[Stmt]) -> (Option<usize>, Vec<usize>) {
+        let mut entry: Option<usize> = None;
+        let mut dangling: Vec<usize> = Vec::new();
+        let mut pack: Vec<(String, Expr)> = Vec::new();
+        let mut written: Vec<String> = Vec::new();
+        let mut arith = 0usize;
+        let mut cmp = 0usize;
+
+        macro_rules! link_to {
+            ($idx:expr) => {{
+                let idx = $idx;
+                if entry.is_none() {
+                    entry = Some(idx);
+                }
+                for d in dangling.drain(..) {
+                    // Fill only the dangling slot: branch states keep
+                    // their taken edge.
+                    patch_branch(&mut self.states[d].1, idx);
+                }
+            }};
+        }
+
+        macro_rules! flush {
+            () => {
+                if !pack.is_empty() {
+                    let idx = self.states.len();
+                    self.states
+                        .push((Proto::Work(std::mem::take(&mut pack)), ProtoNext::Unset));
+                    written.clear();
+                    #[allow(unused_assignments)]
+                    {
+                        arith = 0;
+                        cmp = 0;
+                    }
+                    link_to!(idx);
+                    dangling.push(idx);
+                }
+            };
+        }
+
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign(target, expr) => {
+                    let (ea, ec) = expr_counts(expr);
+                    let mut reads = Vec::new();
+                    expr_reads(expr, &mut reads);
+                    let hazard = written.contains(target)
+                        || reads.iter().any(|r| written.contains(r));
+                    let over = arith + ea > self.constraints.max_addsub
+                        || cmp + ec > self.constraints.max_compare;
+                    if hazard || over {
+                        flush!();
+                    }
+                    pack.push((target.clone(), expr.clone()));
+                    written.push(target.clone());
+                    arith += ea;
+                    cmp += ec;
+                }
+                Stmt::If(cond, then_body, else_body) => {
+                    flush!();
+                    let test = self.states.len();
+                    self.states.push((Proto::Test(cond.clone()), ProtoNext::Unset));
+                    link_to!(test);
+                    let (t_entry, mut t_exits) = self.seq(then_body);
+                    let (f_entry, mut f_exits) = self.seq(else_body);
+                    // Branches with empty bodies fall through to the join;
+                    // the test state itself dangles for those.
+                    let join_true = t_entry;
+                    let join_false = f_entry;
+                    match (join_true, join_false) {
+                        (Some(t), Some(fl)) => {
+                            self.states[test].1 = ProtoNext::Branch(t, fl);
+                        }
+                        (Some(t), None) => {
+                            self.states[test].1 = ProtoNext::Branch(t, usize::MAX);
+                            f_exits.push(test); // false edge joins
+                        }
+                        (None, Some(fl)) => {
+                            self.states[test].1 = ProtoNext::Branch(usize::MAX, fl);
+                            t_exits.push(test); // true edge joins
+                        }
+                        (None, None) => {
+                            self.states[test].1 = ProtoNext::Branch(usize::MAX, usize::MAX);
+                            t_exits.push(test);
+                        }
+                    }
+                    dangling.extend(t_exits);
+                    dangling.extend(f_exits);
+                }
+                Stmt::While(cond, body) => {
+                    flush!();
+                    let test = self.states.len();
+                    self.states.push((Proto::Test(cond.clone()), ProtoNext::Unset));
+                    link_to!(test);
+                    let (b_entry, b_exits) = self.seq(body);
+                    let loop_target = b_entry.unwrap_or(test);
+                    self.states[test].1 = ProtoNext::Branch(loop_target, usize::MAX);
+                    for d in b_exits {
+                        self.states[d].1 = ProtoNext::Next(test);
+                    }
+                    dangling.push(test); // false edge continues
+                }
+            }
+        }
+        flush!();
+        let _ = &self.entity;
+        (entry, dangling)
+    }
+}
+
+/// Patches `usize::MAX` placeholders in a branch to `target`.
+fn patch_branch(next: &mut ProtoNext, target: usize) {
+    if let ProtoNext::Branch(t, f) = next {
+        if *t == usize::MAX {
+            *t = target;
+        }
+        if *f == usize::MAX {
+            *f = target;
+        }
+    } else if matches!(next, ProtoNext::Unset) {
+        *next = ProtoNext::Next(target);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: allocation, binding and connectivity.
+
+/// One use of a shared two-operand unit.
+#[derive(Clone, Debug)]
+struct UnitUse {
+    state: usize,
+    a: String,
+    b: String,
+    /// `true` = subtract (adder units only).
+    sub: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Unit {
+    uses: Vec<UnitUse>,
+}
+
+struct Binder<'a> {
+    entity: &'a Entity,
+    netlist: Netlist,
+    lib: GenusLibrary,
+    /// (width, index) → adder unit.
+    adders: BTreeMap<(usize, usize), Unit>,
+    /// (width, index) → comparator unit.
+    comparators: BTreeMap<(usize, usize), Unit>,
+    /// per-state running counters.
+    state_adders: usize,
+    state_cmps: usize,
+    /// Constant nets already created: (width, value) → net.
+    consts: BTreeMap<(usize, u64), String>,
+    gate_counter: usize,
+    /// register → (state, source net) writes.
+    reg_writes: BTreeMap<String, Vec<(usize, String)>>,
+    /// extra per-state asserts discovered during lowering.
+    asserts: BTreeMap<usize, BTreeMap<String, u64>>,
+}
+
+impl<'a> Binder<'a> {
+    fn const_net(&mut self, width: usize, value: u64) -> Result<String, CompileError> {
+        if let Some(n) = self.consts.get(&(width, value)) {
+            return Ok(n.clone());
+        }
+        let name = format!("const_w{width}_{value}");
+        self.netlist
+            .add_const_net(&name, Bits::from_u64(width, value))?;
+        self.consts.insert((width, value), name.clone());
+        Ok(name)
+    }
+
+    fn fresh_gate(&mut self, prefix: &str) -> String {
+        self.gate_counter += 1;
+        format!("{prefix}{}", self.gate_counter)
+    }
+
+    fn gate(
+        &mut self,
+        op: GateOp,
+        width: usize,
+        inputs: &[&str],
+    ) -> Result<String, CompileError> {
+        let name = self.fresh_gate("g");
+        let comp = self
+            .lib
+            .gate(op, width, inputs.len().max(1))
+            .map_err(|e| CompileError(e.to_string()))?;
+        let out_net = format!("{name}_o");
+        self.netlist.add_net(&out_net, width)?;
+        let mut inst = Instance::new(&name, Arc::new(comp));
+        for (i, net) in inputs.iter().enumerate() {
+            inst.connect(&format!("I{i}"), net);
+        }
+        inst.connect("O", &out_net);
+        self.netlist.add_instance(inst)?;
+        Ok(out_net)
+    }
+
+    /// Width of an expression (literals inherit from siblings).
+    fn width_of(&self, e: &Expr) -> Option<usize> {
+        match e {
+            Expr::Var(v) => self.entity.width_of(v),
+            Expr::Lit(_) => None,
+            Expr::Not(inner) => self.width_of(inner),
+            Expr::Bin(op, l, r) => {
+                if op.is_comparison() {
+                    Some(1)
+                } else {
+                    self.width_of(l).or_else(|| self.width_of(r))
+                }
+            }
+        }
+    }
+
+    /// Lowers an expression in a state, returning the net carrying its
+    /// value.
+    fn lower(
+        &mut self,
+        state: usize,
+        e: &Expr,
+        want_width: usize,
+    ) -> Result<String, CompileError> {
+        match e {
+            Expr::Var(v) => Ok(value_net(self.entity, v)),
+            Expr::Lit(n) => self.const_net(want_width, *n),
+            Expr::Not(inner) => {
+                let src = self.lower(state, inner, want_width)?;
+                self.gate(GateOp::Not, want_width, &[&src])
+            }
+            Expr::Bin(op, l, r) => {
+                let w = match op.is_comparison() {
+                    true => self
+                        .width_of(l)
+                        .or_else(|| self.width_of(r))
+                        .ok_or_else(|| {
+                            CompileError("comparison of two literals".to_string())
+                        })?,
+                    false => want_width,
+                };
+                let a = self.lower(state, l, w)?;
+                let b = self.lower(state, r, w)?;
+                match op {
+                    BinOp::And => self.gate(GateOp::And, w, &[&a, &b]),
+                    BinOp::Or => self.gate(GateOp::Or, w, &[&a, &b]),
+                    BinOp::Xor => self.gate(GateOp::Xor, w, &[&a, &b]),
+                    BinOp::Add | BinOp::Sub => {
+                        let idx = self.state_adders;
+                        self.state_adders += 1;
+                        let unit = self.adders.entry((w, idx)).or_default();
+                        unit.uses.push(UnitUse {
+                            state,
+                            a,
+                            b,
+                            sub: *op == BinOp::Sub,
+                        });
+                        Ok(format!("au_w{w}_{idx}_o"))
+                    }
+                    cmp => {
+                        let idx = self.state_cmps;
+                        self.state_cmps += 1;
+                        let unit = self.comparators.entry((w, idx)).or_default();
+                        unit.uses.push(UnitUse {
+                            state,
+                            a,
+                            b,
+                            sub: false,
+                        });
+                        let base = format!("cu_w{w}_{idx}");
+                        // Flag nets exist once the unit is materialized.
+                        let flag = match cmp {
+                            BinOp::Eq => format!("{base}_eq"),
+                            BinOp::Lt => format!("{base}_lt"),
+                            BinOp::Gt => format!("{base}_gt"),
+                            BinOp::Ne => {
+                                let n = format!("{base}_eq");
+                                return self.gate(GateOp::Not, 1, &[&n]);
+                            }
+                            BinOp::Ge => {
+                                let n = format!("{base}_lt");
+                                return self.gate(GateOp::Not, 1, &[&n]);
+                            }
+                            BinOp::Le => {
+                                let n = format!("{base}_gt");
+                                return self.gate(GateOp::Not, 1, &[&n]);
+                            }
+                            _ => unreachable!(),
+                        };
+                        Ok(flag)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a mux in front of `pin_net` when `sources` disagree across
+    /// states; returns asserted select values per state.
+    fn mux_or_wire(
+        &mut self,
+        name: &str,
+        width: usize,
+        pin_net: &str,
+        sources: &[(usize, String)],
+    ) -> Result<BTreeMap<usize, u64>, CompileError> {
+        let mut distinct: Vec<&str> = Vec::new();
+        for (_, src) in sources {
+            if !distinct.contains(&src.as_str()) {
+                distinct.push(src);
+            }
+        }
+        let mut selects = BTreeMap::new();
+        if distinct.len() == 1 {
+            // Alias: wire straight through with a buffer (keeps the net
+            // names stable without signal aliasing in genus netlists).
+            let comp = self
+                .lib
+                .buffer(width)
+                .map_err(|e| CompileError(e.to_string()))?;
+            self.netlist.add_instance(
+                Instance::new(&format!("{name}_buf"), Arc::new(comp))
+                    .with_connection("I", distinct[0])
+                    .with_connection("O", pin_net),
+            )?;
+            return Ok(selects);
+        }
+        let comp = self
+            .lib
+            .mux(width, distinct.len())
+            .map_err(|e| CompileError(e.to_string()))?;
+        let sel_net = format!("{name}_sel");
+        self.netlist.add_net(&sel_net, select_width(distinct.len()))?;
+        let mut inst = Instance::new(name, Arc::new(comp));
+        for (i, src) in distinct.iter().enumerate() {
+            inst.connect(&format!("I{i}"), src);
+        }
+        inst.connect("S", &sel_net);
+        inst.connect("O", pin_net);
+        self.netlist.add_instance(inst)?;
+        for (state, src) in sources {
+            let idx = distinct
+                .iter()
+                .position(|d| d == src)
+                .expect("collected above") as u64;
+            selects.insert(*state, idx);
+        }
+        Ok(selects)
+    }
+}
+
+/// The net carrying a name's current value (register Q or input port).
+fn value_net(entity: &Entity, name: &str) -> String {
+    if entity
+        .ports
+        .iter()
+        .any(|p| p.name == name && p.dir == Dir::In)
+    {
+        format!("in_{name}")
+    } else {
+        format!("q_{name}")
+    }
+}
+
+/// Compiles a behavioral entity into a [`Design`].
+///
+/// # Errors
+///
+/// [`CompileError`] on width mismatches or malformed programs.
+pub fn compile(entity: &Entity, constraints: &Constraints) -> Result<Design, CompileError> {
+    // ---- Phase 1: schedule. ----
+    let mut scheduler = Scheduler {
+        entity,
+        constraints: *constraints,
+        states: Vec::new(),
+    };
+    let (entry, dangling) = scheduler.seq(&entity.body);
+    let mut proto = scheduler.states;
+    let done_idx = proto.len();
+    proto.push((Proto::Done, ProtoNext::Next(done_idx)));
+    for d in dangling {
+        patch_branch(&mut proto[d].1, done_idx);
+    }
+    // Shift so that entry is state 0 when it isn't already (proto states
+    // are created in program order, so entry is 0 or the program is
+    // empty).
+    let entry = entry.unwrap_or(done_idx);
+    if entry != 0 {
+        return Err(CompileError(
+            "internal: entry state must be first".to_string(),
+        ));
+    }
+
+    // ---- Phase 2: bind. ----
+    let mut binder = Binder {
+        entity,
+        netlist: Netlist::new(&entity.name),
+        lib: GenusLibrary::standard(),
+        adders: BTreeMap::new(),
+        comparators: BTreeMap::new(),
+        state_adders: 0,
+        state_cmps: 0,
+        consts: BTreeMap::new(),
+        gate_counter: 0,
+        reg_writes: BTreeMap::new(),
+        asserts: BTreeMap::new(),
+    };
+
+    // Clock and input ports.
+    binder.netlist.add_net("clk", 1)?;
+    binder.netlist.expose_input("clk", "clk")?;
+    for p in &entity.ports {
+        if p.dir == Dir::In {
+            let net = format!("in_{}", p.name);
+            binder.netlist.add_net(&net, p.width)?;
+            binder.netlist.expose_input(&p.name, &net)?;
+        }
+    }
+    // Registers: variables and output ports.
+    let mut registers: Vec<(String, usize)> = entity.vars.clone();
+    for p in &entity.ports {
+        if p.dir == Dir::Out {
+            registers.push((p.name.clone(), p.width));
+        }
+    }
+    for (name, width) in &registers {
+        binder.netlist.add_net(&format!("q_{name}"), *width)?;
+    }
+
+    // Pre-create adder/comparator output nets so expression lowering can
+    // reference them before the units are materialized: nets are created
+    // lazily on first use instead, via a fixup pass below. To keep one
+    // pass, lower first while collecting unit uses, then materialize.
+    let mut statuses: Vec<String> = Vec::new();
+    let mut transitions: Vec<Transition> = Vec::new();
+    let mut work_assigns: Vec<Vec<(String, String)>> = Vec::new(); // per state: (reg, src net)
+    for (idx, (p, next)) in proto.iter().enumerate() {
+        binder.state_adders = 0;
+        binder.state_cmps = 0;
+        match p {
+            Proto::Work(assigns) => {
+                let mut bound = Vec::new();
+                for (target, expr) in assigns {
+                    let width = entity
+                        .width_of(target)
+                        .ok_or_else(|| CompileError(format!("unknown target {target}")))?;
+                    let src = binder.lower(idx, expr, width)?;
+                    binder
+                        .reg_writes
+                        .entry(target.clone())
+                        .or_default()
+                        .push((idx, src.clone()));
+                    bound.push((target.clone(), src));
+                }
+                work_assigns.push(bound);
+            }
+            Proto::Test(cond) => {
+                let net = binder.lower(idx, cond, 1)?;
+                if !statuses.contains(&net) {
+                    statuses.push(net.clone());
+                }
+                work_assigns.push(Vec::new());
+                if let ProtoNext::Branch(t, f) = next {
+                    transitions.push(Transition::Branch {
+                        cond: net,
+                        if_true: *t,
+                        if_false: *f,
+                    });
+                    continue;
+                }
+            }
+            Proto::Done => {
+                work_assigns.push(Vec::new());
+            }
+        }
+        transitions.push(match next {
+            ProtoNext::Next(n) => {
+                if *n == idx && matches!(p, Proto::Done) {
+                    Transition::Done
+                } else {
+                    Transition::Next(*n)
+                }
+            }
+            ProtoNext::Branch(t, f) => Transition::Branch {
+                cond: "?".to_string(),
+                if_true: *t,
+                if_false: *f,
+            },
+            ProtoNext::Unset => Transition::Done,
+        });
+    }
+
+    // Materialize adder units.
+    let adders = std::mem::take(&mut binder.adders);
+    for ((w, k), unit) in &adders {
+        let base = format!("au_w{w}_{k}");
+        let modes: Vec<bool> = unit.uses.iter().map(|u| u.sub).collect();
+        let any_add = modes.iter().any(|&m| !m);
+        let any_sub = modes.iter().any(|&m| m);
+        let ops: OpSet = match (any_add, any_sub) {
+            (true, true) => [Op::Add, Op::Sub].into_iter().collect(),
+            (false, true) => OpSet::only(Op::Sub),
+            _ => OpSet::only(Op::Add),
+        };
+        let comp = binder
+            .lib
+            .generator("ADDSUB")
+            .expect("standard library")
+            .instantiate(
+                &genus::params::Params::new()
+                    .with(
+                        genus::params::names::INPUT_WIDTH,
+                        genus::params::ParamValue::Width(*w),
+                    )
+                    .with(
+                        genus::params::names::FUNCTION_LIST,
+                        genus::params::ParamValue::Ops(ops),
+                    ),
+            )
+            .map_err(|e| CompileError(e.to_string()))?;
+        let a_pin = format!("{base}_a");
+        let b_pin = format!("{base}_b");
+        let o_net = format!("{base}_o");
+        binder.netlist.add_net(&a_pin, *w)?;
+        binder.netlist.add_net(&b_pin, *w)?;
+        binder.netlist.add_net(&o_net, *w)?;
+        let mut inst = Instance::new(&base, Arc::new(comp));
+        inst.connect("A", &a_pin);
+        inst.connect("B", &b_pin);
+        inst.connect("O", &o_net);
+        // Carry-in: 0 for add, 1 for subtract; the mode select doubles as
+        // carry-in when both operations are bound.
+        if any_add && any_sub {
+            let mode_net = format!("{base}_mode");
+            binder.netlist.add_net(&mode_net, 1)?;
+            inst.connect("S", &mode_net);
+            inst.connect("CI", &mode_net);
+            for u in &unit.uses {
+                binder
+                    .asserts
+                    .entry(u.state)
+                    .or_default()
+                    .insert(mode_net.clone(), u.sub as u64);
+            }
+        } else if any_sub {
+            let one = binder.const_net(1, 1)?;
+            inst.connect("CI", &one);
+        } else {
+            let zero = binder.const_net(1, 0)?;
+            inst.connect("CI", &zero);
+        }
+        binder.netlist.add_instance(inst)?;
+        let a_sources: Vec<(usize, String)> =
+            unit.uses.iter().map(|u| (u.state, u.a.clone())).collect();
+        let b_sources: Vec<(usize, String)> =
+            unit.uses.iter().map(|u| (u.state, u.b.clone())).collect();
+        for (tag, pin, sources) in
+            [("amux", a_pin, a_sources), ("bmux", b_pin, b_sources)]
+        {
+            let sel = binder.mux_or_wire(&format!("{base}_{tag}"), *w, &pin, &sources)?;
+            for (state, v) in sel {
+                binder
+                    .asserts
+                    .entry(state)
+                    .or_default()
+                    .insert(format!("{base}_{tag}_sel"), v);
+            }
+        }
+    }
+
+    // Materialize comparator units.
+    let comparators = std::mem::take(&mut binder.comparators);
+    for ((w, k), unit) in &comparators {
+        let base = format!("cu_w{w}_{k}");
+        let comp = binder
+            .lib
+            .comparator(*w)
+            .map_err(|e| CompileError(e.to_string()))?;
+        let a_pin = format!("{base}_a");
+        let b_pin = format!("{base}_b");
+        binder.netlist.add_net(&a_pin, *w)?;
+        binder.netlist.add_net(&b_pin, *w)?;
+        for flag in ["eq", "lt", "gt"] {
+            binder.netlist.add_net(&format!("{base}_{flag}"), 1)?;
+        }
+        let mut inst = Instance::new(&base, Arc::new(comp));
+        inst.connect("A", &a_pin);
+        inst.connect("B", &b_pin);
+        inst.connect("EQ", &format!("{base}_eq"));
+        inst.connect("LT", &format!("{base}_lt"));
+        inst.connect("GT", &format!("{base}_gt"));
+        binder.netlist.add_instance(inst)?;
+        let a_sources: Vec<(usize, String)> =
+            unit.uses.iter().map(|u| (u.state, u.a.clone())).collect();
+        let b_sources: Vec<(usize, String)> =
+            unit.uses.iter().map(|u| (u.state, u.b.clone())).collect();
+        for (tag, pin, sources) in
+            [("amux", a_pin, a_sources), ("bmux", b_pin, b_sources)]
+        {
+            let sel = binder.mux_or_wire(&format!("{base}_{tag}"), *w, &pin, &sources)?;
+            for (state, v) in sel {
+                binder
+                    .asserts
+                    .entry(state)
+                    .or_default()
+                    .insert(format!("{base}_{tag}_sel"), v);
+            }
+        }
+    }
+
+    // Materialize registers with write-enable controls and input muxes.
+    let reg_writes = std::mem::take(&mut binder.reg_writes);
+    for (name, width) in &registers {
+        let comp = binder
+            .lib
+            .register_en(*width)
+            .map_err(|e| CompileError(e.to_string()))?;
+        let d_net = format!("d_{name}");
+        let we_net = format!("we_{name}");
+        binder.netlist.add_net(&d_net, *width)?;
+        binder.netlist.add_net(&we_net, 1)?;
+        binder.netlist.add_instance(
+            Instance::new(&format!("reg_{name}"), Arc::new(comp))
+                .with_connection("D", &d_net)
+                .with_connection("EN", &we_net)
+                .with_connection("CLK", "clk")
+                .with_connection("Q", &format!("q_{name}")),
+        )?;
+        let writes = reg_writes.get(name).cloned().unwrap_or_default();
+        if writes.is_empty() {
+            // Never written: tie D low, enable stays 0.
+            let zero = binder.const_net(*width, 0)?;
+            let comp = binder
+                .lib
+                .buffer(*width)
+                .map_err(|e| CompileError(e.to_string()))?;
+            binder.netlist.add_instance(
+                Instance::new(&format!("dmux_{name}_buf"), Arc::new(comp))
+                    .with_connection("I", &zero)
+                    .with_connection("O", &d_net),
+            )?;
+        } else {
+            let sel =
+                binder.mux_or_wire(&format!("dmux_{name}"), *width, &d_net, &writes)?;
+            for (state, v) in sel {
+                binder
+                    .asserts
+                    .entry(state)
+                    .or_default()
+                    .insert(format!("dmux_{name}_sel"), v);
+            }
+            for (state, _) in &writes {
+                binder
+                    .asserts
+                    .entry(*state)
+                    .or_default()
+                    .insert(we_net.clone(), 1);
+            }
+        }
+    }
+
+    // Expose outputs and statuses.
+    for p in &entity.ports {
+        if p.dir == Dir::Out {
+            binder.netlist.expose_output(&p.name, &format!("q_{}", p.name))?;
+        }
+    }
+    for s in &statuses {
+        binder.netlist.expose_output(&format!("st_{s}"), s)?;
+    }
+
+    // Control nets become external inputs (driven by the controller after
+    // linking).
+    let mut controls: Vec<(String, usize)> = Vec::new();
+    let mut control_names: Vec<String> = Vec::new();
+    for per_state in binder.asserts.values() {
+        for name in per_state.keys() {
+            if !control_names.contains(name) {
+                control_names.push(name.clone());
+            }
+        }
+    }
+    for (name, _) in &registers {
+        let we = format!("we_{name}");
+        if !control_names.contains(&we) {
+            control_names.push(we);
+        }
+    }
+    control_names.sort();
+    for name in &control_names {
+        let width = binder
+            .netlist
+            .net(name)
+            .map(|n| n.width)
+            .ok_or_else(|| CompileError(format!("control net {name} missing")))?;
+        binder.netlist.expose_input(&format!("ctl_{name}"), name)?;
+        controls.push((name.clone(), width));
+    }
+
+    // ---- State table. ----
+    let mut table = StateTable::new();
+    for (name, width) in &controls {
+        table.declare_control(name, *width);
+    }
+    for (idx, (p, _)) in proto.iter().enumerate() {
+        let label = match p {
+            Proto::Work(_) => format!("s{idx}_work"),
+            Proto::Test(_) => format!("s{idx}_test"),
+            Proto::Done => format!("s{idx}_done"),
+        };
+        let asserts = binder.asserts.get(&idx).cloned().unwrap_or_default();
+        table.push_state(State {
+            name: label,
+            asserts,
+            transition: transitions[idx].clone(),
+        });
+    }
+    table.validate().map_err(CompileError)?;
+    binder.netlist.validate()?;
+    let _ = work_assigns;
+
+    Ok(Design {
+        entity: entity.name.clone(),
+        netlist: binder.netlist,
+        state_table: table,
+        controls,
+        statuses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_entity;
+
+    const GCD: &str = "
+entity gcd(a_in: in 8, b_in: in 8, r: out 8, done: out 1) {
+    var a: 8;
+    var b: 8;
+    a = a_in;
+    b = b_in;
+    while (a != b) {
+        if (a > b) { a = a - b; } else { b = b - a; }
+    }
+    r = a;
+    done = 1;
+}";
+
+    #[test]
+    fn gcd_compiles_and_validates() {
+        let entity = parse_entity(GCD).unwrap();
+        let design = compile(&entity, &Constraints::default()).unwrap();
+        design.netlist.validate().unwrap();
+        design.state_table.validate().unwrap();
+        // One shared subtractor serves both a-b and b-a.
+        let adders = design
+            .netlist
+            .instances()
+            .iter()
+            .filter(|i| i.component.kind() == genus::kind::ComponentKind::AddSub)
+            .count();
+        assert_eq!(adders, 1, "{}", design.state_table);
+        // The while and if conditions produce branch states.
+        let branches = design
+            .state_table
+            .states()
+            .iter()
+            .filter(|s| matches!(s.transition, Transition::Branch { .. }))
+            .count();
+        assert_eq!(branches, 2);
+        assert!(!design.statuses.is_empty());
+    }
+
+    #[test]
+    fn hazard_forces_new_state() {
+        let src = "
+entity t(x: in 8, y: out 8) {
+    var a: 8;
+    a = x;
+    y = a + 1;
+}";
+        let entity = parse_entity(src).unwrap();
+        let design = compile(&entity, &Constraints::default()).unwrap();
+        // a=x | y=a+1 cannot share a state (y reads a).
+        let works = design
+            .state_table
+            .states()
+            .iter()
+            .filter(|s| s.name.ends_with("_work"))
+            .count();
+        assert_eq!(works, 2, "{}", design.state_table);
+    }
+
+    #[test]
+    fn resource_limit_forces_new_state() {
+        let src = "
+entity t(x: in 8, y: out 8, z: out 8) {
+    y = x + 1;
+    z = x - 1;
+}";
+        let entity = parse_entity(src).unwrap();
+        let tight = compile(&entity, &Constraints::default()).unwrap();
+        let works_tight = tight
+            .state_table
+            .states()
+            .iter()
+            .filter(|s| s.name.ends_with("_work"))
+            .count();
+        assert_eq!(works_tight, 2);
+        let loose = compile(
+            &entity,
+            &Constraints {
+                max_addsub: 2,
+                max_compare: 1,
+            },
+        )
+        .unwrap();
+        let works_loose = loose
+            .state_table
+            .states()
+            .iter()
+            .filter(|s| s.name.ends_with("_work"))
+            .count();
+        assert_eq!(works_loose, 1);
+        // The loose schedule allocates two adder units.
+        let adders = loose
+            .netlist
+            .instances()
+            .iter()
+            .filter(|i| i.component.kind() == genus::kind::ComponentKind::AddSub)
+            .count();
+        assert_eq!(adders, 2);
+    }
+
+    #[test]
+    fn shared_adder_gets_operand_muxes() {
+        let entity = parse_entity(GCD).unwrap();
+        let design = compile(&entity, &Constraints::default()).unwrap();
+        let muxes = design
+            .netlist
+            .instances()
+            .iter()
+            .filter(|i| i.name.contains("amux") || i.name.contains("bmux"))
+            .count();
+        assert!(muxes >= 2, "operand muxes expected");
+    }
+
+    #[test]
+    fn empty_else_branch_falls_through() {
+        let src = "
+entity t(x: in 8, y: out 8) {
+    var a: 8;
+    a = x;
+    if (a > 3) { a = a - 1; }
+    y = a;
+}";
+        let entity = parse_entity(src).unwrap();
+        let design = compile(&entity, &Constraints::default()).unwrap();
+        design.state_table.validate().unwrap();
+    }
+}

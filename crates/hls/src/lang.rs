@@ -1,0 +1,590 @@
+//! The behavioral specification language.
+//!
+//! A deliberately small imperative language: one entity with typed ports,
+//! bit-vector variables, assignments, `if`/`else` and `while`. It plays
+//! the role of the paper's "abstract behavioral language" input to
+//! high-level synthesis.
+
+use std::fmt;
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+}
+
+/// A declared port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Width in bits.
+    pub width: usize,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// True for comparison operators (1-bit results).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+        )
+    }
+
+    /// True for add/subtract (shared-FU operators).
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub)
+    }
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Variable or input-port reference.
+    Var(String),
+    /// Literal (width from context).
+    Lit(u64),
+    /// Bitwise complement.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `target = expr;`
+    Assign(String, Expr),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+}
+
+/// A behavioral entity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entity {
+    /// Entity name.
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<PortDecl>,
+    /// Variables with widths.
+    pub vars: Vec<(String, usize)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+impl Entity {
+    /// Width of a named variable or port.
+    pub fn width_of(&self, name: &str) -> Option<usize> {
+        self.vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| *w)
+            .or_else(|| {
+                self.ports
+                    .iter()
+                    .find(|p| p.name == name)
+                    .map(|p| p.width)
+            })
+    }
+}
+
+/// Parse error with (line, message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let code = raw.split("//").next().unwrap_or("");
+        let mut chars = code.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let mut n = 0u64;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n * 10 + d as u64;
+                    chars.next();
+                }
+                out.push((Tok::Num(n), line));
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), line));
+                continue;
+            }
+            chars.next();
+            let two = |c2: char, a: &'static str, b: &'static str, chars: &mut std::iter::Peekable<std::str::Chars>| {
+                if chars.peek() == Some(&c2) {
+                    chars.next();
+                    a
+                } else {
+                    b
+                }
+            };
+            let sym = match c {
+                '(' => "(",
+                ')' => ")",
+                '{' => "{",
+                '}' => "}",
+                ':' => ":",
+                ';' => ";",
+                ',' => ",",
+                '+' => "+",
+                '-' => "-",
+                '&' => "&",
+                '|' => "|",
+                '^' => "^",
+                '~' => "~",
+                '=' => two('=', "==", "=", &mut chars),
+                '!' => {
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        "!="
+                    } else {
+                        return Err(ParseError {
+                            line,
+                            message: "stray '!'".to_string(),
+                        });
+                    }
+                }
+                '<' => two('=', "<=", "<", &mut chars),
+                '>' => two('=', ">=", ">", &mut chars),
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            };
+            out.push((Tok::Sym(sym), line));
+        }
+    }
+    Ok(out)
+}
+
+impl Lexer {
+    fn line(&self) -> usize {
+        self.toks.get(self.at).map(|(_, l)| *l).unwrap_or(0)
+    }
+
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: m.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(t, _)| t.clone());
+        self.at += 1;
+        t
+    }
+
+    fn sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => Err(self.err(format!("expected {s:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek() == Some(&Tok::Sym(Box::leak(s.to_string().into_boxed_str()))) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.addsub()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("==")) => Some(BinOp::Eq),
+            Some(Tok::Sym("!=")) => Some(BinOp::Ne),
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            Some(Tok::Sym("<=")) => Some(BinOp::Le),
+            Some(Tok::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let right = self.addsub()?;
+            return Ok(Expr::Bin(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn addsub(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => BinOp::Add,
+                Some(Tok::Sym("-")) => BinOp::Sub,
+                Some(Tok::Sym("&")) => BinOp::And,
+                Some(Tok::Sym("|")) => BinOp::Or,
+                Some(Tok::Sym("^")) => BinOp::Xor,
+                _ => break,
+            };
+            self.next();
+            let right = self.term()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Sym("~")) => {
+                self.next();
+                Ok(Expr::Not(Box::new(self.term()?)))
+            }
+            Some(Tok::Sym("(")) => {
+                self.next();
+                let e = self.expr()?;
+                self.sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => Ok(Expr::Var(self.ident()?)),
+            Some(Tok::Num(_)) => Ok(Expr::Lit(self.num()?)),
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.sym("{")?;
+        let mut out = Vec::new();
+        while self.peek() != Some(&Tok::Sym("}")) {
+            out.push(self.stmt()?);
+        }
+        self.sym("}")?;
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(kw)) if kw == "if" => {
+                self.next();
+                self.sym("(")?;
+                let cond = self.expr()?;
+                self.sym(")")?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == Some(&Tok::Ident("else".to_string())) {
+                    self.next();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_body, else_body))
+            }
+            Some(Tok::Ident(kw)) if kw == "while" => {
+                self.next();
+                self.sym("(")?;
+                let cond = self.expr()?;
+                self.sym(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            _ => {
+                let target = self.ident()?;
+                self.sym("=")?;
+                let e = self.expr()?;
+                self.sym(";")?;
+                Ok(Stmt::Assign(target, e))
+            }
+        }
+    }
+}
+
+/// Parses one behavioral entity from source text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors and on references to
+/// undeclared names.
+pub fn parse_entity(src: &str) -> Result<Entity, ParseError> {
+    let mut lx = Lexer {
+        toks: lex(src)?,
+        at: 0,
+    };
+    lx.keyword("entity")?;
+    let name = lx.ident()?;
+    lx.sym("(")?;
+    let mut ports = Vec::new();
+    loop {
+        let pname = lx.ident()?;
+        lx.sym(":")?;
+        let dir = match lx.ident()?.as_str() {
+            "in" => Dir::In,
+            "out" => Dir::Out,
+            other => {
+                return Err(lx.err(format!("expected in/out, found {other}")));
+            }
+        };
+        let width = lx.num()? as usize;
+        ports.push(PortDecl {
+            name: pname,
+            dir,
+            width,
+        });
+        if !lx.eat_sym(",") {
+            break;
+        }
+    }
+    lx.sym(")")?;
+    lx.sym("{")?;
+    let mut vars = Vec::new();
+    let mut body = Vec::new();
+    while lx.peek() != Some(&Tok::Sym("}")) {
+        if lx.peek() == Some(&Tok::Ident("var".to_string())) {
+            lx.next();
+            let vname = lx.ident()?;
+            lx.sym(":")?;
+            let width = lx.num()? as usize;
+            lx.sym(";")?;
+            vars.push((vname, width));
+        } else {
+            body.push(lx.stmt()?);
+        }
+    }
+    lx.sym("}")?;
+    let entity = Entity {
+        name,
+        ports,
+        vars,
+        body,
+    };
+    check_names(&entity)?;
+    Ok(entity)
+}
+
+fn check_names(entity: &Entity) -> Result<(), ParseError> {
+    fn walk_expr(entity: &Entity, e: &Expr) -> Result<(), ParseError> {
+        match e {
+            Expr::Var(v) => {
+                if entity.width_of(v).is_none() {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!("undeclared name {v}"),
+                    });
+                }
+                if entity
+                    .ports
+                    .iter()
+                    .any(|p| p.name == *v && p.dir == Dir::Out)
+                {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!("output port {v} cannot be read"),
+                    });
+                }
+                Ok(())
+            }
+            Expr::Lit(_) => Ok(()),
+            Expr::Not(inner) => walk_expr(entity, inner),
+            Expr::Bin(_, l, r) => {
+                walk_expr(entity, l)?;
+                walk_expr(entity, r)
+            }
+        }
+    }
+    fn walk_stmts(entity: &Entity, stmts: &[Stmt]) -> Result<(), ParseError> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(t, e) => {
+                    if entity.width_of(t).is_none() {
+                        return Err(ParseError {
+                            line: 0,
+                            message: format!("undeclared target {t}"),
+                        });
+                    }
+                    if entity.ports.iter().any(|p| p.name == *t && p.dir == Dir::In) {
+                        return Err(ParseError {
+                            line: 0,
+                            message: format!("input port {t} cannot be assigned"),
+                        });
+                    }
+                    walk_expr(entity, e)?;
+                }
+                Stmt::If(c, a, b) => {
+                    walk_expr(entity, c)?;
+                    walk_stmts(entity, a)?;
+                    walk_stmts(entity, b)?;
+                }
+                Stmt::While(c, body) => {
+                    walk_expr(entity, c)?;
+                    walk_stmts(entity, body)?;
+                }
+            }
+        }
+        Ok(())
+    }
+    walk_stmts(entity, &entity.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GCD: &str = "
+entity gcd(a_in: in 8, b_in: in 8, r: out 8, done: out 1) {
+    var a: 8;
+    var b: 8;
+    a = a_in;
+    b = b_in;
+    while (a != b) {
+        if (a > b) { a = a - b; } else { b = b - a; }
+    }
+    r = a;
+    done = 1;
+}";
+
+    #[test]
+    fn parses_gcd() {
+        let e = parse_entity(GCD).unwrap();
+        assert_eq!(e.name, "gcd");
+        assert_eq!(e.ports.len(), 4);
+        assert_eq!(e.vars.len(), 2);
+        assert_eq!(e.body.len(), 5);
+        assert!(matches!(e.body[2], Stmt::While(..)));
+    }
+
+    #[test]
+    fn width_lookup() {
+        let e = parse_entity(GCD).unwrap();
+        assert_eq!(e.width_of("a"), Some(8));
+        assert_eq!(e.width_of("done"), Some(1));
+        assert_eq!(e.width_of("nope"), None);
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let err = parse_entity("entity t(x: in 4) { y = x; }").unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_reading_output() {
+        let err =
+            parse_entity("entity t(x: in 4, y: out 4) { y = y + x; }").unwrap_err();
+        assert!(err.message.contains("cannot be read"));
+    }
+
+    #[test]
+    fn rejects_assigning_input() {
+        let err = parse_entity("entity t(x: in 4, y: out 4) { x = 1; }").unwrap_err();
+        assert!(err.message.contains("cannot be assigned"));
+    }
+
+    #[test]
+    fn comparison_parses_once() {
+        let e = parse_entity("entity t(x: in 4, y: out 1) { y = x <= 3; }").unwrap();
+        match &e.body[0] {
+            Stmt::Assign(_, Expr::Bin(BinOp::Le, _, _)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let e = parse_entity("entity t(x: in 4, y: out 4) { // c\n y = x; }").unwrap();
+        assert_eq!(e.body.len(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! High-level synthesis front end: behavioral specifications to GENUS
+//! netlists and state sequencing tables.
+//!
+//! The paper's system architecture (Figure 1) feeds DTAS from "high-level
+//! synthesis tools such as state schedulers, component allocators,
+//! component and connectivity binders" that "progressively transform the
+//! abstract behavioral design specification into a state sequencing table
+//! and a netlist of GENUS components". The original used VSS; this crate
+//! is a compact reimplementation of that pipeline:
+//!
+//! * [`lang`] — a small behavioral language (entities with ports,
+//!   variables, assignments, `if`/`while`);
+//! * [`mod@compile`] — state scheduling (hazard- and resource-limited packing
+//!   of assignments into control steps), component allocation (shared
+//!   adder/subtractor and comparator units), component binding
+//!   (operations onto GENUS components) and connectivity binding
+//!   (operand/register multiplexers);
+//! * [`statetable`] — the control-based state sequencing table (the
+//!   paper's BIF role) consumed by the `controlc` control compiler.
+//!
+//! # Examples
+//!
+//! ```
+//! use hls::compile::{compile, Constraints};
+//! use hls::lang::parse_entity;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! entity accumulate(x: in 8, total: out 8) {
+//!     var acc: 8;
+//!     acc = acc + x;
+//!     acc = acc + x;
+//!     total = acc;
+//! }";
+//! let entity = parse_entity(src)?;
+//! let design = compile(&entity, &Constraints::default())?;
+//! assert!(design.netlist.validate().is_ok());
+//! assert!(design.state_table.states().len() >= 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compile;
+pub mod lang;
+pub mod statetable;
+
+pub use compile::{compile, Constraints, Design};
+pub use lang::{parse_entity, Entity};
+pub use statetable::{StateTable, Transition};

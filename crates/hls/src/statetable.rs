@@ -1,0 +1,209 @@
+//! The state sequencing table — the paper's control-based BIF role.
+//!
+//! High-level synthesis outputs "a state sequencing table" alongside the
+//! GENUS netlist (paper §1, §7). Each state asserts control values
+//! (register write-enables, multiplexer selects, function-unit modes) and
+//! names its successor, possibly conditioned on a datapath status bit.
+
+use rtl_base::table::{Align, TextTable};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Transition out of a state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// Unconditional next state.
+    Next(usize),
+    /// Two-way branch on a 1-bit datapath status net.
+    Branch {
+        /// Status net name.
+        cond: String,
+        /// Successor when the bit is 1.
+        if_true: usize,
+        /// Successor when the bit is 0.
+        if_false: usize,
+    },
+    /// Terminal state (self-loop).
+    Done,
+}
+
+/// One state: asserted control values plus the transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct State {
+    /// Human-readable label (e.g. `s3_loop_test`).
+    pub name: String,
+    /// Control net → asserted value. Unlisted controls are zero.
+    pub asserts: BTreeMap<String, u64>,
+    /// Where to go next.
+    pub transition: Transition,
+}
+
+/// The state sequencing table. State 0 is the reset state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StateTable {
+    states: Vec<State>,
+    /// All control nets with widths (the controller's output signature).
+    controls: BTreeMap<String, usize>,
+}
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StateTable::default()
+    }
+
+    /// Declares a control net (idempotent; widens if redeclared wider).
+    pub fn declare_control(&mut self, name: &str, width: usize) {
+        let w = self.controls.entry(name.to_string()).or_insert(width);
+        *w = (*w).max(width);
+    }
+
+    /// Appends a state, returning its index.
+    pub fn push_state(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    /// All states.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Mutable state access (the compiler patches transitions).
+    pub fn state_mut(&mut self, idx: usize) -> &mut State {
+        &mut self.states[idx]
+    }
+
+    /// Declared control nets with widths, in name order.
+    pub fn controls(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.controls.iter().map(|(n, w)| (n.as_str(), *w))
+    }
+
+    /// Status nets referenced by branches, in first-use order.
+    pub fn statuses(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.states {
+            if let Transition::Branch { cond, .. } = &s.transition {
+                if !out.contains(cond) {
+                    out.push(cond.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates transition targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the out-of-range target.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.states.len();
+        for (i, s) in self.states.iter().enumerate() {
+            let targets: Vec<usize> = match &s.transition {
+                Transition::Next(t) => vec![*t],
+                Transition::Branch {
+                    if_true, if_false, ..
+                } => vec![*if_true, *if_false],
+                Transition::Done => vec![],
+            };
+            for t in targets {
+                if t >= n {
+                    return Err(format!("state {i} ({}) targets missing state {t}", s.name));
+                }
+            }
+            for name in s.asserts.keys() {
+                if !self.controls.contains_key(name) {
+                    return Err(format!(
+                        "state {i} asserts undeclared control {name}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StateTable {
+    /// BIF-flavored rendering: one row per state.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(vec!["#", "state", "asserts", "next"]);
+        t.align(0, Align::Right);
+        for (i, s) in self.states.iter().enumerate() {
+            let asserts = if s.asserts.is_empty() {
+                "-".to_string()
+            } else {
+                s.asserts
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let next = match &s.transition {
+                Transition::Next(n) => format!("-> {n}"),
+                Transition::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => format!("{cond} ? {if_true} : {if_false}"),
+                Transition::Done => "done".to_string(),
+            };
+            t.row(vec![i.to_string(), s.name.clone(), asserts, next]);
+        }
+        f.write_str(&t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> StateTable {
+        let mut t = StateTable::new();
+        t.declare_control("we_a", 1);
+        t.push_state(State {
+            name: "s0".into(),
+            asserts: [("we_a".to_string(), 1u64)].into_iter().collect(),
+            transition: Transition::Next(1),
+        });
+        t.push_state(State {
+            name: "s1".into(),
+            asserts: BTreeMap::new(),
+            transition: Transition::Branch {
+                cond: "eq".into(),
+                if_true: 0,
+                if_false: 1,
+            },
+        });
+        t
+    }
+
+    #[test]
+    fn validates_and_displays() {
+        let t = simple();
+        t.validate().unwrap();
+        let s = t.to_string();
+        assert!(s.contains("we_a=1"));
+        assert!(s.contains("eq ? 0 : 1"));
+    }
+
+    #[test]
+    fn statuses_in_first_use_order() {
+        let t = simple();
+        assert_eq!(t.statuses(), vec!["eq".to_string()]);
+    }
+
+    #[test]
+    fn bad_target_rejected() {
+        let mut t = simple();
+        t.state_mut(0).transition = Transition::Next(9);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn undeclared_control_rejected() {
+        let mut t = simple();
+        t.state_mut(0).asserts.insert("ghost".into(), 1);
+        assert!(t.validate().is_err());
+    }
+}

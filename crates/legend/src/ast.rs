@@ -1,0 +1,142 @@
+//! The LEGEND abstract syntax tree.
+
+use std::fmt;
+
+/// A width annotation like `[3w]` (3 wires) or `[8]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WidthSpec(pub usize);
+
+/// A port declaration, e.g. `I0[3w]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Declared width (1 when omitted).
+    pub width: WidthSpec,
+}
+
+/// An operation effect expression (the right side of `OO = IO + 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LegendExpr {
+    /// A port reference.
+    Port(String),
+    /// A literal (width adapted to the assignment target).
+    Number(u64),
+    /// Unary complement `~e`.
+    Not(Box<LegendExpr>),
+    /// Binary operation.
+    Binary(LegendBinOp, Box<LegendExpr>, Box<LegendExpr>),
+}
+
+/// Binary operators accepted in `OPS:` clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LegendBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+}
+
+impl fmt::Display for LegendBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LegendBinOp::Add => "+",
+            LegendBinOp::Sub => "-",
+            LegendBinOp::And => "&",
+            LegendBinOp::Or => "|",
+            LegendBinOp::Xor => "^",
+        })
+    }
+}
+
+impl fmt::Display for LegendExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegendExpr::Port(p) => f.write_str(p),
+            LegendExpr::Number(n) => write!(f, "{n}"),
+            LegendExpr::Not(e) => write!(f, "~{e}"),
+            LegendExpr::Binary(op, l, r) => write!(f, "{l} {op} {r}"),
+        }
+    }
+}
+
+/// One `(NAME: TARGET = expr)` clause inside `OPS:`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpsClause {
+    /// Operation name (e.g. `COUNT_UP`).
+    pub op_name: String,
+    /// Assigned output port.
+    pub target: String,
+    /// Effect expression.
+    pub expr: LegendExpr,
+}
+
+/// One operation block of the `OPERATIONS:` section (Figure 2 has three:
+/// LOAD, COUNT_UP and COUNT_DOWN).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct OperationDecl {
+    /// Operation name.
+    pub name: String,
+    /// Data inputs the operation reads.
+    pub inputs: Vec<String>,
+    /// Outputs it writes.
+    pub outputs: Vec<String>,
+    /// Control line that fires it.
+    pub control: Option<String>,
+    /// Effect clauses.
+    pub ops: Vec<OpsClause>,
+}
+
+/// A complete LEGEND generator description.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct LegendDescription {
+    /// Generator name (`NAME:`).
+    pub name: String,
+    /// Abstract class (`CLASS:` — `Clocked`, `Combinational`, ...).
+    pub class: Option<String>,
+    /// Declared parameter-count bound (`MAX_PARAMS:`).
+    pub max_params: Option<usize>,
+    /// Parameter names with optional sample annotations
+    /// (`GC_INPUT_WIDTH (3w)`).
+    pub parameters: Vec<(String, Option<WidthSpec>)>,
+    /// Styles (`STYLES:`).
+    pub styles: Vec<String>,
+    /// Data inputs.
+    pub inputs: Vec<PortDecl>,
+    /// Data outputs.
+    pub outputs: Vec<PortDecl>,
+    /// Clock pin (`CLOCK:`).
+    pub clock: Option<String>,
+    /// Enable pins (`ENABLE:`).
+    pub enable: Vec<String>,
+    /// Control pins (`CONTROL:`).
+    pub control: Vec<String>,
+    /// Asynchronous pins (`ASYNC:`).
+    pub r#async: Vec<String>,
+    /// Operation blocks.
+    pub operations: Vec<OperationDecl>,
+    /// Behavioral-model backend (`VHDL_MODEL:`).
+    pub vhdl_model: Option<String>,
+    /// Operation classes (`OP_CLASSES:`).
+    pub op_classes: Option<String>,
+}
+
+impl LegendDescription {
+    /// Sample width implied by the declarations: the widest declared
+    /// *input* (outputs can be derived quantities — a decoder's output is
+    /// `2^n` lines wide), falling back to the widest output, then 1.
+    pub fn sample_width(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|p| p.width.0)
+            .max()
+            .or_else(|| self.outputs.iter().map(|p| p.width.0).max())
+            .unwrap_or(1)
+    }
+}

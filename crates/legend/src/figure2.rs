@@ -1,0 +1,51 @@
+//! The paper's Figure 2: the LEGEND description of a generic counter
+//! generator, transcribed from the DAC'91 text (the figure's 3-bit sample
+//! widths, port names, controls and operation clauses are preserved).
+
+/// Figure 2, "LEGEND Counter Generator Description".
+pub const FIGURE2: &str = "\
+NAME: COUNTER
+CLASS: Clocked
+MAX_PARAMS: 7
+PARAMETERS: GC_COMPILER_NAME, GC_INPUT_WIDTH (3w),
+            GC_NUM_FUNCTIONS, GC_FUNCTION_LIST,
+            GC_SET_VALUE, GC_STYLE, GC_ENABLE_FLAG
+NUM_STYLES: 2
+STYLES: SYNCHRONOUS, RIPPLE
+NUM_INPUTS: 1
+INPUTS: I0[3w]
+NUM_OUTPUTS: 1
+OUTPUTS: O0[3w]
+CLOCK: CLK
+NUM_ENABLE: 1
+ENABLE: CEN
+NUM_CONTROL: 3
+CONTROL: CLOAD, CUP, CDOWN
+NUM_ASYNC: 2
+ASYNC: ASET, ARESET
+NUM_OPERATIONS: 3
+OPERATIONS:
+  ( (LOAD)
+    (INPUTS: I0)
+    (OUTPUTS: O0)
+    (CONTROL: CLOAD)
+    (OPS: (LOAD: O0 = I0)))
+  ( (COUNT_UP)
+    (OUTPUTS: O0)
+    (CONTROL: CUP)
+    (OPS: (COUNT_UP: O0 = O0 + 1)))
+  ( (COUNT_DOWN)
+    (OUTPUTS: O0)
+    (CONTROL: CDOWN)
+    (OPS: (COUNT_DOWN: O0 = O0 - 1)))
+VHDL_MODEL: counter_vhdl.c
+OP_CLASSES: default
+";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figure2_parses() {
+        assert!(crate::parse_document(super::FIGURE2).is_ok());
+    }
+}

@@ -1,0 +1,250 @@
+//! LEGEND tokenizer.
+
+use std::fmt;
+
+/// A LEGEND token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (`COUNTER`, `GC_INPUT_WIDTH`, `CLOAD`, ...).
+    Ident(String),
+    /// Unsigned number.
+    Number(u64),
+    /// A number with a `w` (wires) suffix, e.g. `3w`.
+    Wires(u64),
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => f.write_str(s),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Wires(n) => write!(f, "{n}w"),
+            Token::Colon => f.write_str(":"),
+            Token::Comma => f.write_str(","),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Equals => f.write_str("="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Amp => f.write_str("&"),
+            Token::Pipe => f.write_str("|"),
+            Token::Caret => f.write_str("^"),
+            Token::Tilde => f.write_str("~"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LEGEND lex error at line {}: unexpected {:?}", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes LEGEND source. `;` and `--` start line comments.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on characters outside the language.
+pub fn lex(text: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let code = match (raw.find(';'), raw.find("--")) {
+            (Some(a), Some(b)) => &raw[..a.min(b)],
+            (Some(a), None) => &raw[..a],
+            (None, Some(b)) => &raw[..b],
+            (None, None) => raw,
+        };
+        let mut chars = code.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            let token = match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                    continue;
+                }
+                ':' => {
+                    chars.next();
+                    Token::Colon
+                }
+                ',' => {
+                    chars.next();
+                    Token::Comma
+                }
+                '(' => {
+                    chars.next();
+                    Token::LParen
+                }
+                ')' => {
+                    chars.next();
+                    Token::RParen
+                }
+                '[' => {
+                    chars.next();
+                    Token::LBracket
+                }
+                ']' => {
+                    chars.next();
+                    Token::RBracket
+                }
+                '=' => {
+                    chars.next();
+                    Token::Equals
+                }
+                '+' => {
+                    chars.next();
+                    Token::Plus
+                }
+                '-' => {
+                    chars.next();
+                    Token::Minus
+                }
+                '&' => {
+                    chars.next();
+                    Token::Amp
+                }
+                '|' => {
+                    chars.next();
+                    Token::Pipe
+                }
+                '^' => {
+                    chars.next();
+                    Token::Caret
+                }
+                '~' => {
+                    chars.next();
+                    Token::Tilde
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n = 0u64;
+                    while let Some(&d) = chars.peek() {
+                        if let Some(v) = d.to_digit(10) {
+                            n = n * 10 + v as u64;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if chars.peek() == Some(&'w') {
+                        chars.next();
+                        Token::Wires(n)
+                    } else {
+                        Token::Number(n)
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                            s.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    Token::Ident(s)
+                }
+                other => return Err(LexError { line, ch: other }),
+            };
+            out.push(Spanned { token, line });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_field_line() {
+        let toks = lex("NAME: COUNTER").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].token, Token::Ident("NAME".into()));
+        assert_eq!(toks[1].token, Token::Colon);
+        assert_eq!(toks[2].token, Token::Ident("COUNTER".into()));
+    }
+
+    #[test]
+    fn lexes_width_annotations() {
+        let toks = lex("INPUTS: I0[3w]").unwrap();
+        assert_eq!(toks[3].token, Token::LBracket);
+        assert_eq!(toks[4].token, Token::Wires(3));
+        assert_eq!(toks[5].token, Token::RBracket);
+    }
+
+    #[test]
+    fn lexes_ops_clause() {
+        let toks = lex("(OPS: (COUNT_UP: O0 = O0 + 1))").unwrap();
+        assert!(toks.iter().any(|t| t.token == Token::Plus));
+        assert!(toks.iter().any(|t| t.token == Token::Equals));
+        assert_eq!(toks.last().unwrap().token, Token::RParen);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let toks = lex("NAME: X ; trailing\n-- whole line\nCLASS: Clocked").unwrap();
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("NAME: @").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("A: 1\nB: 2").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[3].line, 2);
+    }
+}

@@ -1,0 +1,380 @@
+//! Lowering LEGEND descriptions to GENUS generators, with behavioral
+//! cross-checking against the generated sample component.
+
+use crate::ast::{LegendBinOp, LegendDescription, LegendExpr};
+use genus::behavior::{self, Env};
+use genus::build::{schema_for, styles_for};
+use genus::component::{Component, Generator, PortClass, PortDir};
+use genus::kind::{ComponentKind, TypeClass};
+use genus::op::{Op, OpSet};
+use genus::params::{names, ParamValue, Params};
+use rtl_base::bits::Bits;
+use std::fmt;
+
+/// Lowering failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LowerError {
+    /// Generator name being lowered.
+    pub generator: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering {}: {}", self.generator, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// The result of lowering: the generator plus the description's sample
+/// component (built with the declared sample widths), already
+/// cross-checked.
+#[derive(Clone, Debug)]
+pub struct LoweredGenerator {
+    /// The GENUS generator for the family.
+    pub generator: Generator,
+    /// The sample component the description describes (e.g. Figure 2's
+    /// 3-bit counter).
+    pub sample: Component,
+}
+
+/// Parameters the standard schemas derive rather than store.
+const DERIVED_PARAMS: &[&str] = &["GC_NUM_FUNCTIONS", "GC_NUM_INPUTS_DECL"];
+
+fn eval_legend(expr: &LegendExpr, env: &Env, width: usize) -> Result<Bits, String> {
+    Ok(match expr {
+        LegendExpr::Port(p) => {
+            let v = env.get(p).ok_or_else(|| format!("unknown port {p}"))?;
+            if v.width() != width {
+                return Err(format!(
+                    "port {p} is {} bits, expression needs {width}",
+                    v.width()
+                ));
+            }
+            v.clone()
+        }
+        LegendExpr::Number(n) => Bits::from_u64(width, *n),
+        LegendExpr::Not(e) => !&eval_legend(e, env, width)?,
+        LegendExpr::Binary(op, l, r) => {
+            let lv = eval_legend(l, env, width)?;
+            let rv = eval_legend(r, env, width)?;
+            match op {
+                LegendBinOp::Add => lv.wrapping_add(&rv),
+                LegendBinOp::Sub => lv.wrapping_sub(&rv),
+                LegendBinOp::And => &lv & &rv,
+                LegendBinOp::Or => &lv | &rv,
+                LegendBinOp::Xor => &lv ^ &rv,
+            }
+        }
+    })
+}
+
+/// Lowers one description: infers the component kind from `NAME:`, builds
+/// the family generator (standard schema for that kind), instantiates the
+/// description's sample component, and verifies the declared ports,
+/// pins and operation behavior against it.
+///
+/// # Errors
+///
+/// [`LowerError`] when the description is inconsistent with the GENUS
+/// family it names.
+pub fn lower(desc: &LegendDescription) -> Result<LoweredGenerator, LowerError> {
+    let fail = |message: String| LowerError {
+        generator: desc.name.clone(),
+        message,
+    };
+    let kind = ComponentKind::parse(&desc.name).map_err(&fail)?;
+
+    // CLASS consistency.
+    if let Some(class) = &desc.class {
+        let expect_clocked = kind.type_class() == TypeClass::Sequential;
+        let is_clocked = class == "Clocked";
+        if expect_clocked != is_clocked {
+            return Err(fail(format!(
+                "class {class} does not match the {} family",
+                kind.type_class()
+            )));
+        }
+    }
+
+    // Declared parameters must be known (or explicitly derived).
+    let schema = schema_for(kind);
+    for (pname, _) in &desc.parameters {
+        let known = schema.iter().any(|s| &s.name == pname)
+            || DERIVED_PARAMS.contains(&pname.as_str());
+        if !known {
+            return Err(fail(format!("unknown parameter {pname}")));
+        }
+    }
+
+    // Styles must be a subset of the family's styles (when it has any).
+    let family_styles = styles_for(kind);
+    if !family_styles.is_empty() {
+        for s in &desc.styles {
+            if !family_styles.contains(s) {
+                return Err(fail(format!("unknown style {s}")));
+            }
+        }
+    }
+
+    let generator = Generator::new(
+        &desc.name,
+        kind,
+        schema,
+        if desc.styles.is_empty() {
+            family_styles
+        } else {
+            desc.styles.clone()
+        },
+        &format!("LEGEND generator {}", desc.name),
+    );
+
+    // Build the sample component from the declared widths and operations.
+    // Only parameters the family's schema actually has are supplied.
+    let mut params = Params::new();
+    let width = desc.sample_width();
+    if schema_has(&generator, names::INPUT_WIDTH) {
+        params.set(names::INPUT_WIDTH, ParamValue::Width(width));
+    }
+    if schema_has(&generator, names::NUM_INPUTS) {
+        // Select pins live in the INPUTS list but are not data ways.
+        let data_inputs = desc
+            .inputs
+            .iter()
+            .filter(|p| p.name != "S" && p.name != "SEL")
+            .count();
+        if data_inputs > 0 {
+            params.set(names::NUM_INPUTS, ParamValue::Width(data_inputs));
+        }
+    }
+    if schema_has(&generator, names::FUNCTION_LIST) && !desc.operations.is_empty() {
+        let ops: OpSet = desc
+            .operations
+            .iter()
+            .map(|o| Op::parse(&o.name))
+            .collect::<Result<_, _>>()
+            .map_err(&fail)?;
+        params.set(names::FUNCTION_LIST, ParamValue::Ops(ops));
+    }
+    if schema_has(&generator, names::ENABLE_FLAG) {
+        params.set(names::ENABLE_FLAG, ParamValue::Flag(!desc.enable.is_empty()));
+    }
+    if schema_has(&generator, names::ASYNC_SET_RESET) {
+        params.set(
+            names::ASYNC_SET_RESET,
+            ParamValue::Flag(!desc.r#async.is_empty()),
+        );
+    }
+    if let Some(style) = desc.styles.first() {
+        if schema_has(&generator, names::STYLE) {
+            params.set(names::STYLE, ParamValue::Style(style.clone()));
+        }
+    }
+    let sample = generator
+        .instantiate(&params)
+        .map_err(|e| fail(e.to_string()))?;
+
+    // Cross-check declared ports against the generated component.
+    let check_port = |name: &str, width: usize, dir: PortDir| -> Result<(), LowerError> {
+        let port = sample
+            .port(name)
+            .ok_or_else(|| fail(format!("declared port {name} not generated")))?;
+        if port.dir != dir {
+            return Err(fail(format!("port {name} has the wrong direction")));
+        }
+        if port.width != width {
+            return Err(fail(format!(
+                "port {name} declared {width} bits, generated {}",
+                port.width
+            )));
+        }
+        Ok(())
+    };
+    for p in &desc.inputs {
+        check_port(&p.name, p.width.0, PortDir::In)?;
+    }
+    for p in &desc.outputs {
+        check_port(&p.name, p.width.0, PortDir::Out)?;
+    }
+    if let Some(clk) = &desc.clock {
+        check_port(clk, 1, PortDir::In)?;
+        if sample.clock() != Some(clk.as_str()) {
+            return Err(fail(format!("{clk} is not the generated clock pin")));
+        }
+    }
+    for (pins, class) in [
+        (&desc.enable, PortClass::Enable),
+        (&desc.control, PortClass::Control),
+        (&desc.r#async, PortClass::AsyncSetReset),
+    ] {
+        for pin in pins {
+            check_port(pin, 1, PortDir::In)?;
+            let actual = sample.port(pin).expect("checked above").class;
+            if actual != class {
+                return Err(fail(format!(
+                    "pin {pin} declared {class:?}, generated {actual:?}"
+                )));
+            }
+        }
+    }
+
+    // Behavioral cross-check: every OPS clause must agree with the
+    // generated model's effect on random vectors.
+    for op_decl in &desc.operations {
+        let op = Op::parse(&op_decl.name).map_err(&fail)?;
+        let operation = sample
+            .operations()
+            .iter()
+            .find(|o| o.op == op)
+            .ok_or_else(|| fail(format!("operation {op} not generated")))?;
+        if operation.control.as_deref() != op_decl.control.as_deref() {
+            return Err(fail(format!(
+                "operation {op} control mismatch: declared {:?}, generated {:?}",
+                op_decl.control, operation.control
+            )));
+        }
+        for clause in &op_decl.ops {
+            let effect = operation
+                .effects
+                .iter()
+                .find(|e| e.target == clause.target)
+                .ok_or_else(|| {
+                    fail(format!("operation {op} has no effect on {}", clause.target))
+                })?;
+            let target_width = sample
+                .port(&clause.target)
+                .map(|p| p.width)
+                .ok_or_else(|| fail(format!("unknown target {}", clause.target)))?;
+            // Deterministic pseudo-random vectors over all ports.
+            for seed in 0u64..32 {
+                let mut env = Env::new();
+                let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                for port in sample.ports() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    env.insert(port.name.clone(), Bits::from_u64(port.width, x));
+                }
+                let declared = eval_legend(&clause.expr, &env, target_width)
+                    .map_err(&fail)?;
+                let generated =
+                    behavior::eval(&effect.expr, &env).map_err(|e| fail(e.to_string()))?;
+                if declared != generated {
+                    return Err(fail(format!(
+                        "operation {op}: declared `{} = {}` disagrees with the \
+                         generated model ({declared} vs {generated})",
+                        clause.target, clause.expr
+                    )));
+                }
+            }
+        }
+    }
+
+    Ok(LoweredGenerator { generator, sample })
+}
+
+fn schema_has(generator: &Generator, name: &str) -> bool {
+    generator.schema().iter().any(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    fn figure2_lowered() -> LoweredGenerator {
+        let docs = parse_document(crate::figure2::FIGURE2).unwrap();
+        lower(&docs[0]).unwrap()
+    }
+
+    #[test]
+    fn figure2_counter_lowers() {
+        let lowered = figure2_lowered();
+        assert_eq!(lowered.generator.kind(), ComponentKind::Counter);
+        assert_eq!(lowered.sample.spec().width, 3);
+        assert_eq!(lowered.sample.spec().ops.len(), 3);
+        assert!(lowered.sample.spec().enable);
+        assert!(lowered.sample.spec().async_set_reset);
+        assert_eq!(lowered.sample.clock(), Some("CLK"));
+    }
+
+    #[test]
+    fn figure2_sample_counts() {
+        let lowered = figure2_lowered();
+        let mut env = Env::new();
+        for port in lowered.sample.ports() {
+            env.insert(port.name.clone(), Bits::zero(port.width));
+        }
+        env.insert("O0".into(), Bits::from_u64(3, 5));
+        env.insert("CEN".into(), Bits::from_u64(1, 1));
+        env.insert("CUP".into(), Bits::from_u64(1, 1));
+        let out = lowered.sample.eval(&env).unwrap();
+        assert_eq!(out["O0"].to_u64(), Some(6));
+    }
+
+    #[test]
+    fn wrong_class_rejected() {
+        let text = "NAME: COUNTER\nCLASS: Combinational\n";
+        let docs = parse_document(text).unwrap();
+        let err = lower(&docs[0]).unwrap_err();
+        assert!(err.message.contains("class"));
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let text = "NAME: COUNTER\nCLASS: Clocked\nPARAMETERS: GC_FROBNICATE\n";
+        let docs = parse_document(text).unwrap();
+        let err = lower(&docs[0]).unwrap_err();
+        assert!(err.message.contains("GC_FROBNICATE"));
+    }
+
+    #[test]
+    fn wrong_behavior_rejected() {
+        // COUNT_UP declared as O0 = O0 - 1: contradicts the model.
+        let text = "\
+NAME: COUNTER
+CLASS: Clocked
+INPUTS: I0[3w]
+OUTPUTS: O0[3w]
+CLOCK: CLK
+ENABLE: CEN
+CONTROL: CLOAD, CUP, CDOWN
+ASYNC: ASET, ARESET
+OPERATIONS:
+  ( (LOAD)
+    (CONTROL: CLOAD)
+    (OPS: (LOAD: O0 = I0)))
+  ( (COUNT_UP)
+    (CONTROL: CUP)
+    (OPS: (COUNT_UP: O0 = O0 - 1)))
+  ( (COUNT_DOWN)
+    (CONTROL: CDOWN)
+    (OPS: (COUNT_DOWN: O0 = O0 - 1)))
+";
+        let docs = parse_document(text).unwrap();
+        let err = lower(&docs[0]).unwrap_err();
+        assert!(err.message.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let text = "\
+NAME: COUNTER
+CLASS: Clocked
+INPUTS: I0[3w]
+OUTPUTS: O0[4]
+CLOCK: CLK
+ENABLE: CEN
+CONTROL: CLOAD, CUP, CDOWN
+ASYNC: ASET, ARESET
+OPERATIONS:
+  ( (LOAD) (CONTROL: CLOAD) (OPS: (LOAD: O0 = I0)))
+  ( (COUNT_UP) (CONTROL: CUP) (OPS: (COUNT_UP: O0 = O0 + 1)))
+  ( (COUNT_DOWN) (CONTROL: CDOWN) (OPS: (COUNT_DOWN: O0 = O0 - 1)))
+";
+        let docs = parse_document(text).unwrap();
+        assert!(lower(&docs[0]).is_err());
+    }
+}

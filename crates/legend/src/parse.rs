@@ -1,0 +1,410 @@
+//! LEGEND parser: token stream → [`LegendDescription`]s.
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, Spanned, Token};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 at end of input).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LEGEND parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: format!("unexpected character {:?}", e.ch),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.at + 1).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.at).map(|s| s.line).unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.at).map(|s| s.token.clone());
+        self.at += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            Some(t) => Err(ParseError {
+                line: self.tokens[self.at - 1].line,
+                message: format!("expected {want}, found {t}"),
+            }),
+            None => Err(self.err(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError {
+                line: self.tokens[self.at - 1].line,
+                message: format!("expected identifier, found {t}"),
+            }),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            Some(t) => Err(ParseError {
+                line: self.tokens[self.at - 1].line,
+                message: format!("expected number, found {t}"),
+            }),
+            None => Err(self.err("expected number, found end of input")),
+        }
+    }
+
+    /// True when the next two tokens are `IDENT :` — the start of a field.
+    fn at_field_key(&self) -> bool {
+        matches!(self.peek(), Some(Token::Ident(_)))
+            && matches!(self.peek2(), Some(Token::Colon))
+    }
+
+    fn width_spec(&mut self) -> Result<WidthSpec, ParseError> {
+        match self.next() {
+            Some(Token::Wires(n)) | Some(Token::Number(n)) => Ok(WidthSpec(n as usize)),
+            Some(t) => Err(ParseError {
+                line: self.tokens[self.at - 1].line,
+                message: format!("expected width, found {t}"),
+            }),
+            None => Err(self.err("expected width, found end of input")),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn param_list(&mut self) -> Result<Vec<(String, Option<WidthSpec>)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ann = if self.peek() == Some(&Token::LParen) {
+                self.next();
+                let w = self.width_spec()?;
+                self.expect(&Token::RParen)?;
+                Some(w)
+            } else {
+                None
+            };
+            out.push((name, ann));
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn port_list(&mut self) -> Result<Vec<PortDecl>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let width = if self.peek() == Some(&Token::LBracket) {
+                self.next();
+                let w = self.width_spec()?;
+                self.expect(&Token::RBracket)?;
+                w
+            } else {
+                WidthSpec(1)
+            };
+            out.push(PortDecl { name, width });
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<LegendExpr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => LegendBinOp::Add,
+                Some(Token::Minus) => LegendBinOp::Sub,
+                Some(Token::Amp) => LegendBinOp::And,
+                Some(Token::Pipe) => LegendBinOp::Or,
+                Some(Token::Caret) => LegendBinOp::Xor,
+                _ => break,
+            };
+            self.next();
+            let right = self.unary()?;
+            left = LegendExpr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<LegendExpr, ParseError> {
+        match self.peek() {
+            Some(Token::Tilde) => {
+                self.next();
+                Ok(LegendExpr::Not(Box::new(self.unary()?)))
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => Ok(LegendExpr::Port(self.ident()?)),
+            Some(Token::Number(_)) => Ok(LegendExpr::Number(self.number()?)),
+            other => Err(self.err(format!(
+                "expected expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// One `( (NAME) (INPUTS: ...) ... (OPS: ...) )` block.
+    fn operation(&mut self) -> Result<OperationDecl, ParseError> {
+        self.expect(&Token::LParen)?;
+        self.expect(&Token::LParen)?;
+        let mut op = OperationDecl {
+            name: self.ident()?,
+            ..OperationDecl::default()
+        };
+        self.expect(&Token::RParen)?;
+        while self.peek() == Some(&Token::LParen) {
+            self.next();
+            let key = self.ident()?;
+            self.expect(&Token::Colon)?;
+            match key.as_str() {
+                "INPUTS" => op.inputs = self.ident_list()?,
+                "OUTPUTS" => op.outputs = self.ident_list()?,
+                "CONTROL" => op.control = Some(self.ident()?),
+                "OPS" => {
+                    while self.peek() == Some(&Token::LParen) {
+                        self.next();
+                        let op_name = self.ident()?;
+                        self.expect(&Token::Colon)?;
+                        let target = self.ident()?;
+                        self.expect(&Token::Equals)?;
+                        let expr = self.expr()?;
+                        self.expect(&Token::RParen)?;
+                        op.ops.push(OpsClause {
+                            op_name,
+                            target,
+                            expr,
+                        });
+                    }
+                }
+                other => return Err(self.err(format!("unknown operation section {other}"))),
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect(&Token::RParen)?;
+        Ok(op)
+    }
+
+    fn description(&mut self) -> Result<LegendDescription, ParseError> {
+        let mut desc = LegendDescription::default();
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        // NAME: must come first.
+        let key = self.ident()?;
+        if key != "NAME" {
+            return Err(self.err(format!("description must start with NAME:, found {key}")));
+        }
+        self.expect(&Token::Colon)?;
+        desc.name = self.ident()?;
+        while self.at_field_key() {
+            let key = self.ident()?;
+            if key == "NAME" {
+                // Next description begins.
+                self.at -= 1;
+                break;
+            }
+            self.expect(&Token::Colon)?;
+            match key.as_str() {
+                "CLASS" => desc.class = Some(self.ident()?),
+                "MAX_PARAMS" => desc.max_params = Some(self.number()? as usize),
+                "PARAMETERS" => desc.parameters = self.param_list()?,
+                "STYLES" => desc.styles = self.ident_list()?,
+                "INPUTS" => desc.inputs = self.port_list()?,
+                "OUTPUTS" => desc.outputs = self.port_list()?,
+                "CLOCK" => desc.clock = Some(self.ident()?),
+                "ENABLE" => desc.enable = self.ident_list()?,
+                "CONTROL" => desc.control = self.ident_list()?,
+                "ASYNC" => desc.r#async = self.ident_list()?,
+                "VHDL_MODEL" => desc.vhdl_model = Some(self.ident()?),
+                "OP_CLASSES" => desc.op_classes = Some(self.ident()?),
+                "OPERATIONS" => {
+                    while self.peek() == Some(&Token::LParen) {
+                        desc.operations.push(self.operation()?);
+                    }
+                }
+                k if k.starts_with("NUM_") => {
+                    counts.push((k.to_string(), self.number()? as usize));
+                }
+                other => return Err(self.err(format!("unknown field {other}"))),
+            }
+        }
+        // Validate NUM_* counts against the parsed lists.
+        for (key, n) in counts {
+            let actual = match key.as_str() {
+                "NUM_STYLES" => desc.styles.len(),
+                "NUM_INPUTS" => desc.inputs.len(),
+                "NUM_OUTPUTS" => desc.outputs.len(),
+                "NUM_ENABLE" => desc.enable.len(),
+                "NUM_CONTROL" => desc.control.len(),
+                "NUM_ASYNC" => desc.r#async.len(),
+                "NUM_OPERATIONS" => desc.operations.len(),
+                _ => continue, // e.g. NUM_FUNCTIONS: informational
+            };
+            if actual != n {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!("{key} declares {n} but {actual} were listed"),
+                });
+            }
+        }
+        if let Some(max) = desc.max_params {
+            if desc.parameters.len() > max {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!(
+                        "MAX_PARAMS is {max} but {} parameters are declared",
+                        desc.parameters.len()
+                    ),
+                });
+            }
+        }
+        Ok(desc)
+    }
+}
+
+/// Parses a LEGEND document into its generator descriptions.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line number on malformed input.
+pub fn parse_document(text: &str) -> Result<Vec<LegendDescription>, ParseError> {
+    let tokens = lex(text)?;
+    let mut parser = Parser { tokens, at: 0 };
+    let mut out = Vec::new();
+    while parser.peek().is_some() {
+        out.push(parser.description()?);
+    }
+    if out.is_empty() {
+        return Err(ParseError {
+            line: 0,
+            message: "empty document".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2() {
+        let docs = parse_document(crate::figure2::FIGURE2).unwrap();
+        assert_eq!(docs.len(), 1);
+        let d = &docs[0];
+        assert_eq!(d.name, "COUNTER");
+        assert_eq!(d.class.as_deref(), Some("Clocked"));
+        assert_eq!(d.max_params, Some(7));
+        assert_eq!(d.parameters.len(), 7);
+        assert_eq!(d.styles, vec!["SYNCHRONOUS", "RIPPLE"]);
+        assert_eq!(d.inputs.len(), 1);
+        assert_eq!(d.inputs[0].name, "I0");
+        assert_eq!(d.inputs[0].width.0, 3);
+        assert_eq!(d.clock.as_deref(), Some("CLK"));
+        assert_eq!(d.enable, vec!["CEN"]);
+        assert_eq!(d.control, vec!["CLOAD", "CUP", "CDOWN"]);
+        assert_eq!(d.r#async, vec!["ASET", "ARESET"]);
+        assert_eq!(d.operations.len(), 3);
+        assert_eq!(d.operations[1].name, "COUNT_UP");
+        assert_eq!(d.operations[1].control.as_deref(), Some("CUP"));
+        assert_eq!(d.operations[1].ops.len(), 1);
+        assert_eq!(d.operations[1].ops[0].expr.to_string(), "O0 + 1");
+        assert_eq!(d.vhdl_model.as_deref(), Some("counter_vhdl.c"));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let text = "NAME: COUNTER\nNUM_CONTROL: 2\nCONTROL: CLOAD, CUP, CDOWN\n";
+        let err = parse_document(text).unwrap_err();
+        assert!(err.message.contains("NUM_CONTROL"));
+    }
+
+    #[test]
+    fn max_params_enforced() {
+        let text = "NAME: X\nMAX_PARAMS: 1\nPARAMETERS: GC_A, GC_B\n";
+        let err = parse_document(text).unwrap_err();
+        assert!(err.message.contains("MAX_PARAMS"));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let err = parse_document("NAME: X\nBOGUS: 3\n").unwrap_err();
+        assert!(err.message.contains("BOGUS"));
+    }
+
+    #[test]
+    fn multiple_descriptions() {
+        let text = "NAME: REGISTER\nCLASS: Clocked\nNAME: MUX\nCLASS: Combinational\n";
+        let docs = parse_document(text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1].name, "MUX");
+    }
+
+    #[test]
+    fn expression_precedence_is_flat_left_assoc() {
+        let text = "NAME: X\nOPERATIONS:\n( (LOAD)\n  (OPS: (LOAD: O0 = A + B & C)))\n";
+        let docs = parse_document(text).unwrap();
+        assert_eq!(
+            docs[0].operations[0].ops[0].expr.to_string(),
+            "A + B & C"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Rendering generators back to LEGEND text.
+//!
+//! The printer emits a Figure-2-style description of a generator's sample
+//! component; [`crate::parse_document`] + [`fn@crate::lower`] accept the
+//! output, giving a round trip that pins the concrete syntax.
+
+use genus::behavior::{Effect, Expr, UnaryOp};
+use genus::component::{Component, Generator, PortClass, PortDir};
+use genus::kind::TypeClass;
+use genus::params::{names, ParamValue, Params};
+use std::fmt::Write as _;
+
+/// Renders a behavioral expression in LEGEND's `OPS:` surface syntax, if
+/// it fits (ports, constants, complement, and the basic binary
+/// operators).
+fn render_expr(expr: &Expr) -> Option<String> {
+    use genus::behavior::BinaryOp as B;
+    Some(match expr {
+        Expr::Port(p) => p.clone(),
+        Expr::Const(b) => b.to_u64()?.to_string(),
+        Expr::Unary(UnaryOp::Not, e) => {
+            // Parenthesize compound operands: `~(a & b)`, not `~a & b`.
+            let inner = render_expr(e)?;
+            if matches!(**e, Expr::Port(_) | Expr::Const(_)) {
+                format!("~{inner}")
+            } else {
+                format!("~({inner})")
+            }
+        }
+        Expr::Unary(UnaryOp::Inc, e) => format!("{} + 1", render_expr(e)?),
+        Expr::Unary(UnaryOp::Dec, e) => format!("{} - 1", render_expr(e)?),
+        Expr::Binary(op, l, r) => {
+            let sym = match op {
+                B::Add => "+",
+                B::Sub => "-",
+                B::And => "&",
+                B::Or => "|",
+                B::Xor => "^",
+                _ => return None,
+            };
+            // The LEGEND grammar is flat left-associative; parenthesize
+            // right operands that are themselves binary.
+            let left = render_expr(l)?;
+            let right_raw = render_expr(r)?;
+            let right = if matches!(**r, Expr::Binary(..)) {
+                format!("({right_raw})")
+            } else {
+                right_raw
+            };
+            format!("{left} {sym} {right}")
+        }
+        _ => return None,
+    })
+}
+
+fn render_effect(effect: &Effect) -> Option<String> {
+    Some(format!("{} = {}", effect.target, render_expr(&effect.expr)?))
+}
+
+/// Prints a generator as a LEGEND description, using `sample_params` to
+/// instantiate the sample component whose ports and operations the
+/// description lists.
+///
+/// # Errors
+///
+/// Returns a message when the sample cannot be instantiated.
+pub fn print_generator(generator: &Generator, sample_params: &Params) -> Result<String, String> {
+    let sample: Component = generator
+        .instantiate(sample_params)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let w = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    w(&mut out, &format!("NAME: {}", generator.name()));
+    let class = if generator.kind().type_class() == TypeClass::Sequential {
+        "Clocked"
+    } else {
+        "Combinational"
+    };
+    w(&mut out, &format!("CLASS: {class}"));
+    w(
+        &mut out,
+        &format!("MAX_PARAMS: {}", generator.schema().len()),
+    );
+    let params_line = generator
+        .schema()
+        .iter()
+        .map(|p| {
+            if p.name == names::INPUT_WIDTH {
+                format!("{} ({}w)", p.name, sample.spec().width)
+            } else {
+                p.name.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    w(&mut out, &format!("PARAMETERS: {params_line}"));
+    if !generator.styles().is_empty() {
+        w(
+            &mut out,
+            &format!("NUM_STYLES: {}", generator.styles().len()),
+        );
+        w(&mut out, &format!("STYLES: {}", generator.styles().join(", ")));
+    }
+
+    let port_list = |ports: Vec<(&str, usize)>| -> String {
+        ports
+            .iter()
+            .map(|(n, width)| format!("{n}[{width}w]"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let data_inputs: Vec<(&str, usize)> = sample
+        .ports()
+        .iter()
+        .filter(|p| {
+            p.dir == PortDir::In
+                && matches!(p.class, PortClass::Data | PortClass::Select | PortClass::CarryIn)
+        })
+        .map(|p| (p.name.as_str(), p.width))
+        .collect();
+    if !data_inputs.is_empty() {
+        w(&mut out, &format!("NUM_INPUTS: {}", data_inputs.len()));
+        w(&mut out, &format!("INPUTS: {}", port_list(data_inputs)));
+    }
+    let outputs: Vec<(&str, usize)> = sample
+        .outputs()
+        .map(|p| (p.name.as_str(), p.width))
+        .collect();
+    w(&mut out, &format!("NUM_OUTPUTS: {}", outputs.len()));
+    w(&mut out, &format!("OUTPUTS: {}", port_list(outputs)));
+    if let Some(clk) = sample.clock() {
+        w(&mut out, &format!("CLOCK: {clk}"));
+    }
+    let pins_of = |class: PortClass| -> Vec<&str> {
+        sample
+            .ports()
+            .iter()
+            .filter(|p| p.dir == PortDir::In && p.class == class)
+            .map(|p| p.name.as_str())
+            .collect()
+    };
+    for (label, class) in [
+        ("ENABLE", PortClass::Enable),
+        ("CONTROL", PortClass::Control),
+        ("ASYNC", PortClass::AsyncSetReset),
+    ] {
+        let pins = pins_of(class);
+        if !pins.is_empty() {
+            w(&mut out, &format!("NUM_{label}: {}", pins.len()));
+            w(&mut out, &format!("{label}: {}", pins.join(", ")));
+        }
+    }
+
+    // Operation blocks: declared operations only (asynchronous set/reset
+    // pins are implied by ASYNC:, as in Figure 2).
+    let declared: Vec<_> = sample
+        .operations()
+        .iter()
+        .filter(|o| {
+            !matches!(
+                o.op,
+                genus::op::Op::AsyncSet | genus::op::Op::AsyncReset
+            )
+        })
+        .collect();
+    if !declared.is_empty() {
+        w(&mut out, &format!("NUM_OPERATIONS: {}", declared.len()));
+        w(&mut out, "OPERATIONS:");
+        for operation in &declared {
+            let mut block = format!("  ( ({})", operation.op.name());
+            let mut referenced = std::collections::BTreeSet::new();
+            for e in &operation.effects {
+                e.expr.collect_ports(&mut referenced);
+            }
+            let ins: Vec<&str> = sample
+                .inputs()
+                .filter(|p| p.class == PortClass::Data && referenced.contains(&p.name))
+                .map(|p| p.name.as_str())
+                .collect();
+            if !ins.is_empty() {
+                let _ = write!(block, "\n    (INPUTS: {})", ins.join(", "));
+            }
+            let outs: Vec<&str> = operation
+                .effects
+                .iter()
+                .map(|e| e.target.as_str())
+                .collect();
+            if !outs.is_empty() {
+                let _ = write!(block, "\n    (OUTPUTS: {})", outs.join(", "));
+            }
+            if let Some(ctrl) = &operation.control {
+                let _ = write!(block, "\n    (CONTROL: {ctrl})");
+            }
+            let clauses: Vec<String> = operation
+                .effects
+                .iter()
+                .filter_map(|e| {
+                    render_effect(e)
+                        .map(|r| format!("({}: {r})", operation.op.name()))
+                })
+                .collect();
+            if !clauses.is_empty() {
+                let _ = write!(block, "\n    (OPS: {})", clauses.join(" "));
+            }
+            block.push_str(")");
+            w(&mut out, &block);
+        }
+    }
+    if let Some(ParamValue::Text(model)) = sample.params().get(names::COMPILER_NAME) {
+        w(&mut out, &format!("VHDL_MODEL: {model}"));
+    }
+    w(&mut out, "OP_CLASSES: default");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parse_document;
+    use genus::stdlib::GenusLibrary;
+
+    #[test]
+    fn counter_round_trips() {
+        let lib = GenusLibrary::standard();
+        let generator = lib.generator("COUNTER").unwrap();
+        let params = Params::new().with(names::INPUT_WIDTH, ParamValue::Width(3));
+        let text = print_generator(generator, &params).unwrap();
+        let docs = parse_document(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        let lowered = lower(&docs[0]).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(lowered.sample.spec().width, 3);
+        assert_eq!(lowered.sample.spec().ops.len(), 3);
+    }
+
+    #[test]
+    fn register_round_trips() {
+        let lib = GenusLibrary::standard();
+        let generator = lib.generator("REGISTER").unwrap();
+        let params = Params::new()
+            .with(names::INPUT_WIDTH, ParamValue::Width(8))
+            .with(names::ENABLE_FLAG, ParamValue::Flag(true));
+        let text = print_generator(generator, &params).unwrap();
+        let docs = parse_document(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        let lowered = lower(&docs[0]).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(lowered.sample.spec().width, 8);
+        assert!(lowered.sample.spec().enable);
+    }
+
+    #[test]
+    fn printed_counter_matches_figure2_shape() {
+        let lib = GenusLibrary::standard();
+        let generator = lib.generator("COUNTER").unwrap();
+        let params = Params::new().with(names::INPUT_WIDTH, ParamValue::Width(3));
+        let text = print_generator(generator, &params).unwrap();
+        for needle in [
+            "NAME: COUNTER",
+            "CLASS: Clocked",
+            "STYLES: SYNCHRONOUS, RIPPLE",
+            "INPUTS: I0[3w]",
+            "CLOCK: CLK",
+            "CONTROL: CLOAD, CUP, CDOWN",
+            "(OPS: (COUNT_UP: O0 = O0 + 1))",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn unrenderable_effects_are_omitted_not_mangled() {
+        // The ALU's AddWide-based effects cannot be written in OPS syntax;
+        // the block must simply omit the OPS clause.
+        let lib = GenusLibrary::standard();
+        let generator = lib.generator("ADDSUB").unwrap();
+        let params = Params::new().with(names::INPUT_WIDTH, ParamValue::Width(4));
+        let text = print_generator(generator, &params).unwrap();
+        assert!(text.contains("( (ADD)"));
+        assert!(parse_document(&text).is_ok(), "{text}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Equivalence checking between behavioral models and synthesized
+//! implementations.
+//!
+//! The golden reference is always the generic component model built from
+//! the implemented specification; the device under test is the flattened
+//! leaf-cell netlist. Inputs are sampled so that operation selects stay
+//! in range (out-of-range select codes are don't-cares on both sides, as
+//! in real data books).
+
+use crate::flatten::FlatDesign;
+use crate::sim::{SimError, Simulator};
+use dtas::Implementation;
+use genus::behavior::Env;
+use genus::build::component_for_spec;
+use genus::component::{Component, PortClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtl_base::bits::Bits;
+use std::fmt;
+
+/// A counterexample found by equivalence checking.
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// Offending output port.
+    pub port: String,
+    /// Inputs that expose the difference.
+    pub inputs: Env,
+    /// Golden (behavioral) value.
+    pub expected: Bits,
+    /// Implementation value.
+    pub actual: Bits,
+    /// Clock cycle at which the mismatch appeared (0 for combinational).
+    pub cycle: usize,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "output {} differs at cycle {}: expected {}, got {}",
+            self.port, self.cycle, self.expected, self.actual
+        )?;
+        for (k, v) in &self.inputs {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Mismatch {}
+
+/// Equivalence-checking failure: either a simulator defect or a real
+/// counterexample.
+#[derive(Debug)]
+pub enum EquivError {
+    /// The implementation failed to flatten or simulate.
+    Sim(String),
+    /// A counterexample.
+    Mismatch(Box<Mismatch>),
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::Sim(m) => write!(f, "simulation failed: {m}"),
+            EquivError::Mismatch(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+impl From<SimError> for EquivError {
+    fn from(e: SimError) -> Self {
+        EquivError::Sim(e.to_string())
+    }
+}
+
+/// Upper bound (exclusive) on meaningful values for an input port, used
+/// to keep sampled vectors inside the component's defined behavior.
+fn valid_bound(model: &Component, port_name: &str) -> Option<u64> {
+    let port = model.port(port_name)?;
+    match port.class {
+        PortClass::Select => {
+            if let Some(sel) = model.op_select() {
+                if sel.port == port_name {
+                    return Some(sel.encoding.len() as u64);
+                }
+            }
+            // Mux/selector-style select: bound by the fan-in.
+            let n = model.spec().inputs;
+            if n > 0 {
+                Some(n as u64)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Draws a random, in-range input environment for a component model.
+pub fn random_inputs(model: &Component, rng: &mut StdRng) -> Env {
+    let mut env = Env::new();
+    for port in model.inputs() {
+        if port.class == PortClass::Clock {
+            env.insert(port.name.clone(), Bits::zero(port.width));
+            continue;
+        }
+        let value = match valid_bound(model, &port.name) {
+            Some(bound) if bound > 0 => {
+                Bits::from_u64(port.width, rng.gen_range(0..bound))
+            }
+            _ => Bits::from_fn(port.width, |_| rng.gen_bool(0.5)),
+        };
+        env.insert(port.name.clone(), value);
+    }
+    env
+}
+
+/// Golden single-component reference simulator: keeps sequential state by
+/// re-binding output values into the next evaluation.
+struct Golden {
+    model: Component,
+    state: Env,
+}
+
+impl Golden {
+    fn new(model: Component) -> Self {
+        let state = model
+            .outputs()
+            .map(|p| (p.name.clone(), Bits::zero(p.width)))
+            .collect();
+        Golden { model, state }
+    }
+
+    /// Pre-edge outputs for these inputs, then advance state.
+    ///
+    /// Registered outputs (written by clocked, controlled operations —
+    /// a register's `Q`, a counter's `O0`, a memory's `MEM`) publish the
+    /// *current* state; combinational read ports (written by
+    /// unconditional operations — a register file's `RD`, a stack's
+    /// `EMPTY`) are Mealy outputs recomputed from current inputs and
+    /// state.
+    fn step(&mut self, inputs: &Env) -> Result<Env, EquivError> {
+        let mut env = inputs.clone();
+        for (k, v) in &self.state {
+            env.insert(k.clone(), v.clone());
+        }
+        let next = self
+            .model
+            .eval(&env)
+            .map_err(|e| EquivError::Sim(e.to_string()))?;
+        if !self.model.is_sequential() {
+            return Ok(next);
+        }
+        let mut now = self.state.clone();
+        let mealy: std::collections::BTreeSet<String> = self
+            .model
+            .outputs()
+            .filter(|p| !self.model.is_registered_output(&p.name))
+            .map(|p| p.name.clone())
+            .collect();
+        if !mealy.is_empty() {
+            let comb = self
+                .model
+                .eval_filtered(&env, Some(&mealy))
+                .map_err(|e| EquivError::Sim(e.to_string()))?;
+            for target in &mealy {
+                if let Some(v) = comb.get(target) {
+                    now.insert(target.clone(), v.clone());
+                }
+            }
+        }
+        self.state = next;
+        Ok(now)
+    }
+}
+
+/// Checks an implementation against the behavioral model of its
+/// specification on `vectors` random vectors (combinational) or clock
+/// cycles (sequential).
+///
+/// # Errors
+///
+/// [`EquivError::Mismatch`] with a counterexample on the first
+/// disagreement, [`EquivError::Sim`] on harness failures.
+pub fn check_implementation(
+    implementation: &Implementation,
+    vectors: usize,
+    seed: u64,
+) -> Result<(), EquivError> {
+    let golden_model = component_for_spec(&implementation.spec)
+        .map_err(|e| EquivError::Sim(e.to_string()))?;
+    let flat = FlatDesign::from_implementation(implementation)
+        .map_err(|e| EquivError::Sim(e.to_string()))?;
+    let mut sim = Simulator::new(&flat)?;
+    let mut golden = Golden::new(golden_model.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequential = golden_model.is_sequential();
+    for cycle in 0..vectors {
+        let inputs = random_inputs(&golden_model, &mut rng);
+        let expected = golden.step(&inputs)?;
+        let actual = if sequential {
+            sim.step(&inputs)?
+        } else {
+            sim.eval(&inputs)?
+        };
+        for (port, exp) in &expected {
+            // Only externally visible outputs are compared; the golden
+            // env contains exactly the output ports.
+            let Some(act) = actual.get(port) else {
+                return Err(EquivError::Sim(format!(
+                    "implementation lacks output {port}"
+                )));
+            };
+            if act != exp {
+                return Err(EquivError::Mismatch(Box::new(Mismatch {
+                    port: port.clone(),
+                    inputs,
+                    expected: exp.clone(),
+                    actual: act.clone(),
+                    cycle,
+                })));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively checks a small combinational implementation over every
+/// input combination (only sensible when the total input width is small).
+///
+/// # Errors
+///
+/// Like [`check_implementation`]; additionally fails when the exhaustive
+/// space exceeds `2^20` vectors.
+pub fn check_exhaustive(implementation: &Implementation) -> Result<(), EquivError> {
+    let golden_model = component_for_spec(&implementation.spec)
+        .map_err(|e| EquivError::Sim(e.to_string()))?;
+    if golden_model.is_sequential() {
+        return Err(EquivError::Sim(
+            "exhaustive checking is combinational-only".to_string(),
+        ));
+    }
+    let ports: Vec<_> = golden_model
+        .inputs()
+        .map(|p| (p.name.clone(), p.width))
+        .collect();
+    let total: usize = ports.iter().map(|(_, w)| w).sum();
+    if total > 20 {
+        return Err(EquivError::Sim(format!(
+            "{total} input bits is too many for exhaustive checking"
+        )));
+    }
+    let flat = FlatDesign::from_implementation(implementation)
+        .map_err(|e| EquivError::Sim(e.to_string()))?;
+    let sim = Simulator::new(&flat)?;
+    for code in 0u64..(1u64 << total) {
+        let mut inputs = Env::new();
+        let mut at = 0usize;
+        for (name, w) in &ports {
+            inputs.insert(name.clone(), Bits::from_u64(*w, code >> at));
+            at += w;
+        }
+        // Skip vectors with out-of-range selects (don't-cares).
+        if let Some(sel) = golden_model.op_select() {
+            let v = inputs[&sel.port].to_u64().unwrap_or(u64::MAX);
+            if v >= sel.encoding.len() as u64 {
+                continue;
+            }
+        }
+        if golden_model.spec().kind == genus::kind::ComponentKind::Mux {
+            let v = inputs["S"].to_u64().unwrap_or(u64::MAX);
+            if v >= golden_model.spec().inputs as u64 {
+                continue;
+            }
+        }
+        let expected = golden_model
+            .eval(&inputs)
+            .map_err(|e| EquivError::Sim(e.to_string()))?;
+        let actual = sim.eval(&inputs)?;
+        for (port, exp) in &expected {
+            let Some(act) = actual.get(port) else {
+                return Err(EquivError::Sim(format!(
+                    "implementation lacks output {port}"
+                )));
+            };
+            if act != exp {
+                return Err(EquivError::Mismatch(Box::new(Mismatch {
+                    port: port.clone(),
+                    inputs,
+                    expected: exp.clone(),
+                    actual: act.clone(),
+                    cycle: 0,
+                })));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::lsi::lsi_logic_subset;
+    use dtas::Dtas;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+    use genus::spec::ComponentSpec;
+
+    fn check_all(spec: ComponentSpec, vectors: usize) {
+        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        assert!(!set.alternatives.is_empty());
+        for alt in &set.alternatives {
+            check_implementation(&alt.implementation, vectors, 0xda7a5)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} implementation {} not equivalent:\n{e}\n{}",
+                        spec, alt.implementation.label(), alt.implementation
+                    )
+                });
+        }
+    }
+
+    #[test]
+    fn adders_are_equivalent() {
+        for w in [2usize, 3, 5, 8, 16] {
+            check_all(
+                ComponentSpec::new(ComponentKind::AddSub, w)
+                    .with_ops(OpSet::only(Op::Add))
+                    .with_carry_in(true)
+                    .with_carry_out(true),
+                100,
+            );
+        }
+    }
+
+    #[test]
+    fn addsub_is_equivalent() {
+        check_all(
+            ComponentSpec::new(ComponentKind::AddSub, 8)
+                .with_ops([Op::Add, Op::Sub].into_iter().collect())
+                .with_carry_in(true)
+                .with_carry_out(true),
+            200,
+        );
+    }
+
+    #[test]
+    fn exhaustive_add4_alternatives() {
+        let spec = ComponentSpec::new(ComponentKind::AddSub, 4)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        for alt in &set.alternatives {
+            check_exhaustive(&alt.implementation).unwrap_or_else(|e| {
+                panic!("{} fails exhaustively: {e}", alt.implementation.label())
+            });
+        }
+    }
+
+    #[test]
+    fn mux_trees_are_equivalent() {
+        for (w, n) in [(8usize, 2usize), (4, 3), (8, 4), (1, 8), (4, 8)] {
+            check_all(
+                ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n),
+                150,
+            );
+        }
+    }
+
+    #[test]
+    fn alu8_is_equivalent() {
+        check_all(
+            ComponentSpec::new(ComponentKind::Alu, 8)
+                .with_ops(Op::paper_alu16())
+                .with_carry_in(true),
+            300,
+        );
+    }
+
+    #[test]
+    fn counter_is_equivalent() {
+        check_all(
+            ComponentSpec::new(ComponentKind::Counter, 4)
+                .with_ops([Op::Load, Op::CountUp, Op::CountDown].into_iter().collect())
+                .with_enable(true)
+                .with_style("SYNCHRONOUS"),
+            200,
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Bit-accurate RTL simulation and equivalence checking.
+//!
+//! GENUS generators produce "simulatable behavioral models ... used to
+//! verify the behavior of a synthesized design" (paper §4). This crate is
+//! that verification path: it flattens a DTAS [`Implementation`] (or a
+//! GENUS netlist) into a leaf-cell netlist ([`flatten::FlatDesign`]),
+//! simulates it cycle-accurately ([`sim::Simulator`]), and checks it
+//! equivalent to the generic component's behavioral model
+//! ([`equiv`]) on random and exhaustive vectors.
+//!
+//! Every decomposition rule in the `dtas` crate is validated this way: a
+//! template that wires a carry chain or a select tree incorrectly fails
+//! equivalence immediately.
+//!
+//! # Examples
+//!
+//! Verify a synthesized 8-bit adder against its behavioral model:
+//!
+//! ```
+//! use cells::lsi::lsi_logic_subset;
+//! use dtas::Dtas;
+//! use genus::kind::ComponentKind;
+//! use genus::op::{Op, OpSet};
+//! use genus::spec::ComponentSpec;
+//! use rtlsim::equiv::check_implementation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ComponentSpec::new(ComponentKind::AddSub, 8)
+//!     .with_ops(OpSet::only(Op::Add))
+//!     .with_carry_in(true)
+//!     .with_carry_out(true);
+//! let set = Dtas::new(lsi_logic_subset()).synthesize(&spec)?;
+//! for alt in &set.alternatives {
+//!     check_implementation(&alt.implementation, 200, 7)?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Implementation`]: dtas::Implementation
+
+pub mod equiv;
+pub mod flatten;
+pub mod sim;
+pub mod vcd;
+
+pub use equiv::{check_implementation, Mismatch};
+pub use flatten::FlatDesign;
+pub use sim::Simulator;
+pub use vcd::VcdTrace;

@@ -1,0 +1,378 @@
+//! Levelized simulation of flattened designs.
+//!
+//! Combinational cells evaluate in topological order; sequential cells
+//! (registers and anything built on them) publish their current state at
+//! the start of the pass and latch their next state when the clock
+//! [`step`](Simulator::step)s.
+
+use crate::flatten::{FlatCell, FlatDesign};
+use dtas::template::Signal;
+use genus::behavior::Env;
+use rtl_base::bits::Bits;
+use rtl_base::graph::Digraph;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Simulation error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The combinational logic is cyclic.
+    CombinationalCycle(String),
+    /// A signal or model evaluation failed (missing net, width clash).
+    Eval(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through {n}")
+            }
+            SimError::Eval(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+enum Producer {
+    /// One output port of one cell (port-level granularity lets legal
+    /// feedback — e.g. lookahead carries returning into P/G adders —
+    /// levelize).
+    CellPort(usize, String),
+    Alias(String),
+}
+
+/// A two-phase (evaluate, commit) simulator over a [`FlatDesign`].
+///
+/// State is held per sequential cell as the env of its output ports;
+/// everything resets to zero.
+pub struct Simulator<'a> {
+    design: &'a FlatDesign,
+    order: Vec<Producer>,
+    /// Current state of sequential cells, indexed like `design.cells`.
+    state: Vec<Env>,
+    /// Cached output→input dependency maps, indexed like `design.cells`.
+    deps: Vec<BTreeMap<String, std::collections::BTreeSet<String>>>,
+}
+
+fn signal_leaf_nets(sig: &Signal) -> Vec<String> {
+    sig.leaves()
+        .into_iter()
+        .filter_map(|l| match l {
+            Signal::Net(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+impl<'a> Simulator<'a> {
+    /// Levelizes the design.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CombinationalCycle`] when the combinational logic is
+    /// cyclic.
+    pub fn new(design: &'a FlatDesign) -> Result<Self, SimError> {
+        // Producer graph: one node per bound cell output port and per
+        // alias.
+        let mut producers: Vec<Producer> = Vec::new();
+        let mut net_producer: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, cell) in design.cells.iter().enumerate() {
+            for (port, net) in &cell.outputs {
+                let idx = producers.len();
+                producers.push(Producer::CellPort(i, port.clone()));
+                net_producer.insert(net, idx);
+            }
+        }
+        for (net, _) in design.aliases.iter() {
+            let idx = producers.len();
+            producers.push(Producer::Alias(net.clone()));
+            net_producer.insert(net, idx);
+        }
+        let mut g = Digraph::new(producers.len());
+        let add_deps = |to: usize, sig: &Signal, g: &mut Digraph| {
+            for net in signal_leaf_nets(sig) {
+                if let Some(&from) = net_producer.get(net.as_str()) {
+                    g.add_edge(from, to, 0.0);
+                }
+            }
+        };
+        let deps: Vec<_> = design
+            .cells
+            .iter()
+            .map(|c| c.model.output_dependencies())
+            .collect();
+        for (idx, p) in producers.iter().enumerate() {
+            match p {
+                Producer::CellPort(i, port) => {
+                    let cell = &design.cells[*i];
+                    if cell.model.is_registered_output(port) {
+                        continue; // state cuts the dependency
+                    }
+                    let needed = deps[*i].get(port);
+                    for (in_port, sig) in &cell.inputs {
+                        if needed.is_none_or(|set| set.contains(in_port)) {
+                            add_deps(idx, sig, &mut g);
+                        }
+                    }
+                }
+                Producer::Alias(net) => {
+                    let sig = &design.aliases[net];
+                    add_deps(idx, sig, &mut g);
+                }
+            }
+        }
+        let order_ids = g.topo_sort().map_err(|e| {
+            let name = match &producers[e.node] {
+                Producer::CellPort(i, port) => {
+                    format!("{}.{port}", design.cells[*i].path)
+                }
+                Producer::Alias(n) => n.clone(),
+            };
+            SimError::CombinationalCycle(name)
+        })?;
+        let order = order_ids
+            .into_iter()
+            .map(|i| match &producers[i] {
+                Producer::CellPort(c, p) => Producer::CellPort(*c, p.clone()),
+                Producer::Alias(n) => Producer::Alias(n.clone()),
+            })
+            .collect();
+        let state = design
+            .cells
+            .iter()
+            .map(zero_state)
+            .collect();
+        Ok(Simulator {
+            design,
+            order,
+            state,
+            deps,
+        })
+    }
+
+    /// Resets all sequential state to zero.
+    pub fn reset(&mut self) {
+        self.state = self.design.cells.iter().map(zero_state).collect();
+    }
+
+    /// Direct access to a cell's state (testing hook).
+    pub fn cell_state(&self, path: &str) -> Option<&Env> {
+        self.design
+            .cells
+            .iter()
+            .position(|c| c.path == path)
+            .map(|i| &self.state[i])
+    }
+
+    fn pass(&self, inputs: &Env) -> Result<(BTreeMap<String, Bits>, Vec<Option<Env>>), SimError> {
+        let mut nets: Env = Env::new();
+        let mut pending: Vec<Option<Env>> = vec![None; self.design.cells.len()];
+        let resolve = |sig: &Signal, nets: &Env, inputs: &Env| -> Result<Bits, SimError> {
+            sig.eval(nets, inputs).map_err(SimError::Eval)
+        };
+        // Publish registered outputs first (they are sources); a
+        // sequential cell's combinational read ports are evaluated in
+        // topological order like any other producer.
+        for (i, cell) in self.design.cells.iter().enumerate() {
+            if cell.model.is_sequential() {
+                for (port, net) in &cell.outputs {
+                    if !cell.model.is_registered_output(port) {
+                        continue;
+                    }
+                    let v = self.state[i]
+                        .get(port)
+                        .cloned()
+                        .unwrap_or_else(|| Bits::zero(port_width(cell, port)));
+                    nets.insert(net.clone(), v);
+                }
+            }
+        }
+        for producer in &self.order {
+            match producer {
+                Producer::CellPort(i, port) => {
+                    let cell = &self.design.cells[*i];
+                    if cell.model.is_registered_output(port) {
+                        continue; // published above
+                    }
+                    // Evaluate just this output, using only the inputs it
+                    // depends on (others may not be resolved yet).
+                    let needed = self.deps[*i].get(port);
+                    let mut env = Env::new();
+                    if cell.model.is_sequential() {
+                        // Combinational reads see the current state.
+                        for (k, v) in &self.state[*i] {
+                            env.insert(k.clone(), v.clone());
+                        }
+                    }
+                    for (in_port, sig) in &cell.inputs {
+                        if needed.is_none_or(|set| set.contains(in_port)) {
+                            env.insert(in_port.clone(), resolve(sig, &nets, inputs)?);
+                        }
+                    }
+                    let targets: std::collections::BTreeSet<String> =
+                        [port.clone()].into_iter().collect();
+                    let out = cell
+                        .model
+                        .eval_filtered(&env, Some(&targets))
+                        .map_err(|e| SimError::Eval(format!("{}: {e}", cell.path)))?;
+                    let net = &cell.outputs[port];
+                    let v = out.get(port).cloned().ok_or_else(|| {
+                        SimError::Eval(format!("{} missing output {port}", cell.path))
+                    })?;
+                    nets.insert(net.clone(), v);
+                }
+                Producer::Alias(net) => {
+                    let sig = &self.design.aliases[net];
+                    let v = resolve(sig, &nets, inputs)?;
+                    nets.insert(net.clone(), v);
+                }
+            }
+        }
+        // Next states for sequential cells, now that all nets are known.
+        for (i, cell) in self.design.cells.iter().enumerate() {
+            if !cell.model.is_sequential() {
+                continue;
+            }
+            let mut env = self.state[i].clone();
+            for (port, sig) in &cell.inputs {
+                env.insert(port.clone(), resolve(sig, &nets, inputs)?);
+            }
+            let next = cell
+                .model
+                .eval(&env)
+                .map_err(|e| SimError::Eval(format!("{}: {e}", cell.path)))?;
+            pending[i] = Some(next);
+        }
+        Ok((nets, pending))
+    }
+
+    /// Evaluates the combinational function without advancing state;
+    /// returns the primary outputs.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Eval`] on missing nets or model failures.
+    pub fn eval(&self, inputs: &Env) -> Result<Env, SimError> {
+        let (nets, _) = self.pass(inputs)?;
+        self.primary_outputs(&nets, inputs)
+    }
+
+    /// One clock cycle: evaluates, returns the (pre-edge) primary outputs,
+    /// then commits next state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Eval`] on missing nets or model failures.
+    pub fn step(&mut self, inputs: &Env) -> Result<Env, SimError> {
+        let (nets, pending) = self.pass(inputs)?;
+        let outs = self.primary_outputs(&nets, inputs)?;
+        for (i, next) in pending.into_iter().enumerate() {
+            if let Some(next) = next {
+                // Keep only the output ports as state.
+                let cell = &self.design.cells[i];
+                let mut s = Env::new();
+                for port in cell.model.outputs() {
+                    if let Some(v) = next.get(&port.name) {
+                        s.insert(port.name.clone(), v.clone());
+                    }
+                }
+                self.state[i] = s;
+            }
+        }
+        Ok(outs)
+    }
+
+    fn primary_outputs(&self, nets: &Env, inputs: &Env) -> Result<Env, SimError> {
+        let mut out = Env::new();
+        for (name, sig) in &self.design.outputs {
+            let v = sig.eval(nets, inputs).map_err(SimError::Eval)?;
+            out.insert(name.clone(), v);
+        }
+        Ok(out)
+    }
+}
+
+fn port_width(cell: &FlatCell, port: &str) -> usize {
+    cell.model.port(port).map(|p| p.width).unwrap_or(1)
+}
+
+fn zero_state(cell: &FlatCell) -> Env {
+    cell.model
+        .outputs()
+        .map(|p| (p.name.clone(), Bits::zero(p.width)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::lsi::lsi_logic_subset;
+    use crate::flatten::FlatDesign;
+    use dtas::Dtas;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+    use genus::spec::ComponentSpec;
+
+    fn env(pairs: &[(&str, Bits)]) -> Env {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn simulate_ripple_adder() {
+        let spec = ComponentSpec::new(ComponentKind::AddSub, 8)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation)
+            .unwrap();
+        let sim = Simulator::new(&flat).unwrap();
+        let out = sim
+            .eval(&env(&[
+                ("A", Bits::from_u64(8, 200)),
+                ("B", Bits::from_u64(8, 100)),
+                ("CI", Bits::from_u64(1, 1)),
+            ]))
+            .unwrap();
+        assert_eq!(out["O"].to_u64(), Some((200 + 100 + 1) & 0xff));
+        assert_eq!(out["CO"].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn simulate_synthesized_counter() {
+        let spec = ComponentSpec::new(ComponentKind::Counter, 4)
+            .with_ops([Op::Load, Op::CountUp, Op::CountDown].into_iter().collect())
+            .with_enable(true)
+            .with_style("SYNCHRONOUS");
+        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation)
+            .unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        let step = |sim: &mut Simulator, cen: u64, load: u64, up: u64, down: u64| {
+            sim.step(&env(&[
+                ("I0", Bits::from_u64(4, 9)),
+                ("CLK", Bits::zero(1)),
+                ("CEN", Bits::from_u64(1, cen)),
+                ("CLOAD", Bits::from_u64(1, load)),
+                ("CUP", Bits::from_u64(1, up)),
+                ("CDOWN", Bits::from_u64(1, down)),
+            ]))
+            .unwrap()["O0"]
+                .to_u64()
+                .unwrap()
+        };
+        assert_eq!(step(&mut sim, 1, 0, 1, 0), 0); // pre-edge value
+        assert_eq!(step(&mut sim, 1, 0, 1, 0), 1);
+        assert_eq!(step(&mut sim, 1, 0, 1, 0), 2);
+        assert_eq!(step(&mut sim, 0, 0, 1, 0), 3); // disabled: holds
+        assert_eq!(step(&mut sim, 1, 1, 0, 0), 3); // load fires
+        assert_eq!(step(&mut sim, 1, 0, 0, 1), 9); // count down
+        assert_eq!(step(&mut sim, 1, 0, 0, 0), 8); // hold
+        assert_eq!(step(&mut sim, 1, 0, 0, 0), 8);
+    }
+}

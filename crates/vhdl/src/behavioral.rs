@@ -1,0 +1,270 @@
+//! Behavioral VHDL models for GENUS components.
+//!
+//! "Each component generator can produce simulatable VHDL behavioral
+//! models for the generated components" (paper §4). This module renders a
+//! component's operation effects as one VHDL process using
+//! `ieee.numeric_std` arithmetic.
+
+use genus::behavior::{BinaryOp, CmpOp, Expr, UnaryOp};
+use genus::component::{Component, PortDir};
+use std::fmt::Write as _;
+
+fn vhdl_type(width: usize) -> String {
+    format!("std_logic_vector({} downto 0)", width.max(1) - 1)
+}
+
+/// Renders an expression as a VHDL unsigned-arithmetic expression; the
+/// result is an `unsigned` value.
+fn render(expr: &Expr) -> Result<String, String> {
+    Ok(match expr {
+        Expr::Port(p) => format!("unsigned({p})"),
+        Expr::Const(b) => format!("\"{b}\""),
+        Expr::Unary(op, e) => {
+            let inner = render(e)?;
+            match op {
+                UnaryOp::Not => format!("(not {inner})"),
+                UnaryOp::Neg => format!("(0 - {inner})"),
+                UnaryOp::Inc => format!("({inner} + 1)"),
+                UnaryOp::Dec => format!("({inner} - 1)"),
+                UnaryOp::IsZero => format!("b2u({inner} = 0)"),
+                UnaryOp::ReduceOr => format!("b2u({inner} /= 0)"),
+                UnaryOp::ReduceAnd => format!("b2u(({inner}) = not to_unsigned(0, {inner}'length))"),
+                UnaryOp::ReduceXor => format!("parity({inner})"),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let a = render(l)?;
+            let b = render(r)?;
+            match op {
+                BinaryOp::And => format!("({a} and {b})"),
+                BinaryOp::Or => format!("({a} or {b})"),
+                BinaryOp::Xor => format!("({a} xor {b})"),
+                BinaryOp::Nand => format!("(not ({a} and {b}))"),
+                BinaryOp::Nor => format!("(not ({a} or {b}))"),
+                BinaryOp::Xnor => format!("(not ({a} xor {b}))"),
+                BinaryOp::Limpl => format!("((not {a}) or {b})"),
+                BinaryOp::Add => format!("({a} + {b})"),
+                BinaryOp::Sub => format!("({a} - {b})"),
+                BinaryOp::MulFull => format!("({a} * {b})"),
+                BinaryOp::DivOr1s => format!("divsafe({a}, {b})"),
+                BinaryOp::RemOrA => format!("remsafe({a}, {b})"),
+                BinaryOp::ShlV => format!("shift_left({a}, to_integer({b}))"),
+                BinaryOp::ShrV => format!("shift_right({a}, to_integer({b}))"),
+                BinaryOp::AsrV => {
+                    format!("unsigned(shift_right(signed({a}), to_integer({b})))")
+                }
+                BinaryOp::RotlV => format!("rotate_left({a}, to_integer({b}))"),
+                BinaryOp::RotrV => format!("rotate_right({a}, to_integer({b}))"),
+            }
+        }
+        Expr::Cmp(op, l, r) => {
+            let a = render(l)?;
+            let b = render(r)?;
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "/=",
+                CmpOp::Ltu => "<",
+                CmpOp::Gtu => ">",
+                CmpOp::Leu => "<=",
+                CmpOp::Geu => ">=",
+            };
+            format!("b2u({a} {sym} {b})")
+        }
+        Expr::AddWide { a, b, cin } => {
+            let av = render(a)?;
+            let bv = render(b)?;
+            let cv = render(cin)?;
+            format!(
+                "(resize({av}, {av}'length + 1) + resize({bv}, {av}'length + 1) + resize({cv}, {av}'length + 1))"
+            )
+        }
+        Expr::Slice { expr, lo, len } => {
+            let inner = render(expr)?;
+            format!("{inner}({} downto {lo})", lo + len - 1)
+        }
+        Expr::Concat(parts) => {
+            let rendered: Result<Vec<String>, String> =
+                parts.iter().rev().map(render).collect();
+            format!("({})", rendered?.join(" & "))
+        }
+        Expr::ZextTo(w, e) => format!("resize({}, {w})", render(e)?),
+        Expr::SextTo(w, e) => {
+            format!("unsigned(resize(signed({}), {w}))", render(e)?)
+        }
+        Expr::Select { .. } | Expr::PriorityIndex { .. } => {
+            return Err("select/priority expressions render as process statements".into())
+        }
+    })
+}
+
+/// Emits a behavioral VHDL model (entity + architecture) for a component.
+///
+/// Components whose behavior needs full case dispatch (muxes, priority
+/// encoders) get a comment placeholder for those effects; everything
+/// expressible in `numeric_std` arithmetic is rendered directly.
+///
+/// # Errors
+///
+/// Returns a message for components with no ports.
+pub fn emit_behavioral(component: &Component) -> Result<String, String> {
+    if component.ports().is_empty() {
+        return Err("component has no ports".to_string());
+    }
+    let mut out = String::new();
+    out.push_str("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n");
+    let name = component.name();
+    let _ = writeln!(out, "entity {name} is");
+    out.push_str("  port (\n");
+    let ps: Vec<String> = component
+        .ports()
+        .iter()
+        .map(|p| {
+            let dir = match p.dir {
+                PortDir::In => "in",
+                PortDir::Out => "out",
+            };
+            format!("    {} : {} {}", p.name, dir, vhdl_type(p.width))
+        })
+        .collect();
+    out.push_str(&ps.join(";\n"));
+    out.push_str("\n  );\n");
+    let _ = writeln!(out, "end entity {name};\n");
+    let _ = writeln!(out, "architecture behavior of {name} is");
+    out.push_str("begin\n");
+
+    let sensitivity: Vec<&str> = component
+        .inputs()
+        .map(|p| p.name.as_str())
+        .collect();
+    if component.is_sequential() {
+        let _ = writeln!(
+            out,
+            "  process ({})",
+            component.clock().unwrap_or("clk")
+        );
+    } else {
+        let _ = writeln!(out, "  process ({})", sensitivity.join(", "));
+    }
+    out.push_str("  begin\n");
+    if let Some(clk) = component.clock() {
+        let _ = writeln!(out, "    if rising_edge({clk}) then");
+    }
+    let indent = if component.is_sequential() { "      " } else { "    " };
+    if let Some(sel) = component.op_select() {
+        let _ = writeln!(out, "{indent}case to_integer(unsigned({})) is", sel.port);
+        for (i, op) in sel.encoding.iter().enumerate() {
+            let _ = writeln!(out, "{indent}  when {i} => -- {op}");
+            if let Some(operation) =
+                component.operations().iter().find(|o| o.op == *op)
+            {
+                for effect in &operation.effects {
+                    match render(&effect.expr) {
+                        Ok(e) => {
+                            let _ = writeln!(
+                                out,
+                                "{indent}    {} <= std_logic_vector({e});",
+                                effect.target
+                            );
+                        }
+                        Err(_) => {
+                            let _ = writeln!(
+                                out,
+                                "{indent}    -- {}: behavior in the Rust reference model",
+                                effect.target
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "{indent}  when others => null;");
+        let _ = writeln!(out, "{indent}end case;");
+    } else {
+        for operation in component.operations() {
+            let (guard, close) = match &operation.control {
+                Some(ctrl) => (
+                    format!("{indent}if {ctrl} = \"1\" then\n"),
+                    format!("{indent}end if;\n"),
+                ),
+                None => (String::new(), String::new()),
+            };
+            out.push_str(&guard);
+            for effect in &operation.effects {
+                match render(&effect.expr) {
+                    Ok(e) => {
+                        let _ = writeln!(
+                            out,
+                            "{indent}  {} <= std_logic_vector({e});",
+                            effect.target
+                        );
+                    }
+                    Err(_) => {
+                        let _ = writeln!(
+                            out,
+                            "{indent}  -- {}: behavior in the Rust reference model",
+                            effect.target
+                        );
+                    }
+                }
+            }
+            out.push_str(&close);
+        }
+    }
+    if component.clock().is_some() {
+        out.push_str("    end if;\n");
+    }
+    out.push_str("  end process;\n");
+    out.push_str("end architecture behavior;\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus::stdlib::GenusLibrary;
+    use genus::op::Op;
+
+    #[test]
+    fn adder_model_renders_arithmetic() {
+        let lib = GenusLibrary::standard();
+        let text = emit_behavioral(&lib.adder(8).unwrap()).unwrap();
+        assert!(text.contains("entity ADDSUB_8 is"));
+        assert!(text.contains("resize"));
+        assert!(text.contains("process (A, B, CI)"));
+    }
+
+    #[test]
+    fn counter_model_is_clocked() {
+        let lib = GenusLibrary::standard();
+        let text = emit_behavioral(&lib.counter(4).unwrap()).unwrap();
+        assert!(text.contains("rising_edge(CLK)"));
+        assert!(text.contains("if CLOAD = \"1\" then"));
+    }
+
+    #[test]
+    fn alu_model_uses_select_case() {
+        let lib = GenusLibrary::standard();
+        let text = emit_behavioral(&lib.alu(8, Op::paper_alu16()).unwrap()).unwrap();
+        assert!(text.contains("case to_integer(unsigned(S)) is"));
+        assert!(text.contains("when 15 => -- LIMPL"));
+    }
+
+    #[test]
+    fn every_standard_component_emits() {
+        let lib = GenusLibrary::standard();
+        for build in [
+            lib.adder(4),
+            lib.mux(8, 4),
+            lib.comparator(8),
+            lib.register(8),
+            lib.decoder(3),
+            lib.encoder(8),
+            lib.multiplier(4, 4),
+            lib.barrel_shifter(8, genus::op::OpSet::only(Op::Shl)),
+        ] {
+            let c = build.unwrap();
+            let text = emit_behavioral(&c).unwrap();
+            assert!(text.contains("architecture behavior"), "{}", c.name());
+        }
+    }
+}

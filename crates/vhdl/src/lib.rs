@@ -1,0 +1,40 @@
+//! Structural VHDL emission and parsing.
+//!
+//! The paper's flow speaks VHDL at both ends of DTAS: high-level synthesis
+//! emits "a VHDL structural netlist of GENUS components" and DTAS's
+//! "hierarchical netlists can be output in structural VHDL and passed to
+//! other tools for analysis, optimization, and layout" (§3, §5, §7).
+//! GENUS generators also produce "simulatable VHDL behavioral models"
+//! (§4).
+//!
+//! * [`emit`] — structural VHDL for GENUS netlists and for DTAS
+//!   [`Implementation`](dtas::Implementation) hierarchies (one entity per
+//!   specification, leaf cells instantiated by data book name);
+//! * [`behavioral`] — behavioral VHDL architectures from GENUS component
+//!   models;
+//! * [`parse`] — a reader for the structural subset this crate emits,
+//!   used for round-trip testing and external-tool interchange.
+//!
+//! # Examples
+//!
+//! ```
+//! use genus::stdlib::GenusLibrary;
+//! use vhdl::behavioral::emit_behavioral;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = GenusLibrary::standard();
+//! let adder = lib.adder(8)?;
+//! let text = emit_behavioral(&adder)?;
+//! assert!(text.contains("entity ADDSUB_8 is"));
+//! assert!(text.contains("architecture behavior"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod behavioral;
+pub mod emit;
+pub mod parse;
+
+pub use behavioral::emit_behavioral;
+pub use emit::{emit_implementation, emit_netlist};
+pub use parse::{parse_structural, StructuralDesign};

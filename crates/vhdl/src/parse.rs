@@ -1,0 +1,290 @@
+//! A reader for the structural VHDL subset emitted by [`crate::emit`].
+//!
+//! Parses entities, component declarations, signals, constant drivers and
+//! instance port maps into a [`StructuralDesign`] — enough to round-trip
+//! connectivity and to accept netlists from external tools that write
+//! plain structural VHDL.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Direction keyword in a port clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortDirection {
+    /// `in`
+    In,
+    /// `out`
+    Out,
+}
+
+/// A parsed port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedPort {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDirection,
+    /// Width in bits (1 for `std_logic`).
+    pub width: usize,
+}
+
+/// A parsed instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedInstance {
+    /// Instance label.
+    pub name: String,
+    /// Component (or entity) name.
+    pub component: String,
+    /// Port → actual-name associations.
+    pub connections: BTreeMap<String, String>,
+}
+
+/// A parsed structural design.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StructuralDesign {
+    /// Entity name.
+    pub name: String,
+    /// Entity ports.
+    pub ports: Vec<ParsedPort>,
+    /// Internal signals with widths.
+    pub signals: BTreeMap<String, usize>,
+    /// Constant assignments `net <= "0101";`.
+    pub constants: BTreeMap<String, String>,
+    /// Instances in order.
+    pub instances: Vec<ParsedInstance>,
+}
+
+/// Parse error with line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VhdlParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Problem.
+    pub message: String,
+}
+
+impl fmt::Display for VhdlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vhdl parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VhdlParseError {}
+
+fn width_of_type(t: &str) -> Option<usize> {
+    let t = t.trim().trim_end_matches(';').trim();
+    if t == "std_logic" {
+        return Some(1);
+    }
+    let inner = t.strip_prefix("std_logic_vector(")?.strip_suffix(')')?;
+    let (hi, lo) = inner.split_once("downto")?;
+    let hi: usize = hi.trim().parse().ok()?;
+    let lo: usize = lo.trim().parse().ok()?;
+    Some(hi - lo + 1)
+}
+
+/// Parses the structural subset emitted by [`crate::emit::emit_netlist`].
+///
+/// # Errors
+///
+/// [`VhdlParseError`] with a line number on input outside the subset.
+pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> {
+    let mut design = StructuralDesign::default();
+    let mut lines = text.lines().enumerate().peekable();
+    let err = |line: usize, m: &str| VhdlParseError {
+        line: line + 1,
+        message: m.to_string(),
+    };
+    #[derive(PartialEq)]
+    enum Mode {
+        Top,
+        EntityPorts,
+        Architecture,
+        Body,
+    }
+    let mut mode = Mode::Top;
+    let mut pending_instance: Option<ParsedInstance> = None;
+    while let Some((lno, raw)) = lines.next() {
+        let line = raw.split("--").next().unwrap_or("").trim();
+        if line.is_empty()
+            || line.starts_with("library ")
+            || line.starts_with("use ")
+        {
+            continue;
+        }
+        match mode {
+            Mode::Top => {
+                if let Some(rest) = line.strip_prefix("entity ") {
+                    let name = rest.split_whitespace().next().unwrap_or("");
+                    design.name = name.to_string();
+                    mode = Mode::EntityPorts;
+                } else if line.starts_with("architecture ") {
+                    mode = Mode::Architecture;
+                }
+            }
+            Mode::EntityPorts => {
+                if line.starts_with("port (") || line == ");" {
+                    continue;
+                }
+                if line.starts_with("end entity") {
+                    mode = Mode::Top;
+                    continue;
+                }
+                // "  a : in std_logic_vector(7 downto 0);"
+                if let Some((name, rest)) = line.split_once(':') {
+                    let rest = rest.trim();
+                    let (dir, ty) = if let Some(t) = rest.strip_prefix("in ") {
+                        (PortDirection::In, t)
+                    } else if let Some(t) = rest.strip_prefix("out ") {
+                        (PortDirection::Out, t)
+                    } else {
+                        return Err(err(lno, "expected in/out"));
+                    };
+                    let width = width_of_type(ty)
+                        .ok_or_else(|| err(lno, "unsupported port type"))?;
+                    design.ports.push(ParsedPort {
+                        name: name.trim().to_string(),
+                        dir,
+                        width,
+                    });
+                }
+            }
+            Mode::Architecture => {
+                if line == "begin" {
+                    mode = Mode::Body;
+                    continue;
+                }
+                if let Some(rest) = line.strip_prefix("signal ") {
+                    let (name, ty) = rest
+                        .split_once(':')
+                        .ok_or_else(|| err(lno, "malformed signal"))?;
+                    let width = width_of_type(ty)
+                        .ok_or_else(|| err(lno, "unsupported signal type"))?;
+                    design
+                        .signals
+                        .insert(name.trim().to_string(), width);
+                }
+                // Component declarations are skipped: connectivity is in
+                // the port maps.
+            }
+            Mode::Body => {
+                if line.starts_with("end architecture") {
+                    mode = Mode::Top;
+                    continue;
+                }
+                if line.starts_with("port map (") {
+                    continue;
+                }
+                if let Some(inst) = &mut pending_instance {
+                    // "      A => a," or "    );"
+                    if line == ");" {
+                        design
+                            .instances
+                            .push(pending_instance.take().expect("pending"));
+                        continue;
+                    }
+                    let assoc = line.trim_end_matches(',');
+                    let (port, actual) = assoc
+                        .split_once("=>")
+                        .ok_or_else(|| err(lno, "malformed association"))?;
+                    inst.connections
+                        .insert(port.trim().to_string(), actual.trim().to_string());
+                    continue;
+                }
+                if let Some((net, value)) = line
+                    .strip_suffix(';')
+                    .and_then(|l| l.split_once("<="))
+                {
+                    design
+                        .constants
+                        .insert(net.trim().to_string(), value.trim().to_string());
+                    continue;
+                }
+                if let Some((label, comp)) = line.split_once(':') {
+                    pending_instance = Some(ParsedInstance {
+                        name: label.trim().to_string(),
+                        component: comp.trim().to_string(),
+                        connections: BTreeMap::new(),
+                    });
+                }
+            }
+        }
+    }
+    if design.name.is_empty() {
+        return Err(VhdlParseError {
+            line: 0,
+            message: "no entity found".to_string(),
+        });
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::emit_netlist;
+    use genus::component::Instance;
+    use genus::netlist::Netlist;
+    use genus::stdlib::GenusLibrary;
+    use std::sync::Arc;
+
+    fn sample() -> Netlist {
+        let lib = GenusLibrary::standard();
+        let adder = Arc::new(lib.adder(8).unwrap());
+        let mut nl = Netlist::new("dp");
+        for (n, w) in [("a", 8), ("b", 8), ("s", 8), ("ci", 1), ("co", 1)] {
+            nl.add_net(n, w).unwrap();
+        }
+        nl.add_instance(
+            Instance::new("u0", adder)
+                .with_connection("A", "a")
+                .with_connection("B", "b")
+                .with_connection("CI", "ci")
+                .with_connection("O", "s")
+                .with_connection("CO", "co"),
+        )
+        .unwrap();
+        nl.expose_input("a", "a").unwrap();
+        nl.expose_input("b", "b").unwrap();
+        nl.expose_input("ci", "ci").unwrap();
+        nl.expose_output("s", "s").unwrap();
+        nl.expose_output("co", "co").unwrap();
+        nl
+    }
+
+    #[test]
+    fn roundtrip_connectivity() {
+        let nl = sample();
+        let text = emit_netlist(&nl);
+        let parsed = parse_structural(&text).unwrap();
+        assert_eq!(parsed.name, "dp");
+        assert_eq!(parsed.ports.len(), 5);
+        assert_eq!(parsed.instances.len(), 1);
+        let u0 = &parsed.instances[0];
+        assert_eq!(u0.component, "ADDSUB_8");
+        assert_eq!(u0.connections["A"], "a");
+        assert_eq!(u0.connections["CO"], "co");
+    }
+
+    #[test]
+    fn widths_parse() {
+        assert_eq!(width_of_type("std_logic"), Some(1));
+        assert_eq!(width_of_type("std_logic_vector(7 downto 0)"), Some(8));
+        assert_eq!(width_of_type("bit"), None);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_structural("-- nothing here").is_err());
+    }
+
+    #[test]
+    fn constants_captured() {
+        let mut nl = sample();
+        nl.add_const_net("one", rtl_base::bits::Bits::from_u64(1, 1))
+            .unwrap();
+        let text = emit_netlist(&nl);
+        let parsed = parse_structural(&text).unwrap();
+        assert_eq!(parsed.constants["one"], "'1'");
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's Figure-3 scenario: explore the area/delay trade-off space
+//! of a 64-bit, 16-function ALU against the LSI-style data book.
+//!
+//! Run with: `cargo run --release --example alu64_tradeoffs`
+
+use cells::lsi::lsi_logic_subset;
+use dtas::{Dtas, DtasConfig, FilterPolicy};
+use genus::kind::ComponentKind;
+use genus::op::Op;
+use genus::spec::ComponentSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ComponentSpec::new(ComponentKind::Alu, 64)
+        .with_ops(Op::paper_alu16())
+        .with_carry_in(true);
+    println!("Component Specification: {spec}");
+    println!(
+        ":OPERATIONS ({})",
+        spec.ops
+    );
+
+    // Strict Pareto — the curve plotted in Figure 3.
+    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        root_filter: FilterPolicy::Pareto,
+        ..DtasConfig::default()
+    });
+    let designs = engine.synthesize(&spec)?;
+    println!("\n{designs}");
+
+    // An ASCII rendition of the Figure-3 scatter: delay (y) over area (x).
+    println!("{}", designs.ascii_plot());
+    let front = &designs.alternatives;
+    let d_max = front.first().map(|a| a.delay).unwrap_or(1.0);
+    println!(
+        "worst-to-best delay: {:.1} ns -> {:.1} ns ({:.1}x)",
+        d_max,
+        front.last().map(|a| a.delay).unwrap_or(0.0),
+        d_max / front.last().map(|a| a.delay).unwrap_or(1.0),
+    );
+    println!(
+        "synthesis took {:?} (paper: under 15 minutes on a SUN-3)",
+        designs.stats.elapsed
+    );
+    Ok(())
+}

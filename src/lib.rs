@@ -1,0 +1,56 @@
+//! # hls-rtl-bridge
+//!
+//! A complete Rust reproduction of Dutt & Kipps, *"Bridging High-Level
+//! Synthesis to RTL Technology Libraries"* (UC Irvine TR 91-28 / DAC
+//! 1991): the GENUS generic component library, the LEGEND generator
+//! description language, and the DTAS functional-synthesis system that
+//! maps generic RTL components onto data book cells — plus the
+//! surrounding Figure-1 substrates (a high-level synthesis front end, a
+//! control compiler, structural VHDL I/O and a verifying RTL simulator).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here.
+//!
+//! | crate | paper role |
+//! |---|---|
+//! | [`genus`] | generic RTL component library (types → generators → components → instances) |
+//! | [`legend`] | generator-specification language (Figure 2) |
+//! | [`dtas`] | functional decomposition + technology mapping (the core contribution) |
+//! | [`cells`] | RTL data book model + the 30-cell LSI-style subset (§6) |
+//! | [`hls`] | state scheduling, allocation, binding (Figure 1's HLS box) |
+//! | [`controlc`] | control compiler for the state sequencing table |
+//! | [`vhdl`] | structural/behavioral VHDL emission and parsing |
+//! | [`rtlsim`] | bit-accurate simulation and equivalence checking |
+//! | [`rtl_base`] | bit vectors, Pareto fronts, graph utilities |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hls_rtl_bridge::{cells, dtas, genus};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = cells::lsi::lsi_logic_subset();
+//! let engine = dtas::Dtas::new(library);
+//! let spec = genus::spec::ComponentSpec::new(genus::kind::ComponentKind::AddSub, 16)
+//!     .with_ops(genus::op::OpSet::only(genus::op::Op::Add))
+//!     .with_carry_in(true)
+//!     .with_carry_out(true);
+//! let designs = engine.synthesize(&spec)?;
+//! println!("{designs}");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the paper's scenarios (the Figure-3 64-bit ALU,
+//! the Figure-2 LEGEND counter, and the full Figure-1 GCD flow) and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+pub use cells;
+pub use controlc;
+pub use dtas;
+pub use genus;
+pub use hls;
+pub use legend;
+pub use rtl_base;
+pub use rtlsim;
+pub use vhdl;

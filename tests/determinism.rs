@@ -1,0 +1,67 @@
+//! Reproducibility: synthesis is fully deterministic — same spec, same
+//! library, same rules ⇒ identical design sets (costs, labels, cell
+//! censuses). The paper's numbers are only meaningful if reruns agree.
+
+use cells::lsi::lsi_logic_subset;
+use dtas::Dtas;
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+
+fn fingerprint(set: &dtas::DesignSet) -> Vec<(u64, u64, String, Vec<(String, usize)>)> {
+    set.alternatives
+        .iter()
+        .map(|a| {
+            (
+                a.area.to_bits(),
+                a.delay.to_bits(),
+                a.implementation.label().to_string(),
+                a.implementation
+                    .cell_census()
+                    .into_iter()
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    let specs = vec![
+        ComponentSpec::new(ComponentKind::AddSub, 16)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true),
+        ComponentSpec::new(ComponentKind::Alu, 8)
+            .with_ops(Op::paper_alu16())
+            .with_carry_in(true),
+        ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(8),
+    ];
+    for spec in specs {
+        let a = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let b = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "nondeterminism for {spec}");
+        assert_eq!(a.unconstrained_size.to_bits(), b.unconstrained_size.to_bits());
+        assert_eq!(a.uniform_size, b.uniform_size);
+    }
+}
+
+#[test]
+fn state_tables_are_deterministic() {
+    let entity = hls::lang::parse_entity(
+        "entity t(x: in 8, y: out 8) {
+            var a: 8;
+            a = x;
+            while (a > 1) { a = a - 1; }
+            y = a;
+        }",
+    )
+    .unwrap();
+    let d1 = hls::compile::compile(&entity, &hls::compile::Constraints::default()).unwrap();
+    let d2 = hls::compile::compile(&entity, &hls::compile::Constraints::default()).unwrap();
+    assert_eq!(d1.state_table, d2.state_table);
+    assert_eq!(
+        vhdl::emit_netlist(&d1.netlist),
+        vhdl::emit_netlist(&d2.netlist)
+    );
+}

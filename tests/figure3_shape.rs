@@ -1,0 +1,113 @@
+//! Asserts the *shape* of the paper's Figure 3 on the 64-bit ALU: a
+//! monotone area/delay trade-off whose fastest design pays a modest area
+//! premium for a several-fold delay reduction, generated well inside the
+//! paper's 15-minute budget.
+
+use cells::lsi::lsi_logic_subset;
+use dtas::{Dtas, DtasConfig, FilterPolicy};
+use genus::kind::ComponentKind;
+use genus::op::Op;
+use genus::spec::ComponentSpec;
+use std::time::Instant;
+
+fn alu64() -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Alu, 64)
+        .with_ops(Op::paper_alu16())
+        .with_carry_in(true)
+}
+
+#[test]
+fn figure3_tradeoff_shape_holds() {
+    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        root_filter: FilterPolicy::Pareto,
+        ..DtasConfig::default()
+    });
+    let start = Instant::now();
+    let set = engine.synthesize(&alu64()).expect("ALU64 synthesizes");
+    let elapsed = start.elapsed();
+
+    // The paper's runtime bound (SUN-3: 15 minutes; here: seconds).
+    assert!(
+        elapsed.as_secs() < 120,
+        "synthesis took {elapsed:?}, far slower than expected"
+    );
+
+    let front = &set.alternatives;
+    assert!(
+        front.len() >= 4,
+        "expected several favorable-tradeoff designs, got {}",
+        front.len()
+    );
+    // Monotone: area increasing, delay decreasing.
+    for pair in front.windows(2) {
+        assert!(pair[0].area < pair[1].area);
+        assert!(pair[0].delay > pair[1].delay);
+    }
+    let smallest = set.smallest().expect("nonempty");
+    let fastest = set.fastest().expect("nonempty");
+    // Paper: fastest is 34% larger, 81% faster. Shape tolerance: the
+    // area premium is modest (5%..60%) and the delay reduction dominant
+    // (at least 70%).
+    let area_premium = (fastest.area - smallest.area) / smallest.area;
+    let delay_reduction = (smallest.delay - fastest.delay) / smallest.delay;
+    assert!(
+        (0.05..=0.60).contains(&area_premium),
+        "area premium {area_premium:.2} out of the Figure-3 band"
+    );
+    assert!(
+        delay_reduction >= 0.70,
+        "delay reduction {delay_reduction:.2} below the Figure-3 band"
+    );
+    // Absolute anchors: same order of magnitude as the paper's 4879
+    // gates / 134.3 ns smallest design.
+    assert!(
+        (1500.0..=8000.0).contains(&smallest.area),
+        "smallest area {} out of band",
+        smallest.area
+    );
+    assert!(
+        (80.0..=200.0).contains(&smallest.delay),
+        "smallest delay {} out of band",
+        smallest.delay
+    );
+}
+
+#[test]
+fn figure3_intermediate_knee_exists() {
+    // The paper highlights two designs that recover most of the speed for
+    // ~14% area; require some design with >=60% delay reduction at <=25%
+    // area premium.
+    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        root_filter: FilterPolicy::Pareto,
+        ..DtasConfig::default()
+    });
+    let set = engine.synthesize(&alu64()).expect("synthesizes");
+    let smallest = set.smallest().expect("nonempty");
+    let knee = set.alternatives.iter().any(|alt| {
+        let premium = (alt.area - smallest.area) / smallest.area;
+        let reduction = (smallest.delay - alt.delay) / smallest.delay;
+        premium <= 0.25 && reduction >= 0.60
+    });
+    assert!(knee, "no knee point found:\n{}", set.figure3_table());
+}
+
+#[test]
+fn slowest_design_is_ripple_fastest_is_lookahead() {
+    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        root_filter: FilterPolicy::Pareto,
+        ..DtasConfig::default()
+    });
+    let set = engine.synthesize(&alu64()).expect("synthesizes");
+    let smallest = set.smallest().expect("nonempty");
+    let fastest = set.fastest().expect("nonempty");
+    let small_cells = smallest.implementation.cell_census();
+    let fast_cells = fastest.implementation.cell_census();
+    assert!(
+        small_cells.contains_key("FA1A"),
+        "smallest ALU should ripple through 1-bit full adders: {small_cells:?}"
+    );
+    assert!(
+        fast_cells.contains_key("CLA4"),
+        "fastest ALU should use the carry-lookahead generator: {fast_cells:?}"
+    );
+}

@@ -1,0 +1,98 @@
+//! Property test over the synthesis pipeline: random specifications from
+//! the §7 families synthesize, produce monotone fronts, and every
+//! alternative simulates bit-exactly against its behavioral model.
+
+use cells::lsi::lsi_logic_subset;
+use dtas::Dtas;
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use proptest::prelude::*;
+use rtlsim::equiv::check_implementation;
+
+fn arb_spec() -> impl Strategy<Value = ComponentSpec> {
+    prop_oneof![
+        // Adders of arbitrary width with arbitrary carry pins.
+        (1usize..12, any::<bool>(), any::<bool>()).prop_map(|(w, ci, co)| {
+            ComponentSpec::new(ComponentKind::AddSub, w)
+                .with_ops(OpSet::only(Op::Add))
+                .with_carry_in(ci)
+                .with_carry_out(co)
+        }),
+        // Muxes of arbitrary shape.
+        (1usize..9, 2usize..9).prop_map(|(w, n)| {
+            ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n)
+        }),
+        // Logic units over random non-empty logic op subsets.
+        (1usize..9, 1u32..255).prop_map(|(w, bits)| {
+            let all = [
+                Op::And,
+                Op::Or,
+                Op::Nand,
+                Op::Nor,
+                Op::Xor,
+                Op::Xnor,
+                Op::Lnot,
+                Op::Limpl,
+            ];
+            let ops: OpSet = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, op)| *op)
+                .collect();
+            let ops = if ops.is_empty() { OpSet::only(Op::And) } else { ops };
+            ComponentSpec::new(ComponentKind::LogicUnit, w).with_ops(ops)
+        }),
+        // ALUs over random slices of the 16-function list.
+        (1usize..7, 0usize..13, 1usize..5, any::<bool>()).prop_map(
+            |(w, start, len, ci)| {
+                let all: Vec<Op> = Op::paper_alu16().iter().collect();
+                let end = (start + len).min(all.len());
+                let ops: OpSet = all[start..end].iter().copied().collect();
+                ComponentSpec::new(ComponentKind::Alu, w)
+                    .with_ops(ops)
+                    .with_carry_in(ci)
+            }
+        ),
+        // Comparators over random comparison subsets.
+        (1usize..9, 0u32..63).prop_map(|(w, bits)| {
+            let all = [Op::Eq, Op::Lt, Op::Gt, Op::Neq, Op::Ge, Op::Le];
+            let ops: OpSet = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, op)| *op)
+                .collect();
+            let ops = if ops.is_empty() { OpSet::only(Op::Eq) } else { ops };
+            ComponentSpec::new(ComponentKind::Comparator, w).with_ops(ops)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_specs_synthesize_and_verify(spec in arb_spec(), seed in any::<u64>()) {
+        let engine = Dtas::new(lsi_logic_subset());
+        let set = engine
+            .synthesize(&spec)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        prop_assert!(!set.alternatives.is_empty());
+        // The front is monotone in area.
+        for pair in set.alternatives.windows(2) {
+            prop_assert!(pair[0].area <= pair[1].area);
+        }
+        // Verify the extremes (full sweeps live in equivalence_sweep.rs).
+        for alt in [set.smallest().expect("nonempty"), set.fastest().expect("nonempty")] {
+            check_implementation(&alt.implementation, 60, seed).unwrap_or_else(|e| {
+                panic!("{spec} via {}: {e}", alt.implementation.label())
+            });
+        }
+    }
+}
