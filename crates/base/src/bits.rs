@@ -139,7 +139,11 @@ impl Bits {
     ///
     /// Panics if `idx >= width`.
     pub fn bit(&self, idx: usize) -> bool {
-        assert!(idx < self.width, "bit index {idx} out of width {}", self.width);
+        assert!(
+            idx < self.width,
+            "bit index {idx} out of width {}",
+            self.width
+        );
         (self.limbs[idx / LIMB_BITS] >> (idx % LIMB_BITS)) & 1 == 1
     }
 
@@ -149,7 +153,11 @@ impl Bits {
     ///
     /// Panics if `idx >= width`.
     pub fn set_bit(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.width, "bit index {idx} out of width {}", self.width);
+        assert!(
+            idx < self.width,
+            "bit index {idx} out of width {}",
+            self.width
+        );
         let limb = &mut self.limbs[idx / LIMB_BITS];
         let mask = 1u64 << (idx % LIMB_BITS);
         if value {
@@ -193,12 +201,11 @@ impl Bits {
         if self.width == 0 {
             return Some(0);
         }
-        if self.width > 128 {
-            // Only representable if the high bits are a sign extension.
-            let sext = self.sext(self.width);
-            let _ = sext;
-        }
-        let ext = if self.width < 128 { self.sext(128) } else { self.clone() };
+        let ext = if self.width < 128 {
+            self.sext(128)
+        } else {
+            self.clone()
+        };
         if ext.width() > 128 {
             let low = ext.slice(0, 128);
             let high_ok = (128..ext.width()).all(|i| ext.bit(i) == low.msb());
@@ -406,9 +413,7 @@ impl Bits {
             return self.clone();
         }
         let n = n % self.width;
-        Bits::from_fn(self.width, |i| {
-            self.bit((i + self.width - n) % self.width)
-        })
+        Bits::from_fn(self.width, |i| self.bit((i + self.width - n) % self.width))
     }
 
     /// Rotate right by `n`.
@@ -462,11 +467,7 @@ impl Bits {
 
     /// Reduction XOR (parity) over all bits.
     pub fn reduce_xor(&self) -> bool {
-        self.limbs
-            .iter()
-            .fold(0u32, |acc, l| acc ^ l.count_ones())
-            % 2
-            == 1
+        self.limbs.iter().fold(0u32, |acc, l| acc ^ l.count_ones()) % 2 == 1
     }
 
     /// Number of set bits.

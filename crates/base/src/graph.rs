@@ -72,7 +72,10 @@ impl Digraph {
     ///
     /// Panics if `u` or `v` is not a node.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.succs.len() && v < self.succs.len(), "edge endpoints out of range");
+        assert!(
+            u < self.succs.len() && v < self.succs.len(),
+            "edge endpoints out of range"
+        );
         self.succs[u].push((v, weight));
         self.edge_count += 1;
     }
@@ -95,8 +98,7 @@ impl Digraph {
                 indeg[v] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -153,10 +155,7 @@ impl Digraph {
     /// # Errors
     ///
     /// Returns [`CycleError`] if the graph is cyclic.
-    pub fn critical_path(
-        &self,
-        node_weight: &dyn Fn(usize) -> f64,
-    ) -> Result<f64, CycleError> {
+    pub fn critical_path(&self, node_weight: &dyn Fn(usize) -> f64) -> Result<f64, CycleError> {
         let n = self.succs.len();
         if n == 0 {
             return Ok(0.0);

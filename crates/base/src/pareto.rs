@@ -78,7 +78,9 @@ pub struct ParetoFront<T> {
 impl<T> ParetoFront<T> {
     /// Creates an empty front.
     pub fn new() -> Self {
-        ParetoFront { entries: Vec::new() }
+        ParetoFront {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of non-dominated entries.
@@ -107,9 +109,7 @@ impl<T> ParetoFront<T> {
             return false;
         }
         self.entries.retain(|(c, _)| !cost.dominates(*c));
-        let pos = self
-            .entries
-            .partition_point(|(c, _)| c.area < cost.area);
+        let pos = self.entries.partition_point(|(c, _)| c.area < cost.area);
         self.entries.insert(pos, (cost, value));
         true
     }

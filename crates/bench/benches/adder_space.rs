@@ -8,19 +8,15 @@ fn adder_space(c: &mut Criterion) {
     group.sample_size(20);
     let engine = paper_engine();
     for width in [8usize, 16, 32, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("synthesize", width),
-            &width,
-            |b, &w| {
-                b.iter(|| {
-                    engine
-                        .synthesize(&adder_spec(w))
-                        .expect("synthesizes")
-                        .alternatives
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("synthesize", width), &width, |b, &w| {
+            b.iter(|| {
+                engine
+                    .synthesize(&adder_spec(w))
+                    .expect("synthesizes")
+                    .alternatives
+                    .len()
+            })
+        });
     }
     group.finish();
 }

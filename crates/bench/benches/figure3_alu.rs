@@ -17,19 +17,15 @@ fn figure3(c: &mut Criterion) {
         })
     });
     for width in [8usize, 16, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("alu_width", width),
-            &width,
-            |b, &w| {
-                b.iter(|| {
-                    engine
-                        .synthesize(&alu_spec(w))
-                        .expect("synthesizes")
-                        .alternatives
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("alu_width", width), &width, |b, &w| {
+            b.iter(|| {
+                engine
+                    .synthesize(&alu_spec(w))
+                    .expect("synthesizes")
+                    .alternatives
+                    .len()
+            })
+        });
     }
     group.finish();
 }

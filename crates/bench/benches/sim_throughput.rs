@@ -36,8 +36,7 @@ fn sim(c: &mut Criterion) {
         .synthesize(&adder_spec(16))
         .expect("synthesizes");
     let fastest = set.fastest().expect("nonempty");
-    let flat_add =
-        FlatDesign::from_implementation(&fastest.implementation).expect("flattens");
+    let flat_add = FlatDesign::from_implementation(&fastest.implementation).expect("flattens");
     let sim_add = Simulator::new(&flat_add).expect("levelizes");
     c.bench_function("sim_add16_100_vectors", |b| {
         b.iter(|| {

@@ -8,17 +8,12 @@
 //! 3. **performance-filter policy** — strict Pareto vs favorable-tradeoff
 //!    slack at the root.
 
-use bench::{alu64_spec, adder_spec};
+use bench::{adder_spec, alu64_spec};
 use cells::lsi::lsi_logic_subset;
 use dtas::{Dtas, DtasConfig, FilterPolicy, RuleSet};
 use rtl_base::table::{Align, TextTable};
 
-fn row(
-    t: &mut TextTable,
-    label: &str,
-    engine: &Dtas,
-    spec: &genus::spec::ComponentSpec,
-) {
+fn row(t: &mut TextTable, label: &str, engine: &Dtas, spec: &genus::spec::ComponentSpec) {
     match engine.synthesize(spec) {
         Ok(set) => {
             let s = set.smallest().expect("nonempty");
@@ -78,9 +73,9 @@ fn main() {
 
     // Without the lookahead cells (poorer library).
     let poor = lib.subset(&[
-        "IVA", "ND2", "ND2H", "ND3", "ND4", "ND8", "NR2", "NR4", "NR8", "AN2", "OR2",
-        "EO", "EOH", "EN", "MUX21L", "MUX21H", "MUX41", "MUX41H", "MUX81", "MUX84",
-        "FA1A", "ADD2", "ADD4", "AS2", "FD1", "FDE1", "RG4", "RG8",
+        "IVA", "ND2", "ND2H", "ND3", "ND4", "ND8", "NR2", "NR4", "NR8", "AN2", "OR2", "EO", "EOH",
+        "EN", "MUX21L", "MUX21H", "MUX41", "MUX41H", "MUX81", "MUX84", "FA1A", "ADD2", "ADD4",
+        "AS2", "FD1", "FDE1", "RG4", "RG8",
     ]);
     let no_cla = Dtas::new(poor).with_config(pareto);
     row(&mut t, "library without CLA4/ADD4PG", &no_cla, &spec);

@@ -88,7 +88,12 @@ fn main() {
     println!("Section 7: DTAS component coverage (every family verified by simulation)");
     println!();
     let mut t = TextTable::new(vec![
-        "family", "spec", "designs", "area range", "delay range", "verified",
+        "family",
+        "spec",
+        "designs",
+        "area range",
+        "delay range",
+        "verified",
     ]);
     t.align(2, Align::Right);
     let mut failures = 0;
@@ -99,8 +104,7 @@ fn main() {
                 let fastest = set.fastest().expect("nonempty");
                 let mut verified = true;
                 for alt in [smallest, fastest] {
-                    if let Err(e) = check_implementation(&alt.implementation, vectors, 42)
-                    {
+                    if let Err(e) = check_implementation(&alt.implementation, vectors, 42) {
                         eprintln!("{family}: verification FAILED: {e}");
                         verified = false;
                         failures += 1;

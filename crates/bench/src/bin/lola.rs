@@ -76,9 +76,10 @@ fn main() {
             ]);
         }
     };
-    let adapted =
-        Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
-    let set = adapted.synthesize(&spec).expect("adapted engine synthesizes");
+    let adapted = Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
+    let set = adapted
+        .synthesize(&spec)
+        .expect("adapted engine synthesizes");
     let s = set.smallest().expect("nonempty");
     let f = set.fastest().expect("nonempty");
     t.row(vec![

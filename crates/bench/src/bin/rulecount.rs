@@ -21,11 +21,7 @@ fn main() {
         "9".into(),
         rules.library_count().to_string(),
     ]);
-    t.row(vec![
-        "total".into(),
-        "95".into(),
-        rules.len().to_string(),
-    ]);
+    t.row(vec!["total".into(), "95".into(), rules.len().to_string()]);
     println!("{}", t.render());
     println!("-- generic rules --");
     for r in rules.iter().take(rules.generic_count()) {

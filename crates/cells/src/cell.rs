@@ -136,7 +136,12 @@ mod tests {
 
     #[test]
     fn defaults_to_worst_case() {
-        let c = Cell::new("X", ComponentSpec::new(ComponentKind::BufferComp, 1), 1.0, 0.8);
+        let c = Cell::new(
+            "X",
+            ComponentSpec::new(ComponentKind::BufferComp, 1),
+            1.0,
+            0.8,
+        );
         assert_eq!(c.arc_delay(PortClass::CarryIn, PortClass::Data), 0.8);
         assert_eq!(c.arc_delay(PortClass::Data, PortClass::Status), 0.8);
     }

@@ -46,8 +46,7 @@ fn perr(line: usize, message: impl Into<String>) -> ParseBookError {
 }
 
 const KEYWORDS: &[&str] = &[
-    "W", "W2", "N", "OPS", "CI", "CO", "EN", "SR", "PG", "STYLE", "AREA", "DELAY", "CARRY",
-    "PGD",
+    "W", "W2", "N", "OPS", "CI", "CO", "EN", "SR", "PG", "STYLE", "AREA", "DELAY", "CARRY", "PGD",
 ];
 
 /// Parses a data book document into a [`CellLibrary`].
@@ -317,7 +316,8 @@ CELL CLA4 CLA_GEN N 4 CI AREA 14 DELAY 2.0 PGD 1.7
 
     #[test]
     fn rejects_duplicates() {
-        let text = "LIBRARY x\nCELL A GATE_NOT W 1 AREA 1 DELAY 1\nCELL A GATE_NOT W 1 AREA 1 DELAY 1\n";
+        let text =
+            "LIBRARY x\nCELL A GATE_NOT W 1 AREA 1 DELAY 1\nCELL A GATE_NOT W 1 AREA 1 DELAY 1\n";
         assert!(parse(text).unwrap_err().message.contains("duplicate cell"));
         assert!(parse("LIBRARY x\nLIBRARY y\n").is_err());
     }

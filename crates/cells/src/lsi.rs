@@ -47,9 +47,9 @@ mod tests {
         for name in [
             "MUX21H", "MUX41", "MUX81", // 2:1 / 4:1 / 8:1 muxes
             "FA1A", "ADD2", "ADD4", // 1-/2-/4-bit adders
-            "CLA4",  // 4-bit carry-lookahead generator
-            "AS2",   // 2-bit adder/subtractor
-            "FD1",   // D flip-flop
+            "CLA4", // 4-bit carry-lookahead generator
+            "AS2",  // 2-bit adder/subtractor
+            "FD1",  // D flip-flop
             "RG4", "RG8", // 4-/8-bit registers
         ] {
             assert!(lib.cell(name).is_some(), "missing {name}");

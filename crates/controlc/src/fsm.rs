@@ -94,7 +94,8 @@ impl Builder {
             return Ok(n.clone());
         }
         let name = format!("fsm_const_w{width}_{v}");
-        self.netlist.add_const_net(&name, Bits::from_u64(width, v))?;
+        self.netlist
+            .add_const_net(&name, Bits::from_u64(width, v))?;
         self.consts.insert((width, v), name.clone());
         Ok(name)
     }
@@ -151,11 +152,7 @@ impl Builder {
 
     /// Builds the SOP network for a cover over the given input bit nets;
     /// returns the net carrying the function value.
-    fn sop(
-        &mut self,
-        cover: &[Cube],
-        input_nets: &[String],
-    ) -> Result<String, ControlError> {
+    fn sop(&mut self, cover: &[Cube], input_nets: &[String]) -> Result<String, ControlError> {
         if cover.is_empty() {
             return self.const_net(1, 0);
         }
@@ -239,10 +236,8 @@ pub fn compile_controller_with(
     };
 
     // Truth tables.
-    let controls: Vec<(String, usize)> = table
-        .controls()
-        .map(|(n, w)| (n.to_string(), w))
-        .collect();
+    let controls: Vec<(String, usize)> =
+        table.controls().map(|(n, w)| (n.to_string(), w)).collect();
     let mut next_on: Vec<Vec<u64>> = vec![Vec::new(); sbits];
     let mut ctl_on: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new(); // (control idx, bit)
     let mut dc: Vec<u64> = Vec::new();
@@ -328,20 +323,14 @@ pub fn compile_controller_with(
             .sum::<usize>();
         let net = b.sop(&cover, &input_nets)?;
         // Tie the function net onto the register's D input.
-        let comp = b
-            .lib
-            .buffer(1)
-            .map_err(|e| ControlError(e.to_string()))?;
+        let comp = b.lib.buffer(1).map_err(|e| ControlError(e.to_string()))?;
         let name = b.fresh("dbuf");
         b.netlist.add_instance(
             Instance::new(&name, Arc::new(comp))
                 .with_connection("I", &net)
                 .with_connection("O", &format!("fsm_s{i}_d")),
         )?;
-        let reg = b
-            .lib
-            .register(1)
-            .map_err(|e| ControlError(e.to_string()))?;
+        let reg = b.lib.register(1).map_err(|e| ControlError(e.to_string()))?;
         b.netlist.add_instance(
             Instance::new(&format!("fsm_s{i}_reg"), Arc::new(reg))
                 .with_connection("D", &format!("fsm_s{i}_d"))
@@ -367,10 +356,7 @@ pub fn compile_controller_with(
         // Assemble the (possibly multi-bit) control net.
         if *width == 1 {
             b.netlist.add_net(name, 1)?;
-            let comp = b
-                .lib
-                .buffer(1)
-                .map_err(|e| ControlError(e.to_string()))?;
+            let comp = b.lib.buffer(1).map_err(|e| ControlError(e.to_string()))?;
             let iname = b.fresh("obuf");
             b.netlist.add_instance(
                 Instance::new(&iname, Arc::new(comp))

@@ -40,8 +40,8 @@ pub mod link;
 pub mod qm;
 
 pub use fsm::{
-    compile_controller, compile_controller_with, ControlError, Controller,
-    ControllerStats, Encoding,
+    compile_controller, compile_controller_with, ControlError, Controller, ControllerStats,
+    Encoding,
 };
 pub use link::{close_design, link};
 pub use qm::{minimize, Cube};

@@ -46,7 +46,11 @@ pub fn minimize(inputs: usize, on_set: &[u64], dc_set: &[u64]) -> Vec<Cube> {
     if on_set.is_empty() {
         return Vec::new();
     }
-    let full: u64 = if inputs == 64 { u64::MAX } else { (1 << inputs) - 1 };
+    let full: u64 = if inputs == 64 {
+        u64::MAX
+    } else {
+        (1 << inputs) - 1
+    };
     let on: BTreeSet<u64> = on_set.iter().map(|m| m & full).collect();
     let dc: BTreeSet<u64> = dc_set.iter().map(|m| m & full).collect();
 

@@ -63,11 +63,7 @@ impl Timing {
                 }
             }
         }
-        t.worst = t
-            .arcs
-            .values()
-            .fold(0.0f64, |a, &b| a.max(b))
-            .max(0.0);
+        t.worst = t.arcs.values().fold(0.0f64, |a, &b| a.max(b)).max(0.0);
         t
     }
 
@@ -287,7 +283,10 @@ mod tests {
                     ("B", Signal::parent("B").slice(k * i, k)),
                     ("CI", ci),
                 ],
-                vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+                vec![
+                    ("O", &format!("o{i}"), k),
+                    ("CO", &format!("c{}", i + 1), 1),
+                ],
             );
             parts.push(Signal::net(&format!("o{i}")));
         }
@@ -311,7 +310,11 @@ mod tests {
         assert_eq!(area, 4.0 * 26.0);
         // Critical path: data into slice 0 (5.0) then 3 carry hops (3.0
         // each) = 14.0 — NOT 4 × 5.0 = 20.
-        assert!((timing.worst - 14.0).abs() < 1e-9, "worst = {}", timing.worst);
+        assert!(
+            (timing.worst - 14.0).abs() < 1e-9,
+            "worst = {}",
+            timing.worst
+        );
         // CI → CO arc is all-carry: 4 × 3.0.
         let ci_co = timing.arc(PortClass::CarryIn, PortClass::CarryOut).unwrap();
         assert!((ci_co - 12.0).abs() < 1e-9);
@@ -326,8 +329,7 @@ mod tests {
         let t = t.build();
         let mut cache = SpecModelCache::new();
         t.validate(&spec, &mut cache).unwrap();
-        let (area, timing) =
-            template_cost(&t, &spec, &|_| None, &mut cache).unwrap();
+        let (area, timing) = template_cost(&t, &spec, &|_| None, &mut cache).unwrap();
         assert_eq!(area, 0.0);
         assert_eq!(timing.worst, 0.0);
         assert_eq!(timing.arc(PortClass::Data, PortClass::Data), Some(0.0));
@@ -344,8 +346,8 @@ mod tests {
     #[test]
     fn sequential_child_cuts_combinational_path() {
         // Register followed by... nothing: enable-register template.
-        let reg_spec = ComponentSpec::new(ComponentKind::Register, 4)
-            .with_ops(OpSet::only(Op::Load));
+        let reg_spec =
+            ComponentSpec::new(ComponentKind::Register, 4).with_ops(OpSet::only(Op::Load));
         let parent = ComponentSpec::new(ComponentKind::Register, 4)
             .with_ops(OpSet::only(Op::Load))
             .with_enable(true);
@@ -399,6 +401,10 @@ mod tests {
         // No combinational D → Q arc (the register cuts it)...
         assert_eq!(timing.arc(PortClass::Data, PortClass::Data), None);
         // ...but the worst path is Q-launch + mux = 2.2 + 1.6.
-        assert!((timing.worst - 3.8).abs() < 1e-9, "worst = {}", timing.worst);
+        assert!(
+            (timing.worst - 3.8).abs() < 1e-9,
+            "worst = {}",
+            timing.worst
+        );
     }
 }

@@ -76,7 +76,11 @@ impl Implementation {
         match &self.kind {
             ImplKind::Cell { .. } => 1,
             ImplKind::Netlist { children, .. } => {
-                1 + children.iter().map(Implementation::depth).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .map(Implementation::depth)
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -92,9 +96,7 @@ impl Implementation {
                 // Print each distinct child once with its multiplicity.
                 let mut seen: Vec<(&Implementation, usize)> = Vec::new();
                 for c in children {
-                    if let Some(entry) =
-                        seen.iter_mut().find(|(s, _)| s.spec == c.spec)
-                    {
+                    if let Some(entry) = seen.iter_mut().find(|(s, _)| s.spec == c.spec) {
                         entry.1 += 1;
                     } else {
                         seen.push((c, 1));
@@ -102,7 +104,7 @@ impl Implementation {
                 }
                 for (child, count) in seen {
                     if count > 1 {
-                        writeln!(f, "{pad}  {count} x", )?;
+                        writeln!(f, "{pad}  {count} x",)?;
                     }
                     child.fmt_tree(f, indent + 1)?;
                 }
@@ -179,7 +181,9 @@ mod tests {
         let rules = RuleSet::standard().with_lsi_extensions();
         let lib = lsi_logic_subset();
         let mut cache = SpecModelCache::new();
-        let id = space.expand(&add_spec(16), &rules, &lib, &mut cache).unwrap();
+        let id = space
+            .expand(&add_spec(16), &rules, &lib, &mut cache)
+            .unwrap();
         let mut solver = Solver::new(&space, SolveConfig::default());
         let front = solver.front(id, &mut cache);
         assert!(!front.is_empty());
@@ -208,7 +212,9 @@ mod tests {
         let rules = RuleSet::standard();
         let lib = lsi_logic_subset();
         let mut cache = SpecModelCache::new();
-        let id = space.expand(&add_spec(8), &rules, &lib, &mut cache).unwrap();
+        let id = space
+            .expand(&add_spec(8), &rules, &lib, &mut cache)
+            .unwrap();
         let mut solver = Solver::new(&space, SolveConfig::default());
         let front = solver.front(id, &mut cache);
         let text = extract(&space, id, &front[0].policy).to_string();

@@ -180,9 +180,7 @@ impl Dtas {
         let root = space
             .expand(spec, &self.rules, &self.library, &mut cache)
             .map_err(|e| match e {
-                ExpandError::Cycle => {
-                    SynthError::NoImplementation(spec.to_string())
-                }
+                ExpandError::Cycle => SynthError::NoImplementation(spec.to_string()),
                 other => SynthError::Expand(other.to_string()),
             })?;
 

@@ -56,9 +56,7 @@ impl LibraryProfile {
         for cell in library.cells() {
             let s = &cell.spec;
             match s.kind {
-                ComponentKind::AddSub
-                    if s.ops.contains(Op::Add) && s.carry_in && s.carry_out =>
-                {
+                ComponentKind::AddSub if s.ops.contains(Op::Add) && s.carry_in && s.carry_out => {
                     if s.group_pg {
                         p.pg_adder_widths.insert(s.width);
                     } else {
@@ -78,10 +76,7 @@ impl LibraryProfile {
                 ComponentKind::Gate(g)
                     if s.width == 1
                         && s.inputs > 2
-                        && matches!(
-                            g,
-                            GateOp::And | GateOp::Nand | GateOp::Or | GateOp::Nor
-                        ) =>
+                        && matches!(g, GateOp::And | GateOp::Nand | GateOp::Or | GateOp::Nor) =>
                 {
                     p.gate_fanins.insert(s.inputs);
                 }
@@ -145,7 +140,10 @@ fn ripple_rule(k: usize) -> DerivedRule {
                         ("B", Signal::parent("B").slice(k * i, k)),
                         ("CI", ci),
                     ],
-                    vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+                    vec![
+                        ("O", &format!("o{i}"), k),
+                        ("CO", &format!("c{}", i + 1), 1),
+                    ],
                 );
                 parts.push(Signal::net(&format!("o{i}")));
             }
@@ -398,7 +396,10 @@ fn addsub_ripple_rule(k: usize) -> DerivedRule {
                         ("CI", ci),
                         ("S", Signal::parent("S")),
                     ],
-                    vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+                    vec![
+                        ("O", &format!("o{i}"), k),
+                        ("CO", &format!("c{}", i + 1), 1),
+                    ],
                 );
                 parts.push(Signal::net(&format!("o{i}")));
             }
@@ -452,10 +453,7 @@ pub fn derive_library_rules(library: &CellLibrary) -> Vec<Box<dyn Rule>> {
 }
 
 /// Extends a rule set with LOLA-derived rules for `library`.
-pub fn with_derived_rules(
-    mut rules: crate::RuleSet,
-    library: &CellLibrary,
-) -> crate::RuleSet {
+pub fn with_derived_rules(mut rules: crate::RuleSet, library: &CellLibrary) -> crate::RuleSet {
     rules.append_library_rules(derive_library_rules(library));
     rules
 }
@@ -534,9 +532,11 @@ CELL FDE1  REGISTER W 1 OPS LOAD EN AREA 8.0 DELAY 2.1
         let spec = crate::rules::helpers::adder(12);
         let without = plain.synthesize(&spec);
 
-        let adapted = Dtas::new(lib.clone())
-            .with_rules(with_derived_rules(RuleSet::standard(), &lib));
-        let with = adapted.synthesize(&spec).expect("LOLA adapts the rule base");
+        let adapted =
+            Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
+        let with = adapted
+            .synthesize(&spec)
+            .expect("LOLA adapts the rule base");
         assert!(!with.alternatives.is_empty());
         // The adapted engine must strictly extend the unadapted one.
         match without {

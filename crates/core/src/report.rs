@@ -122,11 +122,7 @@ impl DesignSet {
             return out;
         };
         let a_min = base.area;
-        let a_max = self
-            .alternatives
-            .last()
-            .map(|a| a.area)
-            .unwrap_or(a_min);
+        let a_max = self.alternatives.last().map(|a| a.area).unwrap_or(a_min);
         for alt in &self.alternatives {
             let col = if a_max > a_min {
                 (50.0 * (alt.area - a_min) / (a_max - a_min)) as usize

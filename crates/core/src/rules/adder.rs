@@ -47,7 +47,10 @@ fn ripple(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTemp
             &format!("slice{i}"),
             slice_spec.clone(),
             inputs,
-            vec![("O", &format!("o{i}"), k), ("CO", &format!("c{}", i + 1), 1)],
+            vec![
+                ("O", &format!("o{i}"), k),
+                ("CO", &format!("c{}", i + 1), 1),
+            ],
         );
         parts.push(Signal::net(&format!("o{i}")));
     }

@@ -14,9 +14,7 @@ fn dec(k: usize) -> ComponentSpec {
 }
 
 fn is_binary_decoder(spec: &ComponentSpec) -> bool {
-    spec.kind == ComponentKind::Decoder
-        && spec.width2 == (1 << spec.width)
-        && !spec.enable
+    spec.kind == ComponentKind::Decoder && spec.width2 == (1 << spec.width) && !spec.enable
 }
 
 rule!(

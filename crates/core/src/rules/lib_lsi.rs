@@ -276,14 +276,16 @@ fn gate_radix(
     if spec.width != 1
         || spec.inputs <= radix
         || spec.inputs % radix != 0
-        || matches!(
-            g,
-            GateOp::Not | GateOp::Buf | GateOp::Xor | GateOp::Xnor
-        )
+        || matches!(g, GateOp::Not | GateOp::Buf | GateOp::Xor | GateOp::Xnor)
     {
         return vec![];
     }
-    vec![super::logic::fanin_split_public(rule_name, g, spec.inputs, radix)]
+    vec![super::logic::fanin_split_public(
+        rule_name,
+        g,
+        spec.inputs,
+        radix,
+    )]
 }
 
 rule!(

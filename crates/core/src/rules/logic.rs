@@ -28,7 +28,12 @@ fn lu_slice(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTe
         if multi {
             inputs.push(("S", Signal::parent("S")));
         }
-        t.module(&format!("s{i}"), child.clone(), inputs, vec![("O", &format!("o{i}"), k)]);
+        t.module(
+            &format!("s{i}"),
+            child.clone(),
+            inputs,
+            vec![("O", &format!("o{i}"), k)],
+        );
         parts.push(Signal::net(&format!("o{i}")));
     }
     t.output("O", Signal::Cat(parts));
@@ -51,12 +56,7 @@ rule!(
 
 /// Emits the modules computing one logic op, returning the net holding the
 /// result.
-fn logic_op_net(
-    t: &mut TemplateBuilder,
-    op: Op,
-    w: usize,
-    tag: usize,
-) -> String {
+fn logic_op_net(t: &mut TemplateBuilder, op: Op, w: usize, tag: usize) -> String {
     let out = format!("f{tag}");
     match op {
         Op::Lnot => {
@@ -285,11 +285,7 @@ rule!(
 );
 
 /// One gate rewritten as another gate plus an output inverter.
-fn with_output_inverter(
-    rule_name: &str,
-    inner: GateOp,
-    spec: &ComponentSpec,
-) -> NetlistTemplate {
+fn with_output_inverter(rule_name: &str, inner: GateOp, spec: &ComponentSpec) -> NetlistTemplate {
     let w = spec.width;
     let n = spec.inputs;
     let mut t = TemplateBuilder::new(rule_name);
@@ -367,11 +363,7 @@ demorgan_rule!(
 
 /// De Morgan with inverted inputs: AND = NOR of inverted inputs, OR =
 /// NAND of inverted inputs.
-fn with_input_inverters(
-    rule_name: &str,
-    inner: GateOp,
-    spec: &ComponentSpec,
-) -> NetlistTemplate {
+fn with_input_inverters(rule_name: &str, inner: GateOp, spec: &ComponentSpec) -> NetlistTemplate {
     let w = spec.width;
     let n = spec.inputs;
     let mut t = TemplateBuilder::new(rule_name);
@@ -385,7 +377,12 @@ fn with_input_inverters(
         );
         sigs.push(Signal::net(&format!("n{j}")));
     }
-    t.module("core", gate(inner, w, n), gate_inputs(sigs), vec![("O", "o", w)]);
+    t.module(
+        "core",
+        gate(inner, w, n),
+        gate_inputs(sigs),
+        vec![("O", "o", w)],
+    );
     t.output("O", Signal::net("o"));
     t.build()
 }

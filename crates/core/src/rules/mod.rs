@@ -115,7 +115,10 @@ impl RuleSet {
 
     /// Looks up a rule by name.
     pub fn rule(&self, name: &str) -> Option<&dyn Rule> {
-        self.rules.iter().find(|r| r.name() == name).map(|r| r.as_ref())
+        self.rules
+            .iter()
+            .find(|r| r.name() == name)
+            .map(|r| r.as_ref())
     }
 }
 

@@ -30,9 +30,16 @@ fn mux_width_slice(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<Ne
             })
             .collect();
         inputs.push(("S".to_string(), Signal::parent("S")));
-        let inputs: Vec<(&str, Signal)> =
-            inputs.iter().map(|(p, s)| (p.as_str(), s.clone())).collect();
-        t.module(&format!("s{i}"), child.clone(), inputs, vec![("O", &format!("o{i}"), k)]);
+        let inputs: Vec<(&str, Signal)> = inputs
+            .iter()
+            .map(|(p, s)| (p.as_str(), s.clone()))
+            .collect();
+        t.module(
+            &format!("s{i}"),
+            child.clone(),
+            inputs,
+            vec![("O", &format!("o{i}"), k)],
+        );
         parts.push(Signal::net(&format!("o{i}")));
     }
     t.output("O", Signal::Cat(parts));

@@ -25,7 +25,10 @@ fn fixed_shift(op: Op, sig: Signal, w: usize, amount: usize) -> Signal {
             if amount >= w {
                 Signal::cuint(w, 0)
             } else {
-                Signal::Cat(vec![sig.slice(amount, w - amount), Signal::cuint(amount, 0)])
+                Signal::Cat(vec![
+                    sig.slice(amount, w - amount),
+                    Signal::cuint(amount, 0),
+                ])
             }
         }
         Op::Asr => {

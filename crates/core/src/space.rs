@@ -158,9 +158,7 @@ impl DesignSpace {
         // Technology mapping by functional match (paper §5): matching
         // cells become leaf implementations.
         for cell in library.implementers(spec) {
-            let model = cache
-                .model(&cell.spec)
-                .map_err(ExpandError::BadSpec)?;
+            let model = cache.model(&cell.spec).map_err(ExpandError::BadSpec)?;
             impls.push(ImplChoice::Cell(CellChoice {
                 cell: cell.name.clone(),
                 area: cell.area,
@@ -178,8 +176,7 @@ impl DesignSpace {
                 let mut ids = Vec::with_capacity(template.modules.len());
                 let mut ok = true;
                 for module in &template.modules {
-                    match self.expand_inner(&module.spec, rules, library, cache, in_progress)
-                    {
+                    match self.expand_inner(&module.spec, rules, library, cache, in_progress) {
                         Ok(id) => ids.push(id),
                         Err(ExpandError::Cycle) => {
                             ok = false;
@@ -524,26 +521,21 @@ impl<'a> Solver<'a> {
                             distinct.push(cid);
                         }
                     }
-                    let child_fronts: Vec<Vec<DesignPoint>> = distinct
-                        .iter()
-                        .map(|&cid| self.front(cid, cache))
-                        .collect();
+                    let child_fronts: Vec<Vec<DesignPoint>> =
+                        distinct.iter().map(|&cid| self.front(cid, cache)).collect();
                     if child_fronts.iter().any(|f| f.is_empty()) {
                         continue; // some module cannot be implemented
                     }
                     // Cartesian product over distinct children with
                     // policy-consistency (uniform-implementation rule).
                     let mut combos: Vec<BTreeMap<SpecId, usize>> = vec![BTreeMap::new()];
-                    let mut assignments: Vec<Vec<(usize, &DesignPoint)>> =
-                        vec![Vec::new()];
+                    let mut assignments: Vec<Vec<(usize, &DesignPoint)>> = vec![Vec::new()];
                     for (ci, front) in child_fronts.iter().enumerate() {
                         let mut next_combos = Vec::new();
                         let mut next_assign = Vec::new();
                         for (combo, assign) in combos.iter().zip(&assignments) {
                             for p in front {
-                                if next_combos.len()
-                                    >= self.config.max_combinations
-                                {
+                                if next_combos.len() >= self.config.max_combinations {
                                     self.truncated_combinations += 1;
                                     continue;
                                 }

@@ -131,9 +131,7 @@ impl Signal {
     ) -> Result<usize, String> {
         match self {
             Signal::Net(n) => net_width(n).ok_or_else(|| format!("unknown net {n}")),
-            Signal::Parent(p) => {
-                parent_width(p).ok_or_else(|| format!("unknown parent port {p}"))
-            }
+            Signal::Parent(p) => parent_width(p).ok_or_else(|| format!("unknown parent port {p}")),
             Signal::Const(b) => Ok(b.width()),
             Signal::Slice(inner, lo, len) => {
                 let w = inner.width(net_width, parent_width)?;
@@ -149,9 +147,7 @@ impl Signal {
                 }
                 Ok(acc)
             }
-            Signal::Replicate(inner, n) => {
-                Ok(inner.width(net_width, parent_width)? * n)
-            }
+            Signal::Replicate(inner, n) => Ok(inner.width(net_width, parent_width)? * n),
         }
     }
 }
@@ -300,11 +296,15 @@ impl NetlistTemplate {
                 }
             }
             for (pname, net) in &m.outputs {
-                let port = model.port(pname).filter(|p| p.dir == PortDir::Out).ok_or_else(
-                    || fail(format!("module {} has no output {pname}", m.name)),
-                )?;
+                let port = model
+                    .port(pname)
+                    .filter(|p| p.dir == PortDir::Out)
+                    .ok_or_else(|| fail(format!("module {} has no output {pname}", m.name)))?;
                 let nw = self.nets.get(net).ok_or_else(|| {
-                    fail(format!("module {} output {pname} drives unknown net {net}", m.name))
+                    fail(format!(
+                        "module {} output {pname} drives unknown net {net}",
+                        m.name
+                    ))
                 })?;
                 if *nw != port.width {
                     return Err(fail(format!(
@@ -327,9 +327,10 @@ impl NetlistTemplate {
         }
         // Parent outputs must all be produced, at the right width.
         for port in parent_model.outputs() {
-            let sig = self.outputs.get(&port.name).ok_or_else(|| {
-                fail(format!("parent output {} not produced", port.name))
-            })?;
+            let sig = self
+                .outputs
+                .get(&port.name)
+                .ok_or_else(|| fail(format!("parent output {} not produced", port.name)))?;
             let w = sig
                 .width(&net_width, &parent_in_width)
                 .map_err(|e| fail(format!("parent output {}: {e}", port.name)))?;
@@ -341,12 +342,10 @@ impl NetlistTemplate {
             }
         }
         for name in self.outputs.keys() {
-            if parent_model
-                .port(name)
-                .map(|p| p.dir)
-                != Some(PortDir::Out)
-            {
-                return Err(fail(format!("template produces unknown parent output {name}")));
+            if parent_model.port(name).map(|p| p.dir) != Some(PortDir::Out) {
+                return Err(fail(format!(
+                    "template produces unknown parent output {name}"
+                )));
             }
         }
         Ok(())
@@ -411,10 +410,7 @@ impl TemplateBuilder {
         self.template.modules.push(Module {
             name: name.to_string(),
             spec,
-            inputs: inputs
-                .into_iter()
-                .map(|(p, s)| (p.into(), s))
-                .collect(),
+            inputs: inputs.into_iter().map(|(p, s)| (p.into(), s)).collect(),
             outputs: out_map,
         });
         self
@@ -563,9 +559,6 @@ mod tests {
         let pw = |_: &str| None;
         assert!(Signal::net("y").width(&nw, &pw).is_err());
         assert!(Signal::net("x").slice(2, 3).width(&nw, &pw).is_err());
-        assert_eq!(
-            Signal::net("x").replicate(3).width(&nw, &pw).unwrap(),
-            12
-        );
+        assert_eq!(Signal::net("x").replicate(3).width(&nw, &pw).unwrap(), 12);
     }
 }

@@ -1,5 +1,5 @@
-use dtas::{rules::RuleSet, space::*, template::SpecModelCache};
 use cells::lsi::lsi_logic_subset;
+use dtas::{rules::RuleSet, space::*, template::SpecModelCache};
 use genus::kind::ComponentKind;
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
@@ -21,8 +21,12 @@ fn add16_front_diagnostics() {
     }
     for node in &space.nodes {
         if node.spec.kind == ComponentKind::CarryLookahead || node.spec.group_pg {
-            println!("node {} has {} impls: {:?}", node.spec, node.impls.len(),
-                node.impls.iter().map(|i| i.label()).collect::<Vec<_>>());
+            println!(
+                "node {} has {} impls: {:?}",
+                node.spec,
+                node.impls.len(),
+                node.impls.iter().map(|i| i.label()).collect::<Vec<_>>()
+            );
         }
     }
     let mut solver = Solver::new(&space, SolveConfig::default());
@@ -30,7 +34,12 @@ fn add16_front_diagnostics() {
     println!("== front:");
     for p in &front {
         let im = dtas::extract::extract(&space, id, &p.policy);
-        println!("  area {:7.1} delay {:5.1}  root-rule {}", p.area, p.delay(), im.label());
+        println!(
+            "  area {:7.1} delay {:5.1}  root-rule {}",
+            p.area,
+            p.delay(),
+            im.label()
+        );
     }
 }
 

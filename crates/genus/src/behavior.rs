@@ -480,10 +480,7 @@ mod tests {
 
     #[test]
     fn add_wide_carries() {
-        let e = env(&[
-            ("A", Bits::from_u64(4, 0xf)),
-            ("B", Bits::from_u64(4, 0x1)),
-        ]);
+        let e = env(&[("A", Bits::from_u64(4, 0xf)), ("B", Bits::from_u64(4, 0x1))]);
         let expr = Expr::add_wide(Expr::port("A"), Expr::port("B"), Expr::cuint(1, 0));
         let v = eval(&expr, &e).unwrap();
         assert_eq!(v.width(), 5);
@@ -516,10 +513,7 @@ mod tests {
 
     #[test]
     fn division_is_total() {
-        let e = env(&[
-            ("A", Bits::from_u64(8, 9)),
-            ("Z", Bits::zero(8)),
-        ]);
+        let e = env(&[("A", Bits::from_u64(8, 9)), ("Z", Bits::zero(8))]);
         let q = Expr::binary(BinaryOp::DivOr1s, Expr::port("A"), Expr::port("Z"));
         assert_eq!(eval(&q, &e).unwrap().to_u64(), Some(0xff));
         let r = Expr::binary(BinaryOp::RemOrA, Expr::port("A"), Expr::port("Z"));
@@ -543,10 +537,7 @@ mod tests {
 
     #[test]
     fn width_mismatch_reported() {
-        let e = env(&[
-            ("A", Bits::from_u64(8, 1)),
-            ("B", Bits::from_u64(4, 1)),
-        ]);
+        let e = env(&[("A", Bits::from_u64(8, 1)), ("B", Bits::from_u64(4, 1))]);
         let bad = Expr::binary(BinaryOp::Add, Expr::port("A"), Expr::port("B"));
         assert!(matches!(
             eval(&bad, &e),

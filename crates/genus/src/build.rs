@@ -7,9 +7,7 @@
 //! library both funnel into [`build_component`].
 
 use crate::behavior::{BinaryOp, CmpOp, Effect, Expr, UnaryOp};
-use crate::component::{
-    Component, GenerateError, OpSelect, Operation, Port, PortClass,
-};
+use crate::component::{Component, GenerateError, OpSelect, Operation, Port, PortClass};
 use crate::kind::{ComponentKind, GateOp};
 use crate::op::{Op, OpClass, OpSet};
 use crate::params::{names, ParamSpec, ParamValue, Params};
@@ -49,17 +47,14 @@ pub fn schema_for(kind: ComponentKind) -> Vec<ParamSpec> {
     let w_req = ParamSpec::required(names::INPUT_WIDTH, "data width in bits");
     let w_opt =
         |d: usize| ParamSpec::optional(names::INPUT_WIDTH, ParamValue::Width(d), "data width");
-    let n_opt =
-        |d: usize| ParamSpec::optional(names::NUM_INPUTS, ParamValue::Width(d), "fan-in");
+    let n_opt = |d: usize| ParamSpec::optional(names::NUM_INPUTS, ParamValue::Width(d), "fan-in");
     let ops_opt = |ops: OpSet| {
         ParamSpec::optional(names::FUNCTION_LIST, ParamValue::Ops(ops), "operation list")
     };
-    let style_opt = |d: &str| {
-        ParamSpec::optional(names::STYLE, ParamValue::Style(d.to_string()), "style")
-    };
-    let flag_opt = |name: &str, d: bool, doc: &str| {
-        ParamSpec::optional(name, ParamValue::Flag(d), doc)
-    };
+    let style_opt =
+        |d: &str| ParamSpec::optional(names::STYLE, ParamValue::Style(d.to_string()), "style");
+    let flag_opt =
+        |name: &str, d: bool, doc: &str| ParamSpec::optional(name, ParamValue::Flag(d), doc);
     match kind {
         Gate(_) => vec![w_opt(1), n_opt(2)],
         LogicUnit => vec![
@@ -383,7 +378,10 @@ pub fn component_for_spec(spec: &ComponentSpec) -> Result<Component, GenerateErr
         }
         Register => {
             p.set(names::ENABLE_FLAG, ParamValue::Flag(spec.enable));
-            p.set(names::ASYNC_SET_RESET, ParamValue::Flag(spec.async_set_reset));
+            p.set(
+                names::ASYNC_SET_RESET,
+                ParamValue::Flag(spec.async_set_reset),
+            );
         }
         RegisterFile | Memory => {
             p.set(names::INPUT_WIDTH2, ParamValue::Width(spec.width2));
@@ -394,7 +392,10 @@ pub fn component_for_spec(spec: &ComponentSpec) -> Result<Component, GenerateErr
         Counter => {
             p.set(names::FUNCTION_LIST, ParamValue::Ops(spec.ops));
             p.set(names::ENABLE_FLAG, ParamValue::Flag(spec.enable));
-            p.set(names::ASYNC_SET_RESET, ParamValue::Flag(spec.async_set_reset));
+            p.set(
+                names::ASYNC_SET_RESET,
+                ParamValue::Flag(spec.async_set_reset),
+            );
             if let Some(style) = &spec.style {
                 p.set(names::STYLE, ParamValue::Style(style.clone()));
             }
@@ -597,8 +598,11 @@ pub fn build_component(
             spec = ComponentSpec::new(kind, out_w).with_inputs(n);
         }
         AddSub => {
-            let ops = params.ops(names::FUNCTION_LIST).unwrap_or(OpSet::only(Op::Add));
-            if ops.is_empty() || !([Op::Add, Op::Sub].into_iter().collect::<OpSet>()).is_superset(ops)
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .unwrap_or(OpSet::only(Op::Add));
+            if ops.is_empty()
+                || !([Op::Add, Op::Sub].into_iter().collect::<OpSet>()).is_superset(ops)
             {
                 return Err(err("adder/subtractor functions must be ADD and/or SUB"));
             }
@@ -735,7 +739,9 @@ pub fn build_component(
             spec = ComponentSpec::new(kind, width).with_ops(ops);
         }
         BarrelShifter => {
-            let ops = params.ops(names::FUNCTION_LIST).unwrap_or(OpSet::only(Op::Shl));
+            let ops = params
+                .ops(names::FUNCTION_LIST)
+                .unwrap_or(OpSet::only(Op::Shl));
             if ops.is_empty() || ops.iter().any(|op| op.class() != OpClass::Shift) {
                 return Err(err("barrel shifter functions must be shift-class"));
             }
@@ -897,7 +903,10 @@ pub fn build_component(
             if ops.is_empty() || !allowed.is_superset(ops) {
                 return Err(err("counter functions must be LOAD/COUNT_UP/COUNT_DOWN"));
             }
-            let style = params.style(names::STYLE).unwrap_or("SYNCHRONOUS").to_string();
+            let style = params
+                .style(names::STYLE)
+                .unwrap_or("SYNCHRONOUS")
+                .to_string();
             if style != "SYNCHRONOUS" && style != "RIPPLE" {
                 return Err(err(format!("unknown counter style {style}")));
             }
@@ -946,7 +955,10 @@ pub fn build_component(
                 b.op(
                     Op::CountUp,
                     Some("CUP"),
-                    vec![Effect::new("O0", Expr::unary(UnaryOp::Inc, Expr::port("O0")))],
+                    vec![Effect::new(
+                        "O0",
+                        Expr::unary(UnaryOp::Inc, Expr::port("O0")),
+                    )],
                 );
                 b.inp("CUP", 1, PortClass::Control);
             }
@@ -954,7 +966,10 @@ pub fn build_component(
                 b.op(
                     Op::CountDown,
                     Some("CDOWN"),
-                    vec![Effect::new("O0", Expr::unary(UnaryOp::Dec, Expr::port("O0")))],
+                    vec![Effect::new(
+                        "O0",
+                        Expr::unary(UnaryOp::Dec, Expr::port("O0")),
+                    )],
                 );
                 b.inp("CDOWN", 1, PortClass::Control);
             }
@@ -990,15 +1005,27 @@ pub fn build_component(
                 if kind == RegisterFile {
                     b.inp("WA", aw, PortClass::Data);
                 }
-                b.inp(if kind == RegisterFile { "WD" } else { "DIN" }, width, PortClass::Data);
+                b.inp(
+                    if kind == RegisterFile { "WD" } else { "DIN" },
+                    width,
+                    PortClass::Data,
+                );
                 b.inp("WEN", 1, PortClass::Control);
             }
             b.clocked();
-            b.out(if kind == RegisterFile { "RD" } else { "DOUT" }, width, PortClass::Data);
+            b.out(
+                if kind == RegisterFile { "RD" } else { "DOUT" },
+                width,
+                PortClass::Data,
+            );
             b.reg_out("MEM", mem_w, PortClass::Data);
             let dout = Expr::ZextTo(
                 width,
-                Box::new(Expr::binary(BinaryOp::ShrV, Expr::port("MEM"), amt(read_port))),
+                Box::new(Expr::binary(
+                    BinaryOp::ShrV,
+                    Expr::port("MEM"),
+                    amt(read_port),
+                )),
             );
             b.op(
                 Op::Read,
@@ -1015,10 +1042,7 @@ pub fn build_component(
                 let cleared = Expr::binary(
                     BinaryOp::And,
                     Expr::port("MEM"),
-                    Expr::unary(
-                        UnaryOp::Not,
-                        Expr::binary(BinaryOp::ShlV, mask, amt(waddr)),
-                    ),
+                    Expr::unary(UnaryOp::Not, Expr::binary(BinaryOp::ShlV, mask, amt(waddr))),
                 );
                 let placed = Expr::binary(
                     BinaryOp::ShlV,
@@ -1028,7 +1052,10 @@ pub fn build_component(
                 b.op(
                     Op::Write,
                     Some("WEN"),
-                    vec![Effect::new("MEM", Expr::binary(BinaryOp::Or, cleared, placed))],
+                    vec![Effect::new(
+                        "MEM",
+                        Expr::binary(BinaryOp::Or, cleared, placed),
+                    )],
                 );
             }
             let ops: OpSet = if rom {
@@ -1059,9 +1086,7 @@ pub fn build_component(
             b.out("EMPTY", 1, PortClass::Status);
             b.out("FULL", 1, PortClass::Status);
             b.reg_out("MEM", mem_w, PortClass::Data);
-            let mulw = |e: Expr| {
-                Expr::binary(BinaryOp::MulFull, e, Expr::cuint(17, width as u64))
-            };
+            let mulw = |e: Expr| Expr::binary(BinaryOp::MulFull, e, Expr::cuint(17, width as u64));
             let mask = Expr::ZextTo(mem_w, Box::new(Expr::Const(Bits::ones(width))));
             let place = |at: Expr| {
                 let cleared = Expr::binary(
@@ -1082,11 +1107,7 @@ pub fn build_component(
             match style.as_str() {
                 "STACK" => {
                     b.reg_out("PTR", pw, PortClass::Data);
-                    let top = Expr::binary(
-                        BinaryOp::Sub,
-                        Expr::port("PTR"),
-                        Expr::cuint(pw, 1),
-                    );
+                    let top = Expr::binary(BinaryOp::Sub, Expr::port("PTR"), Expr::cuint(pw, 1));
                     b.op(
                         Op::Read,
                         None,
@@ -1126,7 +1147,10 @@ pub fn build_component(
                     b.op(
                         Op::Pop,
                         Some("CPOP"),
-                        vec![Effect::new("PTR", Expr::unary(UnaryOp::Dec, Expr::port("PTR")))],
+                        vec![Effect::new(
+                            "PTR",
+                            Expr::unary(UnaryOp::Dec, Expr::port("PTR")),
+                        )],
                     );
                 }
                 "FIFO" => {
@@ -1153,10 +1177,7 @@ pub fn build_component(
                                     )),
                                 ),
                             ),
-                            Effect::new(
-                                "EMPTY",
-                                Expr::unary(UnaryOp::IsZero, Expr::port("COUNT")),
-                            ),
+                            Effect::new("EMPTY", Expr::unary(UnaryOp::IsZero, Expr::port("COUNT"))),
                             Effect::new(
                                 "FULL",
                                 Expr::cmp(CmpOp::Eq, Expr::port("COUNT"), d.clone()),
@@ -1427,7 +1448,9 @@ mod tests {
             ComponentKind::Encoder,
             p().with(names::NUM_INPUTS, ParamValue::Width(8)),
         );
-        let out = c.eval(&env(&[("I", Bits::from_u64(8, 0b0010_0110))])).unwrap();
+        let out = c
+            .eval(&env(&[("I", Bits::from_u64(8, 0b0010_0110))]))
+            .unwrap();
         assert_eq!(out["O"].to_u64(), Some(5));
         assert_eq!(out["V"].to_u64(), Some(1));
         let none = c.eval(&env(&[("I", Bits::zero(8))])).unwrap();
@@ -1474,7 +1497,7 @@ mod tests {
         assert_eq!(out["P"].to_u64(), Some(1));
         assert_eq!(out["G"].to_u64(), Some(0));
         assert_eq!(out["CO"].to_u64(), Some(1)); // propagated carry-in
-        // A=1100, B=0100: bit 2 generates.
+                                                 // A=1100, B=0100: bit 2 generates.
         let e2 = env(&[
             ("A", Bits::from_u64(4, 0b1100)),
             ("B", Bits::from_u64(4, 0b0100)),
@@ -1561,10 +1584,7 @@ mod tests {
                 .with(names::INPUT_WIDTH2, ParamValue::Width(4)),
         );
         assert_eq!(c.port("O").unwrap().width, 12);
-        let e = env(&[
-            ("A", Bits::from_u64(8, 200)),
-            ("B", Bits::from_u64(4, 11)),
-        ]);
+        let e = env(&[("A", Bits::from_u64(8, 200)), ("B", Bits::from_u64(4, 11))]);
         assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(2200));
     }
 
@@ -1645,11 +1665,26 @@ mod tests {
                 ("CDOWN", Bits::from_u64(1, cdown)),
             ])
         };
-        assert_eq!(c.eval(&base(1, 0, 1, 0, 7)).unwrap()["O0"].to_u64(), Some(8));
-        assert_eq!(c.eval(&base(1, 0, 0, 1, 7)).unwrap()["O0"].to_u64(), Some(6));
-        assert_eq!(c.eval(&base(1, 1, 1, 1, 7)).unwrap()["O0"].to_u64(), Some(9)); // load priority
-        assert_eq!(c.eval(&base(0, 1, 1, 1, 7)).unwrap()["O0"].to_u64(), Some(7)); // disabled
-        assert_eq!(c.eval(&base(1, 0, 1, 0, 15)).unwrap()["O0"].to_u64(), Some(0)); // wrap
+        assert_eq!(
+            c.eval(&base(1, 0, 1, 0, 7)).unwrap()["O0"].to_u64(),
+            Some(8)
+        );
+        assert_eq!(
+            c.eval(&base(1, 0, 0, 1, 7)).unwrap()["O0"].to_u64(),
+            Some(6)
+        );
+        assert_eq!(
+            c.eval(&base(1, 1, 1, 1, 7)).unwrap()["O0"].to_u64(),
+            Some(9)
+        ); // load priority
+        assert_eq!(
+            c.eval(&base(0, 1, 1, 1, 7)).unwrap()["O0"].to_u64(),
+            Some(7)
+        ); // disabled
+        assert_eq!(
+            c.eval(&base(1, 0, 1, 0, 15)).unwrap()["O0"].to_u64(),
+            Some(0)
+        ); // wrap
     }
 
     #[test]
@@ -1720,10 +1755,7 @@ mod tests {
             ComponentKind::Tristate,
             p().with(names::INPUT_WIDTH, ParamValue::Width(8)),
         );
-        let e = env(&[
-            ("I", Bits::from_u64(8, 0xff)),
-            ("OE", Bits::zero(1)),
-        ]);
+        let e = env(&[("I", Bits::from_u64(8, 0xff)), ("OE", Bits::zero(1))]);
         assert_eq!(c.eval(&e).unwrap()["O"].to_u64(), Some(0));
     }
 
@@ -1837,9 +1869,7 @@ mod tests {
                 ComponentKind::CarryLookahead | ComponentKind::ClockGenerator => {
                     params = Params::new();
                 }
-                ComponentKind::RegisterFile
-                | ComponentKind::Memory
-                | ComponentKind::StackFifo => {
+                ComponentKind::RegisterFile | ComponentKind::Memory | ComponentKind::StackFifo => {
                     params.set(names::INPUT_WIDTH2, ParamValue::Width(4));
                 }
                 ComponentKind::Concat => {

@@ -219,10 +219,7 @@ impl Component {
     pub fn output_dependencies(&self) -> BTreeMap<String, std::collections::BTreeSet<String>> {
         use std::collections::BTreeSet;
         let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-        let input_names: BTreeSet<String> = self
-            .inputs()
-            .map(|p| p.name.clone())
-            .collect();
+        let input_names: BTreeSet<String> = self.inputs().map(|p| p.name.clone()).collect();
         let mut global: BTreeSet<String> = BTreeSet::new();
         if let Some(sel) = &self.op_select {
             global.insert(sel.port.clone());
@@ -244,11 +241,7 @@ impl Component {
                 effect.expr.collect_ports(&mut referenced);
                 let entry = deps.entry(effect.target.clone()).or_default();
                 entry.extend(op_deps.iter().cloned());
-                entry.extend(
-                    referenced
-                        .into_iter()
-                        .filter(|p| input_names.contains(p)),
-                );
+                entry.extend(referenced.into_iter().filter(|p| input_names.contains(p)));
             }
         }
         deps

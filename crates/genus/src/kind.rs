@@ -90,7 +90,10 @@ impl GateOp {
 
     /// True for gates with an inverted output (NAND, NOR, XNOR, NOT).
     pub fn inverting(self) -> bool {
-        matches!(self, GateOp::Nand | GateOp::Nor | GateOp::Xnor | GateOp::Not)
+        matches!(
+            self,
+            GateOp::Nand | GateOp::Nor | GateOp::Xnor | GateOp::Not
+        )
     }
 }
 
@@ -175,17 +178,15 @@ impl ComponentKind {
     pub fn type_class(self) -> TypeClass {
         use ComponentKind::*;
         match self {
-            Gate(_) | LogicUnit | Mux | Selector | Decoder | Encoder | AddSub
-            | Comparator | Alu | Shifter | BarrelShifter | Multiplier | Divider
-            | CarryLookahead => TypeClass::Combinational,
-            Register | RegisterFile | Counter | StackFifo | Memory => {
-                TypeClass::Sequential
+            Gate(_) | LogicUnit | Mux | Selector | Decoder | Encoder | AddSub | Comparator
+            | Alu | Shifter | BarrelShifter | Multiplier | Divider | CarryLookahead => {
+                TypeClass::Combinational
             }
-            PortComp | BufferComp | ClockDriver | SchmittTrigger | Tristate
-            | WiredOr => TypeClass::Interface,
-            Bus | Delay | Concat | Extract | ClockGenerator => {
-                TypeClass::Miscellaneous
+            Register | RegisterFile | Counter | StackFifo | Memory => TypeClass::Sequential,
+            PortComp | BufferComp | ClockDriver | SchmittTrigger | Tristate | WiredOr => {
+                TypeClass::Interface
             }
+            Bus | Delay | Concat | Extract | ClockGenerator => TypeClass::Miscellaneous,
         }
     }
 

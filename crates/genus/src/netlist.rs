@@ -306,12 +306,13 @@ impl Netlist {
         }
         for inst in &self.instances {
             for (port_name, net_name) in &inst.connections {
-                let port = inst.component.port(port_name).ok_or_else(|| {
-                    NetlistError::UnknownPort {
-                        instance: inst.name.clone(),
-                        port: port_name.clone(),
-                    }
-                })?;
+                let port =
+                    inst.component
+                        .port(port_name)
+                        .ok_or_else(|| NetlistError::UnknownPort {
+                            instance: inst.name.clone(),
+                            port: port_name.clone(),
+                        })?;
                 let net = self.net(net_name).ok_or_else(|| NetlistError::UnknownNet {
                     instance: inst.name.clone(),
                     port: port_name.clone(),

@@ -182,8 +182,8 @@ impl Op {
             And | Or | Nand | Nor | Xor | Xnor | Lnot | Limpl => OpClass::Logic,
             Shl | Shr | Asr | Rotl | Rotr => OpClass::Shift,
             Mul | Div => OpClass::MulDiv,
-            Load | CountUp | CountDown | Push | Pop | Read | Write | Hold
-            | AsyncSet | AsyncReset => OpClass::Sequential,
+            Load | CountUp | CountDown | Push | Pop | Read | Write | Hold | AsyncSet
+            | AsyncReset => OpClass::Sequential,
         }
     }
 

@@ -262,11 +262,7 @@ mod tests {
     fn schema() -> Vec<ParamSpec> {
         vec![
             ParamSpec::required(names::INPUT_WIDTH, "data width"),
-            ParamSpec::optional(
-                names::ENABLE_FLAG,
-                ParamValue::Flag(false),
-                "enable pin",
-            ),
+            ParamSpec::optional(names::ENABLE_FLAG, ParamValue::Flag(false), "enable pin"),
         ]
     }
 

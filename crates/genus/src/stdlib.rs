@@ -77,11 +77,7 @@ impl GenusLibrary {
         self.generators.is_empty()
     }
 
-    fn instantiate(
-        &self,
-        kind: ComponentKind,
-        params: Params,
-    ) -> Result<Component, GenerateError> {
+    fn instantiate(&self, kind: ComponentKind, params: Params) -> Result<Component, GenerateError> {
         let name = kind.name();
         match self.generator(&name) {
             Some(g) => g.instantiate(&params),
@@ -483,21 +479,14 @@ mod tests {
             .logic_unit(8, [Op::And, Op::Or].into_iter().collect())
             .is_ok());
         assert!(lib.gate(GateOp::Nand, 1, 2).is_ok());
-        assert!(lib
-            .shifter(8, OpSet::only(Op::Shl))
-            .is_ok());
-        assert!(lib
-            .barrel_shifter(16, OpSet::only(Op::Shr))
-            .is_ok());
+        assert!(lib.shifter(8, OpSet::only(Op::Shl)).is_ok());
+        assert!(lib.barrel_shifter(16, OpSet::only(Op::Shr)).is_ok());
     }
 
     #[test]
     fn empty_library_reports_missing_generator() {
         let lib = GenusLibrary::new();
         assert!(lib.is_empty());
-        assert!(matches!(
-            lib.adder(8),
-            Err(GenerateError::Unbuildable(_))
-        ));
+        assert!(matches!(lib.adder(8), Err(GenerateError::Unbuildable(_))));
     }
 }

@@ -10,10 +10,7 @@ use proptest::prelude::*;
 use rtl_base::bits::Bits;
 
 fn env(pairs: Vec<(&str, Bits)>) -> Env {
-    pairs
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v))
-        .collect()
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
 fn mask(w: usize) -> u64 {

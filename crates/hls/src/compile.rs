@@ -209,8 +209,8 @@ impl<'a> Scheduler<'a> {
                     let (ea, ec) = expr_counts(expr);
                     let mut reads = Vec::new();
                     expr_reads(expr, &mut reads);
-                    let hazard = written.contains(target)
-                        || reads.iter().any(|r| written.contains(r));
+                    let hazard =
+                        written.contains(target) || reads.iter().any(|r| written.contains(r));
                     let over = arith + ea > self.constraints.max_addsub
                         || cmp + ec > self.constraints.max_compare;
                     if hazard || over {
@@ -224,7 +224,8 @@ impl<'a> Scheduler<'a> {
                 Stmt::If(cond, then_body, else_body) => {
                     flush!();
                     let test = self.states.len();
-                    self.states.push((Proto::Test(cond.clone()), ProtoNext::Unset));
+                    self.states
+                        .push((Proto::Test(cond.clone()), ProtoNext::Unset));
                     link_to!(test);
                     let (t_entry, mut t_exits) = self.seq(then_body);
                     let (f_entry, mut f_exits) = self.seq(else_body);
@@ -255,7 +256,8 @@ impl<'a> Scheduler<'a> {
                 Stmt::While(cond, body) => {
                     flush!();
                     let test = self.states.len();
-                    self.states.push((Proto::Test(cond.clone()), ProtoNext::Unset));
+                    self.states
+                        .push((Proto::Test(cond.clone()), ProtoNext::Unset));
                     link_to!(test);
                     let (b_entry, b_exits) = self.seq(body);
                     let loop_target = b_entry.unwrap_or(test);
@@ -342,12 +344,7 @@ impl<'a> Binder<'a> {
         format!("{prefix}{}", self.gate_counter)
     }
 
-    fn gate(
-        &mut self,
-        op: GateOp,
-        width: usize,
-        inputs: &[&str],
-    ) -> Result<String, CompileError> {
+    fn gate(&mut self, op: GateOp, width: usize, inputs: &[&str]) -> Result<String, CompileError> {
         let name = self.fresh_gate("g");
         let comp = self
             .lib
@@ -382,12 +379,7 @@ impl<'a> Binder<'a> {
 
     /// Lowers an expression in a state, returning the net carrying its
     /// value.
-    fn lower(
-        &mut self,
-        state: usize,
-        e: &Expr,
-        want_width: usize,
-    ) -> Result<String, CompileError> {
+    fn lower(&mut self, state: usize, e: &Expr, want_width: usize) -> Result<String, CompileError> {
         match e {
             Expr::Var(v) => Ok(value_net(self.entity, v)),
             Expr::Lit(n) => self.const_net(want_width, *n),
@@ -400,9 +392,7 @@ impl<'a> Binder<'a> {
                     true => self
                         .width_of(l)
                         .or_else(|| self.width_of(r))
-                        .ok_or_else(|| {
-                            CompileError("comparison of two literals".to_string())
-                        })?,
+                        .ok_or_else(|| CompileError("comparison of two literals".to_string()))?,
                     false => want_width,
                 };
                 let a = self.lower(state, l, w)?;
@@ -495,7 +485,8 @@ impl<'a> Binder<'a> {
             .mux(width, distinct.len())
             .map_err(|e| CompileError(e.to_string()))?;
         let sel_net = format!("{name}_sel");
-        self.netlist.add_net(&sel_net, select_width(distinct.len()))?;
+        self.netlist
+            .add_net(&sel_net, select_width(distinct.len()))?;
         let mut inst = Instance::new(name, Arc::new(comp));
         for (i, src) in distinct.iter().enumerate() {
             inst.connect(&format!("I{i}"), src);
@@ -719,9 +710,7 @@ pub fn compile(entity: &Entity, constraints: &Constraints) -> Result<Design, Com
             unit.uses.iter().map(|u| (u.state, u.a.clone())).collect();
         let b_sources: Vec<(usize, String)> =
             unit.uses.iter().map(|u| (u.state, u.b.clone())).collect();
-        for (tag, pin, sources) in
-            [("amux", a_pin, a_sources), ("bmux", b_pin, b_sources)]
-        {
+        for (tag, pin, sources) in [("amux", a_pin, a_sources), ("bmux", b_pin, b_sources)] {
             let sel = binder.mux_or_wire(&format!("{base}_{tag}"), *w, &pin, &sources)?;
             for (state, v) in sel {
                 binder
@@ -759,9 +748,7 @@ pub fn compile(entity: &Entity, constraints: &Constraints) -> Result<Design, Com
             unit.uses.iter().map(|u| (u.state, u.a.clone())).collect();
         let b_sources: Vec<(usize, String)> =
             unit.uses.iter().map(|u| (u.state, u.b.clone())).collect();
-        for (tag, pin, sources) in
-            [("amux", a_pin, a_sources), ("bmux", b_pin, b_sources)]
-        {
+        for (tag, pin, sources) in [("amux", a_pin, a_sources), ("bmux", b_pin, b_sources)] {
             let sel = binder.mux_or_wire(&format!("{base}_{tag}"), *w, &pin, &sources)?;
             for (state, v) in sel {
                 binder
@@ -805,8 +792,7 @@ pub fn compile(entity: &Entity, constraints: &Constraints) -> Result<Design, Com
                     .with_connection("O", &d_net),
             )?;
         } else {
-            let sel =
-                binder.mux_or_wire(&format!("dmux_{name}"), *width, &d_net, &writes)?;
+            let sel = binder.mux_or_wire(&format!("dmux_{name}"), *width, &d_net, &writes)?;
             for (state, v) in sel {
                 binder
                     .asserts
@@ -827,7 +813,9 @@ pub fn compile(entity: &Entity, constraints: &Constraints) -> Result<Design, Com
     // Expose outputs and statuses.
     for p in &entity.ports {
         if p.dir == Dir::Out {
-            binder.netlist.expose_output(&p.name, &format!("q_{}", p.name))?;
+            binder
+                .netlist
+                .expose_output(&p.name, &format!("q_{}", p.name))?;
         }
     }
     for s in &statuses {

@@ -113,12 +113,7 @@ impl Entity {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, w)| *w)
-            .or_else(|| {
-                self.ports
-                    .iter()
-                    .find(|p| p.name == name)
-                    .map(|p| p.width)
-            })
+            .or_else(|| self.ports.iter().find(|p| p.name == name).map(|p| p.width))
     }
 }
 
@@ -185,7 +180,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 continue;
             }
             chars.next();
-            let two = |c2: char, a: &'static str, b: &'static str, chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let two = |c2: char,
+                       a: &'static str,
+                       b: &'static str,
+                       chars: &mut std::iter::Peekable<std::str::Chars>| {
                 if chars.peek() == Some(&c2) {
                     chars.next();
                     a
@@ -495,7 +493,11 @@ fn check_names(entity: &Entity) -> Result<(), ParseError> {
                             message: format!("undeclared target {t}"),
                         });
                     }
-                    if entity.ports.iter().any(|p| p.name == *t && p.dir == Dir::In) {
+                    if entity
+                        .ports
+                        .iter()
+                        .any(|p| p.name == *t && p.dir == Dir::In)
+                    {
                         return Err(ParseError {
                             line: 0,
                             message: format!("input port {t} cannot be assigned"),
@@ -562,8 +564,7 @@ entity gcd(a_in: in 8, b_in: in 8, r: out 8, done: out 1) {
 
     #[test]
     fn rejects_reading_output() {
-        let err =
-            parse_entity("entity t(x: in 4, y: out 4) { y = y + x; }").unwrap_err();
+        let err = parse_entity("entity t(x: in 4, y: out 4) { y = y + x; }").unwrap_err();
         assert!(err.message.contains("cannot be read"));
     }
 

@@ -114,9 +114,7 @@ impl StateTable {
             }
             for name in s.asserts.keys() {
                 if !self.controls.contains_key(name) {
-                    return Err(format!(
-                        "state {i} asserts undeclared control {name}"
-                    ));
+                    return Err(format!("state {i} asserts undeclared control {name}"));
                 }
             }
         }

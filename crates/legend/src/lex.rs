@@ -82,7 +82,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "LEGEND lex error at line {}: unexpected {:?}", self.line, self.ch)
+        write!(
+            f,
+            "LEGEND lex error at line {}: unexpected {:?}",
+            self.line, self.ch
+        )
     }
 }
 

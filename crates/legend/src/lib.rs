@@ -106,15 +106,15 @@ pub fn standard_library_text() -> String {
                 params.set(
                     names::FUNCTION_LIST,
                     ParamValue::Ops(
-                        [Op::And, Op::Or, Op::Xor, Op::Lnot].into_iter().collect::<OpSet>(),
+                        [Op::And, Op::Or, Op::Xor, Op::Lnot]
+                            .into_iter()
+                            .collect::<OpSet>(),
                     ),
                 );
             }
             _ => {}
         }
-        out.push_str(
-            &print_generator(generator, &params).expect("standard generators print"),
-        );
+        out.push_str(&print_generator(generator, &params).expect("standard generators print"));
         out.push('\n');
     }
     out
@@ -134,8 +134,7 @@ mod tests {
     #[test]
     fn standard_library_text_round_trips() {
         let text = standard_library_text();
-        let lib = library_from_legend(&text)
-            .unwrap_or_else(|e| panic!("{e}\n----\n{text}"));
+        let lib = library_from_legend(&text).unwrap_or_else(|e| panic!("{e}\n----\n{text}"));
         assert_eq!(lib.len(), PRINTABLE_GENERATORS.len());
         for name in PRINTABLE_GENERATORS {
             assert!(lib.generator(name).is_some(), "missing {name}");

@@ -102,8 +102,8 @@ pub fn lower(desc: &LegendDescription) -> Result<LoweredGenerator, LowerError> {
     // Declared parameters must be known (or explicitly derived).
     let schema = schema_for(kind);
     for (pname, _) in &desc.parameters {
-        let known = schema.iter().any(|s| &s.name == pname)
-            || DERIVED_PARAMS.contains(&pname.as_str());
+        let known =
+            schema.iter().any(|s| &s.name == pname) || DERIVED_PARAMS.contains(&pname.as_str());
         if !known {
             return Err(fail(format!("unknown parameter {pname}")));
         }
@@ -159,7 +159,10 @@ pub fn lower(desc: &LegendDescription) -> Result<LoweredGenerator, LowerError> {
         params.set(names::FUNCTION_LIST, ParamValue::Ops(ops));
     }
     if schema_has(&generator, names::ENABLE_FLAG) {
-        params.set(names::ENABLE_FLAG, ParamValue::Flag(!desc.enable.is_empty()));
+        params.set(
+            names::ENABLE_FLAG,
+            ParamValue::Flag(!desc.enable.is_empty()),
+        );
     }
     if schema_has(&generator, names::ASYNC_SET_RESET) {
         params.set(
@@ -257,8 +260,7 @@ pub fn lower(desc: &LegendDescription) -> Result<LoweredGenerator, LowerError> {
                     x ^= x << 17;
                     env.insert(port.name.clone(), Bits::from_u64(port.width, x));
                 }
-                let declared = eval_legend(&clause.expr, &env, target_width)
-                    .map_err(&fail)?;
+                let declared = eval_legend(&clause.expr, &env, target_width).map_err(&fail)?;
                 let generated =
                     behavior::eval(&effect.expr, &env).map_err(|e| fail(e.to_string()))?;
                 if declared != generated {

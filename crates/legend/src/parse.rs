@@ -15,7 +15,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "LEGEND parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "LEGEND parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -96,8 +100,7 @@ impl Parser {
 
     /// True when the next two tokens are `IDENT :` — the start of a field.
     fn at_field_key(&self) -> bool {
-        matches!(self.peek(), Some(Token::Ident(_)))
-            && matches!(self.peek2(), Some(Token::Colon))
+        matches!(self.peek(), Some(Token::Ident(_))) && matches!(self.peek2(), Some(Token::Colon))
     }
 
     fn width_spec(&mut self) -> Result<WidthSpec, ParseError> {
@@ -198,7 +201,9 @@ impl Parser {
             Some(Token::Number(_)) => Ok(LegendExpr::Number(self.number()?)),
             other => Err(self.err(format!(
                 "expected expression, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -402,9 +407,6 @@ mod tests {
     fn expression_precedence_is_flat_left_assoc() {
         let text = "NAME: X\nOPERATIONS:\n( (LOAD)\n  (OPS: (LOAD: O0 = A + B & C)))\n";
         let docs = parse_document(text).unwrap();
-        assert_eq!(
-            docs[0].operations[0].ops[0].expr.to_string(),
-            "A + B & C"
-        );
+        assert_eq!(docs[0].operations[0].ops[0].expr.to_string(), "A + B & C");
     }
 }

@@ -54,7 +54,11 @@ fn render_expr(expr: &Expr) -> Option<String> {
 }
 
 fn render_effect(effect: &Effect) -> Option<String> {
-    Some(format!("{} = {}", effect.target, render_expr(&effect.expr)?))
+    Some(format!(
+        "{} = {}",
+        effect.target,
+        render_expr(&effect.expr)?
+    ))
 }
 
 /// Prints a generator as a LEGEND description, using `sample_params` to
@@ -102,7 +106,10 @@ pub fn print_generator(generator: &Generator, sample_params: &Params) -> Result<
             &mut out,
             &format!("NUM_STYLES: {}", generator.styles().len()),
         );
-        w(&mut out, &format!("STYLES: {}", generator.styles().join(", ")));
+        w(
+            &mut out,
+            &format!("STYLES: {}", generator.styles().join(", ")),
+        );
     }
 
     let port_list = |ports: Vec<(&str, usize)>| -> String {
@@ -117,7 +124,10 @@ pub fn print_generator(generator: &Generator, sample_params: &Params) -> Result<
         .iter()
         .filter(|p| {
             p.dir == PortDir::In
-                && matches!(p.class, PortClass::Data | PortClass::Select | PortClass::CarryIn)
+                && matches!(
+                    p.class,
+                    PortClass::Data | PortClass::Select | PortClass::CarryIn
+                )
         })
         .map(|p| (p.name.as_str(), p.width))
         .collect();
@@ -159,12 +169,7 @@ pub fn print_generator(generator: &Generator, sample_params: &Params) -> Result<
     let declared: Vec<_> = sample
         .operations()
         .iter()
-        .filter(|o| {
-            !matches!(
-                o.op,
-                genus::op::Op::AsyncSet | genus::op::Op::AsyncReset
-            )
-        })
+        .filter(|o| !matches!(o.op, genus::op::Op::AsyncSet | genus::op::Op::AsyncReset))
         .collect();
     if !declared.is_empty() {
         w(&mut out, &format!("NUM_OPERATIONS: {}", declared.len()));
@@ -197,10 +202,7 @@ pub fn print_generator(generator: &Generator, sample_params: &Params) -> Result<
             let clauses: Vec<String> = operation
                 .effects
                 .iter()
-                .filter_map(|e| {
-                    render_effect(e)
-                        .map(|r| format!("({}: {r})", operation.op.name()))
-                })
+                .filter_map(|e| render_effect(e).map(|r| format!("({}: {r})", operation.op.name())))
                 .collect();
             if !clauses.is_empty() {
                 let _ = write!(block, "\n    (OPS: {})", clauses.join(" "));

@@ -108,9 +108,7 @@ pub fn random_inputs(model: &Component, rng: &mut StdRng) -> Env {
             continue;
         }
         let value = match valid_bound(model, &port.name) {
-            Some(bound) if bound > 0 => {
-                Bits::from_u64(port.width, rng.gen_range(0..bound))
-            }
+            Some(bound) if bound > 0 => Bits::from_u64(port.width, rng.gen_range(0..bound)),
             _ => Bits::from_fn(port.width, |_| rng.gen_bool(0.5)),
         };
         env.insert(port.name.clone(), value);
@@ -190,8 +188,8 @@ pub fn check_implementation(
     vectors: usize,
     seed: u64,
 ) -> Result<(), EquivError> {
-    let golden_model = component_for_spec(&implementation.spec)
-        .map_err(|e| EquivError::Sim(e.to_string()))?;
+    let golden_model =
+        component_for_spec(&implementation.spec).map_err(|e| EquivError::Sim(e.to_string()))?;
     let flat = FlatDesign::from_implementation(implementation)
         .map_err(|e| EquivError::Sim(e.to_string()))?;
     let mut sim = Simulator::new(&flat)?;
@@ -236,8 +234,8 @@ pub fn check_implementation(
 /// Like [`check_implementation`]; additionally fails when the exhaustive
 /// space exceeds `2^20` vectors.
 pub fn check_exhaustive(implementation: &Implementation) -> Result<(), EquivError> {
-    let golden_model = component_for_spec(&implementation.spec)
-        .map_err(|e| EquivError::Sim(e.to_string()))?;
+    let golden_model =
+        component_for_spec(&implementation.spec).map_err(|e| EquivError::Sim(e.to_string()))?;
     if golden_model.is_sequential() {
         return Err(EquivError::Sim(
             "exhaustive checking is combinational-only".to_string(),
@@ -313,13 +311,14 @@ mod tests {
         let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
         assert!(!set.alternatives.is_empty());
         for alt in &set.alternatives {
-            check_implementation(&alt.implementation, vectors, 0xda7a5)
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "{} implementation {} not equivalent:\n{e}\n{}",
-                        spec, alt.implementation.label(), alt.implementation
-                    )
-                });
+            check_implementation(&alt.implementation, vectors, 0xda7a5).unwrap_or_else(|e| {
+                panic!(
+                    "{} implementation {} not equivalent:\n{e}\n{}",
+                    spec,
+                    alt.implementation.label(),
+                    alt.implementation
+                )
+            });
         }
     }
 

@@ -134,9 +134,10 @@ fn flatten_into(
             // The template's parent outputs alias onto the nets (or
             // primary outputs) the instantiation site expects.
             for (port, net) in out_bindings {
-                let sig = template.outputs.get(port).ok_or_else(|| {
-                    FlattenError(format!("{path}: template lacks output {port}"))
-                })?;
+                let sig = template
+                    .outputs
+                    .get(port)
+                    .ok_or_else(|| FlattenError(format!("{path}: template lacks output {port}")))?;
                 design
                     .aliases
                     .insert(net.clone(), substitute(sig, path, bindings)?);
@@ -157,8 +158,8 @@ impl FlatDesign {
     pub fn from_implementation(
         implementation: &Implementation,
     ) -> Result<FlatDesign, FlattenError> {
-        let model = component_for_spec(&implementation.spec)
-            .map_err(|e| FlattenError(e.to_string()))?;
+        let model =
+            component_for_spec(&implementation.spec).map_err(|e| FlattenError(e.to_string()))?;
         let mut design = FlatDesign::default();
         let mut bindings = BTreeMap::new();
         for port in model.inputs() {
@@ -171,9 +172,10 @@ impl FlatDesign {
             .collect();
         flatten_into(implementation, "", &bindings, &out_bindings, &mut design)?;
         for port in model.outputs() {
-            design
-                .outputs
-                .insert(port.name.clone(), Signal::net(&format!("__out_{}", port.name)));
+            design.outputs.insert(
+                port.name.clone(),
+                Signal::net(&format!("__out_{}", port.name)),
+            );
         }
         Ok(design)
     }

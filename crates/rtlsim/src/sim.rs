@@ -139,11 +139,7 @@ impl<'a> Simulator<'a> {
                 Producer::Alias(n) => Producer::Alias(n.clone()),
             })
             .collect();
-        let state = design
-            .cells
-            .iter()
-            .map(zero_state)
-            .collect();
+        let state = design.cells.iter().map(zero_state).collect();
         Ok(Simulator {
             design,
             order,
@@ -308,8 +304,8 @@ fn zero_state(cell: &FlatCell) -> Env {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cells::lsi::lsi_logic_subset;
     use crate::flatten::FlatDesign;
+    use cells::lsi::lsi_logic_subset;
     use dtas::Dtas;
     use genus::kind::ComponentKind;
     use genus::op::{Op, OpSet};
@@ -329,8 +325,7 @@ mod tests {
             .with_carry_in(true)
             .with_carry_out(true);
         let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
-        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation)
-            .unwrap();
+        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation).unwrap();
         let sim = Simulator::new(&flat).unwrap();
         let out = sim
             .eval(&env(&[
@@ -350,8 +345,7 @@ mod tests {
             .with_enable(true)
             .with_style("SYNCHRONOUS");
         let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
-        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation)
-            .unwrap();
+        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
         let step = |sim: &mut Simulator, cen: u64, load: u64, up: u64, down: u64| {
             sim.step(&env(&[

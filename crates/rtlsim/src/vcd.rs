@@ -69,12 +69,8 @@ impl VcdTrace {
                 .entry(name.clone())
                 .or_insert_with(|| (id_for(next_id), bits.width()));
         }
-        self.cycles.push(
-            values
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        );
+        self.cycles
+            .push(values.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
     }
 
     /// Number of sampled cycles.
@@ -138,8 +134,7 @@ mod tests {
             .with_enable(true)
             .with_style("SYNCHRONOUS");
         let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
-        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation)
-            .unwrap();
+        let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
         let mut trace = VcdTrace::new("counter_tb");
         for cycle in 0..6u64 {
@@ -147,7 +142,10 @@ mod tests {
             env.insert("I0".to_string(), Bits::from_u64(4, 9));
             env.insert("CLK".to_string(), Bits::zero(1));
             env.insert("CEN".to_string(), Bits::from_u64(1, 1));
-            env.insert("CLOAD".to_string(), Bits::from_u64(1, u64::from(cycle == 0)));
+            env.insert(
+                "CLOAD".to_string(),
+                Bits::from_u64(1, u64::from(cycle == 0)),
+            );
             env.insert("CUP".to_string(), Bits::from_u64(1, u64::from(cycle > 0)));
             let out = sim.step(&env).unwrap();
             let mut sample = env.clone();

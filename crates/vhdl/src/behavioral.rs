@@ -28,7 +28,9 @@ fn render(expr: &Expr) -> Result<String, String> {
                 UnaryOp::Dec => format!("({inner} - 1)"),
                 UnaryOp::IsZero => format!("b2u({inner} = 0)"),
                 UnaryOp::ReduceOr => format!("b2u({inner} /= 0)"),
-                UnaryOp::ReduceAnd => format!("b2u(({inner}) = not to_unsigned(0, {inner}'length))"),
+                UnaryOp::ReduceAnd => {
+                    format!("b2u(({inner}) = not to_unsigned(0, {inner}'length))")
+                }
                 UnaryOp::ReduceXor => format!("parity({inner})"),
             }
         }
@@ -83,8 +85,7 @@ fn render(expr: &Expr) -> Result<String, String> {
             format!("{inner}({} downto {lo})", lo + len - 1)
         }
         Expr::Concat(parts) => {
-            let rendered: Result<Vec<String>, String> =
-                parts.iter().rev().map(render).collect();
+            let rendered: Result<Vec<String>, String> = parts.iter().rev().map(render).collect();
             format!("({})", rendered?.join(" & "))
         }
         Expr::ZextTo(w, e) => format!("resize({}, {w})", render(e)?),
@@ -132,16 +133,9 @@ pub fn emit_behavioral(component: &Component) -> Result<String, String> {
     let _ = writeln!(out, "architecture behavior of {name} is");
     out.push_str("begin\n");
 
-    let sensitivity: Vec<&str> = component
-        .inputs()
-        .map(|p| p.name.as_str())
-        .collect();
+    let sensitivity: Vec<&str> = component.inputs().map(|p| p.name.as_str()).collect();
     if component.is_sequential() {
-        let _ = writeln!(
-            out,
-            "  process ({})",
-            component.clock().unwrap_or("clk")
-        );
+        let _ = writeln!(out, "  process ({})", component.clock().unwrap_or("clk"));
     } else {
         let _ = writeln!(out, "  process ({})", sensitivity.join(", "));
     }
@@ -149,14 +143,16 @@ pub fn emit_behavioral(component: &Component) -> Result<String, String> {
     if let Some(clk) = component.clock() {
         let _ = writeln!(out, "    if rising_edge({clk}) then");
     }
-    let indent = if component.is_sequential() { "      " } else { "    " };
+    let indent = if component.is_sequential() {
+        "      "
+    } else {
+        "    "
+    };
     if let Some(sel) = component.op_select() {
         let _ = writeln!(out, "{indent}case to_integer(unsigned({})) is", sel.port);
         for (i, op) in sel.encoding.iter().enumerate() {
             let _ = writeln!(out, "{indent}  when {i} => -- {op}");
-            if let Some(operation) =
-                component.operations().iter().find(|o| o.op == *op)
-            {
+            if let Some(operation) = component.operations().iter().find(|o| o.op == *op) {
                 for effect in &operation.effects {
                     match render(&effect.expr) {
                         Ok(e) => {
@@ -192,11 +188,8 @@ pub fn emit_behavioral(component: &Component) -> Result<String, String> {
             for effect in &operation.effects {
                 match render(&effect.expr) {
                     Ok(e) => {
-                        let _ = writeln!(
-                            out,
-                            "{indent}  {} <= std_logic_vector({e});",
-                            effect.target
-                        );
+                        let _ =
+                            writeln!(out, "{indent}  {} <= std_logic_vector({e});", effect.target);
                     }
                     Err(_) => {
                         let _ = writeln!(
@@ -221,8 +214,8 @@ pub fn emit_behavioral(component: &Component) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use genus::stdlib::GenusLibrary;
     use genus::op::Op;
+    use genus::stdlib::GenusLibrary;
 
     #[test]
     fn adder_model_renders_arithmetic() {

@@ -219,8 +219,7 @@ fn emit_impl_entities(
                 emit_impl_entities(child, out, emitted)?;
             }
             entity_decl(&implementation.spec, out)?;
-            let model =
-                component_for_spec(&implementation.spec).map_err(|e| e.to_string())?;
+            let model = component_for_spec(&implementation.spec).map_err(|e| e.to_string())?;
             let _ = model;
             let _ = writeln!(
                 out,

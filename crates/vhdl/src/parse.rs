@@ -65,7 +65,11 @@ pub struct VhdlParseError {
 
 impl fmt::Display for VhdlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vhdl parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "vhdl parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -106,10 +110,7 @@ pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> 
     let mut pending_instance: Option<ParsedInstance> = None;
     while let Some((lno, raw)) = lines.next() {
         let line = raw.split("--").next().unwrap_or("").trim();
-        if line.is_empty()
-            || line.starts_with("library ")
-            || line.starts_with("use ")
-        {
+        if line.is_empty() || line.starts_with("library ") || line.starts_with("use ") {
             continue;
         }
         match mode {
@@ -140,8 +141,8 @@ pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> 
                     } else {
                         return Err(err(lno, "expected in/out"));
                     };
-                    let width = width_of_type(ty)
-                        .ok_or_else(|| err(lno, "unsupported port type"))?;
+                    let width =
+                        width_of_type(ty).ok_or_else(|| err(lno, "unsupported port type"))?;
                     design.ports.push(ParsedPort {
                         name: name.trim().to_string(),
                         dir,
@@ -158,11 +159,9 @@ pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> 
                     let (name, ty) = rest
                         .split_once(':')
                         .ok_or_else(|| err(lno, "malformed signal"))?;
-                    let width = width_of_type(ty)
-                        .ok_or_else(|| err(lno, "unsupported signal type"))?;
-                    design
-                        .signals
-                        .insert(name.trim().to_string(), width);
+                    let width =
+                        width_of_type(ty).ok_or_else(|| err(lno, "unsupported signal type"))?;
+                    design.signals.insert(name.trim().to_string(), width);
                 }
                 // Component declarations are skipped: connectivity is in
                 // the port maps.
@@ -191,9 +190,7 @@ pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> 
                         .insert(port.trim().to_string(), actual.trim().to_string());
                     continue;
                 }
-                if let Some((net, value)) = line
-                    .strip_suffix(';')
-                    .and_then(|l| l.split_once("<="))
+                if let Some((net, value)) = line.strip_suffix(';').and_then(|l| l.split_once("<="))
                 {
                     design
                         .constants

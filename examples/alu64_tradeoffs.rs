@@ -14,10 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_ops(Op::paper_alu16())
         .with_carry_in(true);
     println!("Component Specification: {spec}");
-    println!(
-        ":OPERATIONS ({})",
-        spec.ops
-    );
+    println!(":OPERATIONS ({})", spec.ops);
 
     // Strict Pareto — the curve plotted in Figure 3.
     let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {

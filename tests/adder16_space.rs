@@ -77,7 +77,9 @@ fn alternatives_span_ripple_to_lookahead() {
 #[test]
 fn every_alternative_uses_only_library_cells() {
     let lib = lsi_logic_subset();
-    let set = Dtas::new(lib.clone()).synthesize(&add16()).expect("synthesizes");
+    let set = Dtas::new(lib.clone())
+        .synthesize(&add16())
+        .expect("synthesizes");
     for alt in &set.alternatives {
         for (cell, _) in alt.implementation.cell_census() {
             assert!(lib.cell(&cell).is_some(), "unknown cell {cell}");

@@ -40,8 +40,15 @@ fn synthesis_is_deterministic() {
     for spec in specs {
         let a = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
         let b = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
-        assert_eq!(fingerprint(&a), fingerprint(&b), "nondeterminism for {spec}");
-        assert_eq!(a.unconstrained_size.to_bits(), b.unconstrained_size.to_bits());
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "nondeterminism for {spec}"
+        );
+        assert_eq!(
+            a.unconstrained_size.to_bits(),
+            b.unconstrained_size.to_bits()
+        );
         assert_eq!(a.uniform_size, b.uniform_size);
     }
 }

@@ -56,11 +56,7 @@ fn run_machine(src: &str, inputs: Vec<(&str, u64, usize)>, watch: &str) -> u64 {
 #[test]
 fn gcd_machine_matches_reference() {
     for (a, b) in [(48, 36), (36, 48), (7, 13), (100, 100), (255, 5), (1, 255)] {
-        let got = run_machine(
-            GCD,
-            vec![("a_in", a, 8), ("b_in", b, 8)],
-            "r",
-        );
+        let got = run_machine(GCD, vec![("a_in", a, 8), ("b_in", b, 8)], "r");
         assert_eq!(got, gcd_reference(a, b), "gcd({a}, {b})");
     }
 }

@@ -84,7 +84,10 @@ fn adder_with_group_pg() {
 #[test]
 fn muxes_and_selectors() {
     for (w, n) in [(1usize, 2usize), (8, 2), (4, 3), (2, 5), (8, 8), (1, 16)] {
-        check_all(ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n), 100);
+        check_all(
+            ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n),
+            100,
+        );
     }
     check_all(
         ComponentSpec::new(ComponentKind::Selector, 4).with_inputs(3),
@@ -330,10 +333,7 @@ fn wiring_and_interface_components() {
         ComponentSpec::new(ComponentKind::WiredOr, 4).with_inputs(3),
         60,
     );
-    check_all(
-        ComponentSpec::new(ComponentKind::Bus, 4).with_inputs(3),
-        60,
-    );
+    check_all(ComponentSpec::new(ComponentKind::Bus, 4).with_inputs(3), 60);
     check_all(ComponentSpec::new(ComponentKind::Delay, 8), 40);
     check_all(
         ComponentSpec::new(ComponentKind::Concat, 4).with_inputs(3),
@@ -356,9 +356,8 @@ fn small_adders_exhaustively() {
             .with_carry_out(true);
         let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
         for alt in &set.alternatives {
-            check_exhaustive(&alt.implementation).unwrap_or_else(|e| {
-                panic!("{spec} via {} fails: {e}", alt.implementation.label())
-            });
+            check_exhaustive(&alt.implementation)
+                .unwrap_or_else(|e| panic!("{spec} via {} fails: {e}", alt.implementation.label()));
         }
     }
 }

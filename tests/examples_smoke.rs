@@ -1,0 +1,73 @@
+//! Smoke-runs every binary under `examples/` so the doc-adjacent example
+//! code can never rot: if an example stops compiling or panics, this
+//! test fails with its output.
+//!
+//! The examples are driven through `cargo run --example` (using the same
+//! cargo that is running this test), so they execute exactly as the
+//! README tells a user to run them.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["run", "--release", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} printed nothing on stdout"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn alu64_tradeoffs_runs() {
+    run_example("alu64_tradeoffs");
+}
+
+#[test]
+fn counter_from_legend_runs() {
+    run_example("counter_from_legend");
+}
+
+#[test]
+fn gcd_hls_flow_runs() {
+    run_example("gcd_hls_flow");
+}
+
+#[test]
+fn every_example_file_is_smoke_tested() {
+    // If a future PR adds an example, force it into this smoke list.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let known = [
+        "quickstart",
+        "alu64_tradeoffs",
+        "counter_from_legend",
+        "gcd_hls_flow",
+    ];
+    for entry in std::fs::read_dir(dir).expect("examples/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+            assert!(
+                known.contains(&stem.as_str()),
+                "examples/{stem}.rs is not covered by examples_smoke.rs; add it"
+            );
+        }
+    }
+}

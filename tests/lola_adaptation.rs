@@ -47,10 +47,7 @@ fn adder(w: usize) -> ComponentSpec {
 #[test]
 fn derived_implementations_are_equivalent() {
     let lib = next_gen();
-    let engine = Dtas::new(lib.clone()).with_rules(with_derived_rules(
-        RuleSet::standard(),
-        &lib,
-    ));
+    let engine = Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
     let specs = vec![
         adder(6),
         adder(12),
@@ -59,9 +56,8 @@ fn derived_implementations_are_equivalent() {
     for spec in specs {
         let set = engine.synthesize(&spec).expect("synthesizes");
         for alt in &set.alternatives {
-            check_implementation(&alt.implementation, 120, 9).unwrap_or_else(|e| {
-                panic!("{spec} via {} fails: {e}", alt.implementation.label())
-            });
+            check_implementation(&alt.implementation, 120, 9)
+                .unwrap_or_else(|e| panic!("{spec} via {} fails: {e}", alt.implementation.label()));
         }
     }
 }

@@ -112,8 +112,7 @@ fn facade_reexports_every_crate() {
     let _ = hls_rtl_bridge::genus::stdlib::GenusLibrary::standard();
     let _ = hls_rtl_bridge::cells::lsi::lsi_logic_subset();
     let _ = hls_rtl_bridge::dtas::RuleSet::standard();
-    assert!(hls_rtl_bridge::legend::parse_document(
-        hls_rtl_bridge::legend::figure2::FIGURE2
-    )
-    .is_ok());
+    assert!(
+        hls_rtl_bridge::legend::parse_document(hls_rtl_bridge::legend::figure2::FIGURE2).is_ok()
+    );
 }

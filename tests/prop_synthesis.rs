@@ -20,9 +20,8 @@ fn arb_spec() -> impl Strategy<Value = ComponentSpec> {
                 .with_carry_out(co)
         }),
         // Muxes of arbitrary shape.
-        (1usize..9, 2usize..9).prop_map(|(w, n)| {
-            ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n)
-        }),
+        (1usize..9, 2usize..9)
+            .prop_map(|(w, n)| { ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n) }),
         // Logic units over random non-empty logic op subsets.
         (1usize..9, 1u32..255).prop_map(|(w, bits)| {
             let all = [
@@ -41,20 +40,22 @@ fn arb_spec() -> impl Strategy<Value = ComponentSpec> {
                 .filter(|(i, _)| bits & (1 << i) != 0)
                 .map(|(_, op)| *op)
                 .collect();
-            let ops = if ops.is_empty() { OpSet::only(Op::And) } else { ops };
+            let ops = if ops.is_empty() {
+                OpSet::only(Op::And)
+            } else {
+                ops
+            };
             ComponentSpec::new(ComponentKind::LogicUnit, w).with_ops(ops)
         }),
         // ALUs over random slices of the 16-function list.
-        (1usize..7, 0usize..13, 1usize..5, any::<bool>()).prop_map(
-            |(w, start, len, ci)| {
-                let all: Vec<Op> = Op::paper_alu16().iter().collect();
-                let end = (start + len).min(all.len());
-                let ops: OpSet = all[start..end].iter().copied().collect();
-                ComponentSpec::new(ComponentKind::Alu, w)
-                    .with_ops(ops)
-                    .with_carry_in(ci)
-            }
-        ),
+        (1usize..7, 0usize..13, 1usize..5, any::<bool>()).prop_map(|(w, start, len, ci)| {
+            let all: Vec<Op> = Op::paper_alu16().iter().collect();
+            let end = (start + len).min(all.len());
+            let ops: OpSet = all[start..end].iter().copied().collect();
+            ComponentSpec::new(ComponentKind::Alu, w)
+                .with_ops(ops)
+                .with_carry_in(ci)
+        }),
         // Comparators over random comparison subsets.
         (1usize..9, 0u32..63).prop_map(|(w, bits)| {
             let all = [Op::Eq, Op::Lt, Op::Gt, Op::Neq, Op::Ge, Op::Le];
@@ -64,7 +65,11 @@ fn arb_spec() -> impl Strategy<Value = ComponentSpec> {
                 .filter(|(i, _)| bits & (1 << i) != 0)
                 .map(|(_, op)| *op)
                 .collect();
-            let ops = if ops.is_empty() { OpSet::only(Op::Eq) } else { ops };
+            let ops = if ops.is_empty() {
+                OpSet::only(Op::Eq)
+            } else {
+                ops
+            };
             ComponentSpec::new(ComponentKind::Comparator, w).with_ops(ops)
         }),
     ]

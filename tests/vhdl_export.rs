@@ -36,8 +36,8 @@ fn behavioral_models_for_every_family() {
         lib.barrel_shifter(8, OpSet::only(Op::Shr)).unwrap(),
     ];
     for c in components {
-        let text = emit_behavioral(&c)
-            .unwrap_or_else(|e| panic!("{} failed to emit: {e}", c.name()));
+        let text =
+            emit_behavioral(&c).unwrap_or_else(|e| panic!("{} failed to emit: {e}", c.name()));
         assert!(
             text.contains(&format!("entity {} is", c.name())),
             "{}",
@@ -75,12 +75,10 @@ fn figure3_extremes_export_hierarchically() {
 
 #[test]
 fn hls_netlist_roundtrips_through_vhdl() {
-    let entity = hls::lang::parse_entity(
-        "entity acc(x: in 8, y: out 8) { var t: 8; t = t + x; y = t; }",
-    )
-    .unwrap();
-    let design =
-        hls::compile::compile(&entity, &hls::compile::Constraints::default()).unwrap();
+    let entity =
+        hls::lang::parse_entity("entity acc(x: in 8, y: out 8) { var t: 8; t = t + x; y = t; }")
+            .unwrap();
+    let design = hls::compile::compile(&entity, &hls::compile::Constraints::default()).unwrap();
     let text = emit_netlist(&design.netlist);
     let parsed = parse_structural(&text).unwrap();
     assert_eq!(parsed.name, "acc");
