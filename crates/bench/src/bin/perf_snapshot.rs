@@ -1,0 +1,170 @@
+//! Machine-readable solver performance snapshot.
+//!
+//! Runs the per-width synthesis workloads (cold, repeat, and ablations
+//! over the thread/cache knobs) plus a simulator throughput probe, and
+//! writes `BENCH_solver.json` so CI tracks the perf trajectory from one
+//! measured environment. Run with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_snapshot
+//! ```
+
+use bench::{adder_spec, alu_spec, GCD_SOURCE};
+use cells::lsi::lsi_logic_subset;
+use controlc::close_design;
+use dtas::{Dtas, DtasConfig};
+use genus::behavior::Env;
+use genus::spec::ComponentSpec;
+use hls::compile::{compile, Constraints};
+use hls::lang::parse_entity;
+use rtl_base::bits::Bits;
+use rtlsim::{FlatDesign, Simulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+struct QueryRow {
+    name: String,
+    first_ms: f64,
+    repeat_ms: f64,
+    alternatives: usize,
+    spec_nodes: usize,
+}
+
+fn run_queries(engine: &Dtas, specs: &[(String, ComponentSpec)]) -> Vec<QueryRow> {
+    specs
+        .iter()
+        .map(|(name, spec)| {
+            let t0 = Instant::now();
+            let set = engine.synthesize(spec).expect("synthesizes");
+            let first_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            let again = engine.synthesize(spec).expect("synthesizes");
+            let repeat_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(set.alternatives.len(), again.alternatives.len());
+            QueryRow {
+                name: name.clone(),
+                first_ms,
+                repeat_ms,
+                alternatives: set.alternatives.len(),
+                spec_nodes: set.stats.spec_nodes,
+            }
+        })
+        .collect()
+}
+
+fn gcd_cycles_per_sec() -> f64 {
+    let entity = parse_entity(GCD_SOURCE).expect("parses");
+    let design = compile(&entity, &Constraints::default()).expect("compiles");
+    let closed = close_design(&design).expect("links");
+    let flat = FlatDesign::from_netlist(&closed).expect("flattens");
+    let inputs = Env::from([
+        ("clk".to_string(), Bits::zero(1)),
+        ("a_in".to_string(), Bits::from_u64(8, 48)),
+        ("b_in".to_string(), Bits::from_u64(8, 36)),
+    ]);
+    let mut sim = Simulator::new(&flat).expect("levelizes");
+    let cycles = 500u32;
+    let t0 = Instant::now();
+    for _ in 0..cycles {
+        sim.step(&inputs).expect("steps");
+    }
+    cycles as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let specs: Vec<(String, ComponentSpec)> = vec![
+        ("ADD8".into(), adder_spec(8)),
+        ("ADD16".into(), adder_spec(16)),
+        ("ADD32".into(), adder_spec(32)),
+        ("ALU16".into(), alu_spec(16)),
+        ("ALU32".into(), alu_spec(32)),
+        ("ALU64".into(), alu_spec(64)),
+    ];
+
+    // Default engine: all threads, cache on, one shared space.
+    let engine = Dtas::new(lsi_logic_subset());
+    let rows = run_queries(&engine, &specs);
+    let stats = engine.cache_stats();
+
+    // Ablations over the ALU64 cold query.
+    let alu64 = alu_spec(64);
+    let serial_cached = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        threads: Some(1),
+        ..DtasConfig::default()
+    });
+    let serial_cached_ms = ms(|| {
+        serial_cached.synthesize(&alu64).expect("synthesizes");
+    });
+    let threaded_nocache = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        cache: false,
+        ..DtasConfig::default()
+    });
+    let threaded_nocache_ms = ms(|| {
+        threaded_nocache.synthesize(&alu64).expect("synthesizes");
+    });
+    let serial_nocache = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        threads: Some(1),
+        cache: false,
+        ..DtasConfig::default()
+    });
+    let serial_nocache_ms = ms(|| {
+        serial_nocache.synthesize(&alu64).expect("synthesizes");
+    });
+
+    let sim_cps = gcd_cycles_per_sec();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"dtas-perf-snapshot/1\",");
+    let _ = writeln!(json, "  \"threads_available\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"prechange_reference_ms\": {{ \"ALU64_first\": 504.0, \"ADD16_first\": 84.0, \"note\": \"pre-optimization walls from the original single-core dev container; a foreign-machine reference only — compare queries[].first_ms against a baseline measured on THIS machine\" }},"
+    );
+    let _ = writeln!(json, "  \"queries\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"first_ms\": {:.3}, \"repeat_ms\": {:.3}, \"repeat_speedup\": {:.1}, \"alternatives\": {}, \"spec_nodes\": {} }}{comma}",
+            r.name,
+            r.first_ms,
+            r.repeat_ms,
+            r.first_ms / r.repeat_ms.max(1e-6),
+            r.alternatives,
+            r.spec_nodes,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"cached_results\": {}, \"cached_fronts\": {}, \"spec_nodes\": {} }},",
+        stats.hits, stats.misses, stats.cached_results, stats.cached_fronts, stats.spec_nodes
+    );
+    let _ = writeln!(
+        json,
+        "  \"alu64_ablation_ms\": {{ \"threaded_cached\": {:.3}, \"serial_cached\": {:.3}, \"threaded_nocache\": {:.3}, \"serial_nocache\": {:.3} }},",
+        rows.iter()
+            .find(|r| r.name == "ALU64")
+            .map(|r| r.first_ms)
+            .unwrap_or(0.0),
+        serial_cached_ms,
+        threaded_nocache_ms,
+        serial_nocache_ms,
+    );
+    let _ = writeln!(json, "  \"sim_gcd_cycles_per_sec\": {sim_cps:.0}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_solver.json", &json).expect("writes BENCH_solver.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_solver.json");
+}

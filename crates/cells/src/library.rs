@@ -85,6 +85,29 @@ impl CellLibrary {
             .collect()
     }
 
+    /// A content fingerprint over the library: name, cell order, and
+    /// every cell's specification and costs. Engines key cross-query
+    /// synthesis caches on this hash, so any change to the library —
+    /// renamed cells, recalibrated areas or delays, added or dropped
+    /// entries — produces a different fingerprint and invalidates cached
+    /// results.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.cells.len().hash(&mut h);
+        for c in &self.cells {
+            c.name.hash(&mut h);
+            c.spec.hash(&mut h);
+            c.area.to_bits().hash(&mut h);
+            c.delay.to_bits().hash(&mut h);
+            c.carry_delay.map(f64::to_bits).hash(&mut h);
+            c.pg_delay.map(f64::to_bits).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Restricts the library to the named cells, preserving order —
     /// used to study how design spaces degrade with poorer libraries.
     pub fn subset(&self, names: &[&str]) -> CellLibrary {
@@ -178,6 +201,20 @@ mod tests {
         lib.insert(better);
         assert_eq!(lib.len(), 1);
         assert_eq!(lib.cell("A").unwrap().area, 5.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let lib: CellLibrary = [add_cell("A1", 1), add_cell("A2", 2)].into_iter().collect();
+        let same: CellLibrary = [add_cell("A1", 1), add_cell("A2", 2)].into_iter().collect();
+        assert_eq!(lib.fingerprint(), same.fingerprint());
+        let mut recalibrated = lib.clone();
+        let mut cheaper = add_cell("A2", 2);
+        cheaper.area = 1.0;
+        recalibrated.insert(cheaper);
+        assert_ne!(lib.fingerprint(), recalibrated.fingerprint());
+        let smaller = lib.subset(&["A1"]);
+        assert_ne!(lib.fingerprint(), smaller.fingerprint());
     }
 
     #[test]

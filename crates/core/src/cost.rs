@@ -93,7 +93,7 @@ pub fn template_cost(
     template: &NetlistTemplate,
     parent: &ComponentSpec,
     child_cost: &dyn Fn(&ComponentSpec) -> Option<ChildCost>,
-    cache: &mut SpecModelCache,
+    cache: &SpecModelCache,
 ) -> Result<(f64, Timing), String> {
     let parent_model = cache.model(parent)?;
 
@@ -298,13 +298,13 @@ mod tests {
     #[test]
     fn ripple_cost_uses_carry_arcs() {
         let t = ripple(16, 4);
-        let mut cache = SpecModelCache::new();
-        t.validate(&add_spec(16), &mut cache).unwrap();
+        let cache = SpecModelCache::new();
+        t.validate(&add_spec(16), &cache).unwrap();
         let (area, timing) = template_cost(
             &t,
             &add_spec(16),
             &|s| (s == &add_spec(4)).then(add4_cost),
-            &mut cache,
+            &cache,
         )
         .unwrap();
         assert_eq!(area, 4.0 * 26.0);
@@ -327,9 +327,9 @@ mod tests {
         let mut t = TemplateBuilder::new("wire");
         t.output("O", Signal::parent("I"));
         let t = t.build();
-        let mut cache = SpecModelCache::new();
-        t.validate(&spec, &mut cache).unwrap();
-        let (area, timing) = template_cost(&t, &spec, &|_| None, &mut cache).unwrap();
+        let cache = SpecModelCache::new();
+        t.validate(&spec, &cache).unwrap();
+        let (area, timing) = template_cost(&t, &spec, &|_| None, &cache).unwrap();
         assert_eq!(area, 0.0);
         assert_eq!(timing.worst, 0.0);
         assert_eq!(timing.arc(PortClass::Data, PortClass::Data), Some(0.0));
@@ -338,8 +338,8 @@ mod tests {
     #[test]
     fn missing_child_cost_is_an_error() {
         let t = ripple(8, 4);
-        let mut cache = SpecModelCache::new();
-        let err = template_cost(&t, &add_spec(8), &|_| None, &mut cache).unwrap_err();
+        let cache = SpecModelCache::new();
+        let err = template_cost(&t, &add_spec(8), &|_| None, &cache).unwrap_err();
         assert!(err.contains("no cost"));
     }
 
@@ -373,8 +373,8 @@ mod tests {
         t.output("Q", Signal::net("q"));
         let t = t.build();
 
-        let mut cache = SpecModelCache::new();
-        t.validate(&parent, &mut cache).unwrap();
+        let cache = SpecModelCache::new();
+        t.validate(&parent, &cache).unwrap();
         let child = |s: &ComponentSpec| -> Option<ChildCost> {
             if *s == reg_spec {
                 Some(ChildCost {
@@ -396,7 +396,7 @@ mod tests {
                 None
             }
         };
-        let (area, timing) = template_cost(&t, &parent, &child, &mut cache).unwrap();
+        let (area, timing) = template_cost(&t, &parent, &child, &cache).unwrap();
         assert_eq!(area, 33.0);
         // No combinational D → Q arc (the register cuts it)...
         assert_eq!(timing.arc(PortClass::Data, PortClass::Data), None);

@@ -5,13 +5,21 @@
 //! Leaves of each hierarchical netlist map the alternative design to cells
 //! drawn from the given RTL library." (paper §5)
 
-use crate::space::{DesignSpace, ImplChoice, SpecId};
+use crate::space::{DesignSpace, ImplChoice, Policy, SpecId};
 use crate::template::NetlistTemplate;
 use genus::spec::ComponentSpec;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// How one specification is implemented.
+///
+/// Templates and child subtrees are [`Arc`]-shared: under the paper's
+/// uniform-implementation rule one policy maps each specification to one
+/// implementation, so identical subtrees (the 64 full adders of a ripple
+/// chain, say) are one shared node, and cloning an implementation — or a
+/// whole cached [`DesignSet`](crate::DesignSet) — is pointer bumps rather
+/// than a deep copy.
 #[derive(Clone, Debug)]
 pub enum ImplKind {
     /// A library cell leaf.
@@ -22,9 +30,9 @@ pub enum ImplKind {
     /// One level of decomposition.
     Netlist {
         /// The decomposition template (carries the rule name and wiring).
-        template: NetlistTemplate,
+        template: Arc<NetlistTemplate>,
         /// Child implementations, aligned with `template.modules`.
-        children: Vec<Implementation>,
+        children: Vec<Arc<Implementation>>,
     },
 }
 
@@ -76,11 +84,7 @@ impl Implementation {
         match &self.kind {
             ImplKind::Cell { .. } => 1,
             ImplKind::Netlist { children, .. } => {
-                1 + children
-                    .iter()
-                    .map(Implementation::depth)
-                    .max()
-                    .unwrap_or(0)
+                1 + children.iter().map(|c| c.depth()).max().unwrap_or(0)
             }
         }
     }
@@ -99,7 +103,7 @@ impl Implementation {
                     if let Some(entry) = seen.iter_mut().find(|(s, _)| s.spec == c.spec) {
                         entry.1 += 1;
                     } else {
-                        seen.push((c, 1));
+                        seen.push((c.as_ref(), 1));
                     }
                 }
                 for (child, count) in seen {
@@ -122,20 +126,34 @@ impl fmt::Display for Implementation {
 
 /// Builds the implementation tree a design point's policy describes.
 ///
+/// Under the uniform-implementation rule a policy maps each spec to
+/// exactly one choice, so every occurrence of a spec shares one extracted
+/// subtree: the build is linear in the policy's *distinct* specs, not in
+/// the (exponentially larger) unfolded module tree.
+///
 /// # Panics
 ///
 /// Panics if the policy does not cover a reachable spec — policies
 /// produced by the [`Solver`](crate::space::Solver) always do.
-pub fn extract(
+pub fn extract(space: &DesignSpace, root: SpecId, policy: &Policy) -> Implementation {
+    let mut memo: HashMap<SpecId, Arc<Implementation>> = HashMap::new();
+    Implementation::clone(&extract_shared(space, root, policy, &mut memo))
+}
+
+fn extract_shared(
     space: &DesignSpace,
-    root: SpecId,
-    policy: &BTreeMap<SpecId, usize>,
-) -> Implementation {
-    let node = &space.nodes[root];
-    let &choice_idx = policy
-        .get(&root)
+    id: SpecId,
+    policy: &Policy,
+    memo: &mut HashMap<SpecId, Arc<Implementation>>,
+) -> Arc<Implementation> {
+    if let Some(shared) = memo.get(&id) {
+        return Arc::clone(shared);
+    }
+    let node = &space.nodes[id];
+    let choice_idx = policy
+        .get(id)
         .unwrap_or_else(|| panic!("policy misses spec {}", node.spec));
-    match &node.impls[choice_idx] {
+    let built = match &node.impls[choice_idx] {
         ImplChoice::Cell(c) => Implementation {
             spec: node.spec.clone(),
             kind: ImplKind::Cell {
@@ -143,19 +161,22 @@ pub fn extract(
             },
         },
         ImplChoice::Netlist(template) => {
-            let children = space.nodes[root].children[choice_idx]
+            let children = node.children[choice_idx]
                 .iter()
-                .map(|&cid| extract(space, cid, policy))
+                .map(|&cid| extract_shared(space, cid, policy, memo))
                 .collect();
             Implementation {
                 spec: node.spec.clone(),
                 kind: ImplKind::Netlist {
-                    template: template.clone(),
+                    template: Arc::clone(template),
                     children,
                 },
             }
         }
-    }
+    };
+    let shared = Arc::new(built);
+    memo.insert(id, Arc::clone(&shared));
+    shared
 }
 
 #[cfg(test)]
@@ -180,12 +201,10 @@ mod tests {
         let mut space = DesignSpace::new();
         let rules = RuleSet::standard().with_lsi_extensions();
         let lib = lsi_logic_subset();
-        let mut cache = SpecModelCache::new();
-        let id = space
-            .expand(&add_spec(16), &rules, &lib, &mut cache)
-            .unwrap();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(16), &rules, &lib, &cache).unwrap();
         let mut solver = Solver::new(&space, SolveConfig::default());
-        let front = solver.front(id, &mut cache);
+        let front = solver.front(id, &cache);
         assert!(!front.is_empty());
         for point in &front {
             let implementation = extract(&space, id, &point.policy);
@@ -211,12 +230,10 @@ mod tests {
         let mut space = DesignSpace::new();
         let rules = RuleSet::standard();
         let lib = lsi_logic_subset();
-        let mut cache = SpecModelCache::new();
-        let id = space
-            .expand(&add_spec(8), &rules, &lib, &mut cache)
-            .unwrap();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(8), &rules, &lib, &cache).unwrap();
         let mut solver = Solver::new(&space, SolveConfig::default());
-        let front = solver.front(id, &mut cache);
+        let front = solver.front(id, &cache);
         let text = extract(&space, id, &front[0].policy).to_string();
         assert!(text.contains("rule "));
         assert!(text.contains("cell "));

@@ -54,15 +54,17 @@ pub mod template;
 pub use extract::{ImplKind, Implementation};
 pub use report::{Alternative, DesignSet, SynthStats};
 pub use rules::{Rule, RuleSet};
-pub use space::{DesignSpace, FilterPolicy, SolveConfig, Solver};
+pub use space::{DesignSpace, FilterPolicy, FrontStore, Policy, SolveConfig, Solver};
 pub use template::{NetlistTemplate, Signal, SpecModelCache, TemplateBuilder};
 
 use cells::CellLibrary;
 use genus::netlist::Netlist;
 use genus::spec::ComponentSpec;
 use space::ExpandError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Configuration of a DTAS run.
@@ -81,6 +83,16 @@ pub struct DtasConfig {
     pub max_combinations: usize,
     /// Budget for exact uniform-constraint design counting (0 disables).
     pub uniform_count_limit: u64,
+    /// Worker threads for expansion, solving and counting. `None` uses
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the serial
+    /// path. Results are identical at every setting.
+    pub threads: Option<usize>,
+    /// Engine-level cross-query memoization: when on (the default),
+    /// design spaces, node fronts and whole result sets persist inside
+    /// [`Dtas`] across `synthesize` calls, so repeated specs — and shared
+    /// sub-specs under *different* roots — are solved once per engine
+    /// lifetime. Turn off to ablate (every query starts cold).
+    pub cache: bool,
 }
 
 impl Default for DtasConfig {
@@ -95,8 +107,26 @@ impl Default for DtasConfig {
             root_cap: 16,
             max_combinations: 100_000,
             uniform_count_limit: 2_000_000,
+            threads: None,
+            cache: true,
         }
     }
+}
+
+/// Counters for the engine-level cross-query cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `synthesize` calls answered entirely from the result memo.
+    pub hits: u64,
+    /// `synthesize` calls that had to solve (possibly reusing sub-spec
+    /// fronts from earlier queries).
+    pub misses: u64,
+    /// Whole result sets currently memoized.
+    pub cached_results: usize,
+    /// Specification nodes whose fronts are currently solved and reusable.
+    pub cached_fronts: usize,
+    /// Specification nodes in the engine's shared design space.
+    pub spec_nodes: usize,
 }
 
 /// Errors produced by [`Dtas::synthesize`].
@@ -121,33 +151,67 @@ impl fmt::Display for SynthError {
 
 impl std::error::Error for SynthError {}
 
+/// Cross-query synthesis state shared by every `synthesize` call on one
+/// engine: the growing design space, solved per-node fronts, memoized
+/// whole results, and the spec-model cache.
+#[derive(Default)]
+struct EngineState {
+    space: DesignSpace,
+    fronts: space::FrontStore,
+    results: HashMap<ComponentSpec, Arc<DesignSet>>,
+    models: SpecModelCache,
+}
+
 /// The DTAS synthesis engine: a rule base plus a target cell library.
+///
+/// The engine memoizes aggressively across queries (see
+/// [`DtasConfig::cache`]): repeated specs return from a result memo, and
+/// shared sub-specs across *different* roots (ADD8 under both ALU64 and
+/// ADD16, say) are expanded and solved once per engine lifetime. Cached
+/// entries are keyed implicitly by the library's content
+/// [`fingerprint`](CellLibrary::fingerprint) — verified on every call —
+/// and are dropped whenever rules or configuration change
+/// ([`with_rules`](Self::with_rules) / [`with_config`](Self::with_config))
+/// or [`clear_cache`](Self::clear_cache) is called.
 pub struct Dtas {
     rules: RuleSet,
     library: CellLibrary,
     config: DtasConfig,
+    fingerprint: u64,
+    state: Mutex<EngineState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl Dtas {
     /// Creates an engine with the standard rule base, the library-specific
     /// extensions, and default configuration.
     pub fn new(library: CellLibrary) -> Self {
+        let fingerprint = library.fingerprint();
         Dtas {
             rules: RuleSet::standard().with_lsi_extensions(),
             library,
             config: DtasConfig::default(),
+            fingerprint,
+            state: Mutex::new(EngineState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
-    /// Replaces the rule base.
+    /// Replaces the rule base. Cached synthesis state is dropped — cached
+    /// fronts are only valid for the rules that produced them.
     pub fn with_rules(mut self, rules: RuleSet) -> Self {
         self.rules = rules;
+        self.clear_cache();
         self
     }
 
-    /// Replaces the configuration.
+    /// Replaces the configuration. Cached synthesis state is dropped —
+    /// filters and caps shape every cached front.
     pub fn with_config(mut self, config: DtasConfig) -> Self {
         self.config = config;
+        self.clear_cache();
         self
     }
 
@@ -166,6 +230,43 @@ impl Dtas {
         &self.config
     }
 
+    /// The library content fingerprint the cache is keyed by.
+    pub fn library_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Drops all cross-query synthesis state (design space, fronts,
+    /// memoized results, spec models) and resets the hit/miss counters.
+    pub fn clear_cache(&self) {
+        *self.state.lock().expect("engine state poisoned") = EngineState::default();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Cross-query cache counters (all zero when caching is off).
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("engine state poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            cached_results: state.results.len(),
+            cached_fronts: state.fronts.solved_count(),
+            spec_nodes: state.space.nodes.len(),
+        }
+    }
+
+    /// Worker-thread count for this run.
+    fn thread_count(&self) -> usize {
+        self.config
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
     /// Synthesizes one component specification into a set of alternative
     /// library-specific implementations.
     ///
@@ -175,30 +276,116 @@ impl Dtas {
     /// the spec; [`SynthError::Expand`] on rule defects.
     pub fn synthesize(&self, spec: &ComponentSpec) -> Result<DesignSet, SynthError> {
         let start = Instant::now();
-        let mut space = DesignSpace::new();
-        let mut cache = SpecModelCache::new();
-        let root = space
-            .expand(spec, &self.rules, &self.library, &mut cache)
+        if !self.config.cache {
+            // Ablation path: cold state per query, nothing retained.
+            let mut state = EngineState::default();
+            return self.synthesize_in(spec, &mut state, start);
+        }
+        let mut state = self.state.lock().expect("engine state poisoned");
+        // The library is privately owned and immutable behind `&self`, so
+        // the fingerprint captured in `new()` keys every cached entry;
+        // rehashing it per call would tax the microsecond hit path.
+        debug_assert_eq!(
+            self.library.fingerprint(),
+            self.fingerprint,
+            "library diverged from the fingerprint its cache was keyed under"
+        );
+        if let Some(hit) = state.results.get(spec) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let mut set = DesignSet::clone(hit);
+            set.stats.elapsed = start.elapsed();
+            return Ok(set);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Expand into the shared space. Mutually-recursive rules drop
+        // whichever template closes a cycle, so nodes expanded under an
+        // *earlier* root may carry a different root's cuts; if this
+        // query's subgraph reaches any such pre-existing node, solve it
+        // from a cold space instead (identical to a fresh engine). The
+        // frozen result is spec-keyed, so it is safe to memoize either
+        // way.
+        let first_new = state.space.nodes.len();
+        let root = self.expand_in(spec, &mut state)?;
+        let set = if state.space.tainted_before(root, first_new) {
+            let mut cold = EngineState::default();
+            let cold_root = self.expand_in(spec, &mut cold)?;
+            self.solve_in(spec, cold_root, &mut cold, start)?
+        } else {
+            self.solve_in(spec, root, &mut state, start)?
+        };
+        state.results.insert(spec.clone(), Arc::new(set.clone()));
+        Ok(set)
+    }
+
+    /// Expands a spec into a state's shared design space.
+    fn expand_in(
+        &self,
+        spec: &ComponentSpec,
+        state: &mut EngineState,
+    ) -> Result<usize, SynthError> {
+        state
+            .space
+            .expand_threaded(
+                spec,
+                &self.rules,
+                &self.library,
+                &state.models,
+                self.thread_count(),
+            )
             .map_err(|e| match e {
                 ExpandError::Cycle => SynthError::NoImplementation(spec.to_string()),
                 other => SynthError::Expand(other.to_string()),
-            })?;
+            })
+    }
 
+    /// The solve pipeline over a given engine state (shared or cold).
+    fn synthesize_in(
+        &self,
+        spec: &ComponentSpec,
+        state: &mut EngineState,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        let root = self.expand_in(spec, state)?;
+        self.solve_in(spec, root, state, start)
+    }
+
+    /// Solves an already-expanded root and assembles the design set.
+    fn solve_in(
+        &self,
+        spec: &ComponentSpec,
+        root: usize,
+        state: &mut EngineState,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        let threads = self.thread_count();
         let solve_config = SolveConfig {
             node_filter: self.config.node_filter,
             node_cap: self.config.node_cap,
             max_combinations: self.config.max_combinations,
         };
-        let mut solver = Solver::new(&space, solve_config);
-        // Warm every node's front, then recompute the root with the
+        // Resume from fronts solved by earlier queries; solve whatever
+        // this root still needs, then recompute the root under the
         // (usually more permissive) root filter.
-        let _ = solver.front(root, &mut cache);
+        let mut solver = Solver::with_front_store(
+            &state.space,
+            solve_config,
+            std::mem::take(&mut state.fronts),
+        )
+        .with_threads(threads);
+        solver.solve(root, &state.models);
+        let solve_truncated = solver.truncated_combinations;
         let front = solver.root_front(
             root,
-            &mut cache,
+            &state.models,
             self.config.root_filter,
             self.config.root_cap,
         );
+        // This query's truncation: everything under the root — including
+        // truncation inherited from fronts solved by earlier queries —
+        // plus the root-filter recomputation's own.
+        let truncated_combinations =
+            solver.truncated_under(root) + (solver.truncated_combinations - solve_truncated);
+        state.fronts = solver.into_front_store();
         if front.is_empty() {
             return Err(SynthError::NoImplementation(spec.to_string()));
         }
@@ -208,17 +395,25 @@ impl Dtas {
                 area: p.area,
                 delay: p.delay(),
                 timing: p.timing.clone(),
-                implementation: extract::extract(&space, root, &p.policy),
+                implementation: extract::extract(&state.space, root, &p.policy),
             })
             .collect();
-        let unconstrained_size = space.unconstrained_size(root);
-        let unconstrained_log10 = space.unconstrained_log10(root);
+        let unconstrained_size = state.space.unconstrained_size(root);
+        let unconstrained_log10 = state.space.unconstrained_log10(root);
         let uniform_size = if self.config.uniform_count_limit > 0 {
-            space.uniform_size(root, self.config.uniform_count_limit)
+            state
+                .space
+                .uniform_size_threaded(root, self.config.uniform_count_limit, threads)
         } else {
             None
         };
-        let impl_choices = space.nodes.iter().map(|n| n.impls.len()).sum();
+        // Stats describe this query's reachable subgraph, not the whole
+        // (engine-shared, cross-query) space.
+        let reachable = state.space.reachable(root);
+        let impl_choices = reachable
+            .iter()
+            .map(|&n| state.space.nodes[n].impls.len())
+            .sum();
         Ok(DesignSet {
             spec: spec.clone(),
             alternatives,
@@ -226,10 +421,10 @@ impl Dtas {
             unconstrained_log10,
             uniform_size,
             stats: SynthStats {
-                spec_nodes: space.nodes.len(),
+                spec_nodes: reachable.len(),
                 impl_choices,
                 elapsed: start.elapsed(),
-                truncated_combinations: solver.truncated_combinations,
+                truncated_combinations,
             },
         })
     }

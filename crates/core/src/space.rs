@@ -22,11 +22,53 @@
 
 use crate::cost::{template_cost, ChildCost, Timing};
 use crate::rules::RuleSet;
-use crate::template::{NetlistTemplate, SpecModelCache};
+use crate::template::{NetlistTemplate, SpecModelCache, TemplateError};
 use cells::CellLibrary;
 use genus::spec::ComponentSpec;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Runs `f` over every item of `items`, sharding across `threads` scoped
+/// worker threads, and returns the results in item order.
+///
+/// The work is pulled from a shared atomic index, so imbalanced items
+/// still load-balance; results are written back by index, so the output
+/// order (and therefore every downstream computation) is identical to the
+/// serial order.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= items.len() {
+                    break;
+                }
+                let r = f(&items[k]);
+                *slots[k].lock().expect("worker slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("worker slot poisoned")
+                .expect("every index visited")
+        })
+        .collect()
+}
 
 /// Index of a specification node in the design space.
 pub type SpecId = usize;
@@ -43,12 +85,15 @@ pub struct CellChoice {
 }
 
 /// One alternative implementation of a specification.
+///
+/// Netlist templates are [`Arc`]-shared so extraction and result cloning
+/// are pointer bumps, not deep template copies.
 #[derive(Clone, Debug)]
 pub enum ImplChoice {
     /// Map directly to a library cell (a leaf of the hierarchy).
     Cell(CellChoice),
     /// Decompose into a netlist of modules.
-    Netlist(NetlistTemplate),
+    Netlist(Arc<NetlistTemplate>),
 }
 
 impl ImplChoice {
@@ -104,6 +149,11 @@ pub struct DesignSpace {
     /// All specification nodes.
     pub nodes: Vec<SpecNode>,
     memo: HashMap<ComponentSpec, SpecId>,
+    /// Nodes that dropped a decomposition because it referenced an
+    /// ancestor (a cyclic ruleset): their alternative lists depend on
+    /// which root expanded them first, so cross-query caches must not
+    /// serve results that reach them (see [`tainted_under`](Self::tainted_under)).
+    tainted: HashSet<SpecId>,
 }
 
 impl DesignSpace {
@@ -130,10 +180,36 @@ impl DesignSpace {
         spec: &ComponentSpec,
         rules: &RuleSet,
         library: &CellLibrary,
-        cache: &mut SpecModelCache,
+        cache: &SpecModelCache,
+    ) -> Result<SpecId, ExpandError> {
+        self.expand_threaded(spec, rules, library, cache, 1)
+    }
+
+    /// Like [`expand`](Self::expand), sharding per-node rule expansion and
+    /// template validation across `threads` scoped worker threads. The
+    /// memo-building recursion itself stays single-writer, so node ids and
+    /// implementation order are identical to the serial expansion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`expand`](Self::expand).
+    pub fn expand_threaded(
+        &mut self,
+        spec: &ComponentSpec,
+        rules: &RuleSet,
+        library: &CellLibrary,
+        cache: &SpecModelCache,
+        threads: usize,
     ) -> Result<SpecId, ExpandError> {
         let mut in_progress = HashSet::new();
-        self.expand_inner(spec, rules, library, cache, &mut in_progress)
+        self.expand_inner(
+            spec,
+            rules,
+            library,
+            cache,
+            &mut in_progress,
+            threads.max(1),
+        )
     }
 
     fn expand_inner(
@@ -141,8 +217,9 @@ impl DesignSpace {
         spec: &ComponentSpec,
         rules: &RuleSet,
         library: &CellLibrary,
-        cache: &mut SpecModelCache,
+        cache: &SpecModelCache,
         in_progress: &mut HashSet<ComponentSpec>,
+        threads: usize,
     ) -> Result<SpecId, ExpandError> {
         if let Some(&id) = self.memo.get(spec) {
             return Ok(id);
@@ -168,27 +245,36 @@ impl DesignSpace {
         }
 
         // Functional decomposition: every rule may contribute templates.
-        for rule in rules.iter() {
-            for template in rule.expand(spec) {
-                template
-                    .validate(spec, cache)
-                    .map_err(|e| ExpandError::InvalidTemplate(e.to_string()))?;
-                let mut ids = Vec::with_capacity(template.modules.len());
-                let mut ok = true;
-                for module in &template.modules {
-                    match self.expand_inner(&module.spec, rules, library, cache, in_progress) {
-                        Ok(id) => ids.push(id),
-                        Err(ExpandError::Cycle) => {
-                            ok = false;
-                            break;
-                        }
-                        Err(e) => return Err(e),
+        // Rule expansion and structural validation are independent of the
+        // memo, so both shard across workers; order is preserved, and the
+        // recursion into module specs below stays serial (single-writer
+        // memo), so only one shard runs at a time.
+        let rule_refs: Vec<_> = rules.iter().collect();
+        let templates: Vec<NetlistTemplate> = parallel_map(&rule_refs, threads, |r| r.expand(spec))
+            .into_iter()
+            .flatten()
+            .collect();
+        let validations: Vec<Result<(), TemplateError>> =
+            parallel_map(&templates, threads, |t| t.validate(spec, cache));
+        let mut dropped_cycle = false;
+        for (template, validation) in templates.into_iter().zip(validations) {
+            validation.map_err(|e| ExpandError::InvalidTemplate(e.to_string()))?;
+            let mut ids = Vec::with_capacity(template.modules.len());
+            let mut ok = true;
+            for module in &template.modules {
+                match self.expand_inner(&module.spec, rules, library, cache, in_progress, threads) {
+                    Ok(id) => ids.push(id),
+                    Err(ExpandError::Cycle) => {
+                        ok = false;
+                        dropped_cycle = true;
+                        break;
                     }
+                    Err(e) => return Err(e),
                 }
-                if ok {
-                    impls.push(ImplChoice::Netlist(template));
-                    children.push(ids);
-                }
+            }
+            if ok {
+                impls.push(ImplChoice::Netlist(Arc::new(template)));
+                children.push(ids);
             }
         }
 
@@ -200,7 +286,54 @@ impl DesignSpace {
             children,
         });
         self.memo.insert(spec.clone(), id);
+        if dropped_cycle {
+            self.tainted.insert(id);
+        }
         Ok(id)
+    }
+
+    /// True when any spec reachable from `root` dropped a decomposition
+    /// during its first expansion because it referenced an ancestor.
+    /// Cycle drops are routine (mutually-recursive rules terminate by
+    /// dropping whichever template closes the cycle), and within one
+    /// root's own expansion they are exactly the paper's acyclicity
+    /// semantics — the hazard is only *reusing* such nodes under a
+    /// different root, whose own traversal would have cut elsewhere.
+    pub fn tainted_under(&self, root: SpecId) -> bool {
+        self.tainted_before(root, usize::MAX)
+    }
+
+    /// Like [`tainted_under`](Self::tainted_under), but only counting
+    /// tainted nodes with id below `first_new` — i.e., nodes that already
+    /// existed before the current query started expanding (`first_new` =
+    /// the space's node count at query start). Engines use this to decide
+    /// whether a shared-space answer would diverge from a fresh engine's.
+    pub fn tainted_before(&self, root: SpecId, first_new: SpecId) -> bool {
+        !self.tainted.is_empty()
+            && self
+                .reachable(root)
+                .iter()
+                .any(|id| *id < first_new && self.tainted.contains(id))
+    }
+
+    /// The spec nodes reachable from `root` (through any implementation),
+    /// in increasing id order. In an engine-shared space this is the
+    /// subgraph one query actually owns.
+    pub fn reachable(&self, root: SpecId) -> Vec<SpecId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(id) = stack.pop() {
+            for kids in &self.nodes[id].children {
+                for &k in kids {
+                    if !seen[k] {
+                        seen[k] = true;
+                        stack.push(k);
+                    }
+                }
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| seen[i]).collect()
     }
 
     /// The *unconstrained* design-space size: the "product of the number
@@ -283,39 +416,34 @@ impl DesignSpace {
     /// constraint only (no performance filter), by exhaustive policy
     /// enumeration, giving up at `limit`.
     pub fn uniform_size(&self, root: SpecId, limit: u64) -> Option<u64> {
-        let mut count = 0u64;
-        let mut policy: BTreeMap<SpecId, usize> = BTreeMap::new();
-        if self.enumerate(root, &mut policy, &mut count, limit) {
-            Some(count)
-        } else {
-            None
-        }
+        self.uniform_size_threaded(root, limit, 1)
     }
 
-    fn enumerate(
-        &self,
-        id: SpecId,
-        policy: &mut BTreeMap<SpecId, usize>,
-        count: &mut u64,
-        limit: u64,
-    ) -> bool {
-        // Enumerate assignments for the spec DAG reachable from `id`,
-        // counting complete consistent policies.
+    /// Like [`uniform_size`](Self::uniform_size), sharding the root's
+    /// independent top-level implementation branches across `threads`
+    /// scoped worker threads. The total count (and the `Some`/`None`
+    /// give-up decision) is independent of the schedule, so results are
+    /// identical to the serial enumeration.
+    pub fn uniform_size_threaded(&self, root: SpecId, limit: u64, threads: usize) -> Option<u64> {
+        const UNSET: u32 = u32::MAX;
+
+        // DFS over assignments for the spec DAG, counting complete
+        // consistent policies into a shared counter; aborts (returns
+        // false) once the counter passes `limit`.
         fn assign(
             space: &DesignSpace,
             pending: &mut Vec<SpecId>,
-            policy: &mut BTreeMap<SpecId, usize>,
-            count: &mut u64,
+            policy: &mut [u32],
+            count: &AtomicU64,
             limit: u64,
         ) -> bool {
             // Find the next unassigned spec.
             let next = loop {
                 match pending.pop() {
                     None => {
-                        *count += 1;
-                        return *count <= limit;
+                        return count.fetch_add(1, Ordering::Relaxed) + 1 <= limit;
                     }
-                    Some(id) if policy.contains_key(&id) => continue,
+                    Some(id) if policy[id] != UNSET => continue,
                     Some(id) => break id,
                 }
             };
@@ -326,16 +454,16 @@ impl DesignSpace {
                 return true;
             }
             for (i, child_ids) in node.children.iter().enumerate() {
-                policy.insert(next, i);
+                policy[next] = i as u32;
                 let mark = pending.len();
                 for &cid in child_ids {
-                    if !policy.contains_key(&cid) {
+                    if policy[cid] == UNSET {
                         pending.push(cid);
                     }
                 }
                 let ok = assign(space, pending, policy, count, limit);
                 pending.truncate(mark);
-                policy.remove(&next);
+                policy[next] = UNSET;
                 if !ok {
                     return false;
                 }
@@ -343,8 +471,35 @@ impl DesignSpace {
             pending.push(next);
             true
         }
-        let mut pending = vec![id];
-        assign(self, &mut pending, policy, count, limit)
+
+        let count = AtomicU64::new(0);
+        let node = &self.nodes[root];
+        let complete = if threads > 1 && node.children.len() > 1 {
+            // Each top-level choice of the root explores independently.
+            let branches: Vec<usize> = (0..node.children.len()).collect();
+            parallel_map(&branches, threads, |&i| {
+                let mut policy = vec![UNSET; self.nodes.len()];
+                policy[root] = i as u32;
+                let mut pending: Vec<SpecId> = node.children[i]
+                    .iter()
+                    .copied()
+                    .filter(|&cid| cid != root)
+                    .collect();
+                assign(self, &mut pending, &mut policy, &count, limit)
+            })
+            .into_iter()
+            .all(|ok| ok)
+        } else {
+            let mut policy = vec![UNSET; self.nodes.len()];
+            let mut pending = vec![root];
+            assign(self, &mut pending, &mut policy, &count, limit)
+        };
+        let total = count.load(Ordering::Relaxed);
+        if complete && total <= limit {
+            Some(total)
+        } else {
+            None
+        }
     }
 }
 
@@ -364,6 +519,128 @@ pub enum FilterPolicy {
     },
 }
 
+/// A design's implementation choices: a flat, dense map from [`SpecId`]
+/// to the chosen implementation index.
+///
+/// Stored as a `Vec<u32>` indexed by spec id with `u32::MAX` as the unset
+/// sentinel, so the solver's inner Cartesian-product merge is a linear
+/// scan over two dense arrays instead of an ordered-map clone-and-probe.
+/// Slots past the end of the vector are unset, which lets policies built
+/// against an older (smaller) snapshot of a growing [`DesignSpace`] merge
+/// with newer ones.
+#[derive(Clone, Default)]
+pub struct Policy {
+    slots: Vec<u32>,
+}
+
+impl Policy {
+    const UNSET: u32 = u32::MAX;
+
+    /// Creates an empty policy (every spec unset).
+    pub fn new() -> Self {
+        Policy::default()
+    }
+
+    /// The implementation choice for a spec, if assigned.
+    pub fn get(&self, id: SpecId) -> Option<usize> {
+        match self.slots.get(id) {
+            Some(&v) if v != Policy::UNSET => Some(v as usize),
+            _ => None,
+        }
+    }
+
+    /// Assigns the implementation choice for a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choice` does not fit the dense encoding (≥ `u32::MAX`);
+    /// real nodes have a handful of alternatives.
+    pub fn set(&mut self, id: SpecId, choice: usize) {
+        assert!((choice as u64) < Policy::UNSET as u64, "choice too large");
+        if self.slots.len() <= id {
+            self.slots.resize(id + 1, Policy::UNSET);
+        }
+        self.slots[id] = choice as u32;
+    }
+
+    /// The assigned `(spec, choice)` pairs in increasing spec order.
+    pub fn iter(&self) -> impl Iterator<Item = (SpecId, usize)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != Policy::UNSET)
+            .map(|(id, &v)| (id, v as usize))
+    }
+
+    /// Number of assigned specs.
+    pub fn assigned(&self) -> usize {
+        self.slots.iter().filter(|&&v| v != Policy::UNSET).count()
+    }
+
+    /// True when no spec is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&v| v == Policy::UNSET)
+    }
+
+    /// Merges `other`'s assignments into `self`. Returns `false` on the
+    /// first conflicting assignment (the uniform-implementation rule), in
+    /// which case `self` is left partially merged — clone first when the
+    /// original must survive a failed merge.
+    pub fn merge_from(&mut self, other: &Policy) -> bool {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), Policy::UNSET);
+        }
+        for (s, &o) in self.slots.iter_mut().zip(&other.slots) {
+            if o == Policy::UNSET {
+                continue;
+            }
+            if *s == Policy::UNSET {
+                *s = o;
+            } else if *s != o {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The merge of two policies, or `None` when they conflict.
+    pub fn merged(&self, other: &Policy) -> Option<Policy> {
+        let mut out = self.clone();
+        out.merge_from(other).then_some(out)
+    }
+}
+
+impl PartialEq for Policy {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing unset slots are not observable: compare assignments.
+        let (short, long) = if self.slots.len() <= other.slots.len() {
+            (&self.slots, &other.slots)
+        } else {
+            (&other.slots, &self.slots)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&v| v == Policy::UNSET)
+    }
+}
+
+impl Eq for Policy {}
+
+impl fmt::Debug for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<(SpecId, usize)> for Policy {
+    fn from_iter<I: IntoIterator<Item = (SpecId, usize)>>(iter: I) -> Self {
+        let mut p = Policy::new();
+        for (id, choice) in iter {
+            p.set(id, choice);
+        }
+        p
+    }
+}
+
 /// A fully costed, globally consistent design alternative.
 #[derive(Clone, Debug)]
 pub struct DesignPoint {
@@ -372,7 +649,7 @@ pub struct DesignPoint {
     /// Composite timing.
     pub timing: Timing,
     /// Implementation choice for every reachable spec node.
-    pub policy: BTreeMap<SpecId, usize>,
+    pub policy: Policy,
 }
 
 impl DesignPoint {
@@ -380,28 +657,6 @@ impl DesignPoint {
     pub fn delay(&self) -> f64 {
         self.timing.worst
     }
-}
-
-fn merge_policies(
-    base: &BTreeMap<SpecId, usize>,
-    extra: &BTreeMap<SpecId, usize>,
-) -> Option<BTreeMap<SpecId, usize>> {
-    let (small, large) = if base.len() < extra.len() {
-        (base, extra)
-    } else {
-        (extra, base)
-    };
-    let mut merged = large.clone();
-    for (k, v) in small {
-        match merged.get(k) {
-            Some(existing) if existing != v => return None,
-            Some(_) => {}
-            None => {
-                merged.insert(*k, *v);
-            }
-        }
-    }
-    Some(merged)
 }
 
 fn filter_points(
@@ -416,25 +671,35 @@ fn filter_points(
     });
     // Exact-cost duplicates carry no new trade-off: keep the first.
     points.dedup_by(|a, b| a.area == b.area && a.delay() == b.delay());
-    let evicts = |q: &DesignPoint, p: &DesignPoint| -> bool {
-        match policy {
-            FilterPolicy::Pareto => {
-                q.area <= p.area
-                    && q.delay() <= p.delay()
-                    && (q.area < p.area || q.delay() < p.delay())
-            }
+    // After the (area, delay) sort, every point that can evict `p` —
+    // dominated points included, matching the exhaustive filter — precedes
+    // it, so one forward sweep with running delay minima decides survival:
+    //   Pareto: p survives iff its delay beats every predecessor's.
+    //   Slack: p is evicted when a predecessor beats it by more than the
+    //   area slack (a prefix of the sort, tracked by a second lagging
+    //   cursor since p.area/(1+slack) is nondecreasing) or by more than
+    //   the delay slack (any predecessor, tracked by the running minimum).
+    let mut kept: Vec<DesignPoint> = Vec::new();
+    let mut min_delay = f64::INFINITY; // over points[0..i)
+    let mut area_cursor = 0usize; // prefix with area < p.area/(1+slack)
+    let mut min_delay_in_prefix = f64::INFINITY;
+    for i in 0..points.len() {
+        let (p_area, p_delay) = (points[i].area, points[i].delay());
+        let evicted = match policy {
+            FilterPolicy::Pareto => min_delay <= p_delay,
             FilterPolicy::Slack { area, delay } => {
-                q.area <= p.area
-                    && q.delay() <= p.delay()
-                    && (q.area < p.area / (1.0 + area) || q.delay() < p.delay() / (1.0 + delay))
+                while area_cursor < i && points[area_cursor].area < p_area / (1.0 + area) {
+                    min_delay_in_prefix = min_delay_in_prefix.min(points[area_cursor].delay());
+                    area_cursor += 1;
+                }
+                min_delay_in_prefix <= p_delay || min_delay < p_delay / (1.0 + delay)
             }
+        };
+        if !evicted {
+            kept.push(points[i].clone());
         }
-    };
-    let kept: Vec<DesignPoint> = points
-        .iter()
-        .filter(|p| !points.iter().any(|q| !std::ptr::eq(*p, q) && evicts(q, p)))
-        .cloned()
-        .collect();
+        min_delay = min_delay.min(p_delay);
+    }
     if kept.len() <= cap {
         return kept;
     }
@@ -473,136 +738,281 @@ impl Default for SolveConfig {
     }
 }
 
-/// Bottom-up solver: computes the filtered front of consistent design
-/// points at every node.
-pub struct Solver<'a> {
-    space: &'a DesignSpace,
+/// Computes one node's filtered front from its children's already-solved
+/// fronts. Pure in everything but the model cache, so independent nodes
+/// shard freely across worker threads.
+fn compute_front(
+    space: &DesignSpace,
     config: SolveConfig,
-    fronts: Vec<Option<Vec<DesignPoint>>>,
-    /// Number of combinations discarded due to `max_combinations`; nonzero
-    /// values mean the space was truncated (reported, never silent).
-    pub truncated_combinations: u64,
-}
-
-impl<'a> Solver<'a> {
-    /// Creates a solver over an expanded space.
-    pub fn new(space: &'a DesignSpace, config: SolveConfig) -> Self {
-        Solver {
-            space,
-            config,
-            fronts: vec![None; space.nodes.len()],
-            truncated_combinations: 0,
-        }
-    }
-
-    /// The filtered design-point front of a node (computed on demand).
-    pub fn front(&mut self, id: SpecId, cache: &mut SpecModelCache) -> Vec<DesignPoint> {
-        if let Some(f) = &self.fronts[id] {
-            return f.clone();
-        }
-        let node = &self.space.nodes[id];
-        let mut points: Vec<DesignPoint> = Vec::new();
-        for (i, (choice, child_ids)) in node.impls.iter().zip(&node.children).enumerate() {
-            match choice {
-                ImplChoice::Cell(c) => {
-                    let mut policy = BTreeMap::new();
-                    policy.insert(id, i);
-                    points.push(DesignPoint {
-                        area: c.area,
-                        timing: c.timing.clone(),
-                        policy,
-                    });
+    fronts: &[Option<Vec<DesignPoint>>],
+    id: SpecId,
+    cache: &SpecModelCache,
+) -> (Vec<DesignPoint>, u64) {
+    let node = &space.nodes[id];
+    let mut truncated = 0u64;
+    let mut points: Vec<DesignPoint> = Vec::new();
+    for (i, (choice, child_ids)) in node.impls.iter().zip(&node.children).enumerate() {
+        match choice {
+            ImplChoice::Cell(c) => {
+                let mut policy = Policy::new();
+                policy.set(id, i);
+                points.push(DesignPoint {
+                    area: c.area,
+                    timing: c.timing.clone(),
+                    policy,
+                });
+            }
+            ImplChoice::Netlist(template) => {
+                // Distinct children, first-use order.
+                let mut distinct: Vec<SpecId> = Vec::new();
+                for &cid in child_ids {
+                    if !distinct.contains(&cid) {
+                        distinct.push(cid);
+                    }
                 }
-                ImplChoice::Netlist(template) => {
-                    // Distinct children, first-use order.
-                    let mut distinct: Vec<SpecId> = Vec::new();
-                    for &cid in child_ids {
-                        if !distinct.contains(&cid) {
-                            distinct.push(cid);
-                        }
-                    }
-                    let child_fronts: Vec<Vec<DesignPoint>> =
-                        distinct.iter().map(|&cid| self.front(cid, cache)).collect();
-                    if child_fronts.iter().any(|f| f.is_empty()) {
-                        continue; // some module cannot be implemented
-                    }
-                    // Cartesian product over distinct children with
-                    // policy-consistency (uniform-implementation rule).
-                    let mut combos: Vec<BTreeMap<SpecId, usize>> = vec![BTreeMap::new()];
-                    let mut assignments: Vec<Vec<(usize, &DesignPoint)>> = vec![Vec::new()];
-                    for (ci, front) in child_fronts.iter().enumerate() {
-                        let mut next_combos = Vec::new();
-                        let mut next_assign = Vec::new();
-                        for (combo, assign) in combos.iter().zip(&assignments) {
-                            for p in front {
-                                if next_combos.len() >= self.config.max_combinations {
-                                    self.truncated_combinations += 1;
-                                    continue;
-                                }
-                                if let Some(merged) = merge_policies(combo, &p.policy) {
-                                    let mut a = assign.clone();
-                                    a.push((ci, p));
-                                    next_combos.push(merged);
-                                    next_assign.push(a);
-                                }
+                let child_fronts: Vec<&[DesignPoint]> = distinct
+                    .iter()
+                    .map(|&cid| {
+                        fronts[cid]
+                            .as_deref()
+                            .expect("children are solved before parents")
+                    })
+                    .collect();
+                if child_fronts.iter().any(|f| f.is_empty()) {
+                    continue; // some module cannot be implemented
+                }
+                // Cartesian product over distinct children with
+                // policy-consistency (uniform-implementation rule); the
+                // merge is a linear scan over the flat policies.
+                let mut combos: Vec<(Policy, Vec<&DesignPoint>)> =
+                    vec![(Policy::new(), Vec::new())];
+                for front in &child_fronts {
+                    let mut next: Vec<(Policy, Vec<&DesignPoint>)> = Vec::new();
+                    for (combo, picks) in &combos {
+                        for p in *front {
+                            if next.len() >= config.max_combinations {
+                                truncated += 1;
+                                continue;
+                            }
+                            let mut merged = combo.clone();
+                            if merged.merge_from(&p.policy) {
+                                let mut picks = picks.clone();
+                                picks.push(p);
+                                next.push((merged, picks));
                             }
                         }
-                        combos = next_combos;
-                        assignments = next_assign;
                     }
-                    for (mut policy, assign) in combos.into_iter().zip(assignments) {
-                        let by_spec: BTreeMap<&ComponentSpec, &DesignPoint> = assign
-                            .iter()
-                            .map(|(ci, p)| (&self.space.nodes[distinct[*ci]].spec, *p))
-                            .collect();
-                        let child_cost = |spec: &ComponentSpec| -> Option<ChildCost> {
-                            by_spec.get(spec).map(|p| ChildCost {
-                                area: p.area,
-                                timing: p.timing.clone(),
-                            })
-                        };
-                        match template_cost(template, &node.spec, &child_cost, cache) {
-                            Ok((area, timing)) => {
-                                policy.insert(id, i);
-                                points.push(DesignPoint {
-                                    area,
-                                    timing,
-                                    policy,
-                                });
-                            }
-                            Err(_) => continue,
+                    combos = next;
+                }
+                for (mut policy, picks) in combos {
+                    let by_spec: BTreeMap<&ComponentSpec, &DesignPoint> = picks
+                        .iter()
+                        .enumerate()
+                        .map(|(ci, p)| (&space.nodes[distinct[ci]].spec, *p))
+                        .collect();
+                    let child_cost = |spec: &ComponentSpec| -> Option<ChildCost> {
+                        by_spec.get(spec).map(|p| ChildCost {
+                            area: p.area,
+                            timing: p.timing.clone(),
+                        })
+                    };
+                    match template_cost(template, &node.spec, &child_cost, cache) {
+                        Ok((area, timing)) => {
+                            policy.set(id, i);
+                            points.push(DesignPoint {
+                                area,
+                                timing,
+                                policy,
+                            });
                         }
+                        Err(_) => continue,
                     }
                 }
             }
         }
-        let filtered = filter_points(points, self.config.node_filter, self.config.node_cap);
-        self.fronts[id] = Some(filtered.clone());
-        filtered
+    }
+    (
+        filter_points(points, config.node_filter, config.node_cap),
+        truncated,
+    )
+}
+
+/// Per-node solve results that outlive one [`Solver`]: the filtered
+/// fronts plus each node's combination-truncation count, so a query
+/// reusing cached fronts still reports the truncation that shaped them.
+#[derive(Default)]
+pub struct FrontStore {
+    fronts: Vec<Option<Vec<DesignPoint>>>,
+    truncated: Vec<u64>,
+}
+
+impl FrontStore {
+    /// Number of nodes with a solved front.
+    pub fn solved_count(&self) -> usize {
+        self.fronts.iter().filter(|f| f.is_some()).count()
+    }
+
+    fn resize(&mut self, len: usize) {
+        self.fronts.resize(len, None);
+        self.truncated.resize(len, 0);
+    }
+}
+
+/// Bottom-up solver: computes the filtered front of consistent design
+/// points at every node.
+///
+/// Fronts are solved level-by-level over the spec DAG (node ids are
+/// already a topological order: expansion pushes children before parents),
+/// sharding each level's independent nodes across scoped worker threads
+/// when [`with_threads`](Self::with_threads) asks for more than one. Every
+/// node's front is a pure function of its children's fronts, so the
+/// parallel schedule produces bit-identical results to the serial one.
+pub struct Solver<'a> {
+    space: &'a DesignSpace,
+    config: SolveConfig,
+    threads: usize,
+    store: FrontStore,
+    /// Number of combinations this solver discarded due to
+    /// `max_combinations`; nonzero values mean the space was truncated
+    /// (reported, never silent). Truncation inherited from reused fronts
+    /// is accounted per node — see
+    /// [`truncated_under`](Self::truncated_under).
+    pub truncated_combinations: u64,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a single-threaded solver over an expanded space.
+    pub fn new(space: &'a DesignSpace, config: SolveConfig) -> Self {
+        Solver::with_front_store(space, config, FrontStore::default())
+    }
+
+    /// Creates a solver resuming from a previously computed front store
+    /// (as returned by [`into_front_store`](Self::into_front_store)),
+    /// typically across queries against a space that has grown since.
+    pub fn with_front_store(
+        space: &'a DesignSpace,
+        config: SolveConfig,
+        mut store: FrontStore,
+    ) -> Self {
+        store.resize(space.nodes.len());
+        Solver {
+            space,
+            config,
+            threads: 1,
+            store,
+            truncated_combinations: 0,
+        }
+    }
+
+    /// Shards independent subproblems across up to `threads` workers
+    /// (clamped to at least one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Surrenders the solved fronts so a later solver over the same
+    /// (possibly grown) space can resume without recomputing them.
+    pub fn into_front_store(self) -> FrontStore {
+        self.store
+    }
+
+    /// Total combinations truncated while solving the nodes reachable
+    /// from `root` — including truncation performed by *earlier* solvers
+    /// whose fronts this one reused through the shared [`FrontStore`].
+    pub fn truncated_under(&self, root: SpecId) -> u64 {
+        self.space
+            .reachable(root)
+            .iter()
+            .map(|&n| self.store.truncated[n])
+            .sum()
+    }
+
+    /// Solves every unsolved node in `id`'s subgraph, bottom-up (node ids
+    /// are a topological order of the spec DAG), sharding each dependency
+    /// level across worker threads.
+    pub fn solve(&mut self, id: SpecId, cache: &SpecModelCache) {
+        if self.store.fronts[id].is_some() {
+            return;
+        }
+        let todo: Vec<SpecId> = self
+            .space
+            .reachable(id)
+            .into_iter()
+            .filter(|&n| self.store.fronts[n].is_none())
+            .collect();
+        if self.threads <= 1 {
+            for &n in &todo {
+                let (front, truncated) =
+                    compute_front(self.space, self.config, &self.store.fronts, n, cache);
+                self.store.fronts[n] = Some(front);
+                self.store.truncated[n] = truncated;
+                self.truncated_combinations += truncated;
+            }
+            return;
+        }
+        // Dependency levels among the unsolved nodes: a node sits one
+        // level above its deepest unsolved child, so each level's nodes
+        // are mutually independent. Children always carry smaller ids, so
+        // one pass in id order suffices.
+        let mut level = vec![0usize; id + 1];
+        let mut buckets: Vec<Vec<SpecId>> = Vec::new();
+        for &n in &todo {
+            let mut l = 0;
+            for kids in &self.space.nodes[n].children {
+                for &k in kids {
+                    if self.store.fronts[k].is_none() {
+                        l = l.max(level[k] + 1);
+                    }
+                }
+            }
+            level[n] = l;
+            if buckets.len() <= l {
+                buckets.resize(l + 1, Vec::new());
+            }
+            buckets[l].push(n);
+        }
+        for bucket in buckets {
+            let results = parallel_map(&bucket, self.threads, |&n| {
+                compute_front(self.space, self.config, &self.store.fronts, n, cache)
+            });
+            for (n, (front, truncated)) in bucket.into_iter().zip(results) {
+                self.store.fronts[n] = Some(front);
+                self.store.truncated[n] = truncated;
+                self.truncated_combinations += truncated;
+            }
+        }
+    }
+
+    /// The filtered design-point front of a node (computed on demand).
+    pub fn front(&mut self, id: SpecId, cache: &SpecModelCache) -> Vec<DesignPoint> {
+        self.solve(id, cache);
+        self.store.fronts[id].clone().expect("front solved")
     }
 
     /// Like [`front`](Self::front) but with a different final filter —
     /// used at the root, where the paper reports near-optimal alternatives
-    /// as well.
+    /// as well. The root's node-filter front stays cached (later queries
+    /// may reuse this root as a child).
     pub fn root_front(
         &mut self,
         id: SpecId,
-        cache: &mut SpecModelCache,
+        cache: &SpecModelCache,
         root_filter: FilterPolicy,
         cap: usize,
     ) -> Vec<DesignPoint> {
-        // Recompute the root from its children with the root filter.
-        self.fronts[id] = None;
-        let saved = self.config;
-        self.config = SolveConfig {
+        // Solve the children under the node filter, then recompute the
+        // root alone under the root filter. `compute_front` never reads a
+        // node's own slot, so the node-filter front needn't be cleared.
+        self.solve(id, cache);
+        let config = SolveConfig {
             node_filter: root_filter,
             node_cap: cap,
-            max_combinations: saved.max_combinations,
+            max_combinations: self.config.max_combinations,
         };
-        let f = self.front(id, cache);
-        self.config = saved;
-        self.fronts[id] = None;
-        f
+        let (front, truncated) = compute_front(self.space, config, &self.store.fronts, id, cache);
+        self.truncated_combinations += truncated;
+        front
     }
 }
 
@@ -626,10 +1036,8 @@ mod tests {
         let mut space = DesignSpace::new();
         let rules = RuleSet::standard();
         let lib = lsi_logic_subset();
-        let mut cache = SpecModelCache::new();
-        let id = space
-            .expand(&add_spec(4), &rules, &lib, &mut cache)
-            .unwrap();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(4), &rules, &lib, &cache).unwrap();
         let node = &space.nodes[id];
         let cell_names: Vec<&str> = node
             .impls
@@ -647,10 +1055,8 @@ mod tests {
         let mut space = DesignSpace::new();
         let rules = RuleSet::standard();
         let lib = lsi_logic_subset();
-        let mut cache = SpecModelCache::new();
-        let id = space
-            .expand(&add_spec(16), &rules, &lib, &mut cache)
-            .unwrap();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(16), &rules, &lib, &cache).unwrap();
         let node = &space.nodes[id];
         // No 16-bit adder cell exists: every impl is a decomposition.
         assert!(node
@@ -665,12 +1071,10 @@ mod tests {
         let mut space = DesignSpace::new();
         let rules = RuleSet::standard();
         let lib = lsi_logic_subset();
-        let mut cache = SpecModelCache::new();
-        let id = space
-            .expand(&add_spec(16), &rules, &lib, &mut cache)
-            .unwrap();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(16), &rules, &lib, &cache).unwrap();
         let mut solver = Solver::new(&space, SolveConfig::default());
-        let front = solver.front(id, &mut cache);
+        let front = solver.front(id, &cache);
         assert!(!front.is_empty());
         // Front is sorted by area and antitone in delay.
         for w in front.windows(2) {
@@ -684,10 +1088,8 @@ mod tests {
         let mut space = DesignSpace::new();
         let rules = RuleSet::standard();
         let lib = lsi_logic_subset();
-        let mut cache = SpecModelCache::new();
-        let id = space
-            .expand(&add_spec(16), &rules, &lib, &mut cache)
-            .unwrap();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(16), &rules, &lib, &cache).unwrap();
         let size = space.unconstrained_size(id);
         let uniform = space.uniform_size(id, 10_000_000).unwrap();
         assert!(size >= uniform as f64);
@@ -702,7 +1104,7 @@ mod tests {
                 arcs: BTreeMap::new(),
                 worst: delay,
             },
-            policy: BTreeMap::new(),
+            policy: Policy::new(),
         };
         let pts = vec![mk(100.0, 50.0), mk(102.0, 50.0), mk(200.0, 10.0)];
         let strict = filter_points(pts.clone(), FilterPolicy::Pareto, 10);
@@ -726,7 +1128,7 @@ mod tests {
                 arcs: BTreeMap::new(),
                 worst: delay,
             },
-            policy: BTreeMap::new(),
+            policy: Policy::new(),
         };
         let pts: Vec<DesignPoint> = (0..20)
             .map(|i| mk(100.0 + i as f64, 100.0 - i as f64))
@@ -739,11 +1141,140 @@ mod tests {
 
     #[test]
     fn merge_policies_detects_conflicts() {
-        let a: BTreeMap<SpecId, usize> = [(1, 0), (2, 1)].into_iter().collect();
-        let b: BTreeMap<SpecId, usize> = [(2, 1), (3, 0)].into_iter().collect();
-        let c: BTreeMap<SpecId, usize> = [(2, 0)].into_iter().collect();
-        assert!(merge_policies(&a, &b).is_some());
-        assert_eq!(merge_policies(&a, &b).unwrap().len(), 3);
-        assert!(merge_policies(&a, &c).is_none());
+        let a: Policy = [(1, 0), (2, 1)].into_iter().collect();
+        let b: Policy = [(2, 1), (3, 0)].into_iter().collect();
+        let c: Policy = [(2, 0)].into_iter().collect();
+        assert!(a.merged(&b).is_some());
+        assert_eq!(a.merged(&b).unwrap().assigned(), 3);
+        assert!(a.merged(&c).is_none());
+    }
+
+    #[test]
+    fn policy_equality_ignores_trailing_unset() {
+        let mut a = Policy::new();
+        a.set(2, 1);
+        let mut b = Policy::new();
+        b.set(2, 1);
+        b.set(9, 0);
+        assert_ne!(a, b);
+        let mut c: Policy = [(2, 1)].into_iter().collect();
+        c.set(9, 0);
+        assert_eq!(b, c);
+        // A policy padded out by a failed merge still equals its original.
+        let d: Policy = [(2, 1)].into_iter().collect();
+        assert_eq!(a, d);
+        assert_eq!(a.get(2), Some(1));
+        assert_eq!(a.get(3), None);
+        assert_eq!(a.get(100), None);
+    }
+
+    #[test]
+    fn parallel_solver_matches_serial() {
+        let mut space = DesignSpace::new();
+        let rules = RuleSet::standard();
+        let lib = lsi_logic_subset();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(16), &rules, &lib, &cache).unwrap();
+        let mut serial = Solver::new(&space, SolveConfig::default());
+        let mut parallel = Solver::new(&space, SolveConfig::default()).with_threads(4);
+        let a = serial.front(id, &cache);
+        let b = parallel.front(id, &cache);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.area.to_bits(), y.area.to_bits());
+            assert_eq!(x.delay().to_bits(), y.delay().to_bits());
+            assert_eq!(x.policy, y.policy);
+        }
+    }
+
+    /// The exhaustive O(n²) dominance filter this module used to ship,
+    /// kept as the reference model for the linear sweep.
+    fn naive_filter(mut points: Vec<DesignPoint>, policy: FilterPolicy) -> Vec<DesignPoint> {
+        points.sort_by(|a, b| {
+            (a.area, a.delay())
+                .partial_cmp(&(b.area, b.delay()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        points.dedup_by(|a, b| a.area == b.area && a.delay() == b.delay());
+        let evicts = |q: &DesignPoint, p: &DesignPoint| -> bool {
+            match policy {
+                FilterPolicy::Pareto => {
+                    q.area <= p.area
+                        && q.delay() <= p.delay()
+                        && (q.area < p.area || q.delay() < p.delay())
+                }
+                FilterPolicy::Slack { area, delay } => {
+                    q.area <= p.area
+                        && q.delay() <= p.delay()
+                        && (q.area < p.area / (1.0 + area) || q.delay() < p.delay() / (1.0 + delay))
+                }
+            }
+        };
+        points
+            .iter()
+            .filter(|p| !points.iter().any(|q| !std::ptr::eq(*p, q) && evicts(q, p)))
+            .cloned()
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 256,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// The single-sweep dominance filter agrees with the exhaustive
+        /// quadratic filter for both policies on arbitrary point clouds.
+        #[test]
+        fn sweep_filter_matches_naive(
+            raw in proptest::collection::vec((1u32..60, 1u32..60), 0..40),
+            area_slack in 0u32..40,
+            delay_slack in 0u32..40,
+        ) {
+            let points: Vec<DesignPoint> = raw
+                .iter()
+                .map(|&(a, d)| DesignPoint {
+                    area: a as f64,
+                    timing: Timing {
+                        arcs: BTreeMap::new(),
+                        worst: d as f64,
+                    },
+                    policy: Policy::new(),
+                })
+                .collect();
+            for policy in [
+                FilterPolicy::Pareto,
+                FilterPolicy::Slack {
+                    area: area_slack as f64 / 100.0,
+                    delay: delay_slack as f64 / 100.0,
+                },
+            ] {
+                let expect: Vec<(u64, u64)> = naive_filter(points.clone(), policy)
+                    .iter()
+                    .map(|p| (p.area.to_bits(), p.delay().to_bits()))
+                    .collect();
+                let got: Vec<(u64, u64)> = filter_points(points.clone(), policy, usize::MAX)
+                    .iter()
+                    .map(|p| (p.area.to_bits(), p.delay().to_bits()))
+                    .collect();
+                proptest::prop_assert_eq!(&got, &expect, "policy {:?}", policy);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_size_threaded_matches_serial() {
+        let mut space = DesignSpace::new();
+        let rules = RuleSet::standard();
+        let lib = lsi_logic_subset();
+        let cache = SpecModelCache::new();
+        let id = space.expand(&add_spec(16), &rules, &lib, &cache).unwrap();
+        let serial = space.uniform_size(id, 10_000_000);
+        let threaded = space.uniform_size_threaded(id, 10_000_000, 4);
+        assert_eq!(serial, threaded);
+        // The give-up decision must agree too.
+        let tight = serial.unwrap() / 2;
+        assert_eq!(space.uniform_size(id, tight), None);
+        assert_eq!(space.uniform_size_threaded(id, tight, 4), None);
     }
 }

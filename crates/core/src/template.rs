@@ -19,7 +19,7 @@ use genus::spec::ComponentSpec;
 use rtl_base::bits::Bits;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A wiring expression appearing on a module input or a parent output.
 #[derive(Clone, Debug, PartialEq)]
@@ -183,9 +183,13 @@ pub struct NetlistTemplate {
 /// Decomposition, validation, costing and simulation all need the port
 /// list (and sometimes the behavioral model) of a [`ComponentSpec`];
 /// building one is cheap but not free, and the same specs recur constantly.
+///
+/// The cache is internally synchronized ([`RwLock`]), so one instance can
+/// be shared by reference across the solver's worker threads — model
+/// lookups take `&self`.
 #[derive(Default)]
 pub struct SpecModelCache {
-    map: HashMap<ComponentSpec, Arc<Component>>,
+    map: RwLock<HashMap<ComponentSpec, Arc<Component>>>,
 }
 
 impl SpecModelCache {
@@ -199,13 +203,26 @@ impl SpecModelCache {
     /// # Errors
     ///
     /// Propagates the build error for unbuildable specs.
-    pub fn model(&mut self, spec: &ComponentSpec) -> Result<Arc<Component>, String> {
-        if let Some(c) = self.map.get(spec) {
+    pub fn model(&self, spec: &ComponentSpec) -> Result<Arc<Component>, String> {
+        if let Some(c) = self.map.read().expect("model cache poisoned").get(spec) {
             return Ok(Arc::clone(c));
         }
         let c = Arc::new(component_for_spec(spec).map_err(|e| e.to_string())?);
-        self.map.insert(spec.clone(), Arc::clone(&c));
-        Ok(c)
+        let mut map = self.map.write().expect("model cache poisoned");
+        // A racing builder may have inserted first; keep its copy so every
+        // caller sees one canonical Arc per spec.
+        let entry = map.entry(spec.clone()).or_insert_with(|| Arc::clone(&c));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("model cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -253,7 +270,7 @@ impl NetlistTemplate {
     pub fn validate(
         &self,
         parent: &ComponentSpec,
-        cache: &mut SpecModelCache,
+        cache: &SpecModelCache,
     ) -> Result<(), TemplateError> {
         let fail = |msg: String| TemplateError {
             rule: self.rule.clone(),
@@ -474,8 +491,8 @@ mod tests {
 
     #[test]
     fn valid_ripple_template_passes() {
-        let mut cache = SpecModelCache::new();
-        ripple8().validate(&add_spec(8), &mut cache).unwrap();
+        let cache = SpecModelCache::new();
+        ripple8().validate(&add_spec(8), &cache).unwrap();
     }
 
     #[test]
@@ -490,8 +507,8 @@ mod tests {
     fn missing_parent_output_rejected() {
         let mut t = ripple8();
         t.outputs.remove("CO");
-        let mut cache = SpecModelCache::new();
-        let err = t.validate(&add_spec(8), &mut cache).unwrap_err();
+        let cache = SpecModelCache::new();
+        let err = t.validate(&add_spec(8), &cache).unwrap_err();
         assert!(err.message.contains("CO"));
     }
 
@@ -503,8 +520,8 @@ mod tests {
             m.inputs
                 .insert("A".to_string(), Signal::parent("A").slice(4, 3));
         }
-        let mut cache = SpecModelCache::new();
-        assert!(t.validate(&add_spec(8), &mut cache).is_err());
+        let cache = SpecModelCache::new();
+        assert!(t.validate(&add_spec(8), &cache).is_err());
     }
 
     #[test]
@@ -513,8 +530,8 @@ mod tests {
         if let Some(m) = t.modules.iter_mut().find(|m| m.name == "lo") {
             m.inputs.remove("CI");
         }
-        let mut cache = SpecModelCache::new();
-        let err = t.validate(&add_spec(8), &mut cache).unwrap_err();
+        let cache = SpecModelCache::new();
+        let err = t.validate(&add_spec(8), &cache).unwrap_err();
         assert!(err.message.contains("unconnected"));
     }
 
@@ -524,8 +541,8 @@ mod tests {
         if let Some(m) = t.modules.iter_mut().find(|m| m.name == "hi") {
             m.outputs.insert("CO".to_string(), "c_mid".to_string());
         }
-        let mut cache = SpecModelCache::new();
-        let err = t.validate(&add_spec(8), &mut cache).unwrap_err();
+        let cache = SpecModelCache::new();
+        let err = t.validate(&add_spec(8), &cache).unwrap_err();
         assert!(err.message.contains("drivers"));
     }
 
@@ -533,8 +550,8 @@ mod tests {
     fn undriven_net_rejected() {
         let mut t = ripple8();
         t.nets.insert("floating".to_string(), 4);
-        let mut cache = SpecModelCache::new();
-        let err = t.validate(&add_spec(8), &mut cache).unwrap_err();
+        let cache = SpecModelCache::new();
+        let err = t.validate(&add_spec(8), &cache).unwrap_err();
         assert!(err.message.contains("no driver"));
     }
 

@@ -9,12 +9,12 @@ fn add16_front_diagnostics() {
     let mut space = DesignSpace::new();
     let rules = RuleSet::standard().with_lsi_extensions();
     let lib = lsi_logic_subset();
-    let mut cache = SpecModelCache::new();
+    let cache = SpecModelCache::new();
     let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
         .with_ops(OpSet::only(Op::Add))
         .with_carry_in(true)
         .with_carry_out(true);
-    let id = space.expand(&spec, &rules, &lib, &mut cache).unwrap();
+    let id = space.expand(&spec, &rules, &lib, &cache).unwrap();
     println!("== impls at root:");
     for (i, im) in space.nodes[id].impls.iter().enumerate() {
         println!("  {i}: {}", im.label());
@@ -30,7 +30,7 @@ fn add16_front_diagnostics() {
         }
     }
     let mut solver = Solver::new(&space, SolveConfig::default());
-    let front = solver.front(id, &mut cache);
+    let front = solver.front(id, &cache);
     println!("== front:");
     for p in &front {
         let im = dtas::extract::extract(&space, id, &p.policy);

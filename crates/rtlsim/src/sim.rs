@@ -4,13 +4,20 @@
 //! (registers and anything built on them) publish their current state at
 //! the start of the pass and latch their next state when the clock
 //! [`step`](Simulator::step)s.
+//!
+//! Construction interns every net name to a dense `u32` id and compiles
+//! all wiring expressions against those ids, so the per-cycle hot path
+//! reads and writes a flat value array (reused across
+//! [`step`](Simulator::step)/[`eval`](Simulator::eval) calls) instead of
+//! rebuilding string-keyed maps every cycle.
 
 use crate::flatten::{FlatCell, FlatDesign};
 use dtas::template::Signal;
 use genus::behavior::Env;
 use rtl_base::bits::Bits;
 use rtl_base::graph::Digraph;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Simulation error.
@@ -35,12 +42,127 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Dense net-name table: names interned to `u32` ids at construction.
+#[derive(Default)]
+struct NetTable {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl NetTable {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+}
+
+/// A wiring expression compiled against interned net ids.
+enum CompiledSignal {
+    Net(u32),
+    Parent(String),
+    Const(Bits),
+    Slice(Box<CompiledSignal>, usize, usize),
+    Cat(Vec<CompiledSignal>),
+    Replicate(Box<CompiledSignal>, usize),
+}
+
+impl CompiledSignal {
+    fn compile(sig: &Signal, nets: &mut NetTable) -> CompiledSignal {
+        match sig {
+            Signal::Net(n) => CompiledSignal::Net(nets.intern(n)),
+            Signal::Parent(p) => CompiledSignal::Parent(p.clone()),
+            Signal::Const(b) => CompiledSignal::Const(b.clone()),
+            Signal::Slice(inner, lo, len) => {
+                CompiledSignal::Slice(Box::new(CompiledSignal::compile(inner, nets)), *lo, *len)
+            }
+            Signal::Cat(parts) => CompiledSignal::Cat(
+                parts
+                    .iter()
+                    .map(|p| CompiledSignal::compile(p, nets))
+                    .collect(),
+            ),
+            Signal::Replicate(inner, n) => {
+                CompiledSignal::Replicate(Box::new(CompiledSignal::compile(inner, nets)), *n)
+            }
+        }
+    }
+
+    /// The interned nets this signal reads.
+    fn net_reads(&self, out: &mut Vec<u32>) {
+        match self {
+            CompiledSignal::Net(id) => out.push(*id),
+            CompiledSignal::Parent(_) | CompiledSignal::Const(_) => {}
+            CompiledSignal::Slice(inner, _, _) | CompiledSignal::Replicate(inner, _) => {
+                inner.net_reads(out)
+            }
+            CompiledSignal::Cat(parts) => {
+                for p in parts {
+                    p.net_reads(out);
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`Signal::eval`] over the flat net-value array.
+    fn eval(&self, nets: &[Option<Bits>], names: &[String], parents: &Env) -> Result<Bits, String> {
+        match self {
+            CompiledSignal::Net(id) => nets[*id as usize]
+                .clone()
+                .ok_or_else(|| format!("net {} has no value", names[*id as usize])),
+            CompiledSignal::Parent(p) => parents
+                .get(p)
+                .cloned()
+                .ok_or_else(|| format!("parent port {p} has no value")),
+            CompiledSignal::Const(b) => Ok(b.clone()),
+            CompiledSignal::Slice(inner, lo, len) => {
+                let v = inner.eval(nets, names, parents)?;
+                if lo + len > v.width() {
+                    return Err(format!(
+                        "slice [{lo},{lo}+{len}) out of width {}",
+                        v.width()
+                    ));
+                }
+                Ok(v.slice(*lo, *len))
+            }
+            CompiledSignal::Cat(parts) => {
+                let mut acc = Bits::zero(0);
+                for p in parts {
+                    acc = acc.concat(&p.eval(nets, names, parents)?);
+                }
+                Ok(acc)
+            }
+            CompiledSignal::Replicate(inner, n) => {
+                let v = inner.eval(nets, names, parents)?;
+                let mut acc = Bits::zero(0);
+                for _ in 0..*n {
+                    acc = acc.concat(&v);
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// A producer in the compiled evaluation order (registered outputs are
+/// published from state before the pass, so they never appear here).
 enum Producer {
-    /// One output port of one cell (port-level granularity lets legal
-    /// feedback — e.g. lookahead carries returning into P/G adders —
-    /// levelize).
-    CellPort(usize, String),
-    Alias(String),
+    /// One combinational output port of one cell, with its driven net,
+    /// the (dependency-filtered) inputs to evaluate, and the eval target
+    /// set — all precomputed at construction.
+    CellPort {
+        cell: usize,
+        port: String,
+        net: u32,
+        inputs: Vec<(String, CompiledSignal)>,
+        targets: BTreeSet<String>,
+    },
+    /// A net defined as an expression over other nets.
+    Alias { net: u32, sig: CompiledSignal },
 }
 
 /// A two-phase (evaluate, commit) simulator over a [`FlatDesign`].
@@ -49,102 +171,175 @@ enum Producer {
 /// everything resets to zero.
 pub struct Simulator<'a> {
     design: &'a FlatDesign,
+    /// Interned net names (id → name), for error reporting.
+    net_names: Vec<String>,
+    /// Compiled combinational evaluation order.
     order: Vec<Producer>,
+    /// Registered outputs published from state before each pass:
+    /// `(cell, port, net, width)`.
+    reg_publish: Vec<(usize, String, u32, usize)>,
+    /// Per sequential cell: all inputs compiled, for next-state eval.
+    seq_inputs: Vec<Option<Vec<(String, CompiledSignal)>>>,
+    /// Compiled primary outputs.
+    outputs: Vec<(String, CompiledSignal)>,
     /// Current state of sequential cells, indexed like `design.cells`.
     state: Vec<Env>,
-    /// Cached output→input dependency maps, indexed like `design.cells`.
-    deps: Vec<BTreeMap<String, std::collections::BTreeSet<String>>>,
-}
-
-fn signal_leaf_nets(sig: &Signal) -> Vec<String> {
-    sig.leaves()
-        .into_iter()
-        .filter_map(|l| match l {
-            Signal::Net(n) => Some(n.clone()),
-            _ => None,
-        })
-        .collect()
+    /// Net-value scratch, reused across passes (interior mutability so
+    /// [`eval`](Self::eval) stays `&self`).
+    scratch: RefCell<Vec<Option<Bits>>>,
 }
 
 impl<'a> Simulator<'a> {
-    /// Levelizes the design.
+    /// Interns net names, compiles all wiring, and levelizes the design.
     ///
     /// # Errors
     ///
     /// [`SimError::CombinationalCycle`] when the combinational logic is
     /// cyclic.
     pub fn new(design: &'a FlatDesign) -> Result<Self, SimError> {
+        let mut nets = NetTable::default();
+
         // Producer graph: one node per bound cell output port and per
-        // alias.
-        let mut producers: Vec<Producer> = Vec::new();
-        let mut net_producer: BTreeMap<&str, usize> = BTreeMap::new();
+        // alias (registered outputs included — they are edge sources).
+        enum RawProducer<'d> {
+            CellPort(usize, &'d str, u32),
+            Alias(&'d str, u32),
+        }
+        let mut producers: Vec<RawProducer> = Vec::new();
+        let mut net_producer: Vec<Option<usize>> = Vec::new();
+        let bind =
+            |nets: &mut NetTable, net_producer: &mut Vec<Option<usize>>, net: &str, idx: usize| {
+                let id = nets.intern(net);
+                if net_producer.len() <= id as usize {
+                    net_producer.resize(id as usize + 1, None);
+                }
+                net_producer[id as usize] = Some(idx);
+                id
+            };
         for (i, cell) in design.cells.iter().enumerate() {
             for (port, net) in &cell.outputs {
                 let idx = producers.len();
-                producers.push(Producer::CellPort(i, port.clone()));
-                net_producer.insert(net, idx);
+                let id = bind(&mut nets, &mut net_producer, net, idx);
+                producers.push(RawProducer::CellPort(i, port, id));
             }
         }
         for (net, _) in design.aliases.iter() {
             let idx = producers.len();
-            producers.push(Producer::Alias(net.clone()));
-            net_producer.insert(net, idx);
+            let id = bind(&mut nets, &mut net_producer, net, idx);
+            producers.push(RawProducer::Alias(net, id));
         }
-        let mut g = Digraph::new(producers.len());
-        let add_deps = |to: usize, sig: &Signal, g: &mut Digraph| {
-            for net in signal_leaf_nets(sig) {
-                if let Some(&from) = net_producer.get(net.as_str()) {
-                    g.add_edge(from, to, 0.0);
-                }
-            }
-        };
+
+        // Dependency-filtered, compiled inputs per cell output port.
         let deps: Vec<_> = design
             .cells
             .iter()
             .map(|c| c.model.output_dependencies())
             .collect();
+        let compile_inputs = |cell: &FlatCell,
+                              needed: Option<&BTreeSet<String>>,
+                              nets: &mut NetTable|
+         -> Vec<(String, CompiledSignal)> {
+            cell.inputs
+                .iter()
+                .filter(|(in_port, _)| needed.is_none_or(|set| set.contains(*in_port)))
+                .map(|(in_port, sig)| (in_port.clone(), CompiledSignal::compile(sig, nets)))
+                .collect()
+        };
+
+        let mut g = Digraph::new(producers.len());
+        let mut compiled: Vec<Option<Producer>> = Vec::with_capacity(producers.len());
+        let mut reads = Vec::new();
         for (idx, p) in producers.iter().enumerate() {
             match p {
-                Producer::CellPort(i, port) => {
+                RawProducer::CellPort(i, port, net_id) => {
                     let cell = &design.cells[*i];
                     if cell.model.is_registered_output(port) {
-                        continue; // state cuts the dependency
+                        // State cuts the dependency; published pre-pass.
+                        compiled.push(None);
+                        continue;
                     }
-                    let needed = deps[*i].get(port);
-                    for (in_port, sig) in &cell.inputs {
-                        if needed.is_none_or(|set| set.contains(in_port)) {
-                            add_deps(idx, sig, &mut g);
+                    let needed = deps[*i].get(*port);
+                    let inputs = compile_inputs(cell, needed, &mut nets);
+                    for (_, sig) in &inputs {
+                        reads.clear();
+                        sig.net_reads(&mut reads);
+                        for &r in &reads {
+                            if let Some(Some(from)) = net_producer.get(r as usize) {
+                                g.add_edge(*from, idx, 0.0);
+                            }
                         }
                     }
+                    compiled.push(Some(Producer::CellPort {
+                        cell: *i,
+                        port: port.to_string(),
+                        net: *net_id,
+                        inputs,
+                        targets: [port.to_string()].into_iter().collect(),
+                    }));
                 }
-                Producer::Alias(net) => {
-                    let sig = &design.aliases[net];
-                    add_deps(idx, sig, &mut g);
+                RawProducer::Alias(net, net_id) => {
+                    let sig = CompiledSignal::compile(&design.aliases[*net], &mut nets);
+                    reads.clear();
+                    sig.net_reads(&mut reads);
+                    for &r in &reads {
+                        if let Some(Some(from)) = net_producer.get(r as usize) {
+                            g.add_edge(*from, idx, 0.0);
+                        }
+                    }
+                    compiled.push(Some(Producer::Alias { net: *net_id, sig }));
                 }
             }
         }
         let order_ids = g.topo_sort().map_err(|e| {
             let name = match &producers[e.node] {
-                Producer::CellPort(i, port) => {
+                RawProducer::CellPort(i, port, _) => {
                     format!("{}.{port}", design.cells[*i].path)
                 }
-                Producer::Alias(n) => n.clone(),
+                RawProducer::Alias(n, _) => n.to_string(),
             };
             SimError::CombinationalCycle(name)
         })?;
-        let order = order_ids
+        let mut slots: Vec<Option<Producer>> = compiled;
+        let order: Vec<Producer> = order_ids
             .into_iter()
-            .map(|i| match &producers[i] {
-                Producer::CellPort(c, p) => Producer::CellPort(*c, p.clone()),
-                Producer::Alias(n) => Producer::Alias(n.clone()),
-            })
+            .filter_map(|i| slots[i].take())
             .collect();
+
+        // Registered outputs published from state before each pass.
+        let mut reg_publish = Vec::new();
+        let mut seq_inputs: Vec<Option<Vec<(String, CompiledSignal)>>> =
+            Vec::with_capacity(design.cells.len());
+        for (i, cell) in design.cells.iter().enumerate() {
+            if cell.model.is_sequential() {
+                for (port, net) in &cell.outputs {
+                    if cell.model.is_registered_output(port) {
+                        let id = nets.intern(net);
+                        reg_publish.push((i, port.clone(), id, port_width(cell, port)));
+                    }
+                }
+                seq_inputs.push(Some(compile_inputs(cell, None, &mut nets)));
+            } else {
+                seq_inputs.push(None);
+            }
+        }
+
+        let outputs = design
+            .outputs
+            .iter()
+            .map(|(name, sig)| (name.clone(), CompiledSignal::compile(sig, &mut nets)))
+            .collect();
+
         let state = design.cells.iter().map(zero_state).collect();
+        let scratch = RefCell::new(vec![None; nets.names.len()]);
         Ok(Simulator {
             design,
+            net_names: nets.names,
             order,
+            reg_publish,
+            seq_inputs,
+            outputs,
             state,
-            deps,
+            scratch,
         })
     }
 
@@ -162,39 +357,34 @@ impl<'a> Simulator<'a> {
             .map(|i| &self.state[i])
     }
 
-    fn pass(&self, inputs: &Env) -> Result<(BTreeMap<String, Bits>, Vec<Option<Env>>), SimError> {
-        let mut nets: Env = Env::new();
+    fn pass(&self, inputs: &Env, nets: &mut [Option<Bits>]) -> Result<Vec<Option<Env>>, SimError> {
+        for slot in nets.iter_mut() {
+            *slot = None;
+        }
+        let names = &self.net_names;
         let mut pending: Vec<Option<Env>> = vec![None; self.design.cells.len()];
-        let resolve = |sig: &Signal, nets: &Env, inputs: &Env| -> Result<Bits, SimError> {
-            sig.eval(nets, inputs).map_err(SimError::Eval)
-        };
         // Publish registered outputs first (they are sources); a
         // sequential cell's combinational read ports are evaluated in
         // topological order like any other producer.
-        for (i, cell) in self.design.cells.iter().enumerate() {
-            if cell.model.is_sequential() {
-                for (port, net) in &cell.outputs {
-                    if !cell.model.is_registered_output(port) {
-                        continue;
-                    }
-                    let v = self.state[i]
-                        .get(port)
-                        .cloned()
-                        .unwrap_or_else(|| Bits::zero(port_width(cell, port)));
-                    nets.insert(net.clone(), v);
-                }
-            }
+        for (i, port, net, width) in &self.reg_publish {
+            let v = self.state[*i]
+                .get(port)
+                .cloned()
+                .unwrap_or_else(|| Bits::zero(*width));
+            nets[*net as usize] = Some(v);
         }
         for producer in &self.order {
             match producer {
-                Producer::CellPort(i, port) => {
+                Producer::CellPort {
+                    cell: i,
+                    port,
+                    net,
+                    inputs: cell_inputs,
+                    targets,
+                } => {
                     let cell = &self.design.cells[*i];
-                    if cell.model.is_registered_output(port) {
-                        continue; // published above
-                    }
                     // Evaluate just this output, using only the inputs it
                     // depends on (others may not be resolved yet).
-                    let needed = self.deps[*i].get(port);
                     let mut env = Env::new();
                     if cell.model.is_sequential() {
                         // Combinational reads see the current state.
@@ -202,38 +392,34 @@ impl<'a> Simulator<'a> {
                             env.insert(k.clone(), v.clone());
                         }
                     }
-                    for (in_port, sig) in &cell.inputs {
-                        if needed.is_none_or(|set| set.contains(in_port)) {
-                            env.insert(in_port.clone(), resolve(sig, &nets, inputs)?);
-                        }
+                    for (in_port, sig) in cell_inputs {
+                        let v = sig.eval(nets, names, inputs).map_err(SimError::Eval)?;
+                        env.insert(in_port.clone(), v);
                     }
-                    let targets: std::collections::BTreeSet<String> =
-                        [port.clone()].into_iter().collect();
                     let out = cell
                         .model
-                        .eval_filtered(&env, Some(&targets))
+                        .eval_filtered(&env, Some(targets))
                         .map_err(|e| SimError::Eval(format!("{}: {e}", cell.path)))?;
-                    let net = &cell.outputs[port];
                     let v = out.get(port).cloned().ok_or_else(|| {
                         SimError::Eval(format!("{} missing output {port}", cell.path))
                     })?;
-                    nets.insert(net.clone(), v);
+                    nets[*net as usize] = Some(v);
                 }
-                Producer::Alias(net) => {
-                    let sig = &self.design.aliases[net];
-                    let v = resolve(sig, &nets, inputs)?;
-                    nets.insert(net.clone(), v);
+                Producer::Alias { net, sig } => {
+                    let v = sig.eval(nets, names, inputs).map_err(SimError::Eval)?;
+                    nets[*net as usize] = Some(v);
                 }
             }
         }
         // Next states for sequential cells, now that all nets are known.
         for (i, cell) in self.design.cells.iter().enumerate() {
-            if !cell.model.is_sequential() {
+            let Some(cell_inputs) = &self.seq_inputs[i] else {
                 continue;
-            }
+            };
             let mut env = self.state[i].clone();
-            for (port, sig) in &cell.inputs {
-                env.insert(port.clone(), resolve(sig, &nets, inputs)?);
+            for (port, sig) in cell_inputs {
+                let v = sig.eval(nets, names, inputs).map_err(SimError::Eval)?;
+                env.insert(port.clone(), v);
             }
             let next = cell
                 .model
@@ -241,7 +427,7 @@ impl<'a> Simulator<'a> {
                 .map_err(|e| SimError::Eval(format!("{}: {e}", cell.path)))?;
             pending[i] = Some(next);
         }
-        Ok((nets, pending))
+        Ok(pending)
     }
 
     /// Evaluates the combinational function without advancing state;
@@ -251,7 +437,8 @@ impl<'a> Simulator<'a> {
     ///
     /// [`SimError::Eval`] on missing nets or model failures.
     pub fn eval(&self, inputs: &Env) -> Result<Env, SimError> {
-        let (nets, _) = self.pass(inputs)?;
+        let mut nets = self.scratch.borrow_mut();
+        let _ = self.pass(inputs, &mut nets)?;
         self.primary_outputs(&nets, inputs)
     }
 
@@ -262,28 +449,37 @@ impl<'a> Simulator<'a> {
     ///
     /// [`SimError::Eval`] on missing nets or model failures.
     pub fn step(&mut self, inputs: &Env) -> Result<Env, SimError> {
-        let (nets, pending) = self.pass(inputs)?;
-        let outs = self.primary_outputs(&nets, inputs)?;
-        for (i, next) in pending.into_iter().enumerate() {
-            if let Some(next) = next {
-                // Keep only the output ports as state.
-                let cell = &self.design.cells[i];
-                let mut s = Env::new();
-                for port in cell.model.outputs() {
-                    if let Some(v) = next.get(&port.name) {
-                        s.insert(port.name.clone(), v.clone());
+        // Move the scratch out so state commits below don't fight the
+        // borrow; it goes back (same allocation) before returning.
+        let mut nets = std::mem::take(self.scratch.get_mut());
+        let result = self.pass(inputs, &mut nets);
+        let outs = result.and_then(|pending| {
+            let outs = self.primary_outputs(&nets, inputs)?;
+            for (i, next) in pending.into_iter().enumerate() {
+                if let Some(next) = next {
+                    // Keep only the output ports as state.
+                    let cell = &self.design.cells[i];
+                    let mut s = Env::new();
+                    for port in cell.model.outputs() {
+                        if let Some(v) = next.get(&port.name) {
+                            s.insert(port.name.clone(), v.clone());
+                        }
                     }
+                    self.state[i] = s;
                 }
-                self.state[i] = s;
             }
-        }
-        Ok(outs)
+            Ok(outs)
+        });
+        *self.scratch.get_mut() = nets;
+        outs
     }
 
-    fn primary_outputs(&self, nets: &Env, inputs: &Env) -> Result<Env, SimError> {
+    fn primary_outputs(&self, nets: &[Option<Bits>], inputs: &Env) -> Result<Env, SimError> {
         let mut out = Env::new();
-        for (name, sig) in &self.design.outputs {
-            let v = sig.eval(nets, inputs).map_err(SimError::Eval)?;
+        for (name, sig) in &self.outputs {
+            let v = sig
+                .eval(nets, &self.net_names, inputs)
+                .map_err(SimError::Eval)?;
             out.insert(name.clone(), v);
         }
         Ok(out)

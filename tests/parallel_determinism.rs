@@ -1,0 +1,376 @@
+//! Determinism under parallelism and caching: the sharded solver, the
+//! threaded uniform counter, and the engine-level cross-query cache must
+//! all produce bit-identical results to a forced single-thread, cold run
+//! — the paper's numbers only mean something if the speedups are free.
+
+use cells::lsi::lsi_logic_subset;
+use dtas::template::SpecModelCache;
+use dtas::{DesignSpace, Dtas, DtasConfig, Policy, RuleSet, SolveConfig, Solver};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn add16() -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::AddSub, 16)
+        .with_ops(OpSet::only(Op::Add))
+        .with_carry_in(true)
+        .with_carry_out(true)
+}
+
+fn alu64() -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Alu, 64)
+        .with_ops(Op::paper_alu16())
+        .with_carry_in(true)
+}
+
+/// Area bits, delay bits, and the full policy of every front point.
+fn front_fingerprint(
+    space: &mut DesignSpace,
+    spec: &ComponentSpec,
+    threads: usize,
+) -> Vec<(u64, u64, Vec<(usize, usize)>)> {
+    let rules = RuleSet::standard().with_lsi_extensions();
+    let lib = lsi_logic_subset();
+    let cache = SpecModelCache::new();
+    let root = space
+        .expand_threaded(spec, &rules, &lib, &cache, threads)
+        .unwrap();
+    let mut solver = Solver::new(space, SolveConfig::default()).with_threads(threads);
+    solver
+        .front(root, &cache)
+        .iter()
+        .map(|p| {
+            (
+                p.area.to_bits(),
+                p.delay().to_bits(),
+                p.policy.iter().collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_solver_fronts_match_serial_exactly() {
+    for spec in [add16(), alu64()] {
+        let mut serial_space = DesignSpace::new();
+        let serial = front_fingerprint(&mut serial_space, &spec, 1);
+        let mut parallel_space = DesignSpace::new();
+        let parallel = front_fingerprint(&mut parallel_space, &spec, 4);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, parallel, "parallel front diverged for {spec}");
+    }
+}
+
+fn set_fingerprint(set: &dtas::DesignSet) -> Vec<(u64, u64, String, Vec<(String, usize)>)> {
+    set.alternatives
+        .iter()
+        .map(|a| {
+            (
+                a.area.to_bits(),
+                a.delay.to_bits(),
+                a.implementation.label().to_string(),
+                a.implementation.cell_census().into_iter().collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn threaded_engine_matches_single_thread_engine() {
+    let serial = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        threads: Some(1),
+        ..DtasConfig::default()
+    });
+    let threaded = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        threads: Some(4),
+        ..DtasConfig::default()
+    });
+    for spec in [add16(), alu64()] {
+        let a = serial.synthesize(&spec).unwrap();
+        let b = threaded.synthesize(&spec).unwrap();
+        assert_eq!(set_fingerprint(&a), set_fingerprint(&b), "{spec}");
+        assert_eq!(
+            a.unconstrained_size.to_bits(),
+            b.unconstrained_size.to_bits()
+        );
+        assert_eq!(a.uniform_size, b.uniform_size);
+        assert_eq!(a.stats.spec_nodes, b.stats.spec_nodes);
+    }
+}
+
+#[test]
+fn cached_repeat_is_identical_and_counted() {
+    let engine = Dtas::new(lsi_logic_subset());
+    let first = engine.synthesize(&add16()).unwrap();
+    assert_eq!(engine.cache_stats().misses, 1);
+    assert_eq!(engine.cache_stats().hits, 0);
+    let again = engine.synthesize(&add16()).unwrap();
+    assert_eq!(set_fingerprint(&first), set_fingerprint(&again));
+    assert_eq!(again.uniform_size, first.uniform_size);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(stats.cached_results, 1);
+    assert!(stats.cached_fronts > 0);
+    // Invalidation drops everything; the next call re-solves identically.
+    engine.clear_cache();
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.cached_results), (0, 0, 0));
+    let cold = engine.synthesize(&add16()).unwrap();
+    assert_eq!(set_fingerprint(&first), set_fingerprint(&cold));
+}
+
+#[test]
+fn shared_subspecs_are_reused_across_roots() {
+    let engine = Dtas::new(lsi_logic_subset());
+    engine.synthesize(&add16()).unwrap();
+    let nodes_after_add16 = engine.cache_stats().spec_nodes;
+    // An ADD32 decomposes through the same small-adder subspace.
+    let add32 = ComponentSpec::new(ComponentKind::AddSub, 32)
+        .with_ops(OpSet::only(Op::Add))
+        .with_carry_in(true)
+        .with_carry_out(true);
+    let set = engine.synthesize(&add32).unwrap();
+    assert!(!set.alternatives.is_empty());
+    let stats = engine.cache_stats();
+    // The shared space grew instead of being rebuilt, and ADD16's nodes
+    // were not re-expanded (the count strictly contains them).
+    assert!(stats.spec_nodes > nodes_after_add16);
+    assert_eq!(stats.misses, 2);
+    // Both roots answer from the result memo now.
+    engine.synthesize(&add16()).unwrap();
+    engine.synthesize(&add32).unwrap();
+    assert_eq!(engine.cache_stats().hits, 2);
+}
+
+#[test]
+fn shared_engine_results_match_fresh_engines() {
+    // Whatever the query order, every answer from one long-lived engine
+    // must equal a fresh engine's answer for that spec.
+    let shared = Dtas::new(lsi_logic_subset());
+    let mux8 = ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(8);
+    for spec in [alu64(), add16(), mux8, add16(), alu64()] {
+        let from_shared = shared.synthesize(&spec).unwrap();
+        let from_fresh = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        assert_eq!(
+            set_fingerprint(&from_shared),
+            set_fingerprint(&from_fresh),
+            "shared-engine divergence for {spec}"
+        );
+        assert_eq!(from_shared.uniform_size, from_fresh.uniform_size);
+        assert_eq!(from_shared.stats.spec_nodes, from_fresh.stats.spec_nodes);
+        assert_eq!(
+            from_shared.stats.impl_choices,
+            from_fresh.stats.impl_choices
+        );
+    }
+}
+
+#[test]
+fn truncation_stats_survive_cross_query_reuse() {
+    // With a tight combination cap the solver truncates; a query answered
+    // through a long-lived engine must report the same truncation as a
+    // fresh engine, even when it reuses fronts truncated by an earlier
+    // query.
+    let config = DtasConfig {
+        max_combinations: 2,
+        ..DtasConfig::default()
+    };
+    let fresh = Dtas::new(lsi_logic_subset())
+        .with_config(config)
+        .synthesize(&add16())
+        .unwrap();
+    assert!(
+        fresh.stats.truncated_combinations > 0,
+        "cap 2 should truncate ADD16"
+    );
+    let shared = Dtas::new(lsi_logic_subset()).with_config(config);
+    shared
+        .synthesize(
+            &ComponentSpec::new(ComponentKind::AddSub, 8)
+                .with_ops(OpSet::only(Op::Add))
+                .with_carry_in(true)
+                .with_carry_out(true),
+        )
+        .unwrap();
+    let reused = shared.synthesize(&add16()).unwrap();
+    assert_eq!(
+        reused.stats.truncated_combinations,
+        fresh.stats.truncated_combinations
+    );
+}
+
+#[test]
+fn cache_off_still_produces_identical_results() {
+    let cached = Dtas::new(lsi_logic_subset());
+    let cold = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        cache: false,
+        ..DtasConfig::default()
+    });
+    let a = cached.synthesize(&add16()).unwrap();
+    let b = cold.synthesize(&add16()).unwrap();
+    assert_eq!(set_fingerprint(&a), set_fingerprint(&b));
+    // Nothing is retained with the cache off.
+    let stats = cold.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.cached_results), (0, 0, 0));
+    assert_eq!(stats.spec_nodes, 0);
+}
+
+/// A deliberately *cyclic* ruleset: style-A delays decompose into
+/// style-B delays and vice versa. Whichever spec expands first drops the
+/// template that closes the cycle, so shared-space memo contents are
+/// query-order dependent — the engine must detect this and serve such
+/// queries from a cold expansion.
+mod cyclic {
+    use super::*;
+    use cells::{Cell, CellLibrary};
+    use dtas::template::NetlistTemplate;
+    use dtas::{Rule, Signal, TemplateBuilder};
+
+    pub struct StyleSwap {
+        pub from: &'static str,
+        pub to: &'static str,
+    }
+
+    impl Rule for StyleSwap {
+        fn name(&self) -> &str {
+            "style-swap"
+        }
+        fn doc(&self) -> &str {
+            "test-only: rewrap a delay in the opposite style"
+        }
+        fn expand(&self, spec: &ComponentSpec) -> Vec<NetlistTemplate> {
+            if spec.kind != ComponentKind::Delay
+                || spec.width != 4
+                || spec.style.as_deref() != Some(self.from)
+            {
+                return vec![];
+            }
+            let mut t = TemplateBuilder::new(self.name());
+            t.module(
+                "u",
+                delay(self.to),
+                vec![("I", Signal::parent("I"))],
+                vec![("O", "o", 4)],
+            );
+            t.output("O", Signal::net("o"));
+            vec![t.build()]
+        }
+    }
+
+    pub fn delay(style: &str) -> ComponentSpec {
+        ComponentSpec::new(ComponentKind::Delay, 4).with_style(style)
+    }
+
+    pub fn engine() -> Dtas {
+        let mut lib = CellLibrary::new("delay-only");
+        lib.insert(Cell::new(
+            "DEL4",
+            ComponentSpec::new(ComponentKind::Delay, 4),
+            5.0,
+            1.0,
+        ));
+        let mut rules = RuleSet::standard();
+        rules.append_library_rules(vec![
+            Box::new(StyleSwap { from: "A", to: "B" }),
+            Box::new(StyleSwap { from: "B", to: "A" }),
+        ]);
+        Dtas::new(lib).with_rules(rules)
+    }
+}
+
+#[test]
+fn cyclic_expansion_is_flagged_as_tainted() {
+    // Space-level: expanding style-A drops style-B's swap-back template,
+    // so B's subgraph is marked query-order dependent; an acyclic spec
+    // (plain ADD16 expanded as its own root in a fresh space) reaches no
+    // node whose templates were cut under a *different* root.
+    let engine = cyclic::engine();
+    let mut space = DesignSpace::new();
+    let cache = SpecModelCache::new();
+    let root_a = space
+        .expand(
+            &cyclic::delay("A"),
+            engine.rules(),
+            engine.library(),
+            &cache,
+        )
+        .unwrap();
+    assert!(space.tainted_under(root_a));
+    let root_b = space.id_of(&cyclic::delay("B")).unwrap();
+    assert!(space.tainted_under(root_b));
+}
+
+#[test]
+fn cyclic_rules_stay_query_order_independent() {
+    let fresh_b = cyclic::engine().synthesize(&cyclic::delay("B")).unwrap();
+    let shared = cyclic::engine();
+    shared.synthesize(&cyclic::delay("A")).unwrap();
+    // Without the cycle-taint guard this query would answer from a shared
+    // space where style-B was expanded under style-A and lost its
+    // swap-back template (fewer implementation choices).
+    let b_after_a = shared.synthesize(&cyclic::delay("B")).unwrap();
+    assert_eq!(b_after_a.stats.impl_choices, fresh_b.stats.impl_choices);
+    assert_eq!(b_after_a.stats.spec_nodes, fresh_b.stats.spec_nodes);
+    assert_eq!(set_fingerprint(&b_after_a), set_fingerprint(&fresh_b));
+    // Tainted queries are never memoized: repeats stay correct too.
+    let again = shared.synthesize(&cyclic::delay("B")).unwrap();
+    assert_eq!(set_fingerprint(&again), set_fingerprint(&fresh_b));
+}
+
+/// The old BTreeMap policy-merge semantics, kept as the reference model.
+fn reference_merge(
+    base: &BTreeMap<usize, usize>,
+    extra: &BTreeMap<usize, usize>,
+) -> Option<BTreeMap<usize, usize>> {
+    let (small, large) = if base.len() < extra.len() {
+        (base, extra)
+    } else {
+        (extra, base)
+    };
+    let mut merged = large.clone();
+    for (k, v) in small {
+        match merged.get(k) {
+            Some(existing) if existing != v => return None,
+            Some(_) => {}
+            None => {
+                merged.insert(*k, *v);
+            }
+        }
+    }
+    Some(merged)
+}
+
+fn arb_assignments() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..48, 0usize..8), 0..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Flat `Policy` merge agrees with the old BTreeMap merge on both the
+    /// conflict decision and the merged contents.
+    #[test]
+    fn policy_merge_matches_btreemap_semantics(a in arb_assignments(), b in arb_assignments()) {
+        // Duplicate keys resolve last-wins in both models.
+        let ma: BTreeMap<usize, usize> = a.iter().copied().collect();
+        let mb: BTreeMap<usize, usize> = b.iter().copied().collect();
+        let pa: Policy = ma.iter().map(|(&k, &v)| (k, v)).collect();
+        let pb: Policy = mb.iter().map(|(&k, &v)| (k, v)).collect();
+        let reference = reference_merge(&ma, &mb);
+        let flat = pa.merged(&pb);
+        prop_assert_eq!(reference.is_some(), flat.is_some());
+        if let (Some(reference), Some(flat)) = (reference, flat) {
+            let flat_entries: Vec<(usize, usize)> = flat.iter().collect();
+            let ref_entries: Vec<(usize, usize)> = reference.into_iter().collect();
+            prop_assert_eq!(flat_entries, ref_entries);
+            // Merge is symmetric on success.
+            prop_assert_eq!(Some(flat), pb.merged(&pa));
+        }
+        // get() agrees with the map on every key.
+        for k in 0..48 {
+            prop_assert_eq!(pa.get(k), ma.get(&k).copied());
+        }
+    }
+}
