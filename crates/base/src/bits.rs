@@ -737,7 +737,7 @@ mod tests {
 
     #[test]
     fn slice_concat_roundtrip() {
-        let v = Bits::from_u128(100, 0x0dead_beef_cafe_f00du128);
+        let v = Bits::from_u128(100, 0x0000_dead_beef_cafe_f00d_u128);
         let lo = v.slice(0, 37);
         let hi = v.slice(37, 63);
         assert_eq!(lo.concat(&hi), v);

@@ -58,6 +58,66 @@ fn run_queries(engine: &Dtas, specs: &[(String, ComponentSpec)]) -> Vec<QueryRow
         .collect()
 }
 
+/// Hit-path throughput with `clients` threads hammering one warmed
+/// engine: total queries per second and the per-client share. With the
+/// sharded read-mostly memo, per-client throughput should stay within ~2x
+/// of a solo client's on a multi-core host (clients only share read
+/// locks); on a single core it degrades with the core split instead.
+struct ConcurrentRow {
+    clients: usize,
+    queries_per_client: usize,
+    total_qps: f64,
+    per_client_qps: f64,
+}
+
+fn concurrent_hit_throughput(engine: &Dtas, spec: &ComponentSpec) -> Vec<ConcurrentRow> {
+    engine.synthesize(spec).expect("warms");
+    let queries_per_client = 2_000usize;
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|clients| {
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| {
+                        for _ in 0..queries_per_client {
+                            let set = engine.synthesize(spec).expect("hits");
+                            assert!(!set.alternatives.is_empty());
+                        }
+                    });
+                }
+            });
+            let elapsed = t0.elapsed().as_secs_f64();
+            let total = (clients * queries_per_client) as f64;
+            ConcurrentRow {
+                clients,
+                queries_per_client,
+                total_qps: total / elapsed,
+                per_client_qps: total / elapsed / clients as f64,
+            }
+        })
+        .collect()
+}
+
+/// Cold batch (one shared-space, level-scheduled pass) vs the per-spec
+/// loop on fresh engines.
+fn batch_vs_loop_ms(specs: &[(String, ComponentSpec)]) -> (f64, f64) {
+    let flat: Vec<ComponentSpec> = specs.iter().map(|(_, s)| s.clone()).collect();
+    let batch_engine = Dtas::new(lsi_logic_subset());
+    let batch_ms = ms(|| {
+        for result in batch_engine.synthesize_batch(&flat) {
+            result.expect("synthesizes");
+        }
+    });
+    let loop_engine = Dtas::new(lsi_logic_subset());
+    let loop_ms = ms(|| {
+        for spec in &flat {
+            loop_engine.synthesize(spec).expect("synthesizes");
+        }
+    });
+    (batch_ms, loop_ms)
+}
+
 fn gcd_cycles_per_sec() -> f64 {
     let entity = parse_entity(GCD_SOURCE).expect("parses");
     let design = compile(&entity, &Constraints::default()).expect("compiles");
@@ -122,6 +182,12 @@ fn main() {
 
     let sim_cps = gcd_cycles_per_sec();
 
+    // Concurrent hit-path clients against the (already warm) default
+    // engine — the serialization-fix metric.
+    let concurrent = concurrent_hit_throughput(&engine, &adder_spec(16));
+    let contention_stats = engine.cache_stats();
+    let (batch_ms, loop_ms) = batch_vs_loop_ms(&specs);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"dtas-perf-snapshot/1\",");
@@ -160,6 +226,45 @@ fn main() {
         serial_cached_ms,
         threaded_nocache_ms,
         serial_nocache_ms,
+    );
+    let _ = writeln!(json, "  \"concurrent_hit_clients\": [");
+    let solo_qps = concurrent
+        .first()
+        .map(|r| r.per_client_qps)
+        .unwrap_or(1.0)
+        .max(1e-9);
+    for (i, r) in concurrent.iter().enumerate() {
+        let comma = if i + 1 == concurrent.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"clients\": {}, \"queries_per_client\": {}, \"total_qps\": {:.0}, \"per_client_qps\": {:.0}, \"per_client_vs_solo\": {:.3} }}{comma}",
+            r.clients,
+            r.queries_per_client,
+            r.total_qps,
+            r.per_client_qps,
+            r.per_client_qps / solo_qps,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"concurrent_note\": \"per_client_vs_solo >= 0.5 at 2+ clients demonstrates the unserialized hit path; on a single-core host the core split alone caps it near 1/clients\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"contention\": {{ \"result_shards\": {}, \"shard_contention\": {}, \"state_exclusive\": {}, \"poison_recoveries\": {} }},",
+        contention_stats.result_shards,
+        contention_stats.shard_contention,
+        contention_stats.state_exclusive,
+        contention_stats.poison_recoveries,
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch_vs_loop_cold_ms\": {{ \"batch\": {batch_ms:.3}, \"per_spec_loop\": {loop_ms:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sim_gcd_prechange_reference\": {{ \"cycles_per_sec\": 30000, \"note\": \"median of pre-change runs (27k-33k) on the original single-core dev container, before genus::compiled port interning; a foreign-machine reference only - compare sim_gcd_cycles_per_sec against a baseline measured on THIS machine\" }},"
     );
     let _ = writeln!(json, "  \"sim_gcd_cycles_per_sec\": {sim_cps:.0}");
     let _ = writeln!(json, "}}");

@@ -1,10 +1,10 @@
 //! Two-level logic minimization: Quine–McCluskey with don't-cares and a
 //! greedy prime-implicant cover.
 //!
-//! The control compiler's "logic-level optimizations" (paper §3, Figure
-//! 1) for the sequencing logic. Input sizes here are controller-scale
-//! (state bits + a few status bits), where exact prime generation is
-//! cheap.
+//! The control compiler's "logic-level optimizations" of the paper's §3
+//! (Figure 1) for the sequencing logic. Input sizes here are
+//! controller-scale (state bits + a few status bits), where exact prime
+//! generation is cheap.
 
 use std::collections::BTreeSet;
 

@@ -87,11 +87,14 @@ impl LibraryProfile {
     }
 }
 
+/// The expansion closure a derived rule carries.
+type ExpandFn = Box<dyn Fn(&ComponentSpec) -> Vec<NetlistTemplate> + Send + Sync>;
+
 /// A LOLA-derived rule: a named closure over the learned parameters.
 struct DerivedRule {
     name: String,
     doc: String,
-    expand: Box<dyn Fn(&ComponentSpec) -> Vec<NetlistTemplate> + Send + Sync>,
+    expand: ExpandFn,
 }
 
 impl Rule for DerivedRule {

@@ -21,7 +21,7 @@ fn canonical_addsub(spec: &ComponentSpec) -> bool {
 
 /// Builds a ripple chain of `w / k` slices of width `k`.
 fn ripple(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTemplate> {
-    if !canonical_addsub(spec) || spec.width <= k || spec.width % k != 0 {
+    if !canonical_addsub(spec) || spec.width <= k || !spec.width.is_multiple_of(k) {
         return None;
     }
     let n = spec.width / k;
@@ -97,7 +97,7 @@ rule!(
     "add-ripple-split-odd",
     "odd-width adders split into an even low part and a 1-bit top slice",
     |spec| {
-        if !canonical_addsub(spec) || spec.width < 3 || spec.width % 2 == 0 {
+        if !canonical_addsub(spec) || spec.width < 3 || spec.width.is_multiple_of(2) {
             return vec![];
         }
         let w = spec.width;
@@ -138,7 +138,7 @@ rule!(
         if !canonical_addsub(spec)
             || spec.ops != OpSet::only(Op::Add)
             || spec.width < 8
-            || spec.width % 2 != 0
+            || !spec.width.is_multiple_of(2)
         {
             return vec![];
         }
@@ -200,7 +200,7 @@ rule!(
     "add-cla-groups",
     "4-bit P/G adder groups under one carry-lookahead generator",
     |spec| {
-        if !canonical_addsub(spec) || spec.ops != OpSet::only(Op::Add) || spec.width % 4 != 0
+        if !canonical_addsub(spec) || spec.ops != OpSet::only(Op::Add) || !spec.width.is_multiple_of(4)
         {
             return vec![];
         }
@@ -257,7 +257,7 @@ rule!(
     "add-cla-two-level",
     "two-level carry lookahead: 16-bit superblocks of 4-bit P/G groups",
     |spec| {
-        if !canonical_addsub(spec) || spec.ops != OpSet::only(Op::Add) || spec.width % 16 != 0
+        if !canonical_addsub(spec) || spec.ops != OpSet::only(Op::Add) || !spec.width.is_multiple_of(16)
         {
             return vec![];
         }

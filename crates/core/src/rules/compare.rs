@@ -122,7 +122,7 @@ rule!(
         if !is_comparator(spec)
             || spec.ops != OpSet::only(Op::Eq)
             || spec.width < 4
-            || spec.width % 2 != 0
+            || !spec.width.is_multiple_of(2)
         {
             return vec![];
         }
@@ -162,7 +162,7 @@ rule!(
             || !el.is_superset(spec.ops)
             || !spec.ops.contains(Op::Lt)
             || spec.width < 2
-            || spec.width % 2 != 0
+            || !spec.width.is_multiple_of(2)
         {
             return vec![];
         }

@@ -28,7 +28,7 @@ rule!(
     "lsi-cla16-block-ripple",
     "16-bit lookahead blocks (4 x ADD4PG + CLA4) rippled block to block",
     |spec| {
-        if !canonical_adder(spec) || spec.width % 16 != 0 || spec.width <= 16 {
+        if !canonical_adder(spec) || !spec.width.is_multiple_of(16) || spec.width <= 16 {
             return vec![];
         }
         let nb = spec.width / 16;
@@ -89,7 +89,7 @@ rule!(
     "lsi-carry-select-8",
     "chained 8-bit carry-select blocks sized for the library's 4-bit adders",
     |spec| {
-        if !canonical_adder(spec) || spec.width % 8 != 0 || spec.width < 16 {
+        if !canonical_adder(spec) || !spec.width.is_multiple_of(8) || spec.width < 16 {
             return vec![];
         }
         let nb = spec.width / 8;
@@ -275,7 +275,7 @@ fn gate_radix(
     };
     if spec.width != 1
         || spec.inputs <= radix
-        || spec.inputs % radix != 0
+        || !spec.inputs.is_multiple_of(radix)
         || matches!(g, GateOp::Not | GateOp::Buf | GateOp::Xor | GateOp::Xnor)
     {
         return vec![];

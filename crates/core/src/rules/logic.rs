@@ -12,7 +12,7 @@ fn lu_spec(spec: &ComponentSpec) -> bool {
 }
 
 fn lu_slice(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTemplate> {
-    if !lu_spec(spec) || spec.width <= k || spec.width % k != 0 {
+    if !lu_spec(spec) || spec.width <= k || !spec.width.is_multiple_of(k) {
         return None;
     }
     let n = spec.width / k;
@@ -275,7 +275,7 @@ rule!(
         };
         if spec.width != 1
             || spec.inputs <= 4
-            || spec.inputs % 4 != 0
+            || !spec.inputs.is_multiple_of(4)
             || matches!(g, GateOp::Not | GateOp::Buf | GateOp::Xor | GateOp::Xnor)
         {
             return vec![];

@@ -75,7 +75,7 @@ rule!(
         }
         let n = spec.width;
         let m = spec.width2;
-        if n == 0 || m < 2 || m % 2 != 0 {
+        if n == 0 || m < 2 || !m.is_multiple_of(2) {
             return vec![];
         }
         let h = m / 2;

@@ -12,7 +12,7 @@ fn is_mux(spec: &ComponentSpec) -> bool {
 }
 
 fn mux_width_slice(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTemplate> {
-    if !is_mux(spec) || spec.width <= k || spec.width % k != 0 {
+    if !is_mux(spec) || spec.width <= k || !spec.width.is_multiple_of(k) {
         return None;
     }
     let n = spec.inputs;

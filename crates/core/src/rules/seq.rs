@@ -15,7 +15,7 @@ fn plain_register(spec: &ComponentSpec) -> bool {
 }
 
 fn register_slice(rule_name: &str, spec: &ComponentSpec, k: usize) -> Option<NetlistTemplate> {
-    if !plain_register(spec) || spec.width <= k || spec.width % k != 0 {
+    if !plain_register(spec) || spec.width <= k || !spec.width.is_multiple_of(k) {
         return None;
     }
     let n = spec.width / k;

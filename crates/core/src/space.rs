@@ -144,7 +144,13 @@ impl fmt::Display for ExpandError {
 impl std::error::Error for ExpandError {}
 
 /// The AND-OR design space.
-#[derive(Default)]
+///
+/// `Clone` is cheap relative to solving: netlist templates inside
+/// implementation choices are [`Arc`]-shared, so a clone copies node and
+/// memo tables but no template bodies. The engine clones the space to
+/// solve cold queries against a private snapshot without holding the
+/// shared-state lock.
+#[derive(Clone, Default)]
 pub struct DesignSpace {
     /// All specification nodes.
     pub nodes: Vec<SpecNode>,
@@ -441,7 +447,7 @@ impl DesignSpace {
             let next = loop {
                 match pending.pop() {
                     None => {
-                        return count.fetch_add(1, Ordering::Relaxed) + 1 <= limit;
+                        return count.fetch_add(1, Ordering::Relaxed) < limit;
                     }
                     Some(id) if policy[id] != UNSET => continue,
                     Some(id) => break id,
@@ -744,7 +750,7 @@ impl Default for SolveConfig {
 fn compute_front(
     space: &DesignSpace,
     config: SolveConfig,
-    fronts: &[Option<Vec<DesignPoint>>],
+    fronts: &[Option<Arc<Vec<DesignPoint>>>],
     id: SpecId,
     cache: &SpecModelCache,
 ) -> (Vec<DesignPoint>, u64) {
@@ -775,6 +781,7 @@ fn compute_front(
                     .map(|&cid| {
                         fronts[cid]
                             .as_deref()
+                            .map(Vec::as_slice)
                             .expect("children are solved before parents")
                     })
                     .collect();
@@ -840,9 +847,14 @@ fn compute_front(
 /// Per-node solve results that outlive one [`Solver`]: the filtered
 /// fronts plus each node's combination-truncation count, so a query
 /// reusing cached fronts still reports the truncation that shaped them.
-#[derive(Default)]
+///
+/// Fronts are [`Arc`]-shared, so [`snapshot`](Self::snapshot) is a
+/// pointer-bump copy — concurrent queries each solve against a private
+/// snapshot of the shared store and [`absorb`](Self::absorb) their newly
+/// solved nodes back without blocking one another mid-solve.
+#[derive(Clone, Default)]
 pub struct FrontStore {
-    fronts: Vec<Option<Vec<DesignPoint>>>,
+    fronts: Vec<Option<Arc<Vec<DesignPoint>>>>,
     truncated: Vec<u64>,
 }
 
@@ -850,6 +862,30 @@ impl FrontStore {
     /// Number of nodes with a solved front.
     pub fn solved_count(&self) -> usize {
         self.fronts.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// A cheap copy sharing every solved front (`Arc` clones).
+    pub fn snapshot(&self) -> FrontStore {
+        self.clone()
+    }
+
+    /// Merges `other`'s solved fronts into `self`, filling only nodes
+    /// still unsolved here. Every front is a pure function of the node's
+    /// (append-only) subgraph and the solve configuration, so when both
+    /// stores solved a node the results are bit-identical and either copy
+    /// may be kept.
+    pub fn absorb(&mut self, other: FrontStore) {
+        if other.fronts.len() > self.fronts.len() {
+            self.resize(other.fronts.len());
+        }
+        for (i, front) in other.fronts.into_iter().enumerate() {
+            if self.fronts[i].is_none() {
+                if let Some(front) = front {
+                    self.fronts[i] = Some(front);
+                    self.truncated[i] = other.truncated[i];
+                }
+            }
+        }
     }
 
     fn resize(&mut self, len: usize) {
@@ -932,20 +968,41 @@ impl<'a> Solver<'a> {
     /// are a topological order of the spec DAG), sharding each dependency
     /// level across worker threads.
     pub fn solve(&mut self, id: SpecId, cache: &SpecModelCache) {
-        if self.store.fronts[id].is_some() {
+        self.solve_many(&[id], cache);
+    }
+
+    /// Solves the subgraphs of several roots in **one** level-scheduled
+    /// pass: the unsolved nodes reachable from any root are bucketed into
+    /// dependency levels together, so nodes shared between roots are
+    /// solved once and each level shards across the worker threads with
+    /// the union's parallelism (a per-root loop would re-level and
+    /// re-barrier per root). Identical results to solving the roots one
+    /// at a time — every front is a pure function of its children's.
+    pub fn solve_many(&mut self, roots: &[SpecId], cache: &SpecModelCache) {
+        let mut todo: Vec<SpecId> = Vec::new();
+        let mut seen = vec![false; self.space.nodes.len()];
+        for &root in roots {
+            if self.store.fronts[root].is_some() {
+                continue;
+            }
+            for n in self.space.reachable(root) {
+                if !seen[n] && self.store.fronts[n].is_none() {
+                    seen[n] = true;
+                    todo.push(n);
+                }
+            }
+        }
+        if todo.is_empty() {
             return;
         }
-        let todo: Vec<SpecId> = self
-            .space
-            .reachable(id)
-            .into_iter()
-            .filter(|&n| self.store.fronts[n].is_none())
-            .collect();
+        // Reachable sets come back in increasing id order per root; the
+        // union must be too (children before parents).
+        todo.sort_unstable();
         if self.threads <= 1 {
             for &n in &todo {
                 let (front, truncated) =
                     compute_front(self.space, self.config, &self.store.fronts, n, cache);
-                self.store.fronts[n] = Some(front);
+                self.store.fronts[n] = Some(Arc::new(front));
                 self.store.truncated[n] = truncated;
                 self.truncated_combinations += truncated;
             }
@@ -955,7 +1012,8 @@ impl<'a> Solver<'a> {
         // level above its deepest unsolved child, so each level's nodes
         // are mutually independent. Children always carry smaller ids, so
         // one pass in id order suffices.
-        let mut level = vec![0usize; id + 1];
+        let max_id = *todo.last().expect("todo nonempty");
+        let mut level = vec![0usize; max_id + 1];
         let mut buckets: Vec<Vec<SpecId>> = Vec::new();
         for &n in &todo {
             let mut l = 0;
@@ -977,7 +1035,7 @@ impl<'a> Solver<'a> {
                 compute_front(self.space, self.config, &self.store.fronts, n, cache)
             });
             for (n, (front, truncated)) in bucket.into_iter().zip(results) {
-                self.store.fronts[n] = Some(front);
+                self.store.fronts[n] = Some(Arc::new(front));
                 self.store.truncated[n] = truncated;
                 self.truncated_combinations += truncated;
             }
@@ -987,7 +1045,10 @@ impl<'a> Solver<'a> {
     /// The filtered design-point front of a node (computed on demand).
     pub fn front(&mut self, id: SpecId, cache: &SpecModelCache) -> Vec<DesignPoint> {
         self.solve(id, cache);
-        self.store.fronts[id].clone().expect("front solved")
+        self.store.fronts[id]
+            .as_deref()
+            .cloned()
+            .expect("front solved")
     }
 
     /// Like [`front`](Self::front) but with a different final filter —

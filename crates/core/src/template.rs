@@ -337,7 +337,7 @@ impl NetlistTemplate {
                 return Err(fail(format!("net {net} has {count} drivers")));
             }
         }
-        for (net, _) in &self.nets {
+        for net in self.nets.keys() {
             if drivers.get(net.as_str()).copied().unwrap_or(0) == 0 {
                 return Err(fail(format!("net {net} has no driver")));
             }

@@ -1,0 +1,650 @@
+//! Port-interned, precompiled behavioral models.
+//!
+//! [`Component::eval`](crate::component::Component::eval) interprets
+//! effect expressions over a string-keyed [`Env`] —
+//! convenient for one-off evaluation, but a simulator calling it per cell
+//! per cycle pays a `BTreeMap` build (and string hashing) on every call.
+//! [`CompiledModel`] interns every port name to a dense `u32` id once,
+//! compiles each effect expression against those ids, and evaluates over a
+//! flat `&mut [Option<Bits>]` slot array instead.
+//!
+//! Semantics are bit-identical to
+//! [`eval_filtered`](crate::component::Component::eval_filtered) —
+//! including defaulting (held state or zero), enable/select/control pin
+//! resolution order, control-line priority, async set/reset override and
+//! error cases — pinned by the `compiled_matches_interpreted` tests.
+
+use crate::behavior::{eval, BinaryOp, CmpOp, Effect, Env, EvalError, Expr, UnaryOp};
+use crate::component::{Component, Operation, PortClass, PortDir};
+use crate::op::Op;
+use rtl_base::bits::Bits;
+use std::collections::HashMap;
+
+/// A port id in a [`CompiledModel`]: an index into its slot array.
+pub type PortId = u32;
+
+/// An effect expression compiled against interned port ids.
+enum CExpr {
+    Port(PortId),
+    Const(Bits),
+    Unary(UnaryOp, Box<CExpr>),
+    Binary(BinaryOp, Box<CExpr>, Box<CExpr>),
+    Cmp(CmpOp, Box<CExpr>, Box<CExpr>),
+    AddWide {
+        a: Box<CExpr>,
+        b: Box<CExpr>,
+        cin: Box<CExpr>,
+    },
+    Slice {
+        expr: Box<CExpr>,
+        lo: usize,
+        len: usize,
+    },
+    Concat(Vec<CExpr>),
+    ZextTo(usize, Box<CExpr>),
+    SextTo(usize, Box<CExpr>),
+    Select {
+        sel: Box<CExpr>,
+        cases: Vec<CExpr>,
+        default: Box<CExpr>,
+    },
+    PriorityIndex {
+        expr: Box<CExpr>,
+        out_width: usize,
+    },
+}
+
+/// One compiled operation: its firing condition ports and id-addressed
+/// effects.
+struct COperation {
+    /// Control pin (interned) and whether it is asynchronous set/reset.
+    control: Option<(PortId, bool)>,
+    /// `(target, expr)` per effect, in declaration order.
+    effects: Vec<(PortId, CExpr)>,
+}
+
+/// A [`Component`]'s behavioral model with every port name interned and
+/// every effect expression precompiled. Build once per component (see
+/// [`Component::compiled`]), evaluate per cycle via
+/// [`eval_into`](Self::eval_into).
+pub struct CompiledModel {
+    /// Slot id → name (component ports first, then any extra names
+    /// referenced by effect expressions; those extra slots are never bound
+    /// and reproduce the interpreter's unbound-port errors).
+    names: Vec<String>,
+    ids: HashMap<String, PortId>,
+    /// Output ports as `(id, width)`.
+    outputs: Vec<(PortId, usize)>,
+    /// `output_mask[slot]` — true when the slot is an output port.
+    output_mask: Vec<bool>,
+    /// Interned enable pin, if any.
+    enable: Option<PortId>,
+    /// Interned select port and its value → operation-index decoding.
+    op_select: Option<(PortId, Vec<Option<usize>>)>,
+    operations: Vec<COperation>,
+}
+
+/// Name → dense id table built during compilation.
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    ids: HashMap<String, PortId>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> PortId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as PortId;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+}
+
+impl CompiledModel {
+    /// Compiles a component's behavioral model.
+    pub fn new(component: &Component) -> Self {
+        let mut table = Interner::default();
+        for port in component.ports() {
+            table.intern(&port.name);
+        }
+        let outputs: Vec<(PortId, usize)> = component
+            .outputs()
+            .map(|p| (table.ids[&p.name], p.width))
+            .collect();
+        let enable = component
+            .ports()
+            .iter()
+            .find(|p| p.class == PortClass::Enable && p.dir == PortDir::In)
+            .map(|p| table.ids[&p.name]);
+        let op_select = component.op_select().map(|sel| {
+            let port = table.intern(&sel.port);
+            let decode = sel
+                .encoding
+                .iter()
+                .map(|&op| position_of(component, op))
+                .collect();
+            (port, decode)
+        });
+        let is_async = |ctrl: &str| {
+            component
+                .port(ctrl)
+                .map(|p| p.class == PortClass::AsyncSetReset)
+                .unwrap_or(false)
+        };
+        let operations = component
+            .operations()
+            .iter()
+            .map(|operation| COperation {
+                control: operation
+                    .control
+                    .as_deref()
+                    .map(|ctrl| (table.intern(ctrl), is_async(ctrl))),
+                effects: operation
+                    .effects
+                    .iter()
+                    .map(|effect| {
+                        (
+                            table.intern(&effect.target),
+                            compile_expr(&effect.expr, &mut table),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut output_mask = vec![false; table.names.len()];
+        for &(slot, _) in &outputs {
+            output_mask[slot as usize] = true;
+        }
+        CompiledModel {
+            names: table.names,
+            ids: table.ids,
+            outputs,
+            output_mask,
+            enable,
+            op_select,
+            operations,
+        }
+    }
+
+    /// Number of value slots an evaluation array must have.
+    pub fn slots(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The interned id of a port (or effect-referenced name).
+    pub fn port_id(&self, name: &str) -> Option<PortId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind a slot id.
+    pub fn name(&self, id: PortId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Output ports as `(id, width)` pairs.
+    pub fn outputs(&self) -> &[(PortId, usize)] {
+        &self.outputs
+    }
+
+    /// Per-slot output mask (`mask[slot]` is true for output ports) —
+    /// precomputed so per-cycle callers never rebuild it.
+    pub fn output_mask(&self) -> &[bool] {
+        &self.output_mask
+    }
+
+    /// Evaluates the component function over a slot array: input slots
+    /// carry bound values (`None` = unbound), output slots carry current
+    /// state for sequential holds (`None` = no state, defaults to zero).
+    /// On success the **wanted output slots are overwritten in place**
+    /// with the new output values; nothing is written on error.
+    ///
+    /// `targets`, when given, is a per-slot mask selecting the outputs to
+    /// compute — the id-space mirror of
+    /// [`eval_filtered`](Component::eval_filtered)'s target set.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the interpreter's: [`EvalError::UnboundPort`] when a
+    /// needed slot is `None`, [`EvalError::WidthMismatch`] on
+    /// inconsistent operand widths.
+    pub fn eval_into(
+        &self,
+        values: &mut [Option<Bits>],
+        targets: Option<&[bool]>,
+    ) -> Result<(), EvalError> {
+        debug_assert!(values.len() >= self.slots());
+        let wanted = |id: PortId| targets.is_none_or(|t| t[id as usize]);
+        // A deasserted enable pin freezes every operation except
+        // asynchronous set/reset.
+        let enabled = match self.enable {
+            Some(en) => values[en as usize].as_ref().is_none_or(|v| !v.is_zero()),
+            None => true,
+        };
+        // Stage effect writes so expressions never observe this call's own
+        // outputs (the interpreter evaluates against the input env) and so
+        // errors commit nothing.
+        let mut staged: Vec<(PortId, Bits)> = Vec::new();
+        let fire =
+            |staged: &mut Vec<(PortId, Bits)>, operation: &COperation| -> Result<(), EvalError> {
+                for (target, expr) in &operation.effects {
+                    if !wanted(*target) {
+                        continue;
+                    }
+                    let v = ceval(expr, values, &self.names)?;
+                    staged.push((*target, v));
+                }
+                Ok(())
+            };
+        if let Some((sel_port, decode)) = &self.op_select {
+            if enabled {
+                let sv = values[*sel_port as usize].as_ref().ok_or_else(|| {
+                    EvalError::UnboundPort(self.names[*sel_port as usize].clone())
+                })?;
+                let idx = sv.to_u128().unwrap_or(u128::MAX);
+                if idx < decode.len() as u128 {
+                    if let Some(op_index) = decode[idx as usize] {
+                        fire(&mut staged, &self.operations[op_index])?;
+                    }
+                }
+                // Out-of-range select: outputs hold their defaults.
+            }
+        } else {
+            for operation in &self.operations {
+                match operation.control {
+                    None => {
+                        if enabled {
+                            fire(&mut staged, operation)?;
+                        }
+                    }
+                    Some((ctrl, asynchronous)) => {
+                        let cv = values[ctrl as usize].as_ref().ok_or_else(|| {
+                            EvalError::UnboundPort(self.names[ctrl as usize].clone())
+                        })?;
+                        if !cv.is_zero() && (enabled || asynchronous) {
+                            fire(&mut staged, operation)?;
+                            break; // control lines have listed priority
+                        }
+                    }
+                }
+            }
+        }
+        // Commit: wanted outputs default to held state (or zero), then
+        // staged effect writes land in declaration order.
+        for &(id, width) in &self.outputs {
+            if wanted(id) && values[id as usize].is_none() {
+                values[id as usize] = Some(Bits::zero(width));
+            }
+        }
+        for (id, v) in staged {
+            values[id as usize] = Some(v);
+        }
+        Ok(())
+    }
+}
+
+/// The operation index firing for an [`Op`], mirroring the interpreter's
+/// `operations.iter().find(|o| o.op == op)`.
+fn position_of(component: &Component, op: Op) -> Option<usize> {
+    component
+        .operations()
+        .iter()
+        .position(|operation: &Operation| operation.op == op)
+}
+
+fn compile_expr(expr: &Expr, table: &mut Interner) -> CExpr {
+    match expr {
+        Expr::Port(name) => CExpr::Port(table.intern(name)),
+        Expr::Const(b) => CExpr::Const(b.clone()),
+        Expr::Unary(op, e) => CExpr::Unary(*op, Box::new(compile_expr(e, table))),
+        Expr::Binary(op, l, r) => CExpr::Binary(
+            *op,
+            Box::new(compile_expr(l, table)),
+            Box::new(compile_expr(r, table)),
+        ),
+        Expr::Cmp(op, l, r) => CExpr::Cmp(
+            *op,
+            Box::new(compile_expr(l, table)),
+            Box::new(compile_expr(r, table)),
+        ),
+        Expr::AddWide { a, b, cin } => CExpr::AddWide {
+            a: Box::new(compile_expr(a, table)),
+            b: Box::new(compile_expr(b, table)),
+            cin: Box::new(compile_expr(cin, table)),
+        },
+        Expr::Slice { expr, lo, len } => CExpr::Slice {
+            expr: Box::new(compile_expr(expr, table)),
+            lo: *lo,
+            len: *len,
+        },
+        Expr::Concat(parts) => {
+            CExpr::Concat(parts.iter().map(|p| compile_expr(p, table)).collect())
+        }
+        Expr::ZextTo(w, e) => CExpr::ZextTo(*w, Box::new(compile_expr(e, table))),
+        Expr::SextTo(w, e) => CExpr::SextTo(*w, Box::new(compile_expr(e, table))),
+        Expr::Select {
+            sel,
+            cases,
+            default,
+        } => CExpr::Select {
+            sel: Box::new(compile_expr(sel, table)),
+            cases: cases.iter().map(|c| compile_expr(c, table)).collect(),
+            default: Box::new(compile_expr(default, table)),
+        },
+        Expr::PriorityIndex { expr, out_width } => CExpr::PriorityIndex {
+            expr: Box::new(compile_expr(expr, table)),
+            out_width: *out_width,
+        },
+    }
+}
+
+fn require_same(context: &str, l: &Bits, r: &Bits) -> Result<(), EvalError> {
+    if l.width() != r.width() {
+        return Err(EvalError::WidthMismatch {
+            context: context.to_string(),
+            left: l.width(),
+            right: r.width(),
+        });
+    }
+    Ok(())
+}
+
+/// The id-addressed mirror of [`crate::behavior::eval`] — same cases,
+/// same results, same errors (names resolved back through `names`).
+fn ceval(expr: &CExpr, values: &[Option<Bits>], names: &[String]) -> Result<Bits, EvalError> {
+    match expr {
+        CExpr::Port(id) => values[*id as usize]
+            .clone()
+            .ok_or_else(|| EvalError::UnboundPort(names[*id as usize].clone())),
+        CExpr::Const(b) => Ok(b.clone()),
+        CExpr::Unary(op, e) => {
+            let v = ceval(e, values, names)?;
+            Ok(match op {
+                UnaryOp::Not => !&v,
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::Inc => v.inc(),
+                UnaryOp::Dec => v.dec(),
+                UnaryOp::ReduceAnd => Bits::from_bool(v.reduce_and()),
+                UnaryOp::ReduceOr => Bits::from_bool(v.reduce_or()),
+                UnaryOp::ReduceXor => Bits::from_bool(v.reduce_xor()),
+                UnaryOp::IsZero => Bits::from_bool(v.is_zero()),
+            })
+        }
+        CExpr::Binary(op, l, r) => {
+            let lv = ceval(l, values, names)?;
+            let rv = ceval(r, values, names)?;
+            use BinaryOp::*;
+            match op {
+                ShlV | ShrV | AsrV | RotlV | RotrV => {
+                    // Shift amount may have any width; saturate large counts.
+                    let amt = rv.to_u128().unwrap_or(u128::MAX);
+                    let amt = amt.min(2 * lv.width() as u128 + 1) as usize;
+                    Ok(match op {
+                        ShlV => lv.shl(amt),
+                        ShrV => lv.shr(amt),
+                        AsrV => lv.asr(amt),
+                        RotlV => lv.rotl(amt),
+                        RotrV => lv.rotr(amt),
+                        _ => unreachable!(),
+                    })
+                }
+                MulFull => Ok(lv.mul_full(&rv)),
+                _ => {
+                    require_same(&format!("{op:?}"), &lv, &rv)?;
+                    Ok(match op {
+                        And => &lv & &rv,
+                        Or => &lv | &rv,
+                        Xor => &lv ^ &rv,
+                        Nand => !&(&lv & &rv),
+                        Nor => !&(&lv | &rv),
+                        Xnor => !&(&lv ^ &rv),
+                        Limpl => &(!&lv) | &rv,
+                        Add => lv.wrapping_add(&rv),
+                        Sub => lv.wrapping_sub(&rv),
+                        DivOr1s => {
+                            if rv.is_zero() {
+                                Bits::ones(lv.width())
+                            } else {
+                                lv.div_rem(&rv).0
+                            }
+                        }
+                        RemOrA => {
+                            if rv.is_zero() {
+                                lv.clone()
+                            } else {
+                                lv.div_rem(&rv).1
+                            }
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+        CExpr::Cmp(op, l, r) => {
+            let lv = ceval(l, values, names)?;
+            let rv = ceval(r, values, names)?;
+            require_same(&format!("{op:?}"), &lv, &rv)?;
+            use std::cmp::Ordering::*;
+            let ord = lv.cmp_unsigned(&rv);
+            let b = match op {
+                CmpOp::Eq => ord == Equal,
+                CmpOp::Ne => ord != Equal,
+                CmpOp::Ltu => ord == Less,
+                CmpOp::Gtu => ord == Greater,
+                CmpOp::Leu => ord != Greater,
+                CmpOp::Geu => ord != Less,
+            };
+            Ok(Bits::from_bool(b))
+        }
+        CExpr::AddWide { a, b, cin } => {
+            let av = ceval(a, values, names)?;
+            let bv = ceval(b, values, names)?;
+            let cv = ceval(cin, values, names)?;
+            require_same("AddWide", &av, &bv)?;
+            if cv.width() != 1 {
+                return Err(EvalError::WidthMismatch {
+                    context: "AddWide carry".to_string(),
+                    left: 1,
+                    right: cv.width(),
+                });
+            }
+            let (sum, carry) = av.add_with_carry(&bv, cv.bit(0));
+            Ok(sum.concat(&Bits::from_bool(carry)))
+        }
+        CExpr::Slice { expr, lo, len } => {
+            let v = ceval(expr, values, names)?;
+            if lo + len > v.width() {
+                return Err(EvalError::WidthMismatch {
+                    context: format!("slice [{lo},{lo}+{len})"),
+                    left: lo + len,
+                    right: v.width(),
+                });
+            }
+            Ok(v.slice(*lo, *len))
+        }
+        CExpr::Concat(parts) => {
+            let mut acc = Bits::zero(0);
+            for p in parts {
+                let v = ceval(p, values, names)?;
+                acc = acc.concat(&v);
+            }
+            Ok(acc)
+        }
+        CExpr::ZextTo(w, e) => Ok(ceval(e, values, names)?.zext(*w)),
+        CExpr::SextTo(w, e) => Ok(ceval(e, values, names)?.sext(*w)),
+        CExpr::Select {
+            sel,
+            cases,
+            default,
+        } => {
+            let sv = ceval(sel, values, names)?;
+            let idx = sv.to_u128().unwrap_or(u128::MAX);
+            let chosen = if idx < cases.len() as u128 {
+                &cases[idx as usize]
+            } else {
+                default
+            };
+            let out = ceval(chosen, values, names)?;
+            // Enforce consistent case widths against the default.
+            let dw = ceval(default, values, names)?;
+            require_same("Select", &out, &dw)?;
+            Ok(out)
+        }
+        CExpr::PriorityIndex { expr, out_width } => {
+            let v = ceval(expr, values, names)?;
+            let idx = (0..v.width()).rev().find(|&i| v.bit(i)).unwrap_or(0);
+            Ok(Bits::from_u64(*out_width, idx as u64))
+        }
+    }
+}
+
+impl Component {
+    /// Compiles this component's behavioral model against interned port
+    /// ids (see [`CompiledModel`]).
+    pub fn compiled(&self) -> CompiledModel {
+        CompiledModel::new(self)
+    }
+}
+
+/// Reference cross-check: drives both evaluators from one `Env` and
+/// asserts identical outputs/errors. Exposed for the simulator's tests.
+#[doc(hidden)]
+pub fn eval_both_ways(
+    component: &Component,
+    inputs: &Env,
+    targets: Option<&std::collections::BTreeSet<String>>,
+) -> (Result<Env, EvalError>, Result<Env, EvalError>) {
+    let interpreted = component.eval_filtered(inputs, targets);
+    let model = component.compiled();
+    let mut values: Vec<Option<Bits>> = vec![None; model.slots()];
+    for (name, v) in inputs {
+        if let Some(id) = model.port_id(name) {
+            values[id as usize] = Some(v.clone());
+        }
+    }
+    let mask = targets.map(|t| {
+        let mut mask = vec![false; model.slots()];
+        for name in t {
+            if let Some(id) = model.port_id(name) {
+                mask[id as usize] = true;
+            }
+        }
+        mask
+    });
+    let compiled = model.eval_into(&mut values, mask.as_deref()).map(|()| {
+        let mut out = Env::new();
+        for &(id, _) in model.outputs() {
+            let wanted = targets.is_none_or(|t| t.contains(model.name(id)));
+            if wanted {
+                if let Some(v) = &values[id as usize] {
+                    out.insert(model.name(id).to_string(), v.clone());
+                }
+            }
+        }
+        out
+    });
+    (interpreted, compiled)
+}
+
+// Keep the interpreter reachable from this module so the doc references
+// above stay checked.
+const _: fn(&Expr, &Env) -> Result<Bits, EvalError> = eval;
+const _: fn(&str, Expr) -> Effect = Effect::new;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdlib::GenusLibrary;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_env(component: &Component, rng: &mut StdRng, bind_outputs: bool) -> Env {
+        let mut env = Env::new();
+        for port in component.ports() {
+            let skip = port.dir == PortDir::Out && !bind_outputs;
+            if skip {
+                continue;
+            }
+            let mut bits = Bits::zero(port.width);
+            for i in 0..port.width {
+                if rng.gen::<bool>() {
+                    bits.set_bit(i, true);
+                }
+            }
+            env.insert(port.name.clone(), bits);
+        }
+        env
+    }
+
+    fn assert_agree(component: &Component, env: &Env) {
+        let (interpreted, compiled) = eval_both_ways(component, env, None);
+        match (&interpreted, &compiled) {
+            (Ok(a), Ok(b)) => {
+                // The interpreter may surface effect targets that are not
+                // declared outputs; compare on declared outputs.
+                for port in component.outputs() {
+                    assert_eq!(
+                        a.get(&port.name),
+                        b.get(&port.name),
+                        "{} output {} diverged",
+                        component.name(),
+                        port.name
+                    );
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{}", component.name()),
+            _ => panic!(
+                "{}: interpreted {interpreted:?} vs compiled {compiled:?}",
+                component.name()
+            ),
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_across_the_stdlib() {
+        let lib = GenusLibrary::standard();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut components: Vec<Component> = vec![
+            lib.adder(8).unwrap(),
+            lib.alu(4, crate::op::Op::paper_alu16()).unwrap(),
+            lib.mux(4, 4).unwrap(),
+            lib.register_en(8).unwrap(),
+            lib.counter(4).unwrap(),
+            lib.comparator(4).unwrap(),
+        ];
+        // Every generator's sample-ish instantiation via the adder width
+        // sweep keeps this cheap but broad.
+        components.push(lib.adder(1).unwrap());
+        for component in &components {
+            for _ in 0..200 {
+                // Sequential components read held state from output slots.
+                let env = random_env(component, &mut rng, component.is_sequential());
+                assert_agree(component, &env);
+            }
+            // Unbound-input errors must match too.
+            let empty = Env::new();
+            assert_agree(component, &empty);
+        }
+    }
+
+    #[test]
+    fn filtered_targets_match() {
+        let lib = GenusLibrary::standard();
+        let adder = lib.adder(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let all: Vec<String> = adder.outputs().map(|p| p.name.clone()).collect();
+        for target in &all {
+            let targets: std::collections::BTreeSet<String> =
+                [target.clone()].into_iter().collect();
+            for _ in 0..50 {
+                let env = random_env(&adder, &mut rng, false);
+                let (interpreted, compiled) = eval_both_ways(&adder, &env, Some(&targets));
+                assert_eq!(
+                    interpreted.as_ref().ok().and_then(|e| e.get(target)),
+                    compiled.as_ref().ok().and_then(|e| e.get(target)),
+                );
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod behavior;
 pub mod build;
+pub mod compiled;
 pub mod component;
 pub mod kind;
 pub mod netlist;

@@ -207,7 +207,7 @@ pub fn print_generator(generator: &Generator, sample_params: &Params) -> Result<
             if !clauses.is_empty() {
                 let _ = write!(block, "\n    (OPS: {})", clauses.join(" "));
             }
-            block.push_str(")");
+            block.push(')');
             w(&mut out, &block);
         }
     }

@@ -14,11 +14,14 @@
 use crate::flatten::{FlatCell, FlatDesign};
 use dtas::template::Signal;
 use genus::behavior::Env;
+use genus::compiled::{CompiledModel, PortId};
+use genus::component::Component;
 use rtl_base::bits::Bits;
 use rtl_base::graph::Digraph;
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Simulation error.
 #[derive(Clone, Debug, PartialEq)]
@@ -153,13 +156,17 @@ impl CompiledSignal {
 enum Producer {
     /// One combinational output port of one cell, with its driven net,
     /// the (dependency-filtered) inputs to evaluate, and the eval target
-    /// set — all precomputed at construction.
+    /// mask — all precomputed against the cell's interned-port model at
+    /// construction.
     CellPort {
         cell: usize,
+        /// Port name, kept for error reporting only.
         port: String,
+        /// The port's slot in the cell's [`CompiledModel`].
+        out_slot: PortId,
         net: u32,
-        inputs: Vec<(String, CompiledSignal)>,
-        targets: BTreeSet<String>,
+        inputs: Vec<(PortId, CompiledSignal)>,
+        targets: Vec<bool>,
     },
     /// A net defined as an expression over other nets.
     Alias { net: u32, sig: CompiledSignal },
@@ -167,26 +174,39 @@ enum Producer {
 
 /// A two-phase (evaluate, commit) simulator over a [`FlatDesign`].
 ///
-/// State is held per sequential cell as the env of its output ports;
-/// everything resets to zero.
+/// State is held per sequential cell as the slot values of its output
+/// ports; everything resets to zero.
+///
+/// Construction compiles every distinct cell model to a
+/// [`CompiledModel`] (port names interned to dense ids, effect
+/// expressions precompiled), so the per-cycle hot path never builds a
+/// string-keyed [`Env`] per cell — it fills a reused per-cell slot array
+/// instead.
 pub struct Simulator<'a> {
     design: &'a FlatDesign,
     /// Interned net names (id → name), for error reporting.
     net_names: Vec<String>,
+    /// Interned-port behavioral model per cell (shared across cells
+    /// instantiating the same component).
+    compiled: Vec<Arc<CompiledModel>>,
     /// Compiled combinational evaluation order.
     order: Vec<Producer>,
     /// Registered outputs published from state before each pass:
-    /// `(cell, port, net, width)`.
-    reg_publish: Vec<(usize, String, u32, usize)>,
+    /// `(cell, slot, net, width)`.
+    reg_publish: Vec<(usize, PortId, u32, usize)>,
     /// Per sequential cell: all inputs compiled, for next-state eval.
-    seq_inputs: Vec<Option<Vec<(String, CompiledSignal)>>>,
+    seq_inputs: Vec<Option<Vec<(PortId, CompiledSignal)>>>,
     /// Compiled primary outputs.
     outputs: Vec<(String, CompiledSignal)>,
-    /// Current state of sequential cells, indexed like `design.cells`.
-    state: Vec<Env>,
+    /// Current state of sequential cells (slot-indexed, `Some` at output
+    /// slots), indexed like `design.cells`.
+    state: Vec<Vec<Option<Bits>>>,
     /// Net-value scratch, reused across passes (interior mutability so
     /// [`eval`](Self::eval) stays `&self`).
     scratch: RefCell<Vec<Option<Bits>>>,
+    /// Per-cell slot-array scratch for model evaluation, reused across
+    /// passes.
+    cell_scratch: RefCell<Vec<Vec<Option<Bits>>>>,
 }
 
 impl<'a> Simulator<'a> {
@@ -198,6 +218,20 @@ impl<'a> Simulator<'a> {
     /// cyclic.
     pub fn new(design: &'a FlatDesign) -> Result<Self, SimError> {
         let mut nets = NetTable::default();
+
+        // Compile each distinct component model once (cells share models
+        // via `Arc`, so a 16-slice adder compiles one model, not 16).
+        let mut model_cache: HashMap<*const Component, Arc<CompiledModel>> = HashMap::new();
+        let compiled: Vec<Arc<CompiledModel>> = design
+            .cells
+            .iter()
+            .map(|cell| {
+                model_cache
+                    .entry(Arc::as_ptr(&cell.model))
+                    .or_insert_with(|| Arc::new(cell.model.compiled()))
+                    .clone()
+            })
+            .collect();
 
         // Producer graph: one node per bound cell output port and per
         // alias (registered outputs included — they are edge sources).
@@ -229,25 +263,34 @@ impl<'a> Simulator<'a> {
             producers.push(RawProducer::Alias(net, id));
         }
 
-        // Dependency-filtered, compiled inputs per cell output port.
+        // Dependency-filtered, compiled inputs per cell output port,
+        // bound by interned slot id.
         let deps: Vec<_> = design
             .cells
             .iter()
             .map(|c| c.model.output_dependencies())
             .collect();
         let compile_inputs = |cell: &FlatCell,
-                              needed: Option<&BTreeSet<String>>,
+                              model: &CompiledModel,
+                              needed: Option<&std::collections::BTreeSet<String>>,
                               nets: &mut NetTable|
-         -> Vec<(String, CompiledSignal)> {
+         -> Vec<(PortId, CompiledSignal)> {
             cell.inputs
                 .iter()
                 .filter(|(in_port, _)| needed.is_none_or(|set| set.contains(*in_port)))
-                .map(|(in_port, sig)| (in_port.clone(), CompiledSignal::compile(sig, nets)))
+                .filter_map(|(in_port, sig)| {
+                    // Bindings for names the model has no slot for would
+                    // never be read; dropping them mirrors an env entry
+                    // no expression looks up.
+                    model
+                        .port_id(in_port)
+                        .map(|slot| (slot, CompiledSignal::compile(sig, nets)))
+                })
                 .collect()
         };
 
         let mut g = Digraph::new(producers.len());
-        let mut compiled: Vec<Option<Producer>> = Vec::with_capacity(producers.len());
+        let mut producers_compiled: Vec<Option<Producer>> = Vec::with_capacity(producers.len());
         let mut reads = Vec::new();
         for (idx, p) in producers.iter().enumerate() {
             match p {
@@ -255,11 +298,12 @@ impl<'a> Simulator<'a> {
                     let cell = &design.cells[*i];
                     if cell.model.is_registered_output(port) {
                         // State cuts the dependency; published pre-pass.
-                        compiled.push(None);
+                        producers_compiled.push(None);
                         continue;
                     }
+                    let model = &compiled[*i];
                     let needed = deps[*i].get(*port);
-                    let inputs = compile_inputs(cell, needed, &mut nets);
+                    let inputs = compile_inputs(cell, model, needed, &mut nets);
                     for (_, sig) in &inputs {
                         reads.clear();
                         sig.net_reads(&mut reads);
@@ -269,12 +313,18 @@ impl<'a> Simulator<'a> {
                             }
                         }
                     }
-                    compiled.push(Some(Producer::CellPort {
+                    let out_slot = model.port_id(port).ok_or_else(|| {
+                        SimError::Eval(format!("{} has no port {port}", cell.path))
+                    })?;
+                    let mut targets = vec![false; model.slots()];
+                    targets[out_slot as usize] = true;
+                    producers_compiled.push(Some(Producer::CellPort {
                         cell: *i,
                         port: port.to_string(),
+                        out_slot,
                         net: *net_id,
                         inputs,
-                        targets: [port.to_string()].into_iter().collect(),
+                        targets,
                     }));
                 }
                 RawProducer::Alias(net, net_id) => {
@@ -286,7 +336,7 @@ impl<'a> Simulator<'a> {
                             g.add_edge(*from, idx, 0.0);
                         }
                     }
-                    compiled.push(Some(Producer::Alias { net: *net_id, sig }));
+                    producers_compiled.push(Some(Producer::Alias { net: *net_id, sig }));
                 }
             }
         }
@@ -299,7 +349,7 @@ impl<'a> Simulator<'a> {
             };
             SimError::CombinationalCycle(name)
         })?;
-        let mut slots: Vec<Option<Producer>> = compiled;
+        let mut slots: Vec<Option<Producer>> = producers_compiled;
         let order: Vec<Producer> = order_ids
             .into_iter()
             .filter_map(|i| slots[i].take())
@@ -307,17 +357,20 @@ impl<'a> Simulator<'a> {
 
         // Registered outputs published from state before each pass.
         let mut reg_publish = Vec::new();
-        let mut seq_inputs: Vec<Option<Vec<(String, CompiledSignal)>>> =
+        let mut seq_inputs: Vec<Option<Vec<(PortId, CompiledSignal)>>> =
             Vec::with_capacity(design.cells.len());
         for (i, cell) in design.cells.iter().enumerate() {
             if cell.model.is_sequential() {
                 for (port, net) in &cell.outputs {
                     if cell.model.is_registered_output(port) {
                         let id = nets.intern(net);
-                        reg_publish.push((i, port.clone(), id, port_width(cell, port)));
+                        let slot = compiled[i].port_id(port).ok_or_else(|| {
+                            SimError::Eval(format!("{} has no port {port}", cell.path))
+                        })?;
+                        reg_publish.push((i, slot, id, port_width(cell, port)));
                     }
                 }
-                seq_inputs.push(Some(compile_inputs(cell, None, &mut nets)));
+                seq_inputs.push(Some(compile_inputs(cell, &compiled[i], None, &mut nets)));
             } else {
                 seq_inputs.push(None);
             }
@@ -329,47 +382,63 @@ impl<'a> Simulator<'a> {
             .map(|(name, sig)| (name.clone(), CompiledSignal::compile(sig, &mut nets)))
             .collect();
 
-        let state = design.cells.iter().map(zero_state).collect();
+        let state = compiled.iter().map(|m| zero_state(m)).collect();
         let scratch = RefCell::new(vec![None; nets.names.len()]);
+        let cell_scratch = RefCell::new(
+            compiled
+                .iter()
+                .map(|m| vec![None; m.slots()])
+                .collect::<Vec<_>>(),
+        );
         Ok(Simulator {
             design,
             net_names: nets.names,
+            compiled,
             order,
             reg_publish,
             seq_inputs,
             outputs,
             state,
             scratch,
+            cell_scratch,
         })
     }
 
     /// Resets all sequential state to zero.
     pub fn reset(&mut self) {
-        self.state = self.design.cells.iter().map(zero_state).collect();
+        self.state = self.compiled.iter().map(|m| zero_state(m)).collect();
     }
 
-    /// Direct access to a cell's state (testing hook).
-    pub fn cell_state(&self, path: &str) -> Option<&Env> {
-        self.design
-            .cells
-            .iter()
-            .position(|c| c.path == path)
-            .map(|i| &self.state[i])
+    /// A cell's current state as a port-name env (testing hook).
+    pub fn cell_state(&self, path: &str) -> Option<Env> {
+        let i = self.design.cells.iter().position(|c| c.path == path)?;
+        let model = &self.compiled[i];
+        let mut env = Env::new();
+        for &(slot, _) in model.outputs() {
+            if let Some(v) = &self.state[i][slot as usize] {
+                env.insert(model.name(slot).to_string(), v.clone());
+            }
+        }
+        Some(env)
     }
 
-    fn pass(&self, inputs: &Env, nets: &mut [Option<Bits>]) -> Result<Vec<Option<Env>>, SimError> {
+    fn pass(
+        &self,
+        inputs: &Env,
+        nets: &mut [Option<Bits>],
+    ) -> Result<Vec<Option<Vec<Option<Bits>>>>, SimError> {
         for slot in nets.iter_mut() {
             *slot = None;
         }
         let names = &self.net_names;
-        let mut pending: Vec<Option<Env>> = vec![None; self.design.cells.len()];
+        let mut cell_scratch = self.cell_scratch.borrow_mut();
+        let mut pending: Vec<Option<Vec<Option<Bits>>>> = vec![None; self.design.cells.len()];
         // Publish registered outputs first (they are sources); a
         // sequential cell's combinational read ports are evaluated in
         // topological order like any other producer.
-        for (i, port, net, width) in &self.reg_publish {
-            let v = self.state[*i]
-                .get(port)
-                .cloned()
+        for (i, slot, net, width) in &self.reg_publish {
+            let v = self.state[*i][*slot as usize]
+                .clone()
                 .unwrap_or_else(|| Bits::zero(*width));
             nets[*net as usize] = Some(v);
         }
@@ -378,29 +447,31 @@ impl<'a> Simulator<'a> {
                 Producer::CellPort {
                     cell: i,
                     port,
+                    out_slot,
                     net,
                     inputs: cell_inputs,
                     targets,
                 } => {
                     let cell = &self.design.cells[*i];
+                    let model = &self.compiled[*i];
                     // Evaluate just this output, using only the inputs it
                     // depends on (others may not be resolved yet).
-                    let mut env = Env::new();
+                    let values = &mut cell_scratch[*i];
+                    values.fill(None);
                     if cell.model.is_sequential() {
                         // Combinational reads see the current state.
-                        for (k, v) in &self.state[*i] {
-                            env.insert(k.clone(), v.clone());
+                        for &(slot, _) in model.outputs() {
+                            values[slot as usize] = self.state[*i][slot as usize].clone();
                         }
                     }
-                    for (in_port, sig) in cell_inputs {
+                    for (slot, sig) in cell_inputs {
                         let v = sig.eval(nets, names, inputs).map_err(SimError::Eval)?;
-                        env.insert(in_port.clone(), v);
+                        values[*slot as usize] = Some(v);
                     }
-                    let out = cell
-                        .model
-                        .eval_filtered(&env, Some(targets))
+                    model
+                        .eval_into(values, Some(targets))
                         .map_err(|e| SimError::Eval(format!("{}: {e}", cell.path)))?;
-                    let v = out.get(port).cloned().ok_or_else(|| {
+                    let v = values[*out_slot as usize].clone().ok_or_else(|| {
                         SimError::Eval(format!("{} missing output {port}", cell.path))
                     })?;
                     nets[*net as usize] = Some(v);
@@ -416,15 +487,23 @@ impl<'a> Simulator<'a> {
             let Some(cell_inputs) = &self.seq_inputs[i] else {
                 continue;
             };
-            let mut env = self.state[i].clone();
-            for (port, sig) in cell_inputs {
+            let model = &self.compiled[i];
+            let values = &mut cell_scratch[i];
+            values.clone_from(&self.state[i]);
+            for (slot, sig) in cell_inputs {
                 let v = sig.eval(nets, names, inputs).map_err(SimError::Eval)?;
-                env.insert(port.clone(), v);
+                values[*slot as usize] = Some(v);
             }
-            let next = cell
-                .model
-                .eval(&env)
+            model
+                .eval_into(values, None)
                 .map_err(|e| SimError::Eval(format!("{}: {e}", cell.path)))?;
+            // Keep only the output slots (the next state); input-slot
+            // values would be masked off at commit anyway, so don't
+            // clone them.
+            let mut next = vec![None; values.len()];
+            for &(slot, _) in model.outputs() {
+                next[slot as usize] = values[slot as usize].clone();
+            }
             pending[i] = Some(next);
         }
         Ok(pending)
@@ -457,15 +536,8 @@ impl<'a> Simulator<'a> {
             let outs = self.primary_outputs(&nets, inputs)?;
             for (i, next) in pending.into_iter().enumerate() {
                 if let Some(next) = next {
-                    // Keep only the output ports as state.
-                    let cell = &self.design.cells[i];
-                    let mut s = Env::new();
-                    for port in cell.model.outputs() {
-                        if let Some(v) = next.get(&port.name) {
-                            s.insert(port.name.clone(), v.clone());
-                        }
-                    }
-                    self.state[i] = s;
+                    // Already restricted to output slots by `pass`.
+                    self.state[i] = next;
                 }
             }
             Ok(outs)
@@ -490,11 +562,13 @@ fn port_width(cell: &FlatCell, port: &str) -> usize {
     cell.model.port(port).map(|p| p.width).unwrap_or(1)
 }
 
-fn zero_state(cell: &FlatCell) -> Env {
-    cell.model
-        .outputs()
-        .map(|p| (p.name.clone(), Bits::zero(p.width)))
-        .collect()
+/// Slot-indexed all-zeros state: `Some(zero)` at every output slot.
+fn zero_state(model: &CompiledModel) -> Vec<Option<Bits>> {
+    let mut state = vec![None; model.slots()];
+    for &(slot, width) in model.outputs() {
+        state[slot as usize] = Some(Bits::zero(width));
+    }
+    state
 }
 
 #[cfg(test)]

@@ -94,7 +94,7 @@ fn width_of_type(t: &str) -> Option<usize> {
 /// [`VhdlParseError`] with a line number on input outside the subset.
 pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> {
     let mut design = StructuralDesign::default();
-    let mut lines = text.lines().enumerate().peekable();
+    let lines = text.lines().enumerate().peekable();
     let err = |line: usize, m: &str| VhdlParseError {
         line: line + 1,
         message: m.to_string(),
@@ -108,7 +108,7 @@ pub fn parse_structural(text: &str) -> Result<StructuralDesign, VhdlParseError> 
     }
     let mut mode = Mode::Top;
     let mut pending_instance: Option<ParsedInstance> = None;
-    while let Some((lno, raw)) = lines.next() {
+    for (lno, raw) in lines {
         let line = raw.split("--").next().unwrap_or("").trim();
         if line.is_empty() || line.starts_with("library ") || line.starts_with("use ") {
             continue;

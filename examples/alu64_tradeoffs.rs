@@ -1,27 +1,29 @@
 //! The paper's Figure-3 scenario: explore the area/delay trade-off space
-//! of a 64-bit, 16-function ALU against the LSI-style data book.
+//! of a 64-bit, 16-function ALU against the LSI-style data book, using a
+//! [`SynthRequest`] to ask for the strict Pareto curve per query instead
+//! of reconfiguring the engine.
 //!
 //! Run with: `cargo run --release --example alu64_tradeoffs`
 
 use cells::lsi::lsi_logic_subset;
-use dtas::{Dtas, DtasConfig, FilterPolicy};
+use dtas::{Dtas, FilterPolicy, SynthRequest};
 use genus::kind::ComponentKind;
 use genus::op::Op;
 use genus::spec::ComponentSpec;
+use hls_rtl_bridge::BridgeError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), BridgeError> {
     let spec = ComponentSpec::new(ComponentKind::Alu, 64)
         .with_ops(Op::paper_alu16())
         .with_carry_in(true);
     println!("Component Specification: {spec}");
     println!(":OPERATIONS ({})", spec.ops);
 
-    // Strict Pareto — the curve plotted in Figure 3.
-    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        root_filter: FilterPolicy::Pareto,
-        ..DtasConfig::default()
-    });
-    let designs = engine.synthesize(&spec)?;
+    // Strict Pareto — the curve plotted in Figure 3 — as a per-query
+    // override; the engine keeps its default configuration (and cache).
+    let engine = Dtas::new(lsi_logic_subset());
+    let request = SynthRequest::new(spec).with_root_filter(FilterPolicy::Pareto);
+    let designs = engine.synthesize_request(&request)?;
     println!("\n{designs}");
 
     // An ASCII rendition of the Figure-3 scatter: delay (y) over area (x).

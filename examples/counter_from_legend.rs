@@ -1,6 +1,6 @@
-//! The paper's Figure-2 scenario: define a counter generator in LEGEND,
-//! lower it to a GENUS generator, synthesize the sample component with
-//! DTAS, and clock both the behavioral model and the mapped netlist.
+//! The paper's Figure-2 scenario through the [`Flow`] façade: parse and
+//! lower the LEGEND counter description, synthesize the sample component
+//! with DTAS, and clock the mapped netlist.
 //!
 //! Run with: `cargo run --example counter_from_legend`
 
@@ -8,14 +8,15 @@ use cells::lsi::lsi_logic_subset;
 use dtas::Dtas;
 use genus::behavior::Env;
 use genus::spec::ComponentSpec;
-use legend::{figure2::FIGURE2, lower, parse_document};
+use hls_rtl_bridge::{BridgeError, Flow};
+use legend::figure2::FIGURE2;
 use rtl_base::bits::Bits;
 use rtlsim::{FlatDesign, Simulator};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), BridgeError> {
     // 1. Parse and lower the paper's Figure-2 LEGEND description.
-    let docs = parse_document(FIGURE2)?;
-    let counter = lower(&docs[0]).map_err(|e| e.to_string())?;
+    let flow = Flow::from_legend(FIGURE2)?;
+    let counter = flow.generator();
     println!(
         "lowered LEGEND generator {} -> sample component {} [{}]",
         counter.generator.name(),
@@ -28,9 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the synchronous variant of the spec.
     let spec = ComponentSpec {
         async_set_reset: false,
-        ..counter.sample.spec().clone()
+        ..flow.sample_spec().clone()
     };
-    let designs = Dtas::new(lsi_logic_subset()).synthesize(&spec)?;
+    let designs = flow.map_spec(&Dtas::new(lsi_logic_subset()), spec)?;
     println!("\n{designs}");
     let chosen = designs.smallest().expect("nonempty");
     println!("chosen implementation:\n{}", chosen.implementation);
@@ -49,12 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         sim.step(&env).expect("steps")["O0"].to_u64().expect("fits")
     };
-    let mut trace = Vec::new();
-    trace.push(drive(1, 0, 0)); // load 5 (pre-edge output still 0)
-    trace.push(drive(0, 1, 0)); // count up
-    trace.push(drive(0, 1, 0)); // count up
-    trace.push(drive(0, 0, 1)); // count down
-    trace.push(drive(0, 0, 0)); // hold
+    let trace = vec![
+        drive(1, 0, 0), // load 5 (pre-edge output still 0)
+        drive(0, 1, 0), // count up
+        drive(0, 1, 0), // count up
+        drive(0, 0, 1), // count down
+        drive(0, 0, 0), // hold
+    ];
     println!("\nclocked trace of O0: {trace:?}");
     assert_eq!(trace, vec![0, 5, 6, 7, 6]);
     println!("matches the LEGEND operations (LOAD, COUNT_UP, COUNT_DOWN)");

@@ -1,18 +1,13 @@
-//! The full Figure-1 flow: behavioral GCD → high-level synthesis (state
-//! scheduling, allocation, binding) → GENUS netlist + state sequencing
-//! table → control compiler → closed netlist → simulation, plus DTAS
-//! technology mapping of the datapath components.
+//! The full Figure-1 flow through the [`Flow`] façade: behavioral GCD →
+//! high-level synthesis → control compilation → linking → simulation →
+//! DTAS technology mapping → structural VHDL.
 //!
 //! Run with: `cargo run --example gcd_hls_flow`
 
 use cells::lsi::lsi_logic_subset;
-use controlc::{compile_controller, link};
-use dtas::Dtas;
 use genus::behavior::Env;
-use hls::compile::{compile, Constraints};
-use hls::lang::parse_entity;
+use hls_rtl_bridge::{BridgeError, Flow};
 use rtl_base::bits::Bits;
-use rtlsim::{FlatDesign, Simulator};
 
 const GCD: &str = "
 entity gcd(a_in: in 8, b_in: in 8, r: out 8, done: out 1) {
@@ -27,78 +22,28 @@ entity gcd(a_in: in 8, b_in: in 8, r: out 8, done: out 1) {
     done = 1;
 }";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. High-level synthesis.
-    let entity = parse_entity(GCD)?;
-    let design = compile(&entity, &Constraints::default())?;
-    println!("{}", design.report());
-    println!("state sequencing table:\n{}", design.state_table);
-
-    // 2. Control compilation (Quine-McCluskey minimized sequencing logic).
-    let controller = compile_controller(&design.state_table)?;
-    println!(
-        "controller: {} states, {} state bits, {} cubes, {} literals",
-        controller.stats.states,
-        controller.stats.state_bits,
-        controller.stats.cubes,
-        controller.stats.literals
-    );
-
-    // 3. Link and simulate the closed machine, tracing a waveform.
-    let closed = link(&design, &controller)?;
-    let flat = FlatDesign::from_netlist(&closed)?;
-    let mut sim = Simulator::new(&flat)?;
+fn main() -> Result<(), BridgeError> {
+    let linked = Flow::from_hls(GCD)?.schedule()?.compile_control()?.link()?;
     let inputs = Env::from([
         ("clk".to_string(), Bits::zero(1)),
         ("a_in".to_string(), Bits::from_u64(8, 48)),
         ("b_in".to_string(), Bits::from_u64(8, 36)),
     ]);
-    let mut trace = rtlsim::VcdTrace::new("gcd_tb");
-    let mut cycles = 0;
-    let result = loop {
-        cycles += 1;
-        let out = sim.step(&inputs)?;
-        let mut sample = inputs.clone();
-        sample.extend(out.clone());
-        trace.sample(&sample);
-        if out["done"].to_u64() == Some(1) {
-            break out["r"].to_u64().expect("fits");
-        }
-        assert!(cycles < 1000, "did not converge");
-    };
-    println!("\nsimulated synthesized hardware: gcd(48, 36) = {result} in {cycles} cycles");
-    assert_eq!(result, 12);
-    let vcd_path = std::env::temp_dir().join("gcd_tb.vcd");
-    std::fs::write(&vcd_path, trace.render())?;
-    println!("waveform written to {}", vcd_path.display());
-
-    // 4. Technology-map every distinct datapath component with DTAS.
-    let engine = Dtas::new(lsi_logic_subset());
-    println!("\nDTAS mapping of the datapath's distinct components:");
-    let mut total_area = 0.0;
-    for (spec_text, set) in engine.synthesize_netlist(&design.netlist)? {
-        let best = set.smallest().expect("nonempty");
-        let count = design
-            .netlist
-            .spec_census()
-            .get(&spec_text)
-            .map(|(_, n)| *n)
-            .unwrap_or(1);
-        println!(
-            "  {count} x {spec_text:<40} -> {:>6.1} gates {:>5.1} ns ({} alternatives)",
-            best.area,
-            best.delay,
-            set.alternatives.len()
-        );
-        total_area += best.area * count as f64;
-    }
-    println!("smallest-design datapath area: {total_area:.0} equivalent NAND gates");
-
-    // 5. Emit the structural VHDL the paper's flow hands downstream.
-    let text = vhdl::emit_netlist(&design.netlist);
+    let run = linked.simulate(&inputs, |out| out["done"].to_u64() == Some(1), 1000)?;
+    let result = run.outputs["r"].to_u64().expect("fits");
     println!(
-        "\nstructural VHDL of the GENUS netlist: {} lines (see vhdl::emit_netlist)",
-        text.lines().count()
+        "simulated synthesized hardware: gcd(48, 36) = {result} in {} cycles",
+        run.cycles
+    );
+    assert_eq!(result, 12);
+    let mapped = linked.map(&dtas::Dtas::new(lsi_logic_subset()))?;
+    println!(
+        "\nDTAS mapping of the design's distinct components:\n{}",
+        mapped.report()
+    );
+    println!(
+        "structural VHDL: {} lines (vhdl::emit_netlist)",
+        mapped.emit_vhdl().lines().count()
     );
     Ok(())
 }

@@ -8,9 +8,10 @@ use dtas::Dtas;
 use genus::kind::ComponentKind;
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
+use hls_rtl_bridge::BridgeError;
 use rtlsim::equiv::check_implementation;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), BridgeError> {
     // 1. The technology: a 30-cell RTL data book (muxes, adders, a
     //    carry-lookahead generator, flip-flops, registers, SSI gates).
     let library = lsi_logic_subset();
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bit-exact against the GENUS behavioral model on 500 random vectors");
 
     // 5. Export to structural VHDL for downstream tools.
-    let text = vhdl::emit_implementation(&fastest.implementation)?;
+    let text = vhdl::emit_implementation(&fastest.implementation).map_err(BridgeError::Emit)?;
     println!(
         "\nstructural VHDL ({} lines); first entity:",
         text.lines().count()

@@ -1,0 +1,323 @@
+//! The `dtas` command-line driver: the paper's pipeline without writing
+//! Rust, as a thin wrapper over the [`Flow`] façade and the DTAS engine.
+//!
+//! ```text
+//! dtas map  --spec add:16:cin:cout [--book FILE] [--pareto] [--cap N]
+//! dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT]
+//! dtas help
+//! ```
+//!
+//! `map` synthesizes one component specification against a data book and
+//! prints the trade-off table; `flow` runs a behavioral entity through
+//! scheduling, control compilation, linking and technology mapping.
+
+use cells::CellLibrary;
+use dtas::{Dtas, FilterPolicy, SynthRequest};
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use hls_rtl_bridge::{BridgeError, Flow};
+
+const USAGE: &str = "dtas - map generic RTL components onto data book cells (Dutt & Kipps, DAC'91)
+
+USAGE:
+  dtas map  --spec SPEC [--book FILE] [--pareto] [--cap N]
+      Synthesize one component specification and print its trade-off table.
+  dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT]
+      Run a behavioral entity through the full Figure-1 pipeline
+      (schedule -> compile control -> link -> technology-map).
+  dtas help
+      Print this message.
+
+SPEC grammar:  kind:width[:attr...]
+  kind   add | alu | mux | comparator | counter | register | shifter | lu
+         | decoder | encoder | multiplier | gate_and | gate_or | ...
+  attrs  cin  cout  en  sr  pg          pin flags
+         n=K                            mux/gate fan-in
+         w2=K                           second width (e.g. multiplier)
+         style=S                        generator style
+         ops=add+sub+...                explicit operation set
+  Each kind has a sensible default operation set (add -> ADD, alu -> the
+  paper's 16 functions, counter -> LOAD+COUNT_UP+COUNT_DOWN, ...).
+
+EXAMPLES:
+  dtas map --spec add:16:cin:cout
+  dtas map --spec alu:64 --pareto
+  dtas map --spec mux:8:n=4 --book my_cells.book
+  dtas flow --hls gcd.ent --emit-vhdl gcd.vhd
+";
+
+/// Parses the CLI's `kind:width[:attr...]` component-spec mini-language.
+fn parse_spec(text: &str) -> Result<ComponentSpec, BridgeError> {
+    let bad = |msg: String| BridgeError::Flow(format!("bad --spec {text:?}: {msg}"));
+    let mut parts = text.split(':');
+    let kind_text = parts.next().unwrap_or_default().to_ascii_lowercase();
+    let kind = match kind_text.as_str() {
+        "add" | "addsub" => ComponentKind::AddSub,
+        "alu" => ComponentKind::Alu,
+        "lu" | "logic" => ComponentKind::LogicUnit,
+        "mux" => ComponentKind::Mux,
+        "selector" => ComponentKind::Selector,
+        "decoder" => ComponentKind::Decoder,
+        "encoder" => ComponentKind::Encoder,
+        "comparator" | "cmp" => ComponentKind::Comparator,
+        "shifter" | "shift" => ComponentKind::Shifter,
+        "barrel" => ComponentKind::BarrelShifter,
+        "multiplier" | "mul" => ComponentKind::Multiplier,
+        "register" | "reg" => ComponentKind::Register,
+        "counter" => ComponentKind::Counter,
+        other => {
+            let Some(gate) = other.strip_prefix("gate_") else {
+                return Err(bad(format!("unknown component kind {other:?}")));
+            };
+            ComponentKind::Gate(
+                GateOp::parse(&gate.to_ascii_uppercase()).map_err(|e| bad(e.to_string()))?,
+            )
+        }
+    };
+    let width: usize = parts
+        .next()
+        .ok_or_else(|| bad("missing width (kind:width[:attr...])".into()))?
+        .parse()
+        .map_err(|e| bad(format!("width: {e}")))?;
+    let mut spec = ComponentSpec::new(kind, width);
+    let mut explicit_ops = false;
+    for attr in parts {
+        let attr_l = attr.to_ascii_lowercase();
+        match attr_l.as_str() {
+            "cin" => spec = spec.with_carry_in(true),
+            "cout" => spec = spec.with_carry_out(true),
+            "en" => spec = spec.with_enable(true),
+            "sr" => spec = spec.with_async_set_reset(true),
+            "pg" => spec = spec.with_group_pg(true),
+            _ => {
+                if let Some(v) = attr_l.strip_prefix("n=") {
+                    spec = spec.with_inputs(v.parse().map_err(|e| bad(format!("n: {e}")))?);
+                } else if let Some(v) = attr_l.strip_prefix("w2=") {
+                    spec = spec.with_width2(v.parse().map_err(|e| bad(format!("w2: {e}")))?);
+                } else if let Some(v) = attr_l.strip_prefix("style=") {
+                    spec = spec.with_style(&v.to_ascii_uppercase());
+                } else if let Some(v) = attr_l.strip_prefix("ops=") {
+                    let ops: OpSet = v
+                        .split('+')
+                        .map(|name| Op::parse(&name.to_ascii_uppercase()))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| bad(e.to_string()))?
+                        .into_iter()
+                        .collect();
+                    spec = spec.with_ops(ops);
+                    explicit_ops = true;
+                } else {
+                    return Err(bad(format!("unknown attribute {attr:?}")));
+                }
+            }
+        }
+    }
+    if !explicit_ops {
+        let default_ops: &[Op] = match kind {
+            ComponentKind::AddSub => &[Op::Add],
+            ComponentKind::Alu => return Ok(spec.with_ops(Op::paper_alu16())),
+            ComponentKind::Comparator => &[Op::Eq, Op::Lt, Op::Gt],
+            ComponentKind::Counter => &[Op::Load, Op::CountUp, Op::CountDown],
+            ComponentKind::Register => &[Op::Load],
+            ComponentKind::Shifter | ComponentKind::BarrelShifter => &[Op::Shl, Op::Shr],
+            ComponentKind::LogicUnit => &[Op::And, Op::Or, Op::Xor],
+            _ => &[],
+        };
+        if !default_ops.is_empty() {
+            spec = spec.with_ops(default_ops.iter().copied().collect());
+        }
+    }
+    // Muxes need a fan-in; default 2 keeps `mux:8` meaningful.
+    if kind == ComponentKind::Mux && spec.inputs == 0 {
+        spec = spec.with_inputs(2);
+    }
+    Ok(spec)
+}
+
+/// Loads a data book file, or the embedded LSI-style 30-cell subset.
+fn load_book(path: Option<&str>) -> Result<CellLibrary, BridgeError> {
+    match path {
+        None => Ok(cells::lsi::lsi_logic_subset()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| BridgeError::Io(format!("{path}: {e}")))?;
+            Ok(cells::databook::parse(&text)?)
+        }
+    }
+}
+
+/// One parsed `--flag value` / bare-flag argument list.
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, BridgeError> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(BridgeError::Flow(format!(
+                    "unexpected argument {arg:?} (flags are --name [value])"
+                )));
+            };
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Args { flags })
+    }
+
+    /// Rejects flags no command defines (typos must not exit 0).
+    fn expect_only(&self, allowed: &[&str]) -> Result<(), BridgeError> {
+        for (name, _) in &self.flags {
+            if !allowed.contains(&name.as_str()) {
+                return Err(BridgeError::Flow(format!(
+                    "unknown flag --{name} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The flag's value when present; an error when the flag was given
+    /// without one (a forgotten value must not silently change behavior).
+    fn value_of(&self, name: &str) -> Result<Option<&str>, BridgeError> {
+        match self.flags.iter().find(|(n, _)| n == name) {
+            None => Ok(None),
+            Some((_, Some(v))) => Ok(Some(v.as_str())),
+            Some((_, None)) => Err(BridgeError::Flow(format!("flag --{name} requires a value"))),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, BridgeError> {
+        self.value_of(name)?
+            .ok_or_else(|| BridgeError::Flow(format!("missing required flag --{name}")))
+    }
+}
+
+fn cmd_map(args: &Args) -> Result<(), BridgeError> {
+    args.expect_only(&["spec", "book", "pareto", "cap"])?;
+    let spec = parse_spec(args.require("spec")?)?;
+    let library = load_book(args.value_of("book")?)?;
+    println!("library: {} ({} cells)", library.name(), library.len());
+    println!("specification: {spec}\n");
+    let engine = Dtas::new(library);
+    let mut request = SynthRequest::new(spec);
+    if args.has("pareto") {
+        request = request.with_root_filter(FilterPolicy::Pareto);
+    }
+    if let Some(cap) = args.value_of("cap")? {
+        let cap: usize = cap
+            .parse()
+            .map_err(|e| BridgeError::Flow(format!("bad --cap: {e}")))?;
+        request = request.with_front_cap(cap);
+    }
+    let designs = engine.synthesize_request(&request)?;
+    println!("{designs}");
+    Ok(())
+}
+
+fn cmd_flow(args: &Args) -> Result<(), BridgeError> {
+    args.expect_only(&["hls", "book", "emit-vhdl"])?;
+    let path = args.require("hls")?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| BridgeError::Io(format!("{path}: {e}")))?;
+    let scheduled = Flow::from_hls(&source)?.schedule()?;
+    print!("{}", scheduled.design().report());
+    let controlled = scheduled.compile_control()?;
+    let stats = &controlled.controller().stats;
+    println!(
+        "controller: {} states, {} state bits, {} cubes, {} literals",
+        stats.states, stats.state_bits, stats.cubes, stats.literals
+    );
+    let linked = controlled.link()?;
+    let library = load_book(args.value_of("book")?)?;
+    let mapped = linked.map(&Dtas::new(library))?;
+    println!("\ntechnology mapping:\n{}", mapped.report());
+    if let Some(out) = args.value_of("emit-vhdl")? {
+        let text = mapped.emit_vhdl();
+        std::fs::write(out, &text).map_err(|e| BridgeError::Io(format!("{out}: {e}")))?;
+        println!(
+            "wrote {} lines of structural VHDL to {out}",
+            text.lines().count()
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), BridgeError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("map") => cmd_map(&Args::parse(&raw[1..])?),
+        Some("flow") => cmd_flow(&Args::parse(&raw[1..])?),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(BridgeError::Flow(format!(
+            "unknown command {other:?} (try `dtas help`)"
+        ))),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("dtas: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_covers_the_paper_queries() {
+        let add = parse_spec("add:16:cin:cout").unwrap();
+        assert_eq!(add.kind, ComponentKind::AddSub);
+        assert_eq!(add.width, 16);
+        assert!(add.carry_in && add.carry_out);
+        assert_eq!(add.ops, OpSet::only(Op::Add));
+
+        let alu = parse_spec("alu:64:cin").unwrap();
+        assert_eq!(alu.ops, Op::paper_alu16());
+
+        let mux = parse_spec("mux:8:n=4").unwrap();
+        assert_eq!((mux.width, mux.inputs), (8, 4));
+
+        let gate = parse_spec("gate_nand:1:n=3").unwrap();
+        assert_eq!(gate.kind, ComponentKind::Gate(GateOp::Nand));
+
+        let custom = parse_spec("counter:4:en:ops=load+count_up").unwrap();
+        assert!(custom.enable);
+        assert_eq!(custom.ops.len(), 2);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for bad in [
+            "",
+            "frobnicator:8",
+            "add",
+            "add:x",
+            "add:16:wat",
+            "mux:8:n=x",
+        ] {
+            let err = parse_spec(bad).unwrap_err();
+            assert!(matches!(err, BridgeError::Flow(_)), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! The unified pipeline façade: every Figure-1 stage behind one entry
+//! point and one error type.
+//!
+//! The paper's flow (behavioral source → high-level synthesis → control
+//! compilation → linking → DTAS technology mapping → VHDL / simulation)
+//! used to take a page of per-crate plumbing. [`Flow`] packages it as a
+//! typed chain — each stage returns the next stage's value, every
+//! fallible step returns [`BridgeError`]:
+//!
+//! ```
+//! use cells::lsi::lsi_logic_subset;
+//! use dtas::Dtas;
+//! use hls_rtl_bridge::flow::{BridgeError, Flow};
+//!
+//! # fn main() -> Result<(), BridgeError> {
+//! let mapped = Flow::from_hls("entity inc(x: in 8, y: out 8) { y = x + 1; }")?
+//!     .schedule()?
+//!     .compile_control()?
+//!     .link()?
+//!     .map(&Dtas::new(lsi_logic_subset()))?;
+//! assert!(mapped.smallest_area() > 0.0);
+//! let vhdl = mapped.emit_vhdl();
+//! assert!(vhdl.contains("entity"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Entry points:
+//!
+//! * [`Flow::from_hls`] — a behavioral entity in the `hls` language; the
+//!   chain runs `.schedule() → .compile_control() → .link()` to a closed
+//!   netlist.
+//! * [`Flow::from_netlist`] — an existing GENUS netlist; joins the chain
+//!   at the linked stage directly.
+//! * [`Flow::from_legend`] — a LEGEND generator document; exposes the
+//!   lowered generators and maps sample components.
+
+use cells::databook::ParseBookError;
+use controlc::{compile_controller, link, ControlError, Controller};
+use dtas::{DesignSet, Dtas, SynthError};
+use genus::behavior::{Env, EvalError};
+use genus::component::GenerateError;
+use genus::netlist::{Netlist, NetlistError};
+use genus::spec::ComponentSpec;
+use hls::compile::{compile, CompileError, Constraints, Design};
+use hls::lang::parse_entity;
+use legend::lower::{lower, LoweredGenerator};
+use rtlsim::equiv::EquivError;
+use rtlsim::flatten::FlattenError;
+use rtlsim::sim::SimError;
+use rtlsim::{FlatDesign, Simulator};
+use std::collections::BTreeMap;
+use std::fmt;
+use vhdl::parse::VhdlParseError;
+
+/// The single error type of the pipeline façade: every fallible entry
+/// point in this module (and the `dtas` CLI built on it) returns
+/// `BridgeError`, and each subsystem's error converts in via `From` — so
+/// `?` composes across all Figure-1 stages.
+#[derive(Debug)]
+pub enum BridgeError {
+    /// DTAS synthesis failed ([`SynthError`]).
+    Synth(SynthError),
+    /// The behavioral source did not parse ([`hls::lang::ParseError`]).
+    HlsParse(hls::lang::ParseError),
+    /// Scheduling/allocation/binding failed ([`CompileError`]).
+    Hls(CompileError),
+    /// Control compilation or linking failed ([`ControlError`]).
+    Control(ControlError),
+    /// A netlist was structurally invalid ([`NetlistError`]).
+    Netlist(NetlistError),
+    /// A data book failed to parse ([`ParseBookError`]).
+    Book(ParseBookError),
+    /// A LEGEND document failed to parse ([`legend::parse::ParseError`]).
+    LegendParse(legend::parse::ParseError),
+    /// A LEGEND description failed to lower ([`legend::lower::LowerError`]).
+    LegendLower(legend::lower::LowerError),
+    /// A component generator rejected its parameters ([`GenerateError`]).
+    Generate(GenerateError),
+    /// A netlist failed to flatten for simulation ([`FlattenError`]).
+    Flatten(FlattenError),
+    /// Simulation failed ([`SimError`]).
+    Sim(SimError),
+    /// Equivalence checking failed or found a counterexample
+    /// ([`EquivError`]).
+    Equiv(EquivError),
+    /// Behavioral evaluation failed ([`EvalError`]).
+    Eval(EvalError),
+    /// Structural VHDL failed to parse ([`VhdlParseError`]).
+    VhdlParse(VhdlParseError),
+    /// VHDL emission failed (an unemittable implementation).
+    Emit(String),
+    /// File I/O failed (CLI paths).
+    Io(String),
+    /// The façade itself was misused or a run did not converge (e.g. a
+    /// simulation hit its cycle budget before the stop condition held).
+    Flow(String),
+}
+
+impl fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeError::Synth(e) => write!(f, "synthesis: {e}"),
+            BridgeError::HlsParse(e) => write!(f, "hls parse: {e}"),
+            BridgeError::Hls(e) => write!(f, "{e}"),
+            BridgeError::Control(e) => write!(f, "control: {e}"),
+            BridgeError::Netlist(e) => write!(f, "netlist: {e}"),
+            BridgeError::Book(e) => write!(f, "{e}"),
+            BridgeError::LegendParse(e) => write!(f, "{e}"),
+            BridgeError::LegendLower(e) => write!(f, "legend: {e}"),
+            BridgeError::Generate(e) => write!(f, "generate: {e}"),
+            BridgeError::Flatten(e) => write!(f, "flatten: {e}"),
+            BridgeError::Sim(e) => write!(f, "simulation: {e}"),
+            BridgeError::Equiv(e) => write!(f, "equivalence: {e}"),
+            BridgeError::Eval(e) => write!(f, "evaluation: {e}"),
+            BridgeError::VhdlParse(e) => write!(f, "{e}"),
+            BridgeError::Emit(m) => write!(f, "vhdl emission: {m}"),
+            BridgeError::Io(m) => write!(f, "io: {m}"),
+            BridgeError::Flow(m) => write!(f, "flow: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BridgeError::Synth(e) => Some(e),
+            BridgeError::HlsParse(e) => Some(e),
+            BridgeError::Hls(e) => Some(e),
+            BridgeError::Control(e) => Some(e),
+            BridgeError::Netlist(e) => Some(e),
+            BridgeError::Book(e) => Some(e),
+            BridgeError::LegendParse(e) => Some(e),
+            BridgeError::LegendLower(e) => Some(e),
+            BridgeError::Generate(e) => Some(e),
+            BridgeError::Flatten(e) => Some(e),
+            BridgeError::Sim(e) => Some(e),
+            BridgeError::Equiv(e) => Some(e),
+            BridgeError::Eval(e) => Some(e),
+            BridgeError::VhdlParse(e) => Some(e),
+            BridgeError::Emit(_) | BridgeError::Io(_) | BridgeError::Flow(_) => None,
+        }
+    }
+}
+
+macro_rules! bridge_from {
+    ($($ty:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$ty> for BridgeError {
+            fn from(e: $ty) -> Self {
+                BridgeError::$variant(e)
+            }
+        })*
+    };
+}
+
+bridge_from! {
+    SynthError => Synth,
+    hls::lang::ParseError => HlsParse,
+    CompileError => Hls,
+    ControlError => Control,
+    NetlistError => Netlist,
+    ParseBookError => Book,
+    legend::parse::ParseError => LegendParse,
+    legend::lower::LowerError => LegendLower,
+    GenerateError => Generate,
+    FlattenError => Flatten,
+    SimError => Sim,
+    EquivError => Equiv,
+    EvalError => Eval,
+    VhdlParseError => VhdlParse,
+}
+
+impl From<std::io::Error> for BridgeError {
+    fn from(e: std::io::Error) -> Self {
+        BridgeError::Io(e.to_string())
+    }
+}
+
+// The façade's one error must compose with service stacks: assert the
+// whole tree is a thread-safe `Error` at compile time.
+const _: fn() = || {
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<BridgeError>();
+};
+
+/// Entry points of the unified pipeline (see the [module docs](self)).
+pub struct Flow;
+
+impl Flow {
+    /// Starts the flow from behavioral source in the `hls` entity
+    /// language.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::HlsParse`] on malformed source.
+    pub fn from_hls(source: &str) -> Result<HlsFlow, BridgeError> {
+        Ok(HlsFlow {
+            entity: parse_entity(source)?,
+            constraints: Constraints::default(),
+        })
+    }
+
+    /// Starts the flow from a LEGEND generator document.
+    ///
+    /// The **whole** document is lowered eagerly: one unlowerable
+    /// description fails the entry point even if earlier descriptions are
+    /// fine. Callers that need per-generator tolerance should drop down
+    /// to [`legend::parse_document`] + [`legend::lower::lower`] and pick
+    /// through the results themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::LegendParse`] / [`BridgeError::LegendLower`] on
+    /// malformed or unlowerable descriptions, and
+    /// [`BridgeError::Flow`] on an empty document.
+    pub fn from_legend(source: &str) -> Result<LegendFlow, BridgeError> {
+        let descriptions = legend::parse_document(source)?;
+        if descriptions.is_empty() {
+            return Err(BridgeError::Flow(
+                "LEGEND document defines no generators".to_string(),
+            ));
+        }
+        let lowered = descriptions
+            .iter()
+            .map(lower)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LegendFlow { lowered })
+    }
+
+    /// Joins the flow at the linked stage with an existing (closed or
+    /// stand-alone) GENUS netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Netlist`] when the netlist fails validation.
+    pub fn from_netlist(netlist: Netlist) -> Result<LinkedFlow, BridgeError> {
+        netlist.validate()?;
+        Ok(LinkedFlow {
+            netlist,
+            design: None,
+        })
+    }
+}
+
+/// A parsed behavioral entity, ready for high-level synthesis.
+#[derive(Debug)]
+pub struct HlsFlow {
+    entity: hls::Entity,
+    constraints: Constraints,
+}
+
+impl HlsFlow {
+    /// Overrides the scheduler's resource constraints.
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// The parsed entity.
+    pub fn entity(&self) -> &hls::Entity {
+        &self.entity
+    }
+
+    /// Runs state scheduling, allocation and binding.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Hls`] on unschedulable entities.
+    pub fn schedule(self) -> Result<ScheduledFlow, BridgeError> {
+        Ok(ScheduledFlow {
+            design: compile(&self.entity, &self.constraints)?,
+        })
+    }
+}
+
+/// A scheduled design: datapath netlist + state sequencing table.
+pub struct ScheduledFlow {
+    design: Design,
+}
+
+impl ScheduledFlow {
+    /// The HLS output (netlist, state table, control interface).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Compiles the state sequencing table into minimized sequencing
+    /// logic.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Control`] on uncompilable tables.
+    pub fn compile_control(self) -> Result<ControlledFlow, BridgeError> {
+        let controller = compile_controller(&self.design.state_table)?;
+        Ok(ControlledFlow {
+            design: self.design,
+            controller,
+        })
+    }
+}
+
+/// A design with its compiled controller, ready to link.
+pub struct ControlledFlow {
+    design: Design,
+    controller: Controller,
+}
+
+impl ControlledFlow {
+    /// The HLS output.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The compiled controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Closes the loop: the controller drives the datapath's control nets,
+    /// yielding one self-contained netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Control`] when linking fails.
+    pub fn link(self) -> Result<LinkedFlow, BridgeError> {
+        let netlist = link(&self.design, &self.controller)?;
+        Ok(LinkedFlow {
+            netlist,
+            design: Some(self.design),
+        })
+    }
+}
+
+/// The outcome of a clocked [`LinkedFlow::simulate`] run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Cycles executed (including the cycle whose outputs satisfied the
+    /// stop condition).
+    pub cycles: usize,
+    /// Primary outputs at the stop cycle.
+    pub outputs: Env,
+}
+
+/// A closed, self-contained netlist — the stage that emits, simulates and
+/// technology-maps.
+pub struct LinkedFlow {
+    netlist: Netlist,
+    design: Option<Design>,
+}
+
+impl LinkedFlow {
+    /// The closed netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The HLS design this netlist was linked from, when the flow started
+    /// at [`Flow::from_hls`].
+    pub fn design(&self) -> Option<&Design> {
+        self.design.as_ref()
+    }
+
+    /// Structural VHDL for the netlist.
+    pub fn emit_vhdl(&self) -> String {
+        vhdl::emit_netlist(&self.netlist)
+    }
+
+    /// Clocks the design with constant `inputs` until `done(outputs)`
+    /// holds, up to `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Flatten`] / [`BridgeError::Sim`] on simulator
+    /// construction or evaluation failures, and [`BridgeError::Flow`] when
+    /// the stop condition never holds within the budget.
+    pub fn simulate(
+        &self,
+        inputs: &Env,
+        mut done: impl FnMut(&Env) -> bool,
+        max_cycles: usize,
+    ) -> Result<SimOutcome, BridgeError> {
+        self.with_simulator(|sim| {
+            for cycle in 1..=max_cycles {
+                let outputs = sim.step(inputs)?;
+                if done(&outputs) {
+                    return Ok(SimOutcome {
+                        cycles: cycle,
+                        outputs,
+                    });
+                }
+            }
+            Err(BridgeError::Flow(format!(
+                "simulation did not satisfy its stop condition within {max_cycles} cycles"
+            )))
+        })
+    }
+
+    /// Flattens the netlist, builds a [`Simulator`] over it, and hands it
+    /// to `drive` — for waveforms, multi-phase stimulus, or anything the
+    /// canned [`simulate`](Self::simulate) loop does not cover.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Flatten`] / [`BridgeError::Sim`] on construction
+    /// failures, plus whatever `drive` returns.
+    pub fn with_simulator<R>(
+        &self,
+        drive: impl FnOnce(&mut Simulator) -> Result<R, BridgeError>,
+    ) -> Result<R, BridgeError> {
+        let flat = FlatDesign::from_netlist(&self.netlist)?;
+        let mut sim = Simulator::new(&flat)?;
+        drive(&mut sim)
+    }
+
+    /// Technology-maps every distinct component of the netlist with DTAS
+    /// (one [`Dtas::synthesize_batch`] pass over the spec census).
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Synth`] on the first unmappable component.
+    pub fn map(self, engine: &Dtas) -> Result<MappedFlow, BridgeError> {
+        let mapping = engine.synthesize_netlist(&self.netlist)?;
+        Ok(MappedFlow {
+            linked: self,
+            mapping,
+        })
+    }
+}
+
+/// A linked netlist plus the DTAS mapping of each distinct component.
+pub struct MappedFlow {
+    linked: LinkedFlow,
+    mapping: BTreeMap<String, DesignSet>,
+}
+
+impl MappedFlow {
+    /// The mapped-but-still-generic netlist stage (simulation and VHDL
+    /// emission remain available).
+    pub fn linked(&self) -> &LinkedFlow {
+        &self.linked
+    }
+
+    /// The closed netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.linked.netlist()
+    }
+
+    /// Alternative implementations per distinct component specification.
+    pub fn mapping(&self) -> &BTreeMap<String, DesignSet> {
+        &self.mapping
+    }
+
+    /// Structural VHDL for the netlist.
+    pub fn emit_vhdl(&self) -> String {
+        self.linked.emit_vhdl()
+    }
+
+    /// See [`LinkedFlow::simulate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinkedFlow::simulate`].
+    pub fn simulate(
+        &self,
+        inputs: &Env,
+        done: impl FnMut(&Env) -> bool,
+        max_cycles: usize,
+    ) -> Result<SimOutcome, BridgeError> {
+        self.linked.simulate(inputs, done, max_cycles)
+    }
+
+    /// Total area of the smallest alternative of every component, weighted
+    /// by instance count — the "cheapest buildable design" number.
+    pub fn smallest_area(&self) -> f64 {
+        let census = self.linked.netlist.spec_census();
+        self.mapping
+            .iter()
+            .map(|(key, set)| {
+                let count = census.get(key).map(|(_, n)| *n).unwrap_or(1);
+                set.smallest().map(|a| a.area).unwrap_or(0.0) * count as f64
+            })
+            .sum()
+    }
+
+    /// A per-component mapping table: instance count, smallest-alternative
+    /// cost, and alternative count for every distinct specification.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let census = self.linked.netlist.spec_census();
+        let mut out = String::new();
+        let mut total = 0.0;
+        for (key, set) in &self.mapping {
+            let count = census.get(key).map(|(_, n)| *n).unwrap_or(1);
+            if let Some(best) = set.smallest() {
+                let _ = writeln!(
+                    out,
+                    "  {count} x {key:<40} -> {:>6.1} gates {:>5.1} ns ({} alternatives)",
+                    best.area,
+                    best.delay,
+                    set.alternatives.len()
+                );
+                total += best.area * count as f64;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "smallest-design area: {total:.0} equivalent NAND gates"
+        );
+        out
+    }
+}
+
+/// Lowered LEGEND generators: the entry stage for generator documents.
+#[derive(Debug)]
+pub struct LegendFlow {
+    lowered: Vec<LoweredGenerator>,
+}
+
+impl LegendFlow {
+    /// Every lowered generator in document order.
+    pub fn generators(&self) -> &[LoweredGenerator] {
+        &self.lowered
+    }
+
+    /// The first description's lowered generator.
+    pub fn generator(&self) -> &LoweredGenerator {
+        &self.lowered[0]
+    }
+
+    /// The first description's sample-component specification (Figure 2's
+    /// 3-bit counter, for the paper's document).
+    pub fn sample_spec(&self) -> &ComponentSpec {
+        self.lowered[0].sample.spec()
+    }
+
+    /// Technology-maps the first description's sample component.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Synth`] when the sample spec cannot be mapped.
+    pub fn map(&self, engine: &Dtas) -> Result<DesignSet, BridgeError> {
+        self.map_spec(engine, self.sample_spec().clone())
+    }
+
+    /// Technology-maps an adapted spec (e.g. the sample with a library
+    /// -unsupported feature switched off).
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Synth`] when the spec cannot be mapped.
+    pub fn map_spec(&self, engine: &Dtas, spec: ComponentSpec) -> Result<DesignSet, BridgeError> {
+        Ok(engine.synthesize(&spec)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::lsi::lsi_logic_subset;
+    use rtl_base::bits::Bits;
+
+    #[test]
+    fn hls_chain_runs_end_to_end() {
+        let flow = Flow::from_hls("entity inc(x: in 8, y: out 8) { y = x + 1; }")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .compile_control()
+            .unwrap()
+            .link()
+            .unwrap();
+        let vhdl = flow.emit_vhdl();
+        assert!(vhdl.contains("entity inc"));
+        let inputs = Env::from([
+            ("clk".to_string(), Bits::zero(1)),
+            ("x".to_string(), Bits::from_u64(8, 41)),
+        ]);
+        let outcome = flow
+            .simulate(&inputs, |out| out["y"].to_u64() == Some(42), 64)
+            .unwrap();
+        assert!(outcome.cycles >= 1);
+        let mapped = flow.map(&Dtas::new(lsi_logic_subset())).unwrap();
+        assert!(mapped.smallest_area() > 0.0);
+        assert!(!mapped.mapping().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_their_stage() {
+        let err = Flow::from_hls("entity {").unwrap_err();
+        assert!(matches!(err, BridgeError::HlsParse(_)));
+        let err = Flow::from_legend("NAME garbage").unwrap_err();
+        assert!(matches!(
+            err,
+            BridgeError::LegendParse(_) | BridgeError::Flow(_)
+        ));
+    }
+
+    #[test]
+    fn simulation_budget_overrun_is_reported() {
+        let flow = Flow::from_hls("entity inc(x: in 8, y: out 8) { y = x + 1; }")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .compile_control()
+            .unwrap()
+            .link()
+            .unwrap();
+        let inputs = Env::from([
+            ("clk".to_string(), Bits::zero(1)),
+            ("x".to_string(), Bits::from_u64(8, 1)),
+        ]);
+        let err = flow.simulate(&inputs, |_| false, 3).unwrap_err();
+        assert!(matches!(err, BridgeError::Flow(_)));
+    }
+
+    #[test]
+    fn legend_flow_maps_the_figure2_sample() {
+        let flow = Flow::from_legend(legend::figure2::FIGURE2).unwrap();
+        assert_eq!(flow.generator().generator.name(), "COUNTER");
+        // The LSI subset has no async set/reset flip-flops; adapt the
+        // sample spec like the paper's example does.
+        let spec = ComponentSpec {
+            async_set_reset: false,
+            ..flow.sample_spec().clone()
+        };
+        let set = flow.map_spec(&Dtas::new(lsi_logic_subset()), spec).unwrap();
+        assert!(!set.alternatives.is_empty());
+    }
+}

@@ -23,14 +23,20 @@
 //! | [`rtlsim`] | bit-accurate simulation and equivalence checking |
 //! | [`rtl_base`] | bit vectors, Pareto fronts, graph utilities |
 //!
+//! On top of the re-exports, this crate owns the service-grade front
+//! door: the [`flow`] module chains every Figure-1 stage behind
+//! [`Flow`] with the single error type [`BridgeError`], and the `dtas`
+//! binary exposes the same pipeline on the command line.
+//!
 //! # Quickstart
 //!
-//! ```
-//! use hls_rtl_bridge::{cells, dtas, genus};
+//! One spec against the data book (the paper's §5 example):
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let library = cells::lsi::lsi_logic_subset();
-//! let engine = dtas::Dtas::new(library);
+//! ```
+//! use hls_rtl_bridge::{cells, dtas, genus, BridgeError};
+//!
+//! # fn main() -> Result<(), BridgeError> {
+//! let engine = dtas::Dtas::new(cells::lsi::lsi_logic_subset());
 //! let spec = genus::spec::ComponentSpec::new(genus::kind::ComponentKind::AddSub, 16)
 //!     .with_ops(genus::op::OpSet::only(genus::op::Op::Add))
 //!     .with_carry_in(true)
@@ -41,13 +47,33 @@
 //! # }
 //! ```
 //!
+//! The whole Figure-1 flow through the façade:
+//!
+//! ```
+//! use cells::lsi::lsi_logic_subset;
+//! use hls_rtl_bridge::{BridgeError, Flow};
+//!
+//! # fn main() -> Result<(), BridgeError> {
+//! let mapped = Flow::from_hls("entity inc(x: in 8, y: out 8) { y = x + 1; }")?
+//!     .schedule()?
+//!     .compile_control()?
+//!     .link()?
+//!     .map(&dtas::Dtas::new(lsi_logic_subset()))?;
+//! println!("{}", mapped.report());
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! See `examples/` for the paper's scenarios (the Figure-3 64-bit ALU,
 //! the Figure-2 LEGEND counter, and the full Figure-1 GCD flow) and
 //! `EXPERIMENTS.md` for measured-vs-paper results.
 
+pub mod flow;
+
 pub use cells;
 pub use controlc;
 pub use dtas;
+pub use flow::{BridgeError, Flow};
 pub use genus;
 pub use hls;
 pub use legend;

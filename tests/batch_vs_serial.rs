@@ -1,0 +1,113 @@
+//! `Dtas::synthesize_batch` is a pure batching optimization: for any
+//! sequence of specifications (duplicates and unmappable specs included)
+//! it must agree slot-for-slot with the per-spec `synthesize` loop it
+//! replaced — same alternatives bit-for-bit, same errors.
+
+mod common;
+
+use cells::lsi::lsi_logic_subset;
+use common::fingerprint;
+use dtas::{DesignSet, Dtas, SynthError};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use proptest::prelude::*;
+
+fn pool() -> Vec<ComponentSpec> {
+    let adder = |w: usize| {
+        ComponentSpec::new(ComponentKind::AddSub, w)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true)
+    };
+    vec![
+        adder(4),
+        adder(8),
+        adder(12),
+        ComponentSpec::new(ComponentKind::Mux, 4).with_inputs(4),
+        ComponentSpec::new(ComponentKind::Mux, 1).with_inputs(2),
+        ComponentSpec::new(ComponentKind::Comparator, 4)
+            .with_ops([Op::Eq, Op::Lt, Op::Gt].into_iter().collect()),
+        ComponentSpec::new(ComponentKind::Register, 4).with_ops(OpSet::only(Op::Load)),
+        // Unmappable: no stack rules, no stack cells.
+        ComponentSpec::new(ComponentKind::StackFifo, 8)
+            .with_width2(4)
+            .with_ops([Op::Push, Op::Pop].into_iter().collect())
+            .with_style("STACK"),
+    ]
+}
+
+fn assert_slot_agreement(
+    spec: &ComponentSpec,
+    batch: &Result<DesignSet, SynthError>,
+    serial: &Result<DesignSet, SynthError>,
+) {
+    match (batch, serial) {
+        (Ok(b), Ok(s)) => {
+            assert_eq!(fingerprint(b), fingerprint(s), "{spec}");
+            assert_eq!(b.uniform_size, s.uniform_size, "{spec}");
+            assert_eq!(b.stats.spec_nodes, s.stats.spec_nodes, "{spec}");
+            assert_eq!(
+                b.stats.truncated_combinations, s.stats.truncated_combinations,
+                "{spec}"
+            );
+        }
+        (Err(b), Err(s)) => assert_eq!(b, s, "{spec}"),
+        other => panic!("{spec}: batch/serial disagree: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random query sequences: one batch call vs the per-spec loop, both
+    /// on fresh engines and against a warm engine's memo.
+    #[test]
+    fn batch_agrees_with_the_per_spec_loop(
+        indices in proptest::collection::vec(0usize..8, 1..10),
+        warm_flag in 0usize..2,
+    ) {
+        let warm_first = warm_flag == 1;
+        let pool = pool();
+        let specs: Vec<ComponentSpec> =
+            indices.iter().map(|&i| pool[i].clone()).collect();
+
+        let batch_engine = Dtas::new(lsi_logic_subset());
+        if warm_first {
+            // Seed the memo with a prefix so the batch mixes hits and
+            // cold solves.
+            let _ = batch_engine.synthesize(&specs[0]);
+        }
+        let batch = batch_engine.synthesize_batch(&specs);
+
+        let serial_engine = Dtas::new(lsi_logic_subset());
+        for (spec, batch_result) in specs.iter().zip(&batch) {
+            let serial = serial_engine.synthesize(spec);
+            assert_slot_agreement(spec, batch_result, &serial);
+            // And against a completely fresh engine, the strongest oracle.
+            let fresh = Dtas::new(lsi_logic_subset()).synthesize(spec);
+            assert_slot_agreement(spec, batch_result, &fresh);
+        }
+    }
+}
+
+/// The rewritten `synthesize_netlist` (one batch pass) returns exactly
+/// what the old per-census loop returned.
+#[test]
+fn netlist_mapping_matches_per_spec_loop() {
+    use hls::compile::{compile, Constraints};
+    use hls::lang::parse_entity;
+
+    let entity = parse_entity("entity acc(x: in 8, t: out 8) { var a: 8; a = a + x; t = a; }")
+        .expect("parses");
+    let design = compile(&entity, &Constraints::default()).expect("compiles");
+    let engine = Dtas::new(lsi_logic_subset());
+    let mapped = engine.synthesize_netlist(&design.netlist).expect("maps");
+    let reference = Dtas::new(lsi_logic_subset());
+    for (key, (component, _)) in design.netlist.spec_census() {
+        let serial = reference.synthesize(component.spec()).expect("maps");
+        let batch = &mapped[&key];
+        assert_eq!(fingerprint(batch), fingerprint(&serial), "{key}");
+    }
+    assert_eq!(mapped.len(), design.netlist.spec_census().len());
+}

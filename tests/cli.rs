@@ -1,0 +1,120 @@
+//! Integration coverage for the `dtas` CLI binary: `map` prints a
+//! trade-off table, `flow` runs the full pipeline and emits VHDL, and
+//! errors land on stderr with a nonzero exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dtas() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dtas"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dtas_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn map_prints_the_tradeoff_table() {
+    let out = dtas()
+        .args(["map", "--spec", "add:16:cin:cout"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ADDSUB.16+CI+CO(ADD)"), "{stdout}");
+    assert!(stdout.contains("area"), "{stdout}");
+    assert!(stdout.contains("add-cla-groups"), "{stdout}");
+}
+
+#[test]
+fn map_accepts_an_external_book_file() {
+    let book = temp_path("lsi.book");
+    std::fs::write(&book, cells::lsi::LSI_DATABOOK).expect("writes book");
+    let out = dtas()
+        .args(["map", "--spec", "mux:4:n=4", "--book"])
+        .arg(&book)
+        .output()
+        .expect("runs");
+    let _ = std::fs::remove_file(&book);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MUX.4[4]"), "{stdout}");
+}
+
+#[test]
+fn map_pareto_and_cap_shrink_the_table() {
+    let full = dtas()
+        .args(["map", "--spec", "add:16:cin:cout"])
+        .output()
+        .expect("runs");
+    assert!(full.status.success(), "{full:?}");
+    let capped = dtas()
+        .args(["map", "--spec", "add:16:cin:cout", "--pareto", "--cap", "2"])
+        .output()
+        .expect("runs");
+    assert!(capped.status.success(), "{capped:?}");
+    let count = |raw: &[u8]| {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+            .count()
+    };
+    assert!(count(&capped.stdout) <= 2);
+    assert!(count(&full.stdout) > count(&capped.stdout));
+}
+
+#[test]
+fn flow_runs_the_pipeline_and_emits_vhdl() {
+    let entity = temp_path("inc.ent");
+    let vhd = temp_path("inc.vhd");
+    std::fs::write(&entity, "entity inc(x: in 8, y: out 8) { y = x + 1; }").expect("writes");
+    let out = dtas()
+        .args(["flow", "--hls"])
+        .arg(&entity)
+        .arg("--emit-vhdl")
+        .arg(&vhd)
+        .output()
+        .expect("runs");
+    let _ = std::fs::remove_file(&entity);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("controller:"), "{stdout}");
+    assert!(stdout.contains("technology mapping:"), "{stdout}");
+    assert!(stdout.contains("smallest-design area:"), "{stdout}");
+    let vhdl = std::fs::read_to_string(&vhd).expect("vhdl written");
+    let _ = std::fs::remove_file(&vhd);
+    assert!(vhdl.contains("entity inc is"), "{vhdl}");
+}
+
+#[test]
+fn errors_exit_nonzero_with_stage_context() {
+    let out = dtas()
+        .args(["map", "--spec", "frobnicator:8"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown component kind"), "{stderr}");
+
+    let out = dtas()
+        .args(["flow", "--hls", "/nonexistent/path.ent"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("io:"));
+
+    let out = dtas().arg("transmogrify").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    for args in [vec!["help"], vec![]] {
+        let out = dtas().args(&args).output().expect("runs");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("USAGE"), "{stdout}");
+        assert!(stdout.contains("dtas map"), "{stdout}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Helpers shared by the integration suites (included per-crate via
+//! `mod common;` — the `common/` directory is not itself a test target).
+#![allow(dead_code)] // each suite uses the subset it needs
+
+/// Everything observable about one design set, bit-exact: per
+/// alternative `(area bits, delay bits, implementation label, cell
+/// census)`. The oracle every determinism/batch/concurrency suite
+/// compares against — extend it here, not in per-suite copies.
+pub type Fingerprint = Vec<(u64, u64, String, Vec<(String, usize)>)>;
+
+/// Fingerprints a [`dtas::DesignSet`].
+pub fn fingerprint(set: &dtas::DesignSet) -> Fingerprint {
+    set.alternatives
+        .iter()
+        .map(|a| {
+            (
+                a.area.to_bits(),
+                a.delay.to_bits(),
+                a.implementation.label().to_string(),
+                a.implementation.cell_census().into_iter().collect(),
+            )
+        })
+        .collect()
+}

@@ -2,28 +2,14 @@
 //! library, same rules ⇒ identical design sets (costs, labels, cell
 //! censuses). The paper's numbers are only meaningful if reruns agree.
 
+mod common;
+
 use cells::lsi::lsi_logic_subset;
+use common::fingerprint;
 use dtas::Dtas;
 use genus::kind::ComponentKind;
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
-
-fn fingerprint(set: &dtas::DesignSet) -> Vec<(u64, u64, String, Vec<(String, usize)>)> {
-    set.alternatives
-        .iter()
-        .map(|a| {
-            (
-                a.area.to_bits(),
-                a.delay.to_bits(),
-                a.implementation.label().to_string(),
-                a.implementation
-                    .cell_census()
-                    .into_iter()
-                    .collect::<Vec<_>>(),
-            )
-        })
-        .collect()
-}
 
 #[test]
 fn synthesis_is_deterministic() {

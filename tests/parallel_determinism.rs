@@ -3,6 +3,8 @@
 //! all produce bit-identical results to a forced single-thread, cold run
 //! — the paper's numbers only mean something if the speedups are free.
 
+mod common;
+
 use cells::lsi::lsi_logic_subset;
 use dtas::template::SpecModelCache;
 use dtas::{DesignSpace, Dtas, DtasConfig, Policy, RuleSet, SolveConfig, Solver};
@@ -26,11 +28,13 @@ fn alu64() -> ComponentSpec {
 }
 
 /// Area bits, delay bits, and the full policy of every front point.
+type FrontFingerprint = Vec<(u64, u64, Vec<(usize, usize)>)>;
+
 fn front_fingerprint(
     space: &mut DesignSpace,
     spec: &ComponentSpec,
     threads: usize,
-) -> Vec<(u64, u64, Vec<(usize, usize)>)> {
+) -> FrontFingerprint {
     let rules = RuleSet::standard().with_lsi_extensions();
     let lib = lsi_logic_subset();
     let cache = SpecModelCache::new();
@@ -63,20 +67,6 @@ fn parallel_solver_fronts_match_serial_exactly() {
     }
 }
 
-fn set_fingerprint(set: &dtas::DesignSet) -> Vec<(u64, u64, String, Vec<(String, usize)>)> {
-    set.alternatives
-        .iter()
-        .map(|a| {
-            (
-                a.area.to_bits(),
-                a.delay.to_bits(),
-                a.implementation.label().to_string(),
-                a.implementation.cell_census().into_iter().collect(),
-            )
-        })
-        .collect()
-}
-
 #[test]
 fn threaded_engine_matches_single_thread_engine() {
     let serial = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
@@ -90,7 +80,7 @@ fn threaded_engine_matches_single_thread_engine() {
     for spec in [add16(), alu64()] {
         let a = serial.synthesize(&spec).unwrap();
         let b = threaded.synthesize(&spec).unwrap();
-        assert_eq!(set_fingerprint(&a), set_fingerprint(&b), "{spec}");
+        assert_eq!(common::fingerprint(&a), common::fingerprint(&b), "{spec}");
         assert_eq!(
             a.unconstrained_size.to_bits(),
             b.unconstrained_size.to_bits()
@@ -107,7 +97,7 @@ fn cached_repeat_is_identical_and_counted() {
     assert_eq!(engine.cache_stats().misses, 1);
     assert_eq!(engine.cache_stats().hits, 0);
     let again = engine.synthesize(&add16()).unwrap();
-    assert_eq!(set_fingerprint(&first), set_fingerprint(&again));
+    assert_eq!(common::fingerprint(&first), common::fingerprint(&again));
     assert_eq!(again.uniform_size, first.uniform_size);
     let stats = engine.cache_stats();
     assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -118,7 +108,7 @@ fn cached_repeat_is_identical_and_counted() {
     let stats = engine.cache_stats();
     assert_eq!((stats.hits, stats.misses, stats.cached_results), (0, 0, 0));
     let cold = engine.synthesize(&add16()).unwrap();
-    assert_eq!(set_fingerprint(&first), set_fingerprint(&cold));
+    assert_eq!(common::fingerprint(&first), common::fingerprint(&cold));
 }
 
 #[test]
@@ -154,8 +144,8 @@ fn shared_engine_results_match_fresh_engines() {
         let from_shared = shared.synthesize(&spec).unwrap();
         let from_fresh = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
         assert_eq!(
-            set_fingerprint(&from_shared),
-            set_fingerprint(&from_fresh),
+            common::fingerprint(&from_shared),
+            common::fingerprint(&from_fresh),
             "shared-engine divergence for {spec}"
         );
         assert_eq!(from_shared.uniform_size, from_fresh.uniform_size);
@@ -210,7 +200,7 @@ fn cache_off_still_produces_identical_results() {
     });
     let a = cached.synthesize(&add16()).unwrap();
     let b = cold.synthesize(&add16()).unwrap();
-    assert_eq!(set_fingerprint(&a), set_fingerprint(&b));
+    assert_eq!(common::fingerprint(&a), common::fingerprint(&b));
     // Nothing is retained with the cache off.
     let stats = cold.cache_stats();
     assert_eq!((stats.hits, stats.misses, stats.cached_results), (0, 0, 0));
@@ -313,10 +303,13 @@ fn cyclic_rules_stay_query_order_independent() {
     let b_after_a = shared.synthesize(&cyclic::delay("B")).unwrap();
     assert_eq!(b_after_a.stats.impl_choices, fresh_b.stats.impl_choices);
     assert_eq!(b_after_a.stats.spec_nodes, fresh_b.stats.spec_nodes);
-    assert_eq!(set_fingerprint(&b_after_a), set_fingerprint(&fresh_b));
+    assert_eq!(
+        common::fingerprint(&b_after_a),
+        common::fingerprint(&fresh_b)
+    );
     // Tainted queries are never memoized: repeats stay correct too.
     let again = shared.synthesize(&cyclic::delay("B")).unwrap();
-    assert_eq!(set_fingerprint(&again), set_fingerprint(&fresh_b));
+    assert_eq!(common::fingerprint(&again), common::fingerprint(&fresh_b));
 }
 
 /// The old BTreeMap policy-merge semantics, kept as the reference model.

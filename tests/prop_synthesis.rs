@@ -79,7 +79,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 0,
-        ..ProptestConfig::default()
     })]
 
     #[test]

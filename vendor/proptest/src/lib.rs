@@ -552,7 +552,7 @@ mod tests {
 
         #[test]
         fn ranges_respect_bounds(w in 1usize..10, x in any::<u64>()) {
-            prop_assert!(w >= 1 && w < 10);
+            prop_assert!((1..10).contains(&w));
             let _ = x;
         }
 

@@ -208,8 +208,8 @@ mod tests {
     #[test]
     fn gen_bool_extremes() {
         let mut rng = StdRng::seed_from_u64(9);
-        assert!(!(0..100).map(|_| rng.gen_bool(0.0)).any(|b| b));
-        assert!((0..100).map(|_| rng.gen_bool(1.0)).all(|b| b));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
         // p = 0.5 should produce both outcomes quickly.
         let trues = (0..100).filter(|_| rng.gen_bool(0.5)).count();
         assert!(trues > 10 && trues < 90);
