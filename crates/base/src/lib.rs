@@ -14,6 +14,9 @@
 //!   used for netlist delay estimation and scheduling.
 //! * [`table`] — plain-text table rendering for the benchmark harness that
 //!   regenerates the paper's tables and figures.
+//! * [`hash`] — a stable (FNV-1a) hasher for content fingerprints that key
+//!   persisted artifacts, where `DefaultHasher`'s cross-release drift
+//!   would orphan them.
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 
 pub mod bits;
 pub mod graph;
+pub mod hash;
 pub mod pareto;
 pub mod table;
 

@@ -62,13 +62,13 @@ fn main() {
     };
 
     // Full engine.
-    let full = Dtas::new(lib.clone()).with_config(pareto);
+    let full = Dtas::new(lib.clone()).with_config(pareto.clone());
     row(&mut t, "full (generic + 9 LSI rules)", &full, &spec);
 
     // Without library-specific rules.
     let no_lsi = Dtas::new(lib.clone())
         .with_rules(RuleSet::standard())
-        .with_config(pareto);
+        .with_config(pareto.clone());
     row(&mut t, "generic rules only", &no_lsi, &spec);
 
     // Without the lookahead cells (poorer library).
@@ -77,7 +77,7 @@ fn main() {
         "EN", "MUX21L", "MUX21H", "MUX41", "MUX41H", "MUX81", "MUX84", "FA1A", "ADD2", "ADD4",
         "AS2", "FD1", "FDE1", "RG4", "RG8",
     ]);
-    let no_cla = Dtas::new(poor).with_config(pareto);
+    let no_cla = Dtas::new(poor).with_config(pareto.clone());
     row(&mut t, "library without CLA4/ADD4PG", &no_cla, &spec);
 
     // Relaxed root filter (the paper's favorable-tradeoff set).
@@ -99,13 +99,13 @@ fn main() {
     for col in 1..=5 {
         t2.align(col, Align::Right);
     }
-    let full = Dtas::new(lib.clone()).with_config(pareto);
+    let full = Dtas::new(lib.clone()).with_config(pareto.clone());
     row(&mut t2, "full (strict Pareto)", &full, &spec);
     let relaxed = Dtas::new(lib.clone());
     row(&mut t2, "favorable-tradeoff filter", &relaxed, &spec);
     let no_lsi = Dtas::new(lib.clone())
         .with_rules(RuleSet::standard())
-        .with_config(pareto);
+        .with_config(pareto.clone());
     row(&mut t2, "generic rules only", &no_lsi, &spec);
     println!("{}", t2.render());
 }

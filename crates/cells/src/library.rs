@@ -87,14 +87,16 @@ impl CellLibrary {
 
     /// A content fingerprint over the library: name, cell order, and
     /// every cell's specification and costs. Engines key cross-query
-    /// synthesis caches on this hash, so any change to the library —
+    /// synthesis caches — including *persisted* warm-start snapshots,
+    /// which is why the digest is the stable
+    /// [`StableHasher`](rtl_base::hash::StableHasher) rather than
+    /// `DefaultHasher` — on this hash, so any change to the library —
     /// renamed cells, recalibrated areas or delays, added or dropped
     /// entries — produces a different fingerprint and invalidates cached
-    /// results.
+    /// results and on-disk snapshots alike.
     pub fn fingerprint(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
+        let mut h = rtl_base::hash::StableHasher::new();
         self.name.hash(&mut h);
         self.cells.len().hash(&mut h);
         for c in &self.cells {

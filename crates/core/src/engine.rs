@@ -1,0 +1,1096 @@
+//! The DTAS synthesis engine.
+
+use crate::config::DtasConfig;
+use crate::extract;
+use crate::report::{Alternative, DesignSet, SynthStats};
+use crate::request::SynthRequest;
+use crate::rules::RuleSet;
+use crate::space::{DesignSpace, ExpandError, FilterPolicy, FrontStore, SolveConfig, Solver};
+use crate::store::mem::{MemStore, ResultCell, SharedState};
+use crate::store::{LoadOutcome, PersistentStore, ResultStore, SaveReport, StoreError, StoreKey};
+use crate::template::SpecModelCache;
+use cells::CellLibrary;
+use genus::netlist::Netlist;
+use genus::spec::ComponentSpec;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters for the engine-level cross-query cache and its warm-start
+/// store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `synthesize` calls answered entirely from the result memo
+    /// (including callers that blocked on another client's in-flight
+    /// solve of the same spec and were served its result).
+    pub hits: u64,
+    /// `synthesize` calls that had to solve (possibly reusing sub-spec
+    /// fronts from earlier queries).
+    pub misses: u64,
+    /// Whole result sets currently memoized.
+    pub cached_results: usize,
+    /// Specification nodes whose fronts are currently solved and reusable.
+    pub cached_fronts: usize,
+    /// Specification nodes in the engine's shared design space.
+    pub spec_nodes: usize,
+    /// Number of result-memo shards (fixed per engine).
+    pub result_shards: usize,
+    /// Memo lookups that found their shard lock momentarily held
+    /// exclusively (an insert in flight) and had to wait for it.
+    pub shard_contention: u64,
+    /// Exclusive acquisitions of the shared design space: cold-query
+    /// expansions, front write-backs and cache clears. Hit-path queries
+    /// never take one — tests assert this stays flat while hot clients
+    /// hammer the engine.
+    pub state_exclusive: u64,
+    /// Times a poisoned lock (a client panicked mid-update) was detected;
+    /// the affected state was dropped and rebuilt (see [`Dtas`]).
+    pub poison_recoveries: u64,
+    /// Snapshots successfully loaded from the bound [`ResultStore`]
+    /// (0 or 1 per engine lifetime: warm start happens at construction).
+    pub snapshot_loads: u64,
+    /// Snapshots found but rejected (truncated, corrupt, different format
+    /// version, or mismatched library/rule-set/config fingerprints); each
+    /// rejection fell back to a clean cold start.
+    pub snapshot_rejects: u64,
+    /// Memoized results written by the most recent
+    /// [`checkpoint`](Dtas::checkpoint) (explicit or on drop).
+    pub persisted_results: u64,
+    /// Encoded size in bytes of the most recent snapshot moved in either
+    /// direction (load or save).
+    pub snapshot_bytes: u64,
+}
+
+/// Errors produced by [`Dtas::synthesize`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthError {
+    /// Design-space expansion failed (a rule or spec defect).
+    Expand(String),
+    /// No combination of rules and cells implements the specification.
+    NoImplementation(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Expand(m) => write!(f, "design-space expansion failed: {m}"),
+            SynthError::NoImplementation(s) => {
+                write!(f, "no implementation exists for {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Per-spec expansion outcome of one batch pass: slots already resolved
+/// (expansion errors), roots to solve together, and taint-affected
+/// indices needing a cold fallback.
+struct BatchPlan {
+    results: Vec<Option<Result<Arc<DesignSet>, SynthError>>>,
+    roots: Vec<(usize, usize)>,
+    tainted: Vec<usize>,
+}
+
+/// Warm-start bookkeeping, reported through [`CacheStats`].
+#[derive(Default)]
+struct StoreMetrics {
+    loads: AtomicU64,
+    rejects: AtomicU64,
+    persisted: AtomicU64,
+    bytes: AtomicU64,
+    /// Miss count at the last checkpoint — the drop hook only flushes
+    /// when solves happened since, so an explicit `checkpoint()` is not
+    /// paid a second time on drop.
+    flushed_misses: AtomicU64,
+    /// Why the last rejected snapshot was rejected (diagnostics).
+    reject_reason: std::sync::Mutex<Option<String>>,
+}
+
+impl StoreMetrics {
+    fn reset(&self) {
+        self.loads.store(0, Ordering::Relaxed);
+        self.rejects.store(0, Ordering::Relaxed);
+        self.persisted.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.flushed_misses.store(0, Ordering::Relaxed);
+        *self.reject_reason.lock().expect("reject reason poisoned") = None;
+    }
+}
+
+/// The DTAS synthesis engine: a rule base plus a target cell library.
+///
+/// # Concurrency
+///
+/// The engine is `Sync` and built to be shared (`Arc<Dtas>` or `&Dtas`
+/// across scoped threads) by many clients:
+///
+/// * **Hits never contend.** Memoized results live in a sharded memo
+///   ([`CacheStats::result_shards`] shards, read-mostly `RwLock` each); a
+///   repeat query takes one shard read lock and clones out an [`Arc`]. No
+///   exclusive lock is taken anywhere on the hit path
+///   ([`CacheStats::state_exclusive`] stays flat).
+/// * **Cold queries overlap.** A miss expands under a brief exclusive
+///   lock on the shared design space, then solves against a private
+///   snapshot with no lock held, and finally merges its solved fronts
+///   back. Two distinct cold specs therefore solve concurrently.
+/// * **Identical results.** Every front is a pure function of its
+///   (append-only) subgraph, so the schedule cannot change any answer:
+///   whatever the interleaving, each query returns exactly what a fresh
+///   single-threaded engine would return for that spec.
+///
+/// # Caching
+///
+/// The engine memoizes aggressively across queries (see
+/// [`DtasConfig::cache`]): repeated specs return from the result memo, and
+/// shared sub-specs across *different* roots (ADD8 under both ALU64 and
+/// ADD16, say) are expanded and solved once per engine lifetime. Cached
+/// entries are keyed implicitly by the library's content
+/// [`fingerprint`](CellLibrary::fingerprint) — verified on every call —
+/// and are dropped whenever rules or configuration change
+/// ([`with_rules`](Self::with_rules) / [`with_config`](Self::with_config))
+/// or [`clear_cache`](Self::clear_cache) is called.
+///
+/// # Warm start
+///
+/// With [`DtasConfig::persist_path`] set (or a backend attached through
+/// [`with_store`](Self::with_store)), the cached state also survives the
+/// engine: construction loads a compatible snapshot — the explored design
+/// space, every solved front, and the memoized results — and the state is
+/// flushed back by [`checkpoint`](Self::checkpoint) or on drop. A second
+/// process pointed at the same directory answers its first query from the
+/// memo in microseconds instead of re-paying the cold solve. Snapshot
+/// compatibility is strict (codec format version + library + rule-set +
+/// configuration fingerprints); anything else is rejected and the engine
+/// starts cold. [`clear_cache`](Self::clear_cache) only clears the
+/// in-memory state — snapshots already on disk are untouched.
+///
+/// # Poison recovery
+///
+/// If a client thread panics while holding an engine lock (a rule that
+/// panics mid-expansion, say), the lock is poisoned. The engine never
+/// propagates that poison: the next caller that observes it clears the
+/// poison flag, **drops the possibly half-mutated cached state** (the
+/// shared space and fronts, or the affected memo shard) and rebuilds from
+/// empty — exactly the effect of [`clear_cache`](Self::clear_cache) on the
+/// poisoned part. Subsequent queries re-solve from cold and remain
+/// correct; [`CacheStats::poison_recoveries`] counts how often this
+/// happened.
+pub struct Dtas {
+    rules: RuleSet,
+    library: CellLibrary,
+    config: DtasConfig,
+    fingerprint: u64,
+    mem: MemStore,
+    store: Option<Arc<dyn ResultStore>>,
+    metrics: StoreMetrics,
+}
+
+impl Dtas {
+    /// Creates an engine with the standard rule base, the library-specific
+    /// extensions, and default configuration.
+    pub fn new(library: CellLibrary) -> Self {
+        let fingerprint = library.fingerprint();
+        Dtas {
+            rules: RuleSet::standard().with_lsi_extensions(),
+            library,
+            config: DtasConfig::default(),
+            fingerprint,
+            mem: MemStore::new(),
+            store: None,
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    /// Creates an engine warm-started from (and flushed back to) the
+    /// snapshot directory `dir` — shorthand for setting
+    /// [`DtasConfig::persist_path`] on a default configuration.
+    pub fn warm_start(library: CellLibrary, dir: impl Into<std::path::PathBuf>) -> Self {
+        Dtas::new(library).with_config(DtasConfig {
+            persist_path: Some(dir.into()),
+            ..DtasConfig::default()
+        })
+    }
+
+    /// Replaces the rule base. Cached synthesis state is dropped — cached
+    /// fronts are only valid for the rules that produced them — and any
+    /// bound store is re-consulted under the new rule-set fingerprint.
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self.reset_runtime_state();
+        self.try_warm_load();
+        self
+    }
+
+    /// Replaces the configuration. Cached synthesis state is dropped —
+    /// filters and caps shape every cached front — and the warm-start
+    /// binding is rebuilt from [`DtasConfig::persist_path`].
+    pub fn with_config(mut self, config: DtasConfig) -> Self {
+        self.config = config;
+        self.reset_runtime_state();
+        self.store = self
+            .config
+            .persist_path
+            .as_ref()
+            .map(|dir| Arc::new(PersistentStore::new(dir)) as Arc<dyn ResultStore>);
+        self.try_warm_load();
+        self
+    }
+
+    /// Binds an explicit snapshot backend (overriding any
+    /// [`DtasConfig::persist_path`] binding) and warm-starts from it.
+    /// Cached synthesis state is dropped first, exactly as in
+    /// [`with_config`](Self::with_config).
+    pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.reset_runtime_state();
+        self.store = Some(store);
+        self.try_warm_load();
+        self
+    }
+
+    /// Fresh (empty) synchronized state, counters included. Used by the
+    /// consuming builders before they re-bind / re-load.
+    fn reset_runtime_state(&mut self) {
+        self.mem = MemStore::new();
+        self.metrics.reset();
+    }
+
+    /// The compatibility key this engine's snapshots are stored under.
+    pub fn store_key(&self) -> StoreKey {
+        StoreKey {
+            format_version: crate::store::FORMAT_VERSION,
+            library: self.fingerprint,
+            rules: self.rules.fingerprint(),
+            config: self.config.result_fingerprint(),
+        }
+    }
+
+    /// The bound snapshot backend, if any.
+    pub fn snapshot_store(&self) -> Option<&Arc<dyn ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// Attempts a warm start from the bound store. A missing snapshot is
+    /// a plain cold start; a rejected one (see
+    /// [`CacheStats::snapshot_rejects`]) is logged in the counters and
+    /// also falls back cold. Skipped entirely when caching is off.
+    fn try_warm_load(&self) {
+        if !self.config.cache {
+            return;
+        }
+        let Some(store) = &self.store else {
+            return;
+        };
+        match store.load(&self.store_key()) {
+            LoadOutcome::Loaded { snapshot, bytes } => {
+                self.mem.hydrate(snapshot);
+                self.metrics.loads.fetch_add(1, Ordering::Relaxed);
+                self.metrics.bytes.store(bytes, Ordering::Relaxed);
+            }
+            LoadOutcome::Missing => {}
+            LoadOutcome::Rejected { reason } => {
+                self.metrics.rejects.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .metrics
+                    .reject_reason
+                    .lock()
+                    .expect("reject reason poisoned") = Some(reason);
+            }
+        }
+    }
+
+    /// Why the bound store's snapshot was rejected at the last warm-start
+    /// attempt, if it was (surfaced by `dtas map --stats`). `None` after
+    /// a successful load or a plain cold start.
+    pub fn last_snapshot_rejection(&self) -> Option<String> {
+        self.metrics
+            .reject_reason
+            .lock()
+            .expect("reject reason poisoned")
+            .clone()
+    }
+
+    /// Flushes the current cached state (design space, solved fronts,
+    /// memoized results) to the bound store. Returns `Ok(None)` when no
+    /// store is bound or caching is off. Also runs automatically on drop
+    /// when the engine solved anything new since the last load.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the backing medium fails. The in-memory state
+    /// is unaffected either way.
+    pub fn checkpoint(&self) -> Result<Option<SaveReport>, StoreError> {
+        if !self.config.cache {
+            return Ok(None);
+        }
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        // Sample the miss counter *before* exporting: a solve racing the
+        // export is then counted as un-flushed and re-saved on drop,
+        // rather than possibly lost.
+        let misses_at_start = self.mem.misses.load(Ordering::Relaxed);
+        let snapshot = self.mem.export_snapshot();
+        let report = store.save(&self.store_key(), &snapshot)?;
+        self.metrics
+            .persisted
+            .store(report.results as u64, Ordering::Relaxed);
+        self.metrics.bytes.store(report.bytes, Ordering::Relaxed);
+        self.metrics
+            .flushed_misses
+            .store(misses_at_start, Ordering::Relaxed);
+        Ok(Some(report))
+    }
+
+    /// The rule base.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The target library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DtasConfig {
+        &self.config
+    }
+
+    /// The library content fingerprint the cache is keyed by.
+    pub fn library_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Drops all cross-query synthesis state (design space, fronts,
+    /// memoized results, spec models) and resets every counter. Snapshots
+    /// already persisted by the bound store are untouched.
+    pub fn clear_cache(&self) {
+        self.mem.clear();
+        self.metrics.reset();
+    }
+
+    /// Cross-query cache counters (the memo counters are all zero when
+    /// caching is off).
+    pub fn cache_stats(&self) -> CacheStats {
+        let (cached_fronts, spec_nodes) = self.mem.front_counts();
+        CacheStats {
+            hits: self.mem.hits.load(Ordering::Relaxed),
+            misses: self.mem.misses.load(Ordering::Relaxed),
+            cached_results: self.mem.cached_result_count(),
+            cached_fronts,
+            spec_nodes,
+            result_shards: self.mem.shard_count(),
+            shard_contention: self.mem.shard_contention.load(Ordering::Relaxed),
+            state_exclusive: self.mem.state_exclusive.load(Ordering::Relaxed),
+            poison_recoveries: self.mem.poison_recoveries.load(Ordering::Relaxed),
+            snapshot_loads: self.metrics.loads.load(Ordering::Relaxed),
+            snapshot_rejects: self.metrics.rejects.load(Ordering::Relaxed),
+            persisted_results: self.metrics.persisted.load(Ordering::Relaxed),
+            snapshot_bytes: self.metrics.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Worker-thread count for this run.
+    fn thread_count(&self) -> usize {
+        self.config
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// Synthesizes one component specification into a set of alternative
+    /// library-specific implementations.
+    ///
+    /// Concurrent callers with memoized specs are served without taking
+    /// any exclusive lock; concurrent callers with the *same* cold spec
+    /// block on one in-flight solve and share its result; distinct cold
+    /// specs solve concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::NoImplementation`] when neither rules nor cells cover
+    /// the spec; [`SynthError::Expand`] on rule defects.
+    pub fn synthesize(&self, spec: &ComponentSpec) -> Result<DesignSet, SynthError> {
+        let start = Instant::now();
+        if !self.config.cache {
+            // Ablation path: cold state per query, nothing retained.
+            let mut state = SharedState::default();
+            return self.synthesize_in(spec, &mut state, start);
+        }
+        self.check_fingerprint();
+        let cell = self.mem.result_cell(spec);
+        if let Some(result) = cell.get() {
+            self.mem.hits.fetch_add(1, Ordering::Relaxed);
+            return Self::deliver(result, start);
+        }
+        let mut solved_here = false;
+        let result = cell.get_or_init(|| {
+            solved_here = true;
+            self.mem.misses.fetch_add(1, Ordering::Relaxed);
+            self.solve_shared(spec, start).map(Arc::new)
+        });
+        if !solved_here {
+            // Another client solved this spec while we waited on the cell.
+            self.mem.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Self::deliver(result, start)
+    }
+
+    /// Runs a [`SynthRequest`]. Requests without front overrides share the
+    /// result memo with [`synthesize`](Self::synthesize); requests with
+    /// overrides recompute only the root front (node fronts below it are
+    /// still shared with every other query) and bypass the memo.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`synthesize`](Self::synthesize).
+    pub fn synthesize_request(&self, request: &SynthRequest) -> Result<DesignSet, SynthError> {
+        let mut set = if !request.has_front_overrides() {
+            self.synthesize(&request.spec)?
+        } else {
+            let start = Instant::now();
+            let root_filter = request.root_filter.unwrap_or(self.config.root_filter);
+            let root_cap = request.root_cap.unwrap_or(self.config.root_cap);
+            if !self.config.cache {
+                let mut state = SharedState::default();
+                self.solve_in(&request.spec, &mut state, root_filter, root_cap, start)?
+            } else {
+                self.check_fingerprint();
+                self.mem.misses.fetch_add(1, Ordering::Relaxed);
+                self.solve_shared_with(&request.spec, root_filter, root_cap, start)?
+            }
+        };
+        if let Some((area_weight, delay_weight)) = request.weights {
+            let score = |a: &Alternative| area_weight * a.area + delay_weight * a.delay;
+            // total_cmp keeps the comparator a total order even if a
+            // caller passes non-finite weights (NaN scores would make a
+            // partial_cmp-based sort panic since Rust 1.81).
+            set.alternatives.sort_by(|a, b| {
+                score(a)
+                    .total_cmp(&score(b))
+                    .then(a.area.total_cmp(&b.area))
+                    .then(a.delay.total_cmp(&b.delay))
+            });
+        }
+        Ok(set)
+    }
+
+    /// Synthesizes a whole batch of specifications in one shared-space
+    /// pass: every *distinct* spec is expanded into the engine's design
+    /// space (shared sub-specs once), all cold roots are solved together
+    /// in a single level-scheduled sweep (not a per-spec loop), and the
+    /// results come back aligned with `specs` (duplicates are served from
+    /// the first occurrence's result).
+    ///
+    /// Per-spec failures do not abort the batch — each slot carries its
+    /// own `Result`.
+    pub fn synthesize_batch(&self, specs: &[ComponentSpec]) -> Vec<Result<DesignSet, SynthError>> {
+        let start = Instant::now();
+        // Distinct specs in first-appearance order.
+        let mut distinct: Vec<&ComponentSpec> = Vec::new();
+        let mut slot_of: HashMap<&ComponentSpec, usize> = HashMap::new();
+        for spec in specs {
+            if !slot_of.contains_key(spec) {
+                slot_of.insert(spec, distinct.len());
+                distinct.push(spec);
+            }
+        }
+        let results = if self.config.cache {
+            self.check_fingerprint();
+            self.batch_cached(&distinct, start)
+        } else {
+            let mut state = SharedState::default();
+            self.batch_in(&distinct, &mut state, start)
+        };
+        specs
+            .iter()
+            .map(|spec| Self::deliver(&results[slot_of[spec]], start))
+            .collect()
+    }
+
+    /// Synthesizes every distinct component specification used in a GENUS
+    /// netlist (the distinct-spec census is exactly what DTAS expands —
+    /// shared specs are expanded once) as one
+    /// [`synthesize_batch`](Self::synthesize_batch) pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first spec (in census order) with no implementation.
+    /// Unlike the per-spec loop this replaced, the whole batch is solved
+    /// before the error is reported — the successful work is what warms
+    /// the shared cache; use [`synthesize_batch`](Self::synthesize_batch)
+    /// directly for per-spec error visibility.
+    pub fn synthesize_netlist(
+        &self,
+        netlist: &Netlist,
+    ) -> Result<BTreeMap<String, DesignSet>, SynthError> {
+        let census = netlist.spec_census();
+        let specs: Vec<ComponentSpec> = census
+            .values()
+            .map(|(component, _count)| component.spec().clone())
+            .collect();
+        let results = self.synthesize_batch(&specs);
+        let mut out = BTreeMap::new();
+        for (key, set) in census.into_keys().zip(results) {
+            out.insert(key, set?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Solve internals.
+
+    /// Clones a memoized (or just-computed) result out to the caller,
+    /// restamping the elapsed wall time with this call's own.
+    fn deliver(
+        result: &Result<Arc<DesignSet>, SynthError>,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        match result {
+            Ok(set) => {
+                let mut set = DesignSet::clone(set);
+                set.stats.elapsed = start.elapsed();
+                Ok(set)
+            }
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The library is privately owned and immutable behind `&self`, so the
+    /// fingerprint captured in `new()` keys every cached entry; rehashing
+    /// it per call would tax the microsecond hit path.
+    fn check_fingerprint(&self) {
+        debug_assert_eq!(
+            self.library.fingerprint(),
+            self.fingerprint,
+            "library diverged from the fingerprint its cache was keyed under"
+        );
+    }
+
+    /// Expands a spec into a state's shared design space.
+    fn expand_in(
+        &self,
+        spec: &ComponentSpec,
+        state: &mut SharedState,
+    ) -> Result<usize, SynthError> {
+        state
+            .space
+            .expand_threaded(
+                spec,
+                &self.rules,
+                &self.library,
+                &state.models,
+                self.thread_count(),
+            )
+            .map_err(|e| match e {
+                ExpandError::Cycle => SynthError::NoImplementation(spec.to_string()),
+                other => SynthError::Expand(other.to_string()),
+            })
+    }
+
+    /// Cold-solve pipeline over a private state (the ablation path and the
+    /// fallback for taint-affected queries).
+    fn synthesize_in(
+        &self,
+        spec: &ComponentSpec,
+        state: &mut SharedState,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        self.solve_in(
+            spec,
+            state,
+            self.config.root_filter,
+            self.config.root_cap,
+            start,
+        )
+    }
+
+    /// Like [`synthesize_in`](Self::synthesize_in) with explicit root
+    /// filter/cap (per-request overrides).
+    fn solve_in(
+        &self,
+        spec: &ComponentSpec,
+        state: &mut SharedState,
+        root_filter: FilterPolicy,
+        root_cap: usize,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        let root = self.expand_in(spec, state)?;
+        let fronts = std::mem::take(&mut state.fronts);
+        let mut solver = Solver::with_front_store(&state.space, self.solve_config(), fronts)
+            .with_threads(self.thread_count());
+        solver.solve(root, &state.models);
+        let result = self.assemble(
+            spec,
+            root,
+            &state.space,
+            &mut solver,
+            &state.models,
+            root_filter,
+            root_cap,
+            start,
+        );
+        state.fronts = solver.into_front_store();
+        result
+    }
+
+    /// The shared-space cold path for one spec: expand under a brief
+    /// exclusive lock, solve against a private snapshot with no lock held,
+    /// then merge the solved fronts back.
+    fn solve_shared(&self, spec: &ComponentSpec, start: Instant) -> Result<DesignSet, SynthError> {
+        self.solve_shared_with(spec, self.config.root_filter, self.config.root_cap, start)
+    }
+
+    fn solve_shared_with(
+        &self,
+        spec: &ComponentSpec,
+        root_filter: FilterPolicy,
+        root_cap: usize,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        let (space, fronts, models, generation, root) = {
+            let mut state = self.mem.write_state();
+            let first_new = state.space.nodes.len();
+            let root = self.expand_in(spec, &mut state)?;
+            // Mutually-recursive rules drop whichever template closes a
+            // cycle, so nodes expanded under an *earlier* root may carry a
+            // different root's cuts; if this query's subgraph reaches any
+            // such pre-existing node, solve it from a cold space instead
+            // (identical to a fresh engine). The frozen result is
+            // spec-keyed, so it is safe to memoize either way.
+            if state.space.tainted_before(root, first_new) {
+                drop(state);
+                let mut cold = SharedState::default();
+                return self.solve_in(spec, &mut cold, root_filter, root_cap, start);
+            }
+            (
+                state.space.clone(),
+                state.fronts.snapshot(),
+                state.models.clone(),
+                state.generation,
+                root,
+            )
+        };
+        let mut solver = Solver::with_front_store(&space, self.solve_config(), fronts)
+            .with_threads(self.thread_count());
+        solver.solve(root, &models);
+        let result = self.assemble(
+            spec,
+            root,
+            &space,
+            &mut solver,
+            &models,
+            root_filter,
+            root_cap,
+            start,
+        );
+        self.absorb_fronts(solver.into_front_store(), generation);
+        result
+    }
+
+    /// Merges fronts solved against a snapshot back into the shared
+    /// store — unless the state was reset (`clear_cache`, poison
+    /// recovery) since the snapshot was taken: a reset recycles node
+    /// ids, so stale fronts would attach to unrelated nodes and silently
+    /// corrupt later answers. The generation check drops them instead.
+    fn absorb_fronts(&self, solved: FrontStore, generation: u64) {
+        let mut state = self.mem.write_state();
+        if state.generation == generation {
+            state.fronts.absorb(solved);
+        }
+    }
+
+    /// The cached batch path: serve memo hits, expand all cold specs under
+    /// one exclusive lock, solve every untainted root in one
+    /// level-scheduled pass against a snapshot, then memoize.
+    fn batch_cached(
+        &self,
+        distinct: &[&ComponentSpec],
+        start: Instant,
+    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
+        let mut out: Vec<Option<Result<Arc<DesignSet>, SynthError>>> = vec![None; distinct.len()];
+        let mut cells: Vec<Option<Arc<ResultCell>>> = vec![None; distinct.len()];
+        let mut cold: Vec<usize> = Vec::new();
+        for (i, spec) in distinct.iter().enumerate() {
+            let cell = self.mem.result_cell(spec);
+            if let Some(result) = cell.get() {
+                self.mem.hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(result.clone());
+            } else {
+                cells[i] = Some(cell);
+                cold.push(i);
+            }
+        }
+        if !cold.is_empty() {
+            let cold_specs: Vec<&ComponentSpec> = cold.iter().map(|&i| distinct[i]).collect();
+            let solved = self.batch_shared(&cold_specs, start);
+            for (&i, result) in cold.iter().zip(solved) {
+                // Memoize through the cell: if another client raced us to
+                // this spec, its (bit-identical) result stands and ours is
+                // dropped. Either way this call solved, so it counts as a
+                // miss.
+                let cell = cells[i].take().expect("cold cell reserved");
+                self.mem.misses.fetch_add(1, Ordering::Relaxed);
+                let stored = cell.get_or_init(|| result);
+                out[i] = Some(stored.clone());
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch slot filled"))
+            .collect()
+    }
+
+    /// Expands + solves a set of distinct cold specs against the shared
+    /// space (snapshot solve, fronts merged back under the generation
+    /// guard).
+    fn batch_shared(
+        &self,
+        specs: &[&ComponentSpec],
+        start: Instant,
+    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
+        let (space, fronts, models, generation, mut plan) = {
+            let mut state = self.mem.write_state();
+            let plan = self.expand_batch(specs, &mut state);
+            (
+                state.space.clone(),
+                state.fronts.snapshot(),
+                state.models.clone(),
+                state.generation,
+                plan,
+            )
+        };
+        let solved = self.solve_batch(specs, &mut plan, &space, fronts, &models, start);
+        self.absorb_fronts(solved, generation);
+        self.finish_batch(specs, plan, start)
+    }
+
+    /// The cache-off batch path: one private state is still shared by the
+    /// whole batch — batching *is* the single shared-space pass.
+    fn batch_in(
+        &self,
+        distinct: &[&ComponentSpec],
+        state: &mut SharedState,
+        start: Instant,
+    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
+        let mut plan = self.expand_batch(distinct, state);
+        let fronts = std::mem::take(&mut state.fronts);
+        let solved = self.solve_batch(
+            distinct,
+            &mut plan,
+            &state.space,
+            fronts,
+            &state.models,
+            start,
+        );
+        state.fronts = solved;
+        self.finish_batch(distinct, plan, start)
+    }
+
+    /// Expands every spec of a batch into `state`'s space, splitting the
+    /// indices into solvable roots, taint-affected specs (cold fallback),
+    /// and expansion failures (resolved on the spot).
+    fn expand_batch(&self, specs: &[&ComponentSpec], state: &mut SharedState) -> BatchPlan {
+        let mut plan = BatchPlan {
+            results: vec![None; specs.len()],
+            roots: Vec::new(),
+            tainted: Vec::new(),
+        };
+        for (i, spec) in specs.iter().enumerate() {
+            let first_new = state.space.nodes.len();
+            match self.expand_in(spec, state) {
+                Ok(root) if state.space.tainted_before(root, first_new) => plan.tainted.push(i),
+                Ok(root) => plan.roots.push((i, root)),
+                Err(e) => plan.results[i] = Some(Err(e)),
+            }
+        }
+        plan
+    }
+
+    /// Solves all of a plan's roots in **one** level-scheduled pass and
+    /// assembles each design set; returns the grown front store for the
+    /// caller to merge or keep.
+    fn solve_batch(
+        &self,
+        specs: &[&ComponentSpec],
+        plan: &mut BatchPlan,
+        space: &DesignSpace,
+        fronts: FrontStore,
+        models: &SpecModelCache,
+        start: Instant,
+    ) -> FrontStore {
+        let root_ids: Vec<usize> = plan.roots.iter().map(|&(_, root)| root).collect();
+        let mut solver = Solver::with_front_store(space, self.solve_config(), fronts)
+            .with_threads(self.thread_count());
+        solver.solve_many(&root_ids, models);
+        for &(i, root) in &plan.roots {
+            plan.results[i] = Some(
+                self.assemble(
+                    specs[i],
+                    root,
+                    space,
+                    &mut solver,
+                    models,
+                    self.config.root_filter,
+                    self.config.root_cap,
+                    start,
+                )
+                .map(Arc::new),
+            );
+        }
+        solver.into_front_store()
+    }
+
+    /// Resolves a plan's taint-affected specs from cold state (like
+    /// `synthesize` does) and unwraps the per-slot results.
+    fn finish_batch(
+        &self,
+        specs: &[&ComponentSpec],
+        mut plan: BatchPlan,
+        start: Instant,
+    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
+        for &i in &plan.tainted {
+            let mut cold = SharedState::default();
+            plan.results[i] = Some(self.synthesize_in(specs[i], &mut cold, start).map(Arc::new));
+        }
+        plan.results
+            .into_iter()
+            .map(|slot| slot.expect("every batch spec resolved"))
+            .collect()
+    }
+
+    fn solve_config(&self) -> SolveConfig {
+        SolveConfig {
+            node_filter: self.config.node_filter,
+            node_cap: self.config.node_cap,
+            max_combinations: self.config.max_combinations,
+        }
+    }
+
+    /// Computes the root front of an already-solved root and assembles the
+    /// design set (alternatives, space-size accounting, per-query stats).
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        spec: &ComponentSpec,
+        root: usize,
+        space: &DesignSpace,
+        solver: &mut Solver,
+        models: &SpecModelCache,
+        root_filter: FilterPolicy,
+        root_cap: usize,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        let solve_truncated = solver.truncated_combinations;
+        // Recompute the root under the (usually more permissive) root
+        // filter; the node-filter front below it stays cached.
+        let front = solver.root_front(root, models, root_filter, root_cap);
+        // This query's truncation: everything under the root — including
+        // truncation inherited from fronts solved by earlier queries —
+        // plus the root-filter recomputation's own.
+        let truncated_combinations =
+            solver.truncated_under(root) + (solver.truncated_combinations - solve_truncated);
+        if front.is_empty() {
+            return Err(SynthError::NoImplementation(spec.to_string()));
+        }
+        let alternatives: Vec<Alternative> = front
+            .iter()
+            .map(|p| Alternative {
+                area: p.area,
+                delay: p.delay(),
+                timing: p.timing.clone(),
+                implementation: extract::extract(space, root, &p.policy),
+            })
+            .collect();
+        let unconstrained_size = space.unconstrained_size(root);
+        let unconstrained_log10 = space.unconstrained_log10(root);
+        let uniform_size = if self.config.uniform_count_limit > 0 {
+            space.uniform_size_threaded(root, self.config.uniform_count_limit, self.thread_count())
+        } else {
+            None
+        };
+        // Stats describe this query's reachable subgraph, not the whole
+        // (engine-shared, cross-query) space.
+        let reachable = space.reachable(root);
+        let impl_choices = reachable.iter().map(|&n| space.nodes[n].impls.len()).sum();
+        Ok(DesignSet {
+            spec: spec.clone(),
+            alternatives,
+            unconstrained_size,
+            unconstrained_log10,
+            uniform_size,
+            stats: SynthStats {
+                spec_nodes: reachable.len(),
+                impl_choices,
+                elapsed: start.elapsed(),
+                truncated_combinations,
+            },
+        })
+    }
+}
+
+impl Drop for Dtas {
+    /// Best-effort flush to the bound store when the engine solved
+    /// anything new since the last [`checkpoint`](Dtas::checkpoint) (a
+    /// pure-hit warm session, or one already checkpointed explicitly,
+    /// stays clean and writes nothing). Skipped during panics so a
+    /// failing test or crashing client never persists suspect state.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        let unflushed = self.mem.misses.load(Ordering::Relaxed)
+            > self.metrics.flushed_misses.load(Ordering::Relaxed);
+        if self.store.is_some() && self.config.cache && unflushed {
+            let _ = self.checkpoint();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::ImplKind;
+    use cells::lsi::lsi_logic_subset;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn engine() -> Dtas {
+        Dtas::new(lsi_logic_subset())
+    }
+
+    fn add_spec(w: usize) -> ComponentSpec {
+        ComponentSpec::new(ComponentKind::AddSub, w)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true)
+    }
+
+    fn unmappable_spec() -> ComponentSpec {
+        // A stack has no decomposition rules and no cell in the library.
+        ComponentSpec::new(ComponentKind::StackFifo, 8)
+            .with_width2(4)
+            .with_ops([Op::Push, Op::Pop].into_iter().collect())
+            .with_style("STACK")
+    }
+
+    #[test]
+    fn add16_produces_a_design_space() {
+        let set = engine().synthesize(&add_spec(16)).unwrap();
+        assert!(set.alternatives.len() >= 3, "{set}");
+        // Monotone trade-off curve.
+        for w in set.alternatives.windows(2) {
+            assert!(w[0].area <= w[1].area);
+        }
+        assert!(set.unconstrained_size >= 100.0);
+    }
+
+    #[test]
+    fn unmappable_spec_reports_no_implementation() {
+        assert!(matches!(
+            engine().synthesize(&unmappable_spec()),
+            Err(SynthError::NoImplementation(_))
+        ));
+    }
+
+    #[test]
+    fn direct_cell_hit_is_a_one_cell_design() {
+        let set = engine().synthesize(&add_spec(4)).unwrap();
+        let direct = set
+            .alternatives
+            .iter()
+            .find(|a| matches!(a.implementation.kind, ImplKind::Cell { .. }));
+        assert!(direct.is_some(), "ADD4 should map directly to a cell");
+    }
+
+    #[test]
+    fn batch_mixes_successes_and_failures() {
+        let engine = engine();
+        let specs = vec![add_spec(16), unmappable_spec(), add_spec(16), add_spec(8)];
+        let results = engine.synthesize_batch(&specs);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SynthError::NoImplementation(_))));
+        assert!(results[2].is_ok());
+        assert!(results[3].is_ok());
+        // Duplicates are served from one solve: 3 distinct specs → 3
+        // misses, no hits (first batch), and the duplicate slot carries
+        // the same alternatives.
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3));
+        let a = results[0].as_ref().unwrap();
+        let c = results[2].as_ref().unwrap();
+        assert_eq!(a.alternatives.len(), c.alternatives.len());
+    }
+
+    #[test]
+    fn batch_then_single_queries_hit_the_memo() {
+        let engine = engine();
+        let results = engine.synthesize_batch(&[add_spec(8), add_spec(16)]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let single = engine.synthesize(&add_spec(16)).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(
+            single.alternatives.len(),
+            results[1].as_ref().unwrap().alternatives.len()
+        );
+    }
+
+    #[test]
+    fn request_without_overrides_matches_synthesize() {
+        let engine = engine();
+        let plain = engine.synthesize(&add_spec(16)).unwrap();
+        let via_request = engine
+            .synthesize_request(&SynthRequest::new(add_spec(16)))
+            .unwrap();
+        assert_eq!(plain.alternatives.len(), via_request.alternatives.len());
+        // The second call was a memo hit.
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn request_overrides_reshape_the_front() {
+        let engine = engine();
+        let full = engine.synthesize(&add_spec(16)).unwrap();
+        assert!(full.alternatives.len() > 2);
+        let capped = engine
+            .synthesize_request(&SynthRequest::new(add_spec(16)).with_front_cap(2))
+            .unwrap();
+        assert!(capped.alternatives.len() <= 2);
+        let pareto = engine
+            .synthesize_request(
+                &SynthRequest::new(add_spec(16)).with_root_filter(FilterPolicy::Pareto),
+            )
+            .unwrap();
+        // Strict Pareto keeps no more than the slack filter does.
+        assert!(pareto.alternatives.len() <= full.alternatives.len());
+        // Delay-heavy weights put the fastest design first.
+        let fastest_first = engine
+            .synthesize_request(&SynthRequest::new(add_spec(16)).with_weights(0.0, 1.0))
+            .unwrap();
+        let min_delay = full
+            .alternatives
+            .iter()
+            .map(|a| a.delay)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(fastest_first.alternatives[0].delay, min_delay);
+    }
+
+    #[test]
+    fn memoized_errors_count_as_hits() {
+        let engine = engine();
+        assert!(engine.synthesize(&unmappable_spec()).is_err());
+        assert!(engine.synthesize(&unmappable_spec()).is_err());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Error cells are not counted as cached results.
+        assert_eq!(stats.cached_results, 0);
+    }
+}

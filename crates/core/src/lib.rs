@@ -24,6 +24,13 @@
 //! ([`synthesize_batch`](Dtas::synthesize_batch)) that are expanded and
 //! solved in a single level-scheduled pass.
 //!
+//! The engine's state is also *portable*: the [`store`] layer snapshots
+//! the explored design space, solved fronts and memoized results through
+//! the [`store::ResultStore`] trait, and the on-disk
+//! [`store::PersistentStore`] backend ([`DtasConfig::persist_path`],
+//! `dtas --cache-dir`) warm-starts a fresh process from a previous run in
+//! milliseconds instead of re-paying the cold solve.
+//!
 //! # Examples
 //!
 //! Synthesize the paper's §5 example — a 16-bit adder against the
@@ -51,1213 +58,27 @@
 //! # }
 //! ```
 
+pub mod config;
 pub mod cost;
+pub mod engine;
 pub mod extract;
 pub mod lola;
 pub mod report;
+pub mod request;
 pub mod rules;
 pub mod space;
+pub mod store;
 pub mod template;
 
+pub use config::DtasConfig;
+pub use engine::{CacheStats, Dtas, SynthError};
 pub use extract::{ImplKind, Implementation};
 pub use report::{Alternative, DesignSet, SynthStats};
+pub use request::SynthRequest;
 pub use rules::{Rule, RuleSet};
 pub use space::{DesignSpace, FilterPolicy, FrontStore, Policy, SolveConfig, Solver};
+pub use store::{
+    EngineSnapshot, LoadOutcome, MemSnapshotStore, PersistentStore, ResultStore, SaveReport,
+    StoreError, StoreKey, FORMAT_VERSION,
+};
 pub use template::{NetlistTemplate, Signal, SpecModelCache, TemplateBuilder};
-
-use cells::CellLibrary;
-use genus::netlist::Netlist;
-use genus::spec::ComponentSpec;
-use space::ExpandError;
-use std::collections::{BTreeMap, HashMap};
-use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
-
-/// Configuration of a DTAS run.
-#[derive(Clone, Copy, Debug)]
-pub struct DtasConfig {
-    /// Performance filter at internal spec nodes.
-    pub node_filter: FilterPolicy,
-    /// Alternatives kept per internal node.
-    pub node_cap: usize,
-    /// Performance filter at the root (the paper keeps near-optimal
-    /// "favorable tradeoff" designs, not just the strict front).
-    pub root_filter: FilterPolicy,
-    /// Alternatives kept at the root.
-    pub root_cap: usize,
-    /// Cap on child-front combinations per template.
-    pub max_combinations: usize,
-    /// Budget for exact uniform-constraint design counting (0 disables).
-    pub uniform_count_limit: u64,
-    /// Worker threads for expansion, solving and counting. `None` uses
-    /// [`std::thread::available_parallelism`]; `Some(1)` forces the serial
-    /// path. Results are identical at every setting.
-    pub threads: Option<usize>,
-    /// Engine-level cross-query memoization: when on (the default),
-    /// design spaces, node fronts and whole result sets persist inside
-    /// [`Dtas`] across `synthesize` calls, so repeated specs — and shared
-    /// sub-specs under *different* roots — are solved once per engine
-    /// lifetime. Turn off to ablate (every query starts cold).
-    pub cache: bool,
-}
-
-impl Default for DtasConfig {
-    fn default() -> Self {
-        DtasConfig {
-            node_filter: FilterPolicy::Pareto,
-            node_cap: 24,
-            root_filter: FilterPolicy::Slack {
-                area: 0.5,
-                delay: 0.5,
-            },
-            root_cap: 16,
-            max_combinations: 100_000,
-            uniform_count_limit: 2_000_000,
-            threads: None,
-            cache: true,
-        }
-    }
-}
-
-/// Number of result-memo shards. Hit-path lookups only share a lock with
-/// queries that hash to the same shard — and even those take it in read
-/// mode, so hits never serialize.
-const RESULT_SHARDS: usize = 16;
-
-/// Counters for the engine-level cross-query cache.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// `synthesize` calls answered entirely from the result memo
-    /// (including callers that blocked on another client's in-flight
-    /// solve of the same spec and were served its result).
-    pub hits: u64,
-    /// `synthesize` calls that had to solve (possibly reusing sub-spec
-    /// fronts from earlier queries).
-    pub misses: u64,
-    /// Whole result sets currently memoized.
-    pub cached_results: usize,
-    /// Specification nodes whose fronts are currently solved and reusable.
-    pub cached_fronts: usize,
-    /// Specification nodes in the engine's shared design space.
-    pub spec_nodes: usize,
-    /// Number of result-memo shards (fixed per engine).
-    pub result_shards: usize,
-    /// Memo lookups that found their shard lock momentarily held
-    /// exclusively (an insert in flight) and had to wait for it.
-    pub shard_contention: u64,
-    /// Exclusive acquisitions of the shared design space: cold-query
-    /// expansions, front write-backs and cache clears. Hit-path queries
-    /// never take one — tests assert this stays flat while hot clients
-    /// hammer the engine.
-    pub state_exclusive: u64,
-    /// Times a poisoned lock (a client panicked mid-update) was detected;
-    /// the affected state was dropped and rebuilt (see [`Dtas`]).
-    pub poison_recoveries: u64,
-}
-
-/// Errors produced by [`Dtas::synthesize`].
-#[derive(Clone, Debug, PartialEq)]
-pub enum SynthError {
-    /// Design-space expansion failed (a rule or spec defect).
-    Expand(String),
-    /// No combination of rules and cells implements the specification.
-    NoImplementation(String),
-}
-
-impl fmt::Display for SynthError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SynthError::Expand(m) => write!(f, "design-space expansion failed: {m}"),
-            SynthError::NoImplementation(s) => {
-                write!(f, "no implementation exists for {s}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SynthError {}
-
-/// One synthesis query with per-query overrides: the forward-compatible
-/// entry point for service clients that need more than a bare spec.
-///
-/// A request without overrides behaves exactly like
-/// [`Dtas::synthesize`] (and shares its result memo). Overrides reshape
-/// only the *root* of the query — node fronts below it are still shared
-/// with every other query — so request-specific answers stay cheap:
-///
-/// * [`with_root_filter`](Self::with_root_filter) — replace the root's
-///   performance filter (e.g. strict Pareto instead of the default
-///   slack filter);
-/// * [`with_front_cap`](Self::with_front_cap) — truncate the returned
-///   front to at most `n` alternatives;
-/// * [`with_weights`](Self::with_weights) — rank alternatives by a
-///   weighted area/delay objective instead of the default area-ascending
-///   order.
-///
-/// ```
-/// use cells::lsi::lsi_logic_subset;
-/// use dtas::{Dtas, SynthRequest};
-/// use genus::kind::ComponentKind;
-/// use genus::op::{Op, OpSet};
-/// use genus::spec::ComponentSpec;
-///
-/// # fn main() -> Result<(), dtas::SynthError> {
-/// let engine = Dtas::new(lsi_logic_subset());
-/// let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
-///     .with_ops(OpSet::only(Op::Add))
-///     .with_carry_in(true)
-///     .with_carry_out(true);
-/// let request = SynthRequest::new(spec).with_front_cap(3).with_weights(1.0, 2.0);
-/// let set = engine.synthesize_request(&request)?;
-/// assert!(set.alternatives.len() <= 3);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Clone, Debug, PartialEq)]
-pub struct SynthRequest {
-    spec: ComponentSpec,
-    root_filter: Option<FilterPolicy>,
-    root_cap: Option<usize>,
-    weights: Option<(f64, f64)>,
-}
-
-impl SynthRequest {
-    /// A request for `spec` with no overrides.
-    pub fn new(spec: ComponentSpec) -> Self {
-        SynthRequest {
-            spec,
-            root_filter: None,
-            root_cap: None,
-            weights: None,
-        }
-    }
-
-    /// Replaces the root performance filter for this query only.
-    pub fn with_root_filter(mut self, filter: FilterPolicy) -> Self {
-        self.root_filter = Some(filter);
-        self
-    }
-
-    /// Truncates the returned front to at most `cap` alternatives.
-    ///
-    /// `cap` is clamped to at least 1: a zero cap would turn every
-    /// solvable query into a misleading `NoImplementation` error.
-    pub fn with_front_cap(mut self, cap: usize) -> Self {
-        self.root_cap = Some(cap.max(1));
-        self
-    }
-
-    /// Ranks the returned alternatives by ascending
-    /// `area_weight * area + delay_weight * delay` (ties broken by
-    /// `(area, delay)`, so the order is deterministic).
-    pub fn with_weights(mut self, area_weight: f64, delay_weight: f64) -> Self {
-        self.weights = Some((area_weight, delay_weight));
-        self
-    }
-
-    /// The requested specification.
-    pub fn spec(&self) -> &ComponentSpec {
-        &self.spec
-    }
-
-    /// True when the request changes how the root front is computed (such
-    /// requests bypass the spec-keyed result memo).
-    pub fn has_front_overrides(&self) -> bool {
-        self.root_filter.is_some() || self.root_cap.is_some()
-    }
-}
-
-/// Cross-query synthesis state shared by every solve on one engine: the
-/// growing design space, solved per-node fronts, and the spec-model
-/// cache. Whole-result memoization lives outside, in the sharded memo.
-#[derive(Default)]
-struct SharedState {
-    space: DesignSpace,
-    fronts: FrontStore,
-    models: Arc<SpecModelCache>,
-    /// Bumped every time the space is reset (`clear_cache`, poison
-    /// recovery). Node ids restart from 0 after a reset, so fronts solved
-    /// against an older generation's ids must never be absorbed back —
-    /// in-flight solvers check this before merging.
-    generation: u64,
-}
-
-impl SharedState {
-    /// Drops all cached state, invalidating every outstanding snapshot
-    /// (their absorb-back becomes a no-op).
-    fn reset(&mut self) {
-        let generation = self.generation.wrapping_add(1);
-        *self = SharedState {
-            generation,
-            ..SharedState::default()
-        };
-    }
-}
-
-/// A memoized whole-query result: set exactly once, then served to every
-/// later caller. Concurrent first callers block on the cell (one solves,
-/// the rest are served its result) instead of solving redundantly.
-type ResultCell = OnceLock<Result<Arc<DesignSet>, SynthError>>;
-
-type MemoShard = RwLock<HashMap<ComponentSpec, Arc<ResultCell>>>;
-
-/// Per-spec expansion outcome of one batch pass: slots already resolved
-/// (expansion errors), roots to solve together, and taint-affected
-/// indices needing a cold fallback.
-struct BatchPlan {
-    results: Vec<Option<Result<Arc<DesignSet>, SynthError>>>,
-    roots: Vec<(usize, usize)>,
-    tainted: Vec<usize>,
-}
-
-/// The DTAS synthesis engine: a rule base plus a target cell library.
-///
-/// # Concurrency
-///
-/// The engine is `Sync` and built to be shared (`Arc<Dtas>` or `&Dtas`
-/// across scoped threads) by many clients:
-///
-/// * **Hits never contend.** Memoized results live in a sharded memo
-///   ([`CacheStats::result_shards`] shards, read-mostly `RwLock` each); a
-///   repeat query takes one shard read lock and clones out an [`Arc`]. No
-///   exclusive lock is taken anywhere on the hit path
-///   ([`CacheStats::state_exclusive`] stays flat).
-/// * **Cold queries overlap.** A miss expands under a brief exclusive
-///   lock on the shared design space, then solves against a private
-///   snapshot with no lock held, and finally merges its solved fronts
-///   back. Two distinct cold specs therefore solve concurrently.
-/// * **Identical results.** Every front is a pure function of its
-///   (append-only) subgraph, so the schedule cannot change any answer:
-///   whatever the interleaving, each query returns exactly what a fresh
-///   single-threaded engine would return for that spec.
-///
-/// # Caching
-///
-/// The engine memoizes aggressively across queries (see
-/// [`DtasConfig::cache`]): repeated specs return from the result memo, and
-/// shared sub-specs across *different* roots (ADD8 under both ALU64 and
-/// ADD16, say) are expanded and solved once per engine lifetime. Cached
-/// entries are keyed implicitly by the library's content
-/// [`fingerprint`](CellLibrary::fingerprint) — verified on every call —
-/// and are dropped whenever rules or configuration change
-/// ([`with_rules`](Self::with_rules) / [`with_config`](Self::with_config))
-/// or [`clear_cache`](Self::clear_cache) is called.
-///
-/// # Poison recovery
-///
-/// If a client thread panics while holding an engine lock (a rule that
-/// panics mid-expansion, say), the lock is poisoned. The engine never
-/// propagates that poison: the next caller that observes it clears the
-/// poison flag, **drops the possibly half-mutated cached state** (the
-/// shared space and fronts, or the affected memo shard) and rebuilds from
-/// empty — exactly the effect of [`clear_cache`](Self::clear_cache) on the
-/// poisoned part. Subsequent queries re-solve from cold and remain
-/// correct; [`CacheStats::poison_recoveries`] counts how often this
-/// happened.
-pub struct Dtas {
-    rules: RuleSet,
-    library: CellLibrary,
-    config: DtasConfig,
-    fingerprint: u64,
-    state: RwLock<SharedState>,
-    memo: Vec<MemoShard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    shard_contention: AtomicU64,
-    state_exclusive: AtomicU64,
-    poison_recoveries: AtomicU64,
-}
-
-impl Dtas {
-    /// Creates an engine with the standard rule base, the library-specific
-    /// extensions, and default configuration.
-    pub fn new(library: CellLibrary) -> Self {
-        let fingerprint = library.fingerprint();
-        Dtas {
-            rules: RuleSet::standard().with_lsi_extensions(),
-            library,
-            config: DtasConfig::default(),
-            fingerprint,
-            state: RwLock::new(SharedState::default()),
-            memo: (0..RESULT_SHARDS).map(|_| MemoShard::default()).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            shard_contention: AtomicU64::new(0),
-            state_exclusive: AtomicU64::new(0),
-            poison_recoveries: AtomicU64::new(0),
-        }
-    }
-
-    /// Replaces the rule base. Cached synthesis state is dropped — cached
-    /// fronts are only valid for the rules that produced them.
-    pub fn with_rules(self, rules: RuleSet) -> Self {
-        Dtas {
-            rules,
-            ..Dtas::strip_cache(self)
-        }
-    }
-
-    /// Replaces the configuration. Cached synthesis state is dropped —
-    /// filters and caps shape every cached front.
-    pub fn with_config(self, config: DtasConfig) -> Self {
-        Dtas {
-            config,
-            ..Dtas::strip_cache(self)
-        }
-    }
-
-    /// Rebuilds an engine value with fresh (empty) synchronized state,
-    /// keeping rules/library/config. Used by the consuming builders.
-    fn strip_cache(engine: Dtas) -> Dtas {
-        Dtas {
-            state: RwLock::new(SharedState::default()),
-            memo: (0..RESULT_SHARDS).map(|_| MemoShard::default()).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            shard_contention: AtomicU64::new(0),
-            state_exclusive: AtomicU64::new(0),
-            poison_recoveries: AtomicU64::new(0),
-            ..engine
-        }
-    }
-
-    /// The rule base.
-    pub fn rules(&self) -> &RuleSet {
-        &self.rules
-    }
-
-    /// The target library.
-    pub fn library(&self) -> &CellLibrary {
-        &self.library
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &DtasConfig {
-        &self.config
-    }
-
-    /// The library content fingerprint the cache is keyed by.
-    pub fn library_fingerprint(&self) -> u64 {
-        self.fingerprint
-    }
-
-    // ------------------------------------------------------------------
-    // Lock plumbing: every acquisition recovers from poison by clearing
-    // the affected cached state (see the type-level docs).
-
-    /// Exclusive access to the shared space/fronts. On poison the state is
-    /// dropped and rebuilt before the guard is returned.
-    fn write_state(&self) -> RwLockWriteGuard<'_, SharedState> {
-        self.state_exclusive.fetch_add(1, Ordering::Relaxed);
-        match self.state.write() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                self.state.clear_poison();
-                let mut guard = poisoned.into_inner();
-                guard.reset();
-                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
-                guard
-            }
-        }
-    }
-
-    /// Shared access to the shared space/fronts, recovering on poison.
-    fn read_state(&self) -> RwLockReadGuard<'_, SharedState> {
-        loop {
-            match self.state.read() {
-                Ok(guard) => return guard,
-                // A writer panicked: clear-and-rebuild via the write
-                // path, then retry the read.
-                Err(_) => drop(self.write_state()),
-            }
-        }
-    }
-
-    /// Exclusive access to one memo shard, clearing it on poison.
-    fn shard_write<'a>(
-        &self,
-        shard: &'a MemoShard,
-    ) -> RwLockWriteGuard<'a, HashMap<ComponentSpec, Arc<ResultCell>>> {
-        match shard.write() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                shard.clear_poison();
-                let mut guard = poisoned.into_inner();
-                guard.clear();
-                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
-                guard
-            }
-        }
-    }
-
-    /// Shared access to one memo shard, recovering on poison.
-    fn shard_read<'a>(
-        &self,
-        shard: &'a MemoShard,
-    ) -> RwLockReadGuard<'a, HashMap<ComponentSpec, Arc<ResultCell>>> {
-        loop {
-            match shard.read() {
-                Ok(guard) => return guard,
-                Err(_) => drop(self.shard_write(shard)),
-            }
-        }
-    }
-
-    fn shard_of(&self, spec: &ComponentSpec) -> &MemoShard {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        spec.hash(&mut hasher);
-        &self.memo[hasher.finish() as usize % self.memo.len()]
-    }
-
-    /// The memo cell for a spec, creating it if absent. The fast path is a
-    /// shared read; `try_read` first so contention is observable in
-    /// [`CacheStats::shard_contention`].
-    fn result_cell(&self, spec: &ComponentSpec) -> Arc<ResultCell> {
-        let shard = self.shard_of(spec);
-        let read = match shard.try_read() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                self.shard_contention.fetch_add(1, Ordering::Relaxed);
-                self.shard_read(shard)
-            }
-            Err(std::sync::TryLockError::Poisoned(_)) => self.shard_read(shard),
-        };
-        if let Some(cell) = read.get(spec) {
-            return cell.clone();
-        }
-        drop(read);
-        self.shard_write(shard)
-            .entry(spec.clone())
-            .or_default()
-            .clone()
-    }
-
-    /// Drops all cross-query synthesis state (design space, fronts,
-    /// memoized results, spec models) and resets every counter.
-    pub fn clear_cache(&self) {
-        self.write_state().reset();
-        for shard in &self.memo {
-            self.shard_write(shard).clear();
-        }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.shard_contention.store(0, Ordering::Relaxed);
-        self.state_exclusive.store(0, Ordering::Relaxed);
-        self.poison_recoveries.store(0, Ordering::Relaxed);
-    }
-
-    /// Cross-query cache counters (the memo counters are all zero when
-    /// caching is off).
-    pub fn cache_stats(&self) -> CacheStats {
-        let (cached_fronts, spec_nodes) = {
-            let state = self.read_state();
-            (state.fronts.solved_count(), state.space.nodes.len())
-        };
-        let cached_results = self
-            .memo
-            .iter()
-            .map(|shard| {
-                self.shard_read(shard)
-                    .values()
-                    .filter(|cell| matches!(cell.get(), Some(Ok(_))))
-                    .count()
-            })
-            .sum();
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            cached_results,
-            cached_fronts,
-            spec_nodes,
-            result_shards: self.memo.len(),
-            shard_contention: self.shard_contention.load(Ordering::Relaxed),
-            state_exclusive: self.state_exclusive.load(Ordering::Relaxed),
-            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Worker-thread count for this run.
-    fn thread_count(&self) -> usize {
-        self.config
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(usize::from)
-                    .unwrap_or(1)
-            })
-            .max(1)
-    }
-
-    /// Synthesizes one component specification into a set of alternative
-    /// library-specific implementations.
-    ///
-    /// Concurrent callers with memoized specs are served without taking
-    /// any exclusive lock; concurrent callers with the *same* cold spec
-    /// block on one in-flight solve and share its result; distinct cold
-    /// specs solve concurrently.
-    ///
-    /// # Errors
-    ///
-    /// [`SynthError::NoImplementation`] when neither rules nor cells cover
-    /// the spec; [`SynthError::Expand`] on rule defects.
-    pub fn synthesize(&self, spec: &ComponentSpec) -> Result<DesignSet, SynthError> {
-        let start = Instant::now();
-        if !self.config.cache {
-            // Ablation path: cold state per query, nothing retained.
-            let mut state = SharedState::default();
-            return self.synthesize_in(spec, &mut state, start);
-        }
-        self.check_fingerprint();
-        let cell = self.result_cell(spec);
-        if let Some(result) = cell.get() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Self::deliver(result, start);
-        }
-        let mut solved_here = false;
-        let result = cell.get_or_init(|| {
-            solved_here = true;
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.solve_shared(spec, start).map(Arc::new)
-        });
-        if !solved_here {
-            // Another client solved this spec while we waited on the cell.
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        Self::deliver(result, start)
-    }
-
-    /// Runs a [`SynthRequest`]. Requests without front overrides share the
-    /// result memo with [`synthesize`](Self::synthesize); requests with
-    /// overrides recompute only the root front (node fronts below it are
-    /// still shared with every other query) and bypass the memo.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`synthesize`](Self::synthesize).
-    pub fn synthesize_request(&self, request: &SynthRequest) -> Result<DesignSet, SynthError> {
-        let mut set = if !request.has_front_overrides() {
-            self.synthesize(&request.spec)?
-        } else {
-            let start = Instant::now();
-            let root_filter = request.root_filter.unwrap_or(self.config.root_filter);
-            let root_cap = request.root_cap.unwrap_or(self.config.root_cap);
-            if !self.config.cache {
-                let mut state = SharedState::default();
-                self.solve_in(&request.spec, &mut state, root_filter, root_cap, start)?
-            } else {
-                self.check_fingerprint();
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.solve_shared_with(&request.spec, root_filter, root_cap, start)?
-            }
-        };
-        if let Some((area_weight, delay_weight)) = request.weights {
-            let score = |a: &Alternative| area_weight * a.area + delay_weight * a.delay;
-            // total_cmp keeps the comparator a total order even if a
-            // caller passes non-finite weights (NaN scores would make a
-            // partial_cmp-based sort panic since Rust 1.81).
-            set.alternatives.sort_by(|a, b| {
-                score(a)
-                    .total_cmp(&score(b))
-                    .then(a.area.total_cmp(&b.area))
-                    .then(a.delay.total_cmp(&b.delay))
-            });
-        }
-        Ok(set)
-    }
-
-    /// Synthesizes a whole batch of specifications in one shared-space
-    /// pass: every *distinct* spec is expanded into the engine's design
-    /// space (shared sub-specs once), all cold roots are solved together
-    /// in a single level-scheduled sweep (not a per-spec loop), and the
-    /// results come back aligned with `specs` (duplicates are served from
-    /// the first occurrence's result).
-    ///
-    /// Per-spec failures do not abort the batch — each slot carries its
-    /// own `Result`.
-    pub fn synthesize_batch(&self, specs: &[ComponentSpec]) -> Vec<Result<DesignSet, SynthError>> {
-        let start = Instant::now();
-        // Distinct specs in first-appearance order.
-        let mut distinct: Vec<&ComponentSpec> = Vec::new();
-        let mut slot_of: HashMap<&ComponentSpec, usize> = HashMap::new();
-        for spec in specs {
-            if !slot_of.contains_key(spec) {
-                slot_of.insert(spec, distinct.len());
-                distinct.push(spec);
-            }
-        }
-        let results = if self.config.cache {
-            self.check_fingerprint();
-            self.batch_cached(&distinct, start)
-        } else {
-            let mut state = SharedState::default();
-            self.batch_in(&distinct, &mut state, start)
-        };
-        specs
-            .iter()
-            .map(|spec| Self::deliver(&results[slot_of[spec]], start))
-            .collect()
-    }
-
-    /// Synthesizes every distinct component specification used in a GENUS
-    /// netlist (the distinct-spec census is exactly what DTAS expands —
-    /// shared specs are expanded once) as one
-    /// [`synthesize_batch`](Self::synthesize_batch) pass.
-    ///
-    /// # Errors
-    ///
-    /// Fails on the first spec (in census order) with no implementation.
-    /// Unlike the per-spec loop this replaced, the whole batch is solved
-    /// before the error is reported — the successful work is what warms
-    /// the shared cache; use [`synthesize_batch`](Self::synthesize_batch)
-    /// directly for per-spec error visibility.
-    pub fn synthesize_netlist(
-        &self,
-        netlist: &Netlist,
-    ) -> Result<BTreeMap<String, DesignSet>, SynthError> {
-        let census = netlist.spec_census();
-        let specs: Vec<ComponentSpec> = census
-            .values()
-            .map(|(component, _count)| component.spec().clone())
-            .collect();
-        let results = self.synthesize_batch(&specs);
-        let mut out = BTreeMap::new();
-        for (key, set) in census.into_keys().zip(results) {
-            out.insert(key, set?);
-        }
-        Ok(out)
-    }
-
-    // ------------------------------------------------------------------
-    // Solve internals.
-
-    /// Clones a memoized (or just-computed) result out to the caller,
-    /// restamping the elapsed wall time with this call's own.
-    fn deliver(
-        result: &Result<Arc<DesignSet>, SynthError>,
-        start: Instant,
-    ) -> Result<DesignSet, SynthError> {
-        match result {
-            Ok(set) => {
-                let mut set = DesignSet::clone(set);
-                set.stats.elapsed = start.elapsed();
-                Ok(set)
-            }
-            Err(e) => Err(e.clone()),
-        }
-    }
-
-    /// The library is privately owned and immutable behind `&self`, so the
-    /// fingerprint captured in `new()` keys every cached entry; rehashing
-    /// it per call would tax the microsecond hit path.
-    fn check_fingerprint(&self) {
-        debug_assert_eq!(
-            self.library.fingerprint(),
-            self.fingerprint,
-            "library diverged from the fingerprint its cache was keyed under"
-        );
-    }
-
-    /// Expands a spec into a state's shared design space.
-    fn expand_in(
-        &self,
-        spec: &ComponentSpec,
-        state: &mut SharedState,
-    ) -> Result<usize, SynthError> {
-        state
-            .space
-            .expand_threaded(
-                spec,
-                &self.rules,
-                &self.library,
-                &state.models,
-                self.thread_count(),
-            )
-            .map_err(|e| match e {
-                ExpandError::Cycle => SynthError::NoImplementation(spec.to_string()),
-                other => SynthError::Expand(other.to_string()),
-            })
-    }
-
-    /// Cold-solve pipeline over a private state (the ablation path and the
-    /// fallback for taint-affected queries).
-    fn synthesize_in(
-        &self,
-        spec: &ComponentSpec,
-        state: &mut SharedState,
-        start: Instant,
-    ) -> Result<DesignSet, SynthError> {
-        self.solve_in(
-            spec,
-            state,
-            self.config.root_filter,
-            self.config.root_cap,
-            start,
-        )
-    }
-
-    /// Like [`synthesize_in`](Self::synthesize_in) with explicit root
-    /// filter/cap (per-request overrides).
-    fn solve_in(
-        &self,
-        spec: &ComponentSpec,
-        state: &mut SharedState,
-        root_filter: FilterPolicy,
-        root_cap: usize,
-        start: Instant,
-    ) -> Result<DesignSet, SynthError> {
-        let root = self.expand_in(spec, state)?;
-        let fronts = std::mem::take(&mut state.fronts);
-        let mut solver = Solver::with_front_store(&state.space, self.solve_config(), fronts)
-            .with_threads(self.thread_count());
-        solver.solve(root, &state.models);
-        let result = self.assemble(
-            spec,
-            root,
-            &state.space,
-            &mut solver,
-            &state.models,
-            root_filter,
-            root_cap,
-            start,
-        );
-        state.fronts = solver.into_front_store();
-        result
-    }
-
-    /// The shared-space cold path for one spec: expand under a brief
-    /// exclusive lock, solve against a private snapshot with no lock held,
-    /// then merge the solved fronts back.
-    fn solve_shared(&self, spec: &ComponentSpec, start: Instant) -> Result<DesignSet, SynthError> {
-        self.solve_shared_with(spec, self.config.root_filter, self.config.root_cap, start)
-    }
-
-    fn solve_shared_with(
-        &self,
-        spec: &ComponentSpec,
-        root_filter: FilterPolicy,
-        root_cap: usize,
-        start: Instant,
-    ) -> Result<DesignSet, SynthError> {
-        let (space, fronts, models, generation, root) = {
-            let mut state = self.write_state();
-            let first_new = state.space.nodes.len();
-            let root = self.expand_in(spec, &mut state)?;
-            // Mutually-recursive rules drop whichever template closes a
-            // cycle, so nodes expanded under an *earlier* root may carry a
-            // different root's cuts; if this query's subgraph reaches any
-            // such pre-existing node, solve it from a cold space instead
-            // (identical to a fresh engine). The frozen result is
-            // spec-keyed, so it is safe to memoize either way.
-            if state.space.tainted_before(root, first_new) {
-                drop(state);
-                let mut cold = SharedState::default();
-                return self.solve_in(spec, &mut cold, root_filter, root_cap, start);
-            }
-            (
-                state.space.clone(),
-                state.fronts.snapshot(),
-                state.models.clone(),
-                state.generation,
-                root,
-            )
-        };
-        let mut solver = Solver::with_front_store(&space, self.solve_config(), fronts)
-            .with_threads(self.thread_count());
-        solver.solve(root, &models);
-        let result = self.assemble(
-            spec,
-            root,
-            &space,
-            &mut solver,
-            &models,
-            root_filter,
-            root_cap,
-            start,
-        );
-        self.absorb_fronts(solver.into_front_store(), generation);
-        result
-    }
-
-    /// Merges fronts solved against a snapshot back into the shared
-    /// store — unless the state was reset (`clear_cache`, poison
-    /// recovery) since the snapshot was taken: a reset recycles node
-    /// ids, so stale fronts would attach to unrelated nodes and silently
-    /// corrupt later answers. The generation check drops them instead.
-    fn absorb_fronts(&self, solved: FrontStore, generation: u64) {
-        let mut state = self.write_state();
-        if state.generation == generation {
-            state.fronts.absorb(solved);
-        }
-    }
-
-    /// The cached batch path: serve memo hits, expand all cold specs under
-    /// one exclusive lock, solve every untainted root in one
-    /// level-scheduled pass against a snapshot, then memoize.
-    fn batch_cached(
-        &self,
-        distinct: &[&ComponentSpec],
-        start: Instant,
-    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
-        let mut out: Vec<Option<Result<Arc<DesignSet>, SynthError>>> = vec![None; distinct.len()];
-        let mut cells: Vec<Option<Arc<ResultCell>>> = vec![None; distinct.len()];
-        let mut cold: Vec<usize> = Vec::new();
-        for (i, spec) in distinct.iter().enumerate() {
-            let cell = self.result_cell(spec);
-            if let Some(result) = cell.get() {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                out[i] = Some(result.clone());
-            } else {
-                cells[i] = Some(cell);
-                cold.push(i);
-            }
-        }
-        if !cold.is_empty() {
-            let cold_specs: Vec<&ComponentSpec> = cold.iter().map(|&i| distinct[i]).collect();
-            let solved = self.batch_shared(&cold_specs, start);
-            for (&i, result) in cold.iter().zip(solved) {
-                // Memoize through the cell: if another client raced us to
-                // this spec, its (bit-identical) result stands and ours is
-                // dropped. Either way this call solved, so it counts as a
-                // miss.
-                let cell = cells[i].take().expect("cold cell reserved");
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let stored = cell.get_or_init(|| result);
-                out[i] = Some(stored.clone());
-            }
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("every batch slot filled"))
-            .collect()
-    }
-
-    /// Expands + solves a set of distinct cold specs against the shared
-    /// space (snapshot solve, fronts merged back under the generation
-    /// guard).
-    fn batch_shared(
-        &self,
-        specs: &[&ComponentSpec],
-        start: Instant,
-    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
-        let (space, fronts, models, generation, mut plan) = {
-            let mut state = self.write_state();
-            let plan = self.expand_batch(specs, &mut state);
-            (
-                state.space.clone(),
-                state.fronts.snapshot(),
-                state.models.clone(),
-                state.generation,
-                plan,
-            )
-        };
-        let solved = self.solve_batch(specs, &mut plan, &space, fronts, &models, start);
-        self.absorb_fronts(solved, generation);
-        self.finish_batch(specs, plan, start)
-    }
-
-    /// The cache-off batch path: one private state is still shared by the
-    /// whole batch — batching *is* the single shared-space pass.
-    fn batch_in(
-        &self,
-        distinct: &[&ComponentSpec],
-        state: &mut SharedState,
-        start: Instant,
-    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
-        let mut plan = self.expand_batch(distinct, state);
-        let fronts = std::mem::take(&mut state.fronts);
-        let solved = self.solve_batch(
-            distinct,
-            &mut plan,
-            &state.space,
-            fronts,
-            &state.models,
-            start,
-        );
-        state.fronts = solved;
-        self.finish_batch(distinct, plan, start)
-    }
-
-    /// Expands every spec of a batch into `state`'s space, splitting the
-    /// indices into solvable roots, taint-affected specs (cold fallback),
-    /// and expansion failures (resolved on the spot).
-    fn expand_batch(&self, specs: &[&ComponentSpec], state: &mut SharedState) -> BatchPlan {
-        let mut plan = BatchPlan {
-            results: vec![None; specs.len()],
-            roots: Vec::new(),
-            tainted: Vec::new(),
-        };
-        for (i, spec) in specs.iter().enumerate() {
-            let first_new = state.space.nodes.len();
-            match self.expand_in(spec, state) {
-                Ok(root) if state.space.tainted_before(root, first_new) => plan.tainted.push(i),
-                Ok(root) => plan.roots.push((i, root)),
-                Err(e) => plan.results[i] = Some(Err(e)),
-            }
-        }
-        plan
-    }
-
-    /// Solves all of a plan's roots in **one** level-scheduled pass and
-    /// assembles each design set; returns the grown front store for the
-    /// caller to merge or keep.
-    fn solve_batch(
-        &self,
-        specs: &[&ComponentSpec],
-        plan: &mut BatchPlan,
-        space: &DesignSpace,
-        fronts: FrontStore,
-        models: &SpecModelCache,
-        start: Instant,
-    ) -> FrontStore {
-        let root_ids: Vec<usize> = plan.roots.iter().map(|&(_, root)| root).collect();
-        let mut solver = Solver::with_front_store(space, self.solve_config(), fronts)
-            .with_threads(self.thread_count());
-        solver.solve_many(&root_ids, models);
-        for &(i, root) in &plan.roots {
-            plan.results[i] = Some(
-                self.assemble(
-                    specs[i],
-                    root,
-                    space,
-                    &mut solver,
-                    models,
-                    self.config.root_filter,
-                    self.config.root_cap,
-                    start,
-                )
-                .map(Arc::new),
-            );
-        }
-        solver.into_front_store()
-    }
-
-    /// Resolves a plan's taint-affected specs from cold state (like
-    /// `synthesize` does) and unwraps the per-slot results.
-    fn finish_batch(
-        &self,
-        specs: &[&ComponentSpec],
-        mut plan: BatchPlan,
-        start: Instant,
-    ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
-        for &i in &plan.tainted {
-            let mut cold = SharedState::default();
-            plan.results[i] = Some(self.synthesize_in(specs[i], &mut cold, start).map(Arc::new));
-        }
-        plan.results
-            .into_iter()
-            .map(|slot| slot.expect("every batch spec resolved"))
-            .collect()
-    }
-
-    fn solve_config(&self) -> SolveConfig {
-        SolveConfig {
-            node_filter: self.config.node_filter,
-            node_cap: self.config.node_cap,
-            max_combinations: self.config.max_combinations,
-        }
-    }
-
-    /// Computes the root front of an already-solved root and assembles the
-    /// design set (alternatives, space-size accounting, per-query stats).
-    #[allow(clippy::too_many_arguments)]
-    fn assemble(
-        &self,
-        spec: &ComponentSpec,
-        root: usize,
-        space: &DesignSpace,
-        solver: &mut Solver,
-        models: &SpecModelCache,
-        root_filter: FilterPolicy,
-        root_cap: usize,
-        start: Instant,
-    ) -> Result<DesignSet, SynthError> {
-        let solve_truncated = solver.truncated_combinations;
-        // Recompute the root under the (usually more permissive) root
-        // filter; the node-filter front below it stays cached.
-        let front = solver.root_front(root, models, root_filter, root_cap);
-        // This query's truncation: everything under the root — including
-        // truncation inherited from fronts solved by earlier queries —
-        // plus the root-filter recomputation's own.
-        let truncated_combinations =
-            solver.truncated_under(root) + (solver.truncated_combinations - solve_truncated);
-        if front.is_empty() {
-            return Err(SynthError::NoImplementation(spec.to_string()));
-        }
-        let alternatives: Vec<Alternative> = front
-            .iter()
-            .map(|p| Alternative {
-                area: p.area,
-                delay: p.delay(),
-                timing: p.timing.clone(),
-                implementation: extract::extract(space, root, &p.policy),
-            })
-            .collect();
-        let unconstrained_size = space.unconstrained_size(root);
-        let unconstrained_log10 = space.unconstrained_log10(root);
-        let uniform_size = if self.config.uniform_count_limit > 0 {
-            space.uniform_size_threaded(root, self.config.uniform_count_limit, self.thread_count())
-        } else {
-            None
-        };
-        // Stats describe this query's reachable subgraph, not the whole
-        // (engine-shared, cross-query) space.
-        let reachable = space.reachable(root);
-        let impl_choices = reachable.iter().map(|&n| space.nodes[n].impls.len()).sum();
-        Ok(DesignSet {
-            spec: spec.clone(),
-            alternatives,
-            unconstrained_size,
-            unconstrained_log10,
-            uniform_size,
-            stats: SynthStats {
-                spec_nodes: reachable.len(),
-                impl_choices,
-                elapsed: start.elapsed(),
-                truncated_combinations,
-            },
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cells::lsi::lsi_logic_subset;
-    use genus::kind::ComponentKind;
-    use genus::op::{Op, OpSet};
-
-    fn engine() -> Dtas {
-        Dtas::new(lsi_logic_subset())
-    }
-
-    fn add_spec(w: usize) -> ComponentSpec {
-        ComponentSpec::new(ComponentKind::AddSub, w)
-            .with_ops(OpSet::only(Op::Add))
-            .with_carry_in(true)
-            .with_carry_out(true)
-    }
-
-    fn unmappable_spec() -> ComponentSpec {
-        // A stack has no decomposition rules and no cell in the library.
-        ComponentSpec::new(ComponentKind::StackFifo, 8)
-            .with_width2(4)
-            .with_ops([Op::Push, Op::Pop].into_iter().collect())
-            .with_style("STACK")
-    }
-
-    #[test]
-    fn add16_produces_a_design_space() {
-        let set = engine().synthesize(&add_spec(16)).unwrap();
-        assert!(set.alternatives.len() >= 3, "{set}");
-        // Monotone trade-off curve.
-        for w in set.alternatives.windows(2) {
-            assert!(w[0].area <= w[1].area);
-        }
-        assert!(set.unconstrained_size >= 100.0);
-    }
-
-    #[test]
-    fn unmappable_spec_reports_no_implementation() {
-        assert!(matches!(
-            engine().synthesize(&unmappable_spec()),
-            Err(SynthError::NoImplementation(_))
-        ));
-    }
-
-    #[test]
-    fn direct_cell_hit_is_a_one_cell_design() {
-        let set = engine().synthesize(&add_spec(4)).unwrap();
-        let direct = set
-            .alternatives
-            .iter()
-            .find(|a| matches!(a.implementation.kind, ImplKind::Cell { .. }));
-        assert!(direct.is_some(), "ADD4 should map directly to a cell");
-    }
-
-    #[test]
-    fn batch_mixes_successes_and_failures() {
-        let engine = engine();
-        let specs = vec![add_spec(16), unmappable_spec(), add_spec(16), add_spec(8)];
-        let results = engine.synthesize_batch(&specs);
-        assert_eq!(results.len(), 4);
-        assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(SynthError::NoImplementation(_))));
-        assert!(results[2].is_ok());
-        assert!(results[3].is_ok());
-        // Duplicates are served from one solve: 3 distinct specs → 3
-        // misses, no hits (first batch), and the duplicate slot carries
-        // the same alternatives.
-        let stats = engine.cache_stats();
-        assert_eq!((stats.hits, stats.misses), (0, 3));
-        let a = results[0].as_ref().unwrap();
-        let c = results[2].as_ref().unwrap();
-        assert_eq!(a.alternatives.len(), c.alternatives.len());
-    }
-
-    #[test]
-    fn batch_then_single_queries_hit_the_memo() {
-        let engine = engine();
-        let results = engine.synthesize_batch(&[add_spec(8), add_spec(16)]);
-        assert!(results.iter().all(|r| r.is_ok()));
-        let single = engine.synthesize(&add_spec(16)).unwrap();
-        let stats = engine.cache_stats();
-        assert_eq!((stats.hits, stats.misses), (1, 2));
-        assert_eq!(
-            single.alternatives.len(),
-            results[1].as_ref().unwrap().alternatives.len()
-        );
-    }
-
-    #[test]
-    fn request_without_overrides_matches_synthesize() {
-        let engine = engine();
-        let plain = engine.synthesize(&add_spec(16)).unwrap();
-        let via_request = engine
-            .synthesize_request(&SynthRequest::new(add_spec(16)))
-            .unwrap();
-        assert_eq!(plain.alternatives.len(), via_request.alternatives.len());
-        // The second call was a memo hit.
-        assert_eq!(engine.cache_stats().hits, 1);
-    }
-
-    #[test]
-    fn request_overrides_reshape_the_front() {
-        let engine = engine();
-        let full = engine.synthesize(&add_spec(16)).unwrap();
-        assert!(full.alternatives.len() > 2);
-        let capped = engine
-            .synthesize_request(&SynthRequest::new(add_spec(16)).with_front_cap(2))
-            .unwrap();
-        assert!(capped.alternatives.len() <= 2);
-        let pareto = engine
-            .synthesize_request(
-                &SynthRequest::new(add_spec(16)).with_root_filter(FilterPolicy::Pareto),
-            )
-            .unwrap();
-        // Strict Pareto keeps no more than the slack filter does.
-        assert!(pareto.alternatives.len() <= full.alternatives.len());
-        // Delay-heavy weights put the fastest design first.
-        let fastest_first = engine
-            .synthesize_request(&SynthRequest::new(add_spec(16)).with_weights(0.0, 1.0))
-            .unwrap();
-        let min_delay = full
-            .alternatives
-            .iter()
-            .map(|a| a.delay)
-            .fold(f64::INFINITY, f64::min);
-        assert_eq!(fastest_first.alternatives[0].delay, min_delay);
-    }
-
-    #[test]
-    fn memoized_errors_count_as_hits() {
-        let engine = engine();
-        assert!(engine.synthesize(&unmappable_spec()).is_err());
-        assert!(engine.synthesize(&unmappable_spec()).is_err());
-        let stats = engine.cache_stats();
-        assert_eq!((stats.hits, stats.misses), (1, 1));
-        // Error cells are not counted as cached results.
-        assert_eq!(stats.cached_results, 0);
-    }
-}

@@ -1,0 +1,95 @@
+//! Per-query synthesis requests.
+
+use crate::space::FilterPolicy;
+use genus::spec::ComponentSpec;
+
+/// One synthesis query with per-query overrides: the forward-compatible
+/// entry point for service clients that need more than a bare spec.
+///
+/// A request without overrides behaves exactly like
+/// [`Dtas::synthesize`](crate::Dtas::synthesize) (and shares its result
+/// memo). Overrides reshape only the *root* of the query — node fronts
+/// below it are still shared with every other query — so request-specific
+/// answers stay cheap:
+///
+/// * [`with_root_filter`](Self::with_root_filter) — replace the root's
+///   performance filter (e.g. strict Pareto instead of the default
+///   slack filter);
+/// * [`with_front_cap`](Self::with_front_cap) — truncate the returned
+///   front to at most `n` alternatives;
+/// * [`with_weights`](Self::with_weights) — rank alternatives by a
+///   weighted area/delay objective instead of the default area-ascending
+///   order.
+///
+/// ```
+/// use cells::lsi::lsi_logic_subset;
+/// use dtas::{Dtas, SynthRequest};
+/// use genus::kind::ComponentKind;
+/// use genus::op::{Op, OpSet};
+/// use genus::spec::ComponentSpec;
+///
+/// # fn main() -> Result<(), dtas::SynthError> {
+/// let engine = Dtas::new(lsi_logic_subset());
+/// let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
+///     .with_ops(OpSet::only(Op::Add))
+///     .with_carry_in(true)
+///     .with_carry_out(true);
+/// let request = SynthRequest::new(spec).with_front_cap(3).with_weights(1.0, 2.0);
+/// let set = engine.synthesize_request(&request)?;
+/// assert!(set.alternatives.len() <= 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynthRequest {
+    pub(crate) spec: ComponentSpec,
+    pub(crate) root_filter: Option<FilterPolicy>,
+    pub(crate) root_cap: Option<usize>,
+    pub(crate) weights: Option<(f64, f64)>,
+}
+
+impl SynthRequest {
+    /// A request for `spec` with no overrides.
+    pub fn new(spec: ComponentSpec) -> Self {
+        SynthRequest {
+            spec,
+            root_filter: None,
+            root_cap: None,
+            weights: None,
+        }
+    }
+
+    /// Replaces the root performance filter for this query only.
+    pub fn with_root_filter(mut self, filter: FilterPolicy) -> Self {
+        self.root_filter = Some(filter);
+        self
+    }
+
+    /// Truncates the returned front to at most `cap` alternatives.
+    ///
+    /// `cap` is clamped to at least 1: a zero cap would turn every
+    /// solvable query into a misleading `NoImplementation` error.
+    pub fn with_front_cap(mut self, cap: usize) -> Self {
+        self.root_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Ranks the returned alternatives by ascending
+    /// `area_weight * area + delay_weight * delay` (ties broken by
+    /// `(area, delay)`, so the order is deterministic).
+    pub fn with_weights(mut self, area_weight: f64, delay_weight: f64) -> Self {
+        self.weights = Some((area_weight, delay_weight));
+        self
+    }
+
+    /// The requested specification.
+    pub fn spec(&self) -> &ComponentSpec {
+        &self.spec
+    }
+
+    /// True when the request changes how the root front is computed (such
+    /// requests bypass the spec-keyed result memo).
+    pub fn has_front_overrides(&self) -> bool {
+        self.root_filter.is_some() || self.root_cap.is_some()
+    }
+}

@@ -113,6 +113,31 @@ impl RuleSet {
         self.rules.iter().map(|r| r.as_ref())
     }
 
+    /// A stable content fingerprint over the rule base: rule count and
+    /// every rule's name and documentation line, in registration order,
+    /// plus the generic/library split. Snapshot stores key persisted
+    /// synthesis state on this value so state explored under different
+    /// rules is rejected instead of silently reused.
+    ///
+    /// The fingerprint sees a rule's *identity*, not its expansion body —
+    /// a rule whose templates change without a name change must be
+    /// accompanied by a snapshot format-version bump (see
+    /// [`store::FORMAT_VERSION`](crate::store::FORMAT_VERSION)), which
+    /// invalidates all persisted state at once.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hash;
+        rtl_base::hash::StableHasher::digest_of(|h| {
+            "dtas-rules/1".hash(h);
+            (self.rules.len() as u64).hash(h);
+            (self.generic_count as u64).hash(h);
+            (self.library_count as u64).hash(h);
+            for rule in self.iter() {
+                rule.name().hash(h);
+                rule.doc().hash(h);
+            }
+        })
+    }
+
     /// Looks up a rule by name.
     pub fn rule(&self, name: &str) -> Option<&dyn Rule> {
         self.rules
@@ -194,5 +219,17 @@ mod tests {
         let rules = RuleSet::standard();
         assert!(rules.rule("add-ripple-slice-4").is_some());
         assert!(rules.rule("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_rule_membership() {
+        let standard = RuleSet::standard();
+        assert_eq!(standard.fingerprint(), RuleSet::standard().fingerprint());
+        let extended = RuleSet::standard().with_lsi_extensions();
+        assert_ne!(standard.fingerprint(), extended.fingerprint());
+        assert_eq!(
+            extended.fingerprint(),
+            RuleSet::standard().with_lsi_extensions().fingerprint()
+        );
     }
 }

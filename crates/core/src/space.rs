@@ -154,12 +154,12 @@ impl std::error::Error for ExpandError {}
 pub struct DesignSpace {
     /// All specification nodes.
     pub nodes: Vec<SpecNode>,
-    memo: HashMap<ComponentSpec, SpecId>,
+    pub(crate) memo: HashMap<ComponentSpec, SpecId>,
     /// Nodes that dropped a decomposition because it referenced an
     /// ancestor (a cyclic ruleset): their alternative lists depend on
     /// which root expanded them first, so cross-query caches must not
     /// serve results that reach them (see [`tainted_under`](Self::tainted_under)).
-    tainted: HashSet<SpecId>,
+    pub(crate) tainted: HashSet<SpecId>,
 }
 
 impl DesignSpace {
@@ -854,8 +854,8 @@ fn compute_front(
 /// solved nodes back without blocking one another mid-solve.
 #[derive(Clone, Default)]
 pub struct FrontStore {
-    fronts: Vec<Option<Arc<Vec<DesignPoint>>>>,
-    truncated: Vec<u64>,
+    pub(crate) fronts: Vec<Option<Arc<Vec<DesignPoint>>>>,
+    pub(crate) truncated: Vec<u64>,
 }
 
 impl FrontStore {

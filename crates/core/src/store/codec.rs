@@ -1,0 +1,1059 @@
+//! The hand-rolled binary codec for engine snapshots.
+//!
+//! The build environment is offline-vendored, so there is no serde here:
+//! every type is written field by field in **little-endian** order through
+//! [`Writer`] and read back through the bounds-checked [`Reader`]. The
+//! encoded artifact is self-describing and self-verifying:
+//!
+//! ```text
+//! magic "DTASSNP1"  (8 bytes)
+//! format version    (u32)   — bump on ANY layout or semantic change
+//! library  fingerprint (u64)   ┐ the snapshot key; a mismatch on any of
+//! rule-set fingerprint (u64)   ├ these rejects the file (never reused
+//! config   fingerprint (u64)   ┘ under different rules/library/filters)
+//! body: template table, spec nodes, taint set, fronts, memoized results
+//! FNV-1a 64 checksum over everything above (8 bytes)
+//! ```
+//!
+//! Decoding is hardened against hostile or damaged bytes: the checksum is
+//! verified before anything is parsed, every length is capped by the
+//! remaining buffer, every node/implementation index is bounds-checked,
+//! and recursive structures carry a depth limit — a bad snapshot can only
+//! ever produce a [`Err`]`(reason)`, never a panic or a wrong design.
+//!
+//! Results are persisted as *policies over the serialized space*, not as
+//! implementation trees: the hierarchical implementations are rebuilt at
+//! load time with the same [`extract`] used on the solve path, which both
+//! shrinks the artifact (implementation trees unfold exponentially) and
+//! guarantees warm-start results are bit-identical to cold-solve results.
+
+use crate::cost::Timing;
+use crate::extract::{self, ImplKind, Implementation};
+use crate::report::{Alternative, DesignSet, SynthStats};
+use crate::space::{
+    CellChoice, DesignPoint, DesignSpace, FrontStore, ImplChoice, Policy, SpecId, SpecNode,
+};
+use crate::store::{EngineSnapshot, StoreKey};
+use crate::template::{Module, NetlistTemplate, Signal};
+use crate::SynthError;
+use genus::component::PortClass;
+use genus::kind::{ComponentKind, GateOp};
+use genus::op::Op;
+use genus::spec::ComponentSpec;
+use rtl_base::bits::Bits;
+use rtl_base::hash::fnv1a_64;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One memoized whole-query result, as held in a snapshot.
+type ResultEntry = (ComponentSpec, Result<Arc<DesignSet>, SynthError>);
+
+/// Version of the on-disk layout. Any change to the byte layout, to the
+/// meaning of a persisted field, or to solver semantics that cached
+/// fronts bake in must bump this — old snapshots are then rejected and
+/// engines fall back to a clean cold solve.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File magic: identifies DTAS snapshots regardless of file name. The
+/// format-version field sits immediately after it (bytes 8..12) — tests
+/// patch that range to simulate snapshots from a future build.
+pub(crate) const MAGIC: [u8; 8] = *b"DTASSNP1";
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+const CHECKSUM_LEN: usize = 8;
+/// Recursion guard for [`Signal`] trees (real wiring nests a handful of
+/// levels; anything deeper is a damaged file).
+const MAX_SIGNAL_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------
+// Primitives.
+
+/// Little-endian byte sink.
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn usize32(&mut self, v: usize) {
+        self.u32(u32::try_from(v).expect("snapshot collection exceeds u32"));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize32(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian byte source. Every accessor returns
+/// `Err(reason)` instead of panicking when the buffer runs short.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated while reading {what} ({} bytes left, {n} needed)",
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, String> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("bad boolean {v} in {what}")),
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A collection length, capped by the remaining bytes (every element
+    /// takes at least one byte), so corrupt counts cannot drive huge
+    /// allocations.
+    fn len(&mut self, what: &str) -> Result<usize, String> {
+        let n = self.u32(what)? as usize;
+        if n > self.remaining() {
+            return Err(format!(
+                "implausible {what} count {n} ({} bytes left)",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, String> {
+        let n = self.len(what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("non-UTF-8 {what}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf types.
+
+fn put_kind(w: &mut Writer, kind: ComponentKind) {
+    use ComponentKind::*;
+    let tag: u8 = match kind {
+        Gate(_) => 0,
+        LogicUnit => 1,
+        Mux => 2,
+        Selector => 3,
+        Decoder => 4,
+        Encoder => 5,
+        AddSub => 6,
+        Comparator => 7,
+        Alu => 8,
+        Shifter => 9,
+        BarrelShifter => 10,
+        Multiplier => 11,
+        Divider => 12,
+        CarryLookahead => 13,
+        Register => 14,
+        RegisterFile => 15,
+        Counter => 16,
+        StackFifo => 17,
+        Memory => 18,
+        PortComp => 19,
+        BufferComp => 20,
+        ClockDriver => 21,
+        SchmittTrigger => 22,
+        Tristate => 23,
+        WiredOr => 24,
+        Bus => 25,
+        Delay => 26,
+        Concat => 27,
+        Extract => 28,
+        ClockGenerator => 29,
+    };
+    w.u8(tag);
+    if let Gate(op) = kind {
+        w.str(op.name());
+    }
+}
+
+fn get_kind(r: &mut Reader) -> Result<ComponentKind, String> {
+    use ComponentKind::*;
+    Ok(match r.u8("component kind")? {
+        0 => {
+            let name = r.str("gate op")?;
+            Gate(GateOp::parse(&name)?)
+        }
+        1 => LogicUnit,
+        2 => Mux,
+        3 => Selector,
+        4 => Decoder,
+        5 => Encoder,
+        6 => AddSub,
+        7 => Comparator,
+        8 => Alu,
+        9 => Shifter,
+        10 => BarrelShifter,
+        11 => Multiplier,
+        12 => Divider,
+        13 => CarryLookahead,
+        14 => Register,
+        15 => RegisterFile,
+        16 => Counter,
+        17 => StackFifo,
+        18 => Memory,
+        19 => PortComp,
+        20 => BufferComp,
+        21 => ClockDriver,
+        22 => SchmittTrigger,
+        23 => Tristate,
+        24 => WiredOr,
+        25 => Bus,
+        26 => Delay,
+        27 => Concat,
+        28 => Extract,
+        29 => ClockGenerator,
+        other => return Err(format!("unknown component-kind tag {other}")),
+    })
+}
+
+fn put_spec(w: &mut Writer, spec: &ComponentSpec) {
+    put_kind(w, spec.kind);
+    w.u64(spec.width as u64);
+    w.u64(spec.width2 as u64);
+    w.u64(spec.inputs as u64);
+    // Operations by name (the enum has no public discriminant mapping;
+    // names round-trip through `Op::parse` and are stable spec syntax).
+    w.usize32(spec.ops.len());
+    for op in spec.ops.iter() {
+        w.str(op.name());
+    }
+    w.bool(spec.carry_in);
+    w.bool(spec.carry_out);
+    w.bool(spec.enable);
+    w.bool(spec.async_set_reset);
+    w.bool(spec.group_pg);
+    match &spec.style {
+        None => w.bool(false),
+        Some(style) => {
+            w.bool(true);
+            w.str(style);
+        }
+    }
+}
+
+fn get_spec(r: &mut Reader) -> Result<ComponentSpec, String> {
+    let kind = get_kind(r)?;
+    let width = r.u64("spec width")? as usize;
+    let mut spec = ComponentSpec::new(kind, width);
+    spec.width2 = r.u64("spec width2")? as usize;
+    spec.inputs = r.u64("spec inputs")? as usize;
+    let ops = r.len("op")?;
+    for _ in 0..ops {
+        let name = r.str("op name")?;
+        spec.ops.insert(Op::parse(&name)?);
+    }
+    spec.carry_in = r.bool("carry_in")?;
+    spec.carry_out = r.bool("carry_out")?;
+    spec.enable = r.bool("enable")?;
+    spec.async_set_reset = r.bool("async_set_reset")?;
+    spec.group_pg = r.bool("group_pg")?;
+    if r.bool("style presence")? {
+        spec.style = Some(r.str("style")?);
+    }
+    Ok(spec)
+}
+
+fn put_port_class(w: &mut Writer, class: PortClass) {
+    use PortClass::*;
+    w.u8(match class {
+        Data => 0,
+        Select => 1,
+        Control => 2,
+        Clock => 3,
+        Enable => 4,
+        AsyncSetReset => 5,
+        CarryIn => 6,
+        CarryOut => 7,
+        Status => 8,
+    });
+}
+
+fn get_port_class(r: &mut Reader) -> Result<PortClass, String> {
+    use PortClass::*;
+    Ok(match r.u8("port class")? {
+        0 => Data,
+        1 => Select,
+        2 => Control,
+        3 => Clock,
+        4 => Enable,
+        5 => AsyncSetReset,
+        6 => CarryIn,
+        7 => CarryOut,
+        8 => Status,
+        other => return Err(format!("unknown port-class tag {other}")),
+    })
+}
+
+fn put_timing(w: &mut Writer, timing: &Timing) {
+    w.usize32(timing.arcs.len());
+    for (&(from, to), &delay) in &timing.arcs {
+        put_port_class(w, from);
+        put_port_class(w, to);
+        w.f64(delay);
+    }
+    w.f64(timing.worst);
+}
+
+fn get_timing(r: &mut Reader) -> Result<Timing, String> {
+    let arcs = r.len("timing arc")?;
+    let mut timing = Timing::default();
+    for _ in 0..arcs {
+        let from = get_port_class(r)?;
+        let to = get_port_class(r)?;
+        let delay = r.f64("arc delay")?;
+        timing.arcs.insert((from, to), delay);
+    }
+    timing.worst = r.f64("worst delay")?;
+    Ok(timing)
+}
+
+fn put_bits(w: &mut Writer, bits: &Bits) {
+    w.u64(bits.width() as u64);
+    let mut byte = 0u8;
+    for i in 0..bits.width() {
+        if bits.bit(i) {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            w.u8(byte);
+            byte = 0;
+        }
+    }
+    if !bits.width().is_multiple_of(8) {
+        w.u8(byte);
+    }
+}
+
+fn get_bits(r: &mut Reader) -> Result<Bits, String> {
+    let width = r.u64("bits width")? as usize;
+    let bytes = width.div_ceil(8);
+    let raw = r.take(bytes, "bits payload")?;
+    Ok(Bits::from_fn(width, |i| raw[i / 8] & (1 << (i % 8)) != 0))
+}
+
+fn put_signal(w: &mut Writer, signal: &Signal) {
+    match signal {
+        Signal::Net(n) => {
+            w.u8(0);
+            w.str(n);
+        }
+        Signal::Parent(p) => {
+            w.u8(1);
+            w.str(p);
+        }
+        Signal::Const(b) => {
+            w.u8(2);
+            put_bits(w, b);
+        }
+        Signal::Slice(inner, lo, len) => {
+            w.u8(3);
+            put_signal(w, inner);
+            w.u64(*lo as u64);
+            w.u64(*len as u64);
+        }
+        Signal::Cat(parts) => {
+            w.u8(4);
+            w.usize32(parts.len());
+            for p in parts {
+                put_signal(w, p);
+            }
+        }
+        Signal::Replicate(inner, n) => {
+            w.u8(5);
+            put_signal(w, inner);
+            w.u64(*n as u64);
+        }
+    }
+}
+
+fn get_signal(r: &mut Reader, depth: usize) -> Result<Signal, String> {
+    if depth > MAX_SIGNAL_DEPTH {
+        return Err("signal nesting exceeds the codec depth limit".into());
+    }
+    Ok(match r.u8("signal tag")? {
+        0 => Signal::Net(r.str("net name")?),
+        1 => Signal::Parent(r.str("parent port")?),
+        2 => Signal::Const(get_bits(r)?),
+        3 => {
+            let inner = get_signal(r, depth + 1)?;
+            let lo = r.u64("slice lo")? as usize;
+            let len = r.u64("slice len")? as usize;
+            Signal::Slice(Box::new(inner), lo, len)
+        }
+        4 => {
+            let parts = r.len("cat part")?;
+            let mut out = Vec::with_capacity(parts);
+            for _ in 0..parts {
+                out.push(get_signal(r, depth + 1)?);
+            }
+            Signal::Cat(out)
+        }
+        5 => {
+            let inner = get_signal(r, depth + 1)?;
+            let n = r.u64("replicate count")? as usize;
+            Signal::Replicate(Box::new(inner), n)
+        }
+        other => Err(format!("unknown signal tag {other}"))?,
+    })
+}
+
+fn put_template(w: &mut Writer, template: &NetlistTemplate) {
+    w.str(&template.rule);
+    w.usize32(template.nets.len());
+    for (net, width) in &template.nets {
+        w.str(net);
+        w.u64(*width as u64);
+    }
+    w.usize32(template.modules.len());
+    for module in &template.modules {
+        w.str(&module.name);
+        put_spec(w, &module.spec);
+        w.usize32(module.inputs.len());
+        for (port, signal) in &module.inputs {
+            w.str(port);
+            put_signal(w, signal);
+        }
+        w.usize32(module.outputs.len());
+        for (port, net) in &module.outputs {
+            w.str(port);
+            w.str(net);
+        }
+    }
+    w.usize32(template.outputs.len());
+    for (port, signal) in &template.outputs {
+        w.str(port);
+        put_signal(w, signal);
+    }
+}
+
+fn get_template(r: &mut Reader) -> Result<NetlistTemplate, String> {
+    let rule = r.str("rule name")?;
+    let nets_len = r.len("net")?;
+    let mut nets = BTreeMap::new();
+    for _ in 0..nets_len {
+        let net = r.str("net name")?;
+        let width = r.u64("net width")? as usize;
+        nets.insert(net, width);
+    }
+    let modules_len = r.len("module")?;
+    let mut modules = Vec::with_capacity(modules_len);
+    for _ in 0..modules_len {
+        let name = r.str("module name")?;
+        let spec = get_spec(r)?;
+        let inputs_len = r.len("module input")?;
+        let mut inputs = BTreeMap::new();
+        for _ in 0..inputs_len {
+            let port = r.str("input port")?;
+            let signal = get_signal(r, 0)?;
+            inputs.insert(port, signal);
+        }
+        let outputs_len = r.len("module output")?;
+        let mut outputs = BTreeMap::new();
+        for _ in 0..outputs_len {
+            let port = r.str("output port")?;
+            let net = r.str("output net")?;
+            outputs.insert(port, net);
+        }
+        modules.push(Module {
+            name,
+            spec,
+            inputs,
+            outputs,
+        });
+    }
+    let outputs_len = r.len("template output")?;
+    let mut outputs = BTreeMap::new();
+    for _ in 0..outputs_len {
+        let port = r.str("parent output")?;
+        let signal = get_signal(r, 0)?;
+        outputs.insert(port, signal);
+    }
+    Ok(NetlistTemplate {
+        rule,
+        nets,
+        modules,
+        outputs,
+    })
+}
+
+fn put_policy(w: &mut Writer, policy: &Policy) {
+    let pairs: Vec<(SpecId, usize)> = policy.iter().collect();
+    w.usize32(pairs.len());
+    for (id, choice) in pairs {
+        w.u32(id as u32);
+        w.u32(choice as u32);
+    }
+}
+
+fn get_policy(r: &mut Reader, node_count: usize) -> Result<Policy, String> {
+    let pairs = r.len("policy assignment")?;
+    let mut policy = Policy::new();
+    for _ in 0..pairs {
+        let id = r.u32("policy spec id")? as usize;
+        let choice = r.u32("policy choice")? as usize;
+        if id >= node_count {
+            return Err(format!("policy references node {id} of {node_count}"));
+        }
+        policy.set(id, choice);
+    }
+    Ok(policy)
+}
+
+fn put_design_point(w: &mut Writer, point: &DesignPoint) {
+    w.f64(point.area);
+    put_timing(w, &point.timing);
+    put_policy(w, &point.policy);
+}
+
+fn get_design_point(r: &mut Reader, node_count: usize) -> Result<DesignPoint, String> {
+    Ok(DesignPoint {
+        area: r.f64("point area")?,
+        timing: get_timing(r)?,
+        policy: get_policy(r, node_count)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Space, fronts, results.
+
+/// Interned template table: every distinct `Arc<NetlistTemplate>` (by
+/// pointer identity — the engine shares one `Arc` per template between
+/// the space and every extracted implementation) is written once and
+/// referenced by index.
+fn intern_templates(
+    space: &DesignSpace,
+) -> (
+    Vec<Arc<NetlistTemplate>>,
+    HashMap<*const NetlistTemplate, u32>,
+) {
+    let mut table: Vec<Arc<NetlistTemplate>> = Vec::new();
+    let mut index: HashMap<*const NetlistTemplate, u32> = HashMap::new();
+    for node in &space.nodes {
+        for choice in &node.impls {
+            if let ImplChoice::Netlist(template) = choice {
+                let key = Arc::as_ptr(template);
+                index.entry(key).or_insert_with(|| {
+                    table.push(Arc::clone(template));
+                    (table.len() - 1) as u32
+                });
+            }
+        }
+    }
+    (table, index)
+}
+
+fn put_space(w: &mut Writer, space: &DesignSpace) {
+    let (templates, template_index) = intern_templates(space);
+    w.usize32(templates.len());
+    for template in &templates {
+        put_template(w, template);
+    }
+    w.usize32(space.nodes.len());
+    for node in &space.nodes {
+        put_spec(w, &node.spec);
+        w.usize32(node.impls.len());
+        for (choice, children) in node.impls.iter().zip(&node.children) {
+            match choice {
+                ImplChoice::Cell(cell) => {
+                    w.u8(0);
+                    w.str(&cell.cell);
+                    w.f64(cell.area);
+                    put_timing(w, &cell.timing);
+                }
+                ImplChoice::Netlist(template) => {
+                    w.u8(1);
+                    w.u32(template_index[&Arc::as_ptr(template)]);
+                }
+            }
+            w.usize32(children.len());
+            for &child in children {
+                w.u32(child as u32);
+            }
+        }
+    }
+    let mut tainted: Vec<SpecId> = space.tainted.iter().copied().collect();
+    tainted.sort_unstable();
+    w.usize32(tainted.len());
+    for id in tainted {
+        w.u32(id as u32);
+    }
+}
+
+fn get_space(r: &mut Reader) -> Result<DesignSpace, String> {
+    let template_count = r.len("template")?;
+    let mut templates = Vec::with_capacity(template_count);
+    for _ in 0..template_count {
+        templates.push(Arc::new(get_template(r)?));
+    }
+    let node_count = r.len("spec node")?;
+    let mut nodes: Vec<SpecNode> = Vec::with_capacity(node_count);
+    let mut memo = HashMap::with_capacity(node_count);
+    for id in 0..node_count {
+        let spec = get_spec(r)?;
+        if memo.insert(spec.clone(), id).is_some() {
+            return Err(format!("duplicate spec node {spec}"));
+        }
+        let impl_count = r.len("implementation")?;
+        let mut impls = Vec::with_capacity(impl_count);
+        let mut children = Vec::with_capacity(impl_count);
+        for _ in 0..impl_count {
+            let choice = match r.u8("implementation tag")? {
+                0 => ImplChoice::Cell(CellChoice {
+                    cell: r.str("cell name")?,
+                    area: r.f64("cell area")?,
+                    timing: get_timing(r)?,
+                }),
+                1 => {
+                    let idx = r.u32("template index")? as usize;
+                    let template = templates
+                        .get(idx)
+                        .ok_or_else(|| format!("template index {idx} of {template_count}"))?;
+                    ImplChoice::Netlist(Arc::clone(template))
+                }
+                other => return Err(format!("unknown implementation tag {other}")),
+            };
+            let child_count = r.len("child id")?;
+            let mut kids = Vec::with_capacity(child_count);
+            for _ in 0..child_count {
+                let child = r.u32("child id")? as usize;
+                // Node ids are a topological order (children strictly
+                // precede parents); anything else is a damaged file.
+                if child >= id {
+                    return Err(format!("child {child} not below node {id}"));
+                }
+                kids.push(child);
+            }
+            impls.push(choice);
+            children.push(kids);
+        }
+        nodes.push(SpecNode {
+            spec,
+            impls,
+            children,
+        });
+    }
+    let tainted_count = r.len("tainted id")?;
+    let mut tainted = HashSet::with_capacity(tainted_count);
+    for _ in 0..tainted_count {
+        let id = r.u32("tainted id")? as usize;
+        if id >= node_count {
+            return Err(format!("tainted id {id} of {node_count}"));
+        }
+        tainted.insert(id);
+    }
+    Ok(DesignSpace {
+        nodes,
+        memo,
+        tainted,
+    })
+}
+
+fn put_fronts(w: &mut Writer, fronts: &FrontStore, node_count: usize) {
+    // The live store only grows to a node's id when a solver visits it, so
+    // it can trail the space (queries that expanded but solved on a
+    // private cold state). Pad to the space: absent slots are unsolved.
+    w.usize32(node_count);
+    for id in 0..node_count {
+        match fronts.fronts.get(id).and_then(|f| f.as_ref()) {
+            None => w.bool(false),
+            Some(points) => {
+                w.bool(true);
+                w.u64(fronts.truncated[id]);
+                w.usize32(points.len());
+                for point in points.iter() {
+                    put_design_point(w, point);
+                }
+            }
+        }
+    }
+}
+
+fn get_fronts(r: &mut Reader, space: &DesignSpace) -> Result<FrontStore, String> {
+    let len = r.len("front slot")?;
+    if len != space.nodes.len() {
+        return Err(format!(
+            "front store covers {len} nodes, space has {}",
+            space.nodes.len()
+        ));
+    }
+    let mut fronts = Vec::with_capacity(len);
+    let mut truncated = Vec::with_capacity(len);
+    for _ in 0..len {
+        if r.bool("front presence")? {
+            truncated.push(r.u64("front truncation")?);
+            let count = r.len("design point")?;
+            let mut points = Vec::with_capacity(count);
+            for _ in 0..count {
+                let point = get_design_point(r, space.nodes.len())?;
+                check_policy_bounds(space, &point.policy)?;
+                points.push(point);
+            }
+            fronts.push(Some(Arc::new(points)));
+        } else {
+            fronts.push(None);
+            truncated.push(0);
+        }
+    }
+    Ok(FrontStore { fronts, truncated })
+}
+
+/// Every `(node, choice)` a policy assigns must exist in the space.
+fn check_policy_bounds(space: &DesignSpace, policy: &Policy) -> Result<(), String> {
+    for (id, choice) in policy.iter() {
+        let impls = space.nodes[id].impls.len();
+        if choice >= impls {
+            return Err(format!(
+                "policy picks choice {choice} of {impls} at node {id}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reconstructs the policy an implementation tree encodes, by walking it
+/// against the space: cells match by (unique) data-book name,
+/// decomposition templates by `Arc` identity with a structural-equality
+/// fallback. The fallback matters for results solved on a *private* cold
+/// space (the taint fallback path, where mutually-recursive rules forced
+/// a fresh expansion): their template `Arc`s are different allocations,
+/// but whenever the shared space carries a structurally identical
+/// template for the same node, the reconstructed policy re-extracts to a
+/// value-identical implementation tree. Returns `None` when a node or
+/// template has no counterpart in this space — such results are simply
+/// not persisted and re-solve on demand.
+fn policy_of(space: &DesignSpace, implementation: &Implementation) -> Option<Policy> {
+    let mut policy = Policy::new();
+    let mut assigned: HashSet<SpecId> = HashSet::new();
+    let mut stack: Vec<&Implementation> = vec![implementation];
+    while let Some(node) = stack.pop() {
+        let id = space.id_of(&node.spec)?;
+        if !assigned.insert(id) {
+            continue;
+        }
+        let spec_node = &space.nodes[id];
+        let choice = match &node.kind {
+            ImplKind::Cell { name } => spec_node
+                .impls
+                .iter()
+                .position(|c| matches!(c, ImplChoice::Cell(cell) if cell.cell == *name))?,
+            ImplKind::Netlist { template, children } => {
+                let idx = spec_node.impls.iter().position(|c| match c {
+                    ImplChoice::Netlist(t) => Arc::ptr_eq(t, template) || **t == **template,
+                    ImplChoice::Cell(_) => false,
+                })?;
+                for child in children {
+                    stack.push(child);
+                }
+                idx
+            }
+        };
+        policy.set(id, choice);
+    }
+    Some(policy)
+}
+
+/// Validates that `policy` fully covers the subgraph its own choices
+/// select under `root`, so the subsequent [`extract`] cannot panic.
+fn check_policy_covers(space: &DesignSpace, root: SpecId, policy: &Policy) -> Result<(), String> {
+    let mut seen: HashSet<SpecId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        let node = &space.nodes[id];
+        let choice = policy
+            .get(id)
+            .ok_or_else(|| format!("policy misses node {id}"))?;
+        if choice >= node.impls.len() {
+            return Err(format!(
+                "policy picks choice {choice} of {} at node {id}",
+                node.impls.len()
+            ));
+        }
+        stack.extend(node.children[choice].iter().copied());
+    }
+    Ok(())
+}
+
+fn put_synth_error(w: &mut Writer, error: &SynthError) {
+    match error {
+        SynthError::Expand(m) => {
+            w.u8(0);
+            w.str(m);
+        }
+        SynthError::NoImplementation(m) => {
+            w.u8(1);
+            w.str(m);
+        }
+    }
+}
+
+fn get_synth_error(r: &mut Reader) -> Result<SynthError, String> {
+    Ok(match r.u8("error tag")? {
+        0 => SynthError::Expand(r.str("error message")?),
+        1 => SynthError::NoImplementation(r.str("error message")?),
+        other => return Err(format!("unknown error tag {other}")),
+    })
+}
+
+/// Writes the memoized results. `Ok` results are persisted as per-
+/// alternative policies; results whose implementations were not built
+/// from the shared space (cold-fallback solves) are skipped — they will
+/// be re-solved on demand, which is always correct. Returns the number of
+/// results written.
+fn put_results(w: &mut Writer, space: &DesignSpace, results: &[ResultEntry]) -> usize {
+    // Two passes so the (skippable) count prefix stays exact: an entry
+    // carries its reconstructed per-alternative policies.
+    type Encodable<'a> = (
+        &'a ComponentSpec,
+        &'a Result<Arc<DesignSet>, SynthError>,
+        Vec<Policy>,
+    );
+    let mut encodable: Vec<Encodable> = Vec::new();
+    'results: for (spec, result) in results {
+        let mut policies = Vec::new();
+        if let Ok(set) = result {
+            if space.id_of(spec).is_none() {
+                continue;
+            }
+            for alt in &set.alternatives {
+                match policy_of(space, &alt.implementation) {
+                    Some(policy) => policies.push(policy),
+                    None => continue 'results,
+                }
+            }
+        }
+        encodable.push((spec, result, policies));
+    }
+    w.usize32(encodable.len());
+    for (spec, result, policies) in &encodable {
+        put_spec(w, spec);
+        match result {
+            Err(error) => {
+                w.u8(0);
+                put_synth_error(w, error);
+            }
+            Ok(set) => {
+                w.u8(1);
+                w.usize32(set.alternatives.len());
+                for (alt, policy) in set.alternatives.iter().zip(policies) {
+                    w.f64(alt.area);
+                    w.f64(alt.delay);
+                    put_timing(w, &alt.timing);
+                    put_policy(w, policy);
+                }
+                w.f64(set.unconstrained_size);
+                w.f64(set.unconstrained_log10);
+                match set.uniform_size {
+                    None => w.bool(false),
+                    Some(n) => {
+                        w.bool(true);
+                        w.u64(n);
+                    }
+                }
+                w.u64(set.stats.spec_nodes as u64);
+                w.u64(set.stats.impl_choices as u64);
+                w.u64(set.stats.truncated_combinations);
+            }
+        }
+    }
+    encodable.len()
+}
+
+fn get_results(r: &mut Reader, space: &DesignSpace) -> Result<Vec<ResultEntry>, String> {
+    let count = r.len("memoized result")?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let spec = get_spec(r)?;
+        let result = match r.u8("result tag")? {
+            0 => Err(get_synth_error(r)?),
+            1 => {
+                let root = space
+                    .id_of(&spec)
+                    .ok_or_else(|| format!("result spec {spec} not in space"))?;
+                let alt_count = r.len("alternative")?;
+                let mut alternatives = Vec::with_capacity(alt_count);
+                for _ in 0..alt_count {
+                    let area = r.f64("alternative area")?;
+                    let delay = r.f64("alternative delay")?;
+                    let timing = get_timing(r)?;
+                    let policy = get_policy(r, space.nodes.len())?;
+                    check_policy_covers(space, root, &policy)?;
+                    // Rebuilding through the solve path's own `extract`
+                    // pins warm implementations bit-identical to cold.
+                    let implementation = extract::extract(space, root, &policy);
+                    alternatives.push(Alternative {
+                        area,
+                        delay,
+                        timing,
+                        implementation,
+                    });
+                }
+                let unconstrained_size = r.f64("unconstrained size")?;
+                let unconstrained_log10 = r.f64("unconstrained log10")?;
+                let uniform_size = if r.bool("uniform presence")? {
+                    Some(r.u64("uniform size")?)
+                } else {
+                    None
+                };
+                let stats = SynthStats {
+                    spec_nodes: r.u64("stat spec_nodes")? as usize,
+                    impl_choices: r.u64("stat impl_choices")? as usize,
+                    // Restamped per call on delivery.
+                    elapsed: Duration::ZERO,
+                    truncated_combinations: r.u64("stat truncation")?,
+                };
+                Ok(Arc::new(DesignSet {
+                    spec: spec.clone(),
+                    alternatives,
+                    unconstrained_size,
+                    unconstrained_log10,
+                    uniform_size,
+                    stats,
+                }))
+            }
+            other => return Err(format!("unknown result tag {other}")),
+        };
+        out.push((spec, result));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Whole snapshots.
+
+/// Encodes a snapshot under `key`. Returns the bytes and the number of
+/// memoized results actually persisted (cold-fallback results are
+/// skipped; see [`put_results`]).
+pub(crate) fn encode_snapshot(snapshot: &EngineSnapshot, key: &StoreKey) -> (Vec<u8>, usize) {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&MAGIC);
+    w.u32(key.format_version);
+    w.u64(key.library);
+    w.u64(key.rules);
+    w.u64(key.config);
+    put_space(&mut w, &snapshot.space);
+    put_fronts(&mut w, &snapshot.fronts, snapshot.space.nodes.len());
+    let persisted = put_results(&mut w, &snapshot.space, &snapshot.results);
+    let checksum = fnv1a_64(&w.buf);
+    w.u64(checksum);
+    (w.buf, persisted)
+}
+
+/// Decodes a snapshot, verifying — in order — length, checksum, magic,
+/// format version and all three fingerprints against `key` before any
+/// structure is parsed. Every failure is a reason string; decoding never
+/// panics.
+pub(crate) fn decode_snapshot(bytes: &[u8], key: &StoreKey) -> Result<EngineSnapshot, String> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+    let mut r = Reader::new(tail);
+    let stored = r.u64("checksum")?;
+    let computed = fnv1a_64(payload);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+        ));
+    }
+    let mut r = Reader::new(payload);
+    let magic = r.take(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err("not a DTAS snapshot (bad magic)".into());
+    }
+    let version = r.u32("format version")?;
+    if version != key.format_version {
+        return Err(format!(
+            "format version {version} (this build reads {})",
+            key.format_version
+        ));
+    }
+    let library = r.u64("library fingerprint")?;
+    if library != key.library {
+        return Err("library fingerprint mismatch".into());
+    }
+    let rules = r.u64("rule-set fingerprint")?;
+    if rules != key.rules {
+        return Err("rule-set fingerprint mismatch".into());
+    }
+    let config = r.u64("config fingerprint")?;
+    if config != key.config {
+        return Err("configuration fingerprint mismatch".into());
+    }
+    let space = get_space(&mut r)?;
+    let fronts = get_fronts(&mut r, &space)?;
+    let results = get_results(&mut r, &space)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes", r.remaining()));
+    }
+    Ok(EngineSnapshot {
+        space,
+        fronts,
+        results,
+    })
+}

@@ -1,0 +1,106 @@
+//! The on-disk snapshot backend.
+
+use crate::store::codec;
+use crate::store::{EngineSnapshot, LoadOutcome, ResultStore, SaveReport, StoreError, StoreKey};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator for temporary file names, so concurrent saves
+/// from one process never collide.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of versioned engine snapshots: the warm-start store that
+/// survives restarts and is shared across processes.
+///
+/// Each [`StoreKey`] (format version + library, rule-set and
+/// configuration fingerprints) maps to its own file, so engines with
+/// different libraries or configurations coexist in one `--cache-dir`.
+/// Writes are atomic — the snapshot is encoded to a temporary file in the
+/// same directory and `rename`d into place — so a concurrent reader sees
+/// either the old snapshot or the new one, never a torn write; among
+/// concurrent writers the last rename wins, and because every writer
+/// holds a superset-or-equal of the same deterministic solve results,
+/// either version is correct.
+///
+/// Loads are fail-safe by construction: a missing file is a cold start, a
+/// file that fails the checksum, magic, version or fingerprint checks is
+/// [rejected](LoadOutcome::Rejected) with a reason and the engine falls
+/// back to a clean cold solve. No damaged snapshot can panic the decoder
+/// or alter results.
+pub struct PersistentStore {
+    dir: PathBuf,
+}
+
+impl PersistentStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistentStore { dir: dir.into() }
+    }
+
+    /// The directory snapshots live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key's snapshot is stored at:
+    /// `dtas-v{version}-{library:016x}-{rules:016x}-{config:016x}.snap`.
+    pub fn snapshot_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!(
+            "dtas-v{}-{:016x}-{:016x}-{:016x}.snap",
+            key.format_version, key.library, key.rules, key.config
+        ))
+    }
+}
+
+impl ResultStore for PersistentStore {
+    fn location(&self) -> String {
+        self.dir.display().to_string()
+    }
+
+    fn load(&self, key: &StoreKey) -> LoadOutcome {
+        let path = self.snapshot_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Missing,
+            Err(e) => {
+                return LoadOutcome::Rejected {
+                    reason: format!("{}: {e}", path.display()),
+                }
+            }
+        };
+        match codec::decode_snapshot(&bytes, key) {
+            Ok(snapshot) => LoadOutcome::Loaded {
+                snapshot,
+                bytes: bytes.len() as u64,
+            },
+            Err(reason) => LoadOutcome::Rejected {
+                reason: format!("{}: {reason}", path.display()),
+            },
+        }
+    }
+
+    fn save(&self, key: &StoreKey, snapshot: &EngineSnapshot) -> Result<SaveReport, StoreError> {
+        let (bytes, results) = codec::encode_snapshot(snapshot, key);
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| StoreError::Io(format!("{}: {e}", self.dir.display())))?;
+        let path = self.snapshot_path(key);
+        let tmp = self.dir.join(format!(
+            ".{}.tmp-{}-{}",
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("snapshot"),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| StoreError::Io(format!("{}: {e}", tmp.display())))?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::Io(format!("{}: {e}", path.display())));
+        }
+        Ok(SaveReport {
+            bytes: bytes.len() as u64,
+            results,
+        })
+    }
+}

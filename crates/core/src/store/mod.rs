@@ -1,0 +1,225 @@
+//! The engine storage layer: in-memory state, snapshots, and pluggable
+//! warm-start backends.
+//!
+//! [`Dtas`](crate::Dtas) keeps its hot state in a sharded in-memory store
+//! (the private `mem` module) and can mirror that state — the design space, every
+//! solved front, and the memoized whole-query results — through the
+//! [`ResultStore`] trait to a backend that outlives the engine:
+//!
+//! * [`PersistentStore`] writes versioned, checksummed snapshot files to
+//!   a directory (the `--cache-dir` of the `dtas` CLI), so a restarted
+//!   process — or a *different* process — warm-starts from the previous
+//!   run's explored space instead of re-paying the full cold solve;
+//! * [`MemSnapshotStore`] holds encoded snapshots in memory, exercising
+//!   the exact same codec path — useful in tests and for handing warmed
+//!   state between engines inside one process.
+//!
+//! Snapshots are keyed by [`StoreKey`]: codec [`FORMAT_VERSION`] plus the
+//! library ([`CellLibrary::fingerprint`](cells::CellLibrary::fingerprint)),
+//! rule-set ([`RuleSet::fingerprint`](crate::RuleSet::fingerprint)) and
+//! configuration
+//! ([`DtasConfig::result_fingerprint`](crate::DtasConfig::result_fingerprint))
+//! fingerprints. A snapshot taken under *any* other combination is
+//! rejected at load — never silently reused — and the engine starts cold,
+//! which is always correct.
+
+mod codec;
+mod disk;
+pub(crate) mod mem;
+
+pub use codec::FORMAT_VERSION;
+pub use disk::PersistentStore;
+
+pub(crate) use codec::{decode_snapshot, encode_snapshot};
+
+use crate::report::DesignSet;
+use crate::space::{DesignSpace, FrontStore};
+use crate::SynthError;
+use genus::spec::ComponentSpec;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The compatibility key a snapshot is stored and validated under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Codec [`FORMAT_VERSION`] the snapshot was written with.
+    pub format_version: u32,
+    /// [`CellLibrary::fingerprint`](cells::CellLibrary::fingerprint) of
+    /// the target library.
+    pub library: u64,
+    /// [`RuleSet::fingerprint`](crate::RuleSet::fingerprint) of the rule
+    /// base that expanded the space.
+    pub rules: u64,
+    /// [`DtasConfig::result_fingerprint`](crate::DtasConfig::result_fingerprint)
+    /// of the filters/caps that shaped every front.
+    pub config: u64,
+}
+
+/// The persistable engine state: the explored design space, the solved
+/// per-node fronts, and the memoized whole-query results. This is what
+/// flows between the in-memory store and a [`ResultStore`] backend.
+pub struct EngineSnapshot {
+    /// The shared AND-OR design space (templates `Arc`-shared with the
+    /// results' implementations).
+    pub(crate) space: DesignSpace,
+    /// Solved node fronts, aligned with the space's nodes.
+    pub(crate) fronts: FrontStore,
+    /// Memoized whole-query results in canonical (spec-sorted) order.
+    pub(crate) results: Vec<(ComponentSpec, Result<Arc<DesignSet>, SynthError>)>,
+}
+
+impl EngineSnapshot {
+    /// Number of spec nodes in the snapshot's design space.
+    pub fn spec_nodes(&self) -> usize {
+        self.space.nodes.len()
+    }
+
+    /// Number of solved node fronts.
+    pub fn solved_fronts(&self) -> usize {
+        self.fronts.solved_count()
+    }
+
+    /// Number of memoized whole-query results (successes and failures).
+    pub fn results(&self) -> usize {
+        self.results.len()
+    }
+}
+
+/// Why a backend had no snapshot to offer, or what it found.
+pub enum LoadOutcome {
+    /// A compatible snapshot was decoded and verified.
+    Loaded {
+        /// The decoded state, ready to hydrate an engine.
+        snapshot: EngineSnapshot,
+        /// Encoded size, for [`CacheStats::snapshot_bytes`](crate::CacheStats::snapshot_bytes).
+        bytes: u64,
+    },
+    /// The backend has nothing stored under this key (a plain cold
+    /// start, not an error).
+    Missing,
+    /// Something was stored but failed validation — truncated, corrupt,
+    /// a different format version, or mismatched fingerprints. The engine
+    /// falls back to a clean cold solve.
+    Rejected {
+        /// Human-readable cause, kept by the engine (see
+        /// [`Dtas::last_snapshot_rejection`](crate::Dtas::last_snapshot_rejection))
+        /// and printed by `dtas map --stats`.
+        reason: String,
+    },
+}
+
+/// What a successful [`ResultStore::save`] wrote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Encoded snapshot size in bytes.
+    pub bytes: u64,
+    /// Memoized results persisted (results solved on private cold state
+    /// are skipped — see the codec docs).
+    pub results: usize,
+}
+
+/// A storage-layer failure (I/O only: decoding problems surface as
+/// [`LoadOutcome::Rejected`], not errors, because falling back cold is
+/// the designed response).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Reading or writing the backing medium failed.
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "snapshot store i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A pluggable snapshot backend: where engine state goes when it must
+/// outlive the engine.
+///
+/// Implementations must be fail-safe: [`load`](Self::load) returns
+/// [`LoadOutcome::Rejected`] (never panics, never a partial snapshot) for
+/// anything it cannot fully validate, and [`save`](Self::save) must be
+/// atomic with respect to concurrent loads.
+pub trait ResultStore: Send + Sync {
+    /// Where this store keeps snapshots, for diagnostics.
+    fn location(&self) -> String;
+
+    /// Fetches and validates the snapshot stored under `key`, if any.
+    fn load(&self, key: &StoreKey) -> LoadOutcome;
+
+    /// Persists `snapshot` under `key`, replacing any previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the backing medium fails; encoding itself is
+    /// infallible.
+    fn save(&self, key: &StoreKey, snapshot: &EngineSnapshot) -> Result<SaveReport, StoreError>;
+}
+
+/// An in-memory [`ResultStore`]: snapshots are held as *encoded bytes*
+/// keyed by [`StoreKey`], so every load and save exercises the same codec
+/// and validation path as [`PersistentStore`] — only the medium differs.
+/// Share one behind an [`Arc`] to hand warmed state between engines in a
+/// single process without touching disk.
+#[derive(Default)]
+pub struct MemSnapshotStore {
+    slots: Mutex<HashMap<StoreKey, Vec<u8>>>,
+}
+
+impl MemSnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemSnapshotStore::default()
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("snapshot slots poisoned").len()
+    }
+
+    /// True when nothing has been saved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ResultStore for MemSnapshotStore {
+    fn location(&self) -> String {
+        "(in-memory)".to_string()
+    }
+
+    fn load(&self, key: &StoreKey) -> LoadOutcome {
+        let bytes = {
+            let slots = self.slots.lock().expect("snapshot slots poisoned");
+            match slots.get(key) {
+                Some(bytes) => bytes.clone(),
+                None => return LoadOutcome::Missing,
+            }
+        };
+        match decode_snapshot(&bytes, key) {
+            Ok(snapshot) => LoadOutcome::Loaded {
+                snapshot,
+                bytes: bytes.len() as u64,
+            },
+            Err(reason) => LoadOutcome::Rejected { reason },
+        }
+    }
+
+    fn save(&self, key: &StoreKey, snapshot: &EngineSnapshot) -> Result<SaveReport, StoreError> {
+        let (bytes, results) = encode_snapshot(snapshot, key);
+        let report = SaveReport {
+            bytes: bytes.len() as u64,
+            results,
+        };
+        self.slots
+            .lock()
+            .expect("snapshot slots poisoned")
+            .insert(*key, bytes);
+        Ok(report)
+    }
+}

@@ -22,12 +22,22 @@ const USAGE: &str = "dtas - map generic RTL components onto data book cells (Dut
 
 USAGE:
   dtas map  --spec SPEC [--book FILE] [--pareto] [--cap N]
+            [--cache-dir DIR] [--stats]
       Synthesize one component specification and print its trade-off table.
-  dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT]
+  dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT] [--cache-dir DIR]
       Run a behavioral entity through the full Figure-1 pipeline
       (schedule -> compile control -> link -> technology-map).
   dtas help
       Print this message.
+
+PERSISTENCE:
+  --cache-dir DIR warm-starts the engine from DIR and flushes the explored
+  design space, solved fronts and memoized results back on exit, so a
+  second `dtas` process answers repeated queries from disk in microseconds
+  instead of re-paying the cold solve. Snapshots are keyed by library,
+  rule-set and configuration fingerprints plus the codec version; anything
+  incompatible (or corrupt) is rejected and the run simply starts cold.
+  --stats prints the cache and snapshot-store counters after the query.
 
 SPEC grammar:  kind:width[:attr...]
   kind   add | alu | mux | comparator | counter | register | shifter | lu
@@ -42,6 +52,7 @@ SPEC grammar:  kind:width[:attr...]
 
 EXAMPLES:
   dtas map --spec add:16:cin:cout
+  dtas map --spec alu:64 --cache-dir ~/.cache/dtas --stats
   dtas map --spec alu:64 --pareto
   dtas map --spec mux:8:n=4 --book my_cells.book
   dtas flow --hls gcd.ent --emit-vhdl gcd.vhd
@@ -209,12 +220,16 @@ impl Args {
 }
 
 fn cmd_map(args: &Args) -> Result<(), BridgeError> {
-    args.expect_only(&["spec", "book", "pareto", "cap"])?;
+    args.expect_only(&["spec", "book", "pareto", "cap", "cache-dir", "stats"])?;
     let spec = parse_spec(args.require("spec")?)?;
     let library = load_book(args.value_of("book")?)?;
     println!("library: {} ({} cells)", library.name(), library.len());
     println!("specification: {spec}\n");
-    let engine = Dtas::new(library);
+    let cache_dir = args.value_of("cache-dir")?;
+    let engine = match cache_dir {
+        Some(dir) => Dtas::warm_start(library, dir),
+        None => Dtas::new(library),
+    };
     let mut request = SynthRequest::new(spec);
     if args.has("pareto") {
         request = request.with_root_filter(FilterPolicy::Pareto);
@@ -227,11 +242,30 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
     }
     let designs = engine.synthesize_request(&request)?;
     println!("{designs}");
+    if cache_dir.is_some() {
+        // Flush explicitly so a full disk or unwritable directory fails
+        // the run loudly instead of being swallowed by the drop hook.
+        engine.checkpoint().map_err(BridgeError::Store)?;
+    }
+    if args.has("stats") {
+        let s = engine.cache_stats();
+        println!(
+            "cache: hits={} misses={} results={} fronts={} nodes={} shards={}",
+            s.hits, s.misses, s.cached_results, s.cached_fronts, s.spec_nodes, s.result_shards
+        );
+        println!(
+            "store: snapshot_loads={} snapshot_rejects={} persisted_results={} snapshot_bytes={}",
+            s.snapshot_loads, s.snapshot_rejects, s.persisted_results, s.snapshot_bytes
+        );
+        if let Some(reason) = engine.last_snapshot_rejection() {
+            println!("store: last rejection: {reason}");
+        }
+    }
     Ok(())
 }
 
 fn cmd_flow(args: &Args) -> Result<(), BridgeError> {
-    args.expect_only(&["hls", "book", "emit-vhdl"])?;
+    args.expect_only(&["hls", "book", "emit-vhdl", "cache-dir"])?;
     let path = args.require("hls")?;
     let source =
         std::fs::read_to_string(path).map_err(|e| BridgeError::Io(format!("{path}: {e}")))?;
@@ -245,7 +279,10 @@ fn cmd_flow(args: &Args) -> Result<(), BridgeError> {
     );
     let linked = controlled.link()?;
     let library = load_book(args.value_of("book")?)?;
-    let mapped = linked.map(&Dtas::new(library))?;
+    let mapped = match args.value_of("cache-dir")? {
+        Some(dir) => linked.map_cached(library, dir)?,
+        None => linked.map(&Dtas::new(library))?,
+    };
     println!("\ntechnology mapping:\n{}", mapped.report());
     if let Some(out) = args.value_of("emit-vhdl")? {
         let text = mapped.emit_vhdl();

@@ -36,8 +36,9 @@
 //!   lowered generators and maps sample components.
 
 use cells::databook::ParseBookError;
+use cells::CellLibrary;
 use controlc::{compile_controller, link, ControlError, Controller};
-use dtas::{DesignSet, Dtas, SynthError};
+use dtas::{DesignSet, Dtas, StoreError, SynthError};
 use genus::behavior::{Env, EvalError};
 use genus::component::GenerateError;
 use genus::netlist::{Netlist, NetlistError};
@@ -90,6 +91,11 @@ pub enum BridgeError {
     VhdlParse(VhdlParseError),
     /// VHDL emission failed (an unemittable implementation).
     Emit(String),
+    /// The DTAS warm-start snapshot store failed to read or write
+    /// ([`StoreError`]). Only flushes report this — a damaged or
+    /// incompatible snapshot is not an error, the engine just starts
+    /// cold.
+    Store(StoreError),
     /// File I/O failed (CLI paths).
     Io(String),
     /// The façade itself was misused or a run did not converge (e.g. a
@@ -114,6 +120,7 @@ impl fmt::Display for BridgeError {
             BridgeError::Equiv(e) => write!(f, "equivalence: {e}"),
             BridgeError::Eval(e) => write!(f, "evaluation: {e}"),
             BridgeError::VhdlParse(e) => write!(f, "{e}"),
+            BridgeError::Store(e) => write!(f, "{e}"),
             BridgeError::Emit(m) => write!(f, "vhdl emission: {m}"),
             BridgeError::Io(m) => write!(f, "io: {m}"),
             BridgeError::Flow(m) => write!(f, "flow: {m}"),
@@ -138,6 +145,7 @@ impl std::error::Error for BridgeError {
             BridgeError::Equiv(e) => Some(e),
             BridgeError::Eval(e) => Some(e),
             BridgeError::VhdlParse(e) => Some(e),
+            BridgeError::Store(e) => Some(e),
             BridgeError::Emit(_) | BridgeError::Io(_) | BridgeError::Flow(_) => None,
         }
     }
@@ -168,6 +176,7 @@ bridge_from! {
     EquivError => Equiv,
     EvalError => Eval,
     VhdlParseError => VhdlParse,
+    StoreError => Store,
 }
 
 impl From<std::io::Error> for BridgeError {
@@ -424,6 +433,28 @@ impl LinkedFlow {
             linked: self,
             mapping,
         })
+    }
+
+    /// Like [`map`](Self::map), but through an engine warm-started from
+    /// `cache_dir` (the `dtas --cache-dir` flag routes here): a snapshot
+    /// from an earlier run answers repeated components from the memo, the
+    /// state grown by this mapping is flushed back before returning, and
+    /// an incompatible or damaged snapshot silently degrades to a cold
+    /// solve.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Synth`] on the first unmappable component and
+    /// [`BridgeError::Store`] when the flush-back fails.
+    pub fn map_cached(
+        self,
+        library: CellLibrary,
+        cache_dir: impl Into<std::path::PathBuf>,
+    ) -> Result<MappedFlow, BridgeError> {
+        let engine = Dtas::warm_start(library, cache_dir);
+        let mapped = self.map(&engine)?;
+        engine.checkpoint().map_err(BridgeError::Store)?;
+        Ok(mapped)
     }
 }
 

@@ -118,3 +118,66 @@ fn help_prints_usage() {
         assert!(stdout.contains("dtas map"), "{stdout}");
     }
 }
+
+#[test]
+fn map_cache_dir_warm_starts_a_second_process() {
+    let dir = temp_path("warm_cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        let out = dtas()
+            .args(["map", "--spec", "add:16:cin:cout", "--cache-dir"])
+            .arg(&dir)
+            .arg("--stats")
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let first = run();
+    assert!(first.contains("misses=1"), "{first}");
+    assert!(first.contains("snapshot_loads=0"), "{first}");
+    assert!(first.contains("persisted_results=1"), "{first}");
+
+    // The second process answers from the persisted snapshot...
+    let second = run();
+    assert!(second.contains("hits=1 misses=0"), "{second}");
+    assert!(second.contains("snapshot_loads=1"), "{second}");
+    // ...with the identical trade-off table.
+    let table = |s: &str| {
+        s.lines()
+            .take_while(|l| !l.starts_with("cache:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&first), table(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flow_accepts_a_cache_dir() {
+    let dir = temp_path("flow_cache");
+    let entity = temp_path("inc_cached.ent");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::write(&entity, "entity inc(x: in 8, y: out 8) { y = x + 1; }").expect("writes");
+    for _ in 0..2 {
+        let out = dtas()
+            .args(["flow", "--hls"])
+            .arg(&entity)
+            .arg("--cache-dir")
+            .arg(&dir)
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("technology mapping:"), "{stdout}");
+    }
+    // The flow flushed a snapshot for the second run to load.
+    let snapshots = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+        .count();
+    assert_eq!(snapshots, 1);
+    let _ = std::fs::remove_file(&entity);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -168,7 +168,7 @@ fn truncation_stats_survive_cross_query_reuse() {
         ..DtasConfig::default()
     };
     let fresh = Dtas::new(lsi_logic_subset())
-        .with_config(config)
+        .with_config(config.clone())
         .synthesize(&add16())
         .unwrap();
     assert!(

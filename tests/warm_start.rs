@@ -1,0 +1,406 @@
+//! The on-disk warm-start store: a second engine (stand-in for a second
+//! process) answers from a persisted snapshot bit-identically to a cold
+//! solve, and every kind of damaged or incompatible snapshot — truncated,
+//! bit-flipped, future format version, wrong fingerprints, random bytes —
+//! falls back to a clean cold solve without ever panicking.
+
+use cells::lsi::lsi_logic_subset;
+use dtas::{DesignSet, Dtas, DtasConfig, MemSnapshotStore, PersistentStore, RuleSet};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn add_spec(w: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::AddSub, w)
+        .with_ops(OpSet::only(Op::Add))
+        .with_carry_in(true)
+        .with_carry_out(true)
+}
+
+fn mux_spec(w: usize, n: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n)
+}
+
+/// A fresh, empty cache directory unique to this test and process.
+fn cache_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtas_warm_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Full bit-identity over everything a client can observe, except the
+/// per-call wall time.
+fn assert_sets_identical(a: &DesignSet, b: &DesignSet) {
+    assert_eq!(a.spec, b.spec);
+    assert_eq!(a.alternatives.len(), b.alternatives.len(), "{}", a.spec);
+    for (x, y) in a.alternatives.iter().zip(&b.alternatives) {
+        assert_eq!(x.area.to_bits(), y.area.to_bits());
+        assert_eq!(x.delay.to_bits(), y.delay.to_bits());
+        assert_eq!(x.timing, y.timing);
+        assert_eq!(x.implementation.to_string(), y.implementation.to_string());
+        assert_eq!(
+            x.implementation.cell_census(),
+            y.implementation.cell_census()
+        );
+    }
+    assert_eq!(
+        a.unconstrained_size.to_bits(),
+        b.unconstrained_size.to_bits()
+    );
+    assert_eq!(
+        a.unconstrained_log10.to_bits(),
+        b.unconstrained_log10.to_bits()
+    );
+    assert_eq!(a.uniform_size, b.uniform_size);
+    assert_eq!(a.stats.spec_nodes, b.stats.spec_nodes);
+    assert_eq!(a.stats.impl_choices, b.stats.impl_choices);
+    assert_eq!(
+        a.stats.truncated_combinations,
+        b.stats.truncated_combinations
+    );
+}
+
+/// The snapshot file a warm-started engine reads/writes.
+fn snapshot_file(engine: &Dtas, dir: &PathBuf) -> PathBuf {
+    PersistentStore::new(dir).snapshot_path(&engine.store_key())
+}
+
+#[test]
+fn warm_start_round_trips_bit_identically() {
+    let dir = cache_dir("roundtrip");
+    let specs = [add_spec(8), add_spec(16), mux_spec(8, 4)];
+
+    let cold = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let cold_sets: Vec<DesignSet> = specs
+        .iter()
+        .map(|s| cold.synthesize(s).expect("cold solves"))
+        .collect();
+    let report = cold
+        .checkpoint()
+        .expect("checkpoint writes")
+        .expect("store bound");
+    assert!(report.bytes > 0);
+    assert_eq!(report.results, specs.len());
+    let stats = cold.cache_stats();
+    assert_eq!(stats.persisted_results, specs.len() as u64);
+    assert_eq!(stats.snapshot_bytes, report.bytes);
+
+    // A second engine — the restarted-process case — answers every first
+    // query from the memo, with zero misses.
+    let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let warm_stats = warm.cache_stats();
+    assert_eq!(warm_stats.snapshot_loads, 1);
+    assert_eq!(warm_stats.snapshot_rejects, 0);
+    assert_eq!(warm_stats.cached_results, specs.len());
+    assert!(warm_stats.cached_fronts > 0);
+    for (spec, cold_set) in specs.iter().zip(&cold_sets) {
+        let warm_set = warm.synthesize(spec).expect("warm solves");
+        assert_sets_identical(cold_set, &warm_set);
+    }
+    let warm_stats = warm.cache_stats();
+    assert_eq!(
+        (warm_stats.hits, warm_stats.misses),
+        (specs.len() as u64, 0)
+    );
+
+    // Engines first, directory second — a later drop-flush would
+    // resurrect the directory.
+    drop(cold);
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drop_flushes_and_persisted_errors_replay() {
+    let dir = cache_dir("dropflush");
+    let stack = ComponentSpec::new(ComponentKind::StackFifo, 8)
+        .with_width2(4)
+        .with_ops([Op::Push, Op::Pop].into_iter().collect())
+        .with_style("STACK");
+    {
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        engine.synthesize(&add_spec(16)).expect("solves");
+        assert!(engine.synthesize(&stack).is_err());
+        // No explicit checkpoint: drop flushes.
+    }
+    let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+    assert_eq!(warm.cache_stats().snapshot_loads, 1);
+    warm.synthesize(&add_spec(16)).expect("warm hit");
+    assert!(warm.synthesize(&stack).is_err(), "memoized error replays");
+    let stats = warm.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (2, 0));
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Writes a snapshot for the default engine setup and returns its path.
+fn persisted_snapshot(dir: &PathBuf) -> PathBuf {
+    let engine = Dtas::warm_start(lsi_logic_subset(), dir);
+    engine.synthesize(&add_spec(16)).expect("solves");
+    engine.checkpoint().expect("writes").expect("bound");
+    snapshot_file(&engine, dir)
+}
+
+/// After `corrupt` has damaged the snapshot file, a fresh engine must
+/// reject it, fall back cold, and still answer correctly.
+fn assert_falls_back_cold(dir: &PathBuf, corrupt: impl FnOnce(&PathBuf)) {
+    let path = persisted_snapshot(dir);
+    corrupt(&path);
+    let engine = Dtas::warm_start(lsi_logic_subset(), dir);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.snapshot_loads, 0, "damaged snapshot must not load");
+    assert_eq!(stats.snapshot_rejects, 1);
+    assert_eq!(stats.cached_results, 0);
+    // The cold solve still works and matches a storeless engine.
+    let cold = Dtas::new(lsi_logic_subset())
+        .synthesize(&add_spec(16))
+        .expect("reference solves");
+    let recovered = engine.synthesize(&add_spec(16)).expect("cold fallback");
+    assert_sets_identical(&cold, &recovered);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn truncated_snapshot_falls_back_cold() {
+    let dir = cache_dir("truncated");
+    assert_falls_back_cold(&dir, |path| {
+        let bytes = std::fs::read(path).expect("reads");
+        std::fs::write(path, &bytes[..bytes.len() / 2]).expect("truncates");
+    });
+}
+
+#[test]
+fn flipped_bytes_fall_back_cold() {
+    // Flip one byte at a spread of offsets — header, body, checksum.
+    for frac in [0usize, 1, 2, 3, 4] {
+        let dir = cache_dir(&format!("flip{frac}"));
+        assert_falls_back_cold(&dir, |path| {
+            let mut bytes = std::fs::read(path).expect("reads");
+            let idx = match frac {
+                0 => 9,                   // format version field
+                4 => bytes.len() - 3,     // checksum itself
+                f => f * bytes.len() / 4, // spread through the body
+            };
+            bytes[idx] ^= 0x5a;
+            std::fs::write(path, &bytes).expect("writes");
+        });
+    }
+}
+
+#[test]
+fn future_format_version_falls_back_cold() {
+    let dir = cache_dir("version");
+    assert_falls_back_cold(&dir, |path| {
+        let mut bytes = std::fs::read(path).expect("reads");
+        // The u32 format version sits right after the 8-byte magic; a
+        // version bump alone must reject, so keep the checksum valid.
+        let bumped = (dtas::FORMAT_VERSION + 1).to_le_bytes();
+        bytes[8..12].copy_from_slice(&bumped);
+        let payload_len = bytes.len() - 8;
+        let checksum = rtl_base::hash::fnv1a_64(&bytes[..payload_len]);
+        bytes[payload_len..].copy_from_slice(&checksum.to_le_bytes());
+        std::fs::write(path, &bytes).expect("writes");
+    });
+}
+
+#[test]
+fn random_garbage_falls_back_cold() {
+    let dir = cache_dir("garbage");
+    assert_falls_back_cold(&dir, |path| {
+        // Deterministic pseudo-random bytes, sized like a real snapshot.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let bytes: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        std::fs::write(path, &bytes).expect("writes");
+    });
+}
+
+#[test]
+fn mismatched_fingerprints_reject_a_renamed_snapshot() {
+    let dir = cache_dir("fingerprints");
+    let source = persisted_snapshot(&dir);
+
+    // A different result-shaping config looks for a different file: the
+    // snapshot is simply missing (cold start, no rejection).
+    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        node_cap: 8,
+        persist_path: Some(dir.clone()),
+        ..DtasConfig::default()
+    });
+    let stats = reconfigured.cache_stats();
+    assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 0));
+
+    // Force the mismatch past the file name (as if someone renamed or
+    // copied snapshots between cache directories): the header fingerprint
+    // check must reject it.
+    let target = snapshot_file(&reconfigured, &dir);
+    drop(reconfigured);
+    std::fs::copy(&source, &target).expect("copies");
+    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        node_cap: 8,
+        persist_path: Some(dir.clone()),
+        ..DtasConfig::default()
+    });
+    let stats = reconfigured.cache_stats();
+    assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
+
+    // Same story for a different rule base.
+    let regressed = Dtas::warm_start(lsi_logic_subset(), &dir).with_rules(RuleSet::standard());
+    let target = snapshot_file(&regressed, &dir);
+    drop(regressed);
+    std::fs::copy(&source, &target).expect("copies");
+    let regressed = Dtas::warm_start(lsi_logic_subset(), &dir).with_rules(RuleSet::standard());
+    let stats = regressed.cache_stats();
+    assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
+
+    // And for a different library under the copied-file scenario.
+    let poorer = lsi_logic_subset().subset(&["IVA", "ND2", "FA1A", "ADD2", "ADD4"]);
+    let shrunk = Dtas::warm_start(poorer.clone(), &dir);
+    let target = snapshot_file(&shrunk, &dir);
+    drop(shrunk);
+    std::fs::copy(&source, &target).expect("copies");
+    let shrunk = Dtas::warm_start(poorer, &dir);
+    let stats = shrunk.cache_stats();
+    assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
+
+    drop(reconfigured);
+    drop(regressed);
+    drop(shrunk);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drop_only_flushes_when_dirty_since_last_checkpoint() {
+    let dir = cache_dir("dirty");
+    {
+        // Checkpointed and untouched since: drop must not rewrite.
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        engine.synthesize(&add_spec(8)).expect("solves");
+        engine.checkpoint().expect("writes").expect("bound");
+        let path = snapshot_file(&engine, &dir);
+        std::fs::remove_file(&path).expect("removes");
+        drop(engine);
+        assert!(!path.exists(), "clean engine must not flush on drop");
+    }
+    {
+        // New solves after the checkpoint: drop must flush them.
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        engine.synthesize(&add_spec(8)).expect("solves");
+        engine.checkpoint().expect("writes").expect("bound");
+        engine.synthesize(&add_spec(16)).expect("solves more");
+        let path = snapshot_file(&engine, &dir);
+        std::fs::remove_file(&path).expect("removes");
+        drop(engine);
+        assert!(path.exists(), "dirty engine must flush on drop");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejection_reason_is_reportable() {
+    let dir = cache_dir("reason");
+    let path = persisted_snapshot(&dir);
+    let bytes = std::fs::read(&path).expect("reads");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncates");
+    let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let reason = engine
+        .last_snapshot_rejection()
+        .expect("rejection recorded");
+    assert!(
+        reason.contains("checksum") || reason.contains("truncated"),
+        "{reason}"
+    );
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mem_snapshot_store_shares_state_between_engines() {
+    let store = Arc::new(MemSnapshotStore::new());
+    let first = Dtas::new(lsi_logic_subset()).with_store(store.clone());
+    let cold = first.synthesize(&add_spec(16)).expect("solves");
+    first.checkpoint().expect("saves").expect("bound");
+    assert_eq!(store.len(), 1);
+
+    let second = Dtas::new(lsi_logic_subset()).with_store(store.clone());
+    let stats = second.cache_stats();
+    assert_eq!(stats.snapshot_loads, 1);
+    let warm = second.synthesize(&add_spec(16)).expect("warm hit");
+    assert_sets_identical(&cold, &warm);
+    let stats = second.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 0));
+}
+
+#[test]
+fn warm_engine_keeps_growing_and_recheckpoints() {
+    // Load a snapshot, solve something new, flush again, and reload: the
+    // second snapshot carries both generations of results.
+    let dir = cache_dir("growing");
+    {
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        engine.synthesize(&add_spec(8)).expect("solves");
+    }
+    {
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        assert_eq!(engine.cache_stats().snapshot_loads, 1);
+        engine.synthesize(&add_spec(16)).expect("solves");
+        // Drop flushes the merged state.
+    }
+    let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.cached_results, 2);
+    engine.synthesize(&add_spec(8)).expect("hit");
+    engine.synthesize(&add_spec(16)).expect("hit");
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (2, 0));
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// For arbitrary small workloads, a warm-started engine's results are
+    /// bit-identical to the cold engine's, query by query.
+    #[test]
+    fn warm_results_pin_cold_results(
+        widths in proptest::collection::vec(1usize..10, 1..4),
+        muxes in proptest::collection::vec((1usize..6, 2usize..5), 0..3),
+        case in 0u32..1_000_000,
+    ) {
+        let dir = cache_dir(&format!("prop{case}"));
+        let mut specs: Vec<ComponentSpec> = widths.iter().map(|&w| add_spec(w)).collect();
+        specs.extend(muxes.iter().map(|&(w, n)| mux_spec(w, n)));
+
+        let cold = Dtas::warm_start(lsi_logic_subset(), &dir);
+        let cold_sets: Vec<DesignSet> = specs
+            .iter()
+            .map(|s| cold.synthesize(s).expect("cold solves"))
+            .collect();
+        cold.checkpoint().expect("writes").expect("bound");
+        drop(cold);
+
+        let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+        prop_assert_eq!(warm.cache_stats().snapshot_loads, 1);
+        for (spec, cold_set) in specs.iter().zip(&cold_sets) {
+            let warm_set = warm.synthesize(spec).expect("warm solves");
+            assert_sets_identical(cold_set, &warm_set);
+        }
+        prop_assert_eq!(warm.cache_stats().misses, 0);
+        drop(warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
