@@ -1,0 +1,343 @@
+//! CI perf-regression gate over `BENCH_solver.json`.
+//!
+//! Compares a freshly measured snapshot against the committed baseline
+//! and fails (exit 1) on *order-of-magnitude* regressions of the
+//! hot-path metrics — the point is to catch a refactor silently eating
+//! the cached/parallel/service wins, not to flag benchmark noise:
+//!
+//! * `queries[].repeat_ms` — the memoized hit path (per spec);
+//! * `warm_start` ratio (`warm_first_ms / cold_first_ms`) — the
+//!   restart/warm-start win, compared as a ratio so machine speed
+//!   cancels out;
+//! * `service.saturation_qps` — the admission-controlled service's
+//!   saturation throughput.
+//!
+//! Only same-machine comparisons are meaningful for the absolute
+//! numbers, so the tolerance is generous (default 3x, `--tolerance N`)
+//! and each absolute check carries a noise floor. A metric missing from
+//! the *baseline* is reported and skipped (new metrics gate from their
+//! next re-baseline); a metric missing from the *current* run fails —
+//! losing a metric is exactly the kind of silent regression the gate
+//! exists for.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_gate -- \
+//!     --baseline BENCH_baseline.json --current BENCH_solver.json
+//! ```
+//!
+//! To re-baseline after an intentional perf change: re-run
+//! `perf_snapshot` on the reference machine and commit the refreshed
+//! `BENCH_solver.json`.
+
+use bench::json::Json;
+use std::process::ExitCode;
+
+/// One gate comparison, ready to print.
+struct Finding {
+    metric: String,
+    baseline: f64,
+    current: f64,
+    /// `current / baseline` for latencies (bigger is worse), inverted
+    /// for throughputs so "ratio > tolerance" always means regression.
+    regression: f64,
+    verdict: Verdict,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Pass,
+    Fail,
+    /// Below the noise floor or missing from the baseline — reported,
+    /// never failing.
+    Skip,
+}
+
+/// Latency-style check: fail when `current > tolerance * baseline` and
+/// the absolute value clears the noise floor.
+fn gate_latency(
+    metric: String,
+    baseline: Option<f64>,
+    current: Option<f64>,
+    tolerance: f64,
+    floor: f64,
+    findings: &mut Vec<Finding>,
+) {
+    gate_value(metric, baseline, current, findings, |b, c| {
+        let regression = c / b.max(1e-12);
+        let verdict = if regression <= tolerance || c <= floor {
+            if regression <= tolerance {
+                Verdict::Pass
+            } else {
+                Verdict::Skip // regressed ratio-wise but under the floor
+            }
+        } else {
+            Verdict::Fail
+        };
+        (regression, verdict)
+    });
+}
+
+/// Throughput-style check: fail when `current < baseline / tolerance`
+/// *and* the current value is under the health floor (the throughput
+/// analogue of the latency noise floors — a cross-machine baseline can
+/// legitimately sit several times above a slower CI runner).
+fn gate_throughput(
+    metric: String,
+    baseline: Option<f64>,
+    current: Option<f64>,
+    tolerance: f64,
+    floor: f64,
+    findings: &mut Vec<Finding>,
+) {
+    gate_value(metric, baseline, current, findings, |b, c| {
+        let regression = b / c.max(1e-12);
+        let verdict = if regression <= tolerance {
+            Verdict::Pass
+        } else if c >= floor {
+            Verdict::Skip // regressed ratio-wise but still healthy
+        } else {
+            Verdict::Fail
+        };
+        (regression, verdict)
+    });
+}
+
+fn gate_value(
+    metric: String,
+    baseline: Option<f64>,
+    current: Option<f64>,
+    findings: &mut Vec<Finding>,
+    judge: impl FnOnce(f64, f64) -> (f64, Verdict),
+) {
+    match (baseline, current) {
+        (Some(b), Some(c)) => {
+            let (regression, verdict) = judge(b, c);
+            findings.push(Finding {
+                metric,
+                baseline: b,
+                current: c,
+                regression,
+                verdict,
+            });
+        }
+        (None, _) => findings.push(Finding {
+            metric: format!("{metric} (not in baseline; gates after re-baseline)"),
+            baseline: f64::NAN,
+            current: current.unwrap_or(f64::NAN),
+            regression: 0.0,
+            verdict: Verdict::Skip,
+        }),
+        (Some(b), None) => findings.push(Finding {
+            metric: format!("{metric} (missing from current run)"),
+            baseline: b,
+            current: f64::NAN,
+            regression: f64::INFINITY,
+            verdict: Verdict::Fail,
+        }),
+    }
+}
+
+/// Runs every gate check. `tolerance` is the allowed regression factor.
+fn run_gate(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Hot-path repeats, matched by query name. Floor: a repeat that is
+    // still under 0.25 ms is a healthy memo hit on any machine.
+    let baseline_queries = baseline.get("queries").and_then(Json::arr).unwrap_or(&[]);
+    let current_queries = current.get("queries").and_then(Json::arr).unwrap_or(&[]);
+    for bq in baseline_queries {
+        let Some(name) = bq.get("name").and_then(Json::str_value) else {
+            continue;
+        };
+        let cq = current_queries
+            .iter()
+            .find(|q| q.get("name").and_then(Json::str_value) == Some(name));
+        gate_latency(
+            format!("queries.{name}.repeat_ms"),
+            bq.get("repeat_ms").and_then(Json::num),
+            cq.and_then(|q| q.get("repeat_ms")).and_then(Json::num),
+            tolerance,
+            0.25,
+            &mut findings,
+        );
+    }
+
+    // Warm-start win as a ratio (machine speed cancels). Floor: a warm
+    // first query still 20x faster than cold is healthy.
+    let ratio = |doc: &Json| -> Option<f64> {
+        let warm = doc.at(&["warm_start", "warm_first_ms"])?.num()?;
+        let cold = doc.at(&["warm_start", "cold_first_ms"])?.num()?;
+        Some(warm / cold.max(1e-12))
+    };
+    gate_latency(
+        "warm_start.warm_over_cold_ratio".to_string(),
+        ratio(baseline),
+        ratio(current),
+        tolerance,
+        0.05,
+        &mut findings,
+    );
+
+    // Service saturation throughput. Floor: a queue still moving 50k
+    // memo hits/s is healthy on any machine; a real serialization bug
+    // (an accidental exclusive lock on the hit path, say) lands orders
+    // of magnitude below it.
+    gate_throughput(
+        "service.saturation_qps".to_string(),
+        baseline
+            .at(&["service", "saturation_qps"])
+            .and_then(Json::num),
+        current
+            .at(&["service", "saturation_qps"])
+            .and_then(Json::num),
+        tolerance,
+        50_000.0,
+        &mut findings,
+    );
+
+    findings
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut current_path = "BENCH_solver.json".to_string();
+    let mut tolerance = 3.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = value("--baseline")?,
+            "--current" => current_path = value("--current")?,
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let baseline = load(&baseline_path)?;
+    let current = load(&current_path)?;
+    let findings = run_gate(&baseline, &current, tolerance);
+
+    println!("perf gate: {current_path} vs baseline {baseline_path} (tolerance {tolerance}x)");
+    let mut failed = false;
+    for f in &findings {
+        let verdict = match f.verdict {
+            Verdict::Pass => "ok",
+            Verdict::Skip => "skip",
+            Verdict::Fail => {
+                failed = true;
+                "FAIL"
+            }
+        };
+        println!(
+            "  [{verdict:>4}] {:<55} baseline={:<12.6} current={:<12.6} regression={:.2}x",
+            f.metric, f.baseline, f.current, f.regression
+        );
+    }
+    if failed {
+        println!(
+            "perf gate FAILED: a hot-path metric regressed more than {tolerance}x. If the \
+             change is intentional, re-run perf_snapshot on the reference machine and \
+             commit the refreshed BENCH_solver.json as the new baseline."
+        );
+    } else {
+        println!("perf gate passed ({} checks)", findings.len());
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(repeat_ms: f64, warm_ms: f64, cold_ms: f64, qps: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{ "queries": [ {{ "name": "ALU64", "repeat_ms": {repeat_ms} }} ],
+                 "warm_start": {{ "warm_first_ms": {warm_ms}, "cold_first_ms": {cold_ms} }},
+                 "service": {{ "saturation_qps": {qps} }} }}"#
+        ))
+        .expect("test snapshot parses")
+    }
+
+    fn verdicts(findings: &[Finding]) -> Vec<bool> {
+        findings
+            .iter()
+            .map(|f| f.verdict == Verdict::Fail)
+            .collect()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        let findings = run_gate(&base, &base, 3.0);
+        assert!(verdicts(&findings).iter().all(|f| !f));
+    }
+
+    #[test]
+    fn noise_under_the_floor_passes() {
+        // 10x repeat regression but still microseconds: skip, not fail.
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        let cur = snapshot(0.05, 0.02, 100.0, 400_000.0);
+        let findings = run_gate(&base, &cur, 3.0);
+        assert!(verdicts(&findings).iter().all(|f| !f), "noise must pass");
+    }
+
+    #[test]
+    fn real_regressions_fail() {
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        // Memo hit became a re-solve (ms scale), warm start broke (warm
+        // ~= cold), service throughput collapsed below the health floor.
+        let cur = snapshot(50.0, 90.0, 100.0, 5_000.0);
+        let findings = run_gate(&base, &cur, 3.0);
+        assert_eq!(verdicts(&findings), vec![true, true, true]);
+    }
+
+    #[test]
+    fn slow_machine_throughput_above_the_floor_skips() {
+        // A CI runner 5x slower than the baseline machine but still
+        // healthy must not fail the gate.
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        let cur = snapshot(0.005, 0.01, 100.0, 100_000.0);
+        let findings = run_gate(&base, &cur, 3.0);
+        assert!(verdicts(&findings).iter().all(|f| !f));
+    }
+
+    #[test]
+    fn metrics_missing_from_the_baseline_skip() {
+        let base = Json::parse(r#"{ "queries": [] }"#).unwrap();
+        let cur = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        let findings = run_gate(&base, &cur, 3.0);
+        assert!(findings.iter().all(|f| f.verdict != Verdict::Fail));
+    }
+
+    #[test]
+    fn metrics_missing_from_the_current_run_fail() {
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        let cur = Json::parse(r#"{ "queries": [] }"#).unwrap();
+        let findings = run_gate(&base, &cur, 3.0);
+        assert!(findings.iter().any(|f| f.verdict == Verdict::Fail));
+    }
+}

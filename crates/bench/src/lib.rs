@@ -5,6 +5,8 @@
 //! The experiment-to-binary map lives in `DESIGN.md`; measured-vs-paper
 //! numbers are recorded in `EXPERIMENTS.md`.
 
+pub mod json;
+
 use cells::lsi::lsi_logic_subset;
 use dtas::{Dtas, DtasConfig, FilterPolicy};
 use genus::kind::ComponentKind;

@@ -63,6 +63,30 @@ pub struct CacheStats {
     pub snapshot_bytes: u64,
 }
 
+impl fmt::Display for CacheStats {
+    /// Two stable `key=value` lines (`cache: …` and `store: …`) shared by
+    /// `dtas map --stats`, `dtas bench-load` and the CI warm-start smoke —
+    /// scripts grep `hits=`/`misses=`/`snapshot_loads=`, so the keys and
+    /// their order are load-bearing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: hits={} misses={} results={} fronts={} nodes={} shards={}\n\
+             store: snapshot_loads={} snapshot_rejects={} persisted_results={} snapshot_bytes={}",
+            self.hits,
+            self.misses,
+            self.cached_results,
+            self.cached_fronts,
+            self.spec_nodes,
+            self.result_shards,
+            self.snapshot_loads,
+            self.snapshot_rejects,
+            self.persisted_results,
+            self.snapshot_bytes,
+        )
+    }
+}
+
 /// Errors produced by [`Dtas::synthesize`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum SynthError {
@@ -419,16 +443,57 @@ impl Dtas {
     /// the spec; [`SynthError::Expand`] on rule defects.
     pub fn synthesize(&self, spec: &ComponentSpec) -> Result<DesignSet, SynthError> {
         let start = Instant::now();
+        let result = self.synthesize_shared_from(spec, start);
+        Self::deliver(&result, start)
+    }
+
+    /// Like [`synthesize`](Self::synthesize), but hands back the
+    /// memoized result behind an [`Arc`] instead of deep-cloning it —
+    /// the hot path for service layers that fan one answer out to many
+    /// read-only consumers (see [`DtasService`](crate::DtasService)).
+    /// The shared set's [`SynthStats::elapsed`] is the original solve's,
+    /// not this call's.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`synthesize`](Self::synthesize).
+    pub fn synthesize_shared(&self, spec: &ComponentSpec) -> Result<Arc<DesignSet>, SynthError> {
+        self.synthesize_shared_from(spec, Instant::now())
+    }
+
+    /// Runs a [`SynthRequest`] with `Arc` delivery: requests without
+    /// overrides share the memoized set (no clone), requests with
+    /// overrides pay one allocation for their private root front.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`synthesize`](Self::synthesize).
+    pub fn synthesize_request_shared(
+        &self,
+        request: &SynthRequest,
+    ) -> Result<Arc<DesignSet>, SynthError> {
+        if !request.has_front_overrides() && request.weights.is_none() {
+            self.synthesize_shared(&request.spec)
+        } else {
+            self.synthesize_request(request).map(Arc::new)
+        }
+    }
+
+    fn synthesize_shared_from(
+        &self,
+        spec: &ComponentSpec,
+        start: Instant,
+    ) -> Result<Arc<DesignSet>, SynthError> {
         if !self.config.cache {
             // Ablation path: cold state per query, nothing retained.
             let mut state = SharedState::default();
-            return self.synthesize_in(spec, &mut state, start);
+            return self.synthesize_in(spec, &mut state, start).map(Arc::new);
         }
         self.check_fingerprint();
         let cell = self.mem.result_cell(spec);
         if let Some(result) = cell.get() {
             self.mem.hits.fetch_add(1, Ordering::Relaxed);
-            return Self::deliver(result, start);
+            return result.clone();
         }
         let mut solved_here = false;
         let result = cell.get_or_init(|| {
@@ -440,7 +505,7 @@ impl Dtas {
             // Another client solved this spec while we waited on the cell.
             self.mem.hits.fetch_add(1, Ordering::Relaxed);
         }
-        Self::deliver(result, start)
+        result.clone()
     }
 
     /// Runs a [`SynthRequest`]. Requests without front overrides share the

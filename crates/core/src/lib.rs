@@ -31,6 +31,14 @@
 //! `dtas --cache-dir`) warm-starts a fresh process from a previous run in
 //! milliseconds instead of re-paying the cold solve.
 //!
+//! For serving that engine to heavy concurrent traffic, the [`service`]
+//! layer puts an admission-controlled request queue in front of it:
+//! [`DtasService`] runs a worker-thread pool over `Arc<Dtas>` with
+//! bounded priority lanes ([`ServiceConfig`], [`Admission`]), ticket
+//! handles for every admitted request, graceful draining shutdown, and a
+//! background thread checkpointing the bound store on a configurable
+//! cadence.
+//!
 //! # Examples
 //!
 //! Synthesize the paper's §5 example — a 16-bit adder against the
@@ -66,6 +74,7 @@ pub mod lola;
 pub mod report;
 pub mod request;
 pub mod rules;
+pub mod service;
 pub mod space;
 pub mod store;
 pub mod template;
@@ -76,6 +85,10 @@ pub use extract::{ImplKind, Implementation};
 pub use report::{Alternative, DesignSet, SynthStats};
 pub use request::SynthRequest;
 pub use rules::{Rule, RuleSet};
+pub use service::{
+    Admission, DtasService, Priority, ServiceConfig, ServiceError, ServiceStats, SynthOutcome,
+    Ticket,
+};
 pub use space::{DesignSpace, FilterPolicy, FrontStore, Policy, SolveConfig, Solver};
 pub use store::{
     EngineSnapshot, LoadOutcome, MemSnapshotStore, PersistentStore, ResultStore, SaveReport,

@@ -1,0 +1,739 @@
+//! An admission-controlled request queue in front of [`Dtas`] — the
+//! service layer between "library with caches" and "service".
+//!
+//! [`DtasService`] owns a pool of plain worker threads (tokio-free — the
+//! engine's hit path is microseconds, so a thread pool beats an executor
+//! here) fed by two priority lanes:
+//!
+//! * **admission control** — the waiting queue is bounded
+//!   ([`ServiceConfig::queue_depth`], [`ServiceConfig::max_inflight`]);
+//!   a submission that finds the service full is refused, blocked, or
+//!   admitted by evicting the oldest waiting request, per
+//!   [`Admission`];
+//! * **priority lanes** — [`Priority::Interactive`] requests always
+//!   dispatch before [`Priority::Bulk`] ones, and bulk is shed first;
+//! * **tickets** — [`submit`](DtasService::submit) returns a [`Ticket`],
+//!   a blocking-recv handle resolving to
+//!   `Result<`[`SynthOutcome`]`, `[`ServiceError`]`>`. Outcomes carry the
+//!   design set behind an [`Arc`] (no per-query deep clone on the hot
+//!   path) plus queue-wait and execution timings;
+//! * **background checkpointing** —
+//!   [`ServiceConfig::checkpoint_interval`] flushes the engine's bound
+//!   [`ResultStore`](crate::store::ResultStore) on a timer from a
+//!   dedicated thread. The export only takes shared locks, so the
+//!   zero-exclusive-lock hit path keeps serving while the snapshot
+//!   writes;
+//! * **graceful shutdown** — [`shutdown`](DtasService::shutdown) stops
+//!   admissions, drains every already-admitted request (each ticket still
+//!   resolves), joins the threads, and takes a final checkpoint.
+//!
+//! ```
+//! use cells::lsi::lsi_logic_subset;
+//! use dtas::{Dtas, DtasService, ServiceConfig, SynthRequest};
+//! use genus::kind::ComponentKind;
+//! use genus::op::{Op, OpSet};
+//! use genus::spec::ComponentSpec;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), dtas::ServiceError> {
+//! let service = DtasService::start(
+//!     Arc::new(Dtas::new(lsi_logic_subset())),
+//!     ServiceConfig::default(),
+//! );
+//! let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
+//!     .with_ops(OpSet::only(Op::Add))
+//!     .with_carry_in(true)
+//!     .with_carry_out(true);
+//! let ticket = service.submit(SynthRequest::new(spec))?;
+//! let outcome = ticket.recv()?;
+//! assert!(!outcome.design.alternatives.is_empty());
+//! let stats = service.shutdown();
+//! assert_eq!((stats.admitted, stats.completed), (1, 1));
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod stats;
+
+pub use config::{Admission, Priority, ServiceConfig};
+pub use stats::{percentile, ServiceStats};
+
+use crate::engine::{Dtas, SynthError};
+use crate::report::DesignSet;
+use crate::request::SynthRequest;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors a service submission or ticket can resolve to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Refused at admission: the waiting queue held
+    /// [`queue_depth`](ServiceConfig::queue_depth) requests (or inflight
+    /// work hit [`max_inflight`](ServiceConfig::max_inflight)) and the
+    /// policy was [`Admission::Reject`] — or [`Admission::Block`] and the
+    /// timeout elapsed first.
+    Overloaded {
+        /// The configured waiting-queue bound that was hit.
+        queue_depth: usize,
+    },
+    /// Admitted, then evicted by [`Admission::ShedOldest`] before a
+    /// worker picked the request up.
+    Shed,
+    /// Submitted after [`shutdown`](DtasService::shutdown) began.
+    ShuttingDown,
+    /// The engine executed the request and failed.
+    Synth(SynthError),
+    /// A worker panicked while executing this request (the engine's
+    /// poison recovery rebuilds its own state; the ticket reports the
+    /// panic instead of hanging).
+    Internal(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_depth } => {
+                write!(f, "service overloaded (queue depth {queue_depth})")
+            }
+            ServiceError::Shed => write!(f, "request shed under overload"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Synth(e) => write!(f, "{e}"),
+            ServiceError::Internal(m) => write!(f, "service worker failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Synth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynthError> for ServiceError {
+    fn from(e: SynthError) -> Self {
+        ServiceError::Synth(e)
+    }
+}
+
+/// One completed service request: the design set (shared, not cloned —
+/// results are immutable once memoized) plus queue-side timings.
+#[derive(Clone, Debug)]
+pub struct SynthOutcome {
+    /// The synthesized alternatives.
+    pub design: Arc<DesignSet>,
+    /// Admission → worker pickup: time spent waiting in the lane.
+    pub queued_for: Duration,
+    /// Worker execution time (a memo hit is microseconds; a cold solve is
+    /// the real solve).
+    pub service_time: Duration,
+    /// The lane this request waited in.
+    pub priority: Priority,
+    /// Global dispatch sequence number: request A was picked up before
+    /// request B iff `A.dispatch_order < B.dispatch_order`. Pins the
+    /// interactive-before-bulk guarantee in tests.
+    pub dispatch_order: u64,
+}
+
+/// The write side of a ticket: a one-shot slot plus the condvar its
+/// receiver blocks on.
+struct TicketState {
+    slot: Mutex<Option<Result<SynthOutcome, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// First write wins (a shed racing a worker pickup is resolved by
+    /// whoever gets here first); every write wakes all receivers.
+    fn resolve(&self, result: Result<SynthOutcome, ServiceError>) {
+        let mut slot = lock_clean(&self.slot);
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// A blocking-recv handle for one submitted request. Resolves exactly
+/// once — when a worker finishes the request, when admission control
+/// sheds it, or when a worker panic is converted to
+/// [`ServiceError::Internal`]. Receiving does not consume the ticket
+/// (outcomes are cheap clones: an `Arc` plus timings), so a ticket can be
+/// polled and then waited on.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field("resolved", &self.try_recv().is_some())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request resolves.
+    pub fn recv(&self) -> Result<SynthOutcome, ServiceError> {
+        let mut slot = lock_clean(&self.state.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The result if the request already resolved, `None` otherwise.
+    pub fn try_recv(&self) -> Option<Result<SynthOutcome, ServiceError>> {
+        lock_clean(&self.state.slot).clone()
+    }
+
+    /// Blocks up to `timeout`; `None` when the request is still pending.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Result<SynthOutcome, ServiceError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_clean(&self.state.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            slot = self
+                .state
+                .ready
+                .wait_timeout(slot, left)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+}
+
+/// One admitted request waiting in a lane.
+struct Entry {
+    request: SynthRequest,
+    priority: Priority,
+    ticket: Arc<TicketState>,
+    enqueued: Instant,
+}
+
+/// Everything the queue mutex protects. Plain data — a panic while
+/// holding the lock cannot leave it unsafe, so lock poison is cleared by
+/// continuing ([`lock_clean`]).
+#[derive(Default)]
+struct QueueState {
+    /// `lanes[0]` interactive, `lanes[1]` bulk.
+    lanes: [VecDeque<Entry>; 2],
+    running: usize,
+    shutting_down: bool,
+    queue_highwater: usize,
+    inflight_highwater: usize,
+}
+
+impl QueueState {
+    fn waiting(&self) -> usize {
+        self.lanes[0].len() + self.lanes[1].len()
+    }
+
+    fn lane_mut(&mut self, priority: Priority) -> &mut VecDeque<Entry> {
+        match priority {
+            Priority::Interactive => &mut self.lanes[0],
+            Priority::Bulk => &mut self.lanes[1],
+        }
+    }
+
+    /// Next request to dispatch: interactive strictly before bulk.
+    fn pop(&mut self) -> Option<Entry> {
+        self.lanes[0]
+            .pop_front()
+            .or_else(|| self.lanes[1].pop_front())
+    }
+
+    /// Oldest sheddable waiting request: bulk first, then interactive.
+    fn shed_victim(&mut self) -> Option<Entry> {
+        self.lanes[1]
+            .pop_front()
+            .or_else(|| self.lanes[0].pop_front())
+    }
+}
+
+/// Shared between the handle, the workers and the checkpoint thread.
+struct Inner {
+    queue: Mutex<QueueState>,
+    /// Workers wait here for work.
+    work_ready: Condvar,
+    /// [`Admission::Block`] submitters wait here for queue room.
+    space_ready: Condvar,
+    /// Checkpoint thread: interval sleep + shutdown wakeup.
+    stop_checkpointer: Mutex<bool>,
+    checkpoint_wake: Condvar,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    checkpoints: AtomicU64,
+    dispatch_seq: AtomicU64,
+}
+
+/// Locks a mutex, clearing poison: every structure behind these locks is
+/// plain bookkeeping that stays consistent-enough on a panicking writer
+/// (the engine's own state has its own, stricter recovery).
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// The admission-controlled synthesis service (see the [module
+/// docs](self)).
+pub struct DtasService {
+    engine: Arc<Dtas>,
+    config: ServiceConfig,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
+}
+
+impl DtasService {
+    /// Spawns the worker pool (and the checkpoint thread when
+    /// [`ServiceConfig::checkpoint_interval`] is set) over a shared
+    /// engine and starts accepting submissions immediately.
+    pub fn start(engine: Arc<Dtas>, config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            stop_checkpointer: Mutex::new(false),
+            checkpoint_wake: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            dispatch_seq: AtomicU64::new(0),
+        });
+        let workers = (0..config.worker_count())
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&engine, &inner))
+            })
+            .collect();
+        let checkpointer = config.checkpoint_interval.map(|interval| {
+            let engine = Arc::clone(&engine);
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || checkpoint_loop(&engine, &inner, interval))
+        });
+        DtasService {
+            engine,
+            config,
+            inner,
+            workers,
+            checkpointer,
+        }
+    }
+
+    /// The engine behind the service ([`Dtas::cache_stats`] and friends
+    /// remain available while the service runs).
+    pub fn engine(&self) -> &Arc<Dtas> {
+        &self.engine
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Submits one interactive request under the configured
+    /// [`Admission`] policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when admission refuses the request,
+    /// [`ServiceError::ShuttingDown`] after shutdown began. A returned
+    /// [`Ticket`] always resolves — to an outcome, a synthesis error, or
+    /// [`ServiceError::Shed`].
+    pub fn submit(&self, request: SynthRequest) -> Result<Ticket, ServiceError> {
+        self.submit_with_priority(request, Priority::Interactive)
+    }
+
+    /// [`submit`](Self::submit) into an explicit lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_with_priority(
+        &self,
+        request: SynthRequest,
+        priority: Priority,
+    ) -> Result<Ticket, ServiceError> {
+        let guard = lock_clean(&self.inner.queue);
+        let (_guard, result) = self.admit(guard, request, priority, self.config.admission);
+        result
+    }
+
+    /// Submits without ever blocking the caller: a full queue refuses
+    /// immediately, whatever the configured policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn try_submit(&self, request: SynthRequest) -> Result<Ticket, ServiceError> {
+        let guard = lock_clean(&self.inner.queue);
+        let (_guard, result) = self.admit(guard, request, Priority::Interactive, Admission::Reject);
+        result
+    }
+
+    /// Submits a whole batch into the bulk lane under one lock
+    /// acquisition (admission is still per-request: each slot carries its
+    /// own ticket-or-refusal, so a full queue part-way through refuses
+    /// the tail without un-admitting the head).
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = SynthRequest>,
+    ) -> Vec<Result<Ticket, ServiceError>> {
+        let mut guard = lock_clean(&self.inner.queue);
+        let mut out = Vec::new();
+        for request in requests {
+            let (g, result) = self.admit(guard, request, Priority::Bulk, self.config.admission);
+            guard = g;
+            out.push(result);
+        }
+        drop(guard);
+        out
+    }
+
+    /// The admission decision, entered with the queue lock held and
+    /// returning it (possibly released and re-taken while a
+    /// [`Admission::Block`] submitter waits).
+    fn admit<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, QueueState>,
+        request: SynthRequest,
+        priority: Priority,
+        policy: Admission,
+    ) -> (MutexGuard<'a, QueueState>, Result<Ticket, ServiceError>) {
+        let depth = self.config.effective_depth();
+        let deadline = match policy {
+            Admission::Block { timeout } => Some(Instant::now() + timeout),
+            _ => None,
+        };
+        loop {
+            if guard.shutting_down {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return (guard, Err(ServiceError::ShuttingDown));
+            }
+            let full = guard.waiting() >= depth
+                || guard.waiting() + guard.running >= self.config.max_inflight;
+            if !full {
+                let ticket = TicketState::new();
+                guard.lane_mut(priority).push_back(Entry {
+                    request,
+                    priority,
+                    ticket: Arc::clone(&ticket),
+                    enqueued: Instant::now(),
+                });
+                guard.queue_highwater = guard.queue_highwater.max(guard.waiting());
+                guard.inflight_highwater = guard
+                    .inflight_highwater
+                    .max(guard.waiting() + guard.running);
+                self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+                self.inner.work_ready.notify_one();
+                return (guard, Ok(Ticket { state: ticket }));
+            }
+            match policy {
+                Admission::Reject => {
+                    self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    return (guard, Err(ServiceError::Overloaded { queue_depth: depth }));
+                }
+                Admission::ShedOldest => match guard.shed_victim() {
+                    Some(victim) => {
+                        self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                        victim.ticket.resolve(Err(ServiceError::Shed));
+                        // Loop: with the victim gone there is room (unless
+                        // max_inflight binds with an empty queue, which
+                        // falls through to the None arm next iteration).
+                    }
+                    None => {
+                        // Nothing waiting to shed (max_inflight is the
+                        // binding constraint): refuse like Reject.
+                        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                        return (guard, Err(ServiceError::Overloaded { queue_depth: depth }));
+                    }
+                },
+                Admission::Block { .. } => {
+                    let deadline = deadline.expect("Block admission carries a deadline");
+                    let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                        return (guard, Err(ServiceError::Overloaded { queue_depth: depth }));
+                    };
+                    guard = self
+                        .inner
+                        .space_ready
+                        .wait_timeout(guard, left)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Current counters (see [`ServiceStats`]).
+    pub fn stats(&self) -> ServiceStats {
+        let (queued_now, running_now, queue_depth_highwater, inflight_highwater) = {
+            let state = lock_clean(&self.inner.queue);
+            (
+                state.waiting(),
+                state.running,
+                state.queue_highwater,
+                state.inflight_highwater,
+            )
+        };
+        ServiceStats {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
+            queue_depth_highwater,
+            inflight_highwater,
+            queued_now,
+            running_now,
+        }
+    }
+
+    /// Graceful shutdown: stops admitting, drains every already-admitted
+    /// request (their tickets resolve normally), joins the worker and
+    /// checkpoint threads, takes a final checkpoint when the engine has a
+    /// bound store, and returns the final counters. Also runs on drop.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.finish();
+        self.stats()
+    }
+
+    fn finish(&mut self) {
+        if self.workers.is_empty() {
+            return; // already shut down
+        }
+        lock_clean(&self.inner.queue).shutting_down = true;
+        self.inner.work_ready.notify_all();
+        self.inner.space_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(checkpointer) = self.checkpointer.take() {
+            *lock_clean(&self.inner.stop_checkpointer) = true;
+            self.inner.checkpoint_wake.notify_all();
+            let _ = checkpointer.join();
+        }
+        // Final checkpoint: everything solved during the service's
+        // lifetime is on disk before the handle returns.
+        if let Ok(Some(_)) = self.engine.checkpoint() {
+            self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for DtasService {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One worker: pop (interactive first), execute, resolve the ticket.
+/// Exits when shutdown is flagged *and* the lanes are empty — that order
+/// is what makes shutdown a drain.
+fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
+    loop {
+        let (entry, dispatch_order) = {
+            let mut state = lock_clean(&inner.queue);
+            loop {
+                if let Some(entry) = state.pop() {
+                    state.running += 1;
+                    // Stamped under the queue lock so the pop order and
+                    // the sequence agree even across workers — the
+                    // documented `dispatch_order` iff depends on it.
+                    break (entry, inner.dispatch_seq.fetch_add(1, Ordering::Relaxed));
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = inner
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        // A waiting slot freed: wake one blocked submitter.
+        inner.space_ready.notify_one();
+        let queued_for = entry.enqueued.elapsed();
+        let t0 = Instant::now();
+        // A panicking rule must not leave the ticket unresolved (the
+        // receiver would hang) or the running count stuck: catch, report,
+        // keep serving. The engine rebuilds its own poisoned state.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.synthesize_request_shared(&entry.request)
+        }));
+        let result = match executed {
+            Ok(Ok(design)) => Ok(SynthOutcome {
+                design,
+                queued_for,
+                service_time: t0.elapsed(),
+                priority: entry.priority,
+                dispatch_order,
+            }),
+            Ok(Err(e)) => Err(ServiceError::Synth(e)),
+            Err(panic) => Err(ServiceError::Internal(panic_message(&panic))),
+        };
+        entry.ticket.resolve(result);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        lock_clean(&inner.queue).running -= 1;
+        // Inflight room freed (matters when max_inflight binds).
+        inner.space_ready.notify_one();
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic during synthesis".to_string()
+    }
+}
+
+/// The background checkpoint thread: flush the engine's store every
+/// `interval` until shutdown. Failures are swallowed (the next tick — or
+/// the shutdown checkpoint — retries); the success count is reported via
+/// [`ServiceStats::checkpoints`].
+fn checkpoint_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>, interval: Duration) {
+    let mut stop = lock_clean(&inner.stop_checkpointer);
+    loop {
+        if *stop {
+            return;
+        }
+        stop = inner
+            .checkpoint_wake
+            .wait_timeout(stop, interval)
+            .unwrap_or_else(|p| p.into_inner())
+            .0;
+        if *stop {
+            return;
+        }
+        drop(stop);
+        if let Ok(Some(_)) = engine.checkpoint() {
+            inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        stop = lock_clean(&inner.stop_checkpointer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::lsi::lsi_logic_subset;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+    use genus::spec::ComponentSpec;
+
+    fn adder(width: usize) -> SynthRequest {
+        SynthRequest::new(
+            ComponentSpec::new(ComponentKind::AddSub, width)
+                .with_ops(OpSet::only(Op::Add))
+                .with_carry_in(true)
+                .with_carry_out(true),
+        )
+    }
+
+    fn service(config: ServiceConfig) -> DtasService {
+        DtasService::start(Arc::new(Dtas::new(lsi_logic_subset())), config)
+    }
+
+    #[test]
+    fn submit_and_recv_round_trips() {
+        let service = service(ServiceConfig::default());
+        let ticket = service.submit(adder(16)).expect("admits");
+        let outcome = ticket.recv().expect("solves");
+        assert!(!outcome.design.alternatives.is_empty());
+        assert_eq!(outcome.priority, Priority::Interactive);
+        // Re-receiving is allowed and identical.
+        let again = ticket.recv().expect("still resolved");
+        assert_eq!(
+            again.design.alternatives.len(),
+            outcome.design.alternatives.len()
+        );
+        let stats = service.shutdown();
+        assert_eq!((stats.admitted, stats.completed), (1, 1));
+        assert_eq!((stats.rejected, stats.shed), (0, 0));
+        assert!(stats.queue_depth_highwater >= 1);
+    }
+
+    #[test]
+    fn batch_goes_through_the_bulk_lane() {
+        let service = service(ServiceConfig::default());
+        let tickets = service.submit_batch([adder(8), adder(8), adder(16)]);
+        assert_eq!(tickets.len(), 3);
+        for ticket in &tickets {
+            let outcome = ticket.as_ref().expect("admits").recv().expect("solves");
+            assert_eq!(outcome.priority, Priority::Bulk);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn synthesis_failures_resolve_the_ticket() {
+        let service = service(ServiceConfig::default());
+        let unmappable = SynthRequest::new(
+            ComponentSpec::new(ComponentKind::StackFifo, 8)
+                .with_width2(4)
+                .with_ops([Op::Push, Op::Pop].into_iter().collect())
+                .with_style("STACK"),
+        );
+        let ticket = service.submit(unmappable).expect("admits");
+        assert!(matches!(
+            ticket.recv(),
+            Err(ServiceError::Synth(SynthError::NoImplementation(_)))
+        ));
+        let stats = service.shutdown();
+        // Executed-and-failed still counts as completed.
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let handle = service(ServiceConfig::default());
+        let engine = Arc::clone(handle.engine());
+        drop(handle);
+        // A fresh service over the same engine still works (shutdown is
+        // per-service, not per-engine)…
+        let second = DtasService::start(engine, ServiceConfig::default());
+        lock_clean(&second.inner.queue).shutting_down = true;
+        // …but a shutting-down service refuses.
+        assert!(matches!(
+            second.submit(adder(8)),
+            Err(ServiceError::ShuttingDown)
+        ));
+        assert_eq!(second.shutdown().rejected, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Service-level accounting, the queue-side sibling of
+//! [`CacheStats`](crate::CacheStats).
+
+use std::fmt;
+
+/// Nearest-rank percentile over an *ascending-sorted* sample, in the
+/// sample's own unit. Shared by the CLI load generator and the perf
+/// snapshot for queue-wait p50/p99 (wait histograms are collected
+/// client-side from
+/// [`SynthOutcome::queued_for`](crate::service::SynthOutcome::queued_for),
+/// not in these counters). Returns 0 on an empty sample.
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Counters for one [`DtasService`](crate::service::DtasService)
+/// lifetime. Monotonic except the two `*_now` gauges.
+///
+/// The [`Display`](fmt::Display) rendering is the single `key=value`
+/// line shared by `dtas map --stats`, `dtas bench-load` and the CI
+/// smokes — scripts grep these keys, so they are kept stable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into a lane (includes ones later shed).
+    pub admitted: u64,
+    /// Requests a worker finished executing (successfully or with a
+    /// synthesis error — both resolve the ticket).
+    pub completed: u64,
+    /// Submissions refused at the front door
+    /// ([`Admission::Reject`](crate::service::Admission::Reject), or
+    /// [`Block`](crate::service::Admission::Block) timing out, or any
+    /// submission after shutdown began).
+    pub rejected: u64,
+    /// Admitted requests evicted by
+    /// [`Admission::ShedOldest`](crate::service::Admission::ShedOldest)
+    /// before a worker picked them up.
+    pub shed: u64,
+    /// Most requests ever waiting in the lanes at once — how close the
+    /// queue came to its configured
+    /// [`queue_depth`](crate::service::ServiceConfig::queue_depth).
+    pub queue_depth_highwater: usize,
+    /// Most requests ever admitted-and-unfinished at once.
+    pub inflight_highwater: usize,
+    /// Background + shutdown checkpoints that flushed the engine's store.
+    pub checkpoints: u64,
+    /// Requests currently waiting in the lanes (gauge).
+    pub queued_now: usize,
+    /// Requests currently being executed by workers (gauge).
+    pub running_now: usize,
+}
+
+impl fmt::Display for ServiceStats {
+    /// One stable `service: key=value ...` line (see type docs).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "service: admitted={} completed={} rejected={} shed={} \
+             queue_depth_highwater={} inflight_highwater={} checkpoints={}",
+            self.admitted,
+            self.completed,
+            self.rejected,
+            self.shed,
+            self.queue_depth_highwater,
+            self.inflight_highwater,
+            self.checkpoints,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_the_grepped_keys() {
+        let line = ServiceStats {
+            admitted: 3,
+            completed: 2,
+            shed: 1,
+            ..ServiceStats::default()
+        }
+        .to_string();
+        for key in [
+            "service: admitted=3",
+            "completed=2",
+            "rejected=0",
+            "shed=1",
+            "queue_depth_highwater=0",
+            "checkpoints=0",
+        ] {
+            assert!(line.contains(key), "{line}");
+        }
+    }
+}

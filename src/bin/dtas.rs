@@ -12,21 +12,37 @@
 //! scheduling, control compilation, linking and technology mapping.
 
 use cells::CellLibrary;
-use dtas::{Dtas, FilterPolicy, SynthRequest};
+use dtas::{
+    Admission, DesignSet, Dtas, DtasService, FilterPolicy, ServiceConfig, SynthRequest, Ticket,
+};
 use genus::kind::{ComponentKind, GateOp};
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
 use hls_rtl_bridge::{BridgeError, Flow};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "dtas - map generic RTL components onto data book cells (Dutt & Kipps, DAC'91)
 
 USAGE:
   dtas map  --spec SPEC [--book FILE] [--pareto] [--cap N]
-            [--cache-dir DIR] [--stats]
+            [--cache-dir DIR] [--queue-depth N] [--stats]
       Synthesize one component specification and print its trade-off table.
+      --queue-depth routes the query through the admission-controlled
+      DtasService (worker pool + bounded queue) instead of calling the
+      engine directly, so service accounting shows up in --stats.
   dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT] [--cache-dir DIR]
       Run a behavioral entity through the full Figure-1 pipeline
       (schedule -> compile control -> link -> technology-map).
+  dtas bench-load [--clients N] [--requests M] [--queue-depth D]
+                  [--workers W] [--max-inflight I]
+                  [--admission reject|block|shed]
+                  [--spec SPEC] [--book FILE] [--cache-dir DIR] [--stats]
+      Drive a DtasService with N concurrent clients submitting M requests
+      each (pipelined) and print throughput, queue-wait percentiles and
+      the service counters. The CI perf smoke runs this; an undersized
+      --queue-depth with --admission shed demonstrates load shedding.
   dtas help
       Print this message.
 
@@ -52,10 +68,12 @@ SPEC grammar:  kind:width[:attr...]
 
 EXAMPLES:
   dtas map --spec add:16:cin:cout
-  dtas map --spec alu:64 --cache-dir ~/.cache/dtas --stats
+  dtas map --spec alu:64 --cache-dir ~/.cache/dtas --queue-depth 8 --stats
   dtas map --spec alu:64 --pareto
   dtas map --spec mux:8:n=4 --book my_cells.book
   dtas flow --hls gcd.ent --emit-vhdl gcd.vhd
+  dtas bench-load --clients 4 --requests 500 --queue-depth 64 --stats
+  dtas bench-load --clients 4 --queue-depth 2 --admission shed --stats
 ";
 
 /// Parses the CLI's `kind:width[:attr...]` component-spec mini-language.
@@ -220,16 +238,24 @@ impl Args {
 }
 
 fn cmd_map(args: &Args) -> Result<(), BridgeError> {
-    args.expect_only(&["spec", "book", "pareto", "cap", "cache-dir", "stats"])?;
+    args.expect_only(&[
+        "spec",
+        "book",
+        "pareto",
+        "cap",
+        "cache-dir",
+        "stats",
+        "queue-depth",
+    ])?;
     let spec = parse_spec(args.require("spec")?)?;
     let library = load_book(args.value_of("book")?)?;
     println!("library: {} ({} cells)", library.name(), library.len());
     println!("specification: {spec}\n");
     let cache_dir = args.value_of("cache-dir")?;
-    let engine = match cache_dir {
+    let engine = Arc::new(match cache_dir {
         Some(dir) => Dtas::warm_start(library, dir),
         None => Dtas::new(library),
-    };
+    });
     let mut request = SynthRequest::new(spec);
     if args.has("pareto") {
         request = request.with_root_filter(FilterPolicy::Pareto);
@@ -240,7 +266,27 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
             .map_err(|e| BridgeError::Flow(format!("bad --cap: {e}")))?;
         request = request.with_front_cap(cap);
     }
-    let designs = engine.synthesize_request(&request)?;
+    // With --queue-depth the query goes through the admission-controlled
+    // service (worker pool + bounded queue) — same answer, but the
+    // submit/dispatch path and its accounting are exercised, which is
+    // what the CI cross-process smoke greps for.
+    let (designs, service_stats) = match args.value_of("queue-depth")? {
+        Some(depth) => {
+            let queue_depth: usize = depth
+                .parse()
+                .map_err(|e| BridgeError::Flow(format!("bad --queue-depth: {e}")))?;
+            let service = DtasService::start(
+                Arc::clone(&engine),
+                ServiceConfig {
+                    queue_depth,
+                    ..ServiceConfig::default()
+                },
+            );
+            let outcome = service.submit(request)?.recv()?;
+            (DesignSet::clone(&outcome.design), Some(service.shutdown()))
+        }
+        None => (engine.synthesize_request(&request)?, None),
+    };
     println!("{designs}");
     if cache_dir.is_some() {
         // Flush explicitly so a full disk or unwritable directory fails
@@ -248,18 +294,164 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
         engine.checkpoint().map_err(BridgeError::Store)?;
     }
     if args.has("stats") {
-        let s = engine.cache_stats();
-        println!(
-            "cache: hits={} misses={} results={} fronts={} nodes={} shards={}",
-            s.hits, s.misses, s.cached_results, s.cached_fronts, s.spec_nodes, s.result_shards
-        );
-        println!(
-            "store: snapshot_loads={} snapshot_rejects={} persisted_results={} snapshot_bytes={}",
-            s.snapshot_loads, s.snapshot_rejects, s.persisted_results, s.snapshot_bytes
-        );
+        println!("{}", engine.cache_stats());
+        if let Some(stats) = service_stats {
+            println!("{stats}");
+        }
         if let Some(reason) = engine.last_snapshot_rejection() {
             println!("store: last rejection: {reason}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
+    args.expect_only(&[
+        "clients",
+        "requests",
+        "queue-depth",
+        "workers",
+        "max-inflight",
+        "admission",
+        "spec",
+        "book",
+        "cache-dir",
+        "stats",
+    ])?;
+    let parse_num = |name: &str, default: usize| -> Result<usize, BridgeError> {
+        match args.value_of(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| BridgeError::Flow(format!("bad --{name}: {e}"))),
+        }
+    };
+    let clients = parse_num("clients", 4)?.max(1);
+    let requests = parse_num("requests", 1_000)?.max(1);
+    let queue_depth = parse_num("queue-depth", 1_024)?;
+    let max_inflight = parse_num("max-inflight", usize::MAX)?;
+    let admission = match args.value_of("admission")?.unwrap_or("block") {
+        "reject" => Admission::Reject,
+        "block" => Admission::Block {
+            timeout: Duration::from_secs(5),
+        },
+        "shed" => Admission::ShedOldest,
+        other => {
+            return Err(BridgeError::Flow(format!(
+                "bad --admission {other:?} (expected reject, block or shed)"
+            )))
+        }
+    };
+    let spec = parse_spec(args.value_of("spec")?.unwrap_or("add:16:cin:cout"))?;
+    let library = load_book(args.value_of("book")?)?;
+    let engine = Arc::new(match args.value_of("cache-dir")? {
+        Some(dir) => Dtas::warm_start(library, dir),
+        None => Dtas::new(library),
+    });
+    // Warm the spec so the run measures service throughput, not one cold
+    // solve amortized over the load.
+    engine.synthesize(&spec)?;
+    let service = DtasService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers: args
+                .value_of("workers")?
+                .map(str::parse)
+                .transpose()
+                .map_err(|e: std::num::ParseIntError| {
+                    BridgeError::Flow(format!("bad --workers: {e}"))
+                })?,
+            queue_depth,
+            max_inflight,
+            admission,
+            checkpoint_interval: None,
+        },
+    );
+
+    /// Per-client tallies, merged after the run.
+    #[derive(Default)]
+    struct ClientTally {
+        ok: u64,
+        overloaded: u64,
+        shed: u64,
+        failed: u64,
+        waits_us: Vec<u64>,
+    }
+    let t0 = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = &service;
+                let spec = &spec;
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut pending: VecDeque<Ticket> = VecDeque::new();
+                    let drain = |t: Ticket, tally: &mut ClientTally| match t.recv() {
+                        Ok(outcome) => {
+                            tally.ok += 1;
+                            tally.waits_us.push(outcome.queued_for.as_micros() as u64);
+                        }
+                        Err(dtas::ServiceError::Shed) => tally.shed += 1,
+                        Err(_) => tally.failed += 1,
+                    };
+                    for _ in 0..requests {
+                        match service.submit(SynthRequest::new(spec.clone())) {
+                            Ok(ticket) => {
+                                pending.push_back(ticket);
+                                // Pipeline window: keep up to 32 tickets
+                                // outstanding per client.
+                                if pending.len() >= 32 {
+                                    let ticket = pending.pop_front().expect("nonempty");
+                                    drain(ticket, &mut tally);
+                                }
+                            }
+                            Err(dtas::ServiceError::Overloaded { .. }) => tally.overloaded += 1,
+                            Err(_) => tally.failed += 1,
+                        }
+                    }
+                    for ticket in pending {
+                        drain(ticket, &mut tally);
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let stats = service.shutdown();
+
+    let mut merged = ClientTally::default();
+    for tally in tallies {
+        merged.ok += tally.ok;
+        merged.overloaded += tally.overloaded;
+        merged.shed += tally.shed;
+        merged.failed += tally.failed;
+        merged.waits_us.extend(tally.waits_us);
+    }
+    merged.waits_us.sort_unstable();
+    let submitted = (clients * requests) as u64;
+    println!(
+        "load: clients={clients} requests={requests} submitted={submitted} ok={} overloaded={} shed={} failed={}",
+        merged.ok, merged.overloaded, merged.shed, merged.failed
+    );
+    println!(
+        "throughput: completed_qps={:.0} elapsed_ms={:.1}",
+        merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "wait: p50_us={} p99_us={} max_us={}",
+        dtas::service::percentile(&merged.waits_us, 50.0),
+        dtas::service::percentile(&merged.waits_us, 99.0),
+        merged.waits_us.last().copied().unwrap_or(0)
+    );
+    println!("{stats}");
+    if args.has("stats") {
+        println!("{}", engine.cache_stats());
     }
     Ok(())
 }
@@ -300,6 +492,7 @@ fn run() -> Result<(), BridgeError> {
     match raw.first().map(String::as_str) {
         Some("map") => cmd_map(&Args::parse(&raw[1..])?),
         Some("flow") => cmd_flow(&Args::parse(&raw[1..])?),
+        Some("bench-load") => cmd_bench_load(&Args::parse(&raw[1..])?),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())

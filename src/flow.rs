@@ -38,7 +38,7 @@
 use cells::databook::ParseBookError;
 use cells::CellLibrary;
 use controlc::{compile_controller, link, ControlError, Controller};
-use dtas::{DesignSet, Dtas, StoreError, SynthError};
+use dtas::{DesignSet, Dtas, DtasService, ServiceError, StoreError, SynthError, SynthRequest};
 use genus::behavior::{Env, EvalError};
 use genus::component::GenerateError;
 use genus::netlist::{Netlist, NetlistError};
@@ -96,6 +96,12 @@ pub enum BridgeError {
     /// incompatible snapshot is not an error, the engine just starts
     /// cold.
     Store(StoreError),
+    /// The synthesis service refused or dropped the request under load:
+    /// admission control turned it away
+    /// ([`ServiceError::Overloaded`]) or evicted it from the queue
+    /// ([`ServiceError::Shed`]). Retryable by construction — the request
+    /// itself was fine, the service was full.
+    Overloaded(ServiceError),
     /// File I/O failed (CLI paths).
     Io(String),
     /// The façade itself was misused or a run did not converge (e.g. a
@@ -121,6 +127,7 @@ impl fmt::Display for BridgeError {
             BridgeError::Eval(e) => write!(f, "evaluation: {e}"),
             BridgeError::VhdlParse(e) => write!(f, "{e}"),
             BridgeError::Store(e) => write!(f, "{e}"),
+            BridgeError::Overloaded(e) => write!(f, "{e}"),
             BridgeError::Emit(m) => write!(f, "vhdl emission: {m}"),
             BridgeError::Io(m) => write!(f, "io: {m}"),
             BridgeError::Flow(m) => write!(f, "flow: {m}"),
@@ -146,6 +153,7 @@ impl std::error::Error for BridgeError {
             BridgeError::Eval(e) => Some(e),
             BridgeError::VhdlParse(e) => Some(e),
             BridgeError::Store(e) => Some(e),
+            BridgeError::Overloaded(e) => Some(e),
             BridgeError::Emit(_) | BridgeError::Io(_) | BridgeError::Flow(_) => None,
         }
     }
@@ -182,6 +190,23 @@ bridge_from! {
 impl From<std::io::Error> for BridgeError {
     fn from(e: std::io::Error) -> Self {
         BridgeError::Io(e.to_string())
+    }
+}
+
+impl From<ServiceError> for BridgeError {
+    /// Service errors split by meaning: synthesis failures keep their
+    /// [`Synth`](BridgeError::Synth) identity, capacity refusals
+    /// (rejected or shed) become the retryable
+    /// [`Overloaded`](BridgeError::Overloaded), and lifecycle/internal
+    /// failures land in [`Flow`](BridgeError::Flow).
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Synth(s) => BridgeError::Synth(s),
+            ServiceError::Overloaded { .. } | ServiceError::Shed => BridgeError::Overloaded(e),
+            ServiceError::ShuttingDown | ServiceError::Internal(_) => {
+                BridgeError::Flow(e.to_string())
+            }
+        }
     }
 }
 
@@ -429,6 +454,37 @@ impl LinkedFlow {
     /// [`BridgeError::Synth`] on the first unmappable component.
     pub fn map(self, engine: &Dtas) -> Result<MappedFlow, BridgeError> {
         let mapping = engine.synthesize_netlist(&self.netlist)?;
+        Ok(MappedFlow {
+            linked: self,
+            mapping,
+        })
+    }
+
+    /// Like [`map`](Self::map), but through a running [`DtasService`]:
+    /// every distinct component is submitted as one bulk-lane batch and
+    /// the tickets are collected, so the mapping competes fairly with the
+    /// service's other traffic — interactive queries overtake it, and
+    /// admission control applies instead of unbounded queueing.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::Overloaded`] when admission refuses or sheds a
+    /// component under load (retry later, or against a service with a
+    /// deeper queue), [`BridgeError::Synth`] on the first unmappable
+    /// component, [`BridgeError::Flow`] when the service is shutting
+    /// down.
+    pub fn map_service(self, service: &DtasService) -> Result<MappedFlow, BridgeError> {
+        let census = self.netlist.spec_census();
+        let requests: Vec<SynthRequest> = census
+            .values()
+            .map(|(component, _count)| SynthRequest::new(component.spec().clone()))
+            .collect();
+        let tickets = service.submit_batch(requests);
+        let mut mapping = BTreeMap::new();
+        for (key, ticket) in census.into_keys().zip(tickets) {
+            let outcome = ticket?.recv()?;
+            mapping.insert(key, DesignSet::clone(&outcome.design));
+        }
         Ok(MappedFlow {
             linked: self,
             mapping,

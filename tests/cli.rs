@@ -181,3 +181,77 @@ fn flow_accepts_a_cache_dir() {
     let _ = std::fs::remove_file(&entity);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn map_queue_depth_routes_through_the_service() {
+    let out = dtas()
+        .args([
+            "map",
+            "--spec",
+            "add:16:cin:cout",
+            "--queue-depth",
+            "4",
+            "--stats",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Same trade-off table as the direct path…
+    assert!(stdout.contains("ADDSUB.16+CI+CO(ADD)"), "{stdout}");
+    // …plus the service accounting line next to the cache/store lines.
+    assert!(
+        stdout.contains("service: admitted=1 completed=1 rejected=0 shed=0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("cache: hits="), "{stdout}");
+}
+
+#[test]
+fn bench_load_reports_throughput_and_sheds_when_undersized() {
+    let out = dtas()
+        .args([
+            "bench-load",
+            "--clients",
+            "2",
+            "--requests",
+            "50",
+            "--queue-depth",
+            "16",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("ok=100 overloaded=0 shed=0 failed=0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("throughput: completed_qps="), "{stdout}");
+    assert!(stdout.contains("wait: p50_us="), "{stdout}");
+
+    // An undersized ShedOldest queue must shed but resolve everything.
+    let out = dtas()
+        .args([
+            "bench-load",
+            "--clients",
+            "2",
+            "--requests",
+            "200",
+            "--queue-depth",
+            "1",
+            "--workers",
+            "1",
+            "--admission",
+            "shed",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let service_line = stdout
+        .lines()
+        .find(|l| l.starts_with("service:"))
+        .expect("service stats line");
+    assert!(!service_line.contains("shed=0"), "{service_line}");
+}

@@ -1,0 +1,517 @@
+//! Service-layer coverage for `DtasService`: admission policies (reject /
+//! block / shed-oldest), priority lanes, drain-on-shutdown, background
+//! checkpointing, worker-panic containment, and a proptest pinning
+//! service-path results bit-identical to direct `Dtas::synthesize`.
+
+mod common;
+
+use cells::lsi::lsi_logic_subset;
+use common::fingerprint;
+use dtas::template::NetlistTemplate;
+use dtas::{
+    Admission, Dtas, DtasConfig, DtasService, Priority, Rule, RuleSet, ServiceConfig, ServiceError,
+    SynthError, SynthRequest,
+};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use hls_rtl_bridge::BridgeError;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn adder(width: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::AddSub, width)
+        .with_ops(OpSet::only(Op::Add))
+        .with_carry_in(true)
+        .with_carry_out(true)
+}
+
+fn mux(width: usize, ways: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::Mux, width).with_inputs(ways)
+}
+
+fn unmappable() -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::StackFifo, 8)
+        .with_width2(4)
+        .with_ops([Op::Push, Op::Pop].into_iter().collect())
+        .with_style("STACK")
+}
+
+/// A spec the [`SlowRule`] stalls on — each distinct width is a distinct
+/// cold solve, so every submission occupies the worker afresh.
+fn slow_spec(width: usize) -> ComponentSpec {
+    adder(width).with_style("SLOW")
+}
+
+/// Test-only rule: sleeps when expanding a `SLOW`-styled spec, turning a
+/// request into a deterministic worker-occupier.
+struct SlowRule(Duration);
+
+impl Rule for SlowRule {
+    fn name(&self) -> &str {
+        "slow-marker"
+    }
+    fn doc(&self) -> &str {
+        "test-only: stall expansion of SLOW-styled specs"
+    }
+    fn expand(&self, spec: &ComponentSpec) -> Vec<NetlistTemplate> {
+        if spec.style.as_deref() == Some("SLOW") {
+            std::thread::sleep(self.0);
+        }
+        vec![]
+    }
+}
+
+/// An engine whose `SLOW`-styled specs take `delay` to expand. Serial
+/// solve threads keep the stall on the worker thread itself.
+fn slow_engine(delay: Duration) -> Arc<Dtas> {
+    let mut rules = RuleSet::standard().with_lsi_extensions();
+    rules.append_library_rules(vec![Box::new(SlowRule(delay))]);
+    Arc::new(
+        Dtas::new(lsi_logic_subset())
+            .with_rules(rules)
+            .with_config(DtasConfig {
+                threads: Some(1),
+                ..DtasConfig::default()
+            }),
+    )
+}
+
+/// Polls `cond` for up to `timeout`; panics with `what` on expiry.
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Blocks until one request is being executed and the lanes are empty —
+/// the state every admission test builds on.
+fn wait_for_busy_worker(service: &DtasService) {
+    wait_until("worker pickup", Duration::from_secs(10), || {
+        let stats = service.stats();
+        stats.running_now == 1 && stats.queued_now == 0
+    });
+}
+
+#[test]
+fn reject_policy_refuses_when_full_and_maps_to_bridge_overloaded() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(300)),
+        ServiceConfig {
+            workers: Some(1),
+            queue_depth: 1,
+            admission: Admission::Reject,
+            ..ServiceConfig::default()
+        },
+    );
+    let running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let queued = service
+        .submit(SynthRequest::new(slow_spec(5)))
+        .expect("fills the queue");
+    // Queue full (depth 1): both submit and try_submit refuse instantly.
+    let err = service
+        .submit(SynthRequest::new(adder(8)))
+        .expect_err("queue is full");
+    assert_eq!(err, ServiceError::Overloaded { queue_depth: 1 });
+    assert!(matches!(
+        service.try_submit(SynthRequest::new(adder(8))),
+        Err(ServiceError::Overloaded { queue_depth: 1 })
+    ));
+    // The satellite contract: a rejected submission surfaces to Flow
+    // callers as `BridgeError::Overloaded`.
+    assert!(matches!(BridgeError::from(err), BridgeError::Overloaded(_)));
+
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.admitted, 2);
+    // Admitted work drained: both tickets resolved (the styled specs may
+    // legitimately solve or report NoImplementation — they must answer).
+    assert!(running.try_recv().is_some());
+    assert!(queued.try_recv().is_some());
+}
+
+#[test]
+fn block_admission_honors_its_timeout() {
+    // Case 1: capacity never frees within the timeout — Overloaded after
+    // (roughly) the configured wait.
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(700)),
+        ServiceConfig {
+            workers: Some(1),
+            queue_depth: 1,
+            admission: Admission::Block {
+                timeout: Duration::from_millis(100),
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let _queued = service
+        .submit(SynthRequest::new(slow_spec(5)))
+        .expect("fills");
+    let t0 = Instant::now();
+    let err = service
+        .submit(SynthRequest::new(adder(8)))
+        .expect_err("no room within the timeout");
+    let waited = t0.elapsed();
+    assert_eq!(err, ServiceError::Overloaded { queue_depth: 1 });
+    assert!(
+        waited >= Duration::from_millis(90),
+        "Block must wait out its timeout before refusing (waited {waited:?})"
+    );
+    service.shutdown();
+
+    // Case 2: capacity frees in time — the same full-queue submission
+    // blocks briefly, then lands.
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(150)),
+        ServiceConfig {
+            workers: Some(1),
+            queue_depth: 1,
+            admission: Admission::Block {
+                timeout: Duration::from_secs(30),
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let _queued = service
+        .submit(SynthRequest::new(slow_spec(5)))
+        .expect("fills");
+    let t0 = Instant::now();
+    let ticket = service
+        .submit(SynthRequest::new(adder(8)))
+        .expect("room frees within the timeout");
+    assert!(t0.elapsed() < Duration::from_secs(25));
+    assert!(ticket.recv().is_ok());
+    let stats = service.shutdown();
+    assert_eq!((stats.rejected, stats.shed), (0, 0));
+}
+
+#[test]
+fn shed_oldest_sheds_the_oldest_bulk_ticket_first() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(300)),
+        ServiceConfig {
+            workers: Some(1),
+            queue_depth: 2,
+            admission: Admission::ShedOldest,
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    // Two bulk requests fill the queue…
+    let bulk = service.submit_batch([SynthRequest::new(adder(8)), SynthRequest::new(adder(12))]);
+    let mut bulk = bulk.into_iter();
+    let oldest = bulk.next().expect("two tickets").expect("admitted");
+    let newer = bulk.next().expect("two tickets").expect("admitted");
+    // …and an interactive submission over the full queue evicts exactly
+    // the oldest bulk one.
+    let interactive = service
+        .submit(SynthRequest::new(adder(16)))
+        .expect("ShedOldest always admits");
+    assert_eq!(
+        oldest.recv().expect_err("the oldest bulk ticket is shed"),
+        ServiceError::Shed
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.shed, 1);
+    // The survivors complete — and the interactive one, though submitted
+    // last, is dispatched before the remaining bulk request.
+    let newer = newer.recv().expect("bulk survivor completes");
+    let interactive = interactive.recv().expect("interactive completes");
+    assert_eq!(newer.priority, Priority::Bulk);
+    assert_eq!(interactive.priority, Priority::Interactive);
+    assert!(
+        interactive.dispatch_order < newer.dispatch_order,
+        "interactive must overtake bulk: {} vs {}",
+        interactive.dispatch_order,
+        newer.dispatch_order
+    );
+}
+
+#[test]
+fn shutdown_drains_every_admitted_ticket() {
+    let service = DtasService::start(
+        Arc::new(Dtas::new(lsi_logic_subset())),
+        ServiceConfig {
+            workers: Some(2),
+            ..ServiceConfig::default()
+        },
+    );
+    let specs: Vec<ComponentSpec> = (0..40)
+        .map(|i| match i % 4 {
+            0 => adder(4 + (i % 8)),
+            1 => mux(4, 2 + (i % 3)),
+            2 => adder(16),
+            _ => unmappable(),
+        })
+        .collect();
+    let tickets: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            service
+                .submit(SynthRequest::new(s.clone()))
+                .expect("admits")
+        })
+        .collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.admitted, 40);
+    assert_eq!(stats.completed, 40, "shutdown must drain, not abandon");
+    assert_eq!(stats.shed, 0);
+    for (spec, ticket) in specs.iter().zip(&tickets) {
+        match ticket.try_recv().expect("resolved by the drain") {
+            Ok(outcome) => assert!(!outcome.design.alternatives.is_empty(), "{spec}"),
+            Err(ServiceError::Synth(SynthError::NoImplementation(_))) => {
+                assert_eq!(spec, &unmappable(), "only the stack spec may fail");
+            }
+            Err(other) => panic!("{spec}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn background_checkpoint_lands_on_disk_mid_run() {
+    let dir = std::env::temp_dir().join(format!("dtas_service_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Arc::new(Dtas::warm_start(lsi_logic_subset(), &dir));
+    let service = DtasService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers: Some(1),
+            checkpoint_interval: Some(Duration::from_millis(25)),
+            ..ServiceConfig::default()
+        },
+    );
+    let outcome = service
+        .submit(SynthRequest::new(adder(16)))
+        .expect("admits")
+        .recv()
+        .expect("solves");
+    assert!(!outcome.design.alternatives.is_empty());
+    // The background thread must flush without any shutdown involved.
+    // Wait for a checkpoint that *starts after* the solve settled — an
+    // earlier tick may legitimately have flushed a pre-solve (empty)
+    // snapshot.
+    let ticks_before_solve_settled = service.stats().checkpoints;
+    wait_until("a background checkpoint", Duration::from_secs(20), || {
+        service.stats().checkpoints > ticks_before_solve_settled + 1
+    });
+    let snapshot_files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.metadata().map(|m| m.len() > 0).unwrap_or(false))
+        .collect();
+    assert!(
+        !snapshot_files.is_empty(),
+        "the mid-run checkpoint must land on disk"
+    );
+    // A second engine warm-starts from the mid-run snapshot while the
+    // service is still up — the cross-process scenario.
+    let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+    assert_eq!(warm.cache_stats().snapshot_loads, 1);
+    let warm_set = warm.synthesize(&adder(16)).expect("warm hit");
+    assert_eq!(fingerprint(&warm_set), fingerprint(&outcome.design));
+    assert_eq!(warm.cache_stats().hits, 1);
+    drop(warm);
+
+    let stats = service.shutdown();
+    assert!(stats.checkpoints >= 2, "shutdown adds a final checkpoint");
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_panic_resolves_the_ticket_and_the_service_survives() {
+    struct PanicRule;
+    impl Rule for PanicRule {
+        fn name(&self) -> &str {
+            "panic-marker"
+        }
+        fn doc(&self) -> &str {
+            "test-only: panic while expanding PANIC-styled specs"
+        }
+        fn expand(&self, spec: &ComponentSpec) -> Vec<NetlistTemplate> {
+            if spec.style.as_deref() == Some("PANIC") {
+                panic!("injected service panic");
+            }
+            vec![]
+        }
+    }
+    let mut rules = RuleSet::standard().with_lsi_extensions();
+    rules.append_library_rules(vec![Box::new(PanicRule)]);
+    let engine = Arc::new(Dtas::new(lsi_logic_subset()).with_rules(rules).with_config(
+        DtasConfig {
+            threads: Some(1),
+            ..DtasConfig::default()
+        },
+    ));
+    let service = DtasService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let poisoned = service
+        .submit(SynthRequest::new(adder(4).with_style("PANIC")))
+        .expect("admits");
+    assert!(
+        matches!(poisoned.recv(), Err(ServiceError::Internal(_))),
+        "a worker panic must resolve the ticket, not hang it"
+    );
+    // The worker thread survived and the engine recovered (poison
+    // recovery drops the half-mutated state): later requests answer
+    // exactly like a fresh engine.
+    let after = service
+        .submit(SynthRequest::new(adder(16)))
+        .expect("still admitting")
+        .recv()
+        .expect("still solving");
+    let fresh = Dtas::new(lsi_logic_subset())
+        .synthesize(&adder(16))
+        .unwrap();
+    assert_eq!(fingerprint(&after.design), fingerprint(&fresh));
+    assert!(engine.cache_stats().poison_recoveries >= 1);
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 2);
+}
+
+/// Soak-oriented stress: 8 clients of mixed interactive/bulk traffic
+/// against one service with aggressive background checkpointing; every
+/// successful outcome must be bit-identical to a fresh engine's answer,
+/// and the final accounting must balance. The CI soak job runs this in
+/// release mode with 8 test threads.
+#[test]
+fn service_stress_mixed_priorities_with_checkpointing() {
+    let dir = std::env::temp_dir().join(format!("dtas_service_stress_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs: Vec<ComponentSpec> = vec![
+        adder(8),
+        adder(16),
+        adder(32),
+        mux(4, 4),
+        mux(8, 2),
+        unmappable(),
+    ];
+    let reference: Vec<Result<common::Fingerprint, SynthError>> = specs
+        .iter()
+        .map(|s| {
+            Dtas::new(lsi_logic_subset())
+                .synthesize(s)
+                .map(|set| fingerprint(&set))
+        })
+        .collect();
+    let engine = Arc::new(Dtas::warm_start(lsi_logic_subset(), &dir));
+    let service = DtasService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            queue_depth: 256,
+            admission: Admission::Block {
+                timeout: Duration::from_secs(60),
+            },
+            checkpoint_interval: Some(Duration::from_millis(10)),
+            ..ServiceConfig::default()
+        },
+    );
+    let clients = 8;
+    let rounds = 60;
+    std::thread::scope(|scope| {
+        for w in 0..clients {
+            let service = &service;
+            let specs = &specs;
+            let reference = &reference;
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    let spec = &specs[(w + r) % specs.len()];
+                    let expect = &reference[(w + r) % specs.len()];
+                    let request = SynthRequest::new(spec.clone());
+                    let ticket = if r % 3 == 0 {
+                        let mut batch = service.submit_batch([request]);
+                        batch.pop().expect("one ticket").expect("admitted")
+                    } else {
+                        service.submit(request).expect("admitted")
+                    };
+                    match (ticket.recv(), expect) {
+                        (Ok(outcome), Ok(expect)) => {
+                            assert_eq!(&fingerprint(&outcome.design), expect, "{spec}");
+                        }
+                        (Err(ServiceError::Synth(got)), Err(expect)) => {
+                            assert_eq!(&got, expect, "{spec}")
+                        }
+                        (got, _) => panic!("client {w} round {r} {spec}: {got:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = service.shutdown();
+    assert_eq!(stats.admitted, (clients * rounds) as u64);
+    assert_eq!(stats.completed, stats.admitted);
+    assert_eq!((stats.rejected, stats.shed), (0, 0));
+    assert_eq!(engine.cache_stats().poison_recoveries, 0);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// For arbitrary small workloads (duplicates and unmappable specs
+    /// included), the service path returns bit-identical results — and
+    /// identical errors — to calling `Dtas::synthesize` directly.
+    #[test]
+    fn service_results_are_bit_identical_to_direct_synthesize(
+        picks in proptest::collection::vec(0usize..7, 1..12),
+    ) {
+        let pool: Vec<ComponentSpec> = vec![
+            adder(4),
+            adder(8),
+            adder(12),
+            mux(4, 4),
+            mux(1, 2),
+            ComponentSpec::new(ComponentKind::Comparator, 4)
+                .with_ops([Op::Eq, Op::Lt, Op::Gt].into_iter().collect()),
+            unmappable(),
+        ];
+        let direct = Dtas::new(lsi_logic_subset());
+        let service = DtasService::start(
+            Arc::new(Dtas::new(lsi_logic_subset())),
+            ServiceConfig::default(),
+        );
+        let specs: Vec<&ComponentSpec> = picks.iter().map(|&i| &pool[i]).collect();
+        let tickets = service.submit_batch(
+            specs.iter().map(|s| SynthRequest::new((*s).clone())),
+        );
+        for (spec, ticket) in specs.iter().zip(tickets) {
+            let via_service = ticket.expect("admitted").recv();
+            let via_direct = direct.synthesize(spec);
+            match (via_service, via_direct) {
+                (Ok(outcome), Ok(set)) => {
+                    prop_assert_eq!(fingerprint(&outcome.design), fingerprint(&set), "{}", spec);
+                }
+                (Err(ServiceError::Synth(a)), Err(b)) => prop_assert_eq!(a, b, "{}", spec),
+                (a, b) => prop_assert!(false, "{}: service {:?} vs direct {:?}", spec, a, b),
+            }
+        }
+        service.shutdown();
+    }
+}
