@@ -10,7 +10,10 @@
 //!   restart/warm-start win, compared as a ratio so machine speed
 //!   cancels out;
 //! * `service.saturation_qps` — the admission-controlled service's
-//!   saturation throughput.
+//!   saturation throughput;
+//! * `serve.saturation_qps` and `serve.rtt_p99_us` — the `dtas serve`
+//!   wire protocol end to end over loopback TCP: saturation throughput
+//!   and the client-observed round-trip tail.
 //!
 //! Only same-machine comparisons are meaningful for the absolute
 //! numbers, so the tolerance is generous (default 3x, `--tolerance N`)
@@ -195,6 +198,34 @@ fn run_gate(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Finding> {
         &mut findings,
     );
 
+    // Loopback wire throughput (`dtas serve` end to end). Every request
+    // pays frame encode + TCP + checksum, so the floor sits well below
+    // the in-process service's: 10k memo hits/s over loopback is healthy
+    // anywhere, while a per-frame pathology (a dropped pipeline window, a
+    // blocking flush per byte) lands far under it.
+    gate_throughput(
+        "serve.saturation_qps".to_string(),
+        baseline
+            .at(&["serve", "saturation_qps"])
+            .and_then(Json::num),
+        current.at(&["serve", "saturation_qps"]).and_then(Json::num),
+        tolerance,
+        10_000.0,
+        &mut findings,
+    );
+
+    // Client-observed round-trip tail at saturation. The 32-deep
+    // pipeline dominates the RTT (queueing, not wire time), so the
+    // noise floor is generous: a p99 still under 20 ms is healthy.
+    gate_latency(
+        "serve.rtt_p99_us".to_string(),
+        baseline.at(&["serve", "rtt_p99_us"]).and_then(Json::num),
+        current.at(&["serve", "rtt_p99_us"]).and_then(Json::num),
+        tolerance,
+        20_000.0,
+        &mut findings,
+    );
+
     findings
 }
 
@@ -274,10 +305,22 @@ mod tests {
     use super::*;
 
     fn snapshot(repeat_ms: f64, warm_ms: f64, cold_ms: f64, qps: f64) -> Json {
+        snapshot_with_serve(repeat_ms, warm_ms, cold_ms, qps, qps / 10.0, 2_000.0)
+    }
+
+    fn snapshot_with_serve(
+        repeat_ms: f64,
+        warm_ms: f64,
+        cold_ms: f64,
+        qps: f64,
+        serve_qps: f64,
+        rtt_p99_us: f64,
+    ) -> Json {
         Json::parse(&format!(
             r#"{{ "queries": [ {{ "name": "ALU64", "repeat_ms": {repeat_ms} }} ],
                  "warm_start": {{ "warm_first_ms": {warm_ms}, "cold_first_ms": {cold_ms} }},
-                 "service": {{ "saturation_qps": {qps} }} }}"#
+                 "service": {{ "saturation_qps": {qps} }},
+                 "serve": {{ "saturation_qps": {serve_qps}, "rtt_p99_us": {rtt_p99_us} }} }}"#
         ))
         .expect("test snapshot parses")
     }
@@ -298,9 +341,10 @@ mod tests {
 
     #[test]
     fn noise_under_the_floor_passes() {
-        // 10x repeat regression but still microseconds: skip, not fail.
+        // 10x repeat regression but still microseconds, and a 7x RTT
+        // regression still under the 20 ms floor: skip, not fail.
         let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
-        let cur = snapshot(0.05, 0.02, 100.0, 400_000.0);
+        let cur = snapshot_with_serve(0.05, 0.02, 100.0, 400_000.0, 40_000.0, 15_000.0);
         let findings = run_gate(&base, &cur, 3.0);
         assert!(verdicts(&findings).iter().all(|f| !f), "noise must pass");
     }
@@ -309,10 +353,12 @@ mod tests {
     fn real_regressions_fail() {
         let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
         // Memo hit became a re-solve (ms scale), warm start broke (warm
-        // ~= cold), service throughput collapsed below the health floor.
-        let cur = snapshot(50.0, 90.0, 100.0, 5_000.0);
+        // ~= cold), service throughput collapsed below the health floor,
+        // the wire path collapsed with it, and the RTT tail blew past
+        // both the tolerance and the noise floor.
+        let cur = snapshot_with_serve(50.0, 90.0, 100.0, 5_000.0, 500.0, 500_000.0);
         let findings = run_gate(&base, &cur, 3.0);
-        assert_eq!(verdicts(&findings), vec![true, true, true]);
+        assert_eq!(verdicts(&findings), vec![true, true, true, true, true]);
     }
 
     #[test]

@@ -13,13 +13,17 @@ use bench::{adder_spec, alu_spec, GCD_SOURCE};
 use cells::lsi::lsi_logic_subset;
 use controlc::close_design;
 use dtas::service::percentile;
-use dtas::{Admission, Dtas, DtasConfig, DtasService, ServiceConfig, SynthRequest};
+use dtas::{
+    Admission, Dtas, DtasConfig, DtasService, Priority, ServeConfig, ServiceConfig, SynthRequest,
+    WireClient, WireServer,
+};
 use genus::behavior::Env;
 use genus::spec::ComponentSpec;
 use hls::compile::{compile, Constraints};
 use hls::lang::parse_entity;
 use rtl_base::bits::Bits;
 use rtlsim::{FlatDesign, Simulator};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -365,6 +369,119 @@ fn service_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServiceMetrics {
     }
 }
 
+/// One loopback load point: N pipelined wire clients against a
+/// [`WireServer`] on an ephemeral 127.0.0.1 port.
+struct ServeLoad {
+    clients: usize,
+    completed: u64,
+    qps: f64,
+}
+
+/// The `serve` block: loopback wire-protocol throughput at 1/2/4
+/// clients plus client-observed round-trip percentiles at the highest
+/// client count. Every request crosses the full network stack — frame
+/// encode, TCP loopback, checksum verify, service queue, frame back —
+/// so this is the end-to-end number `dtas bench-load --connect` sees.
+struct ServeMetrics {
+    loads: Vec<ServeLoad>,
+    rtt_p50_us: u64,
+    rtt_p99_us: u64,
+}
+
+fn serve_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServeMetrics {
+    engine.synthesize(spec).expect("warms");
+    let per_client = 2_000usize;
+    // Same pipeline depth as `dtas bench-load --connect`: deep enough to
+    // keep the socket busy, shallow enough that RTTs stay queue-bounded.
+    let window = 32usize;
+    let client_counts = [1usize, 2, 4];
+    let mut loads = Vec::new();
+    let mut rtts_us: Vec<u64> = Vec::new();
+    for clients in client_counts {
+        let server = WireServer::start(
+            Arc::clone(engine),
+            ServeConfig {
+                service: ServiceConfig {
+                    queue_depth: 4096,
+                    admission: Admission::Block {
+                        timeout: Duration::from_secs(60),
+                    },
+                    ..ServiceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            ("127.0.0.1", 0),
+        )
+        .expect("binds an ephemeral loopback port");
+        let addr = server.local_addr();
+        let t0 = Instant::now();
+        let per_client_rtts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let lane = if i % 2 == 0 {
+                            Priority::Interactive
+                        } else {
+                            Priority::Bulk
+                        };
+                        let mut client =
+                            WireClient::connect(addr, lane).expect("loopback client connects");
+                        let request = SynthRequest::new(spec.clone());
+                        let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(window);
+                        let mut rtts = Vec::with_capacity(per_client);
+                        let mut drain = |client: &mut WireClient, sent: Instant| {
+                            let result = client.recv_result().expect("result frame");
+                            result.result.expect("loopback hit serves");
+                            rtts.push(sent.elapsed().as_micros() as u64);
+                        };
+                        for _ in 0..per_client {
+                            if sent_at.len() == window {
+                                let sent = sent_at.pop_front().expect("window nonempty");
+                                drain(&mut client, sent);
+                            }
+                            client.submit(&request).expect("submits");
+                            sent_at.push_back(Instant::now());
+                        }
+                        while let Some(sent) = sent_at.pop_front() {
+                            drain(&mut client, sent);
+                        }
+                        rtts
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let stats = server.shutdown();
+        let completed = (clients * per_client) as u64;
+        assert_eq!(
+            stats.completed, stats.admitted,
+            "graceful shutdown drains every admitted request: {stats}"
+        );
+        assert!(
+            stats.completed >= completed,
+            "every client request completed: {stats}"
+        );
+        loads.push(ServeLoad {
+            clients,
+            completed,
+            qps: completed as f64 / elapsed,
+        });
+        if clients == *client_counts.last().expect("nonempty") {
+            rtts_us = per_client_rtts.concat();
+        }
+    }
+    rtts_us.sort_unstable();
+    ServeMetrics {
+        loads,
+        rtt_p50_us: percentile(&rtts_us, 50.0),
+        rtt_p99_us: percentile(&rtts_us, 99.0),
+    }
+}
+
 fn gcd_cycles_per_sec() -> f64 {
     let entity = parse_entity(GCD_SOURCE).expect("parses");
     let design = compile(&entity, &Constraints::default()).expect("compiles");
@@ -440,6 +557,13 @@ fn main() {
     // The admission-controlled service over the same warmed engine:
     // saturation throughput, queue waits, and overload shedding.
     let service = service_metrics(&engine, &alu64);
+
+    // The wire protocol end to end: loopback TCP throughput and
+    // client-observed round trips, the `dtas serve` hot path. ADD16
+    // rather than ALU64: an ALU64 result frame serializes hundreds of
+    // kilobytes, so it measures loopback bandwidth; the small ADD16
+    // frame measures the protocol itself.
+    let serve = serve_metrics(&engine, &adder_spec(16));
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -561,6 +685,29 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"note\": \"saturation: clients pipeline batches of ALU64 memo hits through DtasService (Arc delivery, no per-hit deep clone); service_vs_direct >= 1 is asserted at equal client count. overload: an undersized ShedOldest queue must shed (shed > 0 asserted) while every ticket still resolves\""
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"serve\": {{");
+    let _ = writeln!(json, "    \"spec\": \"ADD16\",");
+    let _ = writeln!(json, "    \"loopback\": [");
+    for (i, load) in serve.loads.iter().enumerate() {
+        let comma = if i + 1 == serve.loads.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{ \"clients\": {}, \"completed\": {}, \"qps\": {:.0} }}{comma}",
+            load.clients, load.completed, load.qps
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let serve_saturation_qps = serve.loads.last().map(|l| l.qps).unwrap_or(0.0);
+    let _ = writeln!(
+        json,
+        "    \"saturation_qps\": {serve_saturation_qps:.0}, \"rtt_p50_us\": {}, \"rtt_p99_us\": {},",
+        serve.rtt_p50_us, serve.rtt_p99_us
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"ADD16 memo hits over the real wire: 32-deep pipelined WireClients against a WireServer on 127.0.0.1 (frame encode + TCP + checksum + service queue per request); rtt percentiles are client-observed at the highest client count and include pipeline queueing\""
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(

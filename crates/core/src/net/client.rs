@@ -1,0 +1,280 @@
+//! The client half of the wire protocol: connect, pipeline requests,
+//! stream results.
+
+use super::frame::{ClientMsg, FrameReader, ServerMsg, WireDesignSet, WireStats, WIRE_VERSION};
+use super::{WireError, MAX_FRAME_LEN};
+use crate::request::SynthRequest;
+use crate::service::Priority;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One resolved request or batch slot, as received off the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireResult {
+    /// The correlation id the request was submitted under.
+    pub id: u64,
+    /// Slot index within the batch (0 for single requests).
+    pub slot: u32,
+    /// Total slots under this id.
+    pub of: u32,
+    /// The outcome: a design set, or the server's typed refusal.
+    pub result: Result<WireDesignSet, WireError>,
+}
+
+/// A blocking client for one [`WireServer`](super::WireServer)
+/// connection.
+///
+/// The low-level pair [`submit`](Self::submit) /
+/// [`recv_result`](Self::recv_result) pipelines: many requests can be
+/// in flight before the first result is read (`dtas bench-load
+/// --connect` runs a 32-deep window this way). [`request`](Self::request)
+/// is the one-shot convenience wrapper.
+///
+/// ```no_run
+/// use dtas::net::WireClient;
+/// use dtas::{Priority, SynthRequest};
+/// use genus::kind::ComponentKind;
+/// use genus::spec::ComponentSpec;
+///
+/// let mut client = WireClient::connect("127.0.0.1:7171", Priority::Interactive)?;
+/// let spec = ComponentSpec::new(ComponentKind::AddSub, 16);
+/// let designs = client.request(&SynthRequest::new(spec))?;
+/// assert!(!designs.alternatives.is_empty());
+/// # Ok::<(), dtas::net::WireError>(())
+/// ```
+pub struct WireClient {
+    stream: TcpStream,
+    frames: FrameReader,
+    lane: Priority,
+    fingerprints: (u64, u64, u64),
+    next_id: u64,
+    pending: u64,
+    /// Results read past while hunting for a stats frame, replayed by
+    /// the next [`recv_result`](Self::recv_result) calls.
+    held: VecDeque<WireResult>,
+    said_bye: bool,
+}
+
+impl std::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireClient")
+            .field("lane", &self.lane)
+            .field("fingerprints", &self.fingerprints)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WireClient {
+    /// Connects and handshakes onto `lane`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the socket fails, or the server's typed
+    /// handshake refusal ([`WireError::Version`], …).
+    pub fn connect(addr: impl ToSocketAddrs, lane: Priority) -> Result<Self, WireError> {
+        Self::handshake(addr, lane, None)
+    }
+
+    /// [`connect`](Self::connect), additionally pinning the engine the
+    /// server must be running: its `(library, rules, config)`
+    /// fingerprint triple (see [`StoreKey`](crate::StoreKey)).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`connect`](Self::connect) can return, plus
+    /// [`WireError::FingerprintMismatch`] from the server.
+    pub fn connect_checked(
+        addr: impl ToSocketAddrs,
+        lane: Priority,
+        expect: (u64, u64, u64),
+    ) -> Result<Self, WireError> {
+        Self::handshake(addr, lane, Some(expect))
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        lane: Priority,
+        expect: Option<(u64, u64, u64)>,
+    ) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = WireClient {
+            frames: FrameReader::new(stream.try_clone()?, MAX_FRAME_LEN),
+            stream,
+            lane,
+            fingerprints: (0, 0, 0),
+            next_id: 0,
+            pending: 0,
+            held: VecDeque::new(),
+            said_bye: false,
+        };
+        client.send(&ClientMsg::Hello {
+            wire_version: WIRE_VERSION,
+            lane,
+            expect,
+        })?;
+        match client.read_msg()? {
+            ServerMsg::HelloAck {
+                library,
+                rules,
+                config,
+                ..
+            } => {
+                client.fingerprints = (library, rules, config);
+                Ok(client)
+            }
+            ServerMsg::Error(e) => Err(e),
+            other => Err(WireError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The lane this connection negotiated.
+    pub fn lane(&self) -> Priority {
+        self.lane
+    }
+
+    /// The server engine's `(library, rules, config)` fingerprints from
+    /// the handshake.
+    pub fn server_fingerprints(&self) -> (u64, u64, u64) {
+        self.fingerprints
+    }
+
+    /// Submits one request without waiting, returning its correlation
+    /// id. Exactly one result frame will answer it.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the socket fails.
+    pub fn submit(&mut self, request: &SynthRequest) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&ClientMsg::Request {
+            id,
+            request: request.clone(),
+        })?;
+        self.pending += 1;
+        Ok(id)
+    }
+
+    /// Submits a batch without waiting; `requests.len()` result frames
+    /// will stream back under the returned id as slots resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the socket fails.
+    pub fn submit_batch(&mut self, requests: &[SynthRequest]) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&ClientMsg::Batch {
+            id,
+            requests: requests.to_vec(),
+        })?;
+        self.pending += requests.len() as u64;
+        Ok(id)
+    }
+
+    /// Receives the next result frame (per-request refusals like
+    /// [`WireError::Overloaded`] arrive *inside* the [`WireResult`]).
+    ///
+    /// # Errors
+    ///
+    /// Connection-level failures only: typed [`ServerMsg::Error`]
+    /// frames, protocol violations, or the socket dying.
+    pub fn recv_result(&mut self) -> Result<WireResult, WireError> {
+        if let Some(result) = self.held.pop_front() {
+            return Ok(result);
+        }
+        self.read_result_frame()
+    }
+
+    /// Round-trips one request.
+    ///
+    /// # Errors
+    ///
+    /// The server's typed refusal for this request, or any
+    /// connection-level failure.
+    pub fn request(&mut self, request: &SynthRequest) -> Result<WireDesignSet, WireError> {
+        let id = self.submit(request)?;
+        let result = self.recv_result()?;
+        if result.id != id {
+            return Err(WireError::Protocol(format!(
+                "result for id {} while awaiting {id}",
+                result.id
+            )));
+        }
+        result.result
+    }
+
+    /// Fetches the server's stats frame: service counters, the
+    /// server-measured per-lane latency percentiles, cache summary and
+    /// connection count. Drains any pipelined results first (they are
+    /// replayed by later [`recv_result`](Self::recv_result) calls).
+    ///
+    /// # Errors
+    ///
+    /// Connection-level failures, as for [`recv_result`](Self::recv_result).
+    pub fn server_stats(&mut self) -> Result<WireStats, WireError> {
+        while self.pending > 0 {
+            let result = self.read_result_frame()?;
+            self.held.push_back(result);
+        }
+        self.send(&ClientMsg::Stats)?;
+        match self.read_msg()? {
+            ServerMsg::Stats(stats) => Ok(stats),
+            ServerMsg::Error(e) => Err(e),
+            other => Err(WireError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read_result_frame(&mut self) -> Result<WireResult, WireError> {
+        match self.read_msg()? {
+            ServerMsg::Result {
+                id,
+                slot,
+                of,
+                result,
+            } => {
+                self.pending = self.pending.saturating_sub(1);
+                Ok(WireResult {
+                    id,
+                    slot,
+                    of,
+                    result,
+                })
+            }
+            ServerMsg::Error(e) => Err(e),
+            other => Err(WireError::Protocol(format!(
+                "expected Result, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read_msg(&mut self) -> Result<ServerMsg, WireError> {
+        match self.frames.next_frame(None)? {
+            Some(payload) => ServerMsg::decode_payload(&payload),
+            None => Err(WireError::Io("server closed the connection".into())),
+        }
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), WireError> {
+        self.stream.write_all(&msg.encode_frame())?;
+        Ok(())
+    }
+}
+
+impl Drop for WireClient {
+    /// Best-effort goodbye so the server logs a clean disconnect rather
+    /// than an EOF.
+    fn drop(&mut self) {
+        if !self.said_bye {
+            self.said_bye = true;
+            let _ = self.stream.write_all(&ClientMsg::Bye.encode_frame());
+        }
+    }
+}

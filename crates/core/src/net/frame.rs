@@ -1,0 +1,930 @@
+//! Frame layout and message codec for the wire protocol.
+//!
+//! Messages reuse the snapshot codec's primitives
+//! ([`Writer`]/[`Reader`], `put_spec`/`get_spec`, …), so the wire
+//! inherits the same hardening: little-endian field-by-field layout,
+//! bounds-checked reads, collection counts capped by the remaining
+//! bytes, and tag bytes that reject instead of panicking. The frame
+//! layer on top adds its own magic, a payload-length prefix capped
+//! *before* any allocation, and an FNV-1a checksum verified before any
+//! payload byte is parsed.
+
+use super::WireError;
+use crate::report::DesignSet;
+use crate::request::SynthRequest;
+use crate::service::{LaneLatency, Priority, ServiceStats};
+use crate::space::FilterPolicy;
+use crate::store::codec::{
+    get_spec, get_synth_error, get_timing, put_spec, put_synth_error, put_timing, Reader, Writer,
+};
+use genus::spec::ComponentSpec;
+use rtl_base::hash::fnv1a_64;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Frame magic: identifies DTAS wire frames (distinct from the snapshot
+/// magic — a snapshot file piped at the server is rejected on byte 2).
+pub const WIRE_MAGIC: [u8; 4] = *b"DTW1";
+
+/// Version of the wire layout. Any change to frame or message encoding
+/// bumps this; the handshake refuses mismatched peers.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard cap on one frame's payload. A length prefix above this is a
+/// protocol error detected from the 8-byte header alone — the payload
+/// is never allocated or read.
+pub const MAX_FRAME_LEN: u32 = 8 << 20;
+
+/// magic + length prefix.
+const FRAME_HEADER: usize = 8;
+/// Trailing FNV-1a 64.
+const FRAME_CHECKSUM: usize = 8;
+
+// ---------------------------------------------------------------------
+// Frame layer.
+
+/// Wraps an encoded message payload into one wire frame.
+pub(crate) fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len() + FRAME_CHECKSUM);
+    frame.extend_from_slice(&WIRE_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let checksum = fnv1a_64(&frame);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame
+}
+
+/// Extracts one complete frame from the front of `buf`, draining the
+/// consumed bytes. `Ok(None)` means more bytes are needed; errors mean
+/// the stream can no longer be trusted. Magic bytes are validated as
+/// soon as they arrive and the length prefix is checked against
+/// `max_len` before the payload is buffered, so garbage and hostile
+/// prefixes fail fast without allocation.
+pub(crate) fn take_frame(buf: &mut Vec<u8>, max_len: u32) -> Result<Option<Vec<u8>>, WireError> {
+    let seen = buf.len().min(WIRE_MAGIC.len());
+    if buf[..seen] != WIRE_MAGIC[..seen] {
+        return Err(WireError::Protocol("bad frame magic".into()));
+    }
+    if buf.len() < FRAME_HEADER {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if len > max_len {
+        return Err(WireError::Protocol(format!(
+            "frame payload of {len} bytes exceeds the {max_len}-byte cap"
+        )));
+    }
+    let total = FRAME_HEADER + len as usize + FRAME_CHECKSUM;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = FRAME_HEADER + len as usize;
+    let stored = u64::from_le_bytes(buf[body..total].try_into().expect("checksum is 8 bytes"));
+    if fnv1a_64(&buf[..body]) != stored {
+        return Err(WireError::Protocol("frame checksum mismatch".into()));
+    }
+    let payload = buf[FRAME_HEADER..body].to_vec();
+    buf.drain(..total);
+    Ok(Some(payload))
+}
+
+/// Incremental frame reader over a [`TcpStream`]: accumulates partial
+/// reads (and read timeouts) into a buffer and surfaces whole verified
+/// frames. `Ok(None)` is a clean end-of-stream *between* frames; EOF
+/// mid-frame is a protocol error. When `stop` is set while the stream
+/// is idle, reading aborts with [`WireError::ShuttingDown`] — this is
+/// how server connections notice a drain.
+pub(crate) struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_len: u32,
+}
+
+impl FrameReader {
+    pub(crate) fn new(stream: TcpStream, max_len: u32) -> Self {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+            max_len,
+        }
+    }
+
+    pub(crate) fn next_frame(
+        &mut self,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<Vec<u8>>, WireError> {
+        loop {
+            if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                return Err(WireError::ShuttingDown);
+            }
+            if let Some(frame) = take_frame(&mut self.buf, self.max_len)? {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(WireError::Protocol(
+                            "connection closed mid-frame".to_string(),
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle poll tick: loop back to re-check `stop`.
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared field codecs.
+
+fn put_lane(w: &mut Writer, lane: Priority) {
+    w.u8(match lane {
+        Priority::Interactive => 0,
+        Priority::Bulk => 1,
+    });
+}
+
+fn get_lane(r: &mut Reader) -> Result<Priority, String> {
+    match r.u8("priority lane")? {
+        0 => Ok(Priority::Interactive),
+        1 => Ok(Priority::Bulk),
+        other => Err(format!("unknown priority-lane tag {other}")),
+    }
+}
+
+fn put_request(w: &mut Writer, request: &SynthRequest) {
+    put_spec(w, &request.spec);
+    match &request.root_filter {
+        None => w.u8(0),
+        Some(FilterPolicy::Pareto) => w.u8(1),
+        Some(FilterPolicy::Slack { area, delay }) => {
+            w.u8(2);
+            w.f64(*area);
+            w.f64(*delay);
+        }
+    }
+    match request.root_cap {
+        None => w.bool(false),
+        Some(cap) => {
+            w.bool(true);
+            w.u64(cap as u64);
+        }
+    }
+    match request.weights {
+        None => w.bool(false),
+        Some((area, delay)) => {
+            w.bool(true);
+            w.f64(area);
+            w.f64(delay);
+        }
+    }
+}
+
+fn get_request(r: &mut Reader) -> Result<SynthRequest, String> {
+    let mut request = SynthRequest::new(get_spec(r)?);
+    match r.u8("root-filter tag")? {
+        0 => {}
+        1 => request = request.with_root_filter(FilterPolicy::Pareto),
+        2 => {
+            let area = r.f64("slack area")?;
+            let delay = r.f64("slack delay")?;
+            request = request.with_root_filter(FilterPolicy::Slack { area, delay });
+        }
+        other => return Err(format!("unknown root-filter tag {other}")),
+    }
+    if r.bool("front-cap presence")? {
+        request = request.with_front_cap(r.u64("front cap")? as usize);
+    }
+    if r.bool("weights presence")? {
+        let area = r.f64("area weight")?;
+        let delay = r.f64("delay weight")?;
+        request = request.with_weights(area, delay);
+    }
+    Ok(request)
+}
+
+fn put_wire_error(w: &mut Writer, error: &WireError) {
+    match error {
+        WireError::Io(m) => {
+            w.u8(0);
+            w.str(m);
+        }
+        WireError::Protocol(m) => {
+            w.u8(1);
+            w.str(m);
+        }
+        WireError::Version { server, client } => {
+            w.u8(2);
+            w.u32(*server);
+            w.u32(*client);
+        }
+        WireError::FingerprintMismatch { field } => {
+            w.u8(3);
+            w.str(field);
+        }
+        WireError::Overloaded { queue_depth } => {
+            w.u8(4);
+            w.u64(*queue_depth);
+        }
+        WireError::Shed => w.u8(5),
+        WireError::ShuttingDown => w.u8(6),
+        WireError::Synth(e) => {
+            w.u8(7);
+            put_synth_error(w, e);
+        }
+        WireError::Internal(m) => {
+            w.u8(8);
+            w.str(m);
+        }
+    }
+}
+
+fn get_wire_error(r: &mut Reader) -> Result<WireError, String> {
+    Ok(match r.u8("wire-error tag")? {
+        0 => WireError::Io(r.str("i/o message")?),
+        1 => WireError::Protocol(r.str("protocol message")?),
+        2 => WireError::Version {
+            server: r.u32("server wire version")?,
+            client: r.u32("client wire version")?,
+        },
+        3 => WireError::FingerprintMismatch {
+            field: r.str("fingerprint field")?,
+        },
+        4 => WireError::Overloaded {
+            queue_depth: r.u64("queue depth")?,
+        },
+        5 => WireError::Shed,
+        6 => WireError::ShuttingDown,
+        7 => WireError::Synth(get_synth_error(r)?),
+        8 => WireError::Internal(r.str("internal message")?),
+        other => return Err(format!("unknown wire-error tag {other}")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Wire views of engine results and stats.
+
+/// One alternative of a [`WireDesignSet`]: costs, timing and the
+/// implementation reduced to its observable identity (style label plus
+/// cell census) — the same oracle the determinism test suites compare,
+/// without shipping the exponential implementation tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireAlternative {
+    /// Total area in equivalent NAND gates.
+    pub area: f64,
+    /// Worst-case delay in ns.
+    pub delay: f64,
+    /// Full timing-arc table.
+    pub timing: crate::cost::Timing,
+    /// Implementation style label (rule or cell name).
+    pub label: String,
+    /// Leaf-cell census: `(cell name, count)`, name-sorted.
+    pub cells: Vec<(String, u64)>,
+}
+
+/// A [`DesignSet`] as it travels the wire. Deterministic given the
+/// result (no wall-clock fields), so two engines that agree produce
+/// byte-identical encodings and equal [`fingerprint`](Self::fingerprint)s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireDesignSet {
+    /// The specification that was synthesized.
+    pub spec: ComponentSpec,
+    /// Alternatives ordered by increasing area.
+    pub alternatives: Vec<WireAlternative>,
+    /// Unconstrained design-space size (`f64::INFINITY` on overflow).
+    pub unconstrained_size: f64,
+    /// `log10` of the unconstrained size.
+    pub unconstrained_log10: f64,
+    /// Design count under the uniform-implementation constraint, when
+    /// enumeration stayed within budget.
+    pub uniform_size: Option<u64>,
+    /// Specification nodes in the (shared) design space at solve time.
+    /// Depends on what else the serving engine has explored — excluded
+    /// from [`fingerprint`](Self::fingerprint).
+    pub spec_nodes: u64,
+    /// Implementation alternatives across all nodes at solve time (also
+    /// engine-state-dependent, also excluded from the fingerprint).
+    pub impl_choices: u64,
+    /// Nonzero when combination enumeration hit its cap.
+    pub truncated_combinations: u64,
+}
+
+impl WireDesignSet {
+    /// The wire view of an in-process result.
+    pub fn of(set: &DesignSet) -> Self {
+        WireDesignSet {
+            spec: set.spec.clone(),
+            alternatives: set
+                .alternatives
+                .iter()
+                .map(|alt| WireAlternative {
+                    area: alt.area,
+                    delay: alt.delay,
+                    timing: alt.timing.clone(),
+                    label: alt.implementation.label().to_string(),
+                    cells: alt
+                        .implementation
+                        .cell_census()
+                        .into_iter()
+                        .map(|(name, count)| (name, count as u64))
+                        .collect(),
+                })
+                .collect(),
+            unconstrained_size: set.unconstrained_size,
+            unconstrained_log10: set.unconstrained_log10,
+            uniform_size: set.uniform_size,
+            spec_nodes: set.stats.spec_nodes as u64,
+            impl_choices: set.stats.impl_choices as u64,
+            truncated_combinations: set.stats.truncated_combinations,
+        }
+    }
+
+    /// FNV-1a 64 over the canonical encoding of everything
+    /// *deterministic* about the result: the spec, every alternative's
+    /// area/delay bits, label and cell census, and the space sizes. The
+    /// engine-state-dependent solver bookkeeping is excluded, so a warm
+    /// shared server and a cold fresh engine fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = Writer::new();
+        put_spec(&mut w, &self.spec);
+        w.usize32(self.alternatives.len());
+        for alt in &self.alternatives {
+            w.f64(alt.area);
+            w.f64(alt.delay);
+            w.str(&alt.label);
+            w.usize32(alt.cells.len());
+            for (name, count) in &alt.cells {
+                w.str(name);
+                w.u64(*count);
+            }
+        }
+        w.f64(self.unconstrained_size);
+        w.f64(self.unconstrained_log10);
+        match self.uniform_size {
+            None => w.bool(false),
+            Some(n) => {
+                w.bool(true);
+                w.u64(n);
+            }
+        }
+        fnv1a_64(&w.into_bytes())
+    }
+}
+
+fn put_design_set(w: &mut Writer, set: &WireDesignSet) {
+    put_spec(w, &set.spec);
+    w.usize32(set.alternatives.len());
+    for alt in &set.alternatives {
+        w.f64(alt.area);
+        w.f64(alt.delay);
+        put_timing(w, &alt.timing);
+        w.str(&alt.label);
+        w.usize32(alt.cells.len());
+        for (name, count) in &alt.cells {
+            w.str(name);
+            w.u64(*count);
+        }
+    }
+    w.f64(set.unconstrained_size);
+    w.f64(set.unconstrained_log10);
+    match set.uniform_size {
+        None => w.bool(false),
+        Some(n) => {
+            w.bool(true);
+            w.u64(n);
+        }
+    }
+    w.u64(set.spec_nodes);
+    w.u64(set.impl_choices);
+    w.u64(set.truncated_combinations);
+}
+
+fn get_design_set(r: &mut Reader) -> Result<WireDesignSet, String> {
+    let spec = get_spec(r)?;
+    let alternative_count = r.len("alternative")?;
+    let mut alternatives = Vec::with_capacity(alternative_count);
+    for _ in 0..alternative_count {
+        let area = r.f64("alternative area")?;
+        let delay = r.f64("alternative delay")?;
+        let timing = get_timing(r)?;
+        let label = r.str("alternative label")?;
+        let cell_count = r.len("cell census entry")?;
+        let mut cells = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            let name = r.str("cell name")?;
+            let count = r.u64("cell count")?;
+            cells.push((name, count));
+        }
+        alternatives.push(WireAlternative {
+            area,
+            delay,
+            timing,
+            label,
+            cells,
+        });
+    }
+    let unconstrained_size = r.f64("unconstrained size")?;
+    let unconstrained_log10 = r.f64("unconstrained log10")?;
+    let uniform_size = if r.bool("uniform-size presence")? {
+        Some(r.u64("uniform size")?)
+    } else {
+        None
+    };
+    Ok(WireDesignSet {
+        spec,
+        alternatives,
+        unconstrained_size,
+        unconstrained_log10,
+        uniform_size,
+        spec_nodes: r.u64("spec nodes")?,
+        impl_choices: r.u64("impl choices")?,
+        truncated_combinations: r.u64("truncated combinations")?,
+    })
+}
+
+/// The server's answer to [`ClientMsg::Stats`]: service counters with
+/// the server-measured per-lane latency percentiles, plus a summary of
+/// the engine cache and connection accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireStats {
+    /// Queue counters and per-lane wait/service percentiles, as measured
+    /// by the server's own workers.
+    pub service: ServiceStats,
+    /// Engine memo hits so far.
+    pub cache_hits: u64,
+    /// Engine memo misses so far.
+    pub cache_misses: u64,
+    /// Connections the server has accepted over its lifetime.
+    pub connections: u64,
+}
+
+fn put_lane_latency(w: &mut Writer, lane: &LaneLatency) {
+    w.u64(lane.samples);
+    w.u64(lane.wait_p50_us);
+    w.u64(lane.wait_p99_us);
+    w.u64(lane.service_p50_us);
+    w.u64(lane.service_p99_us);
+}
+
+fn get_lane_latency(r: &mut Reader) -> Result<LaneLatency, String> {
+    Ok(LaneLatency {
+        samples: r.u64("lane samples")?,
+        wait_p50_us: r.u64("wait p50")?,
+        wait_p99_us: r.u64("wait p99")?,
+        service_p50_us: r.u64("service p50")?,
+        service_p99_us: r.u64("service p99")?,
+    })
+}
+
+fn put_stats(w: &mut Writer, stats: &WireStats) {
+    let s = &stats.service;
+    w.u64(s.admitted);
+    w.u64(s.completed);
+    w.u64(s.rejected);
+    w.u64(s.shed);
+    w.u64(s.queue_depth_highwater as u64);
+    w.u64(s.inflight_highwater as u64);
+    w.u64(s.checkpoints);
+    w.u64(s.queued_now as u64);
+    w.u64(s.running_now as u64);
+    for lane in &s.lanes {
+        put_lane_latency(w, lane);
+    }
+    w.u64(stats.cache_hits);
+    w.u64(stats.cache_misses);
+    w.u64(stats.connections);
+}
+
+fn get_stats(r: &mut Reader) -> Result<WireStats, String> {
+    let service = ServiceStats {
+        admitted: r.u64("admitted")?,
+        completed: r.u64("completed")?,
+        rejected: r.u64("rejected")?,
+        shed: r.u64("shed")?,
+        queue_depth_highwater: r.u64("queue highwater")? as usize,
+        inflight_highwater: r.u64("inflight highwater")? as usize,
+        checkpoints: r.u64("checkpoints")?,
+        queued_now: r.u64("queued now")? as usize,
+        running_now: r.u64("running now")? as usize,
+        lanes: [get_lane_latency(r)?, get_lane_latency(r)?],
+    };
+    Ok(WireStats {
+        service,
+        cache_hits: r.u64("cache hits")?,
+        cache_misses: r.u64("cache misses")?,
+        connections: r.u64("connections")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Messages.
+
+/// Everything a client can send.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMsg {
+    /// Opens the connection: pins the wire version, picks the lane every
+    /// later request on this connection is admitted under, and may pin
+    /// the server's `(library, rules, config)` fingerprints — a server
+    /// built from different inputs then refuses with
+    /// [`WireError::FingerprintMismatch`] instead of serving answers
+    /// from the wrong world.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        wire_version: u32,
+        /// Requested admission lane for this connection.
+        lane: Priority,
+        /// `(library, rules, config)` fingerprints the server must
+        /// match, when pinned.
+        expect: Option<(u64, u64, u64)>,
+    },
+    /// One synthesis request; answered by exactly one
+    /// [`ServerMsg::Result`] with the same `id`.
+    Request {
+        /// Client-chosen correlation id, echoed back.
+        id: u64,
+        /// The query.
+        request: SynthRequest,
+    },
+    /// A batch; answered by one [`ServerMsg::Result`] *per slot*,
+    /// streamed as each ticket resolves.
+    Batch {
+        /// Client-chosen correlation id, echoed on every slot.
+        id: u64,
+        /// The queries, in slot order.
+        requests: Vec<SynthRequest>,
+    },
+    /// Asks for a [`ServerMsg::Stats`] frame.
+    Stats,
+    /// Polite goodbye; the server finishes streaming any pending results
+    /// for this connection, then closes.
+    Bye,
+}
+
+/// Everything a server can send.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMsg {
+    /// Accepts a [`ClientMsg::Hello`].
+    HelloAck {
+        /// The server's [`WIRE_VERSION`].
+        wire_version: u32,
+        /// The lane granted (currently always the one requested).
+        lane: Priority,
+        /// Library fingerprint of the serving engine.
+        library: u64,
+        /// Rule-set fingerprint of the serving engine.
+        rules: u64,
+        /// Configuration fingerprint of the serving engine.
+        config: u64,
+    },
+    /// One resolved request or batch slot.
+    Result {
+        /// The client's correlation id.
+        id: u64,
+        /// Slot index within the batch (0 for single requests).
+        slot: u32,
+        /// Total slots under this id (1 for single requests).
+        of: u32,
+        /// The outcome: a design set, or a typed refusal/failure.
+        result: Result<WireDesignSet, WireError>,
+    },
+    /// The answer to [`ClientMsg::Stats`].
+    Stats(WireStats),
+    /// A connection-level error: handshake refusals, undecodable
+    /// payloads, or the shutdown notice after a drain. Sent as a typed
+    /// frame so clients never see a bare hangup for a server-side
+    /// decision.
+    Error(WireError),
+}
+
+impl ClientMsg {
+    /// Encodes this message as one complete wire frame.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ClientMsg::Hello {
+                wire_version,
+                lane,
+                expect,
+            } => {
+                w.u8(0);
+                w.u32(*wire_version);
+                put_lane(&mut w, *lane);
+                match expect {
+                    None => w.bool(false),
+                    Some((library, rules, config)) => {
+                        w.bool(true);
+                        w.u64(*library);
+                        w.u64(*rules);
+                        w.u64(*config);
+                    }
+                }
+            }
+            ClientMsg::Request { id, request } => {
+                w.u8(1);
+                w.u64(*id);
+                put_request(&mut w, request);
+            }
+            ClientMsg::Batch { id, requests } => {
+                w.u8(2);
+                w.u64(*id);
+                w.usize32(requests.len());
+                for request in requests {
+                    put_request(&mut w, request);
+                }
+            }
+            ClientMsg::Stats => w.u8(3),
+            ClientMsg::Bye => w.u8(4),
+        }
+        encode_frame(&w.into_bytes())
+    }
+
+    /// Decodes exactly one complete frame (the inverse of
+    /// [`encode_frame`](Self::encode_frame)); trailing bytes are a
+    /// protocol error.
+    pub fn decode_frame(bytes: &[u8]) -> Result<Self, WireError> {
+        Self::decode_payload(&whole_frame(bytes)?)
+    }
+
+    pub(crate) fn decode_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8("client-message tag").map_err(WireError::Protocol)? {
+            0 => {
+                let wire_version = r.u32("wire version").map_err(WireError::Protocol)?;
+                let lane = get_lane(&mut r).map_err(WireError::Protocol)?;
+                let expect = if r.bool("expect presence").map_err(WireError::Protocol)? {
+                    Some((
+                        r.u64("expected library").map_err(WireError::Protocol)?,
+                        r.u64("expected rules").map_err(WireError::Protocol)?,
+                        r.u64("expected config").map_err(WireError::Protocol)?,
+                    ))
+                } else {
+                    None
+                };
+                ClientMsg::Hello {
+                    wire_version,
+                    lane,
+                    expect,
+                }
+            }
+            1 => ClientMsg::Request {
+                id: r.u64("request id").map_err(WireError::Protocol)?,
+                request: get_request(&mut r).map_err(WireError::Protocol)?,
+            },
+            2 => {
+                let id = r.u64("batch id").map_err(WireError::Protocol)?;
+                let count = r.len("batch request").map_err(WireError::Protocol)?;
+                let mut requests = Vec::with_capacity(count);
+                for _ in 0..count {
+                    requests.push(get_request(&mut r).map_err(WireError::Protocol)?);
+                }
+                ClientMsg::Batch { id, requests }
+            }
+            3 => ClientMsg::Stats,
+            4 => ClientMsg::Bye,
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unknown client-message tag {other}"
+                )))
+            }
+        };
+        finish_payload(&r)?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Encodes this message as one complete wire frame.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ServerMsg::HelloAck {
+                wire_version,
+                lane,
+                library,
+                rules,
+                config,
+            } => {
+                w.u8(0);
+                w.u32(*wire_version);
+                put_lane(&mut w, *lane);
+                w.u64(*library);
+                w.u64(*rules);
+                w.u64(*config);
+            }
+            ServerMsg::Result {
+                id,
+                slot,
+                of,
+                result,
+            } => {
+                w.u8(1);
+                w.u64(*id);
+                w.u32(*slot);
+                w.u32(*of);
+                match result {
+                    Ok(set) => {
+                        w.bool(true);
+                        put_design_set(&mut w, set);
+                    }
+                    Err(e) => {
+                        w.bool(false);
+                        put_wire_error(&mut w, e);
+                    }
+                }
+            }
+            ServerMsg::Stats(stats) => {
+                w.u8(2);
+                put_stats(&mut w, stats);
+            }
+            ServerMsg::Error(e) => {
+                w.u8(3);
+                put_wire_error(&mut w, e);
+            }
+        }
+        encode_frame(&w.into_bytes())
+    }
+
+    /// Decodes exactly one complete frame (the inverse of
+    /// [`encode_frame`](Self::encode_frame)); trailing bytes are a
+    /// protocol error.
+    pub fn decode_frame(bytes: &[u8]) -> Result<Self, WireError> {
+        Self::decode_payload(&whole_frame(bytes)?)
+    }
+
+    pub(crate) fn decode_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8("server-message tag").map_err(WireError::Protocol)? {
+            0 => ServerMsg::HelloAck {
+                wire_version: r.u32("wire version").map_err(WireError::Protocol)?,
+                lane: get_lane(&mut r).map_err(WireError::Protocol)?,
+                library: r.u64("library fingerprint").map_err(WireError::Protocol)?,
+                rules: r.u64("rules fingerprint").map_err(WireError::Protocol)?,
+                config: r.u64("config fingerprint").map_err(WireError::Protocol)?,
+            },
+            1 => {
+                let id = r.u64("result id").map_err(WireError::Protocol)?;
+                let slot = r.u32("result slot").map_err(WireError::Protocol)?;
+                let of = r.u32("result slot count").map_err(WireError::Protocol)?;
+                let result = if r.bool("result outcome").map_err(WireError::Protocol)? {
+                    Ok(get_design_set(&mut r).map_err(WireError::Protocol)?)
+                } else {
+                    Err(get_wire_error(&mut r).map_err(WireError::Protocol)?)
+                };
+                ServerMsg::Result {
+                    id,
+                    slot,
+                    of,
+                    result,
+                }
+            }
+            2 => ServerMsg::Stats(get_stats(&mut r).map_err(WireError::Protocol)?),
+            3 => ServerMsg::Error(get_wire_error(&mut r).map_err(WireError::Protocol)?),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unknown server-message tag {other}"
+                )))
+            }
+        };
+        finish_payload(&r)?;
+        Ok(msg)
+    }
+}
+
+/// Unwraps a byte slice that must hold exactly one frame.
+fn whole_frame(bytes: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut buf = bytes.to_vec();
+    match take_frame(&mut buf, MAX_FRAME_LEN)? {
+        Some(payload) if buf.is_empty() => Ok(payload),
+        Some(_) => Err(WireError::Protocol("trailing bytes after frame".into())),
+        None => Err(WireError::Protocol("truncated frame".into())),
+    }
+}
+
+/// A decoded payload must be fully consumed — embedded trailing bytes
+/// mean a layout disagreement even when the checksum passed.
+fn finish_payload(r: &Reader) -> Result<(), WireError> {
+    if r.remaining() != 0 {
+        return Err(WireError::Protocol(format!(
+            "{} trailing bytes in message payload",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus::kind::ComponentKind;
+    use genus::op::{Op, OpSet};
+
+    fn hello() -> ClientMsg {
+        ClientMsg::Hello {
+            wire_version: WIRE_VERSION,
+            lane: Priority::Interactive,
+            expect: Some((1, 2, 3)),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true);
+        let messages = [
+            hello(),
+            ClientMsg::Request {
+                id: 7,
+                request: SynthRequest::new(spec.clone())
+                    .with_root_filter(FilterPolicy::Pareto)
+                    .with_front_cap(3)
+                    .with_weights(1.0, 2.5),
+            },
+            ClientMsg::Batch {
+                id: 9,
+                requests: vec![SynthRequest::new(spec.clone()), SynthRequest::new(spec)],
+            },
+            ClientMsg::Stats,
+            ClientMsg::Bye,
+        ];
+        for msg in messages {
+            let frame = msg.encode_frame();
+            assert_eq!(ClientMsg::decode_frame(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let messages = [
+            ServerMsg::HelloAck {
+                wire_version: WIRE_VERSION,
+                lane: Priority::Bulk,
+                library: 10,
+                rules: 20,
+                config: 30,
+            },
+            ServerMsg::Result {
+                id: 4,
+                slot: 1,
+                of: 3,
+                result: Err(WireError::Overloaded { queue_depth: 64 }),
+            },
+            ServerMsg::Stats(WireStats {
+                cache_hits: 12,
+                ..WireStats::default()
+            }),
+            ServerMsg::Error(WireError::Protocol("nope".into())),
+        ];
+        for msg in messages {
+            let frame = msg.encode_frame();
+            assert_eq!(ServerMsg::decode_frame(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_from_the_first_bytes() {
+        let mut buf = b"JU".to_vec();
+        assert!(matches!(
+            take_frame(&mut buf, MAX_FRAME_LEN),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_buffering() {
+        let mut buf = WIRE_MAGIC.to_vec();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = take_frame(&mut buf, MAX_FRAME_LEN).unwrap_err();
+        assert!(matches!(err, WireError::Protocol(m) if m.contains("cap")));
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let mut frame = hello().encode_frame();
+        let mid = FRAME_HEADER + 1;
+        frame[mid] ^= 0x10;
+        let err = ClientMsg::decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, WireError::Protocol(m) if m.contains("checksum")));
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more_bytes() {
+        let frame = hello().encode_frame();
+        let mut partial = frame[..frame.len() - 3].to_vec();
+        assert!(matches!(take_frame(&mut partial, MAX_FRAME_LEN), Ok(None)));
+    }
+}

@@ -1,0 +1,152 @@
+//! The network front door: a TCP wire protocol for serving
+//! [`Dtas`](crate::Dtas) synthesis to remote clients.
+//!
+//! Everything else in this crate is in-process; this module puts the
+//! [`service`](crate::service) layer behind a socket. The transport is
+//! plain [`std::net`] (the build is offline-vendored, so no async
+//! runtime): a [`WireServer`] accepts connections, a [`WireClient`]
+//! speaks to one, and both exchange *frames* — length-prefixed,
+//! checksummed binary messages reusing the snapshot codec's discipline
+//! (see [`store`](crate::store)):
+//!
+//! ```text
+//! magic "DTW1"      (4 bytes)
+//! payload length    (u32 LE) — rejected before allocation when it
+//!                    exceeds the frame cap, so a hostile length prefix
+//!                    can never balloon memory
+//! payload           (one encoded message)
+//! FNV-1a 64         (8 bytes, over magic + length + payload)
+//! ```
+//!
+//! A connection opens with a handshake ([`ClientMsg::Hello`] /
+//! [`ServerMsg::HelloAck`]) that pins the wire version, negotiates the
+//! [`Priority`](crate::service::Priority) lane every later request on
+//! this connection is admitted under, and exposes the server's
+//! library/rules/config fingerprints (the [`StoreKey`](crate::StoreKey)
+//! triple) so a client can refuse to talk to an engine built from
+//! different inputs. Requests then map 1:1 onto
+//! [`DtasService`](crate::DtasService) tickets; batch submissions stream
+//! one [`ServerMsg::Result`] frame per slot *as each ticket resolves*,
+//! and every server-side refusal — overload, shed, decode failure,
+//! version or fingerprint mismatch — comes back as a typed frame, never
+//! as a silently dropped connection.
+//!
+//! Decoding is hardened exactly like the snapshot codec: bounds-checked
+//! reads, capped lengths, checksum verified before parsing — corrupt or
+//! hostile bytes produce a [`WireError`], never a panic.
+
+mod client;
+mod frame;
+mod server;
+
+pub use client::{WireClient, WireResult};
+pub use frame::{
+    ClientMsg, ServerMsg, WireAlternative, WireDesignSet, WireStats, MAX_FRAME_LEN, WIRE_MAGIC,
+    WIRE_VERSION,
+};
+pub use server::{ServeConfig, WireServer};
+
+use crate::engine::SynthError;
+use crate::service::ServiceError;
+use std::fmt;
+
+/// Everything that can go wrong on the wire, on either side. Errors are
+/// themselves encodable, so the server reports failures as typed
+/// [`ServerMsg::Error`] / [`ServerMsg::Result`] frames instead of
+/// dropping the connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The socket failed (connect, read, write, or peer closed
+    /// mid-stream).
+    Io(String),
+    /// The byte stream violated the framing or message layout: bad
+    /// magic, checksum mismatch, an oversized length prefix, a truncated
+    /// frame, or an undecodable payload.
+    Protocol(String),
+    /// The two ends speak different wire versions; nothing after the
+    /// handshake would be trustworthy.
+    Version {
+        /// The server's [`WIRE_VERSION`].
+        server: u32,
+        /// The version the client announced.
+        client: u32,
+    },
+    /// The client pinned engine fingerprints in its `Hello` and the
+    /// server's engine was built from different inputs.
+    FingerprintMismatch {
+        /// Which fingerprint disagreed: `"library"`, `"rules"` or
+        /// `"config"`.
+        field: String,
+    },
+    /// The service refused admission (queue full under
+    /// [`Admission::Reject`](crate::service::Admission::Reject) or a
+    /// timed-out Block).
+    Overloaded {
+        /// The queue bound that was hit.
+        queue_depth: u64,
+    },
+    /// Admitted, then evicted by
+    /// [`Admission::ShedOldest`](crate::service::Admission::ShedOldest).
+    Shed,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The engine executed the request and failed.
+    Synth(SynthError),
+    /// A server-side worker failure (for example a panic converted to an
+    /// error by the service).
+    Internal(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(m) => write!(f, "wire i/o: {m}"),
+            WireError::Protocol(m) => write!(f, "wire protocol: {m}"),
+            WireError::Version { server, client } => {
+                write!(
+                    f,
+                    "wire version mismatch: server v{server}, client v{client}"
+                )
+            }
+            WireError::FingerprintMismatch { field } => {
+                write!(f, "engine fingerprint mismatch: {field}")
+            }
+            WireError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded (queue depth {queue_depth})")
+            }
+            WireError::Shed => write!(f, "request shed under overload"),
+            WireError::ShuttingDown => write!(f, "server is shutting down"),
+            WireError::Synth(e) => write!(f, "{e}"),
+            WireError::Internal(m) => write!(f, "server worker failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Synth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for WireError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Overloaded { queue_depth } => WireError::Overloaded {
+                queue_depth: queue_depth as u64,
+            },
+            ServiceError::Shed => WireError::Shed,
+            ServiceError::ShuttingDown => WireError::ShuttingDown,
+            ServiceError::Synth(e) => WireError::Synth(e),
+            ServiceError::Internal(m) => WireError::Internal(m),
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}

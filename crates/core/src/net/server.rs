@@ -1,0 +1,387 @@
+//! The TCP server: accept loop, per-connection protocol drivers, and
+//! graceful drain.
+
+use super::frame::{FrameReader, ServerMsg, WireDesignSet, WireStats, WIRE_VERSION};
+use super::{ClientMsg, WireError, MAX_FRAME_LEN};
+use crate::engine::Dtas;
+use crate::service::{DtasService, Priority, ServiceConfig, ServiceStats, Ticket};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a [`WireServer`] is sized.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The queue behind the socket: workers, lanes, admission policy,
+    /// checkpoint cadence.
+    pub service: ServiceConfig,
+    /// Per-frame payload cap enforced on every connection (defaults to
+    /// [`MAX_FRAME_LEN`]).
+    pub max_frame_len: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            service: ServiceConfig::default(),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Accept-loop poll cadence and per-connection idle-read tick; both only
+/// bound how fast threads notice the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
+/// Shared by the accept loop and every connection thread.
+struct ServerInner {
+    service: DtasService,
+    engine: Arc<Dtas>,
+    stop: AtomicBool,
+    max_frame_len: u32,
+    connections: AtomicU64,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running wire server: a [`DtasService`] behind a TCP listener (see
+/// the [module docs](super)).
+///
+/// Connections are accepted on a background thread; each one gets a
+/// reader thread (frames → service submissions) and a writer thread
+/// (tickets → result frames, streamed in submission order as each
+/// resolves). [`shutdown`](Self::shutdown) is a graceful drain: stop
+/// accepting, let every admitted ticket resolve and reach its client,
+/// then shut the service down — which flushes a final checkpoint when
+/// the engine has a bound store.
+///
+/// ```no_run
+/// use cells::lsi::lsi_logic_subset;
+/// use dtas::net::{ServeConfig, WireServer};
+/// use dtas::Dtas;
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(Dtas::new(lsi_logic_subset()));
+/// let server = WireServer::start(engine, ServeConfig::default(), "127.0.0.1:0")?;
+/// println!("listening on {}", server.local_addr());
+/// # std::io::Result::Ok(())
+/// ```
+pub struct WireServer {
+    inner: Option<Arc<ServerInner>>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl WireServer {
+    /// Binds `addr` (port 0 picks an ephemeral port — see
+    /// [`local_addr`](Self::local_addr)) and starts serving `engine`
+    /// through a fresh [`DtasService`] sized by `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the listener cannot bind.
+    pub fn start(
+        engine: Arc<Dtas>,
+        config: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(ServerInner {
+            service: DtasService::start(Arc::clone(&engine), config.service.clone()),
+            engine,
+            stop: AtomicBool::new(false),
+            max_frame_len: config.max_frame_len,
+            connections: AtomicU64::new(0),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        Ok(WireServer {
+            inner: Some(inner),
+            accept: Some(accept),
+            addr,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.connections.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Live service counters (the same data remote clients get from a
+    /// stats frame).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.service.stats())
+            .unwrap_or_default()
+    }
+
+    /// Graceful drain: stops accepting, waits for every connection to
+    /// stream out its admitted results, shuts the service down (final
+    /// checkpoint included) and returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop_threads();
+        let inner = self.inner.take().expect("server not yet shut down");
+        match Arc::try_unwrap(inner) {
+            Ok(inner) => inner.service.shutdown(),
+            // Unreachable once every thread is joined, but never worth a
+            // panic: the service drains on its own drop.
+            Err(shared) => shared.service.stats(),
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        inner.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles =
+            std::mem::take(&mut *inner.conn_threads.lock().unwrap_or_else(|p| p.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<ServerInner>) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = Arc::clone(inner);
+                let handle = std::thread::spawn(move || connection_loop(stream, &conn));
+                inner
+                    .conn_threads
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            // Transient accept failures (connection reset before accept,
+            // fd pressure): keep serving.
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Work for a connection's writer thread. Results carry the ticket, not
+/// the outcome: the writer blocks on each in submission order and sends
+/// the frame the moment it resolves, which is what streams batch slots
+/// before the whole batch drains.
+enum Job {
+    Msg(ServerMsg),
+    Result {
+        id: u64,
+        slot: u32,
+        of: u32,
+        ticket: Ticket,
+    },
+}
+
+fn writer_loop(mut stream: TcpStream, jobs: &mpsc::Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        let msg = match job {
+            Job::Msg(msg) => msg,
+            Job::Result {
+                id,
+                slot,
+                of,
+                ticket,
+            } => {
+                let result = match ticket.recv() {
+                    Ok(outcome) => Ok(WireDesignSet::of(&outcome.design)),
+                    Err(e) => Err(WireError::from(e)),
+                };
+                ServerMsg::Result {
+                    id,
+                    slot,
+                    of,
+                    result,
+                }
+            }
+        };
+        if stream.write_all(&msg.encode_frame()).is_err() {
+            // Client gone: stop sending. Admitted tickets still resolve
+            // inside the service; there is just no one left to tell.
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn connection_loop(stream: TcpStream, inner: &Arc<ServerInner>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let (Ok(read_half), Ok(write_half)) = (stream.try_clone(), stream.try_clone()) else {
+        return;
+    };
+    let mut frames = FrameReader::new(read_half, inner.max_frame_len);
+    let (jobs, job_rx) = mpsc::channel::<Job>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, &job_rx));
+    if let Err(e) = drive_connection(inner, &mut frames, &jobs) {
+        // Typed farewell. Queued FIFO behind every pending result, so a
+        // drain still delivers the work before the notice.
+        let _ = jobs.send(Job::Msg(ServerMsg::Error(e)));
+    }
+    drop(jobs);
+    let _ = writer.join();
+}
+
+/// Runs one connection's protocol: handshake, then frames → service
+/// submissions until goodbye, disconnect, or server drain. Returning an
+/// error sends one final typed [`ServerMsg::Error`]; the connection
+/// handler itself always survives hostile input.
+fn drive_connection(
+    inner: &Arc<ServerInner>,
+    frames: &mut FrameReader,
+    jobs: &mpsc::Sender<Job>,
+) -> Result<(), WireError> {
+    let Some(first) = frames.next_frame(Some(&inner.stop))? else {
+        return Ok(()); // connected and left without a word
+    };
+    let lane = handshake(inner, &first, jobs)?;
+    loop {
+        let payload = match frames.next_frame(Some(&inner.stop))? {
+            Some(payload) => payload,
+            None => return Ok(()), // clean disconnect between frames
+        };
+        match ClientMsg::decode_payload(&payload) {
+            Ok(ClientMsg::Hello { .. }) => {
+                return Err(WireError::Protocol("duplicate Hello".into()));
+            }
+            Ok(ClientMsg::Request { id, request }) => {
+                submit(inner, jobs, id, 0, 1, request, lane)?;
+            }
+            Ok(ClientMsg::Batch { id, requests }) => {
+                let of = requests.len() as u32;
+                for (slot, request) in requests.into_iter().enumerate() {
+                    submit(inner, jobs, id, slot as u32, of, request, lane)?;
+                }
+            }
+            Ok(ClientMsg::Stats) => {
+                let cache = inner.engine.cache_stats();
+                let stats = WireStats {
+                    service: inner.service.stats(),
+                    cache_hits: cache.hits,
+                    cache_misses: cache.misses,
+                    connections: inner.connections.load(Ordering::Relaxed),
+                };
+                send(jobs, Job::Msg(ServerMsg::Stats(stats)))?;
+            }
+            Ok(ClientMsg::Bye) => return Ok(()),
+            // A checksummed frame with an undecodable payload is a
+            // client bug, not stream corruption — frames still
+            // self-delimit, so answer with a typed error and keep going.
+            Err(e) => send(jobs, Job::Msg(ServerMsg::Error(e)))?,
+        }
+    }
+}
+
+fn handshake(
+    inner: &Arc<ServerInner>,
+    payload: &[u8],
+    jobs: &mpsc::Sender<Job>,
+) -> Result<Priority, WireError> {
+    let ClientMsg::Hello {
+        wire_version,
+        lane,
+        expect,
+    } = ClientMsg::decode_payload(payload)?
+    else {
+        return Err(WireError::Protocol(
+            "expected Hello as the first frame".into(),
+        ));
+    };
+    if wire_version != WIRE_VERSION {
+        return Err(WireError::Version {
+            server: WIRE_VERSION,
+            client: wire_version,
+        });
+    }
+    let key = inner.engine.store_key();
+    if let Some((library, rules, config)) = expect {
+        for (field, expected, actual) in [
+            ("library", library, key.library),
+            ("rules", rules, key.rules),
+            ("config", config, key.config),
+        ] {
+            if expected != actual {
+                return Err(WireError::FingerprintMismatch {
+                    field: field.to_string(),
+                });
+            }
+        }
+    }
+    send(
+        jobs,
+        Job::Msg(ServerMsg::HelloAck {
+            wire_version: WIRE_VERSION,
+            lane,
+            library: key.library,
+            rules: key.rules,
+            config: key.config,
+        }),
+    )?;
+    Ok(lane)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn submit(
+    inner: &Arc<ServerInner>,
+    jobs: &mpsc::Sender<Job>,
+    id: u64,
+    slot: u32,
+    of: u32,
+    request: crate::request::SynthRequest,
+    lane: Priority,
+) -> Result<(), WireError> {
+    let job = match inner.service.submit_with_priority(request, lane) {
+        Ok(ticket) => Job::Result {
+            id,
+            slot,
+            of,
+            ticket,
+        },
+        // Admission refusals become typed per-slot result frames — the
+        // client's correlation id still lines up.
+        Err(e) => Job::Msg(ServerMsg::Result {
+            id,
+            slot,
+            of,
+            result: Err(WireError::from(e)),
+        }),
+    };
+    send(jobs, job)
+}
+
+/// A dead writer means the client hung up; surface it as I/O so the
+/// reader unwinds without treating it as a protocol violation.
+fn send(jobs: &mpsc::Sender<Job>, job: Job) -> Result<(), WireError> {
+    jobs.send(job)
+        .map_err(|_| WireError::Io("connection writer stopped".into()))
+}

@@ -57,7 +57,7 @@ mod config;
 mod stats;
 
 pub use config::{Admission, Priority, ServiceConfig};
-pub use stats::{percentile, ServiceStats};
+pub use stats::{percentile, LaneLatency, ServiceStats};
 
 use crate::engine::{Dtas, SynthError};
 use crate::report::DesignSet;
@@ -275,9 +275,59 @@ impl QueueState {
     }
 }
 
+/// Most recent wait/service durations for one lane, kept in a bounded
+/// ring so percentiles reflect current behaviour and memory stays flat
+/// no matter how long the service lives.
+struct LaneSamples {
+    wait_us: Vec<u64>,
+    service_us: Vec<u64>,
+    next: usize,
+}
+
+/// Ring capacity per lane; at service rates this is the last few seconds
+/// to minutes of traffic — plenty for p99.
+const LATENCY_WINDOW: usize = 4096;
+
+impl LaneSamples {
+    const fn new() -> Self {
+        LaneSamples {
+            wait_us: Vec::new(),
+            service_us: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn record(&mut self, wait_us: u64, service_us: u64) {
+        if self.wait_us.len() < LATENCY_WINDOW {
+            self.wait_us.push(wait_us);
+            self.service_us.push(service_us);
+        } else {
+            self.wait_us[self.next] = wait_us;
+            self.service_us[self.next] = service_us;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn summarize(&self) -> LaneLatency {
+        let mut wait = self.wait_us.clone();
+        let mut service = self.service_us.clone();
+        wait.sort_unstable();
+        service.sort_unstable();
+        LaneLatency {
+            samples: wait.len() as u64,
+            wait_p50_us: percentile(&wait, 50.0),
+            wait_p99_us: percentile(&wait, 99.0),
+            service_p50_us: percentile(&service, 50.0),
+            service_p99_us: percentile(&service, 99.0),
+        }
+    }
+}
+
 /// Shared between the handle, the workers and the checkpoint thread.
 struct Inner {
     queue: Mutex<QueueState>,
+    /// `[0]` interactive, `[1]` bulk — matching [`QueueState::lanes`].
+    latency: Mutex<[LaneSamples; 2]>,
     /// Workers wait here for work.
     work_ready: Condvar,
     /// [`Admission::Block`] submitters wait here for queue room.
@@ -320,6 +370,7 @@ impl DtasService {
     pub fn start(engine: Arc<Dtas>, config: ServiceConfig) -> Self {
         let inner = Arc::new(Inner {
             queue: Mutex::new(QueueState::default()),
+            latency: Mutex::new([LaneSamples::new(), LaneSamples::new()]),
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             stop_checkpointer: Mutex::new(false),
@@ -508,6 +559,10 @@ impl DtasService {
                 state.inflight_highwater,
             )
         };
+        let lanes = {
+            let samples = lock_clean(&self.inner.latency);
+            [samples[0].summarize(), samples[1].summarize()]
+        };
         ServiceStats {
             admitted: self.inner.admitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
@@ -518,6 +573,7 @@ impl DtasService {
             inflight_highwater,
             queued_now,
             running_now,
+            lanes,
         }
     }
 
@@ -586,6 +642,10 @@ fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
         // A waiting slot freed: wake one blocked submitter.
         inner.space_ready.notify_one();
         let queued_for = entry.enqueued.elapsed();
+        let lane = match entry.priority {
+            Priority::Interactive => 0,
+            Priority::Bulk => 1,
+        };
         let t0 = Instant::now();
         // A panicking rule must not leave the ticket unresolved (the
         // receiver would hang) or the running count stuck: catch, report,
@@ -604,6 +664,13 @@ fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
             Ok(Err(e)) => Err(ServiceError::Synth(e)),
             Err(panic) => Err(ServiceError::Internal(panic_message(&panic))),
         };
+        // Record server-side latency before resolving counters so a
+        // stats() racing this completion can only under-report samples,
+        // never report a completion without its sample window entry.
+        lock_clean(&inner.latency)[lane].record(
+            queued_for.as_micros() as u64,
+            t0.elapsed().as_micros() as u64,
+        );
         entry.ticket.resolve(result);
         inner.completed.fetch_add(1, Ordering::Relaxed);
         lock_clean(&inner.queue).running -= 1;

@@ -17,11 +17,33 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Server-measured latency percentiles for one priority lane, in
+/// microseconds, over a bounded window of the most recent requests (so a
+/// long-lived service reports current behaviour, not its whole history).
+///
+/// These are recorded by the workers themselves — *queue-wait* is
+/// admission → pickup, *service* is pickup → ticket resolution — so a
+/// remote client (`dtas bench-load --connect`) sees the server-side view
+/// instead of re-deriving it from round-trip times.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneLatency {
+    /// Requests in the sample window (caps at the window size).
+    pub samples: u64,
+    /// Median queue wait, admission → worker pickup.
+    pub wait_p50_us: u64,
+    /// 99th-percentile queue wait.
+    pub wait_p99_us: u64,
+    /// Median worker execution time.
+    pub service_p50_us: u64,
+    /// 99th-percentile worker execution time.
+    pub service_p99_us: u64,
+}
+
 /// Counters for one [`DtasService`](crate::service::DtasService)
 /// lifetime. Monotonic except the two `*_now` gauges.
 ///
-/// The [`Display`](fmt::Display) rendering is the single `key=value`
-/// line shared by `dtas map --stats`, `dtas bench-load` and the CI
+/// The [`Display`](fmt::Display) rendering is the stable `key=value`
+/// lines shared by `dtas map --stats`, `dtas bench-load` and the CI
 /// smokes — scripts grep these keys, so they are kept stable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -51,12 +73,16 @@ pub struct ServiceStats {
     pub queued_now: usize,
     /// Requests currently being executed by workers (gauge).
     pub running_now: usize,
+    /// Server-measured latency percentiles: `lanes[0]` interactive,
+    /// `lanes[1]` bulk.
+    pub lanes: [LaneLatency; 2],
 }
 
 impl fmt::Display for ServiceStats {
-    /// One stable `service: key=value ...` line (see type docs).
+    /// Two stable `key=value` lines: the `service:` counters and the
+    /// `lanes:` server-measured percentiles (see type docs).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
+        writeln!(
             f,
             "service: admitted={} completed={} rejected={} shed={} \
              queue_depth_highwater={} inflight_highwater={} checkpoints={}",
@@ -67,7 +93,23 @@ impl fmt::Display for ServiceStats {
             self.queue_depth_highwater,
             self.inflight_highwater,
             self.checkpoints,
-        )
+        )?;
+        let parts: Vec<String> = ["interactive", "bulk"]
+            .iter()
+            .zip(self.lanes.iter())
+            .map(|(name, lane)| {
+                format!(
+                    "{name}_samples={} {name}_wait_p50_us={} {name}_wait_p99_us={} \
+                     {name}_service_p50_us={} {name}_service_p99_us={}",
+                    lane.samples,
+                    lane.wait_p50_us,
+                    lane.wait_p99_us,
+                    lane.service_p50_us,
+                    lane.service_p99_us,
+                )
+            })
+            .collect();
+        write!(f, "lanes: {}", parts.join(" "))
     }
 }
 
@@ -91,6 +133,35 @@ mod tests {
             "shed=1",
             "queue_depth_highwater=0",
             "checkpoints=0",
+        ] {
+            assert!(line.contains(key), "{line}");
+        }
+    }
+
+    #[test]
+    fn display_renders_both_lanes() {
+        let line = ServiceStats {
+            lanes: [
+                LaneLatency {
+                    samples: 4,
+                    wait_p50_us: 10,
+                    wait_p99_us: 20,
+                    service_p50_us: 30,
+                    service_p99_us: 40,
+                },
+                LaneLatency::default(),
+            ],
+            ..ServiceStats::default()
+        }
+        .to_string();
+        for key in [
+            "lanes: interactive_samples=4",
+            "interactive_wait_p50_us=10",
+            "interactive_wait_p99_us=20",
+            "interactive_service_p50_us=30",
+            "interactive_service_p99_us=40",
+            "bulk_samples=0",
+            "bulk_service_p99_us=0",
         ] {
             assert!(line.contains(key), "{line}");
         }

@@ -75,35 +75,39 @@ pub(crate) struct Writer {
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn usize32(&mut self, v: usize) {
+    pub(crate) fn usize32(&mut self, v: usize) {
         self.u32(u32::try_from(v).expect("snapshot collection exceeds u32"));
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.usize32(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
@@ -117,15 +121,15 @@ pub(crate) struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
         if self.remaining() < n {
             return Err(format!(
                 "truncated while reading {what} ({} bytes left, {n} needed)",
@@ -137,11 +141,11 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, String> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn bool(&mut self, what: &str) -> Result<bool, String> {
+    pub(crate) fn bool(&mut self, what: &str) -> Result<bool, String> {
         match self.u8(what)? {
             0 => Ok(false),
             1 => Ok(true),
@@ -149,26 +153,26 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, String> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, String> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, String> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 
     /// A collection length, capped by the remaining bytes (every element
     /// takes at least one byte), so corrupt counts cannot drive huge
     /// allocations.
-    fn len(&mut self, what: &str) -> Result<usize, String> {
+    pub(crate) fn len(&mut self, what: &str) -> Result<usize, String> {
         let n = self.u32(what)? as usize;
         if n > self.remaining() {
             return Err(format!(
@@ -179,7 +183,7 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn str(&mut self, what: &str) -> Result<String, String> {
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, String> {
         let n = self.len(what)?;
         let bytes = self.take(n, what)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| format!("non-UTF-8 {what}"))
@@ -269,7 +273,7 @@ fn get_kind(r: &mut Reader) -> Result<ComponentKind, String> {
     })
 }
 
-fn put_spec(w: &mut Writer, spec: &ComponentSpec) {
+pub(crate) fn put_spec(w: &mut Writer, spec: &ComponentSpec) {
     put_kind(w, spec.kind);
     w.u64(spec.width as u64);
     w.u64(spec.width2 as u64);
@@ -294,7 +298,7 @@ fn put_spec(w: &mut Writer, spec: &ComponentSpec) {
     }
 }
 
-fn get_spec(r: &mut Reader) -> Result<ComponentSpec, String> {
+pub(crate) fn get_spec(r: &mut Reader) -> Result<ComponentSpec, String> {
     let kind = get_kind(r)?;
     let width = r.u64("spec width")? as usize;
     let mut spec = ComponentSpec::new(kind, width);
@@ -347,7 +351,7 @@ fn get_port_class(r: &mut Reader) -> Result<PortClass, String> {
     })
 }
 
-fn put_timing(w: &mut Writer, timing: &Timing) {
+pub(crate) fn put_timing(w: &mut Writer, timing: &Timing) {
     w.usize32(timing.arcs.len());
     for (&(from, to), &delay) in &timing.arcs {
         put_port_class(w, from);
@@ -357,7 +361,7 @@ fn put_timing(w: &mut Writer, timing: &Timing) {
     w.f64(timing.worst);
 }
 
-fn get_timing(r: &mut Reader) -> Result<Timing, String> {
+pub(crate) fn get_timing(r: &mut Reader) -> Result<Timing, String> {
     let arcs = r.len("timing arc")?;
     let mut timing = Timing::default();
     for _ in 0..arcs {
@@ -839,7 +843,7 @@ fn check_policy_covers(space: &DesignSpace, root: SpecId, policy: &Policy) -> Re
     Ok(())
 }
 
-fn put_synth_error(w: &mut Writer, error: &SynthError) {
+pub(crate) fn put_synth_error(w: &mut Writer, error: &SynthError) {
     match error {
         SynthError::Expand(m) => {
             w.u8(0);
@@ -852,7 +856,7 @@ fn put_synth_error(w: &mut Writer, error: &SynthError) {
     }
 }
 
-fn get_synth_error(r: &mut Reader) -> Result<SynthError, String> {
+pub(crate) fn get_synth_error(r: &mut Reader) -> Result<SynthError, String> {
     Ok(match r.u8("error tag")? {
         0 => SynthError::Expand(r.str("error message")?),
         1 => SynthError::NoImplementation(r.str("error message")?),

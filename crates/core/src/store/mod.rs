@@ -23,7 +23,7 @@
 //! rejected at load — never silently reused — and the engine starts cold,
 //! which is always correct.
 
-mod codec;
+pub(crate) mod codec;
 mod disk;
 pub(crate) mod mem;
 

@@ -4,16 +4,19 @@
 //! ```text
 //! dtas map  --spec add:16:cin:cout [--book FILE] [--pareto] [--cap N]
 //! dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT]
+//! dtas serve [--port P] [--book FILE]
 //! dtas help
 //! ```
 //!
 //! `map` synthesizes one component specification against a data book and
 //! prints the trade-off table; `flow` runs a behavioral entity through
-//! scheduling, control compilation, linking and technology mapping.
+//! scheduling, control compilation, linking and technology mapping;
+//! `serve` puts the engine behind the `core::net` TCP wire protocol.
 
 use cells::CellLibrary;
 use dtas::{
-    Admission, DesignSet, Dtas, DtasService, FilterPolicy, ServiceConfig, SynthRequest, Ticket,
+    Admission, DesignSet, Dtas, DtasService, FilterPolicy, Priority, ServeConfig, ServiceConfig,
+    SynthRequest, Ticket, WireClient, WireServer,
 };
 use genus::kind::{ComponentKind, GateOp};
 use genus::op::{Op, OpSet};
@@ -27,22 +30,39 @@ const USAGE: &str = "dtas - map generic RTL components onto data book cells (Dut
 
 USAGE:
   dtas map  --spec SPEC [--book FILE] [--pareto] [--cap N]
-            [--cache-dir DIR] [--queue-depth N] [--stats]
+            [--cache-dir DIR] [--queue-depth N] [--stats] [--format json]
       Synthesize one component specification and print its trade-off table.
       --queue-depth routes the query through the admission-controlled
       DtasService (worker pool + bounded queue) instead of calling the
       engine directly, so service accounting shows up in --stats.
+      --format json prints one machine-readable document (schema
+      dtas-map/1) and nothing else on stdout.
   dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT] [--cache-dir DIR]
+            [--format json]
       Run a behavioral entity through the full Figure-1 pipeline
       (schedule -> compile control -> link -> technology-map).
+      --format json prints one dtas-flow/1 document instead of the
+      human-readable reports.
+  dtas serve [--port P] [--book FILE] [--cache-dir DIR] [--workers W]
+             [--queue-depth D] [--max-inflight I]
+             [--admission reject|block|shed] [--checkpoint-secs S]
+      Serve the engine over TCP on 127.0.0.1 (the DTW1 wire protocol;
+      port 0 picks an ephemeral port). Prints `listening on ADDR` once
+      bound. Closing the server's stdin is the SIGTERM-equivalent drain
+      signal: the listener stops, every admitted ticket resolves, a final
+      checkpoint flushes, and the service/cache counters print.
   dtas bench-load [--clients N] [--requests M] [--queue-depth D]
                   [--workers W] [--max-inflight I]
-                  [--admission reject|block|shed]
+                  [--admission reject|block|shed] [--connect HOST:PORT]
                   [--spec SPEC] [--book FILE] [--cache-dir DIR] [--stats]
       Drive a DtasService with N concurrent clients submitting M requests
       each (pipelined) and print throughput, queue-wait percentiles and
       the service counters. The CI perf smoke runs this; an undersized
       --queue-depth with --admission shed demonstrates load shedding.
+      --connect drives a remote `dtas serve` over the wire protocol
+      instead (clients alternate interactive/bulk lanes; server-side
+      sizing flags are rejected) and prints client RTT percentiles plus
+      the server's own measured counters.
   dtas help
       Print this message.
 
@@ -69,9 +89,11 @@ SPEC grammar:  kind:width[:attr...]
 EXAMPLES:
   dtas map --spec add:16:cin:cout
   dtas map --spec alu:64 --cache-dir ~/.cache/dtas --queue-depth 8 --stats
-  dtas map --spec alu:64 --pareto
+  dtas map --spec alu:64 --pareto --format json
   dtas map --spec mux:8:n=4 --book my_cells.book
   dtas flow --hls gcd.ent --emit-vhdl gcd.vhd
+  dtas serve --port 7171 --queue-depth 256 &
+  dtas bench-load --clients 4 --requests 500 --connect 127.0.0.1:7171
   dtas bench-load --clients 4 --requests 500 --queue-depth 64 --stats
   dtas bench-load --clients 4 --queue-depth 2 --admission shed --stats
 ";
@@ -176,6 +198,118 @@ fn load_book(path: Option<&str>) -> Result<CellLibrary, BridgeError> {
     }
 }
 
+/// Parses an optional numeric flag with a default.
+fn parse_num(args: &Args, name: &str, default: usize) -> Result<usize, BridgeError> {
+    match args.value_of(name)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| BridgeError::Flow(format!("bad --{name}: {e}"))),
+    }
+}
+
+/// Parses `--admission reject|block|shed` (default `block`).
+fn parse_admission(args: &Args) -> Result<Admission, BridgeError> {
+    match args.value_of("admission")?.unwrap_or("block") {
+        "reject" => Ok(Admission::Reject),
+        "block" => Ok(Admission::Block {
+            timeout: Duration::from_secs(5),
+        }),
+        "shed" => Ok(Admission::ShedOldest),
+        other => Err(BridgeError::Flow(format!(
+            "bad --admission {other:?} (expected reject, block or shed)"
+        ))),
+    }
+}
+
+/// Validates `--format` — today only `json` (absence means human text).
+fn wants_json(args: &Args) -> Result<bool, BridgeError> {
+    match args.value_of("format")? {
+        None => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(BridgeError::Flow(format!(
+            "bad --format {other:?} (expected json)"
+        ))),
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number literal (`null` for the non-finite, which JSON lacks).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The `dtas-map/1` / `dtas-flow/1` design-set fields (no surrounding
+/// braces, so callers can splice them into their own object): `spec`,
+/// `alternatives` (area/delay/label/cells — the determinism-fingerprint
+/// fields) and `design_space`. The key schema is pinned by the
+/// `--format json` contract tests in `tests/cli.rs`; treat every key as
+/// load-bearing.
+fn design_set_json_fields(set: &DesignSet) -> String {
+    let alternatives: Vec<String> = set
+        .alternatives
+        .iter()
+        .map(|a| {
+            let cells: Vec<String> = a
+                .implementation
+                .cell_census()
+                .into_iter()
+                .map(|(cell, count)| format!("{{\"cell\":{},\"count\":{count}}}", json_str(&cell)))
+                .collect();
+            format!(
+                "{{\"area\":{},\"delay\":{},\"label\":{},\"cells\":[{}]}}",
+                json_num(a.area),
+                json_num(a.delay),
+                json_str(a.implementation.label()),
+                cells.join(",")
+            )
+        })
+        .collect();
+    let uniform = match set.uniform_size {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "\"spec\":{},\"alternatives\":[{}],\"design_space\":{{\
+         \"unconstrained_size\":{},\"unconstrained_log10\":{},\"uniform_size\":{uniform},\
+         \"spec_nodes\":{},\"impl_choices\":{},\"truncated_combinations\":{}}}",
+        json_str(&set.spec.to_string()),
+        alternatives.join(","),
+        json_num(set.unconstrained_size),
+        json_num(set.unconstrained_log10),
+        set.stats.spec_nodes,
+        set.stats.impl_choices,
+        set.stats.truncated_combinations
+    )
+}
+
+/// The `"cache"` object shared by both JSON schemas.
+fn cache_json(stats: &dtas::CacheStats) -> String {
+    format!("{{\"hits\":{},\"misses\":{}}}", stats.hits, stats.misses)
+}
+
 /// One parsed `--flag value` / bare-flag argument list.
 struct Args {
     flags: Vec<(String, Option<String>)>,
@@ -246,11 +380,20 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
         "cache-dir",
         "stats",
         "queue-depth",
+        "format",
     ])?;
+    let json = wants_json(args)?;
     let spec = parse_spec(args.require("spec")?)?;
     let library = load_book(args.value_of("book")?)?;
-    println!("library: {} ({} cells)", library.name(), library.len());
-    println!("specification: {spec}\n");
+    let library_line = format!(
+        "\"library\":{{\"name\":{},\"cells\":{}}}",
+        json_str(library.name()),
+        library.len()
+    );
+    if !json {
+        println!("library: {} ({} cells)", library.name(), library.len());
+        println!("specification: {spec}\n");
+    }
     let cache_dir = args.value_of("cache-dir")?;
     let engine = Arc::new(match cache_dir {
         Some(dir) => Dtas::warm_start(library, dir),
@@ -287,13 +430,23 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
         }
         None => (engine.synthesize_request(&request)?, None),
     };
-    println!("{designs}");
+    if json {
+        // One document, nothing else on stdout — the contract the
+        // `--format json` CLI tests pin.
+        println!(
+            "{{\"schema\":\"dtas-map/1\",{library_line},{},\"cache\":{}}}",
+            design_set_json_fields(&designs),
+            cache_json(&engine.cache_stats())
+        );
+    } else {
+        println!("{designs}");
+    }
     if cache_dir.is_some() {
         // Flush explicitly so a full disk or unwritable directory fails
         // the run loudly instead of being swallowed by the drop hook.
         engine.checkpoint().map_err(BridgeError::Store)?;
     }
-    if args.has("stats") {
+    if args.has("stats") && !json {
         println!("{}", engine.cache_stats());
         if let Some(stats) = service_stats {
             println!("{stats}");
@@ -313,35 +466,20 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
         "workers",
         "max-inflight",
         "admission",
+        "connect",
         "spec",
         "book",
         "cache-dir",
         "stats",
     ])?;
-    let parse_num = |name: &str, default: usize| -> Result<usize, BridgeError> {
-        match args.value_of(name)? {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| BridgeError::Flow(format!("bad --{name}: {e}"))),
-        }
-    };
-    let clients = parse_num("clients", 4)?.max(1);
-    let requests = parse_num("requests", 1_000)?.max(1);
-    let queue_depth = parse_num("queue-depth", 1_024)?;
-    let max_inflight = parse_num("max-inflight", usize::MAX)?;
-    let admission = match args.value_of("admission")?.unwrap_or("block") {
-        "reject" => Admission::Reject,
-        "block" => Admission::Block {
-            timeout: Duration::from_secs(5),
-        },
-        "shed" => Admission::ShedOldest,
-        other => {
-            return Err(BridgeError::Flow(format!(
-                "bad --admission {other:?} (expected reject, block or shed)"
-            )))
-        }
-    };
+    let clients = parse_num(args, "clients", 4)?.max(1);
+    let requests = parse_num(args, "requests", 1_000)?.max(1);
+    if let Some(addr) = args.value_of("connect")? {
+        return bench_load_connect(args, addr, clients, requests);
+    }
+    let queue_depth = parse_num(args, "queue-depth", 1_024)?;
+    let max_inflight = parse_num(args, "max-inflight", usize::MAX)?;
+    let admission = parse_admission(args)?;
     let spec = parse_spec(args.value_of("spec")?.unwrap_or("add:16:cin:cout"))?;
     let library = load_book(args.value_of("book")?)?;
     let engine = Arc::new(match args.value_of("cache-dir")? {
@@ -456,33 +594,262 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
     Ok(())
 }
 
+/// `bench-load --connect HOST:PORT`: the same load shape as the
+/// in-process run, but driven over the wire protocol against a remote
+/// `dtas serve`. Clients alternate interactive/bulk lanes; the printed
+/// `load:`/`throughput:` keys match the in-process run, `rtt:` replaces
+/// `wait:` (round-trip time is what a wire client can observe), and the
+/// server's own measured counters — including the per-lane `lanes:`
+/// percentiles — are fetched over a probe connection afterwards.
+fn bench_load_connect(
+    args: &Args,
+    addr: &str,
+    clients: usize,
+    requests: usize,
+) -> Result<(), BridgeError> {
+    for server_side in [
+        "queue-depth",
+        "workers",
+        "max-inflight",
+        "admission",
+        "book",
+        "cache-dir",
+    ] {
+        if args.has(server_side) {
+            return Err(BridgeError::Flow(format!(
+                "--{server_side} sizes the server; pass it to `dtas serve`, not to --connect"
+            )));
+        }
+    }
+    let spec = parse_spec(args.value_of("spec")?.unwrap_or("add:16:cin:cout"))?;
+
+    /// Per-client tallies, merged after the run.
+    #[derive(Default)]
+    struct ClientTally {
+        ok: u64,
+        overloaded: u64,
+        shed: u64,
+        failed: u64,
+        rtts_us: Vec<u64>,
+    }
+    fn drain(
+        client: &mut WireClient,
+        sent_at: &mut VecDeque<Instant>,
+        tally: &mut ClientTally,
+    ) -> Result<(), dtas::WireError> {
+        let result = client.recv_result()?;
+        let sent = sent_at.pop_front().expect("one submit per result");
+        match result.result {
+            Ok(_) => {
+                tally.ok += 1;
+                tally.rtts_us.push(sent.elapsed().as_micros() as u64);
+            }
+            Err(dtas::WireError::Overloaded { .. }) => tally.overloaded += 1,
+            Err(dtas::WireError::Shed) => tally.shed += 1,
+            Err(_) => tally.failed += 1,
+        }
+        Ok(())
+    }
+    let t0 = Instant::now();
+    let tallies: Vec<Result<ClientTally, dtas::WireError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let spec = &spec;
+                scope.spawn(move || {
+                    let lane = if i % 2 == 0 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Bulk
+                    };
+                    let mut client = WireClient::connect(addr, lane)?;
+                    let mut tally = ClientTally::default();
+                    let mut sent_at: VecDeque<Instant> = VecDeque::new();
+                    let request = SynthRequest::new(spec.clone());
+                    for _ in 0..requests {
+                        client.submit(&request)?;
+                        sent_at.push_back(Instant::now());
+                        // Pipeline window: up to 32 requests in flight.
+                        if sent_at.len() >= 32 {
+                            drain(&mut client, &mut sent_at, &mut tally)?;
+                        }
+                    }
+                    while !sent_at.is_empty() {
+                        drain(&mut client, &mut sent_at, &mut tally)?;
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let mut merged = ClientTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        merged.ok += tally.ok;
+        merged.overloaded += tally.overloaded;
+        merged.shed += tally.shed;
+        merged.failed += tally.failed;
+        merged.rtts_us.extend(tally.rtts_us);
+    }
+    merged.rtts_us.sort_unstable();
+    let submitted = (clients * requests) as u64;
+    println!(
+        "load: clients={clients} requests={requests} submitted={submitted} ok={} overloaded={} shed={} failed={}",
+        merged.ok, merged.overloaded, merged.shed, merged.failed
+    );
+    println!(
+        "throughput: completed_qps={:.0} elapsed_ms={:.1}",
+        merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "rtt: p50_us={} p99_us={} max_us={}",
+        dtas::service::percentile(&merged.rtts_us, 50.0),
+        dtas::service::percentile(&merged.rtts_us, 99.0),
+        merged.rtts_us.last().copied().unwrap_or(0)
+    );
+    let mut probe = WireClient::connect(addr, Priority::Interactive)?;
+    let stats = probe.server_stats()?;
+    println!("{}", stats.service);
+    if args.has("stats") {
+        println!(
+            "cache: hits={} misses={}",
+            stats.cache_hits, stats.cache_misses
+        );
+        println!("server: connections={}", stats.connections);
+    }
+    Ok(())
+}
+
+/// `dtas serve`: bind the wire protocol on 127.0.0.1 and run until the
+/// drain signal.
+fn cmd_serve(args: &Args) -> Result<(), BridgeError> {
+    args.expect_only(&[
+        "port",
+        "book",
+        "cache-dir",
+        "workers",
+        "queue-depth",
+        "max-inflight",
+        "admission",
+        "checkpoint-secs",
+    ])?;
+    let port: u16 = match args.value_of("port")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|e| BridgeError::Flow(format!("bad --port: {e}")))?,
+    };
+    let library = load_book(args.value_of("book")?)?;
+    let engine = Arc::new(match args.value_of("cache-dir")? {
+        Some(dir) => Dtas::warm_start(library, dir),
+        None => Dtas::new(library),
+    });
+    let service = ServiceConfig {
+        workers: args
+            .value_of("workers")?
+            .map(str::parse)
+            .transpose()
+            .map_err(|e: std::num::ParseIntError| {
+                BridgeError::Flow(format!("bad --workers: {e}"))
+            })?,
+        queue_depth: parse_num(args, "queue-depth", 1_024)?,
+        max_inflight: parse_num(args, "max-inflight", usize::MAX)?,
+        admission: parse_admission(args)?,
+        checkpoint_interval: args
+            .value_of("checkpoint-secs")?
+            .map(str::parse)
+            .transpose()
+            .map_err(|e: std::num::ParseIntError| {
+                BridgeError::Flow(format!("bad --checkpoint-secs: {e}"))
+            })?
+            .map(Duration::from_secs),
+    };
+    let server = WireServer::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            service,
+            ..ServeConfig::default()
+        },
+        ("127.0.0.1", port),
+    )
+    .map_err(|e| BridgeError::Io(format!("bind 127.0.0.1:{port}: {e}")))?;
+    println!("listening on {}", server.local_addr());
+    // The supervising process scripts against that line; make sure it is
+    // visible before we block.
+    std::io::Write::flush(&mut std::io::stdout())?;
+    // SIGTERM-equivalent that needs no signal handling: the parent holds
+    // our stdin open; EOF is the graceful-drain request. The CI loopback
+    // smoke holds a fifo open for exactly this.
+    std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink())?;
+    let stats = server.shutdown();
+    println!("{stats}");
+    println!("{}", engine.cache_stats());
+    Ok(())
+}
+
 fn cmd_flow(args: &Args) -> Result<(), BridgeError> {
-    args.expect_only(&["hls", "book", "emit-vhdl", "cache-dir"])?;
+    args.expect_only(&["hls", "book", "emit-vhdl", "cache-dir", "format"])?;
+    let json = wants_json(args)?;
     let path = args.require("hls")?;
     let source =
         std::fs::read_to_string(path).map_err(|e| BridgeError::Io(format!("{path}: {e}")))?;
     let scheduled = Flow::from_hls(&source)?.schedule()?;
-    print!("{}", scheduled.design().report());
+    if !json {
+        print!("{}", scheduled.design().report());
+    }
     let controlled = scheduled.compile_control()?;
-    let stats = &controlled.controller().stats;
-    println!(
-        "controller: {} states, {} state bits, {} cubes, {} literals",
-        stats.states, stats.state_bits, stats.cubes, stats.literals
-    );
+    let stats = controlled.controller().stats.clone();
+    if !json {
+        println!(
+            "controller: {} states, {} state bits, {} cubes, {} literals",
+            stats.states, stats.state_bits, stats.cubes, stats.literals
+        );
+    }
     let linked = controlled.link()?;
     let library = load_book(args.value_of("book")?)?;
     let mapped = match args.value_of("cache-dir")? {
         Some(dir) => linked.map_cached(library, dir)?,
         None => linked.map(&Dtas::new(library))?,
     };
-    println!("\ntechnology mapping:\n{}", mapped.report());
+    if json {
+        let components: Vec<String> = mapped
+            .mapping()
+            .iter()
+            .map(|(instance, set)| {
+                format!(
+                    "{{\"instance\":{},{}}}",
+                    json_str(instance),
+                    design_set_json_fields(set)
+                )
+            })
+            .collect();
+        println!(
+            "{{\"schema\":\"dtas-flow/1\",\"controller\":{{\"states\":{},\"state_bits\":{},\
+             \"cubes\":{},\"literals\":{}}},\"components\":[{}],\"smallest_area\":{}}}",
+            stats.states,
+            stats.state_bits,
+            stats.cubes,
+            stats.literals,
+            components.join(","),
+            json_num(mapped.smallest_area())
+        );
+    } else {
+        println!("\ntechnology mapping:\n{}", mapped.report());
+    }
     if let Some(out) = args.value_of("emit-vhdl")? {
         let text = mapped.emit_vhdl();
         std::fs::write(out, &text).map_err(|e| BridgeError::Io(format!("{out}: {e}")))?;
-        println!(
-            "wrote {} lines of structural VHDL to {out}",
-            text.lines().count()
-        );
+        if !json {
+            println!(
+                "wrote {} lines of structural VHDL to {out}",
+                text.lines().count()
+            );
+        }
     }
     Ok(())
 }
@@ -492,6 +859,7 @@ fn run() -> Result<(), BridgeError> {
     match raw.first().map(String::as_str) {
         Some("map") => cmd_map(&Args::parse(&raw[1..])?),
         Some("flow") => cmd_flow(&Args::parse(&raw[1..])?),
+        Some("serve") => cmd_serve(&Args::parse(&raw[1..])?),
         Some("bench-load") => cmd_bench_load(&Args::parse(&raw[1..])?),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");

@@ -38,7 +38,9 @@
 use cells::databook::ParseBookError;
 use cells::CellLibrary;
 use controlc::{compile_controller, link, ControlError, Controller};
-use dtas::{DesignSet, Dtas, DtasService, ServiceError, StoreError, SynthError, SynthRequest};
+use dtas::{
+    DesignSet, Dtas, DtasService, ServiceError, StoreError, SynthError, SynthRequest, WireError,
+};
 use genus::behavior::{Env, EvalError};
 use genus::component::GenerateError;
 use genus::netlist::{Netlist, NetlistError};
@@ -102,6 +104,10 @@ pub enum BridgeError {
     /// ([`ServiceError::Shed`]). Retryable by construction — the request
     /// itself was fine, the service was full.
     Overloaded(ServiceError),
+    /// The network wire protocol failed ([`WireError`]): connection
+    /// loss, frame corruption, a handshake refusal, or a typed
+    /// server-side error delivered over a `--connect` session.
+    Wire(WireError),
     /// File I/O failed (CLI paths).
     Io(String),
     /// The façade itself was misused or a run did not converge (e.g. a
@@ -128,6 +134,7 @@ impl fmt::Display for BridgeError {
             BridgeError::VhdlParse(e) => write!(f, "{e}"),
             BridgeError::Store(e) => write!(f, "{e}"),
             BridgeError::Overloaded(e) => write!(f, "{e}"),
+            BridgeError::Wire(e) => write!(f, "wire: {e}"),
             BridgeError::Emit(m) => write!(f, "vhdl emission: {m}"),
             BridgeError::Io(m) => write!(f, "io: {m}"),
             BridgeError::Flow(m) => write!(f, "flow: {m}"),
@@ -154,6 +161,7 @@ impl std::error::Error for BridgeError {
             BridgeError::VhdlParse(e) => Some(e),
             BridgeError::Store(e) => Some(e),
             BridgeError::Overloaded(e) => Some(e),
+            BridgeError::Wire(e) => Some(e),
             BridgeError::Emit(_) | BridgeError::Io(_) | BridgeError::Flow(_) => None,
         }
     }
@@ -185,6 +193,7 @@ bridge_from! {
     EvalError => Eval,
     VhdlParseError => VhdlParse,
     StoreError => Store,
+    WireError => Wire,
 }
 
 impl From<std::io::Error> for BridgeError {

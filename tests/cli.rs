@@ -1,9 +1,17 @@
 //! Integration coverage for the `dtas` CLI binary: `map` prints a
-//! trade-off table, `flow` runs the full pipeline and emits VHDL, and
-//! errors land on stderr with a nonzero exit code.
+//! trade-off table, `flow` runs the full pipeline and emits VHDL,
+//! `--format json` emits exactly one machine-readable document with a
+//! pinned key schema, `serve`/`--connect` round-trip over a real
+//! socket, and errors land on stderr with a nonzero exit code.
+//!
+//! The JSON contract tests parse real output with the workspace's
+//! hand-rolled `bench::json` parser instead of substring matching, so a
+//! malformed document fails loudly.
 
+use bench::json::Json;
+use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Command, Stdio};
 
 fn dtas() -> Command {
     Command::new(env!("CARGO_BIN_EXE_dtas"))
@@ -254,4 +262,238 @@ fn bench_load_reports_throughput_and_sheds_when_undersized() {
         .find(|l| l.starts_with("service:"))
         .expect("service stats line");
     assert!(!service_line.contains("shed=0"), "{service_line}");
+}
+
+// ---------------------------------------------------------------------
+// --format json contract: one parseable document, pinned key schema,
+// nothing else on stdout.
+
+/// Runs the CLI, asserts success and exactly one stdout line, and
+/// parses that line as JSON.
+fn run_json(args: &[&str]) -> Json {
+    let out = dtas().args(args).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let doc = lines.next().expect("one line of JSON");
+    assert_eq!(
+        lines.next(),
+        None,
+        "--format json must print nothing else on stdout: {stdout}"
+    );
+    Json::parse(doc).unwrap_or_else(|e| panic!("invalid JSON ({e}): {doc}"))
+}
+
+#[test]
+fn map_format_json_has_the_pinned_schema() {
+    let doc = run_json(&["map", "--spec", "add:16:cin:cout", "--format", "json"]);
+    assert_eq!(
+        doc.at(&["schema"]).and_then(Json::str_value),
+        Some("dtas-map/1")
+    );
+    assert_eq!(
+        doc.at(&["spec"]).and_then(Json::str_value),
+        Some("ADDSUB.16+CI+CO(ADD)")
+    );
+    assert_eq!(
+        doc.at(&["library", "name"]).and_then(Json::str_value),
+        Some("lsi_lma9k_subset")
+    );
+    assert_eq!(
+        doc.at(&["library", "cells"]).and_then(Json::num),
+        Some(30.0)
+    );
+
+    let alternatives = doc.get("alternatives").and_then(Json::arr).expect("array");
+    assert!(!alternatives.is_empty());
+    for alt in alternatives {
+        assert!(alt.get("area").and_then(Json::num).expect("area") > 0.0);
+        assert!(alt.get("delay").and_then(Json::num).expect("delay") > 0.0);
+        assert!(!alt
+            .get("label")
+            .and_then(Json::str_value)
+            .expect("label")
+            .is_empty());
+        let cells = alt.get("cells").and_then(Json::arr).expect("cells array");
+        assert!(!cells.is_empty());
+        for cell in cells {
+            assert!(cell.get("cell").and_then(Json::str_value).is_some());
+            assert!(cell.get("count").and_then(Json::num).expect("count") >= 1.0);
+        }
+    }
+
+    for key in [
+        "unconstrained_size",
+        "unconstrained_log10",
+        "spec_nodes",
+        "impl_choices",
+        "truncated_combinations",
+    ] {
+        assert!(
+            doc.at(&["design_space", key]).and_then(Json::num).is_some(),
+            "design_space.{key} missing"
+        );
+    }
+    // uniform_size is number-or-null but the key must exist.
+    assert!(doc.at(&["design_space", "uniform_size"]).is_some());
+
+    // One cold query: the cache block must say exactly that.
+    assert_eq!(doc.at(&["cache", "hits"]).and_then(Json::num), Some(0.0));
+    assert_eq!(doc.at(&["cache", "misses"]).and_then(Json::num), Some(1.0));
+}
+
+#[test]
+fn map_format_json_agrees_with_the_human_table() {
+    // The JSON document and the human run must describe the same
+    // alternatives: same count as the table's numbered rows.
+    let doc = run_json(&["map", "--spec", "add:8:cin", "--format", "json"]);
+    let table = dtas()
+        .args(["map", "--spec", "add:8:cin"])
+        .output()
+        .expect("runs");
+    assert!(table.status.success());
+    let rows = String::from_utf8_lossy(&table.stdout)
+        .lines()
+        .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+        .count();
+    let alternatives = doc.get("alternatives").and_then(Json::arr).expect("array");
+    assert_eq!(alternatives.len(), rows);
+}
+
+#[test]
+fn flow_format_json_has_the_pinned_schema() {
+    let entity = temp_path("inc_json.ent");
+    std::fs::write(&entity, "entity inc(x: in 8, y: out 8) { y = x + 1; }").expect("writes");
+    let doc = run_json(&[
+        "flow",
+        "--hls",
+        entity.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+    ]);
+    let _ = std::fs::remove_file(&entity);
+    assert_eq!(
+        doc.at(&["schema"]).and_then(Json::str_value),
+        Some("dtas-flow/1")
+    );
+    for key in ["states", "state_bits", "cubes", "literals"] {
+        let n = doc
+            .at(&["controller", key])
+            .and_then(Json::num)
+            .unwrap_or_else(|| panic!("controller.{key} missing"));
+        assert!(n >= 0.0, "controller.{key} = {n}");
+    }
+    assert!(
+        doc.at(&["controller", "states"])
+            .and_then(Json::num)
+            .expect("states")
+            >= 2.0
+    );
+    let components = doc.get("components").and_then(Json::arr).expect("array");
+    assert!(!components.is_empty());
+    for component in components {
+        assert!(component
+            .get("instance")
+            .and_then(Json::str_value)
+            .is_some());
+        assert!(component.get("spec").and_then(Json::str_value).is_some());
+        assert!(component.get("alternatives").and_then(Json::arr).is_some());
+        assert!(component
+            .at(&["design_space", "unconstrained_size"])
+            .is_some());
+    }
+    assert!(doc.get("smallest_area").and_then(Json::num).expect("area") > 0.0);
+}
+
+#[test]
+fn bad_format_values_are_rejected() {
+    let out = dtas()
+        .args(["map", "--spec", "add:4", "--format", "yaml"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --format"));
+}
+
+// ---------------------------------------------------------------------
+// serve / bench-load --connect over a real loopback socket.
+
+#[test]
+fn serve_answers_bench_load_connect_and_drains_on_stdin_eof() {
+    let mut server = dtas()
+        .args(["serve", "--port", "0", "--queue-depth", "128"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdout = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("reads the bind line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line}"))
+        .trim()
+        .to_string();
+
+    let load = dtas()
+        .args([
+            "bench-load",
+            "--clients",
+            "2",
+            "--requests",
+            "20",
+            "--connect",
+            &addr,
+            "--stats",
+        ])
+        .output()
+        .expect("bench-load runs");
+    assert!(load.status.success(), "{load:?}");
+    let load_out = String::from_utf8_lossy(&load.stdout);
+    assert!(
+        load_out.contains("ok=40 overloaded=0 shed=0 failed=0"),
+        "{load_out}"
+    );
+    assert!(
+        load_out.contains("throughput: completed_qps="),
+        "{load_out}"
+    );
+    assert!(load_out.contains("rtt: p50_us="), "{load_out}");
+    // The server-measured counters, fetched over the wire.
+    assert!(load_out.contains("service: admitted="), "{load_out}");
+    assert!(
+        load_out.contains("lanes: interactive_samples="),
+        "{load_out}"
+    );
+    assert!(load_out.contains("cache: hits="), "{load_out}");
+
+    // Closing stdin is the drain signal; the server prints its final
+    // counters and exits 0.
+    drop(server.stdin.take());
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).expect("reads final stats");
+    assert!(rest.contains("service: admitted="), "{rest}");
+    assert!(rest.contains("lanes: interactive_samples="), "{rest}");
+    assert!(rest.contains("cache: hits="), "{rest}");
+}
+
+#[test]
+fn connect_rejects_server_side_sizing_flags() {
+    let out = dtas()
+        .args([
+            "bench-load",
+            "--connect",
+            "127.0.0.1:1",
+            "--queue-depth",
+            "4",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("sizes the server"),
+        "{out:?}"
+    );
 }

@@ -1,0 +1,253 @@
+//! Loopback determinism for `dtas serve`: a warm, shared, concurrently
+//! hammered wire server must answer bit-identically to a fresh
+//! in-process engine — and graceful shutdown must drain every admitted
+//! ticket. This is the end-to-end proof for the `core::net` tentpole:
+//! framing, lanes, batch slot streaming and the service queue all sit
+//! between the client and the answer, and none of them may perturb it.
+
+use cells::lsi::lsi_logic_subset;
+use dtas::net::{ServeConfig, WireDesignSet, WireServer};
+use dtas::{Dtas, Priority, ServiceConfig, SynthRequest, WireClient};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn adder(width: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::AddSub, width).with_ops(OpSet::only(Op::Add))
+}
+
+fn specs() -> Vec<ComponentSpec> {
+    vec![
+        adder(2),
+        adder(4),
+        adder(8),
+        ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(4),
+        ComponentSpec::new(ComponentKind::Comparator, 4)
+            .with_ops([Op::Eq, Op::Lt, Op::Gt].into_iter().collect()),
+        ComponentSpec::new(ComponentKind::LogicUnit, 4)
+            .with_ops([Op::And, Op::Or, Op::Xor].into_iter().collect()),
+    ]
+}
+
+fn start_server(config: ServeConfig) -> WireServer {
+    WireServer::start(
+        Arc::new(Dtas::new(lsi_logic_subset())),
+        config,
+        ("127.0.0.1", 0),
+    )
+    .expect("binds an ephemeral loopback port")
+}
+
+/// 8 concurrent clients — interactive singles, bulk singles, and batch
+/// submissions — against one shared warm server: every result must be
+/// bit-identical (fingerprint and full alternative list) to a fresh,
+/// cold, in-process engine answering the same spec.
+#[test]
+fn eight_mixed_clients_match_a_fresh_engine_bit_for_bit() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let specs = specs();
+
+    let collected: Vec<Vec<(usize, WireDesignSet)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let specs = &specs;
+                scope.spawn(move || match i % 3 {
+                    // Batch client: all specs under one id; slots stream
+                    // back in order because the server's writer resolves
+                    // tickets FIFO per connection.
+                    0 => {
+                        let mut client = WireClient::connect(addr, Priority::Bulk)
+                            .expect("batch client connects");
+                        let requests: Vec<SynthRequest> =
+                            specs.iter().cloned().map(SynthRequest::new).collect();
+                        let id = client.submit_batch(&requests).expect("submits batch");
+                        (0..specs.len())
+                            .map(|expected_slot| {
+                                let r = client.recv_result().expect("slot resolves");
+                                assert_eq!(r.id, id);
+                                assert_eq!(r.slot as usize, expected_slot, "slots stream in order");
+                                assert_eq!(r.of as usize, specs.len());
+                                (expected_slot, r.result.expect("slot synthesizes"))
+                            })
+                            .collect::<Vec<_>>()
+                    }
+                    // Single-request clients on both lanes.
+                    lane => {
+                        let lane = if lane == 1 {
+                            Priority::Interactive
+                        } else {
+                            Priority::Bulk
+                        };
+                        let mut client =
+                            WireClient::connect(addr, lane).expect("single client connects");
+                        specs
+                            .iter()
+                            .enumerate()
+                            .map(|(idx, spec)| {
+                                let set = client
+                                    .request(&SynthRequest::new(spec.clone()))
+                                    .expect("request synthesizes");
+                                (idx, set)
+                            })
+                            .collect()
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // The oracle: a fresh engine, cold caches, same library.
+    let fresh = Dtas::new(lsi_logic_subset());
+    let oracle: Vec<WireDesignSet> = specs
+        .iter()
+        .map(|spec| WireDesignSet::of(&fresh.synthesize(spec).expect("fresh engine synthesizes")))
+        .collect();
+
+    let mut compared = 0usize;
+    for results in &collected {
+        for (idx, served) in results {
+            let expected = &oracle[*idx];
+            assert_eq!(
+                served.alternatives, expected.alternatives,
+                "spec {idx}: served alternatives diverge from a fresh engine"
+            );
+            assert_eq!(
+                served.fingerprint(),
+                expected.fingerprint(),
+                "spec {idx}: served fingerprint diverges from a fresh engine"
+            );
+            compared += 1;
+        }
+    }
+    assert_eq!(
+        compared,
+        8 * specs.len(),
+        "every client answered every spec"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, stats.admitted, "{stats}");
+    assert_eq!(stats.completed, (8 * specs.len()) as u64);
+}
+
+/// Graceful drain: every ticket admitted before shutdown resolves with
+/// a real answer; the client sees all of them even though the stop flag
+/// goes up while they are still queued.
+#[test]
+fn graceful_shutdown_drains_every_admitted_ticket() {
+    let requests = 24;
+    let server = start_server(ServeConfig {
+        service: ServiceConfig {
+            workers: Some(2),
+            ..ServiceConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut client = WireClient::connect(addr, Priority::Bulk).expect("connects");
+    let request = SynthRequest::new(adder(6));
+    for _ in 0..requests {
+        client.submit(&request).expect("submits");
+    }
+    // Wait until the service has admitted everything this client sent,
+    // so shutdown races only against *execution*, not admission.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.service_stats().admitted < requests as u64 {
+        assert!(Instant::now() < deadline, "admission stalled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let (drained, stats) = std::thread::scope(|scope| {
+        let receiver = scope.spawn(move || {
+            let mut ok = 0usize;
+            for _ in 0..requests {
+                let result = client.recv_result().expect("admitted ticket resolves");
+                result.result.expect("drained ticket carries a real answer");
+                ok += 1;
+            }
+            ok
+        });
+        let stats = server.shutdown();
+        (receiver.join().expect("receiver thread"), stats)
+    });
+
+    assert_eq!(drained, requests, "client received every admitted result");
+    assert_eq!(stats.completed, stats.admitted, "{stats}");
+    assert!(stats.admitted >= requests as u64);
+}
+
+/// Satellite regression: the per-lane wait/service percentiles measured
+/// by the server's own workers are surfaced through the stats frame and
+/// the `ServiceStats` Display line that `bench-load --connect` prints.
+#[test]
+fn server_stats_frame_carries_per_lane_latency() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+
+    let interactive_n = 5u64;
+    let bulk_n = 3u64;
+    let mut interactive =
+        WireClient::connect(addr, Priority::Interactive).expect("interactive connects");
+    let mut bulk = WireClient::connect(addr, Priority::Bulk).expect("bulk connects");
+    let request = SynthRequest::new(adder(4));
+    for _ in 0..interactive_n {
+        interactive.request(&request).expect("synthesizes");
+    }
+    for _ in 0..bulk_n {
+        bulk.request(&request).expect("synthesizes");
+    }
+
+    // Counters are bumped by worker threads just after each ticket
+    // resolves, so a stats probe issued the instant the last answer
+    // lands can catch them mid-update — poll until they settle.
+    let total = interactive_n + bulk_n;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = interactive.server_stats().expect("stats frame");
+        if stats.service.completed == total && stats.cache_hits + stats.cache_misses == total {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "counters never converged: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let service = &stats.service;
+    assert_eq!(service.completed, total);
+    let lanes = &service.lanes;
+    assert_eq!(lanes[0].samples, interactive_n, "interactive lane samples");
+    assert_eq!(lanes[1].samples, bulk_n, "bulk lane samples");
+    for lane in lanes {
+        assert!(lane.wait_p99_us >= lane.wait_p50_us, "{lane:?}");
+        assert!(lane.service_p99_us >= lane.service_p50_us, "{lane:?}");
+    }
+    // The first interactive request was a cold solve; its service time
+    // cannot round to zero microseconds.
+    assert!(lanes[0].service_p99_us > 0, "{:?}", lanes[0]);
+    // Engine-side accounting rode along (cold solve + memo hits).
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, total - 1);
+
+    // The Display line bench-load --connect prints is grep-stable.
+    let rendered = format!("{service}");
+    assert!(
+        rendered.contains("lanes: interactive_samples=5"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("bulk_samples=3"), "{rendered}");
+
+    drop(interactive);
+    drop(bulk);
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.lanes[0].samples, interactive_n);
+    assert_eq!(final_stats.lanes[1].samples, bulk_n);
+}

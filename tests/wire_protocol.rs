@@ -1,0 +1,484 @@
+//! Adversarial wire-protocol suite: every way a hostile or broken peer
+//! can corrupt the byte stream must come back as a *typed* error frame
+//! (or a typed connect refusal) — and the server must keep serving
+//! well-behaved clients afterwards. Plus property round-trips proving
+//! frame encoding is bit-stable.
+//!
+//! The matrix, mirroring the hardening claims in `core::net`:
+//!
+//! | attack                      | expected response                    |
+//! |-----------------------------|--------------------------------------|
+//! | wrong magic                 | `Protocol` error frame, close        |
+//! | bit-flipped payload         | checksum `Protocol` error, close     |
+//! | oversized length prefix     | `Protocol` error from the header     |
+//! | truncated frame + hangup    | server unaffected                    |
+//! | garbage payload (handshake) | `Protocol` error frame, close        |
+//! | garbage payload (later)     | `Protocol` error, connection LIVES   |
+//! | future wire version         | typed `Version` refusal              |
+//! | fingerprint mismatch        | typed `FingerprintMismatch` refusal  |
+//! | mid-stream disconnect       | server unaffected                    |
+
+use cells::lsi::lsi_logic_subset;
+use dtas::net::{
+    ClientMsg, ServeConfig, ServerMsg, WireClient, WireError, WireServer, MAX_FRAME_LEN,
+    WIRE_MAGIC, WIRE_VERSION,
+};
+use dtas::{Dtas, Priority, SynthRequest};
+use genus::kind::ComponentKind;
+use genus::op::{Op, OpSet};
+use genus::spec::ComponentSpec;
+use proptest::prelude::*;
+use rtl_base::hash::fnv1a_64;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn adder(width: usize) -> ComponentSpec {
+    ComponentSpec::new(ComponentKind::AddSub, width).with_ops(OpSet::only(Op::Add))
+}
+
+fn start_server() -> (Arc<Dtas>, WireServer) {
+    let engine = Arc::new(Dtas::new(lsi_logic_subset()));
+    let server = WireServer::start(
+        Arc::clone(&engine),
+        ServeConfig::default(),
+        ("127.0.0.1", 0),
+    )
+    .expect("binds an ephemeral loopback port");
+    (engine, server)
+}
+
+/// Builds one syntactically valid frame around an arbitrary payload —
+/// the checksum is correct, so only the *payload* is under test.
+fn raw_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&WIRE_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let checksum = fnv1a_64(&frame);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame
+}
+
+/// Reads exactly one frame's bytes off a raw socket.
+fn read_frame_bytes(stream: &mut TcpStream) -> Vec<u8> {
+    let mut header = [0u8; 8];
+    stream.read_exact(&mut header).expect("frame header");
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    let mut rest = vec![0u8; len + 8];
+    stream.read_exact(&mut rest).expect("frame body");
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&rest);
+    frame
+}
+
+fn read_msg(stream: &mut TcpStream) -> ServerMsg {
+    ServerMsg::decode_frame(&read_frame_bytes(stream)).expect("server frames decode")
+}
+
+fn hello_frame() -> Vec<u8> {
+    ClientMsg::Hello {
+        wire_version: WIRE_VERSION,
+        lane: Priority::Interactive,
+        expect: None,
+    }
+    .encode_frame()
+}
+
+/// Raw-socket handshake, for tests that need byte-level control after it.
+fn raw_handshake(addr: SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.write_all(&hello_frame()).expect("sends hello");
+    match read_msg(&mut stream) {
+        ServerMsg::HelloAck { wire_version, .. } => assert_eq!(wire_version, WIRE_VERSION),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    stream
+}
+
+/// The survival probe: after an attack, a well-behaved client must
+/// still get a real answer.
+fn assert_server_survives(addr: SocketAddr) {
+    let mut client =
+        WireClient::connect(addr, Priority::Interactive).expect("fresh client connects");
+    let set = client
+        .request(&SynthRequest::new(adder(4)))
+        .expect("fresh client synthesizes");
+    assert!(
+        !set.alternatives.is_empty(),
+        "survival probe produced no alternatives"
+    );
+}
+
+/// Reading after a connection-fatal error must observe the close.
+fn assert_connection_closed(stream: &mut TcpStream) {
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "expected EOF after a fatal error frame, got {rest:?}");
+}
+
+#[test]
+fn wrong_magic_is_a_typed_error_and_the_server_survives() {
+    let (_engine, server) = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Error(WireError::Protocol(m)) => {
+            assert!(m.contains("magic"), "unexpected message: {m}")
+        }
+        other => panic!("expected a Protocol error frame, got {other:?}"),
+    }
+    assert_connection_closed(&mut stream);
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn bit_flipped_payload_fails_the_checksum() {
+    let (_engine, server) = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    let mut frame = hello_frame();
+    frame[9] ^= 0x40; // flip one payload bit; header stays plausible
+    stream.write_all(&frame).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Error(WireError::Protocol(m)) => {
+            assert!(m.contains("checksum"), "unexpected message: {m}")
+        }
+        other => panic!("expected a checksum error frame, got {other:?}"),
+    }
+    assert_connection_closed(&mut stream);
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_from_the_header_alone() {
+    let (_engine, server) = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    // A hostile 3.9 GiB announcement — only 8 header bytes ever sent.
+    let mut header = WIRE_MAGIC.to_vec();
+    header.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    stream.write_all(&header).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Error(WireError::Protocol(m)) => {
+            assert!(m.contains("cap"), "unexpected message: {m}")
+        }
+        other => panic!("expected a frame-cap error frame, got {other:?}"),
+    }
+    assert_connection_closed(&mut stream);
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_hangup_leaves_the_server_serving() {
+    let (_engine, server) = start_server();
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let frame = hello_frame();
+        stream.write_all(&frame[..6]).expect("writes a torn header");
+        // Hang up mid-frame without warning.
+    }
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn garbage_handshake_payload_is_a_typed_error() {
+    let (_engine, server) = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    // Valid framing, valid checksum, nonsense message bytes.
+    stream.write_all(&raw_frame(&[0xFF; 32])).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Error(WireError::Protocol(m)) => {
+            assert!(m.contains("tag"), "unexpected message: {m}")
+        }
+        other => panic!("expected a decode error frame, got {other:?}"),
+    }
+    assert_connection_closed(&mut stream);
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn garbage_payload_after_handshake_keeps_the_connection_alive() {
+    let (_engine, server) = start_server();
+    let mut stream = raw_handshake(server.local_addr());
+    // Undecodable message in a checksummed frame: the stream is still in
+    // sync, so the server reports it and keeps listening.
+    stream.write_all(&raw_frame(&[0xFF; 16])).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Error(WireError::Protocol(m)) => {
+            assert!(m.contains("tag"), "unexpected message: {m}")
+        }
+        other => panic!("expected a decode error frame, got {other:?}"),
+    }
+    // Same connection, real request: still answered.
+    let request_frame = ClientMsg::Request {
+        id: 7,
+        request: SynthRequest::new(adder(4)),
+    }
+    .encode_frame();
+    stream.write_all(&request_frame).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Result {
+            id,
+            slot,
+            of,
+            result,
+            ..
+        } => {
+            assert_eq!((id, slot, of), (7, 0, 1));
+            assert!(!result.expect("synthesizes").alternatives.is_empty());
+        }
+        other => panic!("expected a Result frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn future_wire_version_is_refused_with_both_versions() {
+    let (_engine, server) = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    let frame = ClientMsg::Hello {
+        wire_version: WIRE_VERSION + 7,
+        lane: Priority::Bulk,
+        expect: None,
+    }
+    .encode_frame();
+    stream.write_all(&frame).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Error(WireError::Version { server, client }) => {
+            assert_eq!(server, WIRE_VERSION);
+            assert_eq!(client, WIRE_VERSION + 7);
+        }
+        other => panic!("expected a Version refusal, got {other:?}"),
+    }
+    assert_connection_closed(&mut stream);
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+#[test]
+fn fingerprint_mismatch_is_refused_and_matching_pins_connect() {
+    let (engine, server) = start_server();
+    let key = engine.store_key();
+    // Wrong library fingerprint: typed refusal naming the field.
+    match WireClient::connect_checked(
+        server.local_addr(),
+        Priority::Interactive,
+        (key.library ^ 1, key.rules, key.config),
+    ) {
+        Err(WireError::FingerprintMismatch { field }) => assert_eq!(field, "library"),
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    // Wrong config fingerprint: same, different field.
+    match WireClient::connect_checked(
+        server.local_addr(),
+        Priority::Interactive,
+        (key.library, key.rules, key.config ^ 1),
+    ) {
+        Err(WireError::FingerprintMismatch { field }) => assert_eq!(field, "config"),
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    // The true triple connects and serves.
+    let mut client = WireClient::connect_checked(
+        server.local_addr(),
+        Priority::Interactive,
+        (key.library, key.rules, key.config),
+    )
+    .expect("matching fingerprints connect");
+    assert_eq!(
+        client.server_fingerprints(),
+        (key.library, key.rules, key.config)
+    );
+    client
+        .request(&SynthRequest::new(adder(4)))
+        .expect("pinned client synthesizes");
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_after_a_request_leaves_the_server_serving() {
+    let (_engine, server) = start_server();
+    {
+        let mut stream = raw_handshake(server.local_addr());
+        let frame = ClientMsg::Request {
+            id: 1,
+            request: SynthRequest::new(adder(8)),
+        }
+        .encode_frame();
+        stream.write_all(&frame).expect("writes");
+        // Vanish without reading the answer: the server's writer thread
+        // hits a dead socket and must fail quietly.
+    }
+    assert_server_survives(server.local_addr());
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.completed, stats.admitted,
+        "abandoned tickets still resolve: {stats}"
+    );
+}
+
+#[test]
+fn bye_closes_the_connection_cleanly() {
+    let (_engine, server) = start_server();
+    let mut stream = raw_handshake(server.local_addr());
+    stream
+        .write_all(&ClientMsg::Bye.encode_frame())
+        .expect("writes");
+    assert_connection_closed(&mut stream);
+    assert_server_survives(server.local_addr());
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Property round-trips: encode → decode → re-encode is bit-identical.
+
+fn arb_request() -> impl Strategy<Value = SynthRequest> {
+    (
+        1usize..17,
+        0u8..3,
+        any::<bool>(),
+        1usize..64,
+        any::<bool>(),
+        0u32..1000,
+        0u32..1000,
+    )
+        .prop_map(|(width, filter, capped, cap, weighted, wa, wd)| {
+            let mut request = SynthRequest::new(adder(width));
+            match filter {
+                1 => request = request.with_root_filter(dtas::FilterPolicy::Pareto),
+                2 => {
+                    request = request.with_root_filter(dtas::FilterPolicy::Slack {
+                        area: f64::from(wa) / 8.0,
+                        delay: f64::from(wd) / 8.0,
+                    })
+                }
+                _ => {}
+            }
+            if capped {
+                request = request.with_front_cap(cap);
+            }
+            if weighted {
+                request = request.with_weights(f64::from(wa) / 4.0, f64::from(wd) / 4.0);
+            }
+            request
+        })
+}
+
+fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(v, pinned, a, b, c)| ClientMsg::Hello {
+                wire_version: v,
+                lane: if v & 1 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Bulk
+                },
+                expect: pinned.then_some((a, b, c)),
+            }),
+        (any::<u64>(), arb_request()).prop_map(|(id, request)| ClientMsg::Request { id, request }),
+        (any::<u64>(), proptest::collection::vec(arb_request(), 0..4))
+            .prop_map(|(id, requests)| ClientMsg::Batch { id, requests }),
+        (0u8..1).prop_map(|_| ClientMsg::Stats),
+        (0u8..1).prop_map(|_| ClientMsg::Bye),
+    ]
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    prop_oneof![
+        (any::<u64>()).prop_map(|n| WireError::Io(format!("io {n}"))),
+        (any::<u64>()).prop_map(|n| WireError::Protocol(format!("proto {n}"))),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(server, client)| WireError::Version { server, client }),
+        (0u8..3).prop_map(|f| WireError::FingerprintMismatch {
+            field: ["library", "rules", "config"][f as usize].to_string(),
+        }),
+        (any::<u64>()).prop_map(|queue_depth| WireError::Overloaded { queue_depth }),
+        (0u8..1).prop_map(|_| WireError::Shed),
+        (0u8..1).prop_map(|_| WireError::ShuttingDown),
+        (any::<u64>()).prop_map(|n| WireError::Internal(format!("worker {n}"))),
+    ]
+}
+
+fn arb_server_msg() -> impl Strategy<Value = ServerMsg> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(v, library, rules, config, bulk)| ServerMsg::HelloAck {
+                wire_version: v,
+                lane: if bulk {
+                    Priority::Bulk
+                } else {
+                    Priority::Interactive
+                },
+                library,
+                rules,
+                config,
+            }),
+        (any::<u64>(), any::<u32>(), any::<u32>(), arb_wire_error()).prop_map(
+            |(id, slot, of, e)| ServerMsg::Result {
+                id,
+                slot,
+                of,
+                result: Err(e),
+            }
+        ),
+        arb_wire_error().prop_map(ServerMsg::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Client frames survive encode → decode → re-encode bit-identically.
+    #[test]
+    fn client_frames_round_trip_bit_identically(msg in arb_client_msg()) {
+        let bytes = msg.encode_frame();
+        let decoded = ClientMsg::decode_frame(&bytes).expect("round-trip decodes");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(decoded.encode_frame(), bytes);
+    }
+
+    /// Server frames survive encode → decode → re-encode bit-identically.
+    #[test]
+    fn server_frames_round_trip_bit_identically(msg in arb_server_msg()) {
+        let bytes = msg.encode_frame();
+        let decoded = ServerMsg::decode_frame(&bytes).expect("round-trip decodes");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(decoded.encode_frame(), bytes);
+    }
+
+    /// Any single bit flip anywhere in a frame is detected: decode fails
+    /// (checksum, magic or length) — it never yields a different valid
+    /// message silently.
+    #[test]
+    fn any_single_bit_flip_is_detected(msg in arb_client_msg(), flip in any::<u64>()) {
+        let mut bytes = msg.encode_frame();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match ClientMsg::decode_frame(&bytes) {
+            Err(WireError::Protocol(_)) => {}
+            Ok(other) => prop_assert!(
+                false,
+                "bit flip at {} produced a different valid message: {:?}",
+                bit,
+                other
+            ),
+            Err(other) => prop_assert!(false, "unexpected error kind: {:?}", other),
+        }
+    }
+}
