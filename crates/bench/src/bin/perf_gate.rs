@@ -11,6 +11,9 @@
 //!   cancels out;
 //! * `service.saturation_qps` — the admission-controlled service's
 //!   saturation throughput;
+//! * `service.deadline_vs_plain` — a self-contained floor (≥ 0.95, no
+//!   baseline needed): deadline bookkeeping must cost <5% of saturation
+//!   QPS, both sides measured interleaved in one perf_snapshot run;
 //! * `serve.saturation_qps` and `serve.rtt_p99_us` — the `dtas serve`
 //!   wire protocol end to end over loopback TCP: saturation throughput
 //!   and the client-observed round-trip tail.
@@ -105,6 +108,33 @@ fn gate_throughput(
     });
 }
 
+/// Self-contained floor check: fail when the *current* run's value sits
+/// below `floor`, independent of the baseline (used for ratios measured
+/// within one run, where machine speed already cancels). The baseline
+/// column reports the floor itself.
+fn gate_floor(metric: String, floor: f64, current: Option<f64>, findings: &mut Vec<Finding>) {
+    match current {
+        Some(c) => findings.push(Finding {
+            metric,
+            baseline: floor,
+            current: c,
+            regression: floor / c.max(1e-12),
+            verdict: if c >= floor {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+        }),
+        None => findings.push(Finding {
+            metric: format!("{metric} (missing from current run)"),
+            baseline: floor,
+            current: f64::NAN,
+            regression: f64::INFINITY,
+            verdict: Verdict::Fail,
+        }),
+    }
+}
+
 fn gate_value(
     metric: String,
     baseline: Option<f64>,
@@ -195,6 +225,21 @@ fn run_gate(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Finding> {
             .and_then(Json::num),
         tolerance,
         50_000.0,
+        &mut findings,
+    );
+
+    // Deadline bookkeeping overhead, self-contained in the current run:
+    // perf_snapshot measures plain vs deadline-stamped saturation
+    // interleaved in one process (machine speed cancels), so the stored
+    // ratio gates directly against the acceptance floor — stamping,
+    // sweeper scheduling and at-pop expiry checks must keep >= 95% of
+    // the plain saturation QPS.
+    gate_floor(
+        "service.deadline_vs_plain".to_string(),
+        0.95,
+        current
+            .at(&["service", "deadline_vs_plain"])
+            .and_then(Json::num),
         &mut findings,
     );
 
@@ -319,7 +364,7 @@ mod tests {
         Json::parse(&format!(
             r#"{{ "queries": [ {{ "name": "ALU64", "repeat_ms": {repeat_ms} }} ],
                  "warm_start": {{ "warm_first_ms": {warm_ms}, "cold_first_ms": {cold_ms} }},
-                 "service": {{ "saturation_qps": {qps} }},
+                 "service": {{ "saturation_qps": {qps}, "deadline_vs_plain": 0.99 }},
                  "serve": {{ "saturation_qps": {serve_qps}, "rtt_p99_us": {rtt_p99_us} }} }}"#
         ))
         .expect("test snapshot parses")
@@ -358,7 +403,32 @@ mod tests {
         // both the tolerance and the noise floor.
         let cur = snapshot_with_serve(50.0, 90.0, 100.0, 5_000.0, 500.0, 500_000.0);
         let findings = run_gate(&base, &cur, 3.0);
-        assert_eq!(verdicts(&findings), vec![true, true, true, true, true]);
+        // The deadline floor (4th finding) stays healthy in this scenario.
+        assert_eq!(
+            verdicts(&findings),
+            vec![true, true, true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn deadline_overhead_below_the_floor_fails() {
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        let mut cur_text = r#"{ "queries": [ { "name": "ALU64", "repeat_ms": 0.005 } ],
+             "warm_start": { "warm_first_ms": 0.01, "cold_first_ms": 100.0 },
+             "service": { "saturation_qps": 500000.0, "deadline_vs_plain": 0.80 },
+             "serve": { "saturation_qps": 50000.0, "rtt_p99_us": 2000.0 } }"#
+            .to_string();
+        let cur = Json::parse(&cur_text).unwrap();
+        let findings = run_gate(&base, &cur, 3.0);
+        let deadline = findings
+            .iter()
+            .find(|f| f.metric.contains("deadline_vs_plain"))
+            .expect("floor check present");
+        assert!(deadline.verdict == Verdict::Fail, "0.80 < 0.95 must fail");
+        // Healthy ratio passes the same check.
+        cur_text = cur_text.replace("0.80", "0.97");
+        let findings = run_gate(&base, &Json::parse(&cur_text).unwrap(), 3.0);
+        assert!(verdicts(&findings).iter().all(|f| !f));
     }
 
     #[test]

@@ -207,6 +207,8 @@ struct ServiceMetrics {
     overload_submitted: u64,
     overload_completed: u64,
     overload_shed: u64,
+    deadline_plain_qps: f64,
+    deadline_stamped_qps: f64,
 }
 
 /// Direct-path reference at `clients` threads: the same spec hammered via
@@ -228,6 +230,60 @@ fn direct_concurrent_qps(
         }
     });
     (clients * per_client) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One saturation run: `clients` threads pipelining `per_client` memo
+/// hits each (chunked batch submission), optionally stamping every
+/// request with a deadline. Returns QPS.
+fn saturation_run(
+    engine: &Arc<Dtas>,
+    spec: &ComponentSpec,
+    clients: usize,
+    per_client: usize,
+    queue_depth: usize,
+    deadline: Option<Duration>,
+) -> f64 {
+    let service = DtasService::start(
+        Arc::clone(engine),
+        ServiceConfig {
+            queue_depth,
+            admission: Admission::Block {
+                timeout: Duration::from_secs(60),
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let chunk = 64usize;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let service = &service;
+            scope.spawn(move || {
+                let mut submitted = 0usize;
+                while submitted < per_client {
+                    let n = chunk.min(per_client - submitted);
+                    submitted += n;
+                    let tickets = service.submit_batch((0..n).map(|_| {
+                        let request = SynthRequest::new(spec.clone());
+                        match deadline {
+                            Some(d) => request.with_deadline(d),
+                            None => request,
+                        }
+                    }));
+                    for ticket in tickets {
+                        ticket.expect("admitted").recv().expect("solves");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.deadline_expired, 0,
+        "far-future deadlines never fire: {stats}"
+    );
+    (clients * per_client) as f64 / elapsed
 }
 
 fn service_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServiceMetrics {
@@ -355,6 +411,40 @@ fn service_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServiceMetrics {
         "admitted requests either complete or shed: {overload}"
     );
 
+    // Deadline bookkeeping overhead: the same saturation workload with
+    // every request stamped with a far-future deadline, so the stamping,
+    // sweeper scheduling and at-pop expiry checks are all active while
+    // nothing actually expires. Interleaved best-of-3 per side, in one
+    // process, so machine speed cancels and scheduler noise shrinks.
+    let mut deadline_plain_qps = 0.0f64;
+    let mut deadline_stamped_qps = 0.0f64;
+    for _ in 0..3 {
+        deadline_plain_qps = deadline_plain_qps.max(saturation_run(
+            engine,
+            spec,
+            max_clients,
+            per_client,
+            queue_depth,
+            None,
+        ));
+        deadline_stamped_qps = deadline_stamped_qps.max(saturation_run(
+            engine,
+            spec,
+            max_clients,
+            per_client,
+            queue_depth,
+            Some(Duration::from_secs(3600)),
+        ));
+    }
+    // CI bar (acceptance): deadline bookkeeping must cost <5% of
+    // saturation QPS. The perf gate re-asserts the same floor from the
+    // emitted `deadline_vs_plain` field.
+    assert!(
+        deadline_stamped_qps >= 0.95 * deadline_plain_qps,
+        "deadline bookkeeping must cost <5% of saturation QPS \
+         (plain {deadline_plain_qps:.0} qps, stamped {deadline_stamped_qps:.0} qps)"
+    );
+
     ServiceMetrics {
         workers,
         queue_depth,
@@ -366,6 +456,8 @@ fn service_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServiceMetrics {
         overload_submitted: overload.admitted,
         overload_completed: overload.completed,
         overload_shed: overload.shed,
+        deadline_plain_qps,
+        deadline_stamped_qps,
     }
 }
 
@@ -684,7 +776,14 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"note\": \"saturation: clients pipeline batches of ALU64 memo hits through DtasService (Arc delivery, no per-hit deep clone); service_vs_direct >= 1 is asserted at equal client count. overload: an undersized ShedOldest queue must shed (shed > 0 asserted) while every ticket still resolves\""
+        "    \"deadline_plain_qps\": {:.0}, \"deadline_stamped_qps\": {:.0}, \"deadline_vs_plain\": {:.3},",
+        service.deadline_plain_qps,
+        service.deadline_stamped_qps,
+        service.deadline_stamped_qps / service.deadline_plain_qps.max(1e-9),
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"saturation: clients pipeline batches of ALU64 memo hits through DtasService (Arc delivery, no per-hit deep clone); service_vs_direct >= 1 is asserted at equal client count. overload: an undersized ShedOldest queue must shed (shed > 0 asserted) while every ticket still resolves. deadline: the same saturation with every request stamped with a far-future deadline (interleaved best-of-3 per side); deadline_vs_plain >= 0.95 is asserted here and re-gated from the stored field\""
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"serve\": {{");

@@ -83,13 +83,13 @@ pub mod template;
 pub use config::DtasConfig;
 pub use engine::{CacheStats, Dtas, SynthError};
 pub use extract::{ImplKind, Implementation};
-pub use net::{ServeConfig, WireClient, WireError, WireServer};
+pub use net::{ReconnectingClient, RetryPolicy, ServeConfig, WireClient, WireError, WireServer};
 pub use report::{Alternative, DesignSet, SynthStats};
 pub use request::SynthRequest;
 pub use rules::{Rule, RuleSet};
 pub use service::{
-    Admission, DtasService, LaneLatency, Priority, ServiceConfig, ServiceError, ServiceStats,
-    SynthOutcome, Ticket,
+    Admission, DtasService, LaneLatency, LatencyHistogram, Priority, ServiceConfig, ServiceError,
+    ServiceStats, SynthOutcome, Ticket,
 };
 pub use space::{DesignSpace, FilterPolicy, FrontStore, Policy, SolveConfig, Solver};
 pub use store::{

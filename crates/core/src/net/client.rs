@@ -5,9 +5,10 @@ use super::frame::{ClientMsg, FrameReader, ServerMsg, WireDesignSet, WireStats, 
 use super::{WireError, MAX_FRAME_LEN};
 use crate::request::SynthRequest;
 use crate::service::Priority;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One resolved request or batch slot, as received off the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -177,6 +178,20 @@ impl WireClient {
         Ok(id)
     }
 
+    /// Sends a best-effort [`ClientMsg::Cancel`] for a previously
+    /// submitted id. Fire-and-forget: the server races the cancel
+    /// against dispatch, and every slot under `id` still gets exactly
+    /// one result frame — carrying [`WireError::Cancelled`] when the
+    /// cancel won. Cancelling an unknown or already-resolved id is a
+    /// harmless no-op on the server.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the socket fails.
+    pub fn cancel(&mut self, id: u64) -> Result<(), WireError> {
+        self.send(&ClientMsg::Cancel { id })
+    }
+
     /// Receives the next result frame (per-request refusals like
     /// [`WireError::Overloaded`] arrive *inside* the [`WireResult`]).
     ///
@@ -224,7 +239,7 @@ impl WireClient {
         }
         self.send(&ClientMsg::Stats)?;
         match self.read_msg()? {
-            ServerMsg::Stats(stats) => Ok(stats),
+            ServerMsg::Stats(stats) => Ok(*stats),
             ServerMsg::Error(e) => Err(e),
             other => Err(WireError::Protocol(format!(
                 "expected Stats, got {other:?}"
@@ -276,5 +291,576 @@ impl Drop for WireClient {
             self.said_bye = true;
             let _ = self.stream.write_all(&ClientMsg::Bye.encode_frame());
         }
+    }
+}
+
+/// How a [`ReconnectingClient`] paces its redials: bounded attempts with
+/// exponential backoff and *decorrelated jitter* — each sleep is drawn
+/// uniformly from `[base, 3 × previous sleep]` and clamped to `cap`, so
+/// a fleet of clients recovering from one server restart spreads out
+/// instead of stampeding in lockstep.
+///
+/// The jitter stream is seeded ([`seed`](Self::seed)), so a given
+/// client's backoff schedule is reproducible — chaos tests can assert
+/// timing without flaking on entropy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Connection attempts per operation (including the first); when
+    /// they are all spent the operation fails with
+    /// [`WireError::RetriesExhausted`]. Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Lower bound of every backoff draw.
+    pub base: Duration,
+    /// Upper clamp on any single sleep.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 10 ms base, 1 s cap — recovers from a quick server
+    /// restart in well under two seconds of total sleeping.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0xDAC_1991,
+        }
+    }
+}
+
+/// One logical submission the reconnecting client may still owe results
+/// for.
+struct Inflight {
+    /// The request(s) as submitted — kept verbatim so a reconnect can
+    /// replay them.
+    requests: Vec<SynthRequest>,
+    /// Per-slot delivery flags; replayed slots that were already
+    /// delivered are deduplicated against this.
+    received: Vec<bool>,
+    /// Cancelled ids are *not* replayed after a reconnect; their
+    /// undelivered slots resolve locally to [`WireError::Cancelled`].
+    cancelled: bool,
+}
+
+impl Inflight {
+    fn of(&self) -> u32 {
+        self.received.len() as u32
+    }
+}
+
+/// A [`WireClient`] that survives the connection dying underneath it.
+///
+/// Synthesis requests are pure queries — re-running one on the server
+/// yields a bit-identical answer — so they are safe to replay. On any
+/// transport failure ([`WireError::Io`] / [`WireError::Protocol`]) the
+/// client redials under its [`RetryPolicy`], re-handshakes (re-pinning
+/// fingerprints when constructed with
+/// [`connect_checked`](Self::connect_checked)), and replays every
+/// submission that has undelivered slots. Callers keep their original
+/// correlation ids: the client owns the id space and remaps per
+/// connection epoch, deduplicating any slot the replay re-answers.
+///
+/// Two things are deliberately *not* replayed:
+///
+/// * **Cancels** — cancelled work should not be resurrected; locally
+///   cancelled ids resolve to [`WireError::Cancelled`] on reconnect if
+///   the old connection died before answering.
+/// * **Non-transient refusals** — a version or fingerprint mismatch on
+///   redial fails immediately; retrying cannot help.
+///
+/// When the attempt budget is spent the operation fails with
+/// [`WireError::RetriesExhausted`], carrying the last underlying error.
+pub struct ReconnectingClient {
+    addr: String,
+    lane: Priority,
+    expect: Option<(u64, u64, u64)>,
+    policy: RetryPolicy,
+    /// splitmix64 state for the jitter stream.
+    jitter: u64,
+    /// `None` only while a reconnect is in progress or after one has
+    /// exhausted its attempts.
+    inner: Option<WireClient>,
+    fingerprints: (u64, u64, u64),
+    next_id: u64,
+    /// Submissions with undelivered slots, by *caller-visible* id.
+    inflight: BTreeMap<u64, Inflight>,
+    /// Current connection epoch's wire id → caller-visible id.
+    id_map: HashMap<u64, u64>,
+    /// Locally resolved results (cancelled ids at reconnect), replayed
+    /// ahead of the socket by [`recv_result`](Self::recv_result).
+    held: VecDeque<WireResult>,
+    reconnects: u64,
+}
+
+impl std::fmt::Debug for ReconnectingClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconnectingClient")
+            .field("addr", &self.addr)
+            .field("lane", &self.lane)
+            .field("inflight", &self.inflight.len())
+            .field("reconnects", &self.reconnects)
+            .finish_non_exhaustive()
+    }
+}
+
+fn transient(e: &WireError) -> bool {
+    matches!(e, WireError::Io(_) | WireError::Protocol(_))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ReconnectingClient {
+    /// Dials `addr` (retrying under `policy`) and handshakes onto
+    /// `lane`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::RetriesExhausted`] when every attempt failed with a
+    /// transient error, or the server's non-transient handshake refusal
+    /// ([`WireError::Version`], …) immediately.
+    pub fn connect(
+        addr: impl Into<String>,
+        lane: Priority,
+        policy: RetryPolicy,
+    ) -> Result<Self, WireError> {
+        Self::new(addr.into(), lane, None, policy)
+    }
+
+    /// [`connect`](Self::connect), additionally pinning the engine
+    /// fingerprint triple on every handshake — including the ones after
+    /// reconnects, so a server swapped out for a different engine is
+    /// refused rather than silently answering from different inputs.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`connect`](Self::connect) can return, plus
+    /// [`WireError::FingerprintMismatch`].
+    pub fn connect_checked(
+        addr: impl Into<String>,
+        lane: Priority,
+        expect: (u64, u64, u64),
+        policy: RetryPolicy,
+    ) -> Result<Self, WireError> {
+        Self::new(addr.into(), lane, Some(expect), policy)
+    }
+
+    fn new(
+        addr: String,
+        lane: Priority,
+        expect: Option<(u64, u64, u64)>,
+        policy: RetryPolicy,
+    ) -> Result<Self, WireError> {
+        let mut client = ReconnectingClient {
+            addr,
+            lane,
+            expect,
+            policy,
+            jitter: policy.seed,
+            inner: None,
+            fingerprints: (0, 0, 0),
+            next_id: 0,
+            inflight: BTreeMap::new(),
+            id_map: HashMap::new(),
+            held: VecDeque::new(),
+            reconnects: 0,
+        };
+        client.reconnect(&WireError::Io("not yet connected".into()))?;
+        client.reconnects = 0; // the first dial is a connect, not a recovery
+        Ok(client)
+    }
+
+    /// The lane every connection epoch negotiates.
+    pub fn lane(&self) -> Priority {
+        self.lane
+    }
+
+    /// The server engine's fingerprints from the most recent handshake.
+    pub fn server_fingerprints(&self) -> (u64, u64, u64) {
+        self.fingerprints
+    }
+
+    /// How many times the client has successfully *re*-established a
+    /// connection (the initial connect does not count).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Submits one request without waiting, returning its correlation
+    /// id — stable across reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::RetriesExhausted`] when the transport failed and
+    /// could not be re-established.
+    pub fn submit(&mut self, request: &SynthRequest) -> Result<u64, WireError> {
+        self.submit_slots(std::slice::from_ref(request))
+    }
+
+    /// Submits a batch without waiting; one result per slot will arrive
+    /// under the returned id.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit`](Self::submit).
+    pub fn submit_batch(&mut self, requests: &[SynthRequest]) -> Result<u64, WireError> {
+        self.submit_slots(requests)
+    }
+
+    fn submit_slots(&mut self, requests: &[SynthRequest]) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Record first: if the send below dies mid-write, the reconnect
+        // replay covers this submission too.
+        self.inflight.insert(
+            id,
+            Inflight {
+                requests: requests.to_vec(),
+                received: vec![false; requests.len()],
+                cancelled: false,
+            },
+        );
+        match self.send_inflight(id) {
+            Ok(()) => Ok(id),
+            Err(e) if transient(&e) => {
+                // Reconnect replays everything undelivered, including
+                // the submission we just recorded.
+                self.reconnect(&e)?;
+                Ok(id)
+            }
+            Err(e) => {
+                self.inflight.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends one recorded submission on the current connection and maps
+    /// its fresh wire id.
+    fn send_inflight(&mut self, id: u64) -> Result<(), WireError> {
+        let Some(entry) = self.inflight.get(&id) else {
+            return Ok(());
+        };
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(WireError::Io("not connected".into()));
+        };
+        let wire_id = if entry.requests.len() == 1 {
+            inner.submit(&entry.requests[0])?
+        } else {
+            inner.submit_batch(&entry.requests)?
+        };
+        self.id_map.insert(wire_id, id);
+        Ok(())
+    }
+
+    /// Cancels a previously submitted id: marks it locally (so it is
+    /// never replayed) and forwards a best-effort
+    /// [`ClientMsg::Cancel`]. Returns `false` when the id has already
+    /// fully resolved. Every slot still gets exactly one result —
+    /// [`WireError::Cancelled`] when the cancel won the race, the real
+    /// outcome when it lost.
+    ///
+    /// # Errors
+    ///
+    /// Non-transient failures only; a dead connection resolves the
+    /// cancelled id locally instead of erroring.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, WireError> {
+        let Some(entry) = self.inflight.get_mut(&id) else {
+            return Ok(false);
+        };
+        entry.cancelled = true;
+        let wire_id = self
+            .id_map
+            .iter()
+            .find_map(|(wire, caller)| (*caller == id).then_some(*wire));
+        if let (Some(wire_id), Some(inner)) = (wire_id, self.inner.as_mut()) {
+            match inner.cancel(wire_id) {
+                Ok(()) => {}
+                Err(e) if transient(&e) => self.reconnect(&e)?,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Receives the next undelivered result, reconnecting and replaying
+    /// through transport failures. Replay duplicates (slots the old
+    /// connection already answered) are filtered out.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::RetriesExhausted`], or a non-transient server
+    /// refusal.
+    pub fn recv_result(&mut self) -> Result<WireResult, WireError> {
+        loop {
+            if let Some(result) = self.held.pop_front() {
+                return Ok(result);
+            }
+            let Some(inner) = self.inner.as_mut() else {
+                self.reconnect(&WireError::Io("not connected".into()))?;
+                continue;
+            };
+            match inner.recv_result() {
+                Ok(raw) => {
+                    if let Some(mapped) = self.deliver(&raw) {
+                        return Ok(mapped);
+                    }
+                }
+                Err(e) if transient(&e) => self.reconnect(&e)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Maps a raw frame to caller ids; `None` for stale or duplicate
+    /// slots.
+    fn deliver(&mut self, raw: &WireResult) -> Option<WireResult> {
+        let id = *self.id_map.get(&raw.id)?;
+        let entry = self.inflight.get_mut(&id)?;
+        let slot = raw.slot as usize;
+        if slot >= entry.received.len() || entry.received[slot] {
+            return None;
+        }
+        entry.received[slot] = true;
+        let of = entry.of();
+        if entry.received.iter().all(|r| *r) {
+            self.inflight.remove(&id);
+            self.id_map.retain(|_, caller| *caller != id);
+        }
+        Some(WireResult {
+            id,
+            slot: raw.slot,
+            of,
+            result: raw.result.clone(),
+        })
+    }
+
+    /// Round-trips one request; results for other outstanding ids that
+    /// arrive first are held for later
+    /// [`recv_result`](Self::recv_result) calls.
+    ///
+    /// # Errors
+    ///
+    /// The server's typed refusal for this request, or
+    /// [`WireError::RetriesExhausted`].
+    pub fn request(&mut self, request: &SynthRequest) -> Result<WireDesignSet, WireError> {
+        let id = self.submit(request)?;
+        let mut stash = Vec::new();
+        let outcome = loop {
+            let result = self.recv_result()?;
+            if result.id == id {
+                break result.result;
+            }
+            stash.push(result);
+        };
+        for result in stash.into_iter().rev() {
+            self.held.push_front(result);
+        }
+        outcome
+    }
+
+    /// Fetches the server's stats frame, reconnecting through transport
+    /// failures (pipelined results drained along the way are replayed by
+    /// later [`recv_result`](Self::recv_result) calls).
+    ///
+    /// # Errors
+    ///
+    /// As for [`recv_result`](Self::recv_result).
+    pub fn server_stats(&mut self) -> Result<WireStats, WireError> {
+        loop {
+            let Some(inner) = self.inner.as_mut() else {
+                self.reconnect(&WireError::Io("not connected".into()))?;
+                continue;
+            };
+            match inner.server_stats() {
+                Ok(stats) => return Ok(stats),
+                Err(e) if transient(&e) => self.reconnect(&e)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Re-establishes the connection under the retry policy and replays
+    /// every undelivered, uncancelled submission.
+    fn reconnect(&mut self, cause: &WireError) -> Result<(), WireError> {
+        self.inner = None;
+        self.id_map.clear();
+        self.resolve_cancelled_locally();
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = cause.to_string();
+        let mut prev = self.policy.base;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                prev = self.next_backoff(prev);
+                std::thread::sleep(prev);
+            }
+            let connected = match self.expect {
+                None => WireClient::connect(self.addr.as_str(), self.lane),
+                Some(fp) => WireClient::connect_checked(self.addr.as_str(), self.lane, fp),
+            };
+            match connected {
+                Ok(client) => {
+                    self.fingerprints = client.server_fingerprints();
+                    self.inner = Some(client);
+                    match self.replay() {
+                        Ok(()) => {
+                            self.reconnects += 1;
+                            return Ok(());
+                        }
+                        // The fresh connection died mid-replay; spend
+                        // another attempt.
+                        Err(e) => {
+                            self.inner = None;
+                            self.id_map.clear();
+                            last = e.to_string();
+                        }
+                    }
+                }
+                // Retrying cannot fix a version or fingerprint mismatch.
+                Err(e @ (WireError::Version { .. } | WireError::FingerprintMismatch { .. })) => {
+                    return Err(e)
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(WireError::RetriesExhausted { attempts, last })
+    }
+
+    fn replay(&mut self) -> Result<(), WireError> {
+        let ids: Vec<u64> = self.inflight.keys().copied().collect();
+        for id in ids {
+            self.send_inflight(id)?;
+        }
+        Ok(())
+    }
+
+    /// Cancelled ids are not replayed; resolve their undelivered slots
+    /// locally so callers never wait on work the old connection took to
+    /// its grave.
+    fn resolve_cancelled_locally(&mut self) {
+        let held = &mut self.held;
+        self.inflight.retain(|id, entry| {
+            if !entry.cancelled {
+                return true;
+            }
+            for (slot, got) in entry.received.iter().enumerate() {
+                if !got {
+                    held.push_back(WireResult {
+                        id: *id,
+                        slot: slot as u32,
+                        of: entry.of(),
+                        result: Err(WireError::Cancelled),
+                    });
+                }
+            }
+            false
+        });
+    }
+
+    /// Decorrelated jitter: uniform in `[base, 3 × prev]`, clamped to
+    /// the policy cap.
+    fn next_backoff(&mut self, prev: Duration) -> Duration {
+        let base = self.policy.base.max(Duration::from_micros(100));
+        let cap = self.policy.cap.max(base);
+        let lo = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let hi = (prev.as_nanos().min(u128::from(u64::MAX)) as u64)
+            .saturating_mul(3)
+            .max(lo);
+        let span = hi - lo;
+        let draw = if span == 0 {
+            lo
+        } else {
+            lo + splitmix64(&mut self.jitter) % (span + 1)
+        };
+        Duration::from_nanos(draw).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 42,
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut client = ReconnectingClient {
+                addr: String::new(),
+                lane: Priority::Interactive,
+                expect: None,
+                policy: RetryPolicy { seed, ..policy },
+                jitter: seed,
+                inner: None,
+                fingerprints: (0, 0, 0),
+                next_id: 0,
+                inflight: BTreeMap::new(),
+                id_map: HashMap::new(),
+                held: VecDeque::new(),
+                reconnects: 0,
+            };
+            let mut prev = policy.base;
+            (0..8)
+                .map(|_| {
+                    prev = client.next_backoff(prev);
+                    prev
+                })
+                .collect()
+        };
+        let a = schedule(42);
+        for sleep in &a {
+            assert!(*sleep >= policy.base, "below base: {sleep:?}");
+            assert!(*sleep <= policy.cap, "above cap: {sleep:?}");
+        }
+        assert_eq!(a, schedule(42), "same seed must give the same schedule");
+        assert_ne!(a, schedule(43), "different seeds should decorrelate");
+    }
+
+    #[test]
+    fn cancelled_ids_resolve_locally_on_reconnect() {
+        let mut client = ReconnectingClient {
+            addr: String::new(),
+            lane: Priority::Interactive,
+            expect: None,
+            policy: RetryPolicy::default(),
+            jitter: 1,
+            inner: None,
+            fingerprints: (0, 0, 0),
+            next_id: 2,
+            inflight: BTreeMap::new(),
+            id_map: HashMap::new(),
+            held: VecDeque::new(),
+            reconnects: 0,
+        };
+        client.inflight.insert(
+            7,
+            Inflight {
+                requests: Vec::new(),
+                received: vec![true, false, false],
+                cancelled: true,
+            },
+        );
+        client.resolve_cancelled_locally();
+        assert!(
+            client.inflight.is_empty(),
+            "cancelled entry must not replay"
+        );
+        let slots: Vec<u32> = client.held.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![1, 2], "only undelivered slots resolve locally");
+        assert!(client
+            .held
+            .iter()
+            .all(|r| r.result == Err(WireError::Cancelled)));
     }
 }

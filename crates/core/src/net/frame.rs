@@ -12,7 +12,7 @@
 use super::WireError;
 use crate::report::DesignSet;
 use crate::request::SynthRequest;
-use crate::service::{LaneLatency, Priority, ServiceStats};
+use crate::service::{LaneLatency, LatencyHistogram, Priority, ServiceStats};
 use crate::space::FilterPolicy;
 use crate::store::codec::{
     get_spec, get_synth_error, get_timing, put_spec, put_synth_error, put_timing, Reader, Writer,
@@ -29,7 +29,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"DTW1";
 
 /// Version of the wire layout. Any change to frame or message encoding
 /// bumps this; the handshake refuses mismatched peers.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// History: v1 was the original protocol; v2 added request deadlines,
+/// [`ClientMsg::Cancel`], the cancelled/deadline/retries error tags, and
+/// latency histograms + resilience counters in [`WireStats`]. A v1 peer
+/// is refused at the handshake with [`WireError::Version`] (tested in
+/// the wire suite), never answered with misdecoded frames.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard cap on one frame's payload. A length prefix above this is a
 /// protocol error detected from the 8-byte header alone — the payload
@@ -192,6 +198,15 @@ fn put_request(w: &mut Writer, request: &SynthRequest) {
             w.f64(delay);
         }
     }
+    match request.deadline() {
+        None => w.bool(false),
+        Some(deadline) => {
+            w.bool(true);
+            // Millisecond granularity on the wire: queue deadlines are
+            // human-scale timeouts, and u64 ms outlives any server.
+            w.u64(deadline.as_millis().min(u128::from(u64::MAX)) as u64);
+        }
+    }
 }
 
 fn get_request(r: &mut Reader) -> Result<SynthRequest, String> {
@@ -213,6 +228,10 @@ fn get_request(r: &mut Reader) -> Result<SynthRequest, String> {
         let area = r.f64("area weight")?;
         let delay = r.f64("delay weight")?;
         request = request.with_weights(area, delay);
+    }
+    if r.bool("deadline presence")? {
+        request =
+            request.with_deadline(std::time::Duration::from_millis(r.u64("deadline millis")?));
     }
     Ok(request)
 }
@@ -250,6 +269,13 @@ fn put_wire_error(w: &mut Writer, error: &WireError) {
             w.u8(8);
             w.str(m);
         }
+        WireError::Cancelled => w.u8(9),
+        WireError::DeadlineExceeded => w.u8(10),
+        WireError::RetriesExhausted { attempts, last } => {
+            w.u8(11);
+            w.u32(*attempts);
+            w.str(last);
+        }
     }
 }
 
@@ -271,6 +297,12 @@ fn get_wire_error(r: &mut Reader) -> Result<WireError, String> {
         6 => WireError::ShuttingDown,
         7 => WireError::Synth(get_synth_error(r)?),
         8 => WireError::Internal(r.str("internal message")?),
+        9 => WireError::Cancelled,
+        10 => WireError::DeadlineExceeded,
+        11 => WireError::RetriesExhausted {
+            attempts: r.u32("retry attempts")?,
+            last: r.str("last retry error")?,
+        },
         other => return Err(format!("unknown wire-error tag {other}")),
     })
 }
@@ -472,12 +504,28 @@ pub struct WireStats {
     pub connections: u64,
 }
 
+fn put_histogram(w: &mut Writer, hist: &LatencyHistogram) {
+    for bucket in &hist.buckets {
+        w.u64(*bucket);
+    }
+}
+
+fn get_histogram(r: &mut Reader) -> Result<LatencyHistogram, String> {
+    let mut hist = LatencyHistogram::default();
+    for bucket in hist.buckets.iter_mut() {
+        *bucket = r.u64("histogram bucket")?;
+    }
+    Ok(hist)
+}
+
 fn put_lane_latency(w: &mut Writer, lane: &LaneLatency) {
     w.u64(lane.samples);
     w.u64(lane.wait_p50_us);
     w.u64(lane.wait_p99_us);
     w.u64(lane.service_p50_us);
     w.u64(lane.service_p99_us);
+    put_histogram(w, &lane.wait_hist);
+    put_histogram(w, &lane.service_hist);
 }
 
 fn get_lane_latency(r: &mut Reader) -> Result<LaneLatency, String> {
@@ -487,6 +535,8 @@ fn get_lane_latency(r: &mut Reader) -> Result<LaneLatency, String> {
         wait_p99_us: r.u64("wait p99")?,
         service_p50_us: r.u64("service p50")?,
         service_p99_us: r.u64("service p99")?,
+        wait_hist: get_histogram(r)?,
+        service_hist: get_histogram(r)?,
     })
 }
 
@@ -496,9 +546,13 @@ fn put_stats(w: &mut Writer, stats: &WireStats) {
     w.u64(s.completed);
     w.u64(s.rejected);
     w.u64(s.shed);
+    w.u64(s.cancelled);
+    w.u64(s.deadline_expired);
+    w.u64(s.late_deliveries);
     w.u64(s.queue_depth_highwater as u64);
     w.u64(s.inflight_highwater as u64);
     w.u64(s.checkpoints);
+    w.u64(s.checkpoint_failures);
     w.u64(s.queued_now as u64);
     w.u64(s.running_now as u64);
     for lane in &s.lanes {
@@ -515,9 +569,13 @@ fn get_stats(r: &mut Reader) -> Result<WireStats, String> {
         completed: r.u64("completed")?,
         rejected: r.u64("rejected")?,
         shed: r.u64("shed")?,
+        cancelled: r.u64("cancelled")?,
+        deadline_expired: r.u64("deadline expired")?,
+        late_deliveries: r.u64("late deliveries")?,
         queue_depth_highwater: r.u64("queue highwater")? as usize,
         inflight_highwater: r.u64("inflight highwater")? as usize,
         checkpoints: r.u64("checkpoints")?,
+        checkpoint_failures: r.u64("checkpoint failures")?,
         queued_now: r.u64("queued now")? as usize,
         running_now: r.u64("running now")? as usize,
         lanes: [get_lane_latency(r)?, get_lane_latency(r)?],
@@ -572,6 +630,17 @@ pub enum ClientMsg {
     /// Polite goodbye; the server finishes streaming any pending results
     /// for this connection, then closes.
     Bye,
+    /// Cancels an in-flight request (or every slot of a batch) by its
+    /// correlation id. Best-effort and race-tolerant: each affected slot
+    /// still gets exactly one [`ServerMsg::Result`] — carrying
+    /// [`WireError::Cancelled`] when the cancel won, or the real outcome
+    /// when the worker did. Unknown or already-answered ids are silently
+    /// ignored (the results the client wanted gone are already on the
+    /// wire).
+    Cancel {
+        /// The correlation id to cancel.
+        id: u64,
+    },
 }
 
 /// Everything a server can send.
@@ -601,8 +670,11 @@ pub enum ServerMsg {
         /// The outcome: a design set, or a typed refusal/failure.
         result: Result<WireDesignSet, WireError>,
     },
-    /// The answer to [`ClientMsg::Stats`].
-    Stats(WireStats),
+    /// The answer to [`ClientMsg::Stats`]. Boxed: the per-lane
+    /// histograms make this payload an order of magnitude larger than
+    /// every other variant, and it is sent once per stats request, not
+    /// per result.
+    Stats(Box<WireStats>),
     /// A connection-level error: handshake refusals, undecodable
     /// payloads, or the shutdown notice after a drain. Sent as a typed
     /// frame so clients never see a bare hangup for a server-side
@@ -648,6 +720,10 @@ impl ClientMsg {
             }
             ClientMsg::Stats => w.u8(3),
             ClientMsg::Bye => w.u8(4),
+            ClientMsg::Cancel { id } => {
+                w.u8(5);
+                w.u64(*id);
+            }
         }
         encode_frame(&w.into_bytes())
     }
@@ -695,6 +771,9 @@ impl ClientMsg {
             }
             3 => ClientMsg::Stats,
             4 => ClientMsg::Bye,
+            5 => ClientMsg::Cancel {
+                id: r.u64("cancel id").map_err(WireError::Protocol)?,
+            },
             other => {
                 return Err(WireError::Protocol(format!(
                     "unknown client-message tag {other}"
@@ -791,7 +870,7 @@ impl ServerMsg {
                     result,
                 }
             }
-            2 => ServerMsg::Stats(get_stats(&mut r).map_err(WireError::Protocol)?),
+            2 => ServerMsg::Stats(Box::new(get_stats(&mut r).map_err(WireError::Protocol)?)),
             3 => ServerMsg::Error(get_wire_error(&mut r).map_err(WireError::Protocol)?),
             other => {
                 return Err(WireError::Protocol(format!(
@@ -840,6 +919,28 @@ mod tests {
         }
     }
 
+    /// Stats with every new-in-v2 field non-default, so a codec that
+    /// drops one fails the round-trip equality.
+    fn stats_with_histogram() -> WireStats {
+        let mut hist = LatencyHistogram::default();
+        hist.record(3);
+        hist.record(90_000);
+        let mut service = ServiceStats {
+            cancelled: 2,
+            deadline_expired: 3,
+            late_deliveries: 4,
+            checkpoint_failures: 5,
+            ..ServiceStats::default()
+        };
+        service.lanes[0].wait_hist = hist;
+        service.lanes[1].service_hist = hist;
+        WireStats {
+            service,
+            cache_hits: 12,
+            ..WireStats::default()
+        }
+    }
+
     #[test]
     fn frames_round_trip() {
         let spec = ComponentSpec::new(ComponentKind::AddSub, 16)
@@ -852,14 +953,20 @@ mod tests {
                 request: SynthRequest::new(spec.clone())
                     .with_root_filter(FilterPolicy::Pareto)
                     .with_front_cap(3)
-                    .with_weights(1.0, 2.5),
+                    .with_weights(1.0, 2.5)
+                    .with_deadline(std::time::Duration::from_millis(1500)),
             },
             ClientMsg::Batch {
                 id: 9,
-                requests: vec![SynthRequest::new(spec.clone()), SynthRequest::new(spec)],
+                requests: vec![
+                    SynthRequest::new(spec.clone())
+                        .with_deadline(std::time::Duration::from_millis(250)),
+                    SynthRequest::new(spec),
+                ],
             },
             ClientMsg::Stats,
             ClientMsg::Bye,
+            ClientMsg::Cancel { id: 7 },
         ];
         for msg in messages {
             let frame = msg.encode_frame();
@@ -883,11 +990,24 @@ mod tests {
                 of: 3,
                 result: Err(WireError::Overloaded { queue_depth: 64 }),
             },
-            ServerMsg::Stats(WireStats {
-                cache_hits: 12,
-                ..WireStats::default()
-            }),
+            ServerMsg::Result {
+                id: 5,
+                slot: 0,
+                of: 1,
+                result: Err(WireError::Cancelled),
+            },
+            ServerMsg::Result {
+                id: 6,
+                slot: 0,
+                of: 1,
+                result: Err(WireError::DeadlineExceeded),
+            },
+            ServerMsg::Stats(Box::new(stats_with_histogram())),
             ServerMsg::Error(WireError::Protocol("nope".into())),
+            ServerMsg::Error(WireError::RetriesExhausted {
+                attempts: 4,
+                last: "wire i/o: connection reset".into(),
+            }),
         ];
         for msg in messages {
             let frame = msg.encode_frame();

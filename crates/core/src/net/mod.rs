@@ -39,7 +39,7 @@ mod client;
 mod frame;
 mod server;
 
-pub use client::{WireClient, WireResult};
+pub use client::{ReconnectingClient, RetryPolicy, WireClient, WireResult};
 pub use frame::{
     ClientMsg, ServerMsg, WireAlternative, WireDesignSet, WireStats, MAX_FRAME_LEN, WIRE_MAGIC,
     WIRE_VERSION,
@@ -88,6 +88,12 @@ pub enum WireError {
     /// Admitted, then evicted by
     /// [`Admission::ShedOldest`](crate::service::Admission::ShedOldest).
     Shed,
+    /// The request was cancelled — by a [`ClientMsg::Cancel`] frame, or
+    /// server-side via [`Ticket::cancel`](crate::service::Ticket::cancel).
+    Cancelled,
+    /// The request's queue deadline passed while it was still waiting in
+    /// a server lane.
+    DeadlineExceeded,
     /// The server is draining for shutdown.
     ShuttingDown,
     /// The engine executed the request and failed.
@@ -95,6 +101,15 @@ pub enum WireError {
     /// A server-side worker failure (for example a panic converted to an
     /// error by the service).
     Internal(String),
+    /// A [`ReconnectingClient`] exhausted its
+    /// [`RetryPolicy::max_attempts`] without re-establishing a usable
+    /// connection.
+    RetriesExhausted {
+        /// Connection attempts made (including the first).
+        attempts: u32,
+        /// Rendering of the error that ended the final attempt.
+        last: String,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -115,9 +130,16 @@ impl fmt::Display for WireError {
                 write!(f, "server overloaded (queue depth {queue_depth})")
             }
             WireError::Shed => write!(f, "request shed under overload"),
+            WireError::Cancelled => write!(f, "request cancelled"),
+            WireError::DeadlineExceeded => {
+                write!(f, "deadline exceeded while request was queued")
+            }
             WireError::ShuttingDown => write!(f, "server is shutting down"),
             WireError::Synth(e) => write!(f, "{e}"),
             WireError::Internal(m) => write!(f, "server worker failed: {m}"),
+            WireError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -138,6 +160,8 @@ impl From<ServiceError> for WireError {
                 queue_depth: queue_depth as u64,
             },
             ServiceError::Shed => WireError::Shed,
+            ServiceError::Cancelled => WireError::Cancelled,
+            ServiceError::DeadlineExceeded => WireError::DeadlineExceeded,
             ServiceError::ShuttingDown => WireError::ShuttingDown,
             ServiceError::Synth(e) => WireError::Synth(e),
             ServiceError::Internal(m) => WireError::Internal(m),

@@ -5,6 +5,7 @@ use super::frame::{FrameReader, ServerMsg, WireDesignSet, WireStats, WIRE_VERSIO
 use super::{ClientMsg, WireError, MAX_FRAME_LEN};
 use crate::engine::Dtas;
 use crate::service::{DtasService, Priority, ServiceConfig, ServiceStats, Ticket};
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -265,6 +266,11 @@ fn drive_connection(
         return Ok(()); // connected and left without a word
     };
     let lane = handshake(inner, &first, jobs)?;
+    // Ticket clones for every admitted slot still possibly unresolved,
+    // keyed by correlation id — what a `Cancel` frame acts on. Pruned on
+    // each new submission so a long-lived connection's map tracks its
+    // live work, not its history.
+    let mut inflight: HashMap<u64, Vec<Ticket>> = HashMap::new();
     loop {
         let payload = match frames.next_frame(Some(&inner.stop))? {
             Some(payload) => payload,
@@ -275,12 +281,30 @@ fn drive_connection(
                 return Err(WireError::Protocol("duplicate Hello".into()));
             }
             Ok(ClientMsg::Request { id, request }) => {
-                submit(inner, jobs, id, 0, 1, request, lane)?;
+                prune_resolved(&mut inflight);
+                if let Some(ticket) = submit(inner, jobs, id, 0, 1, request, lane)? {
+                    inflight.entry(id).or_default().push(ticket);
+                }
             }
             Ok(ClientMsg::Batch { id, requests }) => {
+                prune_resolved(&mut inflight);
                 let of = requests.len() as u32;
                 for (slot, request) in requests.into_iter().enumerate() {
-                    submit(inner, jobs, id, slot as u32, of, request, lane)?;
+                    if let Some(ticket) = submit(inner, jobs, id, slot as u32, of, request, lane)? {
+                        inflight.entry(id).or_default().push(ticket);
+                    }
+                }
+            }
+            Ok(ClientMsg::Cancel { id }) => {
+                // Best-effort: cancel whatever is still unresolved under
+                // this id. Every slot still gets its one Result frame
+                // (the writer holds its own ticket clone) — carrying
+                // Cancelled when the cancel won the race. Unknown ids are
+                // ignored; there is nothing left to stop.
+                if let Some(tickets) = inflight.remove(&id) {
+                    for ticket in tickets {
+                        ticket.cancel();
+                    }
                 }
             }
             Ok(ClientMsg::Stats) => {
@@ -291,7 +315,7 @@ fn drive_connection(
                     cache_misses: cache.misses,
                     connections: inner.connections.load(Ordering::Relaxed),
                 };
-                send(jobs, Job::Msg(ServerMsg::Stats(stats)))?;
+                send(jobs, Job::Msg(ServerMsg::Stats(Box::new(stats))))?;
             }
             Ok(ClientMsg::Bye) => return Ok(()),
             // A checksummed frame with an undecodable payload is a
@@ -350,6 +374,9 @@ fn handshake(
     Ok(lane)
 }
 
+/// On success returns a second [`Ticket`] handle for the slot (the
+/// writer owns the first), so the reader can honor a later
+/// [`ClientMsg::Cancel`] without a round-trip through the writer.
 #[allow(clippy::too_many_arguments)]
 fn submit(
     inner: &Arc<ServerInner>,
@@ -359,24 +386,45 @@ fn submit(
     of: u32,
     request: crate::request::SynthRequest,
     lane: Priority,
-) -> Result<(), WireError> {
-    let job = match inner.service.submit_with_priority(request, lane) {
-        Ok(ticket) => Job::Result {
-            id,
-            slot,
-            of,
-            ticket,
-        },
+) -> Result<Option<Ticket>, WireError> {
+    match inner.service.submit_with_priority(request, lane) {
+        Ok(ticket) => {
+            let handle = ticket.clone();
+            send(
+                jobs,
+                Job::Result {
+                    id,
+                    slot,
+                    of,
+                    ticket,
+                },
+            )?;
+            Ok(Some(handle))
+        }
         // Admission refusals become typed per-slot result frames — the
         // client's correlation id still lines up.
-        Err(e) => Job::Msg(ServerMsg::Result {
-            id,
-            slot,
-            of,
-            result: Err(WireError::from(e)),
-        }),
-    };
-    send(jobs, job)
+        Err(e) => {
+            send(
+                jobs,
+                Job::Msg(ServerMsg::Result {
+                    id,
+                    slot,
+                    of,
+                    result: Err(WireError::from(e)),
+                }),
+            )?;
+            Ok(None)
+        }
+    }
+}
+
+/// Drop registry entries whose every ticket has already resolved; a
+/// `Cancel` for them would be a no-op anyway.
+fn prune_resolved(inflight: &mut HashMap<u64, Vec<Ticket>>) {
+    inflight.retain(|_, tickets| {
+        tickets.retain(|t| !t.is_resolved());
+        !tickets.is_empty()
+    });
 }
 
 /// A dead writer means the client hung up; surface it as I/O so the

@@ -2,6 +2,7 @@
 
 use crate::space::FilterPolicy;
 use genus::spec::ComponentSpec;
+use std::time::Duration;
 
 /// One synthesis query with per-query overrides: the forward-compatible
 /// entry point for service clients that need more than a bare spec.
@@ -46,6 +47,7 @@ pub struct SynthRequest {
     pub(crate) root_filter: Option<FilterPolicy>,
     pub(crate) root_cap: Option<usize>,
     pub(crate) weights: Option<(f64, f64)>,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl SynthRequest {
@@ -56,6 +58,7 @@ impl SynthRequest {
             root_filter: None,
             root_cap: None,
             weights: None,
+            deadline: None,
         }
     }
 
@@ -80,6 +83,27 @@ impl SynthRequest {
     pub fn with_weights(mut self, area_weight: f64, delay_weight: f64) -> Self {
         self.weights = Some((area_weight, delay_weight));
         self
+    }
+
+    /// Gives the request `deadline` of queue-side patience, measured
+    /// from admission into a
+    /// [`DtasService`](crate::service::DtasService) lane. A request
+    /// still *waiting* when its deadline passes is dropped with
+    /// [`ServiceError::DeadlineExceeded`](crate::service::ServiceError::DeadlineExceeded);
+    /// one already dispatched to a worker resolves normally but is
+    /// counted in
+    /// [`ServiceStats::late_deliveries`](crate::service::ServiceStats::late_deliveries).
+    /// Ignored by the direct (service-less) entry points, which never
+    /// queue. `None` falls back to
+    /// [`ServiceConfig::default_deadline`](crate::service::ServiceConfig::default_deadline).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The per-request queue deadline, when set.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// The requested specification.

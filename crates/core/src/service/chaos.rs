@@ -1,0 +1,208 @@
+//! Fault injection for the service layer — **test-only** (compiled
+//! solely under the `chaos` cargo feature, which this workspace enables
+//! through dev-dependencies so production builds never contain it).
+//!
+//! The harness injects three failure modes at the two places the service
+//! is most exposed:
+//!
+//! * **worker stall** — a dispatch sleeps before executing, simulating a
+//!   pathologically slow solve holding a worker;
+//! * **worker panic** — a dispatch panics inside the worker's
+//!   `catch_unwind` envelope, exercising the poison-recovery +
+//!   ticket-resolution path;
+//! * **checkpoint failure** — a checkpoint attempt fails without
+//!   writing, exercising the count-and-retry path.
+//!
+//! Injection is process-global (the worker loops have no test handle to
+//! thread a config through), so [`install`] also acts as a lock: only
+//! one chaos regime is active at a time, and concurrently-running chaos
+//! tests serialize behind it. Dropping the returned [`ChaosGuard`]
+//! deactivates injection and releases the lock.
+//!
+//! ```ignore
+//! let _chaos = chaos::install(ChaosConfig {
+//!     panic_every: Some(5),
+//!     ..ChaosConfig::default()
+//! });
+//! // every 5th dispatched request now panics inside its worker
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Which faults to inject, each as "every `n`th event" (`None` or
+/// `Some(0)` disables that fault). Counters are per-[`install`], so two
+/// consecutive regimes don't inherit each other's phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Every `n`th dispatch sleeps this long before executing.
+    pub stall_every: Option<(u32, Duration)>,
+    /// Every `n`th dispatch panics inside the worker.
+    pub panic_every: Option<u32>,
+    /// Every `n`th checkpoint attempt fails without writing.
+    pub checkpoint_fail_every: Option<u32>,
+}
+
+/// How many of each fault a regime has actually injected — what tests
+/// assert against, via [`ChaosGuard::injected`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Injected {
+    /// Dispatches that were stalled.
+    pub stalls: u64,
+    /// Dispatches that were made to panic.
+    pub panics: u64,
+    /// Checkpoint attempts that were failed.
+    pub checkpoint_failures: u64,
+}
+
+struct Active {
+    config: ChaosConfig,
+    dispatches: AtomicU64,
+    checkpoints: AtomicU64,
+    stalls: AtomicU64,
+    panics: AtomicU64,
+    checkpoint_failures: AtomicU64,
+}
+
+/// Serializes chaos regimes across threads of one test binary.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+/// The regime the injection points consult; `None` = chaos inactive.
+static ACTIVE: Mutex<Option<Arc<Active>>> = Mutex::new(None);
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic *is* the product here (panic injection), so poison on
+    // these locks is expected and harmless.
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Keeps a chaos regime active; dropping it deactivates injection and
+/// lets the next [`install`] proceed.
+pub struct ChaosGuard {
+    active: Arc<Active>,
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl ChaosGuard {
+    /// The faults injected so far under this regime.
+    pub fn injected(&self) -> Injected {
+        Injected {
+            stalls: self.active.stalls.load(Ordering::Relaxed),
+            panics: self.active.panics.load(Ordering::Relaxed),
+            checkpoint_failures: self.active.checkpoint_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        *lock(&ACTIVE) = None;
+    }
+}
+
+/// Activates `config` process-wide and returns the guard keeping it
+/// active. Blocks until any previously-installed regime is dropped.
+pub fn install(config: ChaosConfig) -> ChaosGuard {
+    let exclusive = lock(&EXCLUSIVE);
+    let active = Arc::new(Active {
+        config,
+        dispatches: AtomicU64::new(0),
+        checkpoints: AtomicU64::new(0),
+        stalls: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        checkpoint_failures: AtomicU64::new(0),
+    });
+    *lock(&ACTIVE) = Some(Arc::clone(&active));
+    ChaosGuard {
+        active,
+        _exclusive: exclusive,
+    }
+}
+
+fn current() -> Option<Arc<Active>> {
+    lock(&ACTIVE).clone()
+}
+
+fn hits(every: Option<u32>, n: u64) -> bool {
+    matches!(every, Some(e) if e > 0 && n.is_multiple_of(u64::from(e)))
+}
+
+/// Injection point inside the worker's `catch_unwind` envelope, called
+/// once per dispatched request. May sleep (stall) and/or panic.
+pub(crate) fn on_dispatch() {
+    let Some(active) = current() else { return };
+    let n = active.dispatches.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some((every, pause)) = active.config.stall_every {
+        if hits(Some(every), n) {
+            active.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(pause);
+        }
+    }
+    if hits(active.config.panic_every, n) {
+        active.panics.fetch_add(1, Ordering::Relaxed);
+        panic!("chaos: injected worker panic (dispatch {n})");
+    }
+}
+
+/// Injection point in front of every checkpoint attempt; `true` means
+/// "fail this one without writing".
+pub(crate) fn checkpoint_should_fail() -> bool {
+    let Some(active) = current() else {
+        return false;
+    };
+    let n = active.checkpoints.fetch_add(1, Ordering::Relaxed) + 1;
+    if hits(active.config.checkpoint_fail_every, n) {
+        active.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_chaos_is_a_no_op() {
+        // No regime installed: hooks must not fire or panic.
+        on_dispatch();
+        assert!(!checkpoint_should_fail());
+    }
+
+    #[test]
+    fn every_nth_checkpoint_fails_and_is_counted() {
+        let guard = install(ChaosConfig {
+            checkpoint_fail_every: Some(3),
+            ..ChaosConfig::default()
+        });
+        let failed: Vec<bool> = (0..9).map(|_| checkpoint_should_fail()).collect();
+        assert_eq!(
+            failed,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(guard.injected().checkpoint_failures, 3);
+        drop(guard);
+        assert!(!checkpoint_should_fail(), "deactivated on drop");
+    }
+
+    #[test]
+    fn regimes_do_not_inherit_phase() {
+        let first = install(ChaosConfig {
+            checkpoint_fail_every: Some(2),
+            ..ChaosConfig::default()
+        });
+        assert!(!checkpoint_should_fail());
+        drop(first);
+        let second = install(ChaosConfig {
+            checkpoint_fail_every: Some(2),
+            ..ChaosConfig::default()
+        });
+        // Fresh counter: the first attempt under the new regime is #1.
+        assert!(!checkpoint_should_fail());
+        assert!(checkpoint_should_fail());
+        drop(second);
+    }
+}

@@ -29,6 +29,25 @@ pub enum Admission {
     /// Keeps the queue fresh under sustained overload — stale work is the
     /// cheapest work to drop.
     ShedOldest,
+    /// Rate-based admission: a token bucket **per lane** refilled at
+    /// `per_sec` tokens per second with capacity `burst`. A submission
+    /// that finds its lane's bucket empty is refused with
+    /// [`ServiceError::Overloaded`](crate::service::ServiceError::Overloaded)
+    /// — instant backpressure proportional to offered load rather than
+    /// queue depth, so a burst above the sustained rate is absorbed (up
+    /// to `burst`) instead of queueing behind the backlog.
+    ///
+    /// Composes with [`ShedOldest`](Self::ShedOldest): when a token *is*
+    /// granted but the depth bounds are still full (workers stalled
+    /// below the configured rate), the oldest waiting request is shed to
+    /// make room, keeping admitted-and-current traffic flowing.
+    Rate {
+        /// Sustained admissions per second, per lane (clamped to ≥ 1).
+        per_sec: u32,
+        /// Bucket capacity: the largest burst admitted above the
+        /// sustained rate (clamped to ≥ 1).
+        burst: u32,
+    },
 }
 
 /// Which lane a request waits in. Workers always drain the interactive
@@ -65,6 +84,15 @@ pub struct ServiceConfig {
     /// [`shutdown`](crate::service::DtasService::shutdown). No-op when
     /// the engine has no bound store.
     pub checkpoint_interval: Option<Duration>,
+    /// Queue deadline applied to every request that does not carry its
+    /// own [`SynthRequest::with_deadline`](crate::SynthRequest::with_deadline).
+    /// A request still *waiting* when its deadline passes resolves to
+    /// [`ServiceError::DeadlineExceeded`](crate::service::ServiceError::DeadlineExceeded);
+    /// one already dispatched completes normally and is counted in
+    /// [`ServiceStats::late_deliveries`](crate::service::ServiceStats::late_deliveries).
+    /// `None` (the default): requests without their own deadline wait
+    /// forever.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +103,7 @@ impl Default for ServiceConfig {
             max_inflight: usize::MAX,
             admission: Admission::Reject,
             checkpoint_interval: None,
+            default_deadline: None,
         }
     }
 }

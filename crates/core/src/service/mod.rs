@@ -17,6 +17,20 @@
 //!   `Result<`[`SynthOutcome`]`, `[`ServiceError`]`>`. Outcomes carry the
 //!   design set behind an [`Arc`] (no per-query deep clone on the hot
 //!   path) plus queue-wait and execution timings;
+//! * **deadlines** — a request may carry
+//!   [`SynthRequest::with_deadline`](crate::SynthRequest::with_deadline)
+//!   (or inherit [`ServiceConfig::default_deadline`]). A dedicated
+//!   sweeper thread drops requests still *waiting* past their deadline
+//!   with [`ServiceError::DeadlineExceeded`]; a request already
+//!   dispatched resolves normally but counts as a
+//!   [`late delivery`](ServiceStats::late_deliveries);
+//! * **cancellation** — [`Ticket::cancel`] resolves the ticket to
+//!   [`ServiceError::Cancelled`] immediately. It is idempotent and races
+//!   cleanly with dispatch: whichever resolution reaches the one-shot
+//!   slot first wins, and the loser is accounted, never lost;
+//! * **rate-based admission** — [`Admission::Rate`] adds a per-lane
+//!   token bucket beside the depth-based policies, composing with
+//!   shed-oldest when workers stall below the configured rate;
 //! * **background checkpointing** —
 //!   [`ServiceConfig::checkpoint_interval`] flushes the engine's bound
 //!   [`ResultStore`](crate::store::ResultStore) on a timer from a
@@ -53,11 +67,13 @@
 //! # }
 //! ```
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod config;
 mod stats;
 
 pub use config::{Admission, Priority, ServiceConfig};
-pub use stats::{percentile, LaneLatency, ServiceStats};
+pub use stats::{percentile, LaneLatency, LatencyHistogram, ServiceStats, HISTOGRAM_BUCKETS};
 
 use crate::engine::{Dtas, SynthError};
 use crate::report::DesignSet;
@@ -84,6 +100,16 @@ pub enum ServiceError {
     /// Admitted, then evicted by [`Admission::ShedOldest`] before a
     /// worker picked the request up.
     Shed,
+    /// The caller gave up first: [`Ticket::cancel`] resolved the ticket
+    /// before any other resolution reached it.
+    Cancelled,
+    /// The request's queue deadline
+    /// ([`SynthRequest::with_deadline`](crate::SynthRequest::with_deadline)
+    /// or [`ServiceConfig::default_deadline`]) passed while it was still
+    /// waiting in a lane. A request whose deadline passes *after*
+    /// dispatch resolves normally instead and is counted in
+    /// [`ServiceStats::late_deliveries`].
+    DeadlineExceeded,
     /// Submitted after [`shutdown`](DtasService::shutdown) began.
     ShuttingDown,
     /// The engine executed the request and failed.
@@ -101,6 +127,10 @@ impl fmt::Display for ServiceError {
                 write!(f, "service overloaded (queue depth {queue_depth})")
             }
             ServiceError::Shed => write!(f, "request shed under overload"),
+            ServiceError::Cancelled => write!(f, "request cancelled by caller"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded while request was queued")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Synth(e) => write!(f, "{e}"),
             ServiceError::Internal(m) => write!(f, "service worker failed: {m}"),
@@ -142,41 +172,88 @@ pub struct SynthOutcome {
     pub dispatch_order: u64,
 }
 
+/// Counters shared between the service handle and every ticket it has
+/// issued, so [`Ticket::cancel`] (which holds no service reference) and
+/// ticket-drop accounting land in the same [`ServiceStats`].
+#[derive(Default)]
+struct SharedCounters {
+    cancelled: AtomicU64,
+    late_deliveries: AtomicU64,
+}
+
 /// The write side of a ticket: a one-shot slot plus the condvar its
-/// receiver blocks on.
+/// receiver blocks on, and a live-receiver count so a result delivered
+/// after every [`Ticket`] handle was dropped is *counted* (as a late
+/// delivery) instead of silently vanishing.
 struct TicketState {
     slot: Mutex<Option<Result<SynthOutcome, ServiceError>>>,
     ready: Condvar,
+    /// Live [`Ticket`] handles (starts at 1 for the handle issued at
+    /// admission; cloned tickets increment, drops decrement).
+    receivers: AtomicU64,
+    counters: Arc<SharedCounters>,
 }
 
 impl TicketState {
-    fn new() -> Arc<Self> {
+    fn new(counters: Arc<SharedCounters>) -> Arc<Self> {
         Arc::new(TicketState {
             slot: Mutex::new(None),
             ready: Condvar::new(),
+            receivers: AtomicU64::new(1),
+            counters,
         })
     }
 
-    /// First write wins (a shed racing a worker pickup is resolved by
-    /// whoever gets here first); every write wakes all receivers.
-    fn resolve(&self, result: Result<SynthOutcome, ServiceError>) {
+    /// First write wins (a shed, a cancel, a deadline drop, and a worker
+    /// pickup all race here, and whoever arrives first decides the
+    /// result); every write wakes all receivers. Returns whether *this*
+    /// write won.
+    fn resolve(&self, result: Result<SynthOutcome, ServiceError>) -> bool {
         let mut slot = lock_clean(&self.slot);
-        if slot.is_none() {
+        let won = slot.is_none();
+        if won {
             *slot = Some(result);
         }
         drop(slot);
         self.ready.notify_all();
+        won
+    }
+
+    fn is_resolved(&self) -> bool {
+        lock_clean(&self.slot).is_some()
     }
 }
 
 /// A blocking-recv handle for one submitted request. Resolves exactly
 /// once — when a worker finishes the request, when admission control
-/// sheds it, or when a worker panic is converted to
+/// sheds it, when its queue deadline passes, when [`cancel`](Self::cancel)
+/// wins the race, or when a worker panic is converted to
 /// [`ServiceError::Internal`]. Receiving does not consume the ticket
 /// (outcomes are cheap clones: an `Arc` plus timings), so a ticket can be
-/// polled and then waited on.
+/// polled and then waited on. Cloning yields another handle to the *same*
+/// resolution.
+///
+/// Dropping every handle before the result lands does not leak or wedge
+/// anything: the worker still resolves the slot and the service counts
+/// the orphaned result in
+/// [`ServiceStats::late_deliveries`].
 pub struct Ticket {
     state: Arc<TicketState>,
+}
+
+impl Clone for Ticket {
+    fn clone(&self) -> Self {
+        self.state.receivers.fetch_add(1, Ordering::Relaxed);
+        Ticket {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.state.receivers.fetch_sub(1, Ordering::Release);
+    }
 }
 
 impl fmt::Debug for Ticket {
@@ -225,6 +302,38 @@ impl Ticket {
                 .0;
         }
     }
+
+    /// Cancels the request: resolves the ticket to
+    /// [`ServiceError::Cancelled`] *now* and returns `true` when this
+    /// call was the resolving one.
+    ///
+    /// Idempotent and race-free by construction — resolution is a
+    /// first-write-wins one-shot slot, so cancelling an already-resolved
+    /// ticket (including one already cancelled) is a no-op returning
+    /// `false`, and a cancel racing a worker pickup never corrupts
+    /// anything: either the cancel wins (the worker's later result is
+    /// counted as a [late delivery](ServiceStats::late_deliveries)) or
+    /// the worker wins (the cancel reports `false` and the result
+    /// stands). A cancelled request still *waiting* in a lane is skipped
+    /// — never executed — when a worker or the deadline sweeper reaches
+    /// it, so cancellation can only shorten the queue, never wedge it.
+    pub fn cancel(&self) -> bool {
+        let won = self.state.resolve(Err(ServiceError::Cancelled));
+        if won {
+            self.state
+                .counters
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// `true` once the request has resolved — to a result, an error, a
+    /// cancellation or a deadline. Cheap (one lock, no clone), so callers
+    /// can prune bookkeeping without paying for [`Ticket::try_recv`].
+    pub fn is_resolved(&self) -> bool {
+        self.state.is_resolved()
+    }
 }
 
 /// One admitted request waiting in a lane.
@@ -233,6 +342,43 @@ struct Entry {
     priority: Priority,
     ticket: Arc<TicketState>,
     enqueued: Instant,
+    /// Absolute queue deadline (admission instant + the request's or the
+    /// config's relative deadline). `None`: waits forever.
+    deadline: Option<Instant>,
+}
+
+/// One lane's token bucket for [`Admission::Rate`]. Lives behind the
+/// queue mutex; refilled lazily on each admission attempt, so there is
+/// no refill timer thread and zero cost for the other policies.
+#[derive(Default)]
+struct RateBucket {
+    tokens: f64,
+    /// `None` until the first attempt — the bucket starts full, so a
+    /// burst right after startup is admitted up to `burst`.
+    last_refill: Option<Instant>,
+}
+
+impl RateBucket {
+    /// Refills for elapsed wall time and takes one token if available.
+    fn try_take(&mut self, per_sec: u32, burst: u32) -> bool {
+        let per_sec = f64::from(per_sec.max(1));
+        let burst = f64::from(burst.max(1));
+        let now = Instant::now();
+        match self.last_refill {
+            None => self.tokens = burst,
+            Some(last) => {
+                let refill = now.saturating_duration_since(last).as_secs_f64() * per_sec;
+                self.tokens = (self.tokens + refill).min(burst);
+            }
+        }
+        self.last_refill = Some(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Everything the queue mutex protects. Plain data — a panic while
@@ -242,6 +388,8 @@ struct Entry {
 struct QueueState {
     /// `lanes[0]` interactive, `lanes[1]` bulk.
     lanes: [VecDeque<Entry>; 2],
+    /// Token buckets for [`Admission::Rate`], indexed like `lanes`.
+    rate: [RateBucket; 2],
     running: usize,
     shutting_down: bool,
     queue_highwater: usize,
@@ -273,6 +421,31 @@ impl QueueState {
             .pop_front()
             .or_else(|| self.lanes[0].pop_front())
     }
+
+    /// Earliest queue deadline among waiting entries — the sweeper's
+    /// next wakeup. `None` when nothing waiting carries one.
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.lanes.iter().flatten().filter_map(|e| e.deadline).min()
+    }
+
+    /// Removes and returns every waiting entry that is past its deadline
+    /// (or already resolved, e.g. cancelled — those only need removal).
+    fn take_expired(&mut self, now: Instant) -> Vec<Entry> {
+        let mut expired = Vec::new();
+        for lane in self.lanes.iter_mut() {
+            let mut i = 0;
+            while i < lane.len() {
+                let dead =
+                    lane[i].deadline.is_some_and(|d| now >= d) || lane[i].ticket.is_resolved();
+                if dead {
+                    expired.extend(lane.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        expired
+    }
 }
 
 /// Most recent wait/service durations for one lane, kept in a bounded
@@ -282,6 +455,10 @@ struct LaneSamples {
     wait_us: Vec<u64>,
     service_us: Vec<u64>,
     next: usize,
+    /// Cumulative (never windowed) distributions — see
+    /// [`LatencyHistogram`].
+    wait_hist: LatencyHistogram,
+    service_hist: LatencyHistogram,
 }
 
 /// Ring capacity per lane; at service rates this is the last few seconds
@@ -294,10 +471,18 @@ impl LaneSamples {
             wait_us: Vec::new(),
             service_us: Vec::new(),
             next: 0,
+            wait_hist: LatencyHistogram {
+                buckets: [0; HISTOGRAM_BUCKETS],
+            },
+            service_hist: LatencyHistogram {
+                buckets: [0; HISTOGRAM_BUCKETS],
+            },
         }
     }
 
     fn record(&mut self, wait_us: u64, service_us: u64) {
+        self.wait_hist.record(wait_us);
+        self.service_hist.record(service_us);
         if self.wait_us.len() < LATENCY_WINDOW {
             self.wait_us.push(wait_us);
             self.service_us.push(service_us);
@@ -319,6 +504,8 @@ impl LaneSamples {
             wait_p99_us: percentile(&wait, 99.0),
             service_p50_us: percentile(&service, 50.0),
             service_p99_us: percentile(&service, 99.0),
+            wait_hist: self.wait_hist,
+            service_hist: self.service_hist,
         }
     }
 }
@@ -335,12 +522,21 @@ struct Inner {
     /// Checkpoint thread: interval sleep + shutdown wakeup.
     stop_checkpointer: Mutex<bool>,
     checkpoint_wake: Condvar,
+    /// The deadline sweeper waits here (paired with the queue mutex) for
+    /// the earliest queued deadline; admissions that carry a deadline
+    /// poke it so its timeout stays the true minimum.
+    deadline_wake: Condvar,
     admitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
+    deadline_expired: AtomicU64,
     checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
     dispatch_seq: AtomicU64,
+    /// Shared with every issued [`Ticket`] (cancel + late-delivery
+    /// accounting happens ticket-side).
+    counters: Arc<SharedCounters>,
 }
 
 /// Locks a mutex, clearing poison: every structure behind these locks is
@@ -361,6 +557,7 @@ pub struct DtasService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl DtasService {
@@ -375,12 +572,16 @@ impl DtasService {
             space_ready: Condvar::new(),
             stop_checkpointer: Mutex::new(false),
             checkpoint_wake: Condvar::new(),
+            deadline_wake: Condvar::new(),
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
             dispatch_seq: AtomicU64::new(0),
+            counters: Arc::new(SharedCounters::default()),
         });
         let workers = (0..config.worker_count())
             .map(|_| {
@@ -394,12 +595,19 @@ impl DtasService {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || checkpoint_loop(&engine, &inner, interval))
         });
+        // Spawned unconditionally: deadlines can arrive per-request at any
+        // time, and an idle sweeper is one parked thread.
+        let sweeper = {
+            let inner = Arc::clone(&inner);
+            Some(std::thread::spawn(move || deadline_loop(&inner)))
+        };
         DtasService {
             engine,
             config,
             inner,
             workers,
             checkpointer,
+            sweeper,
         }
     }
 
@@ -484,10 +692,25 @@ impl DtasService {
         policy: Admission,
     ) -> (MutexGuard<'a, QueueState>, Result<Ticket, ServiceError>) {
         let depth = self.config.effective_depth();
-        let deadline = match policy {
+        let block_until = match policy {
             Admission::Block { timeout } => Some(Instant::now() + timeout),
             _ => None,
         };
+        // Rate-based admission pays its token before the depth check: an
+        // empty bucket refuses even a near-empty queue (the point is to
+        // bound the *rate*), and a granted token that then finds the
+        // depth bounds full composes with shed-oldest below.
+        if let Admission::Rate { per_sec, burst } = policy {
+            if guard.shutting_down {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return (guard, Err(ServiceError::ShuttingDown));
+            }
+            let lane = lane_index(priority);
+            if !guard.rate[lane].try_take(per_sec, burst) {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return (guard, Err(ServiceError::Overloaded { queue_depth: depth }));
+            }
+        }
         loop {
             if guard.shutting_down {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
@@ -496,12 +719,18 @@ impl DtasService {
             let full = guard.waiting() >= depth
                 || guard.waiting() + guard.running >= self.config.max_inflight;
             if !full {
-                let ticket = TicketState::new();
+                let now = Instant::now();
+                let queue_deadline = request
+                    .deadline()
+                    .or(self.config.default_deadline)
+                    .map(|d| now + d);
+                let ticket = TicketState::new(Arc::clone(&self.inner.counters));
                 guard.lane_mut(priority).push_back(Entry {
                     request,
                     priority,
                     ticket: Arc::clone(&ticket),
-                    enqueued: Instant::now(),
+                    enqueued: now,
+                    deadline: queue_deadline,
                 });
                 guard.queue_highwater = guard.queue_highwater.max(guard.waiting());
                 guard.inflight_highwater = guard
@@ -509,6 +738,11 @@ impl DtasService {
                     .max(guard.waiting() + guard.running);
                 self.inner.admitted.fetch_add(1, Ordering::Relaxed);
                 self.inner.work_ready.notify_one();
+                if queue_deadline.is_some() {
+                    // Wake the sweeper so its timeout shrinks to the new
+                    // minimum (it may currently be parked forever).
+                    self.inner.deadline_wake.notify_one();
+                }
                 return (guard, Ok(Ticket { state: ticket }));
             }
             match policy {
@@ -516,7 +750,7 @@ impl DtasService {
                     self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                     return (guard, Err(ServiceError::Overloaded { queue_depth: depth }));
                 }
-                Admission::ShedOldest => match guard.shed_victim() {
+                Admission::ShedOldest | Admission::Rate { .. } => match guard.shed_victim() {
                     Some(victim) => {
                         self.inner.shed.fetch_add(1, Ordering::Relaxed);
                         victim.ticket.resolve(Err(ServiceError::Shed));
@@ -532,8 +766,8 @@ impl DtasService {
                     }
                 },
                 Admission::Block { .. } => {
-                    let deadline = deadline.expect("Block admission carries a deadline");
-                    let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    let block_until = block_until.expect("Block admission carries a timeout");
+                    let Some(left) = block_until.checked_duration_since(Instant::now()) else {
                         self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                         return (guard, Err(ServiceError::Overloaded { queue_depth: depth }));
                     };
@@ -568,7 +802,11 @@ impl DtasService {
             completed: self.inner.completed.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             shed: self.inner.shed.load(Ordering::Relaxed),
+            cancelled: self.inner.counters.cancelled.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            late_deliveries: self.inner.counters.late_deliveries.load(Ordering::Relaxed),
             checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: self.inner.checkpoint_failures.load(Ordering::Relaxed),
             queue_depth_highwater,
             inflight_highwater,
             queued_now,
@@ -593,8 +831,16 @@ impl DtasService {
         lock_clean(&self.inner.queue).shutting_down = true;
         self.inner.work_ready.notify_all();
         self.inner.space_ready.notify_all();
+        self.inner.deadline_wake.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(sweeper) = self.sweeper.take() {
+            // The workers have drained the lanes, so the sweeper's exit
+            // condition (shutting down + empty queue) now holds; wake it
+            // out of its park.
+            self.inner.deadline_wake.notify_all();
+            let _ = sweeper.join();
         }
         if let Some(checkpointer) = self.checkpointer.take() {
             *lock_clean(&self.inner.stop_checkpointer) = true;
@@ -603,9 +849,7 @@ impl DtasService {
         }
         // Final checkpoint: everything solved during the service's
         // lifetime is on disk before the handle returns.
-        if let Ok(Some(_)) = self.engine.checkpoint() {
-            self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
-        }
+        run_checkpoint(&self.engine, &self.inner);
     }
 }
 
@@ -615,23 +859,73 @@ impl Drop for DtasService {
     }
 }
 
+/// `lanes[...]` index of a priority.
+fn lane_index(priority: Priority) -> usize {
+    match priority {
+        Priority::Interactive => 0,
+        Priority::Bulk => 1,
+    }
+}
+
+/// What a worker's pop found.
+enum Dispatch {
+    /// A live entry to execute, with its dispatch sequence number.
+    Run(Entry, u64),
+    /// Only dead entries (expired / cancelled) were popped; resolve them
+    /// and come back.
+    Housekeeping,
+    /// Shutdown flagged and the lanes are drained.
+    Quit,
+}
+
+/// Resolves an entry that left the queue without being executed. Wins
+/// the slot only when the entry expired (a cancelled entry was resolved
+/// by [`Ticket::cancel`] already, so the write loses and nothing is
+/// double-counted).
+fn resolve_queue_drop(entry: &Entry, inner: &Inner) {
+    if entry.ticket.resolve(Err(ServiceError::DeadlineExceeded)) {
+        inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+    // A waiting slot freed either way.
+    inner.space_ready.notify_one();
+}
+
 /// One worker: pop (interactive first), execute, resolve the ticket.
 /// Exits when shutdown is flagged *and* the lanes are empty — that order
 /// is what makes shutdown a drain.
+///
+/// Entries whose deadline already passed — checked at pop, so a zero
+/// deadline expires deterministically even on an idle service — and
+/// entries already resolved (cancelled while queued) are dropped without
+/// execution; the drain property still holds because dropping *is*
+/// resolution.
 fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
     loop {
-        let (entry, dispatch_order) = {
+        let mut dead: Vec<Entry> = Vec::new();
+        let dispatch = {
             let mut state = lock_clean(&inner.queue);
-            loop {
-                if let Some(entry) = state.pop() {
+            'pop: loop {
+                while let Some(entry) = state.pop() {
+                    let expired = entry.deadline.is_some_and(|d| Instant::now() >= d);
+                    if expired || entry.ticket.is_resolved() {
+                        dead.push(entry);
+                        continue;
+                    }
                     state.running += 1;
                     // Stamped under the queue lock so the pop order and
                     // the sequence agree even across workers — the
                     // documented `dispatch_order` iff depends on it.
-                    break (entry, inner.dispatch_seq.fetch_add(1, Ordering::Relaxed));
+                    break 'pop Dispatch::Run(
+                        entry,
+                        inner.dispatch_seq.fetch_add(1, Ordering::Relaxed),
+                    );
                 }
                 if state.shutting_down {
-                    return;
+                    break 'pop Dispatch::Quit;
+                }
+                if !dead.is_empty() {
+                    // Resolve what we collected before parking.
+                    break 'pop Dispatch::Housekeeping;
                 }
                 state = inner
                     .work_ready
@@ -639,18 +933,28 @@ fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
                     .unwrap_or_else(|p| p.into_inner());
             }
         };
+        // Dead entries resolve outside the queue lock (resolution takes
+        // the ticket lock and wakes receivers — no need to serialize that
+        // behind the queue).
+        for entry in &dead {
+            resolve_queue_drop(entry, inner);
+        }
+        let (entry, dispatch_order) = match dispatch {
+            Dispatch::Run(entry, order) => (entry, order),
+            Dispatch::Housekeeping => continue,
+            Dispatch::Quit => return,
+        };
         // A waiting slot freed: wake one blocked submitter.
         inner.space_ready.notify_one();
         let queued_for = entry.enqueued.elapsed();
-        let lane = match entry.priority {
-            Priority::Interactive => 0,
-            Priority::Bulk => 1,
-        };
+        let lane = lane_index(entry.priority);
         let t0 = Instant::now();
         // A panicking rule must not leave the ticket unresolved (the
         // receiver would hang) or the running count stuck: catch, report,
         // keep serving. The engine rebuilds its own poisoned state.
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            chaos::on_dispatch();
             engine.synthesize_request_shared(&entry.request)
         }));
         let result = match executed {
@@ -671,7 +975,24 @@ fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
             queued_for.as_micros() as u64,
             t0.elapsed().as_micros() as u64,
         );
-        entry.ticket.resolve(result);
+        // Sample receivers BEFORE resolving: a receiver blocked in
+        // `recv` is still registered here, while one that gave up
+        // (`recv_timeout` + drop) has already unregistered. Loading
+        // after `resolve` would race the woken receiver dropping its
+        // ticket and miscount a clean delivery as abandoned.
+        let abandoned = entry.ticket.receivers.load(Ordering::Acquire) == 0;
+        let delivered = entry.ticket.resolve(result);
+        // Work that completed but reached no one — the slot was already
+        // resolved (cancel won the race), every ticket handle was
+        // dropped, or the deadline blew mid-execution — is a late
+        // delivery: accounted, never silently vanished.
+        let blew_deadline = entry.deadline.is_some_and(|d| Instant::now() >= d);
+        if !delivered || abandoned || blew_deadline {
+            inner
+                .counters
+                .late_deliveries
+                .fetch_add(1, Ordering::Relaxed);
+        }
         inner.completed.fetch_add(1, Ordering::Relaxed);
         lock_clean(&inner.queue).running -= 1;
         // Inflight room freed (matters when max_inflight binds).
@@ -689,10 +1010,31 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// One checkpoint attempt with failure accounting: a failed flush is
+/// *counted* ([`ServiceStats::checkpoint_failures`]) and otherwise
+/// swallowed — the next tick (or the shutdown checkpoint) retries, and
+/// the service keeps serving throughout.
+fn run_checkpoint(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
+    #[cfg(feature = "chaos")]
+    if chaos::checkpoint_should_fail() {
+        inner.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match engine.checkpoint() {
+        Ok(Some(_)) => {
+            inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(None) => {} // no bound store: nothing to flush
+        Err(_) => {
+            inner.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The background checkpoint thread: flush the engine's store every
-/// `interval` until shutdown. Failures are swallowed (the next tick — or
-/// the shutdown checkpoint — retries); the success count is reported via
-/// [`ServiceStats::checkpoints`].
+/// `interval` until shutdown. The success count is reported via
+/// [`ServiceStats::checkpoints`], failures via
+/// [`ServiceStats::checkpoint_failures`].
 fn checkpoint_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>, interval: Duration) {
     let mut stop = lock_clean(&inner.stop_checkpointer);
     loop {
@@ -708,10 +1050,48 @@ fn checkpoint_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>, interval: Duration) {
             return;
         }
         drop(stop);
-        if let Ok(Some(_)) = engine.checkpoint() {
-            inner.checkpoints.fetch_add(1, Ordering::Relaxed);
-        }
+        run_checkpoint(engine, inner);
         stop = lock_clean(&inner.stop_checkpointer);
+    }
+}
+
+/// The deadline sweeper: parks on [`Inner::deadline_wake`] until the
+/// earliest queued deadline (or forever when nothing waiting carries
+/// one), then removes and resolves everything expired. Workers *also*
+/// check deadlines at pop — the sweeper exists so an expired request
+/// stuck behind a long backlog resolves on time instead of when a worker
+/// finally reaches it.
+fn deadline_loop(inner: &Arc<Inner>) {
+    let mut state = lock_clean(&inner.queue);
+    loop {
+        let now = Instant::now();
+        let expired = state.take_expired(now);
+        if !expired.is_empty() {
+            drop(state);
+            for entry in &expired {
+                resolve_queue_drop(entry, inner);
+            }
+            state = lock_clean(&inner.queue);
+            continue;
+        }
+        if state.shutting_down && state.waiting() == 0 {
+            // Workers drain the remaining entries (still honouring
+            // deadlines at pop); nothing left for the sweeper.
+            return;
+        }
+        state = match state.earliest_deadline() {
+            Some(next) => {
+                inner
+                    .deadline_wake
+                    .wait_timeout(state, next.saturating_duration_since(now))
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0
+            }
+            None => inner
+                .deadline_wake
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner()),
+        };
     }
 }
 
@@ -785,6 +1165,83 @@ mod tests {
         let stats = service.shutdown();
         // Executed-and-failed still counts as completed.
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_typed() {
+        let service = service(ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        });
+        let ticket = service.submit(adder(16)).expect("admits");
+        // Whatever the race outcome, the ticket resolves and a second
+        // cancel is a no-op.
+        let first = ticket.cancel();
+        assert!(!ticket.cancel(), "second cancel never wins");
+        let resolved = ticket.recv();
+        if first {
+            assert!(matches!(resolved, Err(ServiceError::Cancelled)));
+        } else {
+            assert!(resolved.is_ok(), "worker won the race cleanly");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.cancelled, u64::from(first));
+    }
+
+    #[test]
+    fn zero_deadline_expires_deterministically() {
+        let service = service(ServiceConfig::default());
+        let ticket = service
+            .submit(adder(16).with_deadline(Duration::ZERO))
+            .expect("admitted — deadlines drop at dispatch, not admission");
+        assert!(matches!(ticket.recv(), Err(ServiceError::DeadlineExceeded)));
+        let stats = service.shutdown();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.completed, 0, "never executed");
+    }
+
+    #[test]
+    fn rate_bucket_refuses_beyond_burst() {
+        let service = service(ServiceConfig {
+            workers: Some(1),
+            admission: Admission::Rate {
+                per_sec: 1,
+                burst: 2,
+            },
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<_> = (0..5).map(|_| service.submit(adder(16))).collect();
+        let admitted = tickets.iter().filter(|t| t.is_ok()).count();
+        // The bucket starts full at `burst`; at 1 token/sec the refill
+        // during this loop is negligible, so exactly 2 are admitted.
+        assert_eq!(admitted, 2);
+        for ticket in tickets.into_iter().flatten() {
+            ticket.recv().expect("admitted requests resolve");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.rejected, 3);
+    }
+
+    #[test]
+    fn ticket_receiver_count_tracks_clones() {
+        let counters = Arc::new(SharedCounters::default());
+        let state = TicketState::new(Arc::clone(&counters));
+        let ticket = Ticket {
+            state: Arc::clone(&state),
+        };
+        assert_eq!(state.receivers.load(Ordering::Relaxed), 1);
+        let clone = ticket.clone();
+        assert_eq!(state.receivers.load(Ordering::Relaxed), 2);
+        drop(ticket);
+        drop(clone);
+        assert_eq!(
+            state.receivers.load(Ordering::Relaxed),
+            0,
+            "fully abandoned — a worker resolving now must count it late"
+        );
+        assert!(state.resolve(Err(ServiceError::Shed)), "first write wins");
+        assert!(!state.resolve(Err(ServiceError::Shed)), "one-shot");
     }
 
     #[test]

@@ -17,9 +17,87 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Bucket count of a [`LatencyHistogram`]: log-2 buckets of
+/// microseconds, so bucket 31 starts at `2^31 µs` ≈ 36 minutes —
+/// anything slower saturates into it.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log-2 latency histogram in microseconds: bucket `i` counts samples
+/// in `[2^i, 2^(i+1))` µs (bucket 0 covers `[0, 2)`). Cumulative over
+/// the service lifetime — unlike the windowed percentiles next to it —
+/// so long-tail events are never aged out, and two histograms can be
+/// merged by adding buckets. Wire-encodable: remote `bench-load
+/// --connect` clients render the server's own distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` microseconds.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one sample of `us` microseconds.
+    pub fn record(&mut self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).saturating_sub(1);
+        self.buckets[idx.min(HISTOGRAM_BUCKETS - 1)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds every bucket of `other` into `self` (histograms are
+    /// mergeable because buckets are fixed).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Upper-bounds the `pct`-th percentile from the buckets (the bucket
+    /// upper edge containing that rank; 0 on an empty histogram).
+    pub fn percentile_us(&self, pct: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * pct / 100.0).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 32
+    }
+
+    /// The compact one-line rendering used by `dtas bench-load`:
+    /// `lower_bound_us:count` for every non-empty bucket, space-joined
+    /// (`"-"` when empty).
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, count)| {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                format!("{lower}us:{count}")
+            })
+            .collect();
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
 /// Server-measured latency percentiles for one priority lane, in
 /// microseconds, over a bounded window of the most recent requests (so a
-/// long-lived service reports current behaviour, not its whole history).
+/// long-lived service reports current behaviour, not its whole history)
+/// — plus cumulative full-distribution [`LatencyHistogram`]s.
 ///
 /// These are recorded by the workers themselves — *queue-wait* is
 /// admission → pickup, *service* is pickup → ticket resolution — so a
@@ -37,6 +115,10 @@ pub struct LaneLatency {
     pub service_p50_us: u64,
     /// 99th-percentile worker execution time.
     pub service_p99_us: u64,
+    /// Cumulative log-2 histogram of queue waits (never windowed).
+    pub wait_hist: LatencyHistogram,
+    /// Cumulative log-2 histogram of worker execution times.
+    pub service_hist: LatencyHistogram,
 }
 
 /// Counters for one [`DtasService`](crate::service::DtasService)
@@ -47,20 +129,36 @@ pub struct LaneLatency {
 /// smokes — scripts grep these keys, so they are kept stable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests accepted into a lane (includes ones later shed).
+    /// Requests accepted into a lane (includes ones later shed,
+    /// cancelled, or dropped at their deadline).
     pub admitted: u64,
     /// Requests a worker finished executing (successfully or with a
     /// synthesis error — both resolve the ticket).
     pub completed: u64,
     /// Submissions refused at the front door
     /// ([`Admission::Reject`](crate::service::Admission::Reject), or
-    /// [`Block`](crate::service::Admission::Block) timing out, or any
-    /// submission after shutdown began).
+    /// [`Block`](crate::service::Admission::Block) timing out, a
+    /// [`Rate`](crate::service::Admission::Rate) bucket running dry, or
+    /// any submission after shutdown began).
     pub rejected: u64,
     /// Admitted requests evicted by
     /// [`Admission::ShedOldest`](crate::service::Admission::ShedOldest)
-    /// before a worker picked them up.
+    /// (or by [`Rate`](crate::service::Admission::Rate) composing with
+    /// it) before a worker picked them up.
     pub shed: u64,
+    /// Tickets resolved by [`Ticket::cancel`](crate::service::Ticket::cancel)
+    /// before any other resolution reached them.
+    pub cancelled: u64,
+    /// Admitted requests dropped while *waiting* because their queue
+    /// deadline passed
+    /// ([`ServiceError::DeadlineExceeded`](crate::service::ServiceError::DeadlineExceeded)).
+    pub deadline_expired: u64,
+    /// Results that arrived after anyone could use them: the ticket was
+    /// already resolved (cancelled), every [`Ticket`](crate::service::Ticket)
+    /// handle had been dropped (e.g. `recv_timeout` then drop), or the
+    /// request's deadline passed while it was executing. The work is
+    /// counted — it is not silently vanished.
+    pub late_deliveries: u64,
     /// Most requests ever waiting in the lanes at once — how close the
     /// queue came to its configured
     /// [`queue_depth`](crate::service::ServiceConfig::queue_depth).
@@ -69,30 +167,42 @@ pub struct ServiceStats {
     pub inflight_highwater: usize,
     /// Background + shutdown checkpoints that flushed the engine's store.
     pub checkpoints: u64,
+    /// Checkpoint attempts that failed to flush (the next tick retries;
+    /// the service keeps serving).
+    pub checkpoint_failures: u64,
     /// Requests currently waiting in the lanes (gauge).
     pub queued_now: usize,
     /// Requests currently being executed by workers (gauge).
     pub running_now: usize,
-    /// Server-measured latency percentiles: `lanes[0]` interactive,
-    /// `lanes[1]` bulk.
+    /// Server-measured latency percentiles and histograms:
+    /// `lanes[0]` interactive, `lanes[1]` bulk.
     pub lanes: [LaneLatency; 2],
 }
 
 impl fmt::Display for ServiceStats {
     /// Two stable `key=value` lines: the `service:` counters and the
-    /// `lanes:` server-measured percentiles (see type docs).
+    /// `lanes:` server-measured percentiles (see type docs). Histograms
+    /// are *not* rendered here (they are bulky); callers that want them
+    /// render [`LatencyHistogram::render`] themselves, as `dtas
+    /// bench-load` does.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
             "service: admitted={} completed={} rejected={} shed={} \
-             queue_depth_highwater={} inflight_highwater={} checkpoints={}",
+             cancelled={} deadline_expired={} late_deliveries={} \
+             queue_depth_highwater={} inflight_highwater={} checkpoints={} \
+             checkpoint_failures={}",
             self.admitted,
             self.completed,
             self.rejected,
             self.shed,
+            self.cancelled,
+            self.deadline_expired,
+            self.late_deliveries,
             self.queue_depth_highwater,
             self.inflight_highwater,
             self.checkpoints,
+            self.checkpoint_failures,
         )?;
         let parts: Vec<String> = ["interactive", "bulk"]
             .iter()
@@ -131,8 +241,12 @@ mod tests {
             "completed=2",
             "rejected=0",
             "shed=1",
+            "cancelled=0",
+            "deadline_expired=0",
+            "late_deliveries=0",
             "queue_depth_highwater=0",
             "checkpoints=0",
+            "checkpoint_failures=0",
         ] {
             assert!(line.contains(key), "{line}");
         }
@@ -148,6 +262,7 @@ mod tests {
                     wait_p99_us: 20,
                     service_p50_us: 30,
                     service_p99_us: 40,
+                    ..LaneLatency::default()
                 },
                 LaneLatency::default(),
             ],
@@ -165,5 +280,50 @@ mod tests {
         ] {
             assert!(line.contains(key), "{line}");
         }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_microseconds() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        h.record(1024);
+        h.record(u64::MAX); // saturates into the last bucket
+        assert_eq!(h.buckets[0], 2, "0 and 1 land in [0,2)");
+        assert_eq!(h.buckets[1], 2, "2 and 3 land in [2,4)");
+        assert_eq!(h.buckets[2], 1, "4 lands in [4,8)");
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_merge_and_render() {
+        let mut a = LatencyHistogram::default();
+        a.record(1);
+        a.record(5);
+        let mut b = LatencyHistogram::default();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let rendered = a.render();
+        assert!(rendered.contains("0us:1"), "{rendered}");
+        assert!(rendered.contains("4us:2"), "{rendered}");
+        assert_eq!(LatencyHistogram::default().render(), "-");
+    }
+
+    #[test]
+    fn histogram_percentile_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(3); // bucket [2,4)
+        }
+        h.record(5_000_000); // one outlier
+        assert_eq!(h.percentile_us(50.0), 4);
+        assert!(h.percentile_us(100.0) >= 5_000_000);
+        assert_eq!(LatencyHistogram::default().percentile_us(99.0), 0);
     }
 }

@@ -16,12 +16,15 @@
 use cells::CellLibrary;
 use dtas::{
     Admission, DesignSet, Dtas, DtasService, FilterPolicy, Priority, ServeConfig, ServiceConfig,
-    SynthRequest, Ticket, WireClient, WireServer,
+    ServiceStats, SynthRequest, Ticket, WireClient, WireServer,
 };
 use genus::kind::{ComponentKind, GateOp};
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
 use hls_rtl_bridge::{BridgeError, Flow};
+use rand::distributions::{Distribution, Exp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,11 +33,13 @@ const USAGE: &str = "dtas - map generic RTL components onto data book cells (Dut
 
 USAGE:
   dtas map  --spec SPEC [--book FILE] [--pareto] [--cap N]
-            [--cache-dir DIR] [--queue-depth N] [--stats] [--format json]
+            [--cache-dir DIR] [--queue-depth N] [--deadline-ms MS]
+            [--stats] [--format json]
       Synthesize one component specification and print its trade-off table.
       --queue-depth routes the query through the admission-controlled
       DtasService (worker pool + bounded queue) instead of calling the
-      engine directly, so service accounting shows up in --stats.
+      engine directly, so service accounting shows up in --stats;
+      --deadline-ms bounds how long the request may wait in that queue.
       --format json prints one machine-readable document (schema
       dtas-map/1) and nothing else on stdout.
   dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT] [--cache-dir DIR]
@@ -44,25 +49,42 @@ USAGE:
       --format json prints one dtas-flow/1 document instead of the
       human-readable reports.
   dtas serve [--port P] [--book FILE] [--cache-dir DIR] [--workers W]
-             [--queue-depth D] [--max-inflight I]
-             [--admission reject|block|shed] [--checkpoint-secs S]
+             [--queue-depth D] [--max-inflight I] [--deadline-ms MS]
+             [--admission POLICY] [--checkpoint-secs S]
       Serve the engine over TCP on 127.0.0.1 (the DTW1 wire protocol;
       port 0 picks an ephemeral port). Prints `listening on ADDR` once
-      bound. Closing the server's stdin is the SIGTERM-equivalent drain
-      signal: the listener stops, every admitted ticket resolves, a final
-      checkpoint flushes, and the service/cache counters print.
+      bound. --deadline-ms is the default queue deadline stamped on every
+      request that does not carry its own. Closing the server's stdin is
+      the SIGTERM-equivalent drain signal: the listener stops, every
+      admitted ticket resolves, a final checkpoint flushes, and the
+      service/cache counters print.
   dtas bench-load [--clients N] [--requests M] [--queue-depth D]
-                  [--workers W] [--max-inflight I]
-                  [--admission reject|block|shed] [--connect HOST:PORT]
-                  [--spec SPEC] [--book FILE] [--cache-dir DIR] [--stats]
+                  [--workers W] [--max-inflight I] [--admission POLICY]
+                  [--deadline-ms MS] [--cancel-rate F] [--arrival-rate R]
+                  [--connect HOST:PORT] [--spec SPEC] [--book FILE]
+                  [--cache-dir DIR] [--stats]
       Drive a DtasService with N concurrent clients submitting M requests
-      each (pipelined) and print throughput, queue-wait percentiles and
-      the service counters. The CI perf smoke runs this; an undersized
-      --queue-depth with --admission shed demonstrates load shedding.
+      each (pipelined) and print throughput, queue-wait percentiles,
+      log-2 latency histograms and the service counters. The CI perf
+      smoke runs this; an undersized --queue-depth with --admission shed
+      demonstrates load shedding.
+      --deadline-ms stamps a queue deadline on every request;
+      --cancel-rate F cancels each submission with probability F (0..=1);
+      --arrival-rate R switches to an open-loop Poisson arrival process
+      at R requests/sec across all clients (exponential inter-arrival
+      gaps, no pipeline-window backpressure) and reports offered vs
+      delivered throughput.
       --connect drives a remote `dtas serve` over the wire protocol
       instead (clients alternate interactive/bulk lanes; server-side
       sizing flags are rejected) and prints client RTT percentiles plus
       the server's own measured counters.
+
+ADMISSION POLICY (--admission):
+  reject                 refuse when the lane is full
+  block                  wait up to 5s for space (default)
+  shed                   admit, evicting the oldest waiter when full
+  rate:PER_SEC[:BURST]   per-lane token bucket (BURST defaults to
+                         PER_SEC), composed with shed-oldest on overflow
   dtas help
       Print this message.
 
@@ -96,6 +118,8 @@ EXAMPLES:
   dtas bench-load --clients 4 --requests 500 --connect 127.0.0.1:7171
   dtas bench-load --clients 4 --requests 500 --queue-depth 64 --stats
   dtas bench-load --clients 4 --queue-depth 2 --admission shed --stats
+  dtas bench-load --clients 2 --requests 200 --arrival-rate 400 \\
+                  --deadline-ms 50 --cancel-rate 0.05 --queue-depth 64
 ";
 
 /// Parses the CLI's `kind:width[:attr...]` component-spec mini-language.
@@ -208,17 +232,101 @@ fn parse_num(args: &Args, name: &str, default: usize) -> Result<usize, BridgeErr
     }
 }
 
-/// Parses `--admission reject|block|shed` (default `block`).
+/// Parses `--admission reject|block|shed|rate:PER_SEC[:BURST]`
+/// (default `block`).
 fn parse_admission(args: &Args) -> Result<Admission, BridgeError> {
-    match args.value_of("admission")?.unwrap_or("block") {
+    let text = args.value_of("admission")?.unwrap_or("block");
+    match text {
         "reject" => Ok(Admission::Reject),
         "block" => Ok(Admission::Block {
             timeout: Duration::from_secs(5),
         }),
         "shed" => Ok(Admission::ShedOldest),
-        other => Err(BridgeError::Flow(format!(
-            "bad --admission {other:?} (expected reject, block or shed)"
-        ))),
+        other => {
+            let bad = |msg: String| {
+                BridgeError::Flow(format!(
+                    "bad --admission {other:?}: {msg} \
+                     (expected reject, block, shed or rate:PER_SEC[:BURST])"
+                ))
+            };
+            let Some(rate) = other.strip_prefix("rate:") else {
+                return Err(bad("unknown policy".into()));
+            };
+            let mut parts = rate.split(':');
+            let per_sec: u32 = parts
+                .next()
+                .filter(|p| !p.is_empty())
+                .ok_or_else(|| bad("missing PER_SEC".into()))?
+                .parse()
+                .map_err(|e| bad(format!("PER_SEC: {e}")))?;
+            let burst: u32 = match parts.next() {
+                None => per_sec,
+                Some(b) => b.parse().map_err(|e| bad(format!("BURST: {e}")))?,
+            };
+            if parts.next().is_some() {
+                return Err(bad("too many fields".into()));
+            }
+            Ok(Admission::Rate { per_sec, burst })
+        }
+    }
+}
+
+/// Parses `--deadline-ms MS` into a relative queue deadline.
+fn parse_deadline(args: &Args) -> Result<Option<Duration>, BridgeError> {
+    Ok(args
+        .value_of("deadline-ms")?
+        .map(str::parse)
+        .transpose()
+        .map_err(|e: std::num::ParseIntError| BridgeError::Flow(format!("bad --deadline-ms: {e}")))?
+        .map(Duration::from_millis))
+}
+
+/// Parses `--cancel-rate F` as a probability in `0..=1`.
+fn parse_cancel_rate(args: &Args) -> Result<f64, BridgeError> {
+    match args.value_of("cancel-rate")? {
+        None => Ok(0.0),
+        Some(v) => {
+            let rate: f64 = v
+                .parse()
+                .map_err(|e| BridgeError::Flow(format!("bad --cancel-rate: {e}")))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(BridgeError::Flow(format!(
+                    "bad --cancel-rate {rate}: must be within 0..=1"
+                )));
+            }
+            Ok(rate)
+        }
+    }
+}
+
+/// Parses `--arrival-rate R` (requests/sec across all clients) into a
+/// per-client exponential inter-arrival sampler.
+fn parse_arrival(args: &Args, clients: usize) -> Result<Option<Exp>, BridgeError> {
+    match args.value_of("arrival-rate")? {
+        None => Ok(None),
+        Some(v) => {
+            let rate: f64 = v
+                .parse()
+                .map_err(|e| BridgeError::Flow(format!("bad --arrival-rate: {e}")))?;
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(BridgeError::Flow(format!(
+                    "bad --arrival-rate {rate}: must be a positive rate in requests/sec"
+                )));
+            }
+            Ok(Some(Exp::new(rate / clients as f64)))
+        }
+    }
+}
+
+/// The per-lane log-2 latency histograms, one line per lane and axis
+/// (`lower_bound_us:count` pairs; `-` when a lane saw no traffic).
+fn print_histograms(stats: &ServiceStats) {
+    for (name, lane) in [("interactive", &stats.lanes[0]), ("bulk", &stats.lanes[1])] {
+        println!("hist: lane={name} wait_us=[{}]", lane.wait_hist.render());
+        println!(
+            "hist: lane={name} service_us=[{}]",
+            lane.service_hist.render()
+        );
     }
 }
 
@@ -380,6 +488,7 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
         "cache-dir",
         "stats",
         "queue-depth",
+        "deadline-ms",
         "format",
     ])?;
     let json = wants_json(args)?;
@@ -408,6 +517,11 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
             .parse()
             .map_err(|e| BridgeError::Flow(format!("bad --cap: {e}")))?;
         request = request.with_front_cap(cap);
+    }
+    if let Some(deadline) = parse_deadline(args)? {
+        // Meaningful on the --queue-depth service path (a direct engine
+        // call never queues); carried on the request either way.
+        request = request.with_deadline(deadline);
     }
     // With --queue-depth the query goes through the admission-controlled
     // service (worker pool + bounded queue) — same answer, but the
@@ -466,6 +580,9 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
         "workers",
         "max-inflight",
         "admission",
+        "deadline-ms",
+        "cancel-rate",
+        "arrival-rate",
         "connect",
         "spec",
         "book",
@@ -474,6 +591,9 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
     ])?;
     let clients = parse_num(args, "clients", 4)?.max(1);
     let requests = parse_num(args, "requests", 1_000)?.max(1);
+    let deadline = parse_deadline(args)?;
+    let cancel_rate = parse_cancel_rate(args)?;
+    let arrival = parse_arrival(args, clients)?;
     if let Some(addr) = args.value_of("connect")? {
         return bench_load_connect(args, addr, clients, requests);
     }
@@ -502,6 +622,7 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
             queue_depth,
             max_inflight,
             admission,
+            default_deadline: None,
             checkpoint_interval: None,
         },
     );
@@ -512,16 +633,20 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
         ok: u64,
         overloaded: u64,
         shed: u64,
+        cancelled: u64,
+        deadline: u64,
         failed: u64,
         waits_us: Vec<u64>,
     }
     let t0 = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
+            .map(|i| {
                 let service = &service;
                 let spec = &spec;
+                let arrival = arrival.as_ref();
                 scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xBE7C_0000 + i as u64);
                     let mut tally = ClientTally::default();
                     let mut pending: VecDeque<Ticket> = VecDeque::new();
                     let drain = |t: Ticket, tally: &mut ClientTally| match t.recv() {
@@ -530,15 +655,36 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
                             tally.waits_us.push(outcome.queued_for.as_micros() as u64);
                         }
                         Err(dtas::ServiceError::Shed) => tally.shed += 1,
+                        Err(dtas::ServiceError::Cancelled) => tally.cancelled += 1,
+                        Err(dtas::ServiceError::DeadlineExceeded) => tally.deadline += 1,
                         Err(_) => tally.failed += 1,
                     };
+                    let mut request = SynthRequest::new(spec.clone());
+                    if let Some(d) = deadline {
+                        request = request.with_deadline(d);
+                    }
+                    // Open-loop: the next submission's wall-clock slot is
+                    // scheduled in advance, independent of completions.
+                    let mut next_at = Instant::now();
                     for _ in 0..requests {
-                        match service.submit(SynthRequest::new(spec.clone())) {
+                        if let Some(exp) = arrival {
+                            next_at += Duration::from_secs_f64(exp.sample(&mut rng));
+                            if let Some(gap) = next_at.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(gap);
+                            }
+                        }
+                        match service.submit(request.clone()) {
                             Ok(ticket) => {
+                                if cancel_rate > 0.0 && rng.gen_bool(cancel_rate) {
+                                    ticket.cancel();
+                                }
                                 pending.push_back(ticket);
                                 // Pipeline window: keep up to 32 tickets
-                                // outstanding per client.
-                                if pending.len() >= 32 {
+                                // outstanding per client — closed-loop
+                                // backpressure that would distort an
+                                // open-loop arrival process, so it is
+                                // off under --arrival-rate.
+                                if arrival.is_none() && pending.len() >= 32 {
                                     let ticket = pending.pop_front().expect("nonempty");
                                     drain(ticket, &mut tally);
                                 }
@@ -567,20 +713,33 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
         merged.ok += tally.ok;
         merged.overloaded += tally.overloaded;
         merged.shed += tally.shed;
+        merged.cancelled += tally.cancelled;
+        merged.deadline += tally.deadline;
         merged.failed += tally.failed;
         merged.waits_us.extend(tally.waits_us);
     }
     merged.waits_us.sort_unstable();
     let submitted = (clients * requests) as u64;
     println!(
-        "load: clients={clients} requests={requests} submitted={submitted} ok={} overloaded={} shed={} failed={}",
-        merged.ok, merged.overloaded, merged.shed, merged.failed
+        "load: clients={clients} requests={requests} submitted={submitted} ok={} overloaded={} shed={} failed={} cancelled={} deadline_expired={}",
+        merged.ok, merged.overloaded, merged.shed, merged.failed, merged.cancelled, merged.deadline
     );
+    let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
         "throughput: completed_qps={:.0} elapsed_ms={:.1}",
-        merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        merged.ok as f64 / secs,
         elapsed.as_secs_f64() * 1e3
     );
+    if arrival.is_some() {
+        // Open-loop honesty: how much load was offered vs how much the
+        // service actually delivered inside the run window.
+        println!(
+            "arrivals: offered_qps={:.0} delivered_qps={:.0} delivered_frac={:.3}",
+            submitted as f64 / secs,
+            merged.ok as f64 / secs,
+            merged.ok as f64 / (submitted as f64).max(1.0)
+        );
+    }
     println!(
         "wait: p50_us={} p99_us={} max_us={}",
         dtas::service::percentile(&merged.waits_us, 50.0),
@@ -588,6 +747,7 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
         merged.waits_us.last().copied().unwrap_or(0)
     );
     println!("{stats}");
+    print_histograms(&stats);
     if args.has("stats") {
         println!("{}", engine.cache_stats());
     }
@@ -622,6 +782,9 @@ fn bench_load_connect(
         }
     }
     let spec = parse_spec(args.value_of("spec")?.unwrap_or("add:16:cin:cout"))?;
+    let deadline = parse_deadline(args)?;
+    let cancel_rate = parse_cancel_rate(args)?;
+    let arrival = parse_arrival(args, clients)?;
 
     /// Per-client tallies, merged after the run.
     #[derive(Default)]
@@ -629,6 +792,8 @@ fn bench_load_connect(
         ok: u64,
         overloaded: u64,
         shed: u64,
+        cancelled: u64,
+        deadline: u64,
         failed: u64,
         rtts_us: Vec<u64>,
     }
@@ -646,6 +811,8 @@ fn bench_load_connect(
             }
             Err(dtas::WireError::Overloaded { .. }) => tally.overloaded += 1,
             Err(dtas::WireError::Shed) => tally.shed += 1,
+            Err(dtas::WireError::Cancelled) => tally.cancelled += 1,
+            Err(dtas::WireError::DeadlineExceeded) => tally.deadline += 1,
             Err(_) => tally.failed += 1,
         }
         Ok(())
@@ -655,21 +822,37 @@ fn bench_load_connect(
         let handles: Vec<_> = (0..clients)
             .map(|i| {
                 let spec = &spec;
+                let arrival = arrival.as_ref();
                 scope.spawn(move || {
                     let lane = if i % 2 == 0 {
                         Priority::Interactive
                     } else {
                         Priority::Bulk
                     };
+                    let mut rng = StdRng::seed_from_u64(0xBE7C_1000 + i as u64);
                     let mut client = WireClient::connect(addr, lane)?;
                     let mut tally = ClientTally::default();
                     let mut sent_at: VecDeque<Instant> = VecDeque::new();
-                    let request = SynthRequest::new(spec.clone());
+                    let mut request = SynthRequest::new(spec.clone());
+                    if let Some(d) = deadline {
+                        request = request.with_deadline(d);
+                    }
+                    let mut next_at = Instant::now();
                     for _ in 0..requests {
-                        client.submit(&request)?;
+                        if let Some(exp) = arrival {
+                            next_at += Duration::from_secs_f64(exp.sample(&mut rng));
+                            if let Some(gap) = next_at.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(gap);
+                            }
+                        }
+                        let id = client.submit(&request)?;
+                        if cancel_rate > 0.0 && rng.gen_bool(cancel_rate) {
+                            client.cancel(id)?;
+                        }
                         sent_at.push_back(Instant::now());
-                        // Pipeline window: up to 32 requests in flight.
-                        if sent_at.len() >= 32 {
+                        // Pipeline window: up to 32 requests in flight
+                        // (closed-loop, so off under --arrival-rate).
+                        if arrival.is_none() && sent_at.len() >= 32 {
                             drain(&mut client, &mut sent_at, &mut tally)?;
                         }
                     }
@@ -692,20 +875,31 @@ fn bench_load_connect(
         merged.ok += tally.ok;
         merged.overloaded += tally.overloaded;
         merged.shed += tally.shed;
+        merged.cancelled += tally.cancelled;
+        merged.deadline += tally.deadline;
         merged.failed += tally.failed;
         merged.rtts_us.extend(tally.rtts_us);
     }
     merged.rtts_us.sort_unstable();
     let submitted = (clients * requests) as u64;
     println!(
-        "load: clients={clients} requests={requests} submitted={submitted} ok={} overloaded={} shed={} failed={}",
-        merged.ok, merged.overloaded, merged.shed, merged.failed
+        "load: clients={clients} requests={requests} submitted={submitted} ok={} overloaded={} shed={} failed={} cancelled={} deadline_expired={}",
+        merged.ok, merged.overloaded, merged.shed, merged.failed, merged.cancelled, merged.deadline
     );
+    let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
         "throughput: completed_qps={:.0} elapsed_ms={:.1}",
-        merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        merged.ok as f64 / secs,
         elapsed.as_secs_f64() * 1e3
     );
+    if arrival.is_some() {
+        println!(
+            "arrivals: offered_qps={:.0} delivered_qps={:.0} delivered_frac={:.3}",
+            submitted as f64 / secs,
+            merged.ok as f64 / secs,
+            merged.ok as f64 / (submitted as f64).max(1.0)
+        );
+    }
     println!(
         "rtt: p50_us={} p99_us={} max_us={}",
         dtas::service::percentile(&merged.rtts_us, 50.0),
@@ -715,6 +909,7 @@ fn bench_load_connect(
     let mut probe = WireClient::connect(addr, Priority::Interactive)?;
     let stats = probe.server_stats()?;
     println!("{}", stats.service);
+    print_histograms(&stats.service);
     if args.has("stats") {
         println!(
             "cache: hits={} misses={}",
@@ -736,6 +931,7 @@ fn cmd_serve(args: &Args) -> Result<(), BridgeError> {
         "queue-depth",
         "max-inflight",
         "admission",
+        "deadline-ms",
         "checkpoint-secs",
     ])?;
     let port: u16 = match args.value_of("port")? {
@@ -760,6 +956,7 @@ fn cmd_serve(args: &Args) -> Result<(), BridgeError> {
         queue_depth: parse_num(args, "queue-depth", 1_024)?,
         max_inflight: parse_num(args, "max-inflight", usize::MAX)?,
         admission: parse_admission(args)?,
+        default_deadline: parse_deadline(args)?,
         checkpoint_interval: args
             .value_of("checkpoint-secs")?
             .map(str::parse)

@@ -211,8 +211,12 @@ impl From<ServiceError> for BridgeError {
     fn from(e: ServiceError) -> Self {
         match e {
             ServiceError::Synth(s) => BridgeError::Synth(s),
-            ServiceError::Overloaded { .. } | ServiceError::Shed => BridgeError::Overloaded(e),
-            ServiceError::ShuttingDown | ServiceError::Internal(_) => {
+            // Deadline drops join the retryable bucket: like a shed, the
+            // request was fine and a quieter service would serve it.
+            ServiceError::Overloaded { .. }
+            | ServiceError::Shed
+            | ServiceError::DeadlineExceeded => BridgeError::Overloaded(e),
+            ServiceError::Cancelled | ServiceError::ShuttingDown | ServiceError::Internal(_) => {
                 BridgeError::Flow(e.to_string())
             }
         }

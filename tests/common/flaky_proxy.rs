@@ -1,0 +1,191 @@
+//! A fault-injecting TCP proxy for wire-layer chaos tests.
+//!
+//! Sits between a wire client and a `WireServer`, forwarding bytes
+//! verbatim until told to misbehave:
+//!
+//! * [`kill_live`](FlakyProxy::kill_live) hard-closes every proxied
+//!   connection mid-stream — the client sees an abrupt I/O error, the
+//!   server an EOF, exactly like a network partition or proxy restart;
+//! * [`cut_new_connections_after`](FlakyProxy::cut_new_connections_after)
+//!   tears each *new* connection down after forwarding a byte budget —
+//!   small budgets die inside the handshake, larger ones mid-frame.
+//!
+//! The proxy's own listener stays up throughout, so a reconnecting
+//! client that redials the same address lands on a fresh backend
+//! connection — the fixture reconnect/replay tests are built on.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+struct Shared {
+    backend: SocketAddr,
+    stop: AtomicBool,
+    /// Byte budget applied to connections accepted from now on
+    /// (client→backend direction); 0 = pass-through.
+    cut_after_bytes: AtomicUsize,
+    /// Both halves of every live proxied connection, for [`kill_live`].
+    live: Mutex<Vec<TcpStream>>,
+    accepted: AtomicU64,
+    cut: AtomicU64,
+}
+
+/// See the module docs.
+pub struct FlakyProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FlakyProxy {
+    /// Starts forwarding `127.0.0.1:<ephemeral>` → `backend`.
+    pub fn start(backend: SocketAddr) -> FlakyProxy {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("proxy binds loopback");
+        let addr = listener.local_addr().expect("proxy addr");
+        let shared = Arc::new(Shared {
+            backend,
+            stop: AtomicBool::new(false),
+            cut_after_bytes: AtomicUsize::new(0),
+            live: Mutex::new(Vec::new()),
+            accepted: AtomicU64::new(0),
+            cut: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        FlakyProxy {
+            addr,
+            shared,
+            accept: Some(accept),
+        }
+    }
+
+    /// The address clients should dial instead of the backend's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far — a reconnect shows up as +1.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections torn down by a byte budget so far.
+    pub fn connections_cut(&self) -> u64 {
+        self.shared.cut.load(Ordering::Relaxed)
+    }
+
+    /// Every connection accepted from now on is hard-closed after
+    /// forwarding `bytes` client→backend bytes. `0` restores
+    /// pass-through. Existing connections are unaffected.
+    pub fn cut_new_connections_after(&self, bytes: usize) {
+        self.shared.cut_after_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Hard-closes every currently proxied connection (both directions)
+    /// and returns how many connections were killed. The listener stays
+    /// up: redials succeed and get fresh backend connections.
+    pub fn kill_live(&self) -> usize {
+        let mut live = self.shared.live.lock().unwrap_or_else(|p| p.into_inner());
+        // Two registered halves (client side + backend side) per
+        // proxied connection.
+        let connections = live.len() / 2;
+        for stream in live.drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        connections
+    }
+}
+
+impl Drop for FlakyProxy {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Poke our own listener so the blocking accept wakes and sees
+        // the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.kill_live();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(client) = conn else { continue };
+        let Ok(backend) = TcpStream::connect(shared.backend) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let budget = match shared.cut_after_bytes.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        };
+        let (Ok(c2), Ok(b2)) = (client.try_clone(), backend.try_clone()) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = backend.shutdown(Shutdown::Both);
+            continue;
+        };
+        {
+            let mut live = shared.live.lock().unwrap_or_else(|p| p.into_inner());
+            live.retain(|s| {
+                // Opportunistic pruning: closed sockets error on peer_addr.
+                s.peer_addr().is_ok()
+            });
+            if let (Ok(c3), Ok(b3)) = (client.try_clone(), backend.try_clone()) {
+                live.push(c3);
+                live.push(b3);
+            }
+        }
+        // Two pump threads per connection; they exit when either side
+        // closes. Detached — killed sockets unblock their reads.
+        {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || pump(client, backend, budget, Some(&shared)));
+        }
+        std::thread::spawn(move || pump(b2, c2, None, None));
+    }
+}
+
+/// Copies `from` → `to` until EOF, error, or the byte budget runs out
+/// (then both directions are shut down and the cut is counted).
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mut budget: Option<usize>,
+    shared: Option<&Shared>,
+) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let forwarded = match budget.as_mut() {
+            None => n,
+            Some(left) => {
+                let take = n.min(*left);
+                *left -= take;
+                take
+            }
+        };
+        if forwarded > 0 && to.write_all(&buf[..forwarded]).is_err() {
+            break;
+        }
+        if budget == Some(0) {
+            if let Some(shared) = shared {
+                shared.cut.fetch_add(1, Ordering::Relaxed);
+            }
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

@@ -1,12 +1,14 @@
 //! Service-layer coverage for `DtasService`: admission policies (reject /
-//! block / shed-oldest), priority lanes, drain-on-shutdown, background
-//! checkpointing, worker-panic containment, and a proptest pinning
-//! service-path results bit-identical to direct `Dtas::synthesize`.
+//! block / shed-oldest / rate), priority lanes, drain-on-shutdown,
+//! background checkpointing, worker-panic containment, the
+//! cancel/deadline race matrix, late-delivery accounting, and a proptest
+//! pinning service-path results bit-identical to direct
+//! `Dtas::synthesize`.
 
 mod common;
 
 use cells::lsi::lsi_logic_subset;
-use common::fingerprint;
+use common::{fingerprint, slow_engine, slow_spec};
 use dtas::template::NetlistTemplate;
 use dtas::{
     Admission, Dtas, DtasConfig, DtasService, Priority, Rule, RuleSet, ServiceConfig, ServiceError,
@@ -36,46 +38,6 @@ fn unmappable() -> ComponentSpec {
         .with_width2(4)
         .with_ops([Op::Push, Op::Pop].into_iter().collect())
         .with_style("STACK")
-}
-
-/// A spec the [`SlowRule`] stalls on — each distinct width is a distinct
-/// cold solve, so every submission occupies the worker afresh.
-fn slow_spec(width: usize) -> ComponentSpec {
-    adder(width).with_style("SLOW")
-}
-
-/// Test-only rule: sleeps when expanding a `SLOW`-styled spec, turning a
-/// request into a deterministic worker-occupier.
-struct SlowRule(Duration);
-
-impl Rule for SlowRule {
-    fn name(&self) -> &str {
-        "slow-marker"
-    }
-    fn doc(&self) -> &str {
-        "test-only: stall expansion of SLOW-styled specs"
-    }
-    fn expand(&self, spec: &ComponentSpec) -> Vec<NetlistTemplate> {
-        if spec.style.as_deref() == Some("SLOW") {
-            std::thread::sleep(self.0);
-        }
-        vec![]
-    }
-}
-
-/// An engine whose `SLOW`-styled specs take `delay` to expand. Serial
-/// solve threads keep the stall on the worker thread itself.
-fn slow_engine(delay: Duration) -> Arc<Dtas> {
-    let mut rules = RuleSet::standard().with_lsi_extensions();
-    rules.append_library_rules(vec![Box::new(SlowRule(delay))]);
-    Arc::new(
-        Dtas::new(lsi_logic_subset())
-            .with_rules(rules)
-            .with_config(DtasConfig {
-                threads: Some(1),
-                ..DtasConfig::default()
-            }),
-    )
 }
 
 /// Polls `cond` for up to `timeout`; panics with `what` on expiry.
@@ -390,6 +352,299 @@ fn worker_panic_resolves_the_ticket_and_the_service_survives() {
     assert!(engine.cache_stats().poison_recoveries >= 1);
     let stats = service.shutdown();
     assert_eq!(stats.completed, 2);
+}
+
+// ---------------------------------------------------------------------
+// The cancel/deadline race matrix: every cell of (cancel, deadline) ×
+// (still queued, dispatched, resolved, shutting down) must resolve the
+// ticket exactly once — no hangs, no double counting.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cancel_before_dispatch_skips_execution() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(300)),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let queued = service
+        .submit(SynthRequest::new(slow_spec(5)))
+        .expect("admits behind the busy worker");
+    assert!(queued.cancel(), "cancel of a queued ticket wins");
+    assert!(!queued.cancel(), "second cancel is an idempotent no-op");
+    assert_eq!(
+        queued.recv().expect_err("resolved by the cancel"),
+        ServiceError::Cancelled
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    // The cancelled entry was skipped, not executed: only the running
+    // request completed, and nothing was counted late.
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.late_deliveries, 0);
+}
+
+#[test]
+fn cancel_racing_dispatch_resolves_exactly_once() {
+    // The cancel lands while the worker is executing: either side may
+    // win, but the ticket resolves exactly once and the loser is
+    // accounted, never dropped.
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(150)),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let ticket = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let cancel_won = ticket.cancel();
+    let resolved = ticket.recv();
+    if cancel_won {
+        assert_eq!(resolved.expect_err("cancel won"), ServiceError::Cancelled);
+    } else {
+        assert!(resolved.is_ok(), "worker won: the result stands");
+    }
+    let stats = service.shutdown();
+    if cancel_won {
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(
+            stats.late_deliveries, 1,
+            "the worker's discarded result is a late delivery"
+        );
+    } else {
+        assert_eq!((stats.cancelled, stats.completed), (0, 1));
+    }
+}
+
+#[test]
+fn cancel_after_resolve_is_a_noop() {
+    let service = DtasService::start(
+        Arc::new(Dtas::new(lsi_logic_subset())),
+        ServiceConfig::default(),
+    );
+    let ticket = service
+        .submit(SynthRequest::new(adder(16)))
+        .expect("admits");
+    let outcome = ticket.recv().expect("solves");
+    assert!(!ticket.cancel(), "cancel after resolve reports false");
+    // The resolved value is untouched by the late cancel.
+    assert!(ticket.try_recv().expect("still resolved").is_ok());
+    assert!(!outcome.design.alternatives.is_empty());
+    let stats = service.shutdown();
+    assert_eq!((stats.cancelled, stats.completed), (0, 1));
+}
+
+#[test]
+fn queue_deadline_fires_within_tolerance() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(500)),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let deadline = Duration::from_millis(50);
+    let t0 = Instant::now();
+    let doomed = service
+        .submit(SynthRequest::new(slow_spec(5)).with_deadline(deadline))
+        .expect("admits; expiry comes later");
+    assert_eq!(
+        doomed.recv().expect_err("expires while queued"),
+        ServiceError::DeadlineExceeded
+    );
+    let waited = t0.elapsed();
+    assert!(
+        waited >= Duration::from_millis(45),
+        "fired early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_millis(450),
+        "the sweeper must fire the deadline well before the worker would \
+         have reached the entry (waited {waited:?})"
+    );
+    // A deadline on an already-dispatched request does not clip it: the
+    // running ticket still resolves normally.
+    assert!(running.recv().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn zero_deadline_expires_instead_of_executing() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(200)),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let instant = service
+        .submit(SynthRequest::new(adder(8)).with_deadline(Duration::ZERO))
+        .expect("admitted, already expired");
+    assert_eq!(
+        instant
+            .recv()
+            .expect_err("a zero deadline can never be met"),
+        ServiceError::DeadlineExceeded
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+}
+
+#[test]
+fn default_deadline_stamps_unmarked_requests() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(400)),
+        ServiceConfig {
+            workers: Some(1),
+            default_deadline: Some(Duration::from_millis(40)),
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    // No per-request deadline: the config default applies.
+    let defaulted = service.submit(SynthRequest::new(adder(8))).expect("admits");
+    // An explicit per-request deadline overrides the (shorter or longer)
+    // default.
+    let generous = service
+        .submit(SynthRequest::new(adder(12)).with_deadline(Duration::from_secs(30)))
+        .expect("admits");
+    assert_eq!(
+        defaulted.recv().expect_err("default deadline applies"),
+        ServiceError::DeadlineExceeded
+    );
+    assert!(
+        generous.recv().is_ok(),
+        "a per-request deadline must override the config default"
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+}
+
+#[test]
+fn deadlines_resolve_cleanly_through_shutdown_drain() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(250)),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    let doomed: Vec<_> = (0..3)
+        .map(|i| {
+            service
+                .submit(SynthRequest::new(adder(8 + i)).with_deadline(Duration::from_millis(20)))
+                .expect("admits")
+        })
+        .collect();
+    // Shutdown while the deadlines are pending: the drain must resolve
+    // every admitted ticket — expired entries expire, nothing hangs.
+    let stats = service.shutdown();
+    for ticket in &doomed {
+        assert!(matches!(
+            ticket.try_recv().expect("drained, not abandoned"),
+            Err(ServiceError::DeadlineExceeded)
+        ));
+    }
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.deadline_expired, 3);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn recv_timeout_then_drop_counts_a_late_delivery() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(200)),
+        ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let ticket = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("admits");
+    wait_for_busy_worker(&service);
+    // The caller gives up waiting and walks away while the worker is
+    // still executing…
+    assert!(ticket.recv_timeout(Duration::from_millis(10)).is_none());
+    drop(ticket);
+    // …so when the worker finishes there is no receiver left: the result
+    // is delivered late into the void, and counted.
+    wait_until("late delivery accounting", Duration::from_secs(10), || {
+        service.stats().late_deliveries == 1
+    });
+    let stats = service.shutdown();
+    assert_eq!(stats.late_deliveries, 1);
+    assert_eq!(stats.completed, 1, "the work itself still completed");
+}
+
+#[test]
+fn rate_admission_composes_with_shed_oldest() {
+    let service = DtasService::start(
+        slow_engine(Duration::from_millis(400)),
+        ServiceConfig {
+            workers: Some(1),
+            queue_depth: 1,
+            admission: Admission::Rate {
+                per_sec: 1,
+                burst: 3,
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    // Token 1: dispatched. Token 2: queued. Token 3: queue full → the
+    // oldest waiter is shed and the newcomer takes its place.
+    let _running = service
+        .submit(SynthRequest::new(slow_spec(4)))
+        .expect("token 1");
+    wait_for_busy_worker(&service);
+    let oldest = service
+        .submit(SynthRequest::new(adder(8)))
+        .expect("token 2");
+    let newest = service
+        .submit(SynthRequest::new(adder(12)))
+        .expect("token 3 sheds the oldest waiter");
+    assert_eq!(
+        oldest.recv().expect_err("evicted"),
+        ServiceError::Shed,
+        "over depth, rate admission degrades to shed-oldest"
+    );
+    // Bucket empty (refill is 1/sec; this test runs in well under a
+    // second): the next submission is rate-refused outright.
+    assert!(matches!(
+        service.submit(SynthRequest::new(adder(16))),
+        Err(ServiceError::Overloaded { .. })
+    ));
+    assert!(newest.recv().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.admitted, 3);
 }
 
 /// Soak-oriented stress: 8 clients of mixed interactive/bulk traffic

@@ -17,21 +17,33 @@
 //! | future wire version         | typed `Version` refusal              |
 //! | fingerprint mismatch        | typed `FingerprintMismatch` refusal  |
 //! | mid-stream disconnect       | server unaffected                    |
+//! | cancel of unknown id        | ignored, connection LIVES            |
+//!
+//! Plus the resilience round-trips: `Cancel` → typed `Cancelled` frame,
+//! queued deadline → typed `DeadlineExceeded` frame, and
+//! [`ReconnectingClient`] replaying in-flight work through a killed
+//! connection (via the [`common::flaky_proxy`] fixture).
+
+mod common;
 
 use cells::lsi::lsi_logic_subset;
+use common::flaky_proxy::FlakyProxy;
+use common::{slow_engine, slow_spec};
 use dtas::net::{
-    ClientMsg, ServeConfig, ServerMsg, WireClient, WireError, WireServer, MAX_FRAME_LEN,
-    WIRE_MAGIC, WIRE_VERSION,
+    ClientMsg, ReconnectingClient, RetryPolicy, ServeConfig, ServerMsg, WireClient, WireError,
+    WireServer, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
 };
-use dtas::{Dtas, Priority, SynthRequest};
+use dtas::{Dtas, Priority, ServiceConfig, SynthRequest};
 use genus::kind::ComponentKind;
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
 use proptest::prelude::*;
 use rtl_base::hash::fnv1a_64;
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn adder(width: usize) -> ComponentSpec {
     ComponentSpec::new(ComponentKind::AddSub, width).with_ops(OpSet::only(Op::Add))
@@ -46,6 +58,24 @@ fn start_server() -> (Arc<Dtas>, WireServer) {
     )
     .expect("binds an ephemeral loopback port");
     (engine, server)
+}
+
+/// A single-worker server over a [`slow_engine`]: one in-flight request
+/// occupies the only worker, so a second submission deterministically
+/// waits in queue — where cancels and deadlines can reach it.
+fn start_slow_server(delay: Duration) -> WireServer {
+    WireServer::start(
+        slow_engine(delay),
+        ServeConfig {
+            service: ServiceConfig {
+                workers: Some(1),
+                ..ServiceConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        ("127.0.0.1", 0),
+    )
+    .expect("binds an ephemeral loopback port")
 }
 
 /// Builds one syntactically valid frame around an arbitrary payload —
@@ -332,6 +362,196 @@ fn bye_closes_the_connection_cleanly() {
     server.shutdown();
 }
 
+#[test]
+fn cancel_over_the_wire_returns_a_typed_cancelled_frame() {
+    let server = start_slow_server(Duration::from_millis(300));
+    let mut stream = raw_handshake(server.local_addr());
+    // id 1 occupies the single worker; id 2 waits in queue behind it.
+    for (id, width) in [(1u64, 8usize), (2, 9)] {
+        let frame = ClientMsg::Request {
+            id,
+            request: SynthRequest::new(slow_spec(width)),
+        }
+        .encode_frame();
+        stream.write_all(&frame).expect("writes");
+    }
+    // Cancel the queued one while the occupier is still running.
+    stream
+        .write_all(&ClientMsg::Cancel { id: 2 }.encode_frame())
+        .expect("writes");
+    // Results come back in submission order: the occupier's real answer,
+    // then the typed cancellation.
+    match read_msg(&mut stream) {
+        ServerMsg::Result {
+            id: 1,
+            result: Ok(_),
+            ..
+        } => {}
+        other => panic!("expected the occupier's result first, got {other:?}"),
+    }
+    match read_msg(&mut stream) {
+        ServerMsg::Result {
+            id: 2,
+            result: Err(WireError::Cancelled),
+            ..
+        } => {}
+        other => panic!("expected a Cancelled frame for id 2, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.cancelled, 1, "{stats}");
+    assert_eq!(stats.admitted, 2, "{stats}");
+}
+
+#[test]
+fn queued_deadline_over_the_wire_returns_a_typed_expiry_frame() {
+    let server = start_slow_server(Duration::from_millis(300));
+    let mut stream = raw_handshake(server.local_addr());
+    // The occupier has no deadline; the request queued behind it carries
+    // one far shorter than the occupier's service time.
+    let occupier = ClientMsg::Request {
+        id: 1,
+        request: SynthRequest::new(slow_spec(8)),
+    };
+    let doomed = ClientMsg::Request {
+        id: 2,
+        request: SynthRequest::new(slow_spec(9)).with_deadline(Duration::from_millis(50)),
+    };
+    stream.write_all(&occupier.encode_frame()).expect("writes");
+    stream.write_all(&doomed.encode_frame()).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Result {
+            id: 1,
+            result: Ok(_),
+            ..
+        } => {}
+        other => panic!("expected the occupier's result first, got {other:?}"),
+    }
+    match read_msg(&mut stream) {
+        ServerMsg::Result {
+            id: 2,
+            result: Err(WireError::DeadlineExceeded),
+            ..
+        } => {}
+        other => panic!("expected a DeadlineExceeded frame for id 2, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_expired, 1, "{stats}");
+}
+
+#[test]
+fn cancel_for_an_unknown_id_is_ignored_and_the_connection_lives() {
+    let (_engine, server) = start_server();
+    let mut stream = raw_handshake(server.local_addr());
+    stream
+        .write_all(&ClientMsg::Cancel { id: 424_242 }.encode_frame())
+        .expect("writes");
+    // The stream is still in sync: a real request on the same connection
+    // is still answered.
+    let frame = ClientMsg::Request {
+        id: 1,
+        request: SynthRequest::new(adder(4)),
+    }
+    .encode_frame();
+    stream.write_all(&frame).expect("writes");
+    match read_msg(&mut stream) {
+        ServerMsg::Result {
+            id: 1,
+            result: Ok(set),
+            ..
+        } => assert!(!set.alternatives.is_empty()),
+        other => panic!("expected a Result frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn reconnecting_client_replays_in_flight_requests_through_a_connection_kill() {
+    let (_engine, server) = start_server();
+    let proxy = FlakyProxy::start(server.local_addr());
+    let mut client = ReconnectingClient::connect(
+        proxy.addr().to_string(),
+        Priority::Interactive,
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("connects through the proxy");
+    // Several submissions in flight, then the "network" dies mid-stream.
+    let ids: Vec<u64> = (4..10)
+        .map(|w| {
+            client
+                .submit(&SynthRequest::new(adder(w)))
+                .expect("submits")
+        })
+        .collect();
+    assert!(
+        proxy.kill_live() >= 1,
+        "the proxy should have had live connections to kill"
+    );
+    // Every submission still resolves: the client reconnects and replays
+    // whatever had not been delivered yet.
+    let mut delivered = HashSet::new();
+    for _ in 0..ids.len() {
+        let result = client.recv_result().expect("result after replay");
+        assert!(
+            result.result.is_ok(),
+            "replayed request failed: {:?}",
+            result.result.err()
+        );
+        delivered.insert(result.id);
+    }
+    assert_eq!(
+        delivered,
+        ids.iter().copied().collect::<HashSet<_>>(),
+        "every caller-side id resolves exactly once"
+    );
+    assert!(client.reconnects() >= 1, "the kill must force a reconnect");
+    assert!(
+        proxy.connections_accepted() >= 2,
+        "the replay must arrive on a fresh connection"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn retries_exhausted_after_repeated_mid_handshake_cuts() {
+    let (_engine, server) = start_server();
+    let proxy = FlakyProxy::start(server.local_addr());
+    // Every new connection dies four bytes in — inside the handshake —
+    // so each attempt fails and the bounded retry budget runs dry.
+    proxy.cut_new_connections_after(4);
+    let attempts = 3;
+    match ReconnectingClient::connect(
+        proxy.addr().to_string(),
+        Priority::Interactive,
+        RetryPolicy {
+            max_attempts: attempts,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        },
+    ) {
+        Err(WireError::RetriesExhausted {
+            attempts: spent, ..
+        }) => {
+            assert_eq!(spent, attempts)
+        }
+        Err(other) => panic!("expected RetriesExhausted, got {other:?}"),
+        Ok(_) => panic!("connected through a proxy that cuts every handshake"),
+    }
+    assert!(proxy.connections_cut() >= u64::from(attempts));
+    // Pass-through restored: the same proxy serves a fresh client.
+    proxy.cut_new_connections_after(0);
+    let mut client = WireClient::connect(proxy.addr(), Priority::Interactive)
+        .expect("pass-through connects again");
+    client
+        .request(&SynthRequest::new(adder(4)))
+        .expect("healed proxy serves");
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // Property round-trips: encode → decode → re-encode is bit-identical.
 
@@ -344,27 +564,34 @@ fn arb_request() -> impl Strategy<Value = SynthRequest> {
         any::<bool>(),
         0u32..1000,
         0u32..1000,
+        any::<bool>(),
+        0u64..120_000,
     )
-        .prop_map(|(width, filter, capped, cap, weighted, wa, wd)| {
-            let mut request = SynthRequest::new(adder(width));
-            match filter {
-                1 => request = request.with_root_filter(dtas::FilterPolicy::Pareto),
-                2 => {
-                    request = request.with_root_filter(dtas::FilterPolicy::Slack {
-                        area: f64::from(wa) / 8.0,
-                        delay: f64::from(wd) / 8.0,
-                    })
+        .prop_map(
+            |(width, filter, capped, cap, weighted, wa, wd, dated, deadline_ms)| {
+                let mut request = SynthRequest::new(adder(width));
+                match filter {
+                    1 => request = request.with_root_filter(dtas::FilterPolicy::Pareto),
+                    2 => {
+                        request = request.with_root_filter(dtas::FilterPolicy::Slack {
+                            area: f64::from(wa) / 8.0,
+                            delay: f64::from(wd) / 8.0,
+                        })
+                    }
+                    _ => {}
                 }
-                _ => {}
-            }
-            if capped {
-                request = request.with_front_cap(cap);
-            }
-            if weighted {
-                request = request.with_weights(f64::from(wa) / 4.0, f64::from(wd) / 4.0);
-            }
-            request
-        })
+                if capped {
+                    request = request.with_front_cap(cap);
+                }
+                if weighted {
+                    request = request.with_weights(f64::from(wa) / 4.0, f64::from(wd) / 4.0);
+                }
+                if dated {
+                    request = request.with_deadline(Duration::from_millis(deadline_ms));
+                }
+                request
+            },
+        )
 }
 
 fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
@@ -388,6 +615,7 @@ fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
         (any::<u64>(), arb_request()).prop_map(|(id, request)| ClientMsg::Request { id, request }),
         (any::<u64>(), proptest::collection::vec(arb_request(), 0..4))
             .prop_map(|(id, requests)| ClientMsg::Batch { id, requests }),
+        (any::<u64>()).prop_map(|id| ClientMsg::Cancel { id }),
         (0u8..1).prop_map(|_| ClientMsg::Stats),
         (0u8..1).prop_map(|_| ClientMsg::Bye),
     ]
@@ -405,6 +633,12 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
         (any::<u64>()).prop_map(|queue_depth| WireError::Overloaded { queue_depth }),
         (0u8..1).prop_map(|_| WireError::Shed),
         (0u8..1).prop_map(|_| WireError::ShuttingDown),
+        (0u8..1).prop_map(|_| WireError::Cancelled),
+        (0u8..1).prop_map(|_| WireError::DeadlineExceeded),
+        (any::<u32>(), any::<u64>()).prop_map(|(attempts, n)| WireError::RetriesExhausted {
+            attempts,
+            last: format!("io {n}"),
+        }),
         (any::<u64>()).prop_map(|n| WireError::Internal(format!("worker {n}"))),
     ]
 }

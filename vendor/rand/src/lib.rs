@@ -132,6 +132,52 @@ impl Standard for u128 {
     }
 }
 
+/// The distribution subset the workspace samples from (mirroring the
+/// `rand::distributions` API shape).
+pub mod distributions {
+    use super::Rng;
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// The exponential distribution `Exp(λ)` — inter-arrival times of a
+    /// Poisson process with rate `λ` events per unit time. Sampled by
+    /// inversion (`-ln(1-U)/λ`), which is exact and needs no rejection
+    /// loop. Used by `dtas bench-load --arrival-rate` for open-loop
+    /// traffic generation.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// A new exponential distribution with rate `lambda`.
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `lambda` is finite and positive.
+        pub fn new(lambda: f64) -> Exp {
+            assert!(
+                lambda.is_finite() && lambda > 0.0,
+                "Exp::new: rate {lambda} must be finite and positive"
+            );
+            Exp { lambda }
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1); `1 - u` keeps ln away
+            // from zero so the sample is always finite.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            -(1.0 - u).ln() / self.lambda
+        }
+    }
+}
+
 /// Concrete generators.
 pub mod rngs {
     use super::{Rng, SeedableRng};
@@ -203,6 +249,18 @@ mod tests {
             let s = rng.gen_range(-5i32..5);
             assert!((-5..5).contains(&s));
         }
+    }
+
+    #[test]
+    fn exp_samples_have_the_right_scale() {
+        use super::distributions::{Distribution, Exp};
+        let mut rng = StdRng::seed_from_u64(11);
+        let exp = Exp::new(4.0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        // E[Exp(4)] = 0.25; a 20k-sample mean lands well within 10%.
+        assert!((mean - 0.25).abs() < 0.025, "mean {mean}");
+        assert!((0..1000).all(|_| exp.sample(&mut rng) >= 0.0));
     }
 
     #[test]
