@@ -1,0 +1,348 @@
+//! Databook lints (`DT3xx`): cost-model sanity of a technology library.
+//!
+//! The ROADMAP's standing constraint says databook calibration is
+//! load-bearing: cell costs decide which structures survive the Pareto
+//! front. These passes catch the cost-model defects that silently degrade
+//! mapping quality — poisoned numbers ([`DT301`]), cells that can never
+//! win ([`DT302`]), missing timing arcs ([`DT303`]) and families whose
+//! cost curves bend backwards ([`DT304`]).
+
+use super::{ArtifactKind, Diagnostic, Lint, LintTarget, Severity};
+use cells::Cell;
+use std::collections::BTreeMap;
+
+/// `DT301`: a non-finite or negative cost number.
+pub const DT301: &str = "DT301";
+/// `DT302`: a cell Pareto-dominated by another cell of the same library.
+pub const DT302: &str = "DT302";
+/// `DT303`: a declared pin with no matching delay arc.
+pub const DT303: &str = "DT303";
+/// `DT304`: a cell family whose minimum cost decreases as width grows.
+pub const DT304: &str = "DT304";
+
+/// Registers every databook pass, in code order.
+pub fn register(lints: &mut Vec<Box<dyn Lint>>) {
+    lints.push(Box::new(BadCost));
+    lints.push(Box::new(DominatedCell));
+    lints.push(Box::new(MissingArc));
+    lints.push(Box::new(NonMonotoneFamily));
+}
+
+/// `DT301`: NaN, infinite or negative area/delay values.
+pub struct BadCost;
+
+impl Lint for BadCost {
+    fn code(&self) -> &'static str {
+        DT301
+    }
+    fn name(&self) -> &'static str {
+        "bad-cost"
+    }
+    fn description(&self) -> &'static str {
+        "a NaN, infinite or negative cost number"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Databook
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Databook(lib) = target else {
+            return;
+        };
+        for cell in lib.cells() {
+            let mut check = |what: &str, v: f64| {
+                if !v.is_finite() || v < 0.0 {
+                    out.push(Diagnostic::new(
+                        DT301,
+                        Severity::Error,
+                        ArtifactKind::Databook,
+                        format!("cell {}", cell.name),
+                        format!("{what} is {v}"),
+                    ));
+                }
+            };
+            check("area", cell.area);
+            check("delay", cell.delay);
+            if let Some(d) = cell.carry_delay {
+                check("carry delay", d);
+            }
+            if let Some(d) = cell.pg_delay {
+                check("pg delay", d);
+            }
+        }
+    }
+}
+
+/// The delay of the carry arc, falling back to the data arc when the cell
+/// declares none (mirroring [`Cell::arc_delay`]'s fallback).
+fn carry_arc(c: &Cell) -> f64 {
+    c.carry_delay.unwrap_or(c.delay)
+}
+
+fn pg_arc(c: &Cell) -> f64 {
+    c.pg_delay.unwrap_or(c.delay)
+}
+
+/// `DT302`: a cell another cell beats on every axis.
+///
+/// `a` dominates `b` when `a.spec.can_implement(&b.spec)` — functional
+/// matching is transitive, so `a` can then serve every request `b` can —
+/// and `a` costs no more on any axis (area, delay, carry arc, pg arc)
+/// while being strictly cheaper on at least one. Such a `b` can never
+/// appear in a Pareto front and is dead weight in the databook.
+pub struct DominatedCell;
+
+impl Lint for DominatedCell {
+    fn code(&self) -> &'static str {
+        DT302
+    }
+    fn name(&self) -> &'static str {
+        "dominated-cell"
+    }
+    fn description(&self) -> &'static str {
+        "a cell Pareto-dominated by a functional superset cell"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Databook
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Databook(lib) = target else {
+            return;
+        };
+        for victim in lib.cells() {
+            let dominator = lib.cells().iter().find(|c| {
+                c.name != victim.name
+                    && c.spec.can_implement(&victim.spec)
+                    && c.area <= victim.area
+                    && c.delay <= victim.delay
+                    && carry_arc(c) <= carry_arc(victim)
+                    && pg_arc(c) <= pg_arc(victim)
+                    && (c.area < victim.area
+                        || c.delay < victim.delay
+                        || carry_arc(c) < carry_arc(victim)
+                        || pg_arc(c) < pg_arc(victim))
+            });
+            if let Some(d) = dominator {
+                out.push(
+                    Diagnostic::new(
+                        DT302,
+                        Severity::Warn,
+                        ArtifactKind::Databook,
+                        format!("cell {}", victim.name),
+                        format!(
+                            "dominated by {} (area {} vs {}, delay {} vs {})",
+                            d.name, d.area, victim.area, d.delay, victim.delay
+                        ),
+                    )
+                    .with_suggestion("it can never win a Pareto front; drop or re-cost it"),
+                );
+            }
+        }
+    }
+}
+
+/// `DT303`: pins promising a timing arc the cell does not declare.
+///
+/// A ripple-through cell (both carry-in and carry-out) whose carry path
+/// delay falls back to the full data delay grossly overestimates chained
+/// carry hops; likewise a P/G cell without a pg arc. Cells with only a
+/// carry-in (like a CLA block's `CI`) have no carry-through path and are
+/// exempt.
+pub struct MissingArc;
+
+impl Lint for MissingArc {
+    fn code(&self) -> &'static str {
+        DT303
+    }
+    fn name(&self) -> &'static str {
+        "missing-arc"
+    }
+    fn description(&self) -> &'static str {
+        "a declared pin with no matching delay arc"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Databook
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Databook(lib) = target else {
+            return;
+        };
+        for cell in lib.cells() {
+            if cell.spec.carry_in && cell.spec.carry_out && cell.carry_delay.is_none() {
+                out.push(
+                    Diagnostic::new(
+                        DT303,
+                        Severity::Warn,
+                        ArtifactKind::Databook,
+                        format!("cell {}", cell.name),
+                        "carry-through cell has no CARRY delay arc",
+                    )
+                    .with_suggestion("add a CARRY arc; the data delay overestimates ripple hops"),
+                );
+            }
+            if cell.spec.group_pg && cell.pg_delay.is_none() {
+                out.push(
+                    Diagnostic::new(
+                        DT303,
+                        Severity::Warn,
+                        ArtifactKind::Databook,
+                        format!("cell {}", cell.name),
+                        "propagate/generate cell has no PGD delay arc",
+                    )
+                    .with_suggestion("add a PGD arc for the lookahead path"),
+                );
+            }
+        }
+    }
+}
+
+/// `DT304`: families whose best cost shrinks as width grows.
+///
+/// Cells are grouped into families by their specification with the width
+/// erased; within a family, the cheapest area and the cheapest delay at
+/// each width must be non-decreasing in width (a wider component cannot
+/// be smaller or faster than a narrower one of the same family — if it
+/// is, one of the two cost entries is a typo).
+pub struct NonMonotoneFamily;
+
+impl Lint for NonMonotoneFamily {
+    fn code(&self) -> &'static str {
+        DT304
+    }
+    fn name(&self) -> &'static str {
+        "non-monotone-family"
+    }
+    fn description(&self) -> &'static str {
+        "a family whose minimum cost decreases as width grows"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Databook
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Databook(lib) = target else {
+            return;
+        };
+        // family key -> width -> (min area, min delay)
+        let mut families: BTreeMap<String, BTreeMap<usize, (f64, f64)>> = BTreeMap::new();
+        for cell in lib.cells() {
+            let mut key_spec = cell.spec.clone();
+            let width = key_spec.width;
+            key_spec.width = 0;
+            key_spec.style = None;
+            let entry = families
+                .entry(key_spec.identifier())
+                .or_default()
+                .entry(width)
+                .or_insert((f64::INFINITY, f64::INFINITY));
+            entry.0 = entry.0.min(cell.area);
+            entry.1 = entry.1.min(cell.delay);
+        }
+        for (family, by_width) in &families {
+            let mut prev: Option<(usize, (f64, f64))> = None;
+            for (&width, &(area, delay)) in by_width {
+                if let Some((pw, (pa, pd))) = prev {
+                    let mut bad = |what: &str, wide: f64, narrow: f64| {
+                        if wide < narrow {
+                            out.push(
+                                Diagnostic::new(
+                                    DT304,
+                                    Severity::Warn,
+                                    ArtifactKind::Databook,
+                                    format!("family {family}"),
+                                    format!(
+                                        "min {what} at width {width} ({wide}) is below \
+                                         width {pw} ({narrow})"
+                                    ),
+                                )
+                                .with_suggestion("check the narrower cell's cost for a typo"),
+                            );
+                        }
+                    };
+                    bad("area", area, pa);
+                    bad("delay", delay, pd);
+                }
+                prev = Some((width, (area, delay)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::LintRegistry;
+    use cells::CellLibrary;
+    use genus::kind::{ComponentKind, GateOp};
+    use genus::op::{Op, OpSet};
+    use genus::spec::ComponentSpec;
+
+    fn gate2(name: &str, area: f64, delay: f64) -> Cell {
+        let spec = ComponentSpec::new(ComponentKind::Gate(GateOp::Nand), 1)
+            .with_inputs(2)
+            .with_ops(OpSet::only(Op::Nand));
+        Cell::new(name, spec, area, delay)
+    }
+
+    fn run(lib: &CellLibrary) -> Vec<&'static str> {
+        LintRegistry::standard()
+            .run(&LintTarget::Databook(lib))
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn shipped_book_is_clean() {
+        let lib = cells::lsi::lsi_logic_subset();
+        let report = LintRegistry::standard().run(&LintTarget::Databook(&lib));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn nan_cost_is_an_error_zero_is_not() {
+        let mut lib = CellLibrary::new("t");
+        lib.insert(gate2("BAD", f64::NAN, 1.0));
+        lib.insert(gate2("FREE", 0.0, 0.0));
+        assert_eq!(run(&lib), vec![DT301]);
+    }
+
+    #[test]
+    fn dominated_pair_detected_tradeoff_pair_not() {
+        let mut lib = CellLibrary::new("t");
+        lib.insert(gate2("GOOD", 1.0, 1.0));
+        lib.insert(gate2("WORSE", 2.0, 1.5));
+        let found = run(&lib);
+        assert_eq!(found, vec![DT302]);
+        // A genuine area/delay trade-off pair stays clean.
+        let mut lib2 = CellLibrary::new("t2");
+        lib2.insert(gate2("SMALL", 1.0, 2.0));
+        lib2.insert(gate2("FAST", 2.0, 1.0));
+        assert!(run(&lib2).is_empty());
+    }
+
+    #[test]
+    fn ripple_cell_without_carry_arc_flagged() {
+        let spec = ComponentSpec::new(ComponentKind::AddSub, 2)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        let mut lib = CellLibrary::new("t");
+        lib.insert(Cell::new("ADD2X", spec.clone(), 4.0, 3.0));
+        assert_eq!(run(&lib), vec![DT303]);
+        // The same cell with the arc declared is clean.
+        let mut lib2 = CellLibrary::new("t2");
+        lib2.insert(Cell::new("ADD2Y", spec, 4.0, 3.0).with_carry_delay(1.0));
+        assert!(run(&lib2).is_empty());
+    }
+
+    #[test]
+    fn non_monotone_family_flagged() {
+        let spec = |w: usize| {
+            ComponentSpec::new(ComponentKind::Register, w).with_ops(OpSet::only(Op::Load))
+        };
+        let mut lib = CellLibrary::new("t");
+        lib.insert(Cell::new("R4", spec(4), 10.0, 1.0));
+        lib.insert(Cell::new("R8", spec(8), 5.0, 1.0)); // wider yet smaller
+        assert_eq!(run(&lib), vec![DT304]);
+    }
+}

@@ -1,0 +1,459 @@
+//! LEGEND lints (`DT4xx`): consistency of component descriptions.
+//!
+//! LEGEND descriptions declare a generator's ports and operation
+//! semantics; the lowering path trusts them. These passes catch the
+//! description-level defects — duplicate generators ([`DT401`]), ports
+//! nothing uses ([`DT402`]), one operation assigning a target twice
+//! ([`DT403`]), references to undeclared ports ([`DT404`]) and
+//! operations that can never fire ([`DT405`]).
+
+use super::{ArtifactKind, Diagnostic, Lint, LintTarget, Severity};
+use ::legend::ast::{LegendDescription, LegendExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `DT401`: two descriptions share a generator name.
+pub const DT401: &str = "DT401";
+/// `DT402`: a declared data port no operation reads or writes.
+pub const DT402: &str = "DT402";
+/// `DT403`: one operation assigns the same target twice.
+pub const DT403: &str = "DT403";
+/// `DT404`: a reference to a port the description does not declare.
+pub const DT404: &str = "DT404";
+/// `DT405`: an operation that can never fire.
+pub const DT405: &str = "DT405";
+
+/// Registers every LEGEND pass, in code order.
+pub fn register(lints: &mut Vec<Box<dyn Lint>>) {
+    lints.push(Box::new(DuplicateGenerator));
+    lints.push(Box::new(UnusedPort));
+    lints.push(Box::new(ShadowedAssignment));
+    lints.push(Box::new(UnknownPortRef));
+    lints.push(Box::new(UnfireableOperation));
+}
+
+fn expr_ports<'a>(e: &'a LegendExpr, out: &mut Vec<&'a str>) {
+    match e {
+        LegendExpr::Port(p) => out.push(p),
+        LegendExpr::Number(_) => {}
+        LegendExpr::Not(inner) => expr_ports(inner, out),
+        LegendExpr::Binary(_, l, r) => {
+            expr_ports(l, out);
+            expr_ports(r, out);
+        }
+    }
+}
+
+/// Every symbol a description declares (data ports, clock, enable,
+/// control and async pins, and parameters — widths and expressions may
+/// reference any of them).
+fn declared(desc: &LegendDescription) -> BTreeSet<&str> {
+    let mut set: BTreeSet<&str> = BTreeSet::new();
+    set.extend(desc.inputs.iter().map(|p| p.name.as_str()));
+    set.extend(desc.outputs.iter().map(|p| p.name.as_str()));
+    set.extend(desc.clock.as_deref());
+    set.extend(desc.enable.iter().map(String::as_str));
+    set.extend(desc.control.iter().map(String::as_str));
+    set.extend(desc.r#async.iter().map(String::as_str));
+    set.extend(desc.parameters.iter().map(|(n, _)| n.as_str()));
+    set
+}
+
+/// `DT401`: duplicate generator names across one document.
+pub struct DuplicateGenerator;
+
+impl Lint for DuplicateGenerator {
+    fn code(&self) -> &'static str {
+        DT401
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-generator"
+    }
+    fn description(&self) -> &'static str {
+        "two descriptions share a generator name"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Legend
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Legend(descs) = target else {
+            return;
+        };
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for desc in *descs {
+            *seen.entry(desc.name.as_str()).or_insert(0) += 1;
+        }
+        for (name, count) in seen {
+            if count > 1 {
+                out.push(Diagnostic::new(
+                    DT401,
+                    Severity::Error,
+                    ArtifactKind::Legend,
+                    format!("generator {name}"),
+                    format!("declared {count} times; later declarations are unreachable"),
+                ));
+            }
+        }
+    }
+}
+
+/// `DT402`: data ports no operation touches.
+///
+/// Only runs on descriptions that declare operations — a port-only
+/// description (interface stubs) has nothing to check against.
+///
+/// The *input* check further requires the description to be fully
+/// explicit: every operation must carry OPS clauses (an opaque operation
+/// defers its semantics to the VHDL model, which may read any input) and
+/// multi-operation generators must gate each operation on a CONTROL pin
+/// (otherwise dispatch is by an implicit select bus — an input no OPS
+/// clause ever names, like the ALU's `S`). Output use is always provable
+/// from the per-operation OUTPUTS lists.
+pub struct UnusedPort;
+
+/// True when non-use of an input can be proven from the description
+/// alone (see [`UnusedPort`]).
+fn inputs_checkable(desc: &LegendDescription) -> bool {
+    desc.operations.iter().all(|op| !op.ops.is_empty())
+        && (desc.operations.len() == 1 || desc.operations.iter().all(|op| op.control.is_some()))
+}
+
+impl Lint for UnusedPort {
+    fn code(&self) -> &'static str {
+        DT402
+    }
+    fn name(&self) -> &'static str {
+        "unused-port"
+    }
+    fn description(&self) -> &'static str {
+        "a declared data port no operation reads or writes"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Legend
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Legend(descs) = target else {
+            return;
+        };
+        for desc in *descs {
+            if desc.operations.is_empty() {
+                continue;
+            }
+            let mut read: BTreeSet<&str> = BTreeSet::new();
+            let mut written: BTreeSet<&str> = BTreeSet::new();
+            for op in &desc.operations {
+                read.extend(op.inputs.iter().map(String::as_str));
+                written.extend(op.outputs.iter().map(String::as_str));
+                for clause in &op.ops {
+                    written.insert(clause.target.as_str());
+                    let mut refs = Vec::new();
+                    expr_ports(&clause.expr, &mut refs);
+                    read.extend(refs);
+                }
+            }
+            // Control-plane pins (clock/enable/control/async) are used by
+            // the firing machinery, not by OPS clauses.
+            let control_plane: BTreeSet<&str> = desc
+                .clock
+                .as_deref()
+                .into_iter()
+                .chain(desc.enable.iter().map(String::as_str))
+                .chain(desc.control.iter().map(String::as_str))
+                .chain(desc.r#async.iter().map(String::as_str))
+                .collect();
+            for p in &desc.inputs {
+                let name = p.name.as_str();
+                if inputs_checkable(desc) && !read.contains(name) && !control_plane.contains(name) {
+                    out.push(
+                        Diagnostic::new(
+                            DT402,
+                            Severity::Warn,
+                            ArtifactKind::Legend,
+                            format!("{}.{}", desc.name, name),
+                            "input port is never read by any operation",
+                        )
+                        .with_suggestion("remove the port or reference it in an OPS clause"),
+                    );
+                }
+            }
+            for p in &desc.outputs {
+                let name = p.name.as_str();
+                if !written.contains(name) && !read.contains(name) {
+                    out.push(
+                        Diagnostic::new(
+                            DT402,
+                            Severity::Warn,
+                            ArtifactKind::Legend,
+                            format!("{}.{}", desc.name, name),
+                            "output port is never assigned by any operation",
+                        )
+                        .with_suggestion("remove the port or assign it in an OPS clause"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `DT403`: one operation assigning a target twice.
+pub struct ShadowedAssignment;
+
+impl Lint for ShadowedAssignment {
+    fn code(&self) -> &'static str {
+        DT403
+    }
+    fn name(&self) -> &'static str {
+        "shadowed-assignment"
+    }
+    fn description(&self) -> &'static str {
+        "one operation assigns the same target twice"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Legend
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Legend(descs) = target else {
+            return;
+        };
+        for desc in *descs {
+            for op in &desc.operations {
+                let mut seen: BTreeSet<&str> = BTreeSet::new();
+                for clause in &op.ops {
+                    if !seen.insert(clause.target.as_str()) {
+                        out.push(Diagnostic::new(
+                            DT403,
+                            Severity::Warn,
+                            ArtifactKind::Legend,
+                            format!("{}.{}", desc.name, op.name),
+                            format!(
+                                "target {} is assigned more than once; earlier \
+                                 assignments are shadowed",
+                                clause.target
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `DT404`: references to undeclared ports.
+pub struct UnknownPortRef;
+
+impl Lint for UnknownPortRef {
+    fn code(&self) -> &'static str {
+        DT404
+    }
+    fn name(&self) -> &'static str {
+        "unknown-port-ref"
+    }
+    fn description(&self) -> &'static str {
+        "a reference to a port the description does not declare"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Legend
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Legend(descs) = target else {
+            return;
+        };
+        for desc in *descs {
+            let known = declared(desc);
+            let mut report = |what: &str, name: &str, op: &str| {
+                if !known.contains(name) {
+                    out.push(Diagnostic::new(
+                        DT404,
+                        Severity::Error,
+                        ArtifactKind::Legend,
+                        format!("{}.{}", desc.name, op),
+                        format!("{what} references undeclared port {name}"),
+                    ));
+                }
+            };
+            for op in &desc.operations {
+                for name in &op.inputs {
+                    report("operation input list", name, &op.name);
+                }
+                for name in &op.outputs {
+                    report("operation output list", name, &op.name);
+                }
+                for clause in &op.ops {
+                    report("OPS clause target", &clause.target, &op.name);
+                    let mut refs = Vec::new();
+                    expr_ports(&clause.expr, &mut refs);
+                    for name in refs {
+                        report("OPS clause expression", name, &op.name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `DT405`: operations that can never fire.
+///
+/// Two shapes: an operation gated on a pin that is not in the CONTROL or
+/// ENABLE lists (the controller will never assert it), and a duplicate
+/// operation name (only the first declaration is ever selected).
+pub struct UnfireableOperation;
+
+impl Lint for UnfireableOperation {
+    fn code(&self) -> &'static str {
+        DT405
+    }
+    fn name(&self) -> &'static str {
+        "unfireable-operation"
+    }
+    fn description(&self) -> &'static str {
+        "an operation that can never fire"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Legend
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Legend(descs) = target else {
+            return;
+        };
+        for desc in *descs {
+            let known = declared(desc);
+            let firing: BTreeSet<&str> = desc
+                .control
+                .iter()
+                .chain(desc.enable.iter())
+                .map(String::as_str)
+                .collect();
+            let mut names: BTreeSet<&str> = BTreeSet::new();
+            for op in &desc.operations {
+                if !names.insert(op.name.as_str()) {
+                    out.push(Diagnostic::new(
+                        DT405,
+                        Severity::Warn,
+                        ArtifactKind::Legend,
+                        format!("{}.{}", desc.name, op.name),
+                        "duplicate operation name; this declaration is unreachable",
+                    ));
+                }
+                if let Some(pin) = &op.control {
+                    // An undeclared pin is DT404's finding; only flag
+                    // declared pins outside the CONTROL/ENABLE lists.
+                    if known.contains(pin.as_str()) && !firing.contains(pin.as_str()) {
+                        out.push(
+                            Diagnostic::new(
+                                DT405,
+                                Severity::Warn,
+                                ArtifactKind::Legend,
+                                format!("{}.{}", desc.name, op.name),
+                                format!(
+                                    "gating pin {pin} is not in the CONTROL or ENABLE \
+                                     lists; the operation can never be selected"
+                                ),
+                            )
+                            .with_suggestion("add the pin to CONTROL: or drop the gate"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::LintRegistry;
+    use ::legend::ast::{OperationDecl, OpsClause, PortDecl, WidthSpec};
+
+    fn run(descs: &[LegendDescription]) -> Vec<&'static str> {
+        LintRegistry::standard()
+            .run(&LintTarget::Legend(descs))
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    fn port(name: &str, w: usize) -> PortDecl {
+        PortDecl {
+            name: name.to_string(),
+            width: WidthSpec(w),
+        }
+    }
+
+    fn load_op(target: &str, from: &str, control: Option<&str>) -> OperationDecl {
+        OperationDecl {
+            name: "LOAD".to_string(),
+            inputs: vec![from.to_string()],
+            outputs: vec![target.to_string()],
+            control: control.map(str::to_string),
+            ops: vec![OpsClause {
+                op_name: "LOAD".to_string(),
+                target: target.to_string(),
+                expr: LegendExpr::Port(from.to_string()),
+            }],
+        }
+    }
+
+    fn register_desc() -> LegendDescription {
+        LegendDescription {
+            name: "REGISTER".to_string(),
+            inputs: vec![port("IN", 8)],
+            outputs: vec![port("OUT", 8)],
+            clock: Some("CLK".to_string()),
+            control: vec!["CLOAD".to_string()],
+            operations: vec![load_op("OUT", "IN", Some("CLOAD"))],
+            ..LegendDescription::default()
+        }
+    }
+
+    #[test]
+    fn figure2_counter_is_clean() {
+        let descs = ::legend::parse_document(::legend::figure2::FIGURE2).unwrap();
+        let report = LintRegistry::standard().run(&LintTarget::Legend(&descs));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn standard_library_is_clean() {
+        let descs = ::legend::parse_document(&::legend::standard_library_text()).unwrap();
+        let report = LintRegistry::standard().run(&LintTarget::Legend(&descs));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn clean_register_description() {
+        assert!(run(&[register_desc()]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_generator_and_unused_port() {
+        let mut a = register_desc();
+        a.inputs.push(port("SPARE", 8));
+        let b = register_desc();
+        let found = run(&[a, b]);
+        assert!(found.contains(&DT401));
+        assert!(found.contains(&DT402));
+    }
+
+    #[test]
+    fn shadowed_assignment_and_unknown_ref() {
+        let mut d = register_desc();
+        d.operations[0].ops.push(OpsClause {
+            op_name: "LOAD".to_string(),
+            target: "OUT".to_string(),
+            expr: LegendExpr::Port("GHOST".to_string()),
+        });
+        let found = run(&[d]);
+        assert!(found.contains(&DT403));
+        assert!(found.contains(&DT404));
+    }
+
+    #[test]
+    fn unfireable_control_pin() {
+        let mut d = register_desc();
+        // Gate on the clock instead of a control pin: declared, but not
+        // in CONTROL/ENABLE, so the op can never be selected.
+        d.operations[0].control = Some("CLK".to_string());
+        let found = run(&[d]);
+        assert_eq!(found, vec![DT405]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Static analysis of bridge artifacts: a unified diagnostics framework.
+//!
+//! The bridge only works when the GENUS netlist, the DTAS rule base, the
+//! technology databook and the LEGEND component descriptions are mutually
+//! consistent — yet without this module every artifact is trusted blindly
+//! until a solve fails deep inside the engine (or silently returns a
+//! degenerate front). `analyze` is the pre-flight layer: a set of [`Lint`]
+//! passes producing [`Diagnostic`]s with stable `DT###` codes, collected
+//! into a [`LintReport`].
+//!
+//! Four artifact families are covered (one submodule each):
+//!
+//! * [`netlist`] — `DT1xx`: structural sanity of GENUS netlists beyond
+//!   what [`Netlist::validate`](genus::netlist::Netlist::validate) reports
+//!   (all findings, not first-error; plus combinational loops and
+//!   reachability).
+//! * [`rules`] — `DT2xx`: hygiene of the DTAS rule base against a loaded
+//!   library (shadowed/inapplicable rules, self-recursive rewrites,
+//!   unmatchable library-rule leaves, invalid templates, duplicate names).
+//! * [`databook`] — `DT3xx`: cost-model sanity of a technology databook
+//!   (non-finite/negative costs, Pareto-dominated cells, missing delay
+//!   arcs, non-monotone cost-vs-width families).
+//! * [`legend`] — `DT4xx`: consistency of LEGEND component descriptions
+//!   (duplicate generators, unused ports, shadowed assignments, unknown
+//!   port references, unfireable operations).
+//!
+//! # Examples
+//!
+//! Lint the shipped 30-cell databook (which must be clean):
+//!
+//! ```
+//! use dtas::analyze::{LintRegistry, LintTarget};
+//! use cells::lsi::lsi_logic_subset;
+//!
+//! let registry = LintRegistry::standard();
+//! let library = lsi_logic_subset();
+//! let report = registry.run(&LintTarget::Databook(&library));
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+pub mod databook;
+pub mod legend;
+pub mod netlist;
+pub mod rules;
+
+use crate::rules::RuleSet;
+use ::legend::ast::LegendDescription;
+use cells::CellLibrary;
+use genus::netlist::Netlist;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordered so that `Info < Warn < Error`; [`LintReport::max_severity`]
+/// relies on this to derive process exit codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a run.
+    Info,
+    /// Suspicious but not certainly broken.
+    Warn,
+    /// The artifact will misbehave if used.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The artifact family a lint inspects (and a diagnostic refers to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// A GENUS structural netlist.
+    Netlist,
+    /// The DTAS decomposition rule base (checked against a library).
+    Rules,
+    /// A technology databook (cell library with costs).
+    Databook,
+    /// LEGEND component descriptions.
+    Legend,
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactKind::Netlist => "netlist",
+            ArtifactKind::Rules => "rules",
+            ArtifactKind::Databook => "databook",
+            ArtifactKind::Legend => "legend",
+        })
+    }
+}
+
+/// One finding: a stable code, a severity, a locus and a message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`DT101`, `DT302`, ...). Codes are
+    /// never reused for a different meaning once shipped.
+    pub code: &'static str,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// Which artifact family the finding is about.
+    pub artifact: ArtifactKind,
+    /// The locus inside the artifact (net, rule, cell or generator name —
+    /// the closest thing a flat artifact has to a source span).
+    pub site: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a suggestion.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        artifact: ArtifactKind,
+        site: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            artifact,
+            site: site.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a remediation hint.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} {}: {}",
+            self.severity, self.code, self.artifact, self.site, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (hint: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed artifact handed to the lint passes.
+pub enum LintTarget<'a> {
+    /// A structural netlist.
+    Netlist(&'a Netlist),
+    /// The rule base, checked against the library it will map onto.
+    Rules {
+        /// The rule base under analysis.
+        rules: &'a RuleSet,
+        /// The technology library the rules target.
+        library: &'a CellLibrary,
+    },
+    /// A technology databook.
+    Databook(&'a CellLibrary),
+    /// A set of LEGEND component descriptions (one parsed document).
+    Legend(&'a [LegendDescription]),
+}
+
+impl LintTarget<'_> {
+    /// The artifact family of this target.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            LintTarget::Netlist(_) => ArtifactKind::Netlist,
+            LintTarget::Rules { .. } => ArtifactKind::Rules,
+            LintTarget::Databook(_) => ArtifactKind::Databook,
+            LintTarget::Legend(_) => ArtifactKind::Legend,
+        }
+    }
+
+    /// A short human-readable name for the artifact instance.
+    pub fn describe(&self) -> String {
+        match self {
+            LintTarget::Netlist(nl) => format!("netlist {}", nl.name()),
+            LintTarget::Rules { rules, library } => {
+                format!("{} rules vs library {}", rules.len(), library.name())
+            }
+            LintTarget::Databook(lib) => format!("databook {}", lib.name()),
+            LintTarget::Legend(descs) => format!("{} legend generators", descs.len()),
+        }
+    }
+}
+
+/// One static-analysis pass.
+///
+/// A lint inspects a single [`ArtifactKind`] and appends zero or more
+/// [`Diagnostic`]s, all carrying the lint's [`code`](Lint::code). Passes
+/// must be deterministic: the same artifact always yields the same
+/// findings in the same order.
+pub trait Lint: Send + Sync {
+    /// The stable diagnostic code this pass emits (`DT###`).
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name.
+    fn name(&self) -> &'static str;
+    /// One-line description of what the pass detects.
+    fn description(&self) -> &'static str;
+    /// The artifact family this pass inspects.
+    fn applies_to(&self) -> ArtifactKind;
+    /// Runs the pass, appending findings to `out`. Called only with a
+    /// target whose [`kind`](LintTarget::kind) matches
+    /// [`applies_to`](Lint::applies_to).
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The findings of one or more lint runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LintReport {
+    /// All findings, sorted by (code, site, message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The worst severity present, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// True when at least one Error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// Number of findings at `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Folds another report's findings into this one (re-sorting).
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.sort();
+    }
+
+    fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (a.code, &a.site, &a.message).cmp(&(b.code, &b.site, &b.message)));
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// An ordered collection of lint passes.
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl LintRegistry {
+    /// Every shipped pass, in code order.
+    pub fn standard() -> Self {
+        let mut lints: Vec<Box<dyn Lint>> = Vec::new();
+        netlist::register(&mut lints);
+        rules::register(&mut lints);
+        databook::register(&mut lints);
+        legend::register(&mut lints);
+        LintRegistry { lints }
+    }
+
+    /// The registered passes.
+    pub fn lints(&self) -> impl Iterator<Item = &dyn Lint> {
+        self.lints.iter().map(|l| l.as_ref())
+    }
+
+    /// Runs every pass applicable to `target`, returning a sorted report.
+    pub fn run(&self, target: &LintTarget<'_>) -> LintReport {
+        let kind = target.kind();
+        let mut report = LintReport::default();
+        for lint in &self.lints {
+            if lint.applies_to() == kind {
+                lint.run(target, &mut report.diagnostics);
+            }
+        }
+        report.sort();
+        report
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> Self {
+        LintRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_for_exit_codes() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn registry_has_unique_codes_in_order() {
+        let reg = LintRegistry::standard();
+        let codes: Vec<&str> = reg.lints().map(|l| l.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "duplicate lint codes");
+        assert!(codes.len() >= 10, "ISSUE requires >= 10 codes");
+        for code in &codes {
+            assert!(code.starts_with("DT") && code.len() == 5, "bad code {code}");
+        }
+    }
+
+    #[test]
+    fn report_counts_and_severity() {
+        let mut r = LintReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), None);
+        r.diagnostics.push(Diagnostic::new(
+            "DT999",
+            Severity::Warn,
+            ArtifactKind::Netlist,
+            "x",
+            "m",
+        ));
+        let mut other = LintReport::default();
+        other.diagnostics.push(
+            Diagnostic::new("DT100", Severity::Error, ArtifactKind::Netlist, "y", "n")
+                .with_suggestion("fix it"),
+        );
+        r.merge(other);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warn), 1);
+        // Sorted by code: DT100 first.
+        assert_eq!(r.diagnostics[0].code, "DT100");
+        let shown = r.to_string();
+        assert!(shown.contains("error[DT100] netlist y: n (hint: fix it)"));
+        assert!(shown.contains("1 error(s), 1 warning(s), 0 info"));
+    }
+}

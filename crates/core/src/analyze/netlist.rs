@@ -1,0 +1,594 @@
+//! Netlist lints (`DT1xx`): structural sanity of GENUS netlists.
+//!
+//! [`Netlist::validate`](genus::netlist::Netlist::validate) stops at the
+//! first error; these passes report *every* finding, and add analyses
+//! validation does not attempt: combinational-loop detection through the
+//! components' port dependency graphs ([`DT105`]) and reachability of
+//! every instance from the design outputs ([`DT106`]).
+
+use super::{ArtifactKind, Diagnostic, Lint, LintTarget, Severity};
+use genus::component::PortDir;
+use genus::netlist::Netlist;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `DT101`: a net no instance input or external output ever reads.
+pub const DT101: &str = "DT101";
+/// `DT102`: a net with readers but no driver.
+pub const DT102: &str = "DT102";
+/// `DT103`: a net driven by more than one source.
+pub const DT103: &str = "DT103";
+/// `DT104`: a connection whose port and net widths differ.
+pub const DT104: &str = "DT104";
+/// `DT105`: a combinational feedback loop.
+pub const DT105: &str = "DT105";
+/// `DT106`: an instance unreachable from any external output.
+pub const DT106: &str = "DT106";
+/// `DT107`: a connection referencing an unknown port or net, or an
+/// unconnected component input.
+pub const DT107: &str = "DT107";
+
+/// Registers every netlist pass, in code order.
+pub fn register(lints: &mut Vec<Box<dyn Lint>>) {
+    lints.push(Box::new(DanglingNet));
+    lints.push(Box::new(UndrivenNet));
+    lints.push(Box::new(MultipleDrivers));
+    lints.push(Box::new(WidthMismatch));
+    lints.push(Box::new(CombinationalLoop));
+    lints.push(Box::new(UnreachableComponent));
+    lints.push(Box::new(UnknownReference));
+}
+
+/// Per-net usage tally: how many sources drive it and how many sinks read
+/// it. Connections with unknown ports or nets are skipped (they are
+/// [`DT107`]'s findings, not noise for the usage lints).
+fn net_usage(nl: &Netlist) -> BTreeMap<&str, (usize, usize)> {
+    let mut usage: BTreeMap<&str, (usize, usize)> = nl
+        .nets()
+        .iter()
+        .map(|n| (n.name.as_str(), (0, 0)))
+        .collect();
+    for n in nl.nets() {
+        if n.constant.is_some() {
+            usage.get_mut(n.name.as_str()).expect("known net").0 += 1;
+        }
+    }
+    for p in nl.ports() {
+        if let Some(u) = usage.get_mut(p.net.as_str()) {
+            match p.dir {
+                PortDir::In => u.0 += 1,
+                PortDir::Out => u.1 += 1,
+            }
+        }
+    }
+    for inst in nl.instances() {
+        for (port_name, net_name) in &inst.connections {
+            let Some(port) = inst.component.port(port_name) else {
+                continue;
+            };
+            let Some(u) = usage.get_mut(net_name.as_str()) else {
+                continue;
+            };
+            match port.dir {
+                PortDir::In => u.1 += 1,
+                PortDir::Out => u.0 += 1,
+            }
+        }
+    }
+    usage
+}
+
+/// `DT101`: nets nothing reads.
+pub struct DanglingNet;
+
+impl Lint for DanglingNet {
+    fn code(&self) -> &'static str {
+        DT101
+    }
+    fn name(&self) -> &'static str {
+        "dangling-net"
+    }
+    fn description(&self) -> &'static str {
+        "a net no instance input or external output reads"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        for (net, (_, readers)) in net_usage(nl) {
+            if readers == 0 {
+                out.push(
+                    Diagnostic::new(
+                        DT101,
+                        Severity::Warn,
+                        ArtifactKind::Netlist,
+                        format!("net {net}"),
+                        "nothing reads this net",
+                    )
+                    .with_suggestion("remove the net or wire it to a sink"),
+                );
+            }
+        }
+    }
+}
+
+/// `DT102`: nets with readers but no driver.
+pub struct UndrivenNet;
+
+impl Lint for UndrivenNet {
+    fn code(&self) -> &'static str {
+        DT102
+    }
+    fn name(&self) -> &'static str {
+        "undriven-net"
+    }
+    fn description(&self) -> &'static str {
+        "a net that is read but has no driver"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        for (net, (drivers, readers)) in net_usage(nl) {
+            if readers > 0 && drivers == 0 {
+                out.push(
+                    Diagnostic::new(
+                        DT102,
+                        Severity::Error,
+                        ArtifactKind::Netlist,
+                        format!("net {net}"),
+                        format!("read by {readers} sink(s) but driven by nothing"),
+                    )
+                    .with_suggestion(
+                        "drive it from an instance output, an external input or a constant",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `DT103`: nets with more than one driver.
+pub struct MultipleDrivers;
+
+impl Lint for MultipleDrivers {
+    fn code(&self) -> &'static str {
+        DT103
+    }
+    fn name(&self) -> &'static str {
+        "multiple-drivers"
+    }
+    fn description(&self) -> &'static str {
+        "a net driven by more than one source"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        for (net, (drivers, _)) in net_usage(nl) {
+            if drivers > 1 {
+                out.push(Diagnostic::new(
+                    DT103,
+                    Severity::Error,
+                    ArtifactKind::Netlist,
+                    format!("net {net}"),
+                    format!("{drivers} drivers contend on this net"),
+                ));
+            }
+        }
+    }
+}
+
+/// `DT104`: connection width mismatches.
+pub struct WidthMismatch;
+
+impl Lint for WidthMismatch {
+    fn code(&self) -> &'static str {
+        DT104
+    }
+    fn name(&self) -> &'static str {
+        "width-mismatch"
+    }
+    fn description(&self) -> &'static str {
+        "a connection whose port and net widths differ"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        for inst in nl.instances() {
+            for (port_name, net_name) in &inst.connections {
+                let (Some(port), Some(net)) = (inst.component.port(port_name), nl.net(net_name))
+                else {
+                    continue;
+                };
+                if port.width != net.width {
+                    out.push(Diagnostic::new(
+                        DT104,
+                        Severity::Error,
+                        ArtifactKind::Netlist,
+                        format!("{}.{}", inst.name, port_name),
+                        format!(
+                            "port is {} bit(s) but net {} is {}",
+                            port.width, net.name, net.width
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `DT105`: combinational feedback loops.
+///
+/// Builds a net-to-net dependency graph through each component's
+/// [`output_dependencies`](genus::component::Component::output_dependencies),
+/// skipping registered outputs (a register legitimately closes a cycle),
+/// and reports every strongly connected component that loops.
+pub struct CombinationalLoop;
+
+impl Lint for CombinationalLoop {
+    fn code(&self) -> &'static str {
+        DT105
+    }
+    fn name(&self) -> &'static str {
+        "combinational-loop"
+    }
+    fn description(&self) -> &'static str {
+        "a feedback loop with no register on the path"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        let index: BTreeMap<&str, usize> = nl
+            .nets()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.as_str(), i))
+            .collect();
+        let names: Vec<&str> = nl.nets().iter().map(|n| n.name.as_str()).collect();
+        let n = names.len();
+        let mut fwd: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut rev: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for inst in nl.instances() {
+            let deps = inst.component.output_dependencies();
+            for (out_port, in_ports) in &deps {
+                if inst.component.is_registered_output(out_port) {
+                    continue;
+                }
+                let Some(out_net) = inst
+                    .connections
+                    .get(out_port)
+                    .and_then(|net| index.get(net.as_str()))
+                else {
+                    continue;
+                };
+                for in_port in in_ports {
+                    let Some(in_net) = inst
+                        .connections
+                        .get(in_port)
+                        .and_then(|net| index.get(net.as_str()))
+                    else {
+                        continue;
+                    };
+                    fwd[*in_net].insert(*out_net);
+                    rev[*out_net].insert(*in_net);
+                }
+            }
+        }
+        // Kosaraju: finish order on the forward graph, then components on
+        // the reverse graph. Iterative so pathological netlists cannot
+        // blow the stack.
+        let mut finish: Vec<usize> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((node, expanded)) = stack.pop() {
+                if expanded {
+                    finish.push(node);
+                    continue;
+                }
+                if seen[node] {
+                    continue;
+                }
+                seen[node] = true;
+                stack.push((node, true));
+                for &next in &fwd[node] {
+                    if !seen[next] {
+                        stack.push((next, false));
+                    }
+                }
+            }
+        }
+        let mut component = vec![usize::MAX; n];
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for &start in finish.iter().rev() {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = comps.len();
+            let mut members = Vec::new();
+            let mut stack = vec![start];
+            while let Some(node) = stack.pop() {
+                if component[node] != usize::MAX {
+                    continue;
+                }
+                component[node] = id;
+                members.push(node);
+                for &next in &rev[node] {
+                    if component[next] == usize::MAX {
+                        stack.push(next);
+                    }
+                }
+            }
+            comps.push(members);
+        }
+        for members in comps {
+            let looping = members.len() > 1 || fwd[members[0]].contains(&members[0]);
+            if !looping {
+                continue;
+            }
+            let mut cycle: Vec<&str> = members.iter().map(|&i| names[i]).collect();
+            cycle.sort_unstable();
+            out.push(
+                Diagnostic::new(
+                    DT105,
+                    Severity::Error,
+                    ArtifactKind::Netlist,
+                    format!("net {}", cycle[0]),
+                    format!("combinational loop through {}", cycle.join(" -> ")),
+                )
+                .with_suggestion("break the loop with a register"),
+            );
+        }
+    }
+}
+
+/// `DT106`: instances no external output depends on.
+pub struct UnreachableComponent;
+
+impl Lint for UnreachableComponent {
+    fn code(&self) -> &'static str {
+        DT106
+    }
+    fn name(&self) -> &'static str {
+        "unreachable-component"
+    }
+    fn description(&self) -> &'static str {
+        "an instance that influences no external output"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        // With no declared outputs there is nothing to be reachable from;
+        // that is a legitimate state for a netlist still being built.
+        if !nl.ports().iter().any(|p| p.dir == PortDir::Out) {
+            return;
+        }
+        // Net -> driving instance indices (through output connections).
+        let mut driver_of: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, inst) in nl.instances().iter().enumerate() {
+            for (port_name, net_name) in &inst.connections {
+                if inst.component.port(port_name).map(|p| p.dir) == Some(PortDir::Out) {
+                    driver_of.entry(net_name.as_str()).or_default().push(i);
+                }
+            }
+        }
+        let mut reached = vec![false; nl.instances().len()];
+        let mut frontier: Vec<&str> = nl
+            .ports()
+            .iter()
+            .filter(|p| p.dir == PortDir::Out)
+            .map(|p| p.net.as_str())
+            .collect();
+        let mut visited_nets: BTreeSet<&str> = frontier.iter().copied().collect();
+        while let Some(net) = frontier.pop() {
+            for &i in driver_of.get(net).into_iter().flatten() {
+                if reached[i] {
+                    continue;
+                }
+                reached[i] = true;
+                let inst = &nl.instances()[i];
+                for (port_name, net_name) in &inst.connections {
+                    if inst.component.port(port_name).map(|p| p.dir) == Some(PortDir::In)
+                        && visited_nets.insert(net_name.as_str())
+                    {
+                        frontier.push(net_name.as_str());
+                    }
+                }
+            }
+        }
+        for (i, inst) in nl.instances().iter().enumerate() {
+            if !reached[i] {
+                out.push(
+                    Diagnostic::new(
+                        DT106,
+                        Severity::Warn,
+                        ArtifactKind::Netlist,
+                        format!("instance {}", inst.name),
+                        "no external output depends on this instance",
+                    )
+                    .with_suggestion("expose its result as an output or remove it"),
+                );
+            }
+        }
+    }
+}
+
+/// `DT107`: unknown ports, unknown nets and unconnected inputs.
+pub struct UnknownReference;
+
+impl Lint for UnknownReference {
+    fn code(&self) -> &'static str {
+        DT107
+    }
+    fn name(&self) -> &'static str {
+        "unknown-reference"
+    }
+    fn description(&self) -> &'static str {
+        "a connection referencing an unknown port or net, or an unconnected input"
+    }
+    fn applies_to(&self) -> ArtifactKind {
+        ArtifactKind::Netlist
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let LintTarget::Netlist(nl) = target else {
+            return;
+        };
+        for inst in nl.instances() {
+            for (port_name, net_name) in &inst.connections {
+                if inst.component.port(port_name).is_none() {
+                    out.push(Diagnostic::new(
+                        DT107,
+                        Severity::Error,
+                        ArtifactKind::Netlist,
+                        format!("{}.{}", inst.name, port_name),
+                        format!(
+                            "component {} has no port {port_name}",
+                            inst.component.name()
+                        ),
+                    ));
+                }
+                if nl.net(net_name).is_none() {
+                    out.push(Diagnostic::new(
+                        DT107,
+                        Severity::Error,
+                        ArtifactKind::Netlist,
+                        format!("{}.{}", inst.name, port_name),
+                        format!("references unknown net {net_name}"),
+                    ));
+                }
+            }
+            for port in inst.component.inputs() {
+                if !inst.connections.contains_key(&port.name) {
+                    out.push(Diagnostic::new(
+                        DT107,
+                        Severity::Error,
+                        ArtifactKind::Netlist,
+                        format!("{}.{}", inst.name, port.name),
+                        "input port is unconnected",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::LintRegistry;
+    use genus::component::Instance;
+    use genus::stdlib::GenusLibrary;
+    use std::sync::Arc;
+
+    fn clean_adder() -> Netlist {
+        let lib = GenusLibrary::standard();
+        let adder = Arc::new(lib.adder(8).unwrap());
+        let mut nl = Netlist::new("t");
+        for (n, w) in [("a", 8), ("b", 8), ("s", 8), ("ci", 1), ("co", 1)] {
+            nl.add_net(n, w).unwrap();
+        }
+        nl.add_instance(
+            Instance::new("u0", adder)
+                .with_connection("A", "a")
+                .with_connection("B", "b")
+                .with_connection("CI", "ci")
+                .with_connection("O", "s")
+                .with_connection("CO", "co"),
+        )
+        .unwrap();
+        nl.expose_input("a", "a").unwrap();
+        nl.expose_input("b", "b").unwrap();
+        nl.expose_input("ci", "ci").unwrap();
+        nl.expose_output("s", "s").unwrap();
+        nl.expose_output("co", "co").unwrap();
+        nl
+    }
+
+    fn codes(nl: &Netlist) -> Vec<&'static str> {
+        LintRegistry::standard()
+            .run(&LintTarget::Netlist(nl))
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        assert!(codes(&clean_adder()).is_empty());
+    }
+
+    #[test]
+    fn dangling_and_undriven() {
+        let mut nl = clean_adder();
+        nl.add_net("orphan", 4).unwrap();
+        assert_eq!(codes(&nl), vec![DT101]);
+    }
+
+    #[test]
+    fn combinational_loop_found_and_register_breaks_it() {
+        let lib = GenusLibrary::standard();
+        let buf = Arc::new(lib.buffer(4).unwrap());
+        let mut nl = Netlist::new("loop");
+        nl.add_net("x", 4).unwrap();
+        nl.add_net("y", 4).unwrap();
+        nl.add_instance(
+            Instance::new("u0", Arc::clone(&buf))
+                .with_connection("I", "x")
+                .with_connection("O", "y"),
+        )
+        .unwrap();
+        nl.add_instance(
+            Instance::new("u1", Arc::clone(&buf))
+                .with_connection("I", "y")
+                .with_connection("O", "x"),
+        )
+        .unwrap();
+        nl.expose_output("y", "y").unwrap();
+        let found = codes(&nl);
+        assert!(found.contains(&DT105), "{found:?}");
+        // Same topology with a register in the path: no DT105.
+        let reg = Arc::new(lib.register(4).unwrap());
+        let mut nl2 = Netlist::new("reg_loop");
+        nl2.add_net("x", 4).unwrap();
+        nl2.add_net("y", 4).unwrap();
+        nl2.add_net("clk", 1).unwrap();
+        nl2.expose_input("clk", "clk").unwrap();
+        nl2.add_instance(
+            Instance::new("u0", Arc::clone(&buf))
+                .with_connection("I", "x")
+                .with_connection("O", "y"),
+        )
+        .unwrap();
+        let mut r = Instance::new("r0", reg);
+        r.connect("D", "y").connect("Q", "x").connect("CLK", "clk");
+        nl2.add_instance(r).unwrap();
+        nl2.expose_output("y", "y").unwrap();
+        let found2 = codes(&nl2);
+        assert!(!found2.contains(&DT105), "{found2:?}");
+    }
+}

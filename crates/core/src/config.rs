@@ -42,6 +42,14 @@ pub struct DtasConfig {
     /// format version, so an incompatible snapshot is rejected and the
     /// engine simply starts cold. Ignored when `cache` is off.
     pub persist_path: Option<PathBuf>,
+    /// Opt-in static pre-flight: when on, flow entry points that accept
+    /// external artifacts (the `hls-rtl-bridge` facade's `LinkedFlow::map`)
+    /// run the [`analyze`](crate::analyze) netlist lints first and refuse
+    /// inputs carrying Error-severity findings instead of feeding them to
+    /// the engine. Off by default; it does not change what a query returns
+    /// for *accepted* inputs, so it is excluded from
+    /// [`result_fingerprint`](Self::result_fingerprint).
+    pub strict_preflight: bool,
 }
 
 impl Default for DtasConfig {
@@ -59,6 +67,7 @@ impl Default for DtasConfig {
             threads: None,
             cache: true,
             persist_path: None,
+            strict_preflight: false,
         }
     }
 }
@@ -105,6 +114,7 @@ mod tests {
             threads: Some(7),
             cache: false,
             persist_path: Some(PathBuf::from("/tmp/x")),
+            strict_preflight: true,
             ..DtasConfig::default()
         };
         assert_eq!(base.result_fingerprint(), same.result_fingerprint());

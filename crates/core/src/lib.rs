@@ -66,6 +66,7 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod config;
 pub mod cost;
 pub mod engine;
@@ -80,6 +81,7 @@ pub mod space;
 pub mod store;
 pub mod template;
 
+pub use analyze::{ArtifactKind, Diagnostic, Lint, LintRegistry, LintReport, LintTarget, Severity};
 pub use config::DtasConfig;
 pub use engine::{CacheStats, Dtas, SynthError};
 pub use extract::{ImplKind, Implementation};

@@ -170,6 +170,12 @@ rule!(
             return vec![];
         }
         let w = spec.width;
+        // At exactly 4 or 8 bits the greedy split degenerates to a single
+        // part identical to the parent spec — a self-cycle the expansion
+        // would only drop again. Direct cell matching covers those widths.
+        if w == 4 || w == 8 {
+            return vec![];
+        }
         let mut t = TemplateBuilder::new("lsi-register-bank");
         let mut parts = Vec::new();
         let mut at = 0usize;

@@ -25,7 +25,7 @@ use genus::netlist::{Netlist, NetlistError};
 use genus::op::{Op, OpSet};
 use genus::stdlib::GenusLibrary;
 use rtl_base::bits::Bits;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -305,6 +305,10 @@ struct UnitUse {
 #[derive(Clone, Debug, Default)]
 struct Unit {
     uses: Vec<UnitUse>,
+    /// Comparator flag outputs actually read (`"eq"`, `"lt"`, `"gt"`);
+    /// unread flags get no net, so the emitted netlist carries no
+    /// dead comparator outputs.
+    flags: BTreeSet<&'static str>,
 }
 
 struct Binder<'a> {
@@ -416,6 +420,12 @@ impl<'a> Binder<'a> {
                     cmp => {
                         let idx = self.state_cmps;
                         self.state_cmps += 1;
+                        let flag = match cmp {
+                            BinOp::Eq | BinOp::Ne => "eq",
+                            BinOp::Lt | BinOp::Ge => "lt",
+                            BinOp::Gt | BinOp::Le => "gt",
+                            _ => unreachable!(),
+                        };
                         let unit = self.comparators.entry((w, idx)).or_default();
                         unit.uses.push(UnitUse {
                             state,
@@ -423,27 +433,16 @@ impl<'a> Binder<'a> {
                             b,
                             sub: false,
                         });
-                        let base = format!("cu_w{w}_{idx}");
-                        // Flag nets exist once the unit is materialized.
-                        let flag = match cmp {
-                            BinOp::Eq => format!("{base}_eq"),
-                            BinOp::Lt => format!("{base}_lt"),
-                            BinOp::Gt => format!("{base}_gt"),
-                            BinOp::Ne => {
-                                let n = format!("{base}_eq");
-                                return self.gate(GateOp::Not, 1, &[&n]);
+                        unit.flags.insert(flag);
+                        // The flag net exists once the unit is
+                        // materialized (only read flags get a net).
+                        let flag_net = format!("cu_w{w}_{idx}_{flag}");
+                        match cmp {
+                            BinOp::Ne | BinOp::Ge | BinOp::Le => {
+                                self.gate(GateOp::Not, 1, &[&flag_net])
                             }
-                            BinOp::Ge => {
-                                let n = format!("{base}_lt");
-                                return self.gate(GateOp::Not, 1, &[&n]);
-                            }
-                            BinOp::Le => {
-                                let n = format!("{base}_gt");
-                                return self.gate(GateOp::Not, 1, &[&n]);
-                            }
-                            _ => unreachable!(),
-                        };
-                        Ok(flag)
+                            _ => Ok(flag_net),
+                        }
                     }
                 }
             }
@@ -734,15 +733,17 @@ pub fn compile(entity: &Entity, constraints: &Constraints) -> Result<Design, Com
         let b_pin = format!("{base}_b");
         binder.netlist.add_net(&a_pin, *w)?;
         binder.netlist.add_net(&b_pin, *w)?;
-        for flag in ["eq", "lt", "gt"] {
-            binder.netlist.add_net(&format!("{base}_{flag}"), 1)?;
-        }
         let mut inst = Instance::new(&base, Arc::new(comp));
         inst.connect("A", &a_pin);
         inst.connect("B", &b_pin);
-        inst.connect("EQ", &format!("{base}_eq"));
-        inst.connect("LT", &format!("{base}_lt"));
-        inst.connect("GT", &format!("{base}_gt"));
+        // Only read flags get a net; output ports may stay unconnected,
+        // and dead flag nets would be DT101 lint findings downstream.
+        for (flag, port) in [("eq", "EQ"), ("lt", "LT"), ("gt", "GT")] {
+            if unit.flags.contains(flag) {
+                binder.netlist.add_net(&format!("{base}_{flag}"), 1)?;
+                inst.connect(port, &format!("{base}_{flag}"));
+            }
+        }
         binder.netlist.add_instance(inst)?;
         let a_sources: Vec<(usize, String)> =
             unit.uses.iter().map(|u| (u.state, u.a.clone())).collect();

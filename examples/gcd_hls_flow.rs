@@ -9,18 +9,9 @@ use genus::behavior::Env;
 use hls_rtl_bridge::{BridgeError, Flow};
 use rtl_base::bits::Bits;
 
-const GCD: &str = "
-entity gcd(a_in: in 8, b_in: in 8, r: out 8, done: out 1) {
-    var a: 8;
-    var b: 8;
-    a = a_in;
-    b = b_in;
-    while (a != b) {
-        if (a > b) { a = a - b; } else { b = b - a; }
-    }
-    r = a;
-    done = 1;
-}";
+/// The behavioral source, shared with `dtas lint --hls examples/gcd.ent`
+/// and the CLI docs.
+const GCD: &str = include_str!("gcd.ent");
 
 fn main() -> Result<(), BridgeError> {
     let linked = Flow::from_hls(GCD)?.schedule()?.compile_control()?.link()?;

@@ -4,6 +4,7 @@
 //! ```text
 //! dtas map  --spec add:16:cin:cout [--book FILE] [--pareto] [--cap N]
 //! dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT]
+//! dtas lint [--hls FILE]... [--legend FILE]... [--book FILE]
 //! dtas serve [--port P] [--book FILE]
 //! dtas help
 //! ```
@@ -11,12 +12,15 @@
 //! `map` synthesizes one component specification against a data book and
 //! prints the trade-off table; `flow` runs a behavioral entity through
 //! scheduling, control compilation, linking and technology mapping;
-//! `serve` puts the engine behind the `core::net` TCP wire protocol.
+//! `lint` runs the `core::analyze` static-analysis passes over input
+//! artifacts and exits 0/1/2 for clean/warnings/errors; `serve` puts the
+//! engine behind the `core::net` TCP wire protocol.
 
 use cells::CellLibrary;
 use dtas::{
-    Admission, DesignSet, Dtas, DtasService, FilterPolicy, Priority, ServeConfig, ServiceConfig,
-    ServiceStats, SynthRequest, Ticket, WireClient, WireServer,
+    Admission, DesignSet, Dtas, DtasService, FilterPolicy, LintRegistry, LintReport, LintTarget,
+    Priority, RuleSet, ServeConfig, ServiceConfig, ServiceStats, Severity, SynthRequest, Ticket,
+    WireClient, WireServer,
 };
 use genus::kind::{ComponentKind, GateOp};
 use genus::op::{Op, OpSet};
@@ -48,6 +52,16 @@ USAGE:
       (schedule -> compile control -> link -> technology-map).
       --format json prints one dtas-flow/1 document instead of the
       human-readable reports.
+  dtas lint [--hls FILE]... [--legend FILE]... [--book FILE] [--format json]
+      Static analysis with stable DT### diagnostic codes. Each --hls
+      entity is compiled to its linked netlist and checked (dangling or
+      multiply-driven nets, width mismatches, combinational loops, ...);
+      each --legend document is parsed and its generator descriptions
+      checked; --book (or, when no target is named, the embedded data
+      book) is checked for cost-model defects together with the default
+      decomposition rule base. --format json prints one machine-readable
+      dtas-lint/1 document. Exit code: 0 clean (or info-only findings),
+      1 when the worst finding is a warning, 2 when any error is found.
   dtas serve [--port P] [--book FILE] [--cache-dir DIR] [--workers W]
              [--queue-depth D] [--max-inflight I] [--deadline-ms MS]
              [--admission POLICY] [--checkpoint-secs S]
@@ -114,6 +128,8 @@ EXAMPLES:
   dtas map --spec alu:64 --pareto --format json
   dtas map --spec mux:8:n=4 --book my_cells.book
   dtas flow --hls gcd.ent --emit-vhdl gcd.vhd
+  dtas lint
+  dtas lint --hls gcd.ent --book my_cells.book --format json
   dtas serve --port 7171 --queue-depth 256 &
   dtas bench-load --clients 4 --requests 500 --connect 127.0.0.1:7171
   dtas bench-load --clients 4 --requests 500 --queue-depth 64 --stats
@@ -467,6 +483,19 @@ impl Args {
             Some((_, Some(v))) => Ok(Some(v.as_str())),
             Some((_, None)) => Err(BridgeError::Flow(format!("flag --{name} requires a value"))),
         }
+    }
+
+    /// Every value of a repeatable flag, in order; an error when any
+    /// occurrence was given without a value.
+    fn values_of(&self, name: &str) -> Result<Vec<&str>, BridgeError> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| {
+                v.as_deref()
+                    .ok_or_else(|| BridgeError::Flow(format!("flag --{name} requires a value")))
+            })
+            .collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -1051,16 +1080,154 @@ fn cmd_flow(args: &Args) -> Result<(), BridgeError> {
     Ok(())
 }
 
-fn run() -> Result<(), BridgeError> {
+/// Accumulates per-target lint reports for `dtas lint`, printing the
+/// human-readable section for each target as it lands.
+struct LintRun {
+    json: bool,
+    report: LintReport,
+    targets: Vec<(&'static str, String)>,
+}
+
+impl LintRun {
+    fn add(&mut self, kind: &'static str, name: &str, report: LintReport) {
+        if !self.json {
+            if report.is_clean() {
+                println!("lint: {kind} {name}: clean");
+            } else {
+                println!("lint: {kind} {name}:");
+                for d in &report.diagnostics {
+                    println!("  {d}");
+                }
+            }
+        }
+        self.targets.push((kind, name.to_string()));
+        self.report.merge(report);
+    }
+}
+
+/// `dtas lint`: run the `core::analyze` passes over the named artifacts
+/// (or self-lint the embedded data book and rule base) and derive the
+/// process exit code from the worst finding.
+fn cmd_lint(args: &Args) -> Result<i32, BridgeError> {
+    args.expect_only(&["hls", "legend", "book", "format"])?;
+    let json = wants_json(args)?;
+    let registry = LintRegistry::standard();
+    let mut run = LintRun {
+        json,
+        report: LintReport::default(),
+        targets: Vec::new(),
+    };
+    // Netlist targets: each --hls entity is compiled through schedule ->
+    // compile control -> link, and the linked datapath netlist is linted.
+    for path in args.values_of("hls")? {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| BridgeError::Io(format!("{path}: {e}")))?;
+        let linked = Flow::from_hls(&source)?
+            .schedule()?
+            .compile_control()?
+            .link()?;
+        run.add("netlist", path, linked.lint());
+    }
+    // LEGEND targets: one parsed document each.
+    for path in args.values_of("legend")? {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| BridgeError::Io(format!("{path}: {e}")))?;
+        let descs = legend::parse_document(&text)?;
+        run.add("legend", path, registry.run(&LintTarget::Legend(&descs)));
+    }
+    // Databook + rule-base targets: whenever --book is given, or as the
+    // self-lint default when no target was named at all.
+    let explicit_book = args.value_of("book")?;
+    if explicit_book.is_some() || run.targets.is_empty() {
+        let library = load_book(explicit_book)?;
+        let book_name = library.name().to_string();
+        run.add(
+            "databook",
+            &book_name,
+            registry.run(&LintTarget::Databook(&library)),
+        );
+        let rules = RuleSet::standard().with_lsi_extensions();
+        run.add(
+            "rules",
+            &format!("{} rules vs {book_name}", rules.len()),
+            registry.run(&LintTarget::Rules {
+                rules: &rules,
+                library: &library,
+            }),
+        );
+    }
+    let errors = run.report.count(Severity::Error);
+    let warnings = run.report.count(Severity::Warn);
+    let infos = run.report.count(Severity::Info);
+    if json {
+        // One dtas-lint/1 document, nothing else on stdout — the contract
+        // the `--format json` CLI tests pin.
+        let targets: Vec<String> = run
+            .targets
+            .iter()
+            .map(|(kind, name)| {
+                format!(
+                    "{{\"kind\":{},\"name\":{}}}",
+                    json_str(kind),
+                    json_str(name)
+                )
+            })
+            .collect();
+        let findings: Vec<String> = run
+            .report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let suggestion = match &d.suggestion {
+                    Some(s) => json_str(s),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"code\":{},\"severity\":{},\"artifact\":{},\"site\":{},\
+                     \"message\":{},\"suggestion\":{suggestion}}}",
+                    json_str(d.code),
+                    json_str(&d.severity.to_string()),
+                    json_str(&d.artifact.to_string()),
+                    json_str(&d.site),
+                    json_str(&d.message),
+                )
+            })
+            .collect();
+        let max_severity = match run.report.max_severity() {
+            Some(s) => json_str(&s.to_string()),
+            None => "null".to_string(),
+        };
+        println!(
+            "{{\"schema\":\"dtas-lint/1\",\"targets\":[{}],\"findings\":[{}],\
+             \"counts\":{{\"error\":{errors},\"warn\":{warnings},\"info\":{infos}}},\
+             \"max_severity\":{max_severity}}}",
+            targets.join(","),
+            findings.join(",")
+        );
+    } else {
+        println!(
+            "lint: {errors} error(s), {warnings} warning(s), {infos} info across {} target(s)",
+            run.targets.len()
+        );
+    }
+    Ok(match run.report.max_severity() {
+        Some(Severity::Error) => 2,
+        Some(Severity::Warn) => 1,
+        _ => 0,
+    })
+}
+
+fn run() -> Result<i32, BridgeError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
-        Some("map") => cmd_map(&Args::parse(&raw[1..])?),
-        Some("flow") => cmd_flow(&Args::parse(&raw[1..])?),
-        Some("serve") => cmd_serve(&Args::parse(&raw[1..])?),
-        Some("bench-load") => cmd_bench_load(&Args::parse(&raw[1..])?),
+        Some("map") => cmd_map(&Args::parse(&raw[1..])?).map(|()| 0),
+        Some("flow") => cmd_flow(&Args::parse(&raw[1..])?).map(|()| 0),
+        Some("lint") => cmd_lint(&Args::parse(&raw[1..])?),
+        Some("serve") => cmd_serve(&Args::parse(&raw[1..])?).map(|()| 0),
+        Some("bench-load") => cmd_bench_load(&Args::parse(&raw[1..])?).map(|()| 0),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
         Some(other) => Err(BridgeError::Flow(format!(
             "unknown command {other:?} (try `dtas help`)"
@@ -1069,9 +1236,15 @@ fn run() -> Result<(), BridgeError> {
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("dtas: {e}");
-        std::process::exit(1);
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            // The single error-to-exit-code site: every failure prints one
+            // `dtas: error[DT###]: ...` line and exits with the variant's
+            // stable code (2 for lint refusals, 1 otherwise).
+            eprintln!("dtas: error[{}]: {e}", e.code());
+            std::process::exit(e.exit_code());
+        }
     }
 }
 

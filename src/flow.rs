@@ -39,7 +39,8 @@ use cells::databook::ParseBookError;
 use cells::CellLibrary;
 use controlc::{compile_controller, link, ControlError, Controller};
 use dtas::{
-    DesignSet, Dtas, DtasService, ServiceError, StoreError, SynthError, SynthRequest, WireError,
+    DesignSet, Dtas, DtasService, LintRegistry, LintReport, LintTarget, ServiceError, Severity,
+    StoreError, SynthError, SynthRequest, WireError,
 };
 use genus::behavior::{Env, EvalError};
 use genus::component::GenerateError;
@@ -113,6 +114,54 @@ pub enum BridgeError {
     /// The façade itself was misused or a run did not converge (e.g. a
     /// simulation hit its cycle budget before the stop condition held).
     Flow(String),
+    /// Strict pre-flight static analysis
+    /// ([`DtasConfig::strict_preflight`](dtas::DtasConfig::strict_preflight))
+    /// refused an input artifact carrying Error-severity findings. The
+    /// full report rides along so callers can render every finding, not
+    /// just the first.
+    Lint(LintReport),
+}
+
+impl BridgeError {
+    /// A stable machine-readable code for the error's stage, in the
+    /// `DT0xx` namespace (artifact lints own `DT1xx`–`DT4xx`; see
+    /// [`dtas::analyze`]). Codes are never reused once shipped — tooling
+    /// may match on them.
+    pub fn code(&self) -> &'static str {
+        match self {
+            BridgeError::Synth(_) => "DT001",
+            BridgeError::HlsParse(_) => "DT002",
+            BridgeError::Hls(_) => "DT003",
+            BridgeError::Control(_) => "DT004",
+            BridgeError::Netlist(_) => "DT005",
+            BridgeError::Book(_) => "DT006",
+            BridgeError::LegendParse(_) => "DT007",
+            BridgeError::LegendLower(_) => "DT008",
+            BridgeError::Generate(_) => "DT009",
+            BridgeError::Flatten(_) => "DT010",
+            BridgeError::Sim(_) => "DT011",
+            BridgeError::Equiv(_) => "DT012",
+            BridgeError::Eval(_) => "DT013",
+            BridgeError::VhdlParse(_) => "DT014",
+            BridgeError::Emit(_) => "DT015",
+            BridgeError::Store(_) => "DT016",
+            BridgeError::Overloaded(_) => "DT017",
+            BridgeError::Wire(_) => "DT018",
+            BridgeError::Io(_) => "DT019",
+            BridgeError::Flow(_) => "DT020",
+            BridgeError::Lint(_) => "DT021",
+        }
+    }
+
+    /// The process exit code the `dtas` CLI maps this error to: `2` for
+    /// lint refusals (matching `dtas lint`'s Error-severity exit), `1`
+    /// for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BridgeError::Lint(_) => 2,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for BridgeError {
@@ -138,6 +187,20 @@ impl fmt::Display for BridgeError {
             BridgeError::Emit(m) => write!(f, "vhdl emission: {m}"),
             BridgeError::Io(m) => write!(f, "io: {m}"),
             BridgeError::Flow(m) => write!(f, "flow: {m}"),
+            BridgeError::Lint(report) => {
+                let first = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.severity == Severity::Error);
+                match first {
+                    Some(d) => write!(
+                        f,
+                        "preflight lint refused the input: {d} ({} error(s) total)",
+                        report.count(Severity::Error)
+                    ),
+                    None => write!(f, "preflight lint refused the input"),
+                }
+            }
         }
     }
 }
@@ -162,7 +225,10 @@ impl std::error::Error for BridgeError {
             BridgeError::Store(e) => Some(e),
             BridgeError::Overloaded(e) => Some(e),
             BridgeError::Wire(e) => Some(e),
-            BridgeError::Emit(_) | BridgeError::Io(_) | BridgeError::Flow(_) => None,
+            BridgeError::Emit(_)
+            | BridgeError::Io(_)
+            | BridgeError::Flow(_)
+            | BridgeError::Lint(_) => None,
         }
     }
 }
@@ -459,13 +525,34 @@ impl LinkedFlow {
         drive(&mut sim)
     }
 
+    /// Runs the [`dtas::analyze`] netlist lints over the closed netlist
+    /// and returns every finding (dangling and undriven nets, multiple
+    /// drivers, width mismatches, combinational loops, unreachable
+    /// components, unknown references — the `DT1xx` codes).
+    pub fn lint(&self) -> LintReport {
+        LintRegistry::standard().run(&LintTarget::Netlist(&self.netlist))
+    }
+
     /// Technology-maps every distinct component of the netlist with DTAS
     /// (one [`Dtas::synthesize_batch`] pass over the spec census).
     ///
+    /// When the engine's config opts into
+    /// [`strict_preflight`](dtas::DtasConfig::strict_preflight), the
+    /// netlist is [`lint`](Self::lint)ed first and refused if any
+    /// Error-severity finding is present; accepted inputs map exactly as
+    /// they would without the flag.
+    ///
     /// # Errors
     ///
+    /// [`BridgeError::Lint`] when strict pre-flight refuses the netlist,
     /// [`BridgeError::Synth`] on the first unmappable component.
     pub fn map(self, engine: &Dtas) -> Result<MappedFlow, BridgeError> {
+        if engine.config().strict_preflight {
+            let report = self.lint();
+            if report.has_errors() {
+                return Err(BridgeError::Lint(report));
+            }
+        }
         let mapping = engine.synthesize_netlist(&self.netlist)?;
         Ok(MappedFlow {
             linked: self,
@@ -711,6 +798,70 @@ mod tests {
         ]);
         let err = flow.simulate(&inputs, |_| false, 3).unwrap_err();
         assert!(matches!(err, BridgeError::Flow(_)));
+    }
+
+    /// Two buffers driving each other: structurally valid, maps fine,
+    /// but carries a `DT105` combinational-loop Error finding.
+    fn loop_netlist() -> Netlist {
+        let lib = genus::stdlib::GenusLibrary::standard();
+        let buf = std::sync::Arc::new(lib.buffer(1).unwrap());
+        let mut nl = Netlist::new("looped");
+        nl.add_net("x", 1).unwrap();
+        nl.add_net("y", 1).unwrap();
+        let mut b0 = genus::component::Instance::new("b0", buf.clone());
+        b0.connect("I", "x");
+        b0.connect("O", "y");
+        nl.add_instance(b0).unwrap();
+        let mut b1 = genus::component::Instance::new("b1", buf);
+        b1.connect("I", "y");
+        b1.connect("O", "x");
+        nl.add_instance(b1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn strict_preflight_refuses_error_findings_default_does_not() {
+        let nl = loop_netlist();
+        let flow = Flow::from_netlist(nl.clone()).unwrap();
+        let report = flow.lint();
+        assert!(report.has_errors(), "{report}");
+
+        // Default config: the loop maps anyway (per-component synthesis
+        // never walks the net graph).
+        let engine = Dtas::new(lsi_logic_subset());
+        assert!(!engine.config().strict_preflight);
+        let mapped = flow.map(&engine).unwrap();
+        assert!(mapped.smallest_area() > 0.0);
+
+        // Opting in refuses the same netlist with the typed error.
+        let strict = Dtas::new(lsi_logic_subset()).with_config(dtas::DtasConfig {
+            strict_preflight: true,
+            ..dtas::DtasConfig::default()
+        });
+        let Err(err) = Flow::from_netlist(nl).unwrap().map(&strict) else {
+            panic!("strict preflight accepted a looped netlist");
+        };
+        assert_eq!(err.code(), "DT021");
+        assert_eq!(err.exit_code(), 2);
+        let BridgeError::Lint(report) = err else {
+            panic!("expected BridgeError::Lint");
+        };
+        assert!(report.diagnostics.iter().any(|d| d.code == "DT105"));
+    }
+
+    #[test]
+    fn bridge_error_codes_are_stable_and_unique() {
+        let errs = [
+            BridgeError::Emit("x".into()),
+            BridgeError::Io("x".into()),
+            BridgeError::Flow("x".into()),
+            BridgeError::Lint(dtas::LintReport::default()),
+        ];
+        let codes: Vec<&str> = errs.iter().map(BridgeError::code).collect();
+        assert_eq!(codes, vec!["DT015", "DT019", "DT020", "DT021"]);
+        for e in &errs[..3] {
+            assert_eq!(e.exit_code(), 1);
+        }
     }
 
     #[test]

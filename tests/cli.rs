@@ -497,3 +497,146 @@ fn connect_rejects_server_side_sizing_flags() {
         "{out:?}"
     );
 }
+
+#[test]
+fn lint_format_json_has_the_pinned_schema_when_clean() {
+    // No targets given: the shipped databook and rule base self-lint,
+    // and both must be clean.
+    let doc = run_json(&["lint", "--format", "json"]);
+    assert_eq!(
+        doc.at(&["schema"]).and_then(Json::str_value),
+        Some("dtas-lint/1")
+    );
+    let targets = doc.at(&["targets"]).and_then(Json::arr).expect("targets");
+    assert_eq!(targets.len(), 2);
+    assert_eq!(
+        targets[0].at(&["kind"]).and_then(Json::str_value),
+        Some("databook")
+    );
+    assert_eq!(
+        targets[0].at(&["name"]).and_then(Json::str_value),
+        Some("lsi_lma9k_subset")
+    );
+    assert_eq!(
+        targets[1].at(&["kind"]).and_then(Json::str_value),
+        Some("rules")
+    );
+    assert_eq!(
+        doc.at(&["findings"]).and_then(Json::arr).map(<[Json]>::len),
+        Some(0)
+    );
+    for counter in ["error", "warn", "info"] {
+        assert_eq!(doc.at(&["counts", counter]).and_then(Json::num), Some(0.0));
+    }
+    assert_eq!(doc.at(&["max_severity"]), Some(&Json::Null));
+}
+
+#[test]
+fn lint_reports_errors_with_exit_code_two() {
+    // The text parser accepts a negative CARRY arc; the lint must not.
+    let book = temp_path("bad_carry.book");
+    std::fs::write(
+        &book,
+        "LIBRARY bad_carry\nCELL BADC ADDSUB W 2 OPS ADD CI CO AREA 1 DELAY 1 CARRY -1\n",
+    )
+    .expect("writes book");
+    let out = dtas()
+        .args(["lint", "--format", "json", "--book"])
+        .arg(&book)
+        .output()
+        .expect("runs");
+    let _ = std::fs::remove_file(&book);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let doc = Json::parse(
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .next()
+            .expect("json"),
+    )
+    .expect("valid JSON");
+    assert_eq!(
+        doc.at(&["max_severity"]).and_then(Json::str_value),
+        Some("error")
+    );
+    let findings = doc.at(&["findings"]).and_then(Json::arr).expect("findings");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.at(&["code"]).and_then(Json::str_value) == Some("DT301")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn lint_reports_warnings_with_exit_code_one() {
+    // ND2W is dominated by ND2 on every axis: a warning, not an error.
+    let book = temp_path("dominated.book");
+    std::fs::write(
+        &book,
+        "LIBRARY dominated\n\
+         CELL ND2 GATE_NAND W 1 N 2 AREA 1.0 DELAY 0.7\n\
+         CELL ND2W GATE_NAND W 1 N 2 AREA 2.0 DELAY 0.9\n",
+    )
+    .expect("writes book");
+    let out = dtas()
+        .args(["lint", "--format", "json", "--book"])
+        .arg(&book)
+        .output()
+        .expect("runs");
+    let _ = std::fs::remove_file(&book);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let doc = Json::parse(
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .next()
+            .expect("json"),
+    )
+    .expect("valid JSON");
+    assert_eq!(
+        doc.at(&["max_severity"]).and_then(Json::str_value),
+        Some("warning")
+    );
+    let findings = doc.at(&["findings"]).and_then(Json::arr).expect("findings");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.at(&["code"]).and_then(Json::str_value) == Some("DT302")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn lint_accepts_hls_and_legend_targets() {
+    let out = dtas()
+        .args([
+            "lint",
+            "--hls",
+            "examples/gcd.ent",
+            "--legend",
+            "examples/counter.legend",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("netlist examples/gcd.ent: clean"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("legend examples/counter.legend: clean"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_errors_carry_stable_codes_on_stderr() {
+    let out = dtas()
+        .args(["lint", "--hls", "/nonexistent/missing.ent"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dtas: error["), "{stderr}");
+}

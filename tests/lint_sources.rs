@@ -1,0 +1,116 @@
+//! A source-level lint mirroring the artifact lint's philosophy: panics
+//! on lock/channel results in non-test code are latent availability
+//! bugs (a poisoned mutex or a closed channel takes the whole service
+//! down with an opaque message). The walk covers `src/` and every
+//! `crates/*/src/`, skipping vendored crates, build output, and test
+//! code (anything after the first `#[cfg(test)]` in a file).
+//!
+//! Policy:
+//! - `.lock().unwrap()` is flagged: use `expect` with a message naming
+//!   the poisoned resource, or recover with `unwrap_or_else`.
+//! - `.lock().expect("...")` is allowed only when the message mentions
+//!   poisoning, so the panic text says what actually happened.
+//! - `.recv().unwrap()` and `.send(..).unwrap()` are flagged: a
+//!   disconnected channel deserves a message (`.recv().expect(..)`) or
+//!   handling. `.recv_timeout(..).unwrap()` additionally panics on a
+//!   plain timeout.
+//! - `thread::join()` unwraps are out of scope: join only errors when
+//!   the child already panicked, and propagating that is the point.
+
+use std::path::{Path, PathBuf};
+
+/// Why a line was flagged, for the failure listing.
+fn violation(line: &str) -> Option<&'static str> {
+    let code = line.trim_start();
+    if code.starts_with("//") {
+        return None;
+    }
+    if code.contains("lock().unwrap()") {
+        return Some("lock().unwrap(): name the poisoned resource or recover");
+    }
+    if code.contains("lock().expect(") && !code.contains("poison") {
+        return Some("lock().expect() without a poison message");
+    }
+    if code.contains("recv().unwrap()") {
+        return Some("recv().unwrap(): a closed channel deserves a message");
+    }
+    if code.contains(".recv_timeout(") && code.contains(".unwrap()") {
+        return Some("recv_timeout().unwrap() panics on a plain timeout");
+    }
+    if code.contains(".send(") && code.contains(".unwrap()") {
+        return Some("send().unwrap(): a closed channel deserves a message");
+    }
+    None
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name == "tests" {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn non_test_sources_handle_lock_and_channel_failures() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    rust_sources(&root.join("src"), &mut files);
+    rust_sources(&root.join("crates"), &mut files);
+    files.sort();
+    assert!(
+        files.len() > 20,
+        "source walk looks broken: only {} files",
+        files.len()
+    );
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("source file reads");
+        // Everything after the first `#[cfg(test)]` is test code: panics
+        // there are assertions, not availability bugs.
+        let non_test = match text.find("#[cfg(test)]") {
+            Some(at) => &text[..at],
+            None => &text,
+        };
+        for (i, line) in non_test.lines().enumerate() {
+            if let Some(why) = violation(line) {
+                let rel = file.strip_prefix(root).unwrap_or(file);
+                findings.push(format!("{}:{}: {why}", rel.display(), i + 1));
+            }
+        }
+    }
+    assert!(
+        findings.is_empty(),
+        "lock/channel panics in non-test code:\n{}",
+        findings.join("\n")
+    );
+}
+
+#[test]
+fn violation_rules_match_the_documented_policy() {
+    // Flagged.
+    assert!(violation("let g = self.state.lock().unwrap();").is_some());
+    assert!(violation(r#"let g = m.lock().expect("locked");"#).is_some());
+    assert!(violation("let v = rx.recv().unwrap();").is_some());
+    assert!(violation("tx.send(job).unwrap();").is_some());
+    assert!(violation("let v = rx.recv_timeout(d).unwrap();").is_some());
+    // Allowed near-misses.
+    assert!(violation(r#"let g = m.lock().expect("slot poisoned");"#).is_none());
+    assert!(violation(r#"let v = rx.recv().expect("worker alive");"#).is_none());
+    assert!(violation("let g = m.lock().unwrap_or_else(|p| p.into_inner());").is_none());
+    assert!(violation("handle.join().unwrap();").is_none());
+    assert!(violation("// don't write m.lock().unwrap() in prod code").is_none());
+    assert!(violation("let v = rx.recv_timeout(d).ok();").is_none());
+}
