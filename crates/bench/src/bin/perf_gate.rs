@@ -16,7 +16,12 @@
 //!   QPS, both sides measured interleaved in one perf_snapshot run;
 //! * `serve.saturation_qps` and `serve.rtt_p99_us` — the `dtas serve`
 //!   wire protocol end to end over loopback TCP: saturation throughput
-//!   and the client-observed round-trip tail.
+//!   and the client-observed round-trip tail;
+//! * `store.full_over_lazy_load` (≥ 4) and
+//!   `store.base_over_delta_bytes` (≥ 10) — self-contained floors on the
+//!   tiered persistent store: a lazy mmap load must stay ≤ 25% of a
+//!   full-decode load, and a one-result delta checkpoint under 10% of
+//!   the base snapshot's bytes.
 //!
 //! Only same-machine comparisons are meaningful for the absolute
 //! numbers, so the tolerance is generous (default 3x, `--tolerance N`)
@@ -271,6 +276,33 @@ fn run_gate(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Finding> {
         &mut findings,
     );
 
+    // Tiered-store load cost, self-contained in the current run: the
+    // lazy (mmap + index-validate) load must stay <= 25% of a
+    // full-decode load of the same chain, i.e. the stored
+    // full-over-lazy ratio must stay >= 4. Both sides are measured
+    // back-to-back in one perf_snapshot process, so machine speed
+    // cancels.
+    gate_floor(
+        "store.full_over_lazy_load".to_string(),
+        4.0,
+        current
+            .at(&["store", "full_over_lazy_load"])
+            .and_then(Json::num),
+        &mut findings,
+    );
+
+    // Delta-checkpoint cost: a one-dirty-result delta must stay under
+    // 10% of the full snapshot's bytes (base-over-delta >= 10), or
+    // checkpoints have regressed back toward O(space) rewrites.
+    gate_floor(
+        "store.base_over_delta_bytes".to_string(),
+        10.0,
+        current
+            .at(&["store", "base_over_delta_bytes"])
+            .and_then(Json::num),
+        &mut findings,
+    );
+
     findings
 }
 
@@ -365,7 +397,8 @@ mod tests {
             r#"{{ "queries": [ {{ "name": "ALU64", "repeat_ms": {repeat_ms} }} ],
                  "warm_start": {{ "warm_first_ms": {warm_ms}, "cold_first_ms": {cold_ms} }},
                  "service": {{ "saturation_qps": {qps}, "deadline_vs_plain": 0.99 }},
-                 "serve": {{ "saturation_qps": {serve_qps}, "rtt_p99_us": {rtt_p99_us} }} }}"#
+                 "serve": {{ "saturation_qps": {serve_qps}, "rtt_p99_us": {rtt_p99_us} }},
+                 "store": {{ "full_over_lazy_load": 50.0, "base_over_delta_bytes": 40.0 }} }}"#
         ))
         .expect("test snapshot parses")
     }
@@ -403,10 +436,34 @@ mod tests {
         // both the tolerance and the noise floor.
         let cur = snapshot_with_serve(50.0, 90.0, 100.0, 5_000.0, 500.0, 500_000.0);
         let findings = run_gate(&base, &cur, 3.0);
-        // The deadline floor (4th finding) stays healthy in this scenario.
+        // The deadline floor (4th finding) and the two store floors (last
+        // two) stay healthy in this scenario.
         assert_eq!(
             verdicts(&findings),
-            vec![true, true, true, false, true, true]
+            vec![true, true, true, false, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn store_floors_gate_the_current_run() {
+        let base = snapshot(0.005, 0.01, 100.0, 500_000.0);
+        // Lazy load degraded to 2x-of-full (floor is 4x) and deltas grew
+        // to a third of the base (floor is a tenth): both floors fail
+        // regardless of the baseline.
+        let cur_text = r#"{ "queries": [ { "name": "ALU64", "repeat_ms": 0.005 } ],
+             "warm_start": { "warm_first_ms": 0.01, "cold_first_ms": 100.0 },
+             "service": { "saturation_qps": 500000.0, "deadline_vs_plain": 0.99 },
+             "serve": { "saturation_qps": 50000.0, "rtt_p99_us": 2000.0 },
+             "store": { "full_over_lazy_load": 2.0, "base_over_delta_bytes": 3.0 } }"#;
+        let findings = run_gate(&base, &Json::parse(cur_text).unwrap(), 3.0);
+        let failed: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.verdict == Verdict::Fail)
+            .map(|f| f.metric.as_str())
+            .collect();
+        assert_eq!(
+            failed,
+            ["store.full_over_lazy_load", "store.base_over_delta_bytes"]
         );
     }
 
@@ -416,7 +473,8 @@ mod tests {
         let mut cur_text = r#"{ "queries": [ { "name": "ALU64", "repeat_ms": 0.005 } ],
              "warm_start": { "warm_first_ms": 0.01, "cold_first_ms": 100.0 },
              "service": { "saturation_qps": 500000.0, "deadline_vs_plain": 0.80 },
-             "serve": { "saturation_qps": 50000.0, "rtt_p99_us": 2000.0 } }"#
+             "serve": { "saturation_qps": 50000.0, "rtt_p99_us": 2000.0 },
+             "store": { "full_over_lazy_load": 50.0, "base_over_delta_bytes": 40.0 } }"#
             .to_string();
         let cur = Json::parse(&cur_text).unwrap();
         let findings = run_gate(&base, &cur, 3.0);

@@ -42,6 +42,15 @@ pub struct DtasConfig {
     /// format version, so an incompatible snapshot is rejected and the
     /// engine simply starts cold. Ignored when `cache` is off.
     pub persist_path: Option<PathBuf>,
+    /// Compaction trigger for the tiered store: when the accumulated
+    /// delta segments exceed this fraction of the base segment's size,
+    /// the next checkpoint rewrites a fresh base (folding the chain)
+    /// instead of appending another delta. Lower values compact more
+    /// eagerly (faster loads, more write amplification); higher values
+    /// let chains grow longer. A non-finite or negative value compacts
+    /// on every dirty checkpoint. Storage-only: excluded from
+    /// [`result_fingerprint`](Self::result_fingerprint).
+    pub compaction_ratio: f64,
     /// Opt-in static pre-flight: when on, flow entry points that accept
     /// external artifacts (the `hls-rtl-bridge` facade's `LinkedFlow::map`)
     /// run the [`analyze`](crate::analyze) netlist lints first and refuse
@@ -67,6 +76,7 @@ impl Default for DtasConfig {
             threads: None,
             cache: true,
             persist_path: None,
+            compaction_ratio: 0.5,
             strict_preflight: false,
         }
     }
@@ -114,6 +124,7 @@ mod tests {
             threads: Some(7),
             cache: false,
             persist_path: Some(PathBuf::from("/tmp/x")),
+            compaction_ratio: 0.1,
             strict_preflight: true,
             ..DtasConfig::default()
         };

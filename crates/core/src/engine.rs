@@ -7,15 +7,18 @@ use crate::request::SynthRequest;
 use crate::rules::RuleSet;
 use crate::space::{DesignSpace, ExpandError, FilterPolicy, FrontStore, SolveConfig, Solver};
 use crate::store::mem::{MemStore, ResultCell, SharedState};
-use crate::store::{LoadOutcome, PersistentStore, ResultStore, SaveReport, StoreError, StoreKey};
+use crate::store::{
+    DirtySet, EngineSnapshot, LoadOutcome, PersistentStore, ResultStore, SaveReport, StoreError,
+    StoreKey, WarmSource,
+};
 use crate::template::SpecModelCache;
 use cells::CellLibrary;
 use genus::netlist::Netlist;
 use genus::spec::ComponentSpec;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Counters for the engine-level cross-query cache and its warm-start
@@ -58,9 +61,28 @@ pub struct CacheStats {
     /// Memoized results written by the most recent
     /// [`checkpoint`](Dtas::checkpoint) (explicit or on drop).
     pub persisted_results: u64,
-    /// Encoded size in bytes of the most recent snapshot moved in either
-    /// direction (load or save).
+    /// Encoded size in bytes of the most recent segment moved in either
+    /// direction (whole chain on load, the written segment on save).
     pub snapshot_bytes: u64,
+    /// Checkpoint calls that wrote nothing because nothing changed since
+    /// the last flush (the background checkpoint thread ticks on a
+    /// timer; an idle service stops paying encode + write).
+    pub checkpoints_skipped: u64,
+    /// Checkpoints that appended an O(dirty) delta segment instead of
+    /// rewriting the whole chain.
+    pub delta_checkpoints: u64,
+    /// Full saves that folded an existing base + delta chain into a
+    /// fresh base (triggered by
+    /// [`DtasConfig::compaction_ratio`](crate::DtasConfig::compaction_ratio),
+    /// or by a chain another process moved underneath this engine).
+    pub compactions: u64,
+    /// Persisted results indexed by the warm-start chain but not yet
+    /// decoded — the lazy read path's backlog. Drains toward zero as
+    /// queries (or [`Dtas::prefault`]) materialize them.
+    pub lazy_results: usize,
+    /// Persisted results decoded on first request (each also counts as a
+    /// [`hit`](CacheStats::hits)).
+    pub lazy_materialized: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -72,7 +94,9 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "cache: hits={} misses={} results={} fronts={} nodes={} shards={}\n\
-             store: snapshot_loads={} snapshot_rejects={} persisted_results={} snapshot_bytes={}",
+             store: snapshot_loads={} snapshot_rejects={} persisted_results={} snapshot_bytes={} \
+             checkpoints_skipped={} delta_checkpoints={} compactions={} lazy_results={} \
+             lazy_materialized={}",
             self.hits,
             self.misses,
             self.cached_results,
@@ -83,7 +107,35 @@ impl fmt::Display for CacheStats {
             self.snapshot_rejects,
             self.persisted_results,
             self.snapshot_bytes,
+            self.checkpoints_skipped,
+            self.delta_checkpoints,
+            self.compactions,
+            self.lazy_results,
+            self.lazy_materialized,
         )
+    }
+}
+
+/// What one [`Dtas::checkpoint`] call did (`Ok(None)` from `checkpoint`
+/// still means "no store bound / caching off").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointOutcome {
+    /// Nothing changed since the last flush; no bytes were written.
+    Skipped,
+    /// An O(dirty) delta segment was appended to the chain.
+    Delta(SaveReport),
+    /// A full base segment was written (the first flush of a chain, a
+    /// compaction, or a fallback when a delta could not safely append).
+    Full(SaveReport),
+}
+
+impl CheckpointOutcome {
+    /// The save report, when bytes were actually written.
+    pub fn report(&self) -> Option<SaveReport> {
+        match self {
+            CheckpointOutcome::Skipped => None,
+            CheckpointOutcome::Delta(report) | CheckpointOutcome::Full(report) => Some(*report),
+        }
     }
 }
 
@@ -125,10 +177,14 @@ struct StoreMetrics {
     rejects: AtomicU64,
     persisted: AtomicU64,
     bytes: AtomicU64,
-    /// Miss count at the last checkpoint — the drop hook only flushes
-    /// when solves happened since, so an explicit `checkpoint()` is not
-    /// paid a second time on drop.
-    flushed_misses: AtomicU64,
+    skipped: AtomicU64,
+    delta_saves: AtomicU64,
+    compactions: AtomicU64,
+    lazy_materialized: AtomicU64,
+    /// [`MemStore::settled`] count at the last checkpoint — the drop
+    /// hook only flushes when solves landed since, so an explicit
+    /// `checkpoint()` is not paid a second time on drop.
+    flushed_settled: AtomicU64,
     /// Why the last rejected snapshot was rejected (diagnostics).
     reject_reason: std::sync::Mutex<Option<String>>,
 }
@@ -139,9 +195,56 @@ impl StoreMetrics {
         self.rejects.store(0, Ordering::Relaxed);
         self.persisted.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
-        self.flushed_misses.store(0, Ordering::Relaxed);
+        self.skipped.store(0, Ordering::Relaxed);
+        self.delta_saves.store(0, Ordering::Relaxed);
+        self.compactions.store(0, Ordering::Relaxed);
+        self.lazy_materialized.store(0, Ordering::Relaxed);
+        self.flushed_settled.store(0, Ordering::Relaxed);
         *self.reject_reason.lock().expect("reject reason poisoned") = None;
     }
+
+    fn reject(&self, reason: String) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+        *self.reject_reason.lock().expect("reject reason poisoned") = Some(reason);
+    }
+}
+
+/// The engine's handle on a loaded chain — the lazy read path. The
+/// source starts *unhydrated*: nothing is decoded at load beyond the
+/// headers. The first operation that needs live space state decodes the
+/// chain once ([`Dtas::ensure_hydrated`]); individual results stay
+/// encoded (and the base stays memory-mapped) until their spec is
+/// actually queried.
+#[derive(Default)]
+struct WarmState {
+    source: Option<WarmSource>,
+    hydrated: bool,
+}
+
+/// The checkpoint watermark: what the chain on the backing store already
+/// contains, so a checkpoint can emit just the difference. Unprimed
+/// (after construction, a reset, or a failed hydration) means "unknown"
+/// and forces the safe full save.
+#[derive(Default)]
+struct FlushState {
+    primed: bool,
+    /// Shared-state generation the watermark describes; a reset bumps
+    /// the generation and invalidates every node id below.
+    generation: u64,
+    /// Nodes `0..nodes` are already persisted.
+    nodes: usize,
+    /// Which of those nodes had solved fronts at the last flush.
+    solved: Vec<bool>,
+    /// Specs whose memoized results are already persisted (or were
+    /// deliberately skipped as unencodable cold-fallback results — they
+    /// are final either way).
+    results: HashSet<ComponentSpec>,
+    /// A base segment exists on the store for this chain.
+    has_base: bool,
+    /// Encoded size of that base, the compaction denominator.
+    base_bytes: u64,
+    /// Total encoded size of the deltas appended since, the numerator.
+    delta_bytes: u64,
 }
 
 /// The DTAS synthesis engine: a rule base plus a target cell library.
@@ -210,6 +313,8 @@ pub struct Dtas {
     mem: MemStore,
     store: Option<Arc<dyn ResultStore>>,
     metrics: StoreMetrics,
+    warm: Mutex<WarmState>,
+    flush: Mutex<FlushState>,
 }
 
 impl Dtas {
@@ -225,6 +330,8 @@ impl Dtas {
             mem: MemStore::new(),
             store: None,
             metrics: StoreMetrics::default(),
+            warm: Mutex::new(WarmState::default()),
+            flush: Mutex::new(FlushState::default()),
         }
     }
 
@@ -279,6 +386,32 @@ impl Dtas {
     fn reset_runtime_state(&mut self) {
         self.mem = MemStore::new();
         self.metrics.reset();
+        *self.lock_warm() = WarmState::default();
+        *self.lock_flush() = FlushState::default();
+    }
+
+    /// The lazy-source lock, recovering from poison by dropping the
+    /// (possibly half-consumed) source — queries fall back to cold
+    /// solves, which is always correct.
+    fn lock_warm(&self) -> MutexGuard<'_, WarmState> {
+        self.warm.lock().unwrap_or_else(|poisoned| {
+            self.warm.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.source = None;
+            guard.hydrated = true;
+            guard
+        })
+    }
+
+    /// The checkpoint-watermark lock, recovering from poison by
+    /// unpriming — the next checkpoint does a (safe) full save.
+    fn lock_flush(&self) -> MutexGuard<'_, FlushState> {
+        self.flush.lock().unwrap_or_else(|poisoned| {
+            self.flush.clear_poison();
+            let mut guard = poisoned.into_inner();
+            *guard = FlushState::default();
+            guard
+        })
     }
 
     /// The compatibility key this engine's snapshots are stored under.
@@ -308,21 +441,161 @@ impl Dtas {
             return;
         };
         match store.load(&self.store_key()) {
-            LoadOutcome::Loaded { snapshot, bytes } => {
-                self.mem.hydrate(snapshot);
+            LoadOutcome::Loaded { source, bytes } => {
+                // O(index) work so far: headers validated, nothing
+                // decoded. The chain hydrates on the first operation
+                // that needs live state (see `ensure_hydrated`), and
+                // each result decodes on its first query.
                 self.metrics.loads.fetch_add(1, Ordering::Relaxed);
                 self.metrics.bytes.store(bytes, Ordering::Relaxed);
+                let mut warm = self.lock_warm();
+                warm.source = Some(*source);
+                warm.hydrated = false;
             }
             LoadOutcome::Missing => {}
-            LoadOutcome::Rejected { reason } => {
-                self.metrics.rejects.fetch_add(1, Ordering::Relaxed);
-                *self
-                    .metrics
-                    .reject_reason
-                    .lock()
-                    .expect("reject reason poisoned") = Some(reason);
+            LoadOutcome::Rejected { reason } => self.metrics.reject(reason),
+        }
+    }
+
+    /// Decodes the loaded chain's space and fronts into the shared state,
+    /// once per engine lifetime — called before any operation that reads
+    /// or grows the space, so persisted node ids and live node ids can
+    /// never diverge. A chain that fails structural validation here is
+    /// dropped whole (counted in
+    /// [`CacheStats::snapshot_rejects`](CacheStats)) and the engine
+    /// continues cold; no partial state is ever installed.
+    fn ensure_hydrated(&self) {
+        if !self.config.cache {
+            return;
+        }
+        let mut warm = self.lock_warm();
+        if warm.hydrated {
+            return;
+        }
+        warm.hydrated = true;
+        let Some(source) = warm.source.as_ref() else {
+            return;
+        };
+        match source.hydrate_state() {
+            Ok((space, fronts)) => {
+                let (generation, nodes, solved) = {
+                    let mut state = self.mem.write_state();
+                    if !state.space.nodes.is_empty() {
+                        // The space grew before hydration — impossible
+                        // through the public API (every growth path
+                        // hydrates first), so don't risk clobbering
+                        // live state; just drop the source.
+                        drop(state);
+                        warm.source = None;
+                        return;
+                    }
+                    state.space = space;
+                    state.fronts = fronts;
+                    let nodes = state.space.nodes.len();
+                    let solved = (0..nodes)
+                        .map(|id| state.fronts.fronts.get(id).is_some_and(Option::is_some))
+                        .collect();
+                    (state.generation, nodes, solved)
+                };
+                // Prime the checkpoint watermark: everything in the
+                // chain is on the store already. No result has been
+                // materialized yet (materialization requires hydration,
+                // which is happening right now under the warm lock), so
+                // the pending index is exactly the persisted set.
+                let results = source.pending_specs().into_iter().collect();
+                *self.lock_flush() = FlushState {
+                    primed: true,
+                    generation,
+                    nodes,
+                    solved,
+                    results,
+                    has_base: true,
+                    base_bytes: source.base_bytes,
+                    delta_bytes: source.delta_bytes,
+                };
+            }
+            Err(reason) => {
+                warm.source = None;
+                self.metrics.reject(reason);
             }
         }
+    }
+
+    /// Decodes the persisted result for `spec`, if the loaded chain has
+    /// one that was not consumed yet. `None` means "solve it yourself"
+    /// (no chain, no entry, or damaged bytes — damage is counted as a
+    /// rejection and the entry dropped, so it is never retried).
+    fn warm_materialize(&self, spec: &ComponentSpec) -> Option<Result<Arc<DesignSet>, SynthError>> {
+        if !self.config.cache {
+            return None;
+        }
+        {
+            // Cheap pre-check without forcing hydration: cold specs on a
+            // warm engine must not pay the chain decode.
+            let warm = self.lock_warm();
+            match &warm.source {
+                Some(source) if source.has_result(spec) => {}
+                _ => return None,
+            }
+        }
+        self.ensure_hydrated();
+        let mut warm = self.lock_warm();
+        let source = warm.source.as_mut()?;
+        let state = self.mem.read_state();
+        match source.take_result(spec, &state.space)? {
+            Ok(result) => {
+                self.metrics
+                    .lazy_materialized
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            Err(reason) => {
+                drop(state);
+                self.metrics.reject(reason);
+                None
+            }
+        }
+    }
+
+    /// True while the warm-start chain's base segment is being served
+    /// from a shared read-only memory mapping (64-bit unix with an
+    /// on-disk store) — N processes on one host then share a single
+    /// page-cache copy of the snapshot. False on other platforms, after
+    /// the source is dropped, or when no chain was loaded.
+    pub fn warm_base_mapped(&self) -> bool {
+        self.lock_warm()
+            .source
+            .as_ref()
+            .map(WarmSource::is_mapped)
+            .unwrap_or(false)
+    }
+
+    /// Forces every still-pending persisted result to decode into the
+    /// memo right now, returning how many were materialized. Queries
+    /// normally pay this per spec on first request; `prefault` is the
+    /// eager-load escape hatch (and what the perf harness uses to price
+    /// lazy vs. full loading).
+    pub fn prefault(&self) -> usize {
+        if !self.config.cache {
+            return 0;
+        }
+        self.ensure_hydrated();
+        let pending = {
+            let warm = self.lock_warm();
+            match &warm.source {
+                Some(source) => source.pending_specs(),
+                None => return 0,
+            }
+        };
+        let mut materialized = 0;
+        for spec in pending {
+            if let Some(result) = self.warm_materialize(&spec) {
+                let cell = self.mem.result_cell(&spec);
+                let _ = cell.get_or_init(|| result);
+                materialized += 1;
+            }
+        }
+        materialized
     }
 
     /// Why the bound store's snapshot was rejected at the last warm-start
@@ -341,31 +614,142 @@ impl Dtas {
     /// store is bound or caching is off. Also runs automatically on drop
     /// when the engine solved anything new since the last load.
     ///
+    /// Flushes are tiered: a checkpoint with nothing new since the last
+    /// flush writes nothing ([`CheckpointOutcome::Skipped`]); one with a
+    /// known on-store chain appends an O(dirty) delta segment
+    /// ([`CheckpointOutcome::Delta`]); and the first flush of a chain —
+    /// or any flush after the accumulated deltas outgrow
+    /// [`DtasConfig::compaction_ratio`](crate::DtasConfig::compaction_ratio)
+    /// times the base — rewrites one fresh base
+    /// ([`CheckpointOutcome::Full`], folding the chain).
+    ///
     /// # Errors
     ///
     /// [`StoreError`] when the backing medium fails. The in-memory state
     /// is unaffected either way.
-    pub fn checkpoint(&self) -> Result<Option<SaveReport>, StoreError> {
+    pub fn checkpoint(&self) -> Result<Option<CheckpointOutcome>, StoreError> {
         if !self.config.cache {
             return Ok(None);
         }
         let Some(store) = &self.store else {
             return Ok(None);
         };
-        // Sample the miss counter *before* exporting: a solve racing the
-        // export is then counted as un-flushed and re-saved on drop,
-        // rather than possibly lost.
-        let misses_at_start = self.mem.misses.load(Ordering::Relaxed);
+        // The watermark lock is held across the whole flush so two
+        // checkpoints cannot interleave their delta appends.
+        let mut flush = self.lock_flush();
+        // Sample the settled counter *before* exporting: a solve landing
+        // after the sample is then counted as un-flushed and re-saved on
+        // the next tick (or on drop), rather than possibly lost. The
+        // counter increments only once a solve's effects are fully in the
+        // store, so everything the sample covers is in the export.
+        let settled_at_start = self.mem.settled.load(Ordering::Relaxed);
+        if settled_at_start == self.metrics.flushed_settled.load(Ordering::Relaxed) {
+            self.metrics.skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(CheckpointOutcome::Skipped));
+        }
         let snapshot = self.mem.export_snapshot();
-        let report = store.save(&self.store_key(), &snapshot)?;
+        let ratio = self.config.compaction_ratio;
+        let delta_eligible = flush.primed
+            && flush.has_base
+            && flush.generation == snapshot.generation
+            && snapshot.space.nodes.len() >= flush.nodes
+            && ratio.is_finite()
+            && ratio >= 0.0;
+        if delta_eligible {
+            let dirty = Self::compute_dirty(&flush, &snapshot);
+            if dirty.first_new_node == snapshot.space.nodes.len()
+                && dirty.front_ids.is_empty()
+                && dirty.result_indices.is_empty()
+            {
+                // Solves landed but produced nothing persistable that
+                // is not already on the chain (override requests,
+                // repeat solves): the store is up to date.
+                self.metrics
+                    .flushed_settled
+                    .store(settled_at_start, Ordering::Relaxed);
+                self.metrics.skipped.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(CheckpointOutcome::Skipped));
+            }
+            let compact = (flush.delta_bytes as f64) > ratio * (flush.base_bytes as f64);
+            if !compact {
+                if let Some(report) = store.save_delta(&self.store_key(), &snapshot, &dirty)? {
+                    self.metrics.delta_saves.fetch_add(1, Ordering::Relaxed);
+                    flush.delta_bytes += report.bytes;
+                    Self::advance_watermark(&mut flush, &snapshot);
+                    self.finish_flush(&report, settled_at_start);
+                    return Ok(Some(CheckpointOutcome::Delta(report)));
+                }
+                // The store no longer has the chain this watermark
+                // describes (another writer moved it): fall through to
+                // the always-safe full rewrite.
+            }
+        }
+        let report = store.save_full(&self.store_key(), &snapshot)?;
+        if delta_eligible {
+            // A full save over a known chain folds its deltas away.
+            self.metrics.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        flush.has_base = true;
+        flush.base_bytes = report.bytes;
+        flush.delta_bytes = 0;
+        flush.primed = true;
+        flush.generation = snapshot.generation;
+        Self::advance_watermark(&mut flush, &snapshot);
+        self.finish_flush(&report, settled_at_start);
+        Ok(Some(CheckpointOutcome::Full(report)))
+    }
+
+    /// What changed between the watermark and `snapshot` — the payload of
+    /// a delta checkpoint.
+    fn compute_dirty(flush: &FlushState, snapshot: &EngineSnapshot) -> DirtySet {
+        let nodes_now = snapshot.space.nodes.len();
+        let mut front_ids = Vec::new();
+        for id in 0..nodes_now {
+            if snapshot.fronts.fronts.get(id).is_some_and(Option::is_some)
+                && !(id < flush.nodes && flush.solved.get(id).copied().unwrap_or(false))
+            {
+                front_ids.push(id);
+            }
+        }
+        let result_indices = snapshot
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, (spec, _))| !flush.results.contains(spec))
+            .map(|(i, _)| i)
+            .collect();
+        DirtySet {
+            first_new_node: flush.nodes,
+            front_ids,
+            result_indices,
+        }
+    }
+
+    /// Records that everything in `snapshot` is now on the store.
+    fn advance_watermark(flush: &mut FlushState, snapshot: &EngineSnapshot) {
+        flush.nodes = snapshot.space.nodes.len();
+        flush.solved = (0..flush.nodes)
+            .map(|id| snapshot.fronts.fronts.get(id).is_some_and(Option::is_some))
+            .collect();
+        // Unencodable (cold-fallback) results are included on purpose:
+        // they are final, so retrying them every checkpoint would be
+        // wasted work — matching what a full save effectively does.
+        flush.results = snapshot
+            .results
+            .iter()
+            .map(|(spec, _)| spec.clone())
+            .collect();
+    }
+
+    /// Post-save metric updates shared by the delta and full paths.
+    fn finish_flush(&self, report: &SaveReport, settled_at_start: u64) {
         self.metrics
             .persisted
             .store(report.results as u64, Ordering::Relaxed);
         self.metrics.bytes.store(report.bytes, Ordering::Relaxed);
         self.metrics
-            .flushed_misses
-            .store(misses_at_start, Ordering::Relaxed);
-        Ok(Some(report))
+            .flushed_settled
+            .store(settled_at_start, Ordering::Relaxed);
     }
 
     /// The rule base.
@@ -394,12 +778,27 @@ impl Dtas {
     pub fn clear_cache(&self) {
         self.mem.clear();
         self.metrics.reset();
+        {
+            // The lazy source indexes node ids of the state being
+            // dropped; it must go with it (clearing is in-memory only —
+            // it must not resurrect persisted state either).
+            let mut warm = self.lock_warm();
+            warm.source = None;
+            warm.hydrated = true;
+        }
+        *self.lock_flush() = FlushState::default();
     }
 
     /// Cross-query cache counters (the memo counters are all zero when
     /// caching is off).
     pub fn cache_stats(&self) -> CacheStats {
         let (cached_fronts, spec_nodes) = self.mem.front_counts();
+        let lazy_results = self
+            .lock_warm()
+            .source
+            .as_ref()
+            .map(|source| source.pending_results())
+            .unwrap_or(0);
         CacheStats {
             hits: self.mem.hits.load(Ordering::Relaxed),
             misses: self.mem.misses.load(Ordering::Relaxed),
@@ -414,6 +813,11 @@ impl Dtas {
             snapshot_rejects: self.metrics.rejects.load(Ordering::Relaxed),
             persisted_results: self.metrics.persisted.load(Ordering::Relaxed),
             snapshot_bytes: self.metrics.bytes.load(Ordering::Relaxed),
+            checkpoints_skipped: self.metrics.skipped.load(Ordering::Relaxed),
+            delta_checkpoints: self.metrics.delta_saves.load(Ordering::Relaxed),
+            compactions: self.metrics.compactions.load(Ordering::Relaxed),
+            lazy_results,
+            lazy_materialized: self.metrics.lazy_materialized.load(Ordering::Relaxed),
         }
     }
 
@@ -495,13 +899,26 @@ impl Dtas {
             self.mem.hits.fetch_add(1, Ordering::Relaxed);
             return result.clone();
         }
+        if let Some(result) = self.warm_materialize(spec) {
+            // A persisted result, decoded on first request. It counts as
+            // a hit (the answer came from the cache, not a solve); if
+            // another client raced us to the cell, the bit-identical
+            // first value stands.
+            self.mem.hits.fetch_add(1, Ordering::Relaxed);
+            return cell.get_or_init(|| result).clone();
+        }
         let mut solved_here = false;
         let result = cell.get_or_init(|| {
             solved_here = true;
             self.mem.misses.fetch_add(1, Ordering::Relaxed);
             self.solve_shared(spec, start).map(Arc::new)
         });
-        if !solved_here {
+        if solved_here {
+            // Only now — with the result in its cell and the fronts
+            // merged back — is this solve flushable; a checkpoint that
+            // sampled mid-solve must not have marked it as flushed.
+            self.mem.settled.fetch_add(1, Ordering::Relaxed);
+        } else {
             // Another client solved this spec while we waited on the cell.
             self.mem.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -529,7 +946,11 @@ impl Dtas {
             } else {
                 self.check_fingerprint();
                 self.mem.misses.fetch_add(1, Ordering::Relaxed);
-                self.solve_shared_with(&request.spec, root_filter, root_cap, start)?
+                let solved = self.solve_shared_with(&request.spec, root_filter, root_cap, start);
+                // Settle even on error: the solve may have grown shared
+                // space/fronts that the next checkpoint should consider.
+                self.mem.settled.fetch_add(1, Ordering::Relaxed);
+                solved?
             }
         };
         if let Some((area_weight, delay_weight)) = request.weights {
@@ -720,6 +1141,9 @@ impl Dtas {
         root_cap: usize,
         start: Instant,
     ) -> Result<DesignSet, SynthError> {
+        // Growing the space requires the persisted space first: hydrating
+        // after an expansion would mis-align persisted node ids.
+        self.ensure_hydrated();
         let (space, fronts, models, generation, root) = {
             let mut state = self.mem.write_state();
             let first_new = state.space.nodes.len();
@@ -788,6 +1212,11 @@ impl Dtas {
             if let Some(result) = cell.get() {
                 self.mem.hits.fetch_add(1, Ordering::Relaxed);
                 out[i] = Some(result.clone());
+            } else if let Some(result) = self.warm_materialize(spec) {
+                // Persisted result decoded on first request — a hit,
+                // exactly as in `synthesize_shared_from`.
+                self.mem.hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(cell.get_or_init(|| result).clone());
             } else {
                 cells[i] = Some(cell);
                 cold.push(i);
@@ -804,6 +1233,7 @@ impl Dtas {
                 let cell = cells[i].take().expect("cold cell reserved");
                 self.mem.misses.fetch_add(1, Ordering::Relaxed);
                 let stored = cell.get_or_init(|| result);
+                self.mem.settled.fetch_add(1, Ordering::Relaxed);
                 out[i] = Some(stored.clone());
             }
         }
@@ -820,6 +1250,9 @@ impl Dtas {
         specs: &[&ComponentSpec],
         start: Instant,
     ) -> Vec<Result<Arc<DesignSet>, SynthError>> {
+        // As in `solve_shared_with`: the persisted space must be in place
+        // before this batch's expansions append nodes.
+        self.ensure_hydrated();
         let (space, fronts, models, generation, mut plan) = {
             let mut state = self.mem.write_state();
             let plan = self.expand_batch(specs, &mut state);
@@ -1010,8 +1443,8 @@ impl Drop for Dtas {
         if std::thread::panicking() {
             return;
         }
-        let unflushed = self.mem.misses.load(Ordering::Relaxed)
-            > self.metrics.flushed_misses.load(Ordering::Relaxed);
+        let unflushed = self.mem.settled.load(Ordering::Relaxed)
+            > self.metrics.flushed_settled.load(Ordering::Relaxed);
         if self.store.is_some() && self.config.cache && unflushed {
             let _ = self.checkpoint();
         }

@@ -83,7 +83,7 @@ pub mod template;
 
 pub use analyze::{ArtifactKind, Diagnostic, Lint, LintRegistry, LintReport, LintTarget, Severity};
 pub use config::DtasConfig;
-pub use engine::{CacheStats, Dtas, SynthError};
+pub use engine::{CacheStats, CheckpointOutcome, Dtas, SynthError};
 pub use extract::{ImplKind, Implementation};
 pub use net::{ReconnectingClient, RetryPolicy, ServeConfig, WireClient, WireError, WireServer};
 pub use report::{Alternative, DesignSet, SynthStats};
@@ -95,7 +95,8 @@ pub use service::{
 };
 pub use space::{DesignSpace, FilterPolicy, FrontStore, Policy, SolveConfig, Solver};
 pub use store::{
-    EngineSnapshot, LoadOutcome, MemSnapshotStore, PersistentStore, ResultStore, SaveReport,
-    StoreError, StoreKey, FORMAT_VERSION,
+    CacheKeyEntry, DirtySet, EngineSnapshot, GcItem, GcPlan, GcReason, LoadOutcome,
+    MemSnapshotStore, PersistentStore, ResultStore, SaveReport, StoreError, StoreKey, WarmSource,
+    FORMAT_VERSION,
 };
 pub use template::{NetlistTemplate, Signal, SpecModelCache, TemplateBuilder};

@@ -1,25 +1,21 @@
-//! The hand-rolled binary codec for engine snapshots.
+//! The hand-rolled binary codec for engine snapshot *sections*.
 //!
 //! The build environment is offline-vendored, so there is no serde here:
 //! every type is written field by field in **little-endian** order through
-//! [`Writer`] and read back through the bounds-checked [`Reader`]. The
-//! encoded artifact is self-describing and self-verifying:
+//! [`Writer`] and read back through the bounds-checked [`Reader`].
 //!
-//! ```text
-//! magic "DTASSNP1"  (8 bytes)
-//! format version    (u32)   — bump on ANY layout or semantic change
-//! library  fingerprint (u64)   ┐ the snapshot key; a mismatch on any of
-//! rule-set fingerprint (u64)   ├ these rejects the file (never reused
-//! config   fingerprint (u64)   ┘ under different rules/library/filters)
-//! body: template table, spec nodes, taint set, fronts, memoized results
-//! FNV-1a 64 checksum over everything above (8 bytes)
-//! ```
+//! Since format version 2 the codec no longer owns a whole-file layout —
+//! segment framing (magic, header, offset index, checksums, delta
+//! chaining) lives in the sibling `segment` module. What this module
+//! encodes are the self-contained *sections* a segment's header points
+//! at: the design space, a front store, per-result bodies, and the
+//! O(dirty) delta payloads (space extensions and front updates).
 //!
-//! Decoding is hardened against hostile or damaged bytes: the checksum is
-//! verified before anything is parsed, every length is capped by the
-//! remaining buffer, every node/implementation index is bounds-checked,
-//! and recursive structures carry a depth limit — a bad snapshot can only
-//! ever produce a [`Err`]`(reason)`, never a panic or a wrong design.
+//! Decoding is hardened against hostile or damaged bytes: every length is
+//! capped by the remaining buffer, every node/implementation index is
+//! bounds-checked, and recursive structures carry a depth limit — a bad
+//! section can only ever produce an [`Err`]`(reason)`, never a panic or a
+//! wrong design.
 //!
 //! Results are persisted as *policies over the serialized space*, not as
 //! implementation trees: the hierarchical implementations are rebuilt at
@@ -33,7 +29,6 @@ use crate::report::{Alternative, DesignSet, SynthStats};
 use crate::space::{
     CellChoice, DesignPoint, DesignSpace, FrontStore, ImplChoice, Policy, SpecId, SpecNode,
 };
-use crate::store::{EngineSnapshot, StoreKey};
 use crate::template::{Module, NetlistTemplate, Signal};
 use crate::SynthError;
 use genus::component::PortClass;
@@ -41,27 +36,23 @@ use genus::kind::{ComponentKind, GateOp};
 use genus::op::Op;
 use genus::spec::ComponentSpec;
 use rtl_base::bits::Bits;
-use rtl_base::hash::fnv1a_64;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// One memoized whole-query result, as held in a snapshot.
-type ResultEntry = (ComponentSpec, Result<Arc<DesignSet>, SynthError>);
+pub(crate) type ResultEntry = (ComponentSpec, Result<Arc<DesignSet>, SynthError>);
 
 /// Version of the on-disk layout. Any change to the byte layout, to the
 /// meaning of a persisted field, or to solver semantics that cached
 /// fronts bake in must bump this — old snapshots are then rejected and
 /// engines fall back to a clean cold solve.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 was the PR 4 monolithic snapshot (one read-all, decode-all
+/// file); v2 is the tiered segment format (mmap'd lazy base + delta
+/// chain, see the `segment` module).
+pub const FORMAT_VERSION: u32 = 2;
 
-/// File magic: identifies DTAS snapshots regardless of file name. The
-/// format-version field sits immediately after it (bytes 8..12) — tests
-/// patch that range to simulate snapshots from a future build.
-pub(crate) const MAGIC: [u8; 8] = *b"DTASSNP1";
-
-const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
-const CHECKSUM_LEN: usize = 8;
 /// Recursion guard for [`Signal`] trees (real wiring nests a handful of
 /// levels; anything deeper is a damaged file).
 const MAX_SIGNAL_DEPTH: usize = 64;
@@ -83,8 +74,20 @@ impl Writer {
         self.buf
     }
 
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
     }
 
     pub(crate) fn bool(&mut self, v: bool) {
@@ -586,16 +589,17 @@ fn get_design_point(r: &mut Reader, node_count: usize) -> Result<DesignPoint, St
 /// Interned template table: every distinct `Arc<NetlistTemplate>` (by
 /// pointer identity — the engine shares one `Arc` per template between
 /// the space and every extracted implementation) is written once and
-/// referenced by index.
+/// referenced by index. Interning runs over a node *slice* so delta
+/// segments can carry a self-contained table for just their new nodes.
 fn intern_templates(
-    space: &DesignSpace,
+    nodes: &[SpecNode],
 ) -> (
     Vec<Arc<NetlistTemplate>>,
     HashMap<*const NetlistTemplate, u32>,
 ) {
     let mut table: Vec<Arc<NetlistTemplate>> = Vec::new();
     let mut index: HashMap<*const NetlistTemplate, u32> = HashMap::new();
-    for node in &space.nodes {
+    for node in nodes {
         for choice in &node.impls {
             if let ImplChoice::Netlist(template) = choice {
                 let key = Arc::as_ptr(template);
@@ -609,8 +613,102 @@ fn intern_templates(
     (table, index)
 }
 
+/// Writes one node's implementation choices and child lists.
+fn put_node_body(
+    w: &mut Writer,
+    node: &SpecNode,
+    template_index: &HashMap<*const NetlistTemplate, u32>,
+) {
+    w.usize32(node.impls.len());
+    for (choice, children) in node.impls.iter().zip(&node.children) {
+        match choice {
+            ImplChoice::Cell(cell) => {
+                w.u8(0);
+                w.str(&cell.cell);
+                w.f64(cell.area);
+                put_timing(w, &cell.timing);
+            }
+            ImplChoice::Netlist(template) => {
+                w.u8(1);
+                w.u32(template_index[&Arc::as_ptr(template)]);
+            }
+        }
+        w.usize32(children.len());
+        for &child in children {
+            w.u32(child as u32);
+        }
+    }
+}
+
+/// Reads one node's implementation choices and child lists. `id` is the
+/// node's *global* id: children must reference strictly lower ids (node
+/// ids are a topological order), whether they live in this segment or an
+/// earlier one.
+fn get_node_body(
+    r: &mut Reader,
+    id: usize,
+    templates: &[Arc<NetlistTemplate>],
+) -> Result<(Vec<ImplChoice>, Vec<Vec<SpecId>>), String> {
+    let impl_count = r.len("implementation")?;
+    let mut impls = Vec::with_capacity(impl_count);
+    let mut children = Vec::with_capacity(impl_count);
+    for _ in 0..impl_count {
+        let choice = match r.u8("implementation tag")? {
+            0 => ImplChoice::Cell(CellChoice {
+                cell: r.str("cell name")?,
+                area: r.f64("cell area")?,
+                timing: get_timing(r)?,
+            }),
+            1 => {
+                let idx = r.u32("template index")? as usize;
+                let template = templates
+                    .get(idx)
+                    .ok_or_else(|| format!("template index {idx} of {}", templates.len()))?;
+                ImplChoice::Netlist(Arc::clone(template))
+            }
+            other => return Err(format!("unknown implementation tag {other}")),
+        };
+        let child_count = r.len("child id")?;
+        let mut kids = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            let child = r.u32("child id")? as usize;
+            // Node ids are a topological order (children strictly
+            // precede parents); anything else is a damaged file.
+            if child >= id {
+                return Err(format!("child {child} not below node {id}"));
+            }
+            kids.push(child);
+        }
+        impls.push(choice);
+        children.push(kids);
+    }
+    Ok((impls, children))
+}
+
+fn put_tainted(w: &mut Writer, tainted: &HashSet<SpecId>) {
+    let mut ids: Vec<SpecId> = tainted.iter().copied().collect();
+    ids.sort_unstable();
+    w.usize32(ids.len());
+    for id in ids {
+        w.u32(id as u32);
+    }
+}
+
+fn get_tainted(r: &mut Reader, node_count: usize) -> Result<HashSet<SpecId>, String> {
+    let tainted_count = r.len("tainted id")?;
+    let mut tainted = HashSet::with_capacity(tainted_count);
+    for _ in 0..tainted_count {
+        let id = r.u32("tainted id")? as usize;
+        if id >= node_count {
+            return Err(format!("tainted id {id} of {node_count}"));
+        }
+        tainted.insert(id);
+    }
+    Ok(tainted)
+}
+
 fn put_space(w: &mut Writer, space: &DesignSpace) {
-    let (templates, template_index) = intern_templates(space);
+    let (templates, template_index) = intern_templates(&space.nodes);
     w.usize32(templates.len());
     for template in &templates {
         put_template(w, template);
@@ -618,32 +716,9 @@ fn put_space(w: &mut Writer, space: &DesignSpace) {
     w.usize32(space.nodes.len());
     for node in &space.nodes {
         put_spec(w, &node.spec);
-        w.usize32(node.impls.len());
-        for (choice, children) in node.impls.iter().zip(&node.children) {
-            match choice {
-                ImplChoice::Cell(cell) => {
-                    w.u8(0);
-                    w.str(&cell.cell);
-                    w.f64(cell.area);
-                    put_timing(w, &cell.timing);
-                }
-                ImplChoice::Netlist(template) => {
-                    w.u8(1);
-                    w.u32(template_index[&Arc::as_ptr(template)]);
-                }
-            }
-            w.usize32(children.len());
-            for &child in children {
-                w.u32(child as u32);
-            }
-        }
+        put_node_body(w, node, &template_index);
     }
-    let mut tainted: Vec<SpecId> = space.tainted.iter().copied().collect();
-    tainted.sort_unstable();
-    w.usize32(tainted.len());
-    for id in tainted {
-        w.u32(id as u32);
-    }
+    put_tainted(w, &space.tainted);
 }
 
 fn get_space(r: &mut Reader) -> Result<DesignSpace, String> {
@@ -660,54 +735,14 @@ fn get_space(r: &mut Reader) -> Result<DesignSpace, String> {
         if memo.insert(spec.clone(), id).is_some() {
             return Err(format!("duplicate spec node {spec}"));
         }
-        let impl_count = r.len("implementation")?;
-        let mut impls = Vec::with_capacity(impl_count);
-        let mut children = Vec::with_capacity(impl_count);
-        for _ in 0..impl_count {
-            let choice = match r.u8("implementation tag")? {
-                0 => ImplChoice::Cell(CellChoice {
-                    cell: r.str("cell name")?,
-                    area: r.f64("cell area")?,
-                    timing: get_timing(r)?,
-                }),
-                1 => {
-                    let idx = r.u32("template index")? as usize;
-                    let template = templates
-                        .get(idx)
-                        .ok_or_else(|| format!("template index {idx} of {template_count}"))?;
-                    ImplChoice::Netlist(Arc::clone(template))
-                }
-                other => return Err(format!("unknown implementation tag {other}")),
-            };
-            let child_count = r.len("child id")?;
-            let mut kids = Vec::with_capacity(child_count);
-            for _ in 0..child_count {
-                let child = r.u32("child id")? as usize;
-                // Node ids are a topological order (children strictly
-                // precede parents); anything else is a damaged file.
-                if child >= id {
-                    return Err(format!("child {child} not below node {id}"));
-                }
-                kids.push(child);
-            }
-            impls.push(choice);
-            children.push(kids);
-        }
+        let (impls, children) = get_node_body(r, id, &templates)?;
         nodes.push(SpecNode {
             spec,
             impls,
             children,
         });
     }
-    let tainted_count = r.len("tainted id")?;
-    let mut tainted = HashSet::with_capacity(tainted_count);
-    for _ in 0..tainted_count {
-        let id = r.u32("tainted id")? as usize;
-        if id >= node_count {
-            return Err(format!("tainted id {id} of {node_count}"));
-        }
-        tainted.insert(id);
-    }
+    let tainted = get_tainted(r, node_count)?;
     Ok(DesignSpace {
         nodes,
         memo,
@@ -735,11 +770,24 @@ fn put_fronts(w: &mut Writer, fronts: &FrontStore, node_count: usize) {
     }
 }
 
-fn get_fronts(r: &mut Reader, space: &DesignSpace) -> Result<FrontStore, String> {
+/// Decodes a front store written against `expected_nodes` nodes. Policy
+/// bounds are checked against `space`, which may be a strict superset of
+/// the space the fronts were written with (delta segments append nodes —
+/// ids below `expected_nodes` are stable).
+fn get_fronts(
+    r: &mut Reader,
+    space: &DesignSpace,
+    expected_nodes: usize,
+) -> Result<FrontStore, String> {
     let len = r.len("front slot")?;
-    if len != space.nodes.len() {
+    if len != expected_nodes {
         return Err(format!(
-            "front store covers {len} nodes, space has {}",
+            "front store covers {len} nodes, segment recorded {expected_nodes}"
+        ));
+    }
+    if expected_nodes > space.nodes.len() {
+        return Err(format!(
+            "front store covers {expected_nodes} nodes, space has {}",
             space.nodes.len()
         ));
     }
@@ -864,20 +912,61 @@ pub(crate) fn get_synth_error(r: &mut Reader) -> Result<SynthError, String> {
     })
 }
 
-/// Writes the memoized results. `Ok` results are persisted as per-
-/// alternative policies; results whose implementations were not built
-/// from the shared space (cold-fallback solves) are skipped — they will
-/// be re-solved on demand, which is always correct. Returns the number of
-/// results written.
-fn put_results(w: &mut Writer, space: &DesignSpace, results: &[ResultEntry]) -> usize {
-    // Two passes so the (skippable) count prefix stays exact: an entry
-    // carries its reconstructed per-alternative policies.
-    type Encodable<'a> = (
-        &'a ComponentSpec,
-        &'a Result<Arc<DesignSet>, SynthError>,
-        Vec<Policy>,
-    );
-    let mut encodable: Vec<Encodable> = Vec::new();
+// ---------------------------------------------------------------------
+// Sections: the self-contained byte blobs a segment header points at.
+// Each decoder consumes its entire slice ("trailing bytes" otherwise), so
+// a header pointing at the wrong range cannot silently half-parse.
+
+/// Encodes the whole design space (template table, spec nodes, taint
+/// set) as a base-segment section.
+pub(crate) fn encode_space_section(space: &DesignSpace) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_space(&mut w, space);
+    w.into_bytes()
+}
+
+pub(crate) fn decode_space_section(bytes: &[u8]) -> Result<DesignSpace, String> {
+    let mut r = Reader::new(bytes);
+    let space = get_space(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after space", r.remaining()));
+    }
+    Ok(space)
+}
+
+/// Encodes a front store padded to `node_count` as a base-segment section.
+pub(crate) fn encode_fronts_section(fronts: &FrontStore, node_count: usize) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_fronts(&mut w, fronts, node_count);
+    w.into_bytes()
+}
+
+/// Decodes a front section written against `expected_nodes` nodes; see
+/// [`get_fronts`] for the superset-space contract.
+pub(crate) fn decode_fronts_section(
+    bytes: &[u8],
+    space: &DesignSpace,
+    expected_nodes: usize,
+) -> Result<FrontStore, String> {
+    let mut r = Reader::new(bytes);
+    let fronts = get_fronts(&mut r, space, expected_nodes)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after fronts", r.remaining()));
+    }
+    Ok(fronts)
+}
+
+/// Encodes every persistable memoized result as its own section, so a
+/// segment's header can index them for lazy per-spec decode. `Ok` results
+/// are persisted as per-alternative policies; results whose
+/// implementations were not built from the shared space (cold-fallback
+/// solves) are skipped — they will be re-solved on demand, which is
+/// always correct.
+pub(crate) fn encode_result_sections(
+    space: &DesignSpace,
+    results: &[ResultEntry],
+) -> Vec<(ComponentSpec, Vec<u8>)> {
+    let mut out: Vec<(ComponentSpec, Vec<u8>)> = Vec::new();
     'results: for (spec, result) in results {
         let mut policies = Vec::new();
         if let Ok(set) = result {
@@ -891,24 +980,20 @@ fn put_results(w: &mut Writer, space: &DesignSpace, results: &[ResultEntry]) -> 
                 }
             }
         }
-        encodable.push((spec, result, policies));
-    }
-    w.usize32(encodable.len());
-    for (spec, result, policies) in &encodable {
-        put_spec(w, spec);
+        let mut w = Writer::new();
         match result {
             Err(error) => {
                 w.u8(0);
-                put_synth_error(w, error);
+                put_synth_error(&mut w, error);
             }
             Ok(set) => {
                 w.u8(1);
                 w.usize32(set.alternatives.len());
-                for (alt, policy) in set.alternatives.iter().zip(policies) {
+                for (alt, policy) in set.alternatives.iter().zip(&policies) {
                     w.f64(alt.area);
                     w.f64(alt.delay);
-                    put_timing(w, &alt.timing);
-                    put_policy(w, policy);
+                    put_timing(&mut w, &alt.timing);
+                    put_policy(&mut w, policy);
                 }
                 w.f64(set.unconstrained_size);
                 w.f64(set.unconstrained_log10);
@@ -924,140 +1009,201 @@ fn put_results(w: &mut Writer, space: &DesignSpace, results: &[ResultEntry]) -> 
                 w.u64(set.stats.truncated_combinations);
             }
         }
+        out.push((spec.clone(), w.into_bytes()));
     }
-    encodable.len()
+    out
 }
 
-fn get_results(r: &mut Reader, space: &DesignSpace) -> Result<Vec<ResultEntry>, String> {
-    let count = r.len("memoized result")?;
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        let spec = get_spec(r)?;
-        let result = match r.u8("result tag")? {
-            0 => Err(get_synth_error(r)?),
-            1 => {
-                let root = space
-                    .id_of(&spec)
-                    .ok_or_else(|| format!("result spec {spec} not in space"))?;
-                let alt_count = r.len("alternative")?;
-                let mut alternatives = Vec::with_capacity(alt_count);
-                for _ in 0..alt_count {
-                    let area = r.f64("alternative area")?;
-                    let delay = r.f64("alternative delay")?;
-                    let timing = get_timing(r)?;
-                    let policy = get_policy(r, space.nodes.len())?;
-                    check_policy_covers(space, root, &policy)?;
-                    // Rebuilding through the solve path's own `extract`
-                    // pins warm implementations bit-identical to cold.
-                    let implementation = extract::extract(space, root, &policy);
-                    alternatives.push(Alternative {
-                        area,
-                        delay,
-                        timing,
-                        implementation,
-                    });
-                }
-                let unconstrained_size = r.f64("unconstrained size")?;
-                let unconstrained_log10 = r.f64("unconstrained log10")?;
-                let uniform_size = if r.bool("uniform presence")? {
-                    Some(r.u64("uniform size")?)
-                } else {
-                    None
-                };
-                let stats = SynthStats {
-                    spec_nodes: r.u64("stat spec_nodes")? as usize,
-                    impl_choices: r.u64("stat impl_choices")? as usize,
-                    // Restamped per call on delivery.
-                    elapsed: Duration::ZERO,
-                    truncated_combinations: r.u64("stat truncation")?,
-                };
-                Ok(Arc::new(DesignSet {
-                    spec: spec.clone(),
-                    alternatives,
-                    unconstrained_size,
-                    unconstrained_log10,
-                    uniform_size,
-                    stats,
-                }))
+/// Decodes one result body for `spec` against the (possibly grown)
+/// hydrated space. This is the lazy read path: it runs when a spec is
+/// first requested, not at load, and rebuilds the implementation trees
+/// with the solve path's own [`extract`] so warm answers stay
+/// bit-identical to cold ones.
+pub(crate) fn decode_result_body(
+    bytes: &[u8],
+    space: &DesignSpace,
+    spec: &ComponentSpec,
+) -> Result<Result<Arc<DesignSet>, SynthError>, String> {
+    let mut r = Reader::new(bytes);
+    let result = match r.u8("result tag")? {
+        0 => Err(get_synth_error(&mut r)?),
+        1 => {
+            let root = space
+                .id_of(spec)
+                .ok_or_else(|| format!("result spec {spec} not in space"))?;
+            let alt_count = r.len("alternative")?;
+            let mut alternatives = Vec::with_capacity(alt_count);
+            for _ in 0..alt_count {
+                let area = r.f64("alternative area")?;
+                let delay = r.f64("alternative delay")?;
+                let timing = get_timing(&mut r)?;
+                let policy = get_policy(&mut r, space.nodes.len())?;
+                check_policy_covers(space, root, &policy)?;
+                // Rebuilding through the solve path's own `extract`
+                // pins warm implementations bit-identical to cold.
+                let implementation = extract::extract(space, root, &policy);
+                alternatives.push(Alternative {
+                    area,
+                    delay,
+                    timing,
+                    implementation,
+                });
             }
-            other => return Err(format!("unknown result tag {other}")),
-        };
-        out.push((spec, result));
+            let unconstrained_size = r.f64("unconstrained size")?;
+            let unconstrained_log10 = r.f64("unconstrained log10")?;
+            let uniform_size = if r.bool("uniform presence")? {
+                Some(r.u64("uniform size")?)
+            } else {
+                None
+            };
+            let stats = SynthStats {
+                spec_nodes: r.u64("stat spec_nodes")? as usize,
+                impl_choices: r.u64("stat impl_choices")? as usize,
+                // Restamped per call on delivery.
+                elapsed: Duration::ZERO,
+                truncated_combinations: r.u64("stat truncation")?,
+            };
+            Ok(Arc::new(DesignSet {
+                spec: spec.clone(),
+                alternatives,
+                unconstrained_size,
+                unconstrained_log10,
+                uniform_size,
+                stats,
+            }))
+        }
+        other => return Err(format!("unknown result tag {other}")),
+    };
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after result", r.remaining()));
+    }
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------
+// Delta payloads: the O(dirty) sections of a delta segment.
+
+/// Encodes the space *extension* a delta carries: the nodes appended
+/// since `first_new` (with a self-contained template table) plus the full
+/// taint set (small, and replacing it wholesale keeps hydration simple
+/// and order-independent).
+pub(crate) fn encode_space_extension(space: &DesignSpace, first_new: usize) -> Vec<u8> {
+    let new_nodes = &space.nodes[first_new..];
+    let (templates, template_index) = intern_templates(new_nodes);
+    let mut w = Writer::new();
+    w.usize32(templates.len());
+    for template in &templates {
+        put_template(&mut w, template);
+    }
+    w.usize32(new_nodes.len());
+    for node in new_nodes {
+        put_spec(&mut w, &node.spec);
+        put_node_body(&mut w, node, &template_index);
+    }
+    put_tainted(&mut w, &space.tainted);
+    w.into_bytes()
+}
+
+/// Decodes a space extension spanning global ids
+/// `prev_nodes..node_count`. Child references may point below
+/// `prev_nodes` (into earlier segments); spec-level duplicate checks
+/// against the already-hydrated space happen at hydration, where the full
+/// memo exists.
+pub(crate) fn decode_space_extension(
+    bytes: &[u8],
+    prev_nodes: usize,
+    node_count: usize,
+) -> Result<(Vec<SpecNode>, HashSet<SpecId>), String> {
+    let mut r = Reader::new(bytes);
+    let template_count = r.len("template")?;
+    let mut templates = Vec::with_capacity(template_count);
+    for _ in 0..template_count {
+        templates.push(Arc::new(get_template(&mut r)?));
+    }
+    let new_count = r.len("extension node")?;
+    if prev_nodes + new_count != node_count {
+        return Err(format!(
+            "extension carries {new_count} nodes, header spans {prev_nodes}..{node_count}"
+        ));
+    }
+    let mut nodes = Vec::with_capacity(new_count);
+    for offset in 0..new_count {
+        let spec = get_spec(&mut r)?;
+        let (impls, children) = get_node_body(&mut r, prev_nodes + offset, &templates)?;
+        nodes.push(SpecNode {
+            spec,
+            impls,
+            children,
+        });
+    }
+    let tainted = get_tainted(&mut r, node_count)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after extension", r.remaining()));
+    }
+    Ok((nodes, tainted))
+}
+
+/// Encodes the fronts newly solved since the last flush as an explicit
+/// `(node id, truncation, points)` update list — O(dirty), unlike the
+/// padded base encoding.
+pub(crate) fn encode_front_updates(fronts: &FrontStore, ids: &[usize]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize32(ids.len());
+    for &id in ids {
+        let points = fronts.fronts[id]
+            .as_ref()
+            .expect("dirty front ids are solved");
+        w.u32(id as u32);
+        w.u64(fronts.truncated[id]);
+        w.usize32(points.len());
+        for point in points.iter() {
+            put_design_point(&mut w, point);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a delta's front updates. Node-id and policy-id bounds are
+/// checked against `node_count` (the chain total after this delta);
+/// policy *choice* bounds need the hydrated space and are checked there.
+pub(crate) fn decode_front_updates(
+    bytes: &[u8],
+    node_count: usize,
+) -> Result<Vec<(SpecId, u64, Vec<DesignPoint>)>, String> {
+    let mut r = Reader::new(bytes);
+    let update_count = r.len("front update")?;
+    let mut out = Vec::with_capacity(update_count);
+    for _ in 0..update_count {
+        let id = r.u32("front node id")? as usize;
+        if id >= node_count {
+            return Err(format!("front update for node {id} of {node_count}"));
+        }
+        let truncated = r.u64("front truncation")?;
+        let count = r.len("design point")?;
+        let mut points = Vec::with_capacity(count);
+        for _ in 0..count {
+            points.push(get_design_point(&mut r, node_count)?);
+        }
+        out.push((id, truncated, points));
+    }
+    if r.remaining() != 0 {
+        return Err(format!(
+            "{} trailing bytes after front updates",
+            r.remaining()
+        ));
     }
     Ok(out)
 }
 
-// ---------------------------------------------------------------------
-// Whole snapshots.
-
-/// Encodes a snapshot under `key`. Returns the bytes and the number of
-/// memoized results actually persisted (cold-fallback results are
-/// skipped; see [`put_results`]).
-pub(crate) fn encode_snapshot(snapshot: &EngineSnapshot, key: &StoreKey) -> (Vec<u8>, usize) {
-    let mut w = Writer::new();
-    w.buf.extend_from_slice(&MAGIC);
-    w.u32(key.format_version);
-    w.u64(key.library);
-    w.u64(key.rules);
-    w.u64(key.config);
-    put_space(&mut w, &snapshot.space);
-    put_fronts(&mut w, &snapshot.fronts, snapshot.space.nodes.len());
-    let persisted = put_results(&mut w, &snapshot.space, &snapshot.results);
-    let checksum = fnv1a_64(&w.buf);
-    w.u64(checksum);
-    (w.buf, persisted)
-}
-
-/// Decodes a snapshot, verifying — in order — length, checksum, magic,
-/// format version and all three fingerprints against `key` before any
-/// structure is parsed. Every failure is a reason string; decoding never
-/// panics.
-pub(crate) fn decode_snapshot(bytes: &[u8], key: &StoreKey) -> Result<EngineSnapshot, String> {
-    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
-        return Err(format!("file too short ({} bytes)", bytes.len()));
+/// Every `(node, choice)` a policy assigns must exist in the space — the
+/// deferred half of delta front validation (see
+/// [`decode_front_updates`]).
+pub(crate) fn check_front_policies(
+    space: &DesignSpace,
+    points: &[DesignPoint],
+) -> Result<(), String> {
+    for point in points {
+        check_policy_bounds(space, &point.policy)?;
     }
-    let (payload, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
-    let mut r = Reader::new(tail);
-    let stored = r.u64("checksum")?;
-    let computed = fnv1a_64(payload);
-    if stored != computed {
-        return Err(format!(
-            "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
-        ));
-    }
-    let mut r = Reader::new(payload);
-    let magic = r.take(MAGIC.len(), "magic")?;
-    if magic != MAGIC {
-        return Err("not a DTAS snapshot (bad magic)".into());
-    }
-    let version = r.u32("format version")?;
-    if version != key.format_version {
-        return Err(format!(
-            "format version {version} (this build reads {})",
-            key.format_version
-        ));
-    }
-    let library = r.u64("library fingerprint")?;
-    if library != key.library {
-        return Err("library fingerprint mismatch".into());
-    }
-    let rules = r.u64("rule-set fingerprint")?;
-    if rules != key.rules {
-        return Err("rule-set fingerprint mismatch".into());
-    }
-    let config = r.u64("config fingerprint")?;
-    if config != key.config {
-        return Err("configuration fingerprint mismatch".into());
-    }
-    let space = get_space(&mut r)?;
-    let fronts = get_fronts(&mut r, &space)?;
-    let results = get_results(&mut r, &space)?;
-    if r.remaining() != 0 {
-        return Err(format!("{} trailing bytes", r.remaining()));
-    }
-    Ok(EngineSnapshot {
-        space,
-        fronts,
-        results,
-    })
+    Ok(())
 }

@@ -72,6 +72,12 @@ pub(crate) struct MemStore {
     memo: Vec<MemoShard>,
     pub(crate) hits: AtomicU64,
     pub(crate) misses: AtomicU64,
+    /// Solves whose effects (memoized result, merged fronts) have fully
+    /// landed in this store. `misses` increments when a solve *starts*,
+    /// so the checkpoint skip/flush decision keys on this counter
+    /// instead: a snapshot exported mid-solve must not mark that solve
+    /// as flushed.
+    pub(crate) settled: AtomicU64,
     pub(crate) shard_contention: AtomicU64,
     pub(crate) state_exclusive: AtomicU64,
     pub(crate) poison_recoveries: AtomicU64,
@@ -84,6 +90,7 @@ impl Default for MemStore {
             memo: (0..RESULT_SHARDS).map(|_| MemoShard::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            settled: AtomicU64::new(0),
             shard_contention: AtomicU64::new(0),
             state_exclusive: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
@@ -191,6 +198,7 @@ impl MemStore {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.settled.store(0, Ordering::Relaxed);
         self.shard_contention.store(0, Ordering::Relaxed);
         self.state_exclusive.store(0, Ordering::Relaxed);
         self.poison_recoveries.store(0, Ordering::Relaxed);
@@ -226,9 +234,13 @@ impl MemStore {
     /// checkpoint). Cheap relative to solving: the space clone shares
     /// templates and the fronts snapshot is `Arc` bumps.
     pub(crate) fn export_snapshot(&self) -> EngineSnapshot {
-        let (space, fronts) = {
+        let (space, fronts, generation) = {
             let state = self.read_state();
-            (state.space.clone(), state.fronts.snapshot())
+            (
+                state.space.clone(),
+                state.fronts.snapshot(),
+                state.generation,
+            )
         };
         let mut results: Vec<(ComponentSpec, Result<Arc<DesignSet>, SynthError>)> = Vec::new();
         for shard in &self.memo {
@@ -246,21 +258,7 @@ impl MemStore {
             space,
             fronts,
             results,
-        }
-    }
-
-    /// Installs a loaded snapshot. Only called on a freshly constructed
-    /// store (warm start happens at engine construction), so there are no
-    /// concurrent clients and no generation hazards.
-    pub(crate) fn hydrate(&self, snapshot: EngineSnapshot) {
-        {
-            let mut state = self.write_state();
-            state.space = snapshot.space;
-            state.fronts = snapshot.fronts;
-        }
-        for (spec, result) in snapshot.results {
-            let cell = self.result_cell(&spec);
-            let _ = cell.set(result);
+            generation,
         }
     }
 }

@@ -1,49 +1,63 @@
-//! The engine storage layer: in-memory state, snapshots, and pluggable
-//! warm-start backends.
+//! The engine storage layer: in-memory state, tiered segment chains, and
+//! pluggable warm-start backends.
 //!
 //! [`Dtas`](crate::Dtas) keeps its hot state in a sharded in-memory store
-//! (the private `mem` module) and can mirror that state — the design space, every
-//! solved front, and the memoized whole-query results — through the
-//! [`ResultStore`] trait to a backend that outlives the engine:
+//! (the private `mem` module) and can mirror that state — the design
+//! space, every solved front, and the memoized whole-query results —
+//! through the [`ResultStore`] trait to a backend that outlives the
+//! engine.
 //!
-//! * [`PersistentStore`] writes versioned, checksummed snapshot files to
-//!   a directory (the `--cache-dir` of the `dtas` CLI), so a restarted
-//!   process — or a *different* process — warm-starts from the previous
-//!   run's explored space instead of re-paying the full cold solve;
-//! * [`MemSnapshotStore`] holds encoded snapshots in memory, exercising
-//!   the exact same codec path — useful in tests and for handing warmed
-//!   state between engines inside one process.
+//! Since format version 2 a key's persisted state is a **chain**: one
+//! immutable *base* segment plus zero or more O(dirty) *delta* segments
+//! (see the `segment` module). Loading returns a [`WarmSource`] — a
+//! validated but mostly *undecoded* view of the chain: the base is
+//! memory-mapped where the platform supports it, and the engine decodes
+//! each stored result only when its spec is first requested. Saving is
+//! either a full base rewrite ([`ResultStore::save_full`], also the
+//! compaction step) or an appended delta carrying just the engine's
+//! [`DirtySet`] ([`ResultStore::save_delta`]).
 //!
-//! Snapshots are keyed by [`StoreKey`]: codec [`FORMAT_VERSION`] plus the
+//! * [`PersistentStore`] keeps chains as files in a directory (the
+//!   `--cache-dir` of the `dtas` CLI), so a restarted — or concurrent —
+//!   process warm-starts from a previous run's explored space, sharing
+//!   one page-cache copy of the mapped base across processes;
+//! * [`MemSnapshotStore`] holds encoded chains in memory, exercising the
+//!   exact same segment/codec path — useful in tests and for handing
+//!   warmed state between engines inside one process.
+//!
+//! Chains are keyed by [`StoreKey`]: codec [`FORMAT_VERSION`] plus the
 //! library ([`CellLibrary::fingerprint`](cells::CellLibrary::fingerprint)),
 //! rule-set ([`RuleSet::fingerprint`](crate::RuleSet::fingerprint)) and
 //! configuration
 //! ([`DtasConfig::result_fingerprint`](crate::DtasConfig::result_fingerprint))
-//! fingerprints. A snapshot taken under *any* other combination is
+//! fingerprints. A chain written under *any* other combination is
 //! rejected at load — never silently reused — and the engine starts cold,
 //! which is always correct.
 
 pub(crate) mod codec;
 mod disk;
 pub(crate) mod mem;
+mod mmap;
+pub(crate) mod segment;
 
 pub use codec::FORMAT_VERSION;
-pub use disk::PersistentStore;
-
-pub(crate) use codec::{decode_snapshot, encode_snapshot};
+pub use disk::{CacheKeyEntry, GcItem, GcPlan, GcReason, PersistentStore};
+pub use segment::WarmSource;
 
 use crate::report::DesignSet;
 use crate::space::{DesignSpace, FrontStore};
 use crate::SynthError;
 use genus::spec::ComponentSpec;
+use mmap::SegmentBytes;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// The compatibility key a snapshot is stored and validated under.
+/// The compatibility key a chain is stored and validated under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct StoreKey {
-    /// Codec [`FORMAT_VERSION`] the snapshot was written with.
+    /// Codec [`FORMAT_VERSION`] the chain was written with.
     pub format_version: u32,
     /// [`CellLibrary::fingerprint`](cells::CellLibrary::fingerprint) of
     /// the target library.
@@ -67,6 +81,10 @@ pub struct EngineSnapshot {
     pub(crate) fronts: FrontStore,
     /// Memoized whole-query results in canonical (spec-sorted) order.
     pub(crate) results: Vec<(ComponentSpec, Result<Arc<DesignSet>, SynthError>)>,
+    /// The shared-state generation this snapshot was exported under, so
+    /// the checkpoint watermark can tell a grown space from a *reset*
+    /// one (`clear_cache`, poison recovery — node ids restart at 0).
+    pub(crate) generation: u64,
 }
 
 impl EngineSnapshot {
@@ -86,13 +104,28 @@ impl EngineSnapshot {
     }
 }
 
-/// Why a backend had no snapshot to offer, or what it found.
+/// What an engine changed since its last flush — the payload of a delta
+/// checkpoint, O(dirty) rather than O(space).
+pub struct DirtySet {
+    /// Nodes `first_new_node..` were appended since the last flush.
+    pub first_new_node: usize,
+    /// Node ids whose fronts were solved since the last flush.
+    pub front_ids: Vec<usize>,
+    /// Indices into the snapshot's `results` of entries not yet flushed.
+    pub result_indices: Vec<usize>,
+}
+
+/// Why a backend had no chain to offer, or what it found.
 pub enum LoadOutcome {
-    /// A compatible snapshot was decoded and verified.
+    /// A compatible chain was validated. Decoding is lazy — see
+    /// [`WarmSource`].
     Loaded {
-        /// The decoded state, ready to hydrate an engine.
-        snapshot: EngineSnapshot,
-        /// Encoded size, for [`CacheStats::snapshot_bytes`](crate::CacheStats::snapshot_bytes).
+        /// The validated chain, ready to serve an engine (boxed: a
+        /// chain carries its maps and decode cursors, and the enum
+        /// would otherwise dwarf `Missing`).
+        source: Box<WarmSource>,
+        /// Total encoded size (base + deltas), for
+        /// [`CacheStats::snapshot_bytes`](crate::CacheStats::snapshot_bytes).
         bytes: u64,
     },
     /// The backend has nothing stored under this key (a plain cold
@@ -109,10 +142,10 @@ pub enum LoadOutcome {
     },
 }
 
-/// What a successful [`ResultStore::save`] wrote.
+/// What a successful save wrote.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SaveReport {
-    /// Encoded snapshot size in bytes.
+    /// Encoded segment size in bytes.
     pub bytes: u64,
     /// Memoized results persisted (results solved on private cold state
     /// are skipped — see the codec docs).
@@ -142,33 +175,84 @@ impl std::error::Error for StoreError {}
 /// outlive the engine.
 ///
 /// Implementations must be fail-safe: [`load`](Self::load) returns
-/// [`LoadOutcome::Rejected`] (never panics, never a partial snapshot) for
-/// anything it cannot fully validate, and [`save`](Self::save) must be
-/// atomic with respect to concurrent loads.
+/// [`LoadOutcome::Rejected`] (never panics, never a torn chain) for
+/// anything it cannot fully validate, and both save paths must be atomic
+/// with respect to concurrent loads (publish via rename or equivalent).
 pub trait ResultStore: Send + Sync {
-    /// Where this store keeps snapshots, for diagnostics.
+    /// Where this store keeps chains, for diagnostics.
     fn location(&self) -> String;
 
-    /// Fetches and validates the snapshot stored under `key`, if any.
+    /// Fetches and validates the chain stored under `key`, if any.
     fn load(&self, key: &StoreKey) -> LoadOutcome;
 
-    /// Persists `snapshot` under `key`, replacing any previous snapshot.
+    /// Persists `snapshot` as a fresh base segment, starting a new chain
+    /// that supersedes any previous one (this is also the compaction
+    /// step: base + deltas fold into one segment).
     ///
     /// # Errors
     ///
     /// [`StoreError`] when the backing medium fails; encoding itself is
     /// infallible.
-    fn save(&self, key: &StoreKey, snapshot: &EngineSnapshot) -> Result<SaveReport, StoreError>;
+    fn save_full(
+        &self,
+        key: &StoreKey,
+        snapshot: &EngineSnapshot,
+    ) -> Result<SaveReport, StoreError>;
+
+    /// Appends `dirty` as a delta segment onto the chain this store last
+    /// wrote or loaded for `key`. Returns `Ok(None)` — asking the caller
+    /// to fall back to [`save_full`](Self::save_full) — when there is no
+    /// such chain, or when `dirty` does not extend exactly the chain's
+    /// recorded node count (another writer moved it; appending would
+    /// corrupt the chain, rewriting is always safe).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the backing medium fails.
+    fn save_delta(
+        &self,
+        key: &StoreKey,
+        snapshot: &EngineSnapshot,
+        dirty: &DirtySet,
+    ) -> Result<Option<SaveReport>, StoreError>;
 }
 
-/// An in-memory [`ResultStore`]: snapshots are held as *encoded bytes*
-/// keyed by [`StoreKey`], so every load and save exercises the same codec
-/// and validation path as [`PersistentStore`] — only the medium differs.
-/// Share one behind an [`Arc`] to hand warmed state between engines in a
-/// single process without touching disk.
+/// Process-unique id for a fresh base segment: deltas name it so a chain
+/// can never mix segments from two different bases (e.g. two processes
+/// compacting the same key back to back).
+pub(crate) fn fresh_base_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut seed = Vec::with_capacity(24);
+    seed.extend_from_slice(&(std::process::id() as u64).to_le_bytes());
+    seed.extend_from_slice(&nanos.to_le_bytes());
+    seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    rtl_base::hash::fnv1a_64(&seed)
+}
+
+/// One in-memory chain: the same segment bytes a [`PersistentStore`]
+/// would put in files.
+struct MemChain {
+    base: Vec<u8>,
+    base_id: u64,
+    next_seq: u32,
+    last_link: u64,
+    node_count: u32,
+    deltas: Vec<Vec<u8>>,
+}
+
+/// An in-memory [`ResultStore`]: chains are held as *encoded segment
+/// bytes* keyed by [`StoreKey`], so every load and save exercises the
+/// same segment framing and validation path as [`PersistentStore`] — only
+/// the medium (and the mmap) differs. Share one behind an [`Arc`] to hand
+/// warmed state between engines in a single process without touching
+/// disk.
 #[derive(Default)]
 pub struct MemSnapshotStore {
-    slots: Mutex<HashMap<StoreKey, Vec<u8>>>,
+    slots: Mutex<HashMap<StoreKey, MemChain>>,
 }
 
 impl MemSnapshotStore {
@@ -177,7 +261,7 @@ impl MemSnapshotStore {
         MemSnapshotStore::default()
     }
 
-    /// Number of snapshots held.
+    /// Number of chains held.
     pub fn len(&self) -> usize {
         self.slots.lock().expect("snapshot slots poisoned").len()
     }
@@ -185,6 +269,16 @@ impl MemSnapshotStore {
     /// True when nothing has been saved yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of delta segments currently chained under `key`.
+    pub fn delta_count(&self, key: &StoreKey) -> usize {
+        self.slots
+            .lock()
+            .expect("snapshot slots poisoned")
+            .get(key)
+            .map(|chain| chain.deltas.len())
+            .unwrap_or(0)
     }
 }
 
@@ -194,32 +288,78 @@ impl ResultStore for MemSnapshotStore {
     }
 
     fn load(&self, key: &StoreKey) -> LoadOutcome {
-        let bytes = {
+        let (base, deltas) = {
             let slots = self.slots.lock().expect("snapshot slots poisoned");
             match slots.get(key) {
-                Some(bytes) => bytes.clone(),
+                Some(chain) => (chain.base.clone(), chain.deltas.clone()),
                 None => return LoadOutcome::Missing,
             }
         };
-        match decode_snapshot(&bytes, key) {
-            Ok(snapshot) => LoadOutcome::Loaded {
-                snapshot,
-                bytes: bytes.len() as u64,
+        let bytes = (base.len() + deltas.iter().map(Vec::len).sum::<usize>()) as u64;
+        let deltas = deltas.into_iter().map(SegmentBytes::Owned).collect();
+        match segment::assemble_chain(SegmentBytes::Owned(base), deltas, key) {
+            Ok(source) => LoadOutcome::Loaded {
+                source: Box::new(source),
+                bytes,
             },
             Err(reason) => LoadOutcome::Rejected { reason },
         }
     }
 
-    fn save(&self, key: &StoreKey, snapshot: &EngineSnapshot) -> Result<SaveReport, StoreError> {
-        let (bytes, results) = encode_snapshot(snapshot, key);
+    fn save_full(
+        &self,
+        key: &StoreKey,
+        snapshot: &EngineSnapshot,
+    ) -> Result<SaveReport, StoreError> {
+        let base_id = fresh_base_id();
+        let encoded = segment::encode_base(snapshot, key, base_id);
         let report = SaveReport {
-            bytes: bytes.len() as u64,
-            results,
+            bytes: encoded.bytes.len() as u64,
+            results: encoded.results,
         };
-        self.slots
-            .lock()
-            .expect("snapshot slots poisoned")
-            .insert(*key, bytes);
+        self.slots.lock().expect("snapshot slots poisoned").insert(
+            *key,
+            MemChain {
+                base: encoded.bytes,
+                base_id,
+                next_seq: 1,
+                last_link: encoded.header_checksum,
+                node_count: snapshot.space.nodes.len() as u32,
+                deltas: Vec::new(),
+            },
+        );
         Ok(report)
+    }
+
+    fn save_delta(
+        &self,
+        key: &StoreKey,
+        snapshot: &EngineSnapshot,
+        dirty: &DirtySet,
+    ) -> Result<Option<SaveReport>, StoreError> {
+        let mut slots = self.slots.lock().expect("snapshot slots poisoned");
+        let Some(chain) = slots.get_mut(key) else {
+            return Ok(None);
+        };
+        if dirty.first_new_node != chain.node_count as usize {
+            return Ok(None);
+        }
+        let encoded = segment::encode_delta(
+            snapshot,
+            dirty,
+            key,
+            chain.base_id,
+            chain.next_seq,
+            chain.last_link,
+        );
+        let report = SaveReport {
+            bytes: encoded.bytes.len() as u64,
+            results: encoded.results,
+        };
+        chain.next_seq += 1;
+        chain.last_link = encoded.header_checksum;
+        chain.node_count = snapshot.space.nodes.len() as u32;
+        chain.deltas.push(encoded.bytes);
+        Ok(Some(report))
     }
 }

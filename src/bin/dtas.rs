@@ -6,6 +6,7 @@
 //! dtas flow --hls FILE [--book FILE] [--emit-vhdl OUT]
 //! dtas lint [--hls FILE]... [--legend FILE]... [--book FILE]
 //! dtas serve [--port P] [--book FILE]
+//! dtas cache --cache-dir DIR [--gc [--apply]]
 //! dtas help
 //! ```
 //!
@@ -14,13 +15,14 @@
 //! scheduling, control compilation, linking and technology mapping;
 //! `lint` runs the `core::analyze` static-analysis passes over input
 //! artifacts and exits 0/1/2 for clean/warnings/errors; `serve` puts the
-//! engine behind the `core::net` TCP wire protocol.
+//! engine behind the `core::net` TCP wire protocol; `cache` inventories
+//! and garbage-collects the tiered warm-start store in a `--cache-dir`.
 
 use cells::CellLibrary;
 use dtas::{
     Admission, DesignSet, Dtas, DtasService, FilterPolicy, LintRegistry, LintReport, LintTarget,
-    Priority, RuleSet, ServeConfig, ServiceConfig, ServiceStats, Severity, SynthRequest, Ticket,
-    WireClient, WireServer,
+    PersistentStore, Priority, RuleSet, ServeConfig, ServiceConfig, ServiceStats, Severity,
+    SynthRequest, Ticket, WireClient, WireServer,
 };
 use genus::kind::{ComponentKind, GateOp};
 use genus::op::{Op, OpSet};
@@ -93,6 +95,18 @@ USAGE:
       sizing flags are rejected) and prints client RTT percentiles plus
       the server's own measured counters.
 
+  dtas cache --cache-dir DIR [--gc [--apply]] [--max-age-secs S]
+             [--format json]
+      Inventory the tiered warm-start store in DIR: one line per snapshot
+      key (library/rule/config fingerprints) with its format version,
+      generation, base and delta sizes, segment count and age. --gc plans
+      a garbage collection (orphaned temporaries, superseded generations,
+      broken chains, stale formats, and — with --max-age-secs — whole
+      keys idle longer than S seconds); the plan is a dry run unless
+      --apply is also given. --format json prints one machine-readable
+      dtas-cache/1 document. Exit code 0 whether or not anything is
+      collectable; flag misuse exits 1.
+
 ADMISSION POLICY (--admission):
   reject                 refuse when the lane is full
   block                  wait up to 5s for space (default)
@@ -106,10 +120,15 @@ PERSISTENCE:
   --cache-dir DIR warm-starts the engine from DIR and flushes the explored
   design space, solved fronts and memoized results back on exit, so a
   second `dtas` process answers repeated queries from disk in microseconds
-  instead of re-paying the cold solve. Snapshots are keyed by library,
-  rule-set and configuration fingerprints plus the codec version; anything
+  instead of re-paying the cold solve. The store is tiered: loads map an
+  immutable base segment (results decode lazily, on first request),
+  checkpoints append O(dirty) delta segments, and a compaction pass folds
+  long chains back into one base. Chains are keyed by library, rule-set
+  and configuration fingerprints plus the codec version; anything
   incompatible (or corrupt) is rejected and the run simply starts cold.
-  --stats prints the cache and snapshot-store counters after the query.
+  `dtas cache` lists and garbage-collects what accumulates in a shared
+  DIR. --stats prints the cache and snapshot-store counters after the
+  query.
 
 SPEC grammar:  kind:width[:attr...]
   kind   add | alu | mux | comparator | counter | register | shifter | lu
@@ -125,6 +144,7 @@ SPEC grammar:  kind:width[:attr...]
 EXAMPLES:
   dtas map --spec add:16:cin:cout
   dtas map --spec alu:64 --cache-dir ~/.cache/dtas --queue-depth 8 --stats
+  dtas cache --cache-dir ~/.cache/dtas --gc --max-age-secs 604800 --apply
   dtas map --spec alu:64 --pareto --format json
   dtas map --spec mux:8:n=4 --book my_cells.book
   dtas flow --hls gcd.ent --emit-vhdl gcd.vhd
@@ -1217,6 +1237,149 @@ fn cmd_lint(args: &Args) -> Result<i32, BridgeError> {
     })
 }
 
+/// `dtas cache`: inventory and garbage-collect a shared `--cache-dir`.
+fn cmd_cache(args: &Args) -> Result<(), BridgeError> {
+    args.expect_only(&["cache-dir", "gc", "apply", "max-age-secs", "format"])?;
+    let json = wants_json(args)?;
+    let dir = args.require("cache-dir")?;
+    let want_gc = args.has("gc");
+    if args.has("apply") && !want_gc {
+        return Err(BridgeError::Flow(
+            "--apply requires --gc (a plain listing deletes nothing)".into(),
+        ));
+    }
+    let max_age = args
+        .value_of("max-age-secs")?
+        .map(str::parse)
+        .transpose()
+        .map_err(|e: std::num::ParseIntError| {
+            BridgeError::Flow(format!("bad --max-age-secs: {e}"))
+        })?
+        .map(Duration::from_secs);
+    if max_age.is_some() && !want_gc {
+        return Err(BridgeError::Flow(
+            "--max-age-secs is a --gc retention knob; pass --gc as well".into(),
+        ));
+    }
+    let store = PersistentStore::new(dir);
+    let entries = store.inventory().map_err(BridgeError::Store)?;
+    let plan = match want_gc {
+        true => Some(store.plan_gc(max_age).map_err(BridgeError::Store)?),
+        false => None,
+    };
+    let reclaimed = match &plan {
+        Some(plan) if args.has("apply") => Some(store.apply_gc(plan).map_err(BridgeError::Store)?),
+        _ => None,
+    };
+    if json {
+        // One dtas-cache/1 document, nothing else on stdout — the
+        // contract the `--format json` CLI tests pin. Fingerprints are
+        // 16-digit hex strings (u64s do not survive JSON doubles).
+        let keys: Vec<String> = entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"library\":{},\"rules\":{},\"config\":{},\"format_version\":{},\
+                     \"current_format\":{},\"generation\":{},\"base_bytes\":{},\
+                     \"delta_count\":{},\"delta_bytes\":{},\"total_bytes\":{},\"age_secs\":{}}}",
+                    json_str(&format!("{:016x}", e.library)),
+                    json_str(&format!("{:016x}", e.rules)),
+                    json_str(&format!("{:016x}", e.config)),
+                    e.format_version,
+                    e.current_format,
+                    e.generation,
+                    e.base_bytes,
+                    e.delta_count,
+                    e.delta_bytes,
+                    e.total_bytes,
+                    e.age_secs
+                )
+            })
+            .collect();
+        let gc = match &plan {
+            None => "null".to_string(),
+            Some(plan) => {
+                let files: Vec<String> = plan
+                    .items
+                    .iter()
+                    .map(|item| {
+                        format!(
+                            "{{\"path\":{},\"bytes\":{},\"reason\":{}}}",
+                            json_str(&item.path.display().to_string()),
+                            item.bytes,
+                            json_str(&item.reason.to_string())
+                        )
+                    })
+                    .collect();
+                let reclaimed = match reclaimed {
+                    Some(n) => n.to_string(),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"applied\":{},\"reclaimable_bytes\":{},\"reclaimed_bytes\":{reclaimed},\
+                     \"kept\":{},\"files\":[{}]}}",
+                    reclaimed != "null",
+                    plan.bytes(),
+                    plan.kept,
+                    files.join(",")
+                )
+            }
+        };
+        println!(
+            "{{\"schema\":\"dtas-cache/1\",\"dir\":{},\"keys\":[{}],\"gc\":{gc}}}",
+            json_str(dir),
+            keys.join(",")
+        );
+        return Ok(());
+    }
+    println!("cache: {} key(s) in {dir}", entries.len());
+    for e in &entries {
+        let compat = match e.current_format {
+            true => "",
+            false => " [unreadable by this build]",
+        };
+        println!(
+            "  lib={:016x} rules={:016x} cfg={:016x} v{} gen={} \
+             base={}B deltas={} ({}B) total={}B age={}s{compat}",
+            e.library,
+            e.rules,
+            e.config,
+            e.format_version,
+            e.generation,
+            e.base_bytes,
+            e.delta_count,
+            e.delta_bytes,
+            e.total_bytes,
+            e.age_secs
+        );
+    }
+    if let Some(plan) = &plan {
+        for item in &plan.items {
+            println!(
+                "gc: {} ({}, {}B)",
+                item.path.display(),
+                item.reason,
+                item.bytes
+            );
+        }
+        match reclaimed {
+            Some(bytes) => println!(
+                "gc: reclaimed {bytes}B across {} file(s), {} kept",
+                plan.items.len(),
+                plan.kept
+            ),
+            None => println!(
+                "gc: would reclaim {}B across {} file(s), {} kept \
+                 (dry run; add --apply to delete)",
+                plan.bytes(),
+                plan.items.len(),
+                plan.kept
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<i32, BridgeError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
@@ -1225,6 +1388,7 @@ fn run() -> Result<i32, BridgeError> {
         Some("lint") => cmd_lint(&Args::parse(&raw[1..])?),
         Some("serve") => cmd_serve(&Args::parse(&raw[1..])?).map(|()| 0),
         Some("bench-load") => cmd_bench_load(&Args::parse(&raw[1..])?).map(|()| 0),
+        Some("cache") => cmd_cache(&Args::parse(&raw[1..])?).map(|()| 0),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(0)

@@ -179,11 +179,11 @@ fn flow_accepts_a_cache_dir() {
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("technology mapping:"), "{stdout}");
     }
-    // The flow flushed a snapshot for the second run to load.
+    // The flow flushed a base segment for the second run to load.
     let snapshots = std::fs::read_dir(&dir)
         .expect("cache dir exists")
         .filter_map(Result::ok)
-        .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+        .filter(|e| e.path().extension().is_some_and(|x| x == "base"))
         .count();
     assert_eq!(snapshots, 1);
     let _ = std::fs::remove_file(&entity);
@@ -639,4 +639,182 @@ fn lint_errors_carry_stable_codes_on_stderr() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("dtas: error["), "{stderr}");
+}
+
+// ---------------------------------------------------------------------
+// cache: inventory + GC over a shared --cache-dir.
+
+/// Seeds `dir` with one warm-start chain (one base segment) and returns
+/// the base file's path.
+fn seed_cache_dir(dir: &PathBuf) -> PathBuf {
+    let _ = std::fs::remove_dir_all(dir);
+    let out = dtas()
+        .args(["map", "--spec", "add:16:cin:cout", "--cache-dir"])
+        .arg(dir)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "base"))
+        .expect("a base segment was flushed")
+}
+
+#[test]
+fn cache_lists_keys_and_exits_zero_on_an_empty_dir() {
+    let dir = temp_path("cache_list");
+    seed_cache_dir(&dir);
+    let out = dtas()
+        .args(["cache", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache: 1 key(s)"), "{stdout}");
+    assert!(stdout.contains("lib="), "{stdout}");
+    assert!(stdout.contains("gen=1"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A missing directory is an empty inventory, not an error.
+    let out = dtas()
+        .args(["cache", "--cache-dir"])
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("cache: 0 key(s)"),
+        "{out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_format_json_has_the_pinned_schema() {
+    let dir = temp_path("cache_json");
+    seed_cache_dir(&dir);
+    let doc = run_json(&[
+        "cache",
+        "--cache-dir",
+        dir.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        doc.at(&["schema"]).and_then(Json::str_value),
+        Some("dtas-cache/1")
+    );
+    assert!(doc.get("dir").and_then(Json::str_value).is_some());
+    let keys = doc.get("keys").and_then(Json::arr).expect("keys array");
+    assert_eq!(keys.len(), 1);
+    let key = &keys[0];
+    for fp in ["library", "rules", "config"] {
+        let hex = key.get(fp).and_then(Json::str_value).expect(fp);
+        assert_eq!(hex.len(), 16, "{fp}: {hex}");
+    }
+    assert_eq!(key.get("current_format"), Some(&Json::Bool(true)));
+    assert_eq!(key.get("generation").and_then(Json::num), Some(1.0));
+    assert!(key.get("base_bytes").and_then(Json::num).expect("bytes") > 0.0);
+    assert_eq!(key.get("delta_count").and_then(Json::num), Some(0.0));
+    for k in ["delta_bytes", "total_bytes", "age_secs", "format_version"] {
+        assert!(key.get(k).and_then(Json::num).is_some(), "{k} missing");
+    }
+    // No --gc: the gc block is explicitly null, not absent.
+    assert!(matches!(doc.get("gc"), Some(Json::Null)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_gc_is_a_dry_run_unless_applied() {
+    let dir = temp_path("cache_gc");
+    let base = seed_cache_dir(&dir);
+    // A superseded generation — exactly what a crash between publish and
+    // prune leaves behind.
+    let stale = dir.join(
+        base.file_name()
+            .and_then(|n| n.to_str())
+            .expect("name")
+            .replace("-g00000001.base", "-g00000000.base"),
+    );
+    assert_ne!(stale, base);
+    std::fs::copy(&base, &stale).expect("copies");
+
+    let doc = run_json(&[
+        "cache",
+        "--cache-dir",
+        dir.to_str().expect("utf-8 path"),
+        "--gc",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(doc.at(&["gc", "applied"]), Some(&Json::Bool(false)));
+    assert!(matches!(
+        doc.at(&["gc", "reclaimed_bytes"]),
+        Some(Json::Null)
+    ));
+    assert!(
+        doc.at(&["gc", "reclaimable_bytes"])
+            .and_then(Json::num)
+            .expect("bytes")
+            > 0.0
+    );
+    let files = doc.at(&["gc", "files"]).and_then(Json::arr).expect("files");
+    assert_eq!(files.len(), 1);
+    assert_eq!(
+        files[0].get("reason").and_then(Json::str_value),
+        Some("stale-generation")
+    );
+    assert!(stale.exists(), "dry run must not delete");
+
+    let doc = run_json(&[
+        "cache",
+        "--cache-dir",
+        dir.to_str().expect("utf-8 path"),
+        "--gc",
+        "--apply",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(doc.at(&["gc", "applied"]), Some(&Json::Bool(true)));
+    assert!(
+        doc.at(&["gc", "reclaimed_bytes"])
+            .and_then(Json::num)
+            .expect("bytes")
+            > 0.0
+    );
+    assert!(!stale.exists(), "--apply deletes the planned files");
+    assert!(base.exists(), "the live chain survives");
+
+    // The surviving chain still warm-starts a third process.
+    let out = dtas()
+        .args(["map", "--spec", "add:16:cin:cout", "--cache-dir"])
+        .arg(&dir)
+        .arg("--stats")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("snapshot_loads=1"), "{stdout}");
+    assert!(stdout.contains("hits=1 misses=0"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_flag_misuse_exits_one() {
+    for args in [
+        vec!["cache"],                                                  // missing --cache-dir
+        vec!["cache", "--cache-dir", "/tmp/x", "--apply"],              // --apply without --gc
+        vec!["cache", "--cache-dir", "/tmp/x", "--max-age-secs", "60"], // retention without --gc
+        vec!["cache", "--cache-dir", "/tmp/x", "--format", "yaml"],
+    ] {
+        let out = dtas().args(&args).output().expect("runs");
+        assert_eq!(out.status.code(), Some(1), "{args:?}: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("dtas: error["),
+            "{args:?}: {out:?}"
+        );
+    }
 }

@@ -274,6 +274,12 @@ fn background_checkpoint_lands_on_disk_mid_run() {
     wait_until("a background checkpoint", Duration::from_secs(20), || {
         service.stats().checkpoints > ticks_before_solve_settled + 1
     });
+    // Two ticks past the settle point: the first flushed the dirty solve,
+    // so at least one later tick found nothing new and skipped the write.
+    assert!(
+        engine.cache_stats().checkpoints_skipped > 0,
+        "clean ticks must skip instead of rewriting the snapshot"
+    );
     let snapshot_files: Vec<_> = std::fs::read_dir(&dir)
         .expect("cache dir exists")
         .filter_map(Result::ok)

@@ -1,11 +1,13 @@
-//! The on-disk warm-start store: a second engine (stand-in for a second
-//! process) answers from a persisted snapshot bit-identically to a cold
-//! solve, and every kind of damaged or incompatible snapshot — truncated,
-//! bit-flipped, future format version, wrong fingerprints, random bytes —
-//! falls back to a clean cold solve without ever panicking.
+//! The tiered on-disk warm-start store: a second engine (stand-in for a
+//! second process) answers from a persisted chain bit-identically to a
+//! cold solve — decoding lazily, from a memory-mapped base where the
+//! platform supports it — and every kind of damaged or incompatible
+//! chain (truncated base or delta, bit flips, future format version,
+//! wrong fingerprints, random bytes, crash leftovers) falls back to a
+//! clean cold solve without ever panicking.
 
 use cells::lsi::lsi_logic_subset;
-use dtas::{DesignSet, Dtas, DtasConfig, MemSnapshotStore, PersistentStore, RuleSet};
+use dtas::{CheckpointOutcome, DesignSet, Dtas, DtasConfig, MemSnapshotStore, RuleSet, SaveReport};
 use genus::kind::ComponentKind;
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
@@ -63,9 +65,40 @@ fn assert_sets_identical(a: &DesignSet, b: &DesignSet) {
     );
 }
 
-/// The snapshot file a warm-started engine reads/writes.
-fn snapshot_file(engine: &Dtas, dir: &PathBuf) -> PathBuf {
-    PersistentStore::new(dir).snapshot_path(&engine.store_key())
+/// Cache files in `dir` carrying the given extension, sorted by name.
+fn files_with_ext(dir: &PathBuf, ext: &str) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == ext))
+        .collect();
+    out.sort();
+    out
+}
+
+fn base_files(dir: &PathBuf) -> Vec<PathBuf> {
+    files_with_ext(dir, "base")
+}
+
+fn delta_files(dir: &PathBuf) -> Vec<PathBuf> {
+    files_with_ext(dir, "delta")
+}
+
+fn full_report(outcome: Option<CheckpointOutcome>) -> SaveReport {
+    match outcome {
+        Some(CheckpointOutcome::Full(report)) => report,
+        other => panic!("expected a full save, got {other:?}"),
+    }
+}
+
+fn delta_report(outcome: Option<CheckpointOutcome>) -> SaveReport {
+    match outcome {
+        Some(CheckpointOutcome::Delta(report)) => report,
+        other => panic!("expected a delta append, got {other:?}"),
+    }
 }
 
 #[test]
@@ -78,24 +111,28 @@ fn warm_start_round_trips_bit_identically() {
         .iter()
         .map(|s| cold.synthesize(s).expect("cold solves"))
         .collect();
-    let report = cold
-        .checkpoint()
-        .expect("checkpoint writes")
-        .expect("store bound");
+    let report = full_report(cold.checkpoint().expect("checkpoint writes"));
     assert!(report.bytes > 0);
     assert_eq!(report.results, specs.len());
     let stats = cold.cache_stats();
     assert_eq!(stats.persisted_results, specs.len() as u64);
     assert_eq!(stats.snapshot_bytes, report.bytes);
 
-    // A second engine — the restarted-process case — answers every first
-    // query from the memo, with zero misses.
+    // A second engine — the restarted-process case. Loading is lazy:
+    // nothing is decoded at construction (no live results, no live
+    // space), only the chain's index is validated.
     let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
     let warm_stats = warm.cache_stats();
     assert_eq!(warm_stats.snapshot_loads, 1);
     assert_eq!(warm_stats.snapshot_rejects, 0);
-    assert_eq!(warm_stats.cached_results, specs.len());
-    assert!(warm_stats.cached_fronts > 0);
+    assert_eq!(warm_stats.cached_results, 0, "lazy: nothing decoded yet");
+    assert_eq!(warm_stats.cached_fronts, 0, "lazy: space not hydrated yet");
+    assert_eq!(warm_stats.lazy_results, specs.len());
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    assert!(warm.warm_base_mapped(), "base should be memory-mapped");
+
+    // Every first query materializes its persisted result — a hit, with
+    // zero misses, bit-identical to the cold answer.
     for (spec, cold_set) in specs.iter().zip(&cold_sets) {
         let warm_set = warm.synthesize(spec).expect("warm solves");
         assert_sets_identical(cold_set, &warm_set);
@@ -105,10 +142,150 @@ fn warm_start_round_trips_bit_identically() {
         (warm_stats.hits, warm_stats.misses),
         (specs.len() as u64, 0)
     );
+    assert_eq!(warm_stats.lazy_materialized, specs.len() as u64);
+    assert_eq!(warm_stats.lazy_results, 0, "backlog fully drained");
+    assert!(warm_stats.cached_fronts > 0, "hydrated by the first query");
 
     // Engines first, directory second — a later drop-flush would
     // resurrect the directory.
     drop(cold);
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prefault_materializes_the_whole_backlog() {
+    let dir = cache_dir("prefault");
+    let specs = [add_spec(8), mux_spec(4, 3)];
+    {
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        for spec in &specs {
+            engine.synthesize(spec).expect("solves");
+        }
+    }
+    let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+    assert_eq!(warm.cache_stats().lazy_results, specs.len());
+    assert_eq!(warm.prefault(), specs.len());
+    let stats = warm.cache_stats();
+    assert_eq!(stats.lazy_results, 0);
+    assert_eq!(stats.cached_results, specs.len());
+    // Prefault already decoded everything; queries are plain memo hits.
+    for spec in &specs {
+        warm.synthesize(spec).expect("hits");
+    }
+    assert_eq!(warm.cache_stats().misses, 0);
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delta_checkpoint_is_o_dirty_not_o_space() {
+    let dir = cache_dir("delta");
+    let base_specs = [add_spec(8), add_spec(16), mux_spec(8, 4)];
+    let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let mut reference: Vec<DesignSet> = base_specs
+        .iter()
+        .map(|s| engine.synthesize(s).expect("solves"))
+        .collect();
+    let base = full_report(engine.checkpoint().expect("writes"));
+
+    // One more (small) solve: the follow-up checkpoint appends a delta
+    // carrying just that dirt, an order of magnitude smaller than the
+    // base it extends.
+    reference.push(engine.synthesize(&add_spec(4)).expect("solves"));
+    let delta = delta_report(engine.checkpoint().expect("writes"));
+    assert!(
+        (delta.bytes as f64) < 0.10 * (base.bytes as f64),
+        "delta {} bytes vs base {} bytes",
+        delta.bytes,
+        base.bytes
+    );
+    assert_eq!(delta.results, 1);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.delta_checkpoints, 1);
+    assert_eq!(stats.snapshot_bytes, delta.bytes);
+    assert_eq!(base_files(&dir).len(), 1);
+    assert_eq!(delta_files(&dir).len(), 1);
+    drop(engine);
+
+    // The chain (base + delta) loads as one unit and replays everything.
+    let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+    assert_eq!(warm.cache_stats().snapshot_loads, 1);
+    assert_eq!(warm.cache_stats().lazy_results, 4);
+    let all_specs = [add_spec(8), add_spec(16), mux_spec(8, 4), add_spec(4)];
+    for (spec, cold_set) in all_specs.iter().zip(&reference) {
+        let warm_set = warm.synthesize(spec).expect("warm solves");
+        assert_sets_identical(cold_set, &warm_set);
+    }
+    assert_eq!(warm.cache_stats().misses, 0);
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_checkpoints_are_skipped_without_writing() {
+    let dir = cache_dir("skip");
+    let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+    engine.synthesize(&add_spec(8)).expect("solves");
+    full_report(engine.checkpoint().expect("writes"));
+    let files_before: Vec<PathBuf> = base_files(&dir)
+        .into_iter()
+        .chain(delta_files(&dir))
+        .collect();
+
+    // Nothing changed: both follow-up checkpoints skip, no new files.
+    assert_eq!(
+        engine.checkpoint().expect("ok"),
+        Some(CheckpointOutcome::Skipped)
+    );
+    assert_eq!(
+        engine.checkpoint().expect("ok"),
+        Some(CheckpointOutcome::Skipped)
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.checkpoints_skipped, 2);
+    let files_after: Vec<PathBuf> = base_files(&dir)
+        .into_iter()
+        .chain(delta_files(&dir))
+        .collect();
+    assert_eq!(files_before, files_after);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_folds_the_chain_back_into_one_base() {
+    let dir = cache_dir("compact");
+    // Ratio 0: any accumulated delta triggers compaction on the next
+    // dirty checkpoint.
+    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+        persist_path: Some(dir.clone()),
+        compaction_ratio: 0.0,
+        ..DtasConfig::default()
+    });
+    let specs = [add_spec(8), add_spec(16), mux_spec(8, 4)];
+    let mut reference = Vec::new();
+
+    reference.push(engine.synthesize(&specs[0]).expect("solves"));
+    full_report(engine.checkpoint().expect("writes"));
+    reference.push(engine.synthesize(&specs[1]).expect("solves"));
+    delta_report(engine.checkpoint().expect("writes"));
+    reference.push(engine.synthesize(&specs[2]).expect("solves"));
+    // Deltas now outgrow ratio * base: this checkpoint compacts.
+    full_report(engine.checkpoint().expect("writes"));
+    let stats = engine.cache_stats();
+    assert_eq!(stats.compactions, 1);
+    assert_eq!(base_files(&dir).len(), 1, "old generation pruned");
+    assert!(delta_files(&dir).is_empty(), "deltas folded into the base");
+    drop(engine);
+
+    let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
+    assert_eq!(warm.cache_stats().snapshot_loads, 1);
+    for (spec, cold_set) in specs.iter().zip(&reference) {
+        let warm_set = warm.synthesize(spec).expect("warm solves");
+        assert_sets_identical(cold_set, &warm_set);
+    }
+    assert_eq!(warm.cache_stats().misses, 0);
     drop(warm);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -136,30 +313,40 @@ fn drop_flushes_and_persisted_errors_replay() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Writes a snapshot for the default engine setup and returns its path.
+/// Writes a single-base chain for the default engine setup and returns
+/// the base segment's path.
 fn persisted_snapshot(dir: &PathBuf) -> PathBuf {
     let engine = Dtas::warm_start(lsi_logic_subset(), dir);
     engine.synthesize(&add_spec(16)).expect("solves");
     engine.checkpoint().expect("writes").expect("bound");
-    snapshot_file(&engine, dir)
+    drop(engine);
+    let bases = base_files(dir);
+    assert_eq!(bases.len(), 1, "exactly one base segment");
+    bases.into_iter().next().expect("base present")
 }
 
-/// After `corrupt` has damaged the snapshot file, a fresh engine must
-/// reject it, fall back cold, and still answer correctly.
+/// After `corrupt` has damaged the base segment, a fresh engine must
+/// reject the damage — at load for header damage, on first decode for
+/// body damage (the lazy read path defers section verification) — and
+/// re-solve cold to the bit-identical answer.
 fn assert_falls_back_cold(dir: &PathBuf, corrupt: impl FnOnce(&PathBuf)) {
     let path = persisted_snapshot(dir);
     corrupt(&path);
     let engine = Dtas::warm_start(lsi_logic_subset(), dir);
-    let stats = engine.cache_stats();
-    assert_eq!(stats.snapshot_loads, 0, "damaged snapshot must not load");
-    assert_eq!(stats.snapshot_rejects, 1);
-    assert_eq!(stats.cached_results, 0);
-    // The cold solve still works and matches a storeless engine.
     let cold = Dtas::new(lsi_logic_subset())
         .synthesize(&add_spec(16))
         .expect("reference solves");
     let recovered = engine.synthesize(&add_spec(16)).expect("cold fallback");
     assert_sets_identical(&cold, &recovered);
+    let stats = engine.cache_stats();
+    assert!(
+        stats.snapshot_rejects >= 1,
+        "damage must be counted: {stats}"
+    );
+    assert_eq!(
+        stats.misses, 1,
+        "the answer must be re-solved, never served from damaged bytes"
+    );
     drop(engine);
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -175,14 +362,15 @@ fn truncated_snapshot_falls_back_cold() {
 
 #[test]
 fn flipped_bytes_fall_back_cold() {
-    // Flip one byte at a spread of offsets — header, body, checksum.
+    // Flip one byte at a spread of offsets — version field, header,
+    // packed sections, file tail.
     for frac in [0usize, 1, 2, 3, 4] {
         let dir = cache_dir(&format!("flip{frac}"));
         assert_falls_back_cold(&dir, |path| {
             let mut bytes = std::fs::read(path).expect("reads");
             let idx = match frac {
                 0 => 9,                   // format version field
-                4 => bytes.len() - 3,     // checksum itself
+                4 => bytes.len() - 3,     // tail of the last section
                 f => f * bytes.len() / 4, // spread through the body
             };
             bytes[idx] ^= 0x5a;
@@ -196,13 +384,11 @@ fn future_format_version_falls_back_cold() {
     let dir = cache_dir("version");
     assert_falls_back_cold(&dir, |path| {
         let mut bytes = std::fs::read(path).expect("reads");
-        // The u32 format version sits right after the 8-byte magic; a
-        // version bump alone must reject, so keep the checksum valid.
+        // The u32 format version sits right after the 8-byte magic. The
+        // version check fires before any checksum, so a bump alone —
+        // with everything else intact — must reject.
         let bumped = (dtas::FORMAT_VERSION + 1).to_le_bytes();
         bytes[8..12].copy_from_slice(&bumped);
-        let payload_len = bytes.len() - 8;
-        let checksum = rtl_base::hash::fnv1a_64(&bytes[..payload_len]);
-        bytes[payload_len..].copy_from_slice(&checksum.to_le_bytes());
         std::fs::write(path, &bytes).expect("writes");
     });
 }
@@ -225,57 +411,191 @@ fn random_garbage_falls_back_cold() {
     });
 }
 
+/// Builds a base + one delta chain in `dir` and returns the reference
+/// result sets for `[add8, add16]`.
+fn base_plus_delta(dir: &PathBuf) -> Vec<DesignSet> {
+    let engine = Dtas::warm_start(lsi_logic_subset(), dir);
+    let mut reference = vec![engine.synthesize(&add_spec(8)).expect("solves")];
+    full_report(engine.checkpoint().expect("writes"));
+    reference.push(engine.synthesize(&add_spec(16)).expect("solves"));
+    delta_report(engine.checkpoint().expect("writes"));
+    drop(engine);
+    assert_eq!(delta_files(dir).len(), 1);
+    reference
+}
+
+#[test]
+fn damaged_delta_rejects_the_chain_and_solves_cold() {
+    // A delta is eagerly verified at open (unlike the lazily-verified
+    // base): truncation or a bit flip anywhere rejects the whole chain
+    // at load, before anything could be served from it.
+    for mode in ["truncate", "bitflip"] {
+        let dir = cache_dir(&format!("baddelta_{mode}"));
+        let reference = base_plus_delta(&dir);
+        let delta_path = delta_files(&dir).pop().expect("delta present");
+        let mut bytes = std::fs::read(&delta_path).expect("reads");
+        match mode {
+            "truncate" => bytes.truncate(bytes.len() / 2),
+            _ => {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x5a;
+            }
+        }
+        std::fs::write(&delta_path, &bytes).expect("writes");
+
+        let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.snapshot_loads, 0, "{mode}: chain must not load");
+        assert_eq!(stats.snapshot_rejects, 1, "{mode}");
+        for (spec, cold_set) in [add_spec(8), add_spec(16)].iter().zip(&reference) {
+            let recovered = engine.synthesize(spec).expect("cold fallback");
+            assert_sets_identical(cold_set, &recovered);
+        }
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn missing_delta_suffix_is_a_valid_prefix() {
+    // A crash can lose the newest delta entirely; the surviving prefix
+    // (here: just the base) is a smaller-but-valid chain, not damage.
+    let dir = cache_dir("gap");
+    let reference = base_plus_delta(&dir);
+    let delta_path = delta_files(&dir).pop().expect("delta present");
+    std::fs::remove_file(&delta_path).expect("removes");
+
+    let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (1, 0));
+    assert_eq!(stats.lazy_results, 1, "only the base's result survives");
+    let warm = engine.synthesize(&add_spec(8)).expect("warm");
+    assert_sets_identical(&reference[0], &warm);
+    let resolved = engine.synthesize(&add_spec(16)).expect("re-solves");
+    assert_sets_identical(&reference[1], &resolved);
+    assert_eq!(engine.cache_stats().misses, 1);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_leftovers_are_swept_and_ignored() {
+    let dir = cache_dir("leftovers");
+    let base = persisted_snapshot(&dir);
+
+    // A crash mid-save leaves a temporary: stale ones are swept at store
+    // construction, fresh ones (a live writer's) are left alone; neither
+    // disturbs the load.
+    let stale_tmp = dir.join(".dtas-crashed.base.tmp-999-0");
+    std::fs::write(&stale_tmp, b"half a segment").expect("writes");
+    let epoch = std::fs::File::options()
+        .write(true)
+        .open(&stale_tmp)
+        .expect("opens");
+    epoch
+        .set_modified(std::time::SystemTime::UNIX_EPOCH)
+        .expect("backdates");
+    drop(epoch);
+    let fresh_tmp = dir.join(".dtas-inflight.base.tmp-999-1");
+    std::fs::write(&fresh_tmp, b"half a segment").expect("writes");
+
+    // A crash between publish and prune leaves a superseded generation
+    // behind; loads pick the newest base and ignore it.
+    let old_gen = dir.join(
+        base.file_name()
+            .and_then(|n| n.to_str())
+            .expect("name")
+            .replace("-g00000001.base", "-g00000000.base"),
+    );
+    assert_ne!(old_gen, base);
+    std::fs::copy(&base, &old_gen).expect("copies");
+
+    let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (1, 0));
+    assert!(!stale_tmp.exists(), "stale tmp swept at construction");
+    assert!(fresh_tmp.exists(), "fresh tmp left for its writer");
+    engine.synthesize(&add_spec(16)).expect("warm");
+    assert_eq!(engine.cache_stats().misses, 0);
+
+    // The GC plan picks up exactly the leftovers a load ignores.
+    let store = dtas::PersistentStore::new(&dir);
+    let plan = store.plan_gc(None).expect("plans");
+    let mut reasons: Vec<String> = plan.items.iter().map(|i| i.reason.to_string()).collect();
+    reasons.sort();
+    assert_eq!(reasons, ["stale-generation"], "{plan:?}");
+    store.apply_gc(&plan).expect("applies");
+    assert!(!old_gen.exists());
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn mismatched_fingerprints_reject_a_renamed_snapshot() {
     let dir = cache_dir("fingerprints");
     let source = persisted_snapshot(&dir);
-
-    // A different result-shaping config looks for a different file: the
-    // snapshot is simply missing (cold start, no rejection).
-    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+    let reconfig = || DtasConfig {
         node_cap: 8,
         persist_path: Some(dir.clone()),
         ..DtasConfig::default()
-    });
+    };
+
+    // A different result-shaping config looks for different file names:
+    // the chain is simply missing (cold start, no rejection).
+    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(reconfig());
     let stats = reconfigured.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 0));
-
-    // Force the mismatch past the file name (as if someone renamed or
-    // copied snapshots between cache directories): the header fingerprint
-    // check must reject it.
-    let target = snapshot_file(&reconfigured, &dir);
+    reconfigured.synthesize(&add_spec(16)).expect("solves");
+    reconfigured.checkpoint().expect("writes").expect("bound");
+    let target = base_files(&dir)
+        .into_iter()
+        .find(|p| *p != source)
+        .expect("second base");
     drop(reconfigured);
+
+    // Force the mismatch past the file name (as if someone copied
+    // snapshots between cache directories): the header fingerprint check
+    // must reject the foreign bytes.
     std::fs::copy(&source, &target).expect("copies");
-    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        node_cap: 8,
-        persist_path: Some(dir.clone()),
-        ..DtasConfig::default()
-    });
+    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(reconfig());
     let stats = reconfigured.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
+    drop(reconfigured);
+    std::fs::remove_file(&target).expect("removes");
 
     // Same story for a different rule base.
     let regressed = Dtas::warm_start(lsi_logic_subset(), &dir).with_rules(RuleSet::standard());
-    let target = snapshot_file(&regressed, &dir);
+    regressed.synthesize(&add_spec(16)).expect("solves");
+    regressed.checkpoint().expect("writes").expect("bound");
+    let target = base_files(&dir)
+        .into_iter()
+        .find(|p| *p != source)
+        .expect("second base");
     drop(regressed);
     std::fs::copy(&source, &target).expect("copies");
     let regressed = Dtas::warm_start(lsi_logic_subset(), &dir).with_rules(RuleSet::standard());
     let stats = regressed.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
+    drop(regressed);
+    std::fs::remove_file(&target).expect("removes");
 
-    // And for a different library under the copied-file scenario.
+    // And for a different library.
     let poorer = lsi_logic_subset().subset(&["IVA", "ND2", "FA1A", "ADD2", "ADD4"]);
     let shrunk = Dtas::warm_start(poorer.clone(), &dir);
-    let target = snapshot_file(&shrunk, &dir);
+    shrunk.synthesize(&add_spec(4)).expect("solves");
+    shrunk.checkpoint().expect("writes").expect("bound");
+    let target = base_files(&dir)
+        .into_iter()
+        .find(|p| *p != source)
+        .expect("second base");
     drop(shrunk);
     std::fs::copy(&source, &target).expect("copies");
     let shrunk = Dtas::warm_start(poorer, &dir);
     let stats = shrunk.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
-
-    drop(reconfigured);
-    drop(regressed);
     drop(shrunk);
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -287,21 +607,22 @@ fn drop_only_flushes_when_dirty_since_last_checkpoint() {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
         engine.synthesize(&add_spec(8)).expect("solves");
         engine.checkpoint().expect("writes").expect("bound");
-        let path = snapshot_file(&engine, &dir);
+        let path = base_files(&dir).pop().expect("base present");
         std::fs::remove_file(&path).expect("removes");
         drop(engine);
         assert!(!path.exists(), "clean engine must not flush on drop");
+        assert!(delta_files(&dir).is_empty());
     }
+    let _ = std::fs::remove_dir_all(&dir);
     {
-        // New solves after the checkpoint: drop must flush them.
+        // New solves after the checkpoint: drop must flush them — as a
+        // delta appended to the chain it already wrote.
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
         engine.synthesize(&add_spec(8)).expect("solves");
         engine.checkpoint().expect("writes").expect("bound");
         engine.synthesize(&add_spec(16)).expect("solves more");
-        let path = snapshot_file(&engine, &dir);
-        std::fs::remove_file(&path).expect("removes");
         drop(engine);
-        assert!(path.exists(), "dirty engine must flush on drop");
+        assert_eq!(delta_files(&dir).len(), 1, "dirty engine flushed a delta");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -331,6 +652,7 @@ fn mem_snapshot_store_shares_state_between_engines() {
     let cold = first.synthesize(&add_spec(16)).expect("solves");
     first.checkpoint().expect("saves").expect("bound");
     assert_eq!(store.len(), 1);
+    let key = first.store_key();
 
     let second = Dtas::new(lsi_logic_subset()).with_store(store.clone());
     let stats = second.cache_stats();
@@ -339,12 +661,18 @@ fn mem_snapshot_store_shares_state_between_engines() {
     assert_sets_identical(&cold, &warm);
     let stats = second.cache_stats();
     assert_eq!((stats.hits, stats.misses), (1, 0));
+
+    // The in-memory backend speaks the same chain protocol: a follow-up
+    // checkpoint from the second engine appends a delta.
+    second.synthesize(&add_spec(8)).expect("solves");
+    second.checkpoint().expect("saves").expect("bound");
+    assert_eq!(store.delta_count(&key), 1);
 }
 
 #[test]
 fn warm_engine_keeps_growing_and_recheckpoints() {
-    // Load a snapshot, solve something new, flush again, and reload: the
-    // second snapshot carries both generations of results.
+    // Load a chain, solve something new, flush again, and reload: the
+    // chain carries both generations of results.
     let dir = cache_dir("growing");
     {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
@@ -354,16 +682,104 @@ fn warm_engine_keeps_growing_and_recheckpoints() {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
         assert_eq!(engine.cache_stats().snapshot_loads, 1);
         engine.synthesize(&add_spec(16)).expect("solves");
-        // Drop flushes the merged state.
+        // Drop flushes the new state as a delta on the loaded chain.
     }
+    assert_eq!(delta_files(&dir).len(), 1);
     let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
     let stats = engine.cache_stats();
-    assert_eq!(stats.cached_results, 2);
+    assert_eq!(stats.lazy_results, 2);
     engine.synthesize(&add_spec(8)).expect("hit");
     engine.synthesize(&add_spec(16)).expect("hit");
     let stats = engine.cache_stats();
     assert_eq!((stats.hits, stats.misses), (2, 0));
+    assert_eq!(stats.lazy_materialized, 2);
     drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reader_survives_writer_compaction_under_its_feet() {
+    // The shared-cache-dir contract: a reader holding the (mapped) old
+    // generation keeps answering consistently while a writer compacts
+    // the chain and unlinks the files the reader is standing on.
+    let dir = cache_dir("mapped_compaction");
+    let reference = {
+        let seed = Dtas::warm_start(lsi_logic_subset(), &dir);
+        let set = seed.synthesize(&add_spec(16)).expect("solves");
+        seed.synthesize(&add_spec(8)).expect("solves");
+        set
+    };
+
+    let reader = Dtas::warm_start(lsi_logic_subset(), &dir);
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    assert!(reader.warm_base_mapped());
+    let old_base = base_files(&dir).pop().expect("base present");
+
+    {
+        let writer = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+            persist_path: Some(dir.clone()),
+            compaction_ratio: 0.0,
+            ..DtasConfig::default()
+        });
+        writer.synthesize(&mux_spec(8, 4)).expect("solves");
+        delta_report(writer.checkpoint().expect("writes"));
+        writer.synthesize(&add_spec(4)).expect("solves");
+        full_report(writer.checkpoint().expect("writes"));
+    }
+    assert!(
+        !old_base.exists(),
+        "compaction replaced the reader's generation"
+    );
+
+    // The reader's chain was unlinked, not truncated: its view is fully
+    // intact and still serves bit-identical results.
+    let warm = reader.synthesize(&add_spec(16)).expect("still answers");
+    assert_sets_identical(&reference, &warm);
+    let stats = reader.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 0));
+    drop(reader);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_checkpoints_and_loads_are_never_torn() {
+    // Two engines on one cache directory — a writer churning delta
+    // checkpoints and compactions while readers keep (re)loading. A
+    // reader may catch the directory mid-change and fall back cold, but
+    // it must never panic and never answer anything but the bit-exact
+    // result.
+    let dir = cache_dir("concurrent");
+    {
+        let seed = Dtas::warm_start(lsi_logic_subset(), &dir);
+        seed.synthesize(&add_spec(16)).expect("solves");
+    }
+    let reference = Dtas::new(lsi_logic_subset())
+        .synthesize(&add_spec(16))
+        .expect("reference solves");
+
+    std::thread::scope(|scope| {
+        let dir_w = dir.clone();
+        scope.spawn(move || {
+            let writer = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
+                persist_path: Some(dir_w),
+                compaction_ratio: 0.0,
+                ..DtasConfig::default()
+            });
+            for width in [4usize, 8, 12, 24] {
+                writer.synthesize(&add_spec(width)).expect("writer solves");
+                writer.checkpoint().expect("writer flushes");
+            }
+        });
+        let dir_r = dir.clone();
+        let reference = &reference;
+        scope.spawn(move || {
+            for _ in 0..6 {
+                let reader = Dtas::warm_start(lsi_logic_subset(), &dir_r);
+                let set = reader.synthesize(&add_spec(16)).expect("reader answers");
+                assert_sets_identical(reference, &set);
+            }
+        });
+    });
     let _ = std::fs::remove_dir_all(&dir);
 }
 
