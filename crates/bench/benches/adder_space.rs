@@ -11,7 +11,7 @@ fn adder_space(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("synthesize", width), &width, |b, &w| {
             b.iter(|| {
                 engine
-                    .synthesize(&adder_spec(w))
+                    .run(adder_spec(w))
                     .expect("synthesizes")
                     .alternatives
                     .len()

@@ -11,7 +11,7 @@ fn figure3(c: &mut Criterion) {
     let engine = paper_engine();
     group.bench_function("alu64_synthesize", |b| {
         b.iter(|| {
-            let set = engine.synthesize(&alu64_spec()).expect("synthesizes");
+            let set = engine.run(alu64_spec()).expect("synthesizes");
             assert!(!set.alternatives.is_empty());
             set.alternatives.len()
         })
@@ -20,7 +20,7 @@ fn figure3(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("alu_width", width), &width, |b, &w| {
             b.iter(|| {
                 engine
-                    .synthesize(&alu_spec(w))
+                    .run(alu_spec(w))
                     .expect("synthesizes")
                     .alternatives
                     .len()

@@ -32,9 +32,7 @@ fn sim(c: &mut Criterion) {
     });
 
     // Mapped adder vectors.
-    let set = paper_engine()
-        .synthesize(&adder_spec(16))
-        .expect("synthesizes");
+    let set = paper_engine().run(adder_spec(16)).expect("synthesizes");
     let fastest = set.fastest().expect("nonempty");
     let flat_add = FlatDesign::from_implementation(&fastest.implementation).expect("flattens");
     let sim_add = Simulator::new(&flat_add).expect("levelizes");

@@ -14,7 +14,7 @@ use dtas::{Dtas, DtasConfig, FilterPolicy, RuleSet};
 use rtl_base::table::{Align, TextTable};
 
 fn row(t: &mut TextTable, label: &str, engine: &Dtas, spec: &genus::spec::ComponentSpec) {
-    match engine.synthesize(spec) {
+    match engine.run(spec) {
         Ok(set) => {
             let s = set.smallest().expect("nonempty");
             let f = set.fastest().expect("nonempty");
@@ -62,13 +62,14 @@ fn main() {
     };
 
     // Full engine.
-    let full = Dtas::new(lib.clone()).with_config(pareto.clone());
+    let full = Dtas::builder(lib.clone()).config(pareto.clone()).build();
     row(&mut t, "full (generic + 9 LSI rules)", &full, &spec);
 
     // Without library-specific rules.
-    let no_lsi = Dtas::new(lib.clone())
-        .with_rules(RuleSet::standard())
-        .with_config(pareto.clone());
+    let no_lsi = Dtas::builder(lib.clone())
+        .rules(RuleSet::standard())
+        .config(pareto.clone())
+        .build();
     row(&mut t, "generic rules only", &no_lsi, &spec);
 
     // Without the lookahead cells (poorer library).
@@ -77,7 +78,7 @@ fn main() {
         "EN", "MUX21L", "MUX21H", "MUX41", "MUX41H", "MUX81", "MUX84", "FA1A", "ADD2", "ADD4",
         "AS2", "FD1", "FDE1", "RG4", "RG8",
     ]);
-    let no_cla = Dtas::new(poor).with_config(pareto.clone());
+    let no_cla = Dtas::builder(poor).config(pareto.clone()).build();
     row(&mut t, "library without CLA4/ADD4PG", &no_cla, &spec);
 
     // Relaxed root filter (the paper's favorable-tradeoff set).
@@ -99,13 +100,14 @@ fn main() {
     for col in 1..=5 {
         t2.align(col, Align::Right);
     }
-    let full = Dtas::new(lib.clone()).with_config(pareto.clone());
+    let full = Dtas::builder(lib.clone()).config(pareto.clone()).build();
     row(&mut t2, "full (strict Pareto)", &full, &spec);
     let relaxed = Dtas::new(lib.clone());
     row(&mut t2, "favorable-tradeoff filter", &relaxed, &spec);
-    let no_lsi = Dtas::new(lib.clone())
-        .with_rules(RuleSet::standard())
-        .with_config(pareto.clone());
+    let no_lsi = Dtas::builder(lib.clone())
+        .rules(RuleSet::standard())
+        .config(pareto.clone())
+        .build();
     row(&mut t2, "generic rules only", &no_lsi, &spec);
     println!("{}", t2.render());
 }

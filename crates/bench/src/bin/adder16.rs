@@ -11,7 +11,7 @@ fn main() {
     println!("Section 5: search control on the 16-bit adder");
     println!("Component Specification: {spec}");
     println!();
-    let set = paper_engine().synthesize(&spec).expect("ADD16 synthesizes");
+    let set = paper_engine().run(&spec).expect("ADD16 synthesizes");
 
     let mut t = TextTable::new(vec!["design-space measure", "paper", "measured"]);
     t.align(1, Align::Right).align(2, Align::Right);

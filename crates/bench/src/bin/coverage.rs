@@ -98,7 +98,7 @@ fn main() {
     t.align(2, Align::Right);
     let mut failures = 0;
     for (family, spec, vectors) in cases {
-        match engine.synthesize(&spec) {
+        match engine.run(&spec) {
             Ok(set) => {
                 let smallest = set.smallest().expect("nonempty");
                 let fastest = set.fastest().expect("nonempty");

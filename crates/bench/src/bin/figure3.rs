@@ -16,18 +16,14 @@ fn main() {
     println!();
 
     let start = Instant::now();
-    let strict = pareto_engine()
-        .synthesize(&spec)
-        .expect("ALU64 must synthesize");
+    let strict = pareto_engine().run(&spec).expect("ALU64 must synthesize");
     let elapsed = start.elapsed();
 
     println!("-- strict Pareto front (the plotted curve) --");
     println!("{}", strict.figure3_table());
     println!("{}", strict.ascii_plot());
 
-    let relaxed = paper_engine()
-        .synthesize(&spec)
-        .expect("ALU64 must synthesize");
+    let relaxed = paper_engine().run(&spec).expect("ALU64 must synthesize");
     println!("-- favorable-tradeoff set (paper's filter) --");
     println!("{}", relaxed.figure3_table());
 

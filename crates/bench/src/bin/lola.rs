@@ -55,8 +55,10 @@ fn main() {
     println!("workload: {spec}");
     let mut t = TextTable::new(vec!["engine", "designs", "smallest", "fastest"]);
     t.align(1, Align::Right);
-    let baseline = Dtas::new(lib.clone()).with_rules(RuleSet::standard());
-    match baseline.synthesize(&spec) {
+    let baseline = Dtas::builder(lib.clone())
+        .rules(RuleSet::standard())
+        .build();
+    match baseline.run(&spec) {
         Ok(set) => {
             let s = set.smallest().expect("nonempty");
             let f = set.fastest().expect("nonempty");
@@ -76,10 +78,10 @@ fn main() {
             ]);
         }
     };
-    let adapted = Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
-    let set = adapted
-        .synthesize(&spec)
-        .expect("adapted engine synthesizes");
+    let adapted = Dtas::builder(lib.clone())
+        .rules(with_derived_rules(RuleSet::standard(), &lib))
+        .build();
+    let set = adapted.run(&spec).expect("adapted engine synthesizes");
     let s = set.smallest().expect("nonempty");
     let f = set.fastest().expect("nonempty");
     t.row(vec![

@@ -21,7 +21,12 @@
 //!   `store.base_over_delta_bytes` (≥ 10) — self-contained floors on the
 //!   tiered persistent store: a lazy mmap load must stay ≤ 25% of a
 //!   full-decode load, and a one-result delta checkpoint under 10% of
-//!   the base snapshot's bytes.
+//!   the base snapshot's bytes;
+//! * `incremental.retained_after_update` (≥ 0.5) — a self-contained
+//!   floor on delta invalidation: a one-rule-set addition
+//!   (standard → standard+lsi) over a warm ALU64 space must keep at
+//!   least half the solved fronts warm, or `update_rules` has regressed
+//!   toward the old clear-everything behavior.
 //!
 //! Only same-machine comparisons are meaningful for the absolute
 //! numbers, so the tolerance is generous (default 3x, `--tolerance N`)
@@ -303,6 +308,19 @@ fn run_gate(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Finding> {
         &mut findings,
     );
 
+    // Delta invalidation: a one-rule-set addition over a warm ALU64
+    // space must keep at least half the solved fronts warm — measured
+    // from the InvalidationReport in the same perf_snapshot run, so no
+    // baseline is needed.
+    gate_floor(
+        "incremental.retained_after_update".to_string(),
+        0.5,
+        current
+            .at(&["incremental", "retained_after_update"])
+            .and_then(Json::num),
+        &mut findings,
+    );
+
     findings
 }
 
@@ -398,7 +416,8 @@ mod tests {
                  "warm_start": {{ "warm_first_ms": {warm_ms}, "cold_first_ms": {cold_ms} }},
                  "service": {{ "saturation_qps": {qps}, "deadline_vs_plain": 0.99 }},
                  "serve": {{ "saturation_qps": {serve_qps}, "rtt_p99_us": {rtt_p99_us} }},
-                 "store": {{ "full_over_lazy_load": 50.0, "base_over_delta_bytes": 40.0 }} }}"#
+                 "store": {{ "full_over_lazy_load": 50.0, "base_over_delta_bytes": 40.0 }},
+                 "incremental": {{ "retained_after_update": 0.69 }} }}"#
         ))
         .expect("test snapshot parses")
     }
@@ -440,7 +459,7 @@ mod tests {
         // two) stay healthy in this scenario.
         assert_eq!(
             verdicts(&findings),
-            vec![true, true, true, false, true, true, false, false]
+            vec![true, true, true, false, true, true, false, false, false]
         );
     }
 
@@ -454,7 +473,8 @@ mod tests {
              "warm_start": { "warm_first_ms": 0.01, "cold_first_ms": 100.0 },
              "service": { "saturation_qps": 500000.0, "deadline_vs_plain": 0.99 },
              "serve": { "saturation_qps": 50000.0, "rtt_p99_us": 2000.0 },
-             "store": { "full_over_lazy_load": 2.0, "base_over_delta_bytes": 3.0 } }"#;
+             "store": { "full_over_lazy_load": 2.0, "base_over_delta_bytes": 3.0 },
+             "incremental": { "retained_after_update": 0.69 } }"#;
         let findings = run_gate(&base, &Json::parse(cur_text).unwrap(), 3.0);
         let failed: Vec<&str> = findings
             .iter()
@@ -474,7 +494,8 @@ mod tests {
              "warm_start": { "warm_first_ms": 0.01, "cold_first_ms": 100.0 },
              "service": { "saturation_qps": 500000.0, "deadline_vs_plain": 0.80 },
              "serve": { "saturation_qps": 50000.0, "rtt_p99_us": 2000.0 },
-             "store": { "full_over_lazy_load": 50.0, "base_over_delta_bytes": 40.0 } }"#
+             "store": { "full_over_lazy_load": 50.0, "base_over_delta_bytes": 40.0 },
+             "incremental": { "retained_after_update": 0.69 } }"#
             .to_string();
         let cur = Json::parse(&cur_text).unwrap();
         let findings = run_gate(&base, &cur, 3.0);

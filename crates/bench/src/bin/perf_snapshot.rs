@@ -14,7 +14,7 @@ use cells::lsi::lsi_logic_subset;
 use controlc::close_design;
 use dtas::service::percentile;
 use dtas::{
-    Admission, CheckpointOutcome, Dtas, DtasConfig, DtasService, Priority, ServeConfig,
+    Admission, CheckpointOutcome, Dtas, DtasConfig, DtasService, Priority, RuleSet, ServeConfig,
     ServiceConfig, SynthRequest, WireClient, WireServer,
 };
 use genus::behavior::Env;
@@ -47,10 +47,10 @@ fn run_queries(engine: &Dtas, specs: &[(String, ComponentSpec)]) -> Vec<QueryRow
         .iter()
         .map(|(name, spec)| {
             let t0 = Instant::now();
-            let set = engine.synthesize(spec).expect("synthesizes");
+            let set = engine.run(spec).expect("synthesizes");
             let first_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t0 = Instant::now();
-            let again = engine.synthesize(spec).expect("synthesizes");
+            let again = engine.run(spec).expect("synthesizes");
             let repeat_ms = t0.elapsed().as_secs_f64() * 1e3;
             assert_eq!(set.alternatives.len(), again.alternatives.len());
             QueryRow {
@@ -77,7 +77,7 @@ struct ConcurrentRow {
 }
 
 fn concurrent_hit_throughput(engine: &Dtas, spec: &ComponentSpec) -> Vec<ConcurrentRow> {
-    engine.synthesize(spec).expect("warms");
+    engine.run(spec).expect("warms");
     let queries_per_client = 2_000usize;
     [1usize, 2, 4]
         .into_iter()
@@ -87,7 +87,7 @@ fn concurrent_hit_throughput(engine: &Dtas, spec: &ComponentSpec) -> Vec<Concurr
                 for _ in 0..clients {
                     scope.spawn(|| {
                         for _ in 0..queries_per_client {
-                            let set = engine.synthesize(spec).expect("hits");
+                            let set = engine.run(spec).expect("hits");
                             assert!(!set.alternatives.is_empty());
                         }
                     });
@@ -111,14 +111,14 @@ fn batch_vs_loop_ms(specs: &[(String, ComponentSpec)]) -> (f64, f64) {
     let flat: Vec<ComponentSpec> = specs.iter().map(|(_, s)| s.clone()).collect();
     let batch_engine = Dtas::new(lsi_logic_subset());
     let batch_ms = ms(|| {
-        for result in batch_engine.synthesize_batch(&flat) {
+        for result in batch_engine.run_batch(&flat) {
             result.expect("synthesizes");
         }
     });
     let loop_engine = Dtas::new(lsi_logic_subset());
     let loop_ms = ms(|| {
         for spec in &flat {
-            loop_engine.synthesize(spec).expect("synthesizes");
+            loop_engine.run(spec).expect("synthesizes");
         }
     });
     (batch_ms, loop_ms)
@@ -146,12 +146,12 @@ fn warm_start_metrics(spec: &ComponentSpec) -> WarmStart {
 
     let cold = Dtas::warm_start(lsi_logic_subset(), &dir);
     let cold_first_ms = ms(|| {
-        cold.synthesize(spec).expect("cold solves");
+        cold.run(spec).expect("cold solves");
     });
     // Widen the persisted set so the lazy-vs-full load comparison decodes
     // more than one result.
     for extra in [adder_spec(8), adder_spec(16), adder_spec(32)] {
-        cold.synthesize(&extra).expect("solves");
+        cold.run(&extra).expect("solves");
     }
     let t0 = Instant::now();
     let outcome = cold
@@ -166,7 +166,7 @@ fn warm_start_metrics(spec: &ComponentSpec) -> WarmStart {
 
     // One more small solve, then checkpoint again: the O(dirty) delta
     // append, an order of magnitude smaller and cheaper than the base.
-    cold.synthesize(&adder_spec(4)).expect("solves");
+    cold.run(adder_spec(4)).expect("solves");
     let t0 = Instant::now();
     let outcome = cold
         .checkpoint()
@@ -195,7 +195,7 @@ fn warm_start_metrics(spec: &ComponentSpec) -> WarmStart {
     let stats = warm.cache_stats();
     assert_eq!(stats.snapshot_loads, 1, "snapshot must load");
     let warm_first_ms = ms(|| {
-        warm.synthesize(spec).expect("warm hit");
+        warm.run(spec).expect("warm hit");
     });
     let stats = warm.cache_stats();
     assert_eq!((stats.hits, stats.misses), (1, 0), "first query must hit");
@@ -246,6 +246,72 @@ fn warm_start_metrics(spec: &ComponentSpec) -> WarmStart {
     }
 }
 
+/// Incremental-engine metrics: how much decorated near-identical
+/// traffic collapses onto canonical memo entries, and how much warm
+/// state a one-rule update keeps.
+struct Incremental {
+    decorated_queries: u64,
+    canonical_hits: u64,
+    collapse_hit_ratio: f64,
+    specs_collapsed: u64,
+    fronts_retained: usize,
+    fronts_dropped: usize,
+    retained_after_update: f64,
+    update_ms: f64,
+}
+
+fn incremental_metrics(alu64: &ComponentSpec) -> Incremental {
+    // Canonical collapse: warm the plain spec, then replay a mix of
+    // style/width2-decorated variants the library provably ignores.
+    // Every collapsed variant answers from the single warm entry.
+    let engine = Dtas::new(lsi_logic_subset());
+    engine.run(alu64).expect("solves");
+    let mut decorated: Vec<ComponentSpec> = Vec::new();
+    for style in ["FASTEST", "LOWPOWER", "SMALL"] {
+        decorated.push(alu64.clone().with_style(style));
+    }
+    for w2 in [1usize, 2, 3] {
+        decorated.push(alu64.clone().with_width2(w2));
+    }
+    for spec in &decorated {
+        engine.run(spec).expect("solves");
+    }
+    let stats = engine.cache_stats();
+    let collapse_hit_ratio = stats.canonical_hits as f64 / decorated.len() as f64;
+    // CI bar (acceptance): the decorated mix must actually collapse —
+    // at least half the variants answer through a canonical hit.
+    assert!(
+        collapse_hit_ratio >= 0.5,
+        "decorated ALU64 mix must collapse onto the warm canonical entry \
+         ({}/{} canonical hits)",
+        stats.canonical_hits,
+        decorated.len()
+    );
+
+    // Delta invalidation: warm under the standard rules, then add the
+    // LSI extension rules in place. Leaf/adder structure the new rules
+    // cannot reach stays warm; the report counts both sides.
+    let mut updated = Dtas::builder(lsi_logic_subset())
+        .rules(RuleSet::standard())
+        .build();
+    updated.run(alu64).expect("solves");
+    let t0 = Instant::now();
+    let report = updated.update_rules(RuleSet::standard().with_lsi_extensions());
+    let update_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (retained, dropped) = (report.retained.fronts, report.dropped.fronts);
+    let retained_after_update = retained as f64 / ((retained + dropped).max(1)) as f64;
+    Incremental {
+        decorated_queries: decorated.len() as u64,
+        canonical_hits: stats.canonical_hits,
+        collapse_hit_ratio,
+        specs_collapsed: stats.specs_collapsed,
+        fronts_retained: retained,
+        fronts_dropped: dropped,
+        retained_after_update,
+        update_ms,
+    }
+}
+
 /// One saturation measurement: N clients driving the service as hard as
 /// they can (pipelined batch submission) over an already-warm spec.
 struct ServiceLoad {
@@ -286,7 +352,7 @@ fn direct_concurrent_qps(
         for _ in 0..clients {
             scope.spawn(|| {
                 for _ in 0..per_client {
-                    engine.synthesize(spec).expect("hits");
+                    engine.run(spec).expect("hits");
                 }
             });
         }
@@ -349,7 +415,7 @@ fn saturation_run(
 }
 
 fn service_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServiceMetrics {
-    engine.synthesize(spec).expect("warms");
+    engine.run(spec).expect("warms");
     let queue_depth = 4096;
     let per_client = 2_000usize;
     let chunk = 64usize;
@@ -417,19 +483,13 @@ fn service_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServiceMetrics {
 
     let max_clients = *client_counts.last().expect("nonempty");
     let direct_qps_equal_clients = direct_concurrent_qps(engine, spec, max_clients, per_client);
-    let saturation_qps = loads.last().expect("nonempty").qps;
-    // CI bar (acceptance): with Arc delivery the service must not be
-    // slower than the direct path at equal client count — the queue
-    // overhead is cheaper than the per-hit deep clone it replaces. The
-    // two sides are independent noisy measurements (measured margin is
-    // ~1.3-1.5x on the reference container), so the hard failure allows
-    // a small noise band rather than panicking on any inversion; the
-    // emitted `service_vs_direct` field reports the exact ratio.
-    assert!(
-        saturation_qps >= 0.85 * direct_qps_equal_clients,
-        "service saturation ({saturation_qps:.0} qps) must not fall below the direct \
-         concurrent path at {max_clients} clients ({direct_qps_equal_clients:.0} qps)"
-    );
+    // Since `Dtas::run` delivers `Arc`s on the direct path too, the
+    // service no longer out-runs it — a queue hand-off costs more than
+    // an Arc clone, and the service's value is admission control,
+    // deadlines, and checkpointing, not raw hit throughput. The emitted
+    // `service_vs_direct` field reports the ratio for trend-watching;
+    // regressions are caught by the perf gate's baseline comparison of
+    // `service.saturation_qps`.
 
     // Deliberate overload: an undersized queue with ShedOldest must shed
     // (admission control visibly working) while everything still resolves.
@@ -543,7 +603,7 @@ struct ServeMetrics {
 }
 
 fn serve_metrics(engine: &Arc<Dtas>, spec: &ComponentSpec) -> ServeMetrics {
-    engine.synthesize(spec).expect("warms");
+    engine.run(spec).expect("warms");
     let per_client = 2_000usize;
     // Same pipeline depth as `dtas bench-load --connect`: deep enough to
     // keep the socket busy, shallow enough that RTTs stay queue-bounded.
@@ -676,31 +736,38 @@ fn main() {
 
     // Ablations over the ALU64 cold query.
     let alu64 = alu_spec(64);
-    let serial_cached = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        threads: Some(1),
-        ..DtasConfig::default()
-    });
+    let serial_cached = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            threads: Some(1),
+            ..DtasConfig::default()
+        })
+        .build();
     let serial_cached_ms = ms(|| {
-        serial_cached.synthesize(&alu64).expect("synthesizes");
+        serial_cached.run(&alu64).expect("synthesizes");
     });
-    let threaded_nocache = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        cache: false,
-        ..DtasConfig::default()
-    });
+    let threaded_nocache = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            cache: false,
+            ..DtasConfig::default()
+        })
+        .build();
     let threaded_nocache_ms = ms(|| {
-        threaded_nocache.synthesize(&alu64).expect("synthesizes");
+        threaded_nocache.run(&alu64).expect("synthesizes");
     });
-    let serial_nocache = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        threads: Some(1),
-        cache: false,
-        ..DtasConfig::default()
-    });
+    let serial_nocache = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            threads: Some(1),
+            cache: false,
+            ..DtasConfig::default()
+        })
+        .build();
     let serial_nocache_ms = ms(|| {
-        serial_nocache.synthesize(&alu64).expect("synthesizes");
+        serial_nocache.run(&alu64).expect("synthesizes");
     });
 
     let sim_cps = gcd_cycles_per_sec();
     let warm = warm_start_metrics(&alu64);
+    let incremental = incremental_metrics(&alu64);
 
     // Concurrent hit-path clients against the (already warm) default
     // engine — the serialization-fix metric.
@@ -845,7 +912,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"note\": \"saturation: clients pipeline batches of ALU64 memo hits through DtasService (Arc delivery, no per-hit deep clone); service_vs_direct >= 1 is asserted at equal client count. overload: an undersized ShedOldest queue must shed (shed > 0 asserted) while every ticket still resolves. deadline: the same saturation with every request stamped with a far-future deadline (interleaved best-of-3 per side); deadline_vs_plain >= 0.95 is asserted here and re-gated from the stored field\""
+        "    \"note\": \"saturation: clients pipeline batches of ALU64 memo hits through DtasService (Arc delivery); service_vs_direct is reported for trend-watching only — since Dtas::run also delivers Arcs on the direct path, the queue hand-off makes the ratio < 1 by design. overload: an undersized ShedOldest queue must shed (shed > 0 asserted) while every ticket still resolves. deadline: the same saturation with every request stamped with a far-future deadline (interleaved best-of-3 per side); deadline_vs_plain >= 0.95 is asserted here and re-gated from the stored field\""
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"serve\": {{");
@@ -893,6 +960,18 @@ fn main() {
         warm.snapshot_bytes,
         warm.delta_bytes,
         warm.snapshot_bytes as f64 / (warm.delta_bytes as f64).max(1e-6),
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental\": {{ \"spec\": \"ALU64\", \"decorated_queries\": {}, \"canonical_hits\": {}, \"collapse_hit_ratio\": {:.3}, \"specs_collapsed\": {}, \"fronts_retained\": {}, \"fronts_dropped\": {}, \"retained_after_update\": {:.3}, \"update_ms\": {:.3}, \"note\": \"collapse: style/width2-decorated ALU64 variants replayed against one warm plain entry; collapse_hit_ratio >= 0.5 is asserted here. retained_after_update: fronts kept warm by update_rules(standard -> standard+lsi) over a warm ALU64 space, from the InvalidationReport; >= 0.5 is gated from the stored field\" }},",
+        incremental.decorated_queries,
+        incremental.canonical_hits,
+        incremental.collapse_hit_ratio,
+        incremental.specs_collapsed,
+        incremental.fronts_retained,
+        incremental.fronts_dropped,
+        incremental.retained_after_update,
+        incremental.update_ms,
     );
     let _ = writeln!(
         json,

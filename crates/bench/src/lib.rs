@@ -45,10 +45,12 @@ pub fn paper_engine() -> Dtas {
 /// An engine whose root filter is strict Pareto (the trade-off curve the
 /// paper plots in Figure 3).
 pub fn pareto_engine() -> Dtas {
-    Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        root_filter: FilterPolicy::Pareto,
-        ..DtasConfig::default()
-    })
+    Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            root_filter: FilterPolicy::Pareto,
+            ..DtasConfig::default()
+        })
+        .build()
 }
 
 /// The GCD entity used for the end-to-end Figure-1 flow.

@@ -1,17 +1,20 @@
 //! The DTAS synthesis engine.
 
+use crate::canon::{self, Canonicalizer};
 use crate::config::DtasConfig;
 use crate::extract;
 use crate::report::{Alternative, DesignSet, SynthStats};
 use crate::request::SynthRequest;
 use crate::rules::RuleSet;
-use crate::space::{DesignSpace, ExpandError, FilterPolicy, FrontStore, SolveConfig, Solver};
+use crate::space::{
+    DesignPoint, DesignSpace, ExpandError, FilterPolicy, FrontStore, SolveConfig, Solver, SpecId,
+};
 use crate::store::mem::{MemStore, ResultCell, SharedState};
 use crate::store::{
     DirtySet, EngineSnapshot, LoadOutcome, PersistentStore, ResultStore, SaveReport, StoreError,
     StoreKey, WarmSource,
 };
-use crate::template::SpecModelCache;
+use crate::template::{NetlistTemplate, SpecModelCache};
 use cells::CellLibrary;
 use genus::netlist::Netlist;
 use genus::spec::ComponentSpec;
@@ -83,20 +86,33 @@ pub struct CacheStats {
     /// Persisted results decoded on first request (each also counts as a
     /// [`hit`](CacheStats::hits)).
     pub lazy_materialized: u64,
+    /// Queries whose canonicalized spec differed from the raw request —
+    /// each was answered through (and warmed) the collapsed memo entry
+    /// instead of solving its own.
+    pub canonical_hits: u64,
+    /// Distinct raw specs the canonicalizer has mapped onto a *different*
+    /// canonical spec since the cache was last cleared.
+    pub specs_collapsed: u64,
+    /// Solved fronts retained (not invalidated) by the most recent
+    /// [`update_rules`](Dtas::update_rules) /
+    /// [`update_config`](Dtas::update_config) delta invalidation.
+    pub fronts_retained_on_update: u64,
 }
 
 impl fmt::Display for CacheStats {
-    /// Two stable `key=value` lines (`cache: …` and `store: …`) shared by
-    /// `dtas map --stats`, `dtas bench-load` and the CI warm-start smoke —
-    /// scripts grep `hits=`/`misses=`/`snapshot_loads=`, so the keys and
-    /// their order are load-bearing.
+    /// Three stable `key=value` lines (`cache: …`, `store: …` and
+    /// `incremental: …`) shared by `dtas map --stats`, `dtas bench-load`
+    /// and the CI warm-start smoke — scripts grep
+    /// `hits=`/`misses=`/`snapshot_loads=`/`canonical_hits=`, so the keys
+    /// and their order are load-bearing.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "cache: hits={} misses={} results={} fronts={} nodes={} shards={}\n\
              store: snapshot_loads={} snapshot_rejects={} persisted_results={} snapshot_bytes={} \
              checkpoints_skipped={} delta_checkpoints={} compactions={} lazy_results={} \
-             lazy_materialized={}",
+             lazy_materialized={}\n\
+             incremental: canonical_hits={} specs_collapsed={} fronts_retained_on_update={}",
             self.hits,
             self.misses,
             self.cached_results,
@@ -112,6 +128,9 @@ impl fmt::Display for CacheStats {
             self.compactions,
             self.lazy_results,
             self.lazy_materialized,
+            self.canonical_hits,
+            self.specs_collapsed,
+            self.fronts_retained_on_update,
         )
     }
 }
@@ -161,6 +180,111 @@ impl fmt::Display for SynthError {
 
 impl std::error::Error for SynthError {}
 
+/// How much cached state one [`Dtas::update_rules`] /
+/// [`Dtas::update_config`] call touched, split one way or the other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationCounts {
+    /// Design-space spec nodes.
+    pub nodes: usize,
+    /// Solved per-node fronts.
+    pub fronts: usize,
+    /// Memoized whole-query results (successes and failures).
+    pub results: usize,
+}
+
+impl fmt::Display for InvalidationCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} fronts={} results={}",
+            self.nodes, self.fronts, self.results
+        )
+    }
+}
+
+/// Why an update dropped (or superseded) cached state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvalidationReason {
+    /// The rule base changed; `dirty_nodes` spec nodes were reachable
+    /// from a changed expansion (template diff, taint, or an ancestor of
+    /// either) and were dropped with their fronts and results.
+    RulesChanged {
+        /// Nodes the change could reach.
+        dirty_nodes: usize,
+    },
+    /// Node-front shaping changed ([`DtasConfig::node_filter`],
+    /// [`DtasConfig::node_cap`] or [`DtasConfig::max_combinations`]):
+    /// every front and result was dropped, the expanded space retained.
+    NodeShapingChanged,
+    /// Root-front shaping changed ([`DtasConfig::root_filter`] or
+    /// [`DtasConfig::root_cap`]): results were dropped, node fronts
+    /// retained.
+    RootShapingChanged,
+    /// [`DtasConfig::uniform_count_limit`] changed: results carry the
+    /// uniform-size accounting, so they were dropped; fronts retained.
+    UniformAccountingChanged,
+    /// [`DtasConfig::persist_path`] changed; the engine was rebound to
+    /// the new backend.
+    StoreRebound,
+    /// The bound store was asked to drop the chain stored under the
+    /// engine's key (a rule change invisible to the name-level rule
+    /// fingerprint would otherwise be shadowed by the stale chain).
+    StoreSuperseded,
+    /// Caching was switched off; all cached state was dropped.
+    CachingOff,
+    /// Caching was switched on; the engine warm-loads from the bound
+    /// store on its next query.
+    CachingOn,
+}
+
+impl fmt::Display for InvalidationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidationReason::RulesChanged { dirty_nodes } => {
+                write!(f, "rules-changed({dirty_nodes} dirty nodes)")
+            }
+            InvalidationReason::NodeShapingChanged => f.write_str("node-shaping-changed"),
+            InvalidationReason::RootShapingChanged => f.write_str("root-shaping-changed"),
+            InvalidationReason::UniformAccountingChanged => {
+                f.write_str("uniform-accounting-changed")
+            }
+            InvalidationReason::StoreRebound => f.write_str("store-rebound"),
+            InvalidationReason::StoreSuperseded => f.write_str("store-superseded"),
+            InvalidationReason::CachingOff => f.write_str("caching-off"),
+            InvalidationReason::CachingOn => f.write_str("caching-on"),
+        }
+    }
+}
+
+/// What [`Dtas::update_rules`] / [`Dtas::update_config`] did to the
+/// cached state: how much was dropped, how much stayed warm, and why.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// State invalidated by the change.
+    pub dropped: InvalidationCounts,
+    /// State that stayed warm across the change.
+    pub retained: InvalidationCounts,
+    /// Why, one entry per action taken (empty when the change touched
+    /// nothing cached — a thread-count tweak, say).
+    pub reasons: Vec<InvalidationReason>,
+}
+
+impl fmt::Display for InvalidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dropped {} · retained {}", self.dropped, self.retained)?;
+        if !self.reasons.is_empty() {
+            f.write_str(" · ")?;
+            for (i, reason) in self.reasons.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{reason}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Per-spec expansion outcome of one batch pass: slots already resolved
 /// (expansion errors), roots to solve together, and taint-affected
 /// indices needing a cold fallback.
@@ -181,6 +305,8 @@ struct StoreMetrics {
     delta_saves: AtomicU64,
     compactions: AtomicU64,
     lazy_materialized: AtomicU64,
+    /// Fronts kept warm by the most recent `update_rules`/`update_config`.
+    fronts_retained: AtomicU64,
     /// [`MemStore::settled`] count at the last checkpoint — the drop
     /// hook only flushes when solves landed since, so an explicit
     /// `checkpoint()` is not paid a second time on drop.
@@ -199,6 +325,7 @@ impl StoreMetrics {
         self.delta_saves.store(0, Ordering::Relaxed);
         self.compactions.store(0, Ordering::Relaxed);
         self.lazy_materialized.store(0, Ordering::Relaxed);
+        self.fronts_retained.store(0, Ordering::Relaxed);
         self.flushed_settled.store(0, Ordering::Relaxed);
         *self.reject_reason.lock().expect("reject reason poisoned") = None;
     }
@@ -276,14 +403,19 @@ struct FlushState {
 /// ADD16, say) are expanded and solved once per engine lifetime. Cached
 /// entries are keyed implicitly by the library's content
 /// [`fingerprint`](CellLibrary::fingerprint) — verified on every call —
-/// and are dropped whenever rules or configuration change
-/// ([`with_rules`](Self::with_rules) / [`with_config`](Self::with_config))
-/// or [`clear_cache`](Self::clear_cache) is called.
+/// and by each spec's *canonical* form (see
+/// [`canon_fingerprint`](crate::canon_fingerprint)): functionally
+/// equivalent spec variants collapse onto one memo entry. Rule or
+/// configuration changes ([`update_rules`](Self::update_rules) /
+/// [`update_config`](Self::update_config)) invalidate exactly the
+/// affected entries and report what they kept
+/// ([`InvalidationReport`]); [`clear_cache`](Self::clear_cache) drops
+/// everything.
 ///
 /// # Warm start
 ///
 /// With [`DtasConfig::persist_path`] set (or a backend attached through
-/// [`with_store`](Self::with_store)), the cached state also survives the
+/// [`Dtas::builder`]), the cached state also survives the
 /// engine: construction loads a compatible snapshot — the explored design
 /// space, every solved front, and the memoized results — and the state is
 /// flushed back by [`checkpoint`](Self::checkpoint) or on drop. A second
@@ -315,23 +447,87 @@ pub struct Dtas {
     metrics: StoreMetrics,
     warm: Mutex<WarmState>,
     flush: Mutex<FlushState>,
+    canon: Canonicalizer,
+}
+
+/// Constructs a [`Dtas`] in one shot: library (required), then optional
+/// rule base, configuration and snapshot backend. Once built, the engine
+/// is immutable except through [`Dtas::update_rules`] /
+/// [`Dtas::update_config`], which invalidate *only* the affected cached
+/// state and say exactly what they did ([`InvalidationReport`]) — unlike
+/// the retired consuming `with_*` chain, which silently reset everything.
+pub struct DtasBuilder {
+    library: CellLibrary,
+    rules: Option<RuleSet>,
+    config: DtasConfig,
+    store: Option<Arc<dyn ResultStore>>,
+}
+
+impl DtasBuilder {
+    /// Replaces the default rule base
+    /// (`RuleSet::standard().with_lsi_extensions()`).
+    pub fn rules(mut self, rules: RuleSet) -> Self {
+        self.rules = Some(rules);
+        self
+    }
+
+    /// Replaces the default configuration.
+    pub fn config(mut self, config: DtasConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Binds an explicit snapshot backend, overriding the
+    /// [`DtasConfig::persist_path`] binding.
+    pub fn store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Builds the engine and warm-starts it from the bound store (if any
+    /// chain is compatible; anything else is a plain cold start).
+    pub fn build(self) -> Dtas {
+        let fingerprint = self.library.fingerprint();
+        let store = self.store.or_else(|| {
+            self.config
+                .persist_path
+                .as_ref()
+                .map(|dir| Arc::new(PersistentStore::new(dir)) as Arc<dyn ResultStore>)
+        });
+        let dtas = Dtas {
+            rules: self
+                .rules
+                .unwrap_or_else(|| RuleSet::standard().with_lsi_extensions()),
+            library: self.library,
+            config: self.config,
+            fingerprint,
+            mem: MemStore::new(),
+            store,
+            metrics: StoreMetrics::default(),
+            warm: Mutex::new(WarmState::default()),
+            flush: Mutex::new(FlushState::default()),
+            canon: Canonicalizer::new(),
+        };
+        dtas.try_warm_load();
+        dtas
+    }
 }
 
 impl Dtas {
     /// Creates an engine with the standard rule base, the library-specific
     /// extensions, and default configuration.
     pub fn new(library: CellLibrary) -> Self {
-        let fingerprint = library.fingerprint();
-        Dtas {
-            rules: RuleSet::standard().with_lsi_extensions(),
+        Dtas::builder(library).build()
+    }
+
+    /// Starts building an engine: `Dtas::builder(lib).rules(…).config(…)
+    /// .store(…).build()`.
+    pub fn builder(library: CellLibrary) -> DtasBuilder {
+        DtasBuilder {
             library,
+            rules: None,
             config: DtasConfig::default(),
-            fingerprint,
-            mem: MemStore::new(),
             store: None,
-            metrics: StoreMetrics::default(),
-            warm: Mutex::new(WarmState::default()),
-            flush: Mutex::new(FlushState::default()),
         }
     }
 
@@ -339,15 +535,19 @@ impl Dtas {
     /// snapshot directory `dir` — shorthand for setting
     /// [`DtasConfig::persist_path`] on a default configuration.
     pub fn warm_start(library: CellLibrary, dir: impl Into<std::path::PathBuf>) -> Self {
-        Dtas::new(library).with_config(DtasConfig {
-            persist_path: Some(dir.into()),
-            ..DtasConfig::default()
-        })
+        Dtas::builder(library)
+            .config(DtasConfig {
+                persist_path: Some(dir.into()),
+                ..DtasConfig::default()
+            })
+            .build()
     }
 
-    /// Replaces the rule base. Cached synthesis state is dropped — cached
-    /// fronts are only valid for the rules that produced them — and any
-    /// bound store is re-consulted under the new rule-set fingerprint.
+    /// Replaces the rule base, dropping **all** cached synthesis state.
+    #[deprecated(
+        note = "use Dtas::builder(..).rules(..) to construct, or Dtas::update_rules for \
+                delta invalidation that keeps unaffected state warm"
+    )]
     pub fn with_rules(mut self, rules: RuleSet) -> Self {
         self.rules = rules;
         self.reset_runtime_state();
@@ -355,9 +555,12 @@ impl Dtas {
         self
     }
 
-    /// Replaces the configuration. Cached synthesis state is dropped —
-    /// filters and caps shape every cached front — and the warm-start
-    /// binding is rebuilt from [`DtasConfig::persist_path`].
+    /// Replaces the configuration, dropping **all** cached synthesis
+    /// state and rebinding the store from [`DtasConfig::persist_path`].
+    #[deprecated(
+        note = "use Dtas::builder(..).config(..) to construct, or Dtas::update_config for \
+                delta invalidation that keeps unaffected state warm"
+    )]
     pub fn with_config(mut self, config: DtasConfig) -> Self {
         self.config = config;
         self.reset_runtime_state();
@@ -371,9 +574,9 @@ impl Dtas {
     }
 
     /// Binds an explicit snapshot backend (overriding any
-    /// [`DtasConfig::persist_path`] binding) and warm-starts from it.
-    /// Cached synthesis state is dropped first, exactly as in
-    /// [`with_config`](Self::with_config).
+    /// [`DtasConfig::persist_path`] binding) and warm-starts from it,
+    /// dropping all cached synthesis state first.
+    #[deprecated(note = "use Dtas::builder(..).store(..)")]
     pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
         self.reset_runtime_state();
         self.store = Some(store);
@@ -382,12 +585,399 @@ impl Dtas {
     }
 
     /// Fresh (empty) synchronized state, counters included. Used by the
-    /// consuming builders before they re-bind / re-load.
+    /// deprecated consuming builders before they re-bind / re-load.
     fn reset_runtime_state(&mut self) {
         self.mem = MemStore::new();
         self.metrics.reset();
+        self.canon.clear();
         *self.lock_warm() = WarmState::default();
         *self.lock_flush() = FlushState::default();
+    }
+
+    /// Replaces the rule base **in place**, invalidating only the cached
+    /// state the change can actually reach.
+    ///
+    /// Every live spec node's expansion is recomputed under both the old
+    /// and the new rules (a template diff — rule *bodies* count, not just
+    /// membership): nodes whose one-level template list changed, and
+    /// every ancestor of one, are dropped with their fronts and memoized
+    /// results; the rest of the space stays warm. When the change is
+    /// invisible to the name-level rule-set fingerprint (same rule names,
+    /// different bodies) the bound store's chain is superseded, so a
+    /// stale persisted base can never shadow the invalidation on the next
+    /// warm start.
+    ///
+    /// The returned [`InvalidationReport`] says exactly what was dropped,
+    /// what stayed warm, and why;
+    /// [`CacheStats::fronts_retained_on_update`] mirrors the retained
+    /// front count.
+    pub fn update_rules(&mut self, rules: RuleSet) -> InvalidationReport {
+        let mut report = InvalidationReport::default();
+        if !self.config.cache {
+            self.rules = rules;
+            self.canon.clear();
+            report
+                .reasons
+                .push(InvalidationReason::RulesChanged { dirty_nodes: 0 });
+            return report;
+        }
+        let old_key = self.store_key();
+        // The diff below runs over live nodes, so live state must cover
+        // everything persisted: materialize every pending result and
+        // hydrate the chain, then drop the lazy source (its node index
+        // would dangle across the compaction below).
+        self.prefault();
+        self.ensure_hydrated();
+        {
+            let mut warm = self.lock_warm();
+            warm.source = None;
+            warm.hydrated = true;
+        }
+        let (dirty_count, retained_nodes, retained_fronts, dropped_fronts, clean_specs) = {
+            let mut state = self.mem.write_state();
+            let n = state.space.nodes.len();
+            let mut dirty = vec![false; n];
+            for (id, node) in state.space.nodes.iter().enumerate() {
+                // A node is dirty iff the *expansion function* changed
+                // for its spec: the one-level template list under the old
+                // rules differs from the list under the new rules. The
+                // stored impls are deliberately not consulted — they may
+                // lawfully omit cycle-dropped templates (tainted nodes),
+                // but drops are a pure function of the template lists of
+                // in-space specs, so identical one-level expansions over
+                // the clean set reproduce the stored state exactly,
+                // cycle drops and taint included.
+                let old_templates: Vec<NetlistTemplate> = self
+                    .rules
+                    .iter()
+                    .flat_map(|rule| rule.expand(&node.spec))
+                    .collect();
+                let new_templates: Vec<NetlistTemplate> = rules
+                    .iter()
+                    .flat_map(|rule| rule.expand(&node.spec))
+                    .collect();
+                if old_templates != new_templates {
+                    dirty[id] = true;
+                }
+            }
+            // Dirt propagates to ancestors: a front is a function of its
+            // whole subgraph. Children have strictly lower ids (expansion
+            // pushes children first), so one increasing pass closes the
+            // set.
+            for id in 0..n {
+                if !dirty[id]
+                    && state.space.nodes[id]
+                        .children
+                        .iter()
+                        .flatten()
+                        .any(|&child| dirty[child])
+                {
+                    dirty[id] = true;
+                }
+            }
+            let dirty_count = dirty.iter().filter(|d| **d).count();
+            // Compact the space: keep clean nodes, remapping child ids.
+            // The clean set is downward-closed (dirt moved upward only),
+            // so a clean node's children are always clean — no dangling
+            // ids, and the persisted-codec invariant (one node per spec,
+            // topological order) is preserved.
+            let mut remap: Vec<Option<SpecId>> = vec![None; n];
+            let mut new_nodes: Vec<crate::space::SpecNode> = Vec::with_capacity(n - dirty_count);
+            for (id, node) in state.space.nodes.iter().enumerate() {
+                if dirty[id] {
+                    continue;
+                }
+                remap[id] = Some(new_nodes.len());
+                let mut node = node.clone();
+                for children in &mut node.children {
+                    for child in children.iter_mut() {
+                        *child = remap[*child].expect("clean set is downward-closed");
+                    }
+                }
+                new_nodes.push(node);
+            }
+            // Rebuild the fronts over the surviving ids, rewriting each
+            // point's policy into the new id space (policies only reach
+            // the node's own — clean — subgraph).
+            let mut fronts = FrontStore {
+                fronts: vec![None; new_nodes.len()],
+                truncated: vec![0; new_nodes.len()],
+            };
+            let mut retained_fronts = 0usize;
+            let mut dropped_fronts = 0usize;
+            for (id, front) in state.fronts.fronts.iter().enumerate() {
+                let Some(front) = front else { continue };
+                match remap.get(id).copied().flatten() {
+                    Some(new_id) => {
+                        let points: Vec<DesignPoint> = front
+                            .iter()
+                            .map(|p| {
+                                let mut q = p.clone();
+                                q.policy = p
+                                    .policy
+                                    .iter()
+                                    .map(|(sid, choice)| {
+                                        (
+                                            remap[sid].expect("policy reaches only clean nodes"),
+                                            choice,
+                                        )
+                                    })
+                                    .collect();
+                                q
+                            })
+                            .collect();
+                        fronts.truncated[new_id] =
+                            state.fronts.truncated.get(id).copied().unwrap_or(0);
+                        fronts.fronts[new_id] = Some(Arc::new(points));
+                        retained_fronts += 1;
+                    }
+                    None => dropped_fronts += 1,
+                }
+            }
+            let clean_specs: HashSet<ComponentSpec> =
+                new_nodes.iter().map(|node| node.spec.clone()).collect();
+            let retained_nodes = new_nodes.len();
+            state.space.memo = new_nodes
+                .iter()
+                .enumerate()
+                .map(|(id, node)| (node.spec.clone(), id))
+                .collect();
+            // Taint survives compaction: a retained tainted node still
+            // omits its cycle-dropped templates, and future queries
+            // reaching it must keep falling back to a cold solve.
+            state.space.tainted = state
+                .space
+                .tainted
+                .iter()
+                .filter_map(|&id| remap.get(id).copied().flatten())
+                .collect();
+            state.space.nodes = new_nodes;
+            state.fronts = fronts;
+            // Node ids moved; no snapshot taken before this point may
+            // absorb fronts back (none can exist — `&mut self` — but the
+            // guard is cheap insurance).
+            state.generation = state.generation.wrapping_add(1);
+            (
+                dirty_count,
+                retained_nodes,
+                retained_fronts,
+                dropped_fronts,
+                clean_specs,
+            )
+        };
+        let (retained_results, dropped_results) =
+            self.mem.retain_results(|spec| clean_specs.contains(spec));
+        self.rules = rules;
+        self.canon.clear();
+        // The watermark describes a chain keyed under the old rules;
+        // unprime so the next checkpoint starts a fresh full base.
+        *self.lock_flush() = FlushState::default();
+        report.dropped = InvalidationCounts {
+            nodes: dirty_count,
+            fronts: dropped_fronts,
+            results: dropped_results,
+        };
+        report.retained = InvalidationCounts {
+            nodes: retained_nodes,
+            fronts: retained_fronts,
+            results: retained_results,
+        };
+        report.reasons.push(InvalidationReason::RulesChanged {
+            dirty_nodes: dirty_count,
+        });
+        if let Some(store) = &self.store {
+            if self.store_key() == old_key && dirty_count > 0 {
+                // The change is invisible to the rule-set fingerprint
+                // (same rule names, different bodies): the stored chain
+                // would warm-load stale answers under the new rules, so
+                // drop it now. (With no dirty nodes the diff just proved
+                // the chain still valid — prefault made live ⊇ stored —
+                // so it is deliberately kept.)
+                if store.supersede(&old_key).is_ok() {
+                    report.reasons.push(InvalidationReason::StoreSuperseded);
+                }
+            }
+            let dropped_any = dirty_count > 0 || dropped_results > 0;
+            let retained_any = retained_nodes > 0 || retained_results > 0;
+            if dropped_any && retained_any {
+                // Make the retained-but-compacted state look unflushed so
+                // the next checkpoint persists it instead of skipping.
+                self.metrics.flushed_settled.store(
+                    self.mem.settled.load(Ordering::Relaxed).wrapping_sub(1),
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        self.metrics
+            .fronts_retained
+            .store(retained_fronts as u64, Ordering::Relaxed);
+        if retained_nodes == 0 {
+            // Everything went: a compatible chain may exist under the new
+            // key (rules changed back, say) — try a warm start.
+            self.try_warm_load();
+        }
+        report
+    }
+
+    /// Replaces the configuration **in place**, invalidating only the
+    /// cached state the changed fields actually shape:
+    ///
+    /// * node-front shaping ([`DtasConfig::node_filter`] /
+    ///   [`node_cap`](DtasConfig::node_cap) /
+    ///   [`max_combinations`](DtasConfig::max_combinations)) drops every
+    ///   front and result but keeps the expanded space;
+    /// * root shaping ([`DtasConfig::root_filter`] /
+    ///   [`root_cap`](DtasConfig::root_cap)) and
+    ///   [`uniform_count_limit`](DtasConfig::uniform_count_limit) drop
+    ///   only the memoized results — node fronts stay warm;
+    /// * [`persist_path`](DtasConfig::persist_path) rebinds the store;
+    /// * toggling [`cache`](DtasConfig::cache) drops or warm-loads
+    ///   everything;
+    /// * anything else (threads, compaction ratio, preflight) touches
+    ///   nothing cached and returns an empty report.
+    ///
+    /// No store supersede is ever needed here: every invalidating field
+    /// is part of [`DtasConfig::result_fingerprint`], so the store key
+    /// changes with the config.
+    pub fn update_config(&mut self, config: DtasConfig) -> InvalidationReport {
+        let mut report = InvalidationReport::default();
+        let old = &self.config;
+        let node_shaping = config.node_filter != old.node_filter
+            || config.node_cap != old.node_cap
+            || config.max_combinations != old.max_combinations;
+        let root_shaping = config.root_filter != old.root_filter || config.root_cap != old.root_cap;
+        let uniform = config.uniform_count_limit != old.uniform_count_limit;
+        let storage = config.persist_path != old.persist_path;
+        let cache_off = old.cache && !config.cache;
+        let cache_on = !old.cache && config.cache;
+        if cache_off {
+            let stats = self.cache_stats();
+            report.dropped = InvalidationCounts {
+                nodes: stats.spec_nodes,
+                fronts: stats.cached_fronts,
+                results: stats.cached_results,
+            };
+            report.reasons.push(InvalidationReason::CachingOff);
+            self.config = config;
+            self.mem.clear();
+            self.metrics.reset();
+            self.canon.clear();
+            {
+                let mut warm = self.lock_warm();
+                warm.source = None;
+                warm.hydrated = true;
+            }
+            *self.lock_flush() = FlushState::default();
+            if storage {
+                self.rebind_store();
+                report.reasons.push(InvalidationReason::StoreRebound);
+            }
+            return report;
+        }
+        if cache_on {
+            self.config = config;
+            if storage {
+                self.rebind_store();
+                report.reasons.push(InvalidationReason::StoreRebound);
+            } else if self.store.is_none() && self.config.persist_path.is_some() {
+                self.rebind_store();
+            }
+            report.reasons.push(InvalidationReason::CachingOn);
+            self.try_warm_load();
+            return report;
+        }
+        if !config.cache {
+            // Off → off: nothing cached to invalidate.
+            self.config = config;
+            if storage {
+                self.rebind_store();
+                report.reasons.push(InvalidationReason::StoreRebound);
+            }
+            return report;
+        }
+        // On → on: the interesting delta paths.
+        if node_shaping || root_shaping || uniform {
+            // The lazy chain indexes state this update is about to thin
+            // out; hydrate it into the live state first, then drop it.
+            self.ensure_hydrated();
+            let mut warm = self.lock_warm();
+            warm.source = None;
+            warm.hydrated = true;
+        }
+        if node_shaping {
+            // Node-front shaping reshapes every solved front; the
+            // expanded space (rules + library only) stays warm.
+            let (dropped_fronts, nodes) = {
+                let mut state = self.mem.write_state();
+                let n = state.space.nodes.len();
+                let dropped = state.fronts.solved_count();
+                state.fronts = FrontStore {
+                    fronts: vec![None; n],
+                    truncated: vec![0; n],
+                };
+                (dropped, n)
+            };
+            let (_, dropped_results) = self.mem.retain_results(|_| false);
+            report.dropped.fronts = dropped_fronts;
+            report.dropped.results = dropped_results;
+            report.retained.nodes = nodes;
+            report.reasons.push(InvalidationReason::NodeShapingChanged);
+            self.metrics.fronts_retained.store(0, Ordering::Relaxed);
+        } else if root_shaping || uniform {
+            // Only the assembled results carry root shaping / uniform
+            // accounting; node fronts below the root stay warm.
+            let (_, dropped_results) = self.mem.retain_results(|_| false);
+            let (retained_fronts, nodes) = self.mem.front_counts();
+            report.dropped.results = dropped_results;
+            report.retained.fronts = retained_fronts;
+            report.retained.nodes = nodes;
+            if root_shaping {
+                report.reasons.push(InvalidationReason::RootShapingChanged);
+            }
+            if uniform {
+                report
+                    .reasons
+                    .push(InvalidationReason::UniformAccountingChanged);
+            }
+            self.metrics
+                .fronts_retained
+                .store(retained_fronts as u64, Ordering::Relaxed);
+        }
+        self.config = config;
+        if storage {
+            self.rebind_store();
+            report.reasons.push(InvalidationReason::StoreRebound);
+        }
+        if node_shaping || root_shaping || uniform || storage {
+            // Shaping changes the result fingerprint (and a rebind the
+            // backend): the old watermark describes some other chain.
+            *self.lock_flush() = FlushState::default();
+        }
+        if (node_shaping || root_shaping || uniform)
+            && self.store.is_some()
+            && (report.retained.nodes > 0 || report.retained.fronts > 0)
+        {
+            // Make the retained state look unflushed so the next
+            // checkpoint persists it under the new key.
+            self.metrics.flushed_settled.store(
+                self.mem.settled.load(Ordering::Relaxed).wrapping_sub(1),
+                Ordering::Relaxed,
+            );
+        }
+        if storage && self.mem.front_counts().1 == 0 {
+            // Nothing live to protect: warm-load from the new backend.
+            self.try_warm_load();
+        }
+        report
+    }
+
+    /// Rebinds the snapshot backend from [`DtasConfig::persist_path`].
+    fn rebind_store(&mut self) {
+        self.store = self
+            .config
+            .persist_path
+            .as_ref()
+            .map(|dir| Arc::new(PersistentStore::new(dir)) as Arc<dyn ResultStore>);
     }
 
     /// The lazy-source lock, recovering from poison by dropping the
@@ -421,6 +1011,7 @@ impl Dtas {
             library: self.fingerprint,
             rules: self.rules.fingerprint(),
             config: self.config.result_fingerprint(),
+            canon: canon::canon_fingerprint(),
         }
     }
 
@@ -778,6 +1369,7 @@ impl Dtas {
     pub fn clear_cache(&self) {
         self.mem.clear();
         self.metrics.reset();
+        self.canon.clear();
         {
             // The lazy source indexes node ids of the state being
             // dropped; it must go with it (clearing is in-memory only —
@@ -818,6 +1410,9 @@ impl Dtas {
             compactions: self.metrics.compactions.load(Ordering::Relaxed),
             lazy_results,
             lazy_materialized: self.metrics.lazy_materialized.load(Ordering::Relaxed),
+            canonical_hits: self.canon.canonical_hits.load(Ordering::Relaxed),
+            specs_collapsed: self.canon.specs_collapsed.load(Ordering::Relaxed),
+            fronts_retained_on_update: self.metrics.fronts_retained.load(Ordering::Relaxed),
         }
     }
 
@@ -833,54 +1428,134 @@ impl Dtas {
             .max(1)
     }
 
-    /// Synthesizes one component specification into a set of alternative
-    /// library-specific implementations.
+    /// **The** synthesis entry point: runs anything convertible into a
+    /// [`SynthRequest`] — a [`ComponentSpec`] (owned, borrowed, or via
+    /// [`SynthRequest::new`] for per-request overrides) — and returns the
+    /// design set behind an [`Arc`].
     ///
-    /// Concurrent callers with memoized specs are served without taking
-    /// any exclusive lock; concurrent callers with the *same* cold spec
-    /// block on one in-flight solve and share its result; distinct cold
-    /// specs solve concurrently.
+    /// Requests without overrides are canonicalized (see
+    /// [`canon_fingerprint`](crate::canon_fingerprint)) and served through
+    /// the shared result memo: concurrent callers with memoized specs are
+    /// served without taking any exclusive lock; concurrent callers with
+    /// the *same* cold spec block on one in-flight solve and share its
+    /// result; distinct cold specs solve concurrently. A shared set's
+    /// [`SynthStats::elapsed`](crate::SynthStats::elapsed) is the original
+    /// solve's, not this call's; deep-clone the set if you need a private
+    /// copy to mutate.
+    ///
+    /// Requests with front overrides recompute only the root front (node
+    /// fronts below it are still shared with every other query) and
+    /// bypass the memo; weight-sorted requests sort a private clone.
     ///
     /// # Errors
     ///
     /// [`SynthError::NoImplementation`] when neither rules nor cells cover
     /// the spec; [`SynthError::Expand`] on rule defects.
+    pub fn run(&self, request: impl Into<SynthRequest>) -> Result<Arc<DesignSet>, SynthError> {
+        let start = Instant::now();
+        let request = request.into();
+        if !request.has_front_overrides() && request.weights.is_none() {
+            self.shared_result(&request.spec, start)
+        } else {
+            self.override_result(&request, start).map(Arc::new)
+        }
+    }
+
+    /// The memoized (non-override) path behind [`run`](Self::run):
+    /// canonicalize, serve through the collapsed memo entry, rewrite the
+    /// answer back to the caller's raw spec.
+    fn shared_result(
+        &self,
+        spec: &ComponentSpec,
+        start: Instant,
+    ) -> Result<Arc<DesignSet>, SynthError> {
+        if !self.config.cache {
+            // Ablation path: nothing is keyed, so nothing to canonicalize.
+            return self.synthesize_shared_from(spec, start);
+        }
+        let canonical = self.canon.canonical(spec, &self.rules, &self.library);
+        canon::rewrite_result(
+            self.synthesize_shared_from(&canonical, start),
+            spec,
+            &canonical,
+        )
+    }
+
+    /// The override path behind [`run`](Self::run): a private root front
+    /// and/or a weight-sorted clone. Override solves keep the caller's
+    /// raw spec end-to-end — they bypass the memo, so there is no shared
+    /// key to canonicalize.
+    fn override_result(
+        &self,
+        request: &SynthRequest,
+        start: Instant,
+    ) -> Result<DesignSet, SynthError> {
+        let mut set = if !request.has_front_overrides() {
+            Self::deliver(&self.shared_result(&request.spec, start), start)?
+        } else {
+            let root_filter = request.root_filter.unwrap_or(self.config.root_filter);
+            let root_cap = request.root_cap.unwrap_or(self.config.root_cap);
+            if !self.config.cache {
+                let mut state = SharedState::default();
+                self.solve_in(&request.spec, &mut state, root_filter, root_cap, start)?
+            } else {
+                self.check_fingerprint();
+                self.mem.misses.fetch_add(1, Ordering::Relaxed);
+                let solved = self.solve_shared_with(&request.spec, root_filter, root_cap, start);
+                // Settle even on error: the solve may have grown shared
+                // space/fronts that the next checkpoint should consider.
+                self.mem.settled.fetch_add(1, Ordering::Relaxed);
+                solved?
+            }
+        };
+        if let Some((area_weight, delay_weight)) = request.weights {
+            let score = |a: &Alternative| area_weight * a.area + delay_weight * a.delay;
+            // total_cmp keeps the comparator a total order even if a
+            // caller passes non-finite weights (NaN scores would make a
+            // partial_cmp-based sort panic since Rust 1.81).
+            set.alternatives.sort_by(|a, b| {
+                score(a)
+                    .total_cmp(&score(b))
+                    .then(a.area.total_cmp(&b.area))
+                    .then(a.delay.total_cmp(&b.delay))
+            });
+        }
+        Ok(set)
+    }
+
+    /// Synthesizes one component specification into a set of alternative
+    /// library-specific implementations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use Dtas::run (deep-clone the Arc if you need an owned set)")]
     pub fn synthesize(&self, spec: &ComponentSpec) -> Result<DesignSet, SynthError> {
         let start = Instant::now();
-        let result = self.synthesize_shared_from(spec, start);
-        Self::deliver(&result, start)
+        Self::deliver(&self.run(spec), start)
     }
 
-    /// Like [`synthesize`](Self::synthesize), but hands back the
-    /// memoized result behind an [`Arc`] instead of deep-cloning it —
-    /// the hot path for service layers that fan one answer out to many
-    /// read-only consumers (see [`DtasService`](crate::DtasService)).
-    /// The shared set's [`SynthStats::elapsed`] is the original solve's,
-    /// not this call's.
+    /// Like the retired `synthesize`, with `Arc` delivery.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`synthesize`](Self::synthesize).
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use Dtas::run")]
     pub fn synthesize_shared(&self, spec: &ComponentSpec) -> Result<Arc<DesignSet>, SynthError> {
-        self.synthesize_shared_from(spec, Instant::now())
+        self.run(spec)
     }
 
-    /// Runs a [`SynthRequest`] with `Arc` delivery: requests without
-    /// overrides share the memoized set (no clone), requests with
-    /// overrides pay one allocation for their private root front.
+    /// Runs a [`SynthRequest`] with `Arc` delivery.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`synthesize`](Self::synthesize).
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use Dtas::run")]
     pub fn synthesize_request_shared(
         &self,
         request: &SynthRequest,
     ) -> Result<Arc<DesignSet>, SynthError> {
-        if !request.has_front_overrides() && request.weights.is_none() {
-            self.synthesize_shared(&request.spec)
-        } else {
-            self.synthesize_request(request).map(Arc::new)
-        }
+        self.run(request)
     }
 
     fn synthesize_shared_from(
@@ -925,107 +1600,125 @@ impl Dtas {
         result.clone()
     }
 
-    /// Runs a [`SynthRequest`]. Requests without front overrides share the
-    /// result memo with [`synthesize`](Self::synthesize); requests with
-    /// overrides recompute only the root front (node fronts below it are
-    /// still shared with every other query) and bypass the memo.
+    /// Runs a [`SynthRequest`] with owned delivery.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`synthesize`](Self::synthesize).
+    /// Same conditions as [`run`](Self::run).
+    #[deprecated(note = "use Dtas::run (deep-clone the Arc if you need an owned set)")]
     pub fn synthesize_request(&self, request: &SynthRequest) -> Result<DesignSet, SynthError> {
-        let mut set = if !request.has_front_overrides() {
-            self.synthesize(&request.spec)?
-        } else {
-            let start = Instant::now();
-            let root_filter = request.root_filter.unwrap_or(self.config.root_filter);
-            let root_cap = request.root_cap.unwrap_or(self.config.root_cap);
-            if !self.config.cache {
-                let mut state = SharedState::default();
-                self.solve_in(&request.spec, &mut state, root_filter, root_cap, start)?
-            } else {
-                self.check_fingerprint();
-                self.mem.misses.fetch_add(1, Ordering::Relaxed);
-                let solved = self.solve_shared_with(&request.spec, root_filter, root_cap, start);
-                // Settle even on error: the solve may have grown shared
-                // space/fronts that the next checkpoint should consider.
-                self.mem.settled.fetch_add(1, Ordering::Relaxed);
-                solved?
-            }
-        };
-        if let Some((area_weight, delay_weight)) = request.weights {
-            let score = |a: &Alternative| area_weight * a.area + delay_weight * a.delay;
-            // total_cmp keeps the comparator a total order even if a
-            // caller passes non-finite weights (NaN scores would make a
-            // partial_cmp-based sort panic since Rust 1.81).
-            set.alternatives.sort_by(|a, b| {
-                score(a)
-                    .total_cmp(&score(b))
-                    .then(a.area.total_cmp(&b.area))
-                    .then(a.delay.total_cmp(&b.delay))
-            });
-        }
-        Ok(set)
+        let start = Instant::now();
+        Self::deliver(&self.run(request), start)
     }
 
     /// Synthesizes a whole batch of specifications in one shared-space
     /// pass: every *distinct* spec is expanded into the engine's design
     /// space (shared sub-specs once), all cold roots are solved together
     /// in a single level-scheduled sweep (not a per-spec loop), and the
-    /// results come back aligned with `specs` (duplicates are served from
-    /// the first occurrence's result).
+    /// results come back aligned with `specs` (duplicates — including
+    /// specs that only become duplicates after canonicalization — are
+    /// served from one solve).
     ///
     /// Per-spec failures do not abort the batch — each slot carries its
     /// own `Result`.
-    pub fn synthesize_batch(&self, specs: &[ComponentSpec]) -> Vec<Result<DesignSet, SynthError>> {
+    pub fn run_batch(&self, specs: &[ComponentSpec]) -> Vec<Result<Arc<DesignSet>, SynthError>> {
         let start = Instant::now();
-        // Distinct specs in first-appearance order.
+        if !self.config.cache {
+            // Ablation path: dedupe raw specs only (nothing is keyed).
+            let mut distinct: Vec<&ComponentSpec> = Vec::new();
+            let mut slot_of: HashMap<&ComponentSpec, usize> = HashMap::new();
+            for spec in specs {
+                if !slot_of.contains_key(spec) {
+                    slot_of.insert(spec, distinct.len());
+                    distinct.push(spec);
+                }
+            }
+            let mut state = SharedState::default();
+            let results = self.batch_in(&distinct, &mut state, start);
+            return specs
+                .iter()
+                .map(|spec| results[slot_of[spec]].clone())
+                .collect();
+        }
+        self.check_fingerprint();
+        // Canonicalize every slot, then dedupe by canonical spec in
+        // first-appearance order — padded/styled variants of one
+        // canonical spec collapse onto a single solve here.
+        let canonical: Vec<ComponentSpec> = specs
+            .iter()
+            .map(|spec| self.canon.canonical(spec, &self.rules, &self.library))
+            .collect();
         let mut distinct: Vec<&ComponentSpec> = Vec::new();
         let mut slot_of: HashMap<&ComponentSpec, usize> = HashMap::new();
-        for spec in specs {
+        for spec in &canonical {
             if !slot_of.contains_key(spec) {
                 slot_of.insert(spec, distinct.len());
                 distinct.push(spec);
             }
         }
-        let results = if self.config.cache {
-            self.check_fingerprint();
-            self.batch_cached(&distinct, start)
-        } else {
-            let mut state = SharedState::default();
-            self.batch_in(&distinct, &mut state, start)
-        };
+        let results = self.batch_cached(&distinct, start);
         specs
             .iter()
-            .map(|spec| Self::deliver(&results[slot_of[spec]], start))
+            .zip(&canonical)
+            .map(|(raw, canon_spec)| {
+                canon::rewrite_result(results[slot_of[canon_spec]].clone(), raw, canon_spec)
+            })
             .collect()
     }
 
     /// Synthesizes every distinct component specification used in a GENUS
     /// netlist (the distinct-spec census is exactly what DTAS expands —
     /// shared specs are expanded once) as one
-    /// [`synthesize_batch`](Self::synthesize_batch) pass.
+    /// [`run_batch`](Self::run_batch) pass.
     ///
     /// # Errors
     ///
     /// Fails on the first spec (in census order) with no implementation.
-    /// Unlike the per-spec loop this replaced, the whole batch is solved
-    /// before the error is reported — the successful work is what warms
-    /// the shared cache; use [`synthesize_batch`](Self::synthesize_batch)
-    /// directly for per-spec error visibility.
-    pub fn synthesize_netlist(
+    /// The whole batch is solved before the error is reported — the
+    /// successful work is what warms the shared cache; use
+    /// [`run_batch`](Self::run_batch) directly for per-spec error
+    /// visibility.
+    pub fn run_netlist(
         &self,
         netlist: &Netlist,
-    ) -> Result<BTreeMap<String, DesignSet>, SynthError> {
+    ) -> Result<BTreeMap<String, Arc<DesignSet>>, SynthError> {
         let census = netlist.spec_census();
         let specs: Vec<ComponentSpec> = census
             .values()
             .map(|(component, _count)| component.spec().clone())
             .collect();
-        let results = self.synthesize_batch(&specs);
+        let results = self.run_batch(&specs);
         let mut out = BTreeMap::new();
         for (key, set) in census.into_keys().zip(results) {
             out.insert(key, set?);
+        }
+        Ok(out)
+    }
+
+    /// Batch synthesis with owned delivery.
+    #[deprecated(note = "use Dtas::run_batch (Arc delivery)")]
+    pub fn synthesize_batch(&self, specs: &[ComponentSpec]) -> Vec<Result<DesignSet, SynthError>> {
+        let start = Instant::now();
+        self.run_batch(specs)
+            .iter()
+            .map(|result| Self::deliver(result, start))
+            .collect()
+    }
+
+    /// Netlist synthesis with owned delivery.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_netlist`](Self::run_netlist).
+    #[deprecated(note = "use Dtas::run_netlist (Arc delivery)")]
+    pub fn synthesize_netlist(
+        &self,
+        netlist: &Netlist,
+    ) -> Result<BTreeMap<String, DesignSet>, SynthError> {
+        let start = Instant::now();
+        let mut out = BTreeMap::new();
+        for (key, set) in self.run_netlist(netlist)? {
+            out.insert(key, Self::deliver(&Ok(set), start)?);
         }
         Ok(out)
     }
@@ -1480,7 +2173,7 @@ mod tests {
 
     #[test]
     fn add16_produces_a_design_space() {
-        let set = engine().synthesize(&add_spec(16)).unwrap();
+        let set = engine().run(add_spec(16)).unwrap();
         assert!(set.alternatives.len() >= 3, "{set}");
         // Monotone trade-off curve.
         for w in set.alternatives.windows(2) {
@@ -1492,14 +2185,14 @@ mod tests {
     #[test]
     fn unmappable_spec_reports_no_implementation() {
         assert!(matches!(
-            engine().synthesize(&unmappable_spec()),
+            engine().run(unmappable_spec()),
             Err(SynthError::NoImplementation(_))
         ));
     }
 
     #[test]
     fn direct_cell_hit_is_a_one_cell_design() {
-        let set = engine().synthesize(&add_spec(4)).unwrap();
+        let set = engine().run(add_spec(4)).unwrap();
         let direct = set
             .alternatives
             .iter()
@@ -1511,7 +2204,7 @@ mod tests {
     fn batch_mixes_successes_and_failures() {
         let engine = engine();
         let specs = vec![add_spec(16), unmappable_spec(), add_spec(16), add_spec(8)];
-        let results = engine.synthesize_batch(&specs);
+        let results = engine.run_batch(&specs);
         assert_eq!(results.len(), 4);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(SynthError::NoImplementation(_))));
@@ -1530,9 +2223,9 @@ mod tests {
     #[test]
     fn batch_then_single_queries_hit_the_memo() {
         let engine = engine();
-        let results = engine.synthesize_batch(&[add_spec(8), add_spec(16)]);
+        let results = engine.run_batch(&[add_spec(8), add_spec(16)]);
         assert!(results.iter().all(|r| r.is_ok()));
-        let single = engine.synthesize(&add_spec(16)).unwrap();
+        let single = engine.run(add_spec(16)).unwrap();
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 2));
         assert_eq!(
@@ -1542,12 +2235,10 @@ mod tests {
     }
 
     #[test]
-    fn request_without_overrides_matches_synthesize() {
+    fn request_without_overrides_matches_bare_spec_run() {
         let engine = engine();
-        let plain = engine.synthesize(&add_spec(16)).unwrap();
-        let via_request = engine
-            .synthesize_request(&SynthRequest::new(add_spec(16)))
-            .unwrap();
+        let plain = engine.run(add_spec(16)).unwrap();
+        let via_request = engine.run(SynthRequest::new(add_spec(16))).unwrap();
         assert_eq!(plain.alternatives.len(), via_request.alternatives.len());
         // The second call was a memo hit.
         assert_eq!(engine.cache_stats().hits, 1);
@@ -1556,22 +2247,20 @@ mod tests {
     #[test]
     fn request_overrides_reshape_the_front() {
         let engine = engine();
-        let full = engine.synthesize(&add_spec(16)).unwrap();
+        let full = engine.run(add_spec(16)).unwrap();
         assert!(full.alternatives.len() > 2);
         let capped = engine
-            .synthesize_request(&SynthRequest::new(add_spec(16)).with_front_cap(2))
+            .run(SynthRequest::new(add_spec(16)).with_front_cap(2))
             .unwrap();
         assert!(capped.alternatives.len() <= 2);
         let pareto = engine
-            .synthesize_request(
-                &SynthRequest::new(add_spec(16)).with_root_filter(FilterPolicy::Pareto),
-            )
+            .run(SynthRequest::new(add_spec(16)).with_root_filter(FilterPolicy::Pareto))
             .unwrap();
         // Strict Pareto keeps no more than the slack filter does.
         assert!(pareto.alternatives.len() <= full.alternatives.len());
         // Delay-heavy weights put the fastest design first.
         let fastest_first = engine
-            .synthesize_request(&SynthRequest::new(add_spec(16)).with_weights(0.0, 1.0))
+            .run(SynthRequest::new(add_spec(16)).with_weights(0.0, 1.0))
             .unwrap();
         let min_delay = full
             .alternatives
@@ -1584,11 +2273,177 @@ mod tests {
     #[test]
     fn memoized_errors_count_as_hits() {
         let engine = engine();
-        assert!(engine.synthesize(&unmappable_spec()).is_err());
-        assert!(engine.synthesize(&unmappable_spec()).is_err());
+        assert!(engine.run(unmappable_spec()).is_err());
+        assert!(engine.run(unmappable_spec()).is_err());
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         // Error cells are not counted as cached results.
         assert_eq!(stats.cached_results, 0);
+    }
+
+    #[test]
+    fn deprecated_entry_points_still_answer() {
+        #![allow(deprecated)]
+        let engine = engine();
+        let owned = engine.synthesize(&add_spec(16)).unwrap();
+        let shared = engine.synthesize_shared(&add_spec(16)).unwrap();
+        assert_eq!(owned.alternatives.len(), shared.alternatives.len());
+        let via_request = engine
+            .synthesize_request(&SynthRequest::new(add_spec(16)))
+            .unwrap();
+        assert_eq!(owned.alternatives.len(), via_request.alternatives.len());
+        let batch = engine.synthesize_batch(&[add_spec(16)]);
+        assert_eq!(
+            batch[0].as_ref().unwrap().alternatives.len(),
+            owned.alternatives.len()
+        );
+    }
+
+    #[test]
+    fn canonical_variants_collapse_onto_one_solve() {
+        let engine = engine();
+        // An unstyled spec and a styled variant no rule distinguishes.
+        let raw = ComponentSpec::new(ComponentKind::AddSub, 16).with_ops(OpSet::only(Op::Add));
+        let styled = raw.clone().with_style("FASTEST");
+        let a = engine.run(&raw).unwrap();
+        let b = engine.run(&styled).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.misses, stats.hits),
+            (1, 1),
+            "styled variant must be served from the collapsed entry: {stats}"
+        );
+        assert!(stats.canonical_hits >= 1, "{stats}");
+        assert!(stats.specs_collapsed >= 1, "{stats}");
+        // The rewrite restores the caller's spec label; everything else
+        // matches the collapsed solve.
+        assert_eq!(b.spec, styled);
+        assert_eq!(a.alternatives.len(), b.alternatives.len());
+        for (x, y) in a.alternatives.iter().zip(&b.alternatives) {
+            assert_eq!(x.area, y.area);
+            assert_eq!(x.delay, y.delay);
+        }
+    }
+
+    #[test]
+    fn update_rules_without_change_retains_everything() {
+        let mut engine = engine();
+        engine.run(add_spec(16)).unwrap();
+        let (fronts_before, nodes_before) = {
+            let stats = engine.cache_stats();
+            (stats.cached_fronts, stats.spec_nodes)
+        };
+        assert!(nodes_before > 0);
+        let report = engine.update_rules(RuleSet::standard().with_lsi_extensions());
+        assert_eq!(report.dropped, InvalidationCounts::default(), "{report}");
+        assert_eq!(report.retained.nodes, nodes_before, "{report}");
+        assert_eq!(report.retained.fronts, fronts_before, "{report}");
+        assert_eq!(report.retained.results, 1, "{report}");
+        assert_eq!(
+            report.reasons,
+            vec![InvalidationReason::RulesChanged { dirty_nodes: 0 }]
+        );
+        // The retained memo still answers without a new solve.
+        engine.run(add_spec(16)).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "{stats}");
+        assert_eq!(stats.fronts_retained_on_update, fronts_before as u64);
+    }
+
+    #[test]
+    fn update_rules_drops_only_reachable_state() {
+        // Start without the LSI extensions, then add them: the ADD16
+        // root gains an `lsi-carry-select-8` template (dirty), while
+        // leaf nodes whose expansions are untouched stay warm.
+        let mut engine = Dtas::builder(lsi_logic_subset())
+            .rules(RuleSet::standard())
+            .build();
+        engine.run(add_spec(16)).unwrap();
+        let warm = engine.cache_stats();
+        let report = engine.update_rules(RuleSet::standard().with_lsi_extensions());
+        assert!(report.dropped.nodes > 0, "{report}");
+        assert!(report.retained.nodes > 0, "{report}");
+        assert_eq!(
+            report.dropped.nodes + report.retained.nodes,
+            warm.spec_nodes,
+            "{report} vs {warm}"
+        );
+        assert_eq!(report.dropped.results, 1, "{report}");
+        // The re-solve under the extended rules matches a fresh engine.
+        let fresh = Dtas::new(lsi_logic_subset());
+        let a = fresh.run(add_spec(16)).unwrap();
+        let b = engine.run(add_spec(16)).unwrap();
+        assert_eq!(a.alternatives.len(), b.alternatives.len());
+        for (x, y) in a.alternatives.iter().zip(&b.alternatives) {
+            assert_eq!((x.area, x.delay), (y.area, y.delay));
+        }
+    }
+
+    #[test]
+    fn update_config_root_shaping_keeps_fronts() {
+        let mut engine = engine();
+        engine.run(add_spec(16)).unwrap();
+        let warm = engine.cache_stats();
+        assert!(warm.cached_fronts > 0);
+        let report = engine.update_config(DtasConfig {
+            root_cap: 2,
+            ..DtasConfig::default()
+        });
+        assert_eq!(report.retained.fronts, warm.cached_fronts, "{report}");
+        assert_eq!(report.dropped.results, 1, "{report}");
+        assert_eq!(report.reasons, vec![InvalidationReason::RootShapingChanged]);
+        let capped = engine.run(add_spec(16)).unwrap();
+        assert!(capped.alternatives.len() <= 2);
+        // The re-solve reused the warm fronts; only the root was redone.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.cached_fronts, warm.cached_fronts, "{stats}");
+    }
+
+    #[test]
+    fn update_config_node_shaping_drops_fronts_keeps_space() {
+        let mut engine = engine();
+        engine.run(add_spec(16)).unwrap();
+        let warm = engine.cache_stats();
+        let report = engine.update_config(DtasConfig {
+            node_cap: 1,
+            ..DtasConfig::default()
+        });
+        assert_eq!(report.dropped.fronts, warm.cached_fronts, "{report}");
+        assert_eq!(report.retained.nodes, warm.spec_nodes, "{report}");
+        assert_eq!(report.reasons, vec![InvalidationReason::NodeShapingChanged]);
+        // Same answer as a fresh engine under the new config.
+        let fresh = Dtas::builder(lsi_logic_subset())
+            .config(DtasConfig {
+                node_cap: 1,
+                ..DtasConfig::default()
+            })
+            .build();
+        let a = fresh.run(add_spec(16)).unwrap();
+        let b = engine.run(add_spec(16)).unwrap();
+        assert_eq!(a.alternatives.len(), b.alternatives.len());
+    }
+
+    #[test]
+    fn update_config_neutral_fields_touch_nothing() {
+        let mut engine = engine();
+        engine.run(add_spec(16)).unwrap();
+        let report = engine.update_config(DtasConfig {
+            threads: Some(1),
+            ..DtasConfig::default()
+        });
+        assert_eq!(report, InvalidationReport::default(), "{report}");
+        engine.run(add_spec(16)).unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn builder_matches_new() {
+        let built = Dtas::builder(lsi_logic_subset()).build();
+        let plain = Dtas::new(lsi_logic_subset());
+        assert_eq!(built.store_key(), plain.store_key());
+        assert_eq!(
+            built.run(add_spec(16)).unwrap().alternatives.len(),
+            plain.run(add_spec(16)).unwrap().alternatives.len()
+        );
     }
 }

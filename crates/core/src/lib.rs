@@ -21,8 +21,12 @@
 //! exclusive lock (parallel clients with cache hits never contend), solves
 //! distinct cold specifications concurrently against snapshots of one
 //! shared design space, and accepts whole query batches
-//! ([`synthesize_batch`](Dtas::synthesize_batch)) that are expanded and
-//! solved in a single level-scheduled pass.
+//! ([`run_batch`](Dtas::run_batch)) that are expanded and solved in a
+//! single level-scheduled pass. Every query is keyed by its *canonical*
+//! specification ([`canon`]) so functionally equivalent spec variants
+//! collapse onto one cache entry, and the rule base / configuration can
+//! be updated in place ([`Dtas::update_rules`] / [`Dtas::update_config`])
+//! with delta invalidation that keeps unaffected cached state warm.
 //!
 //! The engine's state is also *portable*: the [`store`] layer snapshots
 //! the explored design space, solved fronts and memoized results through
@@ -57,7 +61,7 @@
 //!     .with_ops(OpSet::only(Op::Add))
 //!     .with_carry_in(true)
 //!     .with_carry_out(true);
-//! let designs = dtas.synthesize(&spec)?;
+//! let designs = dtas.run(&spec)?;
 //! assert!(designs.alternatives.len() >= 2);
 //! // The unconstrained space is orders of magnitude larger than the
 //! // filtered alternative set (paper §5).
@@ -67,6 +71,7 @@
 //! ```
 
 pub mod analyze;
+pub mod canon;
 pub mod config;
 pub mod cost;
 pub mod engine;
@@ -82,8 +87,12 @@ pub mod store;
 pub mod template;
 
 pub use analyze::{ArtifactKind, Diagnostic, Lint, LintRegistry, LintReport, LintTarget, Severity};
+pub use canon::canon_fingerprint;
 pub use config::DtasConfig;
-pub use engine::{CacheStats, CheckpointOutcome, Dtas, SynthError};
+pub use engine::{
+    CacheStats, CheckpointOutcome, Dtas, DtasBuilder, InvalidationCounts, InvalidationReason,
+    InvalidationReport, SynthError,
+};
 pub use extract::{ImplKind, Implementation};
 pub use net::{ReconnectingClient, RetryPolicy, ServeConfig, WireClient, WireError, WireServer};
 pub use report::{Alternative, DesignSet, SynthStats};

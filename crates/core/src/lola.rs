@@ -531,15 +531,16 @@ CELL FDE1  REGISTER W 1 OPS LOAD EN AREA 8.0 DELAY 2.1
         // library has no 1/2/4/8-bit plain adder, so the generic slice
         // rules dead-end at missing widths — except width-3 ripple which
         // no generic rule generates.
-        let plain = Dtas::new(lib.clone()).with_rules(RuleSet::standard());
+        let plain = Dtas::builder(lib.clone())
+            .rules(RuleSet::standard())
+            .build();
         let spec = crate::rules::helpers::adder(12);
-        let without = plain.synthesize(&spec);
+        let without = plain.run(&spec);
 
-        let adapted =
-            Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
-        let with = adapted
-            .synthesize(&spec)
-            .expect("LOLA adapts the rule base");
+        let adapted = Dtas::builder(lib.clone())
+            .rules(with_derived_rules(RuleSet::standard(), &lib))
+            .build();
+        let with = adapted.run(&spec).expect("LOLA adapts the rule base");
         assert!(!with.alternatives.is_empty());
         // The adapted engine must strictly extend the unadapted one.
         match without {

@@ -48,7 +48,7 @@ pub struct WireClient {
     stream: TcpStream,
     frames: FrameReader,
     lane: Priority,
-    fingerprints: (u64, u64, u64),
+    fingerprints: (u64, u64, u64, u64),
     next_id: u64,
     pending: u64,
     /// Results read past while hunting for a stats frame, replayed by
@@ -79,8 +79,9 @@ impl WireClient {
     }
 
     /// [`connect`](Self::connect), additionally pinning the engine the
-    /// server must be running: its `(library, rules, config)`
-    /// fingerprint triple (see [`StoreKey`](crate::StoreKey)).
+    /// server must be running: its
+    /// `(library, rules, config, canon)` fingerprint quad (see
+    /// [`StoreKey`](crate::StoreKey)).
     ///
     /// # Errors
     ///
@@ -89,7 +90,7 @@ impl WireClient {
     pub fn connect_checked(
         addr: impl ToSocketAddrs,
         lane: Priority,
-        expect: (u64, u64, u64),
+        expect: (u64, u64, u64, u64),
     ) -> Result<Self, WireError> {
         Self::handshake(addr, lane, Some(expect))
     }
@@ -97,7 +98,7 @@ impl WireClient {
     fn handshake(
         addr: impl ToSocketAddrs,
         lane: Priority,
-        expect: Option<(u64, u64, u64)>,
+        expect: Option<(u64, u64, u64, u64)>,
     ) -> Result<Self, WireError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -105,7 +106,7 @@ impl WireClient {
             frames: FrameReader::new(stream.try_clone()?, MAX_FRAME_LEN),
             stream,
             lane,
-            fingerprints: (0, 0, 0),
+            fingerprints: (0, 0, 0, 0),
             next_id: 0,
             pending: 0,
             held: VecDeque::new(),
@@ -121,9 +122,10 @@ impl WireClient {
                 library,
                 rules,
                 config,
+                canon,
                 ..
             } => {
-                client.fingerprints = (library, rules, config);
+                client.fingerprints = (library, rules, config, canon);
                 Ok(client)
             }
             ServerMsg::Error(e) => Err(e),
@@ -138,9 +140,9 @@ impl WireClient {
         self.lane
     }
 
-    /// The server engine's `(library, rules, config)` fingerprints from
-    /// the handshake.
-    pub fn server_fingerprints(&self) -> (u64, u64, u64) {
+    /// The server engine's `(library, rules, config, canon)`
+    /// fingerprints from the handshake.
+    pub fn server_fingerprints(&self) -> (u64, u64, u64, u64) {
         self.fingerprints
     }
 
@@ -375,14 +377,14 @@ impl Inflight {
 pub struct ReconnectingClient {
     addr: String,
     lane: Priority,
-    expect: Option<(u64, u64, u64)>,
+    expect: Option<(u64, u64, u64, u64)>,
     policy: RetryPolicy,
     /// splitmix64 state for the jitter stream.
     jitter: u64,
     /// `None` only while a reconnect is in progress or after one has
     /// exhausted its attempts.
     inner: Option<WireClient>,
-    fingerprints: (u64, u64, u64),
+    fingerprints: (u64, u64, u64, u64),
     next_id: u64,
     /// Submissions with undelivered slots, by *caller-visible* id.
     inflight: BTreeMap<u64, Inflight>,
@@ -446,7 +448,7 @@ impl ReconnectingClient {
     pub fn connect_checked(
         addr: impl Into<String>,
         lane: Priority,
-        expect: (u64, u64, u64),
+        expect: (u64, u64, u64, u64),
         policy: RetryPolicy,
     ) -> Result<Self, WireError> {
         Self::new(addr.into(), lane, Some(expect), policy)
@@ -455,7 +457,7 @@ impl ReconnectingClient {
     fn new(
         addr: String,
         lane: Priority,
-        expect: Option<(u64, u64, u64)>,
+        expect: Option<(u64, u64, u64, u64)>,
         policy: RetryPolicy,
     ) -> Result<Self, WireError> {
         let mut client = ReconnectingClient {
@@ -465,7 +467,7 @@ impl ReconnectingClient {
             policy,
             jitter: policy.seed,
             inner: None,
-            fingerprints: (0, 0, 0),
+            fingerprints: (0, 0, 0, 0),
             next_id: 0,
             inflight: BTreeMap::new(),
             id_map: HashMap::new(),
@@ -483,7 +485,7 @@ impl ReconnectingClient {
     }
 
     /// The server engine's fingerprints from the most recent handshake.
-    pub fn server_fingerprints(&self) -> (u64, u64, u64) {
+    pub fn server_fingerprints(&self) -> (u64, u64, u64, u64) {
         self.fingerprints
     }
 
@@ -803,7 +805,7 @@ mod tests {
                 policy: RetryPolicy { seed, ..policy },
                 jitter: seed,
                 inner: None,
-                fingerprints: (0, 0, 0),
+                fingerprints: (0, 0, 0, 0),
                 next_id: 0,
                 inflight: BTreeMap::new(),
                 id_map: HashMap::new(),
@@ -836,7 +838,7 @@ mod tests {
             policy: RetryPolicy::default(),
             jitter: 1,
             inner: None,
-            fingerprints: (0, 0, 0),
+            fingerprints: (0, 0, 0, 0),
             next_id: 2,
             inflight: BTreeMap::new(),
             id_map: HashMap::new(),

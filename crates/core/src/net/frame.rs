@@ -32,10 +32,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"DTW1";
 ///
 /// History: v1 was the original protocol; v2 added request deadlines,
 /// [`ClientMsg::Cancel`], the cancelled/deadline/retries error tags, and
-/// latency histograms + resilience counters in [`WireStats`]. A v1 peer
-/// is refused at the handshake with [`WireError::Version`] (tested in
-/// the wire suite), never answered with misdecoded frames.
-pub const WIRE_VERSION: u32 = 2;
+/// latency histograms + resilience counters in [`WireStats`]; v3 added
+/// the canonicalization-scheme fingerprint to the handshake (the
+/// `expect` pin and [`ServerMsg::HelloAck`] both carry it) and the
+/// incremental-engine counters in [`WireStats`]. An old peer is refused
+/// at the handshake with [`WireError::Version`] (tested in the wire
+/// suite), never answered with misdecoded frames.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Hard cap on one frame's payload. A length prefix above this is a
 /// protocol error detected from the 8-byte header alone — the payload
@@ -502,6 +505,13 @@ pub struct WireStats {
     pub cache_misses: u64,
     /// Connections the server has accepted over its lifetime.
     pub connections: u64,
+    /// Memo hits on the canonical key where the raw spec was not the
+    /// canonical one.
+    pub canonical_hits: u64,
+    /// Distinct raw specs collapsed onto an already-canonicalized key.
+    pub specs_collapsed: u64,
+    /// Fronts kept warm by the engine's last in-place update.
+    pub fronts_retained_on_update: u64,
 }
 
 fn put_histogram(w: &mut Writer, hist: &LatencyHistogram) {
@@ -561,6 +571,9 @@ fn put_stats(w: &mut Writer, stats: &WireStats) {
     w.u64(stats.cache_hits);
     w.u64(stats.cache_misses);
     w.u64(stats.connections);
+    w.u64(stats.canonical_hits);
+    w.u64(stats.specs_collapsed);
+    w.u64(stats.fronts_retained_on_update);
 }
 
 fn get_stats(r: &mut Reader) -> Result<WireStats, String> {
@@ -585,6 +598,9 @@ fn get_stats(r: &mut Reader) -> Result<WireStats, String> {
         cache_hits: r.u64("cache hits")?,
         cache_misses: r.u64("cache misses")?,
         connections: r.u64("connections")?,
+        canonical_hits: r.u64("canonical hits")?,
+        specs_collapsed: r.u64("specs collapsed")?,
+        fronts_retained_on_update: r.u64("fronts retained on update")?,
     })
 }
 
@@ -596,8 +612,9 @@ fn get_stats(r: &mut Reader) -> Result<WireStats, String> {
 pub enum ClientMsg {
     /// Opens the connection: pins the wire version, picks the lane every
     /// later request on this connection is admitted under, and may pin
-    /// the server's `(library, rules, config)` fingerprints — a server
-    /// built from different inputs then refuses with
+    /// the server's `(library, rules, config, canon)` fingerprints — a
+    /// server built from different inputs (or canonicalizing under a
+    /// different scheme) then refuses with
     /// [`WireError::FingerprintMismatch`] instead of serving answers
     /// from the wrong world.
     Hello {
@@ -605,9 +622,9 @@ pub enum ClientMsg {
         wire_version: u32,
         /// Requested admission lane for this connection.
         lane: Priority,
-        /// `(library, rules, config)` fingerprints the server must
-        /// match, when pinned.
-        expect: Option<(u64, u64, u64)>,
+        /// `(library, rules, config, canon)` fingerprints the server
+        /// must match, when pinned.
+        expect: Option<(u64, u64, u64, u64)>,
     },
     /// One synthesis request; answered by exactly one
     /// [`ServerMsg::Result`] with the same `id`.
@@ -658,6 +675,9 @@ pub enum ServerMsg {
         rules: u64,
         /// Configuration fingerprint of the serving engine.
         config: u64,
+        /// Canonicalization-scheme fingerprint of the serving engine
+        /// ([`canon_fingerprint`](crate::canon::canon_fingerprint)).
+        canon: u64,
     },
     /// One resolved request or batch slot.
     Result {
@@ -697,11 +717,12 @@ impl ClientMsg {
                 put_lane(&mut w, *lane);
                 match expect {
                     None => w.bool(false),
-                    Some((library, rules, config)) => {
+                    Some((library, rules, config, canon)) => {
                         w.bool(true);
                         w.u64(*library);
                         w.u64(*rules);
                         w.u64(*config);
+                        w.u64(*canon);
                     }
                 }
             }
@@ -746,6 +767,7 @@ impl ClientMsg {
                         r.u64("expected library").map_err(WireError::Protocol)?,
                         r.u64("expected rules").map_err(WireError::Protocol)?,
                         r.u64("expected config").map_err(WireError::Protocol)?,
+                        r.u64("expected canon").map_err(WireError::Protocol)?,
                     ))
                 } else {
                     None
@@ -796,6 +818,7 @@ impl ServerMsg {
                 library,
                 rules,
                 config,
+                canon,
             } => {
                 w.u8(0);
                 w.u32(*wire_version);
@@ -803,6 +826,7 @@ impl ServerMsg {
                 w.u64(*library);
                 w.u64(*rules);
                 w.u64(*config);
+                w.u64(*canon);
             }
             ServerMsg::Result {
                 id,
@@ -853,6 +877,7 @@ impl ServerMsg {
                 library: r.u64("library fingerprint").map_err(WireError::Protocol)?,
                 rules: r.u64("rules fingerprint").map_err(WireError::Protocol)?,
                 config: r.u64("config fingerprint").map_err(WireError::Protocol)?,
+                canon: r.u64("canon fingerprint").map_err(WireError::Protocol)?,
             },
             1 => {
                 let id = r.u64("result id").map_err(WireError::Protocol)?;
@@ -915,7 +940,7 @@ mod tests {
         ClientMsg::Hello {
             wire_version: WIRE_VERSION,
             lane: Priority::Interactive,
-            expect: Some((1, 2, 3)),
+            expect: Some((1, 2, 3, 4)),
         }
     }
 
@@ -937,6 +962,9 @@ mod tests {
         WireStats {
             service,
             cache_hits: 12,
+            canonical_hits: 6,
+            specs_collapsed: 2,
+            fronts_retained_on_update: 40,
             ..WireStats::default()
         }
     }
@@ -983,6 +1011,7 @@ mod tests {
                 library: 10,
                 rules: 20,
                 config: 30,
+                canon: 40,
             },
             ServerMsg::Result {
                 id: 4,

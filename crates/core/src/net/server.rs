@@ -314,6 +314,9 @@ fn drive_connection(
                     cache_hits: cache.hits,
                     cache_misses: cache.misses,
                     connections: inner.connections.load(Ordering::Relaxed),
+                    canonical_hits: cache.canonical_hits,
+                    specs_collapsed: cache.specs_collapsed,
+                    fronts_retained_on_update: cache.fronts_retained_on_update,
                 };
                 send(jobs, Job::Msg(ServerMsg::Stats(Box::new(stats))))?;
             }
@@ -348,11 +351,12 @@ fn handshake(
         });
     }
     let key = inner.engine.store_key();
-    if let Some((library, rules, config)) = expect {
+    if let Some((library, rules, config, canon)) = expect {
         for (field, expected, actual) in [
             ("library", library, key.library),
             ("rules", rules, key.rules),
             ("config", config, key.config),
+            ("canon", canon, key.canon),
         ] {
             if expected != actual {
                 return Err(WireError::FingerprintMismatch {
@@ -369,6 +373,7 @@ fn handshake(
             library: key.library,
             rules: key.rules,
             config: key.config,
+            canon: key.canon,
         }),
     )?;
     Ok(lane)

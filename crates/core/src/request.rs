@@ -5,11 +5,13 @@ use genus::spec::ComponentSpec;
 use std::time::Duration;
 
 /// One synthesis query with per-query overrides: the forward-compatible
-/// entry point for service clients that need more than a bare spec.
+/// input of [`Dtas::run`](crate::Dtas::run) (bare [`ComponentSpec`]s
+/// convert via `From`, so `engine.run(&spec)` and
+/// `engine.run(SynthRequest::new(spec).with_front_cap(3))` are the same
+/// entry point).
 ///
-/// A request without overrides behaves exactly like
-/// [`Dtas::synthesize`](crate::Dtas::synthesize) (and shares its result
-/// memo). Overrides reshape only the *root* of the query — node fronts
+/// A request without overrides shares the canonicalized result memo.
+/// Overrides reshape only the *root* of the query — node fronts
 /// below it are still shared with every other query — so request-specific
 /// answers stay cheap:
 ///
@@ -36,7 +38,7 @@ use std::time::Duration;
 ///     .with_carry_in(true)
 ///     .with_carry_out(true);
 /// let request = SynthRequest::new(spec).with_front_cap(3).with_weights(1.0, 2.0);
-/// let set = engine.synthesize_request(&request)?;
+/// let set = engine.run(request)?;
 /// assert!(set.alternatives.len() <= 3);
 /// # Ok(())
 /// # }
@@ -115,5 +117,23 @@ impl SynthRequest {
     /// requests bypass the spec-keyed result memo).
     pub fn has_front_overrides(&self) -> bool {
         self.root_filter.is_some() || self.root_cap.is_some()
+    }
+}
+
+impl From<ComponentSpec> for SynthRequest {
+    fn from(spec: ComponentSpec) -> Self {
+        SynthRequest::new(spec)
+    }
+}
+
+impl From<&ComponentSpec> for SynthRequest {
+    fn from(spec: &ComponentSpec) -> Self {
+        SynthRequest::new(spec.clone())
+    }
+}
+
+impl From<&SynthRequest> for SynthRequest {
+    fn from(request: &SynthRequest) -> Self {
+        request.clone()
     }
 }

@@ -955,7 +955,7 @@ fn worker_loop(engine: &Arc<Dtas>, inner: &Arc<Inner>) {
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             #[cfg(feature = "chaos")]
             chaos::on_dispatch();
-            engine.synthesize_request_shared(&entry.request)
+            engine.run(&entry.request)
         }));
         let result = match executed {
             Ok(Ok(design)) => Ok(SynthOutcome {

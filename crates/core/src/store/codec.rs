@@ -50,8 +50,11 @@ pub(crate) type ResultEntry = (ComponentSpec, Result<Arc<DesignSet>, SynthError>
 ///
 /// History: v1 was the PR 4 monolithic snapshot (one read-all, decode-all
 /// file); v2 is the tiered segment format (mmap'd lazy base + delta
-/// chain, see the `segment` module).
-pub const FORMAT_VERSION: u32 = 2;
+/// chain, see the `segment` module); v3 adds the canonicalization-scheme
+/// fingerprint to the segment header and key — memo entries are keyed by
+/// canonical specs, so chains written under one scheme must never warm an
+/// engine running another.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Recursion guard for [`Signal`] trees (real wiring nests a handful of
 /// levels; anything deeper is a damaged file).

@@ -6,8 +6,8 @@
 //! *generation* number:
 //!
 //! ```text
-//! dtas-v2-{lib:016x}-{rules:016x}-{cfg:016x}-g00000003.base
-//! dtas-v2-{lib:016x}-{rules:016x}-{cfg:016x}-g00000003-d0001.delta
+//! dtas-v3-{lib:016x}-{rules:016x}-{cfg:016x}-{canon:016x}-g00000003.base
+//! dtas-v3-{lib:016x}-{rules:016x}-{cfg:016x}-{canon:016x}-g00000003-d0001.delta
 //! ```
 //!
 //! Every write goes to a dot-prefixed temporary in the same directory and
@@ -63,27 +63,36 @@ struct SegmentName {
     library: u64,
     rules: u64,
     config: u64,
+    canon: u64,
     generation: u32,
     /// `None` for a base, `Some(seq)` for a delta.
     seq: Option<u32>,
 }
 
 impl SegmentName {
-    fn key_tuple(&self) -> (u32, u64, u64, u64) {
-        (self.version, self.library, self.rules, self.config)
+    fn key_tuple(&self) -> (u32, u64, u64, u64, u64) {
+        (
+            self.version,
+            self.library,
+            self.rules,
+            self.config,
+            self.canon,
+        )
     }
 }
 
 fn key_stem(key: &StoreKey) -> String {
     format!(
-        "dtas-v{}-{:016x}-{:016x}-{:016x}",
-        key.format_version, key.library, key.rules, key.config
+        "dtas-v{}-{:016x}-{:016x}-{:016x}-{:016x}",
+        key.format_version, key.library, key.rules, key.config, key.canon
     )
 }
 
-/// Parses `dtas-v{V}-{lib}-{rules}-{cfg}-g{GEN}[-d{SEQ}].{base|delta}`.
-/// Returns `None` for anything else (including the retired v1 `.snap`
-/// layout — those are handled as stale-format files by the GC).
+/// Parses `dtas-v{V}-{lib}-{rules}-{cfg}-{canon}-g{GEN}[-d{SEQ}].{base|delta}`,
+/// plus the retired three-fingerprint v2 layout (no canon field — reported
+/// with `canon: 0` so the GC can collect it as stale format). Returns
+/// `None` for anything else (including the retired v1 `.snap` layout —
+/// those are handled as stale-format files by the GC).
 fn parse_segment_name(name: &str) -> Option<SegmentName> {
     let (stem, seq) = if let Some(stem) = name.strip_suffix(".base") {
         (stem, None)
@@ -96,18 +105,31 @@ fn parse_segment_name(name: &str) -> Option<SegmentName> {
     let rest = stem.strip_prefix("dtas-v")?;
     let mut parts = rest.split('-');
     let version = parts.next()?.parse::<u32>().ok()?;
-    let library = u64::from_str_radix(parts.next()?, 16).ok()?;
-    let rules = u64::from_str_radix(parts.next()?, 16).ok()?;
-    let config = u64::from_str_radix(parts.next()?, 16).ok()?;
-    let generation = parts.next()?.strip_prefix('g')?.parse::<u32>().ok()?;
-    if parts.next().is_some() {
-        return None;
+    // Fingerprint fields are zero-padded hex; the generation part starts
+    // with a `g`, which no hex field can, so the two never collide.
+    let mut fps = Vec::new();
+    let mut generation: Option<u32> = None;
+    for part in parts {
+        if generation.is_some() {
+            return None;
+        }
+        match part.strip_prefix('g') {
+            Some(g) => generation = Some(g.parse::<u32>().ok()?),
+            None => fps.push(u64::from_str_radix(part, 16).ok()?),
+        }
     }
+    let generation = generation?;
+    let (library, rules, config, canon) = match fps.as_slice() {
+        [l, r, c] => (*l, *r, *c, 0),
+        [l, r, c, k] => (*l, *r, *c, *k),
+        _ => return None,
+    };
     Some(SegmentName {
         version,
         library,
         rules,
         config,
+        canon,
         generation,
         seq,
     })
@@ -124,6 +146,9 @@ pub struct CacheKeyEntry {
     pub rules: u64,
     /// Configuration fingerprint from the file name.
     pub config: u64,
+    /// Canonicalization-scheme fingerprint from the file name (zero for
+    /// chains written by the retired three-fingerprint layouts).
+    pub canon: u64,
     /// Newest generation present for this key.
     pub generation: u32,
     /// Size of that generation's base segment.
@@ -303,7 +328,15 @@ impl PersistentStore {
             let Some(parsed) = parse_segment_name(name) else {
                 continue;
             };
-            if parsed.key_tuple() == (key.format_version, key.library, key.rules, key.config) {
+            if parsed.key_tuple()
+                == (
+                    key.format_version,
+                    key.library,
+                    key.rules,
+                    key.config,
+                    key.canon,
+                )
+            {
                 out.push(parsed);
             }
         }
@@ -404,7 +437,7 @@ impl PersistentStore {
         };
         let now = SystemTime::now();
         let mut entries: Vec<CacheKeyEntry> = Vec::new();
-        for ((version, library, rules, config), files) in scan.keys {
+        for ((version, library, rules, config, canon), files) in scan.keys {
             let gen = files
                 .iter()
                 .filter(|f| f.name.seq.is_none())
@@ -445,6 +478,7 @@ impl PersistentStore {
                 library,
                 rules,
                 config,
+                canon,
                 generation: gen,
                 base_bytes,
                 delta_count,
@@ -454,7 +488,7 @@ impl PersistentStore {
                 current_format: version == FORMAT_VERSION,
             });
         }
-        entries.sort_by_key(|e| (e.library, e.rules, e.config, e.format_version));
+        entries.sort_by_key(|e| (e.library, e.rules, e.config, e.canon, e.format_version));
         Ok(entries)
     }
 
@@ -587,6 +621,7 @@ impl PersistentStore {
                         library: 0,
                         rules: 0,
                         config: 0,
+                        canon: 0,
                         generation: 0,
                         seq: None,
                     },
@@ -631,6 +666,7 @@ fn parse_v1_snap_name(name: &str) -> Option<SegmentName> {
         library,
         rules,
         config,
+        canon: 0,
         generation: 0,
         seq: None,
     })
@@ -646,7 +682,7 @@ struct ScannedFile {
 #[derive(Default)]
 struct DirScan {
     tmps: Vec<ScannedFile>,
-    keys: HashMap<(u32, u64, u64, u64), Vec<ScannedFile>>,
+    keys: HashMap<(u32, u64, u64, u64, u64), Vec<ScannedFile>>,
 }
 
 /// Highest delta sequence reachable without a gap in generation `gen`.
@@ -765,5 +801,28 @@ impl ResultStore for PersistentStore {
             bytes: encoded.bytes.len() as u64,
             results: encoded.results,
         }))
+    }
+
+    fn supersede(&self, key: &StoreKey) -> Result<(), StoreError> {
+        // Drop the append cursor first: whatever happens on disk, this
+        // process must never extend the superseded chain with a delta.
+        self.lock_chains().remove(key);
+        let files = match self.list_key_files(key) {
+            Ok(files) => files,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(StoreError::Io(format!("{}: {e}", self.dir.display()))),
+        };
+        for file in files {
+            let path = match file.seq {
+                None => self.base_path(key, file.generation),
+                Some(seq) => self.delta_path(key, file.generation, seq),
+            };
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(StoreError::Io(format!("{}: {e}", path.display()))),
+            }
+        }
+        Ok(())
     }
 }

@@ -228,6 +228,29 @@ impl MemStore {
         self.memo.len()
     }
 
+    /// Drops every memoized result whose spec fails `keep`, returning
+    /// `(retained, dropped)` counts of *settled* entries (empty cells —
+    /// created by lookups that never solved — are filtered silently,
+    /// they hold no answer to invalidate). Callers hold `&mut` on the
+    /// engine, so no client can be mid-flight on a dropped cell.
+    pub(crate) fn retain_results(&self, keep: impl Fn(&ComponentSpec) -> bool) -> (usize, usize) {
+        let mut retained = 0;
+        let mut dropped = 0;
+        for shard in &self.memo {
+            self.shard_write(shard).retain(|spec, cell| {
+                let settled = cell.get().is_some();
+                let keep = keep(spec);
+                match (keep, settled) {
+                    (true, true) => retained += 1,
+                    (false, true) => dropped += 1,
+                    _ => {}
+                }
+                keep
+            });
+        }
+        (retained, dropped)
+    }
+
     /// Copies the persistable state out: the shared space and fronts plus
     /// every *settled* memo entry (cells still being solved by an
     /// in-flight client are skipped — they will be persisted by a later

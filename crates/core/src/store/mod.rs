@@ -27,12 +27,14 @@
 //!
 //! Chains are keyed by [`StoreKey`]: codec [`FORMAT_VERSION`] plus the
 //! library ([`CellLibrary::fingerprint`](cells::CellLibrary::fingerprint)),
-//! rule-set ([`RuleSet::fingerprint`](crate::RuleSet::fingerprint)) and
+//! rule-set ([`RuleSet::fingerprint`](crate::RuleSet::fingerprint)),
 //! configuration
 //! ([`DtasConfig::result_fingerprint`](crate::DtasConfig::result_fingerprint))
-//! fingerprints. A chain written under *any* other combination is
-//! rejected at load — never silently reused — and the engine starts cold,
-//! which is always correct.
+//! and canonicalization-scheme
+//! ([`canon_fingerprint`](crate::canon_fingerprint)) fingerprints. A
+//! chain written under *any* other combination is rejected at load —
+//! never silently reused — and the engine starts cold, which is always
+//! correct.
 
 pub(crate) mod codec;
 mod disk;
@@ -68,6 +70,12 @@ pub struct StoreKey {
     /// [`DtasConfig::result_fingerprint`](crate::DtasConfig::result_fingerprint)
     /// of the filters/caps that shaped every front.
     pub config: u64,
+    /// Fingerprint of the canonicalization scheme
+    /// ([`canon_fingerprint`](crate::canon_fingerprint)) the
+    /// engine applied ahead of every memo key: specs stored under one
+    /// scheme's canonical forms must never warm an engine running
+    /// another.
+    pub canon: u64,
 }
 
 /// The persistable engine state: the explored design space, the solved
@@ -215,6 +223,22 @@ pub trait ResultStore: Send + Sync {
         snapshot: &EngineSnapshot,
         dirty: &DirtySet,
     ) -> Result<Option<SaveReport>, StoreError>;
+
+    /// Drops everything stored under `key`, best-effort. The engine calls
+    /// this from [`update_rules`](crate::Dtas::update_rules) when a rule
+    /// change lands on the *same* fingerprint (the rule fingerprint hashes
+    /// names and docs, not bodies), so the next checkpoint persists the
+    /// invalidation instead of a stale chain shadowing it. Backends that
+    /// cannot delete may keep the default no-op: the worst case is a cold
+    /// re-solve after the stale chain is rejected or overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the backing medium refuses the removal.
+    fn supersede(&self, key: &StoreKey) -> Result<(), StoreError> {
+        let _ = key;
+        Ok(())
+    }
 }
 
 /// Process-unique id for a fresh base segment: deltas name it so a chain
@@ -361,5 +385,13 @@ impl ResultStore for MemSnapshotStore {
         chain.node_count = snapshot.space.nodes.len() as u32;
         chain.deltas.push(encoded.bytes);
         Ok(Some(report))
+    }
+
+    fn supersede(&self, key: &StoreKey) -> Result<(), StoreError> {
+        self.slots
+            .lock()
+            .expect("snapshot slots poisoned")
+            .remove(key);
+        Ok(())
     }
 }

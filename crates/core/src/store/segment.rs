@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic "DTASSEG2" · format version · kind (base/delta)
-//! library/rule-set/config fingerprints
+//! library/rule-set/config/canonicalization fingerprints
 //! base id · seq · prev link · prev node count · node count
 //! space section desc · fronts section desc
 //! result index: (spec, section desc) per memoized result
@@ -45,7 +45,10 @@ use rtl_base::hash::fnv1a_64;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Magic prefix of every tiered-store segment (v2 of the on-disk format).
+/// Magic prefix of every tiered-store segment (unchanged since v2 of the
+/// on-disk format: the version field right behind it is what
+/// discriminates layouts, and keeping the magic stable lets an old
+/// segment report "format version" instead of "bad magic").
 pub(crate) const SEGMENT_MAGIC: [u8; 8] = *b"DTASSEG2";
 
 const KIND_BASE: u8 = 0;
@@ -131,6 +134,7 @@ fn put_header_fields(
     w.u64(key.library);
     w.u64(key.rules);
     w.u64(key.config);
+    w.u64(key.canon);
     w.u64(base_id);
     w.u32(seq);
     w.u64(prev_link);
@@ -182,6 +186,10 @@ pub(crate) fn parse_header(bytes: &[u8], key: &StoreKey) -> Result<SegmentHeader
     let config = r.u64("config fingerprint")?;
     if config != key.config {
         return Err("configuration fingerprint mismatch".into());
+    }
+    let canon = r.u64("canonicalization fingerprint")?;
+    if canon != key.canon {
+        return Err("canonicalization fingerprint mismatch".into());
     }
     let base_id = r.u64("base id")?;
     let seq = r.u32("segment seq")?;

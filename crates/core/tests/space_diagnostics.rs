@@ -52,7 +52,7 @@ fn alu64_design_space_report() {
         .with_ops(Op::paper_alu16())
         .with_carry_in(true);
     let start = std::time::Instant::now();
-    let set = engine.synthesize(&spec).unwrap();
+    let set = engine.run(&spec).unwrap();
     println!("elapsed: {:?}", start.elapsed());
     println!("{set}");
 }

@@ -209,6 +209,20 @@ impl Component {
         &self.params
     }
 
+    /// True when two components expose the same interface and behavior —
+    /// ports, operations, select/clock wiring and registered outputs —
+    /// regardless of their name, generator, parameters or originating
+    /// spec. Everything downstream of model construction (validation,
+    /// timing arcs, simulation) reads only these fields, so functionally
+    /// equal models are interchangeable.
+    pub fn functionally_equal(&self, other: &Component) -> bool {
+        self.ports == other.ports
+            && self.operations == other.operations
+            && self.op_select == other.op_select
+            && self.clock == other.clock
+            && self.registered == other.registered
+    }
+
     /// True input dependencies of each output: output port name → the set
     /// of input ports whose value can influence it (through any
     /// operation's effect, the select port, control pins and the enable).

@@ -308,7 +308,7 @@ mod tests {
     use genus::spec::ComponentSpec;
 
     fn check_all(spec: ComponentSpec, vectors: usize) {
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         assert!(!set.alternatives.is_empty());
         for alt in &set.alternatives {
             check_implementation(&alt.implementation, vectors, 0xda7a5).unwrap_or_else(|e| {
@@ -352,7 +352,7 @@ mod tests {
             .with_ops(OpSet::only(Op::Add))
             .with_carry_in(true)
             .with_carry_out(true);
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         for alt in &set.alternatives {
             check_exhaustive(&alt.implementation).unwrap_or_else(|e| {
                 panic!("{} fails exhaustively: {e}", alt.implementation.label())

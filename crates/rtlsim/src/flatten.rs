@@ -265,7 +265,7 @@ mod tests {
             .with_ops(OpSet::only(Op::Add))
             .with_carry_in(true)
             .with_carry_out(true);
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         for alt in &set.alternatives {
             let flat = FlatDesign::from_implementation(&alt.implementation).unwrap();
             assert_eq!(flat.cell_count(), alt.implementation.cell_count());
@@ -281,7 +281,7 @@ mod tests {
             .with_ops(OpSet::only(Op::Add))
             .with_carry_in(true)
             .with_carry_out(true);
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         let deep = set
             .alternatives
             .iter()

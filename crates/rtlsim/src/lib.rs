@@ -29,7 +29,7 @@
 //!     .with_ops(OpSet::only(Op::Add))
 //!     .with_carry_in(true)
 //!     .with_carry_out(true);
-//! let set = Dtas::new(lsi_logic_subset()).synthesize(&spec)?;
+//! let set = Dtas::new(lsi_logic_subset()).run(&spec)?;
 //! for alt in &set.alternatives {
 //!     check_implementation(&alt.implementation, 200, 7)?;
 //! }

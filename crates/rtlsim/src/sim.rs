@@ -594,7 +594,7 @@ mod tests {
             .with_ops(OpSet::only(Op::Add))
             .with_carry_in(true)
             .with_carry_out(true);
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation).unwrap();
         let sim = Simulator::new(&flat).unwrap();
         let out = sim
@@ -614,7 +614,7 @@ mod tests {
             .with_ops([Op::Load, Op::CountUp, Op::CountDown].into_iter().collect())
             .with_enable(true)
             .with_style("SYNCHRONOUS");
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
         let step = |sim: &mut Simulator, cen: u64, load: u64, up: u64, down: u64| {

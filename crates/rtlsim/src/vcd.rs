@@ -133,7 +133,7 @@ mod tests {
             .with_ops([Op::Load, Op::CountUp].into_iter().collect::<OpSet>())
             .with_enable(true)
             .with_style("SYNCHRONOUS");
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         let flat = FlatDesign::from_implementation(&set.alternatives[0].implementation).unwrap();
         let mut sim = Simulator::new(&flat).unwrap();
         let mut trace = VcdTrace::new("counter_tb");

@@ -321,7 +321,7 @@ mod tests {
             .with_ops(OpSet::only(Op::Add))
             .with_carry_in(true)
             .with_carry_out(true);
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         let alt = set.fastest().unwrap();
         let text = emit_implementation(&alt.implementation).unwrap();
         assert!(text.contains("entity addsub_16_ci_co_add is"), "{text}");

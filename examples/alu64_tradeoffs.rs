@@ -23,7 +23,7 @@ fn main() -> Result<(), BridgeError> {
     // override; the engine keeps its default configuration (and cache).
     let engine = Dtas::new(lsi_logic_subset());
     let request = SynthRequest::new(spec).with_root_filter(FilterPolicy::Pareto);
-    let designs = engine.synthesize_request(&request)?;
+    let designs = engine.run(&request)?;
     println!("\n{designs}");
 
     // An ASCII rendition of the Figure-3 scatter: delay (y) over area (x).

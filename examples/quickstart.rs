@@ -27,7 +27,7 @@ fn main() -> Result<(), BridgeError> {
 
     // 3. Functional decomposition + technology mapping.
     let engine = Dtas::new(library);
-    let designs = engine.synthesize(&spec)?;
+    let designs = engine.run(&spec)?;
     println!("{designs}");
 
     // 4. Every alternative is a hierarchical netlist whose leaves are

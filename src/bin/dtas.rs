@@ -451,7 +451,10 @@ fn design_set_json_fields(set: &DesignSet) -> String {
 
 /// The `"cache"` object shared by both JSON schemas.
 fn cache_json(stats: &dtas::CacheStats) -> String {
-    format!("{{\"hits\":{},\"misses\":{}}}", stats.hits, stats.misses)
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"canonical_hits\":{},\"specs_collapsed\":{}}}",
+        stats.hits, stats.misses, stats.canonical_hits, stats.specs_collapsed
+    )
 }
 
 /// One parsed `--flag value` / bare-flag argument list.
@@ -589,9 +592,9 @@ fn cmd_map(args: &Args) -> Result<(), BridgeError> {
                 },
             );
             let outcome = service.submit(request)?.recv()?;
-            (DesignSet::clone(&outcome.design), Some(service.shutdown()))
+            (outcome.design.clone(), Some(service.shutdown()))
         }
-        None => (engine.synthesize_request(&request)?, None),
+        None => (engine.run(&request)?, None),
     };
     if json {
         // One document, nothing else on stdout — the contract the
@@ -657,7 +660,7 @@ fn cmd_bench_load(args: &Args) -> Result<(), BridgeError> {
     });
     // Warm the spec so the run measures service throughput, not one cold
     // solve amortized over the load.
-    engine.synthesize(&spec)?;
+    engine.run(&spec)?;
     let service = DtasService::start(
         Arc::clone(&engine),
         ServiceConfig {

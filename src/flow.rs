@@ -55,6 +55,7 @@ use rtlsim::sim::SimError;
 use rtlsim::{FlatDesign, Simulator};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use vhdl::parse::VhdlParseError;
 
 /// The single error type of the pipeline façade: every fallible entry
@@ -534,7 +535,7 @@ impl LinkedFlow {
     }
 
     /// Technology-maps every distinct component of the netlist with DTAS
-    /// (one [`Dtas::synthesize_batch`] pass over the spec census).
+    /// (one [`Dtas::run_batch`] pass over the spec census).
     ///
     /// When the engine's config opts into
     /// [`strict_preflight`](dtas::DtasConfig::strict_preflight), the
@@ -553,7 +554,7 @@ impl LinkedFlow {
                 return Err(BridgeError::Lint(report));
             }
         }
-        let mapping = engine.synthesize_netlist(&self.netlist)?;
+        let mapping = engine.run_netlist(&self.netlist)?;
         Ok(MappedFlow {
             linked: self,
             mapping,
@@ -583,7 +584,7 @@ impl LinkedFlow {
         let mut mapping = BTreeMap::new();
         for (key, ticket) in census.into_keys().zip(tickets) {
             let outcome = ticket?.recv()?;
-            mapping.insert(key, DesignSet::clone(&outcome.design));
+            mapping.insert(key, outcome.design.clone());
         }
         Ok(MappedFlow {
             linked: self,
@@ -617,7 +618,7 @@ impl LinkedFlow {
 /// A linked netlist plus the DTAS mapping of each distinct component.
 pub struct MappedFlow {
     linked: LinkedFlow,
-    mapping: BTreeMap<String, DesignSet>,
+    mapping: BTreeMap<String, Arc<DesignSet>>,
 }
 
 impl MappedFlow {
@@ -633,7 +634,7 @@ impl MappedFlow {
     }
 
     /// Alternative implementations per distinct component specification.
-    pub fn mapping(&self) -> &BTreeMap<String, DesignSet> {
+    pub fn mapping(&self) -> &BTreeMap<String, Arc<DesignSet>> {
         &self.mapping
     }
 
@@ -725,7 +726,7 @@ impl LegendFlow {
     /// # Errors
     ///
     /// [`BridgeError::Synth`] when the sample spec cannot be mapped.
-    pub fn map(&self, engine: &Dtas) -> Result<DesignSet, BridgeError> {
+    pub fn map(&self, engine: &Dtas) -> Result<Arc<DesignSet>, BridgeError> {
         self.map_spec(engine, self.sample_spec().clone())
     }
 
@@ -735,8 +736,12 @@ impl LegendFlow {
     /// # Errors
     ///
     /// [`BridgeError::Synth`] when the spec cannot be mapped.
-    pub fn map_spec(&self, engine: &Dtas, spec: ComponentSpec) -> Result<DesignSet, BridgeError> {
-        Ok(engine.synthesize(&spec)?)
+    pub fn map_spec(
+        &self,
+        engine: &Dtas,
+        spec: ComponentSpec,
+    ) -> Result<Arc<DesignSet>, BridgeError> {
+        Ok(engine.run(&spec)?)
     }
 }
 
@@ -834,10 +839,12 @@ mod tests {
         assert!(mapped.smallest_area() > 0.0);
 
         // Opting in refuses the same netlist with the typed error.
-        let strict = Dtas::new(lsi_logic_subset()).with_config(dtas::DtasConfig {
-            strict_preflight: true,
-            ..dtas::DtasConfig::default()
-        });
+        let strict = Dtas::builder(lsi_logic_subset())
+            .config(dtas::DtasConfig {
+                strict_preflight: true,
+                ..dtas::DtasConfig::default()
+            })
+            .build();
         let Err(err) = Flow::from_netlist(nl).unwrap().map(&strict) else {
             panic!("strict preflight accepted a looped netlist");
         };

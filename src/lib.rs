@@ -41,7 +41,7 @@
 //!     .with_ops(genus::op::OpSet::only(genus::op::Op::Add))
 //!     .with_carry_in(true)
 //!     .with_carry_out(true);
-//! let designs = engine.synthesize(&spec)?;
+//! let designs = engine.run(&spec)?;
 //! println!("{designs}");
 //! # Ok(())
 //! # }

@@ -18,7 +18,7 @@ fn add16() -> ComponentSpec {
 #[test]
 fn unconstrained_space_is_combinatorial() {
     let set = Dtas::new(lsi_logic_subset())
-        .synthesize(&add16())
+        .run(add16())
         .expect("synthesizes");
     // Paper: "several hundred thousand to several million". Our richer
     // rule base overshoots the product; the uniform-implementation count
@@ -44,7 +44,7 @@ fn unconstrained_space_is_combinatorial() {
 #[test]
 fn filtered_alternatives_near_papers_ten() {
     let set = Dtas::new(lsi_logic_subset())
-        .synthesize(&add16())
+        .run(add16())
         .expect("synthesizes");
     // Paper: reduced "to ten alternative designs".
     let n = set.alternatives.len();
@@ -57,7 +57,7 @@ fn filtered_alternatives_near_papers_ten() {
 #[test]
 fn alternatives_span_ripple_to_lookahead() {
     let set = Dtas::new(lsi_logic_subset())
-        .synthesize(&add16())
+        .run(add16())
         .expect("synthesizes");
     let labels: Vec<&str> = set
         .alternatives
@@ -77,9 +77,7 @@ fn alternatives_span_ripple_to_lookahead() {
 #[test]
 fn every_alternative_uses_only_library_cells() {
     let lib = lsi_logic_subset();
-    let set = Dtas::new(lib.clone())
-        .synthesize(&add16())
-        .expect("synthesizes");
+    let set = Dtas::new(lib.clone()).run(add16()).expect("synthesizes");
     for alt in &set.alternatives {
         for (cell, _) in alt.implementation.cell_census() {
             assert!(lib.cell(&cell).is_some(), "unknown cell {cell}");

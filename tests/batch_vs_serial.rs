@@ -1,7 +1,7 @@
-//! `Dtas::synthesize_batch` is a pure batching optimization: for any
-//! sequence of specifications (duplicates and unmappable specs included)
-//! it must agree slot-for-slot with the per-spec `synthesize` loop it
-//! replaced — same alternatives bit-for-bit, same errors.
+//! `Dtas::run_batch` is a pure batching optimization: for any sequence
+//! of specifications (duplicates and unmappable specs included) it must
+//! agree slot-for-slot with the per-spec `run` loop it replaced — same
+//! alternatives bit-for-bit, same errors.
 
 mod common;
 
@@ -39,8 +39,8 @@ fn pool() -> Vec<ComponentSpec> {
 
 fn assert_slot_agreement(
     spec: &ComponentSpec,
-    batch: &Result<DesignSet, SynthError>,
-    serial: &Result<DesignSet, SynthError>,
+    batch: &Result<std::sync::Arc<DesignSet>, SynthError>,
+    serial: &Result<std::sync::Arc<DesignSet>, SynthError>,
 ) {
     match (batch, serial) {
         (Ok(b), Ok(s)) => {
@@ -76,23 +76,23 @@ proptest! {
         if warm_first {
             // Seed the memo with a prefix so the batch mixes hits and
             // cold solves.
-            let _ = batch_engine.synthesize(&specs[0]);
+            let _ = batch_engine.run(&specs[0]);
         }
-        let batch = batch_engine.synthesize_batch(&specs);
+        let batch = batch_engine.run_batch(&specs);
 
         let serial_engine = Dtas::new(lsi_logic_subset());
         for (spec, batch_result) in specs.iter().zip(&batch) {
-            let serial = serial_engine.synthesize(spec);
+            let serial = serial_engine.run(spec);
             assert_slot_agreement(spec, batch_result, &serial);
             // And against a completely fresh engine, the strongest oracle.
-            let fresh = Dtas::new(lsi_logic_subset()).synthesize(spec);
+            let fresh = Dtas::new(lsi_logic_subset()).run(spec);
             assert_slot_agreement(spec, batch_result, &fresh);
         }
     }
 }
 
-/// The rewritten `synthesize_netlist` (one batch pass) returns exactly
-/// what the old per-census loop returned.
+/// The rewritten `run_netlist` (one batch pass) returns exactly what
+/// the old per-census loop returned.
 #[test]
 fn netlist_mapping_matches_per_spec_loop() {
     use hls::compile::{compile, Constraints};
@@ -102,10 +102,10 @@ fn netlist_mapping_matches_per_spec_loop() {
         .expect("parses");
     let design = compile(&entity, &Constraints::default()).expect("compiles");
     let engine = Dtas::new(lsi_logic_subset());
-    let mapped = engine.synthesize_netlist(&design.netlist).expect("maps");
+    let mapped = engine.run_netlist(&design.netlist).expect("maps");
     let reference = Dtas::new(lsi_logic_subset());
     for (key, (component, _)) in design.netlist.spec_census() {
-        let serial = reference.synthesize(component.spec()).expect("maps");
+        let serial = reference.run(component.spec()).expect("maps");
         let batch = &mapped[&key];
         assert_eq!(fingerprint(batch), fingerprint(&serial), "{key}");
     }

@@ -130,9 +130,7 @@ fn worker_panics_resolve_tickets_and_post_chaos_results_are_bit_identical() {
             .expect("still admitting")
             .recv()
             .expect("post-chaos dispatches complete");
-        let fresh = Dtas::new(lsi_logic_subset())
-            .synthesize(&adder(*w))
-            .unwrap();
+        let fresh = Dtas::new(lsi_logic_subset()).run(adder(*w)).unwrap();
         assert_eq!(
             fingerprint(&after.design),
             fingerprint(&fresh),
@@ -198,8 +196,8 @@ fn checkpoint_write_failures_are_counted_and_survivable() {
         1,
         "the surviving checkpoint must actually warm the new engine"
     );
-    let warmed = warm.synthesize(&spec).unwrap();
-    let cold = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+    let warmed = warm.run(&spec).unwrap();
+    let cold = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
     assert_eq!(fingerprint(&warmed), fingerprint(&cold));
     assert!(
         warm.cache_stats().hits >= 1,
@@ -344,7 +342,7 @@ fn wire_submissions_survive_connection_kills_under_worker_chaos() {
     // connection kill — matches a fresh engine's cold solve.
     let fresh = Dtas::new(lsi_logic_subset());
     for (id, w) in ids.iter().zip(&widths) {
-        let expected = WireDesignSet::of(&fresh.synthesize(&adder(*w)).unwrap());
+        let expected = WireDesignSet::of(&fresh.run(adder(*w)).unwrap());
         assert_eq!(
             delivered.get(id),
             Some(&expected),

@@ -213,6 +213,8 @@ fn map_queue_depth_routes_through_the_service() {
         "{stdout}"
     );
     assert!(stdout.contains("cache: hits="), "{stdout}");
+    // The incremental-engine counters ride along in the stats block.
+    assert!(stdout.contains("incremental: canonical_hits="), "{stdout}");
 }
 
 #[test]

@@ -69,11 +69,12 @@ pub fn slow_engine(delay: Duration) -> Arc<Dtas> {
     let mut rules = RuleSet::standard().with_lsi_extensions();
     rules.append_library_rules(vec![Box::new(SlowRule(delay))]);
     Arc::new(
-        Dtas::new(lsi_logic_subset())
-            .with_rules(rules)
-            .with_config(DtasConfig {
+        Dtas::builder(lsi_logic_subset())
+            .rules(rules)
+            .config(DtasConfig {
                 threads: Some(1),
                 ..DtasConfig::default()
-            }),
+            })
+            .build(),
     )
 }

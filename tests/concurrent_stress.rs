@@ -48,7 +48,7 @@ fn mixed_traffic_stays_bit_identical_to_fresh_engines() {
     let reference: BTreeMap<String, _> = specs
         .iter()
         .map(|spec| {
-            let set = Dtas::new(lsi_logic_subset()).synthesize(spec).unwrap();
+            let set = Dtas::new(lsi_logic_subset()).run(spec).unwrap();
             (spec.to_string(), fingerprint(&set))
         })
         .collect();
@@ -67,7 +67,7 @@ fn mixed_traffic_stays_bit_identical_to_fresh_engines() {
                     // hot hits, in-flight waits and cold solves interleave.
                     for k in 0..specs.len() {
                         let spec = &specs[(k + w + r) % specs.len()];
-                        let set = shared.synthesize(spec).expect("synthesizes");
+                        let set = shared.run(spec).expect("synthesizes");
                         assert_eq!(
                             &fingerprint(&set),
                             &reference[&spec.to_string()],
@@ -76,7 +76,7 @@ fn mixed_traffic_stays_bit_identical_to_fresh_engines() {
                     }
                     // Every other round, issue the whole list as one batch.
                     if r % 2 == 0 {
-                        let results = shared.synthesize_batch(specs);
+                        let results = shared.run_batch(specs);
                         for (spec, result) in specs.iter().zip(results) {
                             let set = result.expect("batch synthesizes");
                             assert_eq!(
@@ -114,7 +114,7 @@ fn mixed_traffic_stays_bit_identical_to_fresh_engines() {
 #[test]
 fn hot_path_takes_no_exclusive_locks() {
     let engine = Dtas::new(lsi_logic_subset());
-    let warm = engine.synthesize(&adder(16)).unwrap();
+    let warm = engine.run(adder(16)).unwrap();
     let baseline = engine.cache_stats();
     let served = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -124,7 +124,7 @@ fn hot_path_takes_no_exclusive_locks() {
             let served = &served;
             scope.spawn(move || {
                 for _ in 0..50 {
-                    let set = engine.synthesize(&adder(16)).expect("hit");
+                    let set = engine.run(adder(16)).expect("hit");
                     assert_eq!(set.alternatives.len(), warm.alternatives.len());
                     served.fetch_add(1, Ordering::Relaxed);
                 }
@@ -153,7 +153,7 @@ fn cold_queries_bound_their_exclusive_lock_use() {
         for spec in &cold_specs {
             let engine = &engine;
             scope.spawn(move || {
-                engine.synthesize(spec).expect("synthesizes");
+                engine.run(spec).expect("synthesizes");
             });
         }
     });
@@ -176,7 +176,7 @@ fn clear_cache_racing_cold_solves_stays_correct() {
     let specs = [adder(8), adder(16), mux(4, 4), mux(8, 2)];
     let reference: Vec<Fingerprint> = specs
         .iter()
-        .map(|s| fingerprint(&Dtas::new(lsi_logic_subset()).synthesize(s).unwrap()))
+        .map(|s| fingerprint(&Dtas::new(lsi_logic_subset()).run(s).unwrap()))
         .collect();
     let engine = Dtas::new(lsi_logic_subset());
     for round in 0..6 {
@@ -184,7 +184,7 @@ fn clear_cache_racing_cold_solves_stays_correct() {
             for (spec, expect) in specs.iter().zip(&reference) {
                 let engine = &engine;
                 scope.spawn(move || {
-                    let set = engine.synthesize(spec).expect("synthesizes");
+                    let set = engine.run(spec).expect("synthesizes");
                     assert_eq!(&fingerprint(&set), expect, "{spec}");
                 });
             }
@@ -196,7 +196,7 @@ fn clear_cache_racing_cold_solves_stays_correct() {
         // After the dust settles, the (possibly reset, possibly warm)
         // engine answers every spec exactly like a fresh one.
         for (spec, expect) in specs.iter().zip(&reference) {
-            let set = engine.synthesize(spec).expect("synthesizes");
+            let set = engine.run(spec).expect("synthesizes");
             assert_eq!(&fingerprint(&set), expect, "round {round}: {spec}");
         }
     }
@@ -234,28 +234,31 @@ mod poison {
     fn engine_recovers_from_a_poisoned_state_lock() {
         let mut rules = RuleSet::standard().with_lsi_extensions();
         rules.append_library_rules(vec![Box::new(PanicOnMarker)]);
-        let engine = Dtas::new(lsi_logic_subset())
-            .with_rules(rules)
-            .with_config(DtasConfig {
+        let engine = Dtas::builder(lsi_logic_subset())
+            .rules(rules)
+            .config(DtasConfig {
                 // Serial expansion so the panic unwinds through the write
                 // guard on this thread, not a worker pool.
                 threads: Some(1),
                 ..DtasConfig::default()
-            });
-        let before = engine.synthesize(&adder(16)).unwrap();
+            })
+            .build();
+        let before = engine.run(adder(16)).unwrap();
         let marker = ComponentSpec::new(ComponentKind::AddSub, 4)
             .with_ops(OpSet::only(Op::Add))
             .with_style("PANIC_MARKER");
+        // A front override skips canonicalization (no probe expands the
+        // marker early), so the panic unwinds inside the state write
+        // lock — the poison scenario this test pins.
+        let request = dtas::SynthRequest::new(marker).with_front_cap(8);
         let panicked =
-            std::thread::scope(|scope| scope.spawn(|| engine.synthesize(&marker)).join().is_err());
+            std::thread::scope(|scope| scope.spawn(|| engine.run(&request)).join().is_err());
         assert!(panicked, "the injected rule panic must surface");
         // A *cold* query touches the poisoned state lock: the engine
         // clears the poison, drops the half-mutated space, and re-solves —
         // bit-identically to a fresh engine.
-        let cold = engine.synthesize(&mux(4, 4)).expect("recovers");
-        let fresh = Dtas::new(lsi_logic_subset())
-            .synthesize(&mux(4, 4))
-            .unwrap();
+        let cold = engine.run(mux(4, 4)).expect("recovers");
+        let fresh = Dtas::new(lsi_logic_subset()).run(mux(4, 4)).unwrap();
         assert_eq!(fingerprint(&cold), fingerprint(&fresh));
         let stats: CacheStats = engine.cache_stats();
         assert!(
@@ -263,10 +266,10 @@ mod poison {
             "recovery must be observable: {stats:?}"
         );
         // Memoized results (separate shard locks, not poisoned) survive.
-        let after = engine.synthesize(&adder(16)).unwrap();
+        let after = engine.run(adder(16)).unwrap();
         assert_eq!(fingerprint(&before), fingerprint(&after));
         assert!(matches!(
-            engine.synthesize(&adder(16)),
+            engine.run(adder(16)),
             Ok(_) | Err(SynthError::NoImplementation(_))
         ));
     }

@@ -24,8 +24,8 @@ fn synthesis_is_deterministic() {
         ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(8),
     ];
     for spec in specs {
-        let a = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
-        let b = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let a = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
+        let b = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         assert_eq!(
             fingerprint(&a),
             fingerprint(&b),

@@ -11,7 +11,7 @@ use rtlsim::equiv::{check_exhaustive, check_implementation};
 
 fn check_all(spec: ComponentSpec, vectors: usize) {
     let set = Dtas::new(lsi_logic_subset())
-        .synthesize(&spec)
+        .run(&spec)
         .unwrap_or_else(|e| panic!("{spec} failed to synthesize: {e}"));
     assert!(!set.alternatives.is_empty());
     for alt in &set.alternatives {
@@ -354,7 +354,7 @@ fn small_adders_exhaustively() {
             .with_ops(OpSet::only(Op::Add))
             .with_carry_in(true)
             .with_carry_out(true);
-        let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         for alt in &set.alternatives {
             check_exhaustive(&alt.implementation)
                 .unwrap_or_else(|e| panic!("{spec} via {} fails: {e}", alt.implementation.label()));

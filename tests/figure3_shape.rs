@@ -18,12 +18,14 @@ fn alu64() -> ComponentSpec {
 
 #[test]
 fn figure3_tradeoff_shape_holds() {
-    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        root_filter: FilterPolicy::Pareto,
-        ..DtasConfig::default()
-    });
+    let engine = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            root_filter: FilterPolicy::Pareto,
+            ..DtasConfig::default()
+        })
+        .build();
     let start = Instant::now();
-    let set = engine.synthesize(&alu64()).expect("ALU64 synthesizes");
+    let set = engine.run(alu64()).expect("ALU64 synthesizes");
     let elapsed = start.elapsed();
 
     // The paper's runtime bound (SUN-3: 15 minutes; here: seconds).
@@ -77,11 +79,13 @@ fn figure3_intermediate_knee_exists() {
     // The paper highlights two designs that recover most of the speed for
     // ~14% area; require some design with >=60% delay reduction at <=25%
     // area premium.
-    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        root_filter: FilterPolicy::Pareto,
-        ..DtasConfig::default()
-    });
-    let set = engine.synthesize(&alu64()).expect("synthesizes");
+    let engine = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            root_filter: FilterPolicy::Pareto,
+            ..DtasConfig::default()
+        })
+        .build();
+    let set = engine.run(alu64()).expect("synthesizes");
     let smallest = set.smallest().expect("nonempty");
     let knee = set.alternatives.iter().any(|alt| {
         let premium = (alt.area - smallest.area) / smallest.area;
@@ -93,11 +97,13 @@ fn figure3_intermediate_knee_exists() {
 
 #[test]
 fn slowest_design_is_ripple_fastest_is_lookahead() {
-    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        root_filter: FilterPolicy::Pareto,
-        ..DtasConfig::default()
-    });
-    let set = engine.synthesize(&alu64()).expect("synthesizes");
+    let engine = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            root_filter: FilterPolicy::Pareto,
+            ..DtasConfig::default()
+        })
+        .build();
+    let set = engine.run(alu64()).expect("synthesizes");
     let smallest = set.smallest().expect("nonempty");
     let fastest = set.fastest().expect("nonempty");
     let small_cells = smallest.implementation.cell_census();

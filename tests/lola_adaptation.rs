@@ -47,14 +47,16 @@ fn adder(w: usize) -> ComponentSpec {
 #[test]
 fn derived_implementations_are_equivalent() {
     let lib = next_gen();
-    let engine = Dtas::new(lib.clone()).with_rules(with_derived_rules(RuleSet::standard(), &lib));
+    let engine = Dtas::builder(lib.clone())
+        .rules(with_derived_rules(RuleSet::standard(), &lib))
+        .build();
     let specs = vec![
         adder(6),
         adder(12),
         ComponentSpec::new(ComponentKind::Register, 13).with_ops(OpSet::only(Op::Load)),
     ];
     for spec in specs {
-        let set = engine.synthesize(&spec).expect("synthesizes");
+        let set = engine.run(&spec).expect("synthesizes");
         for alt in &set.alternatives {
             check_implementation(&alt.implementation, 120, 9)
                 .unwrap_or_else(|e| panic!("{spec} via {} fails: {e}", alt.implementation.label()));
@@ -66,12 +68,14 @@ fn derived_implementations_are_equivalent() {
 fn lola_improves_the_design_space() {
     let lib = next_gen();
     let spec = adder(12);
-    let baseline = Dtas::new(lib.clone())
-        .with_rules(RuleSet::standard())
-        .synthesize(&spec);
-    let adapted = Dtas::new(lib.clone())
-        .with_rules(with_derived_rules(RuleSet::standard(), &lib))
-        .synthesize(&spec)
+    let baseline = Dtas::builder(lib.clone())
+        .rules(RuleSet::standard())
+        .build()
+        .run(&spec);
+    let adapted = Dtas::builder(lib.clone())
+        .rules(with_derived_rules(RuleSet::standard(), &lib))
+        .build()
+        .run(&spec)
         .expect("adapted engine synthesizes");
     // LOLA must find the lookahead structure the generic rules cannot
     // (6-bit blocks from 2-bit P/G adders + CLA3).

@@ -84,9 +84,7 @@ fn section7_component_list_synthesizes() {
             .with_style("SYNCHRONOUS"),
     ];
     for spec in specs {
-        let set = engine
-            .synthesize(&spec)
-            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        let set = engine.run(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
         assert!(!set.alternatives.is_empty(), "{spec}");
     }
 }

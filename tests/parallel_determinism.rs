@@ -69,17 +69,21 @@ fn parallel_solver_fronts_match_serial_exactly() {
 
 #[test]
 fn threaded_engine_matches_single_thread_engine() {
-    let serial = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        threads: Some(1),
-        ..DtasConfig::default()
-    });
-    let threaded = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        threads: Some(4),
-        ..DtasConfig::default()
-    });
+    let serial = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            threads: Some(1),
+            ..DtasConfig::default()
+        })
+        .build();
+    let threaded = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            threads: Some(4),
+            ..DtasConfig::default()
+        })
+        .build();
     for spec in [add16(), alu64()] {
-        let a = serial.synthesize(&spec).unwrap();
-        let b = threaded.synthesize(&spec).unwrap();
+        let a = serial.run(&spec).unwrap();
+        let b = threaded.run(&spec).unwrap();
         assert_eq!(common::fingerprint(&a), common::fingerprint(&b), "{spec}");
         assert_eq!(
             a.unconstrained_size.to_bits(),
@@ -93,10 +97,10 @@ fn threaded_engine_matches_single_thread_engine() {
 #[test]
 fn cached_repeat_is_identical_and_counted() {
     let engine = Dtas::new(lsi_logic_subset());
-    let first = engine.synthesize(&add16()).unwrap();
+    let first = engine.run(add16()).unwrap();
     assert_eq!(engine.cache_stats().misses, 1);
     assert_eq!(engine.cache_stats().hits, 0);
-    let again = engine.synthesize(&add16()).unwrap();
+    let again = engine.run(add16()).unwrap();
     assert_eq!(common::fingerprint(&first), common::fingerprint(&again));
     assert_eq!(again.uniform_size, first.uniform_size);
     let stats = engine.cache_stats();
@@ -107,21 +111,21 @@ fn cached_repeat_is_identical_and_counted() {
     engine.clear_cache();
     let stats = engine.cache_stats();
     assert_eq!((stats.hits, stats.misses, stats.cached_results), (0, 0, 0));
-    let cold = engine.synthesize(&add16()).unwrap();
+    let cold = engine.run(add16()).unwrap();
     assert_eq!(common::fingerprint(&first), common::fingerprint(&cold));
 }
 
 #[test]
 fn shared_subspecs_are_reused_across_roots() {
     let engine = Dtas::new(lsi_logic_subset());
-    engine.synthesize(&add16()).unwrap();
+    engine.run(add16()).unwrap();
     let nodes_after_add16 = engine.cache_stats().spec_nodes;
     // An ADD32 decomposes through the same small-adder subspace.
     let add32 = ComponentSpec::new(ComponentKind::AddSub, 32)
         .with_ops(OpSet::only(Op::Add))
         .with_carry_in(true)
         .with_carry_out(true);
-    let set = engine.synthesize(&add32).unwrap();
+    let set = engine.run(&add32).unwrap();
     assert!(!set.alternatives.is_empty());
     let stats = engine.cache_stats();
     // The shared space grew instead of being rebuilt, and ADD16's nodes
@@ -129,8 +133,8 @@ fn shared_subspecs_are_reused_across_roots() {
     assert!(stats.spec_nodes > nodes_after_add16);
     assert_eq!(stats.misses, 2);
     // Both roots answer from the result memo now.
-    engine.synthesize(&add16()).unwrap();
-    engine.synthesize(&add32).unwrap();
+    engine.run(add16()).unwrap();
+    engine.run(&add32).unwrap();
     assert_eq!(engine.cache_stats().hits, 2);
 }
 
@@ -141,8 +145,8 @@ fn shared_engine_results_match_fresh_engines() {
     let shared = Dtas::new(lsi_logic_subset());
     let mux8 = ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(8);
     for spec in [alu64(), add16(), mux8, add16(), alu64()] {
-        let from_shared = shared.synthesize(&spec).unwrap();
-        let from_fresh = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+        let from_shared = shared.run(&spec).unwrap();
+        let from_fresh = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
         assert_eq!(
             common::fingerprint(&from_shared),
             common::fingerprint(&from_fresh),
@@ -167,24 +171,25 @@ fn truncation_stats_survive_cross_query_reuse() {
         max_combinations: 2,
         ..DtasConfig::default()
     };
-    let fresh = Dtas::new(lsi_logic_subset())
-        .with_config(config.clone())
-        .synthesize(&add16())
+    let fresh = Dtas::builder(lsi_logic_subset())
+        .config(config.clone())
+        .build()
+        .run(add16())
         .unwrap();
     assert!(
         fresh.stats.truncated_combinations > 0,
         "cap 2 should truncate ADD16"
     );
-    let shared = Dtas::new(lsi_logic_subset()).with_config(config);
+    let shared = Dtas::builder(lsi_logic_subset()).config(config).build();
     shared
-        .synthesize(
-            &ComponentSpec::new(ComponentKind::AddSub, 8)
+        .run(
+            ComponentSpec::new(ComponentKind::AddSub, 8)
                 .with_ops(OpSet::only(Op::Add))
                 .with_carry_in(true)
                 .with_carry_out(true),
         )
         .unwrap();
-    let reused = shared.synthesize(&add16()).unwrap();
+    let reused = shared.run(add16()).unwrap();
     assert_eq!(
         reused.stats.truncated_combinations,
         fresh.stats.truncated_combinations
@@ -194,12 +199,14 @@ fn truncation_stats_survive_cross_query_reuse() {
 #[test]
 fn cache_off_still_produces_identical_results() {
     let cached = Dtas::new(lsi_logic_subset());
-    let cold = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        cache: false,
-        ..DtasConfig::default()
-    });
-    let a = cached.synthesize(&add16()).unwrap();
-    let b = cold.synthesize(&add16()).unwrap();
+    let cold = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            cache: false,
+            ..DtasConfig::default()
+        })
+        .build();
+    let a = cached.run(add16()).unwrap();
+    let b = cold.run(add16()).unwrap();
     assert_eq!(common::fingerprint(&a), common::fingerprint(&b));
     // Nothing is retained with the cache off.
     let stats = cold.cache_stats();
@@ -266,7 +273,7 @@ mod cyclic {
             Box::new(StyleSwap { from: "A", to: "B" }),
             Box::new(StyleSwap { from: "B", to: "A" }),
         ]);
-        Dtas::new(lib).with_rules(rules)
+        Dtas::builder(lib).rules(rules).build()
     }
 }
 
@@ -294,13 +301,13 @@ fn cyclic_expansion_is_flagged_as_tainted() {
 
 #[test]
 fn cyclic_rules_stay_query_order_independent() {
-    let fresh_b = cyclic::engine().synthesize(&cyclic::delay("B")).unwrap();
+    let fresh_b = cyclic::engine().run(cyclic::delay("B")).unwrap();
     let shared = cyclic::engine();
-    shared.synthesize(&cyclic::delay("A")).unwrap();
+    shared.run(cyclic::delay("A")).unwrap();
     // Without the cycle-taint guard this query would answer from a shared
     // space where style-B was expanded under style-A and lost its
     // swap-back template (fewer implementation choices).
-    let b_after_a = shared.synthesize(&cyclic::delay("B")).unwrap();
+    let b_after_a = shared.run(cyclic::delay("B")).unwrap();
     assert_eq!(b_after_a.stats.impl_choices, fresh_b.stats.impl_choices);
     assert_eq!(b_after_a.stats.spec_nodes, fresh_b.stats.spec_nodes);
     assert_eq!(
@@ -308,7 +315,7 @@ fn cyclic_rules_stay_query_order_independent() {
         common::fingerprint(&fresh_b)
     );
     // Tainted queries are never memoized: repeats stay correct too.
-    let again = shared.synthesize(&cyclic::delay("B")).unwrap();
+    let again = shared.run(cyclic::delay("B")).unwrap();
     assert_eq!(common::fingerprint(&again), common::fingerprint(&fresh_b));
 }
 
@@ -364,6 +371,193 @@ proptest! {
         // get() agrees with the map on every key.
         for k in 0..48 {
             prop_assert_eq!(pa.get(k), ma.get(&k).copied());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The incremental engine: canonical keys and in-place updates must be
+// invisible in the answers — bit-identical to a fresh engine built
+// directly in the final configuration.
+
+/// Reference answer: a cache-off engine never canonicalizes (there is no
+/// memo to key), so it solves the raw spec exactly as written.
+fn raw_reference(spec: &ComponentSpec) -> common::Fingerprint {
+    let engine = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            cache: false,
+            ..DtasConfig::default()
+        })
+        .build();
+    common::fingerprint(&engine.run(spec).unwrap())
+}
+
+fn arb_decoration() -> impl Strategy<Value = (Option<&'static str>, usize)> {
+    (
+        prop_oneof![Just(None), Just(Some("FASTEST")), Just(Some("LOWPOWER"))],
+        0usize..7,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 0 })]
+
+    /// Canonicalization is solution-preserving: a decorated spec variant
+    /// served through the canonical memo entry answers bit-identically
+    /// (modulo nothing — the root label is rewritten back) to a raw
+    /// cache-off solve of the very same decorated spec.
+    #[test]
+    fn canonical_answers_match_raw_solves(
+        width in 2usize..17,
+        decoration in arb_decoration(),
+        warm_plain_first in any::<bool>(),
+    ) {
+        let (style, w2) = decoration;
+        let mut spec = ComponentSpec::new(ComponentKind::AddSub, width)
+            .with_ops(OpSet::only(Op::Add))
+            .with_carry_in(true)
+            .with_carry_out(true);
+        if let Some(style) = style {
+            spec = spec.with_style(style);
+        }
+        if w2 != 0 {
+            spec = spec.with_width2(w2);
+        }
+        let shared = Dtas::new(lsi_logic_subset());
+        if warm_plain_first {
+            // Warm the canonical entry through the undecorated variant,
+            // so the decorated query is answered from the collapsed key.
+            let plain = ComponentSpec::new(ComponentKind::AddSub, width)
+                .with_ops(OpSet::only(Op::Add))
+                .with_carry_in(true)
+                .with_carry_out(true);
+            shared.run(&plain).unwrap();
+        }
+        let set = shared.run(&spec).unwrap();
+        prop_assert_eq!(&set.spec, &spec, "root label must be the caller's");
+        prop_assert_eq!(common::fingerprint(&set), raw_reference(&spec));
+    }
+}
+
+/// Every `update_rules` / `update_config` path answers like a fresh
+/// engine built with the final (rules, config) — for specs warmed before
+/// the update (retained or dropped), and for a cold spec after it.
+#[test]
+fn updates_answer_like_a_fresh_engine() {
+    let warm_specs = [add16(), alu64()];
+    let cold_spec = ComponentSpec::new(ComponentKind::Mux, 8).with_inputs(4);
+    type Update = fn(&mut Dtas);
+    type FreshRules = fn() -> RuleSet;
+    let standard_lsi: FreshRules = || RuleSet::standard().with_lsi_extensions();
+    let standard_only: FreshRules = || RuleSet::standard();
+    let updates: [(&str, Update, FreshRules, DtasConfig); 7] = [
+        (
+            "same rules",
+            |e| {
+                e.update_rules(RuleSet::standard().with_lsi_extensions());
+            },
+            standard_lsi,
+            DtasConfig::default(),
+        ),
+        (
+            "rules removed",
+            |e| {
+                e.update_rules(RuleSet::standard());
+            },
+            standard_only,
+            DtasConfig::default(),
+        ),
+        (
+            "root shaping",
+            |e| {
+                e.update_config(DtasConfig {
+                    root_filter: dtas::FilterPolicy::Pareto,
+                    ..DtasConfig::default()
+                });
+            },
+            standard_lsi,
+            DtasConfig {
+                root_filter: dtas::FilterPolicy::Pareto,
+                ..DtasConfig::default()
+            },
+        ),
+        (
+            "node shaping",
+            |e| {
+                e.update_config(DtasConfig {
+                    node_cap: 2,
+                    ..DtasConfig::default()
+                });
+            },
+            standard_lsi,
+            DtasConfig {
+                node_cap: 2,
+                ..DtasConfig::default()
+            },
+        ),
+        (
+            "uniform accounting",
+            |e| {
+                e.update_config(DtasConfig {
+                    uniform_count_limit: 10,
+                    ..DtasConfig::default()
+                });
+            },
+            standard_lsi,
+            DtasConfig {
+                uniform_count_limit: 10,
+                ..DtasConfig::default()
+            },
+        ),
+        (
+            "cache off",
+            |e| {
+                e.update_config(DtasConfig {
+                    cache: false,
+                    ..DtasConfig::default()
+                });
+            },
+            standard_lsi,
+            DtasConfig {
+                cache: false,
+                ..DtasConfig::default()
+            },
+        ),
+        (
+            "cache back on",
+            |e| {
+                e.update_config(DtasConfig {
+                    cache: false,
+                    ..DtasConfig::default()
+                });
+                e.update_config(DtasConfig::default());
+            },
+            standard_lsi,
+            DtasConfig::default(),
+        ),
+    ];
+    for (label, update, final_rules, final_config) in updates {
+        let mut engine = Dtas::new(lsi_logic_subset());
+        for spec in &warm_specs {
+            engine.run(spec).unwrap();
+        }
+        update(&mut engine);
+        let fresh = Dtas::builder(lsi_logic_subset())
+            .rules(final_rules())
+            .config(final_config)
+            .build();
+        for spec in warm_specs.iter().chain([&cold_spec]) {
+            let updated = engine.run(spec).unwrap();
+            let reference = fresh.run(spec).unwrap();
+            assert_eq!(
+                common::fingerprint(&updated),
+                common::fingerprint(&reference),
+                "{label}: {spec} diverged from a fresh engine"
+            );
+            assert_eq!(
+                updated.uniform_size, reference.uniform_size,
+                "{label}: {spec} uniform accounting diverged"
+            );
         }
     }
 }

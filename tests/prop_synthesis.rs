@@ -85,7 +85,7 @@ proptest! {
     fn random_specs_synthesize_and_verify(spec in arb_spec(), seed in any::<u64>()) {
         let engine = Dtas::new(lsi_logic_subset());
         let set = engine
-            .synthesize(&spec)
+            .run(&spec)
             .unwrap_or_else(|e| panic!("{spec}: {e}"));
         prop_assert!(!set.alternatives.is_empty());
         // The front is monotone in area.

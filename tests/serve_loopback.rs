@@ -107,7 +107,7 @@ fn eight_mixed_clients_match_a_fresh_engine_bit_for_bit() {
     let fresh = Dtas::new(lsi_logic_subset());
     let oracle: Vec<WireDesignSet> = specs
         .iter()
-        .map(|spec| WireDesignSet::of(&fresh.synthesize(spec).expect("fresh engine synthesizes")))
+        .map(|spec| WireDesignSet::of(&fresh.run(spec).expect("fresh engine synthesizes")))
         .collect();
 
     let mut compared = 0usize;

@@ -293,7 +293,7 @@ fn background_checkpoint_lands_on_disk_mid_run() {
     // service is still up — the cross-process scenario.
     let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
     assert_eq!(warm.cache_stats().snapshot_loads, 1);
-    let warm_set = warm.synthesize(&adder(16)).expect("warm hit");
+    let warm_set = warm.run(adder(16)).expect("warm hit");
     assert_eq!(fingerprint(&warm_set), fingerprint(&outcome.design));
     assert_eq!(warm.cache_stats().hits, 1);
     drop(warm);
@@ -323,12 +323,15 @@ fn worker_panic_resolves_the_ticket_and_the_service_survives() {
     }
     let mut rules = RuleSet::standard().with_lsi_extensions();
     rules.append_library_rules(vec![Box::new(PanicRule)]);
-    let engine = Arc::new(Dtas::new(lsi_logic_subset()).with_rules(rules).with_config(
-        DtasConfig {
-            threads: Some(1),
-            ..DtasConfig::default()
-        },
-    ));
+    let engine = Arc::new(
+        Dtas::builder(lsi_logic_subset())
+            .rules(rules)
+            .config(DtasConfig {
+                threads: Some(1),
+                ..DtasConfig::default()
+            })
+            .build(),
+    );
     let service = DtasService::start(
         Arc::clone(&engine),
         ServiceConfig {
@@ -336,8 +339,11 @@ fn worker_panic_resolves_the_ticket_and_the_service_survives() {
             ..ServiceConfig::default()
         },
     );
+    // The front override routes past canonicalization (whose probes
+    // would hit the panicking rule outside the state lock), so the
+    // panic unwinds through the state write guard and poisons it.
     let poisoned = service
-        .submit(SynthRequest::new(adder(4).with_style("PANIC")))
+        .submit(SynthRequest::new(adder(4).with_style("PANIC")).with_front_cap(8))
         .expect("admits");
     assert!(
         matches!(poisoned.recv(), Err(ServiceError::Internal(_))),
@@ -351,9 +357,7 @@ fn worker_panic_resolves_the_ticket_and_the_service_survives() {
         .expect("still admitting")
         .recv()
         .expect("still solving");
-    let fresh = Dtas::new(lsi_logic_subset())
-        .synthesize(&adder(16))
-        .unwrap();
+    let fresh = Dtas::new(lsi_logic_subset()).run(adder(16)).unwrap();
     assert_eq!(fingerprint(&after.design), fingerprint(&fresh));
     assert!(engine.cache_stats().poison_recoveries >= 1);
     let stats = service.shutdown();
@@ -674,7 +678,7 @@ fn service_stress_mixed_priorities_with_checkpointing() {
         .iter()
         .map(|s| {
             Dtas::new(lsi_logic_subset())
-                .synthesize(s)
+                .run(s)
                 .map(|set| fingerprint(&set))
         })
         .collect();
@@ -764,7 +768,7 @@ proptest! {
         );
         for (spec, ticket) in specs.iter().zip(tickets) {
             let via_service = ticket.expect("admitted").recv();
-            let via_direct = direct.synthesize(spec);
+            let via_direct = direct.run(*spec);
             match (via_service, via_direct) {
                 (Ok(outcome), Ok(set)) => {
                     prop_assert_eq!(fingerprint(&outcome.design), fingerprint(&set), "{}", spec);

@@ -55,7 +55,7 @@ fn figure3_extremes_export_hierarchically() {
     let spec = genus::spec::ComponentSpec::new(genus::kind::ComponentKind::Alu, 16)
         .with_ops(Op::paper_alu16())
         .with_carry_in(true);
-    let set = Dtas::new(lsi_logic_subset()).synthesize(&spec).unwrap();
+    let set = Dtas::new(lsi_logic_subset()).run(&spec).unwrap();
     for alt in [set.smallest().unwrap(), set.fastest().unwrap()] {
         let text = emit_implementation(&alt.implementation).unwrap();
         // One entity per distinct spec; the root entity must be present.

@@ -12,7 +12,7 @@ use genus::kind::ComponentKind;
 use genus::op::{Op, OpSet};
 use genus::spec::ComponentSpec;
 use proptest::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn add_spec(w: usize) -> ComponentSpec {
@@ -24,6 +24,18 @@ fn add_spec(w: usize) -> ComponentSpec {
 
 fn mux_spec(w: usize, n: usize) -> ComponentSpec {
     ComponentSpec::new(ComponentKind::Mux, w).with_inputs(n)
+}
+
+/// Warm-starts from `dir` under the plain standard rule base (no LSI
+/// extensions), so the chain key differs from the default engine's.
+fn warm_start_standard_rules(dir: &Path) -> Dtas {
+    Dtas::builder(lsi_logic_subset())
+        .rules(RuleSet::standard())
+        .config(DtasConfig {
+            persist_path: Some(dir.to_path_buf()),
+            ..DtasConfig::default()
+        })
+        .build()
 }
 
 /// A fresh, empty cache directory unique to this test and process.
@@ -107,9 +119,9 @@ fn warm_start_round_trips_bit_identically() {
     let specs = [add_spec(8), add_spec(16), mux_spec(8, 4)];
 
     let cold = Dtas::warm_start(lsi_logic_subset(), &dir);
-    let cold_sets: Vec<DesignSet> = specs
+    let cold_sets: Vec<Arc<DesignSet>> = specs
         .iter()
-        .map(|s| cold.synthesize(s).expect("cold solves"))
+        .map(|s| cold.run(s).expect("cold solves"))
         .collect();
     let report = full_report(cold.checkpoint().expect("checkpoint writes"));
     assert!(report.bytes > 0);
@@ -134,7 +146,7 @@ fn warm_start_round_trips_bit_identically() {
     // Every first query materializes its persisted result — a hit, with
     // zero misses, bit-identical to the cold answer.
     for (spec, cold_set) in specs.iter().zip(&cold_sets) {
-        let warm_set = warm.synthesize(spec).expect("warm solves");
+        let warm_set = warm.run(spec).expect("warm solves");
         assert_sets_identical(cold_set, &warm_set);
     }
     let warm_stats = warm.cache_stats();
@@ -160,7 +172,7 @@ fn prefault_materializes_the_whole_backlog() {
     {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
         for spec in &specs {
-            engine.synthesize(spec).expect("solves");
+            engine.run(spec).expect("solves");
         }
     }
     let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
@@ -171,7 +183,7 @@ fn prefault_materializes_the_whole_backlog() {
     assert_eq!(stats.cached_results, specs.len());
     // Prefault already decoded everything; queries are plain memo hits.
     for spec in &specs {
-        warm.synthesize(spec).expect("hits");
+        warm.run(spec).expect("hits");
     }
     assert_eq!(warm.cache_stats().misses, 0);
     drop(warm);
@@ -183,16 +195,16 @@ fn delta_checkpoint_is_o_dirty_not_o_space() {
     let dir = cache_dir("delta");
     let base_specs = [add_spec(8), add_spec(16), mux_spec(8, 4)];
     let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
-    let mut reference: Vec<DesignSet> = base_specs
+    let mut reference: Vec<Arc<DesignSet>> = base_specs
         .iter()
-        .map(|s| engine.synthesize(s).expect("solves"))
+        .map(|s| engine.run(s).expect("solves"))
         .collect();
     let base = full_report(engine.checkpoint().expect("writes"));
 
     // One more (small) solve: the follow-up checkpoint appends a delta
     // carrying just that dirt, an order of magnitude smaller than the
     // base it extends.
-    reference.push(engine.synthesize(&add_spec(4)).expect("solves"));
+    reference.push(engine.run(add_spec(4)).expect("solves"));
     let delta = delta_report(engine.checkpoint().expect("writes"));
     assert!(
         (delta.bytes as f64) < 0.10 * (base.bytes as f64),
@@ -214,7 +226,7 @@ fn delta_checkpoint_is_o_dirty_not_o_space() {
     assert_eq!(warm.cache_stats().lazy_results, 4);
     let all_specs = [add_spec(8), add_spec(16), mux_spec(8, 4), add_spec(4)];
     for (spec, cold_set) in all_specs.iter().zip(&reference) {
-        let warm_set = warm.synthesize(spec).expect("warm solves");
+        let warm_set = warm.run(spec).expect("warm solves");
         assert_sets_identical(cold_set, &warm_set);
     }
     assert_eq!(warm.cache_stats().misses, 0);
@@ -226,7 +238,7 @@ fn delta_checkpoint_is_o_dirty_not_o_space() {
 fn clean_checkpoints_are_skipped_without_writing() {
     let dir = cache_dir("skip");
     let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
-    engine.synthesize(&add_spec(8)).expect("solves");
+    engine.run(add_spec(8)).expect("solves");
     full_report(engine.checkpoint().expect("writes"));
     let files_before: Vec<PathBuf> = base_files(&dir)
         .into_iter()
@@ -258,19 +270,21 @@ fn compaction_folds_the_chain_back_into_one_base() {
     let dir = cache_dir("compact");
     // Ratio 0: any accumulated delta triggers compaction on the next
     // dirty checkpoint.
-    let engine = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-        persist_path: Some(dir.clone()),
-        compaction_ratio: 0.0,
-        ..DtasConfig::default()
-    });
+    let engine = Dtas::builder(lsi_logic_subset())
+        .config(DtasConfig {
+            persist_path: Some(dir.clone()),
+            compaction_ratio: 0.0,
+            ..DtasConfig::default()
+        })
+        .build();
     let specs = [add_spec(8), add_spec(16), mux_spec(8, 4)];
     let mut reference = Vec::new();
 
-    reference.push(engine.synthesize(&specs[0]).expect("solves"));
+    reference.push(engine.run(&specs[0]).expect("solves"));
     full_report(engine.checkpoint().expect("writes"));
-    reference.push(engine.synthesize(&specs[1]).expect("solves"));
+    reference.push(engine.run(&specs[1]).expect("solves"));
     delta_report(engine.checkpoint().expect("writes"));
-    reference.push(engine.synthesize(&specs[2]).expect("solves"));
+    reference.push(engine.run(&specs[2]).expect("solves"));
     // Deltas now outgrow ratio * base: this checkpoint compacts.
     full_report(engine.checkpoint().expect("writes"));
     let stats = engine.cache_stats();
@@ -282,7 +296,7 @@ fn compaction_folds_the_chain_back_into_one_base() {
     let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
     assert_eq!(warm.cache_stats().snapshot_loads, 1);
     for (spec, cold_set) in specs.iter().zip(&reference) {
-        let warm_set = warm.synthesize(spec).expect("warm solves");
+        let warm_set = warm.run(spec).expect("warm solves");
         assert_sets_identical(cold_set, &warm_set);
     }
     assert_eq!(warm.cache_stats().misses, 0);
@@ -299,14 +313,14 @@ fn drop_flushes_and_persisted_errors_replay() {
         .with_style("STACK");
     {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
-        engine.synthesize(&add_spec(16)).expect("solves");
-        assert!(engine.synthesize(&stack).is_err());
+        engine.run(add_spec(16)).expect("solves");
+        assert!(engine.run(&stack).is_err());
         // No explicit checkpoint: drop flushes.
     }
     let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
     assert_eq!(warm.cache_stats().snapshot_loads, 1);
-    warm.synthesize(&add_spec(16)).expect("warm hit");
-    assert!(warm.synthesize(&stack).is_err(), "memoized error replays");
+    warm.run(add_spec(16)).expect("warm hit");
+    assert!(warm.run(&stack).is_err(), "memoized error replays");
     let stats = warm.cache_stats();
     assert_eq!((stats.hits, stats.misses), (2, 0));
     drop(warm);
@@ -317,7 +331,7 @@ fn drop_flushes_and_persisted_errors_replay() {
 /// the base segment's path.
 fn persisted_snapshot(dir: &PathBuf) -> PathBuf {
     let engine = Dtas::warm_start(lsi_logic_subset(), dir);
-    engine.synthesize(&add_spec(16)).expect("solves");
+    engine.run(add_spec(16)).expect("solves");
     engine.checkpoint().expect("writes").expect("bound");
     drop(engine);
     let bases = base_files(dir);
@@ -334,9 +348,9 @@ fn assert_falls_back_cold(dir: &PathBuf, corrupt: impl FnOnce(&PathBuf)) {
     corrupt(&path);
     let engine = Dtas::warm_start(lsi_logic_subset(), dir);
     let cold = Dtas::new(lsi_logic_subset())
-        .synthesize(&add_spec(16))
+        .run(add_spec(16))
         .expect("reference solves");
-    let recovered = engine.synthesize(&add_spec(16)).expect("cold fallback");
+    let recovered = engine.run(add_spec(16)).expect("cold fallback");
     assert_sets_identical(&cold, &recovered);
     let stats = engine.cache_stats();
     assert!(
@@ -413,11 +427,11 @@ fn random_garbage_falls_back_cold() {
 
 /// Builds a base + one delta chain in `dir` and returns the reference
 /// result sets for `[add8, add16]`.
-fn base_plus_delta(dir: &PathBuf) -> Vec<DesignSet> {
+fn base_plus_delta(dir: &PathBuf) -> Vec<Arc<DesignSet>> {
     let engine = Dtas::warm_start(lsi_logic_subset(), dir);
-    let mut reference = vec![engine.synthesize(&add_spec(8)).expect("solves")];
+    let mut reference = vec![engine.run(add_spec(8)).expect("solves")];
     full_report(engine.checkpoint().expect("writes"));
-    reference.push(engine.synthesize(&add_spec(16)).expect("solves"));
+    reference.push(engine.run(add_spec(16)).expect("solves"));
     delta_report(engine.checkpoint().expect("writes"));
     drop(engine);
     assert_eq!(delta_files(dir).len(), 1);
@@ -448,7 +462,7 @@ fn damaged_delta_rejects_the_chain_and_solves_cold() {
         assert_eq!(stats.snapshot_loads, 0, "{mode}: chain must not load");
         assert_eq!(stats.snapshot_rejects, 1, "{mode}");
         for (spec, cold_set) in [add_spec(8), add_spec(16)].iter().zip(&reference) {
-            let recovered = engine.synthesize(spec).expect("cold fallback");
+            let recovered = engine.run(spec).expect("cold fallback");
             assert_sets_identical(cold_set, &recovered);
         }
         drop(engine);
@@ -469,9 +483,9 @@ fn missing_delta_suffix_is_a_valid_prefix() {
     let stats = engine.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (1, 0));
     assert_eq!(stats.lazy_results, 1, "only the base's result survives");
-    let warm = engine.synthesize(&add_spec(8)).expect("warm");
+    let warm = engine.run(add_spec(8)).expect("warm");
     assert_sets_identical(&reference[0], &warm);
-    let resolved = engine.synthesize(&add_spec(16)).expect("re-solves");
+    let resolved = engine.run(add_spec(16)).expect("re-solves");
     assert_sets_identical(&reference[1], &resolved);
     assert_eq!(engine.cache_stats().misses, 1);
     drop(engine);
@@ -515,7 +529,7 @@ fn crash_leftovers_are_swept_and_ignored() {
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (1, 0));
     assert!(!stale_tmp.exists(), "stale tmp swept at construction");
     assert!(fresh_tmp.exists(), "fresh tmp left for its writer");
-    engine.synthesize(&add_spec(16)).expect("warm");
+    engine.run(add_spec(16)).expect("warm");
     assert_eq!(engine.cache_stats().misses, 0);
 
     // The GC plan picks up exactly the leftovers a load ignores.
@@ -543,10 +557,10 @@ fn mismatched_fingerprints_reject_a_renamed_snapshot() {
 
     // A different result-shaping config looks for different file names:
     // the chain is simply missing (cold start, no rejection).
-    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(reconfig());
+    let reconfigured = Dtas::builder(lsi_logic_subset()).config(reconfig()).build();
     let stats = reconfigured.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 0));
-    reconfigured.synthesize(&add_spec(16)).expect("solves");
+    reconfigured.run(add_spec(16)).expect("solves");
     reconfigured.checkpoint().expect("writes").expect("bound");
     let target = base_files(&dir)
         .into_iter()
@@ -558,15 +572,15 @@ fn mismatched_fingerprints_reject_a_renamed_snapshot() {
     // snapshots between cache directories): the header fingerprint check
     // must reject the foreign bytes.
     std::fs::copy(&source, &target).expect("copies");
-    let reconfigured = Dtas::new(lsi_logic_subset()).with_config(reconfig());
+    let reconfigured = Dtas::builder(lsi_logic_subset()).config(reconfig()).build();
     let stats = reconfigured.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
     drop(reconfigured);
     std::fs::remove_file(&target).expect("removes");
 
     // Same story for a different rule base.
-    let regressed = Dtas::warm_start(lsi_logic_subset(), &dir).with_rules(RuleSet::standard());
-    regressed.synthesize(&add_spec(16)).expect("solves");
+    let regressed = warm_start_standard_rules(&dir);
+    regressed.run(add_spec(16)).expect("solves");
     regressed.checkpoint().expect("writes").expect("bound");
     let target = base_files(&dir)
         .into_iter()
@@ -574,7 +588,7 @@ fn mismatched_fingerprints_reject_a_renamed_snapshot() {
         .expect("second base");
     drop(regressed);
     std::fs::copy(&source, &target).expect("copies");
-    let regressed = Dtas::warm_start(lsi_logic_subset(), &dir).with_rules(RuleSet::standard());
+    let regressed = warm_start_standard_rules(&dir);
     let stats = regressed.cache_stats();
     assert_eq!((stats.snapshot_loads, stats.snapshot_rejects), (0, 1));
     drop(regressed);
@@ -583,7 +597,7 @@ fn mismatched_fingerprints_reject_a_renamed_snapshot() {
     // And for a different library.
     let poorer = lsi_logic_subset().subset(&["IVA", "ND2", "FA1A", "ADD2", "ADD4"]);
     let shrunk = Dtas::warm_start(poorer.clone(), &dir);
-    shrunk.synthesize(&add_spec(4)).expect("solves");
+    shrunk.run(add_spec(4)).expect("solves");
     shrunk.checkpoint().expect("writes").expect("bound");
     let target = base_files(&dir)
         .into_iter()
@@ -605,7 +619,7 @@ fn drop_only_flushes_when_dirty_since_last_checkpoint() {
     {
         // Checkpointed and untouched since: drop must not rewrite.
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
-        engine.synthesize(&add_spec(8)).expect("solves");
+        engine.run(add_spec(8)).expect("solves");
         engine.checkpoint().expect("writes").expect("bound");
         let path = base_files(&dir).pop().expect("base present");
         std::fs::remove_file(&path).expect("removes");
@@ -618,9 +632,9 @@ fn drop_only_flushes_when_dirty_since_last_checkpoint() {
         // New solves after the checkpoint: drop must flush them — as a
         // delta appended to the chain it already wrote.
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
-        engine.synthesize(&add_spec(8)).expect("solves");
+        engine.run(add_spec(8)).expect("solves");
         engine.checkpoint().expect("writes").expect("bound");
-        engine.synthesize(&add_spec(16)).expect("solves more");
+        engine.run(add_spec(16)).expect("solves more");
         drop(engine);
         assert_eq!(delta_files(&dir).len(), 1, "dirty engine flushed a delta");
     }
@@ -648,23 +662,27 @@ fn rejection_reason_is_reportable() {
 #[test]
 fn mem_snapshot_store_shares_state_between_engines() {
     let store = Arc::new(MemSnapshotStore::new());
-    let first = Dtas::new(lsi_logic_subset()).with_store(store.clone());
-    let cold = first.synthesize(&add_spec(16)).expect("solves");
+    let first = Dtas::builder(lsi_logic_subset())
+        .store(store.clone())
+        .build();
+    let cold = first.run(add_spec(16)).expect("solves");
     first.checkpoint().expect("saves").expect("bound");
     assert_eq!(store.len(), 1);
     let key = first.store_key();
 
-    let second = Dtas::new(lsi_logic_subset()).with_store(store.clone());
+    let second = Dtas::builder(lsi_logic_subset())
+        .store(store.clone())
+        .build();
     let stats = second.cache_stats();
     assert_eq!(stats.snapshot_loads, 1);
-    let warm = second.synthesize(&add_spec(16)).expect("warm hit");
+    let warm = second.run(add_spec(16)).expect("warm hit");
     assert_sets_identical(&cold, &warm);
     let stats = second.cache_stats();
     assert_eq!((stats.hits, stats.misses), (1, 0));
 
     // The in-memory backend speaks the same chain protocol: a follow-up
     // checkpoint from the second engine appends a delta.
-    second.synthesize(&add_spec(8)).expect("solves");
+    second.run(add_spec(8)).expect("solves");
     second.checkpoint().expect("saves").expect("bound");
     assert_eq!(store.delta_count(&key), 1);
 }
@@ -676,20 +694,20 @@ fn warm_engine_keeps_growing_and_recheckpoints() {
     let dir = cache_dir("growing");
     {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
-        engine.synthesize(&add_spec(8)).expect("solves");
+        engine.run(add_spec(8)).expect("solves");
     }
     {
         let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
         assert_eq!(engine.cache_stats().snapshot_loads, 1);
-        engine.synthesize(&add_spec(16)).expect("solves");
+        engine.run(add_spec(16)).expect("solves");
         // Drop flushes the new state as a delta on the loaded chain.
     }
     assert_eq!(delta_files(&dir).len(), 1);
     let engine = Dtas::warm_start(lsi_logic_subset(), &dir);
     let stats = engine.cache_stats();
     assert_eq!(stats.lazy_results, 2);
-    engine.synthesize(&add_spec(8)).expect("hit");
-    engine.synthesize(&add_spec(16)).expect("hit");
+    engine.run(add_spec(8)).expect("hit");
+    engine.run(add_spec(16)).expect("hit");
     let stats = engine.cache_stats();
     assert_eq!((stats.hits, stats.misses), (2, 0));
     assert_eq!(stats.lazy_materialized, 2);
@@ -705,8 +723,8 @@ fn reader_survives_writer_compaction_under_its_feet() {
     let dir = cache_dir("mapped_compaction");
     let reference = {
         let seed = Dtas::warm_start(lsi_logic_subset(), &dir);
-        let set = seed.synthesize(&add_spec(16)).expect("solves");
-        seed.synthesize(&add_spec(8)).expect("solves");
+        let set = seed.run(add_spec(16)).expect("solves");
+        seed.run(add_spec(8)).expect("solves");
         set
     };
 
@@ -716,14 +734,16 @@ fn reader_survives_writer_compaction_under_its_feet() {
     let old_base = base_files(&dir).pop().expect("base present");
 
     {
-        let writer = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-            persist_path: Some(dir.clone()),
-            compaction_ratio: 0.0,
-            ..DtasConfig::default()
-        });
-        writer.synthesize(&mux_spec(8, 4)).expect("solves");
+        let writer = Dtas::builder(lsi_logic_subset())
+            .config(DtasConfig {
+                persist_path: Some(dir.clone()),
+                compaction_ratio: 0.0,
+                ..DtasConfig::default()
+            })
+            .build();
+        writer.run(mux_spec(8, 4)).expect("solves");
         delta_report(writer.checkpoint().expect("writes"));
-        writer.synthesize(&add_spec(4)).expect("solves");
+        writer.run(add_spec(4)).expect("solves");
         full_report(writer.checkpoint().expect("writes"));
     }
     assert!(
@@ -733,7 +753,7 @@ fn reader_survives_writer_compaction_under_its_feet() {
 
     // The reader's chain was unlinked, not truncated: its view is fully
     // intact and still serves bit-identical results.
-    let warm = reader.synthesize(&add_spec(16)).expect("still answers");
+    let warm = reader.run(add_spec(16)).expect("still answers");
     assert_sets_identical(&reference, &warm);
     let stats = reader.cache_stats();
     assert_eq!((stats.hits, stats.misses), (1, 0));
@@ -751,22 +771,24 @@ fn concurrent_checkpoints_and_loads_are_never_torn() {
     let dir = cache_dir("concurrent");
     {
         let seed = Dtas::warm_start(lsi_logic_subset(), &dir);
-        seed.synthesize(&add_spec(16)).expect("solves");
+        seed.run(add_spec(16)).expect("solves");
     }
     let reference = Dtas::new(lsi_logic_subset())
-        .synthesize(&add_spec(16))
+        .run(add_spec(16))
         .expect("reference solves");
 
     std::thread::scope(|scope| {
         let dir_w = dir.clone();
         scope.spawn(move || {
-            let writer = Dtas::new(lsi_logic_subset()).with_config(DtasConfig {
-                persist_path: Some(dir_w),
-                compaction_ratio: 0.0,
-                ..DtasConfig::default()
-            });
+            let writer = Dtas::builder(lsi_logic_subset())
+                .config(DtasConfig {
+                    persist_path: Some(dir_w),
+                    compaction_ratio: 0.0,
+                    ..DtasConfig::default()
+                })
+                .build();
             for width in [4usize, 8, 12, 24] {
-                writer.synthesize(&add_spec(width)).expect("writer solves");
+                writer.run(add_spec(width)).expect("writer solves");
                 writer.checkpoint().expect("writer flushes");
             }
         });
@@ -775,7 +797,7 @@ fn concurrent_checkpoints_and_loads_are_never_torn() {
         scope.spawn(move || {
             for _ in 0..6 {
                 let reader = Dtas::warm_start(lsi_logic_subset(), &dir_r);
-                let set = reader.synthesize(&add_spec(16)).expect("reader answers");
+                let set = reader.run(add_spec(16)).expect("reader answers");
                 assert_sets_identical(reference, &set);
             }
         });
@@ -802,9 +824,9 @@ proptest! {
         specs.extend(muxes.iter().map(|&(w, n)| mux_spec(w, n)));
 
         let cold = Dtas::warm_start(lsi_logic_subset(), &dir);
-        let cold_sets: Vec<DesignSet> = specs
+        let cold_sets: Vec<Arc<DesignSet>> = specs
             .iter()
-            .map(|s| cold.synthesize(s).expect("cold solves"))
+            .map(|s| cold.run(s).expect("cold solves"))
             .collect();
         cold.checkpoint().expect("writes").expect("bound");
         drop(cold);
@@ -812,7 +834,7 @@ proptest! {
         let warm = Dtas::warm_start(lsi_logic_subset(), &dir);
         prop_assert_eq!(warm.cache_stats().snapshot_loads, 1);
         for (spec, cold_set) in specs.iter().zip(&cold_sets) {
-            let warm_set = warm.synthesize(spec).expect("warm solves");
+            let warm_set = warm.run(spec).expect("warm solves");
             assert_sets_identical(cold_set, &warm_set);
         }
         prop_assert_eq!(warm.cache_stats().misses, 0);

@@ -297,7 +297,7 @@ fn fingerprint_mismatch_is_refused_and_matching_pins_connect() {
     match WireClient::connect_checked(
         server.local_addr(),
         Priority::Interactive,
-        (key.library ^ 1, key.rules, key.config),
+        (key.library ^ 1, key.rules, key.config, key.canon),
     ) {
         Err(WireError::FingerprintMismatch { field }) => assert_eq!(field, "library"),
         other => panic!("expected FingerprintMismatch, got {other:?}"),
@@ -306,21 +306,30 @@ fn fingerprint_mismatch_is_refused_and_matching_pins_connect() {
     match WireClient::connect_checked(
         server.local_addr(),
         Priority::Interactive,
-        (key.library, key.rules, key.config ^ 1),
+        (key.library, key.rules, key.config ^ 1, key.canon),
     ) {
         Err(WireError::FingerprintMismatch { field }) => assert_eq!(field, "config"),
         other => panic!("expected FingerprintMismatch, got {other:?}"),
     }
-    // The true triple connects and serves.
+    // Wrong canonicalization-scheme fingerprint: same, different field.
+    match WireClient::connect_checked(
+        server.local_addr(),
+        Priority::Interactive,
+        (key.library, key.rules, key.config, key.canon ^ 1),
+    ) {
+        Err(WireError::FingerprintMismatch { field }) => assert_eq!(field, "canon"),
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    // The true quad connects and serves.
     let mut client = WireClient::connect_checked(
         server.local_addr(),
         Priority::Interactive,
-        (key.library, key.rules, key.config),
+        (key.library, key.rules, key.config, key.canon),
     )
     .expect("matching fingerprints connect");
     assert_eq!(
         client.server_fingerprints(),
-        (key.library, key.rules, key.config)
+        (key.library, key.rules, key.config, key.canon)
     );
     client
         .request(&SynthRequest::new(adder(4)))
@@ -601,16 +610,17 @@ fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
             any::<bool>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
             any::<u64>()
         )
-            .prop_map(|(v, pinned, a, b, c)| ClientMsg::Hello {
+            .prop_map(|(v, pinned, a, b, c, d)| ClientMsg::Hello {
                 wire_version: v,
                 lane: if v & 1 == 0 {
                     Priority::Interactive
                 } else {
                     Priority::Bulk
                 },
-                expect: pinned.then_some((a, b, c)),
+                expect: pinned.then_some((a, b, c, d)),
             }),
         (any::<u64>(), arb_request()).prop_map(|(id, request)| ClientMsg::Request { id, request }),
         (any::<u64>(), proptest::collection::vec(arb_request(), 0..4))
@@ -627,8 +637,8 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
         (any::<u64>()).prop_map(|n| WireError::Protocol(format!("proto {n}"))),
         (any::<u32>(), any::<u32>())
             .prop_map(|(server, client)| WireError::Version { server, client }),
-        (0u8..3).prop_map(|f| WireError::FingerprintMismatch {
-            field: ["library", "rules", "config"][f as usize].to_string(),
+        (0u8..4).prop_map(|f| WireError::FingerprintMismatch {
+            field: ["library", "rules", "config", "canon"][f as usize].to_string(),
         }),
         (any::<u64>()).prop_map(|queue_depth| WireError::Overloaded { queue_depth }),
         (0u8..1).prop_map(|_| WireError::Shed),
@@ -650,19 +660,23 @@ fn arb_server_msg() -> impl Strategy<Value = ServerMsg> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
             any::<bool>()
         )
-            .prop_map(|(v, library, rules, config, bulk)| ServerMsg::HelloAck {
-                wire_version: v,
-                lane: if bulk {
-                    Priority::Bulk
-                } else {
-                    Priority::Interactive
-                },
-                library,
-                rules,
-                config,
-            }),
+            .prop_map(
+                |(v, library, rules, config, canon, bulk)| ServerMsg::HelloAck {
+                    wire_version: v,
+                    lane: if bulk {
+                        Priority::Bulk
+                    } else {
+                        Priority::Interactive
+                    },
+                    library,
+                    rules,
+                    config,
+                    canon,
+                }
+            ),
         (any::<u64>(), any::<u32>(), any::<u32>(), arb_wire_error()).prop_map(
             |(id, slot, of, e)| ServerMsg::Result {
                 id,
